@@ -1,0 +1,261 @@
+//! Physical address decomposition onto the cache hierarchy.
+//!
+//! Data is striped across the subarrays of a sub-bank (paper §III-D): a
+//! 64-byte line activates all eight subarrays of one sub-bank, each
+//! contributing one 8-byte row segment. [`CacheAddress::decompose`] maps a
+//! flat byte address to its (slice, bank, sub-bank, subarray, partition,
+//! row, byte-in-row) coordinates, and [`SubarrayId`] names a subarray for
+//! the mapping and systolic layers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+use crate::geometry::CacheGeometry;
+
+/// Globally unique coordinate of one subarray.
+///
+/// ```
+/// use pim_arch::{CacheGeometry, SubarrayId};
+/// let g = CacheGeometry::xeon_l3_35mb();
+/// let id = SubarrayId::new(&g, 0, 1, 2, 3).unwrap();
+/// assert_eq!(id.flat_index(&g), 0 * 320 + 1 * 80 + 2 * 8 + 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SubarrayId {
+    /// Slice index within the cache.
+    pub slice: usize,
+    /// Bank index within the slice.
+    pub bank: usize,
+    /// Sub-bank index within the bank.
+    pub subbank: usize,
+    /// Subarray index within the sub-bank.
+    pub subarray: usize,
+}
+
+impl SubarrayId {
+    /// Creates a subarray coordinate, validating each field against the
+    /// geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidCoordinate`] when any index exceeds the
+    /// geometry's bounds.
+    pub fn new(
+        geom: &CacheGeometry,
+        slice: usize,
+        bank: usize,
+        subbank: usize,
+        subarray: usize,
+    ) -> Result<Self, ArchError> {
+        let bound = |field: &'static str, value: usize, bound: usize| {
+            if value >= bound {
+                Err(ArchError::InvalidCoordinate { field, value, bound })
+            } else {
+                Ok(())
+            }
+        };
+        bound("slice", slice, geom.slices())?;
+        bound("bank", bank, geom.banks_per_slice())?;
+        bound("subbank", subbank, geom.subbanks_per_bank())?;
+        bound("subarray", subarray, geom.subarrays_per_subbank())?;
+        Ok(SubarrayId { slice, bank, subbank, subarray })
+    }
+
+    /// Creates a coordinate from a flat index in `0..total_subarrays()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidCoordinate`] when the index is out of
+    /// range.
+    pub fn from_flat_index(geom: &CacheGeometry, index: usize) -> Result<Self, ArchError> {
+        if index >= geom.total_subarrays() {
+            return Err(ArchError::InvalidCoordinate {
+                field: "flat_index",
+                value: index,
+                bound: geom.total_subarrays(),
+            });
+        }
+        let per_slice = geom.subarrays_per_slice();
+        let per_bank = geom.subbanks_per_bank() * geom.subarrays_per_subbank();
+        let per_subbank = geom.subarrays_per_subbank();
+        let slice = index / per_slice;
+        let rem = index % per_slice;
+        let bank = rem / per_bank;
+        let rem = rem % per_bank;
+        let subbank = rem / per_subbank;
+        let subarray = rem % per_subbank;
+        Ok(SubarrayId { slice, bank, subbank, subarray })
+    }
+
+    /// Flat index of this subarray in `0..total_subarrays()`, ordering by
+    /// slice, then bank, then sub-bank, then subarray.
+    pub fn flat_index(&self, geom: &CacheGeometry) -> usize {
+        ((self.slice * geom.banks_per_slice() + self.bank) * geom.subbanks_per_bank()
+            + self.subbank)
+            * geom.subarrays_per_subbank()
+            + self.subarray
+    }
+
+    /// Flat index of the sub-bank this subarray belongs to, within its
+    /// slice.
+    pub fn subbank_in_slice(&self, geom: &CacheGeometry) -> usize {
+        self.bank * geom.subbanks_per_bank() + self.subbank
+    }
+}
+
+/// Full coordinates of one byte inside the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheAddress {
+    /// The subarray holding the byte.
+    pub subarray: SubarrayId,
+    /// Partition within the subarray.
+    pub partition: usize,
+    /// Row within the partition.
+    pub row: usize,
+    /// Byte offset within the 8-byte row segment.
+    pub byte_in_row: usize,
+}
+
+impl CacheAddress {
+    /// Decomposes a flat byte address into cache coordinates.
+    ///
+    /// Striping order (from the innermost): byte-in-row-segment, subarray
+    /// within sub-bank (a 64 B line spreads across the 8 subarrays of one
+    /// sub-bank), then consecutive lines walk rows, partitions, sub-banks,
+    /// banks and slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::AddressOutOfRange`] when the address exceeds
+    /// the cache capacity.
+    pub fn decompose(geom: &CacheGeometry, address: u64) -> Result<Self, ArchError> {
+        let capacity = geom.capacity().get();
+        if address >= capacity {
+            return Err(ArchError::AddressOutOfRange { address, capacity });
+        }
+        let row_seg = geom.row_bytes().get(); // bytes per subarray row segment
+        let byte_in_row = (address % row_seg) as usize;
+        let addr = address / row_seg;
+
+        let n_sub = geom.subarrays_per_subbank() as u64;
+        let subarray = (addr % n_sub) as usize;
+        let addr = addr / n_sub;
+
+        let n_rows = geom.rows_per_partition() as u64;
+        let row = (addr % n_rows) as usize;
+        let addr = addr / n_rows;
+
+        let n_part = geom.partitions_per_subarray() as u64;
+        let partition = (addr % n_part) as usize;
+        let addr = addr / n_part;
+
+        let n_subbank = geom.subbanks_per_bank() as u64;
+        let subbank = (addr % n_subbank) as usize;
+        let addr = addr / n_subbank;
+
+        let n_bank = geom.banks_per_slice() as u64;
+        let bank = (addr % n_bank) as usize;
+        let slice = (addr / n_bank) as usize;
+
+        Ok(CacheAddress {
+            subarray: SubarrayId { slice, bank, subbank, subarray },
+            partition,
+            row,
+            byte_in_row,
+        })
+    }
+
+    /// Recomposes coordinates back into the flat byte address, the inverse
+    /// of [`CacheAddress::decompose`].
+    pub fn recompose(&self, geom: &CacheGeometry) -> u64 {
+        let mut addr = self.subarray.slice as u64;
+        addr = addr * geom.banks_per_slice() as u64 + self.subarray.bank as u64;
+        addr = addr * geom.subbanks_per_bank() as u64 + self.subarray.subbank as u64;
+        addr = addr * geom.partitions_per_subarray() as u64 + self.partition as u64;
+        addr = addr * geom.rows_per_partition() as u64 + self.row as u64;
+        addr = addr * geom.subarrays_per_subbank() as u64 + self.subarray.subarray as u64;
+        addr * geom.row_bytes().get() + self.byte_in_row as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::xeon_l3_35mb()
+    }
+
+    #[test]
+    fn address_zero_is_origin() {
+        let a = CacheAddress::decompose(&geom(), 0).unwrap();
+        assert_eq!(a.subarray, SubarrayId { slice: 0, bank: 0, subbank: 0, subarray: 0 });
+        assert_eq!((a.partition, a.row, a.byte_in_row), (0, 0, 0));
+    }
+
+    #[test]
+    fn cache_line_stripes_across_subbank() {
+        // Bytes 0..64 of a line touch all 8 subarrays of sub-bank 0.
+        let g = geom();
+        for i in 0..8u64 {
+            let a = CacheAddress::decompose(&g, i * 8).unwrap();
+            assert_eq!(a.subarray.subarray, i as usize);
+            assert_eq!(a.subarray.subbank, 0);
+            assert_eq!(a.row, 0);
+        }
+    }
+
+    #[test]
+    fn decompose_recompose_round_trip() {
+        let g = geom();
+        let cap = g.capacity().get();
+        // Sample addresses across the whole range including the last byte.
+        for addr in [0, 1, 63, 64, 8191, 8192, 1 << 20, cap / 2, cap - 1] {
+            let c = CacheAddress::decompose(&g, addr).unwrap();
+            assert_eq!(c.recompose(&g), addr, "round trip failed for {addr}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_address_rejected() {
+        let g = geom();
+        let cap = g.capacity().get();
+        assert!(matches!(
+            CacheAddress::decompose(&g, cap),
+            Err(ArchError::AddressOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn subarray_id_bounds_checked() {
+        let g = geom();
+        assert!(SubarrayId::new(&g, 13, 3, 9, 7).is_ok());
+        assert!(matches!(
+            SubarrayId::new(&g, 14, 0, 0, 0),
+            Err(ArchError::InvalidCoordinate { field: "slice", .. })
+        ));
+        assert!(matches!(
+            SubarrayId::new(&g, 0, 4, 0, 0),
+            Err(ArchError::InvalidCoordinate { field: "bank", .. })
+        ));
+    }
+
+    #[test]
+    fn flat_index_round_trip() {
+        let g = geom();
+        for idx in [0usize, 1, 7, 8, 79, 80, 319, 320, 4479] {
+            let id = SubarrayId::from_flat_index(&g, idx).unwrap();
+            assert_eq!(id.flat_index(&g), idx);
+        }
+        assert!(SubarrayId::from_flat_index(&g, 4480).is_err());
+    }
+
+    #[test]
+    fn flat_index_orders_by_slice_first() {
+        let g = geom();
+        let a = SubarrayId::new(&g, 0, 3, 9, 7).unwrap();
+        let b = SubarrayId::new(&g, 1, 0, 0, 0).unwrap();
+        assert!(a.flat_index(&g) < b.flat_index(&g));
+        assert_eq!(b.flat_index(&g), 320);
+    }
+}

@@ -1,0 +1,225 @@
+//! Area-overhead model (paper §V-B).
+//!
+//! BFree adds four things to a conventional cache: the LUT precharge and
+//! enable circuitry in each subarray partition (0.5% of the subarray), one
+//! BCE per subarray at the edge of the subarray, the sub-bank routers, and
+//! the cache/slice controllers (0.1% of the L3 together). The paper
+//! reports a BCE overhead of 6% for a 2.5 MB slice and a total cache area
+//! increase of 5.6%.
+//!
+//! We model slice area as: subarrays occupy [`AreaModel::subarray_area_fraction`]
+//! of a conventional slice, the rest being the slice interconnect, port
+//! and tag logic. Overheads are expressed against the conventional slice.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+use crate::geometry::CacheGeometry;
+use crate::lut_rows::LutRowDesign;
+
+/// Area model for the BFree additions.
+///
+/// ```
+/// use pim_arch::{AreaModel, CacheGeometry};
+/// let model = AreaModel::default();
+/// let report = model.report(&CacheGeometry::xeon_l3_35mb());
+/// // §V-B / abstract: total cache area increase ~5.6%.
+/// assert!((report.total_overhead_fraction - 0.056).abs() < 0.004);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Conventional slice area at 16 nm, mm^2 (CACTI-style estimate for a
+    /// 2.5 MB slice).
+    pub slice_area_mm2: f64,
+    /// Fraction of the conventional slice occupied by the subarrays
+    /// themselves.
+    pub subarray_area_fraction: f64,
+    /// Area of one BCE relative to the slice, aggregated over the slice's
+    /// BCEs (§V-B: "the BCE area overhead is 6% for a cache slice of
+    /// 2.5 MB" — quoted against the slice's compute-relevant area; against
+    /// the full conventional slice the contribution is 5.0%).
+    pub bce_slice_overhead: f64,
+    /// Router area relative to the slice.
+    pub router_slice_overhead: f64,
+    /// Controller area relative to the whole cache (§V-B: 0.1%).
+    pub controller_cache_overhead: f64,
+    /// LUT-row design, which sets the per-subarray precharge overhead.
+    pub lut_design: LutRowDesign,
+    /// Relative area of an equivalently configurable specialized MAC unit
+    /// versus the BCE (§V-B: BCE "occupies 3% lesser area").
+    pub specialized_mac_relative_area: f64,
+    /// Energy-efficiency edge of the BCE over the specialized MAC
+    /// (§V-B: "offers 48% more energy efficiency").
+    pub bce_vs_mac_energy_gain: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            slice_area_mm2: 1.9,
+            subarray_area_fraction: 0.85,
+            bce_slice_overhead: 0.050,
+            router_slice_overhead: 0.001,
+            controller_cache_overhead: 0.001,
+            lut_design: LutRowDesign::DecoupledBitline,
+            specialized_mac_relative_area: 1.03,
+            bce_vs_mac_energy_gain: 1.48,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameter`] when a value is
+    /// non-positive or a fraction is out of `[0, 1]`.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.slice_area_mm2.is_nan() || self.slice_area_mm2 <= 0.0 {
+            return Err(ArchError::InvalidParameter {
+                parameter: "slice_area_mm2",
+                reason: "must be positive".to_string(),
+            });
+        }
+        for (name, v) in [
+            ("subarray_area_fraction", self.subarray_area_fraction),
+            ("bce_slice_overhead", self.bce_slice_overhead),
+            ("router_slice_overhead", self.router_slice_overhead),
+            ("controller_cache_overhead", self.controller_cache_overhead),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ArchError::InvalidParameter {
+                    parameter: name,
+                    reason: format!("must be within [0, 1], got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the area report for a cache geometry.
+    pub fn report(&self, geom: &CacheGeometry) -> AreaReport {
+        let lut_subarray_overhead = match self.lut_design {
+            LutRowDesign::Standalone => 0.08,
+            LutRowDesign::SharedBitline => 0.0,
+            LutRowDesign::DecoupledBitline => 0.005,
+        };
+        // LUT precharge circuitry scales with the subarray area share.
+        let lut_slice_overhead = lut_subarray_overhead * self.subarray_area_fraction;
+        let per_slice =
+            lut_slice_overhead + self.bce_slice_overhead + self.router_slice_overhead;
+        let total = per_slice + self.controller_cache_overhead;
+
+        let conventional_cache_mm2 = self.slice_area_mm2 * geom.slices() as f64;
+        AreaReport {
+            conventional_slice_mm2: self.slice_area_mm2,
+            conventional_cache_mm2,
+            lut_subarray_overhead,
+            lut_slice_overhead,
+            bce_slice_overhead: self.bce_slice_overhead,
+            router_slice_overhead: self.router_slice_overhead,
+            controller_cache_overhead: self.controller_cache_overhead,
+            total_overhead_fraction: total,
+            bfree_cache_mm2: conventional_cache_mm2 * (1.0 + total),
+        }
+    }
+
+    /// Area of a specialized-MAC alternative per subarray, relative to the
+    /// BCE (> 1 means the MAC is bigger; §V-B reports 1.03).
+    pub fn specialized_mac_area_ratio(&self) -> f64 {
+        self.specialized_mac_relative_area
+    }
+
+    /// Energy-efficiency ratio of BCE versus specialized MAC (§V-B: 1.48).
+    pub fn bce_vs_mac_energy_gain(&self) -> f64 {
+        self.bce_vs_mac_energy_gain
+    }
+}
+
+/// Output of [`AreaModel::report`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Conventional (pre-BFree) slice area.
+    pub conventional_slice_mm2: f64,
+    /// Conventional cache area.
+    pub conventional_cache_mm2: f64,
+    /// LUT circuitry overhead relative to one subarray (§V-B: 0.5%).
+    pub lut_subarray_overhead: f64,
+    /// LUT circuitry overhead relative to the slice.
+    pub lut_slice_overhead: f64,
+    /// BCE overhead relative to the slice.
+    pub bce_slice_overhead: f64,
+    /// Router overhead relative to the slice.
+    pub router_slice_overhead: f64,
+    /// Controller overhead relative to the cache (§V-B: 0.1%).
+    pub controller_cache_overhead: f64,
+    /// Total cache area increase (§V-B / abstract: 5.6%).
+    pub total_overhead_fraction: f64,
+    /// Resulting BFree cache area.
+    pub bfree_cache_mm2: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        AreaModel::default().validate().unwrap();
+    }
+
+    #[test]
+    fn total_overhead_near_paper_5_6_percent() {
+        let report = AreaModel::default().report(&CacheGeometry::xeon_l3_35mb());
+        assert!(
+            (report.total_overhead_fraction - 0.056).abs() < 0.004,
+            "got {}",
+            report.total_overhead_fraction
+        );
+    }
+
+    #[test]
+    fn lut_overhead_is_half_percent_of_subarray() {
+        let report = AreaModel::default().report(&CacheGeometry::xeon_l3_35mb());
+        assert!((report.lut_subarray_overhead - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controller_overhead_is_tenth_percent() {
+        let report = AreaModel::default().report(&CacheGeometry::xeon_l3_35mb());
+        assert!((report.controller_cache_overhead - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bfree_cache_is_larger_than_conventional() {
+        let report = AreaModel::default().report(&CacheGeometry::xeon_l3_35mb());
+        assert!(report.bfree_cache_mm2 > report.conventional_cache_mm2);
+    }
+
+    #[test]
+    fn shared_bitline_design_has_no_lut_area() {
+        let model = AreaModel {
+            lut_design: LutRowDesign::SharedBitline,
+            ..AreaModel::default()
+        };
+        let report = model.report(&CacheGeometry::xeon_l3_35mb());
+        assert_eq!(report.lut_subarray_overhead, 0.0);
+    }
+
+    #[test]
+    fn bce_beats_specialized_mac_per_paper() {
+        let model = AreaModel::default();
+        assert!(model.specialized_mac_area_ratio() > 1.0);
+        assert!((model.bce_vs_mac_energy_gain() - 1.48).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let model = AreaModel {
+            subarray_area_fraction: 1.2,
+            ..AreaModel::default()
+        };
+        assert!(model.validate().is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Main-memory technology models (paper Fig. 14).
+//!
+//! The paper identifies main-memory bandwidth as BFree's bottleneck and
+//! sweeps three technologies: DDR4 DRAM at 20 GB/s, eDRAM at 64 GB/s and
+//! HBM at 100 GB/s. Each technology is modelled as a bandwidth plus a
+//! per-bit transfer energy (the dominant term for weight loading, which
+//! §V-D attributes ~80% of BFree's total energy to).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+use crate::units::{Bytes, Energy, Latency};
+
+/// The memory technologies evaluated in Fig. 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MemoryTechKind {
+    /// Conventional DDR4 DRAM, 20 GB/s.
+    #[default]
+    Dram,
+    /// Embedded DRAM, 64 GB/s (paper cites a 22 nm 128 GB/s-class eDRAM).
+    Edram,
+    /// High-bandwidth memory, 100 GB/s.
+    Hbm,
+}
+
+impl MemoryTechKind {
+    /// All technologies, in Fig. 14 order.
+    pub const ALL: [MemoryTechKind; 3] =
+        [MemoryTechKind::Dram, MemoryTechKind::Edram, MemoryTechKind::Hbm];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoryTechKind::Dram => "DRAM",
+            MemoryTechKind::Edram => "eDRAM",
+            MemoryTechKind::Hbm => "HBM",
+        }
+    }
+}
+
+/// A main-memory model: a sustained bandwidth and a per-bit energy.
+///
+/// ```
+/// use pim_arch::{Bytes, MemoryTech};
+/// let dram = MemoryTech::dram();
+/// let t = dram.transfer_time(Bytes::from_mib(20));
+/// // 20 MiB at 20 GB/s is about one millisecond.
+/// assert!((t.milliseconds() - 1.048).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryTech {
+    /// Which technology this is.
+    pub kind: MemoryTechKind,
+    /// Sustained bandwidth in GB/s (decimal gigabytes).
+    pub bandwidth_gbps: f64,
+    /// Transfer energy per bit in pJ (device + I/O + controller).
+    pub pj_per_bit: f64,
+}
+
+impl MemoryTech {
+    /// DDR4-class DRAM: 20 GB/s (Fig. 14), 180 pJ/bit system energy
+    /// (calibration note: chosen so DRAM weight loading is ~80% of BFree's
+    /// Inception-v3 energy, §V-D; see DESIGN.md §4).
+    pub fn dram() -> Self {
+        MemoryTech { kind: MemoryTechKind::Dram, bandwidth_gbps: 20.0, pj_per_bit: 180.0 }
+    }
+
+    /// eDRAM: 64 GB/s (Fig. 14), on-package so roughly 3x cheaper per bit.
+    pub fn edram() -> Self {
+        MemoryTech { kind: MemoryTechKind::Edram, bandwidth_gbps: 64.0, pj_per_bit: 50.0 }
+    }
+
+    /// HBM: 100 GB/s (Fig. 14), ~4 pJ/bit-class I/O grossed up for device
+    /// energy.
+    pub fn hbm() -> Self {
+        MemoryTech { kind: MemoryTechKind::Hbm, bandwidth_gbps: 100.0, pj_per_bit: 35.0 }
+    }
+
+    /// Builds the model for a [`MemoryTechKind`].
+    pub fn from_kind(kind: MemoryTechKind) -> Self {
+        match kind {
+            MemoryTechKind::Dram => MemoryTech::dram(),
+            MemoryTechKind::Edram => MemoryTech::edram(),
+            MemoryTechKind::Hbm => MemoryTech::hbm(),
+        }
+    }
+
+    /// Validates bandwidth and energy are positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameter`] otherwise.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        for (name, v) in [("bandwidth_gbps", self.bandwidth_gbps), ("pj_per_bit", self.pj_per_bit)]
+        {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(ArchError::InvalidParameter {
+                    parameter: name,
+                    reason: format!("must be positive and finite, got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Time to transfer `bytes` at the sustained bandwidth.
+    pub fn transfer_time(&self, bytes: Bytes) -> Latency {
+        Latency::from_ns(bytes.get() as f64 / self.bandwidth_gbps)
+    }
+
+    /// Energy to transfer `bytes`.
+    pub fn transfer_energy(&self, bytes: Bytes) -> Energy {
+        Energy::from_pj(bytes.bits() as f64 * self.pj_per_bit)
+    }
+}
+
+impl Default for MemoryTech {
+    fn default() -> Self {
+        MemoryTech::dram()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bandwidths() {
+        assert_eq!(MemoryTech::dram().bandwidth_gbps, 20.0);
+        assert_eq!(MemoryTech::edram().bandwidth_gbps, 64.0);
+        assert_eq!(MemoryTech::hbm().bandwidth_gbps, 100.0);
+    }
+
+    #[test]
+    fn transfer_time_is_bytes_over_bandwidth() {
+        let dram = MemoryTech::dram();
+        // 20 GB/s = 20 bytes per ns.
+        let t = dram.transfer_time(Bytes::new(20_000));
+        assert!((t.nanoseconds() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hbm_is_5x_faster_than_dram() {
+        let bytes = Bytes::from_mib(100);
+        let ratio = MemoryTech::dram()
+            .transfer_time(bytes)
+            .ratio(MemoryTech::hbm().transfer_time(bytes));
+        assert!((ratio - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_ordering_dram_worst() {
+        let bytes = Bytes::from_mib(1);
+        let d = MemoryTech::dram().transfer_energy(bytes);
+        let e = MemoryTech::edram().transfer_energy(bytes);
+        let h = MemoryTech::hbm().transfer_energy(bytes);
+        assert!(d > e && e > h);
+    }
+
+    #[test]
+    fn from_kind_round_trips() {
+        for kind in MemoryTechKind::ALL {
+            assert_eq!(MemoryTech::from_kind(kind).kind, kind);
+        }
+    }
+
+    #[test]
+    fn invalid_bandwidth_rejected() {
+        let m = MemoryTech { bandwidth_gbps: 0.0, ..MemoryTech::dram() };
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_dram() {
+        assert_eq!(MemoryTech::default().kind, MemoryTechKind::Dram);
+    }
+}

@@ -1,0 +1,261 @@
+//! Access energy model.
+//!
+//! Constants come from the paper's §V: a subarray row access costs 8.6 pJ
+//! and a multi-row-activation bitline compute operation 15.4 pJ (§V-D,
+//! quoted for Neural Cache on the same arrays); the BCE's hardwired
+//! multiply-LUT MAC costs about 0.5 pJ; the decoupled-bitline LUT rows are
+//! 231x more energy efficient than a regular row access (§III-B); and the
+//! interconnect dominates (>90%) the energy of a full slice access
+//! (Fig. 2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+use crate::timing::AccessBreakdown;
+use crate::units::{Energy, Latency};
+
+/// Energy parameters for the cache and its PIM extensions.
+///
+/// ```
+/// use pim_arch::EnergyParams;
+/// let e = EnergyParams::default();
+/// // §III-B: decoupled LUT rows are 231x more efficient than a row access.
+/// let ratio = e.subarray_row_access().ratio(e.fast_lut_access());
+/// assert!((ratio - 231.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// One 64-bit subarray row read or write, in pJ (§V-D: 8.6 pJ).
+    pub subarray_row_access_pj: f64,
+    /// One multi-row-activation bitline compute operation, in pJ
+    /// (§V-D: 15.4 pJ).
+    pub bitline_compute_op_pj: f64,
+    /// Energy-efficiency factor of a decoupled-bitline LUT-row read versus
+    /// a regular row access (§III-B: 231x).
+    pub fast_lut_efficiency: f64,
+    /// One MAC through the BCE's hardwired multiply ROM, in pJ
+    /// (§V-D: ~0.5 pJ).
+    pub bce_rom_mac_pj: f64,
+    /// Fraction of a full slice access energy spent on the interconnect
+    /// (Fig. 2: > 90%).
+    pub interconnect_energy_fraction: f64,
+    /// Fraction of a full slice access energy spent in the subarray
+    /// (Fig. 2: ~9%).
+    pub subarray_energy_fraction: f64,
+    /// Energy to move one byte across one router hop between adjacent
+    /// subarrays during systolic flow, in pJ. Short, local wires; far
+    /// cheaper than the slice H-tree.
+    pub router_hop_pj_per_byte: f64,
+    /// Static power of the cache-level controller, in mW (§V-B: 0.8 mW).
+    pub cache_controller_mw: f64,
+    /// Static power of each slice controller, in mW (§V-B: 1.4 mW).
+    pub slice_controller_mw: f64,
+    /// BCE power in convolution mode, in mW (§V-B: 0.4 mW).
+    pub bce_conv_mode_mw: f64,
+    /// BCE power in matrix-multiply mode, in mW (§V-B: 1.3 mW).
+    pub bce_matmul_mode_mw: f64,
+}
+
+impl EnergyParams {
+    /// Validates that every constant is positive and fractions are sane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameter`] otherwise.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        let fields = [
+            ("subarray_row_access_pj", self.subarray_row_access_pj),
+            ("bitline_compute_op_pj", self.bitline_compute_op_pj),
+            ("fast_lut_efficiency", self.fast_lut_efficiency),
+            ("bce_rom_mac_pj", self.bce_rom_mac_pj),
+            ("router_hop_pj_per_byte", self.router_hop_pj_per_byte),
+            ("cache_controller_mw", self.cache_controller_mw),
+            ("slice_controller_mw", self.slice_controller_mw),
+            ("bce_conv_mode_mw", self.bce_conv_mode_mw),
+            ("bce_matmul_mode_mw", self.bce_matmul_mode_mw),
+        ];
+        for (name, v) in fields {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(ArchError::InvalidParameter {
+                    parameter: name,
+                    reason: format!("must be positive and finite, got {v}"),
+                });
+            }
+        }
+        for (name, v) in [
+            ("interconnect_energy_fraction", self.interconnect_energy_fraction),
+            ("subarray_energy_fraction", self.subarray_energy_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ArchError::InvalidParameter {
+                    parameter: name,
+                    reason: format!("must be within [0, 1], got {v}"),
+                });
+            }
+        }
+        if self.interconnect_energy_fraction + self.subarray_energy_fraction > 1.0 {
+            return Err(ArchError::InvalidParameter {
+                parameter: "energy fractions",
+                reason: "interconnect + subarray fractions exceed 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Energy of one 64-bit subarray row access.
+    pub fn subarray_row_access(&self) -> Energy {
+        Energy::from_pj(self.subarray_row_access_pj)
+    }
+
+    /// Energy of one multi-row-activation bitline compute operation.
+    pub fn bitline_compute_op(&self) -> Energy {
+        Energy::from_pj(self.bitline_compute_op_pj)
+    }
+
+    /// Energy of one decoupled-bitline LUT-row read.
+    pub fn fast_lut_access(&self) -> Energy {
+        Energy::from_pj(self.subarray_row_access_pj / self.fast_lut_efficiency)
+    }
+
+    /// Energy of one MAC through the BCE's hardwired multiply ROM.
+    pub fn bce_rom_mac(&self) -> Energy {
+        Energy::from_pj(self.bce_rom_mac_pj)
+    }
+
+    /// Energy of a full slice access (subarray access grossed up by the
+    /// Fig. 2 subarray fraction).
+    pub fn slice_access(&self) -> Energy {
+        Energy::from_pj(self.subarray_row_access_pj / self.subarray_energy_fraction)
+    }
+
+    /// Energy to move `bytes` across `hops` router hops.
+    pub fn router_transfer(&self, bytes: u64, hops: u64) -> Energy {
+        Energy::from_pj(self.router_hop_pj_per_byte * bytes as f64 * hops as f64)
+    }
+
+    /// Static controller energy over a runtime window for a cache with
+    /// `slices` slices.
+    pub fn controller_static(&self, runtime: Latency, slices: usize) -> Energy {
+        let mw = self.cache_controller_mw + self.slice_controller_mw * slices as f64;
+        // mW * ns = pJ.
+        Energy::from_pj(mw * runtime.nanoseconds())
+    }
+
+    /// BCE static+dynamic energy over a runtime window at the given mode
+    /// power, for `bces` engines.
+    pub fn bce_power_energy(&self, mode_mw: f64, runtime: Latency, bces: usize) -> Energy {
+        Energy::from_pj(mode_mw * runtime.nanoseconds() * bces as f64)
+    }
+
+    /// The Fig. 2 energy breakdown of a full slice access.
+    pub fn slice_access_breakdown(&self) -> AccessBreakdown {
+        AccessBreakdown {
+            total: Latency::ZERO, // latency not applicable; fractions only
+            interconnect_fraction: self.interconnect_energy_fraction,
+            subarray_fraction: self.subarray_energy_fraction,
+            peripheral_fraction: 1.0
+                - self.interconnect_energy_fraction
+                - self.subarray_energy_fraction,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            subarray_row_access_pj: 8.6,
+            bitline_compute_op_pj: 15.4,
+            fast_lut_efficiency: 231.0,
+            bce_rom_mac_pj: 0.5,
+            interconnect_energy_fraction: 0.90,
+            subarray_energy_fraction: 0.09,
+            router_hop_pj_per_byte: 0.12,
+            cache_controller_mw: 0.8,
+            slice_controller_mw: 1.4,
+            bce_conv_mode_mw: 0.4,
+            bce_matmul_mode_mw: 1.3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        EnergyParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_constants_present() {
+        let e = EnergyParams::default();
+        assert!((e.subarray_row_access().picojoules() - 8.6).abs() < 1e-12);
+        assert!((e.bitline_compute_op().picojoules() - 15.4).abs() < 1e-12);
+        assert!((e.bce_rom_mac().picojoules() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_lut_231x_more_efficient() {
+        let e = EnergyParams::default();
+        let ratio = e.subarray_row_access().ratio(e.fast_lut_access());
+        assert!((ratio - 231.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slice_access_dominated_by_interconnect() {
+        let e = EnergyParams::default();
+        // Subarray access should be ~9% of the slice access energy.
+        let frac = e.subarray_row_access().ratio(e.slice_access());
+        assert!((frac - 0.09).abs() < 1e-9);
+        let b = e.slice_access_breakdown();
+        assert!(b.interconnect_fraction >= 0.9);
+        assert!(
+            (b.interconnect_fraction + b.subarray_fraction + b.peripheral_fraction - 1.0).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn controller_static_energy_scales_with_time_and_slices() {
+        let e = EnergyParams::default();
+        let one_ms = Latency::from_ms(1.0);
+        let cost14 = e.controller_static(one_ms, 14);
+        let cost1 = e.controller_static(one_ms, 1);
+        assert!(cost14 > cost1);
+        // 0.8 mW + 14 * 1.4 mW = 20.4 mW for 1 ms = 20.4 uJ.
+        assert!((cost14.millijoules() - 0.0204).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_power_energy_matmul_exceeds_conv() {
+        let e = EnergyParams::default();
+        let t = Latency::from_us(10.0);
+        let conv = e.bce_power_energy(e.bce_conv_mode_mw, t, 320);
+        let mm = e.bce_power_energy(e.bce_matmul_mode_mw, t, 320);
+        assert!(mm > conv);
+        assert!((mm.ratio(conv) - 1.3 / 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn router_transfer_linear_in_bytes_and_hops() {
+        let e = EnergyParams::default();
+        let a = e.router_transfer(8, 1);
+        let b = e.router_transfer(8, 4);
+        let c = e.router_transfer(32, 1);
+        assert!((b.ratio(a) - 4.0).abs() < 1e-12);
+        assert!((c.ratio(a) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_constant_rejected() {
+        let e = EnergyParams { bce_rom_mac_pj: -1.0, ..EnergyParams::default() };
+        assert!(e.validate().is_err());
+    }
+
+    #[test]
+    fn fraction_over_one_rejected() {
+        let e = EnergyParams { subarray_energy_fraction: 0.2, ..EnergyParams::default() };
+        assert!(e.validate().is_err());
+    }
+}

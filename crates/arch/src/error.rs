@@ -1,0 +1,88 @@
+//! Error type for architectural model construction and address mapping.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the architectural models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// A geometry parameter was zero or otherwise out of range.
+    InvalidGeometry {
+        /// Which parameter was invalid.
+        parameter: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// An address was outside the cache capacity.
+    AddressOutOfRange {
+        /// The offending byte address.
+        address: u64,
+        /// The cache capacity in bytes.
+        capacity: u64,
+    },
+    /// A subarray coordinate referred to a component that does not exist.
+    InvalidCoordinate {
+        /// Which coordinate field was out of range.
+        field: &'static str,
+        /// The value supplied.
+        value: usize,
+        /// The exclusive upper bound.
+        bound: usize,
+    },
+    /// A model parameter (bandwidth, energy, fraction) was non-positive or
+    /// otherwise nonsensical.
+    InvalidParameter {
+        /// Which parameter was invalid.
+        parameter: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidGeometry { parameter, reason } => {
+                write!(f, "invalid cache geometry: {parameter}: {reason}")
+            }
+            ArchError::AddressOutOfRange { address, capacity } => {
+                write!(
+                    f,
+                    "address {address:#x} out of range for cache of {capacity} bytes"
+                )
+            }
+            ArchError::InvalidCoordinate { field, value, bound } => {
+                write!(f, "coordinate {field}={value} out of range (< {bound})")
+            }
+            ArchError::InvalidParameter { parameter, reason } => {
+                write!(f, "invalid model parameter: {parameter}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ArchError::AddressOutOfRange {
+            address: 0x1000,
+            capacity: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x1000"));
+        assert!(s.contains("64"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

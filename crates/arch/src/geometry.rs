@@ -1,0 +1,289 @@
+//! Last-level-cache geometry.
+//!
+//! The paper's Fig. 1 organisation: an L3 cache made of *slices* connected
+//! by a ring, each slice split into *banks*, banks into *sub-banks*,
+//! sub-banks into 8 KB *subarrays*, and each subarray into four
+//! *partitions* of 256 rows x 64 bit cells. Two rows of every partition are
+//! reserved as reduced-access-cost LUT rows in the BFree design.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+use crate::units::Bytes;
+
+/// Static geometry of a sliced last-level SRAM cache.
+///
+/// The default ([`CacheGeometry::xeon_l3_35mb`]) mirrors the paper's
+/// evaluation platform: a 35 MB, 14-slice L3 similar to an Intel Xeon E5,
+/// with 2.5 MB slices of 4 banks x 10 sub-banks x 8 subarrays of 8 KB.
+///
+/// ```
+/// use pim_arch::CacheGeometry;
+/// let g = CacheGeometry::xeon_l3_35mb();
+/// assert_eq!(g.subarrays_per_slice(), 320);
+/// assert_eq!(g.total_subarrays(), 4480);
+/// assert_eq!(g.capacity().get(), 35 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    slices: usize,
+    banks_per_slice: usize,
+    subbanks_per_bank: usize,
+    subarrays_per_subbank: usize,
+    partitions_per_subarray: usize,
+    rows_per_partition: usize,
+    bits_per_row: usize,
+    lut_rows_per_partition: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry after validating every parameter is non-zero and
+    /// that the LUT rows fit inside a partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidGeometry`] if any count is zero or if
+    /// `lut_rows_per_partition >= rows_per_partition`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        slices: usize,
+        banks_per_slice: usize,
+        subbanks_per_bank: usize,
+        subarrays_per_subbank: usize,
+        partitions_per_subarray: usize,
+        rows_per_partition: usize,
+        bits_per_row: usize,
+        lut_rows_per_partition: usize,
+    ) -> Result<Self, ArchError> {
+        let check = |name: &'static str, v: usize| -> Result<(), ArchError> {
+            if v == 0 {
+                Err(ArchError::InvalidGeometry {
+                    parameter: name,
+                    reason: "must be non-zero".to_string(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        check("slices", slices)?;
+        check("banks_per_slice", banks_per_slice)?;
+        check("subbanks_per_bank", subbanks_per_bank)?;
+        check("subarrays_per_subbank", subarrays_per_subbank)?;
+        check("partitions_per_subarray", partitions_per_subarray)?;
+        check("rows_per_partition", rows_per_partition)?;
+        check("bits_per_row", bits_per_row)?;
+        if lut_rows_per_partition >= rows_per_partition {
+            return Err(ArchError::InvalidGeometry {
+                parameter: "lut_rows_per_partition",
+                reason: format!(
+                    "{lut_rows_per_partition} LUT rows do not fit in a partition of \
+                     {rows_per_partition} rows"
+                ),
+            });
+        }
+        Ok(CacheGeometry {
+            slices,
+            banks_per_slice,
+            subbanks_per_bank,
+            subarrays_per_subbank,
+            partitions_per_subarray,
+            rows_per_partition,
+            bits_per_row,
+            lut_rows_per_partition,
+        })
+    }
+
+    /// The paper's evaluation platform: 35 MB L3 in 14 slices (Fig. 1).
+    ///
+    /// 14 slices x 4 banks x 10 sub-banks x 8 subarrays x 8 KB = 35 MB,
+    /// with each 8 KB subarray organised as 4 partitions x 256 rows x
+    /// 64 bits and 2 LUT rows per partition (8 LUT rows per subarray,
+    /// 64 one-byte LUT entries).
+    pub fn xeon_l3_35mb() -> Self {
+        CacheGeometry::new(14, 4, 10, 8, 4, 256, 64, 2)
+            .expect("static geometry is valid")
+    }
+
+    /// A single 2.5 MB slice, the iso-area unit used in the Eyeriss
+    /// comparison (paper §V-D).
+    pub fn single_slice_2_5mb() -> Self {
+        CacheGeometry::new(1, 4, 10, 8, 4, 256, 64, 2)
+            .expect("static geometry is valid")
+    }
+
+    /// Number of slices in the cache.
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+
+    /// Banks per slice.
+    pub fn banks_per_slice(&self) -> usize {
+        self.banks_per_slice
+    }
+
+    /// Sub-banks per bank.
+    pub fn subbanks_per_bank(&self) -> usize {
+        self.subbanks_per_bank
+    }
+
+    /// Subarrays per sub-bank.
+    pub fn subarrays_per_subbank(&self) -> usize {
+        self.subarrays_per_subbank
+    }
+
+    /// Partitions per subarray.
+    pub fn partitions_per_subarray(&self) -> usize {
+        self.partitions_per_subarray
+    }
+
+    /// Rows per partition.
+    pub fn rows_per_partition(&self) -> usize {
+        self.rows_per_partition
+    }
+
+    /// Bit cells per row (also the subarray data-bus width in bits).
+    pub fn bits_per_row(&self) -> usize {
+        self.bits_per_row
+    }
+
+    /// Reduced-access-cost LUT rows per partition.
+    pub fn lut_rows_per_partition(&self) -> usize {
+        self.lut_rows_per_partition
+    }
+
+    /// Sub-banks per slice.
+    pub fn subbanks_per_slice(&self) -> usize {
+        self.banks_per_slice * self.subbanks_per_bank
+    }
+
+    /// Subarrays per slice.
+    pub fn subarrays_per_slice(&self) -> usize {
+        self.subbanks_per_slice() * self.subarrays_per_subbank
+    }
+
+    /// Total subarrays in the cache.
+    pub fn total_subarrays(&self) -> usize {
+        self.slices * self.subarrays_per_slice()
+    }
+
+    /// Rows per subarray across all partitions.
+    pub fn rows_per_subarray(&self) -> usize {
+        self.partitions_per_subarray * self.rows_per_partition
+    }
+
+    /// Capacity of one subarray.
+    pub fn subarray_capacity(&self) -> Bytes {
+        Bytes::new((self.rows_per_subarray() * self.bits_per_row / 8) as u64)
+    }
+
+    /// Capacity of one slice.
+    pub fn slice_capacity(&self) -> Bytes {
+        Bytes::new(self.subarray_capacity().get() * self.subarrays_per_slice() as u64)
+    }
+
+    /// Total cache capacity.
+    pub fn capacity(&self) -> Bytes {
+        Bytes::new(self.slice_capacity().get() * self.slices as u64)
+    }
+
+    /// LUT rows per subarray.
+    pub fn lut_rows_per_subarray(&self) -> usize {
+        self.lut_rows_per_partition * self.partitions_per_subarray
+    }
+
+    /// LUT capacity per subarray (the paper's 8 rows x 64 bits = 64 bytes,
+    /// i.e. 64 one-byte LUT entries).
+    pub fn lut_capacity_per_subarray(&self) -> Bytes {
+        Bytes::new((self.lut_rows_per_subarray() * self.bits_per_row / 8) as u64)
+    }
+
+    /// Data capacity of a subarray available for weights and operands once
+    /// LUT rows and the configuration block (one row per subarray) are
+    /// reserved.
+    pub fn usable_subarray_capacity(&self) -> Bytes {
+        let reserved_rows = self.lut_rows_per_subarray() + 1;
+        let rows = self.rows_per_subarray().saturating_sub(reserved_rows);
+        Bytes::new((rows * self.bits_per_row / 8) as u64)
+    }
+
+    /// Usable PIM weight capacity over the whole cache.
+    pub fn usable_capacity(&self) -> Bytes {
+        Bytes::new(self.usable_subarray_capacity().get() * self.total_subarrays() as u64)
+    }
+
+    /// Bytes transferred by one full-row subarray access.
+    pub fn row_bytes(&self) -> Bytes {
+        Bytes::new((self.bits_per_row / 8) as u64)
+    }
+}
+
+impl Default for CacheGeometry {
+    fn default() -> Self {
+        CacheGeometry::xeon_l3_35mb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_matches_fig1() {
+        let g = CacheGeometry::xeon_l3_35mb();
+        assert_eq!(g.slices(), 14);
+        assert_eq!(g.subarray_capacity(), Bytes::from_kib(8));
+        assert_eq!(g.slice_capacity(), Bytes::from_kib(2560)); // 2.5 MB
+        assert_eq!(g.capacity(), Bytes::from_mib(35));
+        assert_eq!(g.rows_per_subarray(), 1024);
+        assert_eq!(g.bits_per_row(), 64);
+    }
+
+    #[test]
+    fn paper_total_subarray_count_is_4480() {
+        // §V-D: "a total of 4480 sub-arrays".
+        assert_eq!(CacheGeometry::xeon_l3_35mb().total_subarrays(), 4480);
+    }
+
+    #[test]
+    fn lut_rows_match_paper() {
+        // §III-B: 2 rows per partition => 8 per subarray => 64 entries.
+        let g = CacheGeometry::xeon_l3_35mb();
+        assert_eq!(g.lut_rows_per_subarray(), 8);
+        assert_eq!(g.lut_capacity_per_subarray().get(), 64);
+    }
+
+    #[test]
+    fn usable_capacity_excludes_lut_and_cb_rows() {
+        let g = CacheGeometry::xeon_l3_35mb();
+        // 1024 rows - 8 LUT rows - 1 CB row = 1015 rows of 8 bytes.
+        assert_eq!(g.usable_subarray_capacity().get(), 1015 * 8);
+        assert!(g.usable_capacity().get() < g.capacity().get());
+    }
+
+    #[test]
+    fn single_slice_geometry() {
+        let g = CacheGeometry::single_slice_2_5mb();
+        assert_eq!(g.total_subarrays(), 320);
+        assert_eq!(g.capacity().get(), 2560 * 1024);
+    }
+
+    #[test]
+    fn zero_parameter_rejected() {
+        let err = CacheGeometry::new(0, 4, 10, 8, 4, 256, 64, 2).unwrap_err();
+        assert!(matches!(err, ArchError::InvalidGeometry { parameter: "slices", .. }));
+    }
+
+    #[test]
+    fn oversized_lut_rows_rejected() {
+        let err = CacheGeometry::new(1, 1, 1, 1, 1, 4, 64, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            ArchError::InvalidGeometry { parameter: "lut_rows_per_partition", .. }
+        ));
+    }
+
+    #[test]
+    fn default_is_paper_geometry() {
+        assert_eq!(CacheGeometry::default(), CacheGeometry::xeon_l3_35mb());
+    }
+}

@@ -1,0 +1,56 @@
+//! # pim-arch
+//!
+//! Architectural substrate for the BFree LUT-based processing-in-cache
+//! system (Ramanathan et al., MICRO 2020): the last-level-cache geometry,
+//! access timing and energy models, the three LUT-row integration design
+//! points, the area-overhead model, and the main-memory (DRAM / eDRAM /
+//! HBM) bandwidth and energy models.
+//!
+//! Everything in this crate is an *event-level cost model*: callers count
+//! architectural events (subarray row accesses, LUT reads, interconnect
+//! traversals, DRAM bytes moved, BCE operations) and this crate prices them
+//! in nanoseconds and picojoules using constants taken from the paper
+//! (TSMC 16 nm design figures reported in its §V).
+//!
+//! ```
+//! use pim_arch::{CacheGeometry, EnergyParams, TimingParams};
+//!
+//! let geom = CacheGeometry::xeon_l3_35mb();
+//! assert_eq!(geom.total_subarrays(), 4480);
+//!
+//! let energy = EnergyParams::default();
+//! let one_row = energy.subarray_row_access(); // 8.6 pJ per 64-bit row op
+//! assert!(one_row.picojoules() > 8.0);
+//!
+//! let timing = TimingParams::default();
+//! assert!((timing.subarray_cycle_ns() - 1.0 / 1.5).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod area;
+pub mod dram;
+pub mod energy;
+pub mod error;
+pub mod geometry;
+pub mod lut_rows;
+pub mod ring;
+pub mod stats;
+pub mod subarray;
+pub mod timing;
+pub mod units;
+
+pub use address::{CacheAddress, SubarrayId};
+pub use area::AreaModel;
+pub use dram::{MemoryTech, MemoryTechKind};
+pub use energy::EnergyParams;
+pub use error::ArchError;
+pub use geometry::CacheGeometry;
+pub use lut_rows::{LutRowDesign, LutRowProfile};
+pub use ring::RingInterconnect;
+pub use stats::{EnergyBreakdown, EnergyComponent, LatencyBreakdown, Phase};
+pub use subarray::SubarrayStorage;
+pub use timing::TimingParams;
+pub use units::{Bytes, Cycles, Energy, Latency};

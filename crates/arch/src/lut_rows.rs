@@ -1,0 +1,164 @@
+//! The three LUT-row integration strategies (paper §III-B, Fig. 4).
+//!
+//! 1. **Standalone** — a separate LUT macro with its own peripherals.
+//!    Fast, but "significantly impacts the sub-array area and performance".
+//! 2. **Shared bitline** — dedicate two ordinary rows of each partition.
+//!    Zero area cost, but every LUT read pays the full parasitic bitline:
+//!    same 8.6 pJ / 1-cycle cost as any row access.
+//! 3. **Decoupled bitline** — the BFree choice: a local precharge circuit
+//!    segregates the bitline to just the LUT rows in PIM mode, making the
+//!    lookup 3x faster and 231x more energy efficient for a 0.5% subarray
+//!    area overhead.
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::EnergyParams;
+use crate::timing::TimingParams;
+use crate::units::{Energy, Latency};
+
+/// The LUT-row design point used by a BFree configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum LutRowDesign {
+    /// Standalone LUT macro with dedicated peripherals (Fig. 4 approach 1).
+    Standalone,
+    /// LUT entries in ordinary rows sharing the partition bitline
+    /// (Fig. 4 approach 2).
+    SharedBitline,
+    /// Decoupled bitline with a local precharge circuit
+    /// (Fig. 4 approach 3, the BFree design).
+    #[default]
+    DecoupledBitline,
+}
+
+impl LutRowDesign {
+    /// All design points, in the paper's presentation order.
+    pub const ALL: [LutRowDesign; 3] = [
+        LutRowDesign::Standalone,
+        LutRowDesign::SharedBitline,
+        LutRowDesign::DecoupledBitline,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LutRowDesign::Standalone => "standalone LUT",
+            LutRowDesign::SharedBitline => "shared bitline",
+            LutRowDesign::DecoupledBitline => "decoupled bitline",
+        }
+    }
+
+    /// Latency, energy and area profile of one LUT read under this design.
+    pub fn profile(self, timing: &TimingParams, energy: &EnergyParams) -> LutRowProfile {
+        match self {
+            // A standalone macro reads as fast as the decoupled design (it
+            // is a small dedicated array) and its short bitlines cost a few
+            // pJ, but it duplicates decoder/sense-amp/precharge peripherals
+            // for 256 bytes of storage: a large relative area hit.
+            LutRowDesign::Standalone => LutRowProfile {
+                design: self,
+                read_latency: timing.fast_lut_access(),
+                read_energy: Energy::from_pj(energy.subarray_row_access_pj / 4.0),
+                subarray_area_overhead: 0.08,
+            },
+            LutRowDesign::SharedBitline => LutRowProfile {
+                design: self,
+                read_latency: timing.subarray_access(),
+                read_energy: energy.subarray_row_access(),
+                subarray_area_overhead: 0.0,
+            },
+            LutRowDesign::DecoupledBitline => LutRowProfile {
+                design: self,
+                read_latency: timing.fast_lut_access(),
+                read_energy: energy.fast_lut_access(),
+                // §III-B: "increases the sub-array area by a meager 0.5%".
+                subarray_area_overhead: 0.005,
+            },
+        }
+    }
+}
+
+/// Cost profile of one LUT read for a [`LutRowDesign`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LutRowProfile {
+    /// The design this profile describes.
+    pub design: LutRowDesign,
+    /// Latency of one LUT-row read.
+    pub read_latency: Latency,
+    /// Energy of one LUT-row read.
+    pub read_energy: Energy,
+    /// Fractional area added to each subarray.
+    pub subarray_area_overhead: f64,
+}
+
+impl LutRowProfile {
+    /// Speedup of this design's LUT read relative to `other`.
+    pub fn speedup_over(&self, other: &LutRowProfile) -> f64 {
+        other.read_latency.ratio(self.read_latency)
+    }
+
+    /// Energy-efficiency gain of this design's LUT read relative to
+    /// `other`.
+    pub fn energy_gain_over(&self, other: &LutRowProfile) -> f64 {
+        other.read_energy.ratio(self.read_energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiles() -> (LutRowProfile, LutRowProfile, LutRowProfile) {
+        let t = TimingParams::default();
+        let e = EnergyParams::default();
+        (
+            LutRowDesign::Standalone.profile(&t, &e),
+            LutRowDesign::SharedBitline.profile(&t, &e),
+            LutRowDesign::DecoupledBitline.profile(&t, &e),
+        )
+    }
+
+    #[test]
+    fn decoupled_is_3x_faster_than_shared() {
+        let (_, shared, decoupled) = profiles();
+        assert!((decoupled.speedup_over(&shared) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decoupled_is_231x_more_efficient_than_shared() {
+        let (_, shared, decoupled) = profiles();
+        assert!((decoupled.energy_gain_over(&shared) - 231.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decoupled_area_overhead_is_half_percent() {
+        let (_, _, decoupled) = profiles();
+        assert!((decoupled.subarray_area_overhead - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standalone_has_largest_area_overhead() {
+        let (standalone, shared, decoupled) = profiles();
+        assert!(standalone.subarray_area_overhead > decoupled.subarray_area_overhead);
+        assert!(standalone.subarray_area_overhead > shared.subarray_area_overhead);
+    }
+
+    #[test]
+    fn shared_bitline_costs_a_full_row_access() {
+        let (_, shared, _) = profiles();
+        let e = EnergyParams::default();
+        assert_eq!(shared.read_energy, e.subarray_row_access());
+    }
+
+    #[test]
+    fn default_design_is_decoupled() {
+        assert_eq!(LutRowDesign::default(), LutRowDesign::DecoupledBitline);
+    }
+
+    #[test]
+    fn all_designs_enumerated() {
+        assert_eq!(LutRowDesign::ALL.len(), 3);
+        for d in LutRowDesign::ALL {
+            assert!(!d.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The slice ring interconnect (paper Fig. 1(a)).
+//!
+//! The L3 slices connect through a ring with NUCA access: a slice is
+//! reached from a core (or from another slice) in a number of ring hops
+//! proportional to their distance. BFree keeps kernel traffic inside
+//! slices, but weight broadcast during configuration and final-result
+//! collection cross the ring, so the simulator prices those transfers
+//! here.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+use crate::units::{Bytes, Energy, Latency};
+
+/// A bidirectional slice ring.
+///
+/// ```
+/// use pim_arch::ring::RingInterconnect;
+/// let ring = RingInterconnect::paper_default();
+/// // 14 slices: the farthest slice is 7 hops away either direction.
+/// assert_eq!(ring.hops_between(0, 7), 7);
+/// assert_eq!(ring.hops_between(0, 13), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingInterconnect {
+    /// Ring stops (one per slice).
+    pub slices: usize,
+    /// Latency per hop, ns (one ring cycle at the uncore clock).
+    pub hop_ns: f64,
+    /// Energy per byte per hop, pJ.
+    pub hop_pj_per_byte: f64,
+    /// Link width in bytes per ring cycle.
+    pub link_bytes: u64,
+}
+
+impl RingInterconnect {
+    /// The paper platform: 14 stops, 32-byte links at a ~3 GHz uncore.
+    pub fn paper_default() -> Self {
+        RingInterconnect { slices: 14, hop_ns: 0.33, hop_pj_per_byte: 0.8, link_bytes: 32 }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameter`] for non-positive values.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.slices == 0 {
+            return Err(ArchError::InvalidParameter {
+                parameter: "slices",
+                reason: "ring needs at least one stop".to_string(),
+            });
+        }
+        for (name, v) in [("hop_ns", self.hop_ns), ("hop_pj_per_byte", self.hop_pj_per_byte)] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(ArchError::InvalidParameter {
+                    parameter: name,
+                    reason: format!("must be positive and finite, got {v}"),
+                });
+            }
+        }
+        if self.link_bytes == 0 {
+            return Err(ArchError::InvalidParameter {
+                parameter: "link_bytes",
+                reason: "zero-width link".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Shortest hop count between two slices on the bidirectional ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    pub fn hops_between(&self, from: usize, to: usize) -> usize {
+        assert!(from < self.slices && to < self.slices, "slice index out of range");
+        let clockwise = (to + self.slices - from) % self.slices;
+        clockwise.min(self.slices - clockwise)
+    }
+
+    /// Worst-case hop count from any slice to any other.
+    pub fn diameter(&self) -> usize {
+        self.slices / 2
+    }
+
+    /// Time to move `bytes` from one slice to another: serialization on
+    /// the link plus the hop latency.
+    pub fn transfer_time(&self, bytes: Bytes, from: usize, to: usize) -> Latency {
+        let hops = self.hops_between(from, to) as f64;
+        let flits = bytes.get().div_ceil(self.link_bytes) as f64;
+        Latency::from_ns(hops * self.hop_ns + flits.max(1.0) * self.hop_ns)
+    }
+
+    /// Energy to move `bytes` across the ring between two slices.
+    pub fn transfer_energy(&self, bytes: Bytes, from: usize, to: usize) -> Energy {
+        let hops = self.hops_between(from, to) as f64;
+        Energy::from_pj(bytes.get() as f64 * self.hop_pj_per_byte * hops.max(1.0))
+    }
+
+    /// Cost of broadcasting `bytes` from the port slice to every slice
+    /// (the weight-distribution pattern of Fig. 11): the ring pipelines
+    /// the broadcast, so time is bounded by the diameter plus
+    /// serialization, while energy pays every link once.
+    pub fn broadcast(&self, bytes: Bytes) -> (Latency, Energy) {
+        let flits = bytes.get().div_ceil(self.link_bytes) as f64;
+        let time =
+            Latency::from_ns(self.diameter() as f64 * self.hop_ns + flits * self.hop_ns);
+        let energy = Energy::from_pj(
+            bytes.get() as f64 * self.hop_pj_per_byte * (self.slices - 1) as f64,
+        );
+        (time, energy)
+    }
+
+    /// Cost of gathering per-slice partial results (`bytes` from each
+    /// slice) to the port slice — the final-result collection at the end
+    /// of a kernel.
+    pub fn gather(&self, bytes_per_slice: Bytes) -> (Latency, Energy) {
+        let total = Bytes::new(bytes_per_slice.get() * (self.slices as u64 - 1));
+        let flits = total.get().div_ceil(self.link_bytes) as f64;
+        let time =
+            Latency::from_ns(self.diameter() as f64 * self.hop_ns + flits * self.hop_ns);
+        // Average distance is ~diameter/2.
+        let energy = Energy::from_pj(
+            total.get() as f64 * self.hop_pj_per_byte * (self.diameter() as f64 / 2.0).max(1.0),
+        );
+        (time, energy)
+    }
+}
+
+impl Default for RingInterconnect {
+    fn default() -> Self {
+        RingInterconnect::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        RingInterconnect::paper_default().validate().unwrap();
+    }
+
+    #[test]
+    fn hops_take_the_short_way_around() {
+        let ring = RingInterconnect::paper_default();
+        assert_eq!(ring.hops_between(0, 0), 0);
+        assert_eq!(ring.hops_between(0, 1), 1);
+        assert_eq!(ring.hops_between(1, 0), 1);
+        assert_eq!(ring.hops_between(0, 13), 1);
+        assert_eq!(ring.hops_between(3, 10), 7);
+        assert_eq!(ring.diameter(), 7);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_distance_and_size() {
+        let ring = RingInterconnect::paper_default();
+        let small = ring.transfer_time(Bytes::new(64), 0, 1);
+        let far = ring.transfer_time(Bytes::new(64), 0, 7);
+        let big = ring.transfer_time(Bytes::from_kib(64), 0, 1);
+        assert!(far > small);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn broadcast_energy_pays_every_link() {
+        let ring = RingInterconnect::paper_default();
+        let (_, energy) = ring.broadcast(Bytes::new(1000));
+        assert!((energy.picojoules() - 1000.0 * 0.8 * 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gather_collects_from_all_other_slices() {
+        let ring = RingInterconnect::paper_default();
+        let (time, energy) = ring.gather(Bytes::new(100));
+        assert!(time.nanoseconds() > 0.0);
+        assert!(energy.picojoules() > 0.0);
+    }
+
+    #[test]
+    fn broadcast_is_pipelined_not_serial() {
+        // Broadcasting a large payload takes ~serialization time, not
+        // slices x serialization.
+        let ring = RingInterconnect::paper_default();
+        let bytes = Bytes::from_mib(1);
+        let (time, _) = ring.broadcast(bytes);
+        let serialization = bytes.get().div_ceil(ring.link_bytes) as f64 * ring.hop_ns;
+        assert!(time.nanoseconds() < serialization * 1.5);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut ring = RingInterconnect::paper_default();
+        ring.slices = 0;
+        assert!(ring.validate().is_err());
+        let mut ring = RingInterconnect::paper_default();
+        ring.hop_ns = -1.0;
+        assert!(ring.validate().is_err());
+        let mut ring = RingInterconnect::paper_default();
+        ring.link_bytes = 0;
+        assert!(ring.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_slice_panics() {
+        RingInterconnect::paper_default().hops_between(0, 14);
+    }
+}

@@ -1,0 +1,400 @@
+//! Phase- and component-tagged accumulators for latency and energy.
+//!
+//! Every experiment in the paper reports either a runtime breakdown by
+//! execution *phase* (weight load, input load, compute, reduction, ...;
+//! Figs. 12(b), 12(c), 14) or an energy breakdown by hardware *component*
+//! (DRAM, subarray access, BCE, interconnect, ...; Fig. 12(d)). These
+//! accumulators make those reports first-class values.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Energy, Latency};
+
+/// Execution phases of a PIM kernel (paper Fig. 11 and Fig. 12(b,c)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Phase {
+    /// Programming LUT rows and configuration blocks (configuration phase).
+    Config,
+    /// Loading weights from main memory into the cache.
+    WeightLoad,
+    /// Loading/streaming input features.
+    InputLoad,
+    /// The MAC/LUT computation itself.
+    Compute,
+    /// Accumulating partial products across subarrays.
+    Reduction,
+    /// Requantization (gemmlowp scale + bias + shift, §V-D).
+    Quantize,
+    /// Writing results back to the cache or main memory.
+    Writeback,
+}
+
+impl Phase {
+    /// All phases in canonical report order.
+    pub const ALL: [Phase; 7] = [
+        Phase::Config,
+        Phase::WeightLoad,
+        Phase::InputLoad,
+        Phase::Compute,
+        Phase::Reduction,
+        Phase::Quantize,
+        Phase::Writeback,
+    ];
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Config => "config",
+            Phase::WeightLoad => "weight-load",
+            Phase::InputLoad => "input-load",
+            Phase::Compute => "compute",
+            Phase::Reduction => "reduction",
+            Phase::Quantize => "quantize",
+            Phase::Writeback => "writeback",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Config => 0,
+            Phase::WeightLoad => 1,
+            Phase::InputLoad => 2,
+            Phase::Compute => 3,
+            Phase::Reduction => 4,
+            Phase::Quantize => 5,
+            Phase::Writeback => 6,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Hardware components charged with energy (paper Fig. 12(d)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EnergyComponent {
+    /// Main memory (DRAM/eDRAM/HBM) transfer energy.
+    Dram,
+    /// Subarray row read/write accesses ("SA access" in Fig. 12(d)).
+    SubarrayAccess,
+    /// Decoupled-bitline LUT-row reads.
+    LutAccess,
+    /// BCE dynamic energy (ROM MACs, adders, shifters, registers).
+    Bce,
+    /// Slice-level H-tree interconnect traversals.
+    Interconnect,
+    /// Inter-subarray router hops (systolic flow).
+    Router,
+    /// Controllers (cache- and slice-level), static.
+    Controller,
+}
+
+impl EnergyComponent {
+    /// All components in canonical report order.
+    pub const ALL: [EnergyComponent; 7] = [
+        EnergyComponent::Dram,
+        EnergyComponent::SubarrayAccess,
+        EnergyComponent::LutAccess,
+        EnergyComponent::Bce,
+        EnergyComponent::Interconnect,
+        EnergyComponent::Router,
+        EnergyComponent::Controller,
+    ];
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            EnergyComponent::Dram => "dram",
+            EnergyComponent::SubarrayAccess => "sa-access",
+            EnergyComponent::LutAccess => "lut-access",
+            EnergyComponent::Bce => "bce",
+            EnergyComponent::Interconnect => "interconnect",
+            EnergyComponent::Router => "router",
+            EnergyComponent::Controller => "controller",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            EnergyComponent::Dram => 0,
+            EnergyComponent::SubarrayAccess => 1,
+            EnergyComponent::LutAccess => 2,
+            EnergyComponent::Bce => 3,
+            EnergyComponent::Interconnect => 4,
+            EnergyComponent::Router => 5,
+            EnergyComponent::Controller => 6,
+        }
+    }
+}
+
+impl fmt::Display for EnergyComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Latency accumulated per execution phase.
+///
+/// ```
+/// use pim_arch::{Latency, LatencyBreakdown, Phase};
+/// let mut b = LatencyBreakdown::new();
+/// b.add(Phase::WeightLoad, Latency::from_us(8.0));
+/// b.add(Phase::Compute, Latency::from_us(2.0));
+/// assert!((b.total().microseconds() - 10.0).abs() < 1e-9);
+/// assert!((b.fraction(Phase::WeightLoad) - 0.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    entries: [f64; 7], // ns per phase
+}
+
+impl LatencyBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds latency to a phase.
+    pub fn add(&mut self, phase: Phase, latency: Latency) {
+        self.entries[phase.index()] += latency.nanoseconds();
+    }
+
+    /// Latency recorded for one phase.
+    pub fn get(&self, phase: Phase) -> Latency {
+        Latency::from_ns(self.entries[phase.index()])
+    }
+
+    /// Total across phases.
+    pub fn total(&self) -> Latency {
+        Latency::from_ns(self.entries.iter().sum())
+    }
+
+    /// Fraction of the total in one phase (0 when the total is 0).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total: f64 = self.entries.iter().sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.entries[phase.index()] / total
+        }
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &LatencyBreakdown) {
+        for (a, b) in self.entries.iter_mut().zip(other.entries.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Iterates over `(phase, latency)` pairs with non-zero latency.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, Latency)> + '_ {
+        Phase::ALL
+            .into_iter()
+            .filter(|p| self.entries[p.index()] > 0.0)
+            .map(|p| (p, self.get(p)))
+    }
+
+    /// Scales every phase by a constant (e.g. batch replication).
+    pub fn scaled(&self, factor: f64) -> LatencyBreakdown {
+        let mut out = self.clone();
+        for e in out.entries.iter_mut() {
+            *e *= factor;
+        }
+        out
+    }
+}
+
+impl fmt::Display for LatencyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "total {}", self.total())?;
+        for (phase, lat) in self.iter() {
+            write!(f, ", {} {} ({:.1}%)", phase, lat, self.fraction(phase) * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Energy accumulated per hardware component.
+///
+/// ```
+/// use pim_arch::{Energy, EnergyBreakdown, EnergyComponent};
+/// let mut b = EnergyBreakdown::new();
+/// b.add(EnergyComponent::Dram, Energy::from_mj(4.0));
+/// b.add(EnergyComponent::Bce, Energy::from_mj(1.0));
+/// assert!((b.total().millijoules() - 5.0).abs() < 1e-9);
+/// // Fig. 12(d) excludes DRAM energy:
+/// assert!((b.total_excluding(EnergyComponent::Dram).millijoules() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    entries: [f64; 7], // pJ per component
+}
+
+impl EnergyBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds energy to a component.
+    pub fn add(&mut self, component: EnergyComponent, energy: Energy) {
+        self.entries[component.index()] += energy.picojoules();
+    }
+
+    /// Energy recorded for one component.
+    pub fn get(&self, component: EnergyComponent) -> Energy {
+        Energy::from_pj(self.entries[component.index()])
+    }
+
+    /// Total across components.
+    pub fn total(&self) -> Energy {
+        Energy::from_pj(self.entries.iter().sum())
+    }
+
+    /// Total excluding one component (Fig. 12(d) excludes DRAM).
+    pub fn total_excluding(&self, component: EnergyComponent) -> Energy {
+        Energy::from_pj(
+            self.entries.iter().sum::<f64>() - self.entries[component.index()],
+        )
+    }
+
+    /// Fraction of the total in one component (0 when the total is 0).
+    pub fn fraction(&self, component: EnergyComponent) -> f64 {
+        let total: f64 = self.entries.iter().sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.entries[component.index()] / total
+        }
+    }
+
+    /// Fraction of the total excluding `excluded` held by `component`.
+    pub fn fraction_excluding(
+        &self,
+        component: EnergyComponent,
+        excluded: EnergyComponent,
+    ) -> f64 {
+        let total = self.total_excluding(excluded).picojoules();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.entries[component.index()] / total
+        }
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        for (a, b) in self.entries.iter_mut().zip(other.entries.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Iterates over `(component, energy)` pairs with non-zero energy.
+    pub fn iter(&self) -> impl Iterator<Item = (EnergyComponent, Energy)> + '_ {
+        EnergyComponent::ALL
+            .into_iter()
+            .filter(|c| self.entries[c.index()] > 0.0)
+            .map(|c| (c, self.get(c)))
+    }
+
+    /// Scales every component by a constant.
+    pub fn scaled(&self, factor: f64) -> EnergyBreakdown {
+        let mut out = self.clone();
+        for e in out.entries.iter_mut() {
+            *e *= factor;
+        }
+        out
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "total {}", self.total())?;
+        for (c, e) in self.iter() {
+            write!(f, ", {} {} ({:.1}%)", c, e, self.fraction(c) * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_breakdown_accumulates() {
+        let mut b = LatencyBreakdown::new();
+        b.add(Phase::Compute, Latency::from_ns(100.0));
+        b.add(Phase::Compute, Latency::from_ns(50.0));
+        b.add(Phase::WeightLoad, Latency::from_ns(350.0));
+        assert!((b.get(Phase::Compute).nanoseconds() - 150.0).abs() < 1e-12);
+        assert!((b.total().nanoseconds() - 500.0).abs() < 1e-12);
+        assert!((b.fraction(Phase::WeightLoad) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_fractions_are_zero() {
+        let b = LatencyBreakdown::new();
+        assert_eq!(b.fraction(Phase::Compute), 0.0);
+        assert_eq!(b.total(), Latency::ZERO);
+        assert_eq!(b.iter().count(), 0);
+    }
+
+    #[test]
+    fn latency_merge_and_scale() {
+        let mut a = LatencyBreakdown::new();
+        a.add(Phase::Compute, Latency::from_ns(10.0));
+        let mut b = LatencyBreakdown::new();
+        b.add(Phase::Compute, Latency::from_ns(5.0));
+        b.add(Phase::Reduction, Latency::from_ns(5.0));
+        a.merge(&b);
+        assert!((a.total().nanoseconds() - 20.0).abs() < 1e-12);
+        let doubled = a.scaled(2.0);
+        assert!((doubled.total().nanoseconds() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_breakdown_exclusion() {
+        let mut b = EnergyBreakdown::new();
+        b.add(EnergyComponent::Dram, Energy::from_pj(800.0));
+        b.add(EnergyComponent::SubarrayAccess, Energy::from_pj(120.0));
+        b.add(EnergyComponent::Bce, Energy::from_pj(80.0));
+        assert!((b.total().picojoules() - 1000.0).abs() < 1e-12);
+        assert!((b.total_excluding(EnergyComponent::Dram).picojoules() - 200.0).abs() < 1e-12);
+        assert!(
+            (b.fraction_excluding(EnergyComponent::SubarrayAccess, EnergyComponent::Dram) - 0.6)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn phase_all_is_exhaustive_and_ordered() {
+        assert_eq!(Phase::ALL.len(), 7);
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn component_all_is_exhaustive_and_ordered() {
+        assert_eq!(EnergyComponent::ALL.len(), 7);
+        for (i, c) in EnergyComponent::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_contains_total_and_phases() {
+        let mut b = LatencyBreakdown::new();
+        b.add(Phase::Compute, Latency::from_us(1.0));
+        let s = b.to_string();
+        assert!(s.contains("total"));
+        assert!(s.contains("compute"));
+    }
+}

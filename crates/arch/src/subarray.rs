@@ -1,0 +1,328 @@
+//! Byte-accurate subarray storage (paper Fig. 1(c-e), Fig. 4).
+//!
+//! Where the rest of this crate prices accesses, this module *stores
+//! bytes*: an 8 KB subarray as four partitions of 256 rows x 8 bytes,
+//! with the first [`CacheGeometry::lut_rows_per_partition`] rows of each
+//! partition reserved as the reduced-access-cost LUT region and one row
+//! of partition 0 as the configuration block. Reads and writes are
+//! counted separately for data rows and LUT rows so the energy model can
+//! price a storage-backed execution exactly.
+//!
+//! [`CacheGeometry::lut_rows_per_partition`]: crate::geometry::CacheGeometry::lut_rows_per_partition
+
+use std::cell::Cell;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+use crate::geometry::CacheGeometry;
+
+/// One subarray's worth of actual storage.
+///
+/// ```
+/// use pim_arch::{CacheGeometry, subarray::SubarrayStorage};
+/// let geom = CacheGeometry::xeon_l3_35mb();
+/// let mut sa = SubarrayStorage::new(&geom);
+/// sa.write_row(0, 5, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+/// assert_eq!(sa.read_row(0, 5).unwrap(), [1, 2, 3, 4, 5, 6, 7, 8]);
+/// assert_eq!(sa.data_reads(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubarrayStorage {
+    partitions: usize,
+    rows_per_partition: usize,
+    row_bytes: usize,
+    lut_rows_per_partition: usize,
+    data: Vec<u8>,
+    data_reads: Cell<u64>,
+    data_writes: Cell<u64>,
+    lut_reads: Cell<u64>,
+    lut_writes: Cell<u64>,
+}
+
+impl SubarrayStorage {
+    /// Allocates a zeroed subarray matching a geometry.
+    pub fn new(geom: &CacheGeometry) -> Self {
+        let partitions = geom.partitions_per_subarray();
+        let rows = geom.rows_per_partition();
+        let row_bytes = geom.row_bytes().get() as usize;
+        SubarrayStorage {
+            partitions,
+            rows_per_partition: rows,
+            row_bytes,
+            lut_rows_per_partition: geom.lut_rows_per_partition(),
+            data: vec![0u8; partitions * rows * row_bytes],
+            data_reads: Cell::new(0),
+            data_writes: Cell::new(0),
+            lut_reads: Cell::new(0),
+            lut_writes: Cell::new(0),
+        }
+    }
+
+    /// Bytes per row.
+    pub fn row_bytes(&self) -> usize {
+        self.row_bytes
+    }
+
+    /// Data rows available per partition (rows minus the LUT region; the
+    /// CB row is additionally reserved in partition 0 by convention).
+    pub fn data_rows_per_partition(&self) -> usize {
+        self.rows_per_partition - self.lut_rows_per_partition
+    }
+
+    /// Usable weight bytes in the whole subarray (LUT region and CB row
+    /// excluded).
+    pub fn usable_bytes(&self) -> usize {
+        (self.partitions * self.data_rows_per_partition() - 1) * self.row_bytes
+    }
+
+    fn offset(&self, partition: usize, row: usize) -> Result<usize, ArchError> {
+        if partition >= self.partitions {
+            return Err(ArchError::InvalidCoordinate {
+                field: "partition",
+                value: partition,
+                bound: self.partitions,
+            });
+        }
+        if row >= self.rows_per_partition {
+            return Err(ArchError::InvalidCoordinate {
+                field: "row",
+                value: row,
+                bound: self.rows_per_partition,
+            });
+        }
+        Ok((partition * self.rows_per_partition + row) * self.row_bytes)
+    }
+
+    /// Whether a row lies in the LUT region (the first rows of each
+    /// partition have the decoupled bitlines, Fig. 4(b)).
+    pub fn is_lut_row(&self, row: usize) -> bool {
+        row < self.lut_rows_per_partition
+    }
+
+    /// Reads a full data row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidCoordinate`] when the coordinate is
+    /// out of range or addresses the LUT region (use
+    /// [`SubarrayStorage::read_lut_row`]).
+    pub fn read_row(&self, partition: usize, row: usize) -> Result<Vec<u8>, ArchError> {
+        if self.is_lut_row(row) {
+            return Err(ArchError::InvalidCoordinate {
+                field: "row (lut region)",
+                value: row,
+                bound: self.lut_rows_per_partition,
+            });
+        }
+        let off = self.offset(partition, row)?;
+        self.data_reads.set(self.data_reads.get() + 1);
+        Ok(self.data[off..off + self.row_bytes].to_vec())
+    }
+
+    /// Writes a full data row.
+    ///
+    /// # Errors
+    ///
+    /// As [`SubarrayStorage::read_row`], plus a length check.
+    pub fn write_row(&mut self, partition: usize, row: usize, bytes: &[u8]) -> Result<(), ArchError> {
+        if self.is_lut_row(row) {
+            return Err(ArchError::InvalidCoordinate {
+                field: "row (lut region)",
+                value: row,
+                bound: self.lut_rows_per_partition,
+            });
+        }
+        if bytes.len() != self.row_bytes {
+            return Err(ArchError::InvalidParameter {
+                parameter: "row bytes",
+                reason: format!("expected {} bytes, got {}", self.row_bytes, bytes.len()),
+            });
+        }
+        let off = self.offset(partition, row)?;
+        self.data_writes.set(self.data_writes.get() + 1);
+        self.data[off..off + self.row_bytes].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads a LUT-region row (a decoupled-bitline access in PIM mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidCoordinate`] when the row is outside
+    /// the LUT region.
+    pub fn read_lut_row(&self, partition: usize, row: usize) -> Result<Vec<u8>, ArchError> {
+        if !self.is_lut_row(row) {
+            return Err(ArchError::InvalidCoordinate {
+                field: "lut row",
+                value: row,
+                bound: self.lut_rows_per_partition,
+            });
+        }
+        let off = self.offset(partition, row)?;
+        self.lut_reads.set(self.lut_reads.get() + 1);
+        Ok(self.data[off..off + self.row_bytes].to_vec())
+    }
+
+    /// Writes a LUT-region row (configuration phase).
+    ///
+    /// # Errors
+    ///
+    /// As [`SubarrayStorage::read_lut_row`], plus a length check.
+    pub fn write_lut_row(
+        &mut self,
+        partition: usize,
+        row: usize,
+        bytes: &[u8],
+    ) -> Result<(), ArchError> {
+        if !self.is_lut_row(row) {
+            return Err(ArchError::InvalidCoordinate {
+                field: "lut row",
+                value: row,
+                bound: self.lut_rows_per_partition,
+            });
+        }
+        if bytes.len() != self.row_bytes {
+            return Err(ArchError::InvalidParameter {
+                parameter: "row bytes",
+                reason: format!("expected {} bytes, got {}", self.row_bytes, bytes.len()),
+            });
+        }
+        let off = self.offset(partition, row)?;
+        self.lut_writes.set(self.lut_writes.get() + 1);
+        self.data[off..off + self.row_bytes].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Loads an image (e.g. the 49-entry multiply table) into the LUT
+    /// region, spreading across partitions row by row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameter`] when the image exceeds
+    /// the LUT region capacity.
+    pub fn load_lut_image(&mut self, image: &[u8]) -> Result<(), ArchError> {
+        let capacity = self.partitions * self.lut_rows_per_partition * self.row_bytes;
+        if image.len() > capacity {
+            return Err(ArchError::InvalidParameter {
+                parameter: "lut image",
+                reason: format!("{} bytes exceed the {capacity}-byte LUT region", image.len()),
+            });
+        }
+        for (i, chunk) in image.chunks(self.row_bytes).enumerate() {
+            let partition = i / self.lut_rows_per_partition;
+            let row = i % self.lut_rows_per_partition;
+            let mut padded = vec![0u8; self.row_bytes];
+            padded[..chunk.len()].copy_from_slice(chunk);
+            self.write_lut_row(partition, row, &padded)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the LUT region back as a flat byte image.
+    pub fn dump_lut_image(&self, bytes: usize) -> Result<Vec<u8>, ArchError> {
+        let mut out = Vec::with_capacity(bytes);
+        let mut i = 0;
+        while out.len() < bytes {
+            let partition = i / self.lut_rows_per_partition;
+            let row = i % self.lut_rows_per_partition;
+            let data = self.read_lut_row(partition, row)?;
+            let take = (bytes - out.len()).min(self.row_bytes);
+            out.extend_from_slice(&data[..take]);
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    /// Data-row reads performed.
+    pub fn data_reads(&self) -> u64 {
+        self.data_reads.get()
+    }
+
+    /// Data-row writes performed.
+    pub fn data_writes(&self) -> u64 {
+        self.data_writes.get()
+    }
+
+    /// LUT-row reads performed (the cheap decoupled-bitline accesses).
+    pub fn lut_row_reads(&self) -> u64 {
+        self.lut_reads.get()
+    }
+
+    /// LUT-row writes performed.
+    pub fn lut_row_writes(&self) -> u64 {
+        self.lut_writes.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn storage() -> SubarrayStorage {
+        SubarrayStorage::new(&CacheGeometry::xeon_l3_35mb())
+    }
+
+    #[test]
+    fn geometry_derived_capacity() {
+        let sa = storage();
+        assert_eq!(sa.row_bytes(), 8);
+        assert_eq!(sa.data_rows_per_partition(), 254);
+        // 4 partitions x 254 rows - 1 CB row = 1015 rows of 8 bytes.
+        assert_eq!(sa.usable_bytes(), 1015 * 8);
+    }
+
+    #[test]
+    fn data_rows_round_trip_and_count() {
+        let mut sa = storage();
+        sa.write_row(3, 200, &[9; 8]).unwrap();
+        assert_eq!(sa.read_row(3, 200).unwrap(), vec![9; 8]);
+        assert_eq!(sa.data_writes(), 1);
+        assert_eq!(sa.data_reads(), 1);
+        assert_eq!(sa.lut_row_reads(), 0);
+    }
+
+    #[test]
+    fn lut_region_is_protected_from_data_access() {
+        let mut sa = storage();
+        assert!(sa.read_row(0, 0).is_err());
+        assert!(sa.write_row(0, 1, &[0; 8]).is_err());
+        assert!(sa.read_lut_row(0, 2).is_err()); // past the LUT region
+    }
+
+    #[test]
+    fn out_of_range_coordinates_rejected() {
+        let mut sa = storage();
+        assert!(sa.write_row(4, 10, &[0; 8]).is_err());
+        assert!(sa.write_row(0, 256, &[0; 8]).is_err());
+        assert!(sa.write_row(0, 10, &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn lut_image_round_trip() {
+        let mut sa = storage();
+        let image: Vec<u8> = (0..49u8).map(|i| i.wrapping_mul(37)).collect();
+        sa.load_lut_image(&image).unwrap();
+        let dumped = sa.dump_lut_image(49).unwrap();
+        assert_eq!(dumped, image);
+        // 49 bytes = 7 row writes.
+        assert_eq!(sa.lut_row_writes(), 7);
+    }
+
+    #[test]
+    fn oversized_lut_image_rejected() {
+        let mut sa = storage();
+        // LUT region: 4 partitions x 2 rows x 8 bytes = 64 bytes.
+        assert!(sa.load_lut_image(&[0u8; 65]).is_err());
+        assert!(sa.load_lut_image(&[0u8; 64]).is_ok());
+    }
+
+    #[test]
+    fn independent_partitions() {
+        let mut sa = storage();
+        sa.write_row(0, 10, &[1; 8]).unwrap();
+        sa.write_row(1, 10, &[2; 8]).unwrap();
+        assert_eq!(sa.read_row(0, 10).unwrap(), vec![1; 8]);
+        assert_eq!(sa.read_row(1, 10).unwrap(), vec![2; 8]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Access timing model.
+//!
+//! The paper's Fig. 2 shows that for a full slice data access the
+//! interconnect between the subarray and the slice port contributes more
+//! than 90% of latency, while the subarray access itself (dominated by the
+//! bitlines) is only about 6%. BFree's whole premise is to keep PIM
+//! operations inside the subarray at the subarray clock (1.5 GHz, §V-C)
+//! and avoid that interconnect.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+use crate::units::{Cycles, Latency};
+
+/// Latency parameters for the cache and its PIM extensions.
+///
+/// ```
+/// use pim_arch::TimingParams;
+/// let t = TimingParams::default();
+/// // Fig. 2: a slice access is dominated by the interconnect.
+/// let b = t.slice_access_breakdown();
+/// assert!(b.interconnect_fraction > 0.85);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Subarray (and therefore BFree PIM) clock in GHz. Paper §V-C: "the
+    /// maximum frequency for BFree is same as the subarray access latency
+    /// (1.5 GHz)".
+    pub subarray_clock_ghz: f64,
+    /// Full slice access latency in ns, port to subarray and back.
+    pub slice_access_ns: f64,
+    /// Fraction of the slice access latency spent on the interconnect
+    /// (Fig. 2: > 90%).
+    pub interconnect_latency_fraction: f64,
+    /// Fraction spent inside the subarray (Fig. 2: ~6%).
+    pub subarray_latency_fraction: f64,
+    /// Speedup of a decoupled-bitline LUT-row read over a regular row read
+    /// (§III-B: "3x faster").
+    pub fast_lut_speedup: f64,
+    /// Clock derate applied to a subarray performing multi-row-activation
+    /// bitline computing. §II-B: wordline under-driving to two-thirds of
+    /// the supply voltage "directly impacts the computation speed"; a
+    /// bitline-computing cache such as Neural Cache therefore clocks its
+    /// compute below the plain access clock.
+    pub bitline_compute_clock_derate: f64,
+}
+
+impl TimingParams {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameter`] when a frequency or
+    /// fraction is out of range.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        let positive = |name: &'static str, v: f64| {
+            if v > 0.0 && v.is_finite() {
+                Ok(())
+            } else {
+                Err(ArchError::InvalidParameter {
+                    parameter: name,
+                    reason: format!("must be positive and finite, got {v}"),
+                })
+            }
+        };
+        positive("subarray_clock_ghz", self.subarray_clock_ghz)?;
+        positive("slice_access_ns", self.slice_access_ns)?;
+        positive("fast_lut_speedup", self.fast_lut_speedup)?;
+        positive("bitline_compute_clock_derate", self.bitline_compute_clock_derate)?;
+        for (name, v) in [
+            ("interconnect_latency_fraction", self.interconnect_latency_fraction),
+            ("subarray_latency_fraction", self.subarray_latency_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ArchError::InvalidParameter {
+                    parameter: name,
+                    reason: format!("must be within [0, 1], got {v}"),
+                });
+            }
+        }
+        if self.interconnect_latency_fraction + self.subarray_latency_fraction > 1.0 {
+            return Err(ArchError::InvalidParameter {
+                parameter: "latency fractions",
+                reason: "interconnect + subarray fractions exceed 1".to_string(),
+            });
+        }
+        if self.bitline_compute_clock_derate > 1.0 {
+            return Err(ArchError::InvalidParameter {
+                parameter: "bitline_compute_clock_derate",
+                reason: "derate must be <= 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Duration of one subarray clock cycle.
+    pub fn subarray_cycle_ns(&self) -> f64 {
+        1.0 / self.subarray_clock_ghz
+    }
+
+    /// Latency of a single row access inside the subarray (one PIM cycle).
+    pub fn subarray_access(&self) -> Latency {
+        Latency::from_ns(self.subarray_cycle_ns())
+    }
+
+    /// Latency of a decoupled-bitline LUT-row read.
+    pub fn fast_lut_access(&self) -> Latency {
+        Latency::from_ns(self.subarray_cycle_ns() / self.fast_lut_speedup)
+    }
+
+    /// Latency of a full slice access (CPU-visible cache access).
+    pub fn slice_access(&self) -> Latency {
+        Latency::from_ns(self.slice_access_ns)
+    }
+
+    /// Converts PIM cycles to wall-clock time at the subarray clock.
+    pub fn pim_time(&self, cycles: Cycles) -> Latency {
+        cycles.at_ghz(self.subarray_clock_ghz)
+    }
+
+    /// Converts bitline-computing (multi-row-activation) cycles to
+    /// wall-clock time at the derated compute clock.
+    pub fn bitline_compute_time(&self, cycles: Cycles) -> Latency {
+        cycles.at_ghz(self.subarray_clock_ghz * self.bitline_compute_clock_derate)
+    }
+
+    /// The Fig. 2 latency breakdown of a full slice access.
+    pub fn slice_access_breakdown(&self) -> AccessBreakdown {
+        AccessBreakdown {
+            total: self.slice_access(),
+            interconnect_fraction: self.interconnect_latency_fraction,
+            subarray_fraction: self.subarray_latency_fraction,
+            peripheral_fraction: 1.0
+                - self.interconnect_latency_fraction
+                - self.subarray_latency_fraction,
+        }
+    }
+}
+
+impl Default for TimingParams {
+    /// Paper values: 1.5 GHz subarray clock; a slice access sized so that
+    /// the one-cycle subarray access is 6% of it (Fig. 2), interconnect
+    /// 90%; decoupled LUT rows 3x faster (§III-B); bitline compute clock
+    /// derated to 0.8 of the access clock (§II-B wordline under-driving,
+    /// calibration note in DESIGN.md §4).
+    fn default() -> Self {
+        let subarray_clock_ghz = 1.5;
+        let subarray_fraction = 0.06;
+        TimingParams {
+            subarray_clock_ghz,
+            // One subarray cycle (0.667 ns) is 6% of the slice access.
+            slice_access_ns: (1.0 / subarray_clock_ghz) / subarray_fraction,
+            interconnect_latency_fraction: 0.90,
+            subarray_latency_fraction: subarray_fraction,
+            fast_lut_speedup: 3.0,
+            bitline_compute_clock_derate: 0.8,
+        }
+    }
+}
+
+/// A latency or energy decomposition of one slice access (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessBreakdown {
+    /// Total cost of the access.
+    pub total: Latency,
+    /// Fraction attributable to the interconnect.
+    pub interconnect_fraction: f64,
+    /// Fraction attributable to the subarray (bitlines).
+    pub subarray_fraction: f64,
+    /// Remaining peripheral fraction (decoders, muxes, port logic).
+    pub peripheral_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        TimingParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn subarray_cycle_at_1_5ghz() {
+        let t = TimingParams::default();
+        assert!((t.subarray_cycle_ns() - 0.6667).abs() < 1e-3);
+        assert!((t.subarray_access().nanoseconds() - 0.6667).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fig2_subarray_is_6_percent_of_slice_access() {
+        let t = TimingParams::default();
+        let frac = t.subarray_access().nanoseconds() / t.slice_access().nanoseconds();
+        assert!((frac - 0.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_lut_is_3x_faster_than_row_access() {
+        let t = TimingParams::default();
+        let ratio = t.subarray_access().ratio(t.fast_lut_access());
+        assert!((ratio - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let b = TimingParams::default().slice_access_breakdown();
+        let sum = b.interconnect_fraction + b.subarray_fraction + b.peripheral_fraction;
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(b.interconnect_fraction >= 0.9);
+    }
+
+    #[test]
+    fn bitline_compute_slower_than_pim() {
+        let t = TimingParams::default();
+        let c = Cycles::new(1000);
+        assert!(t.bitline_compute_time(c) > t.pim_time(c));
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let mut t = TimingParams {
+            interconnect_latency_fraction: 0.99,
+            subarray_latency_fraction: 0.2,
+            ..TimingParams::default()
+        };
+        assert!(t.validate().is_err());
+        t.interconnect_latency_fraction = -0.1;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_clock_rejected() {
+        let t = TimingParams { subarray_clock_ghz: 0.0, ..TimingParams::default() };
+        assert!(t.validate().is_err());
+        let t =
+            TimingParams { bitline_compute_clock_derate: 1.5, ..TimingParams::default() };
+        assert!(t.validate().is_err());
+    }
+}

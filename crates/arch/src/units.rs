@@ -1,0 +1,466 @@
+//! Strongly-typed physical quantities used throughout the simulator.
+//!
+//! All costs in the model are expressed with these newtypes so that a
+//! latency can never be accidentally added to an energy, and so that every
+//! number carries its unit through arithmetic ([`Energy`] is internally
+//! picojoules, [`Latency`] nanoseconds, [`Bytes`] bytes, [`Cycles`] clock
+//! cycles of a stated clock).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An amount of energy, stored internally in picojoules.
+///
+/// ```
+/// use pim_arch::Energy;
+/// let e = Energy::from_pj(500.0) + Energy::from_nj(1.0);
+/// assert!((e.picojoules() - 1500.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy from picojoules.
+    pub fn from_pj(pj: f64) -> Self {
+        Energy(pj)
+    }
+
+    /// Creates an energy from nanojoules.
+    pub fn from_nj(nj: f64) -> Self {
+        Energy(nj * 1e3)
+    }
+
+    /// Creates an energy from microjoules.
+    pub fn from_uj(uj: f64) -> Self {
+        Energy(uj * 1e6)
+    }
+
+    /// Creates an energy from millijoules.
+    pub fn from_mj(mj: f64) -> Self {
+        Energy(mj * 1e9)
+    }
+
+    /// Creates an energy from joules.
+    pub fn from_joules(j: f64) -> Self {
+        Energy(j * 1e12)
+    }
+
+    /// Value in picojoules.
+    pub fn picojoules(self) -> f64 {
+        self.0
+    }
+
+    /// Value in nanojoules.
+    pub fn nanojoules(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// Value in millijoules.
+    pub fn millijoules(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Value in joules.
+    pub fn joules(self) -> f64 {
+        self.0 * 1e-12
+    }
+
+    /// Ratio of `self` to `other`; `NaN` when `other` is zero.
+    pub fn ratio(self, other: Energy) -> f64 {
+        self.0 / other.0
+    }
+}
+
+/// A span of time, stored internally in nanoseconds.
+///
+/// ```
+/// use pim_arch::Latency;
+/// let t = Latency::from_us(2.0);
+/// assert!((t.milliseconds() - 0.002).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Latency(f64);
+
+impl Latency {
+    /// Zero latency.
+    pub const ZERO: Latency = Latency(0.0);
+
+    /// Creates a latency from nanoseconds.
+    pub fn from_ns(ns: f64) -> Self {
+        Latency(ns)
+    }
+
+    /// Creates a latency from microseconds.
+    pub fn from_us(us: f64) -> Self {
+        Latency(us * 1e3)
+    }
+
+    /// Creates a latency from milliseconds.
+    pub fn from_ms(ms: f64) -> Self {
+        Latency(ms * 1e6)
+    }
+
+    /// Creates a latency from seconds.
+    pub fn from_secs(s: f64) -> Self {
+        Latency(s * 1e9)
+    }
+
+    /// Value in nanoseconds.
+    pub fn nanoseconds(self) -> f64 {
+        self.0
+    }
+
+    /// Value in microseconds.
+    pub fn microseconds(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// Value in milliseconds.
+    pub fn milliseconds(self) -> f64 {
+        self.0 * 1e-6
+    }
+
+    /// Value in seconds.
+    pub fn seconds(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Ratio of `self` to `other`; `NaN` when `other` is zero.
+    pub fn ratio(self, other: Latency) -> f64 {
+        self.0 / other.0
+    }
+
+    /// The larger of two latencies (useful when phases overlap).
+    pub fn max(self, other: Latency) -> Latency {
+        Latency(self.0.max(other.0))
+    }
+
+    /// The smaller of two latencies.
+    pub fn min(self, other: Latency) -> Latency {
+        Latency(self.0.min(other.0))
+    }
+}
+
+/// A number of clock cycles of some stated clock.
+///
+/// ```
+/// use pim_arch::Cycles;
+/// let c = Cycles::new(1_500_000);
+/// // 1.5M cycles at 1.5 GHz is one millisecond.
+/// assert!((c.at_ghz(1.5).milliseconds() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub fn new(count: u64) -> Self {
+        Cycles(count)
+    }
+
+    /// The raw count.
+    pub fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to wall-clock latency at the given clock frequency.
+    pub fn at_ghz(self, ghz: f64) -> Latency {
+        Latency::from_ns(self.0 as f64 / ghz)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+}
+
+/// A number of bytes.
+///
+/// ```
+/// use pim_arch::Bytes;
+/// assert_eq!(Bytes::from_mib(8).get(), 8 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a byte count.
+    pub fn new(count: u64) -> Self {
+        Bytes(count)
+    }
+
+    /// Creates a byte count from kibibytes.
+    pub fn from_kib(kib: u64) -> Self {
+        Bytes(kib * 1024)
+    }
+
+    /// Creates a byte count from mebibytes.
+    pub fn from_mib(mib: u64) -> Self {
+        Bytes(mib * 1024 * 1024)
+    }
+
+    /// The raw count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The count in bits.
+    pub fn bits(self) -> u64 {
+        self.0 * 8
+    }
+
+    /// The count as mebibytes.
+    pub fn mib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+}
+
+macro_rules! impl_f64_quantity_ops {
+    ($ty:ident) => {
+        impl Add for $ty {
+            type Output = $ty;
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+        impl AddAssign for $ty {
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+        impl Sub for $ty {
+            type Output = $ty;
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+        impl Mul<f64> for $ty {
+            type Output = $ty;
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+        impl Mul<u64> for $ty {
+            type Output = $ty;
+            fn mul(self, rhs: u64) -> $ty {
+                $ty(self.0 * rhs as f64)
+            }
+        }
+        impl Div<f64> for $ty {
+            type Output = $ty;
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+        impl Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                iter.fold($ty(0.0), |acc, x| acc + x)
+            }
+        }
+    };
+}
+
+impl_f64_quantity_ops!(Energy);
+impl_f64_quantity_ops!(Latency);
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles(0), |acc, x| acc + x)
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for Bytes {
+    type Output = Bytes;
+    fn mul(self, rhs: u64) -> Bytes {
+        Bytes(self.0 * rhs)
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes(0), |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pj = self.0;
+        if pj.abs() >= 1e12 {
+            write!(f, "{:.3} J", pj * 1e-12)
+        } else if pj.abs() >= 1e9 {
+            write!(f, "{:.3} mJ", pj * 1e-9)
+        } else if pj.abs() >= 1e6 {
+            write!(f, "{:.3} uJ", pj * 1e-6)
+        } else if pj.abs() >= 1e3 {
+            write!(f, "{:.3} nJ", pj * 1e-3)
+        } else {
+            write!(f, "{:.3} pJ", pj)
+        }
+    }
+}
+
+impl fmt::Display for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns.abs() >= 1e9 {
+            write!(f, "{:.3} s", ns * 1e-9)
+        } else if ns.abs() >= 1e6 {
+            write!(f, "{:.3} ms", ns * 1e-6)
+        } else if ns.abs() >= 1e3 {
+            write!(f, "{:.3} us", ns * 1e-3)
+        } else {
+            write!(f, "{:.3} ns", ns)
+        }
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0 as f64;
+        if b >= 1024.0 * 1024.0 * 1024.0 {
+            write!(f, "{:.2} GiB", b / (1024.0 * 1024.0 * 1024.0))
+        } else if b >= 1024.0 * 1024.0 {
+            write!(f, "{:.2} MiB", b / (1024.0 * 1024.0))
+        } else if b >= 1024.0 {
+            write!(f, "{:.2} KiB", b / 1024.0)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_unit_conversions_round_trip() {
+        let e = Energy::from_mj(2.5);
+        assert!((e.millijoules() - 2.5).abs() < 1e-12);
+        assert!((e.joules() - 0.0025).abs() < 1e-15);
+        assert!((e.nanojoules() - 2.5e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_unit_conversions_round_trip() {
+        let t = Latency::from_ms(1.25);
+        assert!((t.microseconds() - 1250.0).abs() < 1e-9);
+        assert!((t.seconds() - 0.00125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn energy_arithmetic() {
+        let a = Energy::from_pj(3.0);
+        let b = Energy::from_pj(4.5);
+        assert!(((a + b).picojoules() - 7.5).abs() < 1e-12);
+        assert!(((b - a).picojoules() - 1.5).abs() < 1e-12);
+        assert!(((a * 4.0).picojoules() - 12.0).abs() < 1e-12);
+        assert!(((a * 4u64).picojoules() - 12.0).abs() < 1e-12);
+        assert!(((b / 3.0).picojoules() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_sum() {
+        let total: Energy = (0..10).map(|_| Energy::from_pj(1.5)).sum();
+        assert!((total.picojoules() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_to_latency() {
+        let c = Cycles::new(3_000);
+        let t = c.at_ghz(1.5);
+        assert!((t.microseconds() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(100);
+        let b = Cycles::new(23);
+        assert_eq!((a + b).count(), 123);
+        assert_eq!((a * 3).count(), 300);
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        let s: Cycles = vec![a, b].into_iter().sum();
+        assert_eq!(s.count(), 123);
+    }
+
+    #[test]
+    fn bytes_helpers() {
+        assert_eq!(Bytes::from_kib(8).get(), 8192);
+        assert_eq!(Bytes::from_mib(2).bits(), 2 * 1024 * 1024 * 8);
+        assert!((Bytes::from_mib(35).mib() - 35.0).abs() < 1e-12);
+        assert_eq!((Bytes::new(3) + Bytes::new(4)).get(), 7);
+        assert_eq!((Bytes::new(3) * 4).get(), 12);
+    }
+
+    #[test]
+    fn latency_max_min() {
+        let a = Latency::from_ns(5.0);
+        let b = Latency::from_ns(9.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(format!("{}", Energy::from_pj(2.0)), "2.000 pJ");
+        assert_eq!(format!("{}", Energy::from_mj(3.0)), "3.000 mJ");
+        assert_eq!(format!("{}", Latency::from_ms(4.0)), "4.000 ms");
+        assert_eq!(format!("{}", Bytes::from_mib(1)), "1.00 MiB");
+    }
+
+    #[test]
+    fn ratios() {
+        assert!((Energy::from_pj(10.0).ratio(Energy::from_pj(4.0)) - 2.5).abs() < 1e-12);
+        assert!((Latency::from_ns(9.0).ratio(Latency::from_ns(3.0)) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,211 @@
+//! Calibrated CPU and GPU comparison models (paper §V-C/D, Table III).
+//!
+//! The paper measured an Intel Xeon E5-2697 (PyTorch/TensorFlow, RAPL)
+//! and an NVIDIA Titan V (nvidia-smi). We cannot re-run that hardware,
+//! so these models are *calibrated*: where Table III publishes absolute
+//! per-inference latency and energy (LSTM, BERT-base, BERT-large at
+//! batches 1 and 16) the model replays those numbers; for other
+//! network/batch points it falls back to a saturating-throughput
+//! roofline (`peak * batch / (batch + k)`) with a fixed device power.
+//! DESIGN.md §4 documents this substitution.
+
+use pim_arch::{Energy, EnergyBreakdown, EnergyComponent, Latency, LatencyBreakdown, Phase};
+use pim_nn::Network;
+use serde::{Deserialize, Serialize};
+
+use crate::report::{InferenceModel, RunReport};
+
+/// One published measurement: per-inference latency and energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibEntry {
+    /// Network name (matches `Network::name`).
+    pub network: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Per-inference latency, ms.
+    pub latency_ms: f64,
+    /// Per-inference energy, J.
+    pub energy_j: f64,
+}
+
+/// A device model: published calibration points plus a roofline
+/// fallback.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibratedDevice {
+    name: String,
+    entries: Vec<CalibEntry>,
+    /// Saturated effective throughput in GMACs/s.
+    pub peak_gmacs: f64,
+    /// Batch at which throughput reaches half of peak.
+    pub batch_saturation: f64,
+    /// Average device power for the fallback path, W.
+    pub power_w: f64,
+}
+
+impl CalibratedDevice {
+    /// Creates a device model.
+    pub fn new(
+        name: impl Into<String>,
+        entries: Vec<CalibEntry>,
+        peak_gmacs: f64,
+        batch_saturation: f64,
+        power_w: f64,
+    ) -> Self {
+        CalibratedDevice { name: name.into(), entries, peak_gmacs, batch_saturation, power_w }
+    }
+
+    /// Effective throughput at a batch size (GMACs/s).
+    pub fn throughput_gmacs(&self, batch: usize) -> f64 {
+        let b = batch.max(1) as f64;
+        self.peak_gmacs * b / (b + self.batch_saturation)
+    }
+
+    fn lookup(&self, network: &str, batch: usize) -> Option<&CalibEntry> {
+        self.entries.iter().find(|e| e.network == network && e.batch == batch)
+    }
+}
+
+impl InferenceModel for CalibratedDevice {
+    fn device_name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, network: &Network, batch: usize) -> RunReport {
+        let batch = batch.max(1);
+        let (latency_ms, energy_j) = match self.lookup(network.name(), batch) {
+            Some(entry) => (entry.latency_ms * batch as f64, entry.energy_j * batch as f64),
+            None => {
+                let macs = network.total_macs() as f64 * batch as f64;
+                let seconds = macs / (self.throughput_gmacs(batch) * 1e9);
+                (seconds * 1e3, seconds * self.power_w)
+            }
+        };
+        let mut latency = LatencyBreakdown::new();
+        latency.add(Phase::Compute, Latency::from_ms(latency_ms));
+        let mut energy = EnergyBreakdown::new();
+        energy.add(EnergyComponent::Dram, Energy::from_joules(energy_j));
+        RunReport {
+            device: self.name.clone(),
+            network: network.name().to_string(),
+            batch,
+            latency,
+            energy,
+            per_layer: vec![],
+        }
+    }
+}
+
+/// The Xeon E5-2697 model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel;
+
+impl CpuModel {
+    /// Builds the CPU model with Table III calibration points.
+    pub fn paper_xeon() -> CalibratedDevice {
+        CalibratedDevice::new(
+            "CPU (Xeon E5-2697)",
+            vec![
+                entry("LSTM", 1, 888.3, 31.09),
+                entry("BERT-base", 1, 1160.0, 34.80),
+                entry("BERT-base", 16, 121.3, 3.64),
+                entry("BERT-large", 1, 2910.0, 87.3),
+                entry("BERT-large", 16, 453.1, 13.6),
+            ],
+            // Fallback (CNNs): the paper's framework-level CPU profile
+            // sustains ~12 GMACs/s and ~30 W package power.
+            12.0,
+            2.0,
+            30.0,
+        )
+    }
+}
+
+/// The Titan V model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel;
+
+impl GpuModel {
+    /// Builds the GPU model with Table III calibration points.
+    pub fn paper_titan_v() -> CalibratedDevice {
+        CalibratedDevice::new(
+            "GPU (Titan V)",
+            vec![
+                entry("LSTM", 1, 96.2, 4.33),
+                entry("BERT-base", 1, 47.3, 1.67),
+                entry("BERT-base", 16, 3.8, 0.45),
+                entry("BERT-large", 1, 89.7, 4.5),
+                entry("BERT-large", 16, 11.1, 1.7),
+            ],
+            // Fallback (CNNs): framework-level Titan V inference
+            // sustains ~0.9 TMACs/s at large batch. The paper's own
+            // Table III implies average powers far below TDP (35 W at
+            // batch 1 up to 118 W at batch 16); 80 W sits in that band.
+            900.0,
+            4.0,
+            80.0,
+        )
+    }
+}
+
+fn entry(network: &str, batch: usize, latency_ms: f64, energy_j: f64) -> CalibEntry {
+    CalibEntry { network: network.to_string(), batch, latency_ms, energy_j }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_nn::networks;
+
+    #[test]
+    fn table3_points_replayed_exactly() {
+        let cpu = CpuModel::paper_xeon();
+        let report = cpu.run(&networks::bert_base(), 1);
+        assert!((report.per_inference_latency().milliseconds() - 1160.0).abs() < 1e-6);
+        assert!((report.per_inference_energy().joules() - 34.8).abs() < 1e-9);
+        let report16 = cpu.run(&networks::bert_base(), 16);
+        assert!((report16.per_inference_latency().milliseconds() - 121.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gpu_faster_than_cpu_everywhere() {
+        let cpu = CpuModel::paper_xeon();
+        let gpu = GpuModel::paper_titan_v();
+        for (net, _) in networks::table2_networks() {
+            for batch in [1, 16] {
+                let c = cpu.run(&net, batch);
+                let g = gpu.run(&net, batch);
+                assert!(
+                    g.per_inference_latency() < c.per_inference_latency(),
+                    "{} batch {batch}",
+                    net.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_uses_roofline() {
+        let cpu = CpuModel::paper_xeon();
+        let net = networks::vgg16();
+        let report = cpu.run(&net, 16);
+        let expected_s =
+            net.total_macs() as f64 * 16.0 / (cpu.throughput_gmacs(16) * 1e9);
+        assert!((report.total_latency().seconds() - expected_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_saturates_with_batch() {
+        let gpu = GpuModel::paper_titan_v();
+        assert!(gpu.throughput_gmacs(16) > gpu.throughput_gmacs(1));
+        assert!(gpu.throughput_gmacs(256) < gpu.peak_gmacs);
+        assert!(gpu.throughput_gmacs(256) > 0.95 * gpu.peak_gmacs);
+    }
+
+    #[test]
+    fn batch_energy_scales() {
+        let cpu = CpuModel::paper_xeon();
+        let b16 = cpu.run(&networks::bert_large(), 16);
+        // Whole-batch energy = per-inference x 16.
+        assert!((b16.total_energy().joules() - 13.6 * 16.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,30 @@
+//! # pim-baselines
+//!
+//! The four comparison points of the BFree paper's evaluation (§V):
+//!
+//! * [`NeuralCacheModel`] — the state-of-the-art processing-in-cache
+//!   baseline (Eckert et al., ISCA 2018): bit-serial multi-row-activation
+//!   compute in the same 35 MB L3, with its published cycle counts
+//!   (102 cycles per 8-bit multiply) and the input-load / reduction
+//!   phases BFree's systolic dataflow eliminates;
+//! * [`EyerissModel`] — the spatial DNN accelerator baseline at the
+//!   iso-area configuration of §V-D (12 x 12 PEs, 8-bit MACs, 1.5 GHz);
+//! * [`CpuModel`] / [`GpuModel`] — analytic models of the Xeon E5-2697
+//!   and Titan V, calibrated against the paper's own Table III
+//!   measurements (see DESIGN.md §4 on this substitution).
+//!
+//! All models implement [`InferenceModel`] and produce a [`RunReport`]
+//! with phase-level latency and component-level energy breakdowns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu_gpu;
+pub mod eyeriss;
+pub mod neural_cache;
+pub mod report;
+
+pub use cpu_gpu::{CalibratedDevice, CpuModel, GpuModel};
+pub use eyeriss::EyerissModel;
+pub use neural_cache::NeuralCacheModel;
+pub use report::{InferenceModel, LayerTiming, RunReport};

@@ -1,0 +1,110 @@
+//! The common run-report type every inference model produces.
+
+use pim_arch::{Energy, EnergyBreakdown, Latency, LatencyBreakdown};
+use pim_nn::Network;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer timing for layer-wise figures (Fig. 12(a), Fig. 13).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerTiming {
+    /// The layer (or module) name.
+    pub name: String,
+    /// Latency attributed to this layer for the whole batch.
+    pub latency: Latency,
+    /// Multiplies executed in this layer for the whole batch.
+    pub macs: u64,
+}
+
+/// The result of running one network at one batch size on one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Which device/model produced this.
+    pub device: String,
+    /// The network name.
+    pub network: String,
+    /// Batch size (latency and energy cover the whole batch).
+    pub batch: usize,
+    /// Phase-tagged latency for the whole batch.
+    pub latency: LatencyBreakdown,
+    /// Component-tagged energy for the whole batch.
+    pub energy: EnergyBreakdown,
+    /// Per-layer timings (empty for devices that do not expose them).
+    pub per_layer: Vec<LayerTiming>,
+}
+
+impl RunReport {
+    /// Total batch latency.
+    pub fn total_latency(&self) -> Latency {
+        self.latency.total()
+    }
+
+    /// Total batch energy.
+    pub fn total_energy(&self) -> Energy {
+        self.energy.total()
+    }
+
+    /// Amortized per-inference latency (Table III convention).
+    pub fn per_inference_latency(&self) -> Latency {
+        self.latency.total() / self.batch.max(1) as f64
+    }
+
+    /// Amortized per-inference energy.
+    pub fn per_inference_energy(&self) -> Energy {
+        self.energy.total() / self.batch.max(1) as f64
+    }
+
+    /// Speedup of this run over another run of the same work.
+    pub fn speedup_over(&self, other: &RunReport) -> f64 {
+        other.per_inference_latency().ratio(self.per_inference_latency())
+    }
+
+    /// Energy-efficiency gain of this run over another.
+    pub fn energy_gain_over(&self, other: &RunReport) -> f64 {
+        other.per_inference_energy().ratio(self.per_inference_energy())
+    }
+}
+
+/// Anything that can run a network at a batch size and report cost.
+pub trait InferenceModel {
+    /// The device name used in reports.
+    fn device_name(&self) -> &str;
+
+    /// Runs `network` at `batch`, returning whole-batch cost.
+    fn run(&self, network: &Network, batch: usize) -> RunReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::Phase;
+
+    fn report(ms: f64, mj: f64, batch: usize) -> RunReport {
+        let mut latency = LatencyBreakdown::new();
+        latency.add(Phase::Compute, Latency::from_ms(ms));
+        let mut energy = EnergyBreakdown::new();
+        energy.add(pim_arch::EnergyComponent::Bce, Energy::from_mj(mj));
+        RunReport {
+            device: "test".to_string(),
+            network: "net".to_string(),
+            batch,
+            latency,
+            energy,
+            per_layer: vec![],
+        }
+    }
+
+    #[test]
+    fn per_inference_amortizes_batch() {
+        let r = report(16.0, 32.0, 16);
+        assert!((r.per_inference_latency().milliseconds() - 1.0).abs() < 1e-9);
+        assert!((r.per_inference_energy().millijoules() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_and_energy_gain() {
+        let fast = report(1.0, 1.0, 1);
+        let slow = report(10.0, 5.0, 1);
+        assert!((fast.speedup_over(&slow) - 10.0).abs() < 1e-9);
+        assert!((fast.energy_gain_over(&slow) - 5.0).abs() < 1e-9);
+    }
+}

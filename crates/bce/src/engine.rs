@@ -1,0 +1,695 @@
+//! The functional BCE execution engine (paper §III-A, §III-C, Fig. 7).
+//!
+//! A BCE sits at the edge of each subarray and executes PIM kernels:
+//! dot products in *conv mode* (one 8:1 mux, one adder, two shifters —
+//! half an 8-bit MAC per cycle), tiled matrix multiplication in *matmul
+//! mode* (the switch MUX plus all sixteen adders/shifters — four 8-bit
+//! MACs per cycle), pooling, activations, softmax and requantization.
+//!
+//! All operations are **functionally exact** over the integer datapath
+//! (products via the nibble ROM or the subarray multiply LUT) and return
+//! [`BceStats`] event counts for the cost model.
+
+use pim_lut::{
+    DivLut, LutError, LutMultiplier, OpCost, PwlFunction, PwlTable, SoftmaxEngine,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::isa::{ActivationKind, Precision};
+use crate::mult_rom::MultRom;
+
+/// The two structural configurations of the BCE datapath (paper §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BceMode {
+    /// Convolution mode: 1 x {8:1 MUX}, 1 adder, 2 shifters; 0.5 8-bit
+    /// MACs per cycle; 0.4 mW.
+    #[default]
+    Conv,
+    /// Matrix-multiply mode: the switch MUX (8 x {8:1 MUX}), all adders
+    /// and shifters; 4 8-bit MACs per cycle; 1.3 mW.
+    MatMul,
+}
+
+impl BceMode {
+    /// Peak 8-bit MACs per cycle in this mode (paper §V-D).
+    pub fn macs_per_cycle_int8(self) -> f64 {
+        match self {
+            BceMode::Conv => 0.5,
+            BceMode::MatMul => 4.0,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BceMode::Conv => "conv",
+            BceMode::MatMul => "matmul",
+        }
+    }
+}
+
+/// Which structure supplies 4-bit products (ablation axis; §III-C1 vs
+/// §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MulPath {
+    /// The hardwired 256-entry nibble ROM inside the BCE (the evaluated
+    /// configuration: "MAC operations are performed using the BCE
+    /// hardwired-LUT", §V-D).
+    #[default]
+    HardwiredRom,
+    /// The 49-entry odd x odd table in the subarray's reduced-cost LUT
+    /// rows (§III-C1), at one decoupled-bitline read per odd x odd
+    /// product.
+    SubarrayLut,
+}
+
+/// Event counts produced by one BCE operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BceStats {
+    /// Fine-grained arithmetic events.
+    pub cost: OpCost,
+    /// Completed multiply-accumulates.
+    pub macs: u64,
+    /// Bytes of weights read from the subarray data rows.
+    pub weight_bytes_read: u64,
+    /// Accesses to the reduced-cost rows for intermediate partial
+    /// products (§V-B).
+    pub partial_row_accesses: u64,
+}
+
+impl BceStats {
+    /// Merges another stats record into this one.
+    pub fn merge(&mut self, other: BceStats) {
+        self.cost += other.cost;
+        self.macs += other.macs;
+        self.weight_bytes_read += other.weight_bytes_read;
+        self.partial_row_accesses += other.partial_row_accesses;
+    }
+
+    /// Full 64-bit subarray row reads implied by the weight traffic
+    /// (`row_bytes` per read, normally 8).
+    pub fn weight_row_reads(&self, row_bytes: u64) -> u64 {
+        self.weight_bytes_read.div_ceil(row_bytes)
+    }
+}
+
+/// The functional BCE.
+///
+/// ```
+/// use pim_bce::{Bce, BceMode};
+/// let bce = Bce::new(BceMode::MatMul).unwrap();
+/// let weights = [[1i8, -2, 3, -4, 5, -6, 7, -8]; 4];
+/// let inputs = [1i8, 2, 3, 4];
+/// let (out, stats) = bce.matmul_tile(&inputs, &weights);
+/// assert_eq!(out[0], 1 + 2 + 3 + 4); // column 0 of the tile
+/// // Four streamed elements at 4 MACs/cycle: 8 cycles, 32 MACs.
+/// assert_eq!(stats.cost.cycles, 8);
+/// assert_eq!(stats.macs, 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bce {
+    mode: BceMode,
+    mul_path: MulPath,
+    subarray_mul: LutMultiplier,
+    rom: MultRom,
+    sigmoid: PwlTable,
+    tanh: PwlTable,
+    exp: PwlTable,
+    div: DivLut,
+    softmax: SoftmaxEngine,
+}
+
+impl Bce {
+    /// Creates a BCE in the given mode with the default LUT tables and
+    /// the hardwired-ROM multiply path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LUT construction failures.
+    pub fn new(mode: BceMode) -> Result<Self, LutError> {
+        Self::with_mul_path(mode, MulPath::default())
+    }
+
+    /// Creates a BCE with an explicit multiply path (ablation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates LUT construction failures.
+    pub fn with_mul_path(mode: BceMode, mul_path: MulPath) -> Result<Self, LutError> {
+        Ok(Bce {
+            mode,
+            mul_path,
+            subarray_mul: LutMultiplier::new(),
+            rom: MultRom::new(),
+            sigmoid: PwlTable::new(PwlFunction::Sigmoid, -8.0, 8.0, 64)?,
+            tanh: PwlTable::new(PwlFunction::Tanh, -4.0, 4.0, 64)?,
+            exp: PwlTable::new(PwlFunction::Exp, -16.0, 0.0, 128)?,
+            div: DivLut::new(8)?,
+            softmax: SoftmaxEngine::new()?,
+        })
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> BceMode {
+        self.mode
+    }
+
+    /// The configured multiply path.
+    pub fn mul_path(&self) -> MulPath {
+        self.mul_path
+    }
+
+    /// One signed 8-bit product through the configured multiply path.
+    fn mul_i8(&self, a: i8, b: i8) -> (i16, OpCost) {
+        match self.mul_path {
+            MulPath::SubarrayLut => self.subarray_mul.mul_i8(a, b),
+            MulPath::HardwiredRom => {
+                let sign = (a < 0) ^ (b < 0);
+                let (ma, mb) = (a.unsigned_abs(), b.unsigned_abs());
+                let (a1, a0) = (ma >> 4, ma & 0xf);
+                let (b1, b0) = (mb >> 4, mb & 0xf);
+                let mag = (self.rom.lookup(a0, b0) as u32)
+                    + ((self.rom.lookup(a0, b1) as u32) << 4)
+                    + ((self.rom.lookup(a1, b0) as u32) << 4)
+                    + ((self.rom.lookup(a1, b1) as u32) << 8);
+                let p = if sign { -(mag as i32) } else { mag as i32 };
+                (
+                    p as i16,
+                    OpCost { rom_reads: 4, adds: 3, shifts: 2, cycles: 2, ..OpCost::ZERO },
+                )
+            }
+        }
+    }
+
+    /// One signed 4-bit product (`-8..=7` operands).
+    fn mul_i4(&self, a: i8, b: i8) -> (i16, OpCost) {
+        match self.mul_path {
+            MulPath::SubarrayLut => self.subarray_mul.mul_i4(a, b),
+            MulPath::HardwiredRom => {
+                let sign = (a < 0) ^ (b < 0);
+                let mag = self.rom.lookup(a.unsigned_abs(), b.unsigned_abs()) as i16;
+                (if sign { -mag } else { mag }, OpCost { rom_reads: 1, cycles: 1, ..OpCost::ZERO })
+            }
+        }
+    }
+
+    /// A conv-mode dot product: weights held in the subarray, inputs
+    /// streamed from the systolic registers.
+    ///
+    /// Throughput follows the paper: 0.5 MAC/cycle at int8 (two cycles
+    /// per MAC), 1 MAC/cycle at int4, 0.125 MAC/cycle at int16.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices differ in length, or when a value is out of
+    /// range for the precision.
+    pub fn dot_conv(&self, weights: &[i8], inputs: &[i8], precision: Precision) -> (i32, BceStats) {
+        assert_eq!(weights.len(), inputs.len(), "dot operands must have equal length");
+        let mut acc: i32 = 0;
+        let mut stats = BceStats::default();
+        for (&w, &x) in weights.iter().zip(inputs.iter()) {
+            let (p, c) = match precision {
+                Precision::Int4 => self.mul_i4(w, x),
+                Precision::Int8 => self.mul_i8(w, x),
+                Precision::Int16 => {
+                    // 16-bit operands arrive as sign-extended pairs in the
+                    // full simulator; at the unit level we model the cost
+                    // by squaring the nibble count.
+                    let (p, mut c) = self.mul_i8(w, x);
+                    c.cycles *= 4;
+                    c.rom_reads *= 4;
+                    (p, c)
+                }
+            };
+            acc += p as i32;
+            stats.cost += c;
+            stats.cost.adds += 1;
+            stats.macs += 1;
+        }
+        stats.weight_bytes_read = (weights.len() as u64 * precision.bits() as u64).div_ceil(8);
+        // The running partial sum is parked in the reduced-cost rows once
+        // per dot product (write + later read).
+        stats.partial_row_accesses = 2;
+        (acc, stats)
+    }
+
+    /// A conv-mode dot product over true 16-bit operands: each product
+    /// decomposes into sixteen nibble partials (eight cycles at two
+    /// partials per cycle), accumulating into a 64-bit register.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices differ in length.
+    pub fn dot_conv_i16(&self, weights: &[i16], inputs: &[i16]) -> (i64, BceStats) {
+        assert_eq!(weights.len(), inputs.len(), "dot operands must have equal length");
+        let mut acc: i64 = 0;
+        let mut stats = BceStats::default();
+        for (&w, &x) in weights.iter().zip(inputs.iter()) {
+            let (p, c) = self.mul_i16_full(w, x);
+            acc += p as i64;
+            stats.cost += c;
+            stats.cost.adds += 1;
+            stats.macs += 1;
+        }
+        stats.weight_bytes_read = weights.len() as u64 * 2;
+        stats.partial_row_accesses = 2;
+        (acc, stats)
+    }
+
+    /// One full-width signed 16-bit product through the configured
+    /// multiply path (sixteen nibble partials).
+    fn mul_i16_full(&self, a: i16, b: i16) -> (i32, OpCost) {
+        match self.mul_path {
+            MulPath::SubarrayLut => self.subarray_mul.mul_i16(a, b),
+            MulPath::HardwiredRom => {
+                let sign = (a < 0) ^ (b < 0);
+                let (ma, mb) = (a.unsigned_abs(), b.unsigned_abs());
+                let an = [(ma & 0xf) as u8, ((ma >> 4) & 0xf) as u8, ((ma >> 8) & 0xf) as u8, (ma >> 12) as u8];
+                let bn = [(mb & 0xf) as u8, ((mb >> 4) & 0xf) as u8, ((mb >> 8) & 0xf) as u8, (mb >> 12) as u8];
+                let mut mag: u64 = 0;
+                for (i, &pa) in an.iter().enumerate() {
+                    for (j, &pb) in bn.iter().enumerate() {
+                        mag += (self.rom.lookup(pa, pb) as u64) << (4 * (i + j));
+                    }
+                }
+                let p = if sign { -(mag as i64) } else { mag as i64 };
+                (
+                    p as i32,
+                    OpCost { rom_reads: 16, adds: 15, shifts: 8, cycles: 8, ..OpCost::ZERO },
+                )
+            }
+        }
+    }
+
+    /// A matmul-mode tile step (Fig. 7): `inputs[k]` multiplies row `k`
+    /// of the `rows x 8` weight tile, accumulating into eight output
+    /// registers. Two cycles per streamed input element, eight MACs each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.len() != tile.len()`.
+    pub fn matmul_tile(&self, inputs: &[i8], tile: &[[i8; 8]]) -> ([i32; 8], BceStats) {
+        assert_eq!(inputs.len(), tile.len(), "input stream must match tile rows");
+        let mut acc = [0i32; 8];
+        let mut stats = BceStats::default();
+        for (&a, row) in inputs.iter().zip(tile.iter()) {
+            // LS-4 then MS-4 of the streamed element select ROM rows; the
+            // switch MUX applies them to all eight register operands.
+            for (j, &b) in row.iter().enumerate() {
+                let (p, _) = self.mul_i8(a, b);
+                acc[j] += p as i32;
+            }
+            // Cost charged at the architectural granularity: two ROM
+            // broadcasts of sixteen lookups, eight accumulating adds and
+            // the operand-select shifts, in two cycles.
+            stats.cost += OpCost { rom_reads: 32, adds: 16, shifts: 16, cycles: 2, ..OpCost::ZERO };
+            stats.macs += 8;
+        }
+        stats.weight_bytes_read = (tile.len() * 8) as u64;
+        stats.partial_row_accesses = 2;
+        (acc, stats)
+    }
+
+    /// Int4 matmul tile step: one ROM broadcast per element (one cycle,
+    /// eight MACs), the source of Fig. 14's mixed-precision speedup.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.len() != tile.len()` or operands exceed 4-bit
+    /// signed range.
+    pub fn matmul_tile_i4(&self, inputs: &[i8], tile: &[[i8; 8]]) -> ([i32; 8], BceStats) {
+        assert_eq!(inputs.len(), tile.len(), "input stream must match tile rows");
+        let mut acc = [0i32; 8];
+        let mut stats = BceStats::default();
+        for (&a, row) in inputs.iter().zip(tile.iter()) {
+            for (j, &b) in row.iter().enumerate() {
+                let (p, _) = self.mul_i4(a, b);
+                acc[j] += p as i32;
+            }
+            stats.cost += OpCost { rom_reads: 8, adds: 8, shifts: 8, cycles: 1, ..OpCost::ZERO };
+            stats.macs += 8;
+        }
+        stats.weight_bytes_read = (tile.len() * 8 / 2) as u64;
+        stats.partial_row_accesses = 2;
+        (acc, stats)
+    }
+
+    /// Max pooling over a window (comparator chain through the adder).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window.
+    pub fn max_pool(&self, window: &[i8]) -> (i8, BceStats) {
+        assert!(!window.is_empty(), "pooling window must be non-empty");
+        let max = *window.iter().max().expect("non-empty");
+        let mut stats = BceStats::default();
+        stats.cost.adds = window.len() as u64 - 1;
+        stats.cost.cycles = window.len() as u64;
+        (max, stats)
+    }
+
+    /// Average pooling: accumulate then divide via the Taylor LUT
+    /// (§III-C2), rounding to nearest.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window.
+    pub fn avg_pool(&self, window: &[i8]) -> (i8, BceStats) {
+        assert!(!window.is_empty(), "pooling window must be non-empty");
+        let sum: i32 = window.iter().map(|&v| v as i32).sum();
+        let mut stats = BceStats::default();
+        stats.cost.adds = window.len() as u64 - 1;
+        stats.cost.cycles = window.len() as u64;
+        let (mag, div_cost) = self
+            .div
+            .divide_round(sum.unsigned_abs() as u64, window.len() as u64)
+            .expect("window length is non-zero");
+        stats.cost += div_cost;
+        let avg = if sum < 0 { -(mag as i32) } else { mag as i32 };
+        (avg.clamp(i8::MIN as i32, i8::MAX as i32) as i8, stats)
+    }
+
+    /// Element-wise activation over real-valued (dequantized) data.
+    pub fn activation(&self, kind: ActivationKind, values: &[f64]) -> (Vec<f64>, BceStats) {
+        let mut stats = BceStats::default();
+        let out = values
+            .iter()
+            .map(|&x| match kind {
+                ActivationKind::Relu => {
+                    stats.cost.adds += 1;
+                    stats.cost.cycles += 1;
+                    x.max(0.0)
+                }
+                ActivationKind::Sigmoid => {
+                    let (y, c) = self.sigmoid.eval(x);
+                    stats.cost += c;
+                    y
+                }
+                ActivationKind::Tanh => {
+                    let (y, c) = self.tanh.eval(x);
+                    stats.cost += c;
+                    y
+                }
+                ActivationKind::Exp => {
+                    let (y, c) = self.exp.eval(x.min(0.0));
+                    stats.cost += c;
+                    y
+                }
+            })
+            .collect();
+        (out, stats)
+    }
+
+    /// Softmax over real-valued logits via the exp table and division LUT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError::InvalidTable`] for an empty input.
+    pub fn softmax(&self, logits: &[f64]) -> Result<(Vec<f64>, BceStats), LutError> {
+        let (probs, cost) = self.softmax.softmax(logits)?;
+        let stats = BceStats { cost, ..BceStats::default() };
+        Ok((probs, stats))
+    }
+
+    /// gemmlowp-style requantization (§V-D): multiply by a fixed-point
+    /// multiplier, round, shift, add the zero point and saturate to i8.
+    ///
+    /// `multiplier` is a Q0.31 fixed-point value in `[2^30, 2^31)`;
+    /// `shift` is the right shift applied after the high multiply.
+    pub fn requantize(&self, accs: &[i32], multiplier: i32, shift: i32, zero_point: i32) -> (Vec<i8>, BceStats) {
+        let mut stats = BceStats::default();
+        let out = accs
+            .iter()
+            .map(|&acc| {
+                // Rounding-doubling high multiply, as in gemmlowp.
+                let product = acc as i64 * multiplier as i64;
+                let nudge = if product >= 0 { 1i64 << 30 } else { 1 - (1i64 << 30) };
+                let high = ((product + nudge) >> 31) as i32;
+                let shifted = rounding_shift_right(high, shift);
+                stats.cost.shifts += 2;
+                stats.cost.adds += 2;
+                stats.cost.rom_reads += 4; // the scale multiply reuses the ROM datapath
+                stats.cost.cycles += 3;
+                (shifted + zero_point).clamp(i8::MIN as i32, i8::MAX as i32) as i8
+            })
+            .collect();
+        stats.partial_row_accesses = accs.len().div_ceil(8) as u64 * 2;
+        (out, stats)
+    }
+
+    /// Total subarray-LUT reads performed by this engine so far.
+    pub fn subarray_lut_reads(&self) -> u64 {
+        self.subarray_mul.table().reads()
+    }
+
+    /// Total hardwired-ROM reads performed by this engine so far.
+    pub fn rom_reads(&self) -> u64 {
+        self.rom.reads()
+    }
+}
+
+/// Arithmetic right shift with round-to-nearest (ties away from zero),
+/// matching gemmlowp's `RoundingDivideByPOT`.
+fn rounding_shift_right(value: i32, shift: i32) -> i32 {
+    if shift <= 0 {
+        return value << (-shift).min(31);
+    }
+    let mask = (1i64 << shift) - 1;
+    let remainder = (value as i64) & mask;
+    let threshold = (mask >> 1) + i64::from(value < 0);
+    let base = (value as i64) >> shift;
+    (base + i64::from(remainder > threshold)) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bce(mode: BceMode) -> Bce {
+        Bce::new(mode).unwrap()
+    }
+
+    #[test]
+    fn conv_dot_matches_native_int8() {
+        let b = bce(BceMode::Conv);
+        let w: Vec<i8> = vec![3, -5, 127, -128, 0, 1, -1, 44];
+        let x: Vec<i8> = vec![-2, 9, -128, 127, 55, -1, 1, 3];
+        let (d, stats) = b.dot_conv(&w, &x, Precision::Int8);
+        let expected: i32 = w.iter().zip(&x).map(|(&a, &b)| a as i32 * b as i32).sum();
+        assert_eq!(d, expected);
+        // 0.5 MAC/cycle: 8 MACs in 16 cycles.
+        assert_eq!(stats.cost.cycles, 16);
+        assert_eq!(stats.macs, 8);
+        assert_eq!(stats.weight_bytes_read, 8);
+    }
+
+    #[test]
+    fn conv_dot_int4_is_twice_as_fast() {
+        let b = bce(BceMode::Conv);
+        let w: Vec<i8> = vec![3, -5, 7, -8, 0, 1, -1, 4];
+        let x: Vec<i8> = vec![-2, 7, -8, 7, 5, -1, 1, 3];
+        let (d, stats) = b.dot_conv(&w, &x, Precision::Int4);
+        let expected: i32 = w.iter().zip(&x).map(|(&a, &b)| a as i32 * b as i32).sum();
+        assert_eq!(d, expected);
+        assert_eq!(stats.cost.cycles, 8); // 1 MAC/cycle
+        assert_eq!(stats.weight_bytes_read, 4); // packed nibbles
+    }
+
+    #[test]
+    fn conv_dot_i16_matches_native() {
+        let b = bce(BceMode::Conv);
+        let w: Vec<i16> = vec![3, -500, 32767, -32768, 0, 1, -1, 4444];
+        let x: Vec<i16> = vec![-2, 900, -32768, 32767, 5500, -1, 1, 333];
+        let (d, stats) = b.dot_conv_i16(&w, &x);
+        let expected: i64 = w.iter().zip(&x).map(|(&a, &b)| a as i64 * b as i64).sum();
+        assert_eq!(d, expected);
+        // 0.125 MAC/cycle: 8 MACs in 64 cycles.
+        assert_eq!(stats.cost.cycles, 64);
+        assert_eq!(stats.weight_bytes_read, 16);
+    }
+
+    #[test]
+    fn i16_paths_agree_across_rom_and_lut() {
+        let rom = Bce::with_mul_path(BceMode::Conv, MulPath::HardwiredRom).unwrap();
+        let lut = Bce::with_mul_path(BceMode::Conv, MulPath::SubarrayLut).unwrap();
+        let w: Vec<i16> = (0..64).map(|i| (i * 997 - 30_000) as i16).collect();
+        let x: Vec<i16> = (0..64).map(|i| (i * 773 - 20_000) as i16).collect();
+        let (a, _) = rom.dot_conv_i16(&w, &x);
+        let (b, _) = lut.dot_conv_i16(&w, &x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matmul_tile_matches_native() {
+        let b = bce(BceMode::MatMul);
+        let tile: Vec<[i8; 8]> = (0..16)
+            .map(|k| std::array::from_fn(|j| ((k * 7 + j * 13) % 251) as i8))
+            .collect();
+        let inputs: Vec<i8> = (0..16).map(|k| (k * 17 % 127) as i8 - 63).collect();
+        let (out, stats) = b.matmul_tile(&inputs, &tile);
+        for j in 0..8 {
+            let expected: i32 =
+                inputs.iter().zip(&tile).map(|(&a, row)| a as i32 * row[j] as i32).sum();
+            assert_eq!(out[j], expected, "column {j}");
+        }
+        // 4 MACs/cycle: 16 elements x 8 MACs = 128 MACs in 32 cycles.
+        assert_eq!(stats.macs, 128);
+        assert_eq!(stats.cost.cycles, 32);
+    }
+
+    #[test]
+    fn matmul_int4_doubles_throughput() {
+        let b = bce(BceMode::MatMul);
+        let tile: Vec<[i8; 8]> = (0..8).map(|k| [k as i8 - 4; 8]).collect();
+        let inputs: Vec<i8> = vec![3, -3, 7, -8, 1, 0, -1, 5];
+        let (out, stats) = b.matmul_tile_i4(&inputs, &tile);
+        for j in 0..8 {
+            let expected: i32 =
+                inputs.iter().zip(&tile).map(|(&a, row)| a as i32 * row[j] as i32).sum();
+            assert_eq!(out[j], expected);
+        }
+        assert_eq!(stats.cost.cycles, 8); // 8 MACs/cycle
+        assert_eq!(stats.macs, 64);
+    }
+
+    #[test]
+    fn mode_peak_throughputs_match_paper() {
+        assert_eq!(BceMode::Conv.macs_per_cycle_int8(), 0.5);
+        assert_eq!(BceMode::MatMul.macs_per_cycle_int8(), 4.0);
+    }
+
+    #[test]
+    fn subarray_lut_path_also_exact() {
+        let b = Bce::with_mul_path(BceMode::Conv, MulPath::SubarrayLut).unwrap();
+        let w: Vec<i8> = vec![99, -45, 13, 77];
+        let x: Vec<i8> = vec![-11, 22, -33, 44];
+        let (d, _) = b.dot_conv(&w, &x, Precision::Int8);
+        let expected: i32 = w.iter().zip(&x).map(|(&a, &b)| a as i32 * b as i32).sum();
+        assert_eq!(d, expected);
+        assert!(b.subarray_lut_reads() > 0);
+        assert_eq!(b.rom_reads(), 0);
+    }
+
+    #[test]
+    fn rom_path_counts_rom_reads() {
+        let b = bce(BceMode::Conv);
+        let _ = b.dot_conv(&[77, -77], &[55, -55], Precision::Int8);
+        assert!(b.rom_reads() > 0);
+        assert_eq!(b.subarray_lut_reads(), 0);
+    }
+
+    #[test]
+    fn max_pool_picks_maximum() {
+        let b = bce(BceMode::Conv);
+        let (m, stats) = b.max_pool(&[-5, 3, 127, -128, 0]);
+        assert_eq!(m, 127);
+        assert_eq!(stats.cost.adds, 4);
+    }
+
+    #[test]
+    fn avg_pool_rounds_to_nearest() {
+        let b = bce(BceMode::Conv);
+        let (a, _) = b.avg_pool(&[10, 20, 30, 40]);
+        assert_eq!(a, 25);
+        let (a, _) = b.avg_pool(&[-10, -20, -30, -40]);
+        assert_eq!(a, -25);
+        let (a, _) = b.avg_pool(&[1, 2]);
+        assert!((a - 2).abs() <= 1); // 1.5 rounds to 2 (or 1 within LUT error)
+    }
+
+    #[test]
+    fn relu_activation() {
+        let b = bce(BceMode::Conv);
+        let (y, stats) = b.activation(ActivationKind::Relu, &[-1.0, 0.0, 2.5]);
+        assert_eq!(y, vec![0.0, 0.0, 2.5]);
+        assert_eq!(stats.cost.lut_reads, 0);
+    }
+
+    #[test]
+    fn sigmoid_activation_close_to_exact() {
+        let b = bce(BceMode::Conv);
+        let xs = [-3.0, -1.0, 0.0, 1.0, 3.0];
+        let (y, stats) = b.activation(ActivationKind::Sigmoid, &xs);
+        for (i, &x) in xs.iter().enumerate() {
+            let exact = 1.0 / (1.0 + (-x).exp());
+            assert!((y[i] - exact).abs() < 2e-3, "x={x}");
+        }
+        assert_eq!(stats.cost.lut_reads, xs.len() as u64);
+    }
+
+    #[test]
+    fn softmax_through_engine() {
+        let b = bce(BceMode::MatMul);
+        let (p, stats) = b.softmax(&[0.0, 1.0, 2.0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 2e-2);
+        assert!(stats.cost.lut_reads > 0);
+    }
+
+    #[test]
+    fn requantize_saturates_and_matches_reference() {
+        let b = bce(BceMode::Conv);
+        // multiplier ~ 0.75 in Q0.31, shift 8: scale ~ 0.00293.
+        let multiplier = (0.75 * (1u64 << 31) as f64) as i32;
+        let (q, _) = b.requantize(&[1000, -1000, 1_000_000, -1_000_000, 0], multiplier, 8, 3);
+        assert_eq!(q[4], 3);
+        assert_eq!(q[2], 127); // saturated high
+        assert_eq!(q[3], -128); // saturated low
+        let expected = (1000.0f64 * 0.75 / 256.0).round() as i32 + 3;
+        assert_eq!(q[0] as i32, expected);
+    }
+
+    #[test]
+    fn rounding_shift_right_matches_float() {
+        for v in [-1000i32, -17, -1, 0, 1, 17, 1000, 123456] {
+            for s in 1..10 {
+                let got = rounding_shift_right(v, s);
+                let exact = (v as f64 / (1i64 << s) as f64).round();
+                assert!((got as f64 - exact).abs() <= 0.5 + 1e-9, "v={v} s={s} got={got}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_conv_dot_exact(
+            w in proptest::collection::vec(any::<i8>(), 1..64),
+        ) {
+            let b = bce(BceMode::Conv);
+            let x: Vec<i8> = w.iter().map(|&v| v.wrapping_mul(31)).collect();
+            let (d, stats) = b.dot_conv(&w, &x, Precision::Int8);
+            let expected: i32 = w.iter().zip(&x).map(|(&a, &b)| a as i32 * b as i32).sum();
+            prop_assert_eq!(d, expected);
+            prop_assert_eq!(stats.cost.cycles, 2 * w.len() as u64);
+        }
+
+        #[test]
+        fn prop_matmul_tile_exact(
+            rows in 1usize..32,
+            seed in any::<u64>(),
+        ) {
+            let b = bce(BceMode::MatMul);
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as i8
+            };
+            let tile: Vec<[i8; 8]> = (0..rows).map(|_| std::array::from_fn(|_| next())).collect();
+            let inputs: Vec<i8> = (0..rows).map(|_| next()).collect();
+            let (out, _) = b.matmul_tile(&inputs, &tile);
+            for j in 0..8 {
+                let expected: i32 = inputs.iter().zip(&tile)
+                    .map(|(&a, row)| a as i32 * row[j] as i32).sum();
+                prop_assert_eq!(out[j], expected);
+            }
+        }
+
+        #[test]
+        fn prop_avg_pool_close(window in proptest::collection::vec(any::<i8>(), 1..64)) {
+            let b = bce(BceMode::Conv);
+            let (avg, _) = b.avg_pool(&window);
+            let exact: f64 = window.iter().map(|&v| v as f64).sum::<f64>() / window.len() as f64;
+            prop_assert!((avg as f64 - exact).abs() <= 1.0 + exact.abs() * 1e-3);
+        }
+    }
+}

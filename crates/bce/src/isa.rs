@@ -1,0 +1,258 @@
+//! The PIM instruction set and the per-subarray configuration block
+//! (paper §III-A, §IV-C).
+//!
+//! BFree adds in-memory instructions (convolution, matrix multiply,
+//! pooling, activations) that the cache controller decodes into kernel
+//! executions. Per subarray, a *configuration block* (CB) stored in a
+//! reserved row carries the metadata the BCE's fetch/decode stage reads:
+//! operation, bit precision, iteration count and the weight address range.
+
+use serde::{Deserialize, Serialize};
+
+/// Operand bit precision supported by the reconfigurable BCE
+//  (paper §I and Fig. 14: layer-wise 4-/8-/16-bit execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Precision {
+    /// 4-bit signed operands.
+    Int4,
+    /// 8-bit signed operands (the default inference precision).
+    #[default]
+    Int8,
+    /// 16-bit signed operands.
+    Int16,
+}
+
+impl Precision {
+    /// Operand width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::Int4 => 4,
+            Precision::Int8 => 8,
+            Precision::Int16 => 16,
+        }
+    }
+
+    /// Operand width in bytes (Int4 packs two operands per byte; this is
+    /// the storage cost of one operand, in eighths of a byte avoided by
+    /// returning a numerator/denominator pair).
+    pub fn storage_bytes_per_operand(self) -> f64 {
+        self.bits() as f64 / 8.0
+    }
+
+    /// Number of 4-bit nibbles per operand.
+    pub fn nibbles(self) -> u32 {
+        self.bits() / 4
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::Int4 => "int4",
+            Precision::Int8 => "int8",
+            Precision::Int16 => "int16",
+        }
+    }
+}
+
+/// The non-linear activation kinds the LUT path supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivationKind {
+    /// Rectified linear unit (comparator only, no LUT needed).
+    Relu,
+    /// Logistic sigmoid via PWL LUT.
+    Sigmoid,
+    /// Hyperbolic tangent via PWL LUT.
+    Tanh,
+    /// Exponent via PWL LUT (softmax numerator).
+    Exp,
+}
+
+impl ActivationKind {
+    /// Whether this activation needs a LUT access per element.
+    pub fn needs_lut(self) -> bool {
+        !matches!(self, ActivationKind::Relu)
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ActivationKind::Relu => "relu",
+            ActivationKind::Sigmoid => "sigmoid",
+            ActivationKind::Tanh => "tanh",
+            ActivationKind::Exp => "exp",
+        }
+    }
+}
+
+/// A PIM operation, the payload of one in-memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PimOp {
+    /// Dot-product / convolution step over `length` weight elements held
+    /// in the subarray (conv mode, Fig. 9(b)).
+    Conv {
+        /// Number of MACs in this step.
+        length: u32,
+    },
+    /// Matrix-multiply step over a `rows x 8` weight tile (matmul mode,
+    /// Fig. 7): each input element updates eight output registers.
+    MatMul {
+        /// Number of input elements streamed through the tile.
+        rows: u32,
+    },
+    /// Max pooling over a window.
+    MaxPool {
+        /// Window element count.
+        window: u32,
+    },
+    /// Average pooling over a window (accumulate + LUT division).
+    AvgPool {
+        /// Window element count.
+        window: u32,
+    },
+    /// Element-wise activation over a vector.
+    Activation {
+        /// Which non-linearity.
+        kind: ActivationKind,
+        /// Element count.
+        length: u32,
+    },
+    /// Softmax over a vector (exp, cross-subarray reduce, divide).
+    Softmax {
+        /// Element count.
+        length: u32,
+    },
+    /// Element-wise add of two vectors (residual connections).
+    ElementwiseAdd {
+        /// Element count.
+        length: u32,
+    },
+    /// gemmlowp-style requantization of accumulators (§V-D).
+    Requantize {
+        /// Element count.
+        length: u32,
+    },
+}
+
+impl PimOp {
+    /// Short mnemonic for traces and experiment tables.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            PimOp::Conv { .. } => "conv",
+            PimOp::MatMul { .. } => "matmul",
+            PimOp::MaxPool { .. } => "maxpool",
+            PimOp::AvgPool { .. } => "avgpool",
+            PimOp::Activation { .. } => "act",
+            PimOp::Softmax { .. } => "softmax",
+            PimOp::ElementwiseAdd { .. } => "eltadd",
+            PimOp::Requantize { .. } => "requant",
+        }
+    }
+}
+
+/// The configuration block stored in a reserved subarray row.
+///
+/// ```
+/// use pim_bce::{ConfigBlock, PimOp, Precision};
+/// let cb = ConfigBlock::new(PimOp::Conv { length: 64 }, Precision::Int8, 10, 0, 63);
+/// assert!(cb.encoded_bytes() <= 8, "a CB fits one 8-byte row segment");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigBlock {
+    /// The operation this subarray performs.
+    pub op: PimOp,
+    /// Operand precision.
+    pub precision: Precision,
+    /// How many times the operation repeats (e.g. output rows).
+    pub iterations: u32,
+    /// First weight row in the subarray.
+    pub start_row: u16,
+    /// Last weight row in the subarray (inclusive).
+    pub end_row: u16,
+}
+
+impl ConfigBlock {
+    /// Creates a configuration block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_row > end_row`.
+    pub fn new(
+        op: PimOp,
+        precision: Precision,
+        iterations: u32,
+        start_row: u16,
+        end_row: u16,
+    ) -> Self {
+        assert!(start_row <= end_row, "CB address range inverted: {start_row}..{end_row}");
+        ConfigBlock { op, precision, iterations, start_row, end_row }
+    }
+
+    /// Number of weight rows this CB addresses.
+    pub fn row_count(&self) -> u32 {
+        (self.end_row - self.start_row) as u32 + 1
+    }
+
+    /// Size of the hardware encoding: opcode + precision (1 byte),
+    /// iterations (3 bytes), start and end row (2 bytes each) = 8 bytes,
+    /// one row segment.
+    pub fn encoded_bytes(&self) -> usize {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_widths() {
+        assert_eq!(Precision::Int4.bits(), 4);
+        assert_eq!(Precision::Int8.bits(), 8);
+        assert_eq!(Precision::Int16.bits(), 16);
+        assert_eq!(Precision::Int8.nibbles(), 2);
+        assert!((Precision::Int4.storage_bytes_per_operand() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_precision_is_int8() {
+        assert_eq!(Precision::default(), Precision::Int8);
+    }
+
+    #[test]
+    fn relu_needs_no_lut() {
+        assert!(!ActivationKind::Relu.needs_lut());
+        assert!(ActivationKind::Sigmoid.needs_lut());
+        assert!(ActivationKind::Tanh.needs_lut());
+        assert!(ActivationKind::Exp.needs_lut());
+    }
+
+    #[test]
+    fn config_block_row_count() {
+        let cb = ConfigBlock::new(PimOp::Conv { length: 8 }, Precision::Int8, 1, 10, 19);
+        assert_eq!(cb.row_count(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_range_panics() {
+        let _ = ConfigBlock::new(PimOp::Conv { length: 8 }, Precision::Int8, 1, 5, 4);
+    }
+
+    #[test]
+    fn mnemonics_are_distinct() {
+        let ops = [
+            PimOp::Conv { length: 1 },
+            PimOp::MatMul { rows: 1 },
+            PimOp::MaxPool { window: 1 },
+            PimOp::AvgPool { window: 1 },
+            PimOp::Activation { kind: ActivationKind::Relu, length: 1 },
+            PimOp::Softmax { length: 1 },
+            PimOp::ElementwiseAdd { length: 1 },
+            PimOp::Requantize { length: 1 },
+        ];
+        let mut names: Vec<_> = ops.iter().map(|o| o.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ops.len());
+    }
+}

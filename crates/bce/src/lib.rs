@@ -1,0 +1,52 @@
+//! # pim-bce
+//!
+//! The BFree Compute Engine (BCE) of Ramanathan et al., MICRO 2020: the
+//! tiny PIM controller at the edge of every cache subarray that
+//! orchestrates LUT lookups, accumulates partial products and
+//! participates in the systolic dataflow.
+//!
+//! The crate provides:
+//!
+//! * the PIM instruction set and per-subarray configuration blocks
+//!   ([`PimOp`], [`ConfigBlock`], [`Precision`]);
+//! * the hardwired 256-entry multiply ROM ([`MultRom`]) that matmul mode
+//!   broadcasts through the switch MUX (paper Fig. 7);
+//! * the functional execution engine ([`Bce`]) with conv mode
+//!   (0.5 8-bit MAC/cycle) and matmul mode (4 8-bit MACs/cycle), pooling,
+//!   activations, softmax and gemmlowp requantization — all bit-exact
+//!   over the integer datapath;
+//! * the three-stage pipeline timing model ([`pipeline::BcePipeline`]);
+//! * the cost model pricing event counts in time and energy
+//!   ([`BceCostModel`]).
+//!
+//! ```
+//! use pim_bce::{Bce, BceCostModel, BceMode};
+//! use pim_bce::isa::Precision;
+//!
+//! let bce = Bce::new(BceMode::Conv)?;
+//! let (dot, stats) = bce.dot_conv(&[1, -2, 3], &[4, 5, -6], Precision::Int8);
+//! assert_eq!(dot, 1 * 4 + (-2) * 5 + 3 * (-6));
+//!
+//! let model = BceCostModel::paper_default();
+//! let energy = model.stats_energy(&stats);
+//! assert!(energy.picojoules() > 0.0);
+//! # Ok::<(), pim_lut::LutError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod isa;
+pub mod mult_rom;
+pub mod pipeline;
+pub mod power;
+pub mod program;
+pub mod trace;
+
+pub use engine::{Bce, BceMode, BceStats, MulPath};
+pub use isa::{ActivationKind, ConfigBlock, PimOp, Precision};
+pub use mult_rom::MultRom;
+pub use power::BceCostModel;
+pub use program::{InstructionTiming, KernelProgram};
+pub use trace::{BceTrace, TraceAction, TraceEntry};

@@ -1,0 +1,143 @@
+//! The BCE's hardwired multiply LUT (paper §III-A, Fig. 3/7).
+//!
+//! Because multiplication dominates DNN kernels, each BCE embeds a small
+//! hardwired ROM holding all 256 nibble products, "introduced in the BCE
+//! to reduce the number of accesses to sub-array partitions". In matmul
+//! mode one nibble of the streamed operand selects a ROM row and the
+//! switch MUX applies it to all eight operands in the input register
+//! simultaneously (Fig. 7), which is how the BCE reaches eight 8-bit
+//! multiplies in two cycles.
+
+use std::cell::Cell;
+
+use serde::{Deserialize, Serialize};
+
+/// The 16 x 16 hardwired nibble-product ROM.
+///
+/// ```
+/// use pim_bce::MultRom;
+/// let rom = MultRom::new();
+/// assert_eq!(rom.lookup(12, 13), 156);
+/// assert_eq!(rom.entry_count(), 256);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultRom {
+    entries: Vec<u8>,
+    reads: Cell<u64>,
+}
+
+impl MultRom {
+    /// Builds the ROM with all 256 nibble products.
+    pub fn new() -> Self {
+        let mut entries = Vec::with_capacity(256);
+        for a in 0u16..16 {
+            for b in 0u16..16 {
+                entries.push((a * b) as u8);
+            }
+        }
+        MultRom { entries, reads: Cell::new(0) }
+    }
+
+    /// Number of stored products.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// ROM storage in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up a nibble product.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when either operand exceeds 15.
+    pub fn lookup(&self, a: u8, b: u8) -> u8 {
+        debug_assert!(a <= 15 && b <= 15, "rom operands must be nibbles, got {a} x {b}");
+        self.reads.set(self.reads.get() + 1);
+        self.entries[(a as usize) * 16 + b as usize]
+    }
+
+    /// One "broadcast" lookup (Fig. 7): the selected nibble of the
+    /// streamed operand is multiplied against all sixteen nibbles of the
+    /// eight-byte input register in a single timescale. Returns the
+    /// sixteen products, least-significant nibble of register byte 0
+    /// first.
+    pub fn broadcast(&self, selector: u8, register: &[u8; 8]) -> [u16; 8] {
+        debug_assert!(selector <= 15);
+        let mut out = [0u16; 8];
+        for (i, &byte) in register.iter().enumerate() {
+            let lo = self.lookup(selector, byte & 0xf) as u16;
+            let hi = self.lookup(selector, byte >> 4) as u16;
+            out[i] = lo + (hi << 4);
+        }
+        out
+    }
+
+    /// Lookups performed since construction.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Resets the read counter.
+    pub fn reset_reads(&self) {
+        self.reads.set(0);
+    }
+}
+
+impl Default for MultRom {
+    fn default() -> Self {
+        MultRom::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_products_correct() {
+        let rom = MultRom::new();
+        for a in 0u8..16 {
+            for b in 0u8..16 {
+                assert_eq!(rom.lookup(a, b) as u16, a as u16 * b as u16);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_multiplies_register_bytes() {
+        let rom = MultRom::new();
+        let register = [0x12, 0x34, 0xFF, 0x00, 0x9A, 0x01, 0x10, 0x88];
+        let sel = 7u8;
+        let out = rom.broadcast(sel, &register);
+        for (i, &byte) in register.iter().enumerate() {
+            let expected = sel as u16 * (byte & 0xf) as u16 + ((sel as u16 * (byte >> 4) as u16) << 4);
+            assert_eq!(out[i], expected, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn broadcast_counts_sixteen_reads() {
+        let rom = MultRom::new();
+        rom.broadcast(3, &[0u8; 8]);
+        assert_eq!(rom.reads(), 16);
+    }
+
+    #[test]
+    fn rom_is_256_bytes() {
+        let rom = MultRom::new();
+        assert_eq!(rom.entry_count(), 256);
+        assert_eq!(rom.storage_bytes(), 256);
+    }
+
+    #[test]
+    fn read_counter_resets() {
+        let rom = MultRom::new();
+        rom.lookup(1, 1);
+        assert_eq!(rom.reads(), 1);
+        rom.reset_reads();
+        assert_eq!(rom.reads(), 0);
+    }
+}

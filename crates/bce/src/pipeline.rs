@@ -1,0 +1,98 @@
+//! The BCE's three-stage in-order pipeline (paper §III-A, Fig. 6).
+//!
+//! Stage 1 reads the configuration block and decodes the PIM
+//! instruction; stage 2 generates LUT/subarray addresses from the
+//! operands; stage 3 accumulates the looked-up partials into the output
+//! registers. Once the pipeline fills, one execute step retires every
+//! cycle, so a kernel of `n` execute cycles costs `fill + n + writeback`.
+
+use serde::{Deserialize, Serialize};
+
+use pim_arch::Cycles;
+
+use crate::isa::ConfigBlock;
+
+/// Pipeline depth: CB fetch/decode, address generation, execute.
+pub const PIPELINE_STAGES: u64 = 3;
+
+/// Cycles to read the CB and decode before execution starts (Fig. 6
+/// cycles 0-1: CB read + first operand fetch).
+pub const INIT_CYCLES: u64 = 2;
+
+/// Cycles to drain the result into the output registers / subarray.
+pub const WRITEBACK_CYCLES: u64 = 1;
+
+/// Timing model of one BCE instruction execution.
+///
+/// ```
+/// use pim_bce::pipeline::{BcePipeline, INIT_CYCLES, WRITEBACK_CYCLES};
+/// let total = BcePipeline::instruction_cycles(100);
+/// assert_eq!(total.count(), INIT_CYCLES + 100 + WRITEBACK_CYCLES);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BcePipeline;
+
+impl BcePipeline {
+    /// Total cycles for one instruction whose execute phase takes
+    /// `execute_cycles` (Fig. 6: initialization happens once, then the
+    /// pipeline streams).
+    pub fn instruction_cycles(execute_cycles: u64) -> Cycles {
+        Cycles::new(INIT_CYCLES + execute_cycles + WRITEBACK_CYCLES)
+    }
+
+    /// Total cycles for a kernel of `iterations` repetitions of the same
+    /// instruction: the CB is decoded once, iterations stream
+    /// back-to-back, one writeback at the end of each iteration.
+    pub fn kernel_cycles(cb: &ConfigBlock, execute_cycles_per_iter: u64) -> Cycles {
+        let iters = cb.iterations.max(1) as u64;
+        Cycles::new(INIT_CYCLES + iters * (execute_cycles_per_iter + WRITEBACK_CYCLES))
+    }
+
+    /// Cycles lost to pipeline fill at the start of a burst (latency of
+    /// the first result).
+    pub fn fill_latency() -> Cycles {
+        Cycles::new(PIPELINE_STAGES - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{PimOp, Precision};
+
+    #[test]
+    fn instruction_adds_init_and_writeback() {
+        assert_eq!(BcePipeline::instruction_cycles(0).count(), 3);
+        assert_eq!(BcePipeline::instruction_cycles(10).count(), 13);
+    }
+
+    #[test]
+    fn kernel_amortizes_init_across_iterations() {
+        let cb = ConfigBlock::new(PimOp::Conv { length: 16 }, Precision::Int8, 100, 0, 15);
+        let per_iter = 32;
+        let total = BcePipeline::kernel_cycles(&cb, per_iter).count();
+        assert_eq!(total, 2 + 100 * (32 + 1));
+        // Amortized overhead per iteration is close to just the writeback.
+        let overhead = total - 100 * per_iter;
+        assert!(overhead <= 102);
+    }
+
+    #[test]
+    fn zero_iterations_treated_as_one() {
+        let cb = ConfigBlock::new(PimOp::Conv { length: 4 }, Precision::Int8, 0, 0, 3);
+        assert_eq!(BcePipeline::kernel_cycles(&cb, 8).count(), 2 + 9);
+    }
+
+    #[test]
+    fn fill_latency_is_depth_minus_one() {
+        assert_eq!(BcePipeline::fill_latency().count(), 2);
+    }
+
+    #[test]
+    fn fig6_example_matmul_cycle_count() {
+        // Fig. 6: a 1x3 by 3x1 product takes cycles 0..6: CB read +
+        // operand fetch (2), three multiply steps (3), writeback (1).
+        let total = BcePipeline::instruction_cycles(3).count();
+        assert_eq!(total, 6);
+    }
+}

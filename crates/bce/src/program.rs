@@ -1,0 +1,207 @@
+//! Kernel programs: sequences of PIM instructions executed by one BCE
+//! (paper §IV-C: "Each instruction executes a kernel, thus performing
+//! layer by layer execution of the NN workloads").
+//!
+//! A [`KernelProgram`] is the unit the slice controller writes into a
+//! subarray's configuration block region: an ordered list of
+//! [`ConfigBlock`]s. This module prices whole programs on the three-stage
+//! pipeline model and reports per-instruction timing.
+
+use pim_arch::Cycles;
+use serde::{Deserialize, Serialize};
+
+use crate::isa::{ActivationKind, ConfigBlock, PimOp, Precision};
+use crate::pipeline::BcePipeline;
+
+/// An ordered list of PIM instructions for one BCE.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KernelProgram {
+    instructions: Vec<ConfigBlock>,
+}
+
+/// Per-instruction timing produced by [`KernelProgram::execute`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstructionTiming {
+    /// The instruction.
+    pub cb: ConfigBlock,
+    /// Cycle the instruction's CB fetch begins.
+    pub start: u64,
+    /// Cycle the final writeback completes.
+    pub end: u64,
+}
+
+impl KernelProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        KernelProgram::default()
+    }
+
+    /// Appends an instruction; returns `self` for chaining.
+    pub fn push(mut self, cb: ConfigBlock) -> Self {
+        self.instructions.push(cb);
+        self
+    }
+
+    /// The instructions in order.
+    pub fn instructions(&self) -> &[ConfigBlock] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// The execute-phase cycles of one instruction at this BCE's
+    /// throughput model (conv: 2 cycles per int8 MAC, matmul: 2 cycles
+    /// per 8-MAC row, element ops one per cycle).
+    pub fn execute_cycles(cb: &ConfigBlock) -> u64 {
+        let per_iter = match cb.op {
+            PimOp::Conv { length } => {
+                let cycles_per_mac = match cb.precision {
+                    Precision::Int4 => 1,
+                    Precision::Int8 => 2,
+                    Precision::Int16 => 8,
+                };
+                length as u64 * cycles_per_mac
+            }
+            PimOp::MatMul { rows } => {
+                let cycles_per_row = match cb.precision {
+                    Precision::Int4 => 1,
+                    Precision::Int8 => 2,
+                    Precision::Int16 => 8,
+                };
+                rows as u64 * cycles_per_row
+            }
+            PimOp::MaxPool { window } | PimOp::AvgPool { window } => window as u64,
+            PimOp::Activation { kind, length } => {
+                let per_elem = if kind == ActivationKind::Relu { 1 } else { 2 };
+                length as u64 * per_elem
+            }
+            PimOp::Softmax { length } => 6 * length as u64, // exp + reduce + divide
+            PimOp::ElementwiseAdd { length } => length as u64,
+            PimOp::Requantize { length } => 3 * length as u64,
+        };
+        per_iter * cb.iterations.max(1) as u64
+    }
+
+    /// Executes the whole program back to back on the pipeline model,
+    /// returning per-instruction windows and the total cycles.
+    pub fn execute(&self) -> (Vec<InstructionTiming>, Cycles) {
+        let mut timings = Vec::with_capacity(self.instructions.len());
+        let mut clock = 0u64;
+        for cb in &self.instructions {
+            let body = Self::execute_cycles(cb) / cb.iterations.max(1) as u64;
+            let total = BcePipeline::kernel_cycles(cb, body).count();
+            timings.push(InstructionTiming { cb: *cb, start: clock, end: clock + total });
+            clock += total;
+        }
+        (timings, Cycles::new(clock))
+    }
+
+    /// Total program cycles.
+    pub fn total_cycles(&self) -> Cycles {
+        self.execute().1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_cb(length: u32, iterations: u32) -> ConfigBlock {
+        ConfigBlock::new(PimOp::Conv { length }, Precision::Int8, iterations, 2, 63)
+    }
+
+    #[test]
+    fn single_instruction_matches_pipeline_model() {
+        let program = KernelProgram::new().push(conv_cb(16, 1));
+        let (timings, total) = program.execute();
+        assert_eq!(timings.len(), 1);
+        // init 2 + (16 MACs x 2 cycles + writeback 1).
+        assert_eq!(total.count(), 2 + 32 + 1);
+        assert_eq!(timings[0].start, 0);
+        assert_eq!(timings[0].end, total.count());
+    }
+
+    #[test]
+    fn instructions_execute_back_to_back() {
+        let program = KernelProgram::new().push(conv_cb(8, 1)).push(conv_cb(4, 1));
+        let (timings, total) = program.execute();
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[0].end, timings[1].start);
+        assert_eq!(total.count(), timings[1].end);
+    }
+
+    #[test]
+    fn iterations_amortize_the_cb_decode() {
+        let once = KernelProgram::new().push(conv_cb(16, 1)).total_cycles().count();
+        let hundred = KernelProgram::new().push(conv_cb(16, 100)).total_cycles().count();
+        // 100 iterations decode the CB once, not 100 times.
+        assert!(hundred < once * 100);
+        assert_eq!(hundred, 2 + 100 * (32 + 1));
+    }
+
+    #[test]
+    fn precision_scales_conv_cycles() {
+        let int8 = KernelProgram::execute_cycles(&conv_cb(32, 1));
+        let int4 = KernelProgram::execute_cycles(&ConfigBlock::new(
+            PimOp::Conv { length: 32 },
+            Precision::Int4,
+            1,
+            2,
+            63,
+        ));
+        let int16 = KernelProgram::execute_cycles(&ConfigBlock::new(
+            PimOp::Conv { length: 32 },
+            Precision::Int16,
+            1,
+            2,
+            63,
+        ));
+        assert_eq!(int4 * 2, int8);
+        assert_eq!(int8 * 4, int16);
+    }
+
+    #[test]
+    fn layer_style_program_orders_kernels() {
+        // conv -> relu -> maxpool -> requantize, the per-layer kernel
+        // chain of §IV-C.
+        let program = KernelProgram::new()
+            .push(conv_cb(64, 8))
+            .push(ConfigBlock::new(
+                PimOp::Activation { kind: ActivationKind::Relu, length: 64 },
+                Precision::Int8,
+                1,
+                2,
+                63,
+            ))
+            .push(ConfigBlock::new(PimOp::MaxPool { window: 4 }, Precision::Int8, 16, 2, 63))
+            .push(ConfigBlock::new(
+                PimOp::Requantize { length: 64 },
+                Precision::Int8,
+                1,
+                2,
+                63,
+            ));
+        let (timings, total) = program.execute();
+        assert_eq!(timings.len(), 4);
+        for pair in timings.windows(2) {
+            assert!(pair[0].end <= pair[1].start + 1);
+        }
+        assert!(total.count() > 0);
+        assert!(!program.is_empty());
+        assert_eq!(program.len(), 4);
+    }
+
+    #[test]
+    fn empty_program_takes_no_time() {
+        let program = KernelProgram::new();
+        assert_eq!(program.total_cycles(), Cycles::ZERO);
+    }
+}

@@ -1,0 +1,242 @@
+//! Cycle-by-cycle BCE execution traces (paper Fig. 6).
+//!
+//! Fig. 6 walks one matrix-vector product through the pipeline: cycle 0
+//! reads the configuration block, cycle 1 fetches the first operands,
+//! then one multiply step retires per cycle — a LUT fetch when both
+//! operands are odd, shifts when a power of two or a two-power sum is
+//! involved — and the result writes back at the end. This module
+//! reproduces that trace programmatically so the pipeline's behaviour is
+//! inspectable (and testable) at the same granularity the paper draws.
+
+use pim_lut::{LutMultiplier, OperandAnalyzer, OperandClass};
+use serde::{Deserialize, Serialize};
+
+use crate::isa::ConfigBlock;
+
+/// What the BCE did in one cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceAction {
+    /// Stage 1: read the configuration block and decode the instruction.
+    DecodeConfig,
+    /// Stage 1/2: fetch operands from the subarray / input registers.
+    FetchOperands,
+    /// A multiply step resolved entirely by shifting (power-of-two or
+    /// two-power-sum operand) plus the accumulate.
+    ShiftAccumulate {
+        /// The multiplicand pair.
+        operands: (u8, u8),
+        /// Shifter activations this cycle.
+        shifts: u8,
+    },
+    /// A multiply step that fetched the odd x odd product from the LUT.
+    LutAccumulate {
+        /// The multiplicand pair.
+        operands: (u8, u8),
+        /// The odd parts looked up.
+        lut_index: (u8, u8),
+    },
+    /// A trivial step (zero or one operand): accumulate only.
+    TrivialAccumulate {
+        /// The multiplicand pair.
+        operands: (u8, u8),
+    },
+    /// Write the accumulated result to the output registers.
+    Writeback,
+}
+
+impl TraceAction {
+    /// Short mnemonic for rendering.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            TraceAction::DecodeConfig => "decode",
+            TraceAction::FetchOperands => "fetch",
+            TraceAction::ShiftAccumulate { .. } => "shift+acc",
+            TraceAction::LutAccumulate { .. } => "lut+acc",
+            TraceAction::TrivialAccumulate { .. } => "acc",
+            TraceAction::Writeback => "writeback",
+        }
+    }
+}
+
+/// One trace entry: a cycle number and the action retired in it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// The cycle, starting at 0 with the CB read.
+    pub cycle: u64,
+    /// What happened.
+    pub action: TraceAction,
+}
+
+/// The full trace of one dot-product instruction, plus its result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BceTrace {
+    /// Per-cycle actions.
+    pub entries: Vec<TraceEntry>,
+    /// The accumulated dot product.
+    pub result: i32,
+}
+
+impl BceTrace {
+    /// Traces a 4-bit dot product through the pipeline, reproducing the
+    /// Fig. 6 schedule: decode (cycle 0), operand fetch (cycle 1), one
+    /// multiply step per cycle, writeback last.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices differ in length or operands exceed 4 bits.
+    pub fn dot_product(_cb: &ConfigBlock, weights: &[u8], inputs: &[u8]) -> BceTrace {
+        assert_eq!(weights.len(), inputs.len(), "operand lengths differ");
+        let mul = LutMultiplier::new();
+        let mut entries = vec![
+            TraceEntry { cycle: 0, action: TraceAction::DecodeConfig },
+            TraceEntry { cycle: 1, action: TraceAction::FetchOperands },
+        ];
+        let mut cycle = 2;
+        let mut acc: i32 = 0;
+        for (&w, &x) in weights.iter().zip(inputs) {
+            assert!(w <= 15 && x <= 15, "trace operands must be 4-bit");
+            let (product, _) = mul.mul_nibble(w, x);
+            acc += product as i32;
+            let action = classify_step(w, x);
+            entries.push(TraceEntry { cycle, action });
+            cycle += 1;
+        }
+        entries.push(TraceEntry { cycle, action: TraceAction::Writeback });
+        BceTrace { entries, result: acc }
+    }
+
+    /// Total cycles (last cycle index + 1).
+    pub fn cycles(&self) -> u64 {
+        self.entries.last().map(|e| e.cycle + 1).unwrap_or(0)
+    }
+
+    /// Number of LUT-access cycles.
+    pub fn lut_accesses(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.action, TraceAction::LutAccumulate { .. }))
+            .count()
+    }
+
+    /// Renders the trace like the Fig. 6 timeline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            let detail = match &entry.action {
+                TraceAction::ShiftAccumulate { operands, shifts } => {
+                    format!("{} x {} via {} shift(s)", operands.0, operands.1, shifts)
+                }
+                TraceAction::LutAccumulate { operands, lut_index } => format!(
+                    "{} x {} via LUT[{},{}]",
+                    operands.0, operands.1, lut_index.0, lut_index.1
+                ),
+                TraceAction::TrivialAccumulate { operands } => {
+                    format!("{} x {} trivial", operands.0, operands.1)
+                }
+                _ => String::new(),
+            };
+            out.push_str(&format!(
+                "cycle {:>2}: {:<10} {}\n",
+                entry.cycle,
+                entry.action.mnemonic(),
+                detail
+            ));
+        }
+        out.push_str(&format!("result: {}\n", self.result));
+        out
+    }
+}
+
+fn classify_step(w: u8, x: u8) -> TraceAction {
+    let cw = OperandAnalyzer::classify(w);
+    let cx = OperandAnalyzer::classify(x);
+    if matches!(cw, OperandClass::Zero | OperandClass::One)
+        || matches!(cx, OperandClass::Zero | OperandClass::One)
+    {
+        return TraceAction::TrivialAccumulate { operands: (w, x) };
+    }
+    if matches!(cw, OperandClass::PowerOfTwo { .. })
+        || matches!(cx, OperandClass::PowerOfTwo { .. })
+    {
+        return TraceAction::ShiftAccumulate { operands: (w, x), shifts: 1 };
+    }
+    if (w.is_multiple_of(2) && OperandAnalyzer::is_two_power_sum(w))
+        || (x.is_multiple_of(2) && OperandAnalyzer::is_two_power_sum(x))
+    {
+        return TraceAction::ShiftAccumulate { operands: (w, x), shifts: 2 };
+    }
+    TraceAction::LutAccumulate { operands: (w, x), lut_index: (cw.odd_part(), cx.odd_part()) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{PimOp, Precision};
+
+    fn cb(len: u32) -> ConfigBlock {
+        ConfigBlock::new(PimOp::Conv { length: len }, Precision::Int4, 1, 0, 0)
+    }
+
+    #[test]
+    fn fig6_example_trace() {
+        // Fig. 6 multiplies M1 row [4, 6, 7] with M2 column [5, 7, 9]:
+        //   cycle 0: CB read + decode
+        //   cycle 1: operand fetch
+        //   cycle 2: 4 x 5  -> power of two, shift (no LUT)
+        //   cycle 3: 6 x 7  -> 6 = 4 + 2, two shifts (no LUT)
+        //   cycle 4: 7 x 9  -> both odd, LUT access
+        //   cycle 5: writeback
+        let trace = BceTrace::dot_product(&cb(3), &[4, 6, 7], &[5, 7, 9]);
+        assert_eq!(trace.result, 4 * 5 + 6 * 7 + 7 * 9);
+        assert_eq!(trace.cycles(), 6);
+        assert_eq!(trace.lut_accesses(), 1);
+        assert_eq!(trace.entries[0].action, TraceAction::DecodeConfig);
+        assert_eq!(trace.entries[1].action, TraceAction::FetchOperands);
+        assert!(matches!(
+            trace.entries[2].action,
+            TraceAction::ShiftAccumulate { shifts: 1, .. }
+        ));
+        assert!(matches!(
+            trace.entries[3].action,
+            TraceAction::ShiftAccumulate { shifts: 2, .. }
+        ));
+        assert!(matches!(
+            trace.entries[4].action,
+            TraceAction::LutAccumulate { lut_index: (7, 9), .. }
+        ));
+        assert_eq!(trace.entries[5].action, TraceAction::Writeback);
+    }
+
+    #[test]
+    fn trace_result_matches_native_dot() {
+        let w = [0u8, 1, 2, 3, 8, 12, 15, 9];
+        let x = [15u8, 14, 13, 12, 11, 10, 9, 8];
+        let trace = BceTrace::dot_product(&cb(8), &w, &x);
+        let expected: i32 =
+            w.iter().zip(&x).map(|(&a, &b)| a as i32 * b as i32).sum();
+        assert_eq!(trace.result, expected);
+        // 2 init + 8 steps + 1 writeback.
+        assert_eq!(trace.cycles(), 11);
+    }
+
+    #[test]
+    fn trivial_operands_never_touch_the_lut() {
+        let trace = BceTrace::dot_product(&cb(4), &[0, 1, 2, 4], &[15, 15, 15, 15]);
+        assert_eq!(trace.lut_accesses(), 0);
+    }
+
+    #[test]
+    fn render_mentions_each_cycle() {
+        let trace = BceTrace::dot_product(&cb(2), &[7, 4], &[9, 3]);
+        let rendered = trace.render();
+        assert!(rendered.contains("cycle  0: decode"));
+        assert!(rendered.contains("LUT[7,9]"));
+        assert!(rendered.contains(&format!("result: {}", 7 * 9 + 4 * 3)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_operand_panics() {
+        let _ = BceTrace::dot_product(&cb(1), &[16], &[1]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig. 2 as a benchmark: slice-access breakdown computation and the
+//! address-decomposition path every access model uses.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pim_arch::{CacheAddress, CacheGeometry, EnergyParams, SubarrayId, TimingParams};
+
+fn bench(c: &mut Criterion) {
+    let geom = CacheGeometry::xeon_l3_35mb();
+    let timing = TimingParams::default();
+    let energy = EnergyParams::default();
+
+    let mut group = c.benchmark_group("access_breakdown");
+
+    group.bench_function("fig2_breakdowns", |b| {
+        b.iter(|| {
+            let lat = black_box(&timing).slice_access_breakdown();
+            let en = black_box(&energy).slice_access_breakdown();
+            (lat.interconnect_fraction, en.interconnect_fraction)
+        })
+    });
+
+    group.bench_function("address_decompose_4k_lines", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for line in 0..4096u64 {
+                let addr = CacheAddress::decompose(black_box(&geom), line * 64).unwrap();
+                acc += addr.subarray.subarray + addr.row;
+            }
+            acc
+        })
+    });
+
+    group.bench_function("address_round_trip_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for line in 0..4096u64 {
+                let addr = CacheAddress::decompose(&geom, line * 64).unwrap();
+                acc += addr.recompose(black_box(&geom));
+            }
+            acc
+        })
+    });
+
+    group.bench_function("flat_index_all_4480_subarrays", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..geom.total_subarrays() {
+                let id = SubarrayId::from_flat_index(black_box(&geom), i).unwrap();
+                acc += id.flat_index(&geom);
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

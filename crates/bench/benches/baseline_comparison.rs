@@ -1,0 +1,93 @@
+//! Benchmarks regenerating the paper's comparison figures: Neural Cache
+//! (Fig. 12), iso-area Eyeriss (Fig. 13) and the CPU/GPU Table III
+//! points, measuring the cost of each comparison's full evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bfree::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.sample_size(20);
+
+    let inception = networks::inception_v3();
+    let vgg = networks::vgg16();
+    let bert = networks::bert_base();
+
+    group.bench_function("fig12_bfree_vs_neural_cache", |b| {
+        let bfree = BfreeSimulator::new(
+            BfreeConfig::paper_default().with_conv_dataflow(ConvDataflow::Direct),
+        );
+        let nc = NeuralCacheModel::paper_default();
+        b.iter(|| {
+            let ours = bfree.run(black_box(&inception), 1);
+            let theirs = nc.run(black_box(&inception), 1);
+            (ours.speedup_over(&theirs), ours.energy_gain_over(&theirs))
+        })
+    });
+
+    group.bench_function("fig13_bfree_vs_eyeriss", |b| {
+        let bfree = BfreeSimulator::new(
+            BfreeConfig::single_slice().with_conv_dataflow(ConvDataflow::Im2col),
+        );
+        let eyeriss = EyerissModel::paper_default();
+        b.iter(|| {
+            let ours = bfree.run(black_box(&vgg), 1);
+            let theirs = eyeriss.run(black_box(&vgg), 1);
+            theirs.latency.get(Phase::Compute).ratio(ours.latency.get(Phase::Compute))
+        })
+    });
+
+    group.bench_function("table3_bert_base_all_devices", |b| {
+        let bfree = BfreeSimulator::new(BfreeConfig::paper_default());
+        let cpu = CpuModel::paper_xeon();
+        let gpu = GpuModel::paper_titan_v();
+        b.iter(|| {
+            let ours = bfree.run(black_box(&bert), 16);
+            (
+                ours.speedup_over(&cpu.run(&bert, 16)),
+                ours.speedup_over(&gpu.run(&bert, 16)),
+            )
+        })
+    });
+
+    group.bench_function("neural_cache_inception_b1", |b| {
+        let nc = NeuralCacheModel::paper_default();
+        b.iter(|| nc.run(black_box(&inception), 1).total_latency())
+    });
+
+    group.bench_function("eyeriss_vgg_b1", |b| {
+        let eyeriss = EyerissModel::paper_default();
+        b.iter(|| eyeriss.run(black_box(&vgg), 1).total_latency())
+    });
+
+    group.bench_function("fig10_attention_schedule", |b| {
+        let config = pim_nn::networks::BertConfig::base();
+        b.iter(|| {
+            bfree::AttentionSchedule::plan(black_box(&config), 4.0 * 4480.0, 16.0)
+                .overlap_gain()
+        })
+    });
+
+    group.bench_function("weight_store_place_and_verify", |b| {
+        use bfree::storage::WeightStore;
+        let config = BfreeConfig::paper_default();
+        let mapper = Mapper::new(config.geometry.clone());
+        let layer_net = networks::vgg16();
+        let layer = layer_net.weight_layers().next().unwrap();
+        let mapping = mapper
+            .map_layer(layer, BceMode::Conv, Precision::Int8)
+            .expect("conv1_1 fits");
+        let weights: Vec<i8> = (0..layer.params()).map(|i| (i % 251) as i8).collect();
+        b.iter(|| {
+            let store =
+                WeightStore::place(&config.geometry, black_box(&mapping), &weights).unwrap();
+            store.verify_lut_integrity().unwrap();
+            store.total_row_writes()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Benchmarks of the BCE execution engine: conv- and matmul-mode
+//! kernels at int4/int8 (the mode/precision matrix of §V-B), pooling
+//! and requantization.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pim_bce::{Bce, BceMode, Precision};
+
+fn bench(c: &mut Criterion) {
+    let conv_bce = Bce::new(BceMode::Conv).unwrap();
+    let mm_bce = Bce::new(BceMode::MatMul).unwrap();
+
+    let weights: Vec<i8> = (0..512).map(|i| (i * 31 % 251) as i8).collect();
+    let inputs: Vec<i8> = (0..512).map(|i| (i * 17 % 251) as i8).collect();
+    let weights4: Vec<i8> = weights.iter().map(|&w| w % 8).collect();
+    let inputs4: Vec<i8> = inputs.iter().map(|&x| x % 8).collect();
+    let tile: Vec<[i8; 8]> =
+        (0..256).map(|k| std::array::from_fn(|j| ((k * 7 + j * 13) % 251) as i8)).collect();
+    let stream: Vec<i8> = (0..256).map(|k| (k * 11 % 251) as i8).collect();
+    let tile4: Vec<[i8; 8]> =
+        tile.iter().map(|row| std::array::from_fn(|j| row[j] % 8)).collect();
+    let stream4: Vec<i8> = stream.iter().map(|&x| x % 8).collect();
+
+    let mut group = c.benchmark_group("bce_kernels");
+
+    group.bench_function("dot_conv_int8_512", |b| {
+        b.iter(|| conv_bce.dot_conv(black_box(&weights), black_box(&inputs), Precision::Int8))
+    });
+
+    group.bench_function("dot_conv_int4_512", |b| {
+        b.iter(|| conv_bce.dot_conv(black_box(&weights4), black_box(&inputs4), Precision::Int4))
+    });
+
+    group.bench_function("matmul_tile_int8_256x8", |b| {
+        b.iter(|| mm_bce.matmul_tile(black_box(&stream), black_box(&tile)))
+    });
+
+    group.bench_function("matmul_tile_int4_256x8", |b| {
+        b.iter(|| mm_bce.matmul_tile_i4(black_box(&stream4), black_box(&tile4)))
+    });
+
+    let window: Vec<i8> = (0..64).map(|i| (i * 37 % 255) as i8).collect();
+    group.bench_function("max_pool_64", |b| {
+        b.iter(|| conv_bce.max_pool(black_box(&window)))
+    });
+    group.bench_function("avg_pool_64_lut_division", |b| {
+        b.iter(|| conv_bce.avg_pool(black_box(&window)))
+    });
+
+    let accs: Vec<i32> = (0..1024).map(|i| i * 937 - 400_000).collect();
+    let multiplier = (0.7 * (1u64 << 31) as f64) as i32;
+    group.bench_function("requantize_1024_accumulators", |b| {
+        b.iter(|| conv_bce.requantize(black_box(&accs), multiplier, 9, 3))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Functional-pipeline benchmarks: quantized conv/matmul through the
+//! actual LUT datapath versus the f32 reference — the value-level
+//! counterpart of the performance simulator.
+
+use bfree::functional::FunctionalPipeline;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pim_nn::reference;
+use pim_nn::tensor::TensorShape;
+use pim_nn::workload::WorkloadGen;
+
+fn bench(c: &mut Criterion) {
+    let mut gen = WorkloadGen::new(123);
+    let pipeline = FunctionalPipeline::new().unwrap();
+
+    let input = gen.uniform_f32(TensorShape::chw(3, 12, 12), -1.0, 1.0);
+    let filters = gen.uniform_f32(TensorShape::new(vec![8, 3, 3, 3]), -0.4, 0.4);
+    let a = gen.uniform_f32(TensorShape::new(vec![16, 64]), -1.0, 1.0);
+    let b_mat = gen.uniform_f32(TensorShape::new(vec![64, 16]), -0.5, 0.5);
+
+    let mut group = c.benchmark_group("functional_pipeline");
+    group.sample_size(30);
+
+    group.bench_function("lut_conv2d_3x12x12_8f", |bch| {
+        bch.iter(|| {
+            pipeline
+                .conv2d(black_box(&input), black_box(&filters), &[0.0; 8], (1, 1), (1, 1))
+                .unwrap()
+        })
+    });
+
+    group.bench_function("reference_conv2d_3x12x12_8f", |bch| {
+        bch.iter(|| {
+            reference::conv2d(black_box(&input), black_box(&filters), &[0.0; 8], (1, 1), (1, 1))
+                .unwrap()
+        })
+    });
+
+    group.bench_function("lut_matmul_16x64x16", |bch| {
+        bch.iter(|| pipeline.matmul(black_box(&a), black_box(&b_mat)).unwrap())
+    });
+
+    group.bench_function("reference_matmul_16x64x16", |bch| {
+        bch.iter(|| reference::matmul(black_box(&a), black_box(&b_mat)).unwrap())
+    });
+
+    let logits: Vec<f32> = (0..64).map(|i| (i % 13) as f32 / 2.0 - 3.0).collect();
+    group.bench_function("lut_softmax_64", |bch| {
+        bch.iter(|| pipeline.softmax(black_box(&logits)).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Benchmarks of the special-function LUTs: Taylor-series division
+//! (§III-C2), piecewise-linear activations (§III-C3) and the composed
+//! softmax engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pim_lut::{DivLut, PwlFunction, PwlTable, SoftmaxEngine};
+
+fn bench(c: &mut Criterion) {
+    let div = DivLut::new(8).unwrap();
+    let sigmoid = PwlTable::new(PwlFunction::Sigmoid, -8.0, 8.0, 64).unwrap();
+    let tanh = PwlTable::new(PwlFunction::Tanh, -4.0, 4.0, 64).unwrap();
+    let softmax = SoftmaxEngine::new().unwrap();
+
+    let mut group = c.benchmark_group("division_pwl");
+
+    group.bench_function("div_lut_1000_quotients", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for x in (1u64..1001).step_by(7) {
+                for y in (1u64..101).step_by(13) {
+                    acc += div.divide(black_box(x), black_box(y)).unwrap().0;
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("native_division_1000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for x in (1u64..1001).step_by(7) {
+                for y in (1u64..101).step_by(13) {
+                    acc += black_box(x) as f64 / black_box(y) as f64;
+                }
+            }
+            acc
+        })
+    });
+
+    let xs: Vec<f64> = (-400..400).map(|i| i as f64 / 50.0).collect();
+    group.bench_function("sigmoid_pwl_800_points", |b| {
+        b.iter(|| xs.iter().map(|&x| sigmoid.eval(black_box(x)).0).sum::<f64>())
+    });
+
+    group.bench_function("tanh_pwl_800_points", |b| {
+        b.iter(|| xs.iter().map(|&x| tanh.eval(black_box(x)).0).sum::<f64>())
+    });
+
+    let logits: Vec<f64> = (0..128).map(|i| (i % 17) as f64 / 3.0 - 2.0).collect();
+    group.bench_function("softmax_128_logits", |b| {
+        b.iter(|| softmax.softmax(black_box(&logits)).unwrap().0)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! The Fig. 4 ablation as a benchmark: pricing one million LUT reads
+//! under each of the three LUT-row integration designs, plus LUT image
+//! construction (the configuration phase's payload).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pim_arch::{EnergyParams, LutRowDesign, TimingParams};
+use pim_lut::{DivLut, LutImage, MultLut, PwlFunction, PwlTable};
+
+fn bench(c: &mut Criterion) {
+    let timing = TimingParams::default();
+    let energy = EnergyParams::default();
+
+    let mut group = c.benchmark_group("lut_access");
+
+    for design in LutRowDesign::ALL {
+        group.bench_function(
+            format!("price_1m_reads_{}", design.name().replace(' ', "_")),
+            |b| {
+                b.iter(|| {
+                    let profile = design.profile(black_box(&timing), black_box(&energy));
+                    (profile.read_energy * 1_000_000u64, profile.read_latency * 1_000_000.0)
+                })
+            },
+        );
+    }
+
+    group.bench_function("mult_table_image", |b| {
+        b.iter(|| LutImage::from_mult_table(black_box(&MultLut::new())))
+    });
+
+    group.bench_function("div_table_image_8_chunks", |b| {
+        let div = DivLut::new(8).unwrap();
+        b.iter(|| {
+            (0..8)
+                .map(|seg| LutImage::from_div_table(black_box(&div), seg, 64).unwrap().len())
+                .sum::<usize>()
+        })
+    });
+
+    group.bench_function("pwl_table_build_128_segments", |b| {
+        b.iter(|| PwlTable::new(PwlFunction::Sigmoid, -8.0, 8.0, black_box(128)).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

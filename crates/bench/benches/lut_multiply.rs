@@ -1,0 +1,80 @@
+//! Microbenchmarks of the LUT multiply datapath (paper §III-C1):
+//! nibble products through the 49-entry table, multi-precision
+//! decomposition, dot products, and the hardwired ROM broadcast of
+//! Fig. 7 — against native multiplication as the reference point.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pim_bce::MultRom;
+use pim_lut::{LutMultiplier, MultLut};
+
+fn bench(c: &mut Criterion) {
+    let mul = LutMultiplier::new();
+    let lut = MultLut::new();
+    let rom = MultRom::new();
+
+    let mut group = c.benchmark_group("lut_multiply");
+
+    group.bench_function("mul_nibble_4x4", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in 0u8..16 {
+                for x in 0u8..16 {
+                    acc += mul.mul_nibble(black_box(a), black_box(x)).0 as u32;
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("mul_u8_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in (0u16..256).step_by(17) {
+                for x in (0u16..256).step_by(13) {
+                    acc += mul.mul_u8(black_box(a as u8), black_box(x as u8)).0 as u32;
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("native_u8_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in (0u16..256).step_by(17) {
+                for x in (0u16..256).step_by(13) {
+                    acc += (black_box(a) * black_box(x)) as u32;
+                }
+            }
+            acc
+        })
+    });
+
+    let w: Vec<i8> = (0..256).map(|i| (i * 7 % 255) as i8).collect();
+    let x: Vec<i8> = (0..256).map(|i| (i * 13 % 255) as i8).collect();
+    group.bench_function("dot_i8_256", |b| {
+        b.iter(|| mul.dot_i8(black_box(&w), black_box(&x)).0)
+    });
+
+    group.bench_function("mult_lut_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in [3u8, 5, 7, 9, 11, 13, 15] {
+                for v in [3u8, 5, 7, 9, 11, 13, 15] {
+                    acc += lut.lookup(black_box(a), black_box(v)) as u32;
+                }
+            }
+            acc
+        })
+    });
+
+    let register = [0x12u8, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0];
+    group.bench_function("rom_broadcast_fig7", |b| {
+        b.iter(|| rom.broadcast(black_box(7), black_box(&register)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

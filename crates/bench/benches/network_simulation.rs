@@ -1,0 +1,47 @@
+//! End-to-end simulator benchmarks: one BFree run per evaluation
+//! network (the workloads behind Figs. 12-14 and Table III), plus the
+//! Fig. 14 bandwidth/precision sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bfree::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let sim = BfreeSimulator::new(BfreeConfig::paper_default());
+    let mut group = c.benchmark_group("network_simulation");
+    group.sample_size(20);
+
+    for (net, _) in networks::table2_networks() {
+        group.bench_function(format!("bfree_{}_b1", net.name()), |b| {
+            b.iter(|| sim.run(black_box(&net), 1).total_latency())
+        });
+    }
+
+    let vgg = networks::vgg16();
+    group.bench_function("bfree_VGG-16_b16", |b| {
+        b.iter(|| sim.run(black_box(&vgg), 16).total_latency())
+    });
+
+    group.bench_function("fig14_full_sweep", |b| {
+        b.iter(|| {
+            let mut total_ms = 0.0;
+            for kind in MemoryTechKind::ALL {
+                for batch in [1usize, 16] {
+                    let config = BfreeConfig::paper_default()
+                        .with_memory(MemoryTech::from_kind(kind));
+                    let report = BfreeSimulator::new(config).run(black_box(&vgg), batch);
+                    total_ms += report.per_inference_latency().milliseconds();
+                }
+            }
+            total_ms
+        })
+    });
+
+    group.bench_function("network_construction_inception", |b| {
+        b.iter(|| networks::inception_v3().total_macs())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmarks of the systolic substrate: schedule math, the
+//! cycle-stepped array simulation, and the systolic-vs-sequential
+//! ablation (§III-D).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pim_systolic::{SystolicArraySim, SystolicSchedule};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("systolic");
+
+    group.bench_function("schedule_math_8x40", |b| {
+        b.iter(|| {
+            let s = SystolicSchedule::new(8, 40, black_box(10_000)).unwrap();
+            (s.total_steps(), s.total_hops(), s.efficiency(), s.sequential_steps())
+        })
+    });
+
+    let weights: Vec<Vec<i32>> =
+        (0..8).map(|r| (0..16).map(|c| (r * 16 + c) - 64).collect()).collect();
+    let sim = SystolicArraySim::new(weights).unwrap();
+    let inputs: Vec<Vec<i32>> =
+        (0..64).map(|t| (0..8).map(|r| (t * 8 + r) % 101 - 50).collect()).collect();
+
+    group.bench_function("array_sim_8x16_64_waves", |b| {
+        b.iter(|| sim.run(black_box(&inputs)).unwrap().cycles)
+    });
+
+    group.bench_function("array_reference_8x16_64_waves", |b| {
+        b.iter(|| sim.reference(black_box(&inputs)))
+    });
+
+    // Ablation: systolic overlap vs load-then-compute step counts over
+    // a sweep of stream lengths.
+    group.bench_function("systolic_vs_sequential_sweep", |b| {
+        b.iter(|| {
+            let mut gain = 0.0f64;
+            for waves in [10u64, 100, 1_000, 10_000] {
+                let s = SystolicSchedule::new(8, 40, black_box(waves)).unwrap();
+                gain += s.sequential_steps() as f64 / s.total_steps() as f64;
+            }
+            gain
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

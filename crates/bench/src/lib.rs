@@ -1,0 +1,2 @@
+//! Bench support crate; the benchmarks live in `benches/`.
+#![allow(missing_docs)]

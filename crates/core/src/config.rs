@@ -1,0 +1,207 @@
+//! The BFree machine description.
+
+use pim_arch::{AreaModel, CacheGeometry, EnergyParams, LutRowDesign, MemoryTech, RingInterconnect, TimingParams};
+use pim_nn::im2col::Im2colDims;
+use pim_nn::{LayerOp, LayerSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::precision::PrecisionPolicy;
+
+/// How convolutions are mapped (paper §IV-A/B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ConvDataflow {
+    /// Direct convolution in conv mode (Fig. 9(b)): filters across
+    /// sub-array columns, channels across rows. 0.5 MAC/cycle per
+    /// subarray at int8.
+    Direct,
+    /// im2col matrix multiplication in matmul mode (Fig. 9(c)):
+    /// 4 MACs/cycle per subarray at int8, at the cost of dynamically
+    /// unrolled input features.
+    Im2col,
+    /// The paper's decision rule (§IV): use the matrix formulation when
+    /// there is enough cache space for the unrolled intermediates,
+    /// otherwise fall back to direct convolution.
+    #[default]
+    Auto,
+}
+
+/// Full configuration of a BFree machine.
+///
+/// ```
+/// use bfree::BfreeConfig;
+/// let config = BfreeConfig::paper_default();
+/// assert_eq!(config.geometry.total_subarrays(), 4480);
+/// config.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BfreeConfig {
+    /// Cache geometry (35 MB, 14 slices by default).
+    pub geometry: CacheGeometry,
+    /// Timing constants.
+    pub timing: TimingParams,
+    /// Energy constants.
+    pub energy: EnergyParams,
+    /// LUT-row integration design (decoupled bitline by default).
+    pub lut_design: LutRowDesign,
+    /// Area model for overhead reports.
+    pub area: AreaModel,
+    /// Main memory technology.
+    pub memory: MemoryTech,
+    /// The slice ring interconnect (Fig. 1(a)).
+    pub ring: RingInterconnect,
+    /// Convolution mapping policy.
+    pub conv_dataflow: ConvDataflow,
+    /// Per-layer operand precision policy.
+    pub precision: PrecisionPolicy,
+}
+
+impl BfreeConfig {
+    /// The paper's evaluation machine: 35 MB L3, 1.5 GHz subarrays,
+    /// decoupled-bitline LUT rows, 20 GB/s DRAM, uniform int8.
+    pub fn paper_default() -> Self {
+        BfreeConfig {
+            geometry: CacheGeometry::xeon_l3_35mb(),
+            timing: TimingParams::default(),
+            energy: EnergyParams::default(),
+            lut_design: LutRowDesign::DecoupledBitline,
+            area: AreaModel::default(),
+            memory: MemoryTech::dram(),
+            ring: RingInterconnect::paper_default(),
+            conv_dataflow: ConvDataflow::Auto,
+            precision: PrecisionPolicy::uniform_int8(),
+        }
+    }
+
+    /// A single 2.5 MB slice, the iso-area unit of the Eyeriss
+    /// comparison (§V-D).
+    pub fn single_slice() -> Self {
+        BfreeConfig {
+            geometry: CacheGeometry::single_slice_2_5mb(),
+            ..BfreeConfig::paper_default()
+        }
+    }
+
+    /// Replaces the memory technology (Fig. 14 sweeps).
+    pub fn with_memory(mut self, memory: MemoryTech) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Replaces the convolution dataflow.
+    pub fn with_conv_dataflow(mut self, dataflow: ConvDataflow) -> Self {
+        self.conv_dataflow = dataflow;
+        self
+    }
+
+    /// Replaces the precision policy.
+    pub fn with_precision(mut self, precision: PrecisionPolicy) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Validates all underlying parameter sets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first invalid parameter found.
+    pub fn validate(&self) -> Result<(), pim_arch::ArchError> {
+        self.timing.validate()?;
+        self.energy.validate()?;
+        self.area.validate()?;
+        self.memory.validate()?;
+        self.ring.validate()?;
+        Ok(())
+    }
+
+    /// Whether a layer executes as a matrix multiplication (matmul mode)
+    /// under this configuration, given the batch size.
+    pub fn uses_matmul(&self, layer: &LayerSpec, batch: usize) -> bool {
+        match layer.op() {
+            LayerOp::Linear { .. }
+            | LayerOp::Lstm { .. }
+            | LayerOp::Gru { .. }
+            | LayerOp::Attention { .. }
+            | LayerOp::FeedForward { .. } => true,
+            LayerOp::Conv2d { kernel, stride, padding, .. } => match self.conv_dataflow {
+                ConvDataflow::Direct => false,
+                ConvDataflow::Im2col => true,
+                ConvDataflow::Auto => {
+                    // §IV: matrix formulation only when the unrolled
+                    // intermediates fit the cache alongside the weights.
+                    let Ok(dims) =
+                        Im2colDims::compute(layer.input_shape(), *kernel, *stride, *padding)
+                    else {
+                        return false;
+                    };
+                    let unrolled = dims.unrolled_elements() as u64 * batch.max(1) as u64;
+                    let weights = layer.weight_bytes(8);
+                    let budget = self.geometry.usable_capacity().get();
+                    unrolled + weights < budget / 2
+                }
+            },
+            _ => false,
+        }
+    }
+}
+
+impl Default for BfreeConfig {
+    fn default() -> Self {
+        BfreeConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_arch::MemoryTechKind;
+    use pim_nn::networks;
+
+    #[test]
+    fn paper_default_validates() {
+        BfreeConfig::paper_default().validate().unwrap();
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let c = BfreeConfig::paper_default()
+            .with_memory(MemoryTech::hbm())
+            .with_conv_dataflow(ConvDataflow::Im2col);
+        assert_eq!(c.memory.kind, MemoryTechKind::Hbm);
+        assert_eq!(c.conv_dataflow, ConvDataflow::Im2col);
+    }
+
+    #[test]
+    fn matrix_layers_always_matmul() {
+        let c = BfreeConfig::paper_default();
+        let bert = networks::bert_base();
+        for layer in bert.weight_layers() {
+            assert!(c.uses_matmul(layer, 1), "{}", layer.name());
+        }
+    }
+
+    #[test]
+    fn direct_policy_keeps_convs_in_conv_mode() {
+        let c = BfreeConfig::paper_default().with_conv_dataflow(ConvDataflow::Direct);
+        let net = networks::inception_v3();
+        let conv = net.weight_layers().next().unwrap();
+        assert!(!c.uses_matmul(conv, 1));
+    }
+
+    #[test]
+    fn auto_policy_unrolls_vgg_at_batch_1() {
+        // §V-D: VGG-16's huge filters enable the matmul dataflow.
+        let c = BfreeConfig::paper_default();
+        let net = networks::vgg16();
+        let matmul_layers = net
+            .weight_layers()
+            .filter(|l| c.uses_matmul(l, 1))
+            .count();
+        assert!(matmul_layers as f64 > 0.8 * net.weight_layer_count() as f64);
+    }
+
+    #[test]
+    fn single_slice_config_is_smaller() {
+        let c = BfreeConfig::single_slice();
+        assert_eq!(c.geometry.total_subarrays(), 320);
+    }
+}

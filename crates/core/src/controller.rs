@@ -1,0 +1,85 @@
+//! The configuration phase of the hierarchical control flow (Fig. 11).
+//!
+//! Before computing a kernel, the cache controller loads every
+//! subarray's LUT rows with the entries the kernel needs and programs
+//! the configuration block (CB) of every BCE through the slice
+//! controllers. This module prices that phase: it is small (microseconds
+//! against milliseconds of execution) but the paper draws it explicitly,
+//! so the simulator accounts for it.
+
+use pim_arch::{CacheGeometry, Cycles, Energy, EnergyParams, Latency, TimingParams};
+use pim_lut::{LutImage, MultLut};
+use serde::{Deserialize, Serialize};
+
+/// Cost of one configuration phase over the whole cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfigurationPhase {
+    /// Row writes per subarray (LUT rows + CB row).
+    pub row_writes_per_subarray: u64,
+    /// Wall-clock time of the phase (subarrays program in parallel per
+    /// slice, slices sequentially share the fill bus).
+    pub latency: Latency,
+    /// Total energy of the row writes.
+    pub energy: Energy,
+}
+
+impl ConfigurationPhase {
+    /// Prices the configuration phase for a geometry: the multiply LUT
+    /// image (49 entries) plus one CB row per subarray, broadcast slice
+    /// by slice.
+    pub fn price(geom: &CacheGeometry, timing: &TimingParams, energy: &EnergyParams) -> Self {
+        let image = LutImage::from_mult_table(&MultLut::new());
+        let row_bytes = geom.row_bytes().get() as usize;
+        let lut_rows = image.row_writes(row_bytes) as u64;
+        let row_writes = lut_rows + 1; // + the CB row
+        // All subarrays of a slice program in parallel from the slice
+        // controller's broadcast; slices proceed in parallel too, but
+        // each row write costs a full slice access (the data comes from
+        // the port side).
+        let cycles = Cycles::new(row_writes);
+        let latency = Latency::from_ns(
+            cycles.count() as f64 * timing.slice_access_ns,
+        );
+        let writes_total = row_writes * geom.total_subarrays() as u64;
+        let energy_total = energy.subarray_row_access() * writes_total
+            + energy.slice_access() * row_writes * geom.slices() as u64;
+        ConfigurationPhase { row_writes_per_subarray: row_writes, latency, energy: energy_total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase() -> ConfigurationPhase {
+        ConfigurationPhase::price(
+            &CacheGeometry::xeon_l3_35mb(),
+            &TimingParams::default(),
+            &EnergyParams::default(),
+        )
+    }
+
+    #[test]
+    fn configuration_is_microseconds_not_milliseconds() {
+        let p = phase();
+        assert!(p.latency.microseconds() < 10.0, "latency {}", p.latency);
+        assert!(p.latency.nanoseconds() > 0.0);
+    }
+
+    #[test]
+    fn row_writes_cover_lut_and_cb() {
+        // 49-byte multiply image = 7 row writes, + 1 CB row = 8.
+        assert_eq!(phase().row_writes_per_subarray, 8);
+    }
+
+    #[test]
+    fn energy_scales_with_subarray_count() {
+        let small = ConfigurationPhase::price(
+            &CacheGeometry::single_slice_2_5mb(),
+            &TimingParams::default(),
+            &EnergyParams::default(),
+        );
+        let large = phase();
+        assert!(large.energy > small.energy * 10.0);
+    }
+}

@@ -1,0 +1,528 @@
+//! The BFree performance and energy simulator (paper §IV-C, §V).
+//!
+//! For every layer the simulator prices the execution-flow phases of
+//! Fig. 11: weight loading from main memory, systolic input streaming
+//! (overlapped with compute — the core advantage over load-then-compute
+//! designs, §V-D), the LUT/BCE compute itself, requantization and
+//! writeback. Batch size > 1 follows the paper's policy of holding
+//! intermediates in next-level memory (Fig. 14), which re-exposes input
+//! load time; batch 1 keeps intermediates in SRAM.
+
+use pim_arch::{
+    Bytes, Cycles, Energy, EnergyBreakdown, EnergyComponent, Latency, LatencyBreakdown, Phase,
+};
+use pim_baselines::{InferenceModel, LayerTiming, RunReport};
+use pim_bce::power::{ADD_PJ, ROM_READ_PJ, SHIFT_PJ};
+use pim_bce::{BceMode, Precision};
+use pim_nn::{LayerOp, LayerSpec, Network};
+use pim_systolic::SystolicSchedule;
+
+use crate::config::BfreeConfig;
+use crate::controller::ConfigurationPhase;
+use crate::mapping::{Mapper, Mapping};
+
+/// Fraction of peak MAC throughput conv mode sustains: the direct
+/// dataflow streams dense input waves, so only pipeline bubbles and
+/// filter-edge effects are lost.
+const CONV_EFFICIENCY: f64 = 0.90;
+
+/// Fraction of peak matmul-mode throughput sustained: tile edge effects
+/// (outputs in groups of eight), output-register pressure and the shared
+/// sub-bank data bus cost more here. Calibrated against the paper's
+/// Fig. 13 iso-area Eyeriss comparison (3.97x with a 12x12 PE array);
+/// see DESIGN.md §4.
+const MATMUL_EFFICIENCY: f64 = 0.45;
+
+/// Subarray row reads per MAC: in conv mode every 8-byte weight row
+/// feeds eight int8 MACs.
+const CONV_MACS_PER_ROW_READ: f64 = 8.0;
+
+/// In matmul mode the hardwired ROM and the input registers halve the
+/// subarray weight traffic (§III-C1: intermediates live in the
+/// reduced-cost rows, weights are broadcast through the switch MUX).
+const MATMUL_MACS_PER_ROW_READ: f64 = 16.0;
+
+/// The BFree simulator.
+///
+/// ```
+/// use bfree::{BfreeConfig, BfreeSimulator};
+/// use pim_baselines::InferenceModel;
+/// use pim_nn::networks;
+///
+/// let sim = BfreeSimulator::new(BfreeConfig::paper_default());
+/// let report = sim.run(&networks::inception_v3(), 1);
+/// // Weight loading from DRAM dominates (Fig. 12(b)).
+/// assert!(report.latency.fraction(pim_arch::Phase::WeightLoad) > 0.3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BfreeSimulator {
+    config: BfreeConfig,
+    mapper: Mapper,
+}
+
+impl BfreeSimulator {
+    /// Creates a simulator from a configuration.
+    pub fn new(config: BfreeConfig) -> Self {
+        let mapper = Mapper::new(config.geometry.clone());
+        BfreeSimulator { config, mapper }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BfreeConfig {
+        &self.config
+    }
+
+    /// The mapper in use.
+    pub fn mapper(&self) -> &Mapper {
+        &self.mapper
+    }
+
+    /// The mapping the simulator will use for a layer at a batch size.
+    pub fn layer_mapping(&self, layer: &LayerSpec, batch: usize) -> Option<Mapping> {
+        if !layer.is_weight_layer() {
+            return None;
+        }
+        let mode = if self.config.uses_matmul(layer, batch) {
+            BceMode::MatMul
+        } else {
+            BceMode::Conv
+        };
+        Some(self.mapper.map_layer_tiled(layer, mode, Precision::Int8))
+    }
+
+    /// BCE dynamic energy per MAC at a mode and precision, from the
+    /// datapath event counts (ROM reads, adds, shifts).
+    fn per_mac_pj(mode: BceMode, precision: Precision) -> f64 {
+        let (rom, adds, shifts) = match (mode, precision) {
+            (_, Precision::Int4) => (1.0, 1.0, 1.0),
+            (BceMode::Conv, Precision::Int8) => (4.0, 4.0, 2.0),
+            (BceMode::MatMul, Precision::Int8) => (4.0, 2.0, 2.0),
+            (_, Precision::Int16) => (16.0, 16.0, 4.0),
+        };
+        rom * ROM_READ_PJ + adds * ADD_PJ + shifts * SHIFT_PJ
+    }
+
+    /// Sequential steps a layer must serialize (LSTM time steps; 1 for
+    /// everything else).
+    fn sequential_steps(layer: &LayerSpec) -> u64 {
+        match layer.op() {
+            LayerOp::Lstm { .. } | LayerOp::Gru { .. } => {
+                layer.input_shape().dims()[0] as u64
+            }
+            _ => 1,
+        }
+    }
+
+    fn clock_ghz(&self) -> f64 {
+        self.config.timing.subarray_clock_ghz
+    }
+}
+
+impl InferenceModel for BfreeSimulator {
+    fn device_name(&self) -> &str {
+        "BFree"
+    }
+
+    fn run(&self, network: &Network, batch: usize) -> RunReport {
+        let batch = batch.max(1) as u64;
+        let geom = &self.config.geometry;
+        let energy_params = &self.config.energy;
+        let mem = &self.config.memory;
+        let lut_profile = self.config.lut_design.profile(&self.config.timing, energy_params);
+
+        let mut latency = LatencyBreakdown::new();
+        let mut energy = EnergyBreakdown::new();
+        let mut per_layer = Vec::new();
+
+        // Configuration phase (Fig. 11): LUT rows + CBs, once.
+        let configuration =
+            ConfigurationPhase::price(geom, &self.config.timing, energy_params);
+        latency.add(Phase::Config, configuration.latency);
+        energy.add(EnergyComponent::SubarrayAccess, configuration.energy);
+
+        let weight_names: Vec<&str> = network.weight_layers().map(|l| l.name()).collect();
+        let grid_rows = geom.subarrays_per_subbank();
+        let grid_cols = geom.subbanks_per_slice();
+        let mut first_weight_layer = true;
+
+        for layer in network.layers() {
+            let mut layer_latency = Latency::ZERO;
+            let precision = self.config.precision.layer_precision(layer, &weight_names);
+            let bits = precision.bits() as u64;
+
+            if layer.is_weight_layer() {
+                let mode = if self.config.uses_matmul(layer, batch as usize) {
+                    BceMode::MatMul
+                } else {
+                    BceMode::Conv
+                };
+                let mapping = self.mapper.map_layer_tiled(layer, mode, precision);
+
+                // Phase 1: weights from main memory, once per batch.
+                let weight_bytes = Bytes::new(layer.weight_bytes(precision.bits()));
+                let t_weight = mem.transfer_time(weight_bytes);
+                latency.add(Phase::WeightLoad, t_weight);
+                energy.add(EnergyComponent::Dram, mem.transfer_energy(weight_bytes));
+                // Distributing weights to the subarrays crosses the
+                // slice interconnect once, and the replica broadcast to
+                // all slices rides the ring (Fig. 1(a)); the ring's
+                // bandwidth exceeds DRAM's, so only its energy shows.
+                let lines = weight_bytes.get().div_ceil(64);
+                energy.add(EnergyComponent::Interconnect, energy_params.slice_access() * lines);
+                let (_, ring_energy) = self.config.ring.broadcast(weight_bytes);
+                energy.add(EnergyComponent::Interconnect, ring_energy);
+                layer_latency += t_weight;
+
+                // Phase 2: systolic compute, overlapped with input
+                // streaming.
+                let macs = layer.macs() * batch;
+                let steps = Self::sequential_steps(layer);
+                let efficiency = match mode {
+                    BceMode::Conv => CONV_EFFICIENCY,
+                    BceMode::MatMul => MATMUL_EFFICIENCY,
+                };
+                let compute_cycles = (macs as f64
+                    / (mapping.macs_per_cycle() * efficiency))
+                    .ceil() as u64;
+                let fill = SystolicSchedule::new(grid_rows, grid_cols, 1)
+                    .map(|s| s.fill_steps())
+                    .unwrap_or(0);
+                let t_compute = Cycles::new(compute_cycles + fill * steps)
+                    .at_ghz(self.clock_ghz());
+
+                // Sequential layers also pay a state-broadcast between
+                // steps (LSTM hidden-state feedback over the slice
+                // interconnect).
+                let t_seq = if steps > 1 {
+                    // Per-step hidden state (output elements / timesteps)
+                    // broadcasts over the slice interconnect.
+                    let state_elements = layer.output_elements() / steps;
+                    let lines = (state_elements * bits / 8).div_ceil(64).max(1);
+                    Latency::from_ns(
+                        (steps * lines) as f64 * self.config.timing.slice_access_ns,
+                    )
+                } else {
+                    Latency::ZERO
+                };
+
+                // Input streaming: from DRAM for the first layer and for
+                // batched runs (intermediates live in next-level memory,
+                // Fig. 14); from SRAM otherwise.
+                let input_bytes = Bytes::new(layer.input_elements() * batch * bits / 8);
+                let input_from_dram = first_weight_layer || batch > 1;
+                let t_input = if input_from_dram {
+                    energy.add(EnergyComponent::Dram, mem.transfer_energy(input_bytes));
+                    mem.transfer_time(input_bytes)
+                } else {
+                    Latency::ZERO
+                };
+
+                let t_exec = t_compute.max(t_input) + t_seq;
+                latency.add(Phase::Compute, t_compute + t_seq);
+                latency.add(Phase::InputLoad, t_exec - t_compute - t_seq);
+                layer_latency += t_exec;
+
+                // Phase 3: requantization in place (§V-D: gemmlowp scale
+                // + bias + shift by all hosting subarrays).
+                let outputs = layer.output_elements() * batch;
+                let quant_cycles =
+                    (outputs * 3).div_ceil(mapping.active_subarrays.max(1) as u64);
+                let t_quant = Cycles::new(quant_cycles).at_ghz(self.clock_ghz());
+                latency.add(Phase::Quantize, t_quant);
+                layer_latency += t_quant;
+
+                // Writeback: to DRAM when batching, to SRAM rows
+                // otherwise.
+                let output_bytes = Bytes::new(outputs * bits / 8);
+                if batch > 1 {
+                    let t_wb = mem.transfer_time(output_bytes);
+                    latency.add(Phase::Writeback, t_wb);
+                    energy.add(EnergyComponent::Dram, mem.transfer_energy(output_bytes));
+                    layer_latency += t_wb;
+                } else {
+                    let rows = output_bytes.get().div_ceil(geom.row_bytes().get());
+                    energy.add(
+                        EnergyComponent::SubarrayAccess,
+                        energy_params.subarray_row_access() * rows,
+                    );
+                }
+
+                // Energy: subarray weight reads, BCE datapath, partials
+                // in the reduced-cost rows, router hops, BCE mode power.
+                let macs_per_row = match mode {
+                    BceMode::Conv => CONV_MACS_PER_ROW_READ,
+                    BceMode::MatMul => MATMUL_MACS_PER_ROW_READ,
+                };
+                let row_reads = (macs as f64 / macs_per_row).ceil();
+                energy.add(
+                    EnergyComponent::SubarrayAccess,
+                    energy_params.subarray_row_access() * row_reads,
+                );
+                energy.add(
+                    EnergyComponent::Bce,
+                    Energy::from_pj(Self::per_mac_pj(mode, precision)) * macs,
+                );
+                // One partial-product park + fetch in the fast rows per
+                // 64-MAC reduction window.
+                energy.add(
+                    EnergyComponent::LutAccess,
+                    lut_profile.read_energy * ((macs / 64) * 2),
+                );
+                // Partial sums hop between subarrays every reduction
+                // window; inputs hop across sub-banks.
+                let hops = macs / 64 + layer.input_elements() * batch;
+                energy.add(
+                    EnergyComponent::Router,
+                    energy_params.router_transfer(1, 1) * (hops * 8),
+                );
+                // BCE active power over the compute window.
+                let mode_mw = match mode {
+                    BceMode::Conv => energy_params.bce_conv_mode_mw,
+                    BceMode::MatMul => energy_params.bce_matmul_mode_mw,
+                };
+                energy.add(
+                    EnergyComponent::Bce,
+                    energy_params.bce_power_energy(
+                        mode_mw,
+                        t_compute,
+                        mapping.active_subarrays,
+                    ),
+                );
+                first_weight_layer = false;
+            } else {
+                // Non-MAC layers: pooling, activations, normalization,
+                // residual adds, softmax — all LUT/BCE element work
+                // spread across every subarray holding data.
+                let ops = layer.element_ops() * batch;
+                if ops > 0 {
+                    let active = geom.total_subarrays() as u64;
+                    let cycles = ops.div_ceil(active);
+                    let t = Cycles::new(cycles).at_ghz(self.clock_ghz());
+                    latency.add(Phase::Compute, t);
+                    layer_latency += t;
+                    let needs_lut = match layer.op() {
+                        LayerOp::Activation(act) => act.needs_lut(),
+                        LayerOp::Pool { kind: pim_nn::PoolKind::Avg, .. } => true,
+                        LayerOp::GlobalAvgPool | LayerOp::LayerNorm => true,
+                        _ => false,
+                    };
+                    if needs_lut {
+                        energy.add(EnergyComponent::LutAccess, lut_profile.read_energy * ops);
+                    }
+                    energy.add(EnergyComponent::Bce, Energy::from_pj(ADD_PJ) * ops);
+                }
+            }
+
+            if layer.is_weight_layer() || layer.element_ops() > 0 {
+                per_layer.push(LayerTiming {
+                    name: layer.name().to_string(),
+                    latency: layer_latency,
+                    macs: layer.macs() * batch,
+                });
+            }
+        }
+
+        // Final results gather across the ring to the port slice
+        // (Fig. 1(a)); batch runs already paid DRAM writeback instead.
+        if batch == 1 {
+            if let Some(last) = network.layers().last() {
+                let per_slice =
+                    Bytes::new(last.output_elements().div_ceil(geom.slices() as u64));
+                let (ring_time, ring_energy) = self.config.ring.gather(per_slice);
+                latency.add(Phase::Writeback, ring_time);
+                energy.add(EnergyComponent::Interconnect, ring_energy);
+            }
+        }
+
+        // Controllers run for the whole execution.
+        energy.add(
+            EnergyComponent::Controller,
+            energy_params.controller_static(latency.total(), geom.slices()),
+        );
+
+        RunReport {
+            device: self.device_name().to_string(),
+            network: network.name().to_string(),
+            batch: batch as usize,
+            latency,
+            energy,
+            per_layer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConvDataflow;
+    use pim_arch::MemoryTech;
+    use pim_nn::networks;
+
+    fn sim() -> BfreeSimulator {
+        BfreeSimulator::new(BfreeConfig::paper_default())
+    }
+
+    #[test]
+    fn inception_batch1_runs_in_milliseconds() {
+        let report = sim().run(&networks::inception_v3(), 1);
+        let ms = report.total_latency().milliseconds();
+        assert!((1.0..20.0).contains(&ms), "total {ms} ms");
+    }
+
+    #[test]
+    fn weight_load_dominates_inception_runtime() {
+        // Fig. 12(b): the majority of BFree runtime is DRAM filter
+        // loading.
+        let report = sim().run(&networks::inception_v3(), 1);
+        let frac = report.latency.fraction(Phase::WeightLoad);
+        assert!(frac > 0.35, "weight-load fraction {frac}");
+    }
+
+    #[test]
+    fn dram_dominates_total_energy() {
+        // §V-D: "almost 80% of the energy is attributed to the weight
+        // loading phase from DRAM".
+        let report = sim().run(&networks::inception_v3(), 1);
+        let frac = report.energy.fraction(EnergyComponent::Dram);
+        assert!((0.6..0.95).contains(&frac), "dram fraction {frac}");
+    }
+
+    #[test]
+    fn sa_access_and_bce_dominate_cache_energy() {
+        // Fig. 12(d): SA access + BCE ~ 85% of the non-DRAM energy.
+        let report = sim().run(&networks::inception_v3(), 1);
+        let sa = report.energy.fraction_excluding(
+            EnergyComponent::SubarrayAccess,
+            EnergyComponent::Dram,
+        );
+        let bce =
+            report.energy.fraction_excluding(EnergyComponent::Bce, EnergyComponent::Dram);
+        assert!(
+            (0.6..1.0).contains(&(sa + bce)),
+            "sa {sa:.2} + bce {bce:.2} = {:.2}",
+            sa + bce
+        );
+    }
+
+    #[test]
+    fn batch_16_amortizes_weight_loads_for_bert() {
+        // Table III: BERT-base drops from 5.3 ms to 1.2 ms per inference
+        // at batch 16 — weights dominate, so batching amortizes them.
+        let s = sim();
+        let b1 = s.run(&networks::bert_base(), 1);
+        let b16 = s.run(&networks::bert_base(), 16);
+        assert!(b16.per_inference_latency() < b1.per_inference_latency());
+        // For Inception under 20 GB/s DRAM, batching instead exposes the
+        // intermediate-feature traffic (Fig. 14's bottleneck): weight
+        // load per inference shrinks, IO time grows.
+        let i1 = s.run(&networks::inception_v3(), 1);
+        let i16 = s.run(&networks::inception_v3(), 16);
+        assert!(
+            i16.latency.get(Phase::WeightLoad) == i1.latency.get(Phase::WeightLoad)
+        );
+        assert!(
+            i16.latency.get(Phase::InputLoad) + i16.latency.get(Phase::Writeback)
+                > i1.latency.get(Phase::InputLoad) + i1.latency.get(Phase::Writeback)
+        );
+    }
+
+    #[test]
+    fn batch_16_exposes_input_load_time() {
+        // Fig. 14: with batching, intermediates live in next-level
+        // memory and input load time appears.
+        let s = sim();
+        let b16 = s.run(&networks::vgg16(), 16);
+        let io = b16.latency.get(Phase::InputLoad) + b16.latency.get(Phase::Writeback);
+        assert!(io.milliseconds() > 0.1, "io {}", io);
+    }
+
+    #[test]
+    fn hbm_shrinks_load_phases() {
+        let dram_sim = sim();
+        let hbm_sim =
+            BfreeSimulator::new(BfreeConfig::paper_default().with_memory(MemoryTech::hbm()));
+        let a = dram_sim.run(&networks::vgg16(), 16);
+        let b = hbm_sim.run(&networks::vgg16(), 16);
+        assert!(
+            b.latency.get(Phase::WeightLoad) < a.latency.get(Phase::WeightLoad) * 0.3
+        );
+        assert!(b.total_latency() < a.total_latency());
+    }
+
+    #[test]
+    fn matmul_dataflow_beats_direct_for_vgg_compute() {
+        let direct = BfreeSimulator::new(
+            BfreeConfig::paper_default().with_conv_dataflow(ConvDataflow::Direct),
+        );
+        let matmul = BfreeSimulator::new(
+            BfreeConfig::paper_default().with_conv_dataflow(ConvDataflow::Im2col),
+        );
+        let a = direct.run(&networks::vgg16(), 1);
+        let b = matmul.run(&networks::vgg16(), 1);
+        assert!(
+            b.latency.get(Phase::Compute) < a.latency.get(Phase::Compute) / 3.0,
+            "matmul {} vs direct {}",
+            b.latency.get(Phase::Compute),
+            a.latency.get(Phase::Compute)
+        );
+    }
+
+    #[test]
+    fn mixed_precision_halves_vgg_execution() {
+        // Fig. 14: varied bit-precision cuts ~50% of execution versus
+        // uniform 8-bit (weight load included).
+        let int8 = sim();
+        let mixed = BfreeSimulator::new(
+            BfreeConfig::paper_default()
+                .with_precision(crate::precision::PrecisionPolicy::mixed()),
+        );
+        let a = int8.run(&networks::vgg16(), 1);
+        let b = mixed.run(&networks::vgg16(), 1);
+        let ratio = b.total_latency().ratio(a.total_latency());
+        assert!((0.35..0.75).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn lstm_pays_sequential_broadcasts() {
+        let report = sim().run(&networks::lstm_timit(), 1);
+        // 300 sequential steps keep LSTM well above a pure
+        // throughput-bound time but still far under a millisecond per
+        // step.
+        let ms = report.total_latency().milliseconds();
+        assert!((0.05..5.0).contains(&ms), "lstm {ms} ms");
+    }
+
+    #[test]
+    fn per_layer_timings_present_for_figures() {
+        let report = sim().run(&networks::inception_v3(), 1);
+        assert!(report.per_layer.len() > 90);
+        let mixed_5b: Vec<_> =
+            report.per_layer.iter().filter(|l| l.name.starts_with("Mixed_5b")).collect();
+        assert!(!mixed_5b.is_empty());
+    }
+
+    #[test]
+    fn int16_precision_slows_and_grows_weights() {
+        let int8 = sim();
+        let int16 = BfreeSimulator::new(BfreeConfig::paper_default().with_precision(
+            crate::precision::PrecisionPolicy::Uniform(Precision::Int16),
+        ));
+        let net = networks::lstm_timit();
+        let a = int8.run(&net, 1);
+        let b = int16.run(&net, 1);
+        // Twice the weight bytes and a quarter of the matmul throughput.
+        let weight_ratio = b
+            .latency
+            .get(Phase::WeightLoad)
+            .ratio(a.latency.get(Phase::WeightLoad));
+        assert!((weight_ratio - 2.0).abs() < 0.01, "weight ratio {weight_ratio}");
+        assert!(b.latency.get(Phase::Compute) > a.latency.get(Phase::Compute) * 2.0);
+        assert!(b.total_latency() > a.total_latency());
+    }
+
+    #[test]
+    fn config_phase_is_negligible() {
+        let report = sim().run(&networks::inception_v3(), 1);
+        assert!(report.latency.fraction(Phase::Config) < 0.01);
+    }
+}

@@ -1,0 +1,227 @@
+//! The hierarchical execution-flow state machine of Fig. 11.
+//!
+//! The paper draws kernel execution as an explicit flow: the cache
+//! controller decodes an in-memory instruction, runs the *configuration
+//! phase* (program LUT rows, program slice controllers, distribute
+//! weights, program CBs), then the *computation phase* (stream inputs,
+//! compute, accumulate systolically, redistribute, write back). This
+//! module encodes that flow as a typed state machine with an event log,
+//! so the simulator's phase accounting has an inspectable, test-backed
+//! counterpart.
+
+use serde::{Deserialize, Serialize};
+
+/// States of the kernel execution flow (the boxes of Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowState {
+    /// Waiting for an in-memory instruction.
+    Idle,
+    /// Decoding the kernel instruction at the cache controller.
+    DecodeInstruction,
+    /// Loading LUT rows with the kernel's entries.
+    ProgramLuts,
+    /// Programming the slice controllers with kernel control data.
+    ProgramSliceControllers,
+    /// Broadcasting and distributing weights across slices/subarrays.
+    DistributeWeights,
+    /// Programming each BCE's configuration block.
+    ProgramConfigBlocks,
+    /// Streaming inputs into the first sub-bank's BCEs.
+    StreamInputs,
+    /// LUT/BCE compute with systolic accumulation.
+    Compute,
+    /// Redistributing accumulated results across sub-arrays.
+    Redistribute,
+    /// Writing results to the subarrays or next-level memory.
+    Writeback,
+    /// Kernel complete.
+    Done,
+}
+
+impl FlowState {
+    /// The legal successor of this state in the Fig. 11 flow.
+    pub fn next(self) -> FlowState {
+        match self {
+            FlowState::Idle => FlowState::DecodeInstruction,
+            FlowState::DecodeInstruction => FlowState::ProgramLuts,
+            FlowState::ProgramLuts => FlowState::ProgramSliceControllers,
+            FlowState::ProgramSliceControllers => FlowState::DistributeWeights,
+            FlowState::DistributeWeights => FlowState::ProgramConfigBlocks,
+            FlowState::ProgramConfigBlocks => FlowState::StreamInputs,
+            FlowState::StreamInputs => FlowState::Compute,
+            FlowState::Compute => FlowState::Redistribute,
+            FlowState::Redistribute => FlowState::Writeback,
+            FlowState::Writeback => FlowState::Done,
+            FlowState::Done => FlowState::Done,
+        }
+    }
+
+    /// Whether the state belongs to the configuration phase (Fig. 11's
+    /// upper half).
+    pub fn is_configuration(self) -> bool {
+        matches!(
+            self,
+            FlowState::DecodeInstruction
+                | FlowState::ProgramLuts
+                | FlowState::ProgramSliceControllers
+                | FlowState::DistributeWeights
+                | FlowState::ProgramConfigBlocks
+        )
+    }
+
+    /// Whether the state belongs to the computation phase.
+    pub fn is_computation(self) -> bool {
+        matches!(
+            self,
+            FlowState::StreamInputs
+                | FlowState::Compute
+                | FlowState::Redistribute
+                | FlowState::Writeback
+        )
+    }
+
+    /// Short label for traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlowState::Idle => "idle",
+            FlowState::DecodeInstruction => "decode-instruction",
+            FlowState::ProgramLuts => "program-luts",
+            FlowState::ProgramSliceControllers => "program-slice-controllers",
+            FlowState::DistributeWeights => "distribute-weights",
+            FlowState::ProgramConfigBlocks => "program-config-blocks",
+            FlowState::StreamInputs => "stream-inputs",
+            FlowState::Compute => "compute",
+            FlowState::Redistribute => "redistribute",
+            FlowState::Writeback => "writeback",
+            FlowState::Done => "done",
+        }
+    }
+}
+
+/// A kernel execution flow with an event log.
+///
+/// ```
+/// use bfree::flow::{FlowState, KernelFlow};
+/// let mut flow = KernelFlow::new("conv kernel");
+/// let log = flow.run_to_completion();
+/// assert_eq!(log.first().copied(), Some(FlowState::DecodeInstruction));
+/// assert_eq!(flow.state(), FlowState::Done);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelFlow {
+    kernel: String,
+    state: FlowState,
+    log: Vec<FlowState>,
+}
+
+impl KernelFlow {
+    /// Creates an idle flow for a named kernel.
+    pub fn new(kernel: impl Into<String>) -> Self {
+        KernelFlow { kernel: kernel.into(), state: FlowState::Idle, log: Vec::new() }
+    }
+
+    /// The kernel name.
+    pub fn kernel(&self) -> &str {
+        &self.kernel
+    }
+
+    /// The current state.
+    pub fn state(&self) -> FlowState {
+        self.state
+    }
+
+    /// Advances one state, logging the transition. Returns the new
+    /// state.
+    pub fn step(&mut self) -> FlowState {
+        self.state = self.state.next();
+        if self.state != FlowState::Done || self.log.last() != Some(&FlowState::Done) {
+            self.log.push(self.state);
+        }
+        self.state
+    }
+
+    /// Runs to completion, returning the ordered state log.
+    pub fn run_to_completion(&mut self) -> Vec<FlowState> {
+        while self.state != FlowState::Done {
+            self.step();
+        }
+        self.log.clone()
+    }
+
+    /// The transition log so far.
+    pub fn log(&self) -> &[FlowState] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_visits_every_fig11_box_in_order() {
+        let mut flow = KernelFlow::new("test");
+        let log = flow.run_to_completion();
+        assert_eq!(
+            log,
+            vec![
+                FlowState::DecodeInstruction,
+                FlowState::ProgramLuts,
+                FlowState::ProgramSliceControllers,
+                FlowState::DistributeWeights,
+                FlowState::ProgramConfigBlocks,
+                FlowState::StreamInputs,
+                FlowState::Compute,
+                FlowState::Redistribute,
+                FlowState::Writeback,
+                FlowState::Done,
+            ]
+        );
+    }
+
+    #[test]
+    fn configuration_precedes_computation() {
+        let mut flow = KernelFlow::new("ordering");
+        let log = flow.run_to_completion();
+        let last_config =
+            log.iter().rposition(|s| s.is_configuration()).expect("config states present");
+        let first_compute =
+            log.iter().position(|s| s.is_computation()).expect("compute states present");
+        assert!(last_config < first_compute);
+    }
+
+    #[test]
+    fn phases_partition_the_flow() {
+        for state in [
+            FlowState::DecodeInstruction,
+            FlowState::ProgramLuts,
+            FlowState::StreamInputs,
+            FlowState::Writeback,
+        ] {
+            assert!(state.is_configuration() ^ state.is_computation());
+        }
+        assert!(!FlowState::Idle.is_configuration() && !FlowState::Idle.is_computation());
+        assert!(!FlowState::Done.is_configuration() && !FlowState::Done.is_computation());
+    }
+
+    #[test]
+    fn done_is_absorbing() {
+        let mut flow = KernelFlow::new("absorbing");
+        flow.run_to_completion();
+        let log_len = flow.log().len();
+        flow.step();
+        flow.step();
+        assert_eq!(flow.state(), FlowState::Done);
+        assert_eq!(flow.log().len(), log_len, "done must not re-log");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut flow = KernelFlow::new("labels");
+        let mut labels: Vec<&str> =
+            flow.run_to_completion().iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 10);
+    }
+}

@@ -1,0 +1,726 @@
+//! Value-level execution of quantized networks through the actual BFree
+//! LUT datapath.
+//!
+//! Where [`exec`](crate::exec) prices *cost*, this module computes
+//! *values*: convolutions run as im2col + BCE matmul tiles over the
+//! nibble-ROM datapath, activations and softmax go through the PWL and
+//! division LUTs, and everything is compared against the f32 reference
+//! in `pim_nn::reference` — the end-to-end validation that the LUT
+//! arithmetic really performs inference.
+
+use std::error::Error;
+use std::fmt;
+
+use pim_bce::{Bce, BceMode};
+use pim_lut::LutError;
+use pim_nn::im2col::im2col;
+use pim_nn::quant::QuantParams;
+use pim_nn::reference;
+use pim_nn::tensor::{Tensor, TensorShape};
+use pim_nn::NnError;
+
+/// Errors from the functional pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// A tensor/layer shape problem.
+    Nn(NnError),
+    /// A LUT construction or evaluation problem.
+    Lut(LutError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Nn(e) => write!(f, "workload error: {e}"),
+            PipelineError::Lut(e) => write!(f, "lut error: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+impl From<NnError> for PipelineError {
+    fn from(e: NnError) -> Self {
+        PipelineError::Nn(e)
+    }
+}
+
+impl From<LutError> for PipelineError {
+    fn from(e: LutError) -> Self {
+        PipelineError::Lut(e)
+    }
+}
+
+/// The functional BFree pipeline: a matmul-mode BCE plus quantization
+/// glue.
+///
+/// ```
+/// use bfree::functional::FunctionalPipeline;
+/// use pim_nn::tensor::{Tensor, TensorShape};
+///
+/// let pipeline = FunctionalPipeline::new()?;
+/// let input = Tensor::from_fn(TensorShape::chw(1, 4, 4), |i| (i[1] + i[2]) as f32 * 0.1);
+/// let filters = Tensor::from_fn(TensorShape::new(vec![2, 1, 3, 3]), |_| 0.1f32);
+/// let out = pipeline.conv2d(&input, &filters, &[0.0, 0.0], (1, 1), (1, 1))?;
+/// assert_eq!(out.shape().dims(), &[2, 4, 4]);
+/// # Ok::<(), bfree::functional::PipelineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FunctionalPipeline {
+    bce: Bce,
+}
+
+impl FunctionalPipeline {
+    /// Creates the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LUT construction failures.
+    pub fn new() -> Result<Self, PipelineError> {
+        Ok(FunctionalPipeline { bce: Bce::new(BceMode::MatMul)? })
+    }
+
+    /// Shared access to the underlying BCE (event counters).
+    pub fn bce(&self) -> &Bce {
+        &self.bce
+    }
+
+    /// Quantized matrix multiply through BCE tiles:
+    /// `out[m][n] = sum_k a[m][k] * b[k][n]`, with symmetric int8
+    /// quantization of both operands and float dequantization of the
+    /// accumulators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Nn`] for incompatible shapes.
+    pub fn matmul(&self, a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>, PipelineError> {
+        let (ad, bd) = (a.shape().dims(), b.shape().dims());
+        if ad.len() != 2 || bd.len() != 2 || ad[1] != bd[0] {
+            return Err(NnError::ShapeMismatch {
+                context: "functional matmul",
+                detail: format!("{} x {}", a.shape(), b.shape()),
+            }
+            .into());
+        }
+        let (m, k, n) = (ad[0], ad[1], bd[1]);
+        let qp_a = symmetric_params(a);
+        let qp_b = symmetric_params(b);
+        let qa = qp_a.quantize_tensor(a);
+        let qb = qp_b.quantize_tensor(b);
+        let scale = (qp_a.scale() * qp_b.scale()) as f32;
+
+        let mut out = Tensor::zeros(TensorShape::new(vec![m, n]));
+        // Process output columns in groups of eight — one BCE tile.
+        for n0 in (0..n).step_by(8) {
+            let width = (n - n0).min(8);
+            // Tile rows: row k holds b[k][n0..n0+8].
+            let tile: Vec<[i8; 8]> = (0..k)
+                .map(|kk| {
+                    std::array::from_fn(|j| {
+                        if j < width {
+                            qb.data()[kk * n + n0 + j]
+                        } else {
+                            0
+                        }
+                    })
+                })
+                .collect();
+            for i in 0..m {
+                let stream: Vec<i8> = (0..k).map(|kk| qa.data()[i * k + kk]).collect();
+                let (accs, _) = self.bce.matmul_tile(&stream, &tile);
+                for (j, &acc) in accs.iter().take(width).enumerate() {
+                    out.data_mut()[i * n + n0 + j] = acc as f32 * scale;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Quantized convolution: im2col then tiled BCE matmul, plus bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Nn`] for incompatible shapes.
+    pub fn conv2d(
+        &self,
+        input: &Tensor<f32>,
+        filters: &Tensor<f32>,
+        bias: &[f32],
+        stride: (usize, usize),
+        padding: (usize, usize),
+    ) -> Result<Tensor<f32>, PipelineError> {
+        let fdims = filters.shape().dims().to_vec();
+        if fdims.len() != 4 || bias.len() != fdims[0] {
+            return Err(NnError::ShapeMismatch {
+                context: "functional conv2d",
+                detail: format!("filters {}", filters.shape()),
+            }
+            .into());
+        }
+        let unrolled = im2col(input, (fdims[2], fdims[3]), stride, padding)?;
+        let flat = pim_nn::im2col::flatten_filters(filters)?; // (N, C*KH*KW)
+        // out (N, cols) = flat (N, rows) * unrolled (rows, cols).
+        let product = self.matmul(&flat, &unrolled)?;
+        let idims = input.shape().dims();
+        let oh = (idims[1] + 2 * padding.0 - fdims[2]) / stride.0 + 1;
+        let ow = (idims[2] + 2 * padding.1 - fdims[3]) / stride.1 + 1;
+        let mut out = Tensor::zeros(TensorShape::chw(fdims[0], oh, ow));
+        let cols = oh * ow;
+        for (f, &bias_f) in bias.iter().enumerate() {
+            for c in 0..cols {
+                out.data_mut()[f * cols + c] = product.data()[f * cols + c] + bias_f;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Quantized convolution executed through the cycle-stepped systolic
+    /// array (the executable spec of Fig. 9's mapping): the flattened
+    /// filter matrix is stationary in the grid, im2col columns stream
+    /// through as input waves, and partial sums reduce down the grid.
+    /// Returns the output plus the systolic cycle count and link hops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Nn`] for incompatible shapes.
+    pub fn conv2d_systolic(
+        &self,
+        input: &Tensor<f32>,
+        filters: &Tensor<f32>,
+        bias: &[f32],
+        stride: (usize, usize),
+        padding: (usize, usize),
+    ) -> Result<(Tensor<f32>, u64, u64), PipelineError> {
+        use pim_systolic::SystolicArraySim;
+
+        let fdims = filters.shape().dims().to_vec();
+        if fdims.len() != 4 || bias.len() != fdims[0] {
+            return Err(NnError::ShapeMismatch {
+                context: "functional systolic conv2d",
+                detail: format!("filters {}", filters.shape()),
+            }
+            .into());
+        }
+        let unrolled = im2col(input, (fdims[2], fdims[3]), stride, padding)?;
+        let flat = pim_nn::im2col::flatten_filters(filters)?; // (N, rows)
+
+        // Quantize both operands symmetrically, as the matmul path does.
+        let qp_w = symmetric_params(&flat);
+        let qp_x = symmetric_params(&unrolled);
+        let qw = qp_w.quantize_tensor(&flat);
+        let qx = qp_x.quantize_tensor(&unrolled);
+        let scale = (qp_w.scale() * qp_x.scale()) as f32;
+
+        // Weight-stationary grid: rows = c*kh*kw, cols = filters.
+        let (n_filters, rows) = (fdims[0], flat.shape().dims()[1]);
+        let weights: Vec<Vec<i32>> = (0..rows)
+            .map(|r| (0..n_filters).map(|f| qw.data()[f * rows + r] as i32).collect())
+            .collect();
+        let sim = SystolicArraySim::new(weights).map_err(|e| {
+            PipelineError::Nn(NnError::ShapeMismatch {
+                context: "systolic grid",
+                detail: e.to_string(),
+            })
+        })?;
+
+        // Each im2col column is one input wave.
+        let cols = unrolled.shape().dims()[1];
+        let waves: Vec<Vec<i32>> = (0..cols)
+            .map(|c| (0..rows).map(|r| qx.data()[r * cols + c] as i32).collect())
+            .collect();
+        let result = sim.run(&waves).map_err(|e| {
+            PipelineError::Nn(NnError::ShapeMismatch {
+                context: "systolic stream",
+                detail: e.to_string(),
+            })
+        })?;
+
+        let idims = input.shape().dims();
+        let oh = (idims[1] + 2 * padding.0 - fdims[2]) / stride.0 + 1;
+        let ow = (idims[2] + 2 * padding.1 - fdims[3]) / stride.1 + 1;
+        let mut out = Tensor::zeros(TensorShape::chw(n_filters, oh, ow));
+        for (wave, accs) in result.outputs.iter().enumerate() {
+            for (f, &acc) in accs.iter().enumerate() {
+                out.data_mut()[f * cols + wave] = acc as f32 * scale + bias[f];
+            }
+        }
+        Ok((out, result.cycles, result.hops))
+    }
+
+    /// Quantized convolution with **per-output-channel** weight scales:
+    /// each filter is quantized against its own range, so channels with
+    /// small weights keep their precision. Same BCE datapath as
+    /// [`FunctionalPipeline::conv2d`], different dequantization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Nn`] for incompatible shapes.
+    pub fn conv2d_per_channel(
+        &self,
+        input: &Tensor<f32>,
+        filters: &Tensor<f32>,
+        bias: &[f32],
+        stride: (usize, usize),
+        padding: (usize, usize),
+    ) -> Result<Tensor<f32>, PipelineError> {
+        use pim_nn::quant::ChannelQuantParams;
+
+        let fdims = filters.shape().dims().to_vec();
+        if fdims.len() != 4 || bias.len() != fdims[0] {
+            return Err(NnError::ShapeMismatch {
+                context: "functional per-channel conv2d",
+                detail: format!("filters {}", filters.shape()),
+            }
+            .into());
+        }
+        let unrolled = im2col(input, (fdims[2], fdims[3]), stride, padding)?;
+        let qp_x = symmetric_params(&unrolled);
+        let qx = qp_x.quantize_tensor(&unrolled);
+        let qp_w = ChannelQuantParams::observe(filters)?;
+        let qw = qp_w.quantize_tensor(&pim_nn::im2col::flatten_filters(filters)?);
+
+        let (n_filters, rows) = (fdims[0], qw.shape().dims()[1]);
+        let cols = unrolled.shape().dims()[1];
+        let idims = input.shape().dims();
+        let oh = (idims[1] + 2 * padding.0 - fdims[2]) / stride.0 + 1;
+        let ow = (idims[2] + 2 * padding.1 - fdims[3]) / stride.1 + 1;
+        let mut out = Tensor::zeros(TensorShape::chw(n_filters, oh, ow));
+
+        // One BCE tile per group of eight filters; dequantize each output
+        // channel with its own scale.
+        for f0 in (0..n_filters).step_by(8) {
+            let width = (n_filters - f0).min(8);
+            let tile: Vec<[i8; 8]> = (0..rows)
+                .map(|r| {
+                    std::array::from_fn(|j| {
+                        if j < width {
+                            qw.data()[(f0 + j) * rows + r]
+                        } else {
+                            0
+                        }
+                    })
+                })
+                .collect();
+            for col in 0..cols {
+                let stream: Vec<i8> = (0..rows).map(|r| qx.data()[r * cols + col]).collect();
+                let (accs, _) = self.bce.matmul_tile(&stream, &tile);
+                for j in 0..width {
+                    let scale = (qp_x.scale() * qp_w.scale(f0 + j)) as f32;
+                    out.data_mut()[(f0 + j) * cols + col] =
+                        accs[j] as f32 * scale + bias[f0 + j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Quantized fully-connected layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Nn`] for incompatible shapes.
+    pub fn linear(
+        &self,
+        input: &[f32],
+        weights: &Tensor<f32>, // (out, in)
+        bias: &[f32],
+    ) -> Result<Vec<f32>, PipelineError> {
+        let wdims = weights.shape().dims();
+        if wdims.len() != 2 || wdims[1] != input.len() || bias.len() != wdims[0] {
+            return Err(NnError::ShapeMismatch {
+                context: "functional linear",
+                detail: format!("input {} weights {}", input.len(), weights.shape()),
+            }
+            .into());
+        }
+        let a = Tensor::from_vec(
+            TensorShape::new(vec![1, input.len()]),
+            input.to_vec(),
+        )?;
+        // Transpose weights to (in, out) for the matmul convention.
+        let (o, i) = (wdims[0], wdims[1]);
+        let bt = Tensor::from_fn(TensorShape::new(vec![i, o]), |idx| {
+            weights.data()[idx[1] * i + idx[0]]
+        });
+        let product = self.matmul(&a, &bt)?;
+        Ok(product.data().iter().zip(bias).map(|(&p, &b)| p + b).collect())
+    }
+
+    /// Max pooling on the quantized datapath (exact on i8 values, so
+    /// computed directly on f32 without loss).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Nn`] for a non-rank-3 input.
+    pub fn max_pool2d(
+        &self,
+        input: &Tensor<f32>,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+    ) -> Result<Tensor<f32>, PipelineError> {
+        Ok(reference::max_pool2d(input, kernel, stride)?)
+    }
+
+    /// ReLU (comparator only).
+    pub fn relu(&self, x: &[f32]) -> Vec<f32> {
+        reference::relu(x)
+    }
+
+    /// Sigmoid through the PWL LUT.
+    pub fn sigmoid(&self, x: &[f32]) -> Vec<f64> {
+        let xs: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let (y, _) = self.bce.activation(pim_bce::ActivationKind::Sigmoid, &xs);
+        y
+    }
+
+    /// Tanh through the PWL LUT.
+    pub fn tanh(&self, x: &[f32]) -> Vec<f64> {
+        let xs: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let (y, _) = self.bce.activation(pim_bce::ActivationKind::Tanh, &xs);
+        y
+    }
+
+    /// Softmax through the exp PWL and division LUTs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Lut`] for an empty input.
+    pub fn softmax(&self, logits: &[f32]) -> Result<Vec<f64>, PipelineError> {
+        let ls: Vec<f64> = logits.iter().map(|&v| v as f64).collect();
+        let (y, _) = self.bce.softmax(&ls)?;
+        Ok(y)
+    }
+}
+
+/// Runs a sequential network through the LUT datapath: convolutions and
+/// linear layers as quantized BCE matmuls, activations through the PWL
+/// tables, pooling through the comparator/division path. The LUT-side
+/// twin of [`pim_nn::executor::run_sequential`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Nn`] for unsupported operators or shape
+/// mismatches.
+pub fn run_sequential_lut(
+    pipeline: &FunctionalPipeline,
+    net: &pim_nn::Network,
+    weights: &pim_nn::executor::NetworkWeights,
+    input: &Tensor<f32>,
+) -> Result<Tensor<f32>, PipelineError> {
+    use pim_nn::layers::{Act, LayerOp, PoolKind};
+
+    let mut x = input.clone();
+    for layer in net.layers() {
+        if x.shape() != layer.input_shape()
+            && x.len() == layer.input_shape().volume()
+            && layer.input_shape().rank() == 1
+        {
+            x.reshape(layer.input_shape().clone())?;
+        }
+        if x.shape() != layer.input_shape() {
+            return Err(NnError::ShapeMismatch {
+                context: "lut sequential execution",
+                detail: format!(
+                    "layer {} expects {}, data flow carries {}",
+                    layer.name(),
+                    layer.input_shape(),
+                    x.shape()
+                ),
+            }
+            .into());
+        }
+        x = match *layer.op() {
+            LayerOp::Conv2d { stride, padding, .. } => {
+                let (filters, bias) = weights.conv.get(layer.name()).ok_or_else(|| {
+                    NnError::InvalidLayer {
+                        layer: layer.name().to_string(),
+                        reason: "missing conv weights".to_string(),
+                    }
+                })?;
+                pipeline.conv2d(&x, filters, bias, stride, padding)?
+            }
+            LayerOp::Linear { .. } => {
+                let (w, bias) = weights.linear.get(layer.name()).ok_or_else(|| {
+                    NnError::InvalidLayer {
+                        layer: layer.name().to_string(),
+                        reason: "missing linear weights".to_string(),
+                    }
+                })?;
+                let out = pipeline.linear(x.data(), w, bias)?;
+                Tensor::from_vec(TensorShape::vector(out.len()), out)?
+            }
+            LayerOp::Pool { kind, kernel, stride, .. } => match kind {
+                PoolKind::Max => pipeline.max_pool2d(&x, kernel, stride)?,
+                PoolKind::Avg => reference::avg_pool2d(&x, kernel, stride)?,
+            },
+            LayerOp::Activation(act) => {
+                let data: Vec<f32> = match act {
+                    Act::Relu => pipeline.relu(x.data()),
+                    Act::Sigmoid => {
+                        pipeline.sigmoid(x.data()).into_iter().map(|v| v as f32).collect()
+                    }
+                    Act::Tanh => {
+                        pipeline.tanh(x.data()).into_iter().map(|v| v as f32).collect()
+                    }
+                    Act::Softmax => {
+                        pipeline.softmax(x.data())?.into_iter().map(|v| v as f32).collect()
+                    }
+                    Act::Gelu => {
+                        let arg: Vec<f32> = x
+                            .data()
+                            .iter()
+                            .map(|&v| {
+                                (2.0f32 / std::f32::consts::PI).sqrt()
+                                    * (v + 0.044715 * v * v * v)
+                            })
+                            .collect();
+                        let t = pipeline.tanh(&arg);
+                        x.data()
+                            .iter()
+                            .zip(t)
+                            .map(|(&v, th)| 0.5 * v * (1.0 + th as f32))
+                            .collect()
+                    }
+                };
+                Tensor::from_vec(x.shape().clone(), data)?
+            }
+            LayerOp::GlobalAvgPool => {
+                let dims = x.shape().dims();
+                let (c, hw) = (dims[0], dims[1] * dims[2]);
+                let pooled: Vec<f32> = (0..c)
+                    .map(|ch| x.data()[ch * hw..(ch + 1) * hw].iter().sum::<f32>() / hw as f32)
+                    .collect();
+                Tensor::from_vec(TensorShape::vector(c), pooled)?
+            }
+            _ => {
+                return Err(NnError::InvalidLayer {
+                    layer: layer.name().to_string(),
+                    reason: format!("operator {:?} is not sequential-executable", layer.op()),
+                }
+                .into())
+            }
+        };
+        let expected = layer.output_shape();
+        if x.shape() != &expected && x.len() == expected.volume() {
+            x.reshape(expected)?;
+        }
+    }
+    Ok(x)
+}
+
+fn symmetric_params(t: &Tensor<f32>) -> QuantParams {
+    let amax = t.data().iter().fold(0.0f64, |m, &v| m.max((v as f64).abs()));
+    QuantParams::symmetric(amax)
+}
+
+/// Analytic quantization error bound for a dot product of length `k`
+/// between tensors quantized at scales `sa` and `sb` with magnitude
+/// bounds `amax`/`bmax`:
+/// `|sum(ab) - sum(ab_hat)| <= k/2 * (sa * bmax + sb * amax) + k/4 * sa * sb`.
+pub fn dot_error_bound(k: usize, sa: f64, sb: f64, amax: f64, bmax: f64) -> f64 {
+    let k = k as f64;
+    k / 2.0 * (sa * bmax + sb * amax) + k / 4.0 * sa * sb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_nn::workload::WorkloadGen;
+
+    fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn matmul_matches_reference_within_quant_bound() {
+        let mut gen = WorkloadGen::new(11);
+        let a = gen.uniform_f32(TensorShape::new(vec![5, 24]), -1.0, 1.0);
+        let b = gen.uniform_f32(TensorShape::new(vec![24, 13]), -0.5, 0.5);
+        let pipeline = FunctionalPipeline::new().unwrap();
+        let ours = pipeline.matmul(&a, &b).unwrap();
+        let exact = reference::matmul(&a, &b).unwrap();
+        let bound = dot_error_bound(24, 1.0 / 127.0, 0.5 / 127.0, 1.0, 0.5) as f32;
+        let diff = max_abs_diff(ours.data(), exact.data());
+        assert!(diff <= bound, "diff {diff} > bound {bound}");
+    }
+
+    #[test]
+    fn conv2d_matches_reference_within_quant_bound() {
+        let mut gen = WorkloadGen::new(23);
+        let input = gen.uniform_f32(TensorShape::chw(3, 8, 8), -1.0, 1.0);
+        let filters = gen.uniform_f32(TensorShape::new(vec![4, 3, 3, 3]), -0.5, 0.5);
+        let bias = [0.1f32, -0.1, 0.0, 0.2];
+        let pipeline = FunctionalPipeline::new().unwrap();
+        let ours = pipeline.conv2d(&input, &filters, &bias, (1, 1), (1, 1)).unwrap();
+        let exact = reference::conv2d(&input, &filters, &bias, (1, 1), (1, 1)).unwrap();
+        assert_eq!(ours.shape(), exact.shape());
+        let bound = dot_error_bound(27, 1.0 / 127.0, 0.5 / 127.0, 1.0, 0.5) as f32;
+        let diff = max_abs_diff(ours.data(), exact.data());
+        assert!(diff <= bound, "diff {diff} > bound {bound}");
+    }
+
+    #[test]
+    fn per_channel_conv_tightens_small_channels() {
+        // Filter 0 carries tiny weights, filter 1 large ones: with a
+        // shared scale, filter 0's output collapses to quantization
+        // noise; per-channel scales keep it accurate.
+        let mut gen = WorkloadGen::new(4141);
+        let input = gen.uniform_f32(TensorShape::chw(2, 6, 6), -1.0, 1.0);
+        let mut filters = gen.uniform_f32(TensorShape::new(vec![2, 2, 3, 3]), -1.0, 1.0);
+        for v in filters.data_mut()[..18].iter_mut() {
+            *v *= 0.01; // shrink filter 0
+        }
+        let bias = [0.0f32; 2];
+        let pipeline = FunctionalPipeline::new().unwrap();
+        let per_tensor = pipeline.conv2d(&input, &filters, &bias, (1, 1), (0, 0)).unwrap();
+        let per_channel =
+            pipeline.conv2d_per_channel(&input, &filters, &bias, (1, 1), (0, 0)).unwrap();
+        let exact = reference::conv2d(&input, &filters, &bias, (1, 1), (0, 0)).unwrap();
+
+        let spatial = exact.len() / 2;
+        let err = |out: &Tensor<f32>| {
+            out.data()[..spatial]
+                .iter()
+                .zip(&exact.data()[..spatial])
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max)
+        };
+        let pt = err(&per_tensor);
+        let pc = err(&per_channel);
+        assert!(pc < pt / 5.0, "per-channel {pc} vs per-tensor {pt}");
+    }
+
+    #[test]
+    fn per_channel_conv_matches_per_tensor_on_balanced_filters() {
+        let mut gen = WorkloadGen::new(4242);
+        let input = gen.uniform_f32(TensorShape::chw(2, 5, 5), -1.0, 1.0);
+        let filters = gen.uniform_f32(TensorShape::new(vec![4, 2, 3, 3]), -0.5, 0.5);
+        let bias = [0.1f32, -0.1, 0.0, 0.2];
+        let pipeline = FunctionalPipeline::new().unwrap();
+        let a = pipeline.conv2d(&input, &filters, &bias, (1, 1), (1, 1)).unwrap();
+        let b = pipeline.conv2d_per_channel(&input, &filters, &bias, (1, 1), (1, 1)).unwrap();
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 0.05, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn systolic_conv_matches_bce_conv_exactly() {
+        // The systolic array and the BCE tile path quantize identically,
+        // so their integer accumulations — and therefore outputs — must
+        // agree bit-for-bit.
+        let mut gen = WorkloadGen::new(55);
+        let input = gen.uniform_f32(TensorShape::chw(2, 6, 6), -1.0, 1.0);
+        let filters = gen.uniform_f32(TensorShape::new(vec![3, 2, 3, 3]), -0.5, 0.5);
+        let bias = [0.05f32, -0.05, 0.0];
+        let pipeline = FunctionalPipeline::new().unwrap();
+        let via_bce = pipeline.conv2d(&input, &filters, &bias, (1, 1), (1, 1)).unwrap();
+        let (via_systolic, cycles, hops) = pipeline
+            .conv2d_systolic(&input, &filters, &bias, (1, 1), (1, 1))
+            .unwrap();
+        assert_eq!(via_bce.shape(), via_systolic.shape());
+        for (a, b) in via_bce.data().iter().zip(via_systolic.data()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        // Timing: 36 output waves through an 18 x 3 grid.
+        assert_eq!(cycles, 36 + 18 + 3 - 2);
+        assert!(hops > 0);
+    }
+
+    #[test]
+    fn systolic_conv_matches_reference_within_bound() {
+        let mut gen = WorkloadGen::new(56);
+        let input = gen.uniform_f32(TensorShape::chw(3, 8, 8), -1.0, 1.0);
+        let filters = gen.uniform_f32(TensorShape::new(vec![4, 3, 3, 3]), -0.4, 0.4);
+        let pipeline = FunctionalPipeline::new().unwrap();
+        let (ours, _, _) = pipeline
+            .conv2d_systolic(&input, &filters, &[0.0; 4], (1, 1), (0, 0))
+            .unwrap();
+        let exact = reference::conv2d(&input, &filters, &[0.0; 4], (1, 1), (0, 0)).unwrap();
+        let bound = dot_error_bound(27, 1.0 / 127.0, 0.4 / 127.0, 1.0, 0.4) as f32;
+        assert!(max_abs_diff(ours.data(), exact.data()) <= bound);
+    }
+
+    #[test]
+    fn linear_matches_reference() {
+        let mut gen = WorkloadGen::new(37);
+        let w = gen.uniform_f32(TensorShape::new(vec![10, 32]), -0.3, 0.3);
+        let x = gen.vector_f32(32, -1.0, 1.0);
+        let bias = gen.vector_f32(10, -0.1, 0.1);
+        let pipeline = FunctionalPipeline::new().unwrap();
+        let ours = pipeline.linear(&x, &w, &bias).unwrap();
+        let exact = reference::linear(&x, &w, &bias).unwrap();
+        let bound = dot_error_bound(32, 1.0 / 127.0, 0.3 / 127.0, 1.0, 0.3) as f32;
+        assert!(max_abs_diff(&ours, &exact) <= bound);
+    }
+
+    #[test]
+    fn tiny_cnn_end_to_end_preserves_prediction() {
+        // conv -> relu -> maxpool -> linear -> softmax, LUT datapath vs
+        // f32 reference: probabilities agree closely and argmax matches.
+        let mut gen = WorkloadGen::new(99);
+        let input = gen.uniform_f32(TensorShape::chw(1, 8, 8), -1.0, 1.0);
+        let filters = gen.uniform_f32(TensorShape::new(vec![4, 1, 3, 3]), -0.5, 0.5);
+        let fc_w = gen.uniform_f32(TensorShape::new(vec![5, 4 * 3 * 3]), -0.3, 0.3);
+        let fc_b = gen.vector_f32(5, -0.05, 0.05);
+
+        let pipeline = FunctionalPipeline::new().unwrap();
+        let conv = pipeline.conv2d(&input, &filters, &[0.0; 4], (1, 1), (0, 0)).unwrap();
+        let act = pipeline.relu(conv.data());
+        let act_t = Tensor::from_vec(conv.shape().clone(), act).unwrap();
+        let pooled = pipeline.max_pool2d(&act_t, (2, 2), (2, 2)).unwrap();
+        let flat: Vec<f32> = pooled.data().to_vec();
+        let logits = pipeline.linear(&flat, &fc_w, &fc_b).unwrap();
+        let probs = pipeline.softmax(&logits).unwrap();
+
+        // Reference path.
+        let conv_r = reference::conv2d(&input, &filters, &[0.0; 4], (1, 1), (0, 0)).unwrap();
+        let act_r = reference::relu(conv_r.data());
+        let act_rt = Tensor::from_vec(conv_r.shape().clone(), act_r).unwrap();
+        let pooled_r = reference::max_pool2d(&act_rt, (2, 2), (2, 2)).unwrap();
+        let logits_r = reference::linear(pooled_r.data(), &fc_w, &fc_b).unwrap();
+        let probs_r = reference::softmax(&logits_r);
+
+        let argmax = |v: &[f64]| {
+            v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        };
+        let argmax_f = |v: &[f32]| {
+            v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        };
+        assert_eq!(argmax(&probs), argmax_f(&probs_r));
+        for (p, r) in probs.iter().zip(probs_r.iter()) {
+            assert!((p - *r as f64).abs() < 0.08, "prob {p} vs {r}");
+        }
+    }
+
+    #[test]
+    fn lut_activations_track_reference() {
+        let pipeline = FunctionalPipeline::new().unwrap();
+        let xs: Vec<f32> = (-30..=30).map(|i| i as f32 / 10.0).collect();
+        let sig = pipeline.sigmoid(&xs);
+        let tanh = pipeline.tanh(&xs);
+        for (i, &x) in xs.iter().enumerate() {
+            assert!((sig[i] - reference::sigmoid(x) as f64).abs() < 2e-3);
+            assert!((tanh[i] - (x as f64).tanh()).abs() < 2e-3);
+        }
+    }
+
+    #[test]
+    fn pipeline_exercises_rom_not_host_multiplier() {
+        let pipeline = FunctionalPipeline::new().unwrap();
+        let a = Tensor::from_fn(TensorShape::new(vec![2, 4]), |i| (i[0] + i[1]) as f32 * 0.1);
+        let b = Tensor::from_fn(TensorShape::new(vec![4, 2]), |i| (i[0] * 2 + i[1]) as f32 * 0.1);
+        let _ = pipeline.matmul(&a, &b).unwrap();
+        assert!(pipeline.bce().rom_reads() > 0);
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let pipeline = FunctionalPipeline::new().unwrap();
+        let a = Tensor::zeros(TensorShape::new(vec![2, 3]));
+        let b = Tensor::zeros(TensorShape::new(vec![4, 2]));
+        assert!(matches!(pipeline.matmul(&a, &b), Err(PipelineError::Nn(_))));
+    }
+}

@@ -1,0 +1,142 @@
+//! Cache-mode interference: what PIM execution costs a conventional
+//! access (paper §II-A / §III-A).
+//!
+//! BFree's design goal is that the PIM circuitry has "minimal impact on
+//! conventional memory performance": the BCE snoops the existing
+//! data/address bus, LUT rows have their own precharge, and the only
+//! shared resource a PIM kernel occupies is a subarray's bitlines during
+//! its weight-row reads. A conventional access that lands on a
+//! PIM-active subarray must wait out the in-flight row access.
+//!
+//! This module quantifies that: the bitline *duty cycle* of each
+//! execution mode (one weight-row read per N MAC cycles), the conflict
+//! probability for a random access, and the expected inflation of the
+//! cache access latency.
+
+use pim_arch::{CacheGeometry, Latency, TimingParams};
+use pim_bce::BceMode;
+use serde::{Deserialize, Serialize};
+
+/// The interference model.
+///
+/// ```
+/// use bfree::interference::InterferenceModel;
+/// use pim_bce::BceMode;
+/// let model = InterferenceModel::paper_default();
+/// // Even with the whole cache computing, conventional accesses slow by
+/// // well under 1% — the paper's "minimal impact" claim.
+/// let slowdown = model.slowdown(BceMode::Conv, 1.0);
+/// assert!(slowdown < 1.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceModel {
+    geometry: CacheGeometry,
+    timing: TimingParams,
+}
+
+impl InterferenceModel {
+    /// Builds the model from a geometry and timing set.
+    pub fn new(geometry: CacheGeometry, timing: TimingParams) -> Self {
+        InterferenceModel { geometry, timing }
+    }
+
+    /// The paper's default machine.
+    pub fn paper_default() -> Self {
+        InterferenceModel::new(CacheGeometry::xeon_l3_35mb(), TimingParams::default())
+    }
+
+    /// Fraction of cycles a PIM-active subarray occupies its bitlines
+    /// with weight-row reads. Conv mode reads one 8-byte row per eight
+    /// int8 MACs = one bitline cycle in sixteen; matmul mode reuses
+    /// registers and reads one row per sixteen MACs = one in four (the
+    /// row feeds 16 MACs but they retire at 4/cycle).
+    pub fn bitline_duty(&self, mode: BceMode) -> f64 {
+        match mode {
+            // 8 MACs per row read at 0.5 MAC/cycle: 1 busy cycle / 16.
+            BceMode::Conv => 1.0 / 16.0,
+            // 16 MACs per row read at 4 MACs/cycle: 1 busy cycle / 4.
+            BceMode::MatMul => 1.0 / 4.0,
+        }
+    }
+
+    /// Probability a random conventional access conflicts with an
+    /// in-flight PIM row access, when `pim_fraction` of subarrays run a
+    /// kernel in `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pim_fraction` is outside `[0, 1]`.
+    pub fn conflict_probability(&self, mode: BceMode, pim_fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&pim_fraction), "fraction out of range");
+        pim_fraction * self.bitline_duty(mode)
+    }
+
+    /// Expected conventional access latency under PIM load: the base
+    /// slice access plus, on conflict, half a subarray cycle of expected
+    /// residual wait.
+    pub fn expected_access_latency(&self, mode: BceMode, pim_fraction: f64) -> Latency {
+        let base = self.timing.slice_access();
+        let stall = self.timing.subarray_access() * 0.5;
+        base + stall * self.conflict_probability(mode, pim_fraction)
+    }
+
+    /// Slowdown factor of conventional accesses (1.0 = unaffected).
+    pub fn slowdown(&self, mode: BceMode, pim_fraction: f64) -> f64 {
+        self.expected_access_latency(mode, pim_fraction)
+            .ratio(self.timing.slice_access())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_pim_activity_means_no_slowdown() {
+        let m = InterferenceModel::paper_default();
+        assert_eq!(m.slowdown(BceMode::Conv, 0.0), 1.0);
+        assert_eq!(m.slowdown(BceMode::MatMul, 0.0), 1.0);
+    }
+
+    #[test]
+    fn full_pim_activity_stays_under_one_percent() {
+        // The paper's "minimal impact on conventional memory
+        // performance": even the worst case is sub-1%.
+        let m = InterferenceModel::paper_default();
+        assert!(m.slowdown(BceMode::Conv, 1.0) < 1.01);
+        assert!(m.slowdown(BceMode::MatMul, 1.0) < 1.01);
+    }
+
+    #[test]
+    fn matmul_mode_interferes_more_than_conv() {
+        let m = InterferenceModel::paper_default();
+        assert!(
+            m.slowdown(BceMode::MatMul, 0.5) > m.slowdown(BceMode::Conv, 0.5),
+            "matmul reads weight rows more often"
+        );
+    }
+
+    #[test]
+    fn slowdown_monotone_in_pim_fraction() {
+        let m = InterferenceModel::paper_default();
+        let mut prev = 1.0;
+        for i in 0..=10 {
+            let s = m.slowdown(BceMode::MatMul, i as f64 / 10.0);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn conflict_probability_formula() {
+        let m = InterferenceModel::paper_default();
+        assert!((m.conflict_probability(BceMode::Conv, 0.8) - 0.8 / 16.0).abs() < 1e-12);
+        assert!((m.conflict_probability(BceMode::MatMul, 0.8) - 0.8 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_fraction_panics() {
+        let _ = InterferenceModel::paper_default().conflict_probability(BceMode::Conv, 1.5);
+    }
+}

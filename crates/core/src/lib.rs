@@ -1,0 +1,79 @@
+//! # bfree
+//!
+//! A from-scratch reproduction of **BFree**, the LUT-based
+//! bitline-computing-free processing-in-cache architecture of
+//! Ramanathan et al., *"Look-Up Table based Energy Efficient Processing
+//! in Cache Support for Neural Network Acceleration"*, MICRO 2020.
+//!
+//! BFree turns every 8 KB subarray of a last-level SRAM cache into a
+//! LUT-based compute engine: two decoupled-bitline rows per partition
+//! hold lookup tables, a tiny BFree Compute Engine (BCE) at the subarray
+//! edge combines LUT entries with shifts and adds, and lightweight
+//! routers stream inputs systolically across sub-banks while partial
+//! sums reduce within them. The result is DNN inference inside the cache
+//! without the energy of bitline computing.
+//!
+//! This crate is the top of the workspace: it composes the architectural
+//! substrate (`pim-arch`), the functional LUT arithmetic (`pim-lut`),
+//! the compute engine (`pim-bce`), the systolic dataflow
+//! (`pim-systolic`) and the workloads (`pim-nn`) into
+//!
+//! * [`BfreeConfig`] — the machine description (geometry, timing,
+//!   energy, LUT-row design, memory technology, dataflow policy);
+//! * [`Mapper`] — weight distribution and replication across the 4480
+//!   subarrays;
+//! * [`BfreeSimulator`] — the phase-level performance/energy simulator
+//!   that implements [`InferenceModel`] like every baseline, producing
+//!   the runtime and energy breakdowns of the paper's Figs. 12-14 and
+//!   Table III;
+//! * [`functional`] — value-level execution of quantized networks
+//!   through the actual LUT datapath, validated against the f32
+//!   reference.
+//!
+//! ```
+//! use bfree::{BfreeConfig, BfreeSimulator};
+//! use pim_baselines::InferenceModel;
+//! use pim_nn::networks;
+//!
+//! let sim = BfreeSimulator::new(BfreeConfig::paper_default());
+//! let report = sim.run(&networks::lstm_timit(), 1);
+//! assert!(report.total_latency().milliseconds() < 10.0);
+//! ```
+//!
+//! [`InferenceModel`]: pim_baselines::InferenceModel
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attention_schedule;
+pub mod config;
+pub mod controller;
+pub mod exec;
+pub mod flow;
+pub mod functional;
+pub mod interference;
+pub mod mapping;
+pub mod precision;
+pub mod storage;
+
+pub use attention_schedule::AttentionSchedule;
+pub use config::{BfreeConfig, ConvDataflow};
+pub use controller::ConfigurationPhase;
+pub use exec::BfreeSimulator;
+pub use interference::InterferenceModel;
+pub use mapping::{Mapper, Mapping};
+pub use precision::PrecisionPolicy;
+pub use storage::WeightStore;
+
+/// Convenient glob import for downstream binaries.
+pub mod prelude {
+    pub use crate::{BfreeConfig, BfreeSimulator, ConvDataflow, Mapper, PrecisionPolicy};
+    pub use pim_arch::{
+        CacheGeometry, Energy, EnergyComponent, Latency, MemoryTech, MemoryTechKind, Phase,
+    };
+    pub use pim_baselines::{
+        CpuModel, EyerissModel, GpuModel, InferenceModel, NeuralCacheModel, RunReport,
+    };
+    pub use pim_bce::{BceMode, Precision};
+    pub use pim_nn::networks;
+}

@@ -1,0 +1,246 @@
+//! Weight distribution across the cache (paper §IV, Fig. 9).
+//!
+//! The cache controller "distributes the weights across and within each
+//! slice for efficient execution. It employs weight duplication, and
+//! efficient partition across sub-arrays to increase the parallelism"
+//! (§IV-C). The [`Mapper`] computes, per layer: how many subarrays one
+//! copy of the weights needs, how many replicas fit, and therefore how
+//! many subarrays compute in parallel.
+
+use pim_arch::CacheGeometry;
+use pim_bce::{BceMode, Precision};
+use pim_nn::LayerSpec;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Mapping failure: a single copy of the layer does not fit the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerTooLargeError {
+    /// The layer name.
+    pub layer: String,
+    /// Bytes one replica needs.
+    pub required: u64,
+    /// Usable weight bytes in the cache.
+    pub available: u64,
+}
+
+impl fmt::Display for LayerTooLargeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "layer {} needs {} weight bytes but the cache holds {}",
+            self.layer, self.required, self.available
+        )
+    }
+}
+
+impl Error for LayerTooLargeError {}
+
+/// The placement of one layer's weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// The layer name.
+    pub layer: String,
+    /// Execution mode for this layer.
+    pub mode: BceMode,
+    /// Operand precision.
+    pub precision: Precision,
+    /// Subarrays holding one copy of the weights.
+    pub subarrays_per_replica: usize,
+    /// Weight copies placed across the cache.
+    pub replicas: usize,
+    /// Subarrays with work (replicas x subarrays per replica, capped at
+    /// the cache).
+    pub active_subarrays: usize,
+    /// Fraction of all subarrays active.
+    pub utilization: f64,
+}
+
+impl Mapping {
+    /// Peak MACs per cycle this mapping sustains.
+    pub fn macs_per_cycle(&self) -> f64 {
+        let per_subarray = match (self.mode, self.precision) {
+            (BceMode::Conv, Precision::Int4) => 1.0,
+            (BceMode::Conv, Precision::Int8) => 0.5,
+            (BceMode::Conv, Precision::Int16) => 0.125,
+            (BceMode::MatMul, Precision::Int4) => 8.0,
+            (BceMode::MatMul, Precision::Int8) => 4.0,
+            (BceMode::MatMul, Precision::Int16) => 1.0,
+        };
+        per_subarray * self.active_subarrays as f64
+    }
+}
+
+/// Computes layer mappings for a cache geometry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapper {
+    geometry: CacheGeometry,
+}
+
+impl Mapper {
+    /// Creates a mapper over a geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        Mapper { geometry }
+    }
+
+    /// The geometry in use.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Maps one layer.
+    ///
+    /// One replica spreads over `ceil(weight_bytes / usable subarray
+    /// bytes)` subarrays; replicas are then duplicated until the cache
+    /// is full or the layer's intrinsic parallelism (one independent
+    /// work unit per output element) is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayerTooLargeError`] when even a single replica
+    /// exceeds the cache (networks stream such layers in tiles; the
+    /// simulator treats them as one full-cache replica after this check
+    /// via [`Mapper::map_layer_tiled`]).
+    pub fn map_layer(
+        &self,
+        layer: &LayerSpec,
+        mode: BceMode,
+        precision: Precision,
+    ) -> Result<Mapping, LayerTooLargeError> {
+        let bytes = layer.weight_bytes(precision.bits());
+        let per_subarray = self.geometry.usable_subarray_capacity().get().max(1);
+        let total = self.geometry.total_subarrays();
+        let available = per_subarray * total as u64;
+        if bytes > available {
+            return Err(LayerTooLargeError {
+                layer: layer.name().to_string(),
+                required: bytes,
+                available,
+            });
+        }
+        let subarrays_per_replica = (bytes.div_ceil(per_subarray) as usize).max(1);
+        // Independent work units: one per output element (each needs its
+        // own dot product); more replicas than that would idle.
+        let work_units = layer.output_elements().max(1) as usize;
+        let max_replicas_by_space = total / subarrays_per_replica;
+        let replicas = max_replicas_by_space.min(work_units).max(1);
+        let active_subarrays = (replicas * subarrays_per_replica).min(total);
+        Ok(Mapping {
+            layer: layer.name().to_string(),
+            mode,
+            precision,
+            subarrays_per_replica,
+            replicas,
+            active_subarrays,
+            utilization: active_subarrays as f64 / total as f64,
+        })
+    }
+
+    /// Maps a layer that may exceed the cache: oversized layers process
+    /// in weight tiles that each fill the whole cache (utilization 1).
+    pub fn map_layer_tiled(
+        &self,
+        layer: &LayerSpec,
+        mode: BceMode,
+        precision: Precision,
+    ) -> Mapping {
+        match self.map_layer(layer, mode, precision) {
+            Ok(mapping) => mapping,
+            Err(_) => {
+                let total = self.geometry.total_subarrays();
+                Mapping {
+                    layer: layer.name().to_string(),
+                    mode,
+                    precision,
+                    subarrays_per_replica: total,
+                    replicas: 1,
+                    active_subarrays: total,
+                    utilization: 1.0,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_nn::networks;
+
+    fn mapper() -> Mapper {
+        Mapper::new(CacheGeometry::xeon_l3_35mb())
+    }
+
+    #[test]
+    fn small_layer_replicates_widely() {
+        // Inception stem conv: ~0.9 KB of weights, huge output map.
+        let net = networks::inception_v3();
+        let first = net.weight_layers().next().unwrap();
+        let m = mapper().map_layer(first, BceMode::Conv, Precision::Int8).unwrap();
+        assert_eq!(m.subarrays_per_replica, 1);
+        assert!(m.replicas > 1000, "replicas {}", m.replicas);
+        assert!(m.utilization > 0.9);
+    }
+
+    #[test]
+    fn replicas_capped_by_output_parallelism() {
+        // The 1000-way classifier has only 1000 independent outputs.
+        let net = networks::inception_v3();
+        let fc = net.weight_layers().find(|l| l.name() == "fc").unwrap();
+        let m = mapper().map_layer(fc, BceMode::MatMul, Precision::Int8).unwrap();
+        assert!(m.replicas <= 1000);
+    }
+
+    #[test]
+    fn vgg_fc1_spans_many_subarrays() {
+        // fc1: 4096 x 25088 weights ~ 103 MB > cache: must tile.
+        let net = networks::vgg16();
+        let fc1 = net.weight_layers().find(|l| l.name() == "fc1").unwrap();
+        assert!(mapper().map_layer(fc1, BceMode::MatMul, Precision::Int8).is_err());
+        let tiled = mapper().map_layer_tiled(fc1, BceMode::MatMul, Precision::Int8);
+        assert_eq!(tiled.utilization, 1.0);
+        assert_eq!(tiled.active_subarrays, 4480);
+    }
+
+    #[test]
+    fn int4_halves_weight_footprint() {
+        let net = networks::vgg16();
+        let conv = net.weight_layers().find(|l| l.name() == "conv5_1").unwrap();
+        let m8 = mapper().map_layer(conv, BceMode::Conv, Precision::Int8).unwrap();
+        let m4 = mapper().map_layer(conv, BceMode::Conv, Precision::Int4).unwrap();
+        assert!(m4.subarrays_per_replica <= m8.subarrays_per_replica);
+        assert!(m4.replicas >= m8.replicas);
+    }
+
+    #[test]
+    fn macs_per_cycle_reflects_mode_and_precision() {
+        let net = networks::inception_v3();
+        let first = net.weight_layers().next().unwrap();
+        let conv8 = mapper().map_layer(first, BceMode::Conv, Precision::Int8).unwrap();
+        let mm8 = mapper().map_layer(first, BceMode::MatMul, Precision::Int8).unwrap();
+        assert!((mm8.macs_per_cycle() / conv8.macs_per_cycle() - 8.0).abs() < 1e-9);
+        let mm4 = mapper().map_layer(first, BceMode::MatMul, Precision::Int4).unwrap();
+        assert!((mm4.macs_per_cycle() / mm8.macs_per_cycle() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_peak_throughput_matches_section5d() {
+        // §V-D: "4 MACs/subarray, and a total of 4480 sub-arrays".
+        let net = networks::bert_base();
+        let attn = net.weight_layers().next().unwrap();
+        let m = mapper().map_layer(attn, BceMode::MatMul, Precision::Int8).unwrap();
+        // A 2.4 MB attention layer replicates ~14x and keeps most of
+        // the cache busy.
+        assert!(m.utilization > 0.9, "utilization {}", m.utilization);
+        assert!(m.macs_per_cycle() > 0.9 * 4.0 * 4480.0);
+    }
+
+    #[test]
+    fn error_message_is_informative() {
+        let net = networks::vgg16();
+        let fc1 = net.weight_layers().find(|l| l.name() == "fc1").unwrap();
+        let err = mapper().map_layer(fc1, BceMode::MatMul, Precision::Int8).unwrap_err();
+        assert!(err.to_string().contains("fc1"));
+    }
+}

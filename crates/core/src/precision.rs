@@ -1,0 +1,113 @@
+//! Per-layer precision assignment (paper §I, Fig. 14).
+//!
+//! BFree's LUT datapath reconfigures per layer between 4-, 8- and 16-bit
+//! operands. Fig. 14 exploits this with the learned layer-wise precision
+//! of Khan et al. (DAC 2020): most VGG-16 layers run at 4 bits with ~1%
+//! accuracy loss, halving execution time versus uniform 8-bit.
+
+use pim_bce::Precision;
+use pim_nn::LayerSpec;
+use serde::{Deserialize, Serialize};
+
+/// How operand precision is chosen per layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrecisionPolicy {
+    /// Every layer at the same precision.
+    Uniform(Precision),
+    /// The Fig. 14 mixed policy: first and last weight layers (and any
+    /// layer listed by name) stay at 8 bits for accuracy; everything
+    /// else runs at 4 bits.
+    MixedFourEight {
+        /// Additional layer names pinned to 8 bits.
+        keep_int8: Vec<String>,
+    },
+}
+
+impl PrecisionPolicy {
+    /// Uniform 8-bit inference, the default.
+    pub fn uniform_int8() -> Self {
+        PrecisionPolicy::Uniform(Precision::Int8)
+    }
+
+    /// The learned mixed 4/8-bit policy of Fig. 14.
+    pub fn mixed() -> Self {
+        PrecisionPolicy::MixedFourEight { keep_int8: Vec::new() }
+    }
+
+    /// Precision of `layer`, given the ordered list of weight-layer
+    /// names in the network (to identify first and last).
+    pub fn layer_precision(&self, layer: &LayerSpec, weight_layer_names: &[&str]) -> Precision {
+        match self {
+            PrecisionPolicy::Uniform(p) => *p,
+            PrecisionPolicy::MixedFourEight { keep_int8 } => {
+                let name = layer.name();
+                let is_boundary = weight_layer_names.first() == Some(&name)
+                    || weight_layer_names.last() == Some(&name);
+                if is_boundary || keep_int8.iter().any(|k| k == name) {
+                    Precision::Int8
+                } else {
+                    Precision::Int4
+                }
+            }
+        }
+    }
+}
+
+impl Default for PrecisionPolicy {
+    fn default() -> Self {
+        PrecisionPolicy::uniform_int8()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_nn::networks;
+
+    #[test]
+    fn uniform_returns_same_precision() {
+        let policy = PrecisionPolicy::Uniform(Precision::Int16);
+        let net = networks::vgg16();
+        let names: Vec<&str> = net.weight_layers().map(|l| l.name()).collect();
+        for layer in net.weight_layers() {
+            assert_eq!(policy.layer_precision(layer, &names), Precision::Int16);
+        }
+    }
+
+    #[test]
+    fn mixed_keeps_boundary_layers_at_int8() {
+        let policy = PrecisionPolicy::mixed();
+        let net = networks::vgg16();
+        let names: Vec<&str> = net.weight_layers().map(|l| l.name()).collect();
+        let layers: Vec<_> = net.weight_layers().collect();
+        assert_eq!(policy.layer_precision(layers[0], &names), Precision::Int8);
+        assert_eq!(
+            policy.layer_precision(layers[layers.len() - 1], &names),
+            Precision::Int8
+        );
+        assert_eq!(policy.layer_precision(layers[5], &names), Precision::Int4);
+    }
+
+    #[test]
+    fn mixed_respects_pinned_layers() {
+        let policy = PrecisionPolicy::MixedFourEight { keep_int8: vec!["conv3_2".to_string()] };
+        let net = networks::vgg16();
+        let names: Vec<&str> = net.weight_layers().map(|l| l.name()).collect();
+        let pinned = net.weight_layers().find(|l| l.name() == "conv3_2").unwrap();
+        assert_eq!(policy.layer_precision(pinned, &names), Precision::Int8);
+    }
+
+    #[test]
+    fn most_vgg_layers_run_at_int4_under_mixed() {
+        // Fig. 14: "most of the layers are executed using 4-bit
+        // precision".
+        let policy = PrecisionPolicy::mixed();
+        let net = networks::vgg16();
+        let names: Vec<&str> = net.weight_layers().map(|l| l.name()).collect();
+        let int4 = net
+            .weight_layers()
+            .filter(|l| policy.layer_precision(l, &names) == Precision::Int4)
+            .count();
+        assert!(int4 as f64 / names.len() as f64 > 0.8);
+    }
+}

@@ -1,0 +1,283 @@
+//! Storage-backed weight placement: the value-level counterpart of
+//! [`Mapper`](crate::mapping::Mapper).
+//!
+//! Where the mapper computes *how many* subarrays a layer needs, this
+//! module actually writes quantized weights into
+//! [`SubarrayStorage`] rows (skipping the LUT region and the CB row),
+//! loads the multiply-LUT image into the LUT rows during a modeled
+//! configuration phase, and executes dot products by reading the weight
+//! rows back out of storage — so placement, configuration and execution
+//! are all exercised against real bytes.
+
+use pim_arch::{ArchError, CacheGeometry, SubarrayStorage};
+use pim_bce::{Bce, BceStats, Precision};
+use pim_lut::{LutImage, MultLut};
+
+use crate::mapping::Mapping;
+
+/// One replica of a layer's weights, resident in modeled subarrays.
+///
+/// ```
+/// use bfree::storage::WeightStore;
+/// use bfree::{BfreeConfig, Mapper};
+/// use pim_bce::{BceMode, Precision};
+/// use pim_nn::networks;
+///
+/// let config = BfreeConfig::paper_default();
+/// let mapper = Mapper::new(config.geometry.clone());
+/// let net = networks::inception_v3();
+/// let layer = net.weight_layers().next().unwrap();
+/// let mapping = mapper.map_layer(layer, BceMode::Conv, Precision::Int8).unwrap();
+/// let weights: Vec<i8> = (0..layer.params()).map(|i| (i % 251) as i8).collect();
+/// let store = WeightStore::place(&config.geometry, &mapping, &weights).unwrap();
+/// assert_eq!(store.read_back(), weights);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightStore {
+    subarrays: Vec<SubarrayStorage>,
+    weight_len: usize,
+    partitions: usize,
+    rows_per_partition: usize,
+    /// First usable data row (after the LUT region).
+    base_row: usize,
+}
+
+impl WeightStore {
+    /// Places `weights` into freshly allocated subarrays according to a
+    /// mapping, loading the multiply-LUT image into every subarray's
+    /// LUT rows first (the Fig. 11 configuration phase).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameter`] when the weights exceed
+    /// the mapping's capacity.
+    pub fn place(
+        geom: &CacheGeometry,
+        mapping: &Mapping,
+        weights: &[i8],
+    ) -> Result<Self, ArchError> {
+        let row_bytes = geom.row_bytes().get() as usize;
+        let base_row = geom.lut_rows_per_partition();
+        let partitions = geom.partitions_per_subarray();
+        let data_rows_per_partition = geom.rows_per_partition() - base_row;
+        // One row of partition 0 is the CB row.
+        let usable_rows = partitions * data_rows_per_partition - 1;
+        let capacity = mapping.subarrays_per_replica * usable_rows * row_bytes;
+        if weights.len() > capacity {
+            return Err(ArchError::InvalidParameter {
+                parameter: "weights",
+                reason: format!(
+                    "{} weight bytes exceed the replica capacity of {capacity}",
+                    weights.len()
+                ),
+            });
+        }
+
+        let lut_image = LutImage::from_mult_table(&MultLut::new());
+        let mut subarrays = Vec::with_capacity(mapping.subarrays_per_replica);
+        let mut cursor = 0usize;
+        for _ in 0..mapping.subarrays_per_replica {
+            let mut sa = SubarrayStorage::new(geom);
+            sa.load_lut_image(lut_image.bytes())?;
+            // Row iteration order: partition-major, skipping the CB row
+            // (partition 0, first data row).
+            'fill: for partition in 0..partitions {
+                for row in base_row..geom.rows_per_partition() {
+                    if partition == 0 && row == base_row {
+                        continue; // CB row
+                    }
+                    if cursor >= weights.len() {
+                        break 'fill;
+                    }
+                    let take = (weights.len() - cursor).min(row_bytes);
+                    let mut bytes = vec![0u8; row_bytes];
+                    for (i, b) in bytes.iter_mut().enumerate().take(take) {
+                        *b = weights[cursor + i] as u8;
+                    }
+                    sa.write_row(partition, row, &bytes)?;
+                    cursor += take;
+                }
+            }
+            subarrays.push(sa);
+            if cursor >= weights.len() {
+                break;
+            }
+        }
+        Ok(WeightStore {
+            subarrays,
+            weight_len: weights.len(),
+            partitions,
+            rows_per_partition: geom.rows_per_partition(),
+            base_row,
+        })
+    }
+
+    /// The resident subarrays.
+    pub fn subarrays(&self) -> &[SubarrayStorage] {
+        &self.subarrays
+    }
+
+    /// Number of weight elements resident.
+    pub fn len(&self) -> usize {
+        self.weight_len
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.weight_len == 0
+    }
+
+    /// Reads every weight back in placement order.
+    pub fn read_back(&self) -> Vec<i8> {
+        let mut out = Vec::with_capacity(self.weight_len);
+        for sa in &self.subarrays {
+            'drain: for partition in 0..self.partitions {
+                for row in self.base_row..self.rows_per_partition {
+                    if partition == 0 && row == self.base_row {
+                        continue; // CB row
+                    }
+                    if out.len() >= self.weight_len {
+                        break 'drain;
+                    }
+                    let bytes = sa
+                        .read_row(partition, row)
+                        .expect("placement wrote only valid coordinates");
+                    for &b in bytes.iter().take(self.weight_len - out.len()) {
+                        out.push(b as i8);
+                    }
+                }
+            }
+            if out.len() >= self.weight_len {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Executes a dot product with inputs against the resident weights,
+    /// reading weight rows from storage through the BCE. Returns the
+    /// accumulated result, the BCE stats and the storage row reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.len()` differs from the resident weight
+    /// count.
+    pub fn dot(&self, bce: &Bce, inputs: &[i8], precision: Precision) -> (i32, BceStats, u64) {
+        assert_eq!(inputs.len(), self.weight_len, "input length mismatch");
+        let reads_before: u64 = self.subarrays.iter().map(|s| s.data_reads()).sum();
+        let weights = self.read_back();
+        let (acc, stats) = bce.dot_conv(&weights, inputs, precision);
+        let reads_after: u64 = self.subarrays.iter().map(|s| s.data_reads()).sum();
+        (acc, stats, reads_after - reads_before)
+    }
+
+    /// Verifies every subarray's LUT region still decodes to the exact
+    /// multiply table (configuration-integrity check; fails if a LUT row
+    /// was corrupted).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying decode error on corruption.
+    pub fn verify_lut_integrity(&self) -> Result<(), pim_lut::LutError> {
+        for sa in &self.subarrays {
+            let image = sa.dump_lut_image(49).map_err(|_| pim_lut::LutError::InvalidTable {
+                parameter: "lut region",
+                reason: "unreadable".to_string(),
+            })?;
+            MultLut::from_image_bytes(&image)?;
+        }
+        Ok(())
+    }
+
+    /// Total data-row writes across the store (placement traffic).
+    pub fn total_row_writes(&self) -> u64 {
+        self.subarrays.iter().map(|s| s.data_writes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BfreeConfig;
+    use crate::mapping::Mapper;
+    use pim_bce::BceMode;
+    use pim_nn::networks;
+    use pim_nn::workload::WorkloadGen;
+
+    fn place_first_inception_layer() -> (WeightStore, Vec<i8>) {
+        let config = BfreeConfig::paper_default();
+        let mapper = Mapper::new(config.geometry.clone());
+        let net = networks::inception_v3();
+        let layer = net.weight_layers().next().unwrap();
+        let mapping = mapper.map_layer(layer, BceMode::Conv, Precision::Int8).unwrap();
+        let mut gen = WorkloadGen::new(8);
+        let weights =
+            gen.random_i8(pim_nn::TensorShape::vector(layer.params() as usize)).into_data();
+        let store = WeightStore::place(&config.geometry, &mapping, &weights).unwrap();
+        (store, weights)
+    }
+
+    #[test]
+    fn placement_round_trips_bit_exact() {
+        let (store, weights) = place_first_inception_layer();
+        assert_eq!(store.read_back(), weights);
+        assert_eq!(store.len(), weights.len());
+    }
+
+    #[test]
+    fn placement_row_writes_match_weight_volume() {
+        let (store, weights) = place_first_inception_layer();
+        assert_eq!(store.total_row_writes(), (weights.len() as u64).div_ceil(8));
+    }
+
+    #[test]
+    fn storage_backed_dot_matches_direct() {
+        let (store, weights) = place_first_inception_layer();
+        let mut gen = WorkloadGen::new(9);
+        let inputs =
+            gen.random_i8(pim_nn::TensorShape::vector(weights.len())).into_data();
+        let bce = Bce::new(BceMode::Conv).unwrap();
+        let (from_storage, _, row_reads) = store.dot(&bce, &inputs, Precision::Int8);
+        let (direct, _) = bce.dot_conv(&weights, &inputs, Precision::Int8);
+        assert_eq!(from_storage, direct);
+        assert_eq!(row_reads, (weights.len() as u64).div_ceil(8));
+    }
+
+    #[test]
+    fn lut_integrity_verified_after_configuration() {
+        let (store, _) = place_first_inception_layer();
+        store.verify_lut_integrity().unwrap();
+    }
+
+    #[test]
+    fn oversized_layer_rejected() {
+        let config = BfreeConfig::paper_default();
+        let mapping = Mapping {
+            layer: "tiny".to_string(),
+            mode: BceMode::Conv,
+            precision: Precision::Int8,
+            subarrays_per_replica: 1,
+            replicas: 1,
+            active_subarrays: 1,
+            utilization: 1.0 / 4480.0,
+        };
+        let too_big = vec![0i8; 9000];
+        assert!(WeightStore::place(&config.geometry, &mapping, &too_big).is_err());
+    }
+
+    #[test]
+    fn multi_subarray_layer_spreads_and_round_trips() {
+        // VGG conv5_1 needs ~2.4 MB: hundreds of subarrays.
+        let config = BfreeConfig::paper_default();
+        let mapper = Mapper::new(config.geometry.clone());
+        let net = networks::vgg16();
+        let layer = net.weight_layers().find(|l| l.name() == "conv5_1").unwrap();
+        let mapping = mapper.map_layer(layer, BceMode::Conv, Precision::Int8).unwrap();
+        let mut gen = WorkloadGen::new(10);
+        let weights =
+            gen.random_i8(pim_nn::TensorShape::vector(layer.params() as usize)).into_data();
+        let store = WeightStore::place(&config.geometry, &mapping, &weights).unwrap();
+        assert!(store.subarrays().len() > 100);
+        assert_eq!(store.read_back(), weights);
+    }
+}

@@ -1,0 +1,180 @@
+//! CSV emission: every figure's data series written to disk for
+//! re-plotting (`experiments all --csv <dir>`).
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use pim_arch::MemoryTechKind;
+
+/// Writes one CSV file with a header row.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_rows(
+    path: &Path,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut file = fs::File::create(path)?;
+    writeln!(file, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(file, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes every experiment's data series into `dir`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_all(dir: &Path) -> io::Result<Vec<String>> {
+    let mut written = Vec::new();
+    let mut emit = |name: &str, header: &[&str], rows: Vec<Vec<String>>| -> io::Result<()> {
+        let path = dir.join(name);
+        write_rows(&path, header, &rows)?;
+        written.push(name.to_string());
+        Ok(())
+    };
+
+    // Fig. 12(a): module runtimes.
+    let fig12 = crate::fig12::run();
+    emit(
+        "fig12a_module_runtimes.csv",
+        &["module", "bfree_us", "neural_cache_us"],
+        fig12
+            .module_runtimes
+            .iter()
+            .map(|(m, a, b)| vec![m.clone(), format!("{a:.3}"), format!("{b:.3}")])
+            .collect(),
+    )?;
+
+    // Fig. 12(b/c): phase breakdowns.
+    let phases = |report: &pim_baselines::RunReport| {
+        pim_arch::Phase::ALL
+            .iter()
+            .map(|&p| {
+                vec![
+                    p.label().to_string(),
+                    format!("{:.3}", report.latency.get(p).microseconds()),
+                    format!("{:.4}", report.latency.fraction(p)),
+                ]
+            })
+            .collect::<Vec<_>>()
+    };
+    emit("fig12b_bfree_phases.csv", &["phase", "us", "fraction"], phases(&fig12.bfree))?;
+    emit(
+        "fig12c_neural_cache_phases.csv",
+        &["phase", "us", "fraction"],
+        phases(&fig12.neural_cache),
+    )?;
+
+    // Fig. 12(d): cache energy by component, DRAM excluded.
+    emit(
+        "fig12d_cache_energy.csv",
+        &["component", "fraction_of_cache_energy"],
+        pim_arch::EnergyComponent::ALL
+            .iter()
+            .filter(|&&c| c != pim_arch::EnergyComponent::Dram)
+            .map(|&c| {
+                vec![
+                    c.label().to_string(),
+                    format!(
+                        "{:.4}",
+                        fig12
+                            .bfree
+                            .energy
+                            .fraction_excluding(c, pim_arch::EnergyComponent::Dram)
+                    ),
+                ]
+            })
+            .collect(),
+    )?;
+
+    // Fig. 13: per-layer compute.
+    let fig13 = crate::fig13::run();
+    emit(
+        "fig13_layer_compute.csv",
+        &["layer", "bfree_us", "eyeriss_us"],
+        fig13
+            .layer_compute
+            .iter()
+            .map(|(l, a, b)| vec![l.clone(), format!("{a:.3}"), format!("{b:.3}")])
+            .collect(),
+    )?;
+
+    // Fig. 14: the sweep.
+    let fig14 = crate::fig14::run();
+    emit(
+        "fig14_bandwidth_sweep.csv",
+        &["memory", "batch", "precision", "ms_per_inference", "load_fraction"],
+        fig14
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.memory.name().to_string(),
+                    p.batch.to_string(),
+                    if p.mixed { "mixed4_8" } else { "int8" }.to_string(),
+                    format!("{:.4}", p.latency_ms),
+                    format!("{:.4}", p.load_fraction),
+                ]
+            })
+            .collect(),
+    )?;
+    let _ = MemoryTechKind::ALL; // sweep order documented by the type
+
+    // Table III.
+    let table3 = crate::table3::run();
+    emit(
+        "table3_runtime_energy.csv",
+        &["network", "batch", "cpu_ms", "gpu_ms", "bfree_ms", "cpu_j", "gpu_j", "bfree_j"],
+        table3
+            .iter()
+            .map(|r| {
+                vec![
+                    r.network.clone(),
+                    r.batch.to_string(),
+                    format!("{:.3}", r.latency_ms.0),
+                    format!("{:.3}", r.latency_ms.1),
+                    format!("{:.4}", r.latency_ms.2),
+                    format!("{:.4}", r.energy_j.0),
+                    format!("{:.4}", r.energy_j.1),
+                    format!("{:.5}", r.energy_j.2),
+                ]
+            })
+            .collect(),
+    )?;
+
+    // Ablation: batch sweep.
+    emit(
+        "ablation_batch_sweep.csv",
+        &["batch", "ms_per_inference"],
+        crate::ablations::batch_sweep()
+            .iter()
+            .map(|(b, ms)| vec![b.to_string(), format!("{ms:.4}")])
+            .collect(),
+    )?;
+
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_rows_produces_header_and_data() {
+        let dir = std::env::temp_dir().join("bfree_csv_test");
+        let path = dir.join("test.csv");
+        write_rows(&path, &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,117 @@
+//! Fig. 14: VGG-16 latency versus main-memory bandwidth (DRAM 20 GB/s,
+//! eDRAM 64 GB/s, HBM 100 GB/s), batch sizes 1 and 16, uniform 8-bit
+//! versus learned mixed 4/8-bit precision.
+
+use bfree::prelude::*;
+
+use crate::Comparison;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Fig14Point {
+    /// Memory technology.
+    pub memory: MemoryTechKind,
+    /// Batch size.
+    pub batch: usize,
+    /// Mixed precision?
+    pub mixed: bool,
+    /// Per-inference latency, ms.
+    pub latency_ms: f64,
+    /// Load-phase (weight + input + writeback) share of the runtime.
+    pub load_fraction: f64,
+}
+
+/// Result of the Fig. 14 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig14 {
+    /// All sweep points.
+    pub points: Vec<Fig14Point>,
+}
+
+impl Fig14 {
+    /// Finds a sweep point.
+    pub fn point(&self, memory: MemoryTechKind, batch: usize, mixed: bool) -> &Fig14Point {
+        self.points
+            .iter()
+            .find(|p| p.memory == memory && p.batch == batch && p.mixed == mixed)
+            .expect("full sweep was run")
+    }
+}
+
+/// Runs the sweep.
+pub fn run() -> Fig14 {
+    let net = networks::vgg16();
+    let mut points = Vec::new();
+    for memory in MemoryTechKind::ALL {
+        for batch in [1usize, 16] {
+            for mixed in [false, true] {
+                let mut config = BfreeConfig::paper_default()
+                    .with_memory(MemoryTech::from_kind(memory));
+                if mixed {
+                    config = config.with_precision(PrecisionPolicy::mixed());
+                }
+                let report = BfreeSimulator::new(config).run(&net, batch);
+                let load = report.latency.fraction(Phase::WeightLoad)
+                    + report.latency.fraction(Phase::InputLoad)
+                    + report.latency.fraction(Phase::Writeback);
+                points.push(Fig14Point {
+                    memory,
+                    batch,
+                    mixed,
+                    latency_ms: report.per_inference_latency().milliseconds(),
+                    load_fraction: load,
+                });
+            }
+        }
+    }
+    Fig14 { points }
+}
+
+/// Comparison rows for the paper's qualitative claims.
+pub fn comparisons(result: &Fig14) -> Vec<Comparison> {
+    let dram8 = result.point(MemoryTechKind::Dram, 1, false).latency_ms;
+    let dram4 = result.point(MemoryTechKind::Dram, 1, true).latency_ms;
+    let hbm16 = result.point(MemoryTechKind::Hbm, 16, false);
+    vec![
+        // "Varied bit-precision ... reduces the 50% of execution time
+        // compared to the 8-bit precision."
+        Comparison::new("mixed-precision time saving (batch 1)", 0.50, 1.0 - dram4 / dram8, "frac"),
+        // "with HBM the BFree is highly efficient without much loading
+        // overheads" — read as a load share well below 10%.
+        Comparison::new(
+            "HBM batch-16 load share (paper: 'without much loading overheads')",
+            0.05,
+            hbm16.load_fraction,
+            "frac",
+        ),
+    ]
+}
+
+/// Prints the experiment.
+pub fn print() {
+    let result = run();
+    println!("\n== Fig. 14: VGG-16 latency vs memory bandwidth ==");
+    println!(
+        "{:<8} {:>6} {:>10} {:>14} {:>12}",
+        "memory", "batch", "precision", "ms/inference", "load share"
+    );
+    for p in &result.points {
+        println!(
+            "{:<8} {:>6} {:>10} {:>14.3} {:>11.1}%",
+            p.memory.name(),
+            p.batch,
+            if p.mixed { "mixed 4/8" } else { "int8" },
+            p.latency_ms,
+            p.load_fraction * 100.0
+        );
+    }
+    crate::print_comparisons("Fig. 14 vs paper", &comparisons(&result));
+    let hbm = result.point(MemoryTechKind::Hbm, 16, false);
+    let dram = result.point(MemoryTechKind::Dram, 16, false);
+    println!(
+        "  batch-16 load share: DRAM {:.0}% vs HBM {:.0}% (paper: eDRAM still \
+         load-bound, HBM 'highly efficient')",
+        dram.load_fraction * 100.0,
+        hbm.load_fraction * 100.0
+    );
+}

@@ -1,0 +1,85 @@
+//! Fig. 2: latency and energy breakdown of one slice data access —
+//! the interconnect dominates (> 90%), the subarray itself is 6% of
+//! latency and 9% of energy. This motivates keeping PIM traffic inside
+//! the subarray.
+
+use pim_arch::{EnergyParams, TimingParams};
+
+use crate::Comparison;
+
+/// Result of the Fig. 2 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// Interconnect / subarray / peripheral latency fractions.
+    pub latency_fractions: (f64, f64, f64),
+    /// Interconnect / subarray / peripheral energy fractions.
+    pub energy_fractions: (f64, f64, f64),
+    /// Total slice access latency, ns.
+    pub slice_access_ns: f64,
+    /// Total slice access energy, pJ.
+    pub slice_access_pj: f64,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig2 {
+    let timing = TimingParams::default();
+    let energy = EnergyParams::default();
+    let lat = timing.slice_access_breakdown();
+    let en = energy.slice_access_breakdown();
+    Fig2 {
+        latency_fractions: (
+            lat.interconnect_fraction,
+            lat.subarray_fraction,
+            lat.peripheral_fraction,
+        ),
+        energy_fractions: (
+            en.interconnect_fraction,
+            en.subarray_fraction,
+            en.peripheral_fraction,
+        ),
+        slice_access_ns: timing.slice_access().nanoseconds(),
+        slice_access_pj: energy.slice_access().picojoules(),
+    }
+}
+
+/// Comparison rows against the paper's figures.
+pub fn comparisons(result: &Fig2) -> Vec<Comparison> {
+    vec![
+        Comparison::new(
+            "interconnect share of access latency",
+            0.90,
+            result.latency_fractions.0,
+            "frac",
+        ),
+        Comparison::new(
+            "subarray share of access latency",
+            0.06,
+            result.latency_fractions.1,
+            "frac",
+        ),
+        Comparison::new(
+            "interconnect share of access energy",
+            0.90,
+            result.energy_fractions.0,
+            "frac",
+        ),
+        Comparison::new(
+            "subarray share of access energy",
+            0.09,
+            result.energy_fractions.1,
+            "frac",
+        ),
+    ]
+}
+
+/// Prints the experiment.
+pub fn print() {
+    let result = run();
+    crate::print_comparisons("Fig. 2: slice access breakdown", &comparisons(&result));
+    println!(
+        "  one slice access: {:.2} ns, {:.1} pJ (subarray alone: {:.2} ns, 8.6 pJ)",
+        result.slice_access_ns,
+        result.slice_access_pj,
+        result.slice_access_ns * result.latency_fractions.1
+    );
+}

@@ -1,0 +1,70 @@
+//! Fig. 4(c): latency and energy of the three LUT-row design points.
+//! The decoupled-bitline design reads 3x faster and 231x more
+//! efficiently than sharing the partition bitline, for 0.5% subarray
+//! area.
+
+use pim_arch::{EnergyParams, LutRowDesign, LutRowProfile, TimingParams};
+
+use crate::Comparison;
+
+/// Result of the Fig. 4 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// Profile of each design point.
+    pub profiles: Vec<LutRowProfile>,
+    /// Decoupled-vs-shared speedup.
+    pub speedup: f64,
+    /// Decoupled-vs-shared energy gain.
+    pub energy_gain: f64,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig4 {
+    let timing = TimingParams::default();
+    let energy = EnergyParams::default();
+    let profiles: Vec<LutRowProfile> =
+        LutRowDesign::ALL.iter().map(|d| d.profile(&timing, &energy)).collect();
+    let shared = LutRowDesign::SharedBitline.profile(&timing, &energy);
+    let decoupled = LutRowDesign::DecoupledBitline.profile(&timing, &energy);
+    Fig4 {
+        profiles,
+        speedup: decoupled.speedup_over(&shared),
+        energy_gain: decoupled.energy_gain_over(&shared),
+    }
+}
+
+/// Comparison rows against the paper's figures.
+pub fn comparisons(result: &Fig4) -> Vec<Comparison> {
+    vec![
+        Comparison::new("decoupled-bitline LUT read speedup", 3.0, result.speedup, "x"),
+        Comparison::new("decoupled-bitline LUT energy gain", 231.0, result.energy_gain, "x"),
+        Comparison::new(
+            "decoupled-bitline subarray area overhead",
+            0.005,
+            result
+                .profiles
+                .iter()
+                .find(|p| p.design == LutRowDesign::DecoupledBitline)
+                .map(|p| p.subarray_area_overhead)
+                .unwrap_or(0.0),
+            "frac",
+        ),
+    ]
+}
+
+/// Prints the experiment.
+pub fn print() {
+    let result = run();
+    println!("\n== Fig. 4(c): LUT-row design space ==");
+    println!("{:<22} {:>12} {:>12} {:>10}", "design", "read ns", "read pJ", "area ovh");
+    for p in &result.profiles {
+        println!(
+            "{:<22} {:>12.3} {:>12.4} {:>9.1}%",
+            p.design.name(),
+            p.read_latency.nanoseconds(),
+            p.read_energy.picojoules(),
+            p.subarray_area_overhead * 100.0
+        );
+    }
+    crate::print_comparisons("Fig. 4(c) vs paper", &comparisons(&result));
+}

@@ -1,0 +1,114 @@
+//! The §V-D CPU/GPU comparisons for the CNNs, plus the abstract's
+//! headline numbers collected in one place.
+
+use bfree::prelude::*;
+
+use crate::Comparison;
+
+/// Result of the CNN CPU/GPU comparison.
+#[derive(Debug, Clone)]
+pub struct CnnComparison {
+    /// Network name.
+    pub network: String,
+    /// Batch size (the paper quotes batch 16).
+    pub batch: usize,
+    /// (cpu speedup, gpu speedup, cpu energy gain, gpu energy gain).
+    pub gains: (f64, f64, f64, f64),
+}
+
+/// Runs Inception-v3 and VGG-16 at batch 16 against CPU and GPU.
+pub fn run() -> Vec<CnnComparison> {
+    let bfree = BfreeSimulator::new(BfreeConfig::paper_default());
+    let cpu = CpuModel::paper_xeon();
+    let gpu = GpuModel::paper_titan_v();
+    [networks::inception_v3(), networks::vgg16()]
+        .into_iter()
+        .map(|net| {
+            let b = bfree.run(&net, 16);
+            let c = cpu.run(&net, 16);
+            let g = gpu.run(&net, 16);
+            CnnComparison {
+                network: net.name().to_string(),
+                batch: 16,
+                gains: (
+                    b.speedup_over(&c),
+                    b.speedup_over(&g),
+                    b.energy_gain_over(&c),
+                    b.energy_gain_over(&g),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Comparison rows against §V-D.
+pub fn comparisons(rows: &[CnnComparison]) -> Vec<Comparison> {
+    let paper: &[(&str, f64, f64, f64, f64)] = &[
+        ("Inception-v3", 259.0, 5.5, 307.0, 11.8),
+        ("VGG-16", 193.0, 3.0, 253.0, 7.0),
+    ];
+    let mut out = Vec::new();
+    for (row, &(_, pc, pg, pce, pge)) in rows.iter().zip(paper) {
+        out.push(Comparison::new(
+            format!("{} b16 speedup vs CPU", row.network),
+            pc,
+            row.gains.0,
+            "x",
+        ));
+        out.push(Comparison::new(
+            format!("{} b16 speedup vs GPU", row.network),
+            pg,
+            row.gains.1,
+            "x",
+        ));
+        out.push(Comparison::new(
+            format!("{} b16 energy vs CPU", row.network),
+            pce,
+            row.gains.2,
+            "x",
+        ));
+        out.push(Comparison::new(
+            format!("{} b16 energy vs GPU", row.network),
+            pge,
+            row.gains.3,
+            "x",
+        ));
+    }
+    out
+}
+
+/// Prints the CNN comparison and the collected headlines.
+pub fn print() {
+    let rows = run();
+    crate::print_comparisons("§V-D: CNN comparison vs CPU/GPU (batch 16)", &comparisons(&rows));
+
+    println!("\n== Collected headline numbers ==");
+    let fig12 = crate::fig12::run();
+    println!(
+        "  vs Neural Cache (Inception-v3): {:.2}x speed, {:.2}x energy (paper 1.72x / 3.14x)",
+        fig12.speedup, fig12.energy_gain
+    );
+    let fig13 = crate::fig13::run();
+    println!(
+        "  vs iso-area Eyeriss (VGG-16 compute): {:.2}x (paper 3.97x)",
+        fig13.compute_speedup
+    );
+    let table3 = crate::table3::run();
+    let bert16 = table3
+        .iter()
+        .find(|r| r.network == "BERT-base" && r.batch == 16)
+        .expect("table3 covers bert-base b16");
+    println!(
+        "  BERT-base b16: {:.0}x / {:.1}x faster, {:.0}x / {:.1}x less energy than CPU / GPU \
+         (paper 101x / 3x, 91x / 11x)",
+        bert16.cpu_speedup(),
+        bert16.gpu_speedup(),
+        bert16.cpu_energy_gain(),
+        bert16.gpu_energy_gain()
+    );
+    let area = crate::overheads::run_area();
+    println!(
+        "  cache area overhead: {:.1}% (paper 5.6%)",
+        area.total_overhead_fraction * 100.0
+    );
+}

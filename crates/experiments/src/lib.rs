@@ -1,0 +1,68 @@
+//! # bfree-experiments
+//!
+//! The reproduction harness: one function per table and figure of the
+//! BFree paper's evaluation (§V). Each experiment returns a structured
+//! result (so the integration suite can assert the paper's shape holds)
+//! and knows how to print itself as a paper-vs-measured table.
+//!
+//! Run everything with `cargo run -p bfree-experiments --release -- all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod csv;
+pub mod extensions;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig2;
+pub mod fig4;
+pub mod headline;
+pub mod overheads;
+pub mod table2;
+pub mod table3;
+
+/// A paper-reported value next to our measured value.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// What this row measures.
+    pub label: String,
+    /// The paper's value (in `unit`).
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Unit string for display.
+    pub unit: &'static str,
+}
+
+impl Comparison {
+    /// Creates a comparison row.
+    pub fn new(label: impl Into<String>, paper: f64, measured: f64, unit: &'static str) -> Self {
+        Comparison { label: label.into(), paper, measured, unit }
+    }
+
+    /// measured / paper.
+    pub fn ratio(&self) -> f64 {
+        self.measured / self.paper
+    }
+
+    /// Whether the measured value is within `band` (multiplicative) of
+    /// the paper's.
+    pub fn within(&self, band: f64) -> bool {
+        let r = self.ratio();
+        r >= 1.0 / band && r <= band
+    }
+}
+
+/// Prints a block of comparisons as an aligned table.
+pub fn print_comparisons(title: &str, rows: &[Comparison]) {
+    println!("\n== {title} ==");
+    println!("{:<44} {:>12} {:>12} {:>8}", "metric", "paper", "measured", "x/paper");
+    for row in rows {
+        println!(
+            "{:<44} {:>9.3} {} {:>9.3} {} {:>7.2}x",
+            row.label, row.paper, row.unit, row.measured, row.unit, row.ratio()
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! The experiments CLI: `experiments <name>` regenerates one table or
+//! figure of the BFree paper; `experiments all` regenerates everything.
+
+use bfree_experiments as exp;
+
+const USAGE: &str = "\
+usage: experiments <name>
+
+  fig2       slice access latency/energy breakdown
+  fig4       LUT-row design space (standalone / shared / decoupled)
+  table2     workload summary (layers, params, mults)
+  fig12      Inception-v3 vs Neural Cache (a: layers, b/c: phases, d: energy)
+  fig13      VGG-16 vs iso-area Eyeriss (compute cycles)
+  fig14      VGG-16 vs memory bandwidth, batch, precision
+  table3     LSTM / BERT vs CPU and GPU
+  cpu_gpu    CNN comparisons vs CPU and GPU (batch 16)
+  overheads  area and power overheads (§V-B)
+  headline   all headline numbers in one block
+  ablations  design-choice ablations (DESIGN.md §5)
+  extensions extension workloads (ResNet-18, GRU) on every device
+  all        everything above, in paper order
+  csv [dir]  write every figure's data series as CSV (default: results/)
+";
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match arg.as_str() {
+        "fig2" => exp::fig2::print(),
+        "fig4" => exp::fig4::print(),
+        "table2" => exp::table2::print(),
+        "fig12" | "fig12a" | "fig12bc" | "fig12d" => exp::fig12::print(),
+        "fig13" => exp::fig13::print(),
+        "fig14" => exp::fig14::print(),
+        "table3" => exp::table3::print(),
+        "cpu_gpu" | "headline" => exp::headline::print(),
+        "overheads" | "area" | "bce_power" => exp::overheads::print(),
+        "ablations" => exp::ablations::print(),
+        "extensions" => exp::extensions::print(),
+        "csv" => {
+            let dir = std::env::args().nth(2).unwrap_or_else(|| "results".to_string());
+            match exp::csv::write_all(std::path::Path::new(&dir)) {
+                Ok(files) => {
+                    for f in files {
+                        println!("wrote {dir}/{f}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("csv export failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "all" => {
+            exp::fig2::print();
+            exp::fig4::print();
+            exp::table2::print();
+            exp::fig12::print();
+            exp::fig13::print();
+            exp::fig14::print();
+            exp::table3::print();
+            exp::headline::print();
+            exp::overheads::print();
+            exp::ablations::print();
+            exp::extensions::print();
+        }
+        "-h" | "--help" | "help" => print!("{USAGE}"),
+        other => {
+            eprintln!("unknown experiment: {other}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! §V-B design-analysis numbers: area overheads, controller and BCE
+//! power, and the BCE-versus-specialized-MAC comparison.
+
+use pim_arch::{AreaModel, CacheGeometry, EnergyParams};
+use pim_arch::area::AreaReport;
+use pim_bce::power::{ADD_PJ, ROM_READ_PJ, SHIFT_PJ};
+
+use crate::Comparison;
+
+/// Runs the area model over the paper geometry.
+pub fn run_area() -> AreaReport {
+    AreaModel::default().report(&CacheGeometry::xeon_l3_35mb())
+}
+
+/// Comparison rows for §V-B.
+pub fn comparisons() -> Vec<Comparison> {
+    let report = run_area();
+    let model = AreaModel::default();
+    let energy = EnergyParams::default();
+    vec![
+        Comparison::new("total cache area overhead", 0.056, report.total_overhead_fraction, "frac"),
+        Comparison::new("LUT circuitry / subarray", 0.005, report.lut_subarray_overhead, "frac"),
+        Comparison::new("controllers / cache", 0.001, report.controller_cache_overhead, "frac"),
+        Comparison::new("BCE conv-mode power", 0.4, energy.bce_conv_mode_mw, "mW"),
+        Comparison::new("BCE matmul-mode power", 1.3, energy.bce_matmul_mode_mw, "mW"),
+        Comparison::new("cache controller power", 0.8, energy.cache_controller_mw, "mW"),
+        Comparison::new("slice controller power", 1.4, energy.slice_controller_mw, "mW"),
+        Comparison::new(
+            "specialized MAC relative area",
+            1.03,
+            model.specialized_mac_area_ratio(),
+            "x",
+        ),
+        Comparison::new(
+            "BCE vs MAC energy efficiency",
+            1.48,
+            model.bce_vs_mac_energy_gain(),
+            "x",
+        ),
+    ]
+}
+
+/// Prints the experiment.
+pub fn print() {
+    crate::print_comparisons("§V-B: area and power overheads", &comparisons());
+    let interference = bfree::InterferenceModel::paper_default();
+    println!(
+        "  conventional-access slowdown under full PIM load: conv {:.3}%, matmul {:.3}% \
+         (§III-A: 'minimal impact on conventional memory performance')",
+        (interference.slowdown(pim_bce::BceMode::Conv, 1.0) - 1.0) * 100.0,
+        (interference.slowdown(pim_bce::BceMode::MatMul, 1.0) - 1.0) * 100.0
+    );
+    let report = run_area();
+    println!(
+        "  conventional cache {:.1} mm^2 -> BFree {:.1} mm^2",
+        report.conventional_cache_mm2, report.bfree_cache_mm2
+    );
+    // The 0.5 pJ ROM-MAC decomposition of §V-D.
+    let mac_pj = 4.0 * ROM_READ_PJ + 4.0 * ADD_PJ + 2.0 * SHIFT_PJ;
+    println!(
+        "  BCE int8 MAC energy: {mac_pj:.2} pJ (4 ROM reads + fixups; paper: ~0.5 pJ ROM term)"
+    );
+}

@@ -1,0 +1,97 @@
+//! Table II: the evaluation workloads — layers, parameters and
+//! multiplies — recomputed from our layer-by-layer transcriptions.
+
+use pim_nn::networks::{self, PaperStats};
+use pim_nn::Network;
+
+use crate::Comparison;
+
+/// One recomputed Table II row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Network name.
+    pub network: String,
+    /// What the paper reports.
+    pub paper: PaperStats,
+    /// Our computed parameter count.
+    pub params: u64,
+    /// Our computed multiply count (per timestep for the LSTM, to match
+    /// the paper's convention).
+    pub mults: u64,
+    /// Our weight-layer count.
+    pub weight_layers: usize,
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table2Row> {
+    networks::table2_networks()
+        .into_iter()
+        .map(|(net, paper)| {
+            let mults = normalized_mults(&net);
+            Table2Row {
+                network: net.name().to_string(),
+                paper,
+                params: net.total_params(),
+                mults,
+                weight_layers: net.weight_layer_count(),
+            }
+        })
+        .collect()
+}
+
+/// The paper quotes LSTM multiplies per timestep; everything else is
+/// per inference.
+fn normalized_mults(net: &Network) -> u64 {
+    if net.name() == "LSTM" {
+        let lstm_macs = net.layers()[0].macs();
+        lstm_macs / networks::LSTM_TIMIT_SEQ_LEN as u64
+    } else {
+        net.total_macs()
+    }
+}
+
+/// Comparison rows (params and mults per network).
+pub fn comparisons(rows: &[Table2Row]) -> Vec<Comparison> {
+    let mut out = Vec::new();
+    for row in rows {
+        out.push(Comparison::new(
+            format!("{} params", row.network),
+            row.paper.params / 1e6,
+            row.params as f64 / 1e6,
+            "M",
+        ));
+        out.push(Comparison::new(
+            format!("{} mults", row.network),
+            row.paper.mults / 1e6,
+            row.mults as f64 / 1e6,
+            "M",
+        ));
+    }
+    out
+}
+
+/// Prints the experiment.
+pub fn print() {
+    let rows = run();
+    println!("\n== Table II: workload summary ==");
+    println!(
+        "{:<14} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "network", "w-layers", "params", "paper", "mults", "paper", "dataset"
+    );
+    for row in &rows {
+        println!(
+            "{:<14} {:>8} {:>11.2}M {:>11.1}M {:>11.2}M {:>11.1}M {:>10}",
+            row.network,
+            row.weight_layers,
+            row.params as f64 / 1e6,
+            row.paper.params / 1e6,
+            row.mults as f64 / 1e6,
+            row.paper.mults / 1e6,
+            row.paper.dataset
+        );
+    }
+    println!(
+        "  note: Inception-v3 mults follow the original paper's 5.72G multiply-add \
+         count;\n  BFree's Table II quotes 4.7G (-18%), recorded in EXPERIMENTS.md."
+    );
+}

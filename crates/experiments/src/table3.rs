@@ -1,0 +1,157 @@
+//! Table III: LSTM, BERT-base and BERT-large runtime and energy on
+//! BFree versus the calibrated CPU (Xeon E5-2697) and GPU (Titan V)
+//! models, batches 1 and 16.
+
+use bfree::prelude::*;
+use pim_nn::Network;
+
+use crate::Comparison;
+
+/// One Table III row.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Network name.
+    pub network: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Per-inference latency, ms: (cpu, gpu, bfree).
+    pub latency_ms: (f64, f64, f64),
+    /// Per-inference energy, J: (cpu, gpu, bfree).
+    pub energy_j: (f64, f64, f64),
+}
+
+impl Table3Row {
+    /// BFree speedup over the CPU.
+    pub fn cpu_speedup(&self) -> f64 {
+        self.latency_ms.0 / self.latency_ms.2
+    }
+
+    /// BFree speedup over the GPU.
+    pub fn gpu_speedup(&self) -> f64 {
+        self.latency_ms.1 / self.latency_ms.2
+    }
+
+    /// BFree energy gain over the CPU.
+    pub fn cpu_energy_gain(&self) -> f64 {
+        self.energy_j.0 / self.energy_j.2
+    }
+
+    /// BFree energy gain over the GPU.
+    pub fn gpu_energy_gain(&self) -> f64 {
+        self.energy_j.1 / self.energy_j.2
+    }
+}
+
+/// One paper Table III row: (network, batch, cpu ms, gpu ms, bfree ms,
+/// cpu J, gpu J, bfree J).
+pub type PaperRow = (&'static str, usize, f64, f64, f64, f64, f64, f64);
+
+/// Paper Table III values, per inference.
+pub const PAPER_ROWS: [PaperRow; 5] = [
+    ("LSTM", 1, 888.3, 96.2, 0.43, 31.09, 4.33, 0.01),
+    ("BERT-base", 1, 1160.0, 47.3, 5.3, 34.80, 1.67, 0.12),
+    ("BERT-base", 16, 121.3, 3.8, 1.2, 3.64, 0.45, 0.04),
+    ("BERT-large", 1, 2910.0, 89.7, 35.6, 87.3, 4.5, 0.39),
+    ("BERT-large", 16, 453.1, 11.1, 6.7, 13.6, 1.7, 0.12),
+];
+
+fn network_by_name(name: &str) -> Network {
+    match name {
+        "LSTM" => networks::lstm_timit(),
+        "BERT-base" => networks::bert_base(),
+        "BERT-large" => networks::bert_large(),
+        other => panic!("unknown Table III network {other}"),
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table3Row> {
+    let bfree = BfreeSimulator::new(BfreeConfig::paper_default());
+    let cpu = CpuModel::paper_xeon();
+    let gpu = GpuModel::paper_titan_v();
+    PAPER_ROWS
+        .iter()
+        .map(|&(name, batch, ..)| {
+            let net = network_by_name(name);
+            let c = cpu.run(&net, batch);
+            let g = gpu.run(&net, batch);
+            let b = bfree.run(&net, batch);
+            Table3Row {
+                network: name.to_string(),
+                batch,
+                latency_ms: (
+                    c.per_inference_latency().milliseconds(),
+                    g.per_inference_latency().milliseconds(),
+                    b.per_inference_latency().milliseconds(),
+                ),
+                energy_j: (
+                    c.per_inference_energy().joules(),
+                    g.per_inference_energy().joules(),
+                    b.per_inference_energy().joules(),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Comparison rows against the paper's BFree columns and ratios.
+pub fn comparisons(rows: &[Table3Row]) -> Vec<Comparison> {
+    let mut out = Vec::new();
+    for (row, paper) in rows.iter().zip(PAPER_ROWS.iter()) {
+        out.push(Comparison::new(
+            format!("{} b{} BFree latency", row.network, row.batch),
+            paper.4,
+            row.latency_ms.2,
+            "ms",
+        ));
+        out.push(Comparison::new(
+            format!("{} b{} BFree vs CPU speedup", row.network, row.batch),
+            paper.2 / paper.4,
+            row.cpu_speedup(),
+            "x",
+        ));
+        out.push(Comparison::new(
+            format!("{} b{} BFree vs GPU speedup", row.network, row.batch),
+            paper.3 / paper.4,
+            row.gpu_speedup(),
+            "x",
+        ));
+    }
+    out
+}
+
+/// Prints the experiment.
+pub fn print() {
+    let rows = run();
+    println!("\n== Table III: runtime & energy per inference ==");
+    println!(
+        "{:<12} {:>5} | {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9}",
+        "network", "batch", "CPU ms", "GPU ms", "BFree ms", "CPU J", "GPU J", "BFree J"
+    );
+    for row in &rows {
+        println!(
+            "{:<12} {:>5} | {:>10.1} {:>10.1} {:>10.3} | {:>9.2} {:>9.2} {:>9.4}",
+            row.network,
+            row.batch,
+            row.latency_ms.0,
+            row.latency_ms.1,
+            row.latency_ms.2,
+            row.energy_j.0,
+            row.energy_j.1,
+            row.energy_j.2
+        );
+    }
+    println!("\nBFree gains (paper's abstract quotes BERT-base b16: 101x/3x speed, 91x/11x energy):");
+    for row in &rows {
+        println!(
+            "  {:<12} b{:<3} {:>7.0}x CPU, {:>6.1}x GPU speed; {:>7.0}x CPU, {:>6.1}x GPU energy",
+            row.network,
+            row.batch,
+            row.cpu_speedup(),
+            row.gpu_speedup(),
+            row.cpu_energy_gain(),
+            row.gpu_energy_gain()
+        );
+    }
+    crate::print_comparisons("Table III vs paper", &comparisons(&rows));
+}

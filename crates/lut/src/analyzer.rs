@@ -1,0 +1,174 @@
+//! The BCE operand analyzer (paper §III-C1, Fig. 5/6).
+//!
+//! Before touching the multiply LUT, the BCE classifies each 4-bit
+//! operand. Products involving zero, one or a power of two never access
+//! the LUT; even operands are decomposed either into `odd * 2^k` (one LUT
+//! access plus a shift) or — when they are the sum of exactly two powers
+//! of two, as in the paper's Fig. 6 cycle 4 — into two shifts and an add
+//! with no LUT access at all.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of a 4-bit operand by the operand analyzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperandClass {
+    /// The operand is zero: the product is zero, no compute needed.
+    Zero,
+    /// The operand is one: the product is the other operand.
+    One,
+    /// The operand is `2^k` for `k >= 1`: multiply becomes a left shift.
+    PowerOfTwo {
+        /// The shift amount `k`.
+        shift: u32,
+    },
+    /// The operand is odd and `>= 3`: a direct LUT row/column index.
+    Odd {
+        /// The operand value.
+        value: u8,
+    },
+    /// The operand is even but not a power of two: `value = odd << shift`
+    /// with `odd >= 3`.
+    EvenComposite {
+        /// The odd factor (`>= 3`).
+        odd: u8,
+        /// The power-of-two factor exponent (`>= 1`).
+        shift: u32,
+    },
+}
+
+impl OperandClass {
+    /// Whether multiplying by this operand requires a LUT access when the
+    /// other operand is odd.
+    pub fn needs_lut(self) -> bool {
+        matches!(self, OperandClass::Odd { .. } | OperandClass::EvenComposite { .. })
+    }
+
+    /// The odd factor of the operand (1 for powers of two and one, 0 for
+    /// zero).
+    pub fn odd_part(self) -> u8 {
+        match self {
+            OperandClass::Zero => 0,
+            OperandClass::One => 1,
+            OperandClass::PowerOfTwo { .. } => 1,
+            OperandClass::Odd { value } => value,
+            OperandClass::EvenComposite { odd, .. } => odd,
+        }
+    }
+
+    /// The power-of-two exponent of the operand.
+    pub fn shift_part(self) -> u32 {
+        match self {
+            OperandClass::PowerOfTwo { shift } => shift,
+            OperandClass::EvenComposite { shift, .. } => shift,
+            _ => 0,
+        }
+    }
+}
+
+/// The operand analyzer: a tiny piece of BCE logic that classifies
+/// operands and chooses the decomposition strategy.
+///
+/// ```
+/// use pim_lut::{OperandAnalyzer, OperandClass};
+/// let a = OperandAnalyzer::classify(12);
+/// assert_eq!(a, OperandClass::EvenComposite { odd: 3, shift: 2 });
+/// assert_eq!(OperandAnalyzer::classify(8), OperandClass::PowerOfTwo { shift: 3 });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OperandAnalyzer;
+
+impl OperandAnalyzer {
+    /// Classifies a 4-bit operand (values above 15 are accepted and
+    /// classified by the same rules; the BCE only ever passes nibbles).
+    pub fn classify(value: u8) -> OperandClass {
+        match value {
+            0 => OperandClass::Zero,
+            1 => OperandClass::One,
+            v if v.is_power_of_two() => OperandClass::PowerOfTwo { shift: v.trailing_zeros() },
+            v if v % 2 == 1 => OperandClass::Odd { value: v },
+            v => {
+                let shift = v.trailing_zeros();
+                OperandClass::EvenComposite { odd: v >> shift, shift }
+            }
+        }
+    }
+
+    /// Whether the operand is the sum of exactly two powers of two (e.g.
+    /// `6 = 4 + 2`, `12 = 8 + 4`), enabling the paper's two-shift
+    /// decomposition that avoids the LUT entirely.
+    pub fn is_two_power_sum(value: u8) -> bool {
+        value.count_ones() == 2
+    }
+
+    /// The exponents of the set bits, highest first, for the two-shift
+    /// decomposition. Empty for zero.
+    pub fn power_decomposition(value: u8) -> Vec<u32> {
+        (0..8).rev().filter(|k| value & (1 << k) != 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_all_nibbles() {
+        assert_eq!(OperandAnalyzer::classify(0), OperandClass::Zero);
+        assert_eq!(OperandAnalyzer::classify(1), OperandClass::One);
+        assert_eq!(OperandAnalyzer::classify(2), OperandClass::PowerOfTwo { shift: 1 });
+        assert_eq!(OperandAnalyzer::classify(3), OperandClass::Odd { value: 3 });
+        assert_eq!(OperandAnalyzer::classify(4), OperandClass::PowerOfTwo { shift: 2 });
+        assert_eq!(OperandAnalyzer::classify(6), OperandClass::EvenComposite { odd: 3, shift: 1 });
+        assert_eq!(OperandAnalyzer::classify(8), OperandClass::PowerOfTwo { shift: 3 });
+        assert_eq!(OperandAnalyzer::classify(10), OperandClass::EvenComposite { odd: 5, shift: 1 });
+        assert_eq!(OperandAnalyzer::classify(12), OperandClass::EvenComposite { odd: 3, shift: 2 });
+        assert_eq!(OperandAnalyzer::classify(15), OperandClass::Odd { value: 15 });
+    }
+
+    #[test]
+    fn decomposition_reconstructs_value() {
+        for v in 0u8..=15 {
+            let c = OperandAnalyzer::classify(v);
+            let reconstructed = c.odd_part() << c.shift_part();
+            assert_eq!(reconstructed, v, "classify({v}) lost information");
+        }
+    }
+
+    #[test]
+    fn odd_part_is_odd_or_degenerate() {
+        for v in 0u8..=15 {
+            let odd = OperandAnalyzer::classify(v).odd_part();
+            assert!(odd == 0 || odd % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn two_power_sums_detected() {
+        // 6=4+2, 12=8+4, 10=8+2, 5=4+1 (odd, but still two set bits).
+        assert!(OperandAnalyzer::is_two_power_sum(6));
+        assert!(OperandAnalyzer::is_two_power_sum(12));
+        assert!(OperandAnalyzer::is_two_power_sum(10));
+        assert!(!OperandAnalyzer::is_two_power_sum(7));
+        assert!(!OperandAnalyzer::is_two_power_sum(8));
+        assert!(!OperandAnalyzer::is_two_power_sum(0));
+    }
+
+    #[test]
+    fn power_decomposition_sums_back() {
+        for v in 1u8..=15 {
+            let parts = OperandAnalyzer::power_decomposition(v);
+            let sum: u32 = parts.iter().map(|k| 1u32 << k).sum();
+            assert_eq!(sum, v as u32);
+        }
+        assert!(OperandAnalyzer::power_decomposition(0).is_empty());
+    }
+
+    #[test]
+    fn needs_lut_only_for_odd_factors_above_one() {
+        assert!(!OperandAnalyzer::classify(0).needs_lut());
+        assert!(!OperandAnalyzer::classify(1).needs_lut());
+        assert!(!OperandAnalyzer::classify(4).needs_lut());
+        assert!(OperandAnalyzer::classify(3).needs_lut());
+        assert!(OperandAnalyzer::classify(12).needs_lut());
+    }
+}

@@ -1,0 +1,328 @@
+//! Small-table Taylor-series division (paper §III-C2).
+//!
+//! BFree performs division (average pooling, softmax normalization) with
+//! the method of Hung, Fahmy, Mencer and Flynn: both operands are mapped
+//! into `[1, 2)` by shifting, the divisor is split into its upper and
+//! lower halves `Y = Yh + Yl`, and
+//!
+//! ```text
+//! X / Y  ~  X * (Yh - Yl) / Yh^2
+//! ```
+//!
+//! where `1 / Yh^2` comes from a small LUT indexed by the upper divisor
+//! bits. The relative error is bounded by `(Yl / Yh)^2 <= 2^-2(m-1)` for
+//! an `m`-bit table index, so the default `m = 8` gives better than
+//! 0.01% error — ample for pooling and softmax.
+//!
+//! The implementation is pure fixed-point (`u64` intermediates with
+//! documented scale factors), mirroring the shift-and-multiply hardware.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::OpCost;
+use crate::error::LutError;
+
+/// Scale of the reciprocal-square table entries: entries store
+/// `round(2^RECIP_SHIFT / yh^2)`.
+const RECIP_SHIFT: u32 = 40;
+
+/// The Taylor-series division engine with its reciprocal-square table.
+///
+/// ```
+/// use pim_lut::DivLut;
+/// let div = DivLut::new(8).unwrap();
+/// let (q, _cost) = div.divide(355, 113).unwrap();
+/// assert!((q - 355.0 / 113.0).abs() / (355.0 / 113.0) < 1e-4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DivLut {
+    m: u32,
+    /// `table[i] = round(2^40 / (i + 2^(m-1))^2)` for the `2^(m-1)`
+    /// possible upper-bit patterns of a normalized divisor.
+    table: Vec<u64>,
+}
+
+impl DivLut {
+    /// Builds the table for an `m`-bit divisor index, `4 <= m <= 12`.
+    ///
+    /// The table has `2^(m-1)` entries (a normalized divisor always has
+    /// its leading bit set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError::InvalidTable`] when `m` is out of range.
+    pub fn new(m: u32) -> Result<Self, LutError> {
+        if !(4..=12).contains(&m) {
+            return Err(LutError::InvalidTable {
+                parameter: "m",
+                reason: format!("index width must be in 4..=12, got {m}"),
+            });
+        }
+        let lo = 1u64 << (m - 1);
+        let hi = 1u64 << m;
+        let table = (lo..hi)
+            .map(|yh| {
+                let denom = yh * yh;
+                ((1u128 << RECIP_SHIFT) as f64 / denom as f64).round() as u64
+            })
+            .collect();
+        Ok(DivLut { m, table })
+    }
+
+    /// The divisor index width `m`.
+    pub fn index_bits(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of table entries (`2^(m-1)`).
+    pub fn entry_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Table storage in bytes (entries fit in four bytes each for
+    /// `m <= 12`).
+    pub fn storage_bytes(&self) -> usize {
+        self.table.len() * 4
+    }
+
+    /// Worst-case relative error bound of the approximation,
+    /// `2^-2(m-1)` (loose; the measured error is typically smaller).
+    pub fn error_bound(&self) -> f64 {
+        2f64.powi(-(2 * (self.m as i32 - 1)))
+    }
+
+    /// Divides two unsigned integers, returning the approximate quotient
+    /// and the architectural cost (one LUT read, two multiplies folded
+    /// into the BCE, and the normalization shifts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError::DivisionByZero`] when `y == 0`. `x == 0`
+    /// returns zero exactly.
+    pub fn divide(&self, x: u64, y: u64) -> Result<(f64, OpCost), LutError> {
+        if y == 0 {
+            return Err(LutError::DivisionByZero);
+        }
+        if x == 0 {
+            return Ok((0.0, OpCost::trivial()));
+        }
+        // Normalize both operands to 16-bit with the MSB set; record the
+        // exponents so the result can be denormalized (the hardware keeps
+        // the shift counter, §III-C2).
+        let (xn, ex) = normalize16(x);
+        let (yn, ey) = normalize16(y);
+
+        // Split the divisor: yh = top m bits (leading bit set), yl = rest.
+        let frac_bits = 16 - self.m;
+        let yh = yn >> frac_bits; // in [2^(m-1), 2^m)
+        let yl = yn & ((1u64 << frac_bits) - 1);
+
+        // N = X * (Yh - Yl), both in 2^-15 units => N in 2^-30 units.
+        // (yh << frac_bits) restores Yh to 2^-15 units.
+        let n = xn * ((yh << frac_bits) - yl);
+
+        // Multiply by 1/Yh^2 from the table. The table stores
+        // 2^40 / yh^2; Yh in value terms is yh / 2^(m-1), so
+        // 1/Yh^2 = 2^(2m-2) / yh^2 and the residual shift is
+        // 40 - (2m - 2) = 42 - 2m.
+        let recip = self.table[(yh - (1 << (self.m - 1))) as usize];
+        let scaled = (n as u128 * recip as u128) >> (42 - 2 * self.m);
+
+        // scaled is the normalized quotient in 2^-30 units.
+        let norm_quotient = scaled as f64 / (1u64 << 30) as f64;
+        let quotient = norm_quotient * 2f64.powi(ex - ey);
+
+        let cost = OpCost { lut_reads: 1, shifts: 3, adds: 1, rom_reads: 2, cycles: 4 };
+        Ok((quotient, cost))
+    }
+
+    /// Divides and rounds to the nearest unsigned integer, the form used
+    /// by average pooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError::DivisionByZero`] when `y == 0`.
+    pub fn divide_round(&self, x: u64, y: u64) -> Result<(u64, OpCost), LutError> {
+        let (q, cost) = self.divide(x, y)?;
+        Ok((q.round().max(0.0) as u64, cost))
+    }
+
+    /// Division with one Newton-Raphson refinement step — an extension
+    /// beyond the paper's single-lookup scheme for workloads needing
+    /// tighter quotients. The LUT quotient seeds a reciprocal estimate
+    /// `r0 = q0 / x`, refined as `r1 = r0 * (2 - y * r0)`, roughly
+    /// squaring the relative accuracy for two extra multiplies and a
+    /// subtract on the BCE datapath.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError::DivisionByZero`] when `y == 0`.
+    pub fn divide_refined(&self, x: u64, y: u64) -> Result<(f64, OpCost), LutError> {
+        let (q0, mut cost) = self.divide(x, y)?;
+        if x == 0 {
+            return Ok((0.0, cost));
+        }
+        let r0 = q0 / x as f64; // seed reciprocal of y
+        let r1 = r0 * (2.0 - y as f64 * r0);
+        cost += OpCost { rom_reads: 4, adds: 2, shifts: 0, cycles: 3, lut_reads: 0 };
+        Ok((x as f64 * r1, cost))
+    }
+}
+
+impl Default for DivLut {
+    /// The paper's configuration: `m = 8` (128 entries, 512 bytes).
+    fn default() -> Self {
+        DivLut::new(8).expect("m = 8 is valid")
+    }
+}
+
+/// Normalizes a non-zero integer into `[2^15, 2^16)`; returns the
+/// normalized mantissa and the exponent such that
+/// `value = mantissa * 2^(exp - 15)`.
+fn normalize16(v: u64) -> (u64, i32) {
+    debug_assert!(v != 0);
+    let msb = 63 - v.leading_zeros() as i32;
+    let mantissa = if msb >= 15 { v >> (msb - 15) } else { v << (15 - msb) };
+    (mantissa, msb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table_sizes() {
+        let d = DivLut::new(8).unwrap();
+        assert_eq!(d.entry_count(), 128);
+        assert_eq!(d.storage_bytes(), 512);
+        assert_eq!(DivLut::new(6).unwrap().entry_count(), 32);
+    }
+
+    #[test]
+    fn invalid_index_width_rejected() {
+        assert!(DivLut::new(3).is_err());
+        assert!(DivLut::new(13).is_err());
+    }
+
+    #[test]
+    fn division_by_zero_rejected() {
+        let d = DivLut::default();
+        assert_eq!(d.divide(5, 0), Err(LutError::DivisionByZero));
+    }
+
+    #[test]
+    fn zero_numerator_is_exact() {
+        let d = DivLut::default();
+        let (q, _) = d.divide(0, 7).unwrap();
+        assert_eq!(q, 0.0);
+    }
+
+    #[test]
+    fn normalize16_preserves_value() {
+        for v in [1u64, 2, 3, 100, 32768, 65535, 65536, 1 << 30, u64::MAX >> 1] {
+            let (m, e) = normalize16(v);
+            assert!((32768..65536).contains(&m), "mantissa {m} out of range for {v}");
+            let back = m as f64 * 2f64.powi(e - 15);
+            assert!((back / v as f64 - 1.0).abs() < 2e-5, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn dense_error_sweep_within_bound() {
+        let d = DivLut::new(8).unwrap();
+        let mut max_rel = 0.0f64;
+        for x in (1..5000u64).step_by(37) {
+            for y in (1..5000u64).step_by(41) {
+                let (q, _) = d.divide(x, y).unwrap();
+                let exact = x as f64 / y as f64;
+                let rel = (q - exact).abs() / exact;
+                max_rel = max_rel.max(rel);
+            }
+        }
+        // Loose analytic bound plus fixed-point rounding slack.
+        assert!(max_rel < d.error_bound() * 4.0 + 1e-4, "max relative error {max_rel}");
+    }
+
+    #[test]
+    fn error_shrinks_with_larger_table() {
+        let worst = |m: u32| {
+            let d = DivLut::new(m).unwrap();
+            let mut worst = 0.0f64;
+            for y in 1..=255u64 {
+                let (q, _) = d.divide(1000, y).unwrap();
+                let exact = 1000.0 / y as f64;
+                worst = worst.max((q - exact).abs() / exact);
+            }
+            worst
+        };
+        assert!(worst(10) < worst(5));
+    }
+
+    #[test]
+    fn average_pooling_style_division_rounds_correctly() {
+        let d = DivLut::default();
+        // 9-element average pooling windows.
+        let (q, _) = d.divide_round(45, 9).unwrap();
+        assert_eq!(q, 5);
+        let (q, _) = d.divide_round(1000, 9).unwrap();
+        assert_eq!(q, 111);
+    }
+
+    #[test]
+    fn refined_division_beats_single_lookup() {
+        let d = DivLut::new(6).unwrap(); // coarse table to make the gain visible
+        let mut worst_plain = 0.0f64;
+        let mut worst_refined = 0.0f64;
+        for x in (1..2000u64).step_by(97) {
+            for y in (1..500u64).step_by(41) {
+                let exact = x as f64 / y as f64;
+                let (plain, _) = d.divide(x, y).unwrap();
+                let (refined, _) = d.divide_refined(x, y).unwrap();
+                worst_plain = worst_plain.max((plain - exact).abs() / exact);
+                worst_refined = worst_refined.max((refined - exact).abs() / exact);
+            }
+        }
+        assert!(
+            worst_refined < worst_plain / 4.0,
+            "refined {worst_refined} vs plain {worst_plain}"
+        );
+    }
+
+    #[test]
+    fn refined_division_costs_more_cycles() {
+        let d = DivLut::default();
+        let (_, plain) = d.divide(100, 7).unwrap();
+        let (_, refined) = d.divide_refined(100, 7).unwrap();
+        assert!(refined.cycles > plain.cycles);
+        assert!(refined.rom_reads > plain.rom_reads);
+    }
+
+    #[test]
+    fn cost_reports_one_lut_read() {
+        let d = DivLut::default();
+        let (_, c) = d.divide(17, 5).unwrap();
+        assert_eq!(c.lut_reads, 1);
+        assert!(c.cycles >= 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_relative_error_bounded(x in 1u64..1_000_000, y in 1u64..1_000_000) {
+            let d = DivLut::new(8).unwrap();
+            let (q, _) = d.divide(x, y).unwrap();
+            let exact = x as f64 / y as f64;
+            let rel = (q - exact).abs() / exact;
+            prop_assert!(rel < 4.0 * d.error_bound() + 1e-4, "x={} y={} rel={}", x, y, rel);
+        }
+
+        #[test]
+        fn prop_quotient_monotone_in_numerator(x in 1u64..100_000, y in 1u64..1000) {
+            let d = DivLut::new(8).unwrap();
+            let (q1, _) = d.divide(x, y).unwrap();
+            let (q2, _) = d.divide(x * 2, y).unwrap();
+            // Doubling the numerator should roughly double the quotient.
+            prop_assert!((q2 / q1 - 2.0).abs() < 0.01);
+        }
+    }
+}

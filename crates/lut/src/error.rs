@@ -1,0 +1,71 @@
+//! Error type for LUT construction and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or evaluating LUT structures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LutError {
+    /// Division by zero requested.
+    DivisionByZero,
+    /// A table parameter (segment count, index width) was out of range.
+    InvalidTable {
+        /// Which parameter was invalid.
+        parameter: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A piecewise-linear table was asked to cover an empty or inverted
+    /// interval.
+    InvalidRange {
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// A LUT image does not fit in the available LUT rows.
+    ImageTooLarge {
+        /// Bytes required by the image.
+        required: usize,
+        /// Bytes available in the LUT rows.
+        available: usize,
+    },
+}
+
+impl fmt::Display for LutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LutError::DivisionByZero => write!(f, "division by zero"),
+            LutError::InvalidTable { parameter, reason } => {
+                write!(f, "invalid table parameter {parameter}: {reason}")
+            }
+            LutError::InvalidRange { lo, hi } => {
+                write!(f, "invalid approximation range [{lo}, {hi}]")
+            }
+            LutError::ImageTooLarge { required, available } => {
+                write!(f, "lut image of {required} bytes exceeds {available} available bytes")
+            }
+        }
+    }
+}
+
+impl Error for LutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(LutError::DivisionByZero.to_string(), "division by zero");
+        let e = LutError::ImageTooLarge { required: 128, available: 64 };
+        assert!(e.to_string().contains("128"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LutError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! # pim-lut
+//!
+//! The functional LUT arithmetic of the BFree architecture (Ramanathan et
+//! al., MICRO 2020, §III-B/§III-C). BFree replaces bitline computing with
+//! data lookup:
+//!
+//! * **Multiplication** uses a 49-entry table holding only products of
+//!   odd 4-bit operands in `3..=15`; the *operand analyzer* decomposes all
+//!   other operands into odd parts and powers of two and fixes the result
+//!   up with shifts and adds ([`MultLut`], [`OperandAnalyzer`],
+//!   [`LutMultiplier`]). Wider operands are decomposed into 4-bit nibbles.
+//!   The result is **bit-exact** with native multiplication.
+//! * **Division** uses the small-table Taylor-series method of Hung et
+//!   al.: `X/Y ~ X*(Yh - Yl)/Yh^2` with a reciprocal-square table indexed
+//!   by the upper bits of the normalized divisor ([`DivLut`]).
+//! * **Activation functions** (exponent, sigmoid, tanh) use piecewise
+//!   linear approximation tables storing a slope and intercept per segment
+//!   ([`PwlTable`]), composed into a full [`softmax()`] routine.
+//!
+//! Every operation also returns an [`OpCost`] describing the
+//! architectural events it generated (LUT reads, ROM reads, shifts, adds,
+//! cycles), which `pim-bce` prices in time and energy.
+//!
+//! ```
+//! use pim_lut::{LutMultiplier, MultLut};
+//!
+//! let mul = LutMultiplier::new();
+//! let (product, cost) = mul.mul_u8(93, 201);
+//! assert_eq!(product, 93 * 201);
+//! assert!(cost.cycles >= 1);
+//! assert_eq!(MultLut::new().entry_count(), 49); // paper Fig. 5
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod cost;
+pub mod divide;
+pub mod error;
+pub mod mult_table;
+pub mod multiply;
+pub mod pwl;
+pub mod softmax;
+pub mod storage;
+
+pub use analyzer::{OperandAnalyzer, OperandClass};
+pub use cost::OpCost;
+pub use divide::DivLut;
+pub use error::LutError;
+pub use mult_table::{MultLut, TriangularMultLut};
+pub use multiply::LutMultiplier;
+pub use pwl::{PwlFunction, PwlTable};
+pub use softmax::{softmax, SoftmaxEngine};
+pub use storage::{LutImage, LutKind};

@@ -1,0 +1,336 @@
+//! The 49-entry multiply LUT (paper §III-C1, Fig. 5).
+//!
+//! A naive 4-bit multiply LUT needs 256 entries. The paper stores products
+//! only when **both operands are odd and at least 3**: multiplying by zero,
+//! one or a power of two needs no table, and even operands are reduced to
+//! their odd parts by the operand analyzer. The odd operands in `3..=15`
+//! are `{3, 5, 7, 9, 11, 13, 15}` — seven values — giving a 7 x 7 = 49
+//! entry table of one-byte products (max 15 x 15 = 225).
+
+use serde::{Deserialize, Serialize};
+
+/// The preloaded odd x odd product table.
+///
+/// ```
+/// use pim_lut::MultLut;
+/// let lut = MultLut::new();
+/// assert_eq!(lut.entry_count(), 49);
+/// assert_eq!(lut.lookup(7, 13), 91);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultLut {
+    entries: Vec<u8>, // row-major 7x7, indexed by odd_index
+    reads: std::cell::Cell<u64>,
+}
+
+/// The odd operand values the table covers, in index order.
+pub const ODD_OPERANDS: [u8; 7] = [3, 5, 7, 9, 11, 13, 15];
+
+fn odd_index(v: u8) -> usize {
+    debug_assert!(v % 2 == 1 && (3..=15).contains(&v), "operand {v} is not an odd in 3..=15");
+    ((v - 3) / 2) as usize
+}
+
+impl MultLut {
+    /// Builds the preloaded table.
+    pub fn new() -> Self {
+        let mut entries = Vec::with_capacity(49);
+        for &a in &ODD_OPERANDS {
+            for &b in &ODD_OPERANDS {
+                entries.push(a * b);
+            }
+        }
+        MultLut { entries, reads: std::cell::Cell::new(0) }
+    }
+
+    /// Number of stored products (the paper's 49).
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Storage footprint in bytes (one byte per product).
+    pub fn storage_bytes(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up the product of two odd operands in `3..=15`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if either operand is even, less than 3 or
+    /// greater than 15 — the operand analyzer must filter those before the
+    /// LUT is consulted, exactly as in the hardware.
+    pub fn lookup(&self, a: u8, b: u8) -> u8 {
+        self.reads.set(self.reads.get() + 1);
+        self.entries[odd_index(a) * 7 + odd_index(b)]
+    }
+
+    /// Number of lookups performed since construction (event counter used
+    /// by tests and the energy model).
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Resets the read counter.
+    pub fn reset_reads(&self) {
+        self.reads.set(0);
+    }
+
+    /// Iterates over `(a, b, product)` for every stored entry.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, u8, u8)> + '_ {
+        ODD_OPERANDS.iter().flat_map(move |&a| {
+            ODD_OPERANDS.iter().map(move |&b| (a, b, self.entries[odd_index(a) * 7 + odd_index(b)]))
+        })
+    }
+
+    /// The upper-triangle entry count if symmetry were exploited
+    /// (paper §III-C1 notes this halves storage at the cost of
+    /// parallelism): `7 + 6 + ... + 1 = 28`.
+    pub fn triangular_entry_count(&self) -> usize {
+        let n = ODD_OPERANDS.len();
+        n * (n + 1) / 2
+    }
+
+    /// Reconstructs a table from the 49 raw bytes the configuration
+    /// phase wrote into the LUT rows — the BCE-side decode of
+    /// [`LutImage::from_mult_table`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LutError::InvalidTable`] when the byte count is wrong
+    /// or any entry disagrees with the product it must hold (a corrupted
+    /// configuration image).
+    ///
+    /// [`LutImage::from_mult_table`]: crate::storage::LutImage::from_mult_table
+    pub fn from_image_bytes(bytes: &[u8]) -> Result<Self, crate::error::LutError> {
+        if bytes.len() != 49 {
+            return Err(crate::error::LutError::InvalidTable {
+                parameter: "image",
+                reason: format!("expected 49 bytes, got {}", bytes.len()),
+            });
+        }
+        let table = MultLut { entries: bytes.to_vec(), reads: std::cell::Cell::new(0) };
+        for (a, b, p) in table.iter() {
+            if p as u16 != a as u16 * b as u16 {
+                return Err(crate::error::LutError::InvalidTable {
+                    parameter: "image",
+                    reason: format!("entry for {a} x {b} holds {p}"),
+                });
+            }
+        }
+        Ok(table)
+    }
+}
+
+impl Default for MultLut {
+    fn default() -> Self {
+        MultLut::new()
+    }
+}
+
+/// The half-size triangular variant of §III-C1: "LUT entries can be
+/// further reduced by half, by storing only the upper or lower triangle
+/// entries but this will lead to reduced PIM parallelism."
+///
+/// Only pairs with `a <= b` are stored (28 entries); a swapped lookup
+/// serves `(b, a)` from the same row, which serializes two engines that
+/// would otherwise read mirrored entries concurrently. The
+/// [`TriangularMultLut::conflict_lookups`] counter exposes that lost
+/// parallelism to the cost model.
+///
+/// ```
+/// use pim_lut::mult_table::TriangularMultLut;
+/// let lut = TriangularMultLut::new();
+/// assert_eq!(lut.entry_count(), 28);
+/// assert_eq!(lut.lookup(13, 7), 91); // swapped pair, same product
+/// assert_eq!(lut.conflict_lookups(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TriangularMultLut {
+    entries: Vec<u8>, // upper triangle, row-major
+    reads: std::cell::Cell<u64>,
+    conflicts: std::cell::Cell<u64>,
+}
+
+impl TriangularMultLut {
+    /// Builds the 28-entry upper-triangle table.
+    pub fn new() -> Self {
+        let mut entries = Vec::with_capacity(28);
+        for (i, &a) in ODD_OPERANDS.iter().enumerate() {
+            for &b in &ODD_OPERANDS[i..] {
+                entries.push(a * b);
+            }
+        }
+        TriangularMultLut {
+            entries,
+            reads: std::cell::Cell::new(0),
+            conflicts: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Number of stored products (28).
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Storage footprint in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn triangle_offset(row: usize, col: usize) -> usize {
+        // Row r of an n=7 upper triangle starts at r*(2n - r + 1)/2.
+        debug_assert!(col >= row);
+        row * (15 - row) / 2 + (col - row)
+    }
+
+    /// Looks up the product of two odd operands in `3..=15`, swapping as
+    /// needed and counting swapped (conflicting) lookups.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds for even or out-of-range operands.
+    pub fn lookup(&self, a: u8, b: u8) -> u8 {
+        self.reads.set(self.reads.get() + 1);
+        let (lo, hi) = if a <= b {
+            (a, b)
+        } else {
+            self.conflicts.set(self.conflicts.get() + 1);
+            (b, a)
+        };
+        self.entries[Self::triangle_offset(odd_index(lo), odd_index(hi))]
+    }
+
+    /// Total lookups performed.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Lookups that needed the operand swap (the reduced-parallelism
+    /// case the paper warns about).
+    pub fn conflict_lookups(&self) -> u64 {
+        self.conflicts.get()
+    }
+}
+
+impl Default for TriangularMultLut {
+    fn default() -> Self {
+        TriangularMultLut::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_exactly_49_entries() {
+        assert_eq!(MultLut::new().entry_count(), 49);
+        assert_eq!(MultLut::new().storage_bytes(), 49);
+    }
+
+    #[test]
+    fn every_entry_is_correct() {
+        let lut = MultLut::new();
+        for (a, b, p) in lut.iter() {
+            assert_eq!(p as u16, a as u16 * b as u16);
+        }
+    }
+
+    #[test]
+    fn lookup_all_odd_pairs() {
+        let lut = MultLut::new();
+        for &a in &ODD_OPERANDS {
+            for &b in &ODD_OPERANDS {
+                assert_eq!(lut.lookup(a, b) as u16, a as u16 * b as u16);
+            }
+        }
+    }
+
+    #[test]
+    fn read_counter_tracks_lookups() {
+        let lut = MultLut::new();
+        assert_eq!(lut.reads(), 0);
+        lut.lookup(3, 3);
+        lut.lookup(15, 15);
+        assert_eq!(lut.reads(), 2);
+        lut.reset_reads();
+        assert_eq!(lut.reads(), 0);
+    }
+
+    #[test]
+    fn symmetric_table() {
+        let lut = MultLut::new();
+        for &a in &ODD_OPERANDS {
+            for &b in &ODD_OPERANDS {
+                assert_eq!(lut.lookup(a, b), lut.lookup(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn triangular_count_is_28() {
+        assert_eq!(MultLut::new().triangular_entry_count(), 28);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn even_operand_panics_in_debug() {
+        MultLut::new().lookup(4, 3);
+    }
+
+    #[test]
+    fn max_product_fits_in_byte() {
+        let lut = MultLut::new();
+        assert_eq!(lut.lookup(15, 15), 225);
+    }
+
+    #[test]
+    fn image_round_trip() {
+        let original = MultLut::new();
+        let bytes: Vec<u8> = original.iter().map(|(_, _, p)| p).collect();
+        let decoded = MultLut::from_image_bytes(&bytes).unwrap();
+        for (a, b, p) in original.iter() {
+            assert_eq!(decoded.lookup(a, b), p);
+        }
+    }
+
+    #[test]
+    fn triangular_table_matches_full_table() {
+        let full = MultLut::new();
+        let tri = TriangularMultLut::new();
+        for &a in &ODD_OPERANDS {
+            for &b in &ODD_OPERANDS {
+                assert_eq!(tri.lookup(a, b), full.lookup(a, b), "{a} x {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn triangular_counts_conflicts_only_on_swapped_pairs() {
+        let tri = TriangularMultLut::new();
+        tri.lookup(3, 15);
+        assert_eq!(tri.conflict_lookups(), 0);
+        tri.lookup(15, 3);
+        assert_eq!(tri.conflict_lookups(), 1);
+        tri.lookup(7, 7);
+        assert_eq!(tri.conflict_lookups(), 1);
+        assert_eq!(tri.reads(), 3);
+    }
+
+    #[test]
+    fn triangular_storage_is_28_bytes() {
+        let tri = TriangularMultLut::new();
+        assert_eq!(tri.entry_count(), 28);
+        assert_eq!(tri.storage_bytes(), 28);
+    }
+
+    #[test]
+    fn corrupted_image_rejected() {
+        let mut bytes: Vec<u8> = MultLut::new().iter().map(|(_, _, p)| p).collect();
+        bytes[10] ^= 0x40;
+        assert!(MultLut::from_image_bytes(&bytes).is_err());
+        assert!(MultLut::from_image_bytes(&bytes[..48]).is_err());
+    }
+}

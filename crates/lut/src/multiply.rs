@@ -1,0 +1,391 @@
+//! LUT-based exact multiplication (paper §III-C1, Figs. 5-7).
+//!
+//! A 4-bit x 4-bit product is produced from the 49-entry odd x odd table
+//! plus shifter/adder fixups selected by the operand analyzer; wider
+//! operands are decomposed into 4-bit nibbles and the partial products
+//! accumulated, exactly as the BCE pipeline does. The results are
+//! **bit-exact** with native multiplication — only the *cost* differs
+//! from a hardwired multiplier.
+
+use crate::analyzer::{OperandAnalyzer, OperandClass};
+use crate::cost::OpCost;
+use crate::mult_table::MultLut;
+
+/// The LUT-based multiplier: the functional model of the BCE multiply
+/// datapath.
+///
+/// ```
+/// use pim_lut::LutMultiplier;
+/// let mul = LutMultiplier::new();
+/// let (p, cost) = mul.mul_u8(200, 57);
+/// assert_eq!(p, 200 * 57);
+/// // An 8-bit multiply uses at most four nibble partial products.
+/// assert!(cost.lut_reads <= 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LutMultiplier {
+    lut: MultLut,
+}
+
+impl LutMultiplier {
+    /// Creates a multiplier with a freshly preloaded 49-entry table.
+    pub fn new() -> Self {
+        LutMultiplier { lut: MultLut::new() }
+    }
+
+    /// Shared access to the underlying table (for storage imaging and
+    /// event counting).
+    pub fn table(&self) -> &MultLut {
+        &self.lut
+    }
+
+    /// Multiplies two 4-bit operands (`0..=15`).
+    ///
+    /// Decomposition rules, in the order the operand analyzer applies
+    /// them (paper Fig. 6):
+    ///
+    /// 1. zero or one operands short-circuit;
+    /// 2. a power-of-two operand becomes a single shift;
+    /// 3. an even operand with exactly two set bits (6, 10, 12) becomes
+    ///    two shifts and an add of the other operand — no LUT access;
+    /// 4. otherwise both odd parts are at least 3 and the LUT provides
+    ///    `odd_a * odd_b`, shifted by the residual power-of-two exponents.
+    ///
+    /// Every 4-bit product retires in one BCE cycle: the dual shifters
+    /// and the adder operate in the same pipeline stage as the lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand exceeds 15.
+    pub fn mul_nibble(&self, a: u8, b: u8) -> (u8, OpCost) {
+        assert!(a <= 15 && b <= 15, "mul_nibble operands must be 4-bit, got {a} x {b}");
+        let ca = OperandAnalyzer::classify(a);
+        let cb = OperandAnalyzer::classify(b);
+
+        // Rule 1: trivial operands.
+        if matches!(ca, OperandClass::Zero) || matches!(cb, OperandClass::Zero) {
+            return (0, OpCost::trivial());
+        }
+        if matches!(ca, OperandClass::One) {
+            return (b, OpCost::trivial());
+        }
+        if matches!(cb, OperandClass::One) {
+            return (a, OpCost::trivial());
+        }
+
+        // Rule 2: a power of two is a single shift of the other operand.
+        if let OperandClass::PowerOfTwo { shift } = ca {
+            return (b << shift, OpCost { shifts: 1, cycles: 1, ..OpCost::ZERO });
+        }
+        if let OperandClass::PowerOfTwo { shift } = cb {
+            return (a << shift, OpCost { shifts: 1, cycles: 1, ..OpCost::ZERO });
+        }
+
+        // Rule 3: an even operand that is the sum of exactly two powers of
+        // two is handled with the BCE's two shifters and the adder
+        // (Fig. 6, cycle 4), skipping the LUT.
+        if a.is_multiple_of(2) && OperandAnalyzer::is_two_power_sum(a) {
+            let parts = OperandAnalyzer::power_decomposition(a);
+            let product = (b << parts[0]) + (b << parts[1]);
+            return (product, OpCost { shifts: 2, adds: 1, cycles: 1, ..OpCost::ZERO });
+        }
+        if b.is_multiple_of(2) && OperandAnalyzer::is_two_power_sum(b) {
+            let parts = OperandAnalyzer::power_decomposition(b);
+            let product = (a << parts[0]) + (a << parts[1]);
+            return (product, OpCost { shifts: 2, adds: 1, cycles: 1, ..OpCost::ZERO });
+        }
+
+        // Rule 4: both odd parts are >= 3 — the LUT path.
+        let odd_a = ca.odd_part();
+        let odd_b = cb.odd_part();
+        let shift = ca.shift_part() + cb.shift_part();
+        let product = self.lut.lookup(odd_a, odd_b) << shift;
+        let shifts = if shift > 0 { 1 } else { 0 };
+        (product, OpCost { lut_reads: 1, shifts, cycles: 1, ..OpCost::ZERO })
+    }
+
+    /// Multiplies two unsigned 8-bit operands via four nibble partial
+    /// products.
+    ///
+    /// The conv-mode BCE retires two nibble partials per cycle with its
+    /// dual shifters, so an 8-bit multiply takes two cycles (the paper's
+    /// 0.5 MAC/cycle/subarray in conv mode).
+    pub fn mul_u8(&self, a: u8, b: u8) -> (u16, OpCost) {
+        let (a1, a0) = (a >> 4, a & 0xf);
+        let (b1, b0) = (b >> 4, b & 0xf);
+        let mut cost = OpCost::ZERO;
+        let mut acc: u32 = 0;
+        for (pa, pb, weight) in [(a0, b0, 0u32), (a0, b1, 4), (a1, b0, 4), (a1, b1, 8)] {
+            let (p, c) = self.mul_nibble(pa, pb);
+            acc += (p as u32) << weight;
+            cost += OpCost { cycles: 0, ..c };
+        }
+        // Three accumulating adds to combine the four partials.
+        cost.adds += 3;
+        cost.cycles = 2;
+        debug_assert!(acc <= u16::MAX as u32);
+        (acc as u16, cost)
+    }
+
+    /// Multiplies two unsigned 16-bit operands via sixteen nibble partial
+    /// products (eight cycles at two partials per cycle).
+    pub fn mul_u16(&self, a: u16, b: u16) -> (u32, OpCost) {
+        let an = [(a & 0xf) as u8, ((a >> 4) & 0xf) as u8, ((a >> 8) & 0xf) as u8, (a >> 12) as u8];
+        let bn = [(b & 0xf) as u8, ((b >> 4) & 0xf) as u8, ((b >> 8) & 0xf) as u8, (b >> 12) as u8];
+        let mut cost = OpCost::ZERO;
+        let mut acc: u64 = 0;
+        for (i, &pa) in an.iter().enumerate() {
+            for (j, &pb) in bn.iter().enumerate() {
+                let (p, c) = self.mul_nibble(pa, pb);
+                acc += (p as u64) << (4 * (i + j));
+                cost += OpCost { cycles: 0, ..c };
+            }
+        }
+        cost.adds += 15;
+        cost.cycles = 8;
+        debug_assert!(acc <= u32::MAX as u64);
+        (acc as u32, cost)
+    }
+
+    /// Multiplies two signed 8-bit operands in sign-magnitude form, the
+    /// way the BCE handles quantized signed weights.
+    pub fn mul_i8(&self, a: i8, b: i8) -> (i16, OpCost) {
+        let sign = (a < 0) ^ (b < 0);
+        let (mag, cost) = self.mul_u8(a.unsigned_abs(), b.unsigned_abs());
+        let product = if sign { -(mag as i32) } else { mag as i32 };
+        debug_assert!(product >= i16::MIN as i32 && product <= i16::MAX as i32);
+        (product as i16, cost)
+    }
+
+    /// Multiplies two signed 16-bit operands in sign-magnitude form.
+    pub fn mul_i16(&self, a: i16, b: i16) -> (i32, OpCost) {
+        let sign = (a < 0) ^ (b < 0);
+        let (mag, cost) = self.mul_u16(a.unsigned_abs(), b.unsigned_abs());
+        let product = if sign { -(mag as i64) } else { mag as i64 };
+        debug_assert!(product >= i32::MIN as i64 && product <= i32::MAX as i64);
+        (product as i32, cost)
+    }
+
+    /// Multiplies two 4-bit *signed* operands (`-8..=7`), the reduced
+    /// precision mode of Fig. 14's mixed-precision runs.
+    pub fn mul_i4(&self, a: i8, b: i8) -> (i16, OpCost) {
+        assert!((-8..=7).contains(&a) && (-8..=7).contains(&b), "operands must be 4-bit signed");
+        let sign = (a < 0) ^ (b < 0);
+        let (mag, cost) = self.mul_nibble(a.unsigned_abs(), b.unsigned_abs());
+        let product = if sign { -(mag as i16) } else { mag as i16 };
+        (product, cost)
+    }
+
+    /// Dot product of two signed 8-bit vectors with a 32-bit accumulator,
+    /// the fundamental MAC loop of every kernel mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot_i8(&self, a: &[i8], b: &[i8]) -> (i32, OpCost) {
+        assert_eq!(a.len(), b.len(), "dot product operands must have equal length");
+        let mut acc: i32 = 0;
+        let mut cost = OpCost::ZERO;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            let (p, c) = self.mul_i8(x, y);
+            acc += p as i32;
+            cost += c;
+            cost.adds += 1;
+        }
+        (acc, cost)
+    }
+
+    /// Dot product of two unsigned 8-bit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot_u8(&self, a: &[u8], b: &[u8]) -> (u32, OpCost) {
+        assert_eq!(a.len(), b.len(), "dot product operands must have equal length");
+        let mut acc: u32 = 0;
+        let mut cost = OpCost::ZERO;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            let (p, c) = self.mul_u8(x, y);
+            acc += p as u32;
+            cost += c;
+            cost.adds += 1;
+        }
+        (acc, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nibble_multiply_exhaustive() {
+        let m = LutMultiplier::new();
+        for a in 0u8..=15 {
+            for b in 0u8..=15 {
+                let (p, cost) = m.mul_nibble(a, b);
+                assert_eq!(p as u16, a as u16 * b as u16, "{a} x {b}");
+                assert_eq!(cost.cycles, 1, "every nibble product is one cycle");
+                assert!(cost.lut_reads <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_operands_skip_all_hardware() {
+        let m = LutMultiplier::new();
+        let (_, c) = m.mul_nibble(0, 9);
+        assert_eq!((c.lut_reads, c.shifts, c.adds), (0, 0, 0));
+        let (_, c) = m.mul_nibble(7, 1);
+        assert_eq!((c.lut_reads, c.shifts, c.adds), (0, 0, 0));
+    }
+
+    #[test]
+    fn power_of_two_uses_single_shift() {
+        let m = LutMultiplier::new();
+        for pow in [2u8, 4, 8] {
+            let (p, c) = m.mul_nibble(pow, 13);
+            assert_eq!(p as u16, pow as u16 * 13);
+            assert_eq!(c.lut_reads, 0);
+            assert_eq!(c.shifts, 1);
+        }
+    }
+
+    #[test]
+    fn two_power_sum_evens_avoid_lut() {
+        // Fig. 6 cycle 4: 6 = 4 + 2 becomes two shifts and an add.
+        let m = LutMultiplier::new();
+        for even in [6u8, 10, 12] {
+            let (p, c) = m.mul_nibble(even, 7);
+            assert_eq!(p as u16, even as u16 * 7);
+            assert_eq!(c.lut_reads, 0, "{even} should not touch the LUT");
+            assert_eq!(c.shifts, 2);
+            assert_eq!(c.adds, 1);
+        }
+    }
+
+    #[test]
+    fn odd_by_odd_is_single_lut_read() {
+        let m = LutMultiplier::new();
+        let (p, c) = m.mul_nibble(7, 13);
+        assert_eq!(p, 91);
+        assert_eq!(c.lut_reads, 1);
+        assert_eq!(c.shifts, 0);
+    }
+
+    #[test]
+    fn even_composite_uses_lut_and_shift() {
+        // 14 = 7 << 1 has three set bits, so it takes the LUT path.
+        let m = LutMultiplier::new();
+        let (p, c) = m.mul_nibble(14, 9);
+        assert_eq!(p as u16, 126);
+        assert_eq!(c.lut_reads, 1);
+        assert_eq!(c.shifts, 1);
+    }
+
+    #[test]
+    fn u8_multiply_exhaustive_against_native() {
+        let m = LutMultiplier::new();
+        for a in (0u16..=255).step_by(7) {
+            for b in 0u16..=255 {
+                let (p, _) = m.mul_u8(a as u8, b as u8);
+                assert_eq!(p, (a * b), "{a} x {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn u8_multiply_takes_two_cycles() {
+        // Paper: conv mode achieves 0.5 8-bit MACs per cycle.
+        let m = LutMultiplier::new();
+        let (_, c) = m.mul_u8(0xAB, 0xCD);
+        assert_eq!(c.cycles, 2);
+        assert!(c.lut_reads <= 4);
+    }
+
+    #[test]
+    fn i4_multiply_covers_full_range() {
+        let m = LutMultiplier::new();
+        for a in -8i8..=7 {
+            for b in -8i8..=7 {
+                let (p, _) = m.mul_i4(a, b);
+                assert_eq!(p as i32, a as i32 * b as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn i8_edge_cases() {
+        let m = LutMultiplier::new();
+        for (a, b) in [(-128i8, -128i8), (-128, 127), (127, 127), (0, -128), (-1, -1)] {
+            let (p, _) = m.mul_i8(a, b);
+            assert_eq!(p as i32, a as i32 * b as i32, "{a} x {b}");
+        }
+    }
+
+    #[test]
+    fn dot_product_matches_native() {
+        let m = LutMultiplier::new();
+        let a: Vec<i8> = vec![1, -2, 3, -4, 5, -6, 7, -8];
+        let b: Vec<i8> = vec![-8, 7, -6, 5, -4, 3, -2, 1];
+        let (d, cost) = m.dot_i8(&a, &b);
+        let expected: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+        assert_eq!(d, expected);
+        assert_eq!(cost.cycles, 16); // 8 MACs x 2 cycles
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_dot_lengths_panic() {
+        let m = LutMultiplier::new();
+        let _ = m.dot_i8(&[1, 2], &[3]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u8_exact(a: u8, b: u8) {
+            let m = LutMultiplier::new();
+            let (p, _) = m.mul_u8(a, b);
+            prop_assert_eq!(p, a as u16 * b as u16);
+        }
+
+        #[test]
+        fn prop_u16_exact(a: u16, b: u16) {
+            let m = LutMultiplier::new();
+            let (p, _) = m.mul_u16(a, b);
+            prop_assert_eq!(p, a as u32 * b as u32);
+        }
+
+        #[test]
+        fn prop_i8_exact(a: i8, b: i8) {
+            let m = LutMultiplier::new();
+            let (p, _) = m.mul_i8(a, b);
+            prop_assert_eq!(p as i32, a as i32 * b as i32);
+        }
+
+        #[test]
+        fn prop_i16_exact(a: i16, b: i16) {
+            let m = LutMultiplier::new();
+            let (p, _) = m.mul_i16(a, b);
+            prop_assert_eq!(p as i64, a as i64 * b as i64);
+        }
+
+        #[test]
+        fn prop_dot_exact(a in proptest::collection::vec(any::<i8>(), 0..64)) {
+            let m = LutMultiplier::new();
+            let b: Vec<i8> = a.iter().rev().cloned().collect();
+            let (d, _) = m.dot_i8(&a, &b);
+            let expected: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
+            prop_assert_eq!(d as i64, expected);
+        }
+
+        #[test]
+        fn prop_cost_cycles_fixed(a: u8, b: u8) {
+            // The cost model is data-independent in cycle count.
+            let m = LutMultiplier::new();
+            let (_, c) = m.mul_u8(a, b);
+            prop_assert_eq!(c.cycles, 2);
+        }
+    }
+}

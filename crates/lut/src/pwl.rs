@@ -1,0 +1,328 @@
+//! Piecewise-linear activation-function tables (paper §III-C3, Eq. 2).
+//!
+//! BFree computes exponent, sigmoid and tanh by piecewise linear
+//! approximation: the LUT stores, per segment `s`, the slope `alpha_s`
+//! and the intercept `beta_s = y_l^s - alpha_s * x_l^s`, so that
+//! `f(x) ~ alpha_s * x + beta_s` for `x` in segment `s`. One LUT read
+//! plus one multiply and one add evaluate any supported function.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::OpCost;
+use crate::error::LutError;
+
+/// The non-linear functions BFree approximates with PWL tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PwlFunction {
+    /// `exp(x)`, used by softmax.
+    Exp,
+    /// The logistic sigmoid `1 / (1 + exp(-x))`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl PwlFunction {
+    /// Evaluates the exact reference function.
+    pub fn exact(self, x: f64) -> f64 {
+        match self {
+            PwlFunction::Exp => x.exp(),
+            PwlFunction::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            PwlFunction::Tanh => x.tanh(),
+        }
+    }
+
+    /// The saturation values outside the approximated range (`None` for
+    /// exp, which the caller must range-limit).
+    pub fn saturation(self) -> Option<(f64, f64)> {
+        match self {
+            PwlFunction::Exp => None,
+            PwlFunction::Sigmoid => Some((0.0, 1.0)),
+            PwlFunction::Tanh => Some((-1.0, 1.0)),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PwlFunction::Exp => "exp",
+            PwlFunction::Sigmoid => "sigmoid",
+            PwlFunction::Tanh => "tanh",
+        }
+    }
+}
+
+/// A piecewise-linear approximation table for one function.
+///
+/// ```
+/// use pim_lut::{PwlFunction, PwlTable};
+/// let sigmoid = PwlTable::new(PwlFunction::Sigmoid, -8.0, 8.0, 64).unwrap();
+/// let (y, _cost) = sigmoid.eval(1.0);
+/// assert!((y - 0.7310585786).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PwlTable {
+    function: PwlFunction,
+    lo: f64,
+    hi: f64,
+    segments: usize,
+    /// Per segment: `(alpha_s, beta_s)`.
+    coefficients: Vec<(f64, f64)>,
+}
+
+impl PwlTable {
+    /// Builds a table of `segments` uniform segments over `[lo, hi]`,
+    /// interpolating the function between segment endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError::InvalidRange`] when `lo >= hi` and
+    /// [`LutError::InvalidTable`] when `segments == 0`.
+    pub fn new(function: PwlFunction, lo: f64, hi: f64, segments: usize) -> Result<Self, LutError> {
+        if lo >= hi || lo.is_nan() || !lo.is_finite() || !hi.is_finite() {
+            return Err(LutError::InvalidRange { lo, hi });
+        }
+        if segments == 0 {
+            return Err(LutError::InvalidTable {
+                parameter: "segments",
+                reason: "at least one segment required".to_string(),
+            });
+        }
+        let width = (hi - lo) / segments as f64;
+        let coefficients = (0..segments)
+            .map(|s| {
+                let xl = lo + s as f64 * width;
+                let xr = xl + width;
+                let yl = function.exact(xl);
+                let yr = function.exact(xr);
+                let alpha = (yr - yl) / width;
+                let beta = yl - alpha * xl;
+                (alpha, beta)
+            })
+            .collect();
+        Ok(PwlTable { function, lo, hi, segments, coefficients })
+    }
+
+    /// The approximated function.
+    pub fn function(&self) -> PwlFunction {
+        self.function
+    }
+
+    /// The approximation interval.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments
+    }
+
+    /// LUT storage in bytes: two 16-bit fixed-point coefficients per
+    /// segment, as stored in the subarray LUT rows.
+    pub fn storage_bytes(&self) -> usize {
+        self.segments * 4
+    }
+
+    /// Evaluates the approximation. Inputs outside the range saturate
+    /// (sigmoid/tanh) or clamp to the boundary segment (exp).
+    pub fn eval(&self, x: f64) -> (f64, OpCost) {
+        let cost = OpCost { lut_reads: 1, rom_reads: 1, adds: 1, shifts: 0, cycles: 2 };
+        if x < self.lo || x > self.hi {
+            if let Some((lo_sat, hi_sat)) = self.function.saturation() {
+                return (if x < self.lo { lo_sat } else { hi_sat }, cost);
+            }
+        }
+        let width = (self.hi - self.lo) / self.segments as f64;
+        let idx = (((x - self.lo) / width).floor() as isize)
+            .clamp(0, self.segments as isize - 1) as usize;
+        let (alpha, beta) = self.coefficients[idx];
+        (alpha * x + beta, cost)
+    }
+
+    /// Maximum absolute approximation error over a dense sample of the
+    /// range.
+    pub fn max_abs_error(&self, samples: usize) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..=samples {
+            let x = self.lo + (self.hi - self.lo) * i as f64 / samples as f64;
+            let (approx, _) = self.eval(x);
+            worst = worst.max((approx - self.function.exact(x)).abs());
+        }
+        worst
+    }
+
+    /// Iterates over the stored `(alpha, beta)` coefficients.
+    pub fn coefficients(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.coefficients.iter().copied()
+    }
+
+    /// Evaluates the approximation from the **Q8.8 fixed-point**
+    /// coefficients — the exact bytes the configuration phase writes
+    /// into the LUT rows — instead of the f64 originals. This is what
+    /// the hardware actually computes; the extra error versus
+    /// [`PwlTable::eval`] is the coefficient quantization step
+    /// (≤ 2^-9 per coefficient).
+    pub fn eval_quantized(&self, x: f64) -> (f64, OpCost) {
+        let cost = OpCost { lut_reads: 1, rom_reads: 1, adds: 1, shifts: 1, cycles: 2 };
+        if x < self.lo || x > self.hi {
+            if let Some((lo_sat, hi_sat)) = self.function.saturation() {
+                return (if x < self.lo { lo_sat } else { hi_sat }, cost);
+            }
+        }
+        let width = (self.hi - self.lo) / self.segments as f64;
+        let idx = (((x - self.lo) / width).floor() as isize)
+            .clamp(0, self.segments as isize - 1) as usize;
+        let (alpha, beta) = self.coefficients[idx];
+        let alpha_q = quantize_q8_8(alpha) as f64 / 256.0;
+        let beta_q = quantize_q8_8(beta) as f64 / 256.0;
+        (alpha_q * x + beta_q, cost)
+    }
+
+    /// Maximum absolute error of the quantized-coefficient evaluation
+    /// over a dense sample of the range.
+    pub fn max_abs_error_quantized(&self, samples: usize) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..=samples {
+            let x = self.lo + (self.hi - self.lo) * i as f64 / samples as f64;
+            let (approx, _) = self.eval_quantized(x);
+            worst = worst.max((approx - self.function.exact(x)).abs());
+        }
+        worst
+    }
+}
+
+/// Quantizes a coefficient to Q8.8, the storage format of the LUT rows.
+pub(crate) fn quantize_q8_8(v: f64) -> i16 {
+    (v * 256.0).round().clamp(i16::MIN as f64, i16::MAX as f64) as i16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sigmoid_error_shrinks_with_segments() {
+        let coarse = PwlTable::new(PwlFunction::Sigmoid, -8.0, 8.0, 8).unwrap();
+        let fine = PwlTable::new(PwlFunction::Sigmoid, -8.0, 8.0, 128).unwrap();
+        assert!(fine.max_abs_error(4000) < coarse.max_abs_error(4000));
+        assert!(fine.max_abs_error(4000) < 1e-3);
+    }
+
+    #[test]
+    fn tanh_saturates_outside_range() {
+        let t = PwlTable::new(PwlFunction::Tanh, -4.0, 4.0, 32).unwrap();
+        assert_eq!(t.eval(100.0).0, 1.0);
+        assert_eq!(t.eval(-100.0).0, -1.0);
+    }
+
+    #[test]
+    fn sigmoid_saturates_to_unit_interval() {
+        let t = PwlTable::new(PwlFunction::Sigmoid, -8.0, 8.0, 32).unwrap();
+        assert_eq!(t.eval(50.0).0, 1.0);
+        assert_eq!(t.eval(-50.0).0, 0.0);
+    }
+
+    #[test]
+    fn exp_interpolates_at_segment_endpoints() {
+        let t = PwlTable::new(PwlFunction::Exp, -4.0, 0.0, 16).unwrap();
+        // Endpoints of segments are exact by construction.
+        for i in 0..=16 {
+            let x = -4.0 + 0.25 * i as f64;
+            let (y, _) = t.eval(x);
+            assert!((y - x.exp()).abs() < 1e-9, "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn exp_error_within_tolerance_for_softmax_use() {
+        // Softmax inputs are shifted to (-inf, 0]; the table covers
+        // [-16, 0] with 128 segments.
+        let t = PwlTable::new(PwlFunction::Exp, -16.0, 0.0, 128).unwrap();
+        assert!(t.max_abs_error(10_000) < 2e-3);
+    }
+
+    #[test]
+    fn eval_cost_is_one_lookup_one_mac() {
+        let t = PwlTable::new(PwlFunction::Tanh, -4.0, 4.0, 32).unwrap();
+        let (_, c) = t.eval(0.5);
+        assert_eq!(c.lut_reads, 1);
+        assert_eq!(c.rom_reads, 1);
+        assert_eq!(c.adds, 1);
+    }
+
+    #[test]
+    fn quantized_eval_tracks_f64_eval_within_q8_8_step() {
+        let t = PwlTable::new(PwlFunction::Sigmoid, -8.0, 8.0, 64).unwrap();
+        for i in -80..=80 {
+            let x = i as f64 / 10.0;
+            let (exact, _) = t.eval(x);
+            let (quant, _) = t.eval_quantized(x);
+            // alpha error up to 2^-9 * |x| plus beta error 2^-9.
+            let bound = (x.abs() + 1.0) / 512.0 + 1e-12;
+            assert!((exact - quant).abs() <= bound, "x={x}: {exact} vs {quant}");
+        }
+    }
+
+    #[test]
+    fn quantized_error_still_usable_for_inference() {
+        let t = PwlTable::new(PwlFunction::Tanh, -4.0, 4.0, 64).unwrap();
+        assert!(t.max_abs_error_quantized(4000) < 0.02);
+        let s = PwlTable::new(PwlFunction::Sigmoid, -8.0, 8.0, 64).unwrap();
+        assert!(s.max_abs_error_quantized(4000) < 0.02);
+    }
+
+    #[test]
+    fn quantized_eval_saturates_like_f64_eval() {
+        let t = PwlTable::new(PwlFunction::Tanh, -4.0, 4.0, 32).unwrap();
+        assert_eq!(t.eval_quantized(100.0).0, 1.0);
+        assert_eq!(t.eval_quantized(-100.0).0, -1.0);
+    }
+
+    #[test]
+    fn invalid_ranges_rejected() {
+        assert!(PwlTable::new(PwlFunction::Exp, 1.0, 1.0, 8).is_err());
+        assert!(PwlTable::new(PwlFunction::Exp, 2.0, 1.0, 8).is_err());
+        assert!(PwlTable::new(PwlFunction::Exp, f64::NAN, 1.0, 8).is_err());
+        assert!(PwlTable::new(PwlFunction::Exp, 0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn storage_is_four_bytes_per_segment() {
+        let t = PwlTable::new(PwlFunction::Sigmoid, -8.0, 8.0, 16).unwrap();
+        assert_eq!(t.storage_bytes(), 64);
+    }
+
+    #[test]
+    fn function_names() {
+        assert_eq!(PwlFunction::Exp.name(), "exp");
+        assert_eq!(PwlFunction::Sigmoid.name(), "sigmoid");
+        assert_eq!(PwlFunction::Tanh.name(), "tanh");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sigmoid_bounded(x in -100.0f64..100.0) {
+            let t = PwlTable::new(PwlFunction::Sigmoid, -8.0, 8.0, 64).unwrap();
+            let (y, _) = t.eval(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn prop_tanh_close_in_range(x in -4.0f64..4.0) {
+            let t = PwlTable::new(PwlFunction::Tanh, -4.0, 4.0, 128).unwrap();
+            let (y, _) = t.eval(x);
+            prop_assert!((y - x.tanh()).abs() < 1e-3);
+        }
+
+        #[test]
+        fn prop_pwl_monotone_for_monotone_functions(
+            a in -7.9f64..7.9, b in -7.9f64..7.9
+        ) {
+            let t = PwlTable::new(PwlFunction::Sigmoid, -8.0, 8.0, 64).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(t.eval(lo).0 <= t.eval(hi).0 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! LUT-based softmax (paper §III-C3 and §IV-B2).
+//!
+//! BFree computes softmax with the PWL exponent table, a cross-subarray
+//! accumulation of the denominator, and the Taylor-series division LUT
+//! for the final normalization. This module composes those pieces into a
+//! functional engine that also reports the architectural cost.
+
+use crate::cost::OpCost;
+use crate::divide::DivLut;
+use crate::error::LutError;
+use crate::pwl::{PwlFunction, PwlTable};
+
+/// Fixed-point scale used to feed the integer divider (the hardware
+/// accumulates exponent outputs in fixed point).
+const SOFTMAX_FIXED_SCALE: f64 = 65536.0;
+
+/// A softmax engine built from the exponent PWL table and the division
+/// LUT.
+///
+/// ```
+/// use pim_lut::SoftmaxEngine;
+/// let engine = SoftmaxEngine::new().unwrap();
+/// let (probs, _cost) = engine.softmax(&[1.0, 2.0, 3.0]).unwrap();
+/// assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-2);
+/// assert!(probs[2] > probs[1] && probs[1] > probs[0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SoftmaxEngine {
+    exp_table: PwlTable,
+    div: DivLut,
+}
+
+impl SoftmaxEngine {
+    /// Creates an engine with the default table sizes (128-segment
+    /// exponent over `[-16, 0]`, `m = 8` divider).
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction errors.
+    pub fn new() -> Result<Self, LutError> {
+        Ok(SoftmaxEngine {
+            exp_table: PwlTable::new(PwlFunction::Exp, -16.0, 0.0, 128)?,
+            div: DivLut::new(8)?,
+        })
+    }
+
+    /// Creates an engine with custom table parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction errors.
+    pub fn with_tables(exp_segments: usize, div_index_bits: u32) -> Result<Self, LutError> {
+        Ok(SoftmaxEngine {
+            exp_table: PwlTable::new(PwlFunction::Exp, -16.0, 0.0, exp_segments)?,
+            div: DivLut::new(div_index_bits)?,
+        })
+    }
+
+    /// Computes softmax over `logits`, returning the probabilities and
+    /// the total architectural cost (per-element exponent lookups, the
+    /// accumulation, and per-element division).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError::InvalidTable`] for an empty input.
+    pub fn softmax(&self, logits: &[f64]) -> Result<(Vec<f64>, OpCost), LutError> {
+        if logits.is_empty() {
+            return Err(LutError::InvalidTable {
+                parameter: "logits",
+                reason: "softmax input must be non-empty".to_string(),
+            });
+        }
+        let mut cost = OpCost::ZERO;
+        // Shift by the max for numerical stability; the hardware performs
+        // this with its comparator/adder in one pass.
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        cost.adds += logits.len() as u64;
+        cost.cycles += logits.len() as u64;
+
+        let mut exps = Vec::with_capacity(logits.len());
+        for &v in logits {
+            let (e, c) = self.exp_table.eval(v - max);
+            exps.push(e.max(0.0));
+            cost += c;
+        }
+
+        // Accumulate the denominator in fixed point (the cross-subarray
+        // reduction of Fig. 10's softmax flow).
+        let denom_fixed: u64 =
+            exps.iter().map(|&e| (e * SOFTMAX_FIXED_SCALE) as u64).sum();
+        cost.adds += exps.len() as u64;
+        cost.cycles += exps.len() as u64;
+        let denom_fixed = denom_fixed.max(1);
+
+        let mut probs = Vec::with_capacity(exps.len());
+        for &e in &exps {
+            let num_fixed = (e * SOFTMAX_FIXED_SCALE) as u64;
+            let (q, c) = self.div.divide(num_fixed, denom_fixed)?;
+            probs.push(q);
+            cost += c;
+        }
+        Ok((probs, cost))
+    }
+
+    /// Maximum absolute element-wise error versus exact softmax over a
+    /// given input.
+    pub fn max_abs_error(&self, logits: &[f64]) -> Result<f64, LutError> {
+        let (approx, _) = self.softmax(logits)?;
+        let exact = exact_softmax(logits);
+        Ok(approx
+            .iter()
+            .zip(exact.iter())
+            .map(|(a, e)| (a - e).abs())
+            .fold(0.0, f64::max))
+    }
+}
+
+/// Convenience free function using the default engine.
+///
+/// # Errors
+///
+/// Returns [`LutError::InvalidTable`] for an empty input.
+pub fn softmax(logits: &[f64]) -> Result<(Vec<f64>, OpCost), LutError> {
+    SoftmaxEngine::new()?.softmax(logits)
+}
+
+/// Exact reference softmax.
+pub fn exact_softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let denom: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / denom).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sums_to_one_approximately() {
+        let engine = SoftmaxEngine::new().unwrap();
+        let (p, _) = engine.softmax(&[0.5, -1.0, 2.0, 3.5]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 2e-2);
+    }
+
+    #[test]
+    fn matches_exact_softmax_closely() {
+        let engine = SoftmaxEngine::new().unwrap();
+        let logits = [1.0, 2.0, 3.0, 4.0, 2.5];
+        let err = engine.max_abs_error(&logits).unwrap();
+        assert!(err < 5e-3, "error {err}");
+    }
+
+    #[test]
+    fn preserves_argmax_and_ordering() {
+        let engine = SoftmaxEngine::new().unwrap();
+        let (p, _) = engine.softmax(&[-2.0, 0.1, 3.0, 1.5]).unwrap();
+        assert!(p[2] > p[3] && p[3] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn uniform_logits_give_uniform_probs() {
+        let engine = SoftmaxEngine::new().unwrap();
+        let (p, _) = engine.softmax(&[1.0; 8]).unwrap();
+        for &v in &p {
+            assert!((v - 0.125).abs() < 5e-3);
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let engine = SoftmaxEngine::new().unwrap();
+        assert!(engine.softmax(&[]).is_err());
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_length() {
+        let engine = SoftmaxEngine::new().unwrap();
+        let (_, c4) = engine.softmax(&[1.0; 4]).unwrap();
+        let (_, c8) = engine.softmax(&[1.0; 8]).unwrap();
+        assert_eq!(c8.lut_reads, 2 * c4.lut_reads);
+    }
+
+    #[test]
+    fn finer_tables_reduce_error() {
+        let coarse = SoftmaxEngine::with_tables(16, 5).unwrap();
+        let fine = SoftmaxEngine::with_tables(256, 10).unwrap();
+        let logits = [0.3, 1.7, -0.5, 2.2, 0.9];
+        assert!(fine.max_abs_error(&logits).unwrap() <= coarse.max_abs_error(&logits).unwrap());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_probabilities_in_unit_interval(
+            logits in proptest::collection::vec(-8.0f64..8.0, 1..32)
+        ) {
+            let engine = SoftmaxEngine::new().unwrap();
+            let (p, _) = engine.softmax(&logits).unwrap();
+            for &v in &p {
+                prop_assert!((-1e-6..=1.05).contains(&v));
+            }
+        }
+
+        #[test]
+        fn prop_error_small_for_moderate_logits(
+            logits in proptest::collection::vec(-6.0f64..6.0, 2..16)
+        ) {
+            let engine = SoftmaxEngine::new().unwrap();
+            let err = engine.max_abs_error(&logits).unwrap();
+            prop_assert!(err < 2e-2, "error {}", err);
+        }
+    }
+}

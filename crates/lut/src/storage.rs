@@ -1,0 +1,228 @@
+//! Serialization of LUT contents into subarray LUT-row images.
+//!
+//! The BFree cache controller loads the LUT rows of every subarray during
+//! the configuration phase (paper Fig. 11). Each subarray has eight
+//! 64-bit LUT rows — 64 bytes — so every table must be imaged into that
+//! budget. This module turns the functional tables of this crate into
+//! byte images and checks they fit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::divide::DivLut;
+use crate::error::LutError;
+use crate::mult_table::MultLut;
+use crate::pwl::{quantize_q8_8, PwlTable};
+
+/// What a LUT image contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LutKind {
+    /// The 49-entry odd x odd multiply table.
+    Multiply,
+    /// A reciprocal-square division table (or a slice of one).
+    Divide,
+    /// Piecewise-linear coefficients for an activation function.
+    Activation,
+}
+
+impl LutKind {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LutKind::Multiply => "multiply",
+            LutKind::Divide => "divide",
+            LutKind::Activation => "activation",
+        }
+    }
+}
+
+/// A byte image ready to be written into a subarray's LUT rows.
+///
+/// ```
+/// use pim_lut::{LutImage, MultLut};
+/// let image = LutImage::from_mult_table(&MultLut::new());
+/// // The 49-entry table fits the 64-byte LUT-row budget of a subarray.
+/// assert!(image.fits_in(64));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LutImage {
+    kind: LutKind,
+    bytes: Vec<u8>,
+}
+
+impl LutImage {
+    /// Images the multiply table: one byte per product, row-major over
+    /// the 7 x 7 odd operand grid (49 bytes, padded by the caller's row
+    /// granularity when written).
+    pub fn from_mult_table(table: &MultLut) -> Self {
+        let bytes = table.iter().map(|(_, _, p)| p).collect();
+        LutImage { kind: LutKind::Multiply, bytes }
+    }
+
+    /// Images a division table slice: each entry as four little-endian
+    /// bytes. A full `m = 8` table is 512 bytes, so it is distributed
+    /// across the LUT rows of eight subarrays (64 bytes each); `segment`
+    /// selects which 64-byte chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError::InvalidTable`] when the segment is out of
+    /// range.
+    pub fn from_div_table(table: &DivLut, segment: usize, chunk_bytes: usize) -> Result<Self, LutError> {
+        let total = table.storage_bytes();
+        let chunks = total.div_ceil(chunk_bytes);
+        if segment >= chunks {
+            return Err(LutError::InvalidTable {
+                parameter: "segment",
+                reason: format!("segment {segment} out of {chunks} chunks"),
+            });
+        }
+        // Rebuild the raw entry bytes; DivLut does not expose entries
+        // directly so we image via its (m, entries) serde form.
+        let full: Vec<u8> = serde_flatten_div(table);
+        let start = segment * chunk_bytes;
+        let end = (start + chunk_bytes).min(full.len());
+        Ok(LutImage { kind: LutKind::Divide, bytes: full[start..end].to_vec() })
+    }
+
+    /// Images a PWL table: per segment, slope then intercept, each as a
+    /// Q8.8 fixed-point little-endian pair (four bytes per segment).
+    pub fn from_pwl_table(table: &PwlTable) -> Self {
+        let mut bytes = Vec::with_capacity(table.storage_bytes());
+        for (alpha, beta) in table.coefficients() {
+            let a = quantize_q8_8(alpha);
+            let b = quantize_q8_8(beta);
+            bytes.extend_from_slice(&a.to_le_bytes());
+            bytes.extend_from_slice(&b.to_le_bytes());
+        }
+        LutImage { kind: LutKind::Activation, bytes }
+    }
+
+    /// What the image contains.
+    pub fn kind(&self) -> LutKind {
+        self.kind
+    }
+
+    /// The raw bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Image size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Whether the image fits in `budget` bytes of LUT rows.
+    pub fn fits_in(&self, budget: usize) -> bool {
+        self.bytes.len() <= budget
+    }
+
+    /// Validates the image against a budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError::ImageTooLarge`] when it does not fit.
+    pub fn check_fits(&self, budget: usize) -> Result<(), LutError> {
+        if self.fits_in(budget) {
+            Ok(())
+        } else {
+            Err(LutError::ImageTooLarge { required: self.bytes.len(), available: budget })
+        }
+    }
+
+    /// Number of subarray row writes needed to load this image
+    /// (`row_bytes` per write).
+    pub fn row_writes(&self, row_bytes: usize) -> usize {
+        self.bytes.len().div_ceil(row_bytes)
+    }
+}
+
+fn serde_flatten_div(table: &DivLut) -> Vec<u8> {
+    // Entries fit in u32 for m <= 12 (2^40 / 2^(2m-2) <= 2^26).
+    let mut out = Vec::with_capacity(table.storage_bytes());
+    // Reconstruct entries the same way DivLut::new does; this keeps the
+    // image logic independent of DivLut internals.
+    let m = table.index_bits();
+    let lo = 1u64 << (m - 1);
+    let hi = 1u64 << m;
+    for yh in lo..hi {
+        let entry = ((1u64 << 40) as f64 / (yh * yh) as f64).round() as u32;
+        out.extend_from_slice(&entry.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pwl::PwlFunction;
+
+    #[test]
+    fn mult_image_is_49_bytes_and_fits_subarray() {
+        let image = LutImage::from_mult_table(&MultLut::new());
+        assert_eq!(image.len(), 49);
+        assert!(image.fits_in(64));
+        assert_eq!(image.kind(), LutKind::Multiply);
+        // Loading takes ceil(49 / 8) = 7 row writes.
+        assert_eq!(image.row_writes(8), 7);
+    }
+
+    #[test]
+    fn mult_image_bytes_are_products() {
+        let image = LutImage::from_mult_table(&MultLut::new());
+        assert_eq!(image.bytes()[0], 9); // 3 x 3
+        assert_eq!(image.bytes()[48], 225); // 15 x 15
+    }
+
+    #[test]
+    fn div_table_spreads_across_chunks() {
+        let div = DivLut::new(8).unwrap();
+        // 512 bytes over 64-byte chunks = 8 segments.
+        let total = div.storage_bytes();
+        assert_eq!(total, 512);
+        for segment in 0..8 {
+            let image = LutImage::from_div_table(&div, segment, 64).unwrap();
+            assert_eq!(image.len(), 64);
+            assert!(image.fits_in(64));
+        }
+        assert!(LutImage::from_div_table(&div, 8, 64).is_err());
+    }
+
+    #[test]
+    fn pwl_image_four_bytes_per_segment() {
+        let t = PwlTable::new(PwlFunction::Sigmoid, -8.0, 8.0, 16).unwrap();
+        let image = LutImage::from_pwl_table(&t);
+        assert_eq!(image.len(), 64);
+        assert!(image.fits_in(64));
+        assert!(!image.is_empty());
+    }
+
+    #[test]
+    fn oversized_image_rejected() {
+        let t = PwlTable::new(PwlFunction::Sigmoid, -8.0, 8.0, 64).unwrap();
+        let image = LutImage::from_pwl_table(&t);
+        assert_eq!(image.len(), 256);
+        assert!(image.check_fits(64).is_err());
+        assert!(image.check_fits(256).is_ok());
+    }
+
+    #[test]
+    fn q8_8_quantization_round_trips_small_values() {
+        for v in [-1.5, -0.25, 0.0, 0.5, 1.0, 3.75] {
+            let q = quantize_q8_8(v);
+            assert!((q as f64 / 256.0 - v).abs() < 1.0 / 512.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(LutKind::Multiply.name(), "multiply");
+        assert_eq!(LutKind::Divide.name(), "divide");
+        assert_eq!(LutKind::Activation.name(), "activation");
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the workload substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor and layer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Two shapes that must agree did not.
+    ShapeMismatch {
+        /// What was being attempted.
+        context: &'static str,
+        /// The shapes involved, rendered for the message.
+        detail: String,
+    },
+    /// A layer parameter was invalid (zero channels, kernel larger than
+    /// padded input, ...).
+    InvalidLayer {
+        /// The layer name.
+        layer: String,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// An index was out of bounds for a tensor.
+    IndexOutOfBounds {
+        /// The linearized index.
+        index: usize,
+        /// The tensor volume.
+        len: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { context, detail } => {
+                write!(f, "shape mismatch in {context}: {detail}")
+            }
+            NnError::InvalidLayer { layer, reason } => {
+                write!(f, "invalid layer {layer}: {reason}")
+            }
+            NnError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for tensor of {len} elements")
+            }
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_detail() {
+        let e = NnError::ShapeMismatch { context: "matmul", detail: "2x3 vs 4x5".to_string() };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("2x3"));
+    }
+}

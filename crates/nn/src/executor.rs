@@ -1,0 +1,306 @@
+//! A reference executor for sequential networks: walks a [`Network`]'s
+//! layer specs with real tensors, so the same static tables that drive
+//! the cost models can also be *run* (on small inputs) and validated
+//! against the LUT datapath.
+//!
+//! Only the sequential subset is supported — convolutions, pooling,
+//! activations, linear layers and global pooling. Branching networks
+//! (Inception modules, residual blocks) carry explicit per-layer input
+//! shapes instead of a single data flow and are rejected.
+
+use std::collections::HashMap;
+
+use crate::error::NnError;
+use crate::layers::{Act, LayerOp, Network, PoolKind};
+use crate::reference;
+use crate::tensor::{Tensor, TensorShape};
+use crate::workload::WorkloadGen;
+
+/// Weights for one executable network, keyed by layer name.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkWeights {
+    /// Per conv layer: `(filters (N,C,KH,KW), bias)`.
+    pub conv: HashMap<String, (Tensor<f32>, Vec<f32>)>,
+    /// Per linear layer: `(weights (out, in), bias)`.
+    pub linear: HashMap<String, (Tensor<f32>, Vec<f32>)>,
+}
+
+impl NetworkWeights {
+    /// Generates random weights for every weight layer of a sequential
+    /// network, bounded to `[-amax, amax)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] for unsupported weight layers.
+    pub fn random(net: &Network, gen: &mut WorkloadGen, amax: f32) -> Result<Self, NnError> {
+        let mut weights = NetworkWeights::default();
+        for layer in net.weight_layers() {
+            match *layer.op() {
+                LayerOp::Conv2d { out_channels, kernel, .. } => {
+                    let in_c = layer.input_shape().dims()[0];
+                    let filters = gen.uniform_f32(
+                        TensorShape::new(vec![out_channels, in_c, kernel.0, kernel.1]),
+                        -amax,
+                        amax,
+                    );
+                    let bias = gen.vector_f32(out_channels, -amax / 10.0, amax / 10.0);
+                    weights.conv.insert(layer.name().to_string(), (filters, bias));
+                }
+                LayerOp::Linear { out_features } => {
+                    let in_f = *layer.input_shape().dims().last().expect("non-empty");
+                    let w = gen.uniform_f32(
+                        TensorShape::new(vec![out_features, in_f]),
+                        -amax,
+                        amax,
+                    );
+                    let bias = gen.vector_f32(out_features, -amax / 10.0, amax / 10.0);
+                    weights.linear.insert(layer.name().to_string(), (w, bias));
+                }
+                _ => {
+                    return Err(NnError::InvalidLayer {
+                        layer: layer.name().to_string(),
+                        reason: "executor supports conv and linear weight layers".to_string(),
+                    })
+                }
+            }
+        }
+        Ok(weights)
+    }
+}
+
+/// Runs a sequential network on an input, producing the final tensor.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidLayer`] for unsupported operators (Add,
+/// attention, recurrent layers) and [`NnError::ShapeMismatch`] when the
+/// data flow disagrees with the layer table.
+pub fn run_sequential(
+    net: &Network,
+    weights: &NetworkWeights,
+    input: &Tensor<f32>,
+) -> Result<Tensor<f32>, NnError> {
+    let mut x = input.clone();
+    for layer in net.layers() {
+        // Implicit flatten at the feature-map -> vector boundary (the
+        // fc layers consume the flattened pooled map).
+        if x.shape() != layer.input_shape()
+            && x.len() == layer.input_shape().volume()
+            && layer.input_shape().rank() == 1
+        {
+            x.reshape(layer.input_shape().clone())?;
+        }
+        if x.shape() != layer.input_shape() {
+            return Err(NnError::ShapeMismatch {
+                context: "sequential execution",
+                detail: format!(
+                    "layer {} expects {}, data flow carries {}",
+                    layer.name(),
+                    layer.input_shape(),
+                    x.shape()
+                ),
+            });
+        }
+        x = match *layer.op() {
+            LayerOp::Conv2d { stride, padding, .. } => {
+                let (filters, bias) = weights.conv.get(layer.name()).ok_or_else(|| {
+                    NnError::InvalidLayer {
+                        layer: layer.name().to_string(),
+                        reason: "missing conv weights".to_string(),
+                    }
+                })?;
+                reference::conv2d(&x, filters, bias, stride, padding)?
+            }
+            LayerOp::Linear { .. } => {
+                let (w, bias) = weights.linear.get(layer.name()).ok_or_else(|| {
+                    NnError::InvalidLayer {
+                        layer: layer.name().to_string(),
+                        reason: "missing linear weights".to_string(),
+                    }
+                })?;
+                let out = reference::linear(x.data(), w, bias)?;
+                Tensor::from_vec(TensorShape::vector(out.len()), out)?
+            }
+            LayerOp::Pool { kind, kernel, stride, padding } => {
+                if padding != (0, 0) {
+                    return Err(NnError::InvalidLayer {
+                        layer: layer.name().to_string(),
+                        reason: "executor supports unpadded pooling only".to_string(),
+                    });
+                }
+                match kind {
+                    PoolKind::Max => reference::max_pool2d(&x, kernel, stride)?,
+                    PoolKind::Avg => reference::avg_pool2d(&x, kernel, stride)?,
+                }
+            }
+            LayerOp::GlobalAvgPool => {
+                let dims = x.shape().dims();
+                let (c, hw) = (dims[0], dims[1] * dims[2]);
+                let pooled: Vec<f32> = (0..c)
+                    .map(|ch| {
+                        x.data()[ch * hw..(ch + 1) * hw].iter().sum::<f32>() / hw as f32
+                    })
+                    .collect();
+                Tensor::from_vec(TensorShape::vector(c), pooled)?
+            }
+            LayerOp::Activation(act) => {
+                let data: Vec<f32> = match act {
+                    Act::Relu => reference::relu(x.data()),
+                    Act::Sigmoid => x.data().iter().map(|&v| reference::sigmoid(v)).collect(),
+                    Act::Tanh => x.data().iter().map(|&v| v.tanh()).collect(),
+                    Act::Gelu => x.data().iter().map(|&v| reference::gelu(v)).collect(),
+                    Act::Softmax => reference::softmax(x.data()),
+                };
+                Tensor::from_vec(x.shape().clone(), data)?
+            }
+            _ => {
+                return Err(NnError::InvalidLayer {
+                    layer: layer.name().to_string(),
+                    reason: format!("operator {:?} is not sequential-executable", layer.op()),
+                })
+            }
+        };
+        // Linear flattens implicitly: accept a flattened predecessor.
+        let expected = layer.output_shape();
+        if x.shape() != &expected && x.len() == expected.volume() {
+            x.reshape(expected)?;
+        }
+    }
+    Ok(x)
+}
+
+/// Builds a small sequential CNN (conv-relu-pool-conv-relu-pool-fc-softmax)
+/// used by the executor tests and the end-to-end validation suite.
+///
+/// # Panics
+///
+/// Never panics for the fixed, valid layer table.
+pub fn tiny_cnn(input_hw: usize, classes: usize) -> Network {
+    use crate::layers::LayerSpec;
+    let c1 = 4usize;
+    let c2 = 8usize;
+    let after_pool1 = input_hw / 2;
+    let after_pool2 = after_pool1 / 2;
+    let layers = vec![
+        LayerSpec::new(
+            "conv1",
+            LayerOp::Conv2d { out_channels: c1, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+            TensorShape::chw(1, input_hw, input_hw),
+        )
+        .expect("valid"),
+        LayerSpec::new(
+            "relu1",
+            LayerOp::Activation(Act::Relu),
+            TensorShape::chw(c1, input_hw, input_hw),
+        )
+        .expect("valid"),
+        LayerSpec::new(
+            "pool1",
+            LayerOp::Pool {
+                kind: PoolKind::Max,
+                kernel: (2, 2),
+                stride: (2, 2),
+                padding: (0, 0),
+            },
+            TensorShape::chw(c1, input_hw, input_hw),
+        )
+        .expect("valid"),
+        LayerSpec::new(
+            "conv2",
+            LayerOp::Conv2d { out_channels: c2, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+            TensorShape::chw(c1, after_pool1, after_pool1),
+        )
+        .expect("valid"),
+        LayerSpec::new(
+            "relu2",
+            LayerOp::Activation(Act::Relu),
+            TensorShape::chw(c2, after_pool1, after_pool1),
+        )
+        .expect("valid"),
+        LayerSpec::new(
+            "pool2",
+            LayerOp::Pool {
+                kind: PoolKind::Avg,
+                kernel: (2, 2),
+                stride: (2, 2),
+                padding: (0, 0),
+            },
+            TensorShape::chw(c2, after_pool1, after_pool1),
+        )
+        .expect("valid"),
+        LayerSpec::new(
+            "fc",
+            LayerOp::Linear { out_features: classes },
+            TensorShape::vector(c2 * after_pool2 * after_pool2),
+        )
+        .expect("valid"),
+        LayerSpec::new("softmax", LayerOp::Activation(Act::Softmax), TensorShape::vector(classes))
+            .expect("valid"),
+    ];
+    Network::new("tiny-cnn", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_cnn_runs_end_to_end() {
+        let net = tiny_cnn(8, 5);
+        let mut gen = WorkloadGen::new(1);
+        let weights = NetworkWeights::random(&net, &mut gen, 0.5).unwrap();
+        let input = gen.uniform_f32(TensorShape::chw(1, 8, 8), -1.0, 1.0);
+        let out = run_sequential(&net, &weights, &input).unwrap();
+        assert_eq!(out.shape().dims(), &[5]);
+        let sum: f32 = out.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "softmax output sums to {sum}");
+    }
+
+    #[test]
+    fn output_shape_matches_layer_table_at_every_step() {
+        let net = tiny_cnn(16, 3);
+        let mut gen = WorkloadGen::new(2);
+        let weights = NetworkWeights::random(&net, &mut gen, 0.4).unwrap();
+        let input = gen.uniform_f32(TensorShape::chw(1, 16, 16), -1.0, 1.0);
+        // run_sequential itself asserts shape agreement layer by layer;
+        // reaching the end proves the static table is consistent.
+        let out = run_sequential(&net, &weights, &input).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn wrong_input_shape_rejected() {
+        let net = tiny_cnn(8, 5);
+        let mut gen = WorkloadGen::new(3);
+        let weights = NetworkWeights::random(&net, &mut gen, 0.5).unwrap();
+        let input = gen.uniform_f32(TensorShape::chw(1, 6, 6), -1.0, 1.0);
+        assert!(matches!(
+            run_sequential(&net, &weights, &input),
+            Err(NnError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn branching_networks_rejected() {
+        // A residual Add has no single sequential data flow.
+        use crate::layers::LayerSpec;
+        let net = Network::new(
+            "residual",
+            vec![LayerSpec::new("add", LayerOp::Add, TensorShape::chw(2, 4, 4)).unwrap()],
+        );
+        let mut gen = WorkloadGen::new(4);
+        let weights = NetworkWeights::random(&net, &mut gen, 0.3).unwrap();
+        let input = gen.uniform_f32(TensorShape::chw(2, 4, 4), -1.0, 1.0);
+        assert!(matches!(
+            run_sequential(&net, &weights, &input),
+            Err(NnError::InvalidLayer { .. })
+        ));
+    }
+
+    #[test]
+    fn recurrent_weights_rejected() {
+        let net = crate::networks::lstm_timit();
+        let mut gen = WorkloadGen::new(5);
+        assert!(NetworkWeights::random(&net, &mut gen, 0.3).is_err());
+    }
+}

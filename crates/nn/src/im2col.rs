@@ -1,0 +1,208 @@
+//! The im2col transformation (paper §IV-B, Fig. 9(c)).
+//!
+//! BFree converts convolutions into matrix multiplications when the
+//! unrolled intermediate features fit in cache: the filter tensor
+//! `(n, c, kh, kw)` flattens statically into an `(n, c*kh*kw)` matrix and
+//! every convolution window of the input unrolls into one column of a
+//! `(c*kh*kw, steps)` matrix. The unrolling duplicates overlapping input
+//! elements — the *redundancy* this module also quantifies, since it
+//! determines the dynamic storage cost the paper weighs against the
+//! matmul-mode speedup.
+
+use crate::error::NnError;
+use crate::tensor::{Tensor, TensorShape};
+
+/// Static geometry of an im2col transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Im2colDims {
+    /// Rows of the unrolled input matrix: `c * kh * kw`.
+    pub rows: usize,
+    /// Columns: convolution steps (`out_h * out_w`).
+    pub cols: usize,
+    /// Original input element count.
+    pub input_elements: usize,
+}
+
+impl Im2colDims {
+    /// Computes the unrolled dimensions for a convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] when the kernel does not fit the
+    /// padded input.
+    pub fn compute(
+        input: &TensorShape,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+    ) -> Result<Self, NnError> {
+        if input.rank() != 3 {
+            return Err(NnError::InvalidLayer {
+                layer: "im2col".to_string(),
+                reason: format!("expected (C,H,W), got {input}"),
+            });
+        }
+        let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+        let oh = (h + 2 * padding.0).checked_sub(kernel.0).map(|v| v / stride.0 + 1);
+        let ow = (w + 2 * padding.1).checked_sub(kernel.1).map(|v| v / stride.1 + 1);
+        let (oh, ow) = match (oh, ow) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(NnError::InvalidLayer {
+                    layer: "im2col".to_string(),
+                    reason: "kernel larger than padded input".to_string(),
+                })
+            }
+        };
+        Ok(Im2colDims {
+            rows: c * kernel.0 * kernel.1,
+            cols: oh * ow,
+            input_elements: c * h * w,
+        })
+    }
+
+    /// Elements in the unrolled matrix.
+    pub fn unrolled_elements(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Storage blow-up of the unrolled form versus the raw input
+    /// (Fig. 9(c): "there could be redundant copies of elements based on
+    /// the stride").
+    pub fn redundancy(&self) -> f64 {
+        self.unrolled_elements() as f64 / self.input_elements as f64
+    }
+}
+
+/// Performs im2col on an input feature map, producing the `(rows, cols)`
+/// unrolled matrix with zero padding applied.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidLayer`] for incompatible shapes.
+pub fn im2col(
+    input: &Tensor<f32>,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> Result<Tensor<f32>, NnError> {
+    let dims = Im2colDims::compute(input.shape(), kernel, stride, padding)?;
+    let (_c, h, w) = {
+        let d = input.shape().dims();
+        (d[0], d[1], d[2])
+    };
+    let out_w = (w + 2 * padding.1 - kernel.1) / stride.1 + 1;
+    let mut out = Tensor::zeros(TensorShape::new(vec![dims.rows, dims.cols]));
+    for row in 0..dims.rows {
+        let ch = row / (kernel.0 * kernel.1);
+        let within = row % (kernel.0 * kernel.1);
+        let ky = within / kernel.1;
+        let kx = within % kernel.1;
+        for col in 0..dims.cols {
+            let oy = col / out_w;
+            let ox = col % out_w;
+            let iy = (oy * stride.0 + ky) as isize - padding.0 as isize;
+            let ix = (ox * stride.1 + kx) as isize - padding.1 as isize;
+            let value = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                input.get(&[ch, iy as usize, ix as usize])?
+            } else {
+                0.0
+            };
+            out.set(&[row, col], value)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Flattens a `(n, c, kh, kw)` filter tensor into the `(n, c*kh*kw)`
+/// matrix of Fig. 9(c) (a pure reshape — weights are read-only during
+/// inference and unrolled statically).
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for a non-rank-4 filter tensor.
+pub fn flatten_filters(filters: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+    let dims = filters.shape().dims();
+    if dims.len() != 4 {
+        return Err(NnError::ShapeMismatch {
+            context: "filter flattening",
+            detail: format!("expected (N,C,KH,KW), got {}", filters.shape()),
+        });
+    }
+    let mut out = filters.clone();
+    out.reshape(TensorShape::new(vec![dims[0], dims[1] * dims[2] * dims[3]]))?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_for_unit_stride() {
+        let d = Im2colDims::compute(&TensorShape::chw(3, 5, 5), (3, 3), (1, 1), (0, 0)).unwrap();
+        assert_eq!(d.rows, 27);
+        assert_eq!(d.cols, 9);
+        assert!(d.redundancy() > 1.0);
+    }
+
+    #[test]
+    fn stride_equal_kernel_has_no_redundancy() {
+        // Non-overlapping windows copy each input element exactly once.
+        let d = Im2colDims::compute(&TensorShape::chw(2, 8, 8), (2, 2), (2, 2), (0, 0)).unwrap();
+        assert_eq!(d.unrolled_elements(), d.input_elements);
+        assert!((d.redundancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_increases_redundancy() {
+        let dense =
+            Im2colDims::compute(&TensorShape::chw(1, 16, 16), (3, 3), (1, 1), (1, 1)).unwrap();
+        let strided =
+            Im2colDims::compute(&TensorShape::chw(1, 16, 16), (3, 3), (2, 2), (1, 1)).unwrap();
+        assert!(dense.redundancy() > strided.redundancy());
+        // Dense 3x3/1 im2col approaches 9x duplication.
+        assert!(dense.redundancy() > 7.0);
+    }
+
+    #[test]
+    fn im2col_then_matmul_equals_direct_convolution() {
+        // 1 channel, 4x4 input, 2x2 kernel, stride 1: compare the matmul
+        // formulation against a hand-computed convolution.
+        let input = Tensor::from_fn(TensorShape::chw(1, 4, 4), |i| (i[1] * 4 + i[2]) as f32);
+        let unrolled = im2col(&input, (2, 2), (1, 1), (0, 0)).unwrap();
+        assert_eq!(unrolled.shape().dims(), &[4, 9]);
+        let filter = [1.0f32, 2.0, 3.0, 4.0]; // (ky,kx) raster order
+        // Output (0,0): 1*0 + 2*1 + 3*4 + 4*5 = 34.
+        let col0: f32 =
+            (0..4).map(|r| filter[r] * unrolled.get(&[r, 0]).unwrap()).sum();
+        assert_eq!(col0, 34.0);
+        // Output (2,2) (last): windows at (2,2): 10,11,14,15.
+        let col8: f32 =
+            (0..4).map(|r| filter[r] * unrolled.get(&[r, 8]).unwrap()).sum();
+        assert_eq!(col8, 10.0 + 2.0 * 11.0 + 3.0 * 14.0 + 4.0 * 15.0);
+    }
+
+    #[test]
+    fn padding_inserts_zeros() {
+        let input = Tensor::from_fn(TensorShape::chw(1, 2, 2), |_| 1.0f32);
+        let unrolled = im2col(&input, (3, 3), (1, 1), (1, 1)).unwrap();
+        assert_eq!(unrolled.shape().dims(), &[9, 4]);
+        // The corner window sees 5 zeros and 4 ones.
+        let col0_sum: f32 = (0..9).map(|r| unrolled.get(&[r, 0]).unwrap()).sum();
+        assert_eq!(col0_sum, 4.0);
+    }
+
+    #[test]
+    fn flatten_filters_reshapes() {
+        let f = Tensor::from_fn(TensorShape::new(vec![8, 3, 3, 3]), |_| 0.5f32);
+        let m = flatten_filters(&f).unwrap();
+        assert_eq!(m.shape().dims(), &[8, 27]);
+        assert!(flatten_filters(&Tensor::from_fn(TensorShape::vector(5), |_| 0.0f32)).is_err());
+    }
+
+    #[test]
+    fn oversized_kernel_rejected() {
+        assert!(Im2colDims::compute(&TensorShape::chw(1, 2, 2), (5, 5), (1, 1), (0, 0)).is_err());
+    }
+}

@@ -1,0 +1,638 @@
+//! Layer specifications with shape, parameter and MAC accounting.
+//!
+//! A [`LayerSpec`] is a *static* description of one network layer: its
+//! operator, its input shape and therefore its output shape, parameter
+//! count and multiply count. The five evaluation networks of Table II
+//! are lists of these specs; the BFree simulator and every baseline
+//! consume them to derive work, traffic and storage.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::tensor::TensorShape;
+
+/// Pooling flavors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling (comparator chain in the BCE).
+    Max,
+    /// Average pooling (accumulate + LUT division, §III-C2).
+    Avg,
+}
+
+/// Non-linearities appearing in the evaluation networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Act {
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid (LSTM gates).
+    Sigmoid,
+    /// Hyperbolic tangent (LSTM cell state).
+    Tanh,
+    /// Softmax (classifier heads, attention).
+    Softmax,
+    /// Gaussian error linear unit (BERT feed-forward), computed with the
+    /// tanh LUT.
+    Gelu,
+}
+
+impl Act {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Act::Relu => "relu",
+            Act::Sigmoid => "sigmoid",
+            Act::Tanh => "tanh",
+            Act::Softmax => "softmax",
+            Act::Gelu => "gelu",
+        }
+    }
+
+    /// Whether evaluation needs LUT lookups (everything except ReLU).
+    pub fn needs_lut(self) -> bool {
+        !matches!(self, Act::Relu)
+    }
+}
+
+/// The operator of one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerOp {
+    /// 2-D convolution over a `(C, H, W)` input.
+    Conv2d {
+        /// Output channels.
+        out_channels: usize,
+        /// Kernel `(kh, kw)`.
+        kernel: (usize, usize),
+        /// Stride `(sh, sw)`.
+        stride: (usize, usize),
+        /// Zero padding `(ph, pw)`.
+        padding: (usize, usize),
+    },
+    /// Fully-connected layer over the trailing feature dimension.
+    Linear {
+        /// Output features.
+        out_features: usize,
+    },
+    /// Spatial pooling over a `(C, H, W)` input.
+    Pool {
+        /// Max or average.
+        kind: PoolKind,
+        /// Window `(kh, kw)`.
+        kernel: (usize, usize),
+        /// Stride `(sh, sw)`.
+        stride: (usize, usize),
+        /// Zero padding `(ph, pw)`.
+        padding: (usize, usize),
+    },
+    /// Global average pooling collapsing `(C, H, W)` to `(C)`.
+    GlobalAvgPool,
+    /// Element-wise activation.
+    Activation(Act),
+    /// One LSTM layer unrolled over a `(seq, input)` sequence.
+    Lstm {
+        /// Hidden state width.
+        hidden: usize,
+    },
+    /// One GRU layer unrolled over a `(seq, input)` sequence (§IV-B1
+    /// names GRUs alongside LSTMs as the widely used RNN variants).
+    Gru {
+        /// Hidden state width.
+        hidden: usize,
+    },
+    /// Multi-head self-attention over a `(seq, hidden)` sequence
+    /// (QKV + output projections plus the two score/context matmuls,
+    /// Fig. 10).
+    Attention {
+        /// Attention heads.
+        heads: usize,
+    },
+    /// Transformer feed-forward block: hidden -> inner -> hidden.
+    FeedForward {
+        /// Inner (expansion) width.
+        inner: usize,
+    },
+    /// Layer normalization (element-wise scale/shift plus statistics).
+    LayerNorm,
+    /// Residual element-wise add.
+    Add,
+}
+
+/// One layer of a network: operator plus its concrete input shape.
+///
+/// ```
+/// use pim_nn::{LayerOp, LayerSpec, TensorShape};
+/// let conv = LayerSpec::new(
+///     "conv1",
+///     LayerOp::Conv2d { out_channels: 64, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+///     TensorShape::chw(3, 224, 224),
+/// ).unwrap();
+/// assert_eq!(conv.output_shape().dims(), &[64, 224, 224]);
+/// assert_eq!(conv.params(), 64 * (3 * 3 * 3 + 1));
+/// assert_eq!(conv.macs(), 64 * 224 * 224 * 3 * 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    name: String,
+    op: LayerOp,
+    input: TensorShape,
+}
+
+fn conv_out(extent: usize, kernel: usize, stride: usize, pad: usize) -> Option<usize> {
+    (extent + 2 * pad).checked_sub(kernel).map(|v| v / stride + 1)
+}
+
+impl LayerSpec {
+    /// Creates a layer spec, validating operator/shape compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] when the operator cannot apply
+    /// to the input shape (wrong rank, kernel larger than padded input,
+    /// zero dimensions).
+    pub fn new(
+        name: impl Into<String>,
+        op: LayerOp,
+        input: TensorShape,
+    ) -> Result<Self, NnError> {
+        let name = name.into();
+        let invalid = |reason: String| NnError::InvalidLayer { layer: name.clone(), reason };
+        if input.volume() == 0 {
+            return Err(invalid("input shape has zero volume".to_string()));
+        }
+        match op {
+            LayerOp::Conv2d { out_channels, kernel, stride, padding } => {
+                if input.rank() != 3 {
+                    return Err(invalid(format!("conv needs (C,H,W) input, got {input}")));
+                }
+                if out_channels == 0 || kernel.0 == 0 || kernel.1 == 0 || stride.0 == 0 || stride.1 == 0 {
+                    return Err(invalid("zero channel/kernel/stride".to_string()));
+                }
+                let (h, w) = (input.dims()[1], input.dims()[2]);
+                if conv_out(h, kernel.0, stride.0, padding.0).is_none()
+                    || conv_out(w, kernel.1, stride.1, padding.1).is_none()
+                {
+                    return Err(invalid(format!(
+                        "kernel {kernel:?} larger than padded input {h}x{w}"
+                    )));
+                }
+            }
+            LayerOp::Pool { kernel, stride, .. } => {
+                if input.rank() != 3 {
+                    return Err(invalid(format!("pool needs (C,H,W) input, got {input}")));
+                }
+                if kernel.0 == 0 || kernel.1 == 0 || stride.0 == 0 || stride.1 == 0 {
+                    return Err(invalid("zero kernel/stride".to_string()));
+                }
+            }
+            LayerOp::Linear { out_features } => {
+                if out_features == 0 {
+                    return Err(invalid("zero output features".to_string()));
+                }
+            }
+            LayerOp::Lstm { hidden } | LayerOp::Gru { hidden } => {
+                if input.rank() != 2 {
+                    return Err(invalid(format!("recurrent layer needs (seq, input), got {input}")));
+                }
+                if hidden == 0 {
+                    return Err(invalid("zero hidden width".to_string()));
+                }
+            }
+            LayerOp::Attention { heads } => {
+                if input.rank() != 2 {
+                    return Err(invalid(format!("attention needs (seq, hidden), got {input}")));
+                }
+                let hidden = input.dims()[1];
+                if heads == 0 || !hidden.is_multiple_of(heads) {
+                    return Err(invalid(format!("hidden {hidden} not divisible by {heads} heads")));
+                }
+            }
+            LayerOp::FeedForward { inner } => {
+                if input.rank() != 2 {
+                    return Err(invalid(format!("feed-forward needs (seq, hidden), got {input}")));
+                }
+                if inner == 0 {
+                    return Err(invalid("zero inner width".to_string()));
+                }
+            }
+            LayerOp::GlobalAvgPool => {
+                if input.rank() != 3 {
+                    return Err(invalid(format!("global pool needs (C,H,W), got {input}")));
+                }
+            }
+            LayerOp::Activation(_) | LayerOp::LayerNorm | LayerOp::Add => {}
+        }
+        Ok(LayerSpec { name, op, input })
+    }
+
+    /// The layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operator.
+    pub fn op(&self) -> &LayerOp {
+        &self.op
+    }
+
+    /// The input shape.
+    pub fn input_shape(&self) -> &TensorShape {
+        &self.input
+    }
+
+    /// The output shape implied by operator and input.
+    pub fn output_shape(&self) -> TensorShape {
+        match self.op {
+            LayerOp::Conv2d { out_channels, kernel, stride, padding } => {
+                let (h, w) = (self.input.dims()[1], self.input.dims()[2]);
+                let oh = conv_out(h, kernel.0, stride.0, padding.0).expect("validated");
+                let ow = conv_out(w, kernel.1, stride.1, padding.1).expect("validated");
+                TensorShape::chw(out_channels, oh, ow)
+            }
+            LayerOp::Pool { kernel, stride, padding, .. } => {
+                let dims = self.input.dims();
+                let oh = conv_out(dims[1], kernel.0, stride.0, padding.0).unwrap_or(1).max(1);
+                let ow = conv_out(dims[2], kernel.1, stride.1, padding.1).unwrap_or(1).max(1);
+                TensorShape::chw(dims[0], oh, ow)
+            }
+            LayerOp::GlobalAvgPool => TensorShape::vector(self.input.dims()[0]),
+            LayerOp::Linear { out_features } => {
+                let mut dims = self.input.dims().to_vec();
+                *dims.last_mut().expect("non-empty shape") = out_features;
+                TensorShape::new(dims)
+            }
+            LayerOp::Lstm { hidden } | LayerOp::Gru { hidden } => {
+                TensorShape::new(vec![self.input.dims()[0], hidden])
+            }
+            LayerOp::Attention { .. } | LayerOp::FeedForward { .. } => self.input.clone(),
+            LayerOp::Activation(_) | LayerOp::LayerNorm | LayerOp::Add => self.input.clone(),
+        }
+    }
+
+    /// Trainable parameter count (weights + biases).
+    pub fn params(&self) -> u64 {
+        match self.op {
+            LayerOp::Conv2d { out_channels, kernel, .. } => {
+                let in_c = self.input.dims()[0] as u64;
+                out_channels as u64 * (in_c * kernel.0 as u64 * kernel.1 as u64 + 1)
+            }
+            LayerOp::Linear { out_features } => {
+                let in_f = *self.input.dims().last().expect("non-empty") as u64;
+                out_features as u64 * (in_f + 1)
+            }
+            LayerOp::Lstm { hidden } => {
+                let input = self.input.dims()[1] as u64;
+                let h = hidden as u64;
+                4 * (h * (input + h) + h)
+            }
+            LayerOp::Gru { hidden } => {
+                let input = self.input.dims()[1] as u64;
+                let h = hidden as u64;
+                3 * (h * (input + h) + h)
+            }
+            LayerOp::Attention { .. } => {
+                let h = self.input.dims()[1] as u64;
+                4 * (h * h + h)
+            }
+            LayerOp::FeedForward { inner } => {
+                let h = self.input.dims()[1] as u64;
+                let i = inner as u64;
+                h * i + i + i * h + h
+            }
+            LayerOp::LayerNorm => 2 * *self.input.dims().last().expect("non-empty") as u64,
+            LayerOp::Pool { .. }
+            | LayerOp::GlobalAvgPool
+            | LayerOp::Activation(_)
+            | LayerOp::Add => 0,
+        }
+    }
+
+    /// Multiply count for one inference (batch 1).
+    pub fn macs(&self) -> u64 {
+        match self.op {
+            LayerOp::Conv2d { out_channels, kernel, .. } => {
+                let in_c = self.input.dims()[0] as u64;
+                let out = self.output_shape();
+                out_channels as u64
+                    * out.dims()[1] as u64
+                    * out.dims()[2] as u64
+                    * in_c
+                    * kernel.0 as u64
+                    * kernel.1 as u64
+            }
+            LayerOp::Linear { out_features } => {
+                let dims = self.input.dims();
+                let in_f = *dims.last().expect("non-empty") as u64;
+                let rows: u64 = dims[..dims.len() - 1].iter().map(|&d| d as u64).product();
+                rows.max(1) * in_f * out_features as u64
+            }
+            LayerOp::Lstm { hidden } => {
+                let seq = self.input.dims()[0] as u64;
+                let input = self.input.dims()[1] as u64;
+                let h = hidden as u64;
+                // Four gates, each (input + hidden) x hidden, per step.
+                seq * 4 * h * (input + h)
+            }
+            LayerOp::Gru { hidden } => {
+                let seq = self.input.dims()[0] as u64;
+                let input = self.input.dims()[1] as u64;
+                let h = hidden as u64;
+                // Three gates, each (input + hidden) x hidden, per step.
+                seq * 3 * h * (input + h)
+            }
+            LayerOp::Attention { .. } => {
+                let seq = self.input.dims()[0] as u64;
+                let h = self.input.dims()[1] as u64;
+                // QKV + output projections, plus scores and context.
+                4 * seq * h * h + 2 * seq * seq * h
+            }
+            LayerOp::FeedForward { inner } => {
+                let seq = self.input.dims()[0] as u64;
+                let h = self.input.dims()[1] as u64;
+                2 * seq * h * inner as u64
+            }
+            LayerOp::Pool { .. }
+            | LayerOp::GlobalAvgPool
+            | LayerOp::Activation(_)
+            | LayerOp::LayerNorm
+            | LayerOp::Add => 0,
+        }
+    }
+
+    /// Non-MAC element operations (pool compares, activation lookups,
+    /// normalization work) — the part the LUT path accelerates without
+    /// the multiply ROM.
+    pub fn element_ops(&self) -> u64 {
+        match self.op {
+            LayerOp::Pool { kernel, .. } => {
+                self.output_shape().volume() as u64 * (kernel.0 * kernel.1) as u64
+            }
+            LayerOp::GlobalAvgPool => self.input.volume() as u64,
+            LayerOp::Activation(_) => self.input.volume() as u64,
+            LayerOp::LayerNorm => 2 * self.input.volume() as u64,
+            LayerOp::Add => self.input.volume() as u64,
+            LayerOp::Lstm { hidden } => {
+                // Gate activations: 4 sigmoids/tanh + 2 elementwise per step.
+                self.input.dims()[0] as u64 * 6 * hidden as u64
+            }
+            LayerOp::Gru { hidden } => {
+                // Gate activations: 3 sigmoids/tanh + 3 elementwise per step.
+                self.input.dims()[0] as u64 * 6 * hidden as u64
+            }
+            LayerOp::Attention { .. } => {
+                // Softmax over each row of the score matrix.
+                let seq = self.input.dims()[0] as u64;
+                seq * seq
+            }
+            _ => 0,
+        }
+    }
+
+    /// Whether this layer carries weights that must be loaded from main
+    /// memory.
+    pub fn is_weight_layer(&self) -> bool {
+        matches!(
+            self.op,
+            LayerOp::Conv2d { .. }
+                | LayerOp::Linear { .. }
+                | LayerOp::Lstm { .. }
+                | LayerOp::Gru { .. }
+                | LayerOp::Attention { .. }
+                | LayerOp::FeedForward { .. }
+        )
+    }
+
+    /// Weight storage at `bits` per parameter, in bytes.
+    pub fn weight_bytes(&self, bits: u32) -> u64 {
+        (self.params() * bits as u64).div_ceil(8)
+    }
+
+    /// Input activation volume (elements).
+    pub fn input_elements(&self) -> u64 {
+        self.input.volume() as u64
+    }
+
+    /// Output activation volume (elements).
+    pub fn output_elements(&self) -> u64 {
+        self.output_shape().volume() as u64
+    }
+}
+
+/// A whole network: a named, ordered list of layer specs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    layers: Vec<LayerSpec>,
+}
+
+impl Network {
+    /// Creates a network from its layers.
+    pub fn new(name: impl Into<String>, layers: Vec<LayerSpec>) -> Self {
+        Network { name: name.into(), layers }
+    }
+
+    /// The network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers in execution order.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Total trainable parameters.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(|l| l.params()).sum()
+    }
+
+    /// Total multiplies for one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs()).sum()
+    }
+
+    /// Total non-MAC element operations for one inference.
+    pub fn total_element_ops(&self) -> u64 {
+        self.layers.iter().map(|l| l.element_ops()).sum()
+    }
+
+    /// Number of weight-carrying layers.
+    pub fn weight_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.is_weight_layer()).count()
+    }
+
+    /// Total weight bytes at a uniform precision.
+    pub fn weight_bytes(&self, bits: u32) -> u64 {
+        self.layers.iter().map(|l| l.weight_bytes(bits)).sum()
+    }
+
+    /// The largest single layer's weight bytes (drives replication
+    /// decisions).
+    pub fn max_layer_weight_bytes(&self, bits: u32) -> u64 {
+        self.layers.iter().map(|l| l.weight_bytes(bits)).max().unwrap_or(0)
+    }
+
+    /// Iterates over weight-carrying layers.
+    pub fn weight_layers(&self) -> impl Iterator<Item = &LayerSpec> {
+        self.layers.iter().filter(|l| l.is_weight_layer())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(
+        name: &str,
+        in_shape: (usize, usize, usize),
+        out_c: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+    ) -> LayerSpec {
+        LayerSpec::new(
+            name,
+            LayerOp::Conv2d {
+                out_channels: out_c,
+                kernel: (k, k),
+                stride: (s, s),
+                padding: (p, p),
+            },
+            TensorShape::chw(in_shape.0, in_shape.1, in_shape.2),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn conv_shape_math() {
+        let c = conv("c", (3, 224, 224), 64, 3, 1, 1);
+        assert_eq!(c.output_shape().dims(), &[64, 224, 224]);
+        let c = conv("c", (3, 299, 299), 32, 3, 2, 0);
+        assert_eq!(c.output_shape().dims(), &[32, 149, 149]);
+    }
+
+    #[test]
+    fn conv_macs_and_params() {
+        let c = conv("c", (64, 56, 56), 128, 3, 1, 1);
+        assert_eq!(c.params(), 128 * (64 * 9 + 1));
+        assert_eq!(c.macs(), 128 * 56 * 56 * 64 * 9);
+        assert!(c.is_weight_layer());
+    }
+
+    #[test]
+    fn linear_macs_with_leading_dims() {
+        let l = LayerSpec::new(
+            "fc",
+            LayerOp::Linear { out_features: 10 },
+            TensorShape::new(vec![5, 20]),
+        )
+        .unwrap();
+        assert_eq!(l.macs(), 5 * 20 * 10);
+        assert_eq!(l.params(), 10 * 21);
+        assert_eq!(l.output_shape().dims(), &[5, 10]);
+    }
+
+    #[test]
+    fn lstm_params_match_closed_form() {
+        // Paper Table II: LSTM with 4.3M params (TIMIT front end).
+        let l = LayerSpec::new(
+            "lstm",
+            LayerOp::Lstm { hidden: 1024 },
+            TensorShape::new(vec![300, 39]),
+        )
+        .unwrap();
+        assert_eq!(l.params(), 4 * (1024 * (39 + 1024) + 1024));
+        assert!((l.params() as f64 / 4.3e6 - 1.0).abs() < 0.02);
+        assert_eq!(l.output_shape().dims(), &[300, 1024]);
+    }
+
+    #[test]
+    fn attention_macs_breakdown() {
+        let a = LayerSpec::new(
+            "attn",
+            LayerOp::Attention { heads: 12 },
+            TensorShape::new(vec![128, 768]),
+        )
+        .unwrap();
+        let expected = 4 * 128 * 768 * 768 + 2 * 128 * 128 * 768;
+        assert_eq!(a.macs(), expected as u64);
+        assert_eq!(a.params(), 4 * (768 * 768 + 768));
+    }
+
+    #[test]
+    fn feed_forward_macs() {
+        let f = LayerSpec::new(
+            "ff",
+            LayerOp::FeedForward { inner: 3072 },
+            TensorShape::new(vec![128, 768]),
+        )
+        .unwrap();
+        assert_eq!(f.macs(), 2 * 128 * 768 * 3072);
+    }
+
+    #[test]
+    fn pool_has_no_params_but_element_ops() {
+        let p = LayerSpec::new(
+            "pool",
+            LayerOp::Pool {
+                kind: PoolKind::Max,
+                kernel: (2, 2),
+                stride: (2, 2),
+                padding: (0, 0),
+            },
+            TensorShape::chw(64, 112, 112),
+        )
+        .unwrap();
+        assert_eq!(p.params(), 0);
+        assert_eq!(p.macs(), 0);
+        assert_eq!(p.output_shape().dims(), &[64, 56, 56]);
+        assert_eq!(p.element_ops(), 64 * 56 * 56 * 4);
+        assert!(!p.is_weight_layer());
+    }
+
+    #[test]
+    fn invalid_layers_rejected() {
+        assert!(LayerSpec::new(
+            "bad",
+            LayerOp::Conv2d { out_channels: 8, kernel: (3, 3), stride: (1, 1), padding: (0, 0) },
+            TensorShape::vector(10),
+        )
+        .is_err());
+        assert!(LayerSpec::new(
+            "bad",
+            LayerOp::Conv2d { out_channels: 8, kernel: (7, 7), stride: (1, 1), padding: (0, 0) },
+            TensorShape::chw(3, 5, 5),
+        )
+        .is_err());
+        assert!(LayerSpec::new(
+            "bad",
+            LayerOp::Attention { heads: 5 },
+            TensorShape::new(vec![16, 768]),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn weight_bytes_scale_with_precision() {
+        let c = conv("c", (3, 32, 32), 16, 3, 1, 1);
+        assert_eq!(c.weight_bytes(8), c.params());
+        assert_eq!(c.weight_bytes(4), c.params().div_ceil(2));
+        assert_eq!(c.weight_bytes(16), c.params() * 2);
+    }
+
+    #[test]
+    fn network_aggregates() {
+        let layers = vec![
+            conv("c1", (3, 8, 8), 4, 3, 1, 1),
+            LayerSpec::new("relu", LayerOp::Activation(Act::Relu), TensorShape::chw(4, 8, 8))
+                .unwrap(),
+            LayerSpec::new("fc", LayerOp::Linear { out_features: 10 }, TensorShape::vector(256))
+                .unwrap(),
+        ];
+        let net = Network::new("tiny", layers);
+        assert_eq!(net.weight_layer_count(), 2);
+        assert_eq!(net.total_params(), 4 * (27 + 1) + 10 * 257);
+        assert!(net.total_macs() > 0);
+        assert_eq!(net.weight_layers().count(), 2);
+        assert!(net.max_layer_weight_bytes(8) >= net.weight_bytes(8) / 3);
+    }
+}

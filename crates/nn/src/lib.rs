@@ -1,0 +1,45 @@
+//! # pim-nn
+//!
+//! The neural-network workload substrate for the BFree reproduction
+//! (Ramanathan et al., MICRO 2020). It provides everything the paper's
+//! evaluation (§V, Table II) needs from the "workload" side:
+//!
+//! * a minimal dense [`Tensor`] with shape arithmetic;
+//! * gemmlowp-style quantization ([`quant`]) with the exact
+//!   rounding-doubling-high-multiply requantization the paper uses
+//!   (§V-D cites gemmlowp);
+//! * layer specifications with parameter/MAC/shape accounting
+//!   ([`layers`]) and the im2col transformation of §IV-B ([`im2col`]);
+//! * 32-bit float reference implementations of every kernel
+//!   ([`mod@reference`]) used to validate the LUT datapath end to end;
+//! * the five evaluation networks of Table II — Inception-v3, VGG-16,
+//!   LSTM, BERT-base and BERT-large — transcribed layer by layer
+//!   ([`networks`]).
+//!
+//! ```
+//! use pim_nn::networks;
+//!
+//! let vgg = networks::vgg16();
+//! // Table II: VGG-16 has 16 weight layers, 138M params, 15.5G mults.
+//! assert_eq!(vgg.weight_layer_count(), 16);
+//! assert!((vgg.total_params() as f64 / 138.36e6 - 1.0).abs() < 0.01);
+//! assert!((vgg.total_macs() as f64 / 15.47e9 - 1.0).abs() < 0.02);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod executor;
+pub mod im2col;
+pub mod layers;
+pub mod networks;
+pub mod quant;
+pub mod reference;
+pub mod tensor;
+pub mod workload;
+
+pub use error::NnError;
+pub use layers::{LayerOp, LayerSpec, Network, PoolKind};
+pub use quant::{QuantParams, Requantizer};
+pub use tensor::{Tensor, TensorShape};

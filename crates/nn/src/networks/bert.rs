@@ -1,0 +1,155 @@
+//! BERT encoders (Devlin et al., 2018) as evaluated in Table III on
+//! MRPC: BERT-base (12 layers, hidden 768, 12 heads, FF 3072) and
+//! BERT-large (24 layers, hidden 1024, 16 heads, FF 4096), at the
+//! standard sequence length of 128.
+//!
+//! Parameter counts cover the encoder stack the accelerator executes
+//! (embedding lookups are memory reads, not multiplies): 85M for base
+//! and 302M for large, against the paper's 87M / 324M Table II rows.
+
+use crate::layers::{Act, LayerOp, LayerSpec, Network};
+use crate::tensor::TensorShape;
+
+/// Configuration of a BERT encoder stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BertConfig {
+    /// Encoder blocks.
+    pub blocks: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward inner width.
+    pub feed_forward: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+}
+
+impl BertConfig {
+    /// BERT-base at sequence length 128.
+    pub fn base() -> Self {
+        BertConfig { blocks: 12, hidden: 768, heads: 12, feed_forward: 3072, seq_len: 128 }
+    }
+
+    /// BERT-large at sequence length 128.
+    pub fn large() -> Self {
+        BertConfig { blocks: 24, hidden: 1024, heads: 16, feed_forward: 4096, seq_len: 128 }
+    }
+}
+
+/// Builds a BERT encoder from a configuration.
+pub fn bert(name: &str, config: BertConfig) -> Network {
+    let seq_hidden = TensorShape::new(vec![config.seq_len, config.hidden]);
+    let mut layers = Vec::new();
+    for block in 0..config.blocks {
+        let valid = "static BERT table is valid";
+        layers.push(
+            LayerSpec::new(
+                format!("block{block}_attention"),
+                LayerOp::Attention { heads: config.heads },
+                seq_hidden.clone(),
+            )
+            .expect(valid),
+        );
+        layers.push(
+            LayerSpec::new(format!("block{block}_attn_add"), LayerOp::Add, seq_hidden.clone())
+                .expect(valid),
+        );
+        layers.push(
+            LayerSpec::new(format!("block{block}_attn_ln"), LayerOp::LayerNorm, seq_hidden.clone())
+                .expect(valid),
+        );
+        layers.push(
+            LayerSpec::new(
+                format!("block{block}_ffn"),
+                LayerOp::FeedForward { inner: config.feed_forward },
+                seq_hidden.clone(),
+            )
+            .expect(valid),
+        );
+        layers.push(
+            LayerSpec::new(
+                format!("block{block}_ffn_gelu"),
+                LayerOp::Activation(Act::Gelu),
+                TensorShape::new(vec![config.seq_len, config.feed_forward]),
+            )
+            .expect(valid),
+        );
+        layers.push(
+            LayerSpec::new(format!("block{block}_ffn_add"), LayerOp::Add, seq_hidden.clone())
+                .expect(valid),
+        );
+        layers.push(
+            LayerSpec::new(format!("block{block}_ffn_ln"), LayerOp::LayerNorm, seq_hidden.clone())
+                .expect(valid),
+        );
+    }
+    Network::new(name, layers)
+}
+
+/// BERT-base at sequence length 128 (Table II: 87M params, 11.1G mults).
+pub fn bert_base() -> Network {
+    bert("BERT-base", BertConfig::base())
+}
+
+/// BERT-large at sequence length 128 (Table II: 324M params, 39.5G
+/// mults).
+pub fn bert_large() -> Network {
+    bert("BERT-large", BertConfig::large())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_macs_match_table2_11_1g() {
+        let m = bert_base().total_macs() as f64;
+        assert!((m / 11.1e9 - 1.0).abs() < 0.03, "got {m:.4e}");
+    }
+
+    #[test]
+    fn large_macs_match_table2_39_5g() {
+        let m = bert_large().total_macs() as f64;
+        assert!((m / 39.5e9 - 1.0).abs() < 0.03, "got {m:.4e}");
+    }
+
+    #[test]
+    fn base_params_near_87m() {
+        let p = bert_base().total_params() as f64;
+        assert!((p / 87.0e6 - 1.0).abs() < 0.05, "got {p:.4e}");
+    }
+
+    #[test]
+    fn large_params_near_324m() {
+        let p = bert_large().total_params() as f64;
+        assert!((p / 324.0e6 - 1.0).abs() < 0.10, "got {p:.4e}");
+    }
+
+    #[test]
+    fn block_counts() {
+        assert_eq!(bert_base().weight_layer_count(), 24); // attention + ffn per block
+        assert_eq!(bert_large().weight_layer_count(), 48);
+    }
+
+    #[test]
+    fn base_layer_weights_fit_cache_many_times() {
+        // §V-D: BERT-base "has more replicas of the layer" — one block's
+        // weights are ~7 MB at int8, so a 35 MB cache fits several.
+        let net = bert_base();
+        let block_bytes: u64 =
+            net.layers().iter().take(7).map(|l| l.weight_bytes(8)).sum();
+        assert!(block_bytes < 8 * 1024 * 1024);
+        assert!(35 * 1024 * 1024 / block_bytes >= 4);
+    }
+
+    #[test]
+    fn macs_scale_linearly_with_sequence_for_projections() {
+        let short = bert("short", BertConfig { seq_len: 64, ..BertConfig::base() });
+        let long = bert("long", BertConfig { seq_len: 128, ..BertConfig::base() });
+        // Attention scores grow quadratically, so the ratio is a bit
+        // above 2 but far below 4.
+        let ratio = long.total_macs() as f64 / short.total_macs() as f64;
+        assert!((2.0..2.5).contains(&ratio), "ratio {ratio}");
+    }
+}

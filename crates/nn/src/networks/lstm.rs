@@ -1,0 +1,118 @@
+//! The LSTM acoustic model (Sak et al., 2014 style) the paper evaluates
+//! on TIMIT: one 1024-unit LSTM layer over 39-dimensional MFCC frames,
+//! followed by a 61-phoneme softmax classifier. Table II reports 4.3M
+//! parameters and 4.35M multiplies (per timestep); Table III runs a
+//! sequence length of 300.
+
+use crate::layers::{Act, LayerOp, LayerSpec, Network};
+use crate::tensor::TensorShape;
+
+/// Sequence length used in the paper's Table III runtime comparison.
+pub const LSTM_TIMIT_SEQ_LEN: usize = 300;
+
+/// MFCC feature width of the TIMIT front end.
+const INPUT_FEATURES: usize = 39;
+
+/// Hidden width of the evaluated LSTM.
+const HIDDEN: usize = 1024;
+
+/// TIMIT phoneme classes.
+const CLASSES: usize = 61;
+
+/// Builds a GRU variant of the TIMIT acoustic model (§IV-B1 names GRUs
+/// as the other widely used RNN; the paper evaluates the heavier LSTM,
+/// this network supports the extension experiments).
+pub fn gru_timit() -> Network {
+    let layers = vec![
+        LayerSpec::new(
+            "gru",
+            LayerOp::Gru { hidden: HIDDEN },
+            TensorShape::new(vec![LSTM_TIMIT_SEQ_LEN, INPUT_FEATURES]),
+        )
+        .expect("static GRU table is valid"),
+        LayerSpec::new(
+            "classifier",
+            LayerOp::Linear { out_features: CLASSES },
+            TensorShape::new(vec![LSTM_TIMIT_SEQ_LEN, HIDDEN]),
+        )
+        .expect("static GRU table is valid"),
+        LayerSpec::new(
+            "softmax",
+            LayerOp::Activation(Act::Softmax),
+            TensorShape::new(vec![LSTM_TIMIT_SEQ_LEN, CLASSES]),
+        )
+        .expect("static GRU table is valid"),
+    ];
+    Network::new("GRU", layers)
+}
+
+/// Builds the LSTM-1024 TIMIT network over a 300-step sequence.
+pub fn lstm_timit() -> Network {
+    let layers = vec![
+        LayerSpec::new(
+            "lstm",
+            LayerOp::Lstm { hidden: HIDDEN },
+            TensorShape::new(vec![LSTM_TIMIT_SEQ_LEN, INPUT_FEATURES]),
+        )
+        .expect("static LSTM table is valid"),
+        LayerSpec::new(
+            "classifier",
+            LayerOp::Linear { out_features: CLASSES },
+            TensorShape::new(vec![LSTM_TIMIT_SEQ_LEN, HIDDEN]),
+        )
+        .expect("static LSTM table is valid"),
+        LayerSpec::new(
+            "softmax",
+            LayerOp::Activation(Act::Softmax),
+            TensorShape::new(vec![LSTM_TIMIT_SEQ_LEN, CLASSES]),
+        )
+        .expect("static LSTM table is valid"),
+    ];
+    Network::new("LSTM", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_match_table2() {
+        // 4 * (1024 * (39 + 1024) + 1024) = 4.36M for the LSTM itself.
+        let net = lstm_timit();
+        let lstm_params = net.layers()[0].params() as f64;
+        assert!((lstm_params / 4.3e6 - 1.0).abs() < 0.02, "got {lstm_params:.4e}");
+    }
+
+    #[test]
+    fn per_step_mults_match_table2() {
+        // Table II's 4.35M mults is per timestep: total / seq.
+        let net = lstm_timit();
+        let per_step = net.layers()[0].macs() as f64 / LSTM_TIMIT_SEQ_LEN as f64;
+        assert!((per_step / 4.35e6 - 1.0).abs() < 0.02, "got {per_step:.4e}");
+    }
+
+    #[test]
+    fn one_recurrent_weight_layer_plus_classifier() {
+        let net = lstm_timit();
+        assert_eq!(net.weight_layer_count(), 2);
+        assert!(matches!(net.layers()[0].op(), LayerOp::Lstm { hidden: 1024 }));
+    }
+
+    #[test]
+    fn gru_is_three_quarters_of_lstm() {
+        // Three gates instead of four: params and MACs scale by 3/4.
+        let lstm = lstm_timit();
+        let gru = gru_timit();
+        let ratio = gru.layers()[0].params() as f64 / lstm.layers()[0].params() as f64;
+        assert!((ratio - 0.75).abs() < 1e-6, "param ratio {ratio}");
+        let mac_ratio = gru.layers()[0].macs() as f64 / lstm.layers()[0].macs() as f64;
+        assert!((mac_ratio - 0.75).abs() < 1e-6, "mac ratio {mac_ratio}");
+    }
+
+    #[test]
+    fn whole_model_fits_a_35mb_cache_at_int8() {
+        // §V-D: "the whole LSTM model fits within the SRAM cache".
+        let net = lstm_timit();
+        assert!(net.weight_bytes(8) < 35 * 1024 * 1024);
+    }
+}

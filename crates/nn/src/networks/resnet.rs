@@ -1,0 +1,174 @@
+//! ResNet-18 (He et al., 2016) over 3 x 224 x 224 input — an extension
+//! network beyond the paper's Table II, exercising the residual-add
+//! path of the LUT datapath (the BCE's element-wise adder) and the
+//! mixed stride/shortcut mapping. 11.7M parameters, 1.8G multiplies.
+
+use crate::layers::{Act, LayerOp, LayerSpec, Network, PoolKind};
+use crate::tensor::TensorShape;
+
+struct Builder {
+    layers: Vec<LayerSpec>,
+}
+
+impl Builder {
+    #[allow(clippy::too_many_arguments)]
+    fn conv(
+        &mut self,
+        name: String,
+        input: (usize, usize, usize),
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        relu: bool,
+    ) -> (usize, usize, usize) {
+        let spec = LayerSpec::new(
+            name.clone(),
+            LayerOp::Conv2d {
+                out_channels: out_c,
+                kernel: (k, k),
+                stride: (stride, stride),
+                padding: (pad, pad),
+            },
+            TensorShape::chw(input.0, input.1, input.2),
+        )
+        .expect("static ResNet-18 table is valid");
+        let out = spec.output_shape();
+        let dims = (out.dims()[0], out.dims()[1], out.dims()[2]);
+        self.layers.push(spec);
+        if relu {
+            self.layers.push(
+                LayerSpec::new(
+                    format!("{name}_relu"),
+                    LayerOp::Activation(Act::Relu),
+                    TensorShape::chw(dims.0, dims.1, dims.2),
+                )
+                .expect("static ResNet-18 table is valid"),
+            );
+        }
+        dims
+    }
+
+    /// A basic block: two 3x3 convs plus the residual add (a 1x1
+    /// shortcut conv when the shape changes).
+    fn basic_block(
+        &mut self,
+        name: &str,
+        input: (usize, usize, usize),
+        out_c: usize,
+        stride: usize,
+    ) -> (usize, usize, usize) {
+        let a = self.conv(format!("{name}_conv1"), input, out_c, 3, stride, 1, true);
+        let b = self.conv(format!("{name}_conv2"), a, out_c, 3, 1, 1, false);
+        if stride != 1 || input.0 != out_c {
+            self.conv(format!("{name}_downsample"), input, out_c, 1, stride, 0, false);
+        }
+        self.layers.push(
+            LayerSpec::new(
+                format!("{name}_add"),
+                LayerOp::Add,
+                TensorShape::chw(b.0, b.1, b.2),
+            )
+            .expect("static ResNet-18 table is valid"),
+        );
+        self.layers.push(
+            LayerSpec::new(
+                format!("{name}_relu"),
+                LayerOp::Activation(Act::Relu),
+                TensorShape::chw(b.0, b.1, b.2),
+            )
+            .expect("static ResNet-18 table is valid"),
+        );
+        b
+    }
+}
+
+/// Builds ResNet-18.
+pub fn resnet18() -> Network {
+    let mut b = Builder { layers: Vec::new() };
+    let x = b.conv("conv1".into(), (3, 224, 224), 64, 7, 2, 3, true);
+    b.layers.push(
+        LayerSpec::new(
+            "maxpool",
+            LayerOp::Pool {
+                kind: PoolKind::Max,
+                kernel: (3, 3),
+                stride: (2, 2),
+                padding: (1, 1),
+            },
+            TensorShape::chw(x.0, x.1, x.2),
+        )
+        .expect("static ResNet-18 table is valid"),
+    );
+    let x = (64, 56, 56);
+
+    let x = b.basic_block("layer1_0", x, 64, 1);
+    let x = b.basic_block("layer1_1", x, 64, 1);
+    let x = b.basic_block("layer2_0", x, 128, 2);
+    let x = b.basic_block("layer2_1", x, 128, 1);
+    let x = b.basic_block("layer3_0", x, 256, 2);
+    let x = b.basic_block("layer3_1", x, 256, 1);
+    let x = b.basic_block("layer4_0", x, 512, 2);
+    let x = b.basic_block("layer4_1", x, 512, 1);
+
+    b.layers.push(
+        LayerSpec::new("avgpool", LayerOp::GlobalAvgPool, TensorShape::chw(x.0, x.1, x.2))
+            .expect("static ResNet-18 table is valid"),
+    );
+    b.layers.push(
+        LayerSpec::new("fc", LayerOp::Linear { out_features: 1000 }, TensorShape::vector(x.0))
+            .expect("static ResNet-18 table is valid"),
+    );
+    b.layers.push(
+        LayerSpec::new("softmax", LayerOp::Activation(Act::Softmax), TensorShape::vector(1000))
+            .expect("static ResNet-18 table is valid"),
+    );
+    Network::new("ResNet-18", b.layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_match_published_11_7m() {
+        let p = resnet18().total_params() as f64;
+        assert!((p / 11.69e6 - 1.0).abs() < 0.01, "got {p:.4e}");
+    }
+
+    #[test]
+    fn macs_match_published_1_8g() {
+        let m = resnet18().total_macs() as f64;
+        assert!((m / 1.82e9 - 1.0).abs() < 0.02, "got {m:.4e}");
+    }
+
+    #[test]
+    fn twenty_weight_layers() {
+        // 17 main convs + 3 downsample convs + 1 fc = 21.
+        assert_eq!(resnet18().weight_layer_count(), 21);
+    }
+
+    #[test]
+    fn spatial_pyramid_shapes() {
+        let net = resnet18();
+        let shape_of = |name: &str| {
+            net.layers().iter().find(|l| l.name() == name).unwrap().output_shape()
+        };
+        assert_eq!(shape_of("conv1").dims(), &[64, 112, 112]);
+        assert_eq!(shape_of("layer2_0_conv1").dims(), &[128, 28, 28]);
+        assert_eq!(shape_of("layer4_1_conv2").dims(), &[512, 7, 7]);
+        let fc = net.layers().iter().find(|l| l.name() == "fc").unwrap();
+        assert_eq!(fc.input_shape().volume(), 512);
+    }
+
+    #[test]
+    fn residual_adds_present_in_every_block() {
+        let net = resnet18();
+        let adds = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.op(), LayerOp::Add))
+            .count();
+        assert_eq!(adds, 8);
+    }
+}

@@ -1,0 +1,143 @@
+//! VGG-16 (Simonyan & Zisserman, 2014) over 3 x 224 x 224 ImageNet
+//! input: thirteen 3x3 convolutions in five blocks separated by 2x2 max
+//! pooling, then three fully-connected layers. 138M parameters, 15.5G
+//! multiplies — the network the paper uses for the Eyeriss and
+//! memory-bandwidth experiments (Figs. 13, 14) because its huge filters
+//! favor the matmul formulation (§V-D).
+
+use crate::layers::{Act, LayerOp, LayerSpec, Network, PoolKind};
+use crate::tensor::TensorShape;
+
+/// Builds VGG-16.
+pub fn vgg16() -> Network {
+    let mut layers = Vec::new();
+    let mut c = 3usize;
+    let mut h = 224usize;
+    let mut w = 224usize;
+    let blocks: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+
+    for (block, &(out_c, convs)) in blocks.iter().enumerate() {
+        for conv in 0..convs {
+            let name = format!("conv{}_{}", block + 1, conv + 1);
+            layers.push(
+                LayerSpec::new(
+                    name.clone(),
+                    LayerOp::Conv2d {
+                        out_channels: out_c,
+                        kernel: (3, 3),
+                        stride: (1, 1),
+                        padding: (1, 1),
+                    },
+                    TensorShape::chw(c, h, w),
+                )
+                .expect("static VGG-16 table is valid"),
+            );
+            c = out_c;
+            layers.push(
+                LayerSpec::new(
+                    format!("{name}_relu"),
+                    LayerOp::Activation(Act::Relu),
+                    TensorShape::chw(c, h, w),
+                )
+                .expect("static VGG-16 table is valid"),
+            );
+        }
+        layers.push(
+            LayerSpec::new(
+                format!("pool{}", block + 1),
+                LayerOp::Pool {
+                    kind: PoolKind::Max,
+                    kernel: (2, 2),
+                    stride: (2, 2),
+                    padding: (0, 0),
+                },
+                TensorShape::chw(c, h, w),
+            )
+            .expect("static VGG-16 table is valid"),
+        );
+        h /= 2;
+        w /= 2;
+    }
+
+    let mut features = c * h * w; // 512 * 7 * 7 = 25088
+    for (i, out) in [(1usize, 4096usize), (2, 4096), (3, 1000)] {
+        layers.push(
+            LayerSpec::new(
+                format!("fc{i}"),
+                LayerOp::Linear { out_features: out },
+                TensorShape::vector(features),
+            )
+            .expect("static VGG-16 table is valid"),
+        );
+        features = out;
+        if i < 3 {
+            layers.push(
+                LayerSpec::new(
+                    format!("fc{i}_relu"),
+                    LayerOp::Activation(Act::Relu),
+                    TensorShape::vector(features),
+                )
+                .expect("static VGG-16 table is valid"),
+            );
+        }
+    }
+    layers.push(
+        LayerSpec::new("softmax", LayerOp::Activation(Act::Softmax), TensorShape::vector(1000))
+            .expect("static VGG-16 table is valid"),
+    );
+
+    Network::new("VGG-16", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_weight_layers() {
+        assert_eq!(vgg16().weight_layer_count(), 16);
+    }
+
+    #[test]
+    fn params_match_published_138m() {
+        let p = vgg16().total_params() as f64;
+        assert!((p / 138.36e6 - 1.0).abs() < 0.005, "got {p:.4e}");
+    }
+
+    #[test]
+    fn macs_match_published_15_5g() {
+        let m = vgg16().total_macs() as f64;
+        assert!((m / 15.47e9 - 1.0).abs() < 0.02, "got {m:.4e}");
+    }
+
+    #[test]
+    fn fc_layers_dominate_params_conv_dominates_macs() {
+        let net = vgg16();
+        let fc_params: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| l.name().starts_with("fc"))
+            .map(|l| l.params())
+            .sum();
+        let conv_macs: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| l.name().starts_with("conv"))
+            .map(|l| l.macs())
+            .sum();
+        assert!(fc_params as f64 > 0.85 * net.total_params() as f64);
+        assert!(conv_macs as f64 > 0.95 * net.total_macs() as f64);
+    }
+
+    #[test]
+    fn spatial_shapes_shrink_to_7x7() {
+        let net = vgg16();
+        let last_conv = net
+            .layers()
+            .iter().rfind(|l| l.name().starts_with("conv"))
+            .unwrap();
+        assert_eq!(last_conv.output_shape().dims(), &[512, 14, 14]);
+        let fc1 = net.layers().iter().find(|l| l.name() == "fc1").unwrap();
+        assert_eq!(fc1.input_shape().volume(), 25088);
+    }
+}

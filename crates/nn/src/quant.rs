@@ -1,0 +1,457 @@
+//! gemmlowp-style affine quantization (paper §V-D).
+//!
+//! The paper quantizes with the gemmlowp scheme: a real value `x` maps to
+//! an integer `q` via `x = scale * (q - zero_point)`. Accumulators are
+//! 32-bit; requantization back to 8 bits multiplies by a Q0.31
+//! fixed-point multiplier with a rounding-doubling high multiply and a
+//! rounding right shift — exactly the arithmetic the BCE performs with a
+//! scaling factor, bias add and shift "performed by all the subarrays
+//! hosting the data, eliminating the round trip to the processor".
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// Affine quantization parameters for one tensor.
+///
+/// ```
+/// use pim_nn::QuantParams;
+/// let qp = QuantParams::from_range(-1.0, 1.0);
+/// let q = qp.quantize(0.5);
+/// assert!((qp.dequantize(q) - 0.5).abs() < qp.scale());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    scale: f64,
+    zero_point: i32,
+}
+
+impl QuantParams {
+    /// Builds parameters covering `[min, max]` with 8-bit signed
+    /// quantization. The range is widened to include zero so that zero is
+    /// exactly representable, as gemmlowp requires.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min > max` or either bound is non-finite.
+    pub fn from_range(min: f64, max: f64) -> Self {
+        assert!(min <= max, "inverted range [{min}, {max}]");
+        assert!(min.is_finite() && max.is_finite(), "non-finite range");
+        let min = min.min(0.0);
+        let max = max.max(0.0);
+        let scale = ((max - min) / 255.0).max(f64::MIN_POSITIVE);
+        let zero_point = (-128.0 - min / scale).round().clamp(-128.0, 127.0) as i32;
+        QuantParams { scale, zero_point }
+    }
+
+    /// Symmetric parameters (zero point 0) covering `[-amax, amax]`,
+    /// the form used for weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `amax` is negative or non-finite.
+    pub fn symmetric(amax: f64) -> Self {
+        assert!(amax >= 0.0 && amax.is_finite(), "bad amax {amax}");
+        let scale = (amax / 127.0).max(f64::MIN_POSITIVE);
+        QuantParams { scale, zero_point: 0 }
+    }
+
+    /// Symmetric 4-bit parameters covering `[-amax, amax]` (mixed
+    /// precision, Fig. 14).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `amax` is negative or non-finite.
+    pub fn symmetric_int4(amax: f64) -> Self {
+        assert!(amax >= 0.0 && amax.is_finite(), "bad amax {amax}");
+        let scale = (amax / 7.0).max(f64::MIN_POSITIVE);
+        QuantParams { scale, zero_point: 0 }
+    }
+
+    /// The scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The zero point.
+    pub fn zero_point(&self) -> i32 {
+        self.zero_point
+    }
+
+    /// Quantizes a real value to i8.
+    pub fn quantize(&self, x: f64) -> i8 {
+        ((x / self.scale).round() as i32 + self.zero_point).clamp(-128, 127) as i8
+    }
+
+    /// Dequantizes an i8 back to a real value.
+    pub fn dequantize(&self, q: i8) -> f64 {
+        (q as i32 - self.zero_point) as f64 * self.scale
+    }
+
+    /// Quantizes a whole tensor.
+    pub fn quantize_tensor(&self, t: &Tensor<f32>) -> Tensor<i8> {
+        t.map(|v| self.quantize(v as f64))
+    }
+
+    /// Dequantizes a whole tensor.
+    pub fn dequantize_tensor(&self, t: &Tensor<i8>) -> Tensor<f32> {
+        t.map(|q| self.dequantize(q) as f32)
+    }
+
+    /// Parameters from the observed range of a tensor.
+    pub fn observe(t: &Tensor<f32>) -> Self {
+        let mut min = 0.0f64;
+        let mut max = 0.0f64;
+        for &v in t.data() {
+            min = min.min(v as f64);
+            max = max.max(v as f64);
+        }
+        QuantParams::from_range(min, max)
+    }
+}
+
+/// Per-output-channel symmetric quantization for filter tensors — the
+/// standard refinement over per-tensor scales: each output channel gets
+/// its own scale matched to that channel's weight range, tightening the
+/// quantization error on channels with small weights.
+///
+/// ```
+/// use pim_nn::quant::ChannelQuantParams;
+/// use pim_nn::tensor::{Tensor, TensorShape};
+/// // Two output channels with very different ranges.
+/// let filters = Tensor::from_vec(
+///     TensorShape::new(vec![2, 1, 1, 2]),
+///     vec![0.01f32, -0.02, 1.0, -2.0],
+/// ).unwrap();
+/// let qp = ChannelQuantParams::observe(&filters).unwrap();
+/// assert!(qp.scale(0) < qp.scale(1) / 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelQuantParams {
+    scales: Vec<f64>,
+}
+
+impl ChannelQuantParams {
+    /// Observes per-channel ranges of a rank >= 2 tensor whose leading
+    /// axis is the output channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::ShapeMismatch`] for rank < 2 tensors.
+    pub fn observe(weights: &Tensor<f32>) -> Result<Self, crate::NnError> {
+        let dims = weights.shape().dims();
+        if dims.len() < 2 {
+            return Err(crate::NnError::ShapeMismatch {
+                context: "per-channel quantization",
+                detail: format!("needs rank >= 2, got {}", weights.shape()),
+            });
+        }
+        let channels = dims[0];
+        let per_channel = weights.len() / channels;
+        let scales = (0..channels)
+            .map(|ch| {
+                let slice = &weights.data()[ch * per_channel..(ch + 1) * per_channel];
+                let amax =
+                    slice.iter().fold(0.0f64, |m, &v| m.max((v as f64).abs()));
+                QuantParams::symmetric(amax).scale()
+            })
+            .collect();
+        Ok(ChannelQuantParams { scales })
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// The scale of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the channel index is out of range.
+    pub fn scale(&self, channel: usize) -> f64 {
+        self.scales[channel]
+    }
+
+    /// Quantizes the weight tensor channel by channel.
+    pub fn quantize_tensor(&self, weights: &Tensor<f32>) -> Tensor<i8> {
+        let channels = self.scales.len();
+        let per_channel = weights.len() / channels;
+        let data = weights
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let scale = self.scales[i / per_channel];
+                (v as f64 / scale).round().clamp(-127.0, 127.0) as i8
+            })
+            .collect();
+        Tensor::from_vec(weights.shape().clone(), data).expect("same shape")
+    }
+
+    /// Dequantizes channel by channel.
+    pub fn dequantize_tensor(&self, q: &Tensor<i8>) -> Tensor<f32> {
+        let channels = self.scales.len();
+        let per_channel = q.len() / channels;
+        let data = q
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v as f64 * self.scales[i / per_channel]) as f32)
+            .collect();
+        Tensor::from_vec(q.shape().clone(), data).expect("same shape")
+    }
+}
+
+/// The fixed-point requantizer: converts i32 accumulators back to i8
+/// with the gemmlowp rounding-doubling high multiply.
+///
+/// ```
+/// use pim_nn::Requantizer;
+/// // Effective scale 0.004: accumulator 1000 -> 4.
+/// let r = Requantizer::from_scale(0.004, 0);
+/// assert_eq!(r.apply(1000), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Requantizer {
+    /// Q0.31 fixed-point multiplier in `[2^30, 2^31)`.
+    multiplier: i32,
+    /// Right shift applied after the high multiply.
+    shift: i32,
+    /// Output zero point.
+    zero_point: i32,
+}
+
+impl Requantizer {
+    /// Decomposes a positive real multiplier into the gemmlowp
+    /// `(multiplier, shift)` pair and builds the requantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `real_multiplier` is not in `(0, 1]` — effective
+    /// inference scales always are.
+    pub fn from_scale(real_multiplier: f64, zero_point: i32) -> Self {
+        assert!(
+            real_multiplier > 0.0 && real_multiplier <= 1.0,
+            "requant multiplier {real_multiplier} out of (0, 1]"
+        );
+        let mut shift = 0i32;
+        let mut m = real_multiplier;
+        while m < 0.5 {
+            m *= 2.0;
+            shift += 1;
+        }
+        let mut quantized = (m * (1i64 << 31) as f64).round() as i64;
+        if quantized == 1i64 << 31 {
+            quantized /= 2;
+            shift -= 1;
+        }
+        Requantizer { multiplier: quantized as i32, shift, zero_point }
+    }
+
+    /// The Q0.31 multiplier.
+    pub fn multiplier(&self) -> i32 {
+        self.multiplier
+    }
+
+    /// The right-shift amount.
+    pub fn shift(&self) -> i32 {
+        self.shift
+    }
+
+    /// The output zero point.
+    pub fn zero_point(&self) -> i32 {
+        self.zero_point
+    }
+
+    /// Requantizes one accumulator to i8.
+    pub fn apply(&self, acc: i32) -> i8 {
+        let product = acc as i64 * self.multiplier as i64;
+        let nudge = if product >= 0 { 1i64 << 30 } else { 1 - (1i64 << 30) };
+        let high = ((product + nudge) >> 31) as i32;
+        let shifted = rounding_shift_right(high, self.shift);
+        (shifted + self.zero_point).clamp(i8::MIN as i32, i8::MAX as i32) as i8
+    }
+
+    /// Requantizes a slice of accumulators.
+    pub fn apply_all(&self, accs: &[i32]) -> Vec<i8> {
+        accs.iter().map(|&a| self.apply(a)).collect()
+    }
+}
+
+/// Arithmetic right shift with round-to-nearest, ties away from zero
+/// (gemmlowp `RoundingDivideByPOT`).
+fn rounding_shift_right(value: i32, shift: i32) -> i32 {
+    if shift <= 0 {
+        return value << (-shift).min(31);
+    }
+    let mask = (1i64 << shift) - 1;
+    let remainder = (value as i64) & mask;
+    let threshold = (mask >> 1) + i64::from(value < 0);
+    let base = (value as i64) >> shift;
+    (base + i64::from(remainder > threshold)) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::TensorShape;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_is_exactly_representable() {
+        for (min, max) in [(-3.0, 5.0), (0.5, 9.0), (-7.0, -1.0)] {
+            let qp = QuantParams::from_range(min, max);
+            assert_eq!(qp.dequantize(qp.quantize(0.0)), 0.0);
+        }
+    }
+
+    #[test]
+    fn quantize_round_trips_within_half_step() {
+        let qp = QuantParams::from_range(-2.0, 2.0);
+        for i in -20..=20 {
+            let x = i as f64 / 10.0;
+            let err = (qp.dequantize(qp.quantize(x)) - x).abs();
+            assert!(err <= qp.scale() / 2.0 + 1e-12, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn symmetric_has_zero_zero_point() {
+        let qp = QuantParams::symmetric(1.5);
+        assert_eq!(qp.zero_point(), 0);
+        assert_eq!(qp.quantize(0.0), 0);
+        assert_eq!(qp.quantize(1.5), 127);
+        assert_eq!(qp.quantize(-1.5), -127);
+    }
+
+    #[test]
+    fn int4_params_use_seven_levels() {
+        let qp = QuantParams::symmetric_int4(7.0);
+        assert_eq!(qp.quantize(7.0), 7);
+        assert_eq!(qp.quantize(-7.0), -7);
+        assert_eq!(qp.quantize(1.0), 1);
+    }
+
+    #[test]
+    fn observe_covers_tensor_range() {
+        let t = Tensor::from_vec(TensorShape::vector(4), vec![-1.5f32, 0.0, 2.0, 0.5]).unwrap();
+        let qp = QuantParams::observe(&t);
+        let q = qp.quantize_tensor(&t);
+        let back = qp.dequantize_tensor(&q);
+        for (a, b) in t.data().iter().zip(back.data()) {
+            assert!((a - b).abs() as f64 <= qp.scale() / 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn per_channel_beats_per_tensor_on_imbalanced_filters() {
+        // Channel 0 has tiny weights, channel 1 large: a shared scale
+        // destroys channel 0; per-channel scales preserve it.
+        let filters = Tensor::from_vec(
+            TensorShape::new(vec![2, 1, 2, 2]),
+            vec![0.01f32, -0.015, 0.008, -0.012, 1.5, -1.2, 0.9, -1.4],
+        )
+        .unwrap();
+        let per_tensor = QuantParams::symmetric(1.5);
+        let per_channel = ChannelQuantParams::observe(&filters).unwrap();
+
+        let pt_err: f32 = filters
+            .data()
+            .iter()
+            .map(|&v| (per_tensor.dequantize(per_tensor.quantize(v as f64)) as f32 - v).abs())
+            .take(4) // channel 0 only
+            .sum();
+        let q = per_channel.quantize_tensor(&filters);
+        let back = per_channel.dequantize_tensor(&q);
+        let pc_err: f32 = filters
+            .data()
+            .iter()
+            .zip(back.data())
+            .map(|(a, b)| (a - b).abs())
+            .take(4)
+            .sum();
+        assert!(pc_err < pt_err / 10.0, "per-channel {pc_err} vs per-tensor {pt_err}");
+    }
+
+    #[test]
+    fn per_channel_round_trips_within_half_step() {
+        let filters = Tensor::from_fn(TensorShape::new(vec![4, 3, 3, 3]), |i| {
+            ((i[0] + 1) as f32) * 0.1 * (if i[3] % 2 == 0 { 1.0 } else { -1.0 })
+        });
+        let qp = ChannelQuantParams::observe(&filters).unwrap();
+        assert_eq!(qp.channels(), 4);
+        let back = qp.dequantize_tensor(&qp.quantize_tensor(&filters));
+        for (ch, chunk) in filters.data().chunks(27).enumerate() {
+            let half_step = qp.scale(ch) as f32 / 2.0;
+            for (i, &v) in chunk.iter().enumerate() {
+                let b = back.data()[ch * 27 + i];
+                assert!((v - b).abs() <= half_step + 1e-7, "ch {ch}: {v} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_channel_rejects_vectors() {
+        let v = Tensor::from_vec(TensorShape::vector(4), vec![1.0f32; 4]).unwrap();
+        assert!(ChannelQuantParams::observe(&v).is_err());
+    }
+
+    #[test]
+    fn requantizer_decomposition_accurate() {
+        for scale in [0.9, 0.5, 0.1, 0.004, 1e-4] {
+            let r = Requantizer::from_scale(scale, 0);
+            for acc in [1i32, 100, 10_000, 1_000_000, -12_345] {
+                let exact = (acc as f64 * scale).round();
+                let got = r.apply(acc) as f64;
+                if exact.abs() <= 127.0 {
+                    assert!((got - exact).abs() <= 1.0, "scale={scale} acc={acc} {got} vs {exact}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn requantizer_saturates() {
+        let r = Requantizer::from_scale(0.5, 0);
+        assert_eq!(r.apply(10_000), 127);
+        assert_eq!(r.apply(-10_000), -128);
+    }
+
+    #[test]
+    fn requantizer_zero_point_offsets_output() {
+        let r = Requantizer::from_scale(0.01, 5);
+        assert_eq!(r.apply(0), 5);
+        assert_eq!(r.apply(100), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_multiplier_panics() {
+        let _ = Requantizer::from_scale(1.5, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantize_within_range(x in -100.0f64..100.0) {
+            let qp = QuantParams::from_range(-50.0, 50.0);
+            let q = qp.quantize(x);
+            prop_assert!((-128..=127).contains(&(q as i32)));
+        }
+
+        #[test]
+        fn prop_requant_monotone(a in -100_000i32..100_000, b in -100_000i32..100_000) {
+            let r = Requantizer::from_scale(0.001, 0);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(r.apply(lo) <= r.apply(hi));
+        }
+
+        #[test]
+        fn prop_requant_matches_float_reference(acc in -1_000_000i32..1_000_000) {
+            let scale = 0.00037;
+            let r = Requantizer::from_scale(scale, 0);
+            let exact = (acc as f64 * scale).round().clamp(-128.0, 127.0);
+            prop_assert!((r.apply(acc) as f64 - exact).abs() <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,606 @@
+//! Float32 reference implementations of every kernel BFree executes.
+//!
+//! These are the ground truth the LUT datapath is validated against: a
+//! small quantized network run through the BFree functional pipeline
+//! must agree with these references within quantization tolerance.
+
+use crate::error::NnError;
+use crate::tensor::{Tensor, TensorShape};
+
+/// Direct 2-D convolution: `input` is `(C, H, W)`, `filters` is
+/// `(N, C, KH, KW)`, `bias` has `N` entries.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for incompatible shapes.
+pub fn conv2d(
+    input: &Tensor<f32>,
+    filters: &Tensor<f32>,
+    bias: &[f32],
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> Result<Tensor<f32>, NnError> {
+    let idims = input.shape().dims();
+    let fdims = filters.shape().dims();
+    if idims.len() != 3 || fdims.len() != 4 || idims[0] != fdims[1] || bias.len() != fdims[0] {
+        return Err(NnError::ShapeMismatch {
+            context: "conv2d",
+            detail: format!("input {} filters {}", input.shape(), filters.shape()),
+        });
+    }
+    let (c, h, w) = (idims[0], idims[1], idims[2]);
+    let (n, kh, kw) = (fdims[0], fdims[2], fdims[3]);
+    let oh = (h + 2 * padding.0 - kh) / stride.0 + 1;
+    let ow = (w + 2 * padding.1 - kw) / stride.1 + 1;
+    let mut out = Tensor::zeros(TensorShape::chw(n, oh, ow));
+    for (f, &bias_f) in bias.iter().enumerate() {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bias_f;
+                for ch in 0..c {
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let iy = (oy * stride.0 + ky) as isize - padding.0 as isize;
+                            let ix = (ox * stride.1 + kx) as isize - padding.1 as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                acc += input.get(&[ch, iy as usize, ix as usize])?
+                                    * filters.get(&[f, ch, ky, kx])?;
+                            }
+                        }
+                    }
+                }
+                out.set(&[f, oy, ox], acc)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Fully-connected layer: `input` is `(in)`, `weights` is `(out, in)`.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for incompatible shapes.
+pub fn linear(
+    input: &[f32],
+    weights: &Tensor<f32>,
+    bias: &[f32],
+) -> Result<Vec<f32>, NnError> {
+    let wdims = weights.shape().dims();
+    if wdims.len() != 2 || wdims[1] != input.len() || bias.len() != wdims[0] {
+        return Err(NnError::ShapeMismatch {
+            context: "linear",
+            detail: format!("input {} weights {}", input.len(), weights.shape()),
+        });
+    }
+    Ok((0..wdims[0])
+        .map(|o| {
+            bias[o]
+                + input
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| x * weights.data()[o * wdims[1] + i])
+                    .sum::<f32>()
+        })
+        .collect())
+}
+
+/// Matrix product `a (m x k) * b (k x n)`.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for incompatible shapes.
+pub fn matmul(a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>, NnError> {
+    let (ad, bd) = (a.shape().dims(), b.shape().dims());
+    if ad.len() != 2 || bd.len() != 2 || ad[1] != bd[0] {
+        return Err(NnError::ShapeMismatch {
+            context: "matmul",
+            detail: format!("{} x {}", a.shape(), b.shape()),
+        });
+    }
+    let (m, k, n) = (ad[0], ad[1], bd[1]);
+    let mut out = Tensor::zeros(TensorShape::new(vec![m, n]));
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a.data()[i * k + l] * b.data()[l * n + j];
+            }
+            out.data_mut()[i * n + j] = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Spatial max pooling over a `(C, H, W)` input.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for a non-rank-3 input.
+pub fn max_pool2d(
+    input: &Tensor<f32>,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+) -> Result<Tensor<f32>, NnError> {
+    pool2d(input, kernel, stride, true)
+}
+
+/// Spatial average pooling over a `(C, H, W)` input.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for a non-rank-3 input.
+pub fn avg_pool2d(
+    input: &Tensor<f32>,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+) -> Result<Tensor<f32>, NnError> {
+    pool2d(input, kernel, stride, false)
+}
+
+fn pool2d(
+    input: &Tensor<f32>,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    take_max: bool,
+) -> Result<Tensor<f32>, NnError> {
+    let dims = input.shape().dims();
+    if dims.len() != 3 {
+        return Err(NnError::ShapeMismatch {
+            context: "pool2d",
+            detail: format!("expected (C,H,W), got {}", input.shape()),
+        });
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let oh = (h - kernel.0) / stride.0 + 1;
+    let ow = (w - kernel.1) / stride.1 + 1;
+    let mut out = Tensor::zeros(TensorShape::chw(c, oh, ow));
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = if take_max { f32::NEG_INFINITY } else { 0.0 };
+                for ky in 0..kernel.0 {
+                    for kx in 0..kernel.1 {
+                        let v = input.get(&[ch, oy * stride.0 + ky, ox * stride.1 + kx])?;
+                        if take_max {
+                            acc = acc.max(v);
+                        } else {
+                            acc += v;
+                        }
+                    }
+                }
+                if !take_max {
+                    acc /= (kernel.0 * kernel.1) as f32;
+                }
+                out.set(&[ch, oy, ox], acc)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Rectified linear unit.
+pub fn relu(x: &[f32]) -> Vec<f32> {
+    x.iter().map(|&v| v.max(0.0)).collect()
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Tanh-approximated GELU, as used by BERT.
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + ((2.0 / std::f32::consts::PI).sqrt() * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Numerically stable softmax.
+pub fn softmax(x: &[f32]) -> Vec<f32> {
+    let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = x.iter().map(|&v| (v - max).exp()).collect();
+    let denom: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / denom).collect()
+}
+
+/// Layer normalization over the last axis with scale `gamma` and shift
+/// `beta`.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] when `gamma`/`beta` do not match
+/// the last axis.
+pub fn layer_norm(
+    input: &Tensor<f32>,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> Result<Tensor<f32>, NnError> {
+    let width = *input.shape().dims().last().unwrap_or(&0);
+    if gamma.len() != width || beta.len() != width {
+        return Err(NnError::ShapeMismatch {
+            context: "layer_norm",
+            detail: format!("gamma/beta {} vs width {width}", gamma.len()),
+        });
+    }
+    let mut out = input.clone();
+    for row in out.data_mut().chunks_mut(width) {
+        let mean: f32 = row.iter().sum::<f32>() / width as f32;
+        let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / width as f32;
+        let denom = (var + eps).sqrt();
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = (*v - mean) / denom * gamma[i] + beta[i];
+        }
+    }
+    Ok(out)
+}
+
+/// Weights of one LSTM layer: per gate, input and recurrent matrices plus
+/// bias (gate order: input, forget, cell, output).
+#[derive(Debug, Clone)]
+pub struct LstmWeights {
+    /// `(4*hidden, input)` input weights.
+    pub w_input: Tensor<f32>,
+    /// `(4*hidden, hidden)` recurrent weights.
+    pub w_hidden: Tensor<f32>,
+    /// `4*hidden` biases.
+    pub bias: Vec<f32>,
+}
+
+/// One LSTM step: returns `(h_next, c_next)`.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for incompatible shapes.
+pub fn lstm_cell(
+    x: &[f32],
+    h: &[f32],
+    c: &[f32],
+    weights: &LstmWeights,
+) -> Result<(Vec<f32>, Vec<f32>), NnError> {
+    let hidden = h.len();
+    let wi = weights.w_input.shape().dims();
+    let wh = weights.w_hidden.shape().dims();
+    if wi != [4 * hidden, x.len()] || wh != [4 * hidden, hidden] || weights.bias.len() != 4 * hidden
+    {
+        return Err(NnError::ShapeMismatch {
+            context: "lstm_cell",
+            detail: format!(
+                "x={} h={} w_input={} w_hidden={}",
+                x.len(),
+                hidden,
+                weights.w_input.shape(),
+                weights.w_hidden.shape()
+            ),
+        });
+    }
+    let gates_x = linear(x, &weights.w_input, &weights.bias)?;
+    let zero_bias = vec![0.0; 4 * hidden];
+    let gates_h = linear(h, &weights.w_hidden, &zero_bias)?;
+    let gates: Vec<f32> = gates_x.iter().zip(&gates_h).map(|(a, b)| a + b).collect();
+    let mut h_next = vec![0.0; hidden];
+    let mut c_next = vec![0.0; hidden];
+    for j in 0..hidden {
+        let i_gate = sigmoid(gates[j]);
+        let f_gate = sigmoid(gates[hidden + j]);
+        let g_gate = gates[2 * hidden + j].tanh();
+        let o_gate = sigmoid(gates[3 * hidden + j]);
+        c_next[j] = f_gate * c[j] + i_gate * g_gate;
+        h_next[j] = o_gate * c_next[j].tanh();
+    }
+    Ok((h_next, c_next))
+}
+
+/// Weights of one GRU layer: per gate, input and recurrent matrices plus
+/// bias (gate order: reset, update, candidate).
+#[derive(Debug, Clone)]
+pub struct GruWeights {
+    /// `(3*hidden, input)` input weights.
+    pub w_input: Tensor<f32>,
+    /// `(3*hidden, hidden)` recurrent weights.
+    pub w_hidden: Tensor<f32>,
+    /// `3*hidden` biases.
+    pub bias: Vec<f32>,
+}
+
+/// One GRU step (Cho et al. formulation): returns `h_next`.
+///
+/// ```text
+/// r = sigmoid(Wr x + Ur h + br)
+/// z = sigmoid(Wz x + Uz h + bz)
+/// n = tanh(Wn x + r * (Un h) + bn)
+/// h' = (1 - z) * n + z * h
+/// ```
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for incompatible shapes.
+pub fn gru_cell(x: &[f32], h: &[f32], weights: &GruWeights) -> Result<Vec<f32>, NnError> {
+    let hidden = h.len();
+    let wi = weights.w_input.shape().dims();
+    let wh = weights.w_hidden.shape().dims();
+    if wi != [3 * hidden, x.len()] || wh != [3 * hidden, hidden] || weights.bias.len() != 3 * hidden
+    {
+        return Err(NnError::ShapeMismatch {
+            context: "gru_cell",
+            detail: format!(
+                "x={} h={} w_input={} w_hidden={}",
+                x.len(),
+                hidden,
+                weights.w_input.shape(),
+                weights.w_hidden.shape()
+            ),
+        });
+    }
+    let gates_x = linear(x, &weights.w_input, &weights.bias)?;
+    let zero_bias = vec![0.0; 3 * hidden];
+    let gates_h = linear(h, &weights.w_hidden, &zero_bias)?;
+    let mut h_next = vec![0.0; hidden];
+    for j in 0..hidden {
+        let r = sigmoid(gates_x[j] + gates_h[j]);
+        let z = sigmoid(gates_x[hidden + j] + gates_h[hidden + j]);
+        let n = (gates_x[2 * hidden + j] + r * gates_h[2 * hidden + j]).tanh();
+        h_next[j] = (1.0 - z) * n + z * h[j];
+    }
+    Ok(h_next)
+}
+
+/// Weights of one self-attention block: QKV and output projections, each
+/// `(hidden, hidden)` with a bias.
+#[derive(Debug, Clone)]
+pub struct AttentionWeights {
+    /// Query projection.
+    pub w_q: Tensor<f32>,
+    /// Key projection.
+    pub w_k: Tensor<f32>,
+    /// Value projection.
+    pub w_v: Tensor<f32>,
+    /// Output projection.
+    pub w_o: Tensor<f32>,
+}
+
+/// Multi-head self-attention over `(seq, hidden)` input (Fig. 10's
+/// dataflow: Q/K/V projections, scaled scores P, softmax P', context,
+/// output projection).
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for incompatible shapes.
+pub fn self_attention(
+    input: &Tensor<f32>,
+    weights: &AttentionWeights,
+    heads: usize,
+) -> Result<Tensor<f32>, NnError> {
+    let dims = input.shape().dims();
+    if dims.len() != 2 {
+        return Err(NnError::ShapeMismatch {
+            context: "self_attention",
+            detail: format!("expected (seq, hidden), got {}", input.shape()),
+        });
+    }
+    let (seq, hidden) = (dims[0], dims[1]);
+    if !hidden.is_multiple_of(heads) {
+        return Err(NnError::ShapeMismatch {
+            context: "self_attention",
+            detail: format!("hidden {hidden} not divisible by {heads} heads"),
+        });
+    }
+    let head_dim = hidden / heads;
+    let q = matmul(input, &weights.w_q)?;
+    let k = matmul(input, &weights.w_k)?;
+    let v = matmul(input, &weights.w_v)?;
+
+    let mut context = Tensor::zeros(TensorShape::new(vec![seq, hidden]));
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    for head in 0..heads {
+        let base = head * head_dim;
+        for i in 0..seq {
+            // Scores for row i of this head.
+            let mut scores = Vec::with_capacity(seq);
+            for j in 0..seq {
+                let mut dot = 0.0f32;
+                for d in 0..head_dim {
+                    dot += q.data()[i * hidden + base + d] * k.data()[j * hidden + base + d];
+                }
+                scores.push(dot * scale);
+            }
+            let probs = softmax(&scores);
+            for d in 0..head_dim {
+                let acc: f32 = probs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &p)| p * v.data()[j * hidden + base + d])
+                    .sum();
+                context.data_mut()[i * hidden + base + d] = acc;
+            }
+        }
+    }
+    matmul(&context, &weights.w_o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tensor(shape: TensorShape) -> Tensor<f32> {
+        let mut i = 0;
+        Tensor::from_fn(shape, |_| {
+            i += 1;
+            ((i * 37) % 11) as f32 / 11.0 - 0.5
+        })
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        let input = seq_tensor(TensorShape::chw(1, 4, 4));
+        let mut filters = Tensor::zeros(TensorShape::new(vec![1, 1, 3, 3]));
+        filters.set(&[0, 0, 1, 1], 1.0).unwrap(); // center tap
+        let out = conv2d(&input, &filters, &[0.0], (1, 1), (1, 1)).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 4, 4]);
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn conv2d_shape_mismatch_rejected() {
+        let input = seq_tensor(TensorShape::chw(2, 4, 4));
+        let filters = Tensor::zeros(TensorShape::new(vec![1, 3, 3, 3]));
+        assert!(conv2d(&input, &filters, &[0.0], (1, 1), (0, 0)).is_err());
+    }
+
+    #[test]
+    fn linear_matches_hand_computation() {
+        let w = Tensor::from_vec(TensorShape::new(vec![2, 3]), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+            .unwrap();
+        let out = linear(&[1.0, 0.0, -1.0], &w, &[0.5, -0.5]).unwrap();
+        assert_eq!(out, vec![1.0 - 3.0 + 0.5, 4.0 - 6.0 - 0.5]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(TensorShape::new(vec![2, 2]), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(TensorShape::new(vec![2, 2]), vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[2.0, 1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn pooling_flavors() {
+        let input =
+            Tensor::from_vec(TensorShape::chw(1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mx = max_pool2d(&input, (2, 2), (2, 2)).unwrap();
+        assert_eq!(mx.data(), &[4.0]);
+        let avg = avg_pool2d(&input, (2, 2), (2, 2)).unwrap();
+        assert_eq!(avg.data(), &[2.5]);
+    }
+
+    #[test]
+    fn softmax_properties() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability with large logits.
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let input = seq_tensor(TensorShape::new(vec![3, 8]));
+        let out = layer_norm(&input, &[1.0; 8], &[0.0; 8], 1e-5).unwrap();
+        for row in out.data().chunks(8) {
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn lstm_cell_gates_behave() {
+        let hidden = 4;
+        let input = 3;
+        // Zero weights: c_next = f*c + i*g with f = i = sigmoid(0) = 0.5,
+        // g = tanh(0) = 0 -> c halves each step.
+        let weights = LstmWeights {
+            w_input: Tensor::zeros(TensorShape::new(vec![4 * hidden, input])),
+            w_hidden: Tensor::zeros(TensorShape::new(vec![4 * hidden, hidden])),
+            bias: vec![0.0; 4 * hidden],
+        };
+        let (h, c) = lstm_cell(&[1.0, -1.0, 0.5], &[0.0; 4], &[1.0; 4], &weights).unwrap();
+        for j in 0..hidden {
+            assert!((c[j] - 0.5).abs() < 1e-6);
+            assert!((h[j] - 0.5 * 0.5f32.tanh()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gru_cell_zero_weights_decay_state() {
+        // Zero weights: r = z = sigmoid(0) = 0.5, n = tanh(0) = 0,
+        // so h' = 0.5 * h.
+        let hidden = 4;
+        let weights = GruWeights {
+            w_input: Tensor::zeros(TensorShape::new(vec![3 * hidden, 2])),
+            w_hidden: Tensor::zeros(TensorShape::new(vec![3 * hidden, hidden])),
+            bias: vec![0.0; 3 * hidden],
+        };
+        let h = gru_cell(&[1.0, -1.0], &[0.8; 4], &weights).unwrap();
+        for &v in &h {
+            assert!((v - 0.4).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gru_cell_update_gate_interpolates() {
+        // Huge positive update-gate bias: z ~ 1, so h' ~ h regardless of
+        // input.
+        let hidden = 3;
+        let mut bias = vec![0.0; 3 * hidden];
+        for j in 0..hidden {
+            bias[hidden + j] = 50.0;
+        }
+        let weights = GruWeights {
+            w_input: Tensor::zeros(TensorShape::new(vec![3 * hidden, 2])),
+            w_hidden: Tensor::zeros(TensorShape::new(vec![3 * hidden, hidden])),
+            bias,
+        };
+        let h0 = [0.3, -0.7, 0.1];
+        let h = gru_cell(&[5.0, -5.0], &h0, &weights).unwrap();
+        for j in 0..hidden {
+            assert!((h[j] - h0[j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gru_cell_shape_mismatch_rejected() {
+        let weights = GruWeights {
+            w_input: Tensor::zeros(TensorShape::new(vec![9, 2])),
+            w_hidden: Tensor::zeros(TensorShape::new(vec![9, 3])),
+            bias: vec![0.0; 9],
+        };
+        assert!(gru_cell(&[1.0], &[0.0; 3], &weights).is_err());
+        assert!(gru_cell(&[1.0, 2.0], &[0.0; 4], &weights).is_err());
+    }
+
+    #[test]
+    fn gelu_reference_points() {
+        assert!(gelu(0.0).abs() < 1e-6);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!(gelu(-5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn attention_uniform_when_keys_equal() {
+        // If all rows are identical, attention output equals the value
+        // projection of any row through the output projection.
+        let seq = 4;
+        let hidden = 8;
+        let row: Vec<f32> = (0..hidden).map(|i| (i as f32 / 8.0) - 0.4).collect();
+        let input = Tensor::from_fn(TensorShape::new(vec![seq, hidden]), |idx| row[idx[1]]);
+        let eye = Tensor::from_fn(TensorShape::new(vec![hidden, hidden]), |idx| {
+            if idx[0] == idx[1] {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let weights = AttentionWeights {
+            w_q: eye.clone(),
+            w_k: eye.clone(),
+            w_v: eye.clone(),
+            w_o: eye,
+        };
+        let out = self_attention(&input, &weights, 2).unwrap();
+        for i in 0..seq {
+            for (d, &expected) in row.iter().enumerate() {
+                assert!((out.data()[i * hidden + d] - expected).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn attention_rejects_bad_heads() {
+        let input = Tensor::zeros(TensorShape::new(vec![4, 6]));
+        let w = Tensor::zeros(TensorShape::new(vec![6, 6]));
+        let weights = AttentionWeights { w_q: w.clone(), w_k: w.clone(), w_v: w.clone(), w_o: w };
+        assert!(self_attention(&input, &weights, 4).is_err());
+    }
+}

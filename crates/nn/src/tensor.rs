@@ -1,0 +1,285 @@
+//! A minimal dense tensor.
+//!
+//! The reproduction only needs contiguous row-major tensors with shape
+//! arithmetic — no broadcasting, no views — so this stays deliberately
+//! small and obvious.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+
+/// A tensor shape (row-major, outermost dimension first).
+///
+/// ```
+/// use pim_nn::TensorShape;
+/// let s = TensorShape::new(vec![3, 224, 224]);
+/// assert_eq!(s.volume(), 3 * 224 * 224);
+/// assert_eq!(s.rank(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape(Vec<usize>);
+
+impl TensorShape {
+    /// Creates a shape from dimensions.
+    pub fn new(dims: Vec<usize>) -> Self {
+        TensorShape(dims)
+    }
+
+    /// A rank-1 shape.
+    pub fn vector(len: usize) -> Self {
+        TensorShape(vec![len])
+    }
+
+    /// A `(channels, height, width)` feature-map shape.
+    pub fn chw(c: usize, h: usize, w: usize) -> Self {
+        TensorShape(vec![c, h, w])
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total element count.
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The dimension at `axis`, or 1 when absent (scalar-extension
+    /// convention used by the layer shape math).
+    pub fn dim_or(&self, axis: usize, default: usize) -> usize {
+        self.0.get(axis).copied().unwrap_or(default)
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for TensorShape {
+    fn from(dims: Vec<usize>) -> Self {
+        TensorShape(dims)
+    }
+}
+
+/// A dense row-major tensor.
+///
+/// ```
+/// use pim_nn::{Tensor, TensorShape};
+/// let t = Tensor::from_fn(TensorShape::new(vec![2, 3]), |idx| (idx[0] * 3 + idx[1]) as f32);
+/// assert_eq!(t.get(&[1, 2]).unwrap(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor<T> {
+    shape: TensorShape,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> Tensor<T> {
+    /// Creates a zero-initialized (default-initialized) tensor.
+    pub fn zeros(shape: TensorShape) -> Self {
+        let volume = shape.volume();
+        Tensor { shape, data: vec![T::default(); volume] }
+    }
+}
+
+impl<T> Tensor<T> {
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `data.len()` differs from
+    /// the shape volume.
+    pub fn from_vec(shape: TensorShape, data: Vec<T>) -> Result<Self, NnError> {
+        if data.len() != shape.volume() {
+            return Err(NnError::ShapeMismatch {
+                context: "tensor construction",
+                detail: format!("shape {shape} needs {} elements, got {}", shape.volume(), data.len()),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f` at every index.
+    pub fn from_fn(shape: TensorShape, mut f: impl FnMut(&[usize]) -> T) -> Self {
+        let volume = shape.volume();
+        let mut idx = vec![0usize; shape.rank()];
+        let mut data = Vec::with_capacity(volume);
+        for _ in 0..volume {
+            data.push(f(&idx));
+            // Increment the multi-index, last axis fastest.
+            for axis in (0..idx.len()).rev() {
+                idx[axis] += 1;
+                if idx[axis] < shape.dims()[axis] {
+                    break;
+                }
+                idx[axis] = 0;
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &TensorShape {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat data slice.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The flat data slice, mutably.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data.
+    pub fn into_data(self) -> Vec<T> {
+        self.data
+    }
+
+    fn offset(&self, index: &[usize]) -> Result<usize, NnError> {
+        if index.len() != self.shape.rank() {
+            return Err(NnError::ShapeMismatch {
+                context: "tensor indexing",
+                detail: format!("index rank {} vs shape {}", index.len(), self.shape),
+            });
+        }
+        let mut offset = 0usize;
+        for (axis, (&i, &d)) in index.iter().zip(self.shape.dims()).enumerate() {
+            if i >= d {
+                return Err(NnError::IndexOutOfBounds { index: i * (axis + 1), len: self.len() });
+            }
+            offset = offset * d + i;
+        }
+        Ok(offset)
+    }
+
+    /// Reshapes in place (volume must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when volumes differ.
+    pub fn reshape(&mut self, shape: TensorShape) -> Result<(), NnError> {
+        if shape.volume() != self.len() {
+            return Err(NnError::ShapeMismatch {
+                context: "reshape",
+                detail: format!("{} -> {shape}", self.shape),
+            });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+}
+
+impl<T: Copy> Tensor<T> {
+    /// Element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::IndexOutOfBounds`] / [`NnError::ShapeMismatch`]
+    /// for bad indices.
+    pub fn get(&self, index: &[usize]) -> Result<T, NnError> {
+        Ok(self.data[self.offset(index)?])
+    }
+
+    /// Writes an element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::IndexOutOfBounds`] / [`NnError::ShapeMismatch`]
+    /// for bad indices.
+    pub fn set(&mut self, index: &[usize], value: T) -> Result<(), NnError> {
+        let o = self.offset(index)?;
+        self.data[o] = value;
+        Ok(())
+    }
+
+    /// Applies a function elementwise, producing a new tensor.
+    pub fn map<U>(&self, f: impl Fn(T) -> U) -> Tensor<U> {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_volume_and_display() {
+        let s = TensorShape::chw(3, 224, 224);
+        assert_eq!(s.volume(), 150_528);
+        assert_eq!(s.to_string(), "[3x224x224]");
+        assert_eq!(s.dim_or(5, 1), 1);
+    }
+
+    #[test]
+    fn from_vec_validates_volume() {
+        assert!(Tensor::from_vec(TensorShape::vector(3), vec![1, 2, 3]).is_ok());
+        assert!(Tensor::from_vec(TensorShape::vector(3), vec![1, 2]).is_err());
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let t = Tensor::from_fn(TensorShape::new(vec![2, 3]), |i| i[0] * 10 + i[1]);
+        assert_eq!(t.data(), &[0, 1, 2, 10, 11, 12]);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t: Tensor<i32> = Tensor::zeros(TensorShape::new(vec![2, 2, 2]));
+        t.set(&[1, 0, 1], 42).unwrap();
+        assert_eq!(t.get(&[1, 0, 1]).unwrap(), 42);
+        assert_eq!(t.get(&[0, 0, 0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn bad_indices_rejected() {
+        let t: Tensor<i32> = Tensor::zeros(TensorShape::new(vec![2, 2]));
+        assert!(t.get(&[2, 0]).is_err());
+        assert!(t.get(&[0]).is_err());
+        assert!(t.get(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut t = Tensor::from_vec(TensorShape::new(vec![2, 3]), vec![1, 2, 3, 4, 5, 6]).unwrap();
+        t.reshape(TensorShape::new(vec![3, 2])).unwrap();
+        assert_eq!(t.get(&[2, 1]).unwrap(), 6);
+        assert!(t.reshape(TensorShape::new(vec![4, 2])).is_err());
+    }
+
+    #[test]
+    fn map_changes_type() {
+        let t = Tensor::from_vec(TensorShape::vector(3), vec![1i8, -2, 3]).unwrap();
+        let f = t.map(|v| v as f32 * 0.5);
+        assert_eq!(f.data(), &[0.5, -1.0, 1.5]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Seeded synthetic tensor generation.
+//!
+//! The paper evaluates on ImageNet/TIMIT/MRPC inputs, but inference
+//! *cost* depends only on shapes, so synthetic tensors with the correct
+//! shapes reproduce every performance experiment (DESIGN.md §4). Seeded
+//! generation keeps functional tests deterministic.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::tensor::{Tensor, TensorShape};
+
+/// A deterministic generator of synthetic workload tensors.
+///
+/// ```
+/// use pim_nn::workload::WorkloadGen;
+/// use pim_nn::TensorShape;
+/// let mut gen = WorkloadGen::new(42);
+/// let a = gen.uniform_f32(TensorShape::chw(3, 8, 8), -1.0, 1.0);
+/// let mut gen2 = WorkloadGen::new(42);
+/// let b = gen2.uniform_f32(TensorShape::chw(3, 8, 8), -1.0, 1.0);
+/// assert_eq!(a.data(), b.data()); // same seed, same tensor
+/// ```
+#[derive(Debug)]
+pub struct WorkloadGen {
+    rng: StdRng,
+}
+
+impl WorkloadGen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        WorkloadGen { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// A uniform random f32 tensor over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi`.
+    pub fn uniform_f32(&mut self, shape: TensorShape, lo: f32, hi: f32) -> Tensor<f32> {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let volume = shape.volume();
+        let data = (0..volume).map(|_| self.rng.random_range(lo..hi)).collect();
+        Tensor::from_vec(shape, data).expect("volume matches by construction")
+    }
+
+    /// A uniform random i8 tensor over the full range.
+    pub fn random_i8(&mut self, shape: TensorShape) -> Tensor<i8> {
+        let volume = shape.volume();
+        let data = (0..volume).map(|_| self.rng.random::<i8>()).collect();
+        Tensor::from_vec(shape, data).expect("volume matches by construction")
+    }
+
+    /// A uniform random i8 tensor bounded to `[-amax, amax]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `amax` is not positive.
+    pub fn bounded_i8(&mut self, shape: TensorShape, amax: i8) -> Tensor<i8> {
+        assert!(amax > 0, "amax must be positive");
+        let volume = shape.volume();
+        let data = (0..volume).map(|_| self.rng.random_range(-amax..=amax)).collect();
+        Tensor::from_vec(shape, data).expect("volume matches by construction")
+    }
+
+    /// A random f32 vector.
+    pub fn vector_f32(&mut self, len: usize, lo: f32, hi: f32) -> Vec<f32> {
+        self.uniform_f32(TensorShape::vector(len), lo, hi).into_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = WorkloadGen::new(7);
+        let mut b = WorkloadGen::new(7);
+        assert_eq!(
+            a.random_i8(TensorShape::vector(64)).data(),
+            b.random_i8(TensorShape::vector(64)).data()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = WorkloadGen::new(1);
+        let mut b = WorkloadGen::new(2);
+        assert_ne!(
+            a.random_i8(TensorShape::vector(64)).data(),
+            b.random_i8(TensorShape::vector(64)).data()
+        );
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut gen = WorkloadGen::new(3);
+        let t = gen.uniform_f32(TensorShape::vector(1000), -0.5, 0.5);
+        assert!(t.data().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn bounded_i8_respects_amax() {
+        let mut gen = WorkloadGen::new(4);
+        let t = gen.bounded_i8(TensorShape::vector(1000), 7);
+        assert!(t.data().iter().all(|&v| (-7..=7).contains(&v)));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for systolic schedule and grid construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the systolic dataflow substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SystolicError {
+    /// A grid or schedule dimension was zero.
+    EmptyDimension {
+        /// Which dimension.
+        dimension: &'static str,
+    },
+    /// A mapping would not fit the grid.
+    GridOverflow {
+        /// Rows required.
+        rows: usize,
+        /// Columns required.
+        cols: usize,
+        /// Rows available.
+        grid_rows: usize,
+        /// Columns available.
+        grid_cols: usize,
+    },
+    /// Simulation input dimensions were inconsistent.
+    ShapeMismatch {
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SystolicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystolicError::EmptyDimension { dimension } => {
+                write!(f, "systolic {dimension} must be non-zero")
+            }
+            SystolicError::GridOverflow { rows, cols, grid_rows, grid_cols } => {
+                write!(
+                    f,
+                    "mapping of {rows}x{cols} does not fit the {grid_rows}x{grid_cols} grid"
+                )
+            }
+            SystolicError::ShapeMismatch { reason } => write!(f, "shape mismatch: {reason}"),
+        }
+    }
+}
+
+impl Error for SystolicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SystolicError::GridOverflow { rows: 9, cols: 11, grid_rows: 8, grid_cols: 10 };
+        let s = e.to_string();
+        assert!(s.contains("9x11") && s.contains("8x10"));
+    }
+}

@@ -1,0 +1,189 @@
+//! The logical subarray grid a slice exposes to the mapper (Fig. 8/9).
+//!
+//! Within a slice, the mapper sees the subarrays as a 2-D grid:
+//! *rows* are the subarray positions within a sub-bank (the reduction
+//! direction — partial sums accumulate down a column of the figure), and
+//! *columns* are the sub-banks (the streaming direction — inputs flow
+//! across). For the paper's slice this is an 8 x 40 grid of subarrays.
+
+use pim_arch::{CacheGeometry, SubarrayId};
+use serde::{Deserialize, Serialize};
+
+use crate::error::SystolicError;
+
+/// A logical grid of subarrays within one slice.
+///
+/// ```
+/// use pim_arch::CacheGeometry;
+/// use pim_systolic::SubarrayGrid;
+/// let grid = SubarrayGrid::from_slice_geometry(&CacheGeometry::xeon_l3_35mb(), 0).unwrap();
+/// assert_eq!(grid.reduction_rows(), 8);   // subarrays per sub-bank
+/// assert_eq!(grid.streaming_cols(), 40);  // sub-banks per slice
+/// assert_eq!(grid.len(), 320);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubarrayGrid {
+    slice: usize,
+    rows: usize,
+    cols: usize,
+    subbanks_per_bank: usize,
+}
+
+impl SubarrayGrid {
+    /// Builds the grid for slice `slice` of a cache geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::EmptyDimension`] when the geometry has no
+    /// subarrays (cannot happen for validated geometries) and
+    /// [`SystolicError::ShapeMismatch`] when the slice index is out of
+    /// range.
+    pub fn from_slice_geometry(
+        geom: &CacheGeometry,
+        slice: usize,
+    ) -> Result<Self, SystolicError> {
+        if slice >= geom.slices() {
+            return Err(SystolicError::ShapeMismatch {
+                reason: format!("slice {slice} out of {}", geom.slices()),
+            });
+        }
+        let rows = geom.subarrays_per_subbank();
+        let cols = geom.subbanks_per_slice();
+        if rows == 0 || cols == 0 {
+            return Err(SystolicError::EmptyDimension { dimension: "grid" });
+        }
+        Ok(SubarrayGrid { slice, rows, cols, subbanks_per_bank: geom.subbanks_per_bank() })
+    }
+
+    /// The slice this grid describes.
+    pub fn slice(&self) -> usize {
+        self.slice
+    }
+
+    /// Subarrays per sub-bank: the reduction dimension.
+    pub fn reduction_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Sub-banks per slice: the streaming dimension.
+    pub fn streaming_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total subarrays in the grid.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the grid is empty (never true for validated geometries).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The subarray at grid position `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::GridOverflow`] when the position is out
+    /// of range.
+    pub fn subarray_at(&self, row: usize, col: usize) -> Result<SubarrayId, SystolicError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(SystolicError::GridOverflow {
+                rows: row + 1,
+                cols: col + 1,
+                grid_rows: self.rows,
+                grid_cols: self.cols,
+            });
+        }
+        Ok(SubarrayId {
+            slice: self.slice,
+            bank: col / self.subbanks_per_bank,
+            subbank: col % self.subbanks_per_bank,
+            subarray: row,
+        })
+    }
+
+    /// The downstream reduction neighbour of `(row, col)` — the next
+    /// subarray in the same sub-bank — or `None` at the end of the chain
+    /// (where the final accumulation lands, §IV-C).
+    pub fn reduction_neighbor(&self, row: usize, col: usize) -> Option<(usize, usize)> {
+        (row + 1 < self.rows && col < self.cols).then_some((row + 1, col))
+    }
+
+    /// The downstream streaming neighbour of `(row, col)` — the same
+    /// position in the next sub-bank — or `None` at the last sub-bank.
+    pub fn streaming_neighbor(&self, row: usize, col: usize) -> Option<(usize, usize)> {
+        (col + 1 < self.cols && row < self.rows).then_some((row, col + 1))
+    }
+
+    /// Iterates over all grid positions in row-major order.
+    pub fn positions(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let cols = self.cols;
+        (0..self.rows).flat_map(move |r| (0..cols).map(move |c| (r, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> SubarrayGrid {
+        SubarrayGrid::from_slice_geometry(&CacheGeometry::xeon_l3_35mb(), 0).unwrap()
+    }
+
+    #[test]
+    fn paper_slice_is_8_by_40() {
+        let g = grid();
+        assert_eq!(g.reduction_rows(), 8);
+        assert_eq!(g.streaming_cols(), 40);
+        assert_eq!(g.len(), 320);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn subarray_ids_cover_the_slice_uniquely() {
+        let g = grid();
+        let geom = CacheGeometry::xeon_l3_35mb();
+        let mut seen = std::collections::HashSet::new();
+        for (r, c) in g.positions() {
+            let id = g.subarray_at(r, c).unwrap();
+            assert_eq!(id.slice, 0);
+            assert!(seen.insert(id.flat_index(&geom)), "duplicate at ({r},{c})");
+        }
+        assert_eq!(seen.len(), 320);
+    }
+
+    #[test]
+    fn out_of_range_position_rejected() {
+        let g = grid();
+        assert!(g.subarray_at(8, 0).is_err());
+        assert!(g.subarray_at(0, 40).is_err());
+    }
+
+    #[test]
+    fn out_of_range_slice_rejected() {
+        let geom = CacheGeometry::xeon_l3_35mb();
+        assert!(SubarrayGrid::from_slice_geometry(&geom, 14).is_err());
+    }
+
+    #[test]
+    fn neighbors_walk_the_grid() {
+        let g = grid();
+        assert_eq!(g.reduction_neighbor(0, 0), Some((1, 0)));
+        assert_eq!(g.reduction_neighbor(7, 0), None);
+        assert_eq!(g.streaming_neighbor(0, 0), Some((0, 1)));
+        assert_eq!(g.streaming_neighbor(0, 39), None);
+    }
+
+    #[test]
+    fn reduction_chain_length_equals_rows() {
+        let g = grid();
+        let mut hops = 0;
+        let mut pos = (0usize, 3usize);
+        while let Some(next) = g.reduction_neighbor(pos.0, pos.1) {
+            pos = next;
+            hops += 1;
+        }
+        assert_eq!(hops, g.reduction_rows() - 1);
+    }
+}

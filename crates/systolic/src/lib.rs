@@ -1,0 +1,37 @@
+//! # pim-systolic
+//!
+//! The systolic dataflow substrate of BFree (Ramanathan et al., MICRO
+//! 2020, §III-D, Fig. 8/9): simple routers added to the conventional
+//! cache interconnect give each subarray a unidirectional link to its
+//! neighbour, so inputs stream *across* sub-banks while partial products
+//! reduce *along* the subarrays of each sub-bank.
+//!
+//! The crate provides the router cost model ([`Router`]), the logical
+//! grid of subarrays a slice exposes to the mapper ([`SubarrayGrid`]),
+//! closed-form schedule timing ([`SystolicSchedule`]) and a cycle-stepped
+//! functional simulation of the skewed dataflow
+//! ([`SystolicArraySim`]) used to validate both values and timing.
+//!
+//! ```
+//! use pim_systolic::SystolicSchedule;
+//!
+//! // An 8 x 10 grid streaming 100 input vectors.
+//! let s = SystolicSchedule::new(8, 10, 100).unwrap();
+//! // Pipelined: fill + stream, far below 100 * 8 * 10 sequential steps.
+//! assert_eq!(s.total_steps(), 100 + 8 + 10 - 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod grid;
+pub mod router;
+pub mod schedule;
+pub mod sim;
+
+pub use error::SystolicError;
+pub use grid::SubarrayGrid;
+pub use router::Router;
+pub use schedule::SystolicSchedule;
+pub use sim::SystolicArraySim;

@@ -1,0 +1,106 @@
+//! The sub-bank routers (paper §III-D, Fig. 8).
+//!
+//! The conventional interconnect already connects subarrays in the same
+//! *column* across sub-banks (the shared data bus); BFree adds one tiny
+//! router per subarray to connect neighbours *within* a sub-bank. Links
+//! are unidirectional — a router connects the data-in of one subarray to
+//! the data-out of its neighbour — so partial-product reduction flows one
+//! way down the sub-bank while inputs stream one way across sub-banks.
+
+use pim_arch::{Cycles, Energy, EnergyParams, Latency, TimingParams};
+use serde::{Deserialize, Serialize};
+
+/// Cost model of one router and its link.
+///
+/// ```
+/// use pim_systolic::Router;
+/// let r = Router::paper_default();
+/// // Moving one 8-byte register to a neighbour takes one subarray cycle.
+/// assert_eq!(r.transfer_cycles(8).count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Router {
+    /// Link width in bytes moved per cycle (the subarray data bus is
+    /// 64 bits wide).
+    pub link_bytes_per_cycle: u32,
+    /// Energy per byte per hop, pJ.
+    pub pj_per_byte: f64,
+    /// Subarray clock the link runs at, GHz.
+    pub clock_ghz: f64,
+}
+
+impl Router {
+    /// Builds the router model from the architecture parameters.
+    pub fn new(timing: &TimingParams, energy: &EnergyParams) -> Self {
+        Router {
+            link_bytes_per_cycle: 8,
+            pj_per_byte: energy.router_hop_pj_per_byte,
+            clock_ghz: timing.subarray_clock_ghz,
+        }
+    }
+
+    /// The paper's default configuration.
+    pub fn paper_default() -> Self {
+        Router::new(&TimingParams::default(), &EnergyParams::default())
+    }
+
+    /// Cycles to move `bytes` across one hop.
+    pub fn transfer_cycles(&self, bytes: u64) -> Cycles {
+        Cycles::new(bytes.div_ceil(self.link_bytes_per_cycle as u64).max(1))
+    }
+
+    /// Wall-clock time to move `bytes` across one hop.
+    pub fn transfer_time(&self, bytes: u64) -> Latency {
+        self.transfer_cycles(bytes).at_ghz(self.clock_ghz)
+    }
+
+    /// Energy to move `bytes` across `hops` hops.
+    pub fn transfer_energy(&self, bytes: u64, hops: u64) -> Energy {
+        Energy::from_pj(self.pj_per_byte * bytes as f64 * hops as f64)
+    }
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Router::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_byte_hop_is_one_cycle() {
+        let r = Router::paper_default();
+        assert_eq!(r.transfer_cycles(8).count(), 1);
+        assert_eq!(r.transfer_cycles(1).count(), 1);
+        assert_eq!(r.transfer_cycles(9).count(), 2);
+        assert_eq!(r.transfer_cycles(64).count(), 8);
+    }
+
+    #[test]
+    fn transfer_time_uses_subarray_clock() {
+        let r = Router::paper_default();
+        let t = r.transfer_time(8);
+        assert!((t.nanoseconds() - 1.0 / 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_linear_in_bytes_and_hops() {
+        let r = Router::paper_default();
+        let one = r.transfer_energy(8, 1);
+        assert!((r.transfer_energy(8, 5).ratio(one) - 5.0).abs() < 1e-12);
+        assert!((r.transfer_energy(40, 1).ratio(one) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn router_hop_is_far_cheaper_than_slice_interconnect() {
+        let r = Router::paper_default();
+        let energy = EnergyParams::default();
+        let hop = r.transfer_energy(8, 1);
+        let slice = energy.slice_access();
+        // The whole point of the systolic flow: >50x cheaper per 8 bytes.
+        assert!(slice.ratio(hop) > 50.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Closed-form systolic schedule timing (paper §III-D, §IV-A).
+//!
+//! With weights stationary in the subarrays, the schedule streams `n`
+//! input waves through an `r x c` grid: inputs skew across the streaming
+//! dimension while partial sums skew down the reduction dimension. The
+//! pipeline fills in `r + c - 2` steps and then retires one wave per
+//! step, so the whole kernel takes `n + r + c - 2` steps — this overlap
+//! of input load with compute is where BFree's advantage over
+//! load-then-compute architectures (Fig. 12(c)) comes from.
+
+use pim_arch::Cycles;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SystolicError;
+
+/// A weight-stationary systolic schedule over an `r x c` grid streaming
+/// `n` input waves.
+///
+/// ```
+/// use pim_systolic::SystolicSchedule;
+/// let s = SystolicSchedule::new(4, 4, 10).unwrap();
+/// assert_eq!(s.fill_steps(), 6);
+/// assert_eq!(s.total_steps(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystolicSchedule {
+    rows: usize,
+    cols: usize,
+    waves: u64,
+}
+
+impl SystolicSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::EmptyDimension`] when any dimension is
+    /// zero.
+    pub fn new(rows: usize, cols: usize, waves: u64) -> Result<Self, SystolicError> {
+        if rows == 0 {
+            return Err(SystolicError::EmptyDimension { dimension: "rows" });
+        }
+        if cols == 0 {
+            return Err(SystolicError::EmptyDimension { dimension: "cols" });
+        }
+        if waves == 0 {
+            return Err(SystolicError::EmptyDimension { dimension: "waves" });
+        }
+        Ok(SystolicSchedule { rows, cols, waves })
+    }
+
+    /// Grid rows (reduction dimension).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns (streaming dimension).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Streamed input waves.
+    pub fn waves(&self) -> u64 {
+        self.waves
+    }
+
+    /// Steps before the first result emerges (pipeline fill).
+    pub fn fill_steps(&self) -> u64 {
+        (self.rows + self.cols - 2) as u64
+    }
+
+    /// Total schedule steps: fill plus one step per wave.
+    pub fn total_steps(&self) -> u64 {
+        self.waves + self.fill_steps()
+    }
+
+    /// Total steps when each wave occupies a node for
+    /// `cycles_per_wave` BCE cycles (e.g. two cycles for an int8 matmul
+    /// tile step): the pipeline initiation interval stretches
+    /// accordingly.
+    pub fn total_cycles(&self, cycles_per_wave: u64) -> Cycles {
+        Cycles::new(self.total_steps() * cycles_per_wave.max(1))
+    }
+
+    /// Efficiency: useful waves over total steps — approaches 1 as the
+    /// stream gets long relative to the grid.
+    pub fn efficiency(&self) -> f64 {
+        self.waves as f64 / self.total_steps() as f64
+    }
+
+    /// Router hops per wave: each wave crosses `cols - 1` streaming links
+    /// and its partials cross `rows - 1` reduction links.
+    pub fn hops_per_wave(&self) -> u64 {
+        (self.rows - 1) as u64 + (self.cols - 1) as u64
+    }
+
+    /// Total router hops over the schedule.
+    pub fn total_hops(&self) -> u64 {
+        self.hops_per_wave() * self.waves
+    }
+
+    /// The sequential (non-systolic) step count for the same work:
+    /// load every wave to every column, compute, then reduce serially.
+    /// Used by the ablation bench to quantify the systolic gain.
+    pub fn sequential_steps(&self) -> u64 {
+        // Per wave: broadcast to c columns + r reduction steps.
+        self.waves * (self.cols as u64 + self.rows as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fill_is_manhattan_distance() {
+        let s = SystolicSchedule::new(8, 40, 1000).unwrap();
+        assert_eq!(s.fill_steps(), 46);
+        assert_eq!(s.total_steps(), 1046);
+    }
+
+    #[test]
+    fn one_by_one_grid_has_no_fill() {
+        let s = SystolicSchedule::new(1, 1, 5).unwrap();
+        assert_eq!(s.fill_steps(), 0);
+        assert_eq!(s.total_steps(), 5);
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(SystolicSchedule::new(0, 4, 1).is_err());
+        assert!(SystolicSchedule::new(4, 0, 1).is_err());
+        assert!(SystolicSchedule::new(4, 4, 0).is_err());
+    }
+
+    #[test]
+    fn efficiency_approaches_one_for_long_streams() {
+        let short = SystolicSchedule::new(8, 40, 10).unwrap();
+        let long = SystolicSchedule::new(8, 40, 100_000).unwrap();
+        assert!(long.efficiency() > short.efficiency());
+        assert!(long.efficiency() > 0.999);
+    }
+
+    #[test]
+    fn total_cycles_scales_with_initiation_interval() {
+        let s = SystolicSchedule::new(4, 4, 100).unwrap();
+        assert_eq!(s.total_cycles(1).count(), 106);
+        assert_eq!(s.total_cycles(2).count(), 212);
+    }
+
+    #[test]
+    fn systolic_beats_sequential() {
+        let s = SystolicSchedule::new(8, 40, 1000).unwrap();
+        assert!(s.total_steps() < s.sequential_steps());
+        // For long streams the gain approaches rows + cols.
+        let gain = s.sequential_steps() as f64 / s.total_steps() as f64;
+        assert!(gain > 40.0, "gain {gain}");
+    }
+
+    #[test]
+    fn hops_accounting() {
+        let s = SystolicSchedule::new(3, 5, 10).unwrap();
+        assert_eq!(s.hops_per_wave(), 2 + 4);
+        assert_eq!(s.total_hops(), 60);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_total_steps_formula(
+            rows in 1usize..64, cols in 1usize..64, waves in 1u64..10_000
+        ) {
+            let s = SystolicSchedule::new(rows, cols, waves).unwrap();
+            prop_assert_eq!(s.total_steps(), waves + (rows + cols) as u64 - 2);
+        }
+
+        #[test]
+        fn prop_efficiency_bounded(
+            rows in 1usize..64, cols in 1usize..64, waves in 1u64..10_000
+        ) {
+            let s = SystolicSchedule::new(rows, cols, waves).unwrap();
+            prop_assert!(s.efficiency() > 0.0 && s.efficiency() <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Cycle-stepped functional simulation of the skewed systolic dataflow.
+//!
+//! This is the executable specification of §III-D: weights stay
+//! stationary in the grid, input wave `t` for row `r` is injected at the
+//! west edge at cycle `t + r`, values hop one link per cycle eastward,
+//! and partial sums hop one link per cycle down the reduction dimension.
+//! The simulation advances register state cycle by cycle, so it validates
+//! both the *values* (outputs equal the matrix product) and the *timing*
+//! (the last output emerges exactly when [`SystolicSchedule`] predicts).
+//!
+//! [`SystolicSchedule`]: crate::schedule::SystolicSchedule
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SystolicError;
+use crate::schedule::SystolicSchedule;
+
+/// A weight-stationary systolic array simulation.
+///
+/// ```
+/// use pim_systolic::SystolicArraySim;
+/// // 2x2 grid: output[t][c] = sum_r input[t][r] * w[r][c].
+/// let sim = SystolicArraySim::new(vec![vec![1, 2], vec![3, 4]]).unwrap();
+/// let result = sim.run(&[vec![1, 0], vec![0, 1], vec![1, 1]]).unwrap();
+/// assert_eq!(result.outputs, vec![vec![1, 2], vec![3, 4], vec![4, 6]]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystolicArraySim {
+    weights: Vec<Vec<i32>>, // rows x cols
+    rows: usize,
+    cols: usize,
+}
+
+/// Output of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// `outputs[t][c]` is the reduction of wave `t` down column `c`.
+    pub outputs: Vec<Vec<i32>>,
+    /// Cycles until the last output emerged.
+    pub cycles: u64,
+    /// Total register-to-register link transfers performed.
+    pub hops: u64,
+}
+
+impl SystolicArraySim {
+    /// Creates a simulation with stationary `weights[r][c]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::EmptyDimension`] for an empty grid and
+    /// [`SystolicError::ShapeMismatch`] for ragged rows.
+    pub fn new(weights: Vec<Vec<i32>>) -> Result<Self, SystolicError> {
+        if weights.is_empty() {
+            return Err(SystolicError::EmptyDimension { dimension: "rows" });
+        }
+        let cols = weights[0].len();
+        if cols == 0 {
+            return Err(SystolicError::EmptyDimension { dimension: "cols" });
+        }
+        if weights.iter().any(|row| row.len() != cols) {
+            return Err(SystolicError::ShapeMismatch {
+                reason: "weight rows have differing lengths".to_string(),
+            });
+        }
+        let rows = weights.len();
+        Ok(SystolicArraySim { weights, rows, cols })
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Streams `inputs[t][r]` through the array, one wave per cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::ShapeMismatch`] when any wave does not
+    /// have exactly one element per grid row, or
+    /// [`SystolicError::EmptyDimension`] for an empty stream.
+    pub fn run(&self, inputs: &[Vec<i32>]) -> Result<SimResult, SystolicError> {
+        if inputs.is_empty() {
+            return Err(SystolicError::EmptyDimension { dimension: "waves" });
+        }
+        if inputs.iter().any(|wave| wave.len() != self.rows) {
+            return Err(SystolicError::ShapeMismatch {
+                reason: format!("each wave must have {} elements", self.rows),
+            });
+        }
+        let n = inputs.len();
+        let schedule = SystolicSchedule::new(self.rows, self.cols, n as u64)
+            .expect("dimensions validated above");
+        let total_cycles = schedule.total_steps();
+
+        // Register state: the input value sitting at each node and the
+        // partial sum flowing out of each node, from the previous cycle.
+        let mut in_reg = vec![vec![0i32; self.cols]; self.rows];
+        let mut in_valid = vec![vec![false; self.cols]; self.rows];
+        let mut psum_reg = vec![vec![0i32; self.cols]; self.rows];
+        let mut outputs = vec![vec![0i32; self.cols]; n];
+        let mut hops: u64 = 0;
+
+        for cycle in 0..total_cycles {
+            // Next state computed from current registers: classic
+            // two-phase update so the order of node evaluation does not
+            // matter.
+            let mut next_in = vec![vec![0i32; self.cols]; self.rows];
+            let mut next_in_valid = vec![vec![false; self.cols]; self.rows];
+            let mut next_psum = vec![vec![0i32; self.cols]; self.rows];
+
+            for r in 0..self.rows {
+                for c in 0..self.cols {
+                    // Input arriving from the west (or injected at the
+                    // edge with the row skew).
+                    let (input, valid) = if c == 0 {
+                        let t = cycle as i64 - r as i64;
+                        if t >= 0 && (t as usize) < n {
+                            (inputs[t as usize][r], true)
+                        } else {
+                            (0, false)
+                        }
+                    } else {
+                        (in_reg[r][c - 1], in_valid[r][c - 1])
+                    };
+                    if valid && c > 0 {
+                        hops += 1;
+                    }
+                    // Partial sum arriving from the north.
+                    let north = if r == 0 { 0 } else { psum_reg[r - 1][c] };
+                    if r > 0 {
+                        hops += u64::from(valid);
+                    }
+                    let mac = if valid { self.weights[r][c] * input } else { 0 };
+                    next_psum[r][c] = north + mac;
+                    next_in[r][c] = input;
+                    next_in_valid[r][c] = valid;
+
+                    // The bottom row emits one finished output per wave.
+                    if r == self.rows - 1 && valid {
+                        let t = cycle as i64 - r as i64 - c as i64;
+                        debug_assert!(t >= 0 && (t as usize) < n, "skew bookkeeping broke");
+                        outputs[t as usize][c] = north + mac;
+                    }
+                }
+            }
+            in_reg = next_in;
+            in_valid = next_in_valid;
+            psum_reg = next_psum;
+        }
+
+        Ok(SimResult { outputs, cycles: total_cycles, hops })
+    }
+
+    /// Reference matrix product for validation:
+    /// `out[t][c] = sum_r inputs[t][r] * w[r][c]`.
+    pub fn reference(&self, inputs: &[Vec<i32>]) -> Vec<Vec<i32>> {
+        inputs
+            .iter()
+            .map(|wave| {
+                (0..self.cols)
+                    .map(|c| (0..self.rows).map(|r| wave[r] * self.weights[r][c]).sum())
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_weights_pass_inputs_through() {
+        let sim = SystolicArraySim::new(vec![vec![1, 0], vec![0, 1]]).unwrap();
+        let result = sim.run(&[vec![7, -3]]).unwrap();
+        assert_eq!(result.outputs, vec![vec![7, -3]]);
+    }
+
+    #[test]
+    fn matches_reference_matmul() {
+        let weights = vec![vec![2, -1, 3], vec![0, 4, -2], vec![1, 1, 1], vec![-3, 2, 0]];
+        let sim = SystolicArraySim::new(weights).unwrap();
+        let inputs: Vec<Vec<i32>> =
+            (0..6).map(|t| (0..4).map(|r| (t * 7 + r * 3) - 10).collect()).collect();
+        let result = sim.run(&inputs).unwrap();
+        assert_eq!(result.outputs, sim.reference(&inputs));
+    }
+
+    #[test]
+    fn cycle_count_matches_schedule_formula() {
+        let sim = SystolicArraySim::new(vec![vec![1; 5]; 3]).unwrap();
+        let inputs = vec![vec![1; 3]; 10];
+        let result = sim.run(&inputs).unwrap();
+        // n + r + c - 2 = 10 + 3 + 5 - 2.
+        assert_eq!(result.cycles, 16);
+    }
+
+    #[test]
+    fn hops_are_counted() {
+        let sim = SystolicArraySim::new(vec![vec![1, 1], vec![1, 1]]).unwrap();
+        let result = sim.run(&[vec![1, 1]]).unwrap();
+        assert!(result.hops > 0);
+    }
+
+    #[test]
+    fn ragged_weights_rejected() {
+        assert!(SystolicArraySim::new(vec![vec![1, 2], vec![3]]).is_err());
+        assert!(SystolicArraySim::new(vec![]).is_err());
+        assert!(SystolicArraySim::new(vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn wrong_wave_width_rejected() {
+        let sim = SystolicArraySim::new(vec![vec![1, 2], vec![3, 4]]).unwrap();
+        assert!(sim.run(&[vec![1]]).is_err());
+        assert!(sim.run(&[]).is_err());
+    }
+
+    #[test]
+    fn single_node_grid() {
+        let sim = SystolicArraySim::new(vec![vec![5]]).unwrap();
+        let result = sim.run(&[vec![3], vec![-2]]).unwrap();
+        assert_eq!(result.outputs, vec![vec![15], vec![-10]]);
+        assert_eq!(result.cycles, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sim_equals_reference(
+            rows in 1usize..6,
+            cols in 1usize..6,
+            waves in 1usize..12,
+            seed in any::<u64>(),
+        ) {
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 48) as i32 % 100) - 50
+            };
+            let weights: Vec<Vec<i32>> =
+                (0..rows).map(|_| (0..cols).map(|_| next()).collect()).collect();
+            let inputs: Vec<Vec<i32>> =
+                (0..waves).map(|_| (0..rows).map(|_| next()).collect()).collect();
+            let sim = SystolicArraySim::new(weights).unwrap();
+            let result = sim.run(&inputs).unwrap();
+            prop_assert_eq!(&result.outputs, &sim.reference(&inputs));
+            prop_assert_eq!(result.cycles, (waves + rows + cols - 2) as u64);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Transformer support: run a real self-attention block through the LUT
+//! datapath (values), then simulate BERT-base against the calibrated CPU
+//! and GPU models (paper Fig. 10 and Table III).
+//!
+//! Run with: `cargo run --example bert_attention`
+
+use bfree::functional::FunctionalPipeline;
+use bfree::prelude::*;
+use pim_nn::reference::{self, AttentionWeights};
+use pim_nn::tensor::{Tensor, TensorShape};
+use pim_nn::workload::WorkloadGen;
+
+fn main() {
+    // 1. Values: a 2-head self-attention block over an 8 x 32 sequence,
+    //    with the Q/K/V/output projections executed as BCE matmul tiles
+    //    and softmax through the exp + division LUTs.
+    let (seq, hidden, heads) = (8, 32, 2);
+    let mut gen = WorkloadGen::new(2020);
+    let input = gen.uniform_f32(TensorShape::new(vec![seq, hidden]), -1.0, 1.0);
+    let weights = AttentionWeights {
+        w_q: gen.uniform_f32(TensorShape::new(vec![hidden, hidden]), -0.3, 0.3),
+        w_k: gen.uniform_f32(TensorShape::new(vec![hidden, hidden]), -0.3, 0.3),
+        w_v: gen.uniform_f32(TensorShape::new(vec![hidden, hidden]), -0.3, 0.3),
+        w_o: gen.uniform_f32(TensorShape::new(vec![hidden, hidden]), -0.3, 0.3),
+    };
+
+    let pipeline = FunctionalPipeline::new().expect("default tables are valid");
+    let lut_out = attention_via_lut(&pipeline, &input, &weights, heads);
+    let exact = reference::self_attention(&input, &weights, heads).expect("shapes valid");
+
+    let max_err = lut_out
+        .data()
+        .iter()
+        .zip(exact.data())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("self-attention ({seq}x{hidden}, {heads} heads) through the LUT datapath:");
+    println!("  max |lut - f32| = {max_err:.4} (quantized int8 projections)");
+    println!("  BCE multiply-ROM reads: {}", pipeline.bce().rom_reads());
+
+    // 2. Cost: BERT-base per Table III.
+    let bfree = BfreeSimulator::new(BfreeConfig::paper_default());
+    let cpu = CpuModel::paper_xeon();
+    let gpu = GpuModel::paper_titan_v();
+    let net = networks::bert_base();
+
+    println!("\nBERT-base (seq 128), per-inference:");
+    println!("{:<22} {:>12} {:>12}", "device", "batch 1", "batch 16");
+    for model in [&bfree as &dyn InferenceModel, &cpu, &gpu] {
+        let b1 = model.run(&net, 1);
+        let b16 = model.run(&net, 16);
+        println!(
+            "{:<22} {:>12} {:>12}",
+            model.device_name(),
+            b1.per_inference_latency().to_string(),
+            b16.per_inference_latency().to_string()
+        );
+    }
+    let ours = bfree.run(&net, 16);
+    println!(
+        "\nBFree vs CPU: {:.0}x faster, {:.0}x less energy (paper: 101x / 91x)",
+        ours.speedup_over(&cpu.run(&net, 16)),
+        ours.energy_gain_over(&cpu.run(&net, 16))
+    );
+    println!(
+        "BFree vs GPU: {:.1}x faster, {:.1}x less energy (paper: 3x / 11x)",
+        ours.speedup_over(&gpu.run(&net, 16)),
+        ours.energy_gain_over(&gpu.run(&net, 16))
+    );
+}
+
+/// Multi-head attention with all four projections through the quantized
+/// LUT matmul and softmax through the LUT softmax engine.
+fn attention_via_lut(
+    pipeline: &FunctionalPipeline,
+    input: &Tensor<f32>,
+    weights: &AttentionWeights,
+    heads: usize,
+) -> Tensor<f32> {
+    let dims = input.shape().dims();
+    let (seq, hidden) = (dims[0], dims[1]);
+    let head_dim = hidden / heads;
+    let q = pipeline.matmul(input, &weights.w_q).expect("shapes valid");
+    let k = pipeline.matmul(input, &weights.w_k).expect("shapes valid");
+    let v = pipeline.matmul(input, &weights.w_v).expect("shapes valid");
+
+    let mut context = Tensor::zeros(TensorShape::new(vec![seq, hidden]));
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    for head in 0..heads {
+        let base = head * head_dim;
+        for i in 0..seq {
+            let scores: Vec<f32> = (0..seq)
+                .map(|j| {
+                    (0..head_dim)
+                        .map(|d| {
+                            q.data()[i * hidden + base + d] * k.data()[j * hidden + base + d]
+                        })
+                        .sum::<f32>()
+                        * scale
+                })
+                .collect();
+            let probs = pipeline.softmax(&scores).expect("non-empty scores");
+            for d in 0..head_dim {
+                let acc: f64 = (0..seq)
+                    .map(|j| probs[j] * v.data()[j * hidden + base + d] as f64)
+                    .sum();
+                context.data_mut()[i * hidden + base + d] = acc as f32;
+            }
+        }
+    }
+    pipeline.matmul(&context, &weights.w_o).expect("shapes valid")
+}

@@ -1,0 +1,55 @@
+//! The Fig. 14 study: VGG-16 latency under three memory technologies
+//! (DRAM 20 GB/s, eDRAM 64 GB/s, HBM 100 GB/s), batch sizes 1 and 16,
+//! uniform int8 versus learned mixed 4/8-bit precision.
+//!
+//! Run with: `cargo run --example mixed_precision`
+
+use bfree::prelude::*;
+
+fn main() {
+    let net = networks::vgg16();
+    println!("VGG-16 per-inference latency (paper Fig. 14):\n");
+    println!(
+        "{:<8} {:<6} {:>14} {:>14} {:>10}",
+        "memory", "batch", "int8", "mixed 4/8", "saving"
+    );
+
+    for kind in MemoryTechKind::ALL {
+        for batch in [1usize, 16] {
+            let base = BfreeConfig::paper_default().with_memory(MemoryTech::from_kind(kind));
+            let int8 = BfreeSimulator::new(base.clone()).run(&net, batch);
+            let mixed = BfreeSimulator::new(
+                base.with_precision(PrecisionPolicy::mixed()),
+            )
+            .run(&net, batch);
+            let saving = 1.0
+                - mixed.per_inference_latency().ratio(int8.per_inference_latency());
+            println!(
+                "{:<8} {:<6} {:>14} {:>14} {:>9.0}%",
+                kind.name(),
+                batch,
+                int8.per_inference_latency().to_string(),
+                mixed.per_inference_latency().to_string(),
+                saving * 100.0
+            );
+        }
+    }
+
+    // Phase breakdown for the DRAM, batch-16 point — the bandwidth-bound
+    // corner the paper highlights.
+    let report = BfreeSimulator::new(BfreeConfig::paper_default()).run(&net, 16);
+    println!("\nDRAM batch-16 phase breakdown (whole batch):");
+    for (phase, latency) in report.latency.iter() {
+        println!(
+            "  {:>12}: {:>12}  ({:.1}%)",
+            phase.label(),
+            latency.to_string(),
+            report.latency.fraction(phase) * 100.0
+        );
+    }
+    println!(
+        "\nInput load exceeds compute under DRAM at batch 16: {}",
+        report.latency.get(Phase::InputLoad) + report.latency.get(Phase::Writeback)
+            > report.latency.get(Phase::Compute)
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: simulate Inception-v3 inference on BFree and on the
+//! Neural Cache baseline, and show the LUT datapath computing a real
+//! multiplication.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bfree::prelude::*;
+use pim_lut::LutMultiplier;
+
+fn main() {
+    // 1. The functional heart: exact multiplication from a 49-entry LUT.
+    let mul = LutMultiplier::new();
+    let (product, cost) = mul.mul_u8(173, 219);
+    println!("LUT multiply: 173 x 219 = {product} (native: {})", 173u32 * 219);
+    println!(
+        "  events: {} subarray-LUT reads, {} shifts, {} adds, {} cycles",
+        cost.lut_reads, cost.shifts, cost.adds, cost.cycles
+    );
+
+    // 2. The machine: the paper's 35 MB, 14-slice Xeon-class L3.
+    let config = BfreeConfig::paper_default();
+    println!(
+        "\nBFree machine: {} subarrays, {} usable for weights",
+        config.geometry.total_subarrays(),
+        config.geometry.usable_capacity()
+    );
+
+    // 3. Simulate Inception-v3, batch 1, on BFree and on Neural Cache.
+    let bfree = BfreeSimulator::new(config);
+    let neural_cache = NeuralCacheModel::paper_default();
+    let net = networks::inception_v3();
+
+    let ours = bfree.run(&net, 1);
+    let theirs = neural_cache.run(&net, 1);
+
+    println!("\nInception-v3, batch 1:");
+    println!("  BFree       : {}", ours.latency);
+    println!("  Neural Cache: {}", theirs.latency);
+    println!(
+        "\n  speedup: {:.2}x   energy gain: {:.2}x   (paper: 1.72x / 3.14x)",
+        ours.speedup_over(&theirs),
+        ours.energy_gain_over(&theirs)
+    );
+
+    println!("\nBFree energy by component:");
+    for (component, energy) in ours.energy.iter() {
+        println!(
+            "  {:>12}: {:>12}  ({:.1}%)",
+            component.label(),
+            energy.to_string(),
+            ours.energy.fraction(component) * 100.0
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Shape assertions over the design-choice ablations (DESIGN.md §5).
+
+use bfree_experiments::ablations;
+
+#[test]
+fn lut_paths_beat_bitline_computing_by_an_order_of_magnitude() {
+    let a = ablations::mul_path();
+    assert!(a.hardwired_rom_pj < a.bitline_pj / 10.0, "rom {} vs bitline {}", a.hardwired_rom_pj, a.bitline_pj);
+    assert!(a.subarray_lut_pj < a.bitline_pj / 10.0);
+    // Both LUT paths are within the same order of magnitude.
+    let ratio = a.hardwired_rom_pj / a.subarray_lut_pj;
+    assert!((0.3..=3.0).contains(&ratio), "path ratio {ratio}");
+}
+
+#[test]
+fn reduced_lut_saves_5x_storage_for_fractional_extra_work() {
+    let a = ablations::lut_size();
+    assert_eq!(a.reduced_bytes, 49);
+    assert_eq!(a.full_bytes, 256);
+    // The operand analyzer resolves most products without the table.
+    assert!(a.reduced_reads_per_product < 0.5, "reads {}", a.reduced_reads_per_product);
+    // And the extra shift/add work stays below one event per product.
+    assert!(
+        a.reduced_events_per_product < 2.0,
+        "events {}",
+        a.reduced_events_per_product
+    );
+}
+
+#[test]
+fn systolic_gain_approaches_grid_perimeter() {
+    let a = ablations::dataflow();
+    let last = a.waves.len() - 1;
+    let gain = a.sequential_steps[last] as f64 / a.systolic_steps[last] as f64;
+    // rows + cols = 48 for the 8 x 40 grid.
+    assert!((40.0..=48.0).contains(&gain), "asymptotic gain {gain}");
+    // Gain grows monotonically with stream length.
+    for i in 1..a.waves.len() {
+        let prev = a.sequential_steps[i - 1] as f64 / a.systolic_steps[i - 1] as f64;
+        let cur = a.sequential_steps[i] as f64 / a.systolic_steps[i] as f64;
+        assert!(cur >= prev);
+    }
+}
+
+#[test]
+fn im2col_beats_direct_convolution_end_to_end() {
+    let a = ablations::conv_dataflow();
+    assert!(a.second.1 < a.first.1, "im2col {} vs direct {}", a.second.1, a.first.1);
+}
+
+#[test]
+fn decoupled_bitline_design_wins_on_energy() {
+    let a = ablations::lut_rows();
+    let energy_of = |name: &str| {
+        a.rows.iter().find(|(n, _, _)| n == name).map(|&(_, total, _)| total).unwrap()
+    };
+    let decoupled = energy_of("decoupled bitline");
+    let shared = energy_of("shared bitline");
+    assert!(decoupled < shared);
+    // LUT-access component collapses by orders of magnitude.
+    let lut_of = |name: &str| {
+        a.rows.iter().find(|(n, _, _)| n == name).map(|&(_, _, lut)| lut).unwrap()
+    };
+    assert!(lut_of("decoupled bitline") < lut_of("shared bitline") / 100.0);
+}
+
+#[test]
+fn gru_is_proportionally_cheaper_than_lstm() {
+    let a = ablations::lstm_vs_gru();
+    let ratio = a.second.1 / a.first.1;
+    // Three gates vs four, plus fixed sequential overheads: between 0.6
+    // and 1.0 of the LSTM time.
+    assert!((0.6..1.0).contains(&ratio), "gru/lstm {ratio}");
+}
+
+#[test]
+fn batch_scaling_monotonically_amortizes_bert() {
+    let sweep = ablations::batch_sweep();
+    for window in sweep.windows(2) {
+        assert!(
+            window[1].1 <= window[0].1,
+            "batch {} slower per inference than batch {}",
+            window[1].0,
+            window[0].0
+        );
+    }
+    // And saturates: doubling 16 -> 32 gains far less than 1 -> 2.
+    let gain_small = sweep[0].1 / sweep[1].1;
+    let gain_large = sweep[4].1 / sweep[5].1;
+    assert!(gain_small > gain_large);
+}

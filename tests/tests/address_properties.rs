@@ -1,0 +1,101 @@
+//! Property tests of the address-mapping substrate over *random*
+//! geometries, not just the paper's: decompose/recompose must be a
+//! bijection for any valid cache organization.
+
+use pim_arch::{CacheAddress, CacheGeometry, SubarrayId};
+use proptest::prelude::*;
+
+fn arbitrary_geometry() -> impl Strategy<Value = CacheGeometry> {
+    (
+        1usize..8,  // slices
+        1usize..5,  // banks
+        1usize..8,  // subbanks
+        1usize..10, // subarrays
+        1usize..5,  // partitions
+        4usize..64, // rows per partition
+        prop_oneof![Just(32usize), Just(64), Just(128)],
+    )
+        .prop_map(|(sl, b, sb, sa, p, r, bits)| {
+            CacheGeometry::new(sl, b, sb, sa, p, r, bits, (r / 4).clamp(1, 2))
+                .expect("bounds keep the geometry valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn decompose_recompose_is_identity(
+        geom in arbitrary_geometry(),
+        seed in any::<u64>(),
+    ) {
+        let capacity = geom.capacity().get();
+        // Sample a handful of addresses including boundaries.
+        let samples = [
+            0,
+            capacity - 1,
+            seed % capacity,
+            (seed / 3) % capacity,
+            (seed / 7) % capacity,
+        ];
+        for &addr in &samples {
+            let c = CacheAddress::decompose(&geom, addr).unwrap();
+            prop_assert_eq!(c.recompose(&geom), addr);
+            prop_assert!(c.subarray.slice < geom.slices());
+            prop_assert!(c.subarray.bank < geom.banks_per_slice());
+            prop_assert!(c.subarray.subbank < geom.subbanks_per_bank());
+            prop_assert!(c.subarray.subarray < geom.subarrays_per_subbank());
+            prop_assert!(c.partition < geom.partitions_per_subarray());
+            prop_assert!(c.row < geom.rows_per_partition());
+            prop_assert!(c.byte_in_row < geom.row_bytes().get() as usize);
+        }
+    }
+
+    #[test]
+    fn addresses_beyond_capacity_always_rejected(
+        geom in arbitrary_geometry(),
+        excess in 0u64..1_000_000,
+    ) {
+        let capacity = geom.capacity().get();
+        prop_assert!(CacheAddress::decompose(&geom, capacity + excess).is_err());
+    }
+
+    #[test]
+    fn flat_index_is_a_bijection(geom in arbitrary_geometry()) {
+        let total = geom.total_subarrays();
+        let mut seen = vec![false; total];
+        for i in 0..total {
+            let id = SubarrayId::from_flat_index(&geom, i).unwrap();
+            let back = id.flat_index(&geom);
+            prop_assert_eq!(back, i);
+            prop_assert!(!seen[back], "index {} hit twice", back);
+            seen[back] = true;
+        }
+        prop_assert!(SubarrayId::from_flat_index(&geom, total).is_err());
+    }
+
+    #[test]
+    fn distinct_addresses_decompose_distinctly(
+        geom in arbitrary_geometry(),
+        seed in any::<u64>(),
+    ) {
+        let capacity = geom.capacity().get();
+        let a = seed % capacity;
+        let b = (seed.wrapping_mul(2654435761)) % capacity;
+        prop_assume!(a != b);
+        let ca = CacheAddress::decompose(&geom, a).unwrap();
+        let cb = CacheAddress::decompose(&geom, b).unwrap();
+        prop_assert_ne!(ca, cb);
+    }
+
+    #[test]
+    fn capacity_equals_component_product(geom in arbitrary_geometry()) {
+        let expected = geom.slices()
+            * geom.banks_per_slice()
+            * geom.subbanks_per_bank()
+            * geom.subarrays_per_subbank()
+            * geom.partitions_per_subarray()
+            * geom.rows_per_partition()
+            * geom.bits_per_row()
+            / 8;
+        prop_assert_eq!(geom.capacity().get(), expected as u64);
+    }
+}

@@ -1,0 +1,136 @@
+//! End-to-end functional validation across crates: quantized inference
+//! through the real LUT datapath (49-entry multiply table, nibble ROM,
+//! PWL activations, Taylor division) must agree with the f32 reference
+//! within analytic quantization bounds — on deeper pipelines than the
+//! per-crate unit tests cover.
+
+use bfree::functional::{dot_error_bound, FunctionalPipeline};
+use pim_nn::reference::{self, LstmWeights};
+use pim_nn::tensor::{Tensor, TensorShape};
+use pim_nn::workload::WorkloadGen;
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+#[test]
+fn three_layer_cnn_through_the_lut_datapath() {
+    let mut gen = WorkloadGen::new(4242);
+    let pipeline = FunctionalPipeline::new().unwrap();
+
+    let input = gen.uniform_f32(TensorShape::chw(3, 16, 16), -1.0, 1.0);
+    let f1 = gen.uniform_f32(TensorShape::new(vec![8, 3, 3, 3]), -0.4, 0.4);
+    let f2 = gen.uniform_f32(TensorShape::new(vec![16, 8, 3, 3]), -0.25, 0.25);
+    let fc = gen.uniform_f32(TensorShape::new(vec![10, 16 * 4 * 4]), -0.2, 0.2);
+    let fc_b = gen.vector_f32(10, -0.05, 0.05);
+
+    // LUT path.
+    let c1 = pipeline.conv2d(&input, &f1, &[0.0; 8], (1, 1), (1, 1)).unwrap();
+    let a1 = Tensor::from_vec(c1.shape().clone(), pipeline.relu(c1.data())).unwrap();
+    let p1 = pipeline.max_pool2d(&a1, (2, 2), (2, 2)).unwrap();
+    let c2 = pipeline.conv2d(&p1, &f2, &[0.0; 16], (1, 1), (1, 1)).unwrap();
+    let a2 = Tensor::from_vec(c2.shape().clone(), pipeline.relu(c2.data())).unwrap();
+    let p2 = pipeline.max_pool2d(&a2, (2, 2), (2, 2)).unwrap();
+    let logits = pipeline.linear(p2.data(), &fc, &fc_b).unwrap();
+    let probs = pipeline.softmax(&logits).unwrap();
+
+    // Reference path.
+    let rc1 = reference::conv2d(&input, &f1, &[0.0; 8], (1, 1), (1, 1)).unwrap();
+    let ra1 = Tensor::from_vec(rc1.shape().clone(), reference::relu(rc1.data())).unwrap();
+    let rp1 = reference::max_pool2d(&ra1, (2, 2), (2, 2)).unwrap();
+    let rc2 = reference::conv2d(&rp1, &f2, &[0.0; 16], (1, 1), (1, 1)).unwrap();
+    let ra2 = Tensor::from_vec(rc2.shape().clone(), reference::relu(rc2.data())).unwrap();
+    let rp2 = reference::max_pool2d(&ra2, (2, 2), (2, 2)).unwrap();
+    let rlogits = reference::linear(rp2.data(), &fc, &fc_b).unwrap();
+    let rprobs = reference::softmax(&rlogits);
+
+    // Layer-1 output within the conv quantization bound.
+    let bound1 = dot_error_bound(27, 1.0 / 127.0, 0.4 / 127.0, 1.0, 0.4) as f32;
+    assert!(max_abs_diff(c1.data(), rc1.data()) <= bound1);
+
+    // Final prediction agrees.
+    let argmax_f64 = |v: &[f64]| {
+        v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+    };
+    let argmax_f32 = |v: &[f32]| {
+        v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+    };
+    assert_eq!(argmax_f64(&probs), argmax_f32(&rprobs), "prediction diverged");
+    for (p, r) in probs.iter().zip(rprobs.iter()) {
+        assert!((p - *r as f64).abs() < 0.12, "probability drifted: {p} vs {r}");
+    }
+}
+
+#[test]
+fn lstm_cell_with_lut_gate_activations() {
+    // Run an LSTM step where the gate pre-activations come from the LUT
+    // matmul and the sigmoids/tanh from the PWL tables; compare against
+    // the pure-f32 cell.
+    let mut gen = WorkloadGen::new(77);
+    let pipeline = FunctionalPipeline::new().unwrap();
+    let (input, hidden) = (6usize, 8usize);
+    let weights = LstmWeights {
+        w_input: gen.uniform_f32(TensorShape::new(vec![4 * hidden, input]), -0.4, 0.4),
+        w_hidden: gen.uniform_f32(TensorShape::new(vec![4 * hidden, hidden]), -0.4, 0.4),
+        bias: gen.vector_f32(4 * hidden, -0.1, 0.1),
+    };
+    let x = gen.vector_f32(input, -1.0, 1.0);
+    let h = gen.vector_f32(hidden, -0.5, 0.5);
+    let c = gen.vector_f32(hidden, -0.5, 0.5);
+
+    // LUT path: gates = Wx*x + Wh*h + b through quantized matmuls.
+    let gx = pipeline.linear(&x, &weights.w_input, &weights.bias).unwrap();
+    let zero = vec![0.0f32; 4 * hidden];
+    let gh = pipeline.linear(&h, &weights.w_hidden, &zero).unwrap();
+    let gates: Vec<f32> = gx.iter().zip(&gh).map(|(a, b)| a + b).collect();
+    let i_gate = pipeline.sigmoid(&gates[0..hidden]);
+    let f_gate = pipeline.sigmoid(&gates[hidden..2 * hidden]);
+    let g_gate = pipeline.tanh(&gates[2 * hidden..3 * hidden]);
+    let o_gate = pipeline.sigmoid(&gates[3 * hidden..4 * hidden]);
+    let mut c_next = vec![0.0f64; hidden];
+    let mut h_next = vec![0.0f64; hidden];
+    for j in 0..hidden {
+        c_next[j] = f_gate[j] * c[j] as f64 + i_gate[j] * g_gate[j];
+        let (t, _) = (c_next[j].tanh(), ());
+        h_next[j] = o_gate[j] * t;
+    }
+
+    // Reference.
+    let (rh, rc) = reference::lstm_cell(&x, &h, &c, &weights).unwrap();
+    for j in 0..hidden {
+        assert!((c_next[j] - rc[j] as f64).abs() < 0.05, "c[{j}] {c_next:?} vs {rc:?}");
+        assert!((h_next[j] - rh[j] as f64).abs() < 0.05, "h[{j}] {h_next:?} vs {rh:?}");
+    }
+}
+
+#[test]
+fn rom_and_subarray_lut_paths_agree() {
+    // The two multiply paths (hardwired ROM vs 49-entry subarray LUT)
+    // must be bit-identical on the integer datapath.
+    use pim_bce::{Bce, BceMode, MulPath, Precision};
+    let rom = Bce::with_mul_path(BceMode::Conv, MulPath::HardwiredRom).unwrap();
+    let lut = Bce::with_mul_path(BceMode::Conv, MulPath::SubarrayLut).unwrap();
+    let mut gen = WorkloadGen::new(5);
+    let w = gen.random_i8(TensorShape::vector(256));
+    let x = gen.random_i8(TensorShape::vector(256));
+    let (a, _) = rom.dot_conv(w.data(), x.data(), Precision::Int8);
+    let (b, _) = lut.dot_conv(w.data(), x.data(), Precision::Int8);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn bce_and_nn_requantizers_agree() {
+    use pim_bce::{Bce, BceMode};
+    use pim_nn::Requantizer;
+    let bce = Bce::new(BceMode::Conv).unwrap();
+    for scale in [0.9f64, 0.5, 0.01, 0.0007] {
+        for zp in [0i32, -5, 17] {
+            let requant = Requantizer::from_scale(scale, zp);
+            let accs: Vec<i32> = vec![0, 1, -1, 999, -999, 100_000, -100_000, i32::MAX / 4];
+            let via_nn = requant.apply_all(&accs);
+            let (via_bce, _) =
+                bce.requantize(&accs, requant.multiplier(), requant.shift(), zp);
+            assert_eq!(via_nn, via_bce, "scale {scale} zp {zp}");
+        }
+    }
+}

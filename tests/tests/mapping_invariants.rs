@@ -1,0 +1,114 @@
+//! Mapping and capacity invariants over all five evaluation networks.
+
+use bfree::prelude::*;
+use bfree::Mapping;
+use pim_arch::CacheGeometry;
+use proptest::prelude::*;
+
+fn check_mapping(mapping: &Mapping, geom: &CacheGeometry) {
+    let total = geom.total_subarrays();
+    assert!(mapping.replicas >= 1);
+    assert!(mapping.subarrays_per_replica >= 1);
+    assert!(
+        mapping.active_subarrays <= total,
+        "{}: {} active > {total}",
+        mapping.layer,
+        mapping.active_subarrays
+    );
+    assert!(mapping.utilization > 0.0 && mapping.utilization <= 1.0);
+    assert!(mapping.macs_per_cycle() > 0.0);
+}
+
+#[test]
+fn every_layer_of_every_network_maps() {
+    let geom = CacheGeometry::xeon_l3_35mb();
+    let mapper = Mapper::new(geom.clone());
+    for (net, _) in networks::table2_networks() {
+        for layer in net.weight_layers() {
+            for mode in [BceMode::Conv, BceMode::MatMul] {
+                for precision in [Precision::Int4, Precision::Int8, Precision::Int16] {
+                    let mapping = mapper.map_layer_tiled(layer, mode, precision);
+                    check_mapping(&mapping, &geom);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn replica_capacity_is_respected() {
+    // replicas * weight bytes never exceed the usable cache capacity
+    // (for layers that fit at all).
+    let geom = CacheGeometry::xeon_l3_35mb();
+    let mapper = Mapper::new(geom.clone());
+    let usable = geom.usable_capacity().get();
+    for (net, _) in networks::table2_networks() {
+        for layer in net.weight_layers() {
+            if let Ok(mapping) = mapper.map_layer(layer, BceMode::Conv, Precision::Int8) {
+                let per_replica_capacity = mapping.subarrays_per_replica as u64
+                    * geom.usable_subarray_capacity().get();
+                assert!(
+                    per_replica_capacity >= layer.weight_bytes(8),
+                    "{}: replica too small",
+                    layer.name()
+                );
+                assert!(
+                    mapping.replicas as u64 * layer.weight_bytes(8) <= usable,
+                    "{}: replicas overflow the cache",
+                    layer.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lstm_and_bert_fit_their_paper_claims() {
+    let geom = CacheGeometry::xeon_l3_35mb();
+    // §V-D: "The whole LSTM model fits within the SRAM cache."
+    let lstm = networks::lstm_timit();
+    assert!(lstm.weight_bytes(8) < geom.usable_capacity().get());
+    // §V-D: BERT-base layers replicate; BERT-large replicates less.
+    let mapper = Mapper::new(geom);
+    let base_attn = networks::bert_base();
+    let large_attn = networks::bert_large();
+    let base_map = mapper
+        .map_layer(base_attn.weight_layers().next().unwrap(), BceMode::MatMul, Precision::Int8)
+        .unwrap();
+    let large_map = mapper
+        .map_layer(large_attn.weight_layers().next().unwrap(), BceMode::MatMul, Precision::Int8)
+        .unwrap();
+    assert!(base_map.replicas > large_map.replicas);
+}
+
+proptest! {
+    #[test]
+    fn prop_synthetic_conv_layers_map_consistently(
+        out_c in 1usize..512,
+        in_c in 1usize..256,
+        k in 1usize..6,
+        hw in 4usize..64,
+    ) {
+        prop_assume!(hw >= k);
+        let layer = pim_nn::LayerSpec::new(
+            "synthetic",
+            pim_nn::LayerOp::Conv2d {
+                out_channels: out_c,
+                kernel: (k, k),
+                stride: (1, 1),
+                padding: (0, 0),
+            },
+            pim_nn::TensorShape::chw(in_c, hw, hw),
+        ).unwrap();
+        let geom = CacheGeometry::xeon_l3_35mb();
+        let mapper = Mapper::new(geom.clone());
+        let mapping = mapper.map_layer_tiled(&layer, BceMode::Conv, Precision::Int8);
+        check_mapping(&mapping, &geom);
+        // Work conservation: active subarrays never exceed what the
+        // replicas provide.
+        prop_assert!(
+            mapping.active_subarrays
+                <= mapping.replicas * mapping.subarrays_per_replica
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Whole-network execution: the same layer table, the same weights, run
+//! once through the f32 reference executor and once through the LUT
+//! datapath — predictions and probabilities must agree.
+
+use bfree::functional::{run_sequential_lut, FunctionalPipeline};
+use pim_nn::executor::{run_sequential, tiny_cnn, NetworkWeights};
+use pim_nn::tensor::TensorShape;
+use pim_nn::workload::WorkloadGen;
+
+fn argmax(v: &[f32]) -> usize {
+    v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+}
+
+#[test]
+fn tiny_cnn_lut_execution_matches_reference() {
+    let net = tiny_cnn(16, 6);
+    let mut gen = WorkloadGen::new(777);
+    let weights = NetworkWeights::random(&net, &mut gen, 0.4).unwrap();
+    let input = gen.uniform_f32(TensorShape::chw(1, 16, 16), -1.0, 1.0);
+
+    let reference_out = run_sequential(&net, &weights, &input).unwrap();
+    let pipeline = FunctionalPipeline::new().unwrap();
+    let lut_out = run_sequential_lut(&pipeline, &net, &weights, &input).unwrap();
+
+    assert_eq!(reference_out.shape(), lut_out.shape());
+    assert_eq!(argmax(reference_out.data()), argmax(lut_out.data()), "prediction diverged");
+    for (a, b) in reference_out.data().iter().zip(lut_out.data()) {
+        assert!((a - b).abs() < 0.1, "probability drifted: {a} vs {b}");
+    }
+    // The LUT run exercised the nibble ROM, not a host multiplier.
+    assert!(pipeline.bce().rom_reads() > 10_000);
+}
+
+#[test]
+fn predictions_stable_across_many_random_inputs() {
+    let net = tiny_cnn(8, 4);
+    let mut gen = WorkloadGen::new(888);
+    let weights = NetworkWeights::random(&net, &mut gen, 0.4).unwrap();
+    let pipeline = FunctionalPipeline::new().unwrap();
+
+    let mut agreements = 0;
+    const TRIALS: usize = 20;
+    for _ in 0..TRIALS {
+        let input = gen.uniform_f32(TensorShape::chw(1, 8, 8), -1.0, 1.0);
+        let r = run_sequential(&net, &weights, &input).unwrap();
+        let l = run_sequential_lut(&pipeline, &net, &weights, &input).unwrap();
+        if argmax(r.data()) == argmax(l.data()) {
+            agreements += 1;
+        }
+    }
+    // Quantization may flip near-ties occasionally; demand near-total
+    // agreement.
+    assert!(agreements >= TRIALS - 1, "only {agreements}/{TRIALS} predictions agreed");
+}
+
+#[test]
+fn sigmoid_tanh_network_through_both_paths() {
+    use pim_nn::layers::{Act, LayerOp, LayerSpec, Network};
+    // A small MLP with sigmoid and tanh layers to cover the PWL tables
+    // in network context.
+    let layers = vec![
+        LayerSpec::new("fc1", LayerOp::Linear { out_features: 12 }, TensorShape::vector(10))
+            .unwrap(),
+        LayerSpec::new("sig", LayerOp::Activation(Act::Sigmoid), TensorShape::vector(12))
+            .unwrap(),
+        LayerSpec::new("fc2", LayerOp::Linear { out_features: 8 }, TensorShape::vector(12))
+            .unwrap(),
+        LayerSpec::new("tanh", LayerOp::Activation(Act::Tanh), TensorShape::vector(8)).unwrap(),
+        LayerSpec::new("fc3", LayerOp::Linear { out_features: 3 }, TensorShape::vector(8))
+            .unwrap(),
+        LayerSpec::new("softmax", LayerOp::Activation(Act::Softmax), TensorShape::vector(3))
+            .unwrap(),
+    ];
+    let net = Network::new("mlp", layers);
+    let mut gen = WorkloadGen::new(999);
+    let weights = NetworkWeights::random(&net, &mut gen, 0.5).unwrap();
+    let input = gen.uniform_f32(TensorShape::vector(10), -1.0, 1.0);
+
+    let r = run_sequential(&net, &weights, &input).unwrap();
+    let pipeline = FunctionalPipeline::new().unwrap();
+    let l = run_sequential_lut(&pipeline, &net, &weights, &input).unwrap();
+    for (a, b) in r.data().iter().zip(l.data()) {
+        assert!((a - b).abs() < 0.08, "{a} vs {b}");
+    }
+}

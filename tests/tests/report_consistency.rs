@@ -1,0 +1,182 @@
+//! Cross-model consistency: every inference model must produce
+//! internally consistent reports on every network at every batch size.
+
+use bfree::prelude::*;
+
+fn models() -> Vec<Box<dyn InferenceModel>> {
+    vec![
+        Box::new(BfreeSimulator::new(BfreeConfig::paper_default())),
+        Box::new(NeuralCacheModel::paper_default()),
+        Box::new(EyerissModel::paper_default()),
+        Box::new(CpuModel::paper_xeon()),
+        Box::new(GpuModel::paper_titan_v()),
+    ]
+}
+
+fn all_networks() -> Vec<pim_nn::Network> {
+    let mut nets: Vec<_> =
+        networks::table2_networks().into_iter().map(|(n, _)| n).collect();
+    nets.push(networks::resnet18());
+    nets.push(networks::gru_timit());
+    nets
+}
+
+#[test]
+fn extension_networks_run_on_every_model() {
+    for model in models() {
+        for net in [networks::resnet18(), networks::gru_timit()] {
+            let report = model.run(&net, 1);
+            assert!(report.total_latency().nanoseconds() > 0.0);
+            assert!(report.total_energy().picojoules() > 0.0);
+        }
+    }
+    // ResNet-18 is lighter than Inception-v3 on BFree.
+    let sim = BfreeSimulator::new(BfreeConfig::paper_default());
+    let resnet = sim.run(&networks::resnet18(), 1);
+    let inception = sim.run(&networks::inception_v3(), 1);
+    assert!(resnet.total_latency() < inception.total_latency());
+    let _ = all_networks();
+}
+
+#[test]
+fn every_model_runs_every_network() {
+    for model in models() {
+        for (net, _) in networks::table2_networks() {
+            for batch in [1usize, 4, 16] {
+                let report = model.run(&net, batch);
+                assert!(
+                    report.total_latency().nanoseconds() > 0.0,
+                    "{} on {} b{batch} has zero latency",
+                    model.device_name(),
+                    net.name()
+                );
+                assert!(
+                    report.total_energy().picojoules() > 0.0,
+                    "{} on {} b{batch} has zero energy",
+                    model.device_name(),
+                    net.name()
+                );
+                assert_eq!(report.batch, batch);
+                assert_eq!(report.network, net.name());
+            }
+        }
+    }
+}
+
+fn mechanistic_models() -> Vec<Box<dyn InferenceModel>> {
+    vec![
+        Box::new(BfreeSimulator::new(BfreeConfig::paper_default())),
+        Box::new(NeuralCacheModel::paper_default()),
+        Box::new(EyerissModel::paper_default()),
+    ]
+}
+
+#[test]
+fn whole_batch_cost_is_monotone_in_batch() {
+    // Only the mechanistic models: the calibrated CPU/GPU devices mix
+    // measured Table III points with a roofline fallback, and the seam
+    // between the two is not monotone by construction.
+    for model in mechanistic_models() {
+        let net = networks::bert_base();
+        let mut prev_latency = 0.0;
+        let mut prev_energy = 0.0;
+        for batch in [1usize, 2, 4, 8, 16] {
+            let report = model.run(&net, batch);
+            let latency = report.total_latency().nanoseconds();
+            let energy = report.total_energy().picojoules();
+            assert!(
+                latency >= prev_latency,
+                "{} latency not monotone at batch {batch}",
+                model.device_name()
+            );
+            assert!(
+                energy >= prev_energy,
+                "{} energy not monotone at batch {batch}",
+                model.device_name()
+            );
+            prev_latency = latency;
+            prev_energy = energy;
+        }
+    }
+}
+
+#[test]
+fn per_layer_latencies_do_not_exceed_total() {
+    let sim = BfreeSimulator::new(BfreeConfig::paper_default());
+    for (net, _) in networks::table2_networks() {
+        let report = sim.run(&net, 1);
+        let per_layer_sum: f64 =
+            report.per_layer.iter().map(|l| l.latency.nanoseconds()).sum();
+        let total = report.total_latency().nanoseconds();
+        // Per-layer times cover the phases attributed to layers; the
+        // total additionally includes the configuration phase.
+        assert!(
+            per_layer_sum <= total * 1.001,
+            "{}: per-layer sum {per_layer_sum} > total {total}",
+            net.name()
+        );
+        assert!(per_layer_sum > total * 0.5, "{}: per-layer sum suspiciously small", net.name());
+    }
+}
+
+#[test]
+fn faster_memory_never_hurts_bfree() {
+    let nets = [networks::inception_v3(), networks::vgg16(), networks::bert_base()];
+    for net in &nets {
+        for batch in [1usize, 16] {
+            let mut prev = f64::INFINITY;
+            for kind in [MemoryTechKind::Dram, MemoryTechKind::Edram, MemoryTechKind::Hbm] {
+                let sim = BfreeSimulator::new(
+                    BfreeConfig::paper_default().with_memory(MemoryTech::from_kind(kind)),
+                );
+                let t = sim.run(net, batch).total_latency().nanoseconds();
+                assert!(
+                    t <= prev,
+                    "{} b{batch}: {} slower than previous tech",
+                    net.name(),
+                    kind.name()
+                );
+                prev = t;
+            }
+        }
+    }
+}
+
+#[test]
+fn bfree_beats_neural_cache_on_every_network() {
+    let bfree = BfreeSimulator::new(BfreeConfig::paper_default());
+    let nc = NeuralCacheModel::paper_default();
+    for (net, _) in networks::table2_networks() {
+        let ours = bfree.run(&net, 1);
+        let theirs = nc.run(&net, 1);
+        assert!(
+            ours.total_latency() < theirs.total_latency(),
+            "{}: BFree {} vs NC {}",
+            net.name(),
+            ours.total_latency(),
+            theirs.total_latency()
+        );
+        assert!(ours.total_energy() < theirs.total_energy(), "{} energy", net.name());
+    }
+}
+
+#[test]
+fn energy_breakdown_components_sum_to_total() {
+    let sim = BfreeSimulator::new(BfreeConfig::paper_default());
+    let report = sim.run(&networks::inception_v3(), 1);
+    let sum: f64 = EnergyComponent::ALL
+        .iter()
+        .map(|&c| report.energy.get(c).picojoules())
+        .sum();
+    assert!((sum - report.total_energy().picojoules()).abs() < 1.0);
+}
+
+#[test]
+fn phase_fractions_sum_to_one() {
+    let sim = BfreeSimulator::new(BfreeConfig::paper_default());
+    for batch in [1usize, 16] {
+        let report = sim.run(&networks::vgg16(), batch);
+        let sum: f64 = Phase::ALL.iter().map(|&p| report.latency.fraction(p)).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "batch {batch}: fractions sum {sum}");
+    }
+}

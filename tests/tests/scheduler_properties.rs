@@ -1,0 +1,91 @@
+//! Property tests over the scheduling and program substrates: the ring,
+//! kernel programs and the attention scheduler must satisfy their
+//! invariants for arbitrary parameters, not just the paper's.
+
+use bfree::AttentionSchedule;
+use pim_arch::ring::RingInterconnect;
+use pim_arch::Bytes;
+use pim_bce::{ConfigBlock, KernelProgram, PimOp, Precision};
+use pim_nn::networks::BertConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ring_hops_are_symmetric_and_bounded(
+        slices in 2usize..32,
+        from in 0usize..32,
+        to in 0usize..32,
+    ) {
+        prop_assume!(from < slices && to < slices);
+        let ring = RingInterconnect { slices, ..RingInterconnect::paper_default() };
+        let forward = ring.hops_between(from, to);
+        let backward = ring.hops_between(to, from);
+        prop_assert_eq!(forward, backward);
+        prop_assert!(forward <= ring.diameter());
+    }
+
+    #[test]
+    fn ring_transfer_monotone_in_payload(
+        slices in 2usize..16,
+        kib in 1u64..512,
+    ) {
+        let ring = RingInterconnect { slices, ..RingInterconnect::paper_default() };
+        let small = ring.transfer_time(Bytes::from_kib(kib), 0, 1);
+        let large = ring.transfer_time(Bytes::from_kib(kib * 2), 0, 1);
+        prop_assert!(large > small);
+        let (t1, e1) = ring.broadcast(Bytes::from_kib(kib));
+        let (t2, e2) = ring.broadcast(Bytes::from_kib(kib * 2));
+        prop_assert!(t2 > t1);
+        prop_assert!(e2 > e1);
+    }
+
+    #[test]
+    fn kernel_program_total_is_sum_of_instructions(
+        lengths in proptest::collection::vec(1u32..256, 1..12),
+    ) {
+        let mut program = KernelProgram::new();
+        for &len in &lengths {
+            program = program.push(ConfigBlock::new(
+                PimOp::Conv { length: len },
+                Precision::Int8,
+                1,
+                2,
+                63,
+            ));
+        }
+        let (timings, total) = program.execute();
+        prop_assert_eq!(timings.len(), lengths.len());
+        let sum: u64 = timings.iter().map(|t| t.end - t.start).sum();
+        prop_assert_eq!(sum, total.count());
+        // Windows tile the timeline without gaps or overlap.
+        for pair in timings.windows(2) {
+            prop_assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn attention_schedule_invariants_hold_for_any_throughput(
+        matmul in 100.0f64..100_000.0,
+        softmax in 1.0f64..10_000.0,
+    ) {
+        let s = AttentionSchedule::plan(&BertConfig::base(), matmul, softmax);
+        // Overlap never loses to serial, and never beats the critical
+        // path.
+        prop_assert!(s.overlapped_cycles <= s.serial_cycles);
+        let critical: u64 = ["Q", "P", "P'", "O", "out-proj"]
+            .iter()
+            .map(|n| {
+                let (start, end) = s.window(n).unwrap();
+                end - start
+            })
+            .sum();
+        prop_assert!(s.overlapped_cycles >= critical);
+        // Dependencies respected for every task.
+        for (task, start, _) in &s.timeline {
+            for dep in &task.deps {
+                let (_, dep_end) = s.window(dep).unwrap();
+                prop_assert!(*start >= dep_end, "{} started before {}", task.name, dep);
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! A full transformer encoder block — attention, residual adds, layer
+//! norm, feed-forward with GELU — executed value-level through the LUT
+//! datapath and checked against the f32 reference (the paper's Fig. 10
+//! dataflow, §IV-B2).
+
+use bfree::functional::FunctionalPipeline;
+use pim_nn::reference::{self, AttentionWeights};
+use pim_nn::tensor::{Tensor, TensorShape};
+use pim_nn::workload::WorkloadGen;
+
+struct EncoderWeights {
+    attention: AttentionWeights,
+    ff_w1: Tensor<f32>, // (hidden, inner)
+    ff_w2: Tensor<f32>, // (inner, hidden)
+    ln1: (Vec<f32>, Vec<f32>),
+    ln2: (Vec<f32>, Vec<f32>),
+}
+
+fn make_weights(gen: &mut WorkloadGen, hidden: usize, inner: usize) -> EncoderWeights {
+    let square = |gen: &mut WorkloadGen| {
+        gen.uniform_f32(TensorShape::new(vec![hidden, hidden]), -0.25, 0.25)
+    };
+    EncoderWeights {
+        attention: AttentionWeights {
+            w_q: square(gen),
+            w_k: square(gen),
+            w_v: square(gen),
+            w_o: square(gen),
+        },
+        ff_w1: gen.uniform_f32(TensorShape::new(vec![hidden, inner]), -0.2, 0.2),
+        ff_w2: gen.uniform_f32(TensorShape::new(vec![inner, hidden]), -0.2, 0.2),
+        ln1: (vec![1.0; hidden], vec![0.0; hidden]),
+        ln2: (vec![1.0; hidden], vec![0.0; hidden]),
+    }
+}
+
+/// The attention sub-block via the LUT pipeline (projections through
+/// quantized matmul tiles, softmax through the exp/division LUTs).
+fn attention_lut(
+    pipeline: &FunctionalPipeline,
+    input: &Tensor<f32>,
+    w: &AttentionWeights,
+    heads: usize,
+) -> Tensor<f32> {
+    let dims = input.shape().dims();
+    let (seq, hidden) = (dims[0], dims[1]);
+    let head_dim = hidden / heads;
+    let q = pipeline.matmul(input, &w.w_q).unwrap();
+    let k = pipeline.matmul(input, &w.w_k).unwrap();
+    let v = pipeline.matmul(input, &w.w_v).unwrap();
+    let mut context = Tensor::zeros(TensorShape::new(vec![seq, hidden]));
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    for head in 0..heads {
+        let base = head * head_dim;
+        for i in 0..seq {
+            let scores: Vec<f32> = (0..seq)
+                .map(|j| {
+                    (0..head_dim)
+                        .map(|d| q.data()[i * hidden + base + d] * k.data()[j * hidden + base + d])
+                        .sum::<f32>()
+                        * scale
+                })
+                .collect();
+            let probs = pipeline.softmax(&scores).unwrap();
+            for d in 0..head_dim {
+                let acc: f64 = (0..seq)
+                    .map(|j| probs[j] * v.data()[j * hidden + base + d] as f64)
+                    .sum();
+                context.data_mut()[i * hidden + base + d] = acc as f32;
+            }
+        }
+    }
+    pipeline.matmul(&context, &w.w_o).unwrap()
+}
+
+fn add(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
+    Tensor::from_vec(a.shape().clone(), data).unwrap()
+}
+
+fn encoder_block_lut(
+    pipeline: &FunctionalPipeline,
+    input: &Tensor<f32>,
+    w: &EncoderWeights,
+    heads: usize,
+) -> Tensor<f32> {
+    let attn = attention_lut(pipeline, input, &w.attention, heads);
+    let x = add(input, &attn);
+    let x = reference::layer_norm(&x, &w.ln1.0, &w.ln1.1, 1e-5).unwrap();
+
+    // Feed-forward with GELU approximated via the tanh LUT.
+    let h1 = pipeline.matmul(&x, &w.ff_w1).unwrap();
+    let tanh_arg: Vec<f32> = h1
+        .data()
+        .iter()
+        .map(|&v| (2.0f32 / std::f32::consts::PI).sqrt() * (v + 0.044715 * v * v * v))
+        .collect();
+    let tanh_out = pipeline.tanh(&tanh_arg);
+    let gelu: Vec<f32> = h1
+        .data()
+        .iter()
+        .zip(tanh_out.iter())
+        .map(|(&v, &t)| 0.5 * v * (1.0 + t as f32))
+        .collect();
+    let h1 = Tensor::from_vec(h1.shape().clone(), gelu).unwrap();
+    let h2 = pipeline.matmul(&h1, &w.ff_w2).unwrap();
+    let x = add(&x, &h2);
+    reference::layer_norm(&x, &w.ln2.0, &w.ln2.1, 1e-5).unwrap()
+}
+
+fn encoder_block_reference(
+    input: &Tensor<f32>,
+    w: &EncoderWeights,
+    heads: usize,
+) -> Tensor<f32> {
+    let attn = reference::self_attention(input, &w.attention, heads).unwrap();
+    let x = add(input, &attn);
+    let x = reference::layer_norm(&x, &w.ln1.0, &w.ln1.1, 1e-5).unwrap();
+    let h1 = reference::matmul(&x, &w.ff_w1).unwrap();
+    let h1g: Vec<f32> = h1.data().iter().map(|&v| reference::gelu(v)).collect();
+    let h1 = Tensor::from_vec(h1.shape().clone(), h1g).unwrap();
+    let h2 = reference::matmul(&h1, &w.ff_w2).unwrap();
+    let x = add(&x, &h2);
+    reference::layer_norm(&x, &w.ln2.0, &w.ln2.1, 1e-5).unwrap()
+}
+
+#[test]
+fn encoder_block_through_lut_datapath_tracks_reference() {
+    let (seq, hidden, inner, heads) = (6, 16, 32, 4);
+    let mut gen = WorkloadGen::new(31415);
+    let input = gen.uniform_f32(TensorShape::new(vec![seq, hidden]), -1.0, 1.0);
+    let weights = make_weights(&mut gen, hidden, inner);
+    let pipeline = FunctionalPipeline::new().unwrap();
+
+    let lut_out = encoder_block_lut(&pipeline, &input, &weights, heads);
+    let ref_out = encoder_block_reference(&input, &weights, heads);
+
+    // Post-layer-norm outputs are O(1); the accumulated quantization and
+    // PWL error across four matmuls, a softmax and a GELU stays small.
+    let mut worst = 0.0f32;
+    for (a, b) in lut_out.data().iter().zip(ref_out.data()) {
+        worst = worst.max((a - b).abs());
+    }
+    assert!(worst < 0.35, "max deviation {worst}");
+
+    // Correlation check: the two outputs must be essentially the same
+    // signal, not merely bounded.
+    let n = lut_out.len() as f32;
+    let mean_a: f32 = lut_out.data().iter().sum::<f32>() / n;
+    let mean_b: f32 = ref_out.data().iter().sum::<f32>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (a, b) in lut_out.data().iter().zip(ref_out.data()) {
+        cov += (a - mean_a) * (b - mean_b);
+        var_a += (a - mean_a) * (a - mean_a);
+        var_b += (b - mean_b) * (b - mean_b);
+    }
+    let corr = cov / (var_a.sqrt() * var_b.sqrt());
+    assert!(corr > 0.995, "correlation {corr}");
+}
+
+#[test]
+fn gru_cell_through_lut_datapath_tracks_reference() {
+    use pim_nn::reference::GruWeights;
+    let (input_w, hidden) = (5usize, 8usize);
+    let mut gen = WorkloadGen::new(2718);
+    let weights = GruWeights {
+        w_input: gen.uniform_f32(TensorShape::new(vec![3 * hidden, input_w]), -0.4, 0.4),
+        w_hidden: gen.uniform_f32(TensorShape::new(vec![3 * hidden, hidden]), -0.4, 0.4),
+        bias: gen.vector_f32(3 * hidden, -0.1, 0.1),
+    };
+    let x = gen.vector_f32(input_w, -1.0, 1.0);
+    let h = gen.vector_f32(hidden, -0.5, 0.5);
+
+    let pipeline = FunctionalPipeline::new().unwrap();
+    let gx = pipeline.linear(&x, &weights.w_input, &weights.bias).unwrap();
+    let zero = vec![0.0f32; 3 * hidden];
+    let gh = pipeline.linear(&h, &weights.w_hidden, &zero).unwrap();
+    let r_in: Vec<f32> = (0..hidden).map(|j| gx[j] + gh[j]).collect();
+    let z_in: Vec<f32> = (0..hidden).map(|j| gx[hidden + j] + gh[hidden + j]).collect();
+    let r = pipeline.sigmoid(&r_in);
+    let z = pipeline.sigmoid(&z_in);
+    let n_in: Vec<f32> = (0..hidden)
+        .map(|j| gx[2 * hidden + j] + r[j] as f32 * gh[2 * hidden + j])
+        .collect();
+    let n = pipeline.tanh(&n_in);
+    let h_next: Vec<f64> = (0..hidden)
+        .map(|j| (1.0 - z[j]) * n[j] + z[j] * h[j] as f64)
+        .collect();
+
+    let reference_h = reference::gru_cell(&x, &h, &weights).unwrap();
+    for j in 0..hidden {
+        assert!(
+            (h_next[j] - reference_h[j] as f64).abs() < 0.05,
+            "h[{j}]: {} vs {}",
+            h_next[j],
+            reference_h[j]
+        );
+    }
+}
