@@ -49,7 +49,11 @@ impl SubarrayId {
     ) -> Result<Self, ArchError> {
         let bound = |field: &'static str, value: usize, bound: usize| {
             if value >= bound {
-                Err(ArchError::InvalidCoordinate { field, value, bound })
+                Err(ArchError::InvalidCoordinate {
+                    field,
+                    value,
+                    bound,
+                })
             } else {
                 Ok(())
             }
@@ -58,7 +62,12 @@ impl SubarrayId {
         bound("bank", bank, geom.banks_per_slice())?;
         bound("subbank", subbank, geom.subbanks_per_bank())?;
         bound("subarray", subarray, geom.subarrays_per_subbank())?;
-        Ok(SubarrayId { slice, bank, subbank, subarray })
+        Ok(SubarrayId {
+            slice,
+            bank,
+            subbank,
+            subarray,
+        })
     }
 
     /// Creates a coordinate from a flat index in `0..total_subarrays()`.
@@ -84,7 +93,12 @@ impl SubarrayId {
         let rem = rem % per_bank;
         let subbank = rem / per_subbank;
         let subarray = rem % per_subbank;
-        Ok(SubarrayId { slice, bank, subbank, subarray })
+        Ok(SubarrayId {
+            slice,
+            bank,
+            subbank,
+            subarray,
+        })
     }
 
     /// Flat index of this subarray in `0..total_subarrays()`, ordering by
@@ -158,7 +172,12 @@ impl CacheAddress {
         let slice = (addr / n_bank) as usize;
 
         Ok(CacheAddress {
-            subarray: SubarrayId { slice, bank, subbank, subarray },
+            subarray: SubarrayId {
+                slice,
+                bank,
+                subbank,
+                subarray,
+            },
             partition,
             row,
             byte_in_row,
@@ -189,7 +208,15 @@ mod tests {
     #[test]
     fn address_zero_is_origin() {
         let a = CacheAddress::decompose(&geom(), 0).unwrap();
-        assert_eq!(a.subarray, SubarrayId { slice: 0, bank: 0, subbank: 0, subarray: 0 });
+        assert_eq!(
+            a.subarray,
+            SubarrayId {
+                slice: 0,
+                bank: 0,
+                subbank: 0,
+                subarray: 0
+            }
+        );
         assert_eq!((a.partition, a.row, a.byte_in_row), (0, 0, 0));
     }
 

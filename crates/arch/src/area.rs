@@ -107,8 +107,7 @@ impl AreaModel {
         };
         // LUT precharge circuitry scales with the subarray area share.
         let lut_slice_overhead = lut_subarray_overhead * self.subarray_area_fraction;
-        let per_slice =
-            lut_slice_overhead + self.bce_slice_overhead + self.router_slice_overhead;
+        let per_slice = lut_slice_overhead + self.bce_slice_overhead + self.router_slice_overhead;
         let total = per_slice + self.controller_cache_overhead;
 
         let conventional_cache_mm2 = self.slice_area_mm2 * geom.slices() as f64;

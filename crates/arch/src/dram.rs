@@ -25,8 +25,11 @@ pub enum MemoryTechKind {
 
 impl MemoryTechKind {
     /// All technologies, in Fig. 14 order.
-    pub const ALL: [MemoryTechKind; 3] =
-        [MemoryTechKind::Dram, MemoryTechKind::Edram, MemoryTechKind::Hbm];
+    pub const ALL: [MemoryTechKind; 3] = [
+        MemoryTechKind::Dram,
+        MemoryTechKind::Edram,
+        MemoryTechKind::Hbm,
+    ];
 
     /// Human-readable name.
     pub fn name(self) -> &'static str {
@@ -62,18 +65,30 @@ impl MemoryTech {
     /// (calibration note: chosen so DRAM weight loading is ~80% of BFree's
     /// Inception-v3 energy, §V-D; see DESIGN.md §4).
     pub fn dram() -> Self {
-        MemoryTech { kind: MemoryTechKind::Dram, bandwidth_gbps: 20.0, pj_per_bit: 180.0 }
+        MemoryTech {
+            kind: MemoryTechKind::Dram,
+            bandwidth_gbps: 20.0,
+            pj_per_bit: 180.0,
+        }
     }
 
     /// eDRAM: 64 GB/s (Fig. 14), on-package so roughly 3x cheaper per bit.
     pub fn edram() -> Self {
-        MemoryTech { kind: MemoryTechKind::Edram, bandwidth_gbps: 64.0, pj_per_bit: 50.0 }
+        MemoryTech {
+            kind: MemoryTechKind::Edram,
+            bandwidth_gbps: 64.0,
+            pj_per_bit: 50.0,
+        }
     }
 
     /// HBM: 100 GB/s (Fig. 14), ~4 pJ/bit-class I/O grossed up for device
     /// energy.
     pub fn hbm() -> Self {
-        MemoryTech { kind: MemoryTechKind::Hbm, bandwidth_gbps: 100.0, pj_per_bit: 35.0 }
+        MemoryTech {
+            kind: MemoryTechKind::Hbm,
+            bandwidth_gbps: 100.0,
+            pj_per_bit: 35.0,
+        }
     }
 
     /// Builds the model for a [`MemoryTechKind`].
@@ -91,8 +106,10 @@ impl MemoryTech {
     ///
     /// Returns [`ArchError::InvalidParameter`] otherwise.
     pub fn validate(&self) -> Result<(), ArchError> {
-        for (name, v) in [("bandwidth_gbps", self.bandwidth_gbps), ("pj_per_bit", self.pj_per_bit)]
-        {
+        for (name, v) in [
+            ("bandwidth_gbps", self.bandwidth_gbps),
+            ("pj_per_bit", self.pj_per_bit),
+        ] {
             if !(v > 0.0 && v.is_finite()) {
                 return Err(ArchError::InvalidParameter {
                     parameter: name,
@@ -166,7 +183,10 @@ mod tests {
 
     #[test]
     fn invalid_bandwidth_rejected() {
-        let m = MemoryTech { bandwidth_gbps: 0.0, ..MemoryTech::dram() };
+        let m = MemoryTech {
+            bandwidth_gbps: 0.0,
+            ..MemoryTech::dram()
+        };
         assert!(m.validate().is_err());
     }
 

@@ -83,7 +83,10 @@ impl EnergyParams {
             }
         }
         for (name, v) in [
-            ("interconnect_energy_fraction", self.interconnect_energy_fraction),
+            (
+                "interconnect_energy_fraction",
+                self.interconnect_energy_fraction,
+            ),
             ("subarray_energy_fraction", self.subarray_energy_fraction),
         ] {
             if !(0.0..=1.0).contains(&v) {
@@ -249,13 +252,19 @@ mod tests {
 
     #[test]
     fn negative_constant_rejected() {
-        let e = EnergyParams { bce_rom_mac_pj: -1.0, ..EnergyParams::default() };
+        let e = EnergyParams {
+            bce_rom_mac_pj: -1.0,
+            ..EnergyParams::default()
+        };
         assert!(e.validate().is_err());
     }
 
     #[test]
     fn fraction_over_one_rejected() {
-        let e = EnergyParams { subarray_energy_fraction: 0.2, ..EnergyParams::default() };
+        let e = EnergyParams {
+            subarray_energy_fraction: 0.2,
+            ..EnergyParams::default()
+        };
         assert!(e.validate().is_err());
     }
 }

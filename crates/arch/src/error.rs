@@ -52,7 +52,11 @@ impl fmt::Display for ArchError {
                     "address {address:#x} out of range for cache of {capacity} bytes"
                 )
             }
-            ArchError::InvalidCoordinate { field, value, bound } => {
+            ArchError::InvalidCoordinate {
+                field,
+                value,
+                bound,
+            } => {
                 write!(f, "coordinate {field}={value} out of range (< {bound})")
             }
             ArchError::InvalidParameter { parameter, reason } => {

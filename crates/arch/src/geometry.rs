@@ -100,15 +100,33 @@ impl CacheGeometry {
     /// 64 bits and 2 LUT rows per partition (8 LUT rows per subarray,
     /// 64 one-byte LUT entries).
     pub fn xeon_l3_35mb() -> Self {
-        CacheGeometry::new(14, 4, 10, 8, 4, 256, 64, 2)
-            .expect("static geometry is valid")
+        CacheGeometry::new(14, 4, 10, 8, 4, 256, 64, 2).expect("static geometry is valid")
     }
 
     /// A single 2.5 MB slice, the iso-area unit used in the Eyeriss
     /// comparison (paper §V-D).
     pub fn single_slice_2_5mb() -> Self {
-        CacheGeometry::new(1, 4, 10, 8, 4, 256, 64, 2)
-            .expect("static geometry is valid")
+        CacheGeometry::new(1, 4, 10, 8, 4, 256, 64, 2).expect("static geometry is valid")
+    }
+
+    /// The same slice organisation with a different slice count: the
+    /// partial-cache geometry a tenant sees when a slice-pool allocator
+    /// grants it `slices` of the cache's slices (serving layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidGeometry`] when `slices` is zero.
+    pub fn with_slices(&self, slices: usize) -> Result<Self, ArchError> {
+        CacheGeometry::new(
+            slices,
+            self.banks_per_slice,
+            self.subbanks_per_bank,
+            self.subarrays_per_subbank,
+            self.partitions_per_subarray,
+            self.rows_per_partition,
+            self.bits_per_row,
+            self.lut_rows_per_partition,
+        )
     }
 
     /// Number of slices in the cache.
@@ -270,7 +288,13 @@ mod tests {
     #[test]
     fn zero_parameter_rejected() {
         let err = CacheGeometry::new(0, 4, 10, 8, 4, 256, 64, 2).unwrap_err();
-        assert!(matches!(err, ArchError::InvalidGeometry { parameter: "slices", .. }));
+        assert!(matches!(
+            err,
+            ArchError::InvalidGeometry {
+                parameter: "slices",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -278,7 +302,10 @@ mod tests {
         let err = CacheGeometry::new(1, 1, 1, 1, 1, 4, 64, 4).unwrap_err();
         assert!(matches!(
             err,
-            ArchError::InvalidGeometry { parameter: "lut_rows_per_partition", .. }
+            ArchError::InvalidGeometry {
+                parameter: "lut_rows_per_partition",
+                ..
+            }
         ));
     }
 

@@ -36,7 +36,12 @@ pub struct RingInterconnect {
 impl RingInterconnect {
     /// The paper platform: 14 stops, 32-byte links at a ~3 GHz uncore.
     pub fn paper_default() -> Self {
-        RingInterconnect { slices: 14, hop_ns: 0.33, hop_pj_per_byte: 0.8, link_bytes: 32 }
+        RingInterconnect {
+            slices: 14,
+            hop_ns: 0.33,
+            hop_pj_per_byte: 0.8,
+            link_bytes: 32,
+        }
     }
 
     /// Validates the parameters.
@@ -51,7 +56,10 @@ impl RingInterconnect {
                 reason: "ring needs at least one stop".to_string(),
             });
         }
-        for (name, v) in [("hop_ns", self.hop_ns), ("hop_pj_per_byte", self.hop_pj_per_byte)] {
+        for (name, v) in [
+            ("hop_ns", self.hop_ns),
+            ("hop_pj_per_byte", self.hop_pj_per_byte),
+        ] {
             if !(v > 0.0 && v.is_finite()) {
                 return Err(ArchError::InvalidParameter {
                     parameter: name,
@@ -74,7 +82,10 @@ impl RingInterconnect {
     ///
     /// Panics when either index is out of range.
     pub fn hops_between(&self, from: usize, to: usize) -> usize {
-        assert!(from < self.slices && to < self.slices, "slice index out of range");
+        assert!(
+            from < self.slices && to < self.slices,
+            "slice index out of range"
+        );
         let clockwise = (to + self.slices - from) % self.slices;
         clockwise.min(self.slices - clockwise)
     }
@@ -104,11 +115,9 @@ impl RingInterconnect {
     /// serialization, while energy pays every link once.
     pub fn broadcast(&self, bytes: Bytes) -> (Latency, Energy) {
         let flits = bytes.get().div_ceil(self.link_bytes) as f64;
-        let time =
-            Latency::from_ns(self.diameter() as f64 * self.hop_ns + flits * self.hop_ns);
-        let energy = Energy::from_pj(
-            bytes.get() as f64 * self.hop_pj_per_byte * (self.slices - 1) as f64,
-        );
+        let time = Latency::from_ns(self.diameter() as f64 * self.hop_ns + flits * self.hop_ns);
+        let energy =
+            Energy::from_pj(bytes.get() as f64 * self.hop_pj_per_byte * (self.slices - 1) as f64);
         (time, energy)
     }
 
@@ -118,8 +127,7 @@ impl RingInterconnect {
     pub fn gather(&self, bytes_per_slice: Bytes) -> (Latency, Energy) {
         let total = Bytes::new(bytes_per_slice.get() * (self.slices as u64 - 1));
         let flits = total.get().div_ceil(self.link_bytes) as f64;
-        let time =
-            Latency::from_ns(self.diameter() as f64 * self.hop_ns + flits * self.hop_ns);
+        let time = Latency::from_ns(self.diameter() as f64 * self.hop_ns + flits * self.hop_ns);
         // Average distance is ~diameter/2.
         let energy = Energy::from_pj(
             total.get() as f64 * self.hop_pj_per_byte * (self.diameter() as f64 / 2.0).max(1.0),

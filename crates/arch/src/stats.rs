@@ -213,7 +213,13 @@ impl fmt::Display for LatencyBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "total {}", self.total())?;
         for (phase, lat) in self.iter() {
-            write!(f, ", {} {} ({:.1}%)", phase, lat, self.fraction(phase) * 100.0)?;
+            write!(
+                f,
+                ", {} {} ({:.1}%)",
+                phase,
+                lat,
+                self.fraction(phase) * 100.0
+            )?;
         }
         Ok(())
     }
@@ -258,9 +264,7 @@ impl EnergyBreakdown {
 
     /// Total excluding one component (Fig. 12(d) excludes DRAM).
     pub fn total_excluding(&self, component: EnergyComponent) -> Energy {
-        Energy::from_pj(
-            self.entries.iter().sum::<f64>() - self.entries[component.index()],
-        )
+        Energy::from_pj(self.entries.iter().sum::<f64>() - self.entries[component.index()])
     }
 
     /// Fraction of the total in one component (0 when the total is 0).
@@ -274,11 +278,7 @@ impl EnergyBreakdown {
     }
 
     /// Fraction of the total excluding `excluded` held by `component`.
-    pub fn fraction_excluding(
-        &self,
-        component: EnergyComponent,
-        excluded: EnergyComponent,
-    ) -> f64 {
+    pub fn fraction_excluding(&self, component: EnergyComponent, excluded: EnergyComponent) -> f64 {
         let total = self.total_excluding(excluded).picojoules();
         if total == 0.0 {
             0.0

@@ -125,7 +125,12 @@ impl SubarrayStorage {
     /// # Errors
     ///
     /// As [`SubarrayStorage::read_row`], plus a length check.
-    pub fn write_row(&mut self, partition: usize, row: usize, bytes: &[u8]) -> Result<(), ArchError> {
+    pub fn write_row(
+        &mut self,
+        partition: usize,
+        row: usize,
+        bytes: &[u8],
+    ) -> Result<(), ArchError> {
         if self.is_lut_row(row) {
             return Err(ArchError::InvalidCoordinate {
                 field: "row (lut region)",
@@ -206,7 +211,10 @@ impl SubarrayStorage {
         if image.len() > capacity {
             return Err(ArchError::InvalidParameter {
                 parameter: "lut image",
-                reason: format!("{} bytes exceed the {capacity}-byte LUT region", image.len()),
+                reason: format!(
+                    "{} bytes exceed the {capacity}-byte LUT region",
+                    image.len()
+                ),
             });
         }
         for (i, chunk) in image.chunks(self.row_bytes).enumerate() {

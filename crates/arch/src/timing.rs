@@ -66,9 +66,15 @@ impl TimingParams {
         positive("subarray_clock_ghz", self.subarray_clock_ghz)?;
         positive("slice_access_ns", self.slice_access_ns)?;
         positive("fast_lut_speedup", self.fast_lut_speedup)?;
-        positive("bitline_compute_clock_derate", self.bitline_compute_clock_derate)?;
+        positive(
+            "bitline_compute_clock_derate",
+            self.bitline_compute_clock_derate,
+        )?;
         for (name, v) in [
-            ("interconnect_latency_fraction", self.interconnect_latency_fraction),
+            (
+                "interconnect_latency_fraction",
+                self.interconnect_latency_fraction,
+            ),
             ("subarray_latency_fraction", self.subarray_latency_fraction),
         ] {
             if !(0.0..=1.0).contains(&v) {
@@ -230,10 +236,15 @@ mod tests {
 
     #[test]
     fn invalid_clock_rejected() {
-        let t = TimingParams { subarray_clock_ghz: 0.0, ..TimingParams::default() };
+        let t = TimingParams {
+            subarray_clock_ghz: 0.0,
+            ..TimingParams::default()
+        };
         assert!(t.validate().is_err());
-        let t =
-            TimingParams { bitline_compute_clock_derate: 1.5, ..TimingParams::default() };
+        let t = TimingParams {
+            bitline_compute_clock_derate: 1.5,
+            ..TimingParams::default()
+        };
         assert!(t.validate().is_err());
     }
 }

@@ -154,7 +154,9 @@ impl Latency {
 /// // 1.5M cycles at 1.5 GHz is one millisecond.
 /// assert!((c.at_ghz(1.5).milliseconds() - 1.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Cycles(u64);
 
 impl Cycles {
@@ -188,7 +190,9 @@ impl Cycles {
 /// use pim_arch::Bytes;
 /// assert_eq!(Bytes::from_mib(8).get(), 8 * 1024 * 1024);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Bytes(u64);
 
 impl Bytes {

@@ -51,7 +51,13 @@ impl CalibratedDevice {
         batch_saturation: f64,
         power_w: f64,
     ) -> Self {
-        CalibratedDevice { name: name.into(), entries, peak_gmacs, batch_saturation, power_w }
+        CalibratedDevice {
+            name: name.into(),
+            entries,
+            peak_gmacs,
+            batch_saturation,
+            power_w,
+        }
     }
 
     /// Effective throughput at a batch size (GMACs/s).
@@ -61,7 +67,9 @@ impl CalibratedDevice {
     }
 
     fn lookup(&self, network: &str, batch: usize) -> Option<&CalibEntry> {
-        self.entries.iter().find(|e| e.network == network && e.batch == batch)
+        self.entries
+            .iter()
+            .find(|e| e.network == network && e.batch == batch)
     }
 }
 
@@ -73,7 +81,10 @@ impl InferenceModel for CalibratedDevice {
     fn run(&self, network: &Network, batch: usize) -> RunReport {
         let batch = batch.max(1);
         let (latency_ms, energy_j) = match self.lookup(network.name(), batch) {
-            Some(entry) => (entry.latency_ms * batch as f64, entry.energy_j * batch as f64),
+            Some(entry) => (
+                entry.latency_ms * batch as f64,
+                entry.energy_j * batch as f64,
+            ),
             None => {
                 let macs = network.total_macs() as f64 * batch as f64;
                 let seconds = macs / (self.throughput_gmacs(batch) * 1e9);
@@ -148,7 +159,12 @@ impl GpuModel {
 }
 
 fn entry(network: &str, batch: usize, latency_ms: f64, energy_j: f64) -> CalibEntry {
-    CalibEntry { network: network.to_string(), batch, latency_ms, energy_j }
+    CalibEntry {
+        network: network.to_string(),
+        batch,
+        latency_ms,
+        energy_j,
+    }
 }
 
 #[cfg(test)]
@@ -188,8 +204,7 @@ mod tests {
         let cpu = CpuModel::paper_xeon();
         let net = networks::vgg16();
         let report = cpu.run(&net, 16);
-        let expected_s =
-            net.total_macs() as f64 * 16.0 / (cpu.throughput_gmacs(16) * 1e9);
+        let expected_s = net.total_macs() as f64 * 16.0 / (cpu.throughput_gmacs(16) * 1e9);
         assert!((report.total_latency().seconds() - expected_s).abs() < 1e-9);
     }
 

@@ -10,8 +10,8 @@
 //! arrive over the same DRAM as BFree.
 
 use pim_arch::{
-    Bytes, Cycles, Energy, EnergyBreakdown, EnergyComponent, Latency, LatencyBreakdown,
-    MemoryTech, Phase,
+    Bytes, Cycles, Energy, EnergyBreakdown, EnergyComponent, Latency, LatencyBreakdown, MemoryTech,
+    Phase,
 };
 use pim_nn::{LayerOp, Network};
 use serde::{Deserialize, Serialize};

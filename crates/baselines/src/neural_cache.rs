@@ -92,8 +92,7 @@ impl NeuralCacheModel {
     /// Compute passes needed for `macs` multiplies: each pass retires one
     /// MAC on every lane of every active subarray.
     fn passes(&self, macs: u64) -> u64 {
-        let active =
-            (self.geom.total_subarrays() as f64 * self.utilization).max(1.0) as u64;
+        let active = (self.geom.total_subarrays() as f64 * self.utilization).max(1.0) as u64;
         macs.div_ceil(self.lanes() * active)
     }
 
@@ -116,8 +115,7 @@ impl InferenceModel for NeuralCacheModel {
         let mut energy = EnergyBreakdown::new();
         let mut per_layer = Vec::new();
 
-        let active_subarrays =
-            (self.geom.total_subarrays() as f64 * self.utilization).max(1.0);
+        let active_subarrays = (self.geom.total_subarrays() as f64 * self.utilization).max(1.0);
 
         for layer in network.layers() {
             let macs = layer.macs() * batch;
@@ -144,9 +142,8 @@ impl InferenceModel for NeuralCacheModel {
                 let t_load = pim_arch::Cycles::new(passes * self.load_cycles_per_pass)
                     .at_ghz(self.timing.subarray_clock_ghz);
                 latency.add(Phase::InputLoad, t_load);
-                let t_reduce =
-                    pim_arch::Cycles::new(passes * self.reduction_cycles_per_pass)
-                        .at_ghz(self.timing.subarray_clock_ghz);
+                let t_reduce = pim_arch::Cycles::new(passes * self.reduction_cycles_per_pass)
+                    .at_ghz(self.timing.subarray_clock_ghz);
                 latency.add(Phase::Reduction, t_reduce);
                 layer_latency += t_load + t_reduce;
 
@@ -168,7 +165,10 @@ impl InferenceModel for NeuralCacheModel {
                 let line_bytes = 64u64;
                 let lines = (layer.input_elements() * batch).div_ceil(line_bytes)
                     + (layer.output_elements() * batch).div_ceil(line_bytes);
-                energy.add(EnergyComponent::Interconnect, self.energy.slice_access() * lines);
+                energy.add(
+                    EnergyComponent::Interconnect,
+                    self.energy.slice_access() * lines,
+                );
             }
 
             if layer.macs() > 0 || layer.is_weight_layer() {
@@ -183,7 +183,8 @@ impl InferenceModel for NeuralCacheModel {
         // Controllers run for the whole execution.
         energy.add(
             EnergyComponent::Controller,
-            self.energy.controller_static(latency.total(), self.geom.slices()),
+            self.energy
+                .controller_static(latency.total(), self.geom.slices()),
         );
 
         RunReport {
@@ -227,8 +228,7 @@ mod tests {
         let exec = report.latency.get(Phase::Compute)
             + report.latency.get(Phase::InputLoad)
             + report.latency.get(Phase::Reduction);
-        let overhead =
-            report.latency.get(Phase::InputLoad) + report.latency.get(Phase::Reduction);
+        let overhead = report.latency.get(Phase::InputLoad) + report.latency.get(Phase::Reduction);
         let frac = overhead.nanoseconds() / exec.nanoseconds();
         assert!((0.2..0.45).contains(&frac), "overhead fraction {frac}");
     }

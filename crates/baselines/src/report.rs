@@ -55,12 +55,16 @@ impl RunReport {
 
     /// Speedup of this run over another run of the same work.
     pub fn speedup_over(&self, other: &RunReport) -> f64 {
-        other.per_inference_latency().ratio(self.per_inference_latency())
+        other
+            .per_inference_latency()
+            .ratio(self.per_inference_latency())
     }
 
     /// Energy-efficiency gain of this run over another.
     pub fn energy_gain_over(&self, other: &RunReport) -> f64 {
-        other.per_inference_energy().ratio(self.per_inference_energy())
+        other
+            .per_inference_energy()
+            .ratio(self.per_inference_energy())
     }
 }
 

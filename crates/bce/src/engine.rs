@@ -10,9 +10,7 @@
 //! (products via the nibble ROM or the subarray multiply LUT) and return
 //! [`BceStats`] event counts for the cost model.
 
-use pim_lut::{
-    DivLut, LutError, LutMultiplier, OpCost, PwlFunction, PwlTable, SoftmaxEngine,
-};
+use pim_lut::{DivLut, LutError, LutMultiplier, OpCost, PwlFunction, PwlTable, SoftmaxEngine};
 use serde::{Deserialize, Serialize};
 
 use crate::isa::{ActivationKind, Precision};
@@ -175,7 +173,13 @@ impl Bce {
                 let p = if sign { -(mag as i32) } else { mag as i32 };
                 (
                     p as i16,
-                    OpCost { rom_reads: 4, adds: 3, shifts: 2, cycles: 2, ..OpCost::ZERO },
+                    OpCost {
+                        rom_reads: 4,
+                        adds: 3,
+                        shifts: 2,
+                        cycles: 2,
+                        ..OpCost::ZERO
+                    },
                 )
             }
         }
@@ -188,7 +192,14 @@ impl Bce {
             MulPath::HardwiredRom => {
                 let sign = (a < 0) ^ (b < 0);
                 let mag = self.rom.lookup(a.unsigned_abs(), b.unsigned_abs()) as i16;
-                (if sign { -mag } else { mag }, OpCost { rom_reads: 1, cycles: 1, ..OpCost::ZERO })
+                (
+                    if sign { -mag } else { mag },
+                    OpCost {
+                        rom_reads: 1,
+                        cycles: 1,
+                        ..OpCost::ZERO
+                    },
+                )
             }
         }
     }
@@ -204,7 +215,11 @@ impl Bce {
     /// Panics when the slices differ in length, or when a value is out of
     /// range for the precision.
     pub fn dot_conv(&self, weights: &[i8], inputs: &[i8], precision: Precision) -> (i32, BceStats) {
-        assert_eq!(weights.len(), inputs.len(), "dot operands must have equal length");
+        assert_eq!(
+            weights.len(),
+            inputs.len(),
+            "dot operands must have equal length"
+        );
         let mut acc: i32 = 0;
         let mut stats = BceStats::default();
         for (&w, &x) in weights.iter().zip(inputs.iter()) {
@@ -241,7 +256,11 @@ impl Bce {
     ///
     /// Panics when the slices differ in length.
     pub fn dot_conv_i16(&self, weights: &[i16], inputs: &[i16]) -> (i64, BceStats) {
-        assert_eq!(weights.len(), inputs.len(), "dot operands must have equal length");
+        assert_eq!(
+            weights.len(),
+            inputs.len(),
+            "dot operands must have equal length"
+        );
         let mut acc: i64 = 0;
         let mut stats = BceStats::default();
         for (&w, &x) in weights.iter().zip(inputs.iter()) {
@@ -264,8 +283,18 @@ impl Bce {
             MulPath::HardwiredRom => {
                 let sign = (a < 0) ^ (b < 0);
                 let (ma, mb) = (a.unsigned_abs(), b.unsigned_abs());
-                let an = [(ma & 0xf) as u8, ((ma >> 4) & 0xf) as u8, ((ma >> 8) & 0xf) as u8, (ma >> 12) as u8];
-                let bn = [(mb & 0xf) as u8, ((mb >> 4) & 0xf) as u8, ((mb >> 8) & 0xf) as u8, (mb >> 12) as u8];
+                let an = [
+                    (ma & 0xf) as u8,
+                    ((ma >> 4) & 0xf) as u8,
+                    ((ma >> 8) & 0xf) as u8,
+                    (ma >> 12) as u8,
+                ];
+                let bn = [
+                    (mb & 0xf) as u8,
+                    ((mb >> 4) & 0xf) as u8,
+                    ((mb >> 8) & 0xf) as u8,
+                    (mb >> 12) as u8,
+                ];
                 let mut mag: u64 = 0;
                 for (i, &pa) in an.iter().enumerate() {
                     for (j, &pb) in bn.iter().enumerate() {
@@ -275,7 +304,13 @@ impl Bce {
                 let p = if sign { -(mag as i64) } else { mag as i64 };
                 (
                     p as i32,
-                    OpCost { rom_reads: 16, adds: 15, shifts: 8, cycles: 8, ..OpCost::ZERO },
+                    OpCost {
+                        rom_reads: 16,
+                        adds: 15,
+                        shifts: 8,
+                        cycles: 8,
+                        ..OpCost::ZERO
+                    },
                 )
             }
         }
@@ -289,7 +324,11 @@ impl Bce {
     ///
     /// Panics when `inputs.len() != tile.len()`.
     pub fn matmul_tile(&self, inputs: &[i8], tile: &[[i8; 8]]) -> ([i32; 8], BceStats) {
-        assert_eq!(inputs.len(), tile.len(), "input stream must match tile rows");
+        assert_eq!(
+            inputs.len(),
+            tile.len(),
+            "input stream must match tile rows"
+        );
         let mut acc = [0i32; 8];
         let mut stats = BceStats::default();
         for (&a, row) in inputs.iter().zip(tile.iter()) {
@@ -302,7 +341,13 @@ impl Bce {
             // Cost charged at the architectural granularity: two ROM
             // broadcasts of sixteen lookups, eight accumulating adds and
             // the operand-select shifts, in two cycles.
-            stats.cost += OpCost { rom_reads: 32, adds: 16, shifts: 16, cycles: 2, ..OpCost::ZERO };
+            stats.cost += OpCost {
+                rom_reads: 32,
+                adds: 16,
+                shifts: 16,
+                cycles: 2,
+                ..OpCost::ZERO
+            };
             stats.macs += 8;
         }
         stats.weight_bytes_read = (tile.len() * 8) as u64;
@@ -318,7 +363,11 @@ impl Bce {
     /// Panics when `inputs.len() != tile.len()` or operands exceed 4-bit
     /// signed range.
     pub fn matmul_tile_i4(&self, inputs: &[i8], tile: &[[i8; 8]]) -> ([i32; 8], BceStats) {
-        assert_eq!(inputs.len(), tile.len(), "input stream must match tile rows");
+        assert_eq!(
+            inputs.len(),
+            tile.len(),
+            "input stream must match tile rows"
+        );
         let mut acc = [0i32; 8];
         let mut stats = BceStats::default();
         for (&a, row) in inputs.iter().zip(tile.iter()) {
@@ -326,7 +375,13 @@ impl Bce {
                 let (p, _) = self.mul_i4(a, b);
                 acc[j] += p as i32;
             }
-            stats.cost += OpCost { rom_reads: 8, adds: 8, shifts: 8, cycles: 1, ..OpCost::ZERO };
+            stats.cost += OpCost {
+                rom_reads: 8,
+                adds: 8,
+                shifts: 8,
+                cycles: 1,
+                ..OpCost::ZERO
+            };
             stats.macs += 8;
         }
         stats.weight_bytes_read = (tile.len() * 8 / 2) as u64;
@@ -407,7 +462,10 @@ impl Bce {
     /// Returns [`LutError::InvalidTable`] for an empty input.
     pub fn softmax(&self, logits: &[f64]) -> Result<(Vec<f64>, BceStats), LutError> {
         let (probs, cost) = self.softmax.softmax(logits)?;
-        let stats = BceStats { cost, ..BceStats::default() };
+        let stats = BceStats {
+            cost,
+            ..BceStats::default()
+        };
         Ok((probs, stats))
     }
 
@@ -416,14 +474,24 @@ impl Bce {
     ///
     /// `multiplier` is a Q0.31 fixed-point value in `[2^30, 2^31)`;
     /// `shift` is the right shift applied after the high multiply.
-    pub fn requantize(&self, accs: &[i32], multiplier: i32, shift: i32, zero_point: i32) -> (Vec<i8>, BceStats) {
+    pub fn requantize(
+        &self,
+        accs: &[i32],
+        multiplier: i32,
+        shift: i32,
+        zero_point: i32,
+    ) -> (Vec<i8>, BceStats) {
         let mut stats = BceStats::default();
         let out = accs
             .iter()
             .map(|&acc| {
                 // Rounding-doubling high multiply, as in gemmlowp.
                 let product = acc as i64 * multiplier as i64;
-                let nudge = if product >= 0 { 1i64 << 30 } else { 1 - (1i64 << 30) };
+                let nudge = if product >= 0 {
+                    1i64 << 30
+                } else {
+                    1 - (1i64 << 30)
+                };
                 let high = ((product + nudge) >> 31) as i32;
                 let shifted = rounding_shift_right(high, shift);
                 stats.cost.shifts += 2;
@@ -529,8 +597,11 @@ mod tests {
         let inputs: Vec<i8> = (0..16).map(|k| (k * 17 % 127) as i8 - 63).collect();
         let (out, stats) = b.matmul_tile(&inputs, &tile);
         for j in 0..8 {
-            let expected: i32 =
-                inputs.iter().zip(&tile).map(|(&a, row)| a as i32 * row[j] as i32).sum();
+            let expected: i32 = inputs
+                .iter()
+                .zip(&tile)
+                .map(|(&a, row)| a as i32 * row[j] as i32)
+                .sum();
             assert_eq!(out[j], expected, "column {j}");
         }
         // 4 MACs/cycle: 16 elements x 8 MACs = 128 MACs in 32 cycles.
@@ -545,8 +616,11 @@ mod tests {
         let inputs: Vec<i8> = vec![3, -3, 7, -8, 1, 0, -1, 5];
         let (out, stats) = b.matmul_tile_i4(&inputs, &tile);
         for j in 0..8 {
-            let expected: i32 =
-                inputs.iter().zip(&tile).map(|(&a, row)| a as i32 * row[j] as i32).sum();
+            let expected: i32 = inputs
+                .iter()
+                .zip(&tile)
+                .map(|(&a, row)| a as i32 * row[j] as i32)
+                .sum();
             assert_eq!(out[j], expected);
         }
         assert_eq!(stats.cost.cycles, 8); // 8 MACs/cycle
@@ -645,7 +719,10 @@ mod tests {
             for s in 1..10 {
                 let got = rounding_shift_right(v, s);
                 let exact = (v as f64 / (1i64 << s) as f64).round();
-                assert!((got as f64 - exact).abs() <= 0.5 + 1e-9, "v={v} s={s} got={got}");
+                assert!(
+                    (got as f64 - exact).abs() <= 0.5 + 1e-9,
+                    "v={v} s={s} got={got}"
+                );
             }
         }
     }

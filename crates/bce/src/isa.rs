@@ -183,8 +183,17 @@ impl ConfigBlock {
         start_row: u16,
         end_row: u16,
     ) -> Self {
-        assert!(start_row <= end_row, "CB address range inverted: {start_row}..{end_row}");
-        ConfigBlock { op, precision, iterations, start_row, end_row }
+        assert!(
+            start_row <= end_row,
+            "CB address range inverted: {start_row}..{end_row}"
+        );
+        ConfigBlock {
+            op,
+            precision,
+            iterations,
+            start_row,
+            end_row,
+        }
     }
 
     /// Number of weight rows this CB addresses.
@@ -245,7 +254,10 @@ mod tests {
             PimOp::MatMul { rows: 1 },
             PimOp::MaxPool { window: 1 },
             PimOp::AvgPool { window: 1 },
-            PimOp::Activation { kind: ActivationKind::Relu, length: 1 },
+            PimOp::Activation {
+                kind: ActivationKind::Relu,
+                length: 1,
+            },
             PimOp::Softmax { length: 1 },
             PimOp::ElementwiseAdd { length: 1 },
             PimOp::Requantize { length: 1 },

@@ -35,7 +35,10 @@ impl MultRom {
                 entries.push((a * b) as u8);
             }
         }
-        MultRom { entries, reads: Cell::new(0) }
+        MultRom {
+            entries,
+            reads: Cell::new(0),
+        }
     }
 
     /// Number of stored products.
@@ -54,7 +57,10 @@ impl MultRom {
     ///
     /// Panics in debug builds when either operand exceeds 15.
     pub fn lookup(&self, a: u8, b: u8) -> u8 {
-        debug_assert!(a <= 15 && b <= 15, "rom operands must be nibbles, got {a} x {b}");
+        debug_assert!(
+            a <= 15 && b <= 15,
+            "rom operands must be nibbles, got {a} x {b}"
+        );
         self.reads.set(self.reads.get() + 1);
         self.entries[(a as usize) * 16 + b as usize]
     }
@@ -113,7 +119,8 @@ mod tests {
         let sel = 7u8;
         let out = rom.broadcast(sel, &register);
         for (i, &byte) in register.iter().enumerate() {
-            let expected = sel as u16 * (byte & 0xf) as u16 + ((sel as u16 * (byte >> 4) as u16) << 4);
+            let expected =
+                sel as u16 * (byte & 0xf) as u16 + ((sel as u16 * (byte >> 4) as u16) << 4);
             assert_eq!(out[i], expected, "byte {i}");
         }
     }

@@ -48,13 +48,21 @@ pub struct BceCostModel {
 impl BceCostModel {
     /// Builds a model from architecture parameters.
     pub fn new(timing: TimingParams, energy: EnergyParams, lut_design: LutRowDesign) -> Self {
-        BceCostModel { timing, energy, lut_design }
+        BceCostModel {
+            timing,
+            energy,
+            lut_design,
+        }
     }
 
     /// The paper's default configuration (1.5 GHz, decoupled-bitline LUT
     /// rows).
     pub fn paper_default() -> Self {
-        BceCostModel::new(TimingParams::default(), EnergyParams::default(), LutRowDesign::default())
+        BceCostModel::new(
+            TimingParams::default(),
+            EnergyParams::default(),
+            LutRowDesign::default(),
+        )
     }
 
     /// The timing parameters.
@@ -142,7 +150,13 @@ mod tests {
         // the pure ROM portion is 0.34 pJ. Within the paper's "about
         // 0.5 pJ" MAC figure.
         let model = BceCostModel::paper_default();
-        let cost = OpCost { rom_reads: 4, adds: 4, shifts: 2, cycles: 2, ..OpCost::ZERO };
+        let cost = OpCost {
+            rom_reads: 4,
+            adds: 4,
+            shifts: 2,
+            cycles: 2,
+            ..OpCost::ZERO
+        };
         let e = model.op_energy(&cost).picojoules();
         assert!((0.3..1.0).contains(&e), "per-MAC energy {e} pJ");
     }
@@ -150,7 +164,10 @@ mod tests {
     #[test]
     fn lut_read_is_cheap_with_decoupled_bitlines() {
         let model = BceCostModel::paper_default();
-        let cost = OpCost { lut_reads: 1, ..OpCost::ZERO };
+        let cost = OpCost {
+            lut_reads: 1,
+            ..OpCost::ZERO
+        };
         let e = model.op_energy(&cost).picojoules();
         assert!((e - 8.6 / 231.0).abs() < 1e-9);
     }
@@ -176,7 +193,10 @@ mod tests {
     #[test]
     fn latency_uses_subarray_clock() {
         let model = BceCostModel::paper_default();
-        let cost = OpCost { cycles: 1500, ..OpCost::ZERO };
+        let cost = OpCost {
+            cycles: 1500,
+            ..OpCost::ZERO
+        };
         assert!((model.latency(&cost).microseconds() - 1.0).abs() < 1e-9);
     }
 
@@ -218,7 +238,13 @@ mod tests {
     fn specialized_mac_costs_48_percent_more() {
         let model = BceCostModel::paper_default();
         let stats = BceStats {
-            cost: OpCost { rom_reads: 4, adds: 4, shifts: 2, cycles: 2, ..OpCost::ZERO },
+            cost: OpCost {
+                rom_reads: 4,
+                adds: 4,
+                shifts: 2,
+                cycles: 2,
+                ..OpCost::ZERO
+            },
             macs: 1,
             weight_bytes_read: 0,
             partial_row_accesses: 0,

@@ -98,7 +98,11 @@ impl KernelProgram {
         for cb in &self.instructions {
             let body = Self::execute_cycles(cb) / cb.iterations.max(1) as u64;
             let total = BcePipeline::kernel_cycles(cb, body).count();
-            timings.push(InstructionTiming { cb: *cb, start: clock, end: clock + total });
+            timings.push(InstructionTiming {
+                cb: *cb,
+                start: clock,
+                end: clock + total,
+            });
             clock += total;
         }
         (timings, Cycles::new(clock))
@@ -140,8 +144,14 @@ mod tests {
 
     #[test]
     fn iterations_amortize_the_cb_decode() {
-        let once = KernelProgram::new().push(conv_cb(16, 1)).total_cycles().count();
-        let hundred = KernelProgram::new().push(conv_cb(16, 100)).total_cycles().count();
+        let once = KernelProgram::new()
+            .push(conv_cb(16, 1))
+            .total_cycles()
+            .count();
+        let hundred = KernelProgram::new()
+            .push(conv_cb(16, 100))
+            .total_cycles()
+            .count();
         // 100 iterations decode the CB once, not 100 times.
         assert!(hundred < once * 100);
         assert_eq!(hundred, 2 + 100 * (32 + 1));
@@ -175,13 +185,22 @@ mod tests {
         let program = KernelProgram::new()
             .push(conv_cb(64, 8))
             .push(ConfigBlock::new(
-                PimOp::Activation { kind: ActivationKind::Relu, length: 64 },
+                PimOp::Activation {
+                    kind: ActivationKind::Relu,
+                    length: 64,
+                },
                 Precision::Int8,
                 1,
                 2,
                 63,
             ))
-            .push(ConfigBlock::new(PimOp::MaxPool { window: 4 }, Precision::Int8, 16, 2, 63))
+            .push(ConfigBlock::new(
+                PimOp::MaxPool { window: 4 },
+                Precision::Int8,
+                16,
+                2,
+                63,
+            ))
             .push(ConfigBlock::new(
                 PimOp::Requantize { length: 64 },
                 Precision::Int8,

@@ -88,8 +88,14 @@ impl BceTrace {
         assert_eq!(weights.len(), inputs.len(), "operand lengths differ");
         let mul = LutMultiplier::new();
         let mut entries = vec![
-            TraceEntry { cycle: 0, action: TraceAction::DecodeConfig },
-            TraceEntry { cycle: 1, action: TraceAction::FetchOperands },
+            TraceEntry {
+                cycle: 0,
+                action: TraceAction::DecodeConfig,
+            },
+            TraceEntry {
+                cycle: 1,
+                action: TraceAction::FetchOperands,
+            },
         ];
         let mut cycle = 2;
         let mut acc: i32 = 0;
@@ -101,8 +107,14 @@ impl BceTrace {
             entries.push(TraceEntry { cycle, action });
             cycle += 1;
         }
-        entries.push(TraceEntry { cycle, action: TraceAction::Writeback });
-        BceTrace { entries, result: acc }
+        entries.push(TraceEntry {
+            cycle,
+            action: TraceAction::Writeback,
+        });
+        BceTrace {
+            entries,
+            result: acc,
+        }
     }
 
     /// Total cycles (last cycle index + 1).
@@ -126,7 +138,10 @@ impl BceTrace {
                 TraceAction::ShiftAccumulate { operands, shifts } => {
                     format!("{} x {} via {} shift(s)", operands.0, operands.1, shifts)
                 }
-                TraceAction::LutAccumulate { operands, lut_index } => format!(
+                TraceAction::LutAccumulate {
+                    operands,
+                    lut_index,
+                } => format!(
                     "{} x {} via LUT[{},{}]",
                     operands.0, operands.1, lut_index.0, lut_index.1
                 ),
@@ -158,14 +173,23 @@ fn classify_step(w: u8, x: u8) -> TraceAction {
     if matches!(cw, OperandClass::PowerOfTwo { .. })
         || matches!(cx, OperandClass::PowerOfTwo { .. })
     {
-        return TraceAction::ShiftAccumulate { operands: (w, x), shifts: 1 };
+        return TraceAction::ShiftAccumulate {
+            operands: (w, x),
+            shifts: 1,
+        };
     }
     if (w.is_multiple_of(2) && OperandAnalyzer::is_two_power_sum(w))
         || (x.is_multiple_of(2) && OperandAnalyzer::is_two_power_sum(x))
     {
-        return TraceAction::ShiftAccumulate { operands: (w, x), shifts: 2 };
+        return TraceAction::ShiftAccumulate {
+            operands: (w, x),
+            shifts: 2,
+        };
     }
-    TraceAction::LutAccumulate { operands: (w, x), lut_index: (cw.odd_part(), cx.odd_part()) }
+    TraceAction::LutAccumulate {
+        operands: (w, x),
+        lut_index: (cw.odd_part(), cx.odd_part()),
+    }
 }
 
 #[cfg(test)]
@@ -202,7 +226,10 @@ mod tests {
         ));
         assert!(matches!(
             trace.entries[4].action,
-            TraceAction::LutAccumulate { lut_index: (7, 9), .. }
+            TraceAction::LutAccumulate {
+                lut_index: (7, 9),
+                ..
+            }
         ));
         assert_eq!(trace.entries[5].action, TraceAction::Writeback);
     }
@@ -212,8 +239,7 @@ mod tests {
         let w = [0u8, 1, 2, 3, 8, 12, 15, 9];
         let x = [15u8, 14, 13, 12, 11, 10, 9, 8];
         let trace = BceTrace::dot_product(&cb(8), &w, &x);
-        let expected: i32 =
-            w.iter().zip(&x).map(|(&a, &b)| a as i32 * b as i32).sum();
+        let expected: i32 = w.iter().zip(&x).map(|(&a, &b)| a as i32 * b as i32).sum();
         assert_eq!(trace.result, expected);
         // 2 init + 8 steps + 1 writeback.
         assert_eq!(trace.cycles(), 11);

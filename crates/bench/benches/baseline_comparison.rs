@@ -2,8 +2,8 @@
 //! (Fig. 12), iso-area Eyeriss (Fig. 13) and the CPU/GPU Table III
 //! points, measuring the cost of each comparison's full evaluation.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use bfree::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_comparison");
@@ -33,7 +33,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let ours = bfree.run(black_box(&vgg), 1);
             let theirs = eyeriss.run(black_box(&vgg), 1);
-            theirs.latency.get(Phase::Compute).ratio(ours.latency.get(Phase::Compute))
+            theirs
+                .latency
+                .get(Phase::Compute)
+                .ratio(ours.latency.get(Phase::Compute))
         })
     });
 
@@ -63,8 +66,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("fig10_attention_schedule", |b| {
         let config = pim_nn::networks::BertConfig::base();
         b.iter(|| {
-            bfree::AttentionSchedule::plan(black_box(&config), 4.0 * 4480.0, 16.0)
-                .overlap_gain()
+            bfree::AttentionSchedule::plan(black_box(&config), 4.0 * 4480.0, 16.0).overlap_gain()
         })
     });
 

@@ -13,11 +13,14 @@ fn bench(c: &mut Criterion) {
     let inputs: Vec<i8> = (0..512).map(|i| (i * 17 % 251) as i8).collect();
     let weights4: Vec<i8> = weights.iter().map(|&w| w % 8).collect();
     let inputs4: Vec<i8> = inputs.iter().map(|&x| x % 8).collect();
-    let tile: Vec<[i8; 8]> =
-        (0..256).map(|k| std::array::from_fn(|j| ((k * 7 + j * 13) % 251) as i8)).collect();
+    let tile: Vec<[i8; 8]> = (0..256)
+        .map(|k| std::array::from_fn(|j| ((k * 7 + j * 13) % 251) as i8))
+        .collect();
     let stream: Vec<i8> = (0..256).map(|k| (k * 11 % 251) as i8).collect();
-    let tile4: Vec<[i8; 8]> =
-        tile.iter().map(|row| std::array::from_fn(|j| row[j] % 8)).collect();
+    let tile4: Vec<[i8; 8]> = tile
+        .iter()
+        .map(|row| std::array::from_fn(|j| row[j] % 8))
+        .collect();
     let stream4: Vec<i8> = stream.iter().map(|&x| x % 8).collect();
 
     let mut group = c.benchmark_group("bce_kernels");

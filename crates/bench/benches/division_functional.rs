@@ -23,15 +23,27 @@ fn bench(c: &mut Criterion) {
     group.bench_function("lut_conv2d_3x12x12_8f", |bch| {
         bch.iter(|| {
             pipeline
-                .conv2d(black_box(&input), black_box(&filters), &[0.0; 8], (1, 1), (1, 1))
+                .conv2d(
+                    black_box(&input),
+                    black_box(&filters),
+                    &[0.0; 8],
+                    (1, 1),
+                    (1, 1),
+                )
                 .unwrap()
         })
     });
 
     group.bench_function("reference_conv2d_3x12x12_8f", |bch| {
         bch.iter(|| {
-            reference::conv2d(black_box(&input), black_box(&filters), &[0.0; 8], (1, 1), (1, 1))
-                .unwrap()
+            reference::conv2d(
+                black_box(&input),
+                black_box(&filters),
+                &[0.0; 8],
+                (1, 1),
+                (1, 1),
+            )
+            .unwrap()
         })
     });
 

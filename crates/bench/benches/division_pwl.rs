@@ -39,7 +39,11 @@ fn bench(c: &mut Criterion) {
 
     let xs: Vec<f64> = (-400..400).map(|i| i as f64 / 50.0).collect();
     group.bench_function("sigmoid_pwl_800_points", |b| {
-        b.iter(|| xs.iter().map(|&x| sigmoid.eval(black_box(x)).0).sum::<f64>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| sigmoid.eval(black_box(x)).0)
+                .sum::<f64>()
+        })
     });
 
     group.bench_function("tanh_pwl_800_points", |b| {

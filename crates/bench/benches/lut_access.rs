@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
             |b| {
                 b.iter(|| {
                     let profile = design.profile(black_box(&timing), black_box(&energy));
-                    (profile.read_energy * 1_000_000u64, profile.read_latency * 1_000_000.0)
+                    (
+                        profile.read_energy * 1_000_000u64,
+                        profile.read_latency * 1_000_000.0,
+                    )
                 })
             },
         );
@@ -32,7 +35,11 @@ fn bench(c: &mut Criterion) {
         let div = DivLut::new(8).unwrap();
         b.iter(|| {
             (0..8)
-                .map(|seg| LutImage::from_div_table(black_box(&div), seg, 64).unwrap().len())
+                .map(|seg| {
+                    LutImage::from_div_table(black_box(&div), seg, 64)
+                        .unwrap()
+                        .len()
+                })
                 .sum::<usize>()
         })
     });

@@ -2,8 +2,8 @@
 //! network (the workloads behind Figs. 12-14 and Table III), plus the
 //! Fig. 14 bandwidth/precision sweep.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use bfree::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let sim = BfreeSimulator::new(BfreeConfig::paper_default());
@@ -26,8 +26,8 @@ fn bench(c: &mut Criterion) {
             let mut total_ms = 0.0;
             for kind in MemoryTechKind::ALL {
                 for batch in [1usize, 16] {
-                    let config = BfreeConfig::paper_default()
-                        .with_memory(MemoryTech::from_kind(kind));
+                    let config =
+                        BfreeConfig::paper_default().with_memory(MemoryTech::from_kind(kind));
                     let report = BfreeSimulator::new(config).run(black_box(&vgg), batch);
                     total_ms += report.per_inference_latency().milliseconds();
                 }

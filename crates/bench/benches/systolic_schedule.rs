@@ -11,15 +11,22 @@ fn bench(c: &mut Criterion) {
     group.bench_function("schedule_math_8x40", |b| {
         b.iter(|| {
             let s = SystolicSchedule::new(8, 40, black_box(10_000)).unwrap();
-            (s.total_steps(), s.total_hops(), s.efficiency(), s.sequential_steps())
+            (
+                s.total_steps(),
+                s.total_hops(),
+                s.efficiency(),
+                s.sequential_steps(),
+            )
         })
     });
 
-    let weights: Vec<Vec<i32>> =
-        (0..8).map(|r| (0..16).map(|c| (r * 16 + c) - 64).collect()).collect();
+    let weights: Vec<Vec<i32>> = (0..8)
+        .map(|r| (0..16).map(|c| (r * 16 + c) - 64).collect())
+        .collect();
     let sim = SystolicArraySim::new(weights).unwrap();
-    let inputs: Vec<Vec<i32>> =
-        (0..64).map(|t| (0..8).map(|r| (t * 8 + r) % 101 - 50).collect()).collect();
+    let inputs: Vec<Vec<i32>> = (0..64)
+        .map(|t| (0..8).map(|r| (t * 8 + r) % 101 - 50).collect())
+        .collect();
 
     group.bench_function("array_sim_8x16_64_waves", |b| {
         b.iter(|| sim.run(black_box(&inputs)).unwrap().cycles)

@@ -61,18 +61,37 @@ impl AttentionSchedule {
     /// # Panics
     ///
     /// Panics when either throughput is not positive.
-    pub fn plan(config: &BertConfig, matmul_macs_per_cycle: f64, softmax_elems_per_cycle: f64) -> Self {
+    pub fn plan(
+        config: &BertConfig,
+        matmul_macs_per_cycle: f64,
+        softmax_elems_per_cycle: f64,
+    ) -> Self {
         assert!(matmul_macs_per_cycle > 0.0 && softmax_elems_per_cycle > 0.0);
         let (s, h) = (config.seq_len as u64, config.hidden as u64);
         let proj = ((s * h * h) as f64 / matmul_macs_per_cycle).ceil() as u64;
         let scores = ((s * s * h) as f64 / matmul_macs_per_cycle).ceil() as u64;
         let softmax = ((s * s) as f64 / softmax_elems_per_cycle).ceil() as u64;
         let tasks = vec![
-            AttentionTask { name: "K", resource: Resource::Matmul, cycles: proj, deps: vec![] },
-            AttentionTask { name: "Q", resource: Resource::Matmul, cycles: proj, deps: vec![] },
+            AttentionTask {
+                name: "K",
+                resource: Resource::Matmul,
+                cycles: proj,
+                deps: vec![],
+            },
+            AttentionTask {
+                name: "Q",
+                resource: Resource::Matmul,
+                cycles: proj,
+                deps: vec![],
+            },
             // V is independent, but on the matmul units; the paper
             // schedules it during the softmax.
-            AttentionTask { name: "V", resource: Resource::Matmul, cycles: proj, deps: vec![] },
+            AttentionTask {
+                name: "V",
+                resource: Resource::Matmul,
+                cycles: proj,
+                deps: vec![],
+            },
             AttentionTask {
                 name: "P",
                 resource: Resource::Matmul,
@@ -128,10 +147,8 @@ impl AttentionSchedule {
                 if !task.deps.iter().all(|d| finish.contains_key(d)) {
                     continue;
                 }
-                let deps_done =
-                    task.deps.iter().map(|d| finish[d]).max().unwrap_or(0);
-                let start =
-                    deps_done.max(*resource_free.get(&task.resource).unwrap_or(&0));
+                let deps_done = task.deps.iter().map(|d| finish[d]).max().unwrap_or(0);
+                let start = deps_done.max(*resource_free.get(&task.resource).unwrap_or(&0));
                 let prio = priority(task.name);
                 let better = match best {
                     None => true,
@@ -141,8 +158,7 @@ impl AttentionSchedule {
                     best = Some((i, prio, start));
                 }
             }
-            let (idx, _, start) =
-                best.expect("the DAG is acyclic so a task is always ready");
+            let (idx, _, start) = best.expect("the DAG is acyclic so a task is always ready");
             let task = pending.remove(idx);
             let end = start + task.cycles;
             finish.insert(task.name, end);
@@ -150,7 +166,11 @@ impl AttentionSchedule {
             timeline.push((task, start, end));
         }
         let overlapped_cycles = timeline.iter().map(|&(_, _, e)| e).max().unwrap_or(0);
-        AttentionSchedule { timeline, overlapped_cycles, serial_cycles }
+        AttentionSchedule {
+            timeline,
+            overlapped_cycles,
+            serial_cycles,
+        }
     }
 
     /// Speedup of the overlapped schedule over serial execution.
@@ -201,7 +221,10 @@ mod tests {
         let (v_start, v_end) = s.window("V").unwrap();
         let (sm_start, sm_end) = s.window("P'").unwrap();
         let overlap = v_end.min(sm_end).saturating_sub(v_start.max(sm_start));
-        assert!(overlap > 0, "V [{v_start},{v_end}) vs P' [{sm_start},{sm_end})");
+        assert!(
+            overlap > 0,
+            "V [{v_start},{v_end}) vs P' [{sm_start},{sm_end})"
+        );
     }
 
     #[test]
@@ -230,8 +253,7 @@ mod tests {
     #[test]
     fn bert_large_scales_up() {
         let base = schedule();
-        let large =
-            AttentionSchedule::plan(&BertConfig::large(), 4.0 * 4480.0, 16.0);
+        let large = AttentionSchedule::plan(&BertConfig::large(), 4.0 * 4480.0, 16.0);
         assert!(large.overlapped_cycles > base.overlapped_cycles);
         assert!(large.overlap_gain() > 1.0);
     }

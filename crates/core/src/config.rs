@@ -1,6 +1,9 @@
 //! The BFree machine description.
 
-use pim_arch::{AreaModel, CacheGeometry, EnergyParams, LutRowDesign, MemoryTech, RingInterconnect, TimingParams};
+use pim_arch::{
+    AreaModel, CacheGeometry, EnergyParams, LutRowDesign, MemoryTech, RingInterconnect,
+    TimingParams,
+};
 use pim_nn::im2col::Im2colDims;
 use pim_nn::{LayerOp, LayerSpec};
 use serde::{Deserialize, Serialize};
@@ -87,6 +90,27 @@ impl BfreeConfig {
         self
     }
 
+    /// Replaces the cache geometry, keeping the ring's stop count in
+    /// sync with the slice count (partial-cache tenancy runs).
+    pub fn with_geometry(mut self, geometry: CacheGeometry) -> Self {
+        self.ring.slices = geometry.slices();
+        self.geometry = geometry;
+        self
+    }
+
+    /// The same machine restricted to `slices` cache slices: the
+    /// configuration a serving-layer tenant simulates against when a
+    /// slice-pool allocator grants it a fraction of the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`pim_arch::ArchError::InvalidGeometry`] when `slices`
+    /// is zero.
+    pub fn with_slice_count(self, slices: usize) -> Result<Self, pim_arch::ArchError> {
+        let geometry = self.geometry.with_slices(slices)?;
+        Ok(self.with_geometry(geometry))
+    }
+
     /// Replaces the convolution dataflow.
     pub fn with_conv_dataflow(mut self, dataflow: ConvDataflow) -> Self {
         self.conv_dataflow = dataflow;
@@ -122,7 +146,12 @@ impl BfreeConfig {
             | LayerOp::Gru { .. }
             | LayerOp::Attention { .. }
             | LayerOp::FeedForward { .. } => true,
-            LayerOp::Conv2d { kernel, stride, padding, .. } => match self.conv_dataflow {
+            LayerOp::Conv2d {
+                kernel,
+                stride,
+                padding,
+                ..
+            } => match self.conv_dataflow {
                 ConvDataflow::Direct => false,
                 ConvDataflow::Im2col => true,
                 ConvDataflow::Auto => {
@@ -192,10 +221,7 @@ mod tests {
         // §V-D: VGG-16's huge filters enable the matmul dataflow.
         let c = BfreeConfig::paper_default();
         let net = networks::vgg16();
-        let matmul_layers = net
-            .weight_layers()
-            .filter(|l| c.uses_matmul(l, 1))
-            .count();
+        let matmul_layers = net.weight_layers().filter(|l| c.uses_matmul(l, 1)).count();
         assert!(matmul_layers as f64 > 0.8 * net.weight_layer_count() as f64);
     }
 
@@ -203,5 +229,15 @@ mod tests {
     fn single_slice_config_is_smaller() {
         let c = BfreeConfig::single_slice();
         assert_eq!(c.geometry.total_subarrays(), 320);
+    }
+
+    #[test]
+    fn slice_count_restriction_scales_geometry_and_ring() {
+        let c = BfreeConfig::paper_default().with_slice_count(4).unwrap();
+        assert_eq!(c.geometry.slices(), 4);
+        assert_eq!(c.ring.slices, 4);
+        assert_eq!(c.geometry.total_subarrays(), 4 * 320);
+        c.validate().unwrap();
+        assert!(BfreeConfig::paper_default().with_slice_count(0).is_err());
     }
 }

@@ -32,18 +32,20 @@ impl ConfigurationPhase {
         let row_bytes = geom.row_bytes().get() as usize;
         let lut_rows = image.row_writes(row_bytes) as u64;
         let row_writes = lut_rows + 1; // + the CB row
-        // All subarrays of a slice program in parallel from the slice
-        // controller's broadcast; slices proceed in parallel too, but
-        // each row write costs a full slice access (the data comes from
-        // the port side).
+                                       // All subarrays of a slice program in parallel from the slice
+                                       // controller's broadcast; slices proceed in parallel too, but
+                                       // each row write costs a full slice access (the data comes from
+                                       // the port side).
         let cycles = Cycles::new(row_writes);
-        let latency = Latency::from_ns(
-            cycles.count() as f64 * timing.slice_access_ns,
-        );
+        let latency = Latency::from_ns(cycles.count() as f64 * timing.slice_access_ns);
         let writes_total = row_writes * geom.total_subarrays() as u64;
         let energy_total = energy.subarray_row_access() * writes_total
             + energy.slice_access() * row_writes * geom.slices() as u64;
-        ConfigurationPhase { row_writes_per_subarray: row_writes, latency, energy: energy_total }
+        ConfigurationPhase {
+            row_writes_per_subarray: row_writes,
+            latency,
+            energy: energy_total,
+        }
     }
 }
 

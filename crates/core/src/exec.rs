@@ -106,9 +106,7 @@ impl BfreeSimulator {
     /// everything else).
     fn sequential_steps(layer: &LayerSpec) -> u64 {
         match layer.op() {
-            LayerOp::Lstm { .. } | LayerOp::Gru { .. } => {
-                layer.input_shape().dims()[0] as u64
-            }
+            LayerOp::Lstm { .. } | LayerOp::Gru { .. } => layer.input_shape().dims()[0] as u64,
             _ => 1,
         }
     }
@@ -128,15 +126,17 @@ impl InferenceModel for BfreeSimulator {
         let geom = &self.config.geometry;
         let energy_params = &self.config.energy;
         let mem = &self.config.memory;
-        let lut_profile = self.config.lut_design.profile(&self.config.timing, energy_params);
+        let lut_profile = self
+            .config
+            .lut_design
+            .profile(&self.config.timing, energy_params);
 
         let mut latency = LatencyBreakdown::new();
         let mut energy = EnergyBreakdown::new();
         let mut per_layer = Vec::new();
 
         // Configuration phase (Fig. 11): LUT rows + CBs, once.
-        let configuration =
-            ConfigurationPhase::price(geom, &self.config.timing, energy_params);
+        let configuration = ConfigurationPhase::price(geom, &self.config.timing, energy_params);
         latency.add(Phase::Config, configuration.latency);
         energy.add(EnergyComponent::SubarrayAccess, configuration.energy);
 
@@ -168,7 +168,10 @@ impl InferenceModel for BfreeSimulator {
                 // all slices rides the ring (Fig. 1(a)); the ring's
                 // bandwidth exceeds DRAM's, so only its energy shows.
                 let lines = weight_bytes.get().div_ceil(64);
-                energy.add(EnergyComponent::Interconnect, energy_params.slice_access() * lines);
+                energy.add(
+                    EnergyComponent::Interconnect,
+                    energy_params.slice_access() * lines,
+                );
                 let (_, ring_energy) = self.config.ring.broadcast(weight_bytes);
                 energy.add(EnergyComponent::Interconnect, ring_energy);
                 layer_latency += t_weight;
@@ -181,14 +184,12 @@ impl InferenceModel for BfreeSimulator {
                     BceMode::Conv => CONV_EFFICIENCY,
                     BceMode::MatMul => MATMUL_EFFICIENCY,
                 };
-                let compute_cycles = (macs as f64
-                    / (mapping.macs_per_cycle() * efficiency))
-                    .ceil() as u64;
+                let compute_cycles =
+                    (macs as f64 / (mapping.macs_per_cycle() * efficiency)).ceil() as u64;
                 let fill = SystolicSchedule::new(grid_rows, grid_cols, 1)
                     .map(|s| s.fill_steps())
                     .unwrap_or(0);
-                let t_compute = Cycles::new(compute_cycles + fill * steps)
-                    .at_ghz(self.clock_ghz());
+                let t_compute = Cycles::new(compute_cycles + fill * steps).at_ghz(self.clock_ghz());
 
                 // Sequential layers also pay a state-broadcast between
                 // steps (LSTM hidden-state feedback over the slice
@@ -198,9 +199,7 @@ impl InferenceModel for BfreeSimulator {
                     // broadcasts over the slice interconnect.
                     let state_elements = layer.output_elements() / steps;
                     let lines = (state_elements * bits / 8).div_ceil(64).max(1);
-                    Latency::from_ns(
-                        (steps * lines) as f64 * self.config.timing.slice_access_ns,
-                    )
+                    Latency::from_ns((steps * lines) as f64 * self.config.timing.slice_access_ns)
                 } else {
                     Latency::ZERO
                 };
@@ -225,8 +224,7 @@ impl InferenceModel for BfreeSimulator {
                 // Phase 3: requantization in place (§V-D: gemmlowp scale
                 // + bias + shift by all hosting subarrays).
                 let outputs = layer.output_elements() * batch;
-                let quant_cycles =
-                    (outputs * 3).div_ceil(mapping.active_subarrays.max(1) as u64);
+                let quant_cycles = (outputs * 3).div_ceil(mapping.active_subarrays.max(1) as u64);
                 let t_quant = Cycles::new(quant_cycles).at_ghz(self.clock_ghz());
                 latency.add(Phase::Quantize, t_quant);
                 layer_latency += t_quant;
@@ -282,11 +280,7 @@ impl InferenceModel for BfreeSimulator {
                 };
                 energy.add(
                     EnergyComponent::Bce,
-                    energy_params.bce_power_energy(
-                        mode_mw,
-                        t_compute,
-                        mapping.active_subarrays,
-                    ),
+                    energy_params.bce_power_energy(mode_mw, t_compute, mapping.active_subarrays),
                 );
                 first_weight_layer = false;
             } else {
@@ -302,7 +296,10 @@ impl InferenceModel for BfreeSimulator {
                     layer_latency += t;
                     let needs_lut = match layer.op() {
                         LayerOp::Activation(act) => act.needs_lut(),
-                        LayerOp::Pool { kind: pim_nn::PoolKind::Avg, .. } => true,
+                        LayerOp::Pool {
+                            kind: pim_nn::PoolKind::Avg,
+                            ..
+                        } => true,
                         LayerOp::GlobalAvgPool | LayerOp::LayerNorm => true,
                         _ => false,
                     };
@@ -326,8 +323,7 @@ impl InferenceModel for BfreeSimulator {
         // (Fig. 1(a)); batch runs already paid DRAM writeback instead.
         if batch == 1 {
             if let Some(last) = network.layers().last() {
-                let per_slice =
-                    Bytes::new(last.output_elements().div_ceil(geom.slices() as u64));
+                let per_slice = Bytes::new(last.output_elements().div_ceil(geom.slices() as u64));
                 let (ring_time, ring_energy) = self.config.ring.gather(per_slice);
                 latency.add(Phase::Writeback, ring_time);
                 energy.add(EnergyComponent::Interconnect, ring_energy);
@@ -391,12 +387,12 @@ mod tests {
     fn sa_access_and_bce_dominate_cache_energy() {
         // Fig. 12(d): SA access + BCE ~ 85% of the non-DRAM energy.
         let report = sim().run(&networks::inception_v3(), 1);
-        let sa = report.energy.fraction_excluding(
-            EnergyComponent::SubarrayAccess,
-            EnergyComponent::Dram,
-        );
-        let bce =
-            report.energy.fraction_excluding(EnergyComponent::Bce, EnergyComponent::Dram);
+        let sa = report
+            .energy
+            .fraction_excluding(EnergyComponent::SubarrayAccess, EnergyComponent::Dram);
+        let bce = report
+            .energy
+            .fraction_excluding(EnergyComponent::Bce, EnergyComponent::Dram);
         assert!(
             (0.6..1.0).contains(&(sa + bce)),
             "sa {sa:.2} + bce {bce:.2} = {:.2}",
@@ -417,9 +413,7 @@ mod tests {
         // load per inference shrinks, IO time grows.
         let i1 = s.run(&networks::inception_v3(), 1);
         let i16 = s.run(&networks::inception_v3(), 16);
-        assert!(
-            i16.latency.get(Phase::WeightLoad) == i1.latency.get(Phase::WeightLoad)
-        );
+        assert!(i16.latency.get(Phase::WeightLoad) == i1.latency.get(Phase::WeightLoad));
         assert!(
             i16.latency.get(Phase::InputLoad) + i16.latency.get(Phase::Writeback)
                 > i1.latency.get(Phase::InputLoad) + i1.latency.get(Phase::Writeback)
@@ -443,9 +437,7 @@ mod tests {
             BfreeSimulator::new(BfreeConfig::paper_default().with_memory(MemoryTech::hbm()));
         let a = dram_sim.run(&networks::vgg16(), 16);
         let b = hbm_sim.run(&networks::vgg16(), 16);
-        assert!(
-            b.latency.get(Phase::WeightLoad) < a.latency.get(Phase::WeightLoad) * 0.3
-        );
+        assert!(b.latency.get(Phase::WeightLoad) < a.latency.get(Phase::WeightLoad) * 0.3);
         assert!(b.total_latency() < a.total_latency());
     }
 
@@ -473,8 +465,7 @@ mod tests {
         // uniform 8-bit (weight load included).
         let int8 = sim();
         let mixed = BfreeSimulator::new(
-            BfreeConfig::paper_default()
-                .with_precision(crate::precision::PrecisionPolicy::mixed()),
+            BfreeConfig::paper_default().with_precision(crate::precision::PrecisionPolicy::mixed()),
         );
         let a = int8.run(&networks::vgg16(), 1);
         let b = mixed.run(&networks::vgg16(), 1);
@@ -496,17 +487,21 @@ mod tests {
     fn per_layer_timings_present_for_figures() {
         let report = sim().run(&networks::inception_v3(), 1);
         assert!(report.per_layer.len() > 90);
-        let mixed_5b: Vec<_> =
-            report.per_layer.iter().filter(|l| l.name.starts_with("Mixed_5b")).collect();
+        let mixed_5b: Vec<_> = report
+            .per_layer
+            .iter()
+            .filter(|l| l.name.starts_with("Mixed_5b"))
+            .collect();
         assert!(!mixed_5b.is_empty());
     }
 
     #[test]
     fn int16_precision_slows_and_grows_weights() {
         let int8 = sim();
-        let int16 = BfreeSimulator::new(BfreeConfig::paper_default().with_precision(
-            crate::precision::PrecisionPolicy::Uniform(Precision::Int16),
-        ));
+        let int16 = BfreeSimulator::new(
+            BfreeConfig::paper_default()
+                .with_precision(crate::precision::PrecisionPolicy::Uniform(Precision::Int16)),
+        );
         let net = networks::lstm_timit();
         let a = int8.run(&net, 1);
         let b = int16.run(&net, 1);
@@ -515,7 +510,10 @@ mod tests {
             .latency
             .get(Phase::WeightLoad)
             .ratio(a.latency.get(Phase::WeightLoad));
-        assert!((weight_ratio - 2.0).abs() < 0.01, "weight ratio {weight_ratio}");
+        assert!(
+            (weight_ratio - 2.0).abs() < 0.01,
+            "weight ratio {weight_ratio}"
+        );
         assert!(b.latency.get(Phase::Compute) > a.latency.get(Phase::Compute) * 2.0);
         assert!(b.total_latency() > a.total_latency());
     }

@@ -117,7 +117,11 @@ pub struct KernelFlow {
 impl KernelFlow {
     /// Creates an idle flow for a named kernel.
     pub fn new(kernel: impl Into<String>) -> Self {
-        KernelFlow { kernel: kernel.into(), state: FlowState::Idle, log: Vec::new() }
+        KernelFlow {
+            kernel: kernel.into(),
+            state: FlowState::Idle,
+            log: Vec::new(),
+        }
     }
 
     /// The kernel name.
@@ -183,10 +187,14 @@ mod tests {
     fn configuration_precedes_computation() {
         let mut flow = KernelFlow::new("ordering");
         let log = flow.run_to_completion();
-        let last_config =
-            log.iter().rposition(|s| s.is_configuration()).expect("config states present");
-        let first_compute =
-            log.iter().position(|s| s.is_computation()).expect("compute states present");
+        let last_config = log
+            .iter()
+            .rposition(|s| s.is_configuration())
+            .expect("config states present");
+        let first_compute = log
+            .iter()
+            .position(|s| s.is_computation())
+            .expect("compute states present");
         assert!(last_config < first_compute);
     }
 
@@ -218,8 +226,7 @@ mod tests {
     #[test]
     fn labels_are_distinct() {
         let mut flow = KernelFlow::new("labels");
-        let mut labels: Vec<&str> =
-            flow.run_to_completion().iter().map(|s| s.label()).collect();
+        let mut labels: Vec<&str> = flow.run_to_completion().iter().map(|s| s.label()).collect();
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), 10);

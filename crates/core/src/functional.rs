@@ -78,7 +78,9 @@ impl FunctionalPipeline {
     ///
     /// Propagates LUT construction failures.
     pub fn new() -> Result<Self, PipelineError> {
-        Ok(FunctionalPipeline { bce: Bce::new(BceMode::MatMul)? })
+        Ok(FunctionalPipeline {
+            bce: Bce::new(BceMode::MatMul)?,
+        })
     }
 
     /// Shared access to the underlying BCE (event counters).
@@ -160,7 +162,7 @@ impl FunctionalPipeline {
         }
         let unrolled = im2col(input, (fdims[2], fdims[3]), stride, padding)?;
         let flat = pim_nn::im2col::flatten_filters(filters)?; // (N, C*KH*KW)
-        // out (N, cols) = flat (N, rows) * unrolled (rows, cols).
+                                                              // out (N, cols) = flat (N, rows) * unrolled (rows, cols).
         let product = self.matmul(&flat, &unrolled)?;
         let idims = input.shape().dims();
         let oh = (idims[1] + 2 * padding.0 - fdims[2]) / stride.0 + 1;
@@ -215,7 +217,11 @@ impl FunctionalPipeline {
         // Weight-stationary grid: rows = c*kh*kw, cols = filters.
         let (n_filters, rows) = (fdims[0], flat.shape().dims()[1]);
         let weights: Vec<Vec<i32>> = (0..rows)
-            .map(|r| (0..n_filters).map(|f| qw.data()[f * rows + r] as i32).collect())
+            .map(|r| {
+                (0..n_filters)
+                    .map(|f| qw.data()[f * rows + r] as i32)
+                    .collect()
+            })
             .collect();
         let sim = SystolicArraySim::new(weights).map_err(|e| {
             PipelineError::Nn(NnError::ShapeMismatch {
@@ -307,8 +313,7 @@ impl FunctionalPipeline {
                 let (accs, _) = self.bce.matmul_tile(&stream, &tile);
                 for j in 0..width {
                     let scale = (qp_x.scale() * qp_w.scale(f0 + j)) as f32;
-                    out.data_mut()[(f0 + j) * cols + col] =
-                        accs[j] as f32 * scale + bias[f0 + j];
+                    out.data_mut()[(f0 + j) * cols + col] = accs[j] as f32 * scale + bias[f0 + j];
                 }
             }
         }
@@ -334,17 +339,19 @@ impl FunctionalPipeline {
             }
             .into());
         }
-        let a = Tensor::from_vec(
-            TensorShape::new(vec![1, input.len()]),
-            input.to_vec(),
-        )?;
+        let a = Tensor::from_vec(TensorShape::new(vec![1, input.len()]), input.to_vec())?;
         // Transpose weights to (in, out) for the matmul convention.
         let (o, i) = (wdims[0], wdims[1]);
         let bt = Tensor::from_fn(TensorShape::new(vec![i, o]), |idx| {
             weights.data()[idx[1] * i + idx[0]]
         });
         let product = self.matmul(&a, &bt)?;
-        Ok(product.data().iter().zip(bias).map(|(&p, &b)| p + b).collect())
+        Ok(product
+            .data()
+            .iter()
+            .zip(bias)
+            .map(|(&p, &b)| p + b)
+            .collect())
     }
 
     /// Max pooling on the quantized datapath (exact on i8 values, so
@@ -431,48 +438,64 @@ pub fn run_sequential_lut(
             .into());
         }
         x = match *layer.op() {
-            LayerOp::Conv2d { stride, padding, .. } => {
-                let (filters, bias) = weights.conv.get(layer.name()).ok_or_else(|| {
-                    NnError::InvalidLayer {
-                        layer: layer.name().to_string(),
-                        reason: "missing conv weights".to_string(),
-                    }
-                })?;
+            LayerOp::Conv2d {
+                stride, padding, ..
+            } => {
+                let (filters, bias) =
+                    weights
+                        .conv
+                        .get(layer.name())
+                        .ok_or_else(|| NnError::InvalidLayer {
+                            layer: layer.name().to_string(),
+                            reason: "missing conv weights".to_string(),
+                        })?;
                 pipeline.conv2d(&x, filters, bias, stride, padding)?
             }
             LayerOp::Linear { .. } => {
-                let (w, bias) = weights.linear.get(layer.name()).ok_or_else(|| {
-                    NnError::InvalidLayer {
-                        layer: layer.name().to_string(),
-                        reason: "missing linear weights".to_string(),
-                    }
-                })?;
+                let (w, bias) =
+                    weights
+                        .linear
+                        .get(layer.name())
+                        .ok_or_else(|| NnError::InvalidLayer {
+                            layer: layer.name().to_string(),
+                            reason: "missing linear weights".to_string(),
+                        })?;
                 let out = pipeline.linear(x.data(), w, bias)?;
                 Tensor::from_vec(TensorShape::vector(out.len()), out)?
             }
-            LayerOp::Pool { kind, kernel, stride, .. } => match kind {
+            LayerOp::Pool {
+                kind,
+                kernel,
+                stride,
+                ..
+            } => match kind {
                 PoolKind::Max => pipeline.max_pool2d(&x, kernel, stride)?,
                 PoolKind::Avg => reference::avg_pool2d(&x, kernel, stride)?,
             },
             LayerOp::Activation(act) => {
                 let data: Vec<f32> = match act {
                     Act::Relu => pipeline.relu(x.data()),
-                    Act::Sigmoid => {
-                        pipeline.sigmoid(x.data()).into_iter().map(|v| v as f32).collect()
-                    }
-                    Act::Tanh => {
-                        pipeline.tanh(x.data()).into_iter().map(|v| v as f32).collect()
-                    }
-                    Act::Softmax => {
-                        pipeline.softmax(x.data())?.into_iter().map(|v| v as f32).collect()
-                    }
+                    Act::Sigmoid => pipeline
+                        .sigmoid(x.data())
+                        .into_iter()
+                        .map(|v| v as f32)
+                        .collect(),
+                    Act::Tanh => pipeline
+                        .tanh(x.data())
+                        .into_iter()
+                        .map(|v| v as f32)
+                        .collect(),
+                    Act::Softmax => pipeline
+                        .softmax(x.data())?
+                        .into_iter()
+                        .map(|v| v as f32)
+                        .collect(),
                     Act::Gelu => {
                         let arg: Vec<f32> = x
                             .data()
                             .iter()
                             .map(|&v| {
-                                (2.0f32 / std::f32::consts::PI).sqrt()
-                                    * (v + 0.044715 * v * v * v)
+                                (2.0f32 / std::f32::consts::PI).sqrt() * (v + 0.044715 * v * v * v)
                             })
                             .collect();
                         let t = pipeline.tanh(&arg);
@@ -510,7 +533,10 @@ pub fn run_sequential_lut(
 }
 
 fn symmetric_params(t: &Tensor<f32>) -> QuantParams {
-    let amax = t.data().iter().fold(0.0f64, |m, &v| m.max((v as f64).abs()));
+    let amax = t
+        .data()
+        .iter()
+        .fold(0.0f64, |m, &v| m.max((v as f64).abs()));
     QuantParams::symmetric(amax)
 }
 
@@ -529,7 +555,10 @@ mod tests {
     use pim_nn::workload::WorkloadGen;
 
     fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
     }
 
     #[test]
@@ -552,7 +581,9 @@ mod tests {
         let filters = gen.uniform_f32(TensorShape::new(vec![4, 3, 3, 3]), -0.5, 0.5);
         let bias = [0.1f32, -0.1, 0.0, 0.2];
         let pipeline = FunctionalPipeline::new().unwrap();
-        let ours = pipeline.conv2d(&input, &filters, &bias, (1, 1), (1, 1)).unwrap();
+        let ours = pipeline
+            .conv2d(&input, &filters, &bias, (1, 1), (1, 1))
+            .unwrap();
         let exact = reference::conv2d(&input, &filters, &bias, (1, 1), (1, 1)).unwrap();
         assert_eq!(ours.shape(), exact.shape());
         let bound = dot_error_bound(27, 1.0 / 127.0, 0.5 / 127.0, 1.0, 0.5) as f32;
@@ -573,9 +604,12 @@ mod tests {
         }
         let bias = [0.0f32; 2];
         let pipeline = FunctionalPipeline::new().unwrap();
-        let per_tensor = pipeline.conv2d(&input, &filters, &bias, (1, 1), (0, 0)).unwrap();
-        let per_channel =
-            pipeline.conv2d_per_channel(&input, &filters, &bias, (1, 1), (0, 0)).unwrap();
+        let per_tensor = pipeline
+            .conv2d(&input, &filters, &bias, (1, 1), (0, 0))
+            .unwrap();
+        let per_channel = pipeline
+            .conv2d_per_channel(&input, &filters, &bias, (1, 1), (0, 0))
+            .unwrap();
         let exact = reference::conv2d(&input, &filters, &bias, (1, 1), (0, 0)).unwrap();
 
         let spatial = exact.len() / 2;
@@ -598,8 +632,12 @@ mod tests {
         let filters = gen.uniform_f32(TensorShape::new(vec![4, 2, 3, 3]), -0.5, 0.5);
         let bias = [0.1f32, -0.1, 0.0, 0.2];
         let pipeline = FunctionalPipeline::new().unwrap();
-        let a = pipeline.conv2d(&input, &filters, &bias, (1, 1), (1, 1)).unwrap();
-        let b = pipeline.conv2d_per_channel(&input, &filters, &bias, (1, 1), (1, 1)).unwrap();
+        let a = pipeline
+            .conv2d(&input, &filters, &bias, (1, 1), (1, 1))
+            .unwrap();
+        let b = pipeline
+            .conv2d_per_channel(&input, &filters, &bias, (1, 1), (1, 1))
+            .unwrap();
         assert_eq!(a.shape(), b.shape());
         for (x, y) in a.data().iter().zip(b.data()) {
             assert!((x - y).abs() < 0.05, "{x} vs {y}");
@@ -616,7 +654,9 @@ mod tests {
         let filters = gen.uniform_f32(TensorShape::new(vec![3, 2, 3, 3]), -0.5, 0.5);
         let bias = [0.05f32, -0.05, 0.0];
         let pipeline = FunctionalPipeline::new().unwrap();
-        let via_bce = pipeline.conv2d(&input, &filters, &bias, (1, 1), (1, 1)).unwrap();
+        let via_bce = pipeline
+            .conv2d(&input, &filters, &bias, (1, 1), (1, 1))
+            .unwrap();
         let (via_systolic, cycles, hops) = pipeline
             .conv2d_systolic(&input, &filters, &bias, (1, 1), (1, 1))
             .unwrap();
@@ -667,7 +707,9 @@ mod tests {
         let fc_b = gen.vector_f32(5, -0.05, 0.05);
 
         let pipeline = FunctionalPipeline::new().unwrap();
-        let conv = pipeline.conv2d(&input, &filters, &[0.0; 4], (1, 1), (0, 0)).unwrap();
+        let conv = pipeline
+            .conv2d(&input, &filters, &[0.0; 4], (1, 1), (0, 0))
+            .unwrap();
         let act = pipeline.relu(conv.data());
         let act_t = Tensor::from_vec(conv.shape().clone(), act).unwrap();
         let pooled = pipeline.max_pool2d(&act_t, (2, 2), (2, 2)).unwrap();
@@ -684,10 +726,18 @@ mod tests {
         let probs_r = reference::softmax(&logits_r);
 
         let argmax = |v: &[f64]| {
-            v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
         };
         let argmax_f = |v: &[f32]| {
-            v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
         };
         assert_eq!(argmax(&probs), argmax_f(&probs_r));
         for (p, r) in probs.iter().zip(probs_r.iter()) {
@@ -711,7 +761,9 @@ mod tests {
     fn pipeline_exercises_rom_not_host_multiplier() {
         let pipeline = FunctionalPipeline::new().unwrap();
         let a = Tensor::from_fn(TensorShape::new(vec![2, 4]), |i| (i[0] + i[1]) as f32 * 0.1);
-        let b = Tensor::from_fn(TensorShape::new(vec![4, 2]), |i| (i[0] * 2 + i[1]) as f32 * 0.1);
+        let b = Tensor::from_fn(TensorShape::new(vec![4, 2]), |i| {
+            (i[0] * 2 + i[1]) as f32 * 0.1
+        });
         let _ = pipeline.matmul(&a, &b).unwrap();
         assert!(pipeline.bce().rom_reads() > 0);
     }

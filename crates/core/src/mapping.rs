@@ -177,7 +177,9 @@ mod tests {
         // Inception stem conv: ~0.9 KB of weights, huge output map.
         let net = networks::inception_v3();
         let first = net.weight_layers().next().unwrap();
-        let m = mapper().map_layer(first, BceMode::Conv, Precision::Int8).unwrap();
+        let m = mapper()
+            .map_layer(first, BceMode::Conv, Precision::Int8)
+            .unwrap();
         assert_eq!(m.subarrays_per_replica, 1);
         assert!(m.replicas > 1000, "replicas {}", m.replicas);
         assert!(m.utilization > 0.9);
@@ -188,7 +190,9 @@ mod tests {
         // The 1000-way classifier has only 1000 independent outputs.
         let net = networks::inception_v3();
         let fc = net.weight_layers().find(|l| l.name() == "fc").unwrap();
-        let m = mapper().map_layer(fc, BceMode::MatMul, Precision::Int8).unwrap();
+        let m = mapper()
+            .map_layer(fc, BceMode::MatMul, Precision::Int8)
+            .unwrap();
         assert!(m.replicas <= 1000);
     }
 
@@ -197,7 +201,9 @@ mod tests {
         // fc1: 4096 x 25088 weights ~ 103 MB > cache: must tile.
         let net = networks::vgg16();
         let fc1 = net.weight_layers().find(|l| l.name() == "fc1").unwrap();
-        assert!(mapper().map_layer(fc1, BceMode::MatMul, Precision::Int8).is_err());
+        assert!(mapper()
+            .map_layer(fc1, BceMode::MatMul, Precision::Int8)
+            .is_err());
         let tiled = mapper().map_layer_tiled(fc1, BceMode::MatMul, Precision::Int8);
         assert_eq!(tiled.utilization, 1.0);
         assert_eq!(tiled.active_subarrays, 4480);
@@ -207,8 +213,12 @@ mod tests {
     fn int4_halves_weight_footprint() {
         let net = networks::vgg16();
         let conv = net.weight_layers().find(|l| l.name() == "conv5_1").unwrap();
-        let m8 = mapper().map_layer(conv, BceMode::Conv, Precision::Int8).unwrap();
-        let m4 = mapper().map_layer(conv, BceMode::Conv, Precision::Int4).unwrap();
+        let m8 = mapper()
+            .map_layer(conv, BceMode::Conv, Precision::Int8)
+            .unwrap();
+        let m4 = mapper()
+            .map_layer(conv, BceMode::Conv, Precision::Int4)
+            .unwrap();
         assert!(m4.subarrays_per_replica <= m8.subarrays_per_replica);
         assert!(m4.replicas >= m8.replicas);
     }
@@ -217,10 +227,16 @@ mod tests {
     fn macs_per_cycle_reflects_mode_and_precision() {
         let net = networks::inception_v3();
         let first = net.weight_layers().next().unwrap();
-        let conv8 = mapper().map_layer(first, BceMode::Conv, Precision::Int8).unwrap();
-        let mm8 = mapper().map_layer(first, BceMode::MatMul, Precision::Int8).unwrap();
+        let conv8 = mapper()
+            .map_layer(first, BceMode::Conv, Precision::Int8)
+            .unwrap();
+        let mm8 = mapper()
+            .map_layer(first, BceMode::MatMul, Precision::Int8)
+            .unwrap();
         assert!((mm8.macs_per_cycle() / conv8.macs_per_cycle() - 8.0).abs() < 1e-9);
-        let mm4 = mapper().map_layer(first, BceMode::MatMul, Precision::Int4).unwrap();
+        let mm4 = mapper()
+            .map_layer(first, BceMode::MatMul, Precision::Int4)
+            .unwrap();
         assert!((mm4.macs_per_cycle() / mm8.macs_per_cycle() - 2.0).abs() < 1e-9);
     }
 
@@ -229,7 +245,9 @@ mod tests {
         // §V-D: "4 MACs/subarray, and a total of 4480 sub-arrays".
         let net = networks::bert_base();
         let attn = net.weight_layers().next().unwrap();
-        let m = mapper().map_layer(attn, BceMode::MatMul, Precision::Int8).unwrap();
+        let m = mapper()
+            .map_layer(attn, BceMode::MatMul, Precision::Int8)
+            .unwrap();
         // A 2.4 MB attention layer replicates ~14x and keeps most of
         // the cache busy.
         assert!(m.utilization > 0.9, "utilization {}", m.utilization);
@@ -240,7 +258,9 @@ mod tests {
     fn error_message_is_informative() {
         let net = networks::vgg16();
         let fc1 = net.weight_layers().find(|l| l.name() == "fc1").unwrap();
-        let err = mapper().map_layer(fc1, BceMode::MatMul, Precision::Int8).unwrap_err();
+        let err = mapper()
+            .map_layer(fc1, BceMode::MatMul, Precision::Int8)
+            .unwrap_err();
         assert!(err.to_string().contains("fc1"));
     }
 }

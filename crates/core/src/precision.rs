@@ -31,7 +31,9 @@ impl PrecisionPolicy {
 
     /// The learned mixed 4/8-bit policy of Fig. 14.
     pub fn mixed() -> Self {
-        PrecisionPolicy::MixedFourEight { keep_int8: Vec::new() }
+        PrecisionPolicy::MixedFourEight {
+            keep_int8: Vec::new(),
+        }
     }
 
     /// Precision of `layer`, given the ordered list of weight-layer
@@ -90,7 +92,9 @@ mod tests {
 
     #[test]
     fn mixed_respects_pinned_layers() {
-        let policy = PrecisionPolicy::MixedFourEight { keep_int8: vec!["conv3_2".to_string()] };
+        let policy = PrecisionPolicy::MixedFourEight {
+            keep_int8: vec!["conv3_2".to_string()],
+        };
         let net = networks::vgg16();
         let names: Vec<&str> = net.weight_layers().map(|l| l.name()).collect();
         let pinned = net.weight_layers().find(|l| l.name() == "conv3_2").unwrap();

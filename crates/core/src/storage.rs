@@ -180,10 +180,12 @@ impl WeightStore {
     /// Returns the underlying decode error on corruption.
     pub fn verify_lut_integrity(&self) -> Result<(), pim_lut::LutError> {
         for sa in &self.subarrays {
-            let image = sa.dump_lut_image(49).map_err(|_| pim_lut::LutError::InvalidTable {
-                parameter: "lut region",
-                reason: "unreadable".to_string(),
-            })?;
+            let image = sa
+                .dump_lut_image(49)
+                .map_err(|_| pim_lut::LutError::InvalidTable {
+                    parameter: "lut region",
+                    reason: "unreadable".to_string(),
+                })?;
             MultLut::from_image_bytes(&image)?;
         }
         Ok(())
@@ -209,10 +211,13 @@ mod tests {
         let mapper = Mapper::new(config.geometry.clone());
         let net = networks::inception_v3();
         let layer = net.weight_layers().next().unwrap();
-        let mapping = mapper.map_layer(layer, BceMode::Conv, Precision::Int8).unwrap();
+        let mapping = mapper
+            .map_layer(layer, BceMode::Conv, Precision::Int8)
+            .unwrap();
         let mut gen = WorkloadGen::new(8);
-        let weights =
-            gen.random_i8(pim_nn::TensorShape::vector(layer.params() as usize)).into_data();
+        let weights = gen
+            .random_i8(pim_nn::TensorShape::vector(layer.params() as usize))
+            .into_data();
         let store = WeightStore::place(&config.geometry, &mapping, &weights).unwrap();
         (store, weights)
     }
@@ -234,8 +239,9 @@ mod tests {
     fn storage_backed_dot_matches_direct() {
         let (store, weights) = place_first_inception_layer();
         let mut gen = WorkloadGen::new(9);
-        let inputs =
-            gen.random_i8(pim_nn::TensorShape::vector(weights.len())).into_data();
+        let inputs = gen
+            .random_i8(pim_nn::TensorShape::vector(weights.len()))
+            .into_data();
         let bce = Bce::new(BceMode::Conv).unwrap();
         let (from_storage, _, row_reads) = store.dot(&bce, &inputs, Precision::Int8);
         let (direct, _) = bce.dot_conv(&weights, &inputs, Precision::Int8);
@@ -272,10 +278,13 @@ mod tests {
         let mapper = Mapper::new(config.geometry.clone());
         let net = networks::vgg16();
         let layer = net.weight_layers().find(|l| l.name() == "conv5_1").unwrap();
-        let mapping = mapper.map_layer(layer, BceMode::Conv, Precision::Int8).unwrap();
+        let mapping = mapper
+            .map_layer(layer, BceMode::Conv, Precision::Int8)
+            .unwrap();
         let mut gen = WorkloadGen::new(10);
-        let weights =
-            gen.random_i8(pim_nn::TensorShape::vector(layer.params() as usize)).into_data();
+        let weights = gen
+            .random_i8(pim_nn::TensorShape::vector(layer.params() as usize))
+            .into_data();
         let store = WeightStore::place(&config.geometry, &mapping, &weights).unwrap();
         assert!(store.subarrays().len() > 100);
         assert_eq!(store.read_back(), weights);

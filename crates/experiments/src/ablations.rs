@@ -26,7 +26,9 @@ pub fn mul_path() -> MulPathAblation {
     let model = BceCostModel::paper_default();
     let mut state = 0xD1B54A32D192ED03u64;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) & 0xFF) as i8
     };
     let w: Vec<i8> = (0..4096).map(|_| next()).collect();
@@ -39,9 +41,12 @@ pub fn mul_path() -> MulPathAblation {
     };
     let rom = price(MulPath::HardwiredRom);
     let lut = price(MulPath::SubarrayLut);
-    let bitline =
-        model.bitline_equivalent_energy(1, 120, 64).picojoules();
-    MulPathAblation { subarray_lut_pj: lut, hardwired_rom_pj: rom, bitline_pj: bitline }
+    let bitline = model.bitline_equivalent_energy(1, 120, 64).picojoules();
+    MulPathAblation {
+        subarray_lut_pj: lut,
+        hardwired_rom_pj: rom,
+        bitline_pj: bitline,
+    }
 }
 
 /// Result of the LUT-sizing ablation.
@@ -101,7 +106,11 @@ pub fn dataflow() -> DataflowAblation {
         systolic.push(s.total_steps());
         sequential.push(s.sequential_steps());
     }
-    DataflowAblation { waves, systolic_steps: systolic, sequential_steps: sequential }
+    DataflowAblation {
+        waves,
+        systolic_steps: systolic,
+        sequential_steps: sequential,
+    }
 }
 
 /// Result of a two-configuration network ablation.
@@ -135,11 +144,15 @@ pub fn lstm_vs_gru() -> PairAblation {
     PairAblation {
         first: (
             "LSTM-1024".to_string(),
-            sim.run(&networks::lstm_timit(), 1).total_latency().milliseconds(),
+            sim.run(&networks::lstm_timit(), 1)
+                .total_latency()
+                .milliseconds(),
         ),
         second: (
             "GRU-1024".to_string(),
-            sim.run(&networks::gru_timit(), 1).total_latency().milliseconds(),
+            sim.run(&networks::gru_timit(), 1)
+                .total_latency()
+                .milliseconds(),
         ),
     }
 }
@@ -187,9 +200,18 @@ pub fn batch_sweep() -> Vec<(usize, f64)> {
 pub fn print() {
     let mp = mul_path();
     println!("\n== Ablation: multiply path (pJ per int8 MAC, incl. weight reads) ==");
-    println!("  hardwired ROM (evaluated design): {:>8.2} pJ", mp.hardwired_rom_pj);
-    println!("  subarray 49-entry LUT (§III-C1) : {:>8.2} pJ", mp.subarray_lut_pj);
-    println!("  bitline computing equivalent    : {:>8.2} pJ", mp.bitline_pj);
+    println!(
+        "  hardwired ROM (evaluated design): {:>8.2} pJ",
+        mp.hardwired_rom_pj
+    );
+    println!(
+        "  subarray 49-entry LUT (§III-C1) : {:>8.2} pJ",
+        mp.subarray_lut_pj
+    );
+    println!(
+        "  bitline computing equivalent    : {:>8.2} pJ",
+        mp.bitline_pj
+    );
 
     let ls = lut_size();
     println!("\n== Ablation: multiply-LUT sizing ==");
@@ -197,7 +219,10 @@ pub fn print() {
         "  49-entry table: {:>4} bytes, {:.2} events/product ({:.2} table reads)",
         ls.reduced_bytes, ls.reduced_events_per_product, ls.reduced_reads_per_product
     );
-    println!("  256-entry table: {:>3} bytes, 1.00 events/product (1.00 table reads)", ls.full_bytes);
+    println!(
+        "  256-entry table: {:>3} bytes, 1.00 events/product (1.00 table reads)",
+        ls.full_bytes
+    );
     println!(
         "  -> {:.1}x storage saved for {:.2} extra events/product",
         ls.full_bytes as f64 / ls.reduced_bytes as f64,
@@ -206,7 +231,10 @@ pub fn print() {
 
     let df = dataflow();
     println!("\n== Ablation: systolic vs load-then-compute (8 x 40 grid) ==");
-    println!("{:>10} {:>12} {:>12} {:>8}", "waves", "systolic", "sequential", "gain");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "waves", "systolic", "sequential", "gain"
+    );
     for i in 0..df.waves.len() {
         println!(
             "{:>10} {:>12} {:>12} {:>7.1}x",
@@ -224,7 +252,10 @@ pub fn print() {
 
     let lr = lut_rows();
     println!("\n== Ablation: LUT-row design under Inception-v3 ==");
-    println!("{:<22} {:>12} {:>14}", "design", "total mJ", "lut-access mJ");
+    println!(
+        "{:<22} {:>12} {:>14}",
+        "design", "total mJ", "lut-access mJ"
+    );
     for (name, total, lut) in &lr.rows {
         println!("{:<22} {:>12.2} {:>14.4}", name, total, lut);
     }
@@ -234,11 +265,8 @@ pub fn print() {
     println!("  {:<12} {:>10.3} ms", rnn.first.0, rnn.first.1);
     println!("  {:<12} {:>10.3} ms", rnn.second.0, rnn.second.1);
 
-    let attn = bfree::AttentionSchedule::plan(
-        &pim_nn::networks::BertConfig::base(),
-        4.0 * 4480.0,
-        16.0,
-    );
+    let attn =
+        bfree::AttentionSchedule::plan(&pim_nn::networks::BertConfig::base(), 4.0 * 4480.0, 16.0);
     println!("\n== Fig. 10: attention kernel scheduling (§IV-B2) ==");
     println!(
         "  serial {} cycles -> overlapped {} cycles ({:.2}x from overlapping V with P')",

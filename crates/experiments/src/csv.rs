@@ -7,16 +7,14 @@ use std::path::Path;
 
 use pim_arch::MemoryTechKind;
 
+use crate::error::ExperimentError;
+
 /// Writes one CSV file with a header row.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn write_rows(
-    path: &Path,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+pub fn write_rows(path: &Path, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
@@ -32,8 +30,8 @@ pub fn write_rows(
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors.
-pub fn write_all(dir: &Path) -> io::Result<Vec<String>> {
+/// Propagates filesystem errors and experiment failures.
+pub fn write_all(dir: &Path) -> Result<Vec<String>, ExperimentError> {
     let mut written = Vec::new();
     let mut emit = |name: &str, header: &[&str], rows: Vec<Vec<String>>| -> io::Result<()> {
         let path = dir.join(name);
@@ -67,7 +65,11 @@ pub fn write_all(dir: &Path) -> io::Result<Vec<String>> {
             })
             .collect::<Vec<_>>()
     };
-    emit("fig12b_bfree_phases.csv", &["phase", "us", "fraction"], phases(&fig12.bfree))?;
+    emit(
+        "fig12b_bfree_phases.csv",
+        &["phase", "us", "fraction"],
+        phases(&fig12.bfree),
+    )?;
     emit(
         "fig12c_neural_cache_phases.csv",
         &["phase", "us", "fraction"],
@@ -112,7 +114,13 @@ pub fn write_all(dir: &Path) -> io::Result<Vec<String>> {
     let fig14 = crate::fig14::run();
     emit(
         "fig14_bandwidth_sweep.csv",
-        &["memory", "batch", "precision", "ms_per_inference", "load_fraction"],
+        &[
+            "memory",
+            "batch",
+            "precision",
+            "ms_per_inference",
+            "load_fraction",
+        ],
         fig14
             .points
             .iter()
@@ -130,10 +138,12 @@ pub fn write_all(dir: &Path) -> io::Result<Vec<String>> {
     let _ = MemoryTechKind::ALL; // sweep order documented by the type
 
     // Table III.
-    let table3 = crate::table3::run();
+    let table3 = crate::table3::run()?;
     emit(
         "table3_runtime_energy.csv",
-        &["network", "batch", "cpu_ms", "gpu_ms", "bfree_ms", "cpu_j", "gpu_j", "bfree_j"],
+        &[
+            "network", "batch", "cpu_ms", "gpu_ms", "bfree_ms", "cpu_j", "gpu_j", "bfree_j",
+        ],
         table3
             .iter()
             .map(|r| {
@@ -159,6 +169,14 @@ pub fn write_all(dir: &Path) -> io::Result<Vec<String>> {
             .iter()
             .map(|(b, ms)| vec![b.to_string(), format!("{ms:.4}")])
             .collect(),
+    )?;
+
+    // Serving: the multi-tenant load sweep.
+    let serving = crate::serving::run()?;
+    emit(
+        "serving_load_sweep.csv",
+        &crate::serving::CSV_HEADER,
+        crate::serving::csv_rows(&serving),
     )?;
 
     Ok(written)

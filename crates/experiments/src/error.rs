@@ -1,0 +1,78 @@
+//! The experiments error path.
+//!
+//! Experiment code used to panic on bad inputs (an unknown network name
+//! in a paper table, for instance). Reproduction runs are batch jobs —
+//! a bad row should surface as an error with context and a non-zero
+//! exit, not a backtrace — so every fallible experiment returns
+//! [`ExperimentError`].
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use bfree_serve::ServeError;
+use pim_nn::request::UnknownNetworkError;
+
+/// Any failure while running or exporting an experiment.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// A network name did not match any evaluation network.
+    UnknownNetwork(UnknownNetworkError),
+    /// A serving-simulation configuration was rejected.
+    Serve(ServeError),
+    /// A filesystem error while writing results.
+    Io(io::Error),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::UnknownNetwork(e) => write!(f, "{e}"),
+            ExperimentError::Serve(e) => write!(f, "serving experiment: {e}"),
+            ExperimentError::Io(e) => write!(f, "writing results: {e}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::UnknownNetwork(e) => Some(e),
+            ExperimentError::Serve(e) => Some(e),
+            ExperimentError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<UnknownNetworkError> for ExperimentError {
+    fn from(e: UnknownNetworkError) -> Self {
+        ExperimentError::UnknownNetwork(e)
+    }
+}
+
+impl From<ServeError> for ExperimentError {
+    fn from(e: ServeError) -> Self {
+        ExperimentError::Serve(e)
+    }
+}
+
+impl From<io::Error> for ExperimentError {
+    fn from(e: io::Error) -> Self {
+        ExperimentError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_nn::request::NetworkKind;
+
+    #[test]
+    fn unknown_network_keeps_context() {
+        let err: ExperimentError = NetworkKind::parse("alexnet").unwrap_err().into();
+        let text = err.to_string();
+        assert!(text.contains("alexnet"));
+        assert!(text.contains("BERT-base"));
+    }
+}

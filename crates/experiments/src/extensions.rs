@@ -42,7 +42,10 @@ pub fn run() -> Vec<ExtensionRow> {
                 latency_ms: (
                     bfree.run(net, batch).per_inference_latency().milliseconds(),
                     nc.run(net, batch).per_inference_latency().milliseconds(),
-                    eyeriss.run(net, batch).per_inference_latency().milliseconds(),
+                    eyeriss
+                        .run(net, batch)
+                        .per_inference_latency()
+                        .milliseconds(),
                     cpu.run(net, batch).per_inference_latency().milliseconds(),
                     gpu.run(net, batch).per_inference_latency().milliseconds(),
                 ),

@@ -34,15 +34,15 @@ pub struct Fig12 {
 }
 
 /// The Fig. 12(a) modules the paper plots.
-const MODULES: [&str; 8] =
-    ["Conv2d", "Mixed_5b", "Mixed_5d", "Mixed_6a", "Mixed_6c", "Mixed_6e", "Mixed_7a", "Mixed_7c"];
+const MODULES: [&str; 8] = [
+    "Conv2d", "Mixed_5b", "Mixed_5d", "Mixed_6a", "Mixed_6c", "Mixed_6e", "Mixed_7a", "Mixed_7c",
+];
 
 /// Runs the experiment.
 pub fn run() -> Fig12 {
     let net = networks::inception_v3();
-    let bfree_sim = BfreeSimulator::new(
-        BfreeConfig::paper_default().with_conv_dataflow(ConvDataflow::Direct),
-    );
+    let bfree_sim =
+        BfreeSimulator::new(BfreeConfig::paper_default().with_conv_dataflow(ConvDataflow::Direct));
     let nc = NeuralCacheModel::paper_default();
     let bfree = bfree_sim.run(&net, 1);
     let neural_cache = nc.run(&net, 1);
@@ -57,15 +57,21 @@ pub fn run() -> Fig12 {
     };
     let module_runtimes = MODULES
         .iter()
-        .map(|m| (m.to_string(), module_time(&bfree, m), module_time(&neural_cache, m)))
+        .map(|m| {
+            (
+                m.to_string(),
+                module_time(&bfree, m),
+                module_time(&neural_cache, m),
+            )
+        })
         .collect();
 
     let nc_exec = neural_cache.latency.get(Phase::Compute)
         + neural_cache.latency.get(Phase::InputLoad)
         + neural_cache.latency.get(Phase::Reduction)
         + neural_cache.latency.get(Phase::WeightLoad);
-    let nc_overhead = neural_cache.latency.get(Phase::InputLoad)
-        + neural_cache.latency.get(Phase::Reduction);
+    let nc_overhead =
+        neural_cache.latency.get(Phase::InputLoad) + neural_cache.latency.get(Phase::Reduction);
 
     Fig12 {
         speedup: bfree.speedup_over(&neural_cache),
@@ -74,7 +80,9 @@ pub fn run() -> Fig12 {
         bfree_sa_bce_cache_fraction: bfree
             .energy
             .fraction_excluding(EnergyComponent::SubarrayAccess, EnergyComponent::Dram)
-            + bfree.energy.fraction_excluding(EnergyComponent::Bce, EnergyComponent::Dram),
+            + bfree
+                .energy
+                .fraction_excluding(EnergyComponent::Bce, EnergyComponent::Dram),
         neural_cache_overhead_fraction: nc_overhead.nanoseconds() / nc_exec.nanoseconds(),
         module_runtimes,
         bfree,
@@ -89,7 +97,12 @@ pub fn run() -> Fig12 {
 pub fn comparisons(result: &Fig12) -> Vec<Comparison> {
     vec![
         Comparison::new("speedup over Neural Cache", 1.72, result.speedup, "x"),
-        Comparison::new("energy gain over Neural Cache", 3.14, result.energy_gain, "x"),
+        Comparison::new(
+            "energy gain over Neural Cache",
+            3.14,
+            result.energy_gain,
+            "x",
+        ),
         Comparison::new(
             "BFree DRAM energy share",
             0.80,
@@ -115,7 +128,10 @@ pub fn comparisons(result: &Fig12) -> Vec<Comparison> {
 pub fn print() {
     let result = run();
     println!("\n== Fig. 12(a): Inception-v3 layer-wise runtime (us) ==");
-    println!("{:<12} {:>12} {:>14} {:>8}", "module", "BFree", "Neural Cache", "ratio");
+    println!(
+        "{:<12} {:>12} {:>14} {:>8}",
+        "module", "BFree", "Neural Cache", "ratio"
+    );
     for (module, ours, theirs) in &result.module_runtimes {
         println!(
             "{:<12} {:>12.1} {:>14.1} {:>7.2}x",

@@ -24,9 +24,8 @@ pub struct Fig13 {
 /// Runs the experiment.
 pub fn run() -> Fig13 {
     let net = networks::vgg16();
-    let bfree_sim = BfreeSimulator::new(
-        BfreeConfig::single_slice().with_conv_dataflow(ConvDataflow::Im2col),
-    );
+    let bfree_sim =
+        BfreeSimulator::new(BfreeConfig::single_slice().with_conv_dataflow(ConvDataflow::Im2col));
     let eyeriss = EyerissModel::paper_default();
     let ours = bfree_sim.run(&net, 1);
     let theirs = eyeriss.run(&net, 1);
@@ -82,9 +81,18 @@ pub fn comparisons(result: &Fig13) -> Vec<Comparison> {
 pub fn print() {
     let result = run();
     println!("\n== Fig. 13: VGG-16 computation time per layer (us, one slice) ==");
-    println!("{:<12} {:>12} {:>12} {:>8}", "layer", "BFree", "Eyeriss", "ratio");
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "layer", "BFree", "Eyeriss", "ratio"
+    );
     for (name, ours, theirs) in result.layer_compute.iter().take(16) {
-        println!("{:<12} {:>12.1} {:>12.1} {:>7.2}x", name, ours, theirs, theirs / ours);
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>7.2}x",
+            name,
+            ours,
+            theirs,
+            theirs / ours
+        );
     }
     println!(
         "  execution share of BFree layer time: ~{:.0}% (paper: ~10%, loads dominate)",

@@ -45,8 +45,8 @@ pub fn run() -> Fig14 {
     for memory in MemoryTechKind::ALL {
         for batch in [1usize, 16] {
             for mixed in [false, true] {
-                let mut config = BfreeConfig::paper_default()
-                    .with_memory(MemoryTech::from_kind(memory));
+                let mut config =
+                    BfreeConfig::paper_default().with_memory(MemoryTech::from_kind(memory));
                 if mixed {
                     config = config.with_precision(PrecisionPolicy::mixed());
                 }
@@ -75,7 +75,12 @@ pub fn comparisons(result: &Fig14) -> Vec<Comparison> {
     vec![
         // "Varied bit-precision ... reduces the 50% of execution time
         // compared to the 8-bit precision."
-        Comparison::new("mixed-precision time saving (batch 1)", 0.50, 1.0 - dram4 / dram8, "frac"),
+        Comparison::new(
+            "mixed-precision time saving (batch 1)",
+            0.50,
+            1.0 - dram4 / dram8,
+            "frac",
+        ),
         // "with HBM the BFree is highly efficient without much loading
         // overheads" — read as a load share well below 10%.
         Comparison::new(

@@ -22,8 +22,10 @@ pub struct Fig4 {
 pub fn run() -> Fig4 {
     let timing = TimingParams::default();
     let energy = EnergyParams::default();
-    let profiles: Vec<LutRowProfile> =
-        LutRowDesign::ALL.iter().map(|d| d.profile(&timing, &energy)).collect();
+    let profiles: Vec<LutRowProfile> = LutRowDesign::ALL
+        .iter()
+        .map(|d| d.profile(&timing, &energy))
+        .collect();
     let shared = LutRowDesign::SharedBitline.profile(&timing, &energy);
     let decoupled = LutRowDesign::DecoupledBitline.profile(&timing, &energy);
     Fig4 {
@@ -36,8 +38,18 @@ pub fn run() -> Fig4 {
 /// Comparison rows against the paper's figures.
 pub fn comparisons(result: &Fig4) -> Vec<Comparison> {
     vec![
-        Comparison::new("decoupled-bitline LUT read speedup", 3.0, result.speedup, "x"),
-        Comparison::new("decoupled-bitline LUT energy gain", 231.0, result.energy_gain, "x"),
+        Comparison::new(
+            "decoupled-bitline LUT read speedup",
+            3.0,
+            result.speedup,
+            "x",
+        ),
+        Comparison::new(
+            "decoupled-bitline LUT energy gain",
+            231.0,
+            result.energy_gain,
+            "x",
+        ),
         Comparison::new(
             "decoupled-bitline subarray area overhead",
             0.005,
@@ -56,7 +68,10 @@ pub fn comparisons(result: &Fig4) -> Vec<Comparison> {
 pub fn print() {
     let result = run();
     println!("\n== Fig. 4(c): LUT-row design space ==");
-    println!("{:<22} {:>12} {:>12} {:>10}", "design", "read ns", "read pJ", "area ovh");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10}",
+        "design", "read ns", "read pJ", "area ovh"
+    );
     for p in &result.profiles {
         println!(
             "{:<22} {:>12.3} {:>12.4} {:>9.1}%",

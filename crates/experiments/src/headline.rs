@@ -78,9 +78,16 @@ pub fn comparisons(rows: &[CnnComparison]) -> Vec<Comparison> {
 }
 
 /// Prints the CNN comparison and the collected headlines.
-pub fn print() {
+///
+/// # Errors
+///
+/// Propagates Table III's errors.
+pub fn print() -> Result<(), crate::ExperimentError> {
     let rows = run();
-    crate::print_comparisons("§V-D: CNN comparison vs CPU/GPU (batch 16)", &comparisons(&rows));
+    crate::print_comparisons(
+        "§V-D: CNN comparison vs CPU/GPU (batch 16)",
+        &comparisons(&rows),
+    );
 
     println!("\n== Collected headline numbers ==");
     let fig12 = crate::fig12::run();
@@ -93,7 +100,7 @@ pub fn print() {
         "  vs iso-area Eyeriss (VGG-16 compute): {:.2}x (paper 3.97x)",
         fig13.compute_speedup
     );
-    let table3 = crate::table3::run();
+    let table3 = crate::table3::run()?;
     let bert16 = table3
         .iter()
         .find(|r| r.network == "BERT-base" && r.batch == 16)
@@ -111,4 +118,5 @@ pub fn print() {
         "  cache area overhead: {:.1}% (paper 5.6%)",
         area.total_overhead_fraction * 100.0
     );
+    Ok(())
 }

@@ -12,6 +12,7 @@
 
 pub mod ablations;
 pub mod csv;
+pub mod error;
 pub mod extensions;
 pub mod fig12;
 pub mod fig13;
@@ -20,8 +21,11 @@ pub mod fig2;
 pub mod fig4;
 pub mod headline;
 pub mod overheads;
+pub mod serving;
 pub mod table2;
 pub mod table3;
+
+pub use error::ExperimentError;
 
 /// A paper-reported value next to our measured value.
 #[derive(Debug, Clone)]
@@ -39,7 +43,12 @@ pub struct Comparison {
 impl Comparison {
     /// Creates a comparison row.
     pub fn new(label: impl Into<String>, paper: f64, measured: f64, unit: &'static str) -> Self {
-        Comparison { label: label.into(), paper, measured, unit }
+        Comparison {
+            label: label.into(),
+            paper,
+            measured,
+            unit,
+        }
     }
 
     /// measured / paper.
@@ -58,11 +67,19 @@ impl Comparison {
 /// Prints a block of comparisons as an aligned table.
 pub fn print_comparisons(title: &str, rows: &[Comparison]) {
     println!("\n== {title} ==");
-    println!("{:<44} {:>12} {:>12} {:>8}", "metric", "paper", "measured", "x/paper");
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}",
+        "metric", "paper", "measured", "x/paper"
+    );
     for row in rows {
         println!(
             "{:<44} {:>9.3} {} {:>9.3} {} {:>7.2}x",
-            row.label, row.paper, row.unit, row.measured, row.unit, row.ratio()
+            row.label,
+            row.paper,
+            row.unit,
+            row.measured,
+            row.unit,
+            row.ratio()
         );
     }
 }

@@ -18,9 +18,18 @@ usage: experiments <name>
   headline   all headline numbers in one block
   ablations  design-choice ablations (DESIGN.md §5)
   extensions extension workloads (ResNet-18, GRU) on every device
+  serving    multi-tenant serving load sweep (writes results/serving_load_sweep.csv)
   all        everything above, in paper order
   csv [dir]  write every figure's data series as CSV (default: results/)
 ";
+
+/// Unwraps an experiment result, exiting with context on failure.
+fn check(result: Result<(), exp::ExperimentError>) {
+    if let Err(e) = result {
+        eprintln!("experiment failed: {e}");
+        std::process::exit(1);
+    }
+}
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -31,13 +40,16 @@ fn main() {
         "fig12" | "fig12a" | "fig12bc" | "fig12d" => exp::fig12::print(),
         "fig13" => exp::fig13::print(),
         "fig14" => exp::fig14::print(),
-        "table3" => exp::table3::print(),
-        "cpu_gpu" | "headline" => exp::headline::print(),
+        "table3" => check(exp::table3::print()),
+        "cpu_gpu" | "headline" => check(exp::headline::print()),
         "overheads" | "area" | "bce_power" => exp::overheads::print(),
         "ablations" => exp::ablations::print(),
         "extensions" => exp::extensions::print(),
+        "serving" => check(exp::serving::print()),
         "csv" => {
-            let dir = std::env::args().nth(2).unwrap_or_else(|| "results".to_string());
+            let dir = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| "results".to_string());
             match exp::csv::write_all(std::path::Path::new(&dir)) {
                 Ok(files) => {
                     for f in files {
@@ -57,11 +69,12 @@ fn main() {
             exp::fig12::print();
             exp::fig13::print();
             exp::fig14::print();
-            exp::table3::print();
-            exp::headline::print();
+            check(exp::table3::print());
+            check(exp::headline::print());
             exp::overheads::print();
             exp::ablations::print();
             exp::extensions::print();
+            check(exp::serving::print());
         }
         "-h" | "--help" | "help" => print!("{USAGE}"),
         other => {

@@ -1,8 +1,8 @@
 //! §V-B design-analysis numbers: area overheads, controller and BCE
 //! power, and the BCE-versus-specialized-MAC comparison.
 
-use pim_arch::{AreaModel, CacheGeometry, EnergyParams};
 use pim_arch::area::AreaReport;
+use pim_arch::{AreaModel, CacheGeometry, EnergyParams};
 use pim_bce::power::{ADD_PJ, ROM_READ_PJ, SHIFT_PJ};
 
 use crate::Comparison;
@@ -18,13 +18,43 @@ pub fn comparisons() -> Vec<Comparison> {
     let model = AreaModel::default();
     let energy = EnergyParams::default();
     vec![
-        Comparison::new("total cache area overhead", 0.056, report.total_overhead_fraction, "frac"),
-        Comparison::new("LUT circuitry / subarray", 0.005, report.lut_subarray_overhead, "frac"),
-        Comparison::new("controllers / cache", 0.001, report.controller_cache_overhead, "frac"),
+        Comparison::new(
+            "total cache area overhead",
+            0.056,
+            report.total_overhead_fraction,
+            "frac",
+        ),
+        Comparison::new(
+            "LUT circuitry / subarray",
+            0.005,
+            report.lut_subarray_overhead,
+            "frac",
+        ),
+        Comparison::new(
+            "controllers / cache",
+            0.001,
+            report.controller_cache_overhead,
+            "frac",
+        ),
         Comparison::new("BCE conv-mode power", 0.4, energy.bce_conv_mode_mw, "mW"),
-        Comparison::new("BCE matmul-mode power", 1.3, energy.bce_matmul_mode_mw, "mW"),
-        Comparison::new("cache controller power", 0.8, energy.cache_controller_mw, "mW"),
-        Comparison::new("slice controller power", 1.4, energy.slice_controller_mw, "mW"),
+        Comparison::new(
+            "BCE matmul-mode power",
+            1.3,
+            energy.bce_matmul_mode_mw,
+            "mW",
+        ),
+        Comparison::new(
+            "cache controller power",
+            0.8,
+            energy.cache_controller_mw,
+            "mW",
+        ),
+        Comparison::new(
+            "slice controller power",
+            1.4,
+            energy.slice_controller_mw,
+            "mW",
+        ),
         Comparison::new(
             "specialized MAC relative area",
             1.03,

@@ -1,0 +1,208 @@
+//! Multi-tenant serving load sweep: LSTM-TIMIT and BERT-base sharing
+//! one BFree cache under mixed open-loop traffic.
+//!
+//! This is the ROADMAP's production-scale question rather than a paper
+//! figure: the paper (§V, Table III) prices one network at a time on a
+//! dedicated cache; here both request streams contend for the slice
+//! pool, DRAM streaming bandwidth and the conventional-traffic budget.
+//! The sweep scales both arrival rates together and reports tail
+//! latency, throughput, energy per request and shed traffic at each
+//! load point. Everything is virtual-clock and seeded: the CSV is
+//! bit-identical across runs.
+
+use bfree_serve::{OpenLoopDriver, ServeConfig, ServingSim, ServingSummary, TenantSpec};
+use pim_nn::request::NetworkKind;
+
+use crate::error::ExperimentError;
+
+/// Seed for the sweep's arrival process.
+const SEED: u64 = 0xBF_EE;
+/// Virtual time simulated per load point.
+const HORIZON_NS: u64 = 200_000_000;
+/// LSTM-TIMIT arrival rate at load 1.0 (requests/s).
+const LSTM_BASE_RPS: f64 = 2_000.0;
+/// BERT-base arrival rate at load 1.0 (requests/s).
+const BERT_BASE_RPS: f64 = 50.0;
+
+/// One measured load point.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Load multiplier applied to both base rates.
+    pub load: f64,
+    /// Offered LSTM-TIMIT rate (requests/s).
+    pub lstm_rps: f64,
+    /// Offered BERT-base rate (requests/s).
+    pub bert_rps: f64,
+    /// The run's telemetry summary.
+    pub summary: ServingSummary,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct ServingSweep {
+    /// Slices each tenant occupies per dispatch: (lstm, bert).
+    pub demand_slices: (usize, usize),
+    /// Measured points, in ascending load order.
+    pub points: Vec<LoadPoint>,
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        max_batch: 8,
+        batch_window_ns: 100_000,
+        queue_capacity: 512,
+        timeout_ns: Some(50_000_000),
+        ..ServeConfig::default()
+    }
+}
+
+fn tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("lstm-timit", NetworkKind::LstmTimit),
+        TenantSpec::new("bert-base", NetworkKind::BertBase),
+    ]
+}
+
+/// Runs the sweep.
+///
+/// # Errors
+///
+/// Propagates [`ExperimentError::Serve`] if the serving configuration
+/// is rejected (cannot happen for the constants above).
+pub fn run() -> Result<ServingSweep, ExperimentError> {
+    let loads = [0.25, 0.5, 1.0, 2.0, 4.0];
+    let mut points = Vec::with_capacity(loads.len());
+    let mut demand_slices = (0, 0);
+    for load in loads {
+        let mut sim = ServingSim::new(config(), tenants())?;
+        demand_slices = (
+            sim.tenants()[0].demand_slices(),
+            sim.tenants()[1].demand_slices(),
+        );
+        let mut driver =
+            OpenLoopDriver::new(SEED, vec![LSTM_BASE_RPS * load, BERT_BASE_RPS * load]);
+        driver.drive(&mut sim, HORIZON_NS);
+        let summary = sim.run_to_idle().summary();
+        debug_assert_eq!(sim.work_conservation_violations(), 0);
+        points.push(LoadPoint {
+            load,
+            lstm_rps: LSTM_BASE_RPS * load,
+            bert_rps: BERT_BASE_RPS * load,
+            summary,
+        });
+    }
+    Ok(ServingSweep {
+        demand_slices,
+        points,
+    })
+}
+
+/// CSV header for [`csv_rows`].
+pub const CSV_HEADER: [&str; 12] = [
+    "load",
+    "lstm_rps",
+    "bert_rps",
+    "submitted",
+    "completed",
+    "rejected",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "throughput_rps",
+    "energy_per_request_uj",
+    "pool_utilization",
+];
+
+/// The sweep as CSV rows matching [`CSV_HEADER`].
+pub fn csv_rows(sweep: &ServingSweep) -> Vec<Vec<String>> {
+    sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.2}", p.load),
+                format!("{:.0}", p.lstm_rps),
+                format!("{:.0}", p.bert_rps),
+                p.summary.submitted.to_string(),
+                p.summary.completed.to_string(),
+                p.summary.rejected.to_string(),
+                format!("{:.4}", p.summary.p50_latency_ns as f64 * 1e-6),
+                format!("{:.4}", p.summary.p95_latency_ns as f64 * 1e-6),
+                format!("{:.4}", p.summary.p99_latency_ns as f64 * 1e-6),
+                format!("{:.1}", p.summary.throughput_rps),
+                format!("{:.3}", p.summary.energy_per_request.picojoules() * 1e-6),
+                format!("{:.4}", p.summary.pool_utilization),
+            ]
+        })
+        .collect()
+}
+
+/// Prints the sweep and writes `results/serving_load_sweep.csv`.
+///
+/// # Errors
+///
+/// Propagates [`run`]'s errors and CSV write failures.
+pub fn print() -> Result<(), ExperimentError> {
+    let sweep = run()?;
+    println!("\n== Serving: LSTM-TIMIT + BERT-base mixed-traffic load sweep ==");
+    println!(
+        "tenants: lstm-timit ({} slices/dispatch), bert-base ({} slices/dispatch), \
+         14-slice pool, fifo, max batch 8, 100 us window, 50 ms timeout",
+        sweep.demand_slices.0, sweep.demand_slices.1
+    );
+    println!(
+        "{:>5} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9}",
+        "load", "submitted", "rejected", "p50 ms", "p95 ms", "p99 ms", "req/s", "uJ/req", "util"
+    );
+    for p in &sweep.points {
+        println!(
+            "{:>5.2} {:>10} {:>9} {:>9.3} {:>9.3} {:>9.3} {:>9.1} {:>11.2} {:>8.1}%",
+            p.load,
+            p.summary.submitted,
+            p.summary.rejected,
+            p.summary.p50_latency_ns as f64 * 1e-6,
+            p.summary.p95_latency_ns as f64 * 1e-6,
+            p.summary.p99_latency_ns as f64 * 1e-6,
+            p.summary.throughput_rps,
+            p.summary.energy_per_request.picojoules() * 1e-6,
+            p.summary.pool_utilization * 100.0,
+        );
+    }
+    let path = std::path::Path::new("results").join("serving_load_sweep.csv");
+    crate::csv::write_rows(&path, &CSV_HEADER, &csv_rows(&sweep))?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic_and_monotone_in_offered_load() {
+        let a = run().unwrap();
+        let b = run().unwrap();
+        assert_eq!(csv_rows(&a), csv_rows(&b), "sweep must be bit-identical");
+        for pair in a.points.windows(2) {
+            assert!(pair[1].summary.submitted >= pair[0].summary.submitted);
+        }
+        // Every request is accounted for at every load point.
+        for p in &a.points {
+            assert_eq!(
+                p.summary.completed + p.summary.rejected,
+                p.summary.submitted
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_load_degrades_tails_or_sheds() {
+        let sweep = run().unwrap();
+        let light = &sweep.points.first().unwrap().summary;
+        let heavy = &sweep.points.last().unwrap().summary;
+        assert!(
+            heavy.p99_latency_ns > light.p99_latency_ns || heavy.rejected > light.rejected,
+            "4x load must visibly stress the pool"
+        );
+    }
+}

@@ -3,8 +3,10 @@
 //! models, batches 1 and 16.
 
 use bfree::prelude::*;
+use pim_nn::request::NetworkKind;
 use pim_nn::Network;
 
+use crate::error::ExperimentError;
 use crate::Comparison;
 
 /// One Table III row.
@@ -55,28 +57,28 @@ pub const PAPER_ROWS: [PaperRow; 5] = [
     ("BERT-large", 16, 453.1, 11.1, 6.7, 13.6, 1.7, 0.12),
 ];
 
-fn network_by_name(name: &str) -> Network {
-    match name {
-        "LSTM" => networks::lstm_timit(),
-        "BERT-base" => networks::bert_base(),
-        "BERT-large" => networks::bert_large(),
-        other => panic!("unknown Table III network {other}"),
-    }
+fn network_by_name(name: &str) -> Result<Network, ExperimentError> {
+    Ok(NetworkKind::parse(name)?.instantiate())
 }
 
 /// Runs the experiment.
-pub fn run() -> Vec<Table3Row> {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::UnknownNetwork`] if a row names a network
+/// outside the evaluation set.
+pub fn run() -> Result<Vec<Table3Row>, ExperimentError> {
     let bfree = BfreeSimulator::new(BfreeConfig::paper_default());
     let cpu = CpuModel::paper_xeon();
     let gpu = GpuModel::paper_titan_v();
     PAPER_ROWS
         .iter()
         .map(|&(name, batch, ..)| {
-            let net = network_by_name(name);
+            let net = network_by_name(name)?;
             let c = cpu.run(&net, batch);
             let g = gpu.run(&net, batch);
             let b = bfree.run(&net, batch);
-            Table3Row {
+            Ok(Table3Row {
                 network: name.to_string(),
                 batch,
                 latency_ms: (
@@ -89,7 +91,7 @@ pub fn run() -> Vec<Table3Row> {
                     g.per_inference_energy().joules(),
                     b.per_inference_energy().joules(),
                 ),
-            }
+            })
         })
         .collect()
 }
@@ -121,8 +123,12 @@ pub fn comparisons(rows: &[Table3Row]) -> Vec<Comparison> {
 }
 
 /// Prints the experiment.
-pub fn print() {
-    let rows = run();
+///
+/// # Errors
+///
+/// Propagates [`run`]'s errors.
+pub fn print() -> Result<(), ExperimentError> {
+    let rows = run()?;
     println!("\n== Table III: runtime & energy per inference ==");
     println!(
         "{:<12} {:>5} | {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9}",
@@ -141,7 +147,9 @@ pub fn print() {
             row.energy_j.2
         );
     }
-    println!("\nBFree gains (paper's abstract quotes BERT-base b16: 101x/3x speed, 91x/11x energy):");
+    println!(
+        "\nBFree gains (paper's abstract quotes BERT-base b16: 101x/3x speed, 91x/11x energy):"
+    );
     for row in &rows {
         println!(
             "  {:<12} b{:<3} {:>7.0}x CPU, {:>6.1}x GPU speed; {:>7.0}x CPU, {:>6.1}x GPU energy",
@@ -154,4 +162,24 @@ pub fn print() {
         );
     }
     crate::print_comparisons("Table III vs paper", &comparisons(&rows));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_all_resolve_to_networks() {
+        for (name, ..) in PAPER_ROWS {
+            assert!(network_by_name(name).is_ok(), "row {name} must resolve");
+        }
+    }
+
+    #[test]
+    fn unknown_network_is_an_error_not_a_panic() {
+        let err = network_by_name("AlexNet").unwrap_err();
+        assert!(matches!(err, ExperimentError::UnknownNetwork(_)));
+        assert!(err.to_string().contains("AlexNet"));
+    }
 }

@@ -40,7 +40,10 @@ impl OperandClass {
     /// Whether multiplying by this operand requires a LUT access when the
     /// other operand is odd.
     pub fn needs_lut(self) -> bool {
-        matches!(self, OperandClass::Odd { .. } | OperandClass::EvenComposite { .. })
+        matches!(
+            self,
+            OperandClass::Odd { .. } | OperandClass::EvenComposite { .. }
+        )
     }
 
     /// The odd factor of the operand (1 for powers of two and one, 0 for
@@ -84,11 +87,16 @@ impl OperandAnalyzer {
         match value {
             0 => OperandClass::Zero,
             1 => OperandClass::One,
-            v if v.is_power_of_two() => OperandClass::PowerOfTwo { shift: v.trailing_zeros() },
+            v if v.is_power_of_two() => OperandClass::PowerOfTwo {
+                shift: v.trailing_zeros(),
+            },
             v if v % 2 == 1 => OperandClass::Odd { value: v },
             v => {
                 let shift = v.trailing_zeros();
-                OperandClass::EvenComposite { odd: v >> shift, shift }
+                OperandClass::EvenComposite {
+                    odd: v >> shift,
+                    shift,
+                }
             }
         }
     }
@@ -115,14 +123,35 @@ mod tests {
     fn classify_all_nibbles() {
         assert_eq!(OperandAnalyzer::classify(0), OperandClass::Zero);
         assert_eq!(OperandAnalyzer::classify(1), OperandClass::One);
-        assert_eq!(OperandAnalyzer::classify(2), OperandClass::PowerOfTwo { shift: 1 });
+        assert_eq!(
+            OperandAnalyzer::classify(2),
+            OperandClass::PowerOfTwo { shift: 1 }
+        );
         assert_eq!(OperandAnalyzer::classify(3), OperandClass::Odd { value: 3 });
-        assert_eq!(OperandAnalyzer::classify(4), OperandClass::PowerOfTwo { shift: 2 });
-        assert_eq!(OperandAnalyzer::classify(6), OperandClass::EvenComposite { odd: 3, shift: 1 });
-        assert_eq!(OperandAnalyzer::classify(8), OperandClass::PowerOfTwo { shift: 3 });
-        assert_eq!(OperandAnalyzer::classify(10), OperandClass::EvenComposite { odd: 5, shift: 1 });
-        assert_eq!(OperandAnalyzer::classify(12), OperandClass::EvenComposite { odd: 3, shift: 2 });
-        assert_eq!(OperandAnalyzer::classify(15), OperandClass::Odd { value: 15 });
+        assert_eq!(
+            OperandAnalyzer::classify(4),
+            OperandClass::PowerOfTwo { shift: 2 }
+        );
+        assert_eq!(
+            OperandAnalyzer::classify(6),
+            OperandClass::EvenComposite { odd: 3, shift: 1 }
+        );
+        assert_eq!(
+            OperandAnalyzer::classify(8),
+            OperandClass::PowerOfTwo { shift: 3 }
+        );
+        assert_eq!(
+            OperandAnalyzer::classify(10),
+            OperandClass::EvenComposite { odd: 5, shift: 1 }
+        );
+        assert_eq!(
+            OperandAnalyzer::classify(12),
+            OperandClass::EvenComposite { odd: 3, shift: 2 }
+        );
+        assert_eq!(
+            OperandAnalyzer::classify(15),
+            OperandClass::Odd { value: 15 }
+        );
     }
 
     #[test]

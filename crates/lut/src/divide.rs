@@ -132,7 +132,13 @@ impl DivLut {
         let norm_quotient = scaled as f64 / (1u64 << 30) as f64;
         let quotient = norm_quotient * 2f64.powi(ex - ey);
 
-        let cost = OpCost { lut_reads: 1, shifts: 3, adds: 1, rom_reads: 2, cycles: 4 };
+        let cost = OpCost {
+            lut_reads: 1,
+            shifts: 3,
+            adds: 1,
+            rom_reads: 2,
+            cycles: 4,
+        };
         Ok((quotient, cost))
     }
 
@@ -164,7 +170,13 @@ impl DivLut {
         }
         let r0 = q0 / x as f64; // seed reciprocal of y
         let r1 = r0 * (2.0 - y as f64 * r0);
-        cost += OpCost { rom_reads: 4, adds: 2, shifts: 0, cycles: 3, lut_reads: 0 };
+        cost += OpCost {
+            rom_reads: 4,
+            adds: 2,
+            shifts: 0,
+            cycles: 3,
+            lut_reads: 0,
+        };
         Ok((x as f64 * r1, cost))
     }
 }
@@ -182,7 +194,11 @@ impl Default for DivLut {
 fn normalize16(v: u64) -> (u64, i32) {
     debug_assert!(v != 0);
     let msb = 63 - v.leading_zeros() as i32;
-    let mantissa = if msb >= 15 { v >> (msb - 15) } else { v << (15 - msb) };
+    let mantissa = if msb >= 15 {
+        v >> (msb - 15)
+    } else {
+        v << (15 - msb)
+    };
     (mantissa, msb)
 }
 
@@ -222,7 +238,10 @@ mod tests {
     fn normalize16_preserves_value() {
         for v in [1u64, 2, 3, 100, 32768, 65535, 65536, 1 << 30, u64::MAX >> 1] {
             let (m, e) = normalize16(v);
-            assert!((32768..65536).contains(&m), "mantissa {m} out of range for {v}");
+            assert!(
+                (32768..65536).contains(&m),
+                "mantissa {m} out of range for {v}"
+            );
             let back = m as f64 * 2f64.powi(e - 15);
             assert!((back / v as f64 - 1.0).abs() < 2e-5, "{v} -> {back}");
         }
@@ -241,7 +260,10 @@ mod tests {
             }
         }
         // Loose analytic bound plus fixed-point rounding slack.
-        assert!(max_rel < d.error_bound() * 4.0 + 1e-4, "max relative error {max_rel}");
+        assert!(
+            max_rel < d.error_bound() * 4.0 + 1e-4,
+            "max relative error {max_rel}"
+        );
     }
 
     #[test]

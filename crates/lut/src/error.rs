@@ -43,8 +43,14 @@ impl fmt::Display for LutError {
             LutError::InvalidRange { lo, hi } => {
                 write!(f, "invalid approximation range [{lo}, {hi}]")
             }
-            LutError::ImageTooLarge { required, available } => {
-                write!(f, "lut image of {required} bytes exceeds {available} available bytes")
+            LutError::ImageTooLarge {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "lut image of {required} bytes exceeds {available} available bytes"
+                )
             }
         }
     }
@@ -59,7 +65,10 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(LutError::DivisionByZero.to_string(), "division by zero");
-        let e = LutError::ImageTooLarge { required: 128, available: 64 };
+        let e = LutError::ImageTooLarge {
+            required: 128,
+            available: 64,
+        };
         assert!(e.to_string().contains("128"));
     }
 

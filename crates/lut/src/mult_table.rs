@@ -27,7 +27,10 @@ pub struct MultLut {
 pub const ODD_OPERANDS: [u8; 7] = [3, 5, 7, 9, 11, 13, 15];
 
 fn odd_index(v: u8) -> usize {
-    debug_assert!(v % 2 == 1 && (3..=15).contains(&v), "operand {v} is not an odd in 3..=15");
+    debug_assert!(
+        v % 2 == 1 && (3..=15).contains(&v),
+        "operand {v} is not an odd in 3..=15"
+    );
     ((v - 3) / 2) as usize
 }
 
@@ -40,7 +43,10 @@ impl MultLut {
                 entries.push(a * b);
             }
         }
-        MultLut { entries, reads: std::cell::Cell::new(0) }
+        MultLut {
+            entries,
+            reads: std::cell::Cell::new(0),
+        }
     }
 
     /// Number of stored products (the paper's 49).
@@ -79,7 +85,9 @@ impl MultLut {
     /// Iterates over `(a, b, product)` for every stored entry.
     pub fn iter(&self) -> impl Iterator<Item = (u8, u8, u8)> + '_ {
         ODD_OPERANDS.iter().flat_map(move |&a| {
-            ODD_OPERANDS.iter().map(move |&b| (a, b, self.entries[odd_index(a) * 7 + odd_index(b)]))
+            ODD_OPERANDS
+                .iter()
+                .map(move |&b| (a, b, self.entries[odd_index(a) * 7 + odd_index(b)]))
         })
     }
 
@@ -109,7 +117,10 @@ impl MultLut {
                 reason: format!("expected 49 bytes, got {}", bytes.len()),
             });
         }
-        let table = MultLut { entries: bytes.to_vec(), reads: std::cell::Cell::new(0) };
+        let table = MultLut {
+            entries: bytes.to_vec(),
+            reads: std::cell::Cell::new(0),
+        };
         for (a, b, p) in table.iter() {
             if p as u16 != a as u16 * b as u16 {
                 return Err(crate::error::LutError::InvalidTable {

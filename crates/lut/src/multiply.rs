@@ -30,7 +30,9 @@ pub struct LutMultiplier {
 impl LutMultiplier {
     /// Creates a multiplier with a freshly preloaded 49-entry table.
     pub fn new() -> Self {
-        LutMultiplier { lut: MultLut::new() }
+        LutMultiplier {
+            lut: MultLut::new(),
+        }
     }
 
     /// Shared access to the underlying table (for storage imaging and
@@ -58,7 +60,10 @@ impl LutMultiplier {
     ///
     /// Panics if either operand exceeds 15.
     pub fn mul_nibble(&self, a: u8, b: u8) -> (u8, OpCost) {
-        assert!(a <= 15 && b <= 15, "mul_nibble operands must be 4-bit, got {a} x {b}");
+        assert!(
+            a <= 15 && b <= 15,
+            "mul_nibble operands must be 4-bit, got {a} x {b}"
+        );
         let ca = OperandAnalyzer::classify(a);
         let cb = OperandAnalyzer::classify(b);
 
@@ -75,10 +80,24 @@ impl LutMultiplier {
 
         // Rule 2: a power of two is a single shift of the other operand.
         if let OperandClass::PowerOfTwo { shift } = ca {
-            return (b << shift, OpCost { shifts: 1, cycles: 1, ..OpCost::ZERO });
+            return (
+                b << shift,
+                OpCost {
+                    shifts: 1,
+                    cycles: 1,
+                    ..OpCost::ZERO
+                },
+            );
         }
         if let OperandClass::PowerOfTwo { shift } = cb {
-            return (a << shift, OpCost { shifts: 1, cycles: 1, ..OpCost::ZERO });
+            return (
+                a << shift,
+                OpCost {
+                    shifts: 1,
+                    cycles: 1,
+                    ..OpCost::ZERO
+                },
+            );
         }
 
         // Rule 3: an even operand that is the sum of exactly two powers of
@@ -87,12 +106,28 @@ impl LutMultiplier {
         if a.is_multiple_of(2) && OperandAnalyzer::is_two_power_sum(a) {
             let parts = OperandAnalyzer::power_decomposition(a);
             let product = (b << parts[0]) + (b << parts[1]);
-            return (product, OpCost { shifts: 2, adds: 1, cycles: 1, ..OpCost::ZERO });
+            return (
+                product,
+                OpCost {
+                    shifts: 2,
+                    adds: 1,
+                    cycles: 1,
+                    ..OpCost::ZERO
+                },
+            );
         }
         if b.is_multiple_of(2) && OperandAnalyzer::is_two_power_sum(b) {
             let parts = OperandAnalyzer::power_decomposition(b);
             let product = (a << parts[0]) + (a << parts[1]);
-            return (product, OpCost { shifts: 2, adds: 1, cycles: 1, ..OpCost::ZERO });
+            return (
+                product,
+                OpCost {
+                    shifts: 2,
+                    adds: 1,
+                    cycles: 1,
+                    ..OpCost::ZERO
+                },
+            );
         }
 
         // Rule 4: both odd parts are >= 3 — the LUT path.
@@ -101,7 +136,15 @@ impl LutMultiplier {
         let shift = ca.shift_part() + cb.shift_part();
         let product = self.lut.lookup(odd_a, odd_b) << shift;
         let shifts = if shift > 0 { 1 } else { 0 };
-        (product, OpCost { lut_reads: 1, shifts, cycles: 1, ..OpCost::ZERO })
+        (
+            product,
+            OpCost {
+                lut_reads: 1,
+                shifts,
+                cycles: 1,
+                ..OpCost::ZERO
+            },
+        )
     }
 
     /// Multiplies two unsigned 8-bit operands via four nibble partial
@@ -130,8 +173,18 @@ impl LutMultiplier {
     /// Multiplies two unsigned 16-bit operands via sixteen nibble partial
     /// products (eight cycles at two partials per cycle).
     pub fn mul_u16(&self, a: u16, b: u16) -> (u32, OpCost) {
-        let an = [(a & 0xf) as u8, ((a >> 4) & 0xf) as u8, ((a >> 8) & 0xf) as u8, (a >> 12) as u8];
-        let bn = [(b & 0xf) as u8, ((b >> 4) & 0xf) as u8, ((b >> 8) & 0xf) as u8, (b >> 12) as u8];
+        let an = [
+            (a & 0xf) as u8,
+            ((a >> 4) & 0xf) as u8,
+            ((a >> 8) & 0xf) as u8,
+            (a >> 12) as u8,
+        ];
+        let bn = [
+            (b & 0xf) as u8,
+            ((b >> 4) & 0xf) as u8,
+            ((b >> 8) & 0xf) as u8,
+            (b >> 12) as u8,
+        ];
         let mut cost = OpCost::ZERO;
         let mut acc: u64 = 0;
         for (i, &pa) in an.iter().enumerate() {
@@ -169,7 +222,10 @@ impl LutMultiplier {
     /// Multiplies two 4-bit *signed* operands (`-8..=7`), the reduced
     /// precision mode of Fig. 14's mixed-precision runs.
     pub fn mul_i4(&self, a: i8, b: i8) -> (i16, OpCost) {
-        assert!((-8..=7).contains(&a) && (-8..=7).contains(&b), "operands must be 4-bit signed");
+        assert!(
+            (-8..=7).contains(&a) && (-8..=7).contains(&b),
+            "operands must be 4-bit signed"
+        );
         let sign = (a < 0) ^ (b < 0);
         let (mag, cost) = self.mul_nibble(a.unsigned_abs(), b.unsigned_abs());
         let product = if sign { -(mag as i16) } else { mag as i16 };
@@ -183,7 +239,11 @@ impl LutMultiplier {
     ///
     /// Panics if the slices have different lengths.
     pub fn dot_i8(&self, a: &[i8], b: &[i8]) -> (i32, OpCost) {
-        assert_eq!(a.len(), b.len(), "dot product operands must have equal length");
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "dot product operands must have equal length"
+        );
         let mut acc: i32 = 0;
         let mut cost = OpCost::ZERO;
         for (&x, &y) in a.iter().zip(b.iter()) {
@@ -201,7 +261,11 @@ impl LutMultiplier {
     ///
     /// Panics if the slices have different lengths.
     pub fn dot_u8(&self, a: &[u8], b: &[u8]) -> (u32, OpCost) {
-        assert_eq!(a.len(), b.len(), "dot product operands must have equal length");
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "dot product operands must have equal length"
+        );
         let mut acc: u32 = 0;
         let mut cost = OpCost::ZERO;
         for (&x, &y) in a.iter().zip(b.iter()) {
@@ -318,7 +382,13 @@ mod tests {
     #[test]
     fn i8_edge_cases() {
         let m = LutMultiplier::new();
-        for (a, b) in [(-128i8, -128i8), (-128, 127), (127, 127), (0, -128), (-1, -1)] {
+        for (a, b) in [
+            (-128i8, -128i8),
+            (-128, 127),
+            (127, 127),
+            (0, -128),
+            (-1, -1),
+        ] {
             let (p, _) = m.mul_i8(a, b);
             assert_eq!(p as i32, a as i32 * b as i32, "{a} x {b}");
         }

@@ -100,7 +100,13 @@ impl PwlTable {
                 (alpha, beta)
             })
             .collect();
-        Ok(PwlTable { function, lo, hi, segments, coefficients })
+        Ok(PwlTable {
+            function,
+            lo,
+            hi,
+            segments,
+            coefficients,
+        })
     }
 
     /// The approximated function.
@@ -127,15 +133,21 @@ impl PwlTable {
     /// Evaluates the approximation. Inputs outside the range saturate
     /// (sigmoid/tanh) or clamp to the boundary segment (exp).
     pub fn eval(&self, x: f64) -> (f64, OpCost) {
-        let cost = OpCost { lut_reads: 1, rom_reads: 1, adds: 1, shifts: 0, cycles: 2 };
+        let cost = OpCost {
+            lut_reads: 1,
+            rom_reads: 1,
+            adds: 1,
+            shifts: 0,
+            cycles: 2,
+        };
         if x < self.lo || x > self.hi {
             if let Some((lo_sat, hi_sat)) = self.function.saturation() {
                 return (if x < self.lo { lo_sat } else { hi_sat }, cost);
             }
         }
         let width = (self.hi - self.lo) / self.segments as f64;
-        let idx = (((x - self.lo) / width).floor() as isize)
-            .clamp(0, self.segments as isize - 1) as usize;
+        let idx = (((x - self.lo) / width).floor() as isize).clamp(0, self.segments as isize - 1)
+            as usize;
         let (alpha, beta) = self.coefficients[idx];
         (alpha * x + beta, cost)
     }
@@ -164,15 +176,21 @@ impl PwlTable {
     /// [`PwlTable::eval`] is the coefficient quantization step
     /// (≤ 2^-9 per coefficient).
     pub fn eval_quantized(&self, x: f64) -> (f64, OpCost) {
-        let cost = OpCost { lut_reads: 1, rom_reads: 1, adds: 1, shifts: 1, cycles: 2 };
+        let cost = OpCost {
+            lut_reads: 1,
+            rom_reads: 1,
+            adds: 1,
+            shifts: 1,
+            cycles: 2,
+        };
         if x < self.lo || x > self.hi {
             if let Some((lo_sat, hi_sat)) = self.function.saturation() {
                 return (if x < self.lo { lo_sat } else { hi_sat }, cost);
             }
         }
         let width = (self.hi - self.lo) / self.segments as f64;
-        let idx = (((x - self.lo) / width).floor() as isize)
-            .clamp(0, self.segments as isize - 1) as usize;
+        let idx = (((x - self.lo) / width).floor() as isize).clamp(0, self.segments as isize - 1)
+            as usize;
         let (alpha, beta) = self.coefficients[idx];
         let alpha_q = quantize_q8_8(alpha) as f64 / 256.0;
         let beta_q = quantize_q8_8(beta) as f64 / 256.0;

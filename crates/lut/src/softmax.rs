@@ -86,8 +86,7 @@ impl SoftmaxEngine {
 
         // Accumulate the denominator in fixed point (the cross-subarray
         // reduction of Fig. 10's softmax flow).
-        let denom_fixed: u64 =
-            exps.iter().map(|&e| (e * SOFTMAX_FIXED_SCALE) as u64).sum();
+        let denom_fixed: u64 = exps.iter().map(|&e| (e * SOFTMAX_FIXED_SCALE) as u64).sum();
         cost.adds += exps.len() as u64;
         cost.cycles += exps.len() as u64;
         let denom_fixed = denom_fixed.max(1);

@@ -55,7 +55,10 @@ impl LutImage {
     /// granularity when written).
     pub fn from_mult_table(table: &MultLut) -> Self {
         let bytes = table.iter().map(|(_, _, p)| p).collect();
-        LutImage { kind: LutKind::Multiply, bytes }
+        LutImage {
+            kind: LutKind::Multiply,
+            bytes,
+        }
     }
 
     /// Images a division table slice: each entry as four little-endian
@@ -67,7 +70,11 @@ impl LutImage {
     ///
     /// Returns [`LutError::InvalidTable`] when the segment is out of
     /// range.
-    pub fn from_div_table(table: &DivLut, segment: usize, chunk_bytes: usize) -> Result<Self, LutError> {
+    pub fn from_div_table(
+        table: &DivLut,
+        segment: usize,
+        chunk_bytes: usize,
+    ) -> Result<Self, LutError> {
         let total = table.storage_bytes();
         let chunks = total.div_ceil(chunk_bytes);
         if segment >= chunks {
@@ -81,7 +88,10 @@ impl LutImage {
         let full: Vec<u8> = serde_flatten_div(table);
         let start = segment * chunk_bytes;
         let end = (start + chunk_bytes).min(full.len());
-        Ok(LutImage { kind: LutKind::Divide, bytes: full[start..end].to_vec() })
+        Ok(LutImage {
+            kind: LutKind::Divide,
+            bytes: full[start..end].to_vec(),
+        })
     }
 
     /// Images a PWL table: per segment, slope then intercept, each as a
@@ -94,7 +104,10 @@ impl LutImage {
             bytes.extend_from_slice(&a.to_le_bytes());
             bytes.extend_from_slice(&b.to_le_bytes());
         }
-        LutImage { kind: LutKind::Activation, bytes }
+        LutImage {
+            kind: LutKind::Activation,
+            bytes,
+        }
     }
 
     /// What the image contains.
@@ -131,7 +144,10 @@ impl LutImage {
         if self.fits_in(budget) {
             Ok(())
         } else {
-            Err(LutError::ImageTooLarge { required: self.bytes.len(), available: budget })
+            Err(LutError::ImageTooLarge {
+                required: self.bytes.len(),
+                available: budget,
+            })
         }
     }
 

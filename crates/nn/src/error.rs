@@ -41,7 +41,10 @@ impl fmt::Display for NnError {
                 write!(f, "invalid layer {layer}: {reason}")
             }
             NnError::IndexOutOfBounds { index, len } => {
-                write!(f, "index {index} out of bounds for tensor of {len} elements")
+                write!(
+                    f,
+                    "index {index} out of bounds for tensor of {len} elements"
+                )
             }
         }
     }
@@ -55,7 +58,10 @@ mod tests {
 
     #[test]
     fn display_contains_detail() {
-        let e = NnError::ShapeMismatch { context: "matmul", detail: "2x3 vs 4x5".to_string() };
+        let e = NnError::ShapeMismatch {
+            context: "matmul",
+            detail: "2x3 vs 4x5".to_string(),
+        };
         assert!(e.to_string().contains("matmul"));
         assert!(e.to_string().contains("2x3"));
     }

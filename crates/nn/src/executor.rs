@@ -36,7 +36,11 @@ impl NetworkWeights {
         let mut weights = NetworkWeights::default();
         for layer in net.weight_layers() {
             match *layer.op() {
-                LayerOp::Conv2d { out_channels, kernel, .. } => {
+                LayerOp::Conv2d {
+                    out_channels,
+                    kernel,
+                    ..
+                } => {
                     let in_c = layer.input_shape().dims()[0];
                     let filters = gen.uniform_f32(
                         TensorShape::new(vec![out_channels, in_c, kernel.0, kernel.1]),
@@ -44,15 +48,14 @@ impl NetworkWeights {
                         amax,
                     );
                     let bias = gen.vector_f32(out_channels, -amax / 10.0, amax / 10.0);
-                    weights.conv.insert(layer.name().to_string(), (filters, bias));
+                    weights
+                        .conv
+                        .insert(layer.name().to_string(), (filters, bias));
                 }
                 LayerOp::Linear { out_features } => {
                     let in_f = *layer.input_shape().dims().last().expect("non-empty");
-                    let w = gen.uniform_f32(
-                        TensorShape::new(vec![out_features, in_f]),
-                        -amax,
-                        amax,
-                    );
+                    let w =
+                        gen.uniform_f32(TensorShape::new(vec![out_features, in_f]), -amax, amax);
                     let bias = gen.vector_f32(out_features, -amax / 10.0, amax / 10.0);
                     weights.linear.insert(layer.name().to_string(), (w, bias));
                 }
@@ -102,26 +105,37 @@ pub fn run_sequential(
             });
         }
         x = match *layer.op() {
-            LayerOp::Conv2d { stride, padding, .. } => {
-                let (filters, bias) = weights.conv.get(layer.name()).ok_or_else(|| {
-                    NnError::InvalidLayer {
-                        layer: layer.name().to_string(),
-                        reason: "missing conv weights".to_string(),
-                    }
-                })?;
+            LayerOp::Conv2d {
+                stride, padding, ..
+            } => {
+                let (filters, bias) =
+                    weights
+                        .conv
+                        .get(layer.name())
+                        .ok_or_else(|| NnError::InvalidLayer {
+                            layer: layer.name().to_string(),
+                            reason: "missing conv weights".to_string(),
+                        })?;
                 reference::conv2d(&x, filters, bias, stride, padding)?
             }
             LayerOp::Linear { .. } => {
-                let (w, bias) = weights.linear.get(layer.name()).ok_or_else(|| {
-                    NnError::InvalidLayer {
-                        layer: layer.name().to_string(),
-                        reason: "missing linear weights".to_string(),
-                    }
-                })?;
+                let (w, bias) =
+                    weights
+                        .linear
+                        .get(layer.name())
+                        .ok_or_else(|| NnError::InvalidLayer {
+                            layer: layer.name().to_string(),
+                            reason: "missing linear weights".to_string(),
+                        })?;
                 let out = reference::linear(x.data(), w, bias)?;
                 Tensor::from_vec(TensorShape::vector(out.len()), out)?
             }
-            LayerOp::Pool { kind, kernel, stride, padding } => {
+            LayerOp::Pool {
+                kind,
+                kernel,
+                stride,
+                padding,
+            } => {
                 if padding != (0, 0) {
                     return Err(NnError::InvalidLayer {
                         layer: layer.name().to_string(),
@@ -137,9 +151,7 @@ pub fn run_sequential(
                 let dims = x.shape().dims();
                 let (c, hw) = (dims[0], dims[1] * dims[2]);
                 let pooled: Vec<f32> = (0..c)
-                    .map(|ch| {
-                        x.data()[ch * hw..(ch + 1) * hw].iter().sum::<f32>() / hw as f32
-                    })
+                    .map(|ch| x.data()[ch * hw..(ch + 1) * hw].iter().sum::<f32>() / hw as f32)
                     .collect();
                 Tensor::from_vec(TensorShape::vector(c), pooled)?
             }
@@ -184,7 +196,12 @@ pub fn tiny_cnn(input_hw: usize, classes: usize) -> Network {
     let layers = vec![
         LayerSpec::new(
             "conv1",
-            LayerOp::Conv2d { out_channels: c1, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+            LayerOp::Conv2d {
+                out_channels: c1,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+            },
             TensorShape::chw(1, input_hw, input_hw),
         )
         .expect("valid"),
@@ -207,7 +224,12 @@ pub fn tiny_cnn(input_hw: usize, classes: usize) -> Network {
         .expect("valid"),
         LayerSpec::new(
             "conv2",
-            LayerOp::Conv2d { out_channels: c2, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+            LayerOp::Conv2d {
+                out_channels: c2,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+            },
             TensorShape::chw(c1, after_pool1, after_pool1),
         )
         .expect("valid"),
@@ -230,12 +252,18 @@ pub fn tiny_cnn(input_hw: usize, classes: usize) -> Network {
         .expect("valid"),
         LayerSpec::new(
             "fc",
-            LayerOp::Linear { out_features: classes },
+            LayerOp::Linear {
+                out_features: classes,
+            },
             TensorShape::vector(c2 * after_pool2 * after_pool2),
         )
         .expect("valid"),
-        LayerSpec::new("softmax", LayerOp::Activation(Act::Softmax), TensorShape::vector(classes))
-            .expect("valid"),
+        LayerSpec::new(
+            "softmax",
+            LayerOp::Activation(Act::Softmax),
+            TensorShape::vector(classes),
+        )
+        .expect("valid"),
     ];
     Network::new("tiny-cnn", layers)
 }

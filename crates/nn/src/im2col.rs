@@ -43,8 +43,12 @@ impl Im2colDims {
             });
         }
         let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
-        let oh = (h + 2 * padding.0).checked_sub(kernel.0).map(|v| v / stride.0 + 1);
-        let ow = (w + 2 * padding.1).checked_sub(kernel.1).map(|v| v / stride.1 + 1);
+        let oh = (h + 2 * padding.0)
+            .checked_sub(kernel.0)
+            .map(|v| v / stride.0 + 1);
+        let ow = (w + 2 * padding.1)
+            .checked_sub(kernel.1)
+            .map(|v| v / stride.1 + 1);
         let (oh, ow) = match (oh, ow) {
             (Some(a), Some(b)) => (a, b),
             _ => {
@@ -173,13 +177,15 @@ mod tests {
         let unrolled = im2col(&input, (2, 2), (1, 1), (0, 0)).unwrap();
         assert_eq!(unrolled.shape().dims(), &[4, 9]);
         let filter = [1.0f32, 2.0, 3.0, 4.0]; // (ky,kx) raster order
-        // Output (0,0): 1*0 + 2*1 + 3*4 + 4*5 = 34.
-        let col0: f32 =
-            (0..4).map(|r| filter[r] * unrolled.get(&[r, 0]).unwrap()).sum();
+                                              // Output (0,0): 1*0 + 2*1 + 3*4 + 4*5 = 34.
+        let col0: f32 = (0..4)
+            .map(|r| filter[r] * unrolled.get(&[r, 0]).unwrap())
+            .sum();
         assert_eq!(col0, 34.0);
         // Output (2,2) (last): windows at (2,2): 10,11,14,15.
-        let col8: f32 =
-            (0..4).map(|r| filter[r] * unrolled.get(&[r, 8]).unwrap()).sum();
+        let col8: f32 = (0..4)
+            .map(|r| filter[r] * unrolled.get(&[r, 8]).unwrap())
+            .sum();
         assert_eq!(col8, 10.0 + 2.0 * 11.0 + 3.0 * 14.0 + 4.0 * 15.0);
     }
 

@@ -138,7 +138,9 @@ pub struct LayerSpec {
 }
 
 fn conv_out(extent: usize, kernel: usize, stride: usize, pad: usize) -> Option<usize> {
-    (extent + 2 * pad).checked_sub(kernel).map(|v| v / stride + 1)
+    (extent + 2 * pad)
+        .checked_sub(kernel)
+        .map(|v| v / stride + 1)
 }
 
 impl LayerSpec {
@@ -149,22 +151,31 @@ impl LayerSpec {
     /// Returns [`NnError::InvalidLayer`] when the operator cannot apply
     /// to the input shape (wrong rank, kernel larger than padded input,
     /// zero dimensions).
-    pub fn new(
-        name: impl Into<String>,
-        op: LayerOp,
-        input: TensorShape,
-    ) -> Result<Self, NnError> {
+    pub fn new(name: impl Into<String>, op: LayerOp, input: TensorShape) -> Result<Self, NnError> {
         let name = name.into();
-        let invalid = |reason: String| NnError::InvalidLayer { layer: name.clone(), reason };
+        let invalid = |reason: String| NnError::InvalidLayer {
+            layer: name.clone(),
+            reason,
+        };
         if input.volume() == 0 {
             return Err(invalid("input shape has zero volume".to_string()));
         }
         match op {
-            LayerOp::Conv2d { out_channels, kernel, stride, padding } => {
+            LayerOp::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => {
                 if input.rank() != 3 {
                     return Err(invalid(format!("conv needs (C,H,W) input, got {input}")));
                 }
-                if out_channels == 0 || kernel.0 == 0 || kernel.1 == 0 || stride.0 == 0 || stride.1 == 0 {
+                if out_channels == 0
+                    || kernel.0 == 0
+                    || kernel.1 == 0
+                    || stride.0 == 0
+                    || stride.1 == 0
+                {
                     return Err(invalid("zero channel/kernel/stride".to_string()));
                 }
                 let (h, w) = (input.dims()[1], input.dims()[2]);
@@ -191,7 +202,9 @@ impl LayerSpec {
             }
             LayerOp::Lstm { hidden } | LayerOp::Gru { hidden } => {
                 if input.rank() != 2 {
-                    return Err(invalid(format!("recurrent layer needs (seq, input), got {input}")));
+                    return Err(invalid(format!(
+                        "recurrent layer needs (seq, input), got {input}"
+                    )));
                 }
                 if hidden == 0 {
                     return Err(invalid("zero hidden width".to_string()));
@@ -199,16 +212,22 @@ impl LayerSpec {
             }
             LayerOp::Attention { heads } => {
                 if input.rank() != 2 {
-                    return Err(invalid(format!("attention needs (seq, hidden), got {input}")));
+                    return Err(invalid(format!(
+                        "attention needs (seq, hidden), got {input}"
+                    )));
                 }
                 let hidden = input.dims()[1];
                 if heads == 0 || !hidden.is_multiple_of(heads) {
-                    return Err(invalid(format!("hidden {hidden} not divisible by {heads} heads")));
+                    return Err(invalid(format!(
+                        "hidden {hidden} not divisible by {heads} heads"
+                    )));
                 }
             }
             LayerOp::FeedForward { inner } => {
                 if input.rank() != 2 {
-                    return Err(invalid(format!("feed-forward needs (seq, hidden), got {input}")));
+                    return Err(invalid(format!(
+                        "feed-forward needs (seq, hidden), got {input}"
+                    )));
                 }
                 if inner == 0 {
                     return Err(invalid("zero inner width".to_string()));
@@ -242,16 +261,30 @@ impl LayerSpec {
     /// The output shape implied by operator and input.
     pub fn output_shape(&self) -> TensorShape {
         match self.op {
-            LayerOp::Conv2d { out_channels, kernel, stride, padding } => {
+            LayerOp::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => {
                 let (h, w) = (self.input.dims()[1], self.input.dims()[2]);
                 let oh = conv_out(h, kernel.0, stride.0, padding.0).expect("validated");
                 let ow = conv_out(w, kernel.1, stride.1, padding.1).expect("validated");
                 TensorShape::chw(out_channels, oh, ow)
             }
-            LayerOp::Pool { kernel, stride, padding, .. } => {
+            LayerOp::Pool {
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
                 let dims = self.input.dims();
-                let oh = conv_out(dims[1], kernel.0, stride.0, padding.0).unwrap_or(1).max(1);
-                let ow = conv_out(dims[2], kernel.1, stride.1, padding.1).unwrap_or(1).max(1);
+                let oh = conv_out(dims[1], kernel.0, stride.0, padding.0)
+                    .unwrap_or(1)
+                    .max(1);
+                let ow = conv_out(dims[2], kernel.1, stride.1, padding.1)
+                    .unwrap_or(1)
+                    .max(1);
                 TensorShape::chw(dims[0], oh, ow)
             }
             LayerOp::GlobalAvgPool => TensorShape::vector(self.input.dims()[0]),
@@ -271,7 +304,11 @@ impl LayerSpec {
     /// Trainable parameter count (weights + biases).
     pub fn params(&self) -> u64 {
         match self.op {
-            LayerOp::Conv2d { out_channels, kernel, .. } => {
+            LayerOp::Conv2d {
+                out_channels,
+                kernel,
+                ..
+            } => {
                 let in_c = self.input.dims()[0] as u64;
                 out_channels as u64 * (in_c * kernel.0 as u64 * kernel.1 as u64 + 1)
             }
@@ -309,7 +346,11 @@ impl LayerSpec {
     /// Multiply count for one inference (batch 1).
     pub fn macs(&self) -> u64 {
         match self.op {
-            LayerOp::Conv2d { out_channels, kernel, .. } => {
+            LayerOp::Conv2d {
+                out_channels,
+                kernel,
+                ..
+            } => {
                 let in_c = self.input.dims()[0] as u64;
                 let out = self.output_shape();
                 out_channels as u64
@@ -427,7 +468,10 @@ pub struct Network {
 impl Network {
     /// Creates a network from its layers.
     pub fn new(name: impl Into<String>, layers: Vec<LayerSpec>) -> Self {
-        Network { name: name.into(), layers }
+        Network {
+            name: name.into(),
+            layers,
+        }
     }
 
     /// The network name.
@@ -468,7 +512,11 @@ impl Network {
     /// The largest single layer's weight bytes (drives replication
     /// decisions).
     pub fn max_layer_weight_bytes(&self, bits: u32) -> u64 {
-        self.layers.iter().map(|l| l.weight_bytes(bits)).max().unwrap_or(0)
+        self.layers
+            .iter()
+            .map(|l| l.weight_bytes(bits))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterates over weight-carrying layers.
@@ -593,13 +641,23 @@ mod tests {
     fn invalid_layers_rejected() {
         assert!(LayerSpec::new(
             "bad",
-            LayerOp::Conv2d { out_channels: 8, kernel: (3, 3), stride: (1, 1), padding: (0, 0) },
+            LayerOp::Conv2d {
+                out_channels: 8,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (0, 0)
+            },
             TensorShape::vector(10),
         )
         .is_err());
         assert!(LayerSpec::new(
             "bad",
-            LayerOp::Conv2d { out_channels: 8, kernel: (7, 7), stride: (1, 1), padding: (0, 0) },
+            LayerOp::Conv2d {
+                out_channels: 8,
+                kernel: (7, 7),
+                stride: (1, 1),
+                padding: (0, 0)
+            },
             TensorShape::chw(3, 5, 5),
         )
         .is_err());
@@ -623,10 +681,18 @@ mod tests {
     fn network_aggregates() {
         let layers = vec![
             conv("c1", (3, 8, 8), 4, 3, 1, 1),
-            LayerSpec::new("relu", LayerOp::Activation(Act::Relu), TensorShape::chw(4, 8, 8))
-                .unwrap(),
-            LayerSpec::new("fc", LayerOp::Linear { out_features: 10 }, TensorShape::vector(256))
-                .unwrap(),
+            LayerSpec::new(
+                "relu",
+                LayerOp::Activation(Act::Relu),
+                TensorShape::chw(4, 8, 8),
+            )
+            .unwrap(),
+            LayerSpec::new(
+                "fc",
+                LayerOp::Linear { out_features: 10 },
+                TensorShape::vector(256),
+            )
+            .unwrap(),
         ];
         let net = Network::new("tiny", layers);
         assert_eq!(net.weight_layer_count(), 2);

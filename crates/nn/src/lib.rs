@@ -36,10 +36,12 @@ pub mod layers;
 pub mod networks;
 pub mod quant;
 pub mod reference;
+pub mod request;
 pub mod tensor;
 pub mod workload;
 
 pub use error::NnError;
 pub use layers::{LayerOp, LayerSpec, Network, PoolKind};
 pub use quant::{QuantParams, Requantizer};
+pub use request::{InferenceRequest, NetworkKind};
 pub use tensor::{Tensor, TensorShape};

@@ -28,12 +28,24 @@ pub struct BertConfig {
 impl BertConfig {
     /// BERT-base at sequence length 128.
     pub fn base() -> Self {
-        BertConfig { blocks: 12, hidden: 768, heads: 12, feed_forward: 3072, seq_len: 128 }
+        BertConfig {
+            blocks: 12,
+            hidden: 768,
+            heads: 12,
+            feed_forward: 3072,
+            seq_len: 128,
+        }
     }
 
     /// BERT-large at sequence length 128.
     pub fn large() -> Self {
-        BertConfig { blocks: 24, hidden: 1024, heads: 16, feed_forward: 4096, seq_len: 128 }
+        BertConfig {
+            blocks: 24,
+            hidden: 1024,
+            heads: 16,
+            feed_forward: 4096,
+            seq_len: 128,
+        }
     }
 }
 
@@ -46,23 +58,35 @@ pub fn bert(name: &str, config: BertConfig) -> Network {
         layers.push(
             LayerSpec::new(
                 format!("block{block}_attention"),
-                LayerOp::Attention { heads: config.heads },
+                LayerOp::Attention {
+                    heads: config.heads,
+                },
                 seq_hidden.clone(),
             )
             .expect(valid),
         );
         layers.push(
-            LayerSpec::new(format!("block{block}_attn_add"), LayerOp::Add, seq_hidden.clone())
-                .expect(valid),
+            LayerSpec::new(
+                format!("block{block}_attn_add"),
+                LayerOp::Add,
+                seq_hidden.clone(),
+            )
+            .expect(valid),
         );
         layers.push(
-            LayerSpec::new(format!("block{block}_attn_ln"), LayerOp::LayerNorm, seq_hidden.clone())
-                .expect(valid),
+            LayerSpec::new(
+                format!("block{block}_attn_ln"),
+                LayerOp::LayerNorm,
+                seq_hidden.clone(),
+            )
+            .expect(valid),
         );
         layers.push(
             LayerSpec::new(
                 format!("block{block}_ffn"),
-                LayerOp::FeedForward { inner: config.feed_forward },
+                LayerOp::FeedForward {
+                    inner: config.feed_forward,
+                },
                 seq_hidden.clone(),
             )
             .expect(valid),
@@ -76,12 +100,20 @@ pub fn bert(name: &str, config: BertConfig) -> Network {
             .expect(valid),
         );
         layers.push(
-            LayerSpec::new(format!("block{block}_ffn_add"), LayerOp::Add, seq_hidden.clone())
-                .expect(valid),
+            LayerSpec::new(
+                format!("block{block}_ffn_add"),
+                LayerOp::Add,
+                seq_hidden.clone(),
+            )
+            .expect(valid),
         );
         layers.push(
-            LayerSpec::new(format!("block{block}_ffn_ln"), LayerOp::LayerNorm, seq_hidden.clone())
-                .expect(valid),
+            LayerSpec::new(
+                format!("block{block}_ffn_ln"),
+                LayerOp::LayerNorm,
+                seq_hidden.clone(),
+            )
+            .expect(valid),
         );
     }
     Network::new(name, layers)
@@ -137,16 +169,27 @@ mod tests {
         // §V-D: BERT-base "has more replicas of the layer" — one block's
         // weights are ~7 MB at int8, so a 35 MB cache fits several.
         let net = bert_base();
-        let block_bytes: u64 =
-            net.layers().iter().take(7).map(|l| l.weight_bytes(8)).sum();
+        let block_bytes: u64 = net.layers().iter().take(7).map(|l| l.weight_bytes(8)).sum();
         assert!(block_bytes < 8 * 1024 * 1024);
         assert!(35 * 1024 * 1024 / block_bytes >= 4);
     }
 
     #[test]
     fn macs_scale_linearly_with_sequence_for_projections() {
-        let short = bert("short", BertConfig { seq_len: 64, ..BertConfig::base() });
-        let long = bert("long", BertConfig { seq_len: 128, ..BertConfig::base() });
+        let short = bert(
+            "short",
+            BertConfig {
+                seq_len: 64,
+                ..BertConfig::base()
+            },
+        );
+        let long = bert(
+            "long",
+            BertConfig {
+                seq_len: 128,
+                ..BertConfig::base()
+            },
+        );
         // Attention scores grow quadratically, so the ratio is a bit
         // above 2 but far below 4.
         let ratio = long.total_macs() as f64 / short.total_macs() as f64;

@@ -28,7 +28,12 @@ impl Builder {
     ) -> (usize, usize, usize) {
         let spec = LayerSpec::new(
             name.clone(),
-            LayerOp::Conv2d { out_channels: out_c, kernel, stride, padding },
+            LayerOp::Conv2d {
+                out_channels: out_c,
+                kernel,
+                stride,
+                padding,
+            },
             TensorShape::chw(input.0, input.1, input.2),
         )
         .expect("static Inception-v3 table is valid");
@@ -74,7 +79,12 @@ impl Builder {
 
     /// InceptionA (Mixed_5b/5c/5d): 1x1, 5x5, double-3x3 and pool
     /// branches; output 224 + pool_features channels.
-    fn inception_a(&mut self, m: &str, input: (usize, usize, usize), pool_features: usize) -> (usize, usize, usize) {
+    fn inception_a(
+        &mut self,
+        m: &str,
+        input: (usize, usize, usize),
+        pool_features: usize,
+    ) -> (usize, usize, usize) {
         let (_, h, w) = input;
         self.conv(format!("{m}_1x1"), input, 64, (1, 1), (1, 1), (0, 0));
         let b5 = self.conv(format!("{m}_5x5_1"), input, 48, (1, 1), (1, 1), (0, 0));
@@ -83,7 +93,14 @@ impl Builder {
         let b3 = self.conv(format!("{m}_3x3dbl_2"), b3, 96, (3, 3), (1, 1), (1, 1));
         self.conv(format!("{m}_3x3dbl_3"), b3, 96, (3, 3), (1, 1), (1, 1));
         let bp = self.pool(format!("{m}_pool"), input, PoolKind::Avg, 3, 1, 1);
-        self.conv(format!("{m}_pool_proj"), bp, pool_features, (1, 1), (1, 1), (0, 0));
+        self.conv(
+            format!("{m}_pool_proj"),
+            bp,
+            pool_features,
+            (1, 1),
+            (1, 1),
+            (0, 0),
+        );
         (64 + 64 + 96 + pool_features, h, w)
     }
 
@@ -100,7 +117,12 @@ impl Builder {
 
     /// InceptionC (Mixed_6b..6e): factorized 7x7 branches with `c7`
     /// intermediate channels.
-    fn inception_c(&mut self, m: &str, input: (usize, usize, usize), c7: usize) -> (usize, usize, usize) {
+    fn inception_c(
+        &mut self,
+        m: &str,
+        input: (usize, usize, usize),
+        c7: usize,
+    ) -> (usize, usize, usize) {
         let (_, h, w) = input;
         self.conv(format!("{m}_1x1"), input, 192, (1, 1), (1, 1), (0, 0));
         let b = self.conv(format!("{m}_7x7_1"), input, c7, (1, 1), (1, 1), (0, 0));
@@ -151,7 +173,14 @@ pub fn inception_v3() -> Network {
     let mut b = Builder { layers: Vec::new() };
 
     // Stem.
-    let x = b.conv("Conv2d_1a_3x3".into(), (3, 299, 299), 32, (3, 3), (2, 2), (0, 0));
+    let x = b.conv(
+        "Conv2d_1a_3x3".into(),
+        (3, 299, 299),
+        32,
+        (3, 3),
+        (2, 2),
+        (0, 0),
+    );
     let x = b.conv("Conv2d_2a_3x3".into(), x, 32, (3, 3), (1, 1), (0, 0));
     let x = b.conv("Conv2d_2b_3x3".into(), x, 64, (3, 3), (1, 1), (1, 1));
     let x = b.pool("maxpool1".into(), x, PoolKind::Max, 3, 2, 0);
@@ -174,16 +203,28 @@ pub fn inception_v3() -> Network {
 
     // Head.
     b.layers.push(
-        LayerSpec::new("avgpool", LayerOp::GlobalAvgPool, TensorShape::chw(x.0, x.1, x.2))
-            .expect("static Inception-v3 table is valid"),
+        LayerSpec::new(
+            "avgpool",
+            LayerOp::GlobalAvgPool,
+            TensorShape::chw(x.0, x.1, x.2),
+        )
+        .expect("static Inception-v3 table is valid"),
     );
     b.layers.push(
-        LayerSpec::new("fc", LayerOp::Linear { out_features: 1000 }, TensorShape::vector(x.0))
-            .expect("static Inception-v3 table is valid"),
+        LayerSpec::new(
+            "fc",
+            LayerOp::Linear { out_features: 1000 },
+            TensorShape::vector(x.0),
+        )
+        .expect("static Inception-v3 table is valid"),
     );
     b.layers.push(
-        LayerSpec::new("softmax", LayerOp::Activation(Act::Softmax), TensorShape::vector(1000))
-            .expect("static Inception-v3 table is valid"),
+        LayerSpec::new(
+            "softmax",
+            LayerOp::Activation(Act::Softmax),
+            TensorShape::vector(1000),
+        )
+        .expect("static Inception-v3 table is valid"),
     );
 
     Network::new("Inception-v3", b.layers)
@@ -197,7 +238,11 @@ mod tests {
     fn stem_shapes_match_torchvision() {
         let net = inception_v3();
         let find = |name: &str| {
-            net.layers().iter().find(|l| l.name() == name).unwrap().output_shape()
+            net.layers()
+                .iter()
+                .find(|l| l.name() == name)
+                .unwrap()
+                .output_shape()
         };
         assert_eq!(find("Conv2d_1a_3x3").dims(), &[32, 149, 149]);
         assert_eq!(find("Conv2d_2a_3x3").dims(), &[32, 147, 147]);
@@ -210,14 +255,23 @@ mod tests {
         let net = inception_v3();
         // The last conv of each stage must see the concatenated channel
         // counts as input.
-        let mixed_5c_first =
-            net.layers().iter().find(|l| l.name() == "Mixed_5c_1x1").unwrap();
+        let mixed_5c_first = net
+            .layers()
+            .iter()
+            .find(|l| l.name() == "Mixed_5c_1x1")
+            .unwrap();
         assert_eq!(mixed_5c_first.input_shape().dims()[0], 256);
-        let mixed_6b_first =
-            net.layers().iter().find(|l| l.name() == "Mixed_6b_1x1").unwrap();
+        let mixed_6b_first = net
+            .layers()
+            .iter()
+            .find(|l| l.name() == "Mixed_6b_1x1")
+            .unwrap();
         assert_eq!(mixed_6b_first.input_shape().dims(), &[768, 17, 17]);
-        let mixed_7b_first =
-            net.layers().iter().find(|l| l.name() == "Mixed_7b_1x1").unwrap();
+        let mixed_7b_first = net
+            .layers()
+            .iter()
+            .find(|l| l.name() == "Mixed_7b_1x1")
+            .unwrap();
         assert_eq!(mixed_7b_first.input_shape().dims(), &[1280, 8, 8]);
         let fc = net.layers().iter().find(|l| l.name() == "fc").unwrap();
         assert_eq!(fc.input_shape().volume(), 2048);
@@ -245,7 +299,11 @@ mod tests {
     fn has_many_conv_layers() {
         let net = inception_v3();
         // 94 convolutions including all branch convs, plus the fc layer.
-        assert!(net.weight_layer_count() >= 90, "got {}", net.weight_layer_count());
+        assert!(
+            net.weight_layer_count() >= 90,
+            "got {}",
+            net.weight_layer_count()
+        );
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub fn gru_timit() -> Network {
         .expect("static GRU table is valid"),
         LayerSpec::new(
             "classifier",
-            LayerOp::Linear { out_features: CLASSES },
+            LayerOp::Linear {
+                out_features: CLASSES,
+            },
             TensorShape::new(vec![LSTM_TIMIT_SEQ_LEN, HIDDEN]),
         )
         .expect("static GRU table is valid"),
@@ -57,7 +59,9 @@ pub fn lstm_timit() -> Network {
         .expect("static LSTM table is valid"),
         LayerSpec::new(
             "classifier",
-            LayerOp::Linear { out_features: CLASSES },
+            LayerOp::Linear {
+                out_features: CLASSES,
+            },
             TensorShape::new(vec![LSTM_TIMIT_SEQ_LEN, HIDDEN]),
         )
         .expect("static LSTM table is valid"),
@@ -80,7 +84,10 @@ mod tests {
         // 4 * (1024 * (39 + 1024) + 1024) = 4.36M for the LSTM itself.
         let net = lstm_timit();
         let lstm_params = net.layers()[0].params() as f64;
-        assert!((lstm_params / 4.3e6 - 1.0).abs() < 0.02, "got {lstm_params:.4e}");
+        assert!(
+            (lstm_params / 4.3e6 - 1.0).abs() < 0.02,
+            "got {lstm_params:.4e}"
+        );
     }
 
     #[test]
@@ -95,7 +102,10 @@ mod tests {
     fn one_recurrent_weight_layer_plus_classifier() {
         let net = lstm_timit();
         assert_eq!(net.weight_layer_count(), 2);
-        assert!(matches!(net.layers()[0].op(), LayerOp::Lstm { hidden: 1024 }));
+        assert!(matches!(
+            net.layers()[0].op(),
+            LayerOp::Lstm { hidden: 1024 }
+        ));
     }
 
     #[test]

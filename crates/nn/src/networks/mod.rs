@@ -35,12 +35,49 @@ pub fn table2_networks() -> Vec<(Network, PaperStats)> {
     vec![
         (
             inception_v3(),
-            PaperStats { layers: 48, params: 24.0e6, mults: 4.7e9, dataset: "ImageNet" },
+            PaperStats {
+                layers: 48,
+                params: 24.0e6,
+                mults: 4.7e9,
+                dataset: "ImageNet",
+            },
         ),
-        (vgg16(), PaperStats { layers: 16, params: 138.0e6, mults: 15.5e9, dataset: "ImageNet" }),
-        (lstm_timit(), PaperStats { layers: 1, params: 4.3e6, mults: 4.35e6, dataset: "TIMIT" }),
-        (bert_base(), PaperStats { layers: 12, params: 87.0e6, mults: 11.1e9, dataset: "MRPC" }),
-        (bert_large(), PaperStats { layers: 24, params: 324.0e6, mults: 39.5e9, dataset: "MRPC" }),
+        (
+            vgg16(),
+            PaperStats {
+                layers: 16,
+                params: 138.0e6,
+                mults: 15.5e9,
+                dataset: "ImageNet",
+            },
+        ),
+        (
+            lstm_timit(),
+            PaperStats {
+                layers: 1,
+                params: 4.3e6,
+                mults: 4.35e6,
+                dataset: "TIMIT",
+            },
+        ),
+        (
+            bert_base(),
+            PaperStats {
+                layers: 12,
+                params: 87.0e6,
+                mults: 11.1e9,
+                dataset: "MRPC",
+            },
+        ),
+        (
+            bert_large(),
+            PaperStats {
+                layers: 24,
+                params: 324.0e6,
+                mults: 39.5e9,
+                dataset: "MRPC",
+            },
+        ),
     ]
 }
 
@@ -88,8 +125,10 @@ mod tests {
 
     #[test]
     fn network_names_are_distinct() {
-        let mut names: Vec<String> =
-            table2_networks().iter().map(|(n, _)| n.name().to_string()).collect();
+        let mut names: Vec<String> = table2_networks()
+            .iter()
+            .map(|(n, _)| n.name().to_string())
+            .collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 5);

@@ -61,7 +61,15 @@ impl Builder {
         let a = self.conv(format!("{name}_conv1"), input, out_c, 3, stride, 1, true);
         let b = self.conv(format!("{name}_conv2"), a, out_c, 3, 1, 1, false);
         if stride != 1 || input.0 != out_c {
-            self.conv(format!("{name}_downsample"), input, out_c, 1, stride, 0, false);
+            self.conv(
+                format!("{name}_downsample"),
+                input,
+                out_c,
+                1,
+                stride,
+                0,
+                false,
+            );
         }
         self.layers.push(
             LayerSpec::new(
@@ -112,16 +120,28 @@ pub fn resnet18() -> Network {
     let x = b.basic_block("layer4_1", x, 512, 1);
 
     b.layers.push(
-        LayerSpec::new("avgpool", LayerOp::GlobalAvgPool, TensorShape::chw(x.0, x.1, x.2))
-            .expect("static ResNet-18 table is valid"),
+        LayerSpec::new(
+            "avgpool",
+            LayerOp::GlobalAvgPool,
+            TensorShape::chw(x.0, x.1, x.2),
+        )
+        .expect("static ResNet-18 table is valid"),
     );
     b.layers.push(
-        LayerSpec::new("fc", LayerOp::Linear { out_features: 1000 }, TensorShape::vector(x.0))
-            .expect("static ResNet-18 table is valid"),
+        LayerSpec::new(
+            "fc",
+            LayerOp::Linear { out_features: 1000 },
+            TensorShape::vector(x.0),
+        )
+        .expect("static ResNet-18 table is valid"),
     );
     b.layers.push(
-        LayerSpec::new("softmax", LayerOp::Activation(Act::Softmax), TensorShape::vector(1000))
-            .expect("static ResNet-18 table is valid"),
+        LayerSpec::new(
+            "softmax",
+            LayerOp::Activation(Act::Softmax),
+            TensorShape::vector(1000),
+        )
+        .expect("static ResNet-18 table is valid"),
     );
     Network::new("ResNet-18", b.layers)
 }
@@ -152,7 +172,11 @@ mod tests {
     fn spatial_pyramid_shapes() {
         let net = resnet18();
         let shape_of = |name: &str| {
-            net.layers().iter().find(|l| l.name() == name).unwrap().output_shape()
+            net.layers()
+                .iter()
+                .find(|l| l.name() == name)
+                .unwrap()
+                .output_shape()
         };
         assert_eq!(shape_of("conv1").dims(), &[64, 112, 112]);
         assert_eq!(shape_of("layer2_0_conv1").dims(), &[128, 28, 28]);

@@ -82,8 +82,12 @@ pub fn vgg16() -> Network {
         }
     }
     layers.push(
-        LayerSpec::new("softmax", LayerOp::Activation(Act::Softmax), TensorShape::vector(1000))
-            .expect("static VGG-16 table is valid"),
+        LayerSpec::new(
+            "softmax",
+            LayerOp::Activation(Act::Softmax),
+            TensorShape::vector(1000),
+        )
+        .expect("static VGG-16 table is valid"),
     );
 
     Network::new("VGG-16", layers)
@@ -134,7 +138,8 @@ mod tests {
         let net = vgg16();
         let last_conv = net
             .layers()
-            .iter().rfind(|l| l.name().starts_with("conv"))
+            .iter()
+            .rfind(|l| l.name().starts_with("conv"))
             .unwrap();
         assert_eq!(last_conv.output_shape().dims(), &[512, 14, 14]);
         let fc1 = net.layers().iter().find(|l| l.name() == "fc1").unwrap();

@@ -53,7 +53,10 @@ impl QuantParams {
     pub fn symmetric(amax: f64) -> Self {
         assert!(amax >= 0.0 && amax.is_finite(), "bad amax {amax}");
         let scale = (amax / 127.0).max(f64::MIN_POSITIVE);
-        QuantParams { scale, zero_point: 0 }
+        QuantParams {
+            scale,
+            zero_point: 0,
+        }
     }
 
     /// Symmetric 4-bit parameters covering `[-amax, amax]` (mixed
@@ -65,7 +68,10 @@ impl QuantParams {
     pub fn symmetric_int4(amax: f64) -> Self {
         assert!(amax >= 0.0 && amax.is_finite(), "bad amax {amax}");
         let scale = (amax / 7.0).max(f64::MIN_POSITIVE);
-        QuantParams { scale, zero_point: 0 }
+        QuantParams {
+            scale,
+            zero_point: 0,
+        }
     }
 
     /// The scale.
@@ -151,8 +157,7 @@ impl ChannelQuantParams {
         let scales = (0..channels)
             .map(|ch| {
                 let slice = &weights.data()[ch * per_channel..(ch + 1) * per_channel];
-                let amax =
-                    slice.iter().fold(0.0f64, |m, &v| m.max((v as f64).abs()));
+                let amax = slice.iter().fold(0.0f64, |m, &v| m.max((v as f64).abs()));
                 QuantParams::symmetric(amax).scale()
             })
             .collect();
@@ -246,7 +251,11 @@ impl Requantizer {
             quantized /= 2;
             shift -= 1;
         }
-        Requantizer { multiplier: quantized as i32, shift, zero_point }
+        Requantizer {
+            multiplier: quantized as i32,
+            shift,
+            zero_point,
+        }
     }
 
     /// The Q0.31 multiplier.
@@ -267,7 +276,11 @@ impl Requantizer {
     /// Requantizes one accumulator to i8.
     pub fn apply(&self, acc: i32) -> i8 {
         let product = acc as i64 * self.multiplier as i64;
-        let nudge = if product >= 0 { 1i64 << 30 } else { 1 - (1i64 << 30) };
+        let nudge = if product >= 0 {
+            1i64 << 30
+        } else {
+            1 - (1i64 << 30)
+        };
         let high = ((product + nudge) >> 31) as i32;
         let shifted = rounding_shift_right(high, self.shift);
         (shifted + self.zero_point).clamp(i8::MIN as i32, i8::MAX as i32) as i8
@@ -371,7 +384,10 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .take(4)
             .sum();
-        assert!(pc_err < pt_err / 10.0, "per-channel {pc_err} vs per-tensor {pt_err}");
+        assert!(
+            pc_err < pt_err / 10.0,
+            "per-channel {pc_err} vs per-tensor {pt_err}"
+        );
     }
 
     #[test]
@@ -405,7 +421,10 @@ mod tests {
                 let exact = (acc as f64 * scale).round();
                 let got = r.apply(acc) as f64;
                 if exact.abs() <= 127.0 {
-                    assert!((got - exact).abs() <= 1.0, "scale={scale} acc={acc} {got} vs {exact}");
+                    assert!(
+                        (got - exact).abs() <= 1.0,
+                        "scale={scale} acc={acc} {got} vs {exact}"
+                    );
                 }
             }
         }

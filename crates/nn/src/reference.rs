@@ -61,11 +61,7 @@ pub fn conv2d(
 /// # Errors
 ///
 /// Returns [`NnError::ShapeMismatch`] for incompatible shapes.
-pub fn linear(
-    input: &[f32],
-    weights: &Tensor<f32>,
-    bias: &[f32],
-) -> Result<Vec<f32>, NnError> {
+pub fn linear(input: &[f32], weights: &Tensor<f32>, bias: &[f32]) -> Result<Vec<f32>, NnError> {
     let wdims = weights.shape().dims();
     if wdims.len() != 2 || wdims[1] != input.len() || bias.len() != wdims[0] {
         return Err(NnError::ShapeMismatch {
@@ -448,8 +444,11 @@ mod tests {
 
     #[test]
     fn linear_matches_hand_computation() {
-        let w = Tensor::from_vec(TensorShape::new(vec![2, 3]), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
-            .unwrap();
+        let w = Tensor::from_vec(
+            TensorShape::new(vec![2, 3]),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        .unwrap();
         let out = linear(&[1.0, 0.0, -1.0], &w, &[0.5, -0.5]).unwrap();
         assert_eq!(out, vec![1.0 - 3.0 + 0.5, 4.0 - 6.0 - 0.5]);
     }
@@ -464,8 +463,7 @@ mod tests {
 
     #[test]
     fn pooling_flavors() {
-        let input =
-            Tensor::from_vec(TensorShape::chw(1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let input = Tensor::from_vec(TensorShape::chw(1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let mx = max_pool2d(&input, (2, 2), (2, 2)).unwrap();
         assert_eq!(mx.data(), &[4.0]);
         let avg = avg_pool2d(&input, (2, 2), (2, 2)).unwrap();
@@ -600,7 +598,12 @@ mod tests {
     fn attention_rejects_bad_heads() {
         let input = Tensor::zeros(TensorShape::new(vec![4, 6]));
         let w = Tensor::zeros(TensorShape::new(vec![6, 6]));
-        let weights = AttentionWeights { w_q: w.clone(), w_k: w.clone(), w_v: w.clone(), w_o: w };
+        let weights = AttentionWeights {
+            w_q: w.clone(),
+            w_k: w.clone(),
+            w_v: w.clone(),
+            w_o: w,
+        };
         assert!(self_attention(&input, &weights, 4).is_err());
     }
 }

@@ -1,0 +1,210 @@
+//! Inference request descriptors for the serving layer.
+//!
+//! A serving simulator (`bfree-serve`) routes traffic by *which* network
+//! a request targets, not by a materialized [`Network`] — instantiating
+//! Inception-v3 per request would dominate the event loop. This module
+//! names the evaluation networks as a cheap, copyable [`NetworkKind`]
+//! and bundles the per-request fields ([`InferenceRequest`]) the
+//! scheduler needs: target network, requested batch and priority class.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::layers::Network;
+use crate::networks;
+
+/// A parse failure for a network name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownNetworkError {
+    /// The name that did not match any evaluation network.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown network {:?}; expected one of: {}",
+            self.name,
+            NetworkKind::ALL
+                .iter()
+                .map(|k| k.label())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownNetworkError {}
+
+/// The evaluation networks, nameable without instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NetworkKind {
+    /// The paper's TIMIT LSTM (Table II).
+    LstmTimit,
+    /// The GRU extension workload.
+    GruTimit,
+    /// BERT-base (Table II).
+    BertBase,
+    /// BERT-large (Table II).
+    BertLarge,
+    /// VGG-16 (Table II).
+    Vgg16,
+    /// Inception-v3 (Table II).
+    InceptionV3,
+    /// The ResNet-18 extension workload.
+    ResNet18,
+}
+
+impl NetworkKind {
+    /// Every nameable network.
+    pub const ALL: [NetworkKind; 7] = [
+        NetworkKind::LstmTimit,
+        NetworkKind::GruTimit,
+        NetworkKind::BertBase,
+        NetworkKind::BertLarge,
+        NetworkKind::Vgg16,
+        NetworkKind::InceptionV3,
+        NetworkKind::ResNet18,
+    ];
+
+    /// The canonical display name (matches the paper's tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            NetworkKind::LstmTimit => "LSTM",
+            NetworkKind::GruTimit => "GRU",
+            NetworkKind::BertBase => "BERT-base",
+            NetworkKind::BertLarge => "BERT-large",
+            NetworkKind::Vgg16 => "VGG-16",
+            NetworkKind::InceptionV3 => "Inception-v3",
+            NetworkKind::ResNet18 => "ResNet-18",
+        }
+    }
+
+    /// Parses a network name, accepting the canonical labels plus the
+    /// lowercase/underscore spellings used on command lines.
+    pub fn parse(name: &str) -> Result<Self, UnknownNetworkError> {
+        let folded: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match folded.as_str() {
+            "lstm" | "lstmtimit" => Ok(NetworkKind::LstmTimit),
+            "gru" | "grutimit" => Ok(NetworkKind::GruTimit),
+            "bertbase" | "bert" => Ok(NetworkKind::BertBase),
+            "bertlarge" => Ok(NetworkKind::BertLarge),
+            "vgg16" | "vgg" => Ok(NetworkKind::Vgg16),
+            "inceptionv3" | "inception" => Ok(NetworkKind::InceptionV3),
+            "resnet18" | "resnet" => Ok(NetworkKind::ResNet18),
+            _ => Err(UnknownNetworkError {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Builds the network's layer graph.
+    pub fn instantiate(self) -> Network {
+        match self {
+            NetworkKind::LstmTimit => networks::lstm_timit(),
+            NetworkKind::GruTimit => networks::gru_timit(),
+            NetworkKind::BertBase => networks::bert_base(),
+            NetworkKind::BertLarge => networks::bert_large(),
+            NetworkKind::Vgg16 => networks::vgg16(),
+            NetworkKind::InceptionV3 => networks::inception_v3(),
+            NetworkKind::ResNet18 => networks::resnet18(),
+        }
+    }
+}
+
+impl fmt::Display for NetworkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for NetworkKind {
+    type Err = UnknownNetworkError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        NetworkKind::parse(s)
+    }
+}
+
+/// One inference request as a serving layer sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferenceRequest {
+    /// The network this request targets.
+    pub network: NetworkKind,
+    /// Inferences bundled in the request (a client-side batch; the
+    /// scheduler may coalesce further).
+    pub batch: usize,
+    /// Priority class: higher is more urgent (priority policies only).
+    pub priority: u8,
+}
+
+impl InferenceRequest {
+    /// A single-inference, default-priority request.
+    pub fn new(network: NetworkKind) -> Self {
+        InferenceRequest {
+            network,
+            batch: 1,
+            priority: 0,
+        }
+    }
+
+    /// Sets the client batch size (clamped to at least 1).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Sets the priority class.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_paper_labels_and_cli_spellings() {
+        for kind in NetworkKind::ALL {
+            assert_eq!(NetworkKind::parse(kind.label()).unwrap(), kind);
+        }
+        assert_eq!(
+            NetworkKind::parse("bert_base").unwrap(),
+            NetworkKind::BertBase
+        );
+        assert_eq!(NetworkKind::parse("LSTM").unwrap(), NetworkKind::LstmTimit);
+        assert_eq!(
+            "inception-v3".parse::<NetworkKind>().unwrap(),
+            NetworkKind::InceptionV3
+        );
+    }
+
+    #[test]
+    fn parse_rejects_unknown_names_with_context() {
+        let err = NetworkKind::parse("alexnet").unwrap_err();
+        assert!(err.to_string().contains("alexnet"));
+        assert!(err.to_string().contains("BERT-base"));
+    }
+
+    #[test]
+    fn instantiate_matches_table2_shapes() {
+        assert_eq!(NetworkKind::Vgg16.instantiate().weight_layer_count(), 16);
+        assert!(NetworkKind::BertBase.instantiate().total_params() > 80_000_000);
+    }
+
+    #[test]
+    fn request_builder_clamps_batch() {
+        let r = InferenceRequest::new(NetworkKind::LstmTimit)
+            .with_batch(0)
+            .with_priority(3);
+        assert_eq!(r.batch, 1);
+        assert_eq!(r.priority, 3);
+    }
+}

@@ -95,7 +95,10 @@ impl<T: Clone + Default> Tensor<T> {
     /// Creates a zero-initialized (default-initialized) tensor.
     pub fn zeros(shape: TensorShape) -> Self {
         let volume = shape.volume();
-        Tensor { shape, data: vec![T::default(); volume] }
+        Tensor {
+            shape,
+            data: vec![T::default(); volume],
+        }
     }
 }
 
@@ -110,7 +113,11 @@ impl<T> Tensor<T> {
         if data.len() != shape.volume() {
             return Err(NnError::ShapeMismatch {
                 context: "tensor construction",
-                detail: format!("shape {shape} needs {} elements, got {}", shape.volume(), data.len()),
+                detail: format!(
+                    "shape {shape} needs {} elements, got {}",
+                    shape.volume(),
+                    data.len()
+                ),
             });
         }
         Ok(Tensor { shape, data })
@@ -175,7 +182,10 @@ impl<T> Tensor<T> {
         let mut offset = 0usize;
         for (axis, (&i, &d)) in index.iter().zip(self.shape.dims()).enumerate() {
             if i >= d {
-                return Err(NnError::IndexOutOfBounds { index: i * (axis + 1), len: self.len() });
+                return Err(NnError::IndexOutOfBounds {
+                    index: i * (axis + 1),
+                    len: self.len(),
+                });
             }
             offset = offset * d + i;
         }
@@ -224,7 +234,10 @@ impl<T: Copy> Tensor<T> {
 
     /// Applies a function elementwise, producing a new tensor.
     pub fn map<U>(&self, f: impl Fn(T) -> U) -> Tensor<U> {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 }
 

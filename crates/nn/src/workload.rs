@@ -29,7 +29,9 @@ pub struct WorkloadGen {
 impl WorkloadGen {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        WorkloadGen { rng: StdRng::seed_from_u64(seed) }
+        WorkloadGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// A uniform random f32 tensor over `[lo, hi)`.
@@ -59,13 +61,16 @@ impl WorkloadGen {
     pub fn bounded_i8(&mut self, shape: TensorShape, amax: i8) -> Tensor<i8> {
         assert!(amax > 0, "amax must be positive");
         let volume = shape.volume();
-        let data = (0..volume).map(|_| self.rng.random_range(-amax..=amax)).collect();
+        let data = (0..volume)
+            .map(|_| self.rng.random_range(-amax..=amax))
+            .collect();
         Tensor::from_vec(shape, data).expect("volume matches by construction")
     }
 
     /// A random f32 vector.
     pub fn vector_f32(&mut self, len: usize, lo: f32, hi: f32) -> Vec<f32> {
-        self.uniform_f32(TensorShape::vector(len), lo, hi).into_data()
+        self.uniform_f32(TensorShape::vector(len), lo, hi)
+            .into_data()
     }
 }
 

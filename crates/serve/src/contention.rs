@@ -1,0 +1,121 @@
+//! Co-tenancy cost composition.
+//!
+//! Per-tenant [`RunReport`]s are priced against a *private* slice share,
+//! but two resources stay shared when tenants run concurrently:
+//!
+//! * **DRAM streaming bandwidth.** Weight loading, batched input
+//!   streaming and batched writeback all ride the one main-memory
+//!   channel (paper Fig. 12(b): weight load dominates BFree runtime).
+//!   With `n` tenants streaming concurrently each sees `1/n` of the
+//!   bandwidth, so the memory-bound phases of a dispatch inflate by the
+//!   number of active streamers at dispatch time.
+//! * **Conventional cache traffic.** The cores still use the LLC as a
+//!   cache. [`InterferenceModel`] (paper §II-A/III-A) prices what the
+//!   PIM kernels' bitline occupancy costs a random conventional access;
+//!   the serving layer reports the time-weighted slowdown over the run.
+//!
+//! Compute, quantize and configuration phases stay private to the
+//! tenant's slices and are not inflated.
+
+use bfree::InterferenceModel;
+use pim_arch::{Latency, Phase};
+use pim_baselines::RunReport;
+use pim_bce::BceMode;
+
+/// The phases that contend for DRAM bandwidth.
+const MEMORY_PHASES: [Phase; 3] = [Phase::WeightLoad, Phase::InputLoad, Phase::Writeback];
+
+/// Composes private phase reports with shared-resource contention.
+#[derive(Debug, Clone)]
+pub struct CoTenancyModel {
+    interference: InterferenceModel,
+    total_subarrays: usize,
+}
+
+impl CoTenancyModel {
+    /// Builds the model for a machine.
+    pub fn new(interference: InterferenceModel, total_subarrays: usize) -> Self {
+        CoTenancyModel {
+            interference,
+            total_subarrays,
+        }
+    }
+
+    /// End-to-end service latency of a dispatch whose contention-free
+    /// report is `base`, when `dram_streamers` tenants (including this
+    /// one) share the memory channel.
+    ///
+    /// With one streamer this is exactly `base.total_latency()`.
+    pub fn service_latency(&self, base: &RunReport, dram_streamers: usize) -> Latency {
+        let share = dram_streamers.max(1) as f64;
+        let mut total = Latency::ZERO;
+        for (phase, latency) in base.latency.iter() {
+            if MEMORY_PHASES.contains(&phase) {
+                total += latency * share;
+            } else {
+                total += latency;
+            }
+        }
+        total
+    }
+
+    /// Slowdown of conventional (non-PIM) cache accesses while the given
+    /// dispatches are active, each contributing `subarrays` running in
+    /// `mode`. 1.0 means unaffected.
+    pub fn conventional_slowdown(&self, active: &[(BceMode, usize)]) -> f64 {
+        let total = self.total_subarrays.max(1) as f64;
+        let mut slowdown = 1.0;
+        for &(mode, subarrays) in active {
+            let fraction = (subarrays as f64 / total).clamp(0.0, 1.0);
+            slowdown += self.interference.slowdown(mode, fraction) - 1.0;
+        }
+        slowdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfree::{BfreeConfig, BfreeSimulator};
+    use pim_baselines::InferenceModel;
+    use pim_nn::networks;
+
+    fn model() -> CoTenancyModel {
+        CoTenancyModel::new(InterferenceModel::paper_default(), 4480)
+    }
+
+    fn report() -> RunReport {
+        BfreeSimulator::new(BfreeConfig::paper_default()).run(&networks::lstm_timit(), 1)
+    }
+
+    #[test]
+    fn single_streamer_is_exactly_the_base_latency() {
+        let base = report();
+        let lat = model().service_latency(&base, 1);
+        assert!((lat.ratio(base.total_latency()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streamers_inflate_only_memory_phases() {
+        let base = report();
+        let one = model().service_latency(&base, 1);
+        let four = model().service_latency(&base, 4);
+        let memory: Latency = MEMORY_PHASES.iter().map(|&p| base.latency.get(p)).sum();
+        let expected = one + memory * 3.0;
+        assert!((four.ratio(expected) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conventional_slowdown_composes_tenants() {
+        let m = model();
+        assert_eq!(m.conventional_slowdown(&[]), 1.0);
+        let half = m.conventional_slowdown(&[(BceMode::MatMul, 2240)]);
+        let both = m.conventional_slowdown(&[(BceMode::MatMul, 2240), (BceMode::Conv, 2240)]);
+        assert!(half > 1.0);
+        assert!(both > half);
+        // Even a fully PIM-busy cache stays within the paper's
+        // "minimal impact" envelope.
+        let full = m.conventional_slowdown(&[(BceMode::MatMul, 4480)]);
+        assert!(full < 1.01);
+    }
+}

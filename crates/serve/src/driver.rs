@@ -1,0 +1,218 @@
+//! Load generators: open-loop Poisson arrivals and closed-loop clients.
+//!
+//! Both drivers are deterministic. The open-loop driver draws
+//! inter-arrival gaps from an explicitly seeded [`StdRng`] — same seed,
+//! same trace, no wall clock anywhere. The closed-loop driver needs no
+//! randomness at all: each client issues its next request a fixed think
+//! time after its previous one terminates.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::sim::ServingSim;
+
+/// Open-loop (arrival-rate-driven) load: each tenant receives a Poisson
+/// stream at its configured rate, regardless of how the system keeps up
+/// — the standard way to expose queueing collapse under overload.
+#[derive(Debug)]
+pub struct OpenLoopDriver {
+    rng: StdRng,
+    rates_rps: Vec<f64>,
+}
+
+impl OpenLoopDriver {
+    /// A driver submitting `rates_rps[t]` requests per second of virtual
+    /// time for tenant `t`, from the explicit `seed`.
+    pub fn new(seed: u64, rates_rps: Vec<f64>) -> Self {
+        OpenLoopDriver {
+            rng: StdRng::seed_from_u64(seed),
+            rates_rps,
+        }
+    }
+
+    /// Generates and submits every arrival in `[0, horizon_ns)`, in
+    /// global time order, and returns how many were submitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver has more rates than `sim` has tenants.
+    pub fn drive(&mut self, sim: &mut ServingSim, horizon_ns: u64) -> u64 {
+        assert!(
+            self.rates_rps.len() <= sim.tenants().len(),
+            "driver configured for more tenants than the simulator has"
+        );
+        let mut arrivals: Vec<(u64, usize)> = Vec::new();
+        for (tenant, &rate) in self.rates_rps.iter().enumerate() {
+            if rate <= 0.0 {
+                continue;
+            }
+            let mean_gap_ns = 1e9 / rate;
+            let mut t_ns = 0u64;
+            loop {
+                // Exponential inter-arrival: -ln(1 - U), U in [0, 1).
+                let u: f64 = self.rng.random_range(0.0..1.0);
+                let gap = (-(1.0 - u).ln() * mean_gap_ns).ceil() as u64;
+                t_ns = t_ns.saturating_add(gap);
+                if t_ns >= horizon_ns {
+                    break;
+                }
+                arrivals.push((t_ns, tenant));
+            }
+        }
+        arrivals.sort_unstable();
+        let count = arrivals.len() as u64;
+        for (at_ns, tenant) in arrivals {
+            sim.submit(tenant, at_ns);
+        }
+        count
+    }
+}
+
+/// One closed-loop client: a tenant it targets and how long it thinks
+/// between receiving a response and issuing the next request.
+#[derive(Debug, Clone, Copy)]
+struct Client {
+    tenant: usize,
+    think_ns: u64,
+}
+
+/// Closed-loop (concurrency-driven) load: a fixed population of clients,
+/// each with at most one request outstanding — throughput self-limits to
+/// what the system sustains instead of queueing without bound.
+#[derive(Debug, Default)]
+pub struct ClosedLoopDriver {
+    clients: Vec<Client>,
+}
+
+impl ClosedLoopDriver {
+    /// A driver with no clients; add populations with
+    /// [`with_clients`](ClosedLoopDriver::with_clients).
+    pub fn new() -> Self {
+        ClosedLoopDriver::default()
+    }
+
+    /// Adds `count` clients of tenant `tenant`, each thinking
+    /// `think_ns` between its response and its next request.
+    pub fn with_clients(mut self, tenant: usize, count: usize, think_ns: u64) -> Self {
+        self.clients
+            .extend((0..count).map(|_| Client { tenant, think_ns }));
+        self
+    }
+
+    /// Runs every client for `requests_per_client` requests (counting
+    /// shed ones), stepping the engine one event at a time so each
+    /// follow-up is issued exactly at its predecessor's terminal time
+    /// plus the think time. Returns the total submitted.
+    pub fn drive(&mut self, sim: &mut ServingSim, requests_per_client: u64) -> u64 {
+        if self.clients.is_empty() || requests_per_client == 0 {
+            return 0;
+        }
+        let mut remaining: Vec<u64> = vec![requests_per_client - 1; self.clients.len()];
+        let mut owner: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut submitted = 0u64;
+        for (client, spec) in self.clients.iter().enumerate() {
+            // Stagger the initial wave by 1 ns per client so same-tenant
+            // clients do not alias into one indistinguishable burst.
+            let id = sim.submit(spec.tenant, client as u64);
+            owner.insert(id, client);
+            submitted += 1;
+        }
+        // Submissions never append records, so everything past this
+        // cursor is a terminal event from this drive.
+        let mut cursor = sim.telemetry().records().len();
+        while sim.step() {
+            let records = sim.telemetry().records();
+            let mut followups: Vec<(u64, usize)> = Vec::new();
+            while cursor < records.len() {
+                let record = &records[cursor];
+                cursor += 1;
+                if let Some(client) = owner.remove(&record.request_id) {
+                    if remaining[client] > 0 {
+                        remaining[client] -= 1;
+                        let spec = self.clients[client];
+                        followups.push((record.complete_ns.saturating_add(spec.think_ns), client));
+                    }
+                }
+            }
+            for (at_ns, client) in followups {
+                let id = sim.submit(self.clients[client].tenant, at_ns);
+                owner.insert(id, client);
+                submitted += 1;
+            }
+        }
+        submitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ServeConfig;
+    use crate::tenant::TenantSpec;
+    use pim_nn::request::NetworkKind;
+
+    fn sim() -> ServingSim {
+        let specs = vec![
+            TenantSpec::new("lstm", NetworkKind::LstmTimit),
+            TenantSpec::new("bert", NetworkKind::BertBase),
+        ];
+        ServingSim::new(ServeConfig::default(), specs).unwrap()
+    }
+
+    #[test]
+    fn open_loop_is_seed_deterministic() {
+        let run = |seed| {
+            let mut s = sim();
+            let n = OpenLoopDriver::new(seed, vec![2_000.0, 500.0]).drive(&mut s, 10_000_000);
+            (n, s.run_to_idle().csv_rows().join("\n"))
+        };
+        assert_eq!(run(7), run(7));
+        let (n_a, trace_a) = run(7);
+        let (_, trace_b) = run(8);
+        assert!(n_a > 0);
+        assert_ne!(
+            trace_a, trace_b,
+            "different seeds must give different traces"
+        );
+    }
+
+    #[test]
+    fn open_loop_rate_controls_arrival_count() {
+        let mut s = sim();
+        let slow = OpenLoopDriver::new(1, vec![100.0]).drive(&mut s, 100_000_000);
+        let mut s2 = sim();
+        let fast = OpenLoopDriver::new(1, vec![10_000.0]).drive(&mut s2, 100_000_000);
+        assert!(fast > slow * 10, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn closed_loop_completes_every_request() {
+        let mut s = sim();
+        let submitted = ClosedLoopDriver::new()
+            .with_clients(0, 3, 100_000)
+            .with_clients(1, 1, 0)
+            .drive(&mut s, 5);
+        assert_eq!(submitted, 4 * 5);
+        let summary = s.telemetry().summary();
+        assert_eq!(summary.submitted, 20);
+        assert_eq!(summary.completed + summary.rejected, 20);
+        assert_eq!(s.queued() + s.in_flight(), 0);
+    }
+
+    #[test]
+    fn closed_loop_think_time_spaces_requests() {
+        let mut s = sim();
+        ClosedLoopDriver::new()
+            .with_clients(0, 1, 1_000_000)
+            .drive(&mut s, 3);
+        let records = s.telemetry().records();
+        assert_eq!(records.len(), 3);
+        // Each follow-up submits exactly think_ns after the previous
+        // completion (records are in completion order for one client).
+        for pair in records.windows(2) {
+            assert_eq!(pair[1].submit_ns, pair[0].complete_ns + 1_000_000);
+        }
+    }
+}

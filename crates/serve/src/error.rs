@@ -1,0 +1,107 @@
+//! Typed failure modes of the serving layer.
+//!
+//! Overload and misconfiguration are expected operating conditions for a
+//! serving system, so they surface as values — a shed request carries a
+//! [`RejectReason`], never a panic.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why the scheduler shed a request instead of serving it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// The admission queue was at capacity (backpressure).
+    QueueFull,
+    /// The request waited in the queue past its timeout.
+    TimedOut,
+    /// The tenant's slice demand exceeds the whole pool; no schedule
+    /// could ever place it.
+    DoesNotFit,
+}
+
+impl RejectReason {
+    /// Short machine-readable label for traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::TimedOut => "timed_out",
+            RejectReason::DoesNotFit => "does_not_fit",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Errors constructing or driving a serving simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A tenant list problem: empty, or an index out of range.
+    InvalidTenants {
+        /// Why the tenant set is unusable.
+        reason: String,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// The offending parameter.
+        parameter: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// The underlying architecture model rejected a derived geometry.
+    Arch(pim_arch::ArchError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidTenants { reason } => {
+                write!(f, "invalid tenant set: {reason}")
+            }
+            ServeError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid serving config {parameter}: {reason}")
+            }
+            ServeError::Arch(e) => write!(f, "architecture model error: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pim_arch::ArchError> for ServeError {
+    fn from(e: pim_arch::ArchError) -> Self {
+        ServeError::Arch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_reasons_have_stable_labels() {
+        assert_eq!(RejectReason::QueueFull.label(), "queue_full");
+        assert_eq!(RejectReason::TimedOut.to_string(), "timed_out");
+        assert_eq!(RejectReason::DoesNotFit.label(), "does_not_fit");
+    }
+
+    #[test]
+    fn errors_display_context() {
+        let e = ServeError::InvalidConfig {
+            parameter: "max_batch",
+            reason: "must be at least 1".to_string(),
+        };
+        assert!(e.to_string().contains("max_batch"));
+    }
+}

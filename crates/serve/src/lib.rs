@@ -1,0 +1,65 @@
+//! # bfree-serve
+//!
+//! A deterministic, virtual-clock, multi-tenant inference *serving*
+//! simulator layered on [`bfree`]: where [`bfree::BfreeSimulator`] prices
+//! one network at one batch size on a dedicated cache, this crate models
+//! the production question the ROADMAP points at — many request streams
+//! sharing one 35 MB / 14-slice BFree cache.
+//!
+//! The pieces:
+//!
+//! * [`SlicePool`] — partitions the cache's slices (and therefore its
+//!   4480 subarrays) among co-resident tenants, with typed rejection
+//!   when a tenant does not fit;
+//! * [`TenantSpec`] / [`Tenant`] — a network + precision + replication
+//!   demand, mapped onto its slice share via [`bfree::Mapper`];
+//! * [`Scheduler`] policies ([`SchedPolicy`]) with an admission queue,
+//!   a batching window that coalesces same-tenant requests, timeouts and
+//!   bounded-queue backpressure;
+//! * [`CoTenancyModel`] — composes per-tenant [`bfree::BfreeSimulator`]
+//!   phase reports with shared-resource contention: DRAM streaming
+//!   bandwidth divided across concurrently loading tenants, and the
+//!   [`bfree::InterferenceModel`]-derived slowdown of conventional cache
+//!   traffic;
+//! * [`ServingSim`] — the event-driven engine (u64-nanosecond virtual
+//!   clock, no wall time, no hash-order nondeterminism);
+//! * [`Telemetry`] — per-request latency/energy records, pool
+//!   utilization, and p50/p95/p99 summaries exportable as CSV rows.
+//!
+//! ```
+//! use bfree_serve::{ServeConfig, ServingSim, TenantSpec};
+//! use pim_nn::request::NetworkKind;
+//!
+//! let tenants = vec![
+//!     TenantSpec::new("lstm", NetworkKind::LstmTimit).with_replication(2),
+//!     TenantSpec::new("bert", NetworkKind::BertBase),
+//! ];
+//! let mut sim = ServingSim::new(ServeConfig::default(), tenants).unwrap();
+//! // Two LSTM requests and one BERT request arrive close together.
+//! sim.submit(0, 0);
+//! sim.submit(0, 10_000);
+//! sim.submit(1, 20_000);
+//! let telemetry = sim.run_to_idle();
+//! assert_eq!(telemetry.summary().completed, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contention;
+pub mod driver;
+pub mod error;
+pub mod pool;
+pub mod scheduler;
+pub mod sim;
+pub mod telemetry;
+pub mod tenant;
+
+pub use contention::CoTenancyModel;
+pub use driver::{ClosedLoopDriver, OpenLoopDriver};
+pub use error::{RejectReason, ServeError};
+pub use pool::{SliceAllocation, SlicePool};
+pub use scheduler::{SchedPolicy, Scheduler, ServeConfig};
+pub use sim::ServingSim;
+pub use telemetry::{Outcome, RequestRecord, ServingSummary, Telemetry};
+pub use tenant::{Tenant, TenantSpec};

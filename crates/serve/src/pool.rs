@@ -1,0 +1,173 @@
+//! The slice-pool allocator.
+//!
+//! BFree's cache is physically partitioned into slices (14 × 320
+//! subarrays in the paper machine), and a kernel's working set never
+//! spans a slice boundary mid-layer — the slice is the natural tenancy
+//! grain. The pool hands out *specific* slice IDs (lowest-free-first, so
+//! placement is deterministic) and guarantees no slice — and therefore
+//! no subarray — is ever owned by two live allocations.
+
+use pim_arch::CacheGeometry;
+use std::ops::Range;
+
+/// A live grant of specific cache slices to one dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceAllocation {
+    /// The granted slice IDs, ascending.
+    pub slice_ids: Vec<usize>,
+    subarrays_per_slice: usize,
+}
+
+impl SliceAllocation {
+    /// Number of slices granted.
+    pub fn slices(&self) -> usize {
+        self.slice_ids.len()
+    }
+
+    /// Total subarrays granted.
+    pub fn subarrays(&self) -> usize {
+        self.slice_ids.len() * self.subarrays_per_slice
+    }
+
+    /// The flat subarray-index ranges this grant owns (one contiguous
+    /// range per slice, in the cache's global subarray numbering).
+    pub fn subarray_ranges(&self) -> Vec<Range<usize>> {
+        self.slice_ids
+            .iter()
+            .map(|&s| s * self.subarrays_per_slice..(s + 1) * self.subarrays_per_slice)
+            .collect()
+    }
+}
+
+/// Tracks which slices of the cache are free.
+///
+/// ```
+/// use bfree_serve::SlicePool;
+/// use pim_arch::CacheGeometry;
+///
+/// let mut pool = SlicePool::new(CacheGeometry::xeon_l3_35mb());
+/// let a = pool.allocate(10).unwrap();
+/// assert_eq!(pool.free_slices(), 4);
+/// assert!(pool.allocate(5).is_none()); // only 4 left
+/// pool.release(a);
+/// assert_eq!(pool.free_slices(), 14);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlicePool {
+    free: Vec<bool>,
+    subarrays_per_slice: usize,
+}
+
+impl SlicePool {
+    /// A pool over every slice of `geometry`.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        SlicePool {
+            free: vec![true; geometry.slices()],
+            subarrays_per_slice: geometry.subarrays_per_slice(),
+        }
+    }
+
+    /// Total slices managed.
+    pub fn total_slices(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Slices currently unallocated.
+    pub fn free_slices(&self) -> usize {
+        self.free.iter().filter(|&&f| f).count()
+    }
+
+    /// Grants `slices` specific slice IDs, lowest-numbered first, or
+    /// `None` when fewer are free (the caller queues or sheds).
+    pub fn allocate(&mut self, slices: usize) -> Option<SliceAllocation> {
+        if slices == 0 || self.free_slices() < slices {
+            return None;
+        }
+        let mut slice_ids = Vec::with_capacity(slices);
+        for (id, free) in self.free.iter_mut().enumerate() {
+            if *free {
+                *free = false;
+                slice_ids.push(id);
+                if slice_ids.len() == slices {
+                    break;
+                }
+            }
+        }
+        Some(SliceAllocation {
+            slice_ids,
+            subarrays_per_slice: self.subarrays_per_slice,
+        })
+    }
+
+    /// Returns a grant's slices to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slice in the grant is already free — that would mean
+    /// a double release, which is a scheduler bug, not an operating
+    /// condition.
+    pub fn release(&mut self, allocation: SliceAllocation) {
+        for id in allocation.slice_ids {
+            assert!(!self.free[id], "double release of slice {id}");
+            self.free[id] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> SlicePool {
+        SlicePool::new(CacheGeometry::xeon_l3_35mb())
+    }
+
+    #[test]
+    fn grants_are_disjoint_and_deterministic() {
+        let mut p = pool();
+        let a = p.allocate(3).unwrap();
+        let b = p.allocate(4).unwrap();
+        assert_eq!(a.slice_ids, vec![0, 1, 2]);
+        assert_eq!(b.slice_ids, vec![3, 4, 5, 6]);
+        for ra in a.subarray_ranges() {
+            for rb in b.subarray_ranges() {
+                assert!(ra.end <= rb.start || rb.end <= ra.start);
+            }
+        }
+    }
+
+    #[test]
+    fn released_slices_are_reused_lowest_first() {
+        let mut p = pool();
+        let a = p.allocate(2).unwrap();
+        let _b = p.allocate(2).unwrap();
+        p.release(a);
+        let c = p.allocate(3).unwrap();
+        assert_eq!(c.slice_ids, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn over_allocation_returns_none_without_side_effects() {
+        let mut p = pool();
+        let _a = p.allocate(13).unwrap();
+        assert!(p.allocate(2).is_none());
+        assert_eq!(p.free_slices(), 1);
+        assert!(p.allocate(0).is_none());
+    }
+
+    #[test]
+    fn subarray_accounting_matches_geometry() {
+        let mut p = pool();
+        let a = p.allocate(14).unwrap();
+        assert_eq!(a.subarrays(), 4480);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_is_a_bug() {
+        let mut p = pool();
+        let a = p.allocate(1).unwrap();
+        p.release(a.clone());
+        p.release(a);
+    }
+}

@@ -1,0 +1,447 @@
+//! Admission control, batching, and dispatch-order policy.
+//!
+//! Requests land in per-tenant FIFO queues behind one shared admission
+//! capacity. A tenant becomes *eligible* for dispatch when it can fill a
+//! full batch or when its oldest request has waited out the batching
+//! window; among eligible tenants that currently fit the free slices,
+//! the configured [`SchedPolicy`] picks who goes next. Overload sheds
+//! requests with a typed [`RejectReason`] — admission never panics.
+
+use std::collections::VecDeque;
+
+use bfree::BfreeConfig;
+
+use crate::error::{RejectReason, ServeError};
+use crate::tenant::Tenant;
+
+/// Dispatch-order policy among eligible tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedPolicy {
+    /// Oldest waiting request first.
+    #[default]
+    Fifo,
+    /// Shortest (contention-free) estimated service time first.
+    Sjf,
+    /// Highest tenant priority first; FIFO within a class.
+    Priority,
+}
+
+impl SchedPolicy {
+    /// Short machine-readable label for traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::Sjf => "sjf",
+            SchedPolicy::Priority => "priority",
+        }
+    }
+}
+
+/// Configuration of the serving layer.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The machine every tenant shares (geometry, timing, energy).
+    pub base: BfreeConfig,
+    /// Dispatch-order policy.
+    pub policy: SchedPolicy,
+    /// Most requests coalesced into one dispatched batch.
+    pub max_batch: usize,
+    /// How long the oldest queued request may wait for batch-mates
+    /// before the tenant dispatches undersized (0 = dispatch eagerly).
+    pub batch_window_ns: u64,
+    /// Shared admission-queue capacity; arrivals beyond it are shed
+    /// with [`RejectReason::QueueFull`].
+    pub queue_capacity: usize,
+    /// Queueing deadline: a request still undispatched this long after
+    /// submission is shed with [`RejectReason::TimedOut`].
+    pub timeout_ns: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            base: BfreeConfig::paper_default(),
+            policy: SchedPolicy::Fifo,
+            max_batch: 16,
+            batch_window_ns: 0,
+            queue_capacity: 1024,
+            timeout_ns: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Checks parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] naming the offending
+    /// parameter.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig {
+                parameter: "max_batch",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig {
+                parameter: "queue_capacity",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if self.timeout_ns == Some(0) {
+            return Err(ServeError::InvalidConfig {
+                parameter: "timeout_ns",
+                reason: "zero timeout sheds every request; use None to disable".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One admitted, still-queued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedRequest {
+    /// Stable request ID assigned at submission.
+    pub request_id: u64,
+    /// Index of the tenant it belongs to.
+    pub tenant: usize,
+    /// Virtual-clock submission time (ns).
+    pub submit_ns: u64,
+}
+
+/// A group of same-tenant requests selected for one dispatch.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Index of the tenant being dispatched.
+    pub tenant: usize,
+    /// The coalesced requests, in FIFO order.
+    pub requests: Vec<QueuedRequest>,
+}
+
+/// Per-tenant queues plus the policy logic.
+#[derive(Debug)]
+pub struct Scheduler {
+    policy: SchedPolicy,
+    max_batch: usize,
+    batch_window_ns: u64,
+    queue_capacity: usize,
+    timeout_ns: Option<u64>,
+    queues: Vec<VecDeque<QueuedRequest>>,
+    queued: usize,
+}
+
+impl Scheduler {
+    /// A scheduler for `tenant_count` tenants under `config`.
+    pub fn new(config: &ServeConfig, tenant_count: usize) -> Self {
+        Scheduler {
+            policy: config.policy,
+            max_batch: config.max_batch,
+            batch_window_ns: config.batch_window_ns,
+            queue_capacity: config.queue_capacity,
+            timeout_ns: config.timeout_ns,
+            queues: vec![VecDeque::new(); tenant_count],
+            queued: 0,
+        }
+    }
+
+    /// Requests currently admitted and waiting.
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Admits a request or sheds it with a typed reason.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::DoesNotFit`] when the tenant can never be placed,
+    /// [`RejectReason::QueueFull`] when admission is at capacity.
+    pub fn admit(
+        &mut self,
+        request: QueuedRequest,
+        tenants: &[Tenant],
+    ) -> Result<(), RejectReason> {
+        if !tenants[request.tenant].fits() {
+            return Err(RejectReason::DoesNotFit);
+        }
+        if self.queued >= self.queue_capacity {
+            return Err(RejectReason::QueueFull);
+        }
+        self.queues[request.tenant].push_back(request);
+        self.queued += 1;
+        Ok(())
+    }
+
+    /// Removes and returns every queued request whose deadline has
+    /// passed at `now`.
+    pub fn shed_timeouts(&mut self, now: u64) -> Vec<QueuedRequest> {
+        let Some(timeout) = self.timeout_ns else {
+            return Vec::new();
+        };
+        let mut shed = Vec::new();
+        for queue in &mut self.queues {
+            queue.retain(|r| {
+                let expired = now >= r.submit_ns.saturating_add(timeout);
+                if expired {
+                    shed.push(*r);
+                }
+                !expired
+            });
+        }
+        // retain preserves FIFO order per tenant; order across tenants
+        // follows tenant index, which is deterministic.
+        self.queued -= shed.len();
+        shed
+    }
+
+    /// The next virtual time at which waiting longer changes anything:
+    /// the earliest batch-window expiry or timeout deadline after `now`.
+    pub fn next_deadline(&self, now: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut consider = |t: u64| {
+            if t > now {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        for queue in &self.queues {
+            if let Some(oldest) = queue.front() {
+                if self.batch_window_ns > 0 && queue.len() < self.max_batch {
+                    consider(oldest.submit_ns.saturating_add(self.batch_window_ns));
+                }
+                if let Some(timeout) = self.timeout_ns {
+                    consider(oldest.submit_ns.saturating_add(timeout));
+                }
+            }
+        }
+        next
+    }
+
+    fn eligible(&self, tenant: usize, now: u64) -> bool {
+        let queue = &self.queues[tenant];
+        match queue.front() {
+            None => false,
+            Some(oldest) => {
+                queue.len() >= self.max_batch
+                    || self.batch_window_ns == 0
+                    || now >= oldest.submit_ns.saturating_add(self.batch_window_ns)
+            }
+        }
+    }
+
+    /// Selects the next batch to dispatch at `now`, or `None` if no
+    /// eligible tenant fits in `free_slices`. Call repeatedly to
+    /// backfill: a small tenant may dispatch behind a large one that is
+    /// still waiting for slices.
+    pub fn next_batch(
+        &mut self,
+        now: u64,
+        tenants: &mut [Tenant],
+        free_slices: usize,
+    ) -> Option<Batch> {
+        let mut best: Option<(usize, f64, u64)> = None; // (tenant, key, oldest)
+        for (tenant, state) in tenants.iter_mut().enumerate() {
+            if !self.eligible(tenant, now) || state.demand_slices() > free_slices {
+                continue;
+            }
+            let oldest = self.queues[tenant]
+                .front()
+                .expect("eligible queue is nonempty")
+                .submit_ns;
+            let key = match self.policy {
+                SchedPolicy::Fifo => oldest as f64,
+                SchedPolicy::Sjf => {
+                    let batch = self.queues[tenant].len().min(self.max_batch);
+                    state.service_estimate_ns(batch)
+                }
+                // Negate so "smallest key wins" holds for every policy.
+                SchedPolicy::Priority => -f64::from(state.spec().priority),
+            };
+            let better = match best {
+                None => true,
+                Some((_, best_key, best_oldest)) => {
+                    key < best_key || (key == best_key && oldest < best_oldest)
+                }
+            };
+            if better {
+                best = Some((tenant, key, oldest));
+            }
+        }
+        let (tenant, _, _) = best?;
+        let take = self.queues[tenant].len().min(self.max_batch);
+        let requests: Vec<QueuedRequest> = self.queues[tenant].drain(..take).collect();
+        self.queued -= requests.len();
+        Some(Batch { tenant, requests })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantSpec;
+    use pim_nn::request::NetworkKind;
+
+    fn tenants(specs: Vec<TenantSpec>) -> Vec<Tenant> {
+        let base = BfreeConfig::paper_default();
+        specs
+            .into_iter()
+            .map(|s| Tenant::new(s, &base).unwrap())
+            .collect()
+    }
+
+    fn req(id: u64, tenant: usize, at: u64) -> QueuedRequest {
+        QueuedRequest {
+            request_id: id,
+            tenant,
+            submit_ns: at,
+        }
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert!(ServeConfig::default().validate().is_ok());
+        let bad = ServeConfig {
+            max_batch: 0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(ServeError::InvalidConfig {
+                parameter: "max_batch",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn queue_full_backpressure_is_typed() {
+        let ts = tenants(vec![TenantSpec::new("a", NetworkKind::LstmTimit)]);
+        let config = ServeConfig {
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        };
+        let mut s = Scheduler::new(&config, 1);
+        assert!(s.admit(req(0, 0, 0), &ts).is_ok());
+        assert!(s.admit(req(1, 0, 0), &ts).is_ok());
+        assert_eq!(s.admit(req(2, 0, 0), &ts), Err(RejectReason::QueueFull));
+        assert_eq!(s.queued(), 2);
+    }
+
+    #[test]
+    fn unfit_tenant_is_rejected_at_admission() {
+        let ts = tenants(vec![
+            TenantSpec::new("huge", NetworkKind::LstmTimit).with_replication(10_000)
+        ]);
+        let mut s = Scheduler::new(&ServeConfig::default(), 1);
+        assert_eq!(s.admit(req(0, 0, 0), &ts), Err(RejectReason::DoesNotFit));
+    }
+
+    #[test]
+    fn batching_window_coalesces_and_expires() {
+        let mut ts = tenants(vec![TenantSpec::new("a", NetworkKind::LstmTimit)]);
+        let config = ServeConfig {
+            batch_window_ns: 1_000,
+            max_batch: 4,
+            ..ServeConfig::default()
+        };
+        let mut s = Scheduler::new(&config, 1);
+        s.admit(req(0, 0, 100), &ts).unwrap();
+        s.admit(req(1, 0, 200), &ts).unwrap();
+        // Window still open and batch not full: nothing dispatches.
+        assert!(s.next_batch(500, &mut ts, 14).is_none());
+        assert_eq!(s.next_deadline(500), Some(1_100));
+        // Window expired: both coalesce into one batch.
+        let batch = s.next_batch(1_100, &mut ts, 14).unwrap();
+        assert_eq!(batch.requests.len(), 2);
+        assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn full_batch_dispatches_before_window_expiry() {
+        let mut ts = tenants(vec![TenantSpec::new("a", NetworkKind::LstmTimit)]);
+        let config = ServeConfig {
+            batch_window_ns: 1_000_000,
+            max_batch: 2,
+            ..ServeConfig::default()
+        };
+        let mut s = Scheduler::new(&config, 1);
+        s.admit(req(0, 0, 100), &ts).unwrap();
+        s.admit(req(1, 0, 110), &ts).unwrap();
+        let batch = s.next_batch(110, &mut ts, 14).unwrap();
+        assert_eq!(batch.requests.len(), 2);
+    }
+
+    #[test]
+    fn priority_policy_prefers_high_class() {
+        let mut ts = tenants(vec![
+            TenantSpec::new("lo", NetworkKind::LstmTimit).with_priority(0),
+            TenantSpec::new("hi", NetworkKind::LstmTimit).with_priority(9),
+        ]);
+        let config = ServeConfig {
+            policy: SchedPolicy::Priority,
+            ..ServeConfig::default()
+        };
+        let mut s = Scheduler::new(&config, 2);
+        s.admit(req(0, 0, 0), &ts).unwrap();
+        s.admit(req(1, 1, 50), &ts).unwrap();
+        let batch = s.next_batch(50, &mut ts, 14).unwrap();
+        assert_eq!(batch.tenant, 1);
+    }
+
+    #[test]
+    fn sjf_policy_prefers_short_service() {
+        let mut ts = tenants(vec![
+            TenantSpec::new("bert", NetworkKind::BertBase),
+            TenantSpec::new("lstm", NetworkKind::LstmTimit),
+        ]);
+        let config = ServeConfig {
+            policy: SchedPolicy::Sjf,
+            ..ServeConfig::default()
+        };
+        let mut s = Scheduler::new(&config, 2);
+        s.admit(req(0, 0, 0), &ts).unwrap();
+        s.admit(req(1, 1, 50), &ts).unwrap();
+        let batch = s.next_batch(50, &mut ts, 14).unwrap();
+        assert_eq!(batch.tenant, 1, "LSTM-TIMIT is far cheaper than BERT-base");
+    }
+
+    #[test]
+    fn backfill_skips_tenants_that_do_not_fit_now() {
+        let mut ts = tenants(vec![
+            TenantSpec::new("big", NetworkKind::BertBase).with_replication(3),
+            TenantSpec::new("small", NetworkKind::LstmTimit),
+        ]);
+        assert!(
+            ts[0].demand_slices() > 4,
+            "test assumes the big tenant needs > 4 slices"
+        );
+        assert!(
+            ts[1].demand_slices() <= 4,
+            "test assumes the small tenant fits in 4"
+        );
+        let mut s = Scheduler::new(&ServeConfig::default(), 2);
+        s.admit(req(0, 0, 0), &ts).unwrap();
+        s.admit(req(1, 1, 10), &ts).unwrap();
+        // Only 4 slices free: FIFO would pick the big tenant, but it
+        // cannot be placed, so the small one backfills.
+        let batch = s.next_batch(10, &mut ts, 4).unwrap();
+        assert_eq!(batch.tenant, 1);
+        assert_eq!(s.queued(), 1);
+    }
+
+    #[test]
+    fn timeouts_shed_expired_requests_only() {
+        let ts = tenants(vec![TenantSpec::new("a", NetworkKind::LstmTimit)]);
+        let config = ServeConfig {
+            timeout_ns: Some(1_000),
+            ..ServeConfig::default()
+        };
+        let mut s = Scheduler::new(&config, 1);
+        s.admit(req(0, 0, 0), &ts).unwrap();
+        s.admit(req(1, 0, 900), &ts).unwrap();
+        let shed = s.shed_timeouts(1_000);
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].request_id, 0);
+        assert_eq!(s.queued(), 1);
+    }
+}

@@ -1,0 +1,474 @@
+//! The event-driven serving engine.
+//!
+//! [`ServingSim`] advances a u64-nanosecond *virtual* clock through a
+//! totally ordered event heap — (time, sequence-number) — so a run is a
+//! pure function of its inputs: no wall clock, no hash-order
+//! nondeterminism, bit-identical traces on every execution.
+//!
+//! At every event the engine sheds expired requests, then greedily
+//! dispatches eligible batches while slices remain (small tenants
+//! backfill behind large blocked ones). Each dispatch snapshots the
+//! number of concurrently active dispatches to price DRAM-bandwidth
+//! sharing via [`CoTenancyModel`]; the interval between events is
+//! charged to the telemetry's pool-utilization and conventional-traffic
+//! integrals.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, BinaryHeap};
+
+use pim_arch::Energy;
+use pim_bce::BceMode;
+
+use crate::contention::CoTenancyModel;
+use crate::error::{RejectReason, ServeError};
+use crate::pool::{SliceAllocation, SlicePool};
+use crate::scheduler::{QueuedRequest, Scheduler, ServeConfig};
+use crate::telemetry::{Outcome, RequestRecord, Telemetry};
+use crate::tenant::{Tenant, TenantSpec};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EventKind {
+    Arrival { request_id: u64, tenant: usize },
+    Completion { dispatch: u64 },
+    Deadline,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Event {
+    time_ns: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+// Min-heap order on (time, seq); seq is unique, so the order is total
+// and consistent with Eq.
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time_ns, other.seq).cmp(&(self.time_ns, self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct ActiveDispatch {
+    dispatch: u64,
+    tenant: usize,
+    allocation: SliceAllocation,
+    requests: Vec<QueuedRequest>,
+    dispatch_ns: u64,
+    complete_ns: u64,
+    energy_per_request: Energy,
+    mode: BceMode,
+}
+
+/// The multi-tenant serving simulator.
+///
+/// See the crate-level example for typical use: build with a
+/// [`ServeConfig`] and tenant specs, [`submit`](ServingSim::submit)
+/// requests, then [`run_to_idle`](ServingSim::run_to_idle).
+#[derive(Debug)]
+pub struct ServingSim {
+    tenants: Vec<Tenant>,
+    pool: SlicePool,
+    scheduler: Scheduler,
+    contention: CoTenancyModel,
+    telemetry: Telemetry,
+    events: BinaryHeap<Event>,
+    scheduled_deadlines: BTreeSet<u64>,
+    active: Vec<ActiveDispatch>,
+    clock_ns: u64,
+    next_request_id: u64,
+    next_dispatch_id: u64,
+    next_seq: u64,
+    work_conservation_violations: u64,
+}
+
+impl ServingSim {
+    /// Builds a simulator for `specs` sharing `config.base`'s cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for bad parameters,
+    /// [`ServeError::InvalidTenants`] for an empty tenant list, and
+    /// [`ServeError::Arch`] if a tenant's partial geometry cannot be
+    /// built.
+    pub fn new(config: ServeConfig, specs: Vec<TenantSpec>) -> Result<Self, ServeError> {
+        config.validate()?;
+        if specs.is_empty() {
+            return Err(ServeError::InvalidTenants {
+                reason: "at least one tenant is required".to_string(),
+            });
+        }
+        let tenants: Vec<Tenant> = specs
+            .into_iter()
+            .map(|spec| Tenant::new(spec, &config.base))
+            .collect::<Result<_, _>>()?;
+        let geometry = config.base.geometry.clone();
+        let interference =
+            bfree::InterferenceModel::new(geometry.clone(), config.base.timing.clone());
+        let contention = CoTenancyModel::new(interference, geometry.total_subarrays());
+        let pool = SlicePool::new(geometry.clone());
+        let scheduler = Scheduler::new(&config, tenants.len());
+        let telemetry = Telemetry::new(geometry.slices());
+        Ok(ServingSim {
+            tenants,
+            pool,
+            scheduler,
+            contention,
+            telemetry,
+            events: BinaryHeap::new(),
+            scheduled_deadlines: BTreeSet::new(),
+            active: Vec::new(),
+            clock_ns: 0,
+            next_request_id: 0,
+            next_dispatch_id: 0,
+            next_seq: 0,
+            work_conservation_violations: 0,
+        })
+    }
+
+    /// Submits one inference request for tenant `tenant` arriving at
+    /// virtual time `at_ns` (clamped forward to the current clock), and
+    /// returns its request ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn submit(&mut self, tenant: usize, at_ns: u64) -> u64 {
+        assert!(
+            tenant < self.tenants.len(),
+            "tenant index {tenant} out of range"
+        );
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let time_ns = at_ns.max(self.clock_ns);
+        self.push_event(time_ns, EventKind::Arrival { request_id, tenant });
+        request_id
+    }
+
+    /// The current virtual time in nanoseconds.
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Requests admitted and still waiting for dispatch.
+    pub fn queued(&self) -> u64 {
+        self.scheduler.queued() as u64
+    }
+
+    /// Requests dispatched and not yet complete.
+    pub fn in_flight(&self) -> u64 {
+        self.active.iter().map(|d| d.requests.len() as u64).sum()
+    }
+
+    /// Slices currently unallocated.
+    pub fn free_slices(&self) -> usize {
+        self.pool.free_slices()
+    }
+
+    /// The tenants, in submission-index order.
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Telemetry collected so far.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Times the engine found an eligible batch but could not place it —
+    /// always 0 unless there is a scheduler/pool bug. Exposed for
+    /// property tests.
+    pub fn work_conservation_violations(&self) -> u64 {
+        self.work_conservation_violations
+    }
+
+    /// Runs until no events remain, then returns the telemetry.
+    pub fn run_to_idle(&mut self) -> &Telemetry {
+        while self.step() {}
+        &self.telemetry
+    }
+
+    /// Processes events up to and including virtual time `until_ns`,
+    /// then advances the clock to `until_ns`.
+    pub fn run_until(&mut self, until_ns: u64) -> &Telemetry {
+        while self.events.peek().is_some_and(|e| e.time_ns <= until_ns) {
+            self.step();
+        }
+        if until_ns > self.clock_ns {
+            self.advance_clock(until_ns);
+        }
+        &self.telemetry
+    }
+
+    /// Pops and handles the single next event; `false` when the heap is
+    /// empty. Drivers that must react between events (closed-loop
+    /// clients) step the engine manually; everyone else uses
+    /// [`run_to_idle`](ServingSim::run_to_idle).
+    pub fn step(&mut self) -> bool {
+        let Some(event) = self.events.pop() else {
+            return false;
+        };
+        self.advance_clock(event.time_ns);
+        match event.kind {
+            EventKind::Arrival { request_id, tenant } => {
+                self.telemetry.note_submit(self.clock_ns);
+                let request = QueuedRequest {
+                    request_id,
+                    tenant,
+                    submit_ns: self.clock_ns,
+                };
+                if let Err(reason) = self.scheduler.admit(request, &self.tenants) {
+                    self.record_rejection(request, reason);
+                }
+            }
+            EventKind::Completion { dispatch } => self.complete(dispatch),
+            EventKind::Deadline => {
+                self.scheduled_deadlines.remove(&event.time_ns);
+            }
+        }
+        self.dispatch_loop();
+        true
+    }
+
+    /// Charges the interval `[clock, to]` to the telemetry integrals and
+    /// moves the clock.
+    fn advance_clock(&mut self, to_ns: u64) {
+        debug_assert!(
+            to_ns >= self.clock_ns,
+            "virtual clock must not run backwards"
+        );
+        if to_ns > self.clock_ns {
+            let busy: usize = self.active.iter().map(|d| d.allocation.slices()).sum();
+            let modes: Vec<(BceMode, usize)> = self
+                .active
+                .iter()
+                .map(|d| (d.mode, d.allocation.subarrays()))
+                .collect();
+            let slowdown = self.contention.conventional_slowdown(&modes);
+            self.telemetry
+                .note_interval(self.clock_ns, to_ns, busy, slowdown);
+            self.clock_ns = to_ns;
+        }
+    }
+
+    /// Sheds expired requests, then dispatches every batch the policy
+    /// and the free slices allow.
+    fn dispatch_loop(&mut self) {
+        for request in self.scheduler.shed_timeouts(self.clock_ns) {
+            self.record_rejection(request, RejectReason::TimedOut);
+        }
+        loop {
+            let free = self.pool.free_slices();
+            let Some(batch) = self
+                .scheduler
+                .next_batch(self.clock_ns, &mut self.tenants, free)
+            else {
+                break;
+            };
+            let tenant = &mut self.tenants[batch.tenant];
+            let Some(allocation) = self.pool.allocate(tenant.demand_slices()) else {
+                // next_batch only offers tenants that fit `free`; landing
+                // here means the accounting diverged. Count it (property
+                // tests assert zero) and drop to avoid an infinite loop.
+                self.work_conservation_violations += 1;
+                break;
+            };
+            let report = tenant.base_report(batch.requests.len());
+            let streamers = self.active.len() + 1;
+            let service = self.contention.service_latency(report, streamers);
+            let service_ns = service.nanoseconds().ceil() as u64;
+            let energy_per_request = report.total_energy() / batch.requests.len() as f64;
+            let dispatch = self.next_dispatch_id;
+            self.next_dispatch_id += 1;
+            let complete_ns = self.clock_ns.saturating_add(service_ns.max(1));
+            self.active.push(ActiveDispatch {
+                dispatch,
+                tenant: batch.tenant,
+                allocation,
+                requests: batch.requests,
+                dispatch_ns: self.clock_ns,
+                complete_ns,
+                energy_per_request,
+                mode: tenant.mode(),
+            });
+            self.push_event(complete_ns, EventKind::Completion { dispatch });
+        }
+        if let Some(deadline) = self.scheduler.next_deadline(self.clock_ns) {
+            if self.scheduled_deadlines.insert(deadline) {
+                self.push_event(deadline, EventKind::Deadline);
+            }
+        }
+    }
+
+    /// Retires an active dispatch: frees its slices and records one
+    /// completion per coalesced request.
+    fn complete(&mut self, dispatch: u64) {
+        let idx = self
+            .active
+            .iter()
+            .position(|d| d.dispatch == dispatch)
+            .expect("completion event for unknown dispatch");
+        let done = self.active.swap_remove(idx);
+        let batch = done.requests.len();
+        for request in &done.requests {
+            self.telemetry.push(RequestRecord {
+                request_id: request.request_id,
+                tenant: done.tenant,
+                tenant_name: self.tenants[done.tenant].name().to_string(),
+                submit_ns: request.submit_ns,
+                dispatch_ns: done.dispatch_ns,
+                complete_ns: done.complete_ns,
+                batch,
+                energy: done.energy_per_request,
+                outcome: Outcome::Completed,
+            });
+        }
+        self.pool.release(done.allocation);
+    }
+
+    fn record_rejection(&mut self, request: QueuedRequest, reason: RejectReason) {
+        self.telemetry.push(RequestRecord {
+            request_id: request.request_id,
+            tenant: request.tenant,
+            tenant_name: self.tenants[request.tenant].name().to_string(),
+            submit_ns: request.submit_ns,
+            dispatch_ns: self.clock_ns,
+            complete_ns: self.clock_ns,
+            batch: 0,
+            energy: Energy::ZERO,
+            outcome: Outcome::Rejected(reason),
+        });
+    }
+
+    fn push_event(&mut self, time_ns: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Event { time_ns, seq, kind });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfree::{BfreeConfig, BfreeSimulator};
+    use pim_baselines::InferenceModel;
+    use pim_nn::request::NetworkKind;
+
+    fn lstm_spec() -> TenantSpec {
+        TenantSpec::new("lstm", NetworkKind::LstmTimit)
+    }
+
+    #[test]
+    fn single_request_matches_partial_cache_simulator_exactly() {
+        let mut sim = ServingSim::new(ServeConfig::default(), vec![lstm_spec()]).unwrap();
+        sim.submit(0, 0);
+        let record = sim.run_to_idle().records()[0].clone();
+        assert_eq!(record.outcome, Outcome::Completed);
+
+        let demand = sim.tenants()[0].demand_slices();
+        let config = BfreeConfig::paper_default()
+            .with_slice_count(demand)
+            .unwrap();
+        let expect = BfreeSimulator::new(config)
+            .run(&NetworkKind::LstmTimit.instantiate(), 1)
+            .total_latency()
+            .nanoseconds();
+        let got = record.service_ns() as f64;
+        assert!(
+            (got / expect - 1.0).abs() < 0.01,
+            "zero-contention service {got} ns vs dedicated {expect} ns"
+        );
+    }
+
+    #[test]
+    fn runs_are_bit_identical() {
+        let run = || {
+            let specs = vec![lstm_spec(), TenantSpec::new("bert", NetworkKind::BertBase)];
+            let mut sim = ServingSim::new(ServeConfig::default(), specs).unwrap();
+            for i in 0..20 {
+                sim.submit((i % 2) as usize, i * 50_000);
+            }
+            sim.run_to_idle().csv_rows().join("\n")
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_reasons_and_never_panics() {
+        let config = ServeConfig {
+            queue_capacity: 4,
+            ..ServeConfig::default()
+        };
+        let mut sim = ServingSim::new(config, vec![lstm_spec()]).unwrap();
+        // A burst far beyond queue capacity, all at t=0.
+        for _ in 0..100 {
+            sim.submit(0, 0);
+        }
+        let summary = sim.run_to_idle().summary();
+        assert_eq!(summary.submitted, 100);
+        assert_eq!(summary.completed + summary.rejected, 100);
+        assert!(summary.rejected > 0);
+        assert_eq!(sim.work_conservation_violations(), 0);
+    }
+
+    #[test]
+    fn accounting_identity_holds_mid_run() {
+        let mut sim = ServingSim::new(ServeConfig::default(), vec![lstm_spec()]).unwrap();
+        for i in 0..10 {
+            sim.submit(0, i * 1_000);
+        }
+        sim.run_until(5_000);
+        let summary = sim.telemetry().summary();
+        let accounted = summary.completed + summary.rejected + sim.queued() + sim.in_flight();
+        assert_eq!(accounted, summary.submitted);
+    }
+
+    #[test]
+    fn concurrent_tenants_slow_each_other_down() {
+        let specs = vec![
+            lstm_spec(),
+            TenantSpec::new("lstm2", NetworkKind::LstmTimit),
+        ];
+        let mut solo = ServingSim::new(ServeConfig::default(), specs.clone()).unwrap();
+        solo.submit(0, 0);
+        let solo_service = solo.run_to_idle().records()[0].service_ns();
+
+        let mut duo = ServingSim::new(ServeConfig::default(), specs).unwrap();
+        duo.submit(0, 0);
+        duo.submit(1, 0);
+        let duo_telemetry = duo.run_to_idle();
+        let slowest = duo_telemetry
+            .records()
+            .iter()
+            .map(|r| r.service_ns())
+            .max()
+            .unwrap();
+        assert!(
+            slowest > solo_service,
+            "co-running tenants must see DRAM contention: {slowest} vs {solo_service}"
+        );
+        assert!(duo_telemetry.summary().avg_conventional_slowdown > 1.0);
+    }
+
+    #[test]
+    fn pool_never_oversubscribed_during_run() {
+        let specs = vec![
+            TenantSpec::new("a", NetworkKind::BertBase),
+            TenantSpec::new("b", NetworkKind::BertBase),
+            TenantSpec::new("c", NetworkKind::LstmTimit),
+        ];
+        let mut sim = ServingSim::new(ServeConfig::default(), specs).unwrap();
+        for i in 0..30 {
+            sim.submit((i % 3) as usize, i * 10_000);
+        }
+        sim.run_to_idle();
+        assert_eq!(sim.free_slices(), 14);
+        assert_eq!(sim.work_conservation_violations(), 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Per-request records and run-level summaries.
+//!
+//! Every submitted request ends as exactly one [`RequestRecord`] —
+//! completed with its latency split into queueing and service, or shed
+//! with a [`RejectReason`]. The run-level [`ServingSummary`] reduces the
+//! records to the numbers a serving evaluation reports: tail latency
+//! percentiles, throughput, energy per request, and how busy the slice
+//! pool actually was.
+
+use pim_arch::Energy;
+
+use crate::error::RejectReason;
+
+/// Terminal state of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served to completion.
+    Completed,
+    /// Shed without service.
+    Rejected(RejectReason),
+}
+
+impl Outcome {
+    /// Short machine-readable label for traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Completed => "completed",
+            Outcome::Rejected(reason) => reason.label(),
+        }
+    }
+}
+
+/// The full story of one request, in virtual-clock nanoseconds.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Stable ID assigned at submission.
+    pub request_id: u64,
+    /// Index of the tenant it targeted.
+    pub tenant: usize,
+    /// Tenant display name (denormalized for traces).
+    pub tenant_name: String,
+    /// When it was submitted.
+    pub submit_ns: u64,
+    /// When its batch was dispatched (= terminal time for rejects).
+    pub dispatch_ns: u64,
+    /// When it completed or was shed.
+    pub complete_ns: u64,
+    /// Size of the batch it was served in (0 for rejects).
+    pub batch: usize,
+    /// Its share of the batch's energy.
+    pub energy: Energy,
+    /// How it ended.
+    pub outcome: Outcome,
+}
+
+impl RequestRecord {
+    /// Time spent waiting for dispatch.
+    pub fn queue_ns(&self) -> u64 {
+        self.dispatch_ns.saturating_sub(self.submit_ns)
+    }
+
+    /// Time spent being served (load + compute + writeback).
+    pub fn service_ns(&self) -> u64 {
+        self.complete_ns.saturating_sub(self.dispatch_ns)
+    }
+
+    /// End-to-end latency from submission.
+    pub fn latency_ns(&self) -> u64 {
+        self.complete_ns.saturating_sub(self.submit_ns)
+    }
+}
+
+/// Run-level reduction of the telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingSummary {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests shed (any reason).
+    pub rejected: u64,
+    /// Median completed-request latency (ns).
+    pub p50_latency_ns: u64,
+    /// 95th-percentile completed-request latency (ns).
+    pub p95_latency_ns: u64,
+    /// 99th-percentile completed-request latency (ns).
+    pub p99_latency_ns: u64,
+    /// Mean completed-request latency (ns).
+    pub mean_latency_ns: f64,
+    /// Completed requests per second of virtual time.
+    pub throughput_rps: f64,
+    /// Mean energy per completed request.
+    pub energy_per_request: Energy,
+    /// Fraction of slice-time the pool spent allocated (0..1).
+    pub pool_utilization: f64,
+    /// Time-weighted mean slowdown of conventional cache traffic.
+    pub avg_conventional_slowdown: f64,
+    /// Virtual time from first submission to last completion (ns).
+    pub makespan_ns: u64,
+}
+
+/// Collects records and time-weighted pool statistics during a run.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    records: Vec<RequestRecord>,
+    submitted: u64,
+    total_slices: usize,
+    busy_slice_ns: f64,
+    slowdown_ns: f64,
+    observed_ns: u64,
+    first_event_ns: Option<u64>,
+    last_event_ns: u64,
+}
+
+impl Telemetry {
+    /// An empty collector for a pool of `total_slices`.
+    pub fn new(total_slices: usize) -> Self {
+        Telemetry {
+            records: Vec::new(),
+            submitted: 0,
+            total_slices,
+            busy_slice_ns: 0.0,
+            slowdown_ns: 0.0,
+            observed_ns: 0,
+            first_event_ns: None,
+            last_event_ns: 0,
+        }
+    }
+
+    /// Notes one submission (admitted or not).
+    pub fn note_submit(&mut self, now: u64) {
+        self.submitted += 1;
+        self.first_event_ns.get_or_insert(now);
+        self.last_event_ns = self.last_event_ns.max(now);
+    }
+
+    /// Accounts one interval of pool state: `busy_slices` allocated and
+    /// conventional traffic slowed by `slowdown` from `from_ns` to
+    /// `to_ns`.
+    pub fn note_interval(&mut self, from_ns: u64, to_ns: u64, busy_slices: usize, slowdown: f64) {
+        let span = to_ns.saturating_sub(from_ns);
+        self.busy_slice_ns += span as f64 * busy_slices as f64;
+        self.slowdown_ns += span as f64 * slowdown;
+        self.observed_ns += span;
+    }
+
+    /// Appends a terminal record.
+    pub fn push(&mut self, record: RequestRecord) {
+        self.last_event_ns = self.last_event_ns.max(record.complete_ns);
+        self.records.push(record);
+    }
+
+    /// Every terminal record, in completion order.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Reduces the run to a [`ServingSummary`].
+    pub fn summary(&self) -> ServingSummary {
+        let mut latencies: Vec<u64> = self
+            .records
+            .iter()
+            .filter(|r| r.outcome == Outcome::Completed)
+            .map(|r| r.latency_ns())
+            .collect();
+        latencies.sort_unstable();
+        let completed = latencies.len() as u64;
+        let rejected = self.records.len() as u64 - completed;
+        let energy: Energy = self
+            .records
+            .iter()
+            .filter(|r| r.outcome == Outcome::Completed)
+            .map(|r| r.energy)
+            .sum();
+        let makespan_ns = self
+            .last_event_ns
+            .saturating_sub(self.first_event_ns.unwrap_or(0));
+        let mean_latency_ns = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().map(|&l| l as f64).sum::<f64>() / latencies.len() as f64
+        };
+        ServingSummary {
+            submitted: self.submitted,
+            completed,
+            rejected,
+            p50_latency_ns: percentile(&latencies, 50.0),
+            p95_latency_ns: percentile(&latencies, 95.0),
+            p99_latency_ns: percentile(&latencies, 99.0),
+            mean_latency_ns,
+            throughput_rps: if makespan_ns == 0 {
+                0.0
+            } else {
+                completed as f64 / (makespan_ns as f64 * 1e-9)
+            },
+            energy_per_request: if completed == 0 {
+                Energy::ZERO
+            } else {
+                energy / completed as f64
+            },
+            pool_utilization: if self.observed_ns == 0 || self.total_slices == 0 {
+                0.0
+            } else {
+                self.busy_slice_ns / (self.observed_ns as f64 * self.total_slices as f64)
+            },
+            avg_conventional_slowdown: if self.observed_ns == 0 {
+                1.0
+            } else {
+                self.slowdown_ns / self.observed_ns as f64
+            },
+            makespan_ns,
+        }
+    }
+
+    /// Header for [`Telemetry::csv_rows`].
+    pub fn csv_header() -> &'static str {
+        "request_id,tenant,tenant_name,outcome,submit_ns,dispatch_ns,complete_ns,\
+         queue_ns,service_ns,latency_ns,batch,energy_pj"
+    }
+
+    /// One CSV row per terminal record, in completion order.
+    pub fn csv_rows(&self) -> Vec<String> {
+        self.records
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{:.3}",
+                    r.request_id,
+                    r.tenant,
+                    r.tenant_name,
+                    r.outcome.label(),
+                    r.submit_ns,
+                    r.dispatch_ns,
+                    r.complete_ns,
+                    r.queue_ns(),
+                    r.service_ns(),
+                    r.latency_ns(),
+                    r.batch,
+                    r.energy.picojoules(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 if empty).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, submit: u64, dispatch: u64, complete: u64) -> RequestRecord {
+        RequestRecord {
+            request_id: id,
+            tenant: 0,
+            tenant_name: "t".to_string(),
+            submit_ns: submit,
+            dispatch_ns: dispatch,
+            complete_ns: complete,
+            batch: 1,
+            energy: Energy::from_pj(100.0),
+            outcome: Outcome::Completed,
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 95.0), 95);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn summary_accounts_completions_and_rejections() {
+        let mut t = Telemetry::new(14);
+        for i in 0..3 {
+            t.note_submit(i * 10);
+        }
+        t.push(record(0, 0, 0, 1_000));
+        t.push(record(1, 10, 1_000, 3_000));
+        t.push(RequestRecord {
+            outcome: Outcome::Rejected(RejectReason::QueueFull),
+            batch: 0,
+            energy: Energy::ZERO,
+            ..record(2, 20, 20, 20)
+        });
+        let s = t.summary();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.p50_latency_ns, 1_000);
+        assert_eq!(s.p99_latency_ns, 2_990);
+        assert_eq!(s.makespan_ns, 3_000);
+        assert!((s.energy_per_request.picojoules() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_utilization_is_a_time_weighted_fraction() {
+        let mut t = Telemetry::new(14);
+        t.note_interval(0, 1_000, 7, 1.0);
+        t.note_interval(1_000, 2_000, 14, 1.005);
+        let s = t.summary();
+        assert!((s.pool_utilization - 0.75).abs() < 1e-12);
+        assert!((s.avg_conventional_slowdown - 1.0025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_rows_match_header_arity() {
+        let mut t = Telemetry::new(14);
+        t.note_submit(0);
+        t.push(record(0, 0, 5, 10));
+        let header_fields = Telemetry::csv_header().split(',').count();
+        for row in t.csv_rows() {
+            assert_eq!(row.split(',').count(), header_fields);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Tenants: a request class (network + precision + replication) and its
+//! footprint on the slice pool.
+//!
+//! A tenant's *demand* is derived with the same [`Mapper`] the
+//! single-tenant simulator uses: one replica of the network's largest
+//! weight layer defines the minimum contiguous footprint, the requested
+//! replication factor scales it (more replicas = more parallelism =
+//! lower compute latency), and the result rounds up to whole slices —
+//! the pool's tenancy grain. Each tenant then carries a
+//! [`BfreeSimulator`] configured for exactly its slice share, so
+//! per-tenant phase reports price the partial cache it actually owns.
+
+use std::collections::BTreeMap;
+
+use bfree::{BfreeConfig, BfreeSimulator, Mapper, PrecisionPolicy};
+use pim_baselines::{InferenceModel, RunReport};
+use pim_bce::BceMode;
+use pim_nn::request::NetworkKind;
+use pim_nn::Network;
+
+use crate::error::ServeError;
+
+/// Declarative description of one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name used in traces.
+    pub name: String,
+    /// The network this tenant serves.
+    pub network: NetworkKind,
+    /// Per-layer operand precision.
+    pub precision: PrecisionPolicy,
+    /// Weight replication factor: how many copies of the largest
+    /// layer's weights the tenant wants resident for parallelism.
+    pub replication: usize,
+    /// Priority class (higher wins under the priority policy).
+    pub priority: u8,
+}
+
+impl TenantSpec {
+    /// A tenant with uniform int8 precision, replication 1 and default
+    /// priority.
+    pub fn new(name: impl Into<String>, network: NetworkKind) -> Self {
+        TenantSpec {
+            name: name.into(),
+            network,
+            precision: PrecisionPolicy::uniform_int8(),
+            replication: 1,
+            priority: 0,
+        }
+    }
+
+    /// Sets the replication factor (clamped to at least 1).
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.replication = replication.max(1);
+        self
+    }
+
+    /// Sets the precision policy.
+    pub fn with_precision(mut self, precision: PrecisionPolicy) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Sets the priority class.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// A tenant bound to a base machine: demand computed, partial-cache
+/// simulator built, service reports cached per batch size.
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    spec: TenantSpec,
+    network: Network,
+    demand_slices: usize,
+    fits: bool,
+    mode: BceMode,
+    simulator: Option<BfreeSimulator>,
+    report_cache: BTreeMap<usize, RunReport>,
+}
+
+impl Tenant {
+    /// Prices a spec against the pool's base machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeError::Arch`] if the partial geometry cannot be
+    /// constructed (cannot happen for non-zero demand).
+    pub fn new(spec: TenantSpec, base: &BfreeConfig) -> Result<Self, ServeError> {
+        let network = spec.network.instantiate();
+        let geometry = &base.geometry;
+        let mapper = Mapper::new(geometry.clone());
+        let weight_names: Vec<&str> = network.weight_layers().map(|l| l.name()).collect();
+        let per_slice = geometry.subarrays_per_slice();
+
+        // One replica of the largest layer sets the footprint; layers
+        // bigger than the whole cache tile it (utilization 1), so their
+        // footprint is the full cache.
+        let mut max_replica_subarrays = 1usize;
+        let mut matmul_layers = 0usize;
+        let mut weight_layers = 0usize;
+        for layer in network.weight_layers() {
+            weight_layers += 1;
+            let mode = if base.uses_matmul(layer, 1) {
+                matmul_layers += 1;
+                BceMode::MatMul
+            } else {
+                BceMode::Conv
+            };
+            let precision = spec.precision.layer_precision(layer, &weight_names);
+            let replica = match mapper.map_layer(layer, mode, precision) {
+                Ok(mapping) => mapping.subarrays_per_replica,
+                Err(_) => geometry.total_subarrays(),
+            };
+            max_replica_subarrays = max_replica_subarrays.max(replica);
+        }
+
+        let demand_subarrays = max_replica_subarrays.saturating_mul(spec.replication.max(1));
+        let demand_slices = demand_subarrays.div_ceil(per_slice).max(1);
+        let fits = demand_slices <= geometry.slices();
+        let mode = if matmul_layers * 2 >= weight_layers {
+            BceMode::MatMul
+        } else {
+            BceMode::Conv
+        };
+
+        let simulator = if fits {
+            let config = base
+                .clone()
+                .with_precision(spec.precision.clone())
+                .with_slice_count(demand_slices)?;
+            Some(BfreeSimulator::new(config))
+        } else {
+            None
+        };
+
+        Ok(Tenant {
+            spec,
+            network,
+            demand_slices,
+            fits,
+            mode,
+            simulator,
+            report_cache: BTreeMap::new(),
+        })
+    }
+
+    /// The spec this tenant was built from.
+    pub fn spec(&self) -> &TenantSpec {
+        &self.spec
+    }
+
+    /// The tenant's display name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Slices one dispatch of this tenant occupies.
+    pub fn demand_slices(&self) -> usize {
+        self.demand_slices
+    }
+
+    /// Whether the demand fits the pool at all; unfit tenants get every
+    /// request shed with [`crate::RejectReason::DoesNotFit`].
+    pub fn fits(&self) -> bool {
+        self.fits
+    }
+
+    /// The dominant execution mode (for interference accounting).
+    pub fn mode(&self) -> BceMode {
+        self.mode
+    }
+
+    /// The network served.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The contention-free phase report for a batch on this tenant's
+    /// slice share, memoized per batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant does not fit the pool — callers must check
+    /// [`Tenant::fits`] first (the scheduler rejects such requests at
+    /// submission and never dispatches them).
+    pub fn base_report(&mut self, batch: usize) -> &RunReport {
+        let sim = self
+            .simulator
+            .as_ref()
+            .expect("base_report called on a tenant that does not fit the pool");
+        let batch = batch.max(1);
+        self.report_cache
+            .entry(batch)
+            .or_insert_with(|| sim.run(&self.network, batch))
+    }
+
+    /// Contention-free service estimate in nanoseconds (SJF ordering).
+    pub fn service_estimate_ns(&mut self, batch: usize) -> f64 {
+        if !self.fits {
+            return f64::INFINITY;
+        }
+        self.base_report(batch).total_latency().nanoseconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> BfreeConfig {
+        BfreeConfig::paper_default()
+    }
+
+    #[test]
+    fn lstm_fits_in_one_slice_at_replication_1() {
+        // LSTM-TIMIT's largest layer is ~6 MB of int8 weights... larger
+        // than one 2.5 MB slice, so it needs a few slices, far from all.
+        let t = Tenant::new(TenantSpec::new("lstm", NetworkKind::LstmTimit), &base()).unwrap();
+        assert!(t.fits());
+        assert!(t.demand_slices() >= 1);
+        assert!(t.demand_slices() < 14, "demand {}", t.demand_slices());
+    }
+
+    #[test]
+    fn replication_scales_demand_until_it_no_longer_fits() {
+        let d1 = Tenant::new(TenantSpec::new("a", NetworkKind::LstmTimit), &base())
+            .unwrap()
+            .demand_slices();
+        let spec4 = TenantSpec::new("b", NetworkKind::LstmTimit).with_replication(4);
+        let d4 = Tenant::new(spec4, &base()).unwrap().demand_slices();
+        assert!(d4 >= d1);
+        let spec_huge = TenantSpec::new("c", NetworkKind::LstmTimit).with_replication(10_000);
+        let huge = Tenant::new(spec_huge, &base()).unwrap();
+        assert!(!huge.fits());
+    }
+
+    #[test]
+    fn bert_is_matmul_dominant() {
+        let t = Tenant::new(TenantSpec::new("bert", NetworkKind::BertBase), &base()).unwrap();
+        assert_eq!(t.mode(), BceMode::MatMul);
+    }
+
+    #[test]
+    fn base_report_is_cached_and_deterministic() {
+        let mut t = Tenant::new(TenantSpec::new("lstm", NetworkKind::LstmTimit), &base()).unwrap();
+        let a = t.base_report(1).total_latency();
+        let b = t.base_report(1).total_latency();
+        assert_eq!(a, b);
+        assert!(t.service_estimate_ns(1) > 0.0);
+    }
+
+    #[test]
+    fn partial_cache_report_prices_fewer_subarrays() {
+        // A tenant on a slice share computes with fewer subarrays than
+        // the dedicated machine, so compute takes at least as long.
+        let mut t = Tenant::new(TenantSpec::new("bert", NetworkKind::BertBase), &base()).unwrap();
+        let dedicated = BfreeSimulator::new(base()).run(t.network(), 1);
+        let partial_compute = t.base_report(1).latency.get(pim_arch::Phase::Compute);
+        assert!(partial_compute >= dedicated.latency.get(pim_arch::Phase::Compute));
+    }
+}

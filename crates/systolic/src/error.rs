@@ -36,7 +36,12 @@ impl fmt::Display for SystolicError {
             SystolicError::EmptyDimension { dimension } => {
                 write!(f, "systolic {dimension} must be non-zero")
             }
-            SystolicError::GridOverflow { rows, cols, grid_rows, grid_cols } => {
+            SystolicError::GridOverflow {
+                rows,
+                cols,
+                grid_rows,
+                grid_cols,
+            } => {
                 write!(
                     f,
                     "mapping of {rows}x{cols} does not fit the {grid_rows}x{grid_cols} grid"
@@ -55,7 +60,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SystolicError::GridOverflow { rows: 9, cols: 11, grid_rows: 8, grid_cols: 10 };
+        let e = SystolicError::GridOverflow {
+            rows: 9,
+            cols: 11,
+            grid_rows: 8,
+            grid_cols: 10,
+        };
         let s = e.to_string();
         assert!(s.contains("9x11") && s.contains("8x10"));
     }

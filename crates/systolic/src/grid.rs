@@ -38,10 +38,7 @@ impl SubarrayGrid {
     /// subarrays (cannot happen for validated geometries) and
     /// [`SystolicError::ShapeMismatch`] when the slice index is out of
     /// range.
-    pub fn from_slice_geometry(
-        geom: &CacheGeometry,
-        slice: usize,
-    ) -> Result<Self, SystolicError> {
+    pub fn from_slice_geometry(geom: &CacheGeometry, slice: usize) -> Result<Self, SystolicError> {
         if slice >= geom.slices() {
             return Err(SystolicError::ShapeMismatch {
                 reason: format!("slice {slice} out of {}", geom.slices()),
@@ -52,7 +49,12 @@ impl SubarrayGrid {
         if rows == 0 || cols == 0 {
             return Err(SystolicError::EmptyDimension { dimension: "grid" });
         }
-        Ok(SubarrayGrid { slice, rows, cols, subbanks_per_bank: geom.subbanks_per_bank() })
+        Ok(SubarrayGrid {
+            slice,
+            rows,
+            cols,
+            subbanks_per_bank: geom.subbanks_per_bank(),
+        })
     }
 
     /// The slice this grid describes.

@@ -63,7 +63,11 @@ impl SystolicArraySim {
             });
         }
         let rows = weights.len();
-        Ok(SystolicArraySim { weights, rows, cols })
+        Ok(SystolicArraySim {
+            weights,
+            rows,
+            cols,
+        })
     }
 
     /// Grid rows.
@@ -153,7 +157,11 @@ impl SystolicArraySim {
             psum_reg = next_psum;
         }
 
-        Ok(SimResult { outputs, cycles: total_cycles, hops })
+        Ok(SimResult {
+            outputs,
+            cycles: total_cycles,
+            hops,
+        })
     }
 
     /// Reference matrix product for validation:
@@ -184,10 +192,16 @@ mod tests {
 
     #[test]
     fn matches_reference_matmul() {
-        let weights = vec![vec![2, -1, 3], vec![0, 4, -2], vec![1, 1, 1], vec![-3, 2, 0]];
+        let weights = vec![
+            vec![2, -1, 3],
+            vec![0, 4, -2],
+            vec![1, 1, 1],
+            vec![-3, 2, 0],
+        ];
         let sim = SystolicArraySim::new(weights).unwrap();
-        let inputs: Vec<Vec<i32>> =
-            (0..6).map(|t| (0..4).map(|r| (t * 7 + r * 3) - 10).collect()).collect();
+        let inputs: Vec<Vec<i32>> = (0..6)
+            .map(|t| (0..4).map(|r| (t * 7 + r * 3) - 10).collect())
+            .collect();
         let result = sim.run(&inputs).unwrap();
         assert_eq!(result.outputs, sim.reference(&inputs));
     }

@@ -12,7 +12,9 @@ fn main() {
     let weights = [4u8, 6, 7];
     let inputs = [5u8, 7, 9];
     let cb = ConfigBlock::new(
-        PimOp::Conv { length: weights.len() as u32 },
+        PimOp::Conv {
+            length: weights.len() as u32,
+        },
         Precision::Int4,
         1,
         0,

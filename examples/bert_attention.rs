@@ -92,9 +92,7 @@ fn attention_via_lut(
             let scores: Vec<f32> = (0..seq)
                 .map(|j| {
                     (0..head_dim)
-                        .map(|d| {
-                            q.data()[i * hidden + base + d] * k.data()[j * hidden + base + d]
-                        })
+                        .map(|d| q.data()[i * hidden + base + d] * k.data()[j * hidden + base + d])
                         .sum::<f32>()
                         * scale
                 })
@@ -108,5 +106,7 @@ fn attention_via_lut(
             }
         }
     }
-    pipeline.matmul(&context, &weights.w_o).expect("shapes valid")
+    pipeline
+        .matmul(&context, &weights.w_o)
+        .expect("shapes valid")
 }

@@ -16,7 +16,10 @@ fn main() {
         "{:<22} {:>10} {:>8} {:>9} {:>8} {:>10}",
         "layer", "weights", "sub/rep", "replicas", "active", "util"
     );
-    for layer in net.weight_layers().filter(|l| l.name().starts_with("Mixed_5b")) {
+    for layer in net
+        .weight_layers()
+        .filter(|l| l.name().starts_with("Mixed_5b"))
+    {
         let mapping = mapper
             .map_layer(layer, BceMode::Conv, Precision::Int8)
             .expect("inception layers fit the cache");
@@ -33,7 +36,13 @@ fn main() {
 
     println!("\nim2col storage blow-up per conv (paper Fig. 9(c) redundancy):");
     for layer in net.weight_layers().take(6) {
-        if let LayerOp::Conv2d { kernel, stride, padding, .. } = *layer.op() {
+        if let LayerOp::Conv2d {
+            kernel,
+            stride,
+            padding,
+            ..
+        } = *layer.op()
+        {
             let dims = Im2colDims::compute(layer.input_shape(), kernel, stride, padding)
                 .expect("valid conv");
             println!(
@@ -53,9 +62,7 @@ fn main() {
         ("im2col matmul (4 MAC/cyc)", ConvDataflow::Im2col),
         ("auto (paper policy)", ConvDataflow::Auto),
     ] {
-        let sim = BfreeSimulator::new(
-            BfreeConfig::paper_default().with_conv_dataflow(dataflow),
-        );
+        let sim = BfreeSimulator::new(BfreeConfig::paper_default().with_conv_dataflow(dataflow));
         let report = sim.run(&net, 1);
         println!(
             "  {:<28} total {:>12}  compute {:>12}",

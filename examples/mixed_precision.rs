@@ -18,12 +18,12 @@ fn main() {
         for batch in [1usize, 16] {
             let base = BfreeConfig::paper_default().with_memory(MemoryTech::from_kind(kind));
             let int8 = BfreeSimulator::new(base.clone()).run(&net, batch);
-            let mixed = BfreeSimulator::new(
-                base.with_precision(PrecisionPolicy::mixed()),
-            )
-            .run(&net, batch);
+            let mixed =
+                BfreeSimulator::new(base.with_precision(PrecisionPolicy::mixed())).run(&net, batch);
             let saving = 1.0
-                - mixed.per_inference_latency().ratio(int8.per_inference_latency());
+                - mixed
+                    .per_inference_latency()
+                    .ratio(int8.per_inference_latency());
             println!(
                 "{:<8} {:<6} {:>14} {:>14} {:>9.0}%",
                 kind.name(),

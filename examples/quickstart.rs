@@ -11,7 +11,10 @@ fn main() {
     // 1. The functional heart: exact multiplication from a 49-entry LUT.
     let mul = LutMultiplier::new();
     let (product, cost) = mul.mul_u8(173, 219);
-    println!("LUT multiply: 173 x 219 = {product} (native: {})", 173u32 * 219);
+    println!(
+        "LUT multiply: 173 x 219 = {product} (native: {})",
+        173u32 * 219
+    );
     println!(
         "  events: {} subarray-LUT reads, {} shifts, {} adds, {} cycles",
         cost.lut_reads, cost.shifts, cost.adds, cost.cycles

@@ -1,0 +1,78 @@
+//! Multi-tenant serving: LSTM-TIMIT and BERT-base sharing one BFree
+//! cache, under mixed Poisson traffic, with tail-latency percentiles
+//! per tenant.
+//!
+//! Run with: `cargo run -p bfree-serve --release --example serving_mixed_traffic`
+
+use bfree_serve::{OpenLoopDriver, Outcome, ServeConfig, ServingSim, TenantSpec};
+use pim_nn::request::NetworkKind;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn main() {
+    let tenants = vec![
+        TenantSpec::new("lstm-timit", NetworkKind::LstmTimit),
+        TenantSpec::new("bert-base", NetworkKind::BertBase),
+    ];
+    let config = ServeConfig {
+        max_batch: 8,
+        batch_window_ns: 200_000,
+        ..ServeConfig::default()
+    };
+    let mut sim = ServingSim::new(config, tenants).unwrap();
+    for (i, tenant) in sim.tenants().iter().enumerate() {
+        println!(
+            "tenant {i} {:<12} demand {:>2} slices ({})",
+            tenant.name(),
+            tenant.demand_slices(),
+            tenant.spec().network.label(),
+        );
+    }
+
+    // One virtual second of Poisson traffic: chatty LSTM, occasional BERT.
+    let submitted = OpenLoopDriver::new(42, vec![3_000.0, 40.0]).drive(&mut sim, 1_000_000_000);
+    println!("\nsubmitted {submitted} requests over 1 s of virtual time");
+
+    let telemetry = sim.run_to_idle();
+    let summary = telemetry.summary();
+    println!(
+        "completed {}  rejected {}  throughput {:.0} req/s  pool util {:.1}%",
+        summary.completed,
+        summary.rejected,
+        summary.throughput_rps,
+        summary.pool_utilization * 100.0
+    );
+    println!(
+        "energy/request {}   conventional-traffic slowdown {:.4}x",
+        summary.energy_per_request, summary.avg_conventional_slowdown
+    );
+
+    println!(
+        "\n{:<12} {:>9} {:>12} {:>12} {:>12}",
+        "tenant", "requests", "p50", "p95", "p99"
+    );
+    for (i, tenant) in sim.tenants().iter().enumerate() {
+        let mut lat: Vec<u64> = sim
+            .telemetry()
+            .records()
+            .iter()
+            .filter(|r| r.tenant == i && r.outcome == Outcome::Completed)
+            .map(|r| r.latency_ns())
+            .collect();
+        lat.sort_unstable();
+        println!(
+            "{:<12} {:>9} {:>9.2} ms {:>9.2} ms {:>9.2} ms",
+            tenant.name(),
+            lat.len(),
+            percentile(&lat, 50.0) as f64 * 1e-6,
+            percentile(&lat, 95.0) as f64 * 1e-6,
+            percentile(&lat, 99.0) as f64 * 1e-6,
+        );
+    }
+}

@@ -5,7 +5,12 @@ use bfree_experiments::ablations;
 #[test]
 fn lut_paths_beat_bitline_computing_by_an_order_of_magnitude() {
     let a = ablations::mul_path();
-    assert!(a.hardwired_rom_pj < a.bitline_pj / 10.0, "rom {} vs bitline {}", a.hardwired_rom_pj, a.bitline_pj);
+    assert!(
+        a.hardwired_rom_pj < a.bitline_pj / 10.0,
+        "rom {} vs bitline {}",
+        a.hardwired_rom_pj,
+        a.bitline_pj
+    );
     assert!(a.subarray_lut_pj < a.bitline_pj / 10.0);
     // Both LUT paths are within the same order of magnitude.
     let ratio = a.hardwired_rom_pj / a.subarray_lut_pj;
@@ -18,7 +23,11 @@ fn reduced_lut_saves_5x_storage_for_fractional_extra_work() {
     assert_eq!(a.reduced_bytes, 49);
     assert_eq!(a.full_bytes, 256);
     // The operand analyzer resolves most products without the table.
-    assert!(a.reduced_reads_per_product < 0.5, "reads {}", a.reduced_reads_per_product);
+    assert!(
+        a.reduced_reads_per_product < 0.5,
+        "reads {}",
+        a.reduced_reads_per_product
+    );
     // And the extra shift/add work stays below one event per product.
     assert!(
         a.reduced_events_per_product < 2.0,
@@ -45,21 +54,34 @@ fn systolic_gain_approaches_grid_perimeter() {
 #[test]
 fn im2col_beats_direct_convolution_end_to_end() {
     let a = ablations::conv_dataflow();
-    assert!(a.second.1 < a.first.1, "im2col {} vs direct {}", a.second.1, a.first.1);
+    assert!(
+        a.second.1 < a.first.1,
+        "im2col {} vs direct {}",
+        a.second.1,
+        a.first.1
+    );
 }
 
 #[test]
 fn decoupled_bitline_design_wins_on_energy() {
     let a = ablations::lut_rows();
     let energy_of = |name: &str| {
-        a.rows.iter().find(|(n, _, _)| n == name).map(|&(_, total, _)| total).unwrap()
+        a.rows
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, total, _)| total)
+            .unwrap()
     };
     let decoupled = energy_of("decoupled bitline");
     let shared = energy_of("shared bitline");
     assert!(decoupled < shared);
     // LUT-access component collapses by orders of magnitude.
     let lut_of = |name: &str| {
-        a.rows.iter().find(|(n, _, _)| n == name).map(|&(_, _, lut)| lut).unwrap()
+        a.rows
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, _, lut)| lut)
+            .unwrap()
     };
     assert!(lut_of("decoupled bitline") < lut_of("shared bitline") / 100.0);
 }

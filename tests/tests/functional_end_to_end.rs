@@ -10,7 +10,10 @@ use pim_nn::tensor::{Tensor, TensorShape};
 use pim_nn::workload::WorkloadGen;
 
 fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
 }
 
 #[test]
@@ -25,10 +28,14 @@ fn three_layer_cnn_through_the_lut_datapath() {
     let fc_b = gen.vector_f32(10, -0.05, 0.05);
 
     // LUT path.
-    let c1 = pipeline.conv2d(&input, &f1, &[0.0; 8], (1, 1), (1, 1)).unwrap();
+    let c1 = pipeline
+        .conv2d(&input, &f1, &[0.0; 8], (1, 1), (1, 1))
+        .unwrap();
     let a1 = Tensor::from_vec(c1.shape().clone(), pipeline.relu(c1.data())).unwrap();
     let p1 = pipeline.max_pool2d(&a1, (2, 2), (2, 2)).unwrap();
-    let c2 = pipeline.conv2d(&p1, &f2, &[0.0; 16], (1, 1), (1, 1)).unwrap();
+    let c2 = pipeline
+        .conv2d(&p1, &f2, &[0.0; 16], (1, 1), (1, 1))
+        .unwrap();
     let a2 = Tensor::from_vec(c2.shape().clone(), pipeline.relu(c2.data())).unwrap();
     let p2 = pipeline.max_pool2d(&a2, (2, 2), (2, 2)).unwrap();
     let logits = pipeline.linear(p2.data(), &fc, &fc_b).unwrap();
@@ -50,14 +57,29 @@ fn three_layer_cnn_through_the_lut_datapath() {
 
     // Final prediction agrees.
     let argmax_f64 = |v: &[f64]| {
-        v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
     };
     let argmax_f32 = |v: &[f32]| {
-        v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
     };
-    assert_eq!(argmax_f64(&probs), argmax_f32(&rprobs), "prediction diverged");
+    assert_eq!(
+        argmax_f64(&probs),
+        argmax_f32(&rprobs),
+        "prediction diverged"
+    );
     for (p, r) in probs.iter().zip(rprobs.iter()) {
-        assert!((p - *r as f64).abs() < 0.12, "probability drifted: {p} vs {r}");
+        assert!(
+            (p - *r as f64).abs() < 0.12,
+            "probability drifted: {p} vs {r}"
+        );
     }
 }
 
@@ -79,7 +101,9 @@ fn lstm_cell_with_lut_gate_activations() {
     let c = gen.vector_f32(hidden, -0.5, 0.5);
 
     // LUT path: gates = Wx*x + Wh*h + b through quantized matmuls.
-    let gx = pipeline.linear(&x, &weights.w_input, &weights.bias).unwrap();
+    let gx = pipeline
+        .linear(&x, &weights.w_input, &weights.bias)
+        .unwrap();
     let zero = vec![0.0f32; 4 * hidden];
     let gh = pipeline.linear(&h, &weights.w_hidden, &zero).unwrap();
     let gates: Vec<f32> = gx.iter().zip(&gh).map(|(a, b)| a + b).collect();
@@ -98,8 +122,14 @@ fn lstm_cell_with_lut_gate_activations() {
     // Reference.
     let (rh, rc) = reference::lstm_cell(&x, &h, &c, &weights).unwrap();
     for j in 0..hidden {
-        assert!((c_next[j] - rc[j] as f64).abs() < 0.05, "c[{j}] {c_next:?} vs {rc:?}");
-        assert!((h_next[j] - rh[j] as f64).abs() < 0.05, "h[{j}] {h_next:?} vs {rh:?}");
+        assert!(
+            (c_next[j] - rc[j] as f64).abs() < 0.05,
+            "c[{j}] {c_next:?} vs {rc:?}"
+        );
+        assert!(
+            (h_next[j] - rh[j] as f64).abs() < 0.05,
+            "h[{j}] {h_next:?} vs {rh:?}"
+        );
     }
 }
 
@@ -128,8 +158,7 @@ fn bce_and_nn_requantizers_agree() {
             let requant = Requantizer::from_scale(scale, zp);
             let accs: Vec<i32> = vec![0, 1, -1, 999, -999, 100_000, -100_000, i32::MAX / 4];
             let via_nn = requant.apply_all(&accs);
-            let (via_bce, _) =
-                bce.requantize(&accs, requant.multiplier(), requant.shift(), zp);
+            let (via_bce, _) = bce.requantize(&accs, requant.multiplier(), requant.shift(), zp);
             assert_eq!(via_nn, via_bce, "scale {scale} zp {zp}");
         }
     }

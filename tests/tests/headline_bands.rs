@@ -28,9 +28,19 @@ fn neural_cache_headline_shape_holds() {
 fn neural_cache_phase_claims_hold() {
     let fig12 = exp::fig12::run();
     // §V-D: ~80% of BFree energy is DRAM weight loading.
-    assert_band("BFree DRAM energy share", fig12.bfree_dram_energy_fraction, 0.6, 0.9);
+    assert_band(
+        "BFree DRAM energy share",
+        fig12.bfree_dram_energy_fraction,
+        0.6,
+        0.9,
+    );
     // Fig. 12(d): SA access + BCE dominate the cache energy.
-    assert_band("SA+BCE cache share", fig12.bfree_sa_bce_cache_fraction, 0.7, 1.0);
+    assert_band(
+        "SA+BCE cache share",
+        fig12.bfree_sa_bce_cache_fraction,
+        0.7,
+        1.0,
+    );
     // Fig. 12(c): Neural Cache spends ~30% on input load + reduction.
     assert_band(
         "NC input-load+reduction share",
@@ -56,12 +66,17 @@ fn every_inception_module_favors_bfree() {
 fn eyeriss_headline_shape_holds() {
     // Paper: 3.97x compute speedup at iso-area.
     let fig13 = exp::fig13::run();
-    assert_band("compute speedup vs Eyeriss", fig13.compute_speedup, 2.5, 6.0);
+    assert_band(
+        "compute speedup vs Eyeriss",
+        fig13.compute_speedup,
+        2.5,
+        6.0,
+    );
 }
 
 #[test]
 fn table3_bfree_latencies_near_paper() {
-    let rows = exp::table3::run();
+    let rows = exp::table3::run().expect("table3 networks all resolve");
     for (row, paper) in rows.iter().zip(exp::table3::PAPER_ROWS.iter()) {
         let measured = row.latency_ms.2;
         let ratio = measured / paper.4;
@@ -73,8 +88,18 @@ fn table3_bfree_latencies_near_paper() {
             paper.4
         );
         // The orderings the paper reports must hold everywhere.
-        assert!(row.cpu_speedup() > 1.0, "{} b{} loses to CPU", row.network, row.batch);
-        assert!(row.gpu_speedup() > 1.0, "{} b{} loses to GPU", row.network, row.batch);
+        assert!(
+            row.cpu_speedup() > 1.0,
+            "{} b{} loses to CPU",
+            row.network,
+            row.batch
+        );
+        assert!(
+            row.gpu_speedup() > 1.0,
+            "{} b{} loses to GPU",
+            row.network,
+            row.batch
+        );
         assert!(row.cpu_energy_gain() > 1.0);
         assert!(row.gpu_energy_gain() > 1.0);
     }
@@ -84,15 +109,30 @@ fn table3_bfree_latencies_near_paper() {
 fn abstract_headline_bert_base_batch16() {
     // Abstract: 101x / 3x faster and 91x / 11x more energy efficient
     // than CPU / GPU on BERT-base.
-    let rows = exp::table3::run();
+    let rows = exp::table3::run().expect("table3 networks all resolve");
     let row = rows
         .iter()
         .find(|r| r.network == "BERT-base" && r.batch == 16)
         .expect("table3 covers BERT-base b16");
-    assert_band("BERT-base b16 vs CPU speedup", row.cpu_speedup(), 50.0, 200.0);
+    assert_band(
+        "BERT-base b16 vs CPU speedup",
+        row.cpu_speedup(),
+        50.0,
+        200.0,
+    );
     assert_band("BERT-base b16 vs GPU speedup", row.gpu_speedup(), 1.5, 6.0);
-    assert_band("BERT-base b16 vs CPU energy", row.cpu_energy_gain(), 45.0, 240.0);
-    assert_band("BERT-base b16 vs GPU energy", row.gpu_energy_gain(), 5.0, 30.0);
+    assert_band(
+        "BERT-base b16 vs CPU energy",
+        row.cpu_energy_gain(),
+        45.0,
+        240.0,
+    );
+    assert_band(
+        "BERT-base b16 vs GPU energy",
+        row.gpu_energy_gain(),
+        5.0,
+        30.0,
+    );
 }
 
 #[test]
@@ -112,10 +152,22 @@ fn fig2_and_fig4_match_paper_closely() {
     // These derive directly from the calibrated constants, so the band
     // is tight.
     for row in exp::fig2::comparisons(&exp::fig2::run()) {
-        assert!(row.within(1.05), "{}: {} vs {}", row.label, row.measured, row.paper);
+        assert!(
+            row.within(1.05),
+            "{}: {} vs {}",
+            row.label,
+            row.measured,
+            row.paper
+        );
     }
     for row in exp::fig4::comparisons(&exp::fig4::run()) {
-        assert!(row.within(1.05), "{}: {} vs {}", row.label, row.measured, row.paper);
+        assert!(
+            row.within(1.05),
+            "{}: {} vs {}",
+            row.label,
+            row.measured,
+            row.paper
+        );
     }
 }
 
@@ -123,7 +175,13 @@ fn fig2_and_fig4_match_paper_closely() {
 fn fig14_mixed_precision_halves_runtime() {
     let fig14 = exp::fig14::run();
     for row in exp::fig14::comparisons(&fig14) {
-        assert!(row.within(1.6), "{}: {} vs {}", row.label, row.measured, row.paper);
+        assert!(
+            row.within(1.6),
+            "{}: {} vs {}",
+            row.label,
+            row.measured,
+            row.paper
+        );
     }
     // Bandwidth ordering: HBM <= eDRAM <= DRAM at every point.
     use pim_arch::MemoryTechKind as M;
@@ -140,7 +198,13 @@ fn fig14_mixed_precision_halves_runtime() {
 #[test]
 fn area_and_power_overheads_match_paper() {
     for row in exp::overheads::comparisons() {
-        assert!(row.within(1.05), "{}: {} vs {}", row.label, row.measured, row.paper);
+        assert!(
+            row.within(1.05),
+            "{}: {} vs {}",
+            row.label,
+            row.measured,
+            row.paper
+        );
     }
 }
 
@@ -149,7 +213,11 @@ fn table2_statistics_within_tolerance() {
     for row in exp::table2::comparisons(&exp::table2::run()) {
         // Inception mults follow the original paper's convention and sit
         // ~1.2x above BFree's Table II; everything else is within 10%.
-        let band = if row.label.contains("Inception-v3 mults") { 1.3 } else { 1.1 };
+        let band = if row.label.contains("Inception-v3 mults") {
+            1.3
+        } else {
+            1.1
+        };
         assert!(
             row.within(band),
             "{}: {} vs {} (band {band})",

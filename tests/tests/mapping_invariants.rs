@@ -45,8 +45,8 @@ fn replica_capacity_is_respected() {
     for (net, _) in networks::table2_networks() {
         for layer in net.weight_layers() {
             if let Ok(mapping) = mapper.map_layer(layer, BceMode::Conv, Precision::Int8) {
-                let per_replica_capacity = mapping.subarrays_per_replica as u64
-                    * geom.usable_subarray_capacity().get();
+                let per_replica_capacity =
+                    mapping.subarrays_per_replica as u64 * geom.usable_subarray_capacity().get();
                 assert!(
                     per_replica_capacity >= layer.weight_bytes(8),
                     "{}: replica too small",
@@ -73,10 +73,18 @@ fn lstm_and_bert_fit_their_paper_claims() {
     let base_attn = networks::bert_base();
     let large_attn = networks::bert_large();
     let base_map = mapper
-        .map_layer(base_attn.weight_layers().next().unwrap(), BceMode::MatMul, Precision::Int8)
+        .map_layer(
+            base_attn.weight_layers().next().unwrap(),
+            BceMode::MatMul,
+            Precision::Int8,
+        )
         .unwrap();
     let large_map = mapper
-        .map_layer(large_attn.weight_layers().next().unwrap(), BceMode::MatMul, Precision::Int8)
+        .map_layer(
+            large_attn.weight_layers().next().unwrap(),
+            BceMode::MatMul,
+            Precision::Int8,
+        )
         .unwrap();
     assert!(base_map.replicas > large_map.replicas);
 }

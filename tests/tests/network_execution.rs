@@ -8,7 +8,11 @@ use pim_nn::tensor::TensorShape;
 use pim_nn::workload::WorkloadGen;
 
 fn argmax(v: &[f32]) -> usize {
-    v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0
 }
 
 #[test]
@@ -23,7 +27,11 @@ fn tiny_cnn_lut_execution_matches_reference() {
     let lut_out = run_sequential_lut(&pipeline, &net, &weights, &input).unwrap();
 
     assert_eq!(reference_out.shape(), lut_out.shape());
-    assert_eq!(argmax(reference_out.data()), argmax(lut_out.data()), "prediction diverged");
+    assert_eq!(
+        argmax(reference_out.data()),
+        argmax(lut_out.data()),
+        "prediction diverged"
+    );
     for (a, b) in reference_out.data().iter().zip(lut_out.data()) {
         assert!((a - b).abs() < 0.1, "probability drifted: {a} vs {b}");
     }
@@ -50,7 +58,10 @@ fn predictions_stable_across_many_random_inputs() {
     }
     // Quantization may flip near-ties occasionally; demand near-total
     // agreement.
-    assert!(agreements >= TRIALS - 1, "only {agreements}/{TRIALS} predictions agreed");
+    assert!(
+        agreements >= TRIALS - 1,
+        "only {agreements}/{TRIALS} predictions agreed"
+    );
 }
 
 #[test]
@@ -59,17 +70,42 @@ fn sigmoid_tanh_network_through_both_paths() {
     // A small MLP with sigmoid and tanh layers to cover the PWL tables
     // in network context.
     let layers = vec![
-        LayerSpec::new("fc1", LayerOp::Linear { out_features: 12 }, TensorShape::vector(10))
-            .unwrap(),
-        LayerSpec::new("sig", LayerOp::Activation(Act::Sigmoid), TensorShape::vector(12))
-            .unwrap(),
-        LayerSpec::new("fc2", LayerOp::Linear { out_features: 8 }, TensorShape::vector(12))
-            .unwrap(),
-        LayerSpec::new("tanh", LayerOp::Activation(Act::Tanh), TensorShape::vector(8)).unwrap(),
-        LayerSpec::new("fc3", LayerOp::Linear { out_features: 3 }, TensorShape::vector(8))
-            .unwrap(),
-        LayerSpec::new("softmax", LayerOp::Activation(Act::Softmax), TensorShape::vector(3))
-            .unwrap(),
+        LayerSpec::new(
+            "fc1",
+            LayerOp::Linear { out_features: 12 },
+            TensorShape::vector(10),
+        )
+        .unwrap(),
+        LayerSpec::new(
+            "sig",
+            LayerOp::Activation(Act::Sigmoid),
+            TensorShape::vector(12),
+        )
+        .unwrap(),
+        LayerSpec::new(
+            "fc2",
+            LayerOp::Linear { out_features: 8 },
+            TensorShape::vector(12),
+        )
+        .unwrap(),
+        LayerSpec::new(
+            "tanh",
+            LayerOp::Activation(Act::Tanh),
+            TensorShape::vector(8),
+        )
+        .unwrap(),
+        LayerSpec::new(
+            "fc3",
+            LayerOp::Linear { out_features: 3 },
+            TensorShape::vector(8),
+        )
+        .unwrap(),
+        LayerSpec::new(
+            "softmax",
+            LayerOp::Activation(Act::Softmax),
+            TensorShape::vector(3),
+        )
+        .unwrap(),
     ];
     let net = Network::new("mlp", layers);
     let mut gen = WorkloadGen::new(999);

@@ -14,8 +14,10 @@ fn models() -> Vec<Box<dyn InferenceModel>> {
 }
 
 fn all_networks() -> Vec<pim_nn::Network> {
-    let mut nets: Vec<_> =
-        networks::table2_networks().into_iter().map(|(n, _)| n).collect();
+    let mut nets: Vec<_> = networks::table2_networks()
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
     nets.push(networks::resnet18());
     nets.push(networks::gru_timit());
     nets
@@ -105,8 +107,11 @@ fn per_layer_latencies_do_not_exceed_total() {
     let sim = BfreeSimulator::new(BfreeConfig::paper_default());
     for (net, _) in networks::table2_networks() {
         let report = sim.run(&net, 1);
-        let per_layer_sum: f64 =
-            report.per_layer.iter().map(|l| l.latency.nanoseconds()).sum();
+        let per_layer_sum: f64 = report
+            .per_layer
+            .iter()
+            .map(|l| l.latency.nanoseconds())
+            .sum();
         let total = report.total_latency().nanoseconds();
         // Per-layer times cover the phases attributed to layers; the
         // total additionally includes the configuration phase.
@@ -115,17 +120,29 @@ fn per_layer_latencies_do_not_exceed_total() {
             "{}: per-layer sum {per_layer_sum} > total {total}",
             net.name()
         );
-        assert!(per_layer_sum > total * 0.5, "{}: per-layer sum suspiciously small", net.name());
+        assert!(
+            per_layer_sum > total * 0.5,
+            "{}: per-layer sum suspiciously small",
+            net.name()
+        );
     }
 }
 
 #[test]
 fn faster_memory_never_hurts_bfree() {
-    let nets = [networks::inception_v3(), networks::vgg16(), networks::bert_base()];
+    let nets = [
+        networks::inception_v3(),
+        networks::vgg16(),
+        networks::bert_base(),
+    ];
     for net in &nets {
         for batch in [1usize, 16] {
             let mut prev = f64::INFINITY;
-            for kind in [MemoryTechKind::Dram, MemoryTechKind::Edram, MemoryTechKind::Hbm] {
+            for kind in [
+                MemoryTechKind::Dram,
+                MemoryTechKind::Edram,
+                MemoryTechKind::Hbm,
+            ] {
                 let sim = BfreeSimulator::new(
                     BfreeConfig::paper_default().with_memory(MemoryTech::from_kind(kind)),
                 );
@@ -156,7 +173,11 @@ fn bfree_beats_neural_cache_on_every_network() {
             ours.total_latency(),
             theirs.total_latency()
         );
-        assert!(ours.total_energy() < theirs.total_energy(), "{} energy", net.name());
+        assert!(
+            ours.total_energy() < theirs.total_energy(),
+            "{} energy",
+            net.name()
+        );
     }
 }
 
@@ -177,6 +198,9 @@ fn phase_fractions_sum_to_one() {
     for batch in [1usize, 16] {
         let report = sim.run(&networks::vgg16(), batch);
         let sum: f64 = Phase::ALL.iter().map(|&p| report.latency.fraction(p)).sum();
-        assert!((sum - 1.0).abs() < 1e-9, "batch {batch}: fractions sum {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "batch {batch}: fractions sum {sum}"
+        );
     }
 }

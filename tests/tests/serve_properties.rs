@@ -1,0 +1,142 @@
+//! Property tests over the serving subsystem: the slice pool must never
+//! double-allocate a subarray, the engine must conserve work, and every
+//! submitted request must be accounted for exactly once — for arbitrary
+//! traffic, not just the curated examples.
+
+use bfree_serve::{SchedPolicy, ServeConfig, ServingSim, SlicePool, TenantSpec};
+use pim_arch::CacheGeometry;
+use pim_nn::request::NetworkKind;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn specs() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("lstm", NetworkKind::LstmTimit),
+        TenantSpec::new("bert", NetworkKind::BertBase).with_priority(3),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = SchedPolicy> {
+    prop_oneof![
+        Just(SchedPolicy::Fifo),
+        Just(SchedPolicy::Sjf),
+        Just(SchedPolicy::Priority)
+    ]
+}
+
+proptest! {
+    /// No subarray is ever owned by two live allocations, and the
+    /// free/allocated split always sums to the whole pool, under any
+    /// interleaving of allocations and releases.
+    #[test]
+    fn pool_never_double_allocates(
+        ops in vec((1usize..=14, any::<bool>()), 1..40),
+    ) {
+        let mut pool = SlicePool::new(CacheGeometry::xeon_l3_35mb());
+        let mut live = Vec::new();
+        for (slices, prefer_release) in ops {
+            if prefer_release && !live.is_empty() {
+                pool.release(live.remove(0));
+            } else if let Some(grant) = pool.allocate(slices) {
+                live.push(grant);
+            }
+            let held: usize = live.iter().map(|g| g.slices()).sum();
+            prop_assert_eq!(pool.free_slices() + held, pool.total_slices());
+            // Pairwise disjointness over every live grant's subarrays.
+            let mut seen = std::collections::BTreeSet::new();
+            for grant in &live {
+                for range in grant.subarray_ranges() {
+                    for subarray in range {
+                        prop_assert!(
+                            seen.insert(subarray),
+                            "subarray {} granted twice", subarray
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every submission ends in exactly one bucket — completed,
+    /// rejected, queued or in flight — at any observation point, and a
+    /// drained run accounts completed + rejected == submitted with the
+    /// pool fully returned and zero work-conservation violations.
+    #[test]
+    fn serving_accounts_for_every_request(
+        arrivals in vec((0u64..3_000_000, 0usize..2), 1..25),
+        queue_capacity in 1usize..48,
+        max_batch in 1usize..9,
+        batch_window_ns in prop_oneof![Just(0u64), Just(50_000u64), Just(400_000u64)],
+        policy in policy_strategy(),
+        observe_at in 1u64..6_000_000,
+    ) {
+        let config = ServeConfig {
+            policy,
+            max_batch,
+            batch_window_ns,
+            queue_capacity,
+            timeout_ns: Some(8_000_000),
+            ..ServeConfig::default()
+        };
+        let mut sim = ServingSim::new(config, specs()).unwrap();
+        for &(at_ns, tenant) in &arrivals {
+            sim.submit(tenant, at_ns);
+        }
+
+        // Mid-run: the identity must hold at an arbitrary cut.
+        sim.run_until(observe_at);
+        let mid = sim.telemetry().summary();
+        prop_assert_eq!(
+            mid.completed + mid.rejected + sim.queued() + sim.in_flight(),
+            mid.submitted
+        );
+
+        // Drained: everything terminal, all slices home, no violations.
+        let done = sim.run_to_idle().summary();
+        prop_assert_eq!(done.submitted, arrivals.len() as u64);
+        prop_assert_eq!(done.completed + done.rejected, done.submitted);
+        prop_assert_eq!(sim.queued() + sim.in_flight(), 0);
+        prop_assert_eq!(sim.free_slices(), 14);
+        prop_assert_eq!(sim.work_conservation_violations(), 0);
+    }
+
+    /// Work conservation: with one tenant, an empty pool and pending
+    /// eligible work, the engine never idles — total service time is
+    /// wall-to-wall, so the makespan never exceeds the sum of dispatch
+    /// service times plus the arrival span and batching window.
+    #[test]
+    fn single_tenant_engine_never_idles(
+        n in 1usize..12,
+        gap_ns in 0u64..200_000,
+    ) {
+        let config = ServeConfig { max_batch: 4, ..ServeConfig::default() };
+        let mut sim = ServingSim::new(
+            config,
+            vec![TenantSpec::new("lstm", NetworkKind::LstmTimit)],
+        ).unwrap();
+        for i in 0..n {
+            sim.submit(0, i as u64 * gap_ns);
+        }
+        let telemetry = sim.run_to_idle();
+        let total_service: u64 = {
+            // Each dispatch's service counted once, not per coalesced request.
+            let mut windows: Vec<(u64, u64)> = telemetry
+                .records()
+                .iter()
+                .map(|r| (r.dispatch_ns, r.complete_ns))
+                .collect();
+            windows.sort_unstable();
+            windows.dedup();
+            windows.iter().map(|(d, c)| c - d).sum()
+        };
+        let arrival_span = (n as u64 - 1) * gap_ns;
+        let summary = telemetry.summary();
+        prop_assert_eq!(summary.completed, n as u64);
+        prop_assert!(
+            summary.makespan_ns <= arrival_span + total_service,
+            "engine idled: makespan {} > arrivals {} + service {}",
+            summary.makespan_ns, arrival_span, total_service
+        );
+        prop_assert_eq!(sim.work_conservation_violations(), 0);
+    }
+}

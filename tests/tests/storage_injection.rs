@@ -19,8 +19,9 @@ fn place_layer() -> (WeightStore, Vec<i8>) {
         .map_layer(layer, BceMode::Conv, Precision::Int8)
         .expect("conv1_1 fits");
     let mut gen = WorkloadGen::new(321);
-    let weights =
-        gen.random_i8(pim_nn::TensorShape::vector(layer.params() as usize)).into_data();
+    let weights = gen
+        .random_i8(pim_nn::TensorShape::vector(layer.params() as usize))
+        .into_data();
     let store = WeightStore::place(&config.geometry, &mapping, &weights).unwrap();
     (store, weights)
 }
@@ -30,7 +31,9 @@ fn clean_store_passes_integrity_and_matches_direct_execution() {
     let (store, weights) = place_layer();
     store.verify_lut_integrity().unwrap();
     let mut gen = WorkloadGen::new(654);
-    let inputs = gen.random_i8(pim_nn::TensorShape::vector(weights.len())).into_data();
+    let inputs = gen
+        .random_i8(pim_nn::TensorShape::vector(weights.len()))
+        .into_data();
     let bce = Bce::new(BceMode::Conv).unwrap();
     let (stored, _, _) = store.dot(&bce, &inputs, Precision::Int8);
     let (direct, _) = bce.dot_conv(&weights, &inputs, Precision::Int8);
@@ -48,7 +51,10 @@ fn corrupted_lut_row_is_detected() {
     bytes[17] ^= 0x08;
     sa.load_lut_image(&bytes).unwrap();
     let dumped = sa.dump_lut_image(49).unwrap();
-    assert!(MultLut::from_image_bytes(&dumped).is_err(), "corruption went undetected");
+    assert!(
+        MultLut::from_image_bytes(&dumped).is_err(),
+        "corruption went undetected"
+    );
 
     let (store, _) = place_layer();
     store.verify_lut_integrity().unwrap();
@@ -78,7 +84,11 @@ fn corrupted_weight_row_changes_results() {
     }
     assert_ne!(corrupted, weights);
     // Exactly one byte differs.
-    let diffs = corrupted.iter().zip(&weights).filter(|(a, b)| a != b).count();
+    let diffs = corrupted
+        .iter()
+        .zip(&weights)
+        .filter(|(a, b)| a != b)
+        .count();
     assert_eq!(diffs, 1);
 }
 

@@ -108,11 +108,7 @@ fn encoder_block_lut(
     reference::layer_norm(&x, &w.ln2.0, &w.ln2.1, 1e-5).unwrap()
 }
 
-fn encoder_block_reference(
-    input: &Tensor<f32>,
-    w: &EncoderWeights,
-    heads: usize,
-) -> Tensor<f32> {
+fn encoder_block_reference(input: &Tensor<f32>, w: &EncoderWeights, heads: usize) -> Tensor<f32> {
     let attn = reference::self_attention(input, &w.attention, heads).unwrap();
     let x = add(input, &attn);
     let x = reference::layer_norm(&x, &w.ln1.0, &w.ln1.1, 1e-5).unwrap();
@@ -174,11 +170,15 @@ fn gru_cell_through_lut_datapath_tracks_reference() {
     let h = gen.vector_f32(hidden, -0.5, 0.5);
 
     let pipeline = FunctionalPipeline::new().unwrap();
-    let gx = pipeline.linear(&x, &weights.w_input, &weights.bias).unwrap();
+    let gx = pipeline
+        .linear(&x, &weights.w_input, &weights.bias)
+        .unwrap();
     let zero = vec![0.0f32; 3 * hidden];
     let gh = pipeline.linear(&h, &weights.w_hidden, &zero).unwrap();
     let r_in: Vec<f32> = (0..hidden).map(|j| gx[j] + gh[j]).collect();
-    let z_in: Vec<f32> = (0..hidden).map(|j| gx[hidden + j] + gh[hidden + j]).collect();
+    let z_in: Vec<f32> = (0..hidden)
+        .map(|j| gx[hidden + j] + gh[hidden + j])
+        .collect();
     let r = pipeline.sigmoid(&r_in);
     let z = pipeline.sigmoid(&z_in);
     let n_in: Vec<f32> = (0..hidden)

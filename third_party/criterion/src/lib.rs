@@ -1,0 +1,141 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors this tiny harness implementing the criterion surface the
+//! `bfree-bench` targets use: `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `group.sample_size(..)`,
+//! `group.bench_function(..)`, `Bencher::iter` and [`black_box`]. Each
+//! benchmark body runs a fixed number of iterations and reports mean
+//! wall-clock time — enough to spot order-of-magnitude regressions, with
+//! none of the real crate's statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver handed to each `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one benchmark body.
+    pub fn bench_function<N, F>(&mut self, name: N, mut body: F) -> &mut Self
+    where
+        N: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.as_ref();
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..self.sample_size {
+            body(&mut bencher);
+        }
+        let mean_ns = if bencher.samples.is_empty() {
+            0.0
+        } else {
+            bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64
+        };
+        println!(
+            "  {name}: {mean_ns:.1} ns/iter (mean of {} samples)",
+            self.sample_size
+        );
+        self
+    }
+
+    /// Ends the group (parity with the real API; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `body`, recording mean nanoseconds per call for this sample.
+    pub fn iter<O, F>(&mut self, mut body: F)
+    where
+        F: FnMut() -> O,
+    {
+        const ITERS: u32 = 16;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(body());
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        self.samples.push(elapsed / f64::from(ITERS));
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($bench(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        let mut runs = 0u32;
+        group.sample_size(3).bench_function("count", |b| {
+            b.iter(|| 1 + 1);
+            runs += 1;
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,54 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use core::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.len.start + 1 >= self.len.end {
+            self.len.start
+        } else {
+            rng.usize_in(self.len.start, self.len.end)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A vector of `element` samples with length drawn from `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_range() {
+        let strat = vec(0u8..10, 2..6);
+        let mut rng = TestRng::from_name("vec_len");
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn empty_length_range_allowed() {
+        let strat = vec(0u8..10, 0..1);
+        let mut rng = TestRng::from_name("vec_empty");
+        assert!(strat.sample(&mut rng).is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors this minimal property-testing harness implementing the subset
+//! of the proptest API its tests use: the [`proptest!`] macro (both
+//! `arg in strategy` and `arg: Type` forms), range / tuple / `Just` /
+//! `prop_oneof!` / `prop_map` / `any::<T>()` / `collection::vec`
+//! strategies, and the `prop_assume!` / `prop_assert*!` macros.
+//!
+//! Unlike the real crate there is no shrinking: a failing case panics
+//! with the stringified assertion. Case generation is deterministic — the
+//! RNG is seeded from the test name, so failures reproduce exactly across
+//! runs and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every proptest-using module starts with.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests.
+///
+/// Each function runs [`test_runner::DEFAULT_CASES`] random cases; the
+/// body is wrapped so `prop_assume!` rejects a case (resampled, not a
+/// failure) and `prop_assert*!` failures panic with context.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    // `arg in strategy` form.
+    ($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = $crate::test_runner::DEFAULT_CASES * 16;
+            while accepted < $crate::test_runner::DEFAULT_CASES && attempts < max_attempts {
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body;
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("property {} failed: {}", stringify!($name), msg);
+                    }
+                }
+            }
+            assert!(
+                accepted >= $crate::test_runner::DEFAULT_CASES / 4,
+                "property {} rejected too many cases ({} accepted of {} attempts)",
+                stringify!($name),
+                accepted,
+                attempts,
+            );
+        }
+        $crate::proptest! { $($rest)* }
+    };
+    // `arg: Type` shorthand for `arg in any::<Type>()`.
+    ($(#[$meta:meta])* fn $name:ident($($arg:ident: $ty:ty),* $(,)?) $body:block $($rest:tt)*) => {
+        $crate::proptest! {
+            $(#[$meta])*
+            fn $name($($arg in $crate::arbitrary::any::<$ty>()),*) $body
+            $($rest)*
+        }
+    };
+}
+
+/// Rejects the current case (it is resampled, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Asserts within a property body, failing the case (no panic mid-body).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let left = $a;
+        let right = $b;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                    stringify!($a),
+                    stringify!($b),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let left = $a;
+        let right = $b;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Asserts two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let left = $a;
+        let right = $b;
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} != {} (both: {:?})",
+                    stringify!($a),
+                    stringify!($b),
+                    left
+                ),
+            ));
+        }
+    }};
+}
+
+/// Chooses uniformly among the listed strategies (all of one value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}

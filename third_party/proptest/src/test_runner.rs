@@ -1,0 +1,81 @@
+//! Deterministic case generation and the case-outcome type.
+
+/// Cases each property runs (the real crate defaults to 256; this stub
+/// trades a little coverage for test-suite speed).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Why a property case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is resampled.
+    Reject(&'static str),
+    /// A `prop_assert*!` failed; the property fails.
+    Fail(String),
+}
+
+/// The deterministic RNG properties sample from.
+///
+/// SplitMix64 seeded from an FNV-1a hash of the test name: every run of
+/// a given property sees the same case sequence, so failures reproduce
+/// without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a property name.
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::from_name("prop_x");
+        let mut b = TestRng::from_name("prop_x");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_names_diverge() {
+        let mut a = TestRng::from_name("prop_x");
+        let mut b = TestRng::from_name("prop_y");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait and derive-macro
+//! namespaces) that the workspace imports, without any serialization
+//! machinery behind them — nothing in-tree serializes through serde, the
+//! derives exist for downstream consumers of the published crates. The
+//! no-op derives in `serde_derive` emit no impls, so these traits carry
+//! no methods and no code depends on them being implemented.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
