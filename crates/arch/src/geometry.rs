@@ -100,12 +100,15 @@ impl CacheGeometry {
     /// 64 bits and 2 LUT rows per partition (8 LUT rows per subarray,
     /// 64 one-byte LUT entries).
     pub fn xeon_l3_35mb() -> Self {
+        // Invariant: these constants pass `CacheGeometry::new`'s checks
+        // (non-zero dims, LUT rows < partition rows); covered by tests.
         CacheGeometry::new(14, 4, 10, 8, 4, 256, 64, 2).expect("static geometry is valid")
     }
 
     /// A single 2.5 MB slice, the iso-area unit used in the Eyeriss
     /// comparison (paper §V-D).
     pub fn single_slice_2_5mb() -> Self {
+        // Invariant: same constants as `xeon_l3_35mb` with one slice.
         CacheGeometry::new(1, 4, 10, 8, 4, 256, 64, 2).expect("static geometry is valid")
     }
 

@@ -396,6 +396,7 @@ impl Bce {
     /// Panics on an empty window.
     pub fn max_pool(&self, window: &[i8]) -> (i8, BceStats) {
         assert!(!window.is_empty(), "pooling window must be non-empty");
+        // Invariant: the assert above guarantees a maximum exists.
         let max = *window.iter().max().expect("non-empty");
         let mut stats = BceStats::default();
         stats.cost.adds = window.len() as u64 - 1;
@@ -415,6 +416,8 @@ impl Bce {
         let mut stats = BceStats::default();
         stats.cost.adds = window.len() as u64 - 1;
         stats.cost.cycles = window.len() as u64;
+        // Invariant: the assert above makes the divisor window.len() > 0,
+        // the only error `divide_round` reports.
         let (mag, div_cost) = self
             .div
             .divide_round(sum.unsigned_abs() as u64, window.len() as u64)

@@ -8,11 +8,17 @@
 //! simultaneously (Fig. 7), which is how the BCE reaches eight 8-bit
 //! multiplies in two cycles.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
 /// The 16 x 16 hardwired nibble-product ROM.
+///
+/// The read counter is atomic so one ROM (and therefore one [`Bce`])
+/// can serve concurrent tiles on the `bfree::par` worker pool without
+/// losing counts.
+///
+/// [`Bce`]: crate::Bce
 ///
 /// ```
 /// use pim_bce::MultRom;
@@ -20,11 +26,29 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(rom.lookup(12, 13), 156);
 /// assert_eq!(rom.entry_count(), 256);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct MultRom {
     entries: Vec<u8>,
-    reads: Cell<u64>,
+    reads: AtomicU64,
 }
+
+impl Clone for MultRom {
+    fn clone(&self) -> Self {
+        MultRom {
+            entries: self.entries.clone(),
+            reads: AtomicU64::new(self.reads.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+// ROM identity is its entries; the read counter is telemetry.
+impl PartialEq for MultRom {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for MultRom {}
 
 impl MultRom {
     /// Builds the ROM with all 256 nibble products.
@@ -37,7 +61,7 @@ impl MultRom {
         }
         MultRom {
             entries,
-            reads: Cell::new(0),
+            reads: AtomicU64::new(0),
         }
     }
 
@@ -61,7 +85,7 @@ impl MultRom {
             a <= 15 && b <= 15,
             "rom operands must be nibbles, got {a} x {b}"
         );
-        self.reads.set(self.reads.get() + 1);
+        self.reads.fetch_add(1, Ordering::Relaxed);
         self.entries[(a as usize) * 16 + b as usize]
     }
 
@@ -83,12 +107,12 @@ impl MultRom {
 
     /// Lookups performed since construction.
     pub fn reads(&self) -> u64 {
-        self.reads.get()
+        self.reads.load(Ordering::Relaxed)
     }
 
     /// Resets the read counter.
     pub fn reset_reads(&self) {
-        self.reads.set(0);
+        self.reads.store(0, Ordering::Relaxed)
     }
 }
 

@@ -1,0 +1,54 @@
+//! Worker-pool benchmarks: `bfree::par` map overhead and the
+//! parallel-vs-serial ratio on a real simulator sweep (the Fig. 14
+//! bandwidth sweep, the workload `experiments bench` also times).
+
+use bfree::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn sweep_once(net: &pim_nn::Network) -> f64 {
+    let mut sweep = Vec::new();
+    for kind in MemoryTechKind::ALL {
+        for batch in [1usize, 16] {
+            sweep.push((kind, batch));
+        }
+    }
+    bfree::par::par_map(sweep, |(kind, batch)| {
+        let config = BfreeConfig::paper_default().with_memory(MemoryTech::from_kind(kind));
+        BfreeSimulator::new(config)
+            .run(net, batch)
+            .per_inference_latency()
+            .milliseconds()
+    })
+    .into_iter()
+    .sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_map");
+    group.sample_size(20);
+
+    // Pure pool overhead: tiny closures dominated by dispatch cost.
+    group.bench_function("overhead_1k_trivial_items", |b| {
+        b.iter(|| {
+            bfree::par::par_map(black_box((0..1000u64).collect::<Vec<_>>()), |x| x * 3 + 1)
+                .iter()
+                .sum::<u64>()
+        })
+    });
+
+    let vgg = networks::vgg16();
+    group.bench_function("fig14_sweep_serial", |b| {
+        bfree::par::set_max_jobs(1);
+        b.iter(|| sweep_once(black_box(&vgg)));
+        bfree::par::set_max_jobs(0);
+    });
+    group.bench_function("fig14_sweep_parallel", |b| {
+        bfree::par::set_max_jobs(0);
+        b.iter(|| sweep_once(black_box(&vgg)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -158,6 +158,9 @@ impl AttentionSchedule {
                     best = Some((i, prio, start));
                 }
             }
+            // Invariant: `tasks()` builds a forward-only dependency list
+            // (each task depends only on earlier-constructed ones), so
+            // some pending task always has its deps finished.
             let (idx, _, start) = best.expect("the DAG is acyclic so a task is always ready");
             let task = pending.remove(idx);
             let end = start + task.cycles;

@@ -114,6 +114,217 @@ impl BfreeSimulator {
     fn clock_ghz(&self) -> f64 {
         self.config.timing.subarray_clock_ghz
     }
+
+    /// Prices one layer in isolation. Layer pricing has no cross-layer
+    /// state beyond "is this the first weight layer" (whose inputs come
+    /// from DRAM), so the per-layer loop in [`run`] fans out through
+    /// [`crate::par::par_map`] and re-reduces contributions in layer
+    /// order — keeping every accumulated float bit-identical to the
+    /// single-threaded path.
+    ///
+    /// [`run`]: InferenceModel::run
+    fn price_layer(
+        &self,
+        layer: &LayerSpec,
+        batch: u64,
+        is_first_weight_layer: bool,
+        weight_names: &[&str],
+        lut_profile: &pim_arch::LutRowProfile,
+    ) -> LayerContribution {
+        let geom = &self.config.geometry;
+        let energy_params = &self.config.energy;
+        let mem = &self.config.memory;
+        let grid_rows = geom.subarrays_per_subbank();
+        let grid_cols = geom.subbanks_per_slice();
+
+        let mut latency = LatencyBreakdown::new();
+        let mut energy = EnergyBreakdown::new();
+        let mut layer_latency = Latency::ZERO;
+        let precision = self.config.precision.layer_precision(layer, weight_names);
+        let bits = precision.bits() as u64;
+
+        if layer.is_weight_layer() {
+            let mode = if self.config.uses_matmul(layer, batch as usize) {
+                BceMode::MatMul
+            } else {
+                BceMode::Conv
+            };
+            let mapping = self.mapper.map_layer_tiled(layer, mode, precision);
+
+            // Phase 1: weights from main memory, once per batch.
+            let weight_bytes = Bytes::new(layer.weight_bytes(precision.bits()));
+            let t_weight = mem.transfer_time(weight_bytes);
+            latency.add(Phase::WeightLoad, t_weight);
+            energy.add(EnergyComponent::Dram, mem.transfer_energy(weight_bytes));
+            // Distributing weights to the subarrays crosses the
+            // slice interconnect once, and the replica broadcast to
+            // all slices rides the ring (Fig. 1(a)); the ring's
+            // bandwidth exceeds DRAM's, so only its energy shows.
+            let lines = weight_bytes.get().div_ceil(64);
+            energy.add(
+                EnergyComponent::Interconnect,
+                energy_params.slice_access() * lines,
+            );
+            let (_, ring_energy) = self.config.ring.broadcast(weight_bytes);
+            energy.add(EnergyComponent::Interconnect, ring_energy);
+            layer_latency += t_weight;
+
+            // Phase 2: systolic compute, overlapped with input
+            // streaming.
+            let macs = layer.macs() * batch;
+            let steps = Self::sequential_steps(layer);
+            let efficiency = match mode {
+                BceMode::Conv => CONV_EFFICIENCY,
+                BceMode::MatMul => MATMUL_EFFICIENCY,
+            };
+            let compute_cycles =
+                (macs as f64 / (mapping.macs_per_cycle() * efficiency)).ceil() as u64;
+            let fill = SystolicSchedule::new(grid_rows, grid_cols, 1)
+                .map(|s| s.fill_steps())
+                .unwrap_or(0);
+            let t_compute = Cycles::new(compute_cycles + fill * steps).at_ghz(self.clock_ghz());
+
+            // Sequential layers also pay a state-broadcast between
+            // steps (LSTM hidden-state feedback over the slice
+            // interconnect).
+            let t_seq = if steps > 1 {
+                // Per-step hidden state (output elements / timesteps)
+                // broadcasts over the slice interconnect.
+                let state_elements = layer.output_elements() / steps;
+                let lines = (state_elements * bits / 8).div_ceil(64).max(1);
+                Latency::from_ns((steps * lines) as f64 * self.config.timing.slice_access_ns)
+            } else {
+                Latency::ZERO
+            };
+
+            // Input streaming: from DRAM for the first layer and for
+            // batched runs (intermediates live in next-level memory,
+            // Fig. 14); from SRAM otherwise.
+            let input_bytes = Bytes::new(layer.input_elements() * batch * bits / 8);
+            let input_from_dram = is_first_weight_layer || batch > 1;
+            let t_input = if input_from_dram {
+                energy.add(EnergyComponent::Dram, mem.transfer_energy(input_bytes));
+                mem.transfer_time(input_bytes)
+            } else {
+                Latency::ZERO
+            };
+
+            let t_exec = t_compute.max(t_input) + t_seq;
+            latency.add(Phase::Compute, t_compute + t_seq);
+            latency.add(Phase::InputLoad, t_exec - t_compute - t_seq);
+            layer_latency += t_exec;
+
+            // Phase 3: requantization in place (§V-D: gemmlowp scale
+            // + bias + shift by all hosting subarrays).
+            let outputs = layer.output_elements() * batch;
+            let quant_cycles = (outputs * 3).div_ceil(mapping.active_subarrays.max(1) as u64);
+            let t_quant = Cycles::new(quant_cycles).at_ghz(self.clock_ghz());
+            latency.add(Phase::Quantize, t_quant);
+            layer_latency += t_quant;
+
+            // Writeback: to DRAM when batching, to SRAM rows
+            // otherwise.
+            let output_bytes = Bytes::new(outputs * bits / 8);
+            if batch > 1 {
+                let t_wb = mem.transfer_time(output_bytes);
+                latency.add(Phase::Writeback, t_wb);
+                energy.add(EnergyComponent::Dram, mem.transfer_energy(output_bytes));
+                layer_latency += t_wb;
+            } else {
+                let rows = output_bytes.get().div_ceil(geom.row_bytes().get());
+                energy.add(
+                    EnergyComponent::SubarrayAccess,
+                    energy_params.subarray_row_access() * rows,
+                );
+            }
+
+            // Energy: subarray weight reads, BCE datapath, partials
+            // in the reduced-cost rows, router hops, BCE mode power.
+            let macs_per_row = match mode {
+                BceMode::Conv => CONV_MACS_PER_ROW_READ,
+                BceMode::MatMul => MATMUL_MACS_PER_ROW_READ,
+            };
+            let row_reads = (macs as f64 / macs_per_row).ceil();
+            energy.add(
+                EnergyComponent::SubarrayAccess,
+                energy_params.subarray_row_access() * row_reads,
+            );
+            energy.add(
+                EnergyComponent::Bce,
+                Energy::from_pj(Self::per_mac_pj(mode, precision)) * macs,
+            );
+            // One partial-product park + fetch in the fast rows per
+            // 64-MAC reduction window.
+            energy.add(
+                EnergyComponent::LutAccess,
+                lut_profile.read_energy * ((macs / 64) * 2),
+            );
+            // Partial sums hop between subarrays every reduction
+            // window; inputs hop across sub-banks.
+            let hops = macs / 64 + layer.input_elements() * batch;
+            energy.add(
+                EnergyComponent::Router,
+                energy_params.router_transfer(1, 1) * (hops * 8),
+            );
+            // BCE active power over the compute window.
+            let mode_mw = match mode {
+                BceMode::Conv => energy_params.bce_conv_mode_mw,
+                BceMode::MatMul => energy_params.bce_matmul_mode_mw,
+            };
+            energy.add(
+                EnergyComponent::Bce,
+                energy_params.bce_power_energy(mode_mw, t_compute, mapping.active_subarrays),
+            );
+        } else {
+            // Non-MAC layers: pooling, activations, normalization,
+            // residual adds, softmax — all LUT/BCE element work
+            // spread across every subarray holding data.
+            let ops = layer.element_ops() * batch;
+            if ops > 0 {
+                let active = geom.total_subarrays() as u64;
+                let cycles = ops.div_ceil(active);
+                let t = Cycles::new(cycles).at_ghz(self.clock_ghz());
+                latency.add(Phase::Compute, t);
+                layer_latency += t;
+                let needs_lut = match layer.op() {
+                    LayerOp::Activation(act) => act.needs_lut(),
+                    LayerOp::Pool {
+                        kind: pim_nn::PoolKind::Avg,
+                        ..
+                    } => true,
+                    LayerOp::GlobalAvgPool | LayerOp::LayerNorm => true,
+                    _ => false,
+                };
+                if needs_lut {
+                    energy.add(EnergyComponent::LutAccess, lut_profile.read_energy * ops);
+                }
+                energy.add(EnergyComponent::Bce, Energy::from_pj(ADD_PJ) * ops);
+            }
+        }
+
+        let timing = if layer.is_weight_layer() || layer.element_ops() > 0 {
+            Some(LayerTiming {
+                name: layer.name().to_string(),
+                latency: layer_latency,
+                macs: layer.macs() * batch,
+            })
+        } else {
+            None
+        };
+        LayerContribution {
+            latency,
+            energy,
+            timing,
+        }
+    }
+}
+
+/// One layer's additive share of the run breakdowns, produced
+/// independently per layer and reduced in layer order.
+struct LayerContribution {
+    latency: LatencyBreakdown,
+    energy: EnergyBreakdown,
+    timing: Option<LayerTiming>,
 }
 
 impl InferenceModel for BfreeSimulator {
@@ -125,7 +336,6 @@ impl InferenceModel for BfreeSimulator {
         let batch = batch.max(1) as u64;
         let geom = &self.config.geometry;
         let energy_params = &self.config.energy;
-        let mem = &self.config.memory;
         let lut_profile = self
             .config
             .lut_design
@@ -141,181 +351,30 @@ impl InferenceModel for BfreeSimulator {
         energy.add(EnergyComponent::SubarrayAccess, configuration.energy);
 
         let weight_names: Vec<&str> = network.weight_layers().map(|l| l.name()).collect();
-        let grid_rows = geom.subarrays_per_subbank();
-        let grid_cols = geom.subbanks_per_slice();
-        let mut first_weight_layer = true;
+        let first_weight_index = network.layers().iter().position(|l| l.is_weight_layer());
 
-        for layer in network.layers() {
-            let mut layer_latency = Latency::ZERO;
-            let precision = self.config.precision.layer_precision(layer, &weight_names);
-            let bits = precision.bits() as u64;
-
-            if layer.is_weight_layer() {
-                let mode = if self.config.uses_matmul(layer, batch as usize) {
-                    BceMode::MatMul
-                } else {
-                    BceMode::Conv
-                };
-                let mapping = self.mapper.map_layer_tiled(layer, mode, precision);
-
-                // Phase 1: weights from main memory, once per batch.
-                let weight_bytes = Bytes::new(layer.weight_bytes(precision.bits()));
-                let t_weight = mem.transfer_time(weight_bytes);
-                latency.add(Phase::WeightLoad, t_weight);
-                energy.add(EnergyComponent::Dram, mem.transfer_energy(weight_bytes));
-                // Distributing weights to the subarrays crosses the
-                // slice interconnect once, and the replica broadcast to
-                // all slices rides the ring (Fig. 1(a)); the ring's
-                // bandwidth exceeds DRAM's, so only its energy shows.
-                let lines = weight_bytes.get().div_ceil(64);
-                energy.add(
-                    EnergyComponent::Interconnect,
-                    energy_params.slice_access() * lines,
-                );
-                let (_, ring_energy) = self.config.ring.broadcast(weight_bytes);
-                energy.add(EnergyComponent::Interconnect, ring_energy);
-                layer_latency += t_weight;
-
-                // Phase 2: systolic compute, overlapped with input
-                // streaming.
-                let macs = layer.macs() * batch;
-                let steps = Self::sequential_steps(layer);
-                let efficiency = match mode {
-                    BceMode::Conv => CONV_EFFICIENCY,
-                    BceMode::MatMul => MATMUL_EFFICIENCY,
-                };
-                let compute_cycles =
-                    (macs as f64 / (mapping.macs_per_cycle() * efficiency)).ceil() as u64;
-                let fill = SystolicSchedule::new(grid_rows, grid_cols, 1)
-                    .map(|s| s.fill_steps())
-                    .unwrap_or(0);
-                let t_compute = Cycles::new(compute_cycles + fill * steps).at_ghz(self.clock_ghz());
-
-                // Sequential layers also pay a state-broadcast between
-                // steps (LSTM hidden-state feedback over the slice
-                // interconnect).
-                let t_seq = if steps > 1 {
-                    // Per-step hidden state (output elements / timesteps)
-                    // broadcasts over the slice interconnect.
-                    let state_elements = layer.output_elements() / steps;
-                    let lines = (state_elements * bits / 8).div_ceil(64).max(1);
-                    Latency::from_ns((steps * lines) as f64 * self.config.timing.slice_access_ns)
-                } else {
-                    Latency::ZERO
-                };
-
-                // Input streaming: from DRAM for the first layer and for
-                // batched runs (intermediates live in next-level memory,
-                // Fig. 14); from SRAM otherwise.
-                let input_bytes = Bytes::new(layer.input_elements() * batch * bits / 8);
-                let input_from_dram = first_weight_layer || batch > 1;
-                let t_input = if input_from_dram {
-                    energy.add(EnergyComponent::Dram, mem.transfer_energy(input_bytes));
-                    mem.transfer_time(input_bytes)
-                } else {
-                    Latency::ZERO
-                };
-
-                let t_exec = t_compute.max(t_input) + t_seq;
-                latency.add(Phase::Compute, t_compute + t_seq);
-                latency.add(Phase::InputLoad, t_exec - t_compute - t_seq);
-                layer_latency += t_exec;
-
-                // Phase 3: requantization in place (§V-D: gemmlowp scale
-                // + bias + shift by all hosting subarrays).
-                let outputs = layer.output_elements() * batch;
-                let quant_cycles = (outputs * 3).div_ceil(mapping.active_subarrays.max(1) as u64);
-                let t_quant = Cycles::new(quant_cycles).at_ghz(self.clock_ghz());
-                latency.add(Phase::Quantize, t_quant);
-                layer_latency += t_quant;
-
-                // Writeback: to DRAM when batching, to SRAM rows
-                // otherwise.
-                let output_bytes = Bytes::new(outputs * bits / 8);
-                if batch > 1 {
-                    let t_wb = mem.transfer_time(output_bytes);
-                    latency.add(Phase::Writeback, t_wb);
-                    energy.add(EnergyComponent::Dram, mem.transfer_energy(output_bytes));
-                    layer_latency += t_wb;
-                } else {
-                    let rows = output_bytes.get().div_ceil(geom.row_bytes().get());
-                    energy.add(
-                        EnergyComponent::SubarrayAccess,
-                        energy_params.subarray_row_access() * rows,
-                    );
-                }
-
-                // Energy: subarray weight reads, BCE datapath, partials
-                // in the reduced-cost rows, router hops, BCE mode power.
-                let macs_per_row = match mode {
-                    BceMode::Conv => CONV_MACS_PER_ROW_READ,
-                    BceMode::MatMul => MATMUL_MACS_PER_ROW_READ,
-                };
-                let row_reads = (macs as f64 / macs_per_row).ceil();
-                energy.add(
-                    EnergyComponent::SubarrayAccess,
-                    energy_params.subarray_row_access() * row_reads,
-                );
-                energy.add(
-                    EnergyComponent::Bce,
-                    Energy::from_pj(Self::per_mac_pj(mode, precision)) * macs,
-                );
-                // One partial-product park + fetch in the fast rows per
-                // 64-MAC reduction window.
-                energy.add(
-                    EnergyComponent::LutAccess,
-                    lut_profile.read_energy * ((macs / 64) * 2),
-                );
-                // Partial sums hop between subarrays every reduction
-                // window; inputs hop across sub-banks.
-                let hops = macs / 64 + layer.input_elements() * batch;
-                energy.add(
-                    EnergyComponent::Router,
-                    energy_params.router_transfer(1, 1) * (hops * 8),
-                );
-                // BCE active power over the compute window.
-                let mode_mw = match mode {
-                    BceMode::Conv => energy_params.bce_conv_mode_mw,
-                    BceMode::MatMul => energy_params.bce_matmul_mode_mw,
-                };
-                energy.add(
-                    EnergyComponent::Bce,
-                    energy_params.bce_power_energy(mode_mw, t_compute, mapping.active_subarrays),
-                );
-                first_weight_layer = false;
-            } else {
-                // Non-MAC layers: pooling, activations, normalization,
-                // residual adds, softmax — all LUT/BCE element work
-                // spread across every subarray holding data.
-                let ops = layer.element_ops() * batch;
-                if ops > 0 {
-                    let active = geom.total_subarrays() as u64;
-                    let cycles = ops.div_ceil(active);
-                    let t = Cycles::new(cycles).at_ghz(self.clock_ghz());
-                    latency.add(Phase::Compute, t);
-                    layer_latency += t;
-                    let needs_lut = match layer.op() {
-                        LayerOp::Activation(act) => act.needs_lut(),
-                        LayerOp::Pool {
-                            kind: pim_nn::PoolKind::Avg,
-                            ..
-                        } => true,
-                        LayerOp::GlobalAvgPool | LayerOp::LayerNorm => true,
-                        _ => false,
-                    };
-                    if needs_lut {
-                        energy.add(EnergyComponent::LutAccess, lut_profile.read_energy * ops);
-                    }
-                    energy.add(EnergyComponent::Bce, Energy::from_pj(ADD_PJ) * ops);
-                }
-            }
-
-            if layer.is_weight_layer() || layer.element_ops() > 0 {
-                per_layer.push(LayerTiming {
-                    name: layer.name().to_string(),
-                    latency: layer_latency,
-                    macs: layer.macs() * batch,
-                });
+        // Layers price independently (the subarrays hosting one layer
+        // never see another layer's state), so fan the loop out and
+        // reduce contributions in layer order — the ordered reduction
+        // keeps the summed breakdowns bit-identical however many
+        // workers ran the pricing.
+        let contributions = crate::par::par_map(
+            network.layers().iter().enumerate().collect(),
+            |(index, layer)| {
+                self.price_layer(
+                    layer,
+                    batch,
+                    Some(index) == first_weight_index,
+                    &weight_names,
+                    &lut_profile,
+                )
+            },
+        );
+        for contribution in contributions {
+            latency.merge(&contribution.latency);
+            energy.merge(&contribution.energy);
+            if let Some(timing) = contribution.timing {
+                per_layer.push(timing);
             }
         }
 

@@ -114,7 +114,10 @@ impl FunctionalPipeline {
 
         let mut out = Tensor::zeros(TensorShape::new(vec![m, n]));
         // Process output columns in groups of eight — one BCE tile.
-        for n0 in (0..n).step_by(8) {
+        // Tiles touch disjoint output columns, so they price in
+        // parallel; every value is computed from its own tile alone, so
+        // the result is identical whatever the worker count.
+        let tiles = crate::par::par_map((0..n).step_by(8).collect(), |n0| {
             let width = (n - n0).min(8);
             // Tile rows: row k holds b[k][n0..n0+8].
             let tile: Vec<[i8; 8]> = (0..k)
@@ -128,11 +131,20 @@ impl FunctionalPipeline {
                     })
                 })
                 .collect();
+            let mut values = vec![0f32; m * width];
             for i in 0..m {
                 let stream: Vec<i8> = (0..k).map(|kk| qa.data()[i * k + kk]).collect();
                 let (accs, _) = self.bce.matmul_tile(&stream, &tile);
                 for (j, &acc) in accs.iter().take(width).enumerate() {
-                    out.data_mut()[i * n + n0 + j] = acc as f32 * scale;
+                    values[i * width + j] = acc as f32 * scale;
+                }
+            }
+            (n0, width, values)
+        });
+        for (n0, width, values) in tiles {
+            for i in 0..m {
+                for j in 0..width {
+                    out.data_mut()[i * n + n0 + j] = values[i * width + j];
                 }
             }
         }
@@ -294,8 +306,9 @@ impl FunctionalPipeline {
         let mut out = Tensor::zeros(TensorShape::chw(n_filters, oh, ow));
 
         // One BCE tile per group of eight filters; dequantize each output
-        // channel with its own scale.
-        for f0 in (0..n_filters).step_by(8) {
+        // channel with its own scale. Filter tiles own disjoint output
+        // channels, so they run on the worker pool.
+        let tiles = crate::par::par_map((0..n_filters).step_by(8).collect(), |f0| {
             let width = (n_filters - f0).min(8);
             let tile: Vec<[i8; 8]> = (0..rows)
                 .map(|r| {
@@ -308,14 +321,20 @@ impl FunctionalPipeline {
                     })
                 })
                 .collect();
+            let mut values = vec![0f32; width * cols];
             for col in 0..cols {
                 let stream: Vec<i8> = (0..rows).map(|r| qx.data()[r * cols + col]).collect();
                 let (accs, _) = self.bce.matmul_tile(&stream, &tile);
                 for j in 0..width {
                     let scale = (qp_x.scale() * qp_w.scale(f0 + j)) as f32;
-                    out.data_mut()[(f0 + j) * cols + col] = accs[j] as f32 * scale + bias[f0 + j];
+                    values[j * cols + col] = accs[j] as f32 * scale + bias[f0 + j];
                 }
             }
+            (f0, width, values)
+        });
+        for (f0, width, values) in tiles {
+            let span = &mut out.data_mut()[f0 * cols..(f0 + width) * cols];
+            span.copy_from_slice(&values);
         }
         Ok(out)
     }

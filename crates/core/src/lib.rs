@@ -53,6 +53,7 @@ pub mod flow;
 pub mod functional;
 pub mod interference;
 pub mod mapping;
+pub mod par;
 pub mod precision;
 pub mod storage;
 

@@ -1,0 +1,320 @@
+//! Deterministic scoped-thread parallelism for sweeps and simulations.
+//!
+//! The workspace vendors its third-party crates as minimal offline
+//! stubs, so rayon is not available; this module is the std-only
+//! replacement the experiment sweeps and the layer-pricing loop use.
+//! Three properties drive the design (DESIGN.md §9):
+//!
+//! 1. **Order preservation.** [`par_map`] writes result `i` into slot
+//!    `i`, so the output vector is a pure function of the input vector —
+//!    never of thread scheduling. Reductions downstream happen in input
+//!    order, which keeps floating-point accumulation (and therefore
+//!    every CSV and headline table) bit-identical to the serial path.
+//! 2. **Bounded, scoped threads.** Workers are `std::thread::scope`
+//!    threads that borrow the closure and die before the call returns:
+//!    no global pool, no leaked state between calls, panics from any
+//!    worker propagate to the caller on join.
+//! 3. **Serial fallback.** With one job (or one item) no thread is
+//!    spawned and the closure runs on the caller's stack, so
+//!    `--jobs 1` *is* the serial path, not a one-worker emulation.
+//!
+//! Worker count resolution: [`set_max_jobs`] (the `--jobs` CLI flag)
+//! wins, then the `BFREE_JOBS` environment variable, then
+//! [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide worker-count override; 0 means "not set, auto-detect".
+static MAX_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True on pool worker threads: nested parallel calls run serially
+    /// instead of multiplying thread counts (an outer sweep already
+    /// saturates the machine, and the serial path is bit-identical).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Forces the worker count for all subsequent parallel calls
+/// (`experiments --jobs N`). Zero restores auto-detection.
+pub fn set_max_jobs(jobs: usize) {
+    MAX_JOBS.store(jobs, Ordering::SeqCst);
+}
+
+/// The worker count parallel calls will use: [`set_max_jobs`] override,
+/// else the `BFREE_JOBS` environment variable, else
+/// [`std::thread::available_parallelism`] (1 if undetectable).
+pub fn max_jobs() -> usize {
+    let forced = MAX_JOBS.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var("BFREE_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Locks a mutex, recovering the guard if a sibling worker panicked
+/// while holding it. The slot protocol below never leaves a slot
+/// half-written (the lock covers a single assignment), so a poisoned
+/// lock still guards a consistent value.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Maps `f` over `items` on up to [`max_jobs`] worker threads,
+/// returning results **in input order**.
+///
+/// Work is distributed by an atomic index counter (work stealing at
+/// item granularity), so uneven item costs balance across workers; the
+/// output position of each result is fixed by its input position, so
+/// the returned vector is identical to `items.into_iter().map(f)`
+/// regardless of scheduling.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f` once all workers have
+/// been joined.
+///
+/// ```
+/// let squares = bfree::par::par_map(vec![1u64, 2, 3, 4], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    par_map_jobs(max_jobs(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (1 runs serially on the
+/// caller's stack).
+pub fn par_map_jobs<T, U, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n);
+    if jobs <= 1 || IN_WORKER.with(Cell::get) {
+        return items.into_iter().map(f).collect();
+    }
+
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                IN_WORKER.with(|flag| flag.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // Each index is claimed exactly once, so the input
+                    // slot is always still populated for its claimant.
+                    let item = match lock_unpoisoned(&inputs[i]).take() {
+                        Some(item) => item,
+                        None => break,
+                    };
+                    let result = f(item);
+                    *lock_unpoisoned(&outputs[i]) = Some(result);
+                }
+            });
+        }
+    });
+
+    outputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| match lock_unpoisoned(&slot).take() {
+            Some(result) => result,
+            // Unreachable: the scope joins every worker, and a worker
+            // that claimed index i either filled slot i or panicked —
+            // and a worker panic propagates out of the scope above.
+            None => unreachable!("parallel map slot {i} left unfilled"),
+        })
+        .collect()
+}
+
+/// Maps a fallible `f` over `items` in parallel, returning all results
+/// in input order or the error of the **lowest-indexed** failing item.
+///
+/// Error selection is by input position, not completion time, so which
+/// error surfaces is as deterministic as the results themselves.
+pub fn try_par_map<T, U, E, F>(items: Vec<T>, f: F) -> Result<Vec<U>, E>
+where
+    T: Send,
+    U: Send,
+    E: Send,
+    F: Fn(T) -> Result<U, E> + Sync,
+{
+    par_map(items, f).into_iter().collect()
+}
+
+/// Runs `f` over `items` in parallel for its side effects (each item
+/// observed exactly once; no ordering guarantee *between* items while
+/// running, which is why `f` takes items by value).
+pub fn par_for_each<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    par_map(items, f);
+}
+
+/// Runs two independent closures, in parallel when more than one job is
+/// available, and returns both results as `(a(), b())`.
+///
+/// # Panics
+///
+/// Propagates a panic from either closure.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if max_jobs() <= 1 || IN_WORKER.with(Cell::get) {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            IN_WORKER.with(|flag| flag.set(true));
+            b()
+        });
+        let ra = a();
+        let rb = match handle.join() {
+            Ok(rb) => rb,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_at_every_job_count() {
+        let input: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [1, 2, 3, 4, 8, 16, 64] {
+            let got = par_map_jobs(jobs, input.clone(), |x| x * 3 + 1);
+            assert_eq!(got, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton() {
+        assert_eq!(par_map_jobs(8, Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map_jobs(8, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_matches_serial_map_bit_for_bit_on_floats() {
+        // The determinism contract: identical f64 bit patterns whether
+        // one thread or many ran the map.
+        let input: Vec<f64> = (1..100).map(|i| i as f64 * 0.37).collect();
+        let f = |x: f64| (x.sin() * 1e6).exp().ln() / 3.0;
+        let serial: Vec<u64> = input.iter().map(|&x| f(x).to_bits()).collect();
+        let parallel: Vec<u64> = par_map_jobs(8, input, f)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn try_par_map_reports_lowest_index_error() {
+        let items: Vec<u32> = (0..64).collect();
+        let result: Result<Vec<u32>, u32> =
+            try_par_map(items, |x| if x % 7 == 3 { Err(x) } else { Ok(x) });
+        // 3 is the lowest index failing x % 7 == 3, however threads race.
+        assert_eq!(result, Err(3));
+    }
+
+    #[test]
+    fn try_par_map_collects_all_successes() {
+        let items: Vec<u32> = (0..64).collect();
+        let result: Result<Vec<u32>, ()> = try_par_map(items.clone(), Ok);
+        assert_eq!(result, Ok(items));
+    }
+
+    #[test]
+    fn par_for_each_observes_every_item_once() {
+        use std::sync::atomic::AtomicU64;
+        let sum = AtomicU64::new(0);
+        let count = AtomicU64::new(0);
+        par_for_each((1..=100u64).collect(), |x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_jobs(4, vec![1u32, 2, 3], |x| {
+                if x == 2 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_serially_and_stay_correct() {
+        let outer: Vec<u64> = (0..8).collect();
+        let got = par_map_jobs(4, outer, |i| {
+            // Inside a worker the nested call must not spawn more
+            // threads, and must still return ordered results.
+            let inner = par_map_jobs(4, (0..16u64).collect(), move |j| i * 100 + j);
+            inner.iter().sum::<u64>()
+        });
+        let expected: Vec<u64> = (0..8u64)
+            .map(|i| (0..16).map(|j| i * 100 + j).sum())
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn jobs_env_and_override_resolution() {
+        // set_max_jobs wins over everything; 0 restores auto-detect.
+        set_max_jobs(3);
+        assert_eq!(max_jobs(), 3);
+        set_max_jobs(0);
+        assert!(max_jobs() >= 1);
+    }
+}

@@ -139,6 +139,8 @@ impl WeightStore {
                     if out.len() >= self.weight_len {
                         break 'drain;
                     }
+                    // Invariant: the loop bounds mirror `place`'s write
+                    // loop, so every coordinate read here was written.
                     let bytes = sa
                         .read_row(partition, row)
                         .expect("placement wrote only valid coordinates");

@@ -9,6 +9,8 @@ use pim_bce::{Bce, BceCostModel, MulPath};
 use pim_lut::LutMultiplier;
 use pim_systolic::SystolicSchedule;
 
+use crate::error::ExperimentError;
+
 /// Result of the multiply-path ablation: energy per int8 MAC through
 /// each datapath.
 #[derive(Debug, Clone)]
@@ -35,6 +37,8 @@ pub fn mul_path() -> MulPathAblation {
     let x: Vec<i8> = (0..4096).map(|_| next()).collect();
 
     let price = |path: MulPath| {
+        // Invariant: `Bce::with_mul_path` only fails on a malformed LUT
+        // image, and both paths here use the built-in default tables.
         let bce = Bce::with_mul_path(BceMode::Conv, path).expect("default tables valid");
         let (_, stats) = bce.dot_conv(&w, &x, Precision::Int8);
         model.stats_energy(&stats).picojoules() / stats.macs as f64
@@ -102,6 +106,8 @@ pub fn dataflow() -> DataflowAblation {
     let mut systolic = Vec::new();
     let mut sequential = Vec::new();
     for &w in &waves {
+        // Invariant: `SystolicSchedule::new` only rejects zero
+        // dimensions; the 8 x 40 grid here is a compile-time constant.
         let s = SystolicSchedule::new(8, 40, w).expect("non-zero dims");
         systolic.push(s.total_steps());
         sequential.push(s.sequential_steps());
@@ -132,28 +138,32 @@ pub fn conv_dataflow() -> PairAblation {
             .total_latency()
             .milliseconds()
     };
+    let (direct, im2col) =
+        bfree::par::join(|| run(ConvDataflow::Direct), || run(ConvDataflow::Im2col));
     PairAblation {
-        first: ("direct conv".to_string(), run(ConvDataflow::Direct)),
-        second: ("im2col matmul".to_string(), run(ConvDataflow::Im2col)),
+        first: ("direct conv".to_string(), direct),
+        second: ("im2col matmul".to_string(), im2col),
     }
 }
 
 /// LSTM versus its GRU variant on BFree (per-inference latency).
 pub fn lstm_vs_gru() -> PairAblation {
     let sim = BfreeSimulator::new(BfreeConfig::paper_default());
-    PairAblation {
-        first: (
-            "LSTM-1024".to_string(),
+    let (lstm, gru) = bfree::par::join(
+        || {
             sim.run(&networks::lstm_timit(), 1)
                 .total_latency()
-                .milliseconds(),
-        ),
-        second: (
-            "GRU-1024".to_string(),
+                .milliseconds()
+        },
+        || {
             sim.run(&networks::gru_timit(), 1)
                 .total_latency()
-                .milliseconds(),
-        ),
+                .milliseconds()
+        },
+    );
+    PairAblation {
+        first: ("LSTM-1024".to_string(), lstm),
+        second: ("GRU-1024".to_string(), gru),
     }
 }
 
@@ -165,39 +175,38 @@ pub struct LutRowAblation {
     pub rows: Vec<(String, f64, f64)>,
 }
 
-/// Runs Inception-v3 in conv mode under each LUT-row design.
+/// Runs Inception-v3 in conv mode under each LUT-row design. The three
+/// designs are independent simulations, so they fan out on the
+/// `bfree::par` pool; row order matches `LutRowDesign::ALL`.
 pub fn lut_rows() -> LutRowAblation {
     let net = networks::inception_v3();
-    let rows = pim_arch::LutRowDesign::ALL
-        .iter()
-        .map(|&design| {
-            let config = BfreeConfig {
-                lut_design: design,
-                ..BfreeConfig::paper_default().with_conv_dataflow(ConvDataflow::Direct)
-            };
-            let report = BfreeSimulator::new(config).run(&net, 1);
-            (
-                design.name().to_string(),
-                report.total_energy().millijoules(),
-                report.energy.get(EnergyComponent::LutAccess).millijoules(),
-            )
-        })
-        .collect();
+    let rows = bfree::par::par_map(pim_arch::LutRowDesign::ALL.to_vec(), |design| {
+        let config = BfreeConfig {
+            lut_design: design,
+            ..BfreeConfig::paper_default().with_conv_dataflow(ConvDataflow::Direct)
+        };
+        let report = BfreeSimulator::new(config).run(&net, 1);
+        (
+            design.name().to_string(),
+            report.total_energy().millijoules(),
+            report.energy.get(EnergyComponent::LutAccess).millijoules(),
+        )
+    });
     LutRowAblation { rows }
 }
 
-/// Batch-scaling curve for BERT-base: per-inference latency.
+/// Batch-scaling curve for BERT-base: per-inference latency. The six
+/// batch points fan out on the `bfree::par` pool in ascending order.
 pub fn batch_sweep() -> Vec<(usize, f64)> {
     let sim = BfreeSimulator::new(BfreeConfig::paper_default());
     let net = networks::bert_base();
-    [1usize, 2, 4, 8, 16, 32]
-        .iter()
-        .map(|&b| (b, sim.run(&net, b).per_inference_latency().milliseconds()))
-        .collect()
+    bfree::par::par_map(vec![1usize, 2, 4, 8, 16, 32], |b| {
+        (b, sim.run(&net, b).per_inference_latency().milliseconds())
+    })
 }
 
 /// Prints all ablations.
-pub fn print() {
+pub fn print() -> Result<(), ExperimentError> {
     let mp = mul_path();
     println!("\n== Ablation: multiply path (pJ per int8 MAC, incl. weight reads) ==");
     println!(
@@ -280,4 +289,5 @@ pub fn print() {
     for (b, ms) in batch_sweep() {
         println!("{:>7} {:>16.3}", b, ms);
     }
+    Ok(())
 }

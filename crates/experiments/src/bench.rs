@@ -1,0 +1,149 @@
+//! `experiments bench`: wall-clock timing of the swept experiments,
+//! serial (`jobs = 1`) versus parallel (all detected cores), written as
+//! `BENCH_experiments.json`.
+//!
+//! The sweeps are milliseconds long, so each unit is timed over many
+//! iterations and the *best* per-iteration time is reported — the
+//! standard defense against scheduler noise on shared machines. The
+//! JSON is hand-rolled (the vendored serde is a no-op stub) and carries
+//! no timestamps, so reruns on the same machine diff cleanly.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use crate::error::ExperimentError;
+
+/// One timed experiment unit.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Unit name (CLI subcommand it corresponds to).
+    pub name: &'static str,
+    /// Iterations timed per configuration.
+    pub iters: u32,
+    /// Best per-iteration wall-clock, serial path, milliseconds.
+    pub serial_ms: f64,
+    /// Best per-iteration wall-clock, parallel path, milliseconds.
+    pub parallel_ms: f64,
+}
+
+impl BenchRow {
+    /// serial / parallel.
+    pub fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms
+    }
+}
+
+/// Best-of-`iters` wall-clock for one closure, in milliseconds.
+fn best_ms<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Times one unit under `jobs = 1` and `jobs = cores`, restoring the
+/// caller's override afterwards.
+fn time_unit<F: FnMut()>(name: &'static str, iters: u32, jobs: usize, mut f: F) -> BenchRow {
+    bfree::par::set_max_jobs(1);
+    let serial_ms = best_ms(iters, &mut f);
+    bfree::par::set_max_jobs(jobs);
+    let parallel_ms = best_ms(iters, &mut f);
+    BenchRow {
+        name,
+        iters,
+        serial_ms,
+        parallel_ms,
+    }
+}
+
+/// Runs the benchmark and writes `path`.
+///
+/// `quick` trims the iteration counts for CI; the unit set is the same.
+///
+/// # Errors
+///
+/// Propagates experiment failures and the final file write.
+pub fn run(path: &Path, quick: bool) -> Result<(), ExperimentError> {
+    let saved = bfree::par::max_jobs();
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let iters: u32 = if quick { 3 } else { 10 };
+
+    // Probe the fallible sweeps once up front so a failure surfaces as
+    // an ExperimentError before any timing runs.
+    crate::table3::run()?;
+    crate::serving::run()?;
+
+    let rows = vec![
+        time_unit("fig12", iters, jobs, || {
+            crate::fig12::run();
+        }),
+        time_unit("fig13", iters, jobs, || {
+            crate::fig13::run();
+        }),
+        time_unit("fig14", iters, jobs, || {
+            crate::fig14::run();
+        }),
+        time_unit("table3", iters, jobs, || {
+            let _ = crate::table3::run();
+        }),
+        time_unit("headline", iters, jobs, || {
+            crate::headline::run();
+        }),
+        time_unit("ablations_lut_rows", iters, jobs, || {
+            crate::ablations::lut_rows();
+        }),
+        time_unit("ablations_batch_sweep", iters, jobs, || {
+            crate::ablations::batch_sweep();
+        }),
+        time_unit("extensions", iters, jobs, || {
+            crate::extensions::run();
+        }),
+        time_unit("serving", iters, jobs, || {
+            let _ = crate::serving::run();
+        }),
+    ];
+    bfree::par::set_max_jobs(saved);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"iters_per_unit\": {iters},");
+    json.push_str("  \"units\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"serial_ms\": {:.4}, \"parallel_ms\": {:.4}, \
+             \"speedup\": {:.3}}}",
+            row.name,
+            row.serial_ms,
+            row.parallel_ms,
+            row.speedup()
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, &json)?;
+
+    println!("== experiments bench: serial vs parallel ({jobs} jobs) ==");
+    println!(
+        "{:<24} {:>12} {:>12} {:>9}",
+        "unit", "serial ms", "parallel ms", "speedup"
+    );
+    for row in &rows {
+        println!(
+            "{:<24} {:>12.3} {:>12.3} {:>8.2}x",
+            row.name,
+            row.serial_ms,
+            row.parallel_ms,
+            row.speedup()
+        );
+    }
+    println!("wrote {}", path.display());
+    Ok(())
+}

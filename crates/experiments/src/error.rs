@@ -23,6 +23,9 @@ pub enum ExperimentError {
     Serve(ServeError),
     /// A filesystem error while writing results.
     Io(io::Error),
+    /// An experiment's own sweep output lacked a row it promised
+    /// (internal inconsistency surfaced as an error, not a panic).
+    MissingData(String),
 }
 
 impl fmt::Display for ExperimentError {
@@ -31,6 +34,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::UnknownNetwork(e) => write!(f, "{e}"),
             ExperimentError::Serve(e) => write!(f, "serving experiment: {e}"),
             ExperimentError::Io(e) => write!(f, "writing results: {e}"),
+            ExperimentError::MissingData(what) => write!(f, "missing experiment data: {what}"),
         }
     }
 }
@@ -41,6 +45,7 @@ impl Error for ExperimentError {
             ExperimentError::UnknownNetwork(e) => Some(e),
             ExperimentError::Serve(e) => Some(e),
             ExperimentError::Io(e) => Some(e),
+            ExperimentError::MissingData(_) => None,
         }
     }
 }

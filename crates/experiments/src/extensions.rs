@@ -6,6 +6,8 @@
 use bfree::prelude::*;
 use pim_nn::Network;
 
+use crate::error::ExperimentError;
+
 /// One extension row: per-inference latency on every device.
 #[derive(Debug, Clone)]
 pub struct ExtensionRow {
@@ -24,7 +26,9 @@ impl ExtensionRow {
     }
 }
 
-/// Runs the extension networks across all device models.
+/// Runs the extension networks across all device models. The four
+/// (network, batch) rows are independent, so they fan out on the
+/// `bfree::par` pool; row order matches the serial nesting.
 pub fn run() -> Vec<ExtensionRow> {
     let bfree = BfreeSimulator::new(BfreeConfig::paper_default());
     let nc = NeuralCacheModel::paper_default();
@@ -33,30 +37,35 @@ pub fn run() -> Vec<ExtensionRow> {
     let gpu = GpuModel::paper_titan_v();
     let nets: [Network; 2] = [networks::resnet18(), networks::gru_timit()];
 
-    let mut rows = Vec::new();
+    let mut sweep = Vec::new();
     for net in &nets {
         for batch in [1usize, 16] {
-            rows.push(ExtensionRow {
-                network: net.name().to_string(),
-                batch,
-                latency_ms: (
-                    bfree.run(net, batch).per_inference_latency().milliseconds(),
-                    nc.run(net, batch).per_inference_latency().milliseconds(),
-                    eyeriss
-                        .run(net, batch)
-                        .per_inference_latency()
-                        .milliseconds(),
-                    cpu.run(net, batch).per_inference_latency().milliseconds(),
-                    gpu.run(net, batch).per_inference_latency().milliseconds(),
-                ),
-            });
+            sweep.push((net, batch));
         }
     }
-    rows
+    bfree::par::par_map(sweep, |(net, batch)| ExtensionRow {
+        network: net.name().to_string(),
+        batch,
+        latency_ms: (
+            bfree.run(net, batch).per_inference_latency().milliseconds(),
+            nc.run(net, batch).per_inference_latency().milliseconds(),
+            eyeriss
+                .run(net, batch)
+                .per_inference_latency()
+                .milliseconds(),
+            cpu.run(net, batch).per_inference_latency().milliseconds(),
+            gpu.run(net, batch).per_inference_latency().milliseconds(),
+        ),
+    })
 }
 
 /// Prints the experiment.
-pub fn print() {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::MissingData`] if the sweep lacks the
+/// batch-1 rows the closing line quotes.
+pub fn print() -> Result<(), ExperimentError> {
     let rows = run();
     println!("\n== Extension workloads (per-inference ms) ==");
     println!(
@@ -75,10 +84,16 @@ pub fn print() {
             row.latency_ms.4
         );
     }
+    let batch1 = |name: &str| {
+        rows.iter()
+            .find(|r| r.network == name && r.batch == 1)
+            .ok_or_else(|| ExperimentError::MissingData(format!("extension row {name} batch 1")))
+    };
     println!(
         "  BFree keeps its Neural Cache advantage off the paper's workload set: \
          {:.2}x (ResNet-18 b1), {:.2}x (GRU b1)",
-        rows[0].vs_neural_cache(),
-        rows[2].vs_neural_cache()
+        batch1("ResNet-18")?.vs_neural_cache(),
+        batch1("GRU")?.vs_neural_cache()
     );
+    Ok(())
 }

@@ -9,6 +9,7 @@ use bfree::prelude::*;
 use pim_arch::EnergyComponent;
 use pim_baselines::RunReport;
 
+use crate::error::ExperimentError;
 use crate::Comparison;
 
 /// Result of the Fig. 12 experiments.
@@ -44,8 +45,8 @@ pub fn run() -> Fig12 {
     let bfree_sim =
         BfreeSimulator::new(BfreeConfig::paper_default().with_conv_dataflow(ConvDataflow::Direct));
     let nc = NeuralCacheModel::paper_default();
-    let bfree = bfree_sim.run(&net, 1);
-    let neural_cache = nc.run(&net, 1);
+    // The two device models are independent; run them side by side.
+    let (bfree, neural_cache) = bfree::par::join(|| bfree_sim.run(&net, 1), || nc.run(&net, 1));
 
     let module_time = |report: &RunReport, module: &str| -> f64 {
         report
@@ -125,7 +126,7 @@ pub fn comparisons(result: &Fig12) -> Vec<Comparison> {
 }
 
 /// Prints the experiment.
-pub fn print() {
+pub fn print() -> Result<(), ExperimentError> {
     let result = run();
     println!("\n== Fig. 12(a): Inception-v3 layer-wise runtime (us) ==");
     println!(
@@ -170,4 +171,5 @@ pub fn print() {
         }
     }
     crate::print_comparisons("Fig. 12 headline vs paper", &comparisons(&result));
+    Ok(())
 }

@@ -6,6 +6,7 @@
 use bfree::prelude::*;
 use pim_baselines::RunReport;
 
+use crate::error::ExperimentError;
 use crate::Comparison;
 
 /// Result of the Fig. 13 experiment.
@@ -27,8 +28,8 @@ pub fn run() -> Fig13 {
     let bfree_sim =
         BfreeSimulator::new(BfreeConfig::single_slice().with_conv_dataflow(ConvDataflow::Im2col));
     let eyeriss = EyerissModel::paper_default();
-    let ours = bfree_sim.run(&net, 1);
-    let theirs = eyeriss.run(&net, 1);
+    // The two device models are independent; run them side by side.
+    let (ours, theirs) = bfree::par::join(|| bfree_sim.run(&net, 1), || eyeriss.run(&net, 1));
 
     // Fig. 13 compares computation cycles, so strip the memory phases:
     // take per-layer times minus each model's weight/input shares by
@@ -78,7 +79,7 @@ pub fn comparisons(result: &Fig13) -> Vec<Comparison> {
 }
 
 /// Prints the experiment.
-pub fn print() {
+pub fn print() -> Result<(), ExperimentError> {
     let result = run();
     println!("\n== Fig. 13: VGG-16 computation time per layer (us, one slice) ==");
     println!(
@@ -99,4 +100,5 @@ pub fn print() {
         result.bfree.latency.fraction(Phase::Compute) * 100.0
     );
     crate::print_comparisons("Fig. 13 vs paper", &comparisons(&result));
+    Ok(())
 }

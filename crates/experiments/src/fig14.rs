@@ -4,6 +4,7 @@
 
 use bfree::prelude::*;
 
+use crate::error::ExperimentError;
 use crate::Comparison;
 
 /// One sweep point.
@@ -30,49 +31,74 @@ pub struct Fig14 {
 
 impl Fig14 {
     /// Finds a sweep point.
-    pub fn point(&self, memory: MemoryTechKind, batch: usize, mixed: bool) -> &Fig14Point {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::MissingData`] when the sweep does not
+    /// contain the requested combination (a partial sweep, for
+    /// instance), instead of panicking.
+    pub fn point(
+        &self,
+        memory: MemoryTechKind,
+        batch: usize,
+        mixed: bool,
+    ) -> Result<&Fig14Point, ExperimentError> {
         self.points
             .iter()
             .find(|p| p.memory == memory && p.batch == batch && p.mixed == mixed)
-            .expect("full sweep was run")
+            .ok_or_else(|| {
+                ExperimentError::MissingData(format!(
+                    "fig14 sweep point ({}, batch {batch}, mixed {mixed})",
+                    memory.name()
+                ))
+            })
     }
 }
 
-/// Runs the sweep.
+/// Runs the sweep. The twelve (memory, batch, precision) points are
+/// independent simulations, so they fan out on the `bfree::par` pool;
+/// results land in sweep order regardless of scheduling.
 pub fn run() -> Fig14 {
     let net = networks::vgg16();
-    let mut points = Vec::new();
+    let mut sweep = Vec::new();
     for memory in MemoryTechKind::ALL {
         for batch in [1usize, 16] {
             for mixed in [false, true] {
-                let mut config =
-                    BfreeConfig::paper_default().with_memory(MemoryTech::from_kind(memory));
-                if mixed {
-                    config = config.with_precision(PrecisionPolicy::mixed());
-                }
-                let report = BfreeSimulator::new(config).run(&net, batch);
-                let load = report.latency.fraction(Phase::WeightLoad)
-                    + report.latency.fraction(Phase::InputLoad)
-                    + report.latency.fraction(Phase::Writeback);
-                points.push(Fig14Point {
-                    memory,
-                    batch,
-                    mixed,
-                    latency_ms: report.per_inference_latency().milliseconds(),
-                    load_fraction: load,
-                });
+                sweep.push((memory, batch, mixed));
             }
         }
     }
+    let points = bfree::par::par_map(sweep, |(memory, batch, mixed)| {
+        let mut config = BfreeConfig::paper_default().with_memory(MemoryTech::from_kind(memory));
+        if mixed {
+            config = config.with_precision(PrecisionPolicy::mixed());
+        }
+        let report = BfreeSimulator::new(config).run(&net, batch);
+        let load = report.latency.fraction(Phase::WeightLoad)
+            + report.latency.fraction(Phase::InputLoad)
+            + report.latency.fraction(Phase::Writeback);
+        Fig14Point {
+            memory,
+            batch,
+            mixed,
+            latency_ms: report.per_inference_latency().milliseconds(),
+            load_fraction: load,
+        }
+    });
     Fig14 { points }
 }
 
 /// Comparison rows for the paper's qualitative claims.
-pub fn comparisons(result: &Fig14) -> Vec<Comparison> {
-    let dram8 = result.point(MemoryTechKind::Dram, 1, false).latency_ms;
-    let dram4 = result.point(MemoryTechKind::Dram, 1, true).latency_ms;
-    let hbm16 = result.point(MemoryTechKind::Hbm, 16, false);
-    vec![
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::MissingData`] if `result` lacks a sweep
+/// point the claims reference.
+pub fn comparisons(result: &Fig14) -> Result<Vec<Comparison>, ExperimentError> {
+    let dram8 = result.point(MemoryTechKind::Dram, 1, false)?.latency_ms;
+    let dram4 = result.point(MemoryTechKind::Dram, 1, true)?.latency_ms;
+    let hbm16 = result.point(MemoryTechKind::Hbm, 16, false)?;
+    Ok(vec![
         // "Varied bit-precision ... reduces the 50% of execution time
         // compared to the 8-bit precision."
         Comparison::new(
@@ -89,11 +115,15 @@ pub fn comparisons(result: &Fig14) -> Vec<Comparison> {
             hbm16.load_fraction,
             "frac",
         ),
-    ]
+    ])
 }
 
 /// Prints the experiment.
-pub fn print() {
+///
+/// # Errors
+///
+/// Propagates [`comparisons`]' errors.
+pub fn print() -> Result<(), ExperimentError> {
     let result = run();
     println!("\n== Fig. 14: VGG-16 latency vs memory bandwidth ==");
     println!(
@@ -110,13 +140,14 @@ pub fn print() {
             p.load_fraction * 100.0
         );
     }
-    crate::print_comparisons("Fig. 14 vs paper", &comparisons(&result));
-    let hbm = result.point(MemoryTechKind::Hbm, 16, false);
-    let dram = result.point(MemoryTechKind::Dram, 16, false);
+    crate::print_comparisons("Fig. 14 vs paper", &comparisons(&result)?);
+    let hbm = result.point(MemoryTechKind::Hbm, 16, false)?;
+    let dram = result.point(MemoryTechKind::Dram, 16, false)?;
     println!(
         "  batch-16 load share: DRAM {:.0}% vs HBM {:.0}% (paper: eDRAM still \
          load-bound, HBM 'highly efficient')",
         dram.load_fraction * 100.0,
         hbm.load_fraction * 100.0
     );
+    Ok(())
 }

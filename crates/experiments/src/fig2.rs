@@ -5,6 +5,7 @@
 
 use pim_arch::{EnergyParams, TimingParams};
 
+use crate::error::ExperimentError;
 use crate::Comparison;
 
 /// Result of the Fig. 2 experiment.
@@ -73,7 +74,7 @@ pub fn comparisons(result: &Fig2) -> Vec<Comparison> {
 }
 
 /// Prints the experiment.
-pub fn print() {
+pub fn print() -> Result<(), ExperimentError> {
     let result = run();
     crate::print_comparisons("Fig. 2: slice access breakdown", &comparisons(&result));
     println!(
@@ -82,4 +83,5 @@ pub fn print() {
         result.slice_access_pj,
         result.slice_access_ns * result.latency_fractions.1
     );
+    Ok(())
 }

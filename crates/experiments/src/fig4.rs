@@ -5,6 +5,7 @@
 
 use pim_arch::{EnergyParams, LutRowDesign, LutRowProfile, TimingParams};
 
+use crate::error::ExperimentError;
 use crate::Comparison;
 
 /// Result of the Fig. 4 experiment.
@@ -65,7 +66,7 @@ pub fn comparisons(result: &Fig4) -> Vec<Comparison> {
 }
 
 /// Prints the experiment.
-pub fn print() {
+pub fn print() -> Result<(), ExperimentError> {
     let result = run();
     println!("\n== Fig. 4(c): LUT-row design space ==");
     println!(
@@ -82,4 +83,5 @@ pub fn print() {
         );
     }
     crate::print_comparisons("Fig. 4(c) vs paper", &comparisons(&result));
+    Ok(())
 }

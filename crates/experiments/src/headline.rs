@@ -16,29 +16,28 @@ pub struct CnnComparison {
     pub gains: (f64, f64, f64, f64),
 }
 
-/// Runs Inception-v3 and VGG-16 at batch 16 against CPU and GPU.
+/// Runs Inception-v3 and VGG-16 at batch 16 against CPU and GPU. The
+/// two networks are independent, so they fan out on the `bfree::par`
+/// pool; the result order matches the input order.
 pub fn run() -> Vec<CnnComparison> {
     let bfree = BfreeSimulator::new(BfreeConfig::paper_default());
     let cpu = CpuModel::paper_xeon();
     let gpu = GpuModel::paper_titan_v();
-    [networks::inception_v3(), networks::vgg16()]
-        .into_iter()
-        .map(|net| {
-            let b = bfree.run(&net, 16);
-            let c = cpu.run(&net, 16);
-            let g = gpu.run(&net, 16);
-            CnnComparison {
-                network: net.name().to_string(),
-                batch: 16,
-                gains: (
-                    b.speedup_over(&c),
-                    b.speedup_over(&g),
-                    b.energy_gain_over(&c),
-                    b.energy_gain_over(&g),
-                ),
-            }
-        })
-        .collect()
+    bfree::par::par_map(vec![networks::inception_v3(), networks::vgg16()], |net| {
+        let b = bfree.run(&net, 16);
+        let c = cpu.run(&net, 16);
+        let g = gpu.run(&net, 16);
+        CnnComparison {
+            network: net.name().to_string(),
+            batch: 16,
+            gains: (
+                b.speedup_over(&c),
+                b.speedup_over(&g),
+                b.energy_gain_over(&c),
+                b.energy_gain_over(&g),
+            ),
+        }
+    })
 }
 
 /// Comparison rows against §V-D.
@@ -104,7 +103,9 @@ pub fn print() -> Result<(), crate::ExperimentError> {
     let bert16 = table3
         .iter()
         .find(|r| r.network == "BERT-base" && r.batch == 16)
-        .expect("table3 covers bert-base b16");
+        .ok_or_else(|| {
+            crate::ExperimentError::MissingData("table3 row BERT-base batch 16".to_string())
+        })?;
     println!(
         "  BERT-base b16: {:.0}x / {:.1}x faster, {:.0}x / {:.1}x less energy than CPU / GPU \
          (paper 101x / 3x, 91x / 11x)",

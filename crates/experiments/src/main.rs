@@ -4,7 +4,7 @@
 use bfree_experiments as exp;
 
 const USAGE: &str = "\
-usage: experiments <name>
+usage: experiments [--jobs N] <name>
 
   fig2       slice access latency/energy breakdown
   fig4       LUT-row design space (standalone / shared / decoupled)
@@ -21,6 +21,12 @@ usage: experiments <name>
   serving    multi-tenant serving load sweep (writes results/serving_load_sweep.csv)
   all        everything above, in paper order
   csv [dir]  write every figure's data series as CSV (default: results/)
+  bench [--quick] [path]
+             time the swept experiments serial vs parallel and write
+             BENCH_experiments.json (default path)
+
+  --jobs N   cap the worker pool (default: BFREE_JOBS or all cores;
+             1 forces the serial path — output is identical either way)
 ";
 
 /// Unwraps an experiment result, exiting with context on failure.
@@ -32,23 +38,40 @@ fn check(result: Result<(), exp::ExperimentError>) {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--jobs N` may appear anywhere; strip it before dispatch.
+    if let Some(i) = args.iter().position(|a| a == "--jobs" || a == "-j") {
+        if i + 1 >= args.len() {
+            eprintln!("--jobs requires a value\n{USAGE}");
+            std::process::exit(2);
+        }
+        match args[i + 1].parse::<usize>() {
+            Ok(n) if n >= 1 => bfree::par::set_max_jobs(n),
+            _ => {
+                eprintln!("--jobs expects a positive integer, got '{}'", args[i + 1]);
+                std::process::exit(2);
+            }
+        }
+        args.drain(i..=i + 1);
+    }
+    let arg = args.first().cloned().unwrap_or_else(|| "all".to_string());
     match arg.as_str() {
-        "fig2" => exp::fig2::print(),
-        "fig4" => exp::fig4::print(),
-        "table2" => exp::table2::print(),
-        "fig12" | "fig12a" | "fig12bc" | "fig12d" => exp::fig12::print(),
-        "fig13" => exp::fig13::print(),
-        "fig14" => exp::fig14::print(),
+        "fig2" => check(exp::fig2::print()),
+        "fig4" => check(exp::fig4::print()),
+        "table2" => check(exp::table2::print()),
+        "fig12" | "fig12a" | "fig12bc" | "fig12d" => check(exp::fig12::print()),
+        "fig13" => check(exp::fig13::print()),
+        "fig14" => check(exp::fig14::print()),
         "table3" => check(exp::table3::print()),
         "cpu_gpu" | "headline" => check(exp::headline::print()),
-        "overheads" | "area" | "bce_power" => exp::overheads::print(),
-        "ablations" => exp::ablations::print(),
-        "extensions" => exp::extensions::print(),
+        "overheads" | "area" | "bce_power" => check(exp::overheads::print()),
+        "ablations" => check(exp::ablations::print()),
+        "extensions" => check(exp::extensions::print()),
         "serving" => check(exp::serving::print()),
         "csv" => {
-            let dir = std::env::args()
-                .nth(2)
+            let dir = args
+                .get(1)
+                .cloned()
                 .unwrap_or_else(|| "results".to_string());
             match exp::csv::write_all(std::path::Path::new(&dir)) {
                 Ok(files) => {
@@ -62,18 +85,28 @@ fn main() {
                 }
             }
         }
+        "bench" => {
+            let quick = args.iter().any(|a| a == "--quick");
+            let path = args
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with('-'))
+                .cloned()
+                .unwrap_or_else(|| "BENCH_experiments.json".to_string());
+            check(exp::bench::run(std::path::Path::new(&path), quick));
+        }
         "all" => {
-            exp::fig2::print();
-            exp::fig4::print();
-            exp::table2::print();
-            exp::fig12::print();
-            exp::fig13::print();
-            exp::fig14::print();
+            check(exp::fig2::print());
+            check(exp::fig4::print());
+            check(exp::table2::print());
+            check(exp::fig12::print());
+            check(exp::fig13::print());
+            check(exp::fig14::print());
             check(exp::table3::print());
             check(exp::headline::print());
-            exp::overheads::print();
-            exp::ablations::print();
-            exp::extensions::print();
+            check(exp::overheads::print());
+            check(exp::ablations::print());
+            check(exp::extensions::print());
             check(exp::serving::print());
         }
         "-h" | "--help" | "help" => print!("{USAGE}"),

@@ -5,6 +5,7 @@ use pim_arch::area::AreaReport;
 use pim_arch::{AreaModel, CacheGeometry, EnergyParams};
 use pim_bce::power::{ADD_PJ, ROM_READ_PJ, SHIFT_PJ};
 
+use crate::error::ExperimentError;
 use crate::Comparison;
 
 /// Runs the area model over the paper geometry.
@@ -71,7 +72,7 @@ pub fn comparisons() -> Vec<Comparison> {
 }
 
 /// Prints the experiment.
-pub fn print() {
+pub fn print() -> Result<(), ExperimentError> {
     crate::print_comparisons("§V-B: area and power overheads", &comparisons());
     let interference = bfree::InterferenceModel::paper_default();
     println!(
@@ -90,4 +91,5 @@ pub fn print() {
     println!(
         "  BCE int8 MAC energy: {mac_pj:.2} pJ (4 ROM reads + fixups; paper: ~0.5 pJ ROM term)"
     );
+    Ok(())
 }

@@ -4,6 +4,7 @@
 use pim_nn::networks::{self, PaperStats};
 use pim_nn::Network;
 
+use crate::error::ExperimentError;
 use crate::Comparison;
 
 /// One recomputed Table II row.
@@ -71,7 +72,7 @@ pub fn comparisons(rows: &[Table2Row]) -> Vec<Comparison> {
 }
 
 /// Prints the experiment.
-pub fn print() {
+pub fn print() -> Result<(), ExperimentError> {
     let rows = run();
     println!("\n== Table II: workload summary ==");
     println!(
@@ -94,4 +95,5 @@ pub fn print() {
         "  note: Inception-v3 mults follow the original paper's 5.72G multiply-add \
          count;\n  BFree's Table II quotes 4.7G (-18%), recorded in EXPERIMENTS.md."
     );
+    Ok(())
 }

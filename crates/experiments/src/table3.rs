@@ -61,7 +61,9 @@ fn network_by_name(name: &str) -> Result<Network, ExperimentError> {
     Ok(NetworkKind::parse(name)?.instantiate())
 }
 
-/// Runs the experiment.
+/// Runs the experiment. The five table rows are independent, so they
+/// fan out on the `bfree::par` pool; row order (and, on failure, which
+/// row's error is reported) matches the serial path.
 ///
 /// # Errors
 ///
@@ -71,29 +73,26 @@ pub fn run() -> Result<Vec<Table3Row>, ExperimentError> {
     let bfree = BfreeSimulator::new(BfreeConfig::paper_default());
     let cpu = CpuModel::paper_xeon();
     let gpu = GpuModel::paper_titan_v();
-    PAPER_ROWS
-        .iter()
-        .map(|&(name, batch, ..)| {
-            let net = network_by_name(name)?;
-            let c = cpu.run(&net, batch);
-            let g = gpu.run(&net, batch);
-            let b = bfree.run(&net, batch);
-            Ok(Table3Row {
-                network: name.to_string(),
-                batch,
-                latency_ms: (
-                    c.per_inference_latency().milliseconds(),
-                    g.per_inference_latency().milliseconds(),
-                    b.per_inference_latency().milliseconds(),
-                ),
-                energy_j: (
-                    c.per_inference_energy().joules(),
-                    g.per_inference_energy().joules(),
-                    b.per_inference_energy().joules(),
-                ),
-            })
+    bfree::par::try_par_map(PAPER_ROWS.to_vec(), |(name, batch, ..)| {
+        let net = network_by_name(name)?;
+        let c = cpu.run(&net, batch);
+        let g = gpu.run(&net, batch);
+        let b = bfree.run(&net, batch);
+        Ok(Table3Row {
+            network: name.to_string(),
+            batch,
+            latency_ms: (
+                c.per_inference_latency().milliseconds(),
+                g.per_inference_latency().milliseconds(),
+                b.per_inference_latency().milliseconds(),
+            ),
+            energy_j: (
+                c.per_inference_energy().joules(),
+                g.per_inference_energy().joules(),
+                b.per_inference_energy().joules(),
+            ),
         })
-        .collect()
+    })
 }
 
 /// Comparison rows against the paper's BFree columns and ratios.

@@ -184,6 +184,7 @@ impl DivLut {
 impl Default for DivLut {
     /// The paper's configuration: `m = 8` (128 entries, 512 bytes).
     fn default() -> Self {
+        // Invariant: `new` accepts 1 <= m <= 16; 8 is a constant.
         DivLut::new(8).expect("m = 8 is valid")
     }
 }

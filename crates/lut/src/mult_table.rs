@@ -7,9 +7,16 @@
 //! are `{3, 5, 7, 9, 11, 13, 15}` — seven values — giving a 7 x 7 = 49
 //! entry table of one-byte products (max 15 x 15 = 225).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use serde::{Deserialize, Serialize};
 
 /// The preloaded odd x odd product table.
+///
+/// The read counter is an [`AtomicU64`] rather than a `Cell` so one
+/// table can serve concurrent BCE tiles on the worker pool
+/// (`bfree::par`); counts stay exact because each lookup increments
+/// exactly once, whichever thread performs it.
 ///
 /// ```
 /// use pim_lut::MultLut;
@@ -17,11 +24,29 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(lut.entry_count(), 49);
 /// assert_eq!(lut.lookup(7, 13), 91);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct MultLut {
     entries: Vec<u8>, // row-major 7x7, indexed by odd_index
-    reads: std::cell::Cell<u64>,
+    reads: AtomicU64,
 }
+
+impl Clone for MultLut {
+    fn clone(&self) -> Self {
+        MultLut {
+            entries: self.entries.clone(),
+            reads: AtomicU64::new(self.reads.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+// Table identity is its entries; the read counter is telemetry.
+impl PartialEq for MultLut {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for MultLut {}
 
 /// The odd operand values the table covers, in index order.
 pub const ODD_OPERANDS: [u8; 7] = [3, 5, 7, 9, 11, 13, 15];
@@ -45,7 +70,7 @@ impl MultLut {
         }
         MultLut {
             entries,
-            reads: std::cell::Cell::new(0),
+            reads: AtomicU64::new(0),
         }
     }
 
@@ -67,19 +92,19 @@ impl MultLut {
     /// greater than 15 — the operand analyzer must filter those before the
     /// LUT is consulted, exactly as in the hardware.
     pub fn lookup(&self, a: u8, b: u8) -> u8 {
-        self.reads.set(self.reads.get() + 1);
+        self.reads.fetch_add(1, Ordering::Relaxed);
         self.entries[odd_index(a) * 7 + odd_index(b)]
     }
 
     /// Number of lookups performed since construction (event counter used
     /// by tests and the energy model).
     pub fn reads(&self) -> u64 {
-        self.reads.get()
+        self.reads.load(Ordering::Relaxed)
     }
 
     /// Resets the read counter.
     pub fn reset_reads(&self) {
-        self.reads.set(0);
+        self.reads.store(0, Ordering::Relaxed);
     }
 
     /// Iterates over `(a, b, product)` for every stored entry.
@@ -119,7 +144,7 @@ impl MultLut {
         }
         let table = MultLut {
             entries: bytes.to_vec(),
-            reads: std::cell::Cell::new(0),
+            reads: AtomicU64::new(0),
         };
         for (a, b, p) in table.iter() {
             if p as u16 != a as u16 * b as u16 {
@@ -156,12 +181,31 @@ impl Default for MultLut {
 /// assert_eq!(lut.lookup(13, 7), 91); // swapped pair, same product
 /// assert_eq!(lut.conflict_lookups(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct TriangularMultLut {
     entries: Vec<u8>, // upper triangle, row-major
-    reads: std::cell::Cell<u64>,
-    conflicts: std::cell::Cell<u64>,
+    reads: AtomicU64,
+    conflicts: AtomicU64,
 }
+
+impl Clone for TriangularMultLut {
+    fn clone(&self) -> Self {
+        TriangularMultLut {
+            entries: self.entries.clone(),
+            reads: AtomicU64::new(self.reads.load(Ordering::Relaxed)),
+            conflicts: AtomicU64::new(self.conflicts.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+// Table identity is its entries; the counters are telemetry.
+impl PartialEq for TriangularMultLut {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for TriangularMultLut {}
 
 impl TriangularMultLut {
     /// Builds the 28-entry upper-triangle table.
@@ -174,8 +218,8 @@ impl TriangularMultLut {
         }
         TriangularMultLut {
             entries,
-            reads: std::cell::Cell::new(0),
-            conflicts: std::cell::Cell::new(0),
+            reads: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
         }
     }
 
@@ -202,11 +246,11 @@ impl TriangularMultLut {
     ///
     /// Panics in debug builds for even or out-of-range operands.
     pub fn lookup(&self, a: u8, b: u8) -> u8 {
-        self.reads.set(self.reads.get() + 1);
+        self.reads.fetch_add(1, Ordering::Relaxed);
         let (lo, hi) = if a <= b {
             (a, b)
         } else {
-            self.conflicts.set(self.conflicts.get() + 1);
+            self.conflicts.fetch_add(1, Ordering::Relaxed);
             (b, a)
         };
         self.entries[Self::triangle_offset(odd_index(lo), odd_index(hi))]
@@ -214,13 +258,13 @@ impl TriangularMultLut {
 
     /// Total lookups performed.
     pub fn reads(&self) -> u64 {
-        self.reads.get()
+        self.reads.load(Ordering::Relaxed)
     }
 
     /// Lookups that needed the operand swap (the reduced-parallelism
     /// case the paper warns about).
     pub fn conflict_lookups(&self) -> u64 {
-        self.conflicts.get()
+        self.conflicts.load(Ordering::Relaxed)
     }
 }
 

@@ -244,6 +244,7 @@ impl Scheduler {
             if !self.eligible(tenant, now) || state.demand_slices() > free_slices {
                 continue;
             }
+            // Invariant: `eligible` returns false for an empty queue.
             let oldest = self.queues[tenant]
                 .front()
                 .expect("eligible queue is nonempty")

@@ -309,6 +309,9 @@ impl ServingSim {
     /// Retires an active dispatch: frees its slices and records one
     /// completion per coalesced request.
     fn complete(&mut self, dispatch: u64) {
+        // Invariant: a completion event is enqueued exactly once per
+        // dispatch pushed to `active`, and `complete` fires once per
+        // event, so the dispatch is always present.
         let idx = self
             .active
             .iter()

@@ -174,7 +174,7 @@ fn fig2_and_fig4_match_paper_closely() {
 #[test]
 fn fig14_mixed_precision_halves_runtime() {
     let fig14 = exp::fig14::run();
-    for row in exp::fig14::comparisons(&fig14) {
+    for row in exp::fig14::comparisons(&fig14).expect("full sweep was run") {
         assert!(
             row.within(1.6),
             "{}: {} vs {}",
@@ -187,9 +187,10 @@ fn fig14_mixed_precision_halves_runtime() {
     use pim_arch::MemoryTechKind as M;
     for batch in [1usize, 16] {
         for mixed in [false, true] {
-            let d = fig14.point(M::Dram, batch, mixed).latency_ms;
-            let e = fig14.point(M::Edram, batch, mixed).latency_ms;
-            let h = fig14.point(M::Hbm, batch, mixed).latency_ms;
+            let point = |m| fig14.point(m, batch, mixed).expect("full sweep was run");
+            let d = point(M::Dram).latency_ms;
+            let e = point(M::Edram).latency_ms;
+            let h = point(M::Hbm).latency_ms;
             assert!(h <= e && e <= d, "batch {batch} mixed {mixed}: {d} {e} {h}");
         }
     }

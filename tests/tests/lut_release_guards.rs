@@ -1,0 +1,100 @@
+//! Release-effective guards for the LUT multiplier's accumulator width.
+//!
+//! `mul_u8`/`mul_u16` protect their partial-product accumulators with
+//! `debug_assert!` only, which compiles away under `--release`. These
+//! tests assert the *results* against native wide multiplication, so a
+//! silent truncation cannot pass even in the release-mode CI job
+//! (ISSUE 2: the `debug_assert!`-only bug class).
+
+use pim_lut::LutMultiplier;
+
+/// Every u8 x u8 product, bit-exact against native u16 multiplication —
+/// 65,536 cases, including the 255 x 255 = 65,025 accumulator maximum
+/// the `debug_assert!` guards.
+#[test]
+fn mul_u8_exhaustive_matches_native() {
+    let mul = LutMultiplier::new();
+    for a in 0..=u8::MAX {
+        for b in 0..=u8::MAX {
+            let (p, cost) = mul.mul_u8(a, b);
+            assert_eq!(p, a as u16 * b as u16, "{a} x {b}");
+            assert!(cost.lut_reads <= 4, "{a} x {b}: {} reads", cost.lut_reads);
+        }
+    }
+}
+
+/// u16 boundary operands: every combination of the values that maximize
+/// or corner each nibble column of the 16-partial accumulation.
+#[test]
+fn mul_u16_boundaries_match_native() {
+    let mul = LutMultiplier::new();
+    let edges = [
+        0u16,
+        1,
+        2,
+        15,
+        16,
+        17,
+        255,
+        256,
+        257,
+        0x0F0F,
+        0xF0F0,
+        0x7FFF,
+        0x8000,
+        0x8001,
+        0xFFF0,
+        0xFFFE,
+        u16::MAX,
+    ];
+    for &a in &edges {
+        for &b in &edges {
+            let (p, _) = mul.mul_u16(a, b);
+            assert_eq!(p, a as u32 * b as u32, "{a} x {b}");
+        }
+    }
+}
+
+/// Pseudo-random u16 property sweep (deterministic LCG, no rand crate):
+/// the LUT path must agree with native multiplication everywhere, not
+/// just at the hand-picked edges.
+#[test]
+fn mul_u16_property_sweep_matches_native() {
+    let mul = LutMultiplier::new();
+    let mut state = 0x2545F4914F6CDD1Du64;
+    for _ in 0..20_000 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let a = (state >> 16) as u16;
+        let b = (state >> 40) as u16;
+        let (p, _) = mul.mul_u16(a, b);
+        assert_eq!(p, a as u32 * b as u32, "{a} x {b}");
+    }
+}
+
+/// Signed paths ride on the unsigned ones; pin their extremes too
+/// (`-128 * -128` is the i16 case the `debug_assert!` in `mul_i8`
+/// watches).
+#[test]
+fn signed_extremes_match_native() {
+    let mul = LutMultiplier::new();
+    for &(a, b) in &[
+        (i8::MIN, i8::MIN),
+        (i8::MIN, i8::MAX),
+        (i8::MAX, i8::MAX),
+        (-1i8, i8::MIN),
+    ] {
+        let (p, _) = mul.mul_i8(a, b);
+        assert_eq!(p as i32, a as i32 * b as i32, "{a} x {b}");
+    }
+    for &(a, b) in &[
+        (i16::MIN, i16::MIN),
+        (i16::MIN, i16::MAX),
+        (i16::MAX, i16::MAX),
+        (-1i16, i16::MIN),
+    ] {
+        let (p, _) = mul.mul_i16(a, b);
+        assert_eq!(p as i64, a as i64 * b as i64, "{a} x {b}");
+    }
+}

@@ -1,0 +1,97 @@
+//! The parallel runner's determinism contract (ISSUE 2): every CSV and
+//! headline number must be byte-identical whether the sweeps run
+//! serially (`--jobs 1`) or on any number of workers, and across
+//! repeated runs.
+//!
+//! `set_max_jobs` is process-global, and the test harness runs `#[test]`
+//! functions concurrently, so everything lives in ONE test function that
+//! walks the job counts sequentially and restores auto-detection at the
+//! end.
+
+use std::fmt::Write as _;
+
+use bfree_experiments as exp;
+
+/// Renders every swept experiment's numeric output into one string —
+/// full precision via `{:?}`'s shortest-roundtrip floats, so a single
+/// ulp of divergence between job counts fails the comparison.
+fn snapshot() -> String {
+    let mut out = String::new();
+
+    let fig12 = exp::fig12::run();
+    let _ = writeln!(
+        out,
+        "fig12 {:?} {:?} {:?}",
+        fig12.speedup, fig12.energy_gain, fig12.module_runtimes
+    );
+
+    let fig13 = exp::fig13::run();
+    let _ = writeln!(
+        out,
+        "fig13 {:?} {:?}",
+        fig13.compute_speedup, fig13.layer_compute
+    );
+
+    let fig14 = exp::fig14::run();
+    for p in &fig14.points {
+        let _ = writeln!(
+            out,
+            "fig14 {:?} {} {} {:?} {:?}",
+            p.memory, p.batch, p.mixed, p.latency_ms, p.load_fraction
+        );
+    }
+
+    for r in exp::table3::run().expect("table3 rows valid") {
+        let _ = writeln!(
+            out,
+            "table3 {} {} {:?} {:?}",
+            r.network, r.batch, r.latency_ms, r.energy_j
+        );
+    }
+
+    for r in exp::headline::run() {
+        let _ = writeln!(out, "headline {} {} {:?}", r.network, r.batch, r.gains);
+    }
+
+    for (name, total, lut) in exp::ablations::lut_rows().rows {
+        let _ = writeln!(out, "lut_rows {name} {total:?} {lut:?}");
+    }
+    for (b, ms) in exp::ablations::batch_sweep() {
+        let _ = writeln!(out, "batch_sweep {b} {ms:?}");
+    }
+
+    for r in exp::extensions::run() {
+        let _ = writeln!(
+            out,
+            "extensions {} {} {:?}",
+            r.network, r.batch, r.latency_ms
+        );
+    }
+
+    let serving = exp::serving::run().expect("serving sweep valid");
+    for row in exp::serving::csv_rows(&serving) {
+        let _ = writeln!(out, "serving {}", row.join(","));
+    }
+
+    out
+}
+
+#[test]
+fn outputs_are_byte_identical_across_job_counts_and_reruns() {
+    // Serial reference, run twice: the sweeps themselves must be
+    // deterministic before parallelism enters the picture.
+    bfree::par::set_max_jobs(1);
+    let serial = snapshot();
+    assert_eq!(serial, snapshot(), "serial path must be reproducible");
+
+    for jobs in [4usize, 8] {
+        bfree::par::set_max_jobs(jobs);
+        let parallel = snapshot();
+        assert_eq!(
+            serial, parallel,
+            "jobs={jobs} output diverged from the serial path"
+        );
+    }
+
+    bfree::par::set_max_jobs(0); // restore auto-detection
+}
