@@ -69,6 +69,15 @@ impl Default for AreaModel {
 }
 
 impl AreaModel {
+    /// The paper's §V-B area figures (same as [`Default`]): the
+    /// workspace-wide canonical name for "the configuration the paper
+    /// evaluates".
+    #[doc(alias = "default")]
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
     /// Validates the model parameters.
     ///
     /// # Errors

@@ -61,6 +61,15 @@ pub struct MemoryTech {
 }
 
 impl MemoryTech {
+    /// The paper's baseline memory (same as [`dram`](MemoryTech::dram)):
+    /// the workspace-wide canonical name for "the configuration the
+    /// paper evaluates".
+    #[doc(alias = "dram")]
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::dram()
+    }
+
     /// DDR4-class DRAM: 20 GB/s (Fig. 14), 180 pJ/bit system energy
     /// (calibration note: chosen so DRAM weight loading is ~80% of BFree's
     /// Inception-v3 energy, §V-D; see DESIGN.md §4).

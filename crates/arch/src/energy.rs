@@ -57,6 +57,15 @@ pub struct EnergyParams {
 }
 
 impl EnergyParams {
+    /// The paper's §V constants (same as [`Default`]): the
+    /// workspace-wide canonical name for "the configuration the paper
+    /// evaluates".
+    #[doc(alias = "default")]
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
     /// Validates that every constant is positive and fractions are sane.
     ///
     /// # Errors

@@ -93,12 +93,23 @@ impl CacheGeometry {
         })
     }
 
+    /// The paper's evaluation platform (same as
+    /// [`xeon_l3_35mb`](CacheGeometry::xeon_l3_35mb)): the
+    /// workspace-wide canonical name for "the configuration the paper
+    /// evaluates".
+    #[doc(alias = "xeon_l3_35mb")]
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::xeon_l3_35mb()
+    }
+
     /// The paper's evaluation platform: 35 MB L3 in 14 slices (Fig. 1).
     ///
     /// 14 slices x 4 banks x 10 sub-banks x 8 subarrays x 8 KB = 35 MB,
     /// with each 8 KB subarray organised as 4 partitions x 256 rows x
     /// 64 bits and 2 LUT rows per partition (8 LUT rows per subarray,
     /// 64 one-byte LUT entries).
+    #[doc(alias = "paper_default")]
     pub fn xeon_l3_35mb() -> Self {
         // Invariant: these constants pass `CacheGeometry::new`'s checks
         // (non-zero dims, LUT rows < partition rows); covered by tests.

@@ -36,6 +36,7 @@ pub mod energy;
 pub mod error;
 pub mod geometry;
 pub mod lut_rows;
+pub mod obs;
 pub mod ring;
 pub mod stats;
 pub mod subarray;
@@ -49,6 +50,7 @@ pub use energy::EnergyParams;
 pub use error::ArchError;
 pub use geometry::CacheGeometry;
 pub use lut_rows::{LutRowDesign, LutRowProfile};
+pub use obs::{obs_component, phase_event_name, record_slice_access};
 pub use ring::RingInterconnect;
 pub use stats::{EnergyBreakdown, EnergyComponent, LatencyBreakdown, Phase};
 pub use subarray::SubarrayStorage;

@@ -1,0 +1,218 @@
+//! Bridge from `pim-arch` aggregates to `bfree-obs` events.
+//!
+//! The cost models in this crate produce *aggregate* breakdowns
+//! ([`EnergyBreakdown`], [`LatencyBreakdown`]). The observability layer
+//! wants *events*. This module is the adapter: it maps the crate's
+//! [`EnergyComponent`] taxonomy onto the obs-layer [`Component`] axis
+//! and re-emits breakdowns as component-tagged counters, so an
+//! [`bfree_obs::AggRecorder`] folding the event stream reproduces the
+//! aggregates exactly — the invariant the `experiments attribution`
+//! subcommand cross-checks.
+
+use bfree_obs::{Component, Recorder, Subsystem, Unit};
+
+use crate::energy::EnergyParams;
+use crate::stats::{EnergyBreakdown, EnergyComponent, LatencyBreakdown, Phase};
+use crate::timing::TimingParams;
+
+/// The obs-layer component corresponding to a Fig. 12(d) energy
+/// component.
+pub fn obs_component(component: EnergyComponent) -> Component {
+    match component {
+        EnergyComponent::Dram => Component::Dram,
+        EnergyComponent::SubarrayAccess => Component::Subarray,
+        EnergyComponent::LutAccess => Component::Lut,
+        EnergyComponent::Bce => Component::Bce,
+        EnergyComponent::Interconnect => Component::Interconnect,
+        EnergyComponent::Router => Component::Router,
+        EnergyComponent::Controller => Component::Controller,
+    }
+}
+
+/// Static event name for a phase's latency counter (`"phase/compute"`,
+/// ...). Distinct from the bare phase label so phase counters can never
+/// collide with other event names.
+pub fn phase_event_name(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Config => "phase/config",
+        Phase::WeightLoad => "phase/weight-load",
+        Phase::InputLoad => "phase/input-load",
+        Phase::Compute => "phase/compute",
+        Phase::Reduction => "phase/reduction",
+        Phase::Quantize => "phase/quantize",
+        Phase::Writeback => "phase/writeback",
+    }
+}
+
+/// Event name carrying per-component energy counters.
+pub const ENERGY_EVENT: &str = "component_energy";
+
+/// Event name carrying the Fig. 2 slice-access decomposition.
+pub const SLICE_ACCESS_EVENT: &str = "slice_access";
+
+impl EnergyBreakdown {
+    /// Emits this breakdown as one [`ENERGY_EVENT`] energy counter per
+    /// non-zero component, attributed to `subsystem`.
+    ///
+    /// Folding the emitted events in an [`bfree_obs::AggRecorder`]
+    /// recovers the breakdown: `energy_by_component()` sums equal
+    /// [`EnergyBreakdown::get`] per mapped component.
+    pub fn record_to<R: Recorder>(&self, recorder: &R, subsystem: Subsystem) {
+        if !recorder.is_enabled() {
+            return;
+        }
+        for (component, energy) in self.iter() {
+            recorder.energy(
+                subsystem,
+                ENERGY_EVENT,
+                obs_component(component),
+                energy.picojoules(),
+            );
+        }
+    }
+}
+
+impl LatencyBreakdown {
+    /// Emits this breakdown as one latency counter per non-zero phase
+    /// (named [`phase_event_name`]), attributed to `subsystem`.
+    pub fn record_to<R: Recorder>(&self, recorder: &R, subsystem: Subsystem) {
+        if !recorder.is_enabled() {
+            return;
+        }
+        for (phase, latency) in self.iter() {
+            recorder.counter(
+                subsystem,
+                phase_event_name(phase),
+                latency.nanoseconds(),
+                Unit::Nanoseconds,
+            );
+        }
+    }
+}
+
+/// Emits the Fig. 2 decomposition of one full slice access: latency
+/// split across interconnect / subarray / peripheral, and energy split
+/// the same way. One call per modeled slice access (or one scaled call
+/// per batch of accesses via `count`).
+pub fn record_slice_access<R: Recorder>(
+    timing: &TimingParams,
+    energy: &EnergyParams,
+    count: f64,
+    recorder: &R,
+) {
+    if !recorder.is_enabled() || count <= 0.0 {
+        return;
+    }
+    let lat = timing.slice_access_breakdown();
+    let total_ns = lat.total.nanoseconds() * count;
+    let e = energy.slice_access_breakdown();
+    let total_pj = energy.slice_access().picojoules() * count;
+    for (component, lat_frac, e_frac) in [
+        (
+            Component::Interconnect,
+            lat.interconnect_fraction,
+            e.interconnect_fraction,
+        ),
+        (
+            Component::Subarray,
+            lat.subarray_fraction,
+            e.subarray_fraction,
+        ),
+        (
+            Component::Peripheral,
+            lat.peripheral_fraction,
+            e.peripheral_fraction,
+        ),
+    ] {
+        recorder.latency(
+            Subsystem::Arch,
+            SLICE_ACCESS_EVENT,
+            component,
+            total_ns * lat_frac,
+        );
+        recorder.energy(
+            Subsystem::Arch,
+            SLICE_ACCESS_EVENT,
+            component,
+            total_pj * e_frac,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Energy, Latency};
+    use bfree_obs::AggRecorder;
+
+    #[test]
+    fn every_energy_component_maps_distinctly() {
+        let mapped: Vec<Component> = EnergyComponent::ALL
+            .iter()
+            .map(|c| obs_component(*c))
+            .collect();
+        for (i, a) in mapped.iter().enumerate() {
+            for b in &mapped[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_energy_breakdown_folds_back_exactly() {
+        let mut b = EnergyBreakdown::new();
+        b.add(EnergyComponent::Dram, Energy::from_pj(800.0));
+        b.add(EnergyComponent::Interconnect, Energy::from_pj(150.0));
+        b.add(EnergyComponent::Bce, Energy::from_pj(50.0));
+        let rec = AggRecorder::new();
+        b.record_to(&rec, Subsystem::Exec);
+        let by = rec.energy_by_component();
+        assert_eq!(by[&Component::Dram], 800.0);
+        assert_eq!(by[&Component::Interconnect], 150.0);
+        assert_eq!(by[&Component::Bce], 50.0);
+        let total: f64 = by.values().sum();
+        assert!((total - b.total().picojoules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recorded_latency_breakdown_sums_per_phase() {
+        let mut b = LatencyBreakdown::new();
+        b.add(Phase::Compute, Latency::from_ns(300.0));
+        b.add(Phase::WeightLoad, Latency::from_ns(700.0));
+        let rec = AggRecorder::new();
+        b.record_to(&rec, Subsystem::Exec);
+        assert_eq!(rec.sum(Subsystem::Exec, "phase/compute"), 300.0);
+        assert_eq!(rec.sum(Subsystem::Exec, "phase/weight-load"), 700.0);
+        assert_eq!(rec.sum(Subsystem::Exec, "phase/config"), 0.0);
+    }
+
+    #[test]
+    fn slice_access_fractions_reproduce_fig2() {
+        let timing = TimingParams::paper_default();
+        let energy = EnergyParams::paper_default();
+        let rec = AggRecorder::new();
+        record_slice_access(&timing, &energy, 10.0, &rec);
+        let lat = rec.latency_by_component();
+        let total_ns: f64 = lat.values().sum();
+        assert!((total_ns - 10.0 * timing.slice_access_ns).abs() < 1e-9);
+        // Fig. 2: interconnect dominates both axes.
+        assert!(lat[&Component::Interconnect] / total_ns > 0.85);
+        let e = rec.energy_by_component();
+        let total_pj: f64 = e.values().sum();
+        assert!(e[&Component::Interconnect] / total_pj > 0.85);
+    }
+
+    #[test]
+    fn disabled_recorder_skips_iteration() {
+        let mut b = EnergyBreakdown::new();
+        b.add(EnergyComponent::Dram, Energy::from_pj(1.0));
+        // Just exercises the early-return path.
+        b.record_to(&bfree_obs::NullRecorder, Subsystem::Exec);
+        record_slice_access(
+            &TimingParams::paper_default(),
+            &EnergyParams::paper_default(),
+            1.0,
+            &bfree_obs::NullRecorder,
+        );
+    }
+}

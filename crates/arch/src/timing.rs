@@ -46,6 +46,14 @@ pub struct TimingParams {
 }
 
 impl TimingParams {
+    /// The paper's calibration (same as [`Default`]): the workspace-wide
+    /// canonical name for "the configuration the paper evaluates".
+    #[doc(alias = "default")]
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
     /// Validates the parameters.
     ///
     /// # Errors

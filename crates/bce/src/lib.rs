@@ -39,6 +39,7 @@
 pub mod engine;
 pub mod isa;
 pub mod mult_rom;
+pub mod obs;
 pub mod pipeline;
 pub mod power;
 pub mod program;
@@ -47,6 +48,7 @@ pub mod trace;
 pub use engine::{Bce, BceMode, BceStats, MulPath};
 pub use isa::{ActivationKind, ConfigBlock, PimOp, Precision};
 pub use mult_rom::MultRom;
+pub use obs::record_kernel_occupancy;
 pub use power::BceCostModel;
 pub use program::{InstructionTiming, KernelProgram};
 pub use trace::{BceTrace, TraceAction, TraceEntry};

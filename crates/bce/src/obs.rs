@@ -1,0 +1,180 @@
+//! Observability bridge for the BCE pipeline (paper §III-A, Fig. 6).
+//!
+//! Exposes pipeline-stage occupancy and execute-path mix as `bfree-obs`
+//! events: how many cycles an instruction spent in decode / fetch /
+//! execute / writeback, and how the execute cycles split across the LUT,
+//! shifter, and trivial paths. The split is exactly the quantity the
+//! paper's operand-locality argument (§III-B, Fig. 5) is about: the LUT
+//! path is the expensive one, and most cycles avoid it.
+
+use bfree_obs::{Component, Recorder, Subsystem, Unit};
+
+use crate::isa::ConfigBlock;
+use crate::pipeline::{BcePipeline, INIT_CYCLES, WRITEBACK_CYCLES};
+use crate::trace::{BceTrace, TraceAction};
+
+/// Per-stage cycle counters emitted under these names.
+pub const STAGE_EVENTS: [&str; 4] = [
+    "stage/decode",
+    "stage/fetch",
+    "stage/execute",
+    "stage/writeback",
+];
+
+/// Execute-path mix counters emitted under these names.
+pub const PATH_EVENTS: [&str; 3] = ["path/lut", "path/shift", "path/trivial"];
+
+impl BceTrace {
+    /// Emits this trace's stage occupancy and execute-path mix.
+    ///
+    /// Stage counters (`stage/*`, unit count) say how many cycles each
+    /// pipeline stage was occupied; path counters (`path/*`) split the
+    /// execute cycles by multiply path. LUT-path cycles carry
+    /// [`Component::Lut`], everything else [`Component::Bce`], so the
+    /// path mix also shows up in component attribution.
+    pub fn record_to<R: Recorder>(&self, recorder: &R) {
+        if !recorder.is_enabled() {
+            return;
+        }
+        let mut decode = 0u64;
+        let mut fetch = 0u64;
+        let mut writeback = 0u64;
+        let mut lut = 0u64;
+        let mut shift = 0u64;
+        let mut trivial = 0u64;
+        for entry in &self.entries {
+            match entry.action {
+                TraceAction::DecodeConfig => decode += 1,
+                TraceAction::FetchOperands => fetch += 1,
+                TraceAction::Writeback => writeback += 1,
+                TraceAction::LutAccumulate { .. } => lut += 1,
+                TraceAction::ShiftAccumulate { .. } => shift += 1,
+                TraceAction::TrivialAccumulate { .. } => trivial += 1,
+            }
+        }
+        let execute = lut + shift + trivial;
+        for (name, cycles) in [
+            ("stage/decode", decode),
+            ("stage/fetch", fetch),
+            ("stage/execute", execute),
+            ("stage/writeback", writeback),
+        ] {
+            if cycles > 0 {
+                recorder.counter(Subsystem::Bce, name, cycles as f64, Unit::Count);
+            }
+        }
+        for (name, cycles, component) in [
+            ("path/lut", lut, Component::Lut),
+            ("path/shift", shift, Component::Bce),
+            ("path/trivial", trivial, Component::Bce),
+        ] {
+            if cycles > 0 {
+                recorder.record(bfree_obs::Event {
+                    subsystem: Subsystem::Bce,
+                    kind: bfree_obs::EventKind::Counter,
+                    name,
+                    detail: None,
+                    component: Some(component),
+                    time_ns: 0.0,
+                    dur_ns: 0.0,
+                    value: cycles as f64,
+                    unit: Unit::Count,
+                });
+            }
+        }
+    }
+}
+
+/// Emits the stage occupancy of a whole kernel priced by
+/// [`BcePipeline::kernel_cycles`]: one decode burst, the streamed
+/// execute cycles, and one writeback per iteration. The counters sum to
+/// the kernel's total cycle count, so folding them recovers the
+/// aggregate the timing model reports.
+pub fn record_kernel_occupancy<R: Recorder>(
+    cb: &ConfigBlock,
+    execute_cycles_per_iter: u64,
+    recorder: &R,
+) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    let iters = cb.iterations.max(1) as u64;
+    recorder.counter(
+        Subsystem::Bce,
+        "stage/decode",
+        INIT_CYCLES as f64,
+        Unit::Count,
+    );
+    recorder.counter(
+        Subsystem::Bce,
+        "stage/execute",
+        (iters * execute_cycles_per_iter) as f64,
+        Unit::Count,
+    );
+    recorder.counter(
+        Subsystem::Bce,
+        "stage/writeback",
+        (iters * WRITEBACK_CYCLES) as f64,
+        Unit::Count,
+    );
+}
+
+/// Checks the invariant [`record_kernel_occupancy`] maintains: the
+/// emitted stage counters sum to [`BcePipeline::kernel_cycles`].
+pub fn kernel_occupancy_total(cb: &ConfigBlock, execute_cycles_per_iter: u64) -> u64 {
+    BcePipeline::kernel_cycles(cb, execute_cycles_per_iter).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{PimOp, Precision};
+    use bfree_obs::AggRecorder;
+
+    fn cb(len: u32, iters: u32) -> ConfigBlock {
+        ConfigBlock::new(PimOp::Conv { length: len }, Precision::Int4, iters, 0, 0)
+    }
+
+    #[test]
+    fn trace_stage_counters_sum_to_cycle_count() {
+        let trace = BceTrace::dot_product(&cb(3, 1), &[4, 6, 7], &[5, 7, 9]);
+        let rec = AggRecorder::new();
+        trace.record_to(&rec);
+        let total: f64 = STAGE_EVENTS
+            .iter()
+            .map(|name| rec.sum(Subsystem::Bce, name))
+            .sum();
+        assert_eq!(total, trace.cycles() as f64);
+    }
+
+    #[test]
+    fn path_mix_matches_fig6_example() {
+        // Fig. 6: one shift, one double-shift, one LUT access.
+        let trace = BceTrace::dot_product(&cb(3, 1), &[4, 6, 7], &[5, 7, 9]);
+        let rec = AggRecorder::new();
+        trace.record_to(&rec);
+        assert_eq!(rec.sum(Subsystem::Bce, "path/lut"), 1.0);
+        assert_eq!(rec.sum(Subsystem::Bce, "path/shift"), 2.0);
+        assert_eq!(rec.sum(Subsystem::Bce, "path/trivial"), 0.0);
+        assert_eq!(trace.lut_accesses(), 1);
+    }
+
+    #[test]
+    fn kernel_occupancy_sums_to_kernel_cycles() {
+        let cb = cb(16, 100);
+        let rec = AggRecorder::new();
+        record_kernel_occupancy(&cb, 32, &rec);
+        let total: f64 = STAGE_EVENTS
+            .iter()
+            .map(|name| rec.sum(Subsystem::Bce, name))
+            .sum();
+        assert_eq!(total, kernel_occupancy_total(&cb, 32) as f64);
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let trace = BceTrace::dot_product(&cb(1, 1), &[7], &[9]);
+        trace.record_to(&bfree_obs::NullRecorder);
+        record_kernel_occupancy(&cb(1, 1), 4, &bfree_obs::NullRecorder);
+    }
+}

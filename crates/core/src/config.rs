@@ -59,8 +59,29 @@ pub struct BfreeConfig {
 }
 
 impl BfreeConfig {
+    /// Starts a validating builder seeded with [`paper_default`]
+    /// values.
+    ///
+    /// ```
+    /// use bfree::{BfreeConfig, ConvDataflow};
+    /// use pim_arch::MemoryTech;
+    ///
+    /// let config = BfreeConfig::builder()
+    ///     .memory(MemoryTech::hbm())
+    ///     .conv_dataflow(ConvDataflow::Im2col)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.conv_dataflow, ConvDataflow::Im2col);
+    /// ```
+    ///
+    /// [`paper_default`]: BfreeConfig::paper_default
+    pub fn builder() -> BfreeConfigBuilder {
+        BfreeConfigBuilder::new()
+    }
+
     /// The paper's evaluation machine: 35 MB L3, 1.5 GHz subarrays,
     /// decoupled-bitline LUT rows, 20 GB/s DRAM, uniform int8.
+    #[doc(alias = "default")]
     pub fn paper_default() -> Self {
         BfreeConfig {
             geometry: CacheGeometry::xeon_l3_35mb(),
@@ -179,6 +200,103 @@ impl Default for BfreeConfig {
     }
 }
 
+/// A validating builder for [`BfreeConfig`], seeded with the paper's
+/// defaults.
+///
+/// Every setter is `#[must_use]` (the builder is by-value), and
+/// [`build`](BfreeConfigBuilder::build) runs [`BfreeConfig::validate`]
+/// so an invalid machine description is caught at construction, not at
+/// simulation time. Struct-literal construction of [`BfreeConfig`]
+/// keeps working; the builder is the ergonomic path for sweeps that
+/// vary a few fields.
+#[derive(Debug, Clone)]
+#[must_use = "builders do nothing until .build() is called"]
+pub struct BfreeConfigBuilder {
+    config: BfreeConfig,
+}
+
+impl BfreeConfigBuilder {
+    /// A builder seeded with [`BfreeConfig::paper_default`].
+    pub fn new() -> Self {
+        BfreeConfigBuilder {
+            config: BfreeConfig::paper_default(),
+        }
+    }
+
+    /// Sets the cache geometry, keeping the ring's stop count in sync
+    /// with the slice count.
+    pub fn geometry(mut self, geometry: CacheGeometry) -> Self {
+        self.config.ring.slices = geometry.slices();
+        self.config.geometry = geometry;
+        self
+    }
+
+    /// Sets the timing constants.
+    pub fn timing(mut self, timing: TimingParams) -> Self {
+        self.config.timing = timing;
+        self
+    }
+
+    /// Sets the energy constants.
+    pub fn energy(mut self, energy: EnergyParams) -> Self {
+        self.config.energy = energy;
+        self
+    }
+
+    /// Sets the LUT-row integration design.
+    pub fn lut_design(mut self, lut_design: LutRowDesign) -> Self {
+        self.config.lut_design = lut_design;
+        self
+    }
+
+    /// Sets the area model.
+    pub fn area(mut self, area: AreaModel) -> Self {
+        self.config.area = area;
+        self
+    }
+
+    /// Sets the main memory technology.
+    pub fn memory(mut self, memory: MemoryTech) -> Self {
+        self.config.memory = memory;
+        self
+    }
+
+    /// Sets the slice ring interconnect.
+    pub fn ring(mut self, ring: RingInterconnect) -> Self {
+        self.config.ring = ring;
+        self
+    }
+
+    /// Sets the convolution mapping policy.
+    pub fn conv_dataflow(mut self, conv_dataflow: ConvDataflow) -> Self {
+        self.config.conv_dataflow = conv_dataflow;
+        self
+    }
+
+    /// Sets the per-layer precision policy.
+    pub fn precision(mut self, precision: PrecisionPolicy) -> Self {
+        self.config.precision = precision;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first invalid parameter found by
+    /// [`BfreeConfig::validate`].
+    pub fn build(self) -> Result<BfreeConfig, pim_arch::ArchError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+impl Default for BfreeConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +341,42 @@ mod tests {
         let net = networks::vgg16();
         let matmul_layers = net.weight_layers().filter(|l| c.uses_matmul(l, 1)).count();
         assert!(matmul_layers as f64 > 0.8 * net.weight_layer_count() as f64);
+    }
+
+    #[test]
+    fn builder_defaults_equal_paper_default() {
+        let built = BfreeConfig::builder().build().unwrap();
+        assert_eq!(built, BfreeConfig::paper_default());
+    }
+
+    #[test]
+    fn builder_applies_every_setter() {
+        let built = BfreeConfig::builder()
+            .geometry(CacheGeometry::single_slice_2_5mb())
+            .timing(TimingParams::paper_default())
+            .energy(EnergyParams::paper_default())
+            .lut_design(LutRowDesign::SharedBitline)
+            .area(AreaModel::paper_default())
+            .memory(MemoryTech::edram())
+            .conv_dataflow(ConvDataflow::Direct)
+            .precision(PrecisionPolicy::mixed())
+            .build()
+            .unwrap();
+        assert_eq!(built.geometry.slices(), 1);
+        assert_eq!(built.ring.slices, 1, "geometry setter syncs the ring");
+        assert_eq!(built.lut_design, LutRowDesign::SharedBitline);
+        assert_eq!(built.memory.kind, MemoryTechKind::Edram);
+        assert_eq!(built.conv_dataflow, ConvDataflow::Direct);
+        assert_eq!(built.precision, PrecisionPolicy::mixed());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_parameters() {
+        let bad_timing = TimingParams {
+            subarray_clock_ghz: -1.0,
+            ..TimingParams::paper_default()
+        };
+        assert!(BfreeConfig::builder().timing(bad_timing).build().is_err());
     }
 
     #[test]

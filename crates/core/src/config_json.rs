@@ -1,0 +1,486 @@
+//! JSON round-trip for [`BfreeConfig`].
+//!
+//! The workspace's vendored `serde` is a no-op marker stub, so config
+//! persistence goes through the hand-rolled `bfree_obs::json` layer
+//! instead of derive macros. The schema is flat and explicit: one JSON
+//! object per parameter struct, enums as kebab-case strings. The
+//! round-trip contract (`from_json_str(to_json_string(c)) == c`) is
+//! what the serde-round-trip integration tests pin.
+
+use bfree_obs::{JsonValue, ObsError};
+use pim_arch::{
+    AreaModel, CacheGeometry, EnergyParams, LutRowDesign, MemoryTech, MemoryTechKind,
+    RingInterconnect, TimingParams,
+};
+use pim_bce::Precision;
+
+use crate::config::{BfreeConfig, ConvDataflow};
+use crate::precision::PrecisionPolicy;
+
+fn schema_err(field: &str, expected: &'static str) -> ObsError {
+    ObsError::Schema {
+        field: field.to_string(),
+        expected,
+    }
+}
+
+fn lut_design_label(design: LutRowDesign) -> &'static str {
+    match design {
+        LutRowDesign::Standalone => "standalone",
+        LutRowDesign::SharedBitline => "shared-bitline",
+        LutRowDesign::DecoupledBitline => "decoupled-bitline",
+    }
+}
+
+fn lut_design_parse(label: &str) -> Result<LutRowDesign, ObsError> {
+    match label {
+        "standalone" => Ok(LutRowDesign::Standalone),
+        "shared-bitline" => Ok(LutRowDesign::SharedBitline),
+        "decoupled-bitline" => Ok(LutRowDesign::DecoupledBitline),
+        _ => Err(schema_err("lut_design", "a LUT-row design label")),
+    }
+}
+
+fn memory_kind_label(kind: MemoryTechKind) -> &'static str {
+    match kind {
+        MemoryTechKind::Dram => "dram",
+        MemoryTechKind::Edram => "edram",
+        MemoryTechKind::Hbm => "hbm",
+    }
+}
+
+fn memory_kind_parse(label: &str) -> Result<MemoryTechKind, ObsError> {
+    match label {
+        "dram" => Ok(MemoryTechKind::Dram),
+        "edram" => Ok(MemoryTechKind::Edram),
+        "hbm" => Ok(MemoryTechKind::Hbm),
+        _ => Err(schema_err("memory.kind", "a memory technology label")),
+    }
+}
+
+fn dataflow_label(dataflow: ConvDataflow) -> &'static str {
+    match dataflow {
+        ConvDataflow::Direct => "direct",
+        ConvDataflow::Im2col => "im2col",
+        ConvDataflow::Auto => "auto",
+    }
+}
+
+fn dataflow_parse(label: &str) -> Result<ConvDataflow, ObsError> {
+    match label {
+        "direct" => Ok(ConvDataflow::Direct),
+        "im2col" => Ok(ConvDataflow::Im2col),
+        "auto" => Ok(ConvDataflow::Auto),
+        _ => Err(schema_err("conv_dataflow", "a dataflow label")),
+    }
+}
+
+fn precision_label(precision: Precision) -> &'static str {
+    match precision {
+        Precision::Int4 => "int4",
+        Precision::Int8 => "int8",
+        Precision::Int16 => "int16",
+    }
+}
+
+fn precision_parse(label: &str) -> Result<Precision, ObsError> {
+    match label {
+        "int4" => Ok(Precision::Int4),
+        "int8" => Ok(Precision::Int8),
+        "int16" => Ok(Precision::Int16),
+        _ => Err(schema_err("precision", "an operand precision label")),
+    }
+}
+
+fn geometry_to_json(geom: &CacheGeometry) -> JsonValue {
+    JsonValue::object([
+        ("slices", JsonValue::Number(geom.slices() as f64)),
+        (
+            "banks_per_slice",
+            JsonValue::Number(geom.banks_per_slice() as f64),
+        ),
+        (
+            "subbanks_per_bank",
+            JsonValue::Number(geom.subbanks_per_bank() as f64),
+        ),
+        (
+            "subarrays_per_subbank",
+            JsonValue::Number(geom.subarrays_per_subbank() as f64),
+        ),
+        (
+            "partitions_per_subarray",
+            JsonValue::Number(geom.partitions_per_subarray() as f64),
+        ),
+        (
+            "rows_per_partition",
+            JsonValue::Number(geom.rows_per_partition() as f64),
+        ),
+        (
+            "bits_per_row",
+            JsonValue::Number(geom.bits_per_row() as f64),
+        ),
+        (
+            "lut_rows_per_partition",
+            JsonValue::Number(geom.lut_rows_per_partition() as f64),
+        ),
+    ])
+}
+
+fn geometry_from_json(value: &JsonValue) -> Result<CacheGeometry, ObsError> {
+    let dim = |key: &str| -> Result<usize, ObsError> { Ok(value.require_u64(key)? as usize) };
+    CacheGeometry::new(
+        dim("slices")?,
+        dim("banks_per_slice")?,
+        dim("subbanks_per_bank")?,
+        dim("subarrays_per_subbank")?,
+        dim("partitions_per_subarray")?,
+        dim("rows_per_partition")?,
+        dim("bits_per_row")?,
+        dim("lut_rows_per_partition")?,
+    )
+    .map_err(|_| schema_err("geometry", "a valid cache geometry"))
+}
+
+fn timing_to_json(t: &TimingParams) -> JsonValue {
+    JsonValue::object([
+        (
+            "subarray_clock_ghz",
+            JsonValue::Number(t.subarray_clock_ghz),
+        ),
+        ("slice_access_ns", JsonValue::Number(t.slice_access_ns)),
+        (
+            "interconnect_latency_fraction",
+            JsonValue::Number(t.interconnect_latency_fraction),
+        ),
+        (
+            "subarray_latency_fraction",
+            JsonValue::Number(t.subarray_latency_fraction),
+        ),
+        ("fast_lut_speedup", JsonValue::Number(t.fast_lut_speedup)),
+        (
+            "bitline_compute_clock_derate",
+            JsonValue::Number(t.bitline_compute_clock_derate),
+        ),
+    ])
+}
+
+fn timing_from_json(value: &JsonValue) -> Result<TimingParams, ObsError> {
+    Ok(TimingParams {
+        subarray_clock_ghz: value.require_f64("subarray_clock_ghz")?,
+        slice_access_ns: value.require_f64("slice_access_ns")?,
+        interconnect_latency_fraction: value.require_f64("interconnect_latency_fraction")?,
+        subarray_latency_fraction: value.require_f64("subarray_latency_fraction")?,
+        fast_lut_speedup: value.require_f64("fast_lut_speedup")?,
+        bitline_compute_clock_derate: value.require_f64("bitline_compute_clock_derate")?,
+    })
+}
+
+fn energy_to_json(e: &EnergyParams) -> JsonValue {
+    JsonValue::object([
+        (
+            "subarray_row_access_pj",
+            JsonValue::Number(e.subarray_row_access_pj),
+        ),
+        (
+            "bitline_compute_op_pj",
+            JsonValue::Number(e.bitline_compute_op_pj),
+        ),
+        (
+            "fast_lut_efficiency",
+            JsonValue::Number(e.fast_lut_efficiency),
+        ),
+        ("bce_rom_mac_pj", JsonValue::Number(e.bce_rom_mac_pj)),
+        (
+            "interconnect_energy_fraction",
+            JsonValue::Number(e.interconnect_energy_fraction),
+        ),
+        (
+            "subarray_energy_fraction",
+            JsonValue::Number(e.subarray_energy_fraction),
+        ),
+        (
+            "router_hop_pj_per_byte",
+            JsonValue::Number(e.router_hop_pj_per_byte),
+        ),
+        (
+            "cache_controller_mw",
+            JsonValue::Number(e.cache_controller_mw),
+        ),
+        (
+            "slice_controller_mw",
+            JsonValue::Number(e.slice_controller_mw),
+        ),
+        ("bce_conv_mode_mw", JsonValue::Number(e.bce_conv_mode_mw)),
+        (
+            "bce_matmul_mode_mw",
+            JsonValue::Number(e.bce_matmul_mode_mw),
+        ),
+    ])
+}
+
+fn energy_from_json(value: &JsonValue) -> Result<EnergyParams, ObsError> {
+    Ok(EnergyParams {
+        subarray_row_access_pj: value.require_f64("subarray_row_access_pj")?,
+        bitline_compute_op_pj: value.require_f64("bitline_compute_op_pj")?,
+        fast_lut_efficiency: value.require_f64("fast_lut_efficiency")?,
+        bce_rom_mac_pj: value.require_f64("bce_rom_mac_pj")?,
+        interconnect_energy_fraction: value.require_f64("interconnect_energy_fraction")?,
+        subarray_energy_fraction: value.require_f64("subarray_energy_fraction")?,
+        router_hop_pj_per_byte: value.require_f64("router_hop_pj_per_byte")?,
+        cache_controller_mw: value.require_f64("cache_controller_mw")?,
+        slice_controller_mw: value.require_f64("slice_controller_mw")?,
+        bce_conv_mode_mw: value.require_f64("bce_conv_mode_mw")?,
+        bce_matmul_mode_mw: value.require_f64("bce_matmul_mode_mw")?,
+    })
+}
+
+fn area_to_json(a: &AreaModel) -> JsonValue {
+    JsonValue::object([
+        ("slice_area_mm2", JsonValue::Number(a.slice_area_mm2)),
+        (
+            "subarray_area_fraction",
+            JsonValue::Number(a.subarray_area_fraction),
+        ),
+        (
+            "bce_slice_overhead",
+            JsonValue::Number(a.bce_slice_overhead),
+        ),
+        (
+            "router_slice_overhead",
+            JsonValue::Number(a.router_slice_overhead),
+        ),
+        (
+            "controller_cache_overhead",
+            JsonValue::Number(a.controller_cache_overhead),
+        ),
+        (
+            "lut_design",
+            JsonValue::String(lut_design_label(a.lut_design).to_string()),
+        ),
+        (
+            "specialized_mac_relative_area",
+            JsonValue::Number(a.specialized_mac_relative_area),
+        ),
+        (
+            "bce_vs_mac_energy_gain",
+            JsonValue::Number(a.bce_vs_mac_energy_gain),
+        ),
+    ])
+}
+
+fn area_from_json(value: &JsonValue) -> Result<AreaModel, ObsError> {
+    Ok(AreaModel {
+        slice_area_mm2: value.require_f64("slice_area_mm2")?,
+        subarray_area_fraction: value.require_f64("subarray_area_fraction")?,
+        bce_slice_overhead: value.require_f64("bce_slice_overhead")?,
+        router_slice_overhead: value.require_f64("router_slice_overhead")?,
+        controller_cache_overhead: value.require_f64("controller_cache_overhead")?,
+        lut_design: lut_design_parse(value.require_str("lut_design")?)?,
+        specialized_mac_relative_area: value.require_f64("specialized_mac_relative_area")?,
+        bce_vs_mac_energy_gain: value.require_f64("bce_vs_mac_energy_gain")?,
+    })
+}
+
+fn memory_to_json(m: &MemoryTech) -> JsonValue {
+    JsonValue::object([
+        (
+            "kind",
+            JsonValue::String(memory_kind_label(m.kind).to_string()),
+        ),
+        ("bandwidth_gbps", JsonValue::Number(m.bandwidth_gbps)),
+        ("pj_per_bit", JsonValue::Number(m.pj_per_bit)),
+    ])
+}
+
+fn memory_from_json(value: &JsonValue) -> Result<MemoryTech, ObsError> {
+    Ok(MemoryTech {
+        kind: memory_kind_parse(value.require_str("kind")?)?,
+        bandwidth_gbps: value.require_f64("bandwidth_gbps")?,
+        pj_per_bit: value.require_f64("pj_per_bit")?,
+    })
+}
+
+fn ring_to_json(r: &RingInterconnect) -> JsonValue {
+    JsonValue::object([
+        ("slices", JsonValue::Number(r.slices as f64)),
+        ("hop_ns", JsonValue::Number(r.hop_ns)),
+        ("hop_pj_per_byte", JsonValue::Number(r.hop_pj_per_byte)),
+        ("link_bytes", JsonValue::Number(r.link_bytes as f64)),
+    ])
+}
+
+fn ring_from_json(value: &JsonValue) -> Result<RingInterconnect, ObsError> {
+    Ok(RingInterconnect {
+        slices: value.require_u64("slices")? as usize,
+        hop_ns: value.require_f64("hop_ns")?,
+        hop_pj_per_byte: value.require_f64("hop_pj_per_byte")?,
+        link_bytes: value.require_u64("link_bytes")?,
+    })
+}
+
+fn precision_policy_to_json(p: &PrecisionPolicy) -> JsonValue {
+    match p {
+        PrecisionPolicy::Uniform(precision) => JsonValue::object([
+            ("policy", JsonValue::String("uniform".to_string())),
+            (
+                "precision",
+                JsonValue::String(precision_label(*precision).to_string()),
+            ),
+        ]),
+        PrecisionPolicy::MixedFourEight { keep_int8 } => JsonValue::object([
+            ("policy", JsonValue::String("mixed-four-eight".to_string())),
+            (
+                "keep_int8",
+                JsonValue::Array(
+                    keep_int8
+                        .iter()
+                        .map(|name| JsonValue::String(name.clone()))
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+fn precision_policy_from_json(value: &JsonValue) -> Result<PrecisionPolicy, ObsError> {
+    match value.require_str("policy")? {
+        "uniform" => Ok(PrecisionPolicy::Uniform(precision_parse(
+            value.require_str("precision")?,
+        )?)),
+        "mixed-four-eight" => {
+            let names = value
+                .get("keep_int8")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| schema_err("precision.keep_int8", "an array of layer names"))?;
+            let keep_int8 = names
+                .iter()
+                .map(|n| {
+                    n.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| schema_err("precision.keep_int8", "a layer name string"))
+                })
+                .collect::<Result<Vec<String>, ObsError>>()?;
+            Ok(PrecisionPolicy::MixedFourEight { keep_int8 })
+        }
+        _ => Err(schema_err("precision.policy", "a precision policy label")),
+    }
+}
+
+impl BfreeConfig {
+    /// Serializes this configuration as a [`JsonValue`] tree.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("geometry", geometry_to_json(&self.geometry)),
+            ("timing", timing_to_json(&self.timing)),
+            ("energy", energy_to_json(&self.energy)),
+            (
+                "lut_design",
+                JsonValue::String(lut_design_label(self.lut_design).to_string()),
+            ),
+            ("area", area_to_json(&self.area)),
+            ("memory", memory_to_json(&self.memory)),
+            ("ring", ring_to_json(&self.ring)),
+            (
+                "conv_dataflow",
+                JsonValue::String(dataflow_label(self.conv_dataflow).to_string()),
+            ),
+            ("precision", precision_policy_to_json(&self.precision)),
+        ])
+    }
+
+    /// Serializes this configuration as a JSON string with
+    /// deterministic key order.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Deserializes a configuration from a [`JsonValue`] tree.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Schema`] for a missing or mistyped field, including
+    /// a geometry that fails [`CacheGeometry::new`]'s invariants.
+    pub fn from_json(value: &JsonValue) -> Result<BfreeConfig, ObsError> {
+        let section = |key: &'static str| -> Result<&JsonValue, ObsError> {
+            value.get(key).ok_or_else(|| schema_err(key, "an object"))
+        };
+        Ok(BfreeConfig {
+            geometry: geometry_from_json(section("geometry")?)?,
+            timing: timing_from_json(section("timing")?)?,
+            energy: energy_from_json(section("energy")?)?,
+            lut_design: lut_design_parse(value.require_str("lut_design")?)?,
+            area: area_from_json(section("area")?)?,
+            memory: memory_from_json(section("memory")?)?,
+            ring: ring_from_json(section("ring")?)?,
+            conv_dataflow: dataflow_parse(value.require_str("conv_dataflow")?)?,
+            precision: precision_policy_from_json(section("precision")?)?,
+        })
+    }
+
+    /// Deserializes a configuration from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Parse`] for malformed JSON, [`ObsError::Schema`] for
+    /// a well-formed document with missing or mistyped fields.
+    pub fn from_json_str(text: &str) -> Result<BfreeConfig, ObsError> {
+        Self::from_json(&JsonValue::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_round_trips() {
+        let config = BfreeConfig::paper_default();
+        let text = config.to_json_string();
+        let back = BfreeConfig::from_json_str(&text).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn non_default_fields_round_trip() {
+        let config = BfreeConfig::builder()
+            .memory(MemoryTech::hbm())
+            .lut_design(LutRowDesign::Standalone)
+            .conv_dataflow(ConvDataflow::Im2col)
+            .precision(PrecisionPolicy::MixedFourEight {
+                keep_int8: vec!["conv1".to_string(), "fc8".to_string()],
+            })
+            .build()
+            .unwrap();
+        let back = BfreeConfig::from_json_str(&config.to_json_string()).unwrap();
+        assert_eq!(back, config);
+        assert_eq!(back.memory.kind, MemoryTechKind::Hbm);
+    }
+
+    #[test]
+    fn missing_field_is_a_schema_error() {
+        let mut doc = match BfreeConfig::paper_default().to_json() {
+            JsonValue::Object(map) => map,
+            _ => unreachable!(),
+        };
+        doc.remove("timing");
+        let err = BfreeConfig::from_json(&JsonValue::Object(doc)).unwrap_err();
+        assert!(matches!(err, ObsError::Schema { .. }));
+    }
+
+    #[test]
+    fn invalid_geometry_is_a_schema_error() {
+        let text = BfreeConfig::paper_default()
+            .to_json_string()
+            .replace("\"slices\":14", "\"slices\":0");
+        let err = BfreeConfig::from_json_str(&text).unwrap_err();
+        assert!(matches!(err, ObsError::Schema { .. }));
+    }
+
+    #[test]
+    fn malformed_text_is_a_parse_error() {
+        assert!(matches!(
+            BfreeConfig::from_json_str("{not json"),
+            Err(ObsError::Parse { .. })
+        ));
+    }
+}

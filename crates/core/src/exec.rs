@@ -8,6 +8,8 @@
 //! intermediates in next-level memory (Fig. 14), which re-exposes input
 //! load time; batch 1 keeps intermediates in SRAM.
 
+use bfree_obs::{Component, NullRecorder, Recorder, Subsystem};
+use pim_arch::obs::{phase_event_name, ENERGY_EVENT};
 use pim_arch::{
     Bytes, Cycles, Energy, EnergyBreakdown, EnergyComponent, Latency, LatencyBreakdown, Phase,
 };
@@ -327,12 +329,28 @@ struct LayerContribution {
     timing: Option<LayerTiming>,
 }
 
-impl InferenceModel for BfreeSimulator {
-    fn device_name(&self) -> &str {
-        "BFree"
-    }
-
-    fn run(&self, network: &Network, batch: usize) -> RunReport {
+impl BfreeSimulator {
+    /// [`run`](InferenceModel::run) with structured event emission.
+    ///
+    /// Emits, in deterministic order: the configuration-phase cost, one
+    /// span per layer (tagged with mode, precision, and mapping shape),
+    /// every layer's phase-latency and component-energy breakdown, the
+    /// final ring gather, and the controller static energy. All events
+    /// are emitted from the ordered reduction on the calling thread, so
+    /// the event stream is identical however many workers priced the
+    /// layers — and folding the energy events in an
+    /// [`bfree_obs::AggRecorder`] reproduces the report's
+    /// [`EnergyBreakdown`] bit for bit.
+    ///
+    /// `run` itself delegates here with [`NullRecorder`], which
+    /// monomorphizes every `is_enabled` guard to `false`: the
+    /// uninstrumented path prices layers exactly as before.
+    pub fn run_recorded<R: Recorder>(
+        &self,
+        network: &Network,
+        batch: usize,
+        recorder: &R,
+    ) -> RunReport {
         let batch = batch.max(1) as u64;
         let geom = &self.config.geometry;
         let energy_params = &self.config.energy;
@@ -349,6 +367,24 @@ impl InferenceModel for BfreeSimulator {
         let configuration = ConfigurationPhase::price(geom, &self.config.timing, energy_params);
         latency.add(Phase::Config, configuration.latency);
         energy.add(EnergyComponent::SubarrayAccess, configuration.energy);
+        recorder.span(
+            Subsystem::Exec,
+            "configure",
+            0.0,
+            configuration.latency.nanoseconds(),
+        );
+        recorder.counter(
+            Subsystem::Exec,
+            phase_event_name(Phase::Config),
+            configuration.latency.nanoseconds(),
+            bfree_obs::Unit::Nanoseconds,
+        );
+        recorder.energy(
+            Subsystem::Exec,
+            ENERGY_EVENT,
+            Component::Subarray,
+            configuration.energy.picojoules(),
+        );
 
         let weight_names: Vec<&str> = network.weight_layers().map(|l| l.name()).collect();
         let first_weight_index = network.layers().iter().position(|l| l.is_weight_layer());
@@ -370,9 +406,35 @@ impl InferenceModel for BfreeSimulator {
                 )
             },
         );
-        for contribution in contributions {
+        // Event emission happens here, on the calling thread, in layer
+        // order — never inside the parallel pricing — so the recorded
+        // stream is deterministic at every worker count.
+        let mut cursor_ns = configuration.latency.nanoseconds();
+        for (layer, contribution) in network.layers().iter().zip(contributions) {
             latency.merge(&contribution.latency);
             energy.merge(&contribution.energy);
+            if recorder.is_enabled() {
+                let dur_ns = contribution.latency.total().nanoseconds();
+                if dur_ns > 0.0 {
+                    recorder.span_with(Subsystem::Exec, "layer", cursor_ns, dur_ns, || match self
+                        .layer_mapping(layer, batch as usize)
+                    {
+                        Some(mapping) => format!(
+                            "{} mode={:?} precision={} subarrays={} replicas={} util={:.3}",
+                            layer.name(),
+                            mapping.mode,
+                            mapping.precision.name(),
+                            mapping.active_subarrays,
+                            mapping.replicas,
+                            mapping.utilization,
+                        ),
+                        None => layer.name().to_string(),
+                    });
+                    cursor_ns += dur_ns;
+                }
+                contribution.latency.record_to(recorder, Subsystem::Exec);
+                contribution.energy.record_to(recorder, Subsystem::Exec);
+            }
             if let Some(timing) = contribution.timing {
                 per_layer.push(timing);
             }
@@ -386,13 +448,29 @@ impl InferenceModel for BfreeSimulator {
                 let (ring_time, ring_energy) = self.config.ring.gather(per_slice);
                 latency.add(Phase::Writeback, ring_time);
                 energy.add(EnergyComponent::Interconnect, ring_energy);
+                recorder.counter(
+                    Subsystem::Exec,
+                    phase_event_name(Phase::Writeback),
+                    ring_time.nanoseconds(),
+                    bfree_obs::Unit::Nanoseconds,
+                );
+                recorder.energy(
+                    Subsystem::Exec,
+                    ENERGY_EVENT,
+                    Component::Interconnect,
+                    ring_energy.picojoules(),
+                );
             }
         }
 
         // Controllers run for the whole execution.
-        energy.add(
-            EnergyComponent::Controller,
-            energy_params.controller_static(latency.total(), geom.slices()),
+        let controller_static = energy_params.controller_static(latency.total(), geom.slices());
+        energy.add(EnergyComponent::Controller, controller_static);
+        recorder.energy(
+            Subsystem::Exec,
+            ENERGY_EVENT,
+            Component::Controller,
+            controller_static.picojoules(),
         );
 
         RunReport {
@@ -403,6 +481,16 @@ impl InferenceModel for BfreeSimulator {
             energy,
             per_layer,
         }
+    }
+}
+
+impl InferenceModel for BfreeSimulator {
+    fn device_name(&self) -> &str {
+        "BFree"
+    }
+
+    fn run(&self, network: &Network, batch: usize) -> RunReport {
+        self.run_recorded(network, batch, &NullRecorder)
     }
 }
 
@@ -581,5 +669,92 @@ mod tests {
     fn config_phase_is_negligible() {
         let report = sim().run(&networks::inception_v3(), 1);
         assert!(report.latency.fraction(Phase::Config) < 0.01);
+    }
+
+    #[test]
+    fn agg_recorder_reproduces_report_breakdowns_bit_for_bit() {
+        use bfree_obs::AggRecorder;
+        use pim_arch::obs::obs_component;
+
+        let s = sim();
+        let recorder = AggRecorder::new();
+        let report = s.run_recorded(&networks::inception_v3(), 1, &recorder);
+
+        // Events fold in the exact order the report merges breakdowns,
+        // so every component sum is bit-identical, not merely close.
+        let by_component = recorder.energy_by_component();
+        for component in EnergyComponent::ALL {
+            let reported = report.energy.get(component).picojoules();
+            let folded = by_component
+                .get(&obs_component(component))
+                .copied()
+                .unwrap_or(0.0);
+            assert_eq!(
+                folded.to_bits(),
+                reported.to_bits(),
+                "{component:?}: folded {folded} vs reported {reported}"
+            );
+        }
+
+        // Phase latencies fold back the same way (the gather writeback
+        // and config counters join the per-layer phase counters).
+        for phase in Phase::ALL {
+            let reported = report.latency.get(phase).nanoseconds();
+            // `+ 0.0` normalizes the empty-sum identity -0.0 to +0.0.
+            let folded = recorder.sum(Subsystem::Exec, phase_event_name(phase)) + 0.0;
+            assert_eq!(
+                folded.to_bits(),
+                reported.to_bits(),
+                "{phase:?}: folded {folded} vs reported {reported}"
+            );
+        }
+    }
+
+    #[test]
+    fn recorded_run_matches_unrecorded_run_exactly() {
+        use bfree_obs::{AggRecorder, NullRecorder};
+
+        let s = sim();
+        let net = networks::lstm_timit();
+        let plain = s.run(&net, 1);
+        let null = s.run_recorded(&net, 1, &NullRecorder);
+        let agg = s.run_recorded(&net, 1, &AggRecorder::new());
+        for report in [&null, &agg] {
+            assert_eq!(
+                report.total_latency().nanoseconds().to_bits(),
+                plain.total_latency().nanoseconds().to_bits()
+            );
+            assert_eq!(
+                report.energy.total().picojoules().to_bits(),
+                plain.energy.total().picojoules().to_bits()
+            );
+            assert_eq!(report.per_layer.len(), plain.per_layer.len());
+        }
+    }
+
+    #[test]
+    fn layer_spans_tile_the_compute_timeline() {
+        use bfree_obs::{EventKind, RingRecorder, Subsystem};
+
+        let recorder = RingRecorder::new(16384);
+        sim().run_recorded(&networks::vgg16(), 1, &recorder);
+        let events = recorder.events();
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Span && e.name == "layer")
+            .collect();
+        assert!(spans.len() > 10, "span count {}", spans.len());
+        // Spans are contiguous: each starts where the previous ended.
+        for pair in spans.windows(2) {
+            let end = pair[0].time_ns + pair[0].dur_ns;
+            assert!((end - pair[1].time_ns).abs() < 1e-6);
+        }
+        // Every span carries a mapping detail for weight layers.
+        assert!(spans
+            .iter()
+            .any(|e| e.detail.as_deref().is_some_and(|d| d.contains("mode="))));
+        assert!(events
+            .iter()
+            .all(|e| e.subsystem == Subsystem::Exec || e.subsystem == Subsystem::Par));
     }
 }

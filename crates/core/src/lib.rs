@@ -47,6 +47,7 @@
 
 pub mod attention_schedule;
 pub mod config;
+pub mod config_json;
 pub mod controller;
 pub mod exec;
 pub mod flow;
@@ -58,19 +59,40 @@ pub mod precision;
 pub mod storage;
 
 pub use attention_schedule::AttentionSchedule;
-pub use config::{BfreeConfig, ConvDataflow};
+pub use config::{BfreeConfig, BfreeConfigBuilder, ConvDataflow};
 pub use controller::ConfigurationPhase;
 pub use exec::BfreeSimulator;
 pub use interference::InterferenceModel;
 pub use mapping::{Mapper, Mapping};
+pub use par::{pool_stats, PoolStats};
 pub use precision::PrecisionPolicy;
 pub use storage::WeightStore;
 
+/// The structured observability layer, re-exported so downstream code
+/// can name recorders without an extra dependency edge.
+pub use bfree_obs as obs;
+
 /// Convenient glob import for downstream binaries.
+///
+/// ```
+/// use bfree::prelude::*;
+///
+/// let config = BfreeConfig::builder().build()?;
+/// let sim = BfreeSimulator::new(config);
+/// let recorder = AggRecorder::new();
+/// let report = sim.run_recorded(&networks::lstm_timit(), 1, &recorder);
+/// assert!(report.total_latency().milliseconds() < 10.0);
+/// # Ok::<(), pim_arch::ArchError>(())
+/// ```
 pub mod prelude {
-    pub use crate::{BfreeConfig, BfreeSimulator, ConvDataflow, Mapper, PrecisionPolicy};
+    pub use crate::{
+        BfreeConfig, BfreeConfigBuilder, BfreeSimulator, ConvDataflow, Mapper, Mapping,
+        PrecisionPolicy,
+    };
+    pub use bfree_obs::{AggRecorder, NullRecorder, Recorder, RingRecorder, Subsystem};
     pub use pim_arch::{
-        CacheGeometry, Energy, EnergyComponent, Latency, MemoryTech, MemoryTechKind, Phase,
+        ArchError, CacheGeometry, Energy, EnergyComponent, Latency, MemoryTech, MemoryTechKind,
+        Phase, TimingParams,
     };
     pub use pim_baselines::{
         CpuModel, EyerissModel, GpuModel, InferenceModel, NeuralCacheModel, RunReport,

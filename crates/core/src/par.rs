@@ -23,11 +23,87 @@
 //! [`std::thread::available_parallelism`].
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use bfree_obs::{Recorder, Subsystem, Unit};
 
 /// Process-wide worker-count override; 0 means "not set, auto-detect".
 static MAX_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cumulative pool counters (process-wide, monotonic). Plain relaxed
+/// atomics: the counts are observability data, never control flow, so
+/// they cannot perturb scheduling or results.
+static PARALLEL_CALLS: AtomicU64 = AtomicU64::new(0);
+static SERIAL_CALLS: AtomicU64 = AtomicU64::new(0);
+static ITEMS_PROCESSED: AtomicU64 = AtomicU64::new(0);
+static WORKERS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the worker pool's cumulative utilization counters.
+///
+/// The counters are process-wide and monotonic; utilization over a
+/// window is the difference of two snapshots (see
+/// [`PoolStats::delta_since`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// `par_map` calls that actually spawned workers.
+    pub parallel_calls: u64,
+    /// Calls that ran serially (one job, one item, or nested).
+    pub serial_calls: u64,
+    /// Items mapped, across both paths.
+    pub items_processed: u64,
+    /// Scoped worker threads spawned in total.
+    pub workers_spawned: u64,
+}
+
+impl PoolStats {
+    /// The counters accumulated since `earlier` (saturating, so a
+    /// mismatched pair degrades to zeros instead of wrapping).
+    pub fn delta_since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            parallel_calls: self.parallel_calls.saturating_sub(earlier.parallel_calls),
+            serial_calls: self.serial_calls.saturating_sub(earlier.serial_calls),
+            items_processed: self.items_processed.saturating_sub(earlier.items_processed),
+            workers_spawned: self.workers_spawned.saturating_sub(earlier.workers_spawned),
+        }
+    }
+
+    /// Mean items per spawned worker (0 when no workers ran).
+    pub fn items_per_worker(&self) -> f64 {
+        if self.workers_spawned == 0 {
+            0.0
+        } else {
+            self.items_processed as f64 / self.workers_spawned as f64
+        }
+    }
+
+    /// Emits these counters as `Subsystem::Par` events
+    /// (`pool/parallel_calls`, `pool/serial_calls`, `pool/items`,
+    /// `pool/workers`).
+    pub fn record_to<R: Recorder>(&self, recorder: &R) {
+        if !recorder.is_enabled() {
+            return;
+        }
+        for (name, value) in [
+            ("pool/parallel_calls", self.parallel_calls),
+            ("pool/serial_calls", self.serial_calls),
+            ("pool/items", self.items_processed),
+            ("pool/workers", self.workers_spawned),
+        ] {
+            recorder.counter(Subsystem::Par, name, value as f64, Unit::Count);
+        }
+    }
+}
+
+/// Snapshots the pool's cumulative utilization counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        parallel_calls: PARALLEL_CALLS.load(Ordering::Relaxed),
+        serial_calls: SERIAL_CALLS.load(Ordering::Relaxed),
+        items_processed: ITEMS_PROCESSED.load(Ordering::Relaxed),
+        workers_spawned: WORKERS_SPAWNED.load(Ordering::Relaxed),
+    }
+}
 
 thread_local! {
     /// True on pool worker threads: nested parallel calls run serially
@@ -110,9 +186,13 @@ where
 {
     let n = items.len();
     let jobs = jobs.max(1).min(n);
+    ITEMS_PROCESSED.fetch_add(n as u64, Ordering::Relaxed);
     if jobs <= 1 || IN_WORKER.with(Cell::get) {
+        SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
         return items.into_iter().map(f).collect();
     }
+    PARALLEL_CALLS.fetch_add(1, Ordering::Relaxed);
+    WORKERS_SPAWNED.fetch_add(jobs as u64, Ordering::Relaxed);
 
     let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let outputs: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -307,6 +387,35 @@ mod tests {
             .map(|i| (0..16).map(|j| i * 100 + j).sum())
             .collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn pool_stats_count_parallel_and_serial_calls() {
+        let before = pool_stats();
+        let _ = par_map_jobs(4, (0..20u32).collect(), |x| x);
+        let _ = par_map_jobs(1, (0..5u32).collect(), |x| x);
+        let delta = pool_stats().delta_since(&before);
+        // Other tests run concurrently against the same global
+        // counters, so assert lower bounds only.
+        assert!(delta.parallel_calls >= 1);
+        assert!(delta.serial_calls >= 1);
+        assert!(delta.items_processed >= 25);
+        assert!(delta.workers_spawned >= 4);
+        assert!(delta.items_per_worker() > 0.0);
+    }
+
+    #[test]
+    fn pool_stats_record_to_emits_counters() {
+        let rec = bfree_obs::AggRecorder::new();
+        let stats = PoolStats {
+            parallel_calls: 2,
+            serial_calls: 3,
+            items_processed: 40,
+            workers_spawned: 8,
+        };
+        stats.record_to(&rec);
+        assert_eq!(rec.sum(Subsystem::Par, "pool/items"), 40.0);
+        assert_eq!(rec.sum(Subsystem::Par, "pool/workers"), 8.0);
     }
 
     #[test]

@@ -179,6 +179,14 @@ pub fn write_all(dir: &Path) -> Result<Vec<String>, ExperimentError> {
         crate::serving::csv_rows(&serving),
     )?;
 
+    // Attribution: event-stream vs aggregate-model cross-check.
+    let attribution = crate::attribution::run()?;
+    emit(
+        "attribution.csv",
+        &crate::attribution::CSV_HEADER,
+        crate::attribution::csv_rows(&attribution),
+    )?;
+
     Ok(written)
 }
 

@@ -10,7 +10,9 @@ use std::error::Error;
 use std::fmt;
 use std::io;
 
+use bfree_obs::ObsError;
 use bfree_serve::ServeError;
+use pim_arch::ArchError;
 use pim_nn::request::UnknownNetworkError;
 
 /// Any failure while running or exporting an experiment.
@@ -21,6 +23,10 @@ pub enum ExperimentError {
     UnknownNetwork(UnknownNetworkError),
     /// A serving-simulation configuration was rejected.
     Serve(ServeError),
+    /// The architecture model rejected a configuration.
+    Arch(ArchError),
+    /// An observability export or config (de)serialization failed.
+    Obs(ObsError),
     /// A filesystem error while writing results.
     Io(io::Error),
     /// An experiment's own sweep output lacked a row it promised
@@ -33,6 +39,8 @@ impl fmt::Display for ExperimentError {
         match self {
             ExperimentError::UnknownNetwork(e) => write!(f, "{e}"),
             ExperimentError::Serve(e) => write!(f, "serving experiment: {e}"),
+            ExperimentError::Arch(e) => write!(f, "architecture model: {e}"),
+            ExperimentError::Obs(e) => write!(f, "observability: {e}"),
             ExperimentError::Io(e) => write!(f, "writing results: {e}"),
             ExperimentError::MissingData(what) => write!(f, "missing experiment data: {what}"),
         }
@@ -44,6 +52,8 @@ impl Error for ExperimentError {
         match self {
             ExperimentError::UnknownNetwork(e) => Some(e),
             ExperimentError::Serve(e) => Some(e),
+            ExperimentError::Arch(e) => Some(e),
+            ExperimentError::Obs(e) => Some(e),
             ExperimentError::Io(e) => Some(e),
             ExperimentError::MissingData(_) => None,
         }
@@ -59,6 +69,18 @@ impl From<UnknownNetworkError> for ExperimentError {
 impl From<ServeError> for ExperimentError {
     fn from(e: ServeError) -> Self {
         ExperimentError::Serve(e)
+    }
+}
+
+impl From<ArchError> for ExperimentError {
+    fn from(e: ArchError) -> Self {
+        ExperimentError::Arch(e)
+    }
+}
+
+impl From<ObsError> for ExperimentError {
+    fn from(e: ObsError) -> Self {
+        ExperimentError::Obs(e)
     }
 }
 

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod attribution;
 pub mod bench;
 pub mod csv;
 pub mod error;
@@ -21,6 +22,7 @@ pub mod fig14;
 pub mod fig2;
 pub mod fig4;
 pub mod headline;
+pub mod obs_export;
 pub mod overheads;
 pub mod serving;
 pub mod table2;

@@ -19,7 +19,14 @@ usage: experiments [--jobs N] <name>
   ablations  design-choice ablations (DESIGN.md §5)
   extensions extension workloads (ResNet-18, GRU) on every device
   serving    multi-tenant serving load sweep (writes results/serving_load_sweep.csv)
+  attribution
+             cross-check the observability event stream against the
+             aggregate energy/latency models (Fig. 2 / Fig. 13 style)
   all        everything above, in paper order
+  obs [--format json|csv|chrome] [network] [batch]
+             run one network with a live recorder and print the event
+             trace (default: json, inception-v3, batch 1); the chrome
+             format loads in chrome://tracing / Perfetto
   csv [dir]  write every figure's data series as CSV (default: results/)
   bench [--quick] [path]
              time the swept experiments serial vs parallel and write
@@ -68,6 +75,38 @@ fn main() {
         "ablations" => check(exp::ablations::print()),
         "extensions" => check(exp::extensions::print()),
         "serving" => check(exp::serving::print()),
+        "attribution" => check(exp::attribution::print()),
+        "obs" => {
+            let mut format = "json".to_string();
+            let mut positional: Vec<String> = Vec::new();
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                if a == "--format" || a == "-f" {
+                    match rest.next() {
+                        Some(v) => format = v.clone(),
+                        None => {
+                            eprintln!("--format requires a value\n{USAGE}");
+                            std::process::exit(2);
+                        }
+                    }
+                } else {
+                    positional.push(a.clone());
+                }
+            }
+            let network = positional
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "inception-v3".to_string());
+            let batch = match positional.get(1).map(|b| b.parse::<usize>()) {
+                None => 1,
+                Some(Ok(n)) if n >= 1 => n,
+                Some(_) => {
+                    eprintln!("batch expects a positive integer\n{USAGE}");
+                    std::process::exit(2);
+                }
+            };
+            check(exp::obs_export::print(&format, &network, batch));
+        }
         "csv" => {
             let dir = args
                 .get(1)
@@ -108,6 +147,7 @@ fn main() {
             check(exp::ablations::print());
             check(exp::extensions::print());
             check(exp::serving::print());
+            check(exp::attribution::print());
         }
         "-h" | "--help" | "help" => print!("{USAGE}"),
         other => {

@@ -1,0 +1,98 @@
+//! Event-trace export: run one network with a live [`RingRecorder`] and
+//! render the captured stream as JSON, CSV, or a Chrome `trace_event`
+//! file loadable in `chrome://tracing` / Perfetto.
+
+use bfree::prelude::*;
+use bfree_obs::{to_chrome_trace, to_csv, to_json, ExportFormat, RingRecorder};
+use pim_nn::request::NetworkKind;
+
+use crate::error::ExperimentError;
+
+/// Events kept per trace; enough for every evaluation network at batch
+/// 1 (Inception-v3 emits ~2k events).
+const TRACE_CAPACITY: usize = 65_536;
+
+/// Runs `network` at `batch` under a ring recorder and renders the
+/// event stream in `format`.
+///
+/// # Errors
+///
+/// [`ExperimentError::UnknownNetwork`] for an unrecognized network
+/// name; [`ExperimentError::MissingData`] if the run emitted no events
+/// (instrumentation regression).
+pub fn run(format: ExportFormat, network: &str, batch: usize) -> Result<String, ExperimentError> {
+    let kind = NetworkKind::parse(network)?;
+    let recorder = RingRecorder::new(TRACE_CAPACITY);
+    let sim = BfreeSimulator::new(BfreeConfig::paper_default());
+    sim.run_recorded(&kind.instantiate(), batch, &recorder);
+    let events = recorder.events();
+    if events.is_empty() {
+        return Err(ExperimentError::MissingData(format!(
+            "no events recorded for {network}"
+        )));
+    }
+    Ok(match format {
+        ExportFormat::Json => to_json(&events).to_string(),
+        ExportFormat::Csv => to_csv(&events),
+        ExportFormat::Chrome => to_chrome_trace(&events).to_string(),
+    })
+}
+
+/// CLI entry: parses the format label and prints the rendered trace to
+/// stdout.
+///
+/// # Errors
+///
+/// [`ExperimentError::Obs`] for an unknown format label, plus
+/// everything [`run`] returns.
+pub fn print(format_label: &str, network: &str, batch: usize) -> Result<(), ExperimentError> {
+    let format: ExportFormat = format_label.parse()?;
+    println!("{}", run(format, network, batch)?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_export_contains_layer_spans() {
+        let text = run(ExportFormat::Json, "lstm-timit", 1).unwrap();
+        assert!(text.contains("\"name\":\"layer\""));
+        assert!(text.contains("\"subsystem\":\"exec\""));
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let text = run(ExportFormat::Csv, "lstm-timit", 1).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "subsystem,kind,name,detail,component,time_ns,dur_ns,value,unit"
+        );
+        assert!(lines.count() > 10);
+    }
+
+    #[test]
+    fn chrome_export_is_loadable_shape() {
+        let text = run(ExportFormat::Chrome, "lstm-timit", 1).unwrap();
+        let value = bfree_obs::JsonValue::parse(&text).unwrap();
+        let events = value
+            .get("traceEvents")
+            .and_then(bfree_obs::JsonValue::as_array)
+            .unwrap();
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn unknown_format_is_a_typed_error() {
+        let err = print("yaml", "lstm-timit", 1).unwrap_err();
+        assert!(matches!(err, ExperimentError::Obs(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn unknown_network_is_a_typed_error() {
+        let err = run(ExportFormat::Json, "alexnet", 1).unwrap_err();
+        assert!(matches!(err, ExperimentError::UnknownNetwork(_)));
+    }
+}

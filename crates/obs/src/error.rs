@@ -1,0 +1,90 @@
+//! Observability-layer errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the observability layer: JSON parsing, schema
+/// validation during config/event deserialization, and export-format
+/// selection.
+///
+/// Marked `#[non_exhaustive]` like every public error in the workspace,
+/// so adding variants is not a breaking change; match with a wildcard
+/// arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ObsError {
+    /// The JSON text is not well-formed.
+    Parse {
+        /// Byte offset where parsing failed.
+        position: usize,
+        /// What the parser expected.
+        reason: &'static str,
+    },
+    /// The JSON document is well-formed but a field is missing or has
+    /// the wrong type.
+    Schema {
+        /// The offending field name.
+        field: String,
+        /// The expected shape.
+        expected: &'static str,
+    },
+    /// An export format name was not recognized.
+    UnknownFormat {
+        /// The name that failed to parse.
+        name: String,
+    },
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::Parse { position, reason } => {
+                write!(f, "JSON parse error at byte {position}: {reason}")
+            }
+            ObsError::Schema { field, expected } => {
+                write!(f, "JSON field `{field}`: expected {expected}")
+            }
+            ObsError::UnknownFormat { name } => {
+                write!(
+                    f,
+                    "unknown export format `{name}` (expected json, csv, or chrome)"
+                )
+            }
+        }
+    }
+}
+
+// Leaf error: no underlying source.
+impl Error for ObsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ObsError::Parse {
+            position: 12,
+            reason: "expected ':'",
+        };
+        assert!(e.to_string().contains("byte 12"));
+        let e = ObsError::Schema {
+            field: "slices".to_string(),
+            expected: "non-negative integer",
+        };
+        assert!(e.to_string().contains("slices"));
+        let e = ObsError::UnknownFormat {
+            name: "yaml".to_string(),
+        };
+        assert!(e.to_string().contains("yaml"));
+    }
+
+    #[test]
+    fn is_a_leaf_std_error() {
+        let e: Box<dyn Error> = Box::new(ObsError::Parse {
+            position: 0,
+            reason: "empty",
+        });
+        assert!(e.source().is_none());
+    }
+}

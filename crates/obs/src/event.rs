@@ -1,0 +1,284 @@
+//! The event taxonomy: what an instrumented path can say.
+//!
+//! Every observation is one flat [`Event`]. Flatness is deliberate: the
+//! hot paths construct events inside `if recorder.is_enabled()` guards,
+//! so the type must be cheap to build (one optional heap allocation for
+//! the dynamic detail string) and trivially serializable by every
+//! exporter without walking a tree.
+
+use std::fmt;
+
+/// Which layer of the stack emitted an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Subsystem {
+    /// `pim-arch`: timing/energy cost models (slice accesses, DRAM
+    /// transfers, interconnect traversals).
+    Arch,
+    /// `pim-bce`: compute-engine pipeline (stage occupancy, stalls).
+    Bce,
+    /// `bfree`: the per-layer execution simulator.
+    Exec,
+    /// `bfree::par`: the worker pool.
+    Par,
+    /// `bfree-serve`: the multi-tenant serving engine.
+    Serve,
+}
+
+impl Subsystem {
+    /// All subsystems in canonical order.
+    pub const ALL: [Subsystem; 5] = [
+        Subsystem::Arch,
+        Subsystem::Bce,
+        Subsystem::Exec,
+        Subsystem::Par,
+        Subsystem::Serve,
+    ];
+
+    /// Stable machine-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Subsystem::Arch => "arch",
+            Subsystem::Bce => "bce",
+            Subsystem::Exec => "exec",
+            Subsystem::Par => "par",
+            Subsystem::Serve => "serve",
+        }
+    }
+}
+
+impl fmt::Display for Subsystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Hardware component an event attributes cost to.
+///
+/// This is the union of the paper's attribution axes: the Fig. 12(d)
+/// energy components, plus the Fig. 2 slice-access decomposition
+/// (interconnect / subarray / peripheral) and the wordline share of the
+/// subarray itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    /// Main memory (DRAM / eDRAM / HBM).
+    Dram,
+    /// Subarray row accesses (data rows).
+    Subarray,
+    /// Wordline/bitline drive inside the subarray (the share of a row
+    /// access spent activating the row; Fig. 2's "subarray" slice seen
+    /// from inside).
+    Wordline,
+    /// Decoupled-bitline LUT-row reads.
+    Lut,
+    /// BFree Compute Engine datapath (ROM MACs, adders, shifters).
+    Bce,
+    /// Slice-level H-tree interconnect.
+    Interconnect,
+    /// Inter-subarray router hops (systolic flow).
+    Router,
+    /// Slice/cache peripherals (decoders, muxes, port logic).
+    Peripheral,
+    /// Cache- and slice-level controllers.
+    Controller,
+}
+
+impl Component {
+    /// All components in canonical report order.
+    pub const ALL: [Component; 9] = [
+        Component::Dram,
+        Component::Subarray,
+        Component::Wordline,
+        Component::Lut,
+        Component::Bce,
+        Component::Interconnect,
+        Component::Router,
+        Component::Peripheral,
+        Component::Controller,
+    ];
+
+    /// Stable machine-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Dram => "dram",
+            Component::Subarray => "subarray",
+            Component::Wordline => "wordline",
+            Component::Lut => "lut",
+            Component::Bce => "bce",
+            Component::Interconnect => "interconnect",
+            Component::Router => "router",
+            Component::Peripheral => "peripheral",
+            Component::Controller => "controller",
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The shape of one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A named interval: `time_ns .. time_ns + dur_ns`.
+    Span,
+    /// A point-in-time marker.
+    Instant,
+    /// A monotonically accumulated quantity (energy, bytes, ops).
+    Counter,
+    /// A sampled level (queue depth, free slices).
+    Gauge,
+    /// A value contributing to a distribution (per-request latency).
+    Histogram,
+}
+
+impl EventKind {
+    /// Stable machine-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Instant => "instant",
+            EventKind::Counter => "counter",
+            EventKind::Gauge => "gauge",
+            EventKind::Histogram => "histogram",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Unit of an event's `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Unit {
+    /// Nanoseconds (virtual or model time).
+    Nanoseconds,
+    /// Picojoules.
+    Picojoules,
+    /// A dimensionless count.
+    Count,
+    /// Bytes moved.
+    Bytes,
+    /// A dimensionless fraction or ratio.
+    Ratio,
+}
+
+impl Unit {
+    /// Stable machine-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Unit::Nanoseconds => "ns",
+            Unit::Picojoules => "pJ",
+            Unit::Count => "count",
+            Unit::Bytes => "bytes",
+            Unit::Ratio => "ratio",
+        }
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One structured observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The emitting subsystem.
+    pub subsystem: Subsystem,
+    /// The observation's shape.
+    pub kind: EventKind,
+    /// Static event name (e.g. `"layer"`, `"request"`, `"queue_depth"`).
+    pub name: &'static str,
+    /// Optional dynamic label (layer name, tenant name, stall cause).
+    pub detail: Option<String>,
+    /// Optional hardware component the cost is attributed to.
+    pub component: Option<Component>,
+    /// Event timestamp in nanoseconds (virtual/model time; 0 for
+    /// time-free model events).
+    pub time_ns: f64,
+    /// Span duration in nanoseconds (0 for non-spans).
+    pub dur_ns: f64,
+    /// The measured value (duration for spans, level for gauges, ...).
+    pub value: f64,
+    /// Unit of `value`.
+    pub unit: Unit,
+}
+
+impl Event {
+    /// The aggregation key exporters and [`crate::AggRecorder`] group
+    /// by: subsystem, kind, name, component, unit. Unit is part of the
+    /// key so an energy counter and a latency counter sharing a name
+    /// never fold into one entry.
+    pub fn key(&self) -> (Subsystem, EventKind, &'static str, Option<Component>, Unit) {
+        (
+            self.subsystem,
+            self.kind,
+            self.name,
+            self.component,
+            self.unit,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_and_lowercase() {
+        for s in Subsystem::ALL {
+            assert_eq!(s.label(), s.label().to_lowercase());
+        }
+        for c in Component::ALL {
+            assert_eq!(c.to_string(), c.label());
+        }
+        assert_eq!(EventKind::Span.label(), "span");
+        assert_eq!(Unit::Picojoules.to_string(), "pJ");
+    }
+
+    #[test]
+    fn component_all_covers_fig2_and_fig12_axes() {
+        // Fig. 2 needs interconnect / subarray / peripheral; Fig. 12(d)
+        // needs dram / subarray / lut / bce / interconnect / router /
+        // controller. Both must be expressible.
+        for needed in [
+            Component::Interconnect,
+            Component::Subarray,
+            Component::Peripheral,
+            Component::Dram,
+            Component::Lut,
+            Component::Bce,
+            Component::Router,
+            Component::Controller,
+        ] {
+            assert!(Component::ALL.contains(&needed));
+        }
+    }
+
+    #[test]
+    fn event_key_groups_by_identity_not_value() {
+        let a = Event {
+            subsystem: Subsystem::Exec,
+            kind: EventKind::Counter,
+            name: "energy",
+            detail: Some("conv1".to_string()),
+            component: Some(Component::Dram),
+            time_ns: 0.0,
+            dur_ns: 0.0,
+            value: 10.0,
+            unit: Unit::Picojoules,
+        };
+        let b = Event {
+            detail: None,
+            value: 20.0,
+            ..a.clone()
+        };
+        assert_eq!(a.key(), b.key());
+    }
+}

@@ -1,0 +1,338 @@
+//! Event serializers: JSON, CSV, and Chrome `trace_event`.
+//!
+//! All exporters are pure `&[Event] -> String` functions: they preserve
+//! the order of the input slice and contain no clocks or randomness, so
+//! a deterministic event stream exports to byte-identical text. Callers
+//! that collected events concurrently (e.g. from a shared
+//! [`crate::RingRecorder`]) should sort before exporting.
+
+use std::fmt::Write as _;
+
+use crate::error::ObsError;
+use crate::event::{Event, EventKind, Subsystem};
+use crate::json::JsonValue;
+
+/// Output formats understood by `experiments obs export`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// Structured JSON array of event objects.
+    Json,
+    /// Flat CSV, one event per row.
+    Csv,
+    /// Chrome `trace_event` JSON for `chrome://tracing` / Perfetto.
+    Chrome,
+}
+
+impl ExportFormat {
+    /// All formats in CLI help order.
+    pub const ALL: [ExportFormat; 3] =
+        [ExportFormat::Json, ExportFormat::Csv, ExportFormat::Chrome];
+
+    /// Stable CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExportFormat::Json => "json",
+            ExportFormat::Csv => "csv",
+            ExportFormat::Chrome => "chrome",
+        }
+    }
+
+    /// Parses a CLI format name.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::UnknownFormat`] for anything but `json`, `csv`, or
+    /// `chrome`.
+    pub fn parse(name: &str) -> Result<ExportFormat, ObsError> {
+        match name {
+            "json" => Ok(ExportFormat::Json),
+            "csv" => Ok(ExportFormat::Csv),
+            "chrome" => Ok(ExportFormat::Chrome),
+            other => Err(ObsError::UnknownFormat {
+                name: other.to_string(),
+            }),
+        }
+    }
+
+    /// Serializes `events` in this format.
+    pub fn render(self, events: &[Event]) -> String {
+        match self {
+            ExportFormat::Json => to_json(events),
+            ExportFormat::Csv => to_csv(events),
+            ExportFormat::Chrome => to_chrome_trace(events),
+        }
+    }
+}
+
+impl std::fmt::Display for ExportFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for ExportFormat {
+    type Err = ObsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ExportFormat::parse(s)
+    }
+}
+
+fn event_to_json(event: &Event) -> JsonValue {
+    let mut pairs = vec![
+        (
+            "subsystem",
+            JsonValue::String(event.subsystem.label().to_string()),
+        ),
+        ("kind", JsonValue::String(event.kind.label().to_string())),
+        ("name", JsonValue::String(event.name.to_string())),
+        ("time_ns", JsonValue::Number(event.time_ns)),
+        ("dur_ns", JsonValue::Number(event.dur_ns)),
+        ("value", JsonValue::Number(event.value)),
+        ("unit", JsonValue::String(event.unit.label().to_string())),
+    ];
+    if let Some(detail) = &event.detail {
+        pairs.push(("detail", JsonValue::String(detail.clone())));
+    }
+    if let Some(component) = event.component {
+        pairs.push((
+            "component",
+            JsonValue::String(component.label().to_string()),
+        ));
+    }
+    JsonValue::object(pairs)
+}
+
+/// Serializes events as a JSON array of flat objects.
+///
+/// ```
+/// use bfree_obs::{to_json, JsonValue, Recorder, RingRecorder, Subsystem};
+///
+/// let ring = RingRecorder::new(16);
+/// ring.span(Subsystem::Exec, "layer", 0.0, 42.0);
+/// let text = to_json(&ring.events());
+/// let doc = JsonValue::parse(&text).unwrap();
+/// assert_eq!(doc.as_array().unwrap().len(), 1);
+/// ```
+pub fn to_json(events: &[Event]) -> String {
+    JsonValue::Array(events.iter().map(event_to_json).collect()).to_string()
+}
+
+fn csv_field(text: &str, out: &mut String) {
+    if text.contains([',', '"', '\n', '\r']) {
+        out.push('"');
+        for c in text.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(text);
+    }
+}
+
+/// Serializes events as CSV with a fixed header row.
+///
+/// Columns: `subsystem,kind,name,detail,component,time_ns,dur_ns,value,unit`.
+/// Empty cells for absent detail/component; fields containing commas,
+/// quotes, or newlines are RFC 4180-quoted.
+pub fn to_csv(events: &[Event]) -> String {
+    let mut out = String::from("subsystem,kind,name,detail,component,time_ns,dur_ns,value,unit\n");
+    for event in events {
+        out.push_str(event.subsystem.label());
+        out.push(',');
+        out.push_str(event.kind.label());
+        out.push(',');
+        csv_field(event.name, &mut out);
+        out.push(',');
+        if let Some(detail) = &event.detail {
+            csv_field(detail, &mut out);
+        }
+        out.push(',');
+        if let Some(component) = event.component {
+            out.push_str(component.label());
+        }
+        let _ = write!(
+            out,
+            ",{},{},{},{}",
+            fmt_num(event.time_ns),
+            fmt_num(event.dur_ns),
+            fmt_num(event.value),
+            event.unit.label()
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a number the way the JSON writer does: integral values
+/// without a fraction, everything else shortest-round-trip.
+fn fmt_num(v: f64) -> String {
+    JsonValue::Number(v).to_string()
+}
+
+fn chrome_tid(subsystem: Subsystem) -> f64 {
+    // One Chrome "thread" lane per subsystem, in canonical order.
+    (Subsystem::ALL
+        .iter()
+        .position(|s| *s == subsystem)
+        .unwrap_or(0)
+        + 1) as f64
+}
+
+/// Serializes events as Chrome `trace_event` JSON (the
+/// `{"traceEvents": [...]}` object form), loadable in
+/// `chrome://tracing` and Perfetto.
+///
+/// Mapping: spans become `"X"` (complete) events with microsecond
+/// `ts`/`dur`; instants become `"i"`; counters, gauges and histogram
+/// samples become `"C"` counter events. Each subsystem gets its own
+/// thread lane.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let trace_events: Vec<JsonValue> = events
+        .iter()
+        .map(|event| {
+            let mut args = Vec::new();
+            if let Some(detail) = &event.detail {
+                args.push(("detail", JsonValue::String(detail.clone())));
+            }
+            if let Some(component) = event.component {
+                args.push((
+                    "component",
+                    JsonValue::String(component.label().to_string()),
+                ));
+            }
+            let mut pairs = vec![
+                ("name", JsonValue::String(event.name.to_string())),
+                (
+                    "cat",
+                    JsonValue::String(event.subsystem.label().to_string()),
+                ),
+                ("pid", JsonValue::Number(1.0)),
+                ("tid", JsonValue::Number(chrome_tid(event.subsystem))),
+                // trace_event timestamps are microseconds.
+                ("ts", JsonValue::Number(event.time_ns / 1000.0)),
+            ];
+            match event.kind {
+                EventKind::Span => {
+                    pairs.push(("ph", JsonValue::String("X".to_string())));
+                    pairs.push(("dur", JsonValue::Number(event.dur_ns / 1000.0)));
+                }
+                EventKind::Instant => {
+                    pairs.push(("ph", JsonValue::String("i".to_string())));
+                    pairs.push(("s", JsonValue::String("t".to_string())));
+                }
+                EventKind::Counter | EventKind::Gauge | EventKind::Histogram => {
+                    pairs.push(("ph", JsonValue::String("C".to_string())));
+                    args.push(("value", JsonValue::Number(event.value)));
+                }
+            }
+            pairs.push(("args", JsonValue::object(args)));
+            JsonValue::object(pairs)
+        })
+        .collect();
+    JsonValue::object([("traceEvents", JsonValue::Array(trace_events))]).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Component, Unit};
+    use crate::recorder::Recorder;
+    use crate::ring::RingRecorder;
+
+    fn sample_events() -> Vec<Event> {
+        let ring = RingRecorder::new(16);
+        ring.span(Subsystem::Exec, "layer", 1000.0, 2500.0);
+        ring.span_with(Subsystem::Serve, "request", 0.0, 5000.0, || {
+            "tenant=a, batch=4".to_string()
+        });
+        ring.energy(
+            Subsystem::Arch,
+            "slice_access",
+            Component::Interconnect,
+            33.5,
+        );
+        ring.gauge(Subsystem::Serve, "queue_depth", 500.0, 3.0);
+        ring.instant(Subsystem::Serve, "reject", 600.0, || "capacity".to_string());
+        ring.histogram(Subsystem::Serve, "latency", 4096.0, Unit::Nanoseconds);
+        ring.events()
+    }
+
+    #[test]
+    fn json_export_parses_back_with_all_fields() {
+        let events = sample_events();
+        let doc = JsonValue::parse(&to_json(&events)).unwrap();
+        let items = doc.as_array().unwrap();
+        assert_eq!(items.len(), events.len());
+        assert_eq!(items[0].require_str("subsystem").unwrap(), "exec");
+        assert_eq!(items[0].require_f64("dur_ns").unwrap(), 2500.0);
+        assert_eq!(items[2].require_str("component").unwrap(), "interconnect");
+        assert_eq!(items[2].require_str("unit").unwrap(), "pJ");
+        assert_eq!(items[4].require_str("detail").unwrap(), "capacity");
+    }
+
+    #[test]
+    fn csv_export_has_header_and_quotes_commas() {
+        let csv = to_csv(&sample_events());
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "subsystem,kind,name,detail,component,time_ns,dur_ns,value,unit"
+        );
+        assert_eq!(lines.clone().count(), 6);
+        let request_row = lines.find(|l| l.contains("request")).unwrap();
+        assert!(
+            request_row.contains("\"tenant=a, batch=4\""),
+            "comma-bearing detail must be quoted: {request_row}"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_maps_kinds_to_phases() {
+        let doc = JsonValue::parse(&to_chrome_trace(&sample_events())).unwrap();
+        let items = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(items[0].require_str("ph").unwrap(), "X");
+        assert_eq!(items[0].require_f64("dur").unwrap(), 2.5);
+        assert_eq!(items[0].require_f64("ts").unwrap(), 1.0);
+        assert_eq!(items[2].require_str("ph").unwrap(), "C");
+        assert_eq!(
+            items[2].get("args").unwrap().require_f64("value").unwrap(),
+            33.5
+        );
+        assert_eq!(items[4].require_str("ph").unwrap(), "i");
+        // Lanes: serve events share a tid distinct from exec's.
+        let tid_exec = items[0].require_f64("tid").unwrap();
+        let tid_serve = items[1].require_f64("tid").unwrap();
+        assert_ne!(tid_exec, tid_serve);
+    }
+
+    #[test]
+    fn format_parse_and_render_round_trip() {
+        for format in ExportFormat::ALL {
+            assert_eq!(ExportFormat::parse(format.label()).unwrap(), format);
+        }
+        assert!(matches!(
+            ExportFormat::parse("yaml"),
+            Err(ObsError::UnknownFormat { .. })
+        ));
+        let events = sample_events();
+        assert_eq!(ExportFormat::Json.render(&events), to_json(&events));
+        assert_eq!(ExportFormat::Csv.render(&events), to_csv(&events));
+        assert_eq!(
+            ExportFormat::Chrome.render(&events),
+            to_chrome_trace(&events)
+        );
+        assert_eq!("csv".parse::<ExportFormat>().unwrap(), ExportFormat::Csv);
+    }
+
+    #[test]
+    fn empty_event_list_exports_cleanly() {
+        assert_eq!(to_json(&[]), "[]");
+        assert_eq!(to_csv(&[]).lines().count(), 1);
+        let doc = JsonValue::parse(&to_chrome_trace(&[])).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,498 @@
+//! A dependency-free JSON value, writer, and parser.
+//!
+//! The workspace's vendored `serde` is a no-op marker stub (the build
+//! environment has no registry access), so every serialization need in
+//! the workspace — event export, config round-trips — goes through this
+//! module instead. The surface is deliberately small: a [`JsonValue`]
+//! tree, a writer with full string escaping, and a strict recursive-
+//! descent parser returning positioned [`ObsError::Parse`] errors.
+//!
+//! Numbers are written with enough precision to round-trip f64 exactly
+//! (`{:?}` formatting, which Rust guarantees to be shortest-round-trip).
+//!
+//! [`ObsError::Parse`]: crate::ObsError::Parse
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::ObsError;
+
+/// A JSON document.
+///
+/// Objects use a [`BTreeMap`], so serialization order is deterministic
+/// (sorted by key) — a requirement for the byte-identical-output CI
+/// gates.
+///
+/// ```
+/// use bfree_obs::JsonValue;
+///
+/// let v = JsonValue::parse(r#"{"a": [1, true, "x\n"]}"#).unwrap();
+/// assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+/// let back = v.to_string();
+/// assert_eq!(JsonValue::parse(&back).unwrap(), v);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as f64).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with deterministic (sorted) key order.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Builds an object from key/value pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Member lookup on objects (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as u64, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Typed member access: `self[key]` as f64.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Schema`] when the key is missing or not a number.
+    pub fn require_f64(&self, key: &str) -> Result<f64, ObsError> {
+        self.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| ObsError::Schema {
+                field: key.to_string(),
+                expected: "number",
+            })
+    }
+
+    /// Typed member access: `self[key]` as u64.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Schema`] when the key is missing or not a
+    /// non-negative integer.
+    pub fn require_u64(&self, key: &str) -> Result<u64, ObsError> {
+        self.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ObsError::Schema {
+                field: key.to_string(),
+                expected: "non-negative integer",
+            })
+    }
+
+    /// Typed member access: `self[key]` as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Schema`] when the key is missing or not a string.
+    pub fn require_str(&self, key: &str) -> Result<&str, ObsError> {
+        self.get(key)
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ObsError::Schema {
+                field: key.to_string(),
+                expected: "string",
+            })
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Parse`] with a byte position and reason.
+    pub fn parse(text: &str) -> Result<JsonValue, ObsError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after document"));
+        }
+        Ok(value)
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => {
+                if n.is_finite() {
+                    // {:?} is shortest-round-trip for f64; integral
+                    // values print without a trailing ".0" via {}.
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n:?}"));
+                    }
+                } else {
+                    // JSON has no Inf/NaN; null is the conventional spill.
+                    out.push_str("null");
+                }
+            }
+            JsonValue::String(s) => write_escaped(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, reason: &'static str) -> ObsError {
+        ObsError::Parse {
+            position: self.pos,
+            reason,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8, reason: &'static str) -> Result<(), ObsError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(reason))
+        }
+    }
+
+    fn literal(&mut self, text: &'static str, value: JsonValue) -> Result<JsonValue, ObsError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, ObsError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ObsError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while self
+                .peek()
+                .is_some_and(|b| b != b'"' && b != b'\\' && b >= 0x20)
+            {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or_else(|| self.error("truncated escape"))?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by our own
+                            // writer; reject rather than mis-decode.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.error("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, ObsError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(JsonValue::Number)
+            .ok_or_else(|| self.error("invalid number"))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, ObsError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, ObsError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(text: &str) -> JsonValue {
+        let v = JsonValue::parse(text).unwrap();
+        let emitted = v.to_string();
+        let again = JsonValue::parse(&emitted).unwrap();
+        assert_eq!(v, again, "round-trip changed the document: {emitted}");
+        v
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(round_trip("null"), JsonValue::Null);
+        assert_eq!(round_trip("true"), JsonValue::Bool(true));
+        assert_eq!(round_trip("-12.5e2"), JsonValue::Number(-1250.0));
+        assert_eq!(
+            round_trip(r#""a\"b\\c\ndA""#),
+            JsonValue::String("a\"b\\c\ndA".to_string())
+        );
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = round_trip(r#"{"b": [1, {"x": null}], "a": "z", "c": 0.5}"#);
+        assert_eq!(v.require_f64("c").unwrap(), 0.5);
+        assert_eq!(v.require_str("a").unwrap(), "z");
+        assert!(v.require_f64("missing").is_err());
+    }
+
+    #[test]
+    fn object_serialization_is_key_sorted() {
+        let v = JsonValue::parse(r#"{"z": 1, "a": 2}"#).unwrap();
+        assert_eq!(v.to_string(), r#"{"a":2,"z":1}"#);
+    }
+
+    #[test]
+    fn f64_shortest_round_trip_precision() {
+        let v = JsonValue::Number(0.1 + 0.2);
+        let parsed = JsonValue::parse(&v.to_string()).unwrap();
+        assert_eq!(parsed.as_f64().unwrap().to_bits(), (0.1 + 0.2f64).to_bits());
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(JsonValue::Number(14.0).to_string(), "14");
+        assert_eq!(JsonValue::Number(-3.0).to_string(), "-3");
+        let v = JsonValue::parse("1024").unwrap();
+        assert_eq!(v.as_u64(), Some(1024));
+        assert_eq!(JsonValue::Number(-1.0).as_u64(), None);
+        assert_eq!(JsonValue::Number(1.5).as_u64(), None);
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = JsonValue::parse("[1, ").unwrap_err();
+        match err {
+            ObsError::Parse { position, .. } => assert!(position >= 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(JsonValue::parse("{\"a\" 1}").is_err());
+        assert!(JsonValue::parse("[1] trailing").is_err());
+        assert!(JsonValue::parse("").is_err());
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let v = JsonValue::String("a\u{1}b".to_string());
+        assert_eq!(v.to_string(), "\"a\\u0001b\"");
+        assert_eq!(JsonValue::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_numbers_spill_to_null() {
+        assert_eq!(JsonValue::Number(f64::INFINITY).to_string(), "null");
+        assert_eq!(JsonValue::Number(f64::NAN).to_string(), "null");
+    }
+}

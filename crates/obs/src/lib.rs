@@ -1,0 +1,70 @@
+//! # bfree-obs
+//!
+//! Zero-cost structured observability for the BFree workspace.
+//!
+//! The paper's core evaluation claims are *attribution* claims — where
+//! the picojoules and nanoseconds of an inference go (Fig. 2's
+//! interconnect dominance, Fig. 12–14's phase/component splits,
+//! Table III's per-network costs). Reproducing them mechanically needs
+//! more than end-of-run aggregates: it needs every hot path to emit
+//! *events* tagged by component, phase, layer, and request, which an
+//! exporter can then fold into any of the paper's figures.
+//!
+//! This crate is the substrate:
+//!
+//! * [`Recorder`] — the sink trait every instrumented path is generic
+//!   over. Instrumentation calls monomorphize against the concrete
+//!   recorder, so with [`NullRecorder`] (the default everywhere) the
+//!   `if recorder.is_enabled()` guards are constant-folded and the
+//!   instrumented build is byte-for-byte the uninstrumented one.
+//! * [`Event`] — one structured observation: a [`Span`], [`Instant`],
+//!   [`Counter`], [`Gauge`] or [`Histogram`] sample, tagged with the
+//!   emitting [`Subsystem`], an optional hardware [`Component`], a
+//!   static name and an optional dynamic detail string.
+//! * [`RingRecorder`] — a bounded in-memory ring of events for trace
+//!   inspection and export (oldest events dropped under pressure, with
+//!   a drop counter so truncation is never silent).
+//! * [`AggRecorder`] — streaming aggregation (count / sum / min / max /
+//!   log2 histogram) keyed by subsystem, name, and component; the basis
+//!   of the `experiments attribution` cross-check.
+//! * [`export`] — JSON, CSV, and Chrome `trace_event` serializers over
+//!   recorded events (`chrome://tracing` / Perfetto flame-style views).
+//! * [`json`] — the dependency-free JSON value, writer and parser the
+//!   exporters and the config round-trips use (the workspace's vendored
+//!   `serde` is a no-op stub, so serialization is hand-rolled).
+//!
+//! [`Span`]: EventKind::Span
+//! [`Instant`]: EventKind::Instant
+//! [`Counter`]: EventKind::Counter
+//! [`Gauge`]: EventKind::Gauge
+//! [`Histogram`]: EventKind::Histogram
+//!
+//! ```
+//! use bfree_obs::{AggRecorder, Component, Recorder, Subsystem, Unit};
+//!
+//! let rec = AggRecorder::new();
+//! rec.energy(Subsystem::Exec, "layer_energy", Component::Dram, 800.0);
+//! rec.energy(Subsystem::Exec, "layer_energy", Component::Bce, 200.0);
+//! let by_component = rec.energy_by_component();
+//! assert_eq!(by_component[&Component::Dram], 800.0);
+//! let _ = Unit::Picojoules;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod error;
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod recorder;
+pub mod ring;
+
+pub use agg::{AggEntry, AggRecorder};
+pub use error::ObsError;
+pub use event::{Component, Event, EventKind, Subsystem, Unit};
+pub use export::{to_chrome_trace, to_csv, to_json, ExportFormat};
+pub use json::JsonValue;
+pub use recorder::{NullRecorder, Recorder};
+pub use ring::RingRecorder;

@@ -1,0 +1,270 @@
+//! The [`Recorder`] trait and the zero-cost [`NullRecorder`].
+//!
+//! Instrumented code is *generic* over its recorder, never dynamic:
+//! `fn run_recorded<R: Recorder>(&self, ..., recorder: &R)`. Each call
+//! site monomorphizes, so the [`NullRecorder`] instantiation inlines
+//! `is_enabled() == false` and `record() == ()`, the guard branches
+//! constant-fold, and the disabled build carries no instrumentation
+//! cost at all — not even the event construction.
+//!
+//! Recorder methods take `&self` so one recorder can be shared by
+//! parallel workers (`bfree::par`) and by `&self` simulator methods;
+//! stateful implementations synchronize internally.
+
+use crate::event::{Component, Event, EventKind, Subsystem, Unit};
+
+/// A sink for structured [`Event`]s.
+///
+/// Implementations must be cheap to query: `is_enabled` is called on
+/// every hot-path instrumentation site, usually guarding the event
+/// construction itself.
+pub trait Recorder {
+    /// Whether this recorder keeps events. Hot paths skip event
+    /// construction entirely when this is `false`.
+    fn is_enabled(&self) -> bool;
+
+    /// Records one event. Implementations must not panic.
+    fn record(&self, event: Event);
+
+    /// Records a named interval of `dur_ns` starting at `start_ns`.
+    fn span(&self, subsystem: Subsystem, name: &'static str, start_ns: f64, dur_ns: f64) {
+        if self.is_enabled() {
+            self.record(Event {
+                subsystem,
+                kind: EventKind::Span,
+                name,
+                detail: None,
+                component: None,
+                time_ns: start_ns,
+                dur_ns,
+                value: dur_ns,
+                unit: Unit::Nanoseconds,
+            });
+        }
+    }
+
+    /// [`span`](Recorder::span) with a dynamic detail label. The label
+    /// closure only runs when the recorder is enabled.
+    fn span_with(
+        &self,
+        subsystem: Subsystem,
+        name: &'static str,
+        start_ns: f64,
+        dur_ns: f64,
+        detail: impl FnOnce() -> String,
+    ) {
+        if self.is_enabled() {
+            self.record(Event {
+                subsystem,
+                kind: EventKind::Span,
+                name,
+                detail: Some(detail()),
+                component: None,
+                time_ns: start_ns,
+                dur_ns,
+                value: dur_ns,
+                unit: Unit::Nanoseconds,
+            });
+        }
+    }
+
+    /// Records a point-in-time marker; the label closure only runs when
+    /// the recorder is enabled.
+    fn instant(
+        &self,
+        subsystem: Subsystem,
+        name: &'static str,
+        time_ns: f64,
+        detail: impl FnOnce() -> String,
+    ) {
+        if self.is_enabled() {
+            self.record(Event {
+                subsystem,
+                kind: EventKind::Instant,
+                name,
+                detail: Some(detail()),
+                component: None,
+                time_ns,
+                dur_ns: 0.0,
+                value: 1.0,
+                unit: Unit::Count,
+            });
+        }
+    }
+
+    /// Accumulates `value` (in `unit`) onto a named counter.
+    fn counter(&self, subsystem: Subsystem, name: &'static str, value: f64, unit: Unit) {
+        if self.is_enabled() {
+            self.record(Event {
+                subsystem,
+                kind: EventKind::Counter,
+                name,
+                detail: None,
+                component: None,
+                time_ns: 0.0,
+                dur_ns: 0.0,
+                value,
+                unit,
+            });
+        }
+    }
+
+    /// Accumulates picojoules attributed to a hardware component.
+    fn energy(&self, subsystem: Subsystem, name: &'static str, component: Component, pj: f64) {
+        if self.is_enabled() {
+            self.record(Event {
+                subsystem,
+                kind: EventKind::Counter,
+                name,
+                detail: None,
+                component: Some(component),
+                time_ns: 0.0,
+                dur_ns: 0.0,
+                value: pj,
+                unit: Unit::Picojoules,
+            });
+        }
+    }
+
+    /// Accumulates nanoseconds attributed to a hardware component.
+    fn latency(&self, subsystem: Subsystem, name: &'static str, component: Component, ns: f64) {
+        if self.is_enabled() {
+            self.record(Event {
+                subsystem,
+                kind: EventKind::Counter,
+                name,
+                detail: None,
+                component: Some(component),
+                time_ns: 0.0,
+                dur_ns: 0.0,
+                value: ns,
+                unit: Unit::Nanoseconds,
+            });
+        }
+    }
+
+    /// Samples a level (queue depth, free slices) at `time_ns`.
+    fn gauge(&self, subsystem: Subsystem, name: &'static str, time_ns: f64, level: f64) {
+        if self.is_enabled() {
+            self.record(Event {
+                subsystem,
+                kind: EventKind::Gauge,
+                name,
+                detail: None,
+                component: None,
+                time_ns,
+                dur_ns: 0.0,
+                value: level,
+                unit: Unit::Count,
+            });
+        }
+    }
+
+    /// Contributes `value` (in `unit`) to a named distribution.
+    fn histogram(&self, subsystem: Subsystem, name: &'static str, value: f64, unit: Unit) {
+        if self.is_enabled() {
+            self.record(Event {
+                subsystem,
+                kind: EventKind::Histogram,
+                name,
+                detail: None,
+                component: None,
+                time_ns: 0.0,
+                dur_ns: 0.0,
+                value,
+                unit,
+            });
+        }
+    }
+}
+
+/// The do-nothing recorder: the default everywhere instrumentation is
+/// not explicitly requested. Monomorphization erases it completely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline(always)]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&self, _event: Event) {}
+}
+
+// Shared references record through to the underlying recorder, so call
+// sites can pass `&rec` down a call tree without re-borrowing games.
+impl<R: Recorder + ?Sized> Recorder for &R {
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+
+    fn record(&self, event: Event) {
+        (**self).record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// A test recorder capturing every event (single-threaded).
+    struct Capture(RefCell<Vec<Event>>);
+
+    impl Recorder for Capture {
+        fn is_enabled(&self) -> bool {
+            true
+        }
+        fn record(&self, event: Event) {
+            self.0.borrow_mut().push(event);
+        }
+    }
+
+    #[test]
+    fn null_recorder_is_disabled_and_silent() {
+        let rec = NullRecorder;
+        assert!(!rec.is_enabled());
+        rec.span(Subsystem::Exec, "layer", 0.0, 10.0);
+        rec.energy(Subsystem::Exec, "e", Component::Dram, 1.0);
+        // Nothing observable: NullRecorder has no state to inspect,
+        // which is the point.
+    }
+
+    #[test]
+    fn convenience_methods_build_correct_events() {
+        let rec = Capture(RefCell::new(Vec::new()));
+        rec.span(Subsystem::Serve, "request", 100.0, 50.0);
+        rec.energy(Subsystem::Exec, "layer_energy", Component::Bce, 7.5);
+        rec.gauge(Subsystem::Serve, "queue_depth", 42.0, 3.0);
+        rec.histogram(Subsystem::Serve, "latency", 1000.0, Unit::Nanoseconds);
+        let events = rec.0.borrow();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].kind, EventKind::Span);
+        assert_eq!(events[0].dur_ns, 50.0);
+        assert_eq!(events[1].component, Some(Component::Bce));
+        assert_eq!(events[1].unit, Unit::Picojoules);
+        assert_eq!(events[2].kind, EventKind::Gauge);
+        assert_eq!(events[3].kind, EventKind::Histogram);
+    }
+
+    #[test]
+    fn detail_closure_skipped_when_disabled() {
+        let rec = NullRecorder;
+        let mut ran = false;
+        rec.span_with(Subsystem::Exec, "layer", 0.0, 1.0, || {
+            ran = true;
+            "expensive".to_string()
+        });
+        assert!(!ran, "disabled recorder must not evaluate detail labels");
+    }
+
+    #[test]
+    fn reference_recorder_delegates() {
+        let rec = Capture(RefCell::new(Vec::new()));
+        let by_ref = &rec;
+        by_ref.counter(Subsystem::Par, "items", 5.0, Unit::Count);
+        assert_eq!(rec.0.borrow().len(), 1);
+    }
+}

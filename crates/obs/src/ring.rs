@@ -1,0 +1,162 @@
+//! A bounded in-memory event ring for trace capture and export.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::recorder::Recorder;
+
+struct RingInner {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A [`Recorder`] keeping the most recent `capacity` events.
+///
+/// Under pressure the *oldest* events are evicted and counted in
+/// [`dropped`](RingRecorder::dropped), so a truncated trace is always
+/// detectable. Internally synchronized; safe to share with parallel
+/// workers (arrival order under concurrency follows lock acquisition,
+/// which is why deterministic exports sort before writing).
+///
+/// ```
+/// use bfree_obs::{Recorder, RingRecorder, Subsystem};
+///
+/// let ring = RingRecorder::new(2);
+/// ring.span(Subsystem::Exec, "a", 0.0, 1.0);
+/// ring.span(Subsystem::Exec, "b", 1.0, 1.0);
+/// ring.span(Subsystem::Exec, "c", 2.0, 1.0);
+/// assert_eq!(ring.len(), 2);
+/// assert_eq!(ring.dropped(), 1);
+/// assert_eq!(ring.events()[0].name, "b");
+/// ```
+#[derive(Debug)]
+pub struct RingRecorder {
+    inner: Mutex<RingInner>,
+}
+
+impl std::fmt::Debug for RingInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingInner")
+            .field("len", &self.events.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl RingRecorder {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        RingRecorder {
+            inner: Mutex::new(RingInner {
+                events: VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RingInner> {
+        // An event push never leaves the ring half-updated, so a
+        // poisoned lock still guards a consistent ring.
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.lock().events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Empties the ring and resets the drop counter.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.events.clear();
+        inner.dropped = 0;
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: Event) {
+        let mut inner = self.lock();
+        if inner.events.len() == inner.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Subsystem, Unit};
+
+    #[test]
+    fn keeps_most_recent_events() {
+        let ring = RingRecorder::new(3);
+        for i in 0..10u32 {
+            ring.counter(Subsystem::Par, "i", f64::from(i), Unit::Count);
+        }
+        let values: Vec<f64> = ring.events().iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![7.0, 8.0, 9.0]);
+        assert_eq!(ring.dropped(), 7);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = RingRecorder::new(0);
+        ring.counter(Subsystem::Par, "x", 1.0, Unit::Count);
+        ring.counter(Subsystem::Par, "x", 2.0, Unit::Count);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.events()[0].value, 2.0);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let ring = RingRecorder::new(1);
+        ring.counter(Subsystem::Par, "x", 1.0, Unit::Count);
+        ring.counter(Subsystem::Par, "x", 2.0, Unit::Count);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let ring = RingRecorder::new(1000);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        ring.counter(Subsystem::Par, "t", 1.0, Unit::Count);
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.len(), 400);
+    }
+}

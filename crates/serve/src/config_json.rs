@@ -1,0 +1,137 @@
+//! JSON round-tripping for [`ServeConfig`], layered on the hand-rolled
+//! [`bfree_obs::JsonValue`] tree (the workspace carries no external
+//! serde backend). Key order is deterministic, so serialized configs
+//! diff cleanly and hash stably.
+
+use bfree::BfreeConfig;
+use bfree_obs::{JsonValue, ObsError};
+
+use crate::scheduler::{SchedPolicy, ServeConfig};
+
+fn schema_err(field: &str, expected: &'static str) -> ObsError {
+    ObsError::Schema {
+        field: field.to_string(),
+        expected,
+    }
+}
+
+impl ServeConfig {
+    /// Serializes this configuration as a [`JsonValue`] tree. The
+    /// embedded base machine uses [`BfreeConfig::to_json`].
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("base", self.base.to_json()),
+            ("policy", JsonValue::String(self.policy.label().to_string())),
+            ("max_batch", JsonValue::Number(self.max_batch as f64)),
+            (
+                "batch_window_ns",
+                JsonValue::Number(self.batch_window_ns as f64),
+            ),
+            (
+                "queue_capacity",
+                JsonValue::Number(self.queue_capacity as f64),
+            ),
+            (
+                "timeout_ns",
+                match self.timeout_ns {
+                    Some(ns) => JsonValue::Number(ns as f64),
+                    None => JsonValue::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Serializes this configuration as a JSON string with
+    /// deterministic key order.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Deserializes a configuration from a [`JsonValue`] tree.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Schema`] for a missing or mistyped field, including
+    /// an unknown policy label or an invalid base machine.
+    pub fn from_json(value: &JsonValue) -> Result<ServeConfig, ObsError> {
+        let base = value
+            .get("base")
+            .ok_or_else(|| schema_err("base", "a bfree config object"))?;
+        let policy_label = value.require_str("policy")?;
+        let policy = SchedPolicy::from_label(policy_label)
+            .ok_or_else(|| schema_err("policy", "one of fifo/sjf/priority"))?;
+        let timeout_ns = match value.get("timeout_ns") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| schema_err("timeout_ns", "a non-negative integer or null"))?,
+            ),
+        };
+        Ok(ServeConfig {
+            base: BfreeConfig::from_json(base)?,
+            policy,
+            max_batch: value.require_u64("max_batch")? as usize,
+            batch_window_ns: value.require_u64("batch_window_ns")?,
+            queue_capacity: value.require_u64("queue_capacity")? as usize,
+            timeout_ns,
+        })
+    }
+
+    /// Deserializes a configuration from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Parse`] for malformed JSON, [`ObsError::Schema`] for
+    /// a well-formed document with missing or mistyped fields.
+    pub fn from_json_str(text: &str) -> Result<ServeConfig, ObsError> {
+        Self::from_json(&JsonValue::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_round_trips() {
+        let config = ServeConfig::paper_default();
+        let back = ServeConfig::from_json_str(&config.to_json_string()).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn non_default_fields_round_trip() {
+        let config = ServeConfig::builder()
+            .policy(SchedPolicy::Priority)
+            .max_batch(4)
+            .batch_window_ns(250_000)
+            .queue_capacity(64)
+            .timeout_ns(Some(10_000_000))
+            .build()
+            .unwrap();
+        let back = ServeConfig::from_json_str(&config.to_json_string()).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn unknown_policy_label_is_a_schema_error() {
+        let mut json = ServeConfig::paper_default().to_json();
+        if let JsonValue::Object(map) = &mut json {
+            map.insert(
+                "policy".to_string(),
+                JsonValue::String("round-robin".to_string()),
+            );
+        }
+        let err = ServeConfig::from_json(&json).unwrap_err();
+        assert!(matches!(err, ObsError::Schema { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn null_timeout_means_disabled() {
+        let config = ServeConfig::paper_default();
+        assert_eq!(config.timeout_ns, None);
+        let text = config.to_json_string();
+        assert!(text.contains("\"timeout_ns\":null"));
+        assert_eq!(ServeConfig::from_json_str(&text).unwrap().timeout_ns, None);
+    }
+}

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 
+use bfree_obs::Recorder;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -38,7 +39,7 @@ impl OpenLoopDriver {
     /// # Panics
     ///
     /// Panics if the driver has more rates than `sim` has tenants.
-    pub fn drive(&mut self, sim: &mut ServingSim, horizon_ns: u64) -> u64 {
+    pub fn drive<R: Recorder>(&mut self, sim: &mut ServingSim<R>, horizon_ns: u64) -> u64 {
         assert!(
             self.rates_rps.len() <= sim.tenants().len(),
             "driver configured for more tenants than the simulator has"
@@ -105,7 +106,7 @@ impl ClosedLoopDriver {
     /// shed ones), stepping the engine one event at a time so each
     /// follow-up is issued exactly at its predecessor's terminal time
     /// plus the think time. Returns the total submitted.
-    pub fn drive(&mut self, sim: &mut ServingSim, requests_per_client: u64) -> u64 {
+    pub fn drive<R: Recorder>(&mut self, sim: &mut ServingSim<R>, requests_per_client: u64) -> u64 {
         if self.clients.is_empty() || requests_per_client == 0 {
             return 0;
         }

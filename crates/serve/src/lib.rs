@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config_json;
 pub mod contention;
 pub mod driver;
 pub mod error;
@@ -59,7 +60,17 @@ pub use contention::CoTenancyModel;
 pub use driver::{ClosedLoopDriver, OpenLoopDriver};
 pub use error::{RejectReason, ServeError};
 pub use pool::{SliceAllocation, SlicePool};
-pub use scheduler::{SchedPolicy, Scheduler, ServeConfig};
+pub use scheduler::{SchedPolicy, Scheduler, ServeConfig, ServeConfigBuilder};
 pub use sim::ServingSim;
 pub use telemetry::{Outcome, RequestRecord, ServingSummary, Telemetry};
 pub use tenant::{Tenant, TenantSpec};
+
+/// Convenient glob import for serving binaries and tests.
+pub mod prelude {
+    pub use crate::{
+        ClosedLoopDriver, OpenLoopDriver, Outcome, RejectReason, SchedPolicy, ServeConfig,
+        ServeConfigBuilder, ServeError, ServingSim, Telemetry, TenantSpec,
+    };
+    pub use bfree::prelude::*;
+    pub use pim_nn::request::NetworkKind;
+}

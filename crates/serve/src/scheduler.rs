@@ -27,6 +27,9 @@ pub enum SchedPolicy {
 }
 
 impl SchedPolicy {
+    /// Every policy, in a stable order.
+    pub const ALL: [SchedPolicy; 3] = [SchedPolicy::Fifo, SchedPolicy::Sjf, SchedPolicy::Priority];
+
     /// Short machine-readable label for traces.
     pub fn label(self) -> &'static str {
         match self {
@@ -35,10 +38,15 @@ impl SchedPolicy {
             SchedPolicy::Priority => "priority",
         }
     }
+
+    /// The policy with the given [`label`](SchedPolicy::label), if any.
+    pub fn from_label(label: &str) -> Option<SchedPolicy> {
+        SchedPolicy::ALL.into_iter().find(|p| p.label() == label)
+    }
 }
 
 /// Configuration of the serving layer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// The machine every tenant shares (geometry, timing, energy).
     pub base: BfreeConfig,
@@ -71,6 +79,34 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
+    /// The canonical serving setup: the paper's 35 MB / 14-slice cache
+    /// shared under FIFO dispatch with batches of up to 16. Identical to
+    /// [`Default::default`].
+    #[doc(alias = "default")]
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// A validating builder seeded with [`paper_default`]
+    /// (ServeConfig::paper_default).
+    ///
+    /// ```
+    /// use bfree_serve::ServeConfig;
+    ///
+    /// let config = ServeConfig::builder()
+    ///     .max_batch(8)
+    ///     .timeout_ns(Some(5_000_000))
+    ///     .build()?;
+    /// assert_eq!(config.max_batch, 8);
+    /// # Ok::<(), bfree_serve::ServeError>(())
+    /// ```
+    ///
+    /// [`paper_default`]: ServeConfig::paper_default
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder::new()
+    }
+
     /// Checks parameter sanity.
     ///
     /// # Errors
@@ -97,6 +133,77 @@ impl ServeConfig {
             });
         }
         Ok(())
+    }
+}
+
+/// Builder for [`ServeConfig`]: every setter is typed, and
+/// [`build`](ServeConfigBuilder::build) runs
+/// [`ServeConfig::validate`], so an invalid combination is caught at
+/// construction instead of at the first dispatch.
+#[derive(Debug, Clone)]
+#[must_use = "builders do nothing until .build() is called"]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl Default for ServeConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeConfigBuilder {
+    /// A builder seeded with [`ServeConfig::paper_default`].
+    pub fn new() -> Self {
+        ServeConfigBuilder {
+            config: ServeConfig::paper_default(),
+        }
+    }
+
+    /// The machine every tenant shares.
+    pub fn base(mut self, base: BfreeConfig) -> Self {
+        self.config.base = base;
+        self
+    }
+
+    /// Dispatch-order policy.
+    pub fn policy(mut self, policy: SchedPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Most requests coalesced into one dispatched batch.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// How long the oldest queued request waits for batch-mates.
+    pub fn batch_window_ns(mut self, batch_window_ns: u64) -> Self {
+        self.config.batch_window_ns = batch_window_ns;
+        self
+    }
+
+    /// Shared admission-queue capacity.
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.config.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Queueing deadline (`None` disables shedding on age).
+    pub fn timeout_ns(mut self, timeout_ns: Option<u64>) -> Self {
+        self.config.timeout_ns = timeout_ns;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] naming the offending parameter.
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 

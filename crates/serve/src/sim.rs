@@ -16,6 +16,7 @@
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
 
+use bfree_obs::{NullRecorder, Recorder, Subsystem, Unit};
 use pim_arch::Energy;
 use pim_bce::BceMode;
 
@@ -71,8 +72,13 @@ struct ActiveDispatch {
 /// See the crate-level example for typical use: build with a
 /// [`ServeConfig`] and tenant specs, [`submit`](ServingSim::submit)
 /// requests, then [`run_to_idle`](ServingSim::run_to_idle).
+///
+/// Generic over a [`Recorder`]: [`ServingSim::new`] runs with the
+/// zero-cost [`NullRecorder`]; [`ServingSim::with_recorder`] emits the
+/// request lifecycle (arrival → admit/reject → dispatch → complete)
+/// plus queue-depth and free-slice gauges to any recorder.
 #[derive(Debug)]
-pub struct ServingSim {
+pub struct ServingSim<R: Recorder = NullRecorder> {
     tenants: Vec<Tenant>,
     pool: SlicePool,
     scheduler: Scheduler,
@@ -86,10 +92,12 @@ pub struct ServingSim {
     next_dispatch_id: u64,
     next_seq: u64,
     work_conservation_violations: u64,
+    recorder: R,
 }
 
 impl ServingSim {
-    /// Builds a simulator for `specs` sharing `config.base`'s cache.
+    /// Builds a simulator for `specs` sharing `config.base`'s cache,
+    /// with instrumentation compiled out ([`NullRecorder`]).
     ///
     /// # Errors
     ///
@@ -98,6 +106,21 @@ impl ServingSim {
     /// [`ServeError::Arch`] if a tenant's partial geometry cannot be
     /// built.
     pub fn new(config: ServeConfig, specs: Vec<TenantSpec>) -> Result<Self, ServeError> {
+        Self::with_recorder(config, specs, NullRecorder)
+    }
+}
+
+impl<R: Recorder> ServingSim<R> {
+    /// [`new`](ServingSim::new) with an explicit event recorder.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](ServingSim::new).
+    pub fn with_recorder(
+        config: ServeConfig,
+        specs: Vec<TenantSpec>,
+        recorder: R,
+    ) -> Result<Self, ServeError> {
         config.validate()?;
         if specs.is_empty() {
             return Err(ServeError::InvalidTenants {
@@ -129,7 +152,13 @@ impl ServingSim {
             next_dispatch_id: 0,
             next_seq: 0,
             work_conservation_violations: 0,
+            recorder,
         })
+    }
+
+    /// The recorder this simulator emits to.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
     }
 
     /// Submits one inference request for tenant `tenant` arriving at
@@ -218,13 +247,30 @@ impl ServingSim {
         match event.kind {
             EventKind::Arrival { request_id, tenant } => {
                 self.telemetry.note_submit(self.clock_ns);
+                self.recorder.instant(
+                    Subsystem::Serve,
+                    "request/arrival",
+                    self.clock_ns as f64,
+                    || {
+                        format!(
+                            "request={request_id} tenant={}",
+                            self.tenants[tenant].name()
+                        )
+                    },
+                );
                 let request = QueuedRequest {
                     request_id,
                     tenant,
                     submit_ns: self.clock_ns,
                 };
-                if let Err(reason) = self.scheduler.admit(request, &self.tenants) {
-                    self.record_rejection(request, reason);
+                match self.scheduler.admit(request, &self.tenants) {
+                    Ok(()) => self.recorder.counter(
+                        Subsystem::Serve,
+                        "request/admitted",
+                        1.0,
+                        Unit::Count,
+                    ),
+                    Err(reason) => self.record_rejection(request, reason),
                 }
             }
             EventKind::Completion { dispatch } => self.complete(dispatch),
@@ -233,6 +279,23 @@ impl ServingSim {
             }
         }
         self.dispatch_loop();
+        if self.recorder.is_enabled() {
+            let now = self.clock_ns as f64;
+            self.recorder
+                .gauge(Subsystem::Serve, "queue/depth", now, self.queued() as f64);
+            self.recorder.gauge(
+                Subsystem::Serve,
+                "pool/free_slices",
+                now,
+                self.pool.free_slices() as f64,
+            );
+            self.recorder.gauge(
+                Subsystem::Serve,
+                "requests/in_flight",
+                now,
+                self.in_flight() as f64,
+            );
+        }
         true
     }
 
@@ -287,6 +350,26 @@ impl ServingSim {
             let dispatch = self.next_dispatch_id;
             self.next_dispatch_id += 1;
             let complete_ns = self.clock_ns.saturating_add(service_ns.max(1));
+            self.recorder.span_with(
+                Subsystem::Serve,
+                "dispatch",
+                self.clock_ns as f64,
+                (complete_ns - self.clock_ns) as f64,
+                || {
+                    format!(
+                        "tenant={} batch={} slices={} streamers={streamers}",
+                        tenant.name(),
+                        batch.requests.len(),
+                        allocation.slices(),
+                    )
+                },
+            );
+            self.recorder.counter(
+                Subsystem::Serve,
+                "dispatch/batched_requests",
+                batch.requests.len() as f64,
+                Unit::Count,
+            );
             self.active.push(ActiveDispatch {
                 dispatch,
                 tenant: batch.tenant,
@@ -320,6 +403,26 @@ impl ServingSim {
         let done = self.active.swap_remove(idx);
         let batch = done.requests.len();
         for request in &done.requests {
+            self.recorder
+                .counter(Subsystem::Serve, "request/completed", 1.0, Unit::Count);
+            self.recorder.histogram(
+                Subsystem::Serve,
+                "latency/queue",
+                (done.dispatch_ns - request.submit_ns) as f64,
+                Unit::Nanoseconds,
+            );
+            self.recorder.histogram(
+                Subsystem::Serve,
+                "latency/total",
+                (done.complete_ns - request.submit_ns) as f64,
+                Unit::Nanoseconds,
+            );
+            self.recorder.counter(
+                Subsystem::Serve,
+                "request/energy",
+                done.energy_per_request.picojoules(),
+                Unit::Picojoules,
+            );
             self.telemetry.push(RequestRecord {
                 request_id: request.request_id,
                 tenant: done.tenant,
@@ -336,6 +439,14 @@ impl ServingSim {
     }
 
     fn record_rejection(&mut self, request: QueuedRequest, reason: RejectReason) {
+        self.recorder
+            .counter(Subsystem::Serve, "request/rejected", 1.0, Unit::Count);
+        self.recorder.instant(
+            Subsystem::Serve,
+            "request/rejection",
+            self.clock_ns as f64,
+            || format!("request={} reason={}", request.request_id, reason.label()),
+        );
         self.telemetry.push(RequestRecord {
             request_id: request.request_id,
             tenant: request.tenant,
@@ -457,6 +568,71 @@ mod tests {
             "co-running tenants must see DRAM contention: {slowest} vs {solo_service}"
         );
         assert!(duo_telemetry.summary().avg_conventional_slowdown > 1.0);
+    }
+
+    #[test]
+    fn recorder_sees_full_request_lifecycle() {
+        use bfree_obs::AggRecorder;
+
+        let config = ServeConfig {
+            queue_capacity: 3,
+            ..ServeConfig::default()
+        };
+        let mut sim =
+            ServingSim::with_recorder(config, vec![lstm_spec()], AggRecorder::new()).unwrap();
+        for _ in 0..100 {
+            sim.submit(0, 0);
+        }
+        sim.run_to_idle();
+        let summary = sim.telemetry().summary();
+        let rec = sim.recorder();
+        assert_eq!(
+            rec.sum(Subsystem::Serve, "request/admitted"),
+            (summary.submitted - summary.rejected) as f64
+        );
+        assert_eq!(
+            rec.sum(Subsystem::Serve, "request/completed"),
+            summary.completed as f64
+        );
+        assert_eq!(
+            rec.sum(Subsystem::Serve, "request/rejected"),
+            summary.rejected as f64
+        );
+        assert!(summary.rejected > 0, "burst above capacity must shed");
+        // Queue-latency and total-latency distributions carry one
+        // observation per completed request.
+        let entries = rec.snapshot();
+        let total_latency = entries
+            .iter()
+            .find(|e| e.name == "latency/total")
+            .expect("latency/total histogram");
+        assert_eq!(total_latency.count, summary.completed);
+        assert!(total_latency.min > 0.0);
+        // Gauges sampled the queue after every event.
+        assert!(entries.iter().any(|e| e.name == "queue/depth"));
+        assert!(entries.iter().any(|e| e.name == "pool/free_slices"));
+    }
+
+    #[test]
+    fn recorded_run_keeps_telemetry_identical() {
+        use bfree_obs::RingRecorder;
+
+        fn drive<R: Recorder>(mut sim: ServingSim<R>) -> String {
+            for i in 0..12 {
+                sim.submit(0, i * 40_000);
+            }
+            sim.run_to_idle().csv_rows().join("\n")
+        }
+        let plain = drive(ServingSim::new(ServeConfig::default(), vec![lstm_spec()]).unwrap());
+        let recorded = drive(
+            ServingSim::with_recorder(
+                ServeConfig::default(),
+                vec![lstm_spec()],
+                RingRecorder::new(4096),
+            )
+            .unwrap(),
+        );
+        assert_eq!(plain, recorded);
     }
 
     #[test]
