@@ -1,0 +1,198 @@
+//! Slice health tracking for a degraded cache.
+//!
+//! The slice is BFree's failure domain: one slice controller, one
+//! H-tree segment and one bank of sense amplifiers serve all of its
+//! subarrays, so a hardware fault takes the whole slice out of the PIM
+//! pool at once (the cache's normal way-disable machinery already
+//! isolates it from conventional traffic). [`HealthMap`] is the
+//! mechanism-level record of which slices are currently usable —
+//! *policy* (who quarantines, when to retry) lives in the serving
+//! layer.
+
+use std::fmt;
+
+/// Operational state of one cache slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SliceState {
+    /// Fully operational.
+    #[default]
+    Healthy,
+    /// Operational but chronically slow (marginal sense amps, process
+    /// variation); dispatches including it pay a latency multiplier.
+    Degraded,
+    /// Failed and quarantined: excluded from allocation until repaired.
+    Failed,
+}
+
+impl SliceState {
+    /// Whether a slice in this state can be allocated.
+    #[must_use]
+    pub fn available(self) -> bool {
+        !matches!(self, SliceState::Failed)
+    }
+
+    /// Stable machine-readable label for traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            SliceState::Healthy => "healthy",
+            SliceState::Degraded => "degraded",
+            SliceState::Failed => "failed",
+        }
+    }
+}
+
+impl fmt::Display for SliceState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-slice health over a whole cache.
+///
+/// ```
+/// use pim_arch::{HealthMap, SliceState};
+///
+/// let mut health = HealthMap::new(14);
+/// assert_eq!(health.available_slices(), 14);
+/// health.mark_failed(3);
+/// assert_eq!(health.state(3), SliceState::Failed);
+/// assert!(!health.is_available(3));
+/// assert_eq!(health.available_slices(), 13);
+/// health.mark_recovered(3);
+/// assert_eq!(health.available_slices(), 14);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthMap {
+    states: Vec<SliceState>,
+}
+
+impl HealthMap {
+    /// A map with every one of `slices` slices healthy.
+    #[must_use]
+    pub fn new(slices: usize) -> Self {
+        HealthMap {
+            states: vec![SliceState::Healthy; slices],
+        }
+    }
+
+    /// Total slices tracked.
+    #[must_use]
+    pub fn slices(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The state of `slice` ([`SliceState::Failed`] for out-of-range
+    /// indices — an unknown slice is not allocatable).
+    #[must_use]
+    pub fn state(&self, slice: usize) -> SliceState {
+        self.states
+            .get(slice)
+            .copied()
+            .unwrap_or(SliceState::Failed)
+    }
+
+    /// Whether `slice` can currently be allocated.
+    #[must_use]
+    pub fn is_available(&self, slice: usize) -> bool {
+        self.state(slice).available()
+    }
+
+    /// Slices currently allocatable (healthy or degraded).
+    #[must_use]
+    pub fn available_slices(&self) -> usize {
+        self.states.iter().filter(|s| s.available()).count()
+    }
+
+    /// Fraction of the pool currently allocatable (1.0 for an empty
+    /// map — no capacity is also no deficit).
+    #[must_use]
+    pub fn available_fraction(&self) -> f64 {
+        if self.states.is_empty() {
+            return 1.0;
+        }
+        self.available_slices() as f64 / self.states.len() as f64
+    }
+
+    /// Marks `slice` failed; returns whether the state changed.
+    pub fn mark_failed(&mut self, slice: usize) -> bool {
+        self.transition(slice, SliceState::Failed)
+    }
+
+    /// Marks `slice` degraded (still allocatable); returns whether the
+    /// state changed. A failed slice stays failed — recovery is
+    /// explicit.
+    pub fn mark_degraded(&mut self, slice: usize) -> bool {
+        if self.state(slice) == SliceState::Failed {
+            return false;
+        }
+        self.transition(slice, SliceState::Degraded)
+    }
+
+    /// Returns `slice` to [`SliceState::Healthy`]; returns whether the
+    /// state changed.
+    pub fn mark_recovered(&mut self, slice: usize) -> bool {
+        self.transition(slice, SliceState::Healthy)
+    }
+
+    fn transition(&mut self, slice: usize, to: SliceState) -> bool {
+        match self.states.get_mut(slice) {
+            Some(state) if *state != to => {
+                *state = to;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_map_is_fully_available() {
+        let h = HealthMap::new(14);
+        assert_eq!(h.slices(), 14);
+        assert_eq!(h.available_slices(), 14);
+        assert!((h.available_fraction() - 1.0).abs() < 1e-15);
+        assert!(h.is_available(13));
+    }
+
+    #[test]
+    fn failure_and_recovery_round_trip() {
+        let mut h = HealthMap::new(4);
+        assert!(h.mark_failed(1));
+        assert!(!h.mark_failed(1), "second failure is a no-op");
+        assert_eq!(h.available_slices(), 3);
+        assert!((h.available_fraction() - 0.75).abs() < 1e-15);
+        assert!(h.mark_recovered(1));
+        assert_eq!(h.state(1), SliceState::Healthy);
+    }
+
+    #[test]
+    fn degraded_slices_stay_available() {
+        let mut h = HealthMap::new(4);
+        assert!(h.mark_degraded(2));
+        assert!(h.is_available(2));
+        assert_eq!(h.available_slices(), 4);
+        // Degradation never resurrects a failed slice.
+        h.mark_failed(3);
+        assert!(!h.mark_degraded(3));
+        assert_eq!(h.state(3), SliceState::Failed);
+    }
+
+    #[test]
+    fn out_of_range_slices_read_as_failed() {
+        let mut h = HealthMap::new(2);
+        assert_eq!(h.state(99), SliceState::Failed);
+        assert!(!h.is_available(99));
+        assert!(!h.mark_failed(99));
+        assert!(!h.mark_recovered(99));
+    }
+
+    #[test]
+    fn empty_map_has_no_deficit() {
+        let h = HealthMap::new(0);
+        assert!((h.available_fraction() - 1.0).abs() < 1e-15);
+    }
+}

@@ -35,6 +35,7 @@ pub mod dram;
 pub mod energy;
 pub mod error;
 pub mod geometry;
+pub mod health;
 pub mod lut_rows;
 pub mod obs;
 pub mod ring;
@@ -49,6 +50,7 @@ pub use dram::{MemoryTech, MemoryTechKind};
 pub use energy::EnergyParams;
 pub use error::ArchError;
 pub use geometry::CacheGeometry;
+pub use health::{HealthMap, SliceState};
 pub use lut_rows::{LutRowDesign, LutRowProfile};
 pub use obs::{obs_component, phase_event_name, record_slice_access};
 pub use ring::RingInterconnect;

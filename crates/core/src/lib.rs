@@ -72,6 +72,12 @@ pub use storage::WeightStore;
 /// can name recorders without an extra dependency edge.
 pub use bfree_obs as obs;
 
+/// The deterministic fault-injection layer, re-exported so downstream
+/// code can build [`FaultPlan`](bfree_fault::FaultPlan)s and
+/// [`RetryPolicy`](bfree_fault::RetryPolicy)s without an extra
+/// dependency edge.
+pub use bfree_fault as fault;
+
 /// Convenient glob import for downstream binaries.
 ///
 /// ```
@@ -89,6 +95,7 @@ pub mod prelude {
         BfreeConfig, BfreeConfigBuilder, BfreeSimulator, ConvDataflow, Mapper, Mapping,
         PrecisionPolicy,
     };
+    pub use bfree_fault::{FaultInjector, FaultPlan, RetryPolicy};
     pub use bfree_obs::{AggRecorder, NullRecorder, Recorder, RingRecorder, Subsystem};
     pub use pim_arch::{
         ArchError, CacheGeometry, Energy, EnergyComponent, Latency, MemoryTech, MemoryTechKind,

@@ -1,0 +1,347 @@
+//! Chaos harness: the serving stack under injected faults, swept over
+//! fault severity × resilience policy.
+//!
+//! The paper's evaluation assumes a fault-free cache; a deployed
+//! processing-in-cache part sees weak LUT cells, slice-level failures
+//! and voltage/thermal stragglers. This sweep drives the mixed-traffic
+//! serving workload (`experiments serving`) through a seeded
+//! [`FaultInjector`] at increasing severities, once per resilience
+//! policy, and reports the availability/goodput/tail-latency frontier.
+//! Every cell is virtual-clock and counter-seeded, so `chaos.csv` is
+//! bit-identical across runs and `--jobs` settings; the arrival process
+//! and the fault realization at a given severity are shared by all
+//! policies, so policy columns differ only by how they *respond*.
+
+use bfree_fault::rng::mix64;
+use bfree_fault::{FaultInjector, FaultPlan, RetryPolicy};
+use bfree_serve::{
+    OpenLoopDriver, SchedPolicy, ServeConfig, ServingSim, ServingSummary, TenantSpec,
+};
+use pim_nn::request::NetworkKind;
+
+use crate::error::ExperimentError;
+
+/// Default chaos seed (`experiments chaos --seed N` overrides).
+pub const DEFAULT_SEED: u64 = 42;
+/// Virtual time simulated per cell.
+const HORIZON_NS: u64 = 200_000_000;
+/// LSTM-TIMIT arrival rate (requests/s).
+const LSTM_RPS: f64 = 2_000.0;
+/// BERT-base arrival rate (requests/s).
+const BERT_RPS: f64 = 50.0;
+/// Fault-severity multipliers applied to [`base_plan`]'s rates.
+/// Severity 0.0 is the zero-fault anchor: it must reproduce the plain
+/// engine exactly.
+const SEVERITIES: [f64; 4] = [0.0, 0.5, 1.0, 2.0];
+
+/// A resilience policy: which degradation mechanisms the serving stack
+/// is allowed to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// No resilience: faults fail requests, capacity loss backs up the
+    /// queue until admission rejects.
+    Baseline,
+    /// Transient failures retried with capped exponential backoff.
+    Retry,
+    /// Retry plus load shedding: lowest-priority tenants shed when
+    /// healthy capacity drops below the watermark.
+    RetryShed,
+    /// Retry, shedding and per-request end-to-end deadlines.
+    Full,
+}
+
+impl Policy {
+    /// Every policy, in sweep order.
+    pub const ALL: [Policy; 4] = [
+        Policy::Baseline,
+        Policy::Retry,
+        Policy::RetryShed,
+        Policy::Full,
+    ];
+
+    /// Stable label used in the CSV and the obs trace.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::Baseline => "baseline",
+            Policy::Retry => "retry",
+            Policy::RetryShed => "retry+shed",
+            Policy::Full => "full",
+        }
+    }
+
+    fn config(self) -> Result<ServeConfig, ExperimentError> {
+        let base = ServeConfig::builder()
+            .policy(SchedPolicy::Priority)
+            .max_batch(8)
+            .batch_window_ns(100_000)
+            .queue_capacity(512)
+            .timeout_ns(Some(50_000_000));
+        let cfg = match self {
+            Policy::Baseline => base,
+            Policy::Retry => base.retry(RetryPolicy::standard()),
+            Policy::RetryShed => base.retry(RetryPolicy::standard()).shed_watermark(0.8),
+            Policy::Full => base
+                .retry(RetryPolicy::standard())
+                .shed_watermark(0.8)
+                .deadline_ns(Some(40_000_000)),
+        };
+        Ok(cfg.build()?)
+    }
+}
+
+/// The fault plan at severity 1.0; [`FaultPlan::scaled`] stretches its
+/// rates per sweep row. Rates are chosen so severity 2.0 visibly hurts
+/// a 14-slice pool without collapsing it: ~20% of slices fail
+/// mid-horizon (recovering after a quarter of it), ~15% straggle at 3x
+/// latency, 3% of service attempts hit transient errors, and a sprinkle
+/// of LUT rows boot corrupted and pay a repair before first dispatch.
+fn base_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_lut_corruption(0.001, 50)
+        .with_slice_failures(0.2, HORIZON_NS, Some(HORIZON_NS / 4))
+        .with_stragglers(0.15, 3.0)
+        .with_transient_errors(0.03)
+}
+
+fn tenants() -> Vec<TenantSpec> {
+    // Distinct priority classes so load shedding has a floor to raise:
+    // BERT is the latency-critical tenant, LSTM the bulk one.
+    vec![
+        TenantSpec::new("lstm-timit", NetworkKind::LstmTimit).with_priority(0),
+        TenantSpec::new("bert-base", NetworkKind::BertBase).with_priority(5),
+    ]
+}
+
+/// One measured (severity, policy) cell.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// Fault-severity multiplier for this row.
+    pub severity: f64,
+    /// The resilience policy under test.
+    pub policy: Policy,
+    /// The run's telemetry summary.
+    pub summary: ServingSummary,
+}
+
+/// The chaos sweep result.
+#[derive(Debug, Clone)]
+pub struct ChaosSweep {
+    /// Seed the sweep ran under.
+    pub seed: u64,
+    /// Measured cells, severity-major, policies in [`Policy::ALL`]
+    /// order within a severity.
+    pub cells: Vec<ChaosCell>,
+}
+
+/// Runs the sweep under `seed`. Cells fan out on the `bfree::par` pool;
+/// each is an independent virtual-clock simulation whose fault
+/// realization depends only on `(seed, severity)` — all four policies at
+/// a severity face the same failures, stragglers and corrupted rows, and
+/// the arrival process is identical everywhere. Results are collected in
+/// sweep order, so the CSV is bit-identical at any `--jobs`.
+///
+/// # Errors
+///
+/// Propagates [`ExperimentError::Serve`] or [`ExperimentError::Fault`]
+/// if a configuration is rejected (cannot happen for the constants
+/// above).
+pub fn run(seed: u64) -> Result<ChaosSweep, ExperimentError> {
+    let mut grid = Vec::new();
+    for (sev_idx, &severity) in SEVERITIES.iter().enumerate() {
+        for policy in Policy::ALL {
+            grid.push((sev_idx, severity, policy));
+        }
+    }
+    let cells = bfree::par::try_par_map(
+        grid,
+        |(sev_idx, severity, policy)| -> Result<ChaosCell, ExperimentError> {
+            let config = policy.config()?;
+            let geometry = &config.base.geometry;
+            let lut_rows_per_slice = (geometry.subarrays_per_slice()
+                * geometry.partitions_per_subarray()
+                * geometry.lut_rows_per_partition()) as u32;
+            // Fault realization is per-severity, not per-cell: policies
+            // at one severity see the same fault trace.
+            let fault_seed = mix64(seed ^ ((sev_idx as u64) << 32));
+            let injector = FaultInjector::new(
+                base_plan().scaled(severity),
+                fault_seed,
+                geometry.slices(),
+                lut_rows_per_slice,
+            )?;
+            let mut sim = ServingSim::with_faults(config, tenants(), injector)?;
+            let mut driver = OpenLoopDriver::new(seed, vec![LSTM_RPS, BERT_RPS]);
+            driver.drive(&mut sim, HORIZON_NS);
+            let summary = sim.run_to_idle().summary();
+            debug_assert_eq!(sim.work_conservation_violations(), 0);
+            debug_assert_eq!(sim.pending_retries(), 0);
+            Ok(ChaosCell {
+                severity,
+                policy,
+                summary,
+            })
+        },
+    )?;
+    Ok(ChaosSweep { seed, cells })
+}
+
+/// CSV header for [`csv_rows`].
+pub const CSV_HEADER: [&str; 13] = [
+    "severity",
+    "policy",
+    "submitted",
+    "completed",
+    "rejected",
+    "retries",
+    "shed",
+    "deadline_expired",
+    "retries_exhausted",
+    "deadline_violations",
+    "availability",
+    "goodput_rps",
+    "p99_ms",
+];
+
+/// The sweep as CSV rows matching [`CSV_HEADER`].
+pub fn csv_rows(sweep: &ChaosSweep) -> Vec<Vec<String>> {
+    sweep
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{:.2}", c.severity),
+                c.policy.label().to_string(),
+                c.summary.submitted.to_string(),
+                c.summary.completed.to_string(),
+                c.summary.rejected.to_string(),
+                c.summary.retries.to_string(),
+                c.summary.shed.to_string(),
+                c.summary.deadline_expired.to_string(),
+                c.summary.retries_exhausted.to_string(),
+                c.summary.deadline_violations.to_string(),
+                format!("{:.4}", c.summary.availability),
+                format!("{:.1}", c.summary.goodput_rps),
+                format!("{:.4}", c.summary.p99_latency_ns as f64 * 1e-6),
+            ]
+        })
+        .collect()
+}
+
+/// Prints the sweep and writes `results/chaos.csv`.
+///
+/// # Errors
+///
+/// Propagates [`run`]'s errors and CSV write failures.
+pub fn print(seed: u64) -> Result<(), ExperimentError> {
+    let sweep = run(seed)?;
+    println!("\n== Chaos: serving under injected faults (seed {seed}) ==");
+    println!(
+        "plan at severity 1.0: 20% slice failures (recover after {} ms), 15% stragglers x3.0, \
+         3% transient errors, 0.1% LUT rows corrupted",
+        HORIZON_NS / 4_000_000
+    );
+    println!(
+        "{:>8} {:>10} {:>9} {:>9} {:>8} {:>7} {:>6} {:>8} {:>9} {:>9} {:>9}",
+        "severity",
+        "policy",
+        "submitted",
+        "completed",
+        "retries",
+        "shed",
+        "ddl",
+        "avail",
+        "goodput/s",
+        "p99 ms",
+        "violated"
+    );
+    for c in &sweep.cells {
+        println!(
+            "{:>8.2} {:>10} {:>9} {:>9} {:>8} {:>7} {:>6} {:>7.1}% {:>9.1} {:>9.3} {:>9}",
+            c.severity,
+            c.policy.label(),
+            c.summary.submitted,
+            c.summary.completed,
+            c.summary.retries,
+            c.summary.shed,
+            c.summary.deadline_expired,
+            c.summary.availability * 100.0,
+            c.summary.goodput_rps,
+            c.summary.p99_latency_ns as f64 * 1e-6,
+            c.summary.deadline_violations,
+        );
+    }
+    let path = std::path::Path::new("results").join("chaos.csv");
+    crate::csv::write_rows(&path, &CSV_HEADER, &csv_rows(&sweep))?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_seed_deterministic() {
+        let a = run(DEFAULT_SEED).unwrap();
+        let b = run(DEFAULT_SEED).unwrap();
+        assert_eq!(csv_rows(&a), csv_rows(&b), "sweep must be bit-identical");
+        let c = run(7).unwrap();
+        assert_ne!(
+            csv_rows(&a),
+            csv_rows(&c),
+            "a different seed must produce a different fault trace"
+        );
+    }
+
+    #[test]
+    fn every_cell_conserves_requests() {
+        let sweep = run(DEFAULT_SEED).unwrap();
+        assert_eq!(sweep.cells.len(), SEVERITIES.len() * Policy::ALL.len());
+        for c in &sweep.cells {
+            assert_eq!(
+                c.summary.completed + c.summary.rejected,
+                c.summary.submitted,
+                "severity {} policy {} leaks requests",
+                c.severity,
+                c.policy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_severity_cells_are_fault_free() {
+        let sweep = run(DEFAULT_SEED).unwrap();
+        for c in sweep.cells.iter().filter(|c| c.severity == 0.0) {
+            assert_eq!(c.summary.retries, 0, "no faults, nothing to retry");
+            assert_eq!(c.summary.shed, 0, "full capacity, nothing to shed");
+            assert_eq!(c.summary.retries_exhausted, 0);
+        }
+    }
+
+    #[test]
+    fn faults_degrade_the_baseline_and_policies_respond() {
+        let sweep = run(DEFAULT_SEED).unwrap();
+        let cell = |sev: f64, policy: Policy| {
+            sweep
+                .cells
+                .iter()
+                .find(|c| c.severity == sev && c.policy == policy)
+                .unwrap()
+        };
+        let calm = cell(0.0, Policy::Baseline);
+        let storm = cell(2.0, Policy::Baseline);
+        assert!(
+            storm.summary.availability < calm.summary.availability,
+            "severity 2.0 must cost the baseline availability"
+        );
+        let retry = cell(2.0, Policy::Retry);
+        assert!(
+            retry.summary.retries > 0,
+            "transient errors must trigger retries under the retry policy"
+        );
+        assert!(
+            retry.summary.availability > storm.summary.availability,
+            "retries must recover availability the baseline loses"
+        );
+    }
+}

@@ -179,6 +179,15 @@ pub fn write_all(dir: &Path) -> Result<Vec<String>, ExperimentError> {
         crate::serving::csv_rows(&serving),
     )?;
 
+    // Chaos: serving under injected faults, at the default seed so the
+    // emitted file matches the checked-in golden.
+    let chaos = crate::chaos::run(crate::chaos::DEFAULT_SEED)?;
+    emit(
+        "chaos.csv",
+        &crate::chaos::CSV_HEADER,
+        crate::chaos::csv_rows(&chaos),
+    )?;
+
     // Attribution: event-stream vs aggregate-model cross-check.
     let attribution = crate::attribution::run()?;
     emit(

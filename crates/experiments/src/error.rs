@@ -10,6 +10,7 @@ use std::error::Error;
 use std::fmt;
 use std::io;
 
+use bfree_fault::FaultError;
 use bfree_obs::ObsError;
 use bfree_serve::ServeError;
 use pim_arch::ArchError;
@@ -23,6 +24,8 @@ pub enum ExperimentError {
     UnknownNetwork(UnknownNetworkError),
     /// A serving-simulation configuration was rejected.
     Serve(ServeError),
+    /// A fault plan or injector was rejected.
+    Fault(FaultError),
     /// The architecture model rejected a configuration.
     Arch(ArchError),
     /// An observability export or config (de)serialization failed.
@@ -39,6 +42,7 @@ impl fmt::Display for ExperimentError {
         match self {
             ExperimentError::UnknownNetwork(e) => write!(f, "{e}"),
             ExperimentError::Serve(e) => write!(f, "serving experiment: {e}"),
+            ExperimentError::Fault(e) => write!(f, "fault injection: {e}"),
             ExperimentError::Arch(e) => write!(f, "architecture model: {e}"),
             ExperimentError::Obs(e) => write!(f, "observability: {e}"),
             ExperimentError::Io(e) => write!(f, "writing results: {e}"),
@@ -52,6 +56,7 @@ impl Error for ExperimentError {
         match self {
             ExperimentError::UnknownNetwork(e) => Some(e),
             ExperimentError::Serve(e) => Some(e),
+            ExperimentError::Fault(e) => Some(e),
             ExperimentError::Arch(e) => Some(e),
             ExperimentError::Obs(e) => Some(e),
             ExperimentError::Io(e) => Some(e),
@@ -69,6 +74,12 @@ impl From<UnknownNetworkError> for ExperimentError {
 impl From<ServeError> for ExperimentError {
     fn from(e: ServeError) -> Self {
         ExperimentError::Serve(e)
+    }
+}
+
+impl From<FaultError> for ExperimentError {
+    fn from(e: FaultError) -> Self {
+        ExperimentError::Fault(e)
     }
 }
 

@@ -13,6 +13,7 @@
 pub mod ablations;
 pub mod attribution;
 pub mod bench;
+pub mod chaos;
 pub mod csv;
 pub mod error;
 pub mod extensions;

@@ -19,6 +19,9 @@ usage: experiments [--jobs N] <name>
   ablations  design-choice ablations (DESIGN.md §5)
   extensions extension workloads (ResNet-18, GRU) on every device
   serving    multi-tenant serving load sweep (writes results/serving_load_sweep.csv)
+  chaos [--seed N]
+             serving under injected faults: severity x resilience-policy
+             sweep (default seed 42; writes results/chaos.csv)
   attribution
              cross-check the observability event stream against the
              aggregate energy/latency models (Fig. 2 / Fig. 13 style)
@@ -75,6 +78,25 @@ fn main() {
         "ablations" => check(exp::ablations::print()),
         "extensions" => check(exp::extensions::print()),
         "serving" => check(exp::serving::print()),
+        "chaos" => {
+            let mut seed = exp::chaos::DEFAULT_SEED;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                if a == "--seed" || a == "-s" {
+                    match rest.next().map(|v| v.parse::<u64>()) {
+                        Some(Ok(n)) => seed = n,
+                        _ => {
+                            eprintln!("--seed expects an unsigned integer\n{USAGE}");
+                            std::process::exit(2);
+                        }
+                    }
+                } else {
+                    eprintln!("unknown chaos argument: {a}\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+            check(exp::chaos::print(seed));
+        }
         "attribution" => check(exp::attribution::print()),
         "obs" => {
             let mut format = "json".to_string();
@@ -147,6 +169,7 @@ fn main() {
             check(exp::ablations::print());
             check(exp::extensions::print());
             check(exp::serving::print());
+            check(exp::chaos::print(exp::chaos::DEFAULT_SEED));
             check(exp::attribution::print());
         }
         "-h" | "--help" | "help" => print!("{USAGE}"),

@@ -1,0 +1,61 @@
+//! Typed failures of the fault layer itself.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid fault plan or resilience policy.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// A plan or policy parameter was out of range.
+    InvalidParameter {
+        /// The offending parameter.
+        parameter: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidParameter { parameter, reason } => {
+                write!(f, "invalid fault parameter {parameter}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for FaultError {}
+
+/// Checks that a rate is a finite probability in `[0, 1]`.
+///
+/// # Errors
+///
+/// [`FaultError::InvalidParameter`] naming `parameter`.
+pub(crate) fn check_rate(parameter: &'static str, rate: f64) -> Result<(), FaultError> {
+    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+        return Err(FaultError::InvalidParameter {
+            parameter,
+            reason: format!("must be a finite probability in [0, 1], got {rate}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_outside_the_unit_interval_are_rejected() {
+        assert!(check_rate("r", 0.0).is_ok());
+        assert!(check_rate("r", 1.0).is_ok());
+        assert!(check_rate("r", -0.1).is_err());
+        assert!(check_rate("r", 1.1).is_err());
+        assert!(check_rate("r", f64::NAN).is_err());
+        assert!(check_rate("r", f64::INFINITY).is_err());
+        let err = check_rate("transient_error_rate", 2.0).unwrap_err();
+        assert!(err.to_string().contains("transient_error_rate"));
+    }
+}

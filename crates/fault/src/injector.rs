@@ -1,0 +1,248 @@
+//! Resolving a [`FaultPlan`] into concrete, queryable outcomes.
+//!
+//! The injector is built once per run from `(plan, seed, pool shape)`
+//! and precomputes every per-slice outcome: which slices fail and when,
+//! which are stragglers, how many LUT rows each slice boots with
+//! corrupted. Per-request outcomes (transient errors) stay lazy but are
+//! counter-based — `(seed, request, attempt)` fully determines the
+//! answer — so nothing depends on query order or thread scheduling.
+
+use crate::error::FaultError;
+use crate::plan::FaultPlan;
+use crate::rng::{chance, draw, Stream};
+
+/// One scheduled whole-slice failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceFault {
+    /// The failing slice.
+    pub slice: usize,
+    /// Virtual-clock instant the slice fails.
+    pub fail_at_ns: u64,
+    /// Virtual-clock instant it recovers, if the plan allows recovery.
+    pub recover_at_ns: Option<u64>,
+}
+
+/// Deterministic resolved outcomes of one [`FaultPlan`] at one seed.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    seed: u64,
+    failures: Vec<SliceFault>,
+    straggler_multipliers: Vec<f64>,
+    corrupted_lut_rows: Vec<u32>,
+}
+
+impl FaultInjector {
+    /// Resolves `plan` for a pool of `slices` slices, each carrying
+    /// `lut_rows_per_slice` LUT rows, under `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultPlan::validate`] failures.
+    pub fn new(
+        plan: FaultPlan,
+        seed: u64,
+        slices: usize,
+        lut_rows_per_slice: u32,
+    ) -> Result<Self, FaultError> {
+        plan.validate()?;
+        let mut failures = Vec::new();
+        let mut straggler_multipliers = vec![1.0; slices];
+        let mut corrupted_lut_rows = vec![0u32; slices];
+        for slice in 0..slices {
+            let id = slice as u64;
+            if chance(seed, Stream::SliceFailure, id, plan.slice_failure_rate) {
+                // Uniform instant in [0, horizon): a failure exactly at 0
+                // would never let the slice serve, which is just a
+                // smaller pool, so keep it possible but not special.
+                let fail_at_ns = draw(seed, Stream::SliceFailureTime, id) % plan.failure_horizon_ns;
+                failures.push(SliceFault {
+                    slice,
+                    fail_at_ns,
+                    recover_at_ns: plan.slice_recovery_ns.map(|r| fail_at_ns.saturating_add(r)),
+                });
+            }
+            if chance(seed, Stream::Straggler, id, plan.straggler_rate) {
+                straggler_multipliers[slice] = plan.straggler_multiplier;
+            }
+            if plan.lut_corruption_rate > 0.0 {
+                let base = id.wrapping_mul(1 << 20);
+                corrupted_lut_rows[slice] = (0..lut_rows_per_slice)
+                    .filter(|&row| {
+                        chance(
+                            seed,
+                            Stream::LutCorruption,
+                            base.wrapping_add(u64::from(row)),
+                            plan.lut_corruption_rate,
+                        )
+                    })
+                    .count() as u32;
+            }
+        }
+        failures.sort_unstable_by_key(|f| (f.fail_at_ns, f.slice));
+        Ok(FaultInjector {
+            plan,
+            seed,
+            failures,
+            straggler_multipliers,
+            corrupted_lut_rows,
+        })
+    }
+
+    /// The fault-free injector for a pool of `slices` slices — injects
+    /// nothing, perturbs nothing.
+    #[must_use]
+    pub fn none(slices: usize) -> Self {
+        FaultInjector {
+            plan: FaultPlan::none(),
+            seed: 0,
+            failures: Vec::new(),
+            straggler_multipliers: vec![1.0; slices],
+            corrupted_lut_rows: vec![0; slices],
+        }
+    }
+
+    /// The plan this injector resolved.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The seed outcomes were resolved under.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The slice-pool size this injector was resolved for.
+    #[must_use]
+    pub fn slices(&self) -> usize {
+        self.straggler_multipliers.len()
+    }
+
+    /// Whether this injector perturbs nothing.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.plan.is_none()
+    }
+
+    /// Every scheduled slice failure, ordered by failure time.
+    pub fn slice_failures(&self) -> &[SliceFault] {
+        &self.failures
+    }
+
+    /// The latency multiplier `slice` imposes on dispatches that include
+    /// it (exactly 1.0 for healthy slices).
+    #[must_use]
+    pub fn straggler_multiplier(&self, slice: usize) -> f64 {
+        self.straggler_multipliers
+            .get(slice)
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// LUT rows of `slice` that boot corrupted and need a rewrite before
+    /// its first dispatch.
+    #[must_use]
+    pub fn corrupted_lut_rows(&self, slice: usize) -> u32 {
+        self.corrupted_lut_rows.get(slice).copied().unwrap_or(0)
+    }
+
+    /// One-time repair cost of `slice`: rewriting every corrupted LUT
+    /// row from the golden copy in DRAM.
+    #[must_use]
+    pub fn lut_repair_ns(&self, slice: usize) -> u64 {
+        u64::from(self.corrupted_lut_rows(slice)).saturating_mul(self.plan.lut_repair_ns_per_row)
+    }
+
+    /// Whether service attempt number `attempt` (0-based) of request
+    /// `request_id` hits a transient compute error. Pure in
+    /// `(seed, request_id, attempt)` — query order never matters.
+    #[must_use]
+    pub fn transient_error(&self, request_id: u64, attempt: u32) -> bool {
+        chance(
+            self.seed,
+            Stream::TransientError,
+            request_id.wrapping_mul(64).wrapping_add(u64::from(attempt)),
+            self.plan.transient_error_rate,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::none()
+            .with_lut_corruption(0.05, 50)
+            .with_slice_failures(0.5, 100_000_000, Some(40_000_000))
+            .with_stragglers(0.3, 3.0)
+            .with_transient_errors(0.1)
+    }
+
+    #[test]
+    fn resolution_is_seed_deterministic() {
+        let a = FaultInjector::new(plan(), 42, 14, 640).unwrap();
+        let b = FaultInjector::new(plan(), 42, 14, 640).unwrap();
+        assert_eq!(a.slice_failures(), b.slice_failures());
+        for s in 0..14 {
+            assert_eq!(a.straggler_multiplier(s), b.straggler_multiplier(s));
+            assert_eq!(a.corrupted_lut_rows(s), b.corrupted_lut_rows(s));
+        }
+        let c = FaultInjector::new(plan(), 43, 14, 640).unwrap();
+        assert_ne!(
+            (a.slice_failures(), a.corrupted_lut_rows(0)),
+            (c.slice_failures(), c.corrupted_lut_rows(0)),
+            "different seeds must resolve different outcomes"
+        );
+    }
+
+    #[test]
+    fn transient_errors_are_query_order_independent() {
+        let inj = FaultInjector::new(plan(), 7, 14, 640).unwrap();
+        let forward: Vec<bool> = (0..200).map(|r| inj.transient_error(r, 0)).collect();
+        let backward: Vec<bool> = (0..200).rev().map(|r| inj.transient_error(r, 0)).collect();
+        assert_eq!(
+            forward,
+            backward.into_iter().rev().collect::<Vec<_>>(),
+            "order of queries must not change outcomes"
+        );
+        assert!(forward.iter().any(|&e| e), "10% over 200 draws should hit");
+        assert!(!forward.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn failures_land_inside_the_horizon_with_recovery_after() {
+        let inj = FaultInjector::new(plan(), 11, 14, 640).unwrap();
+        assert!(!inj.slice_failures().is_empty(), "50% of 14 slices");
+        for f in inj.slice_failures() {
+            assert!(f.fail_at_ns < 100_000_000);
+            assert_eq!(f.recover_at_ns, Some(f.fail_at_ns + 40_000_000));
+        }
+        // Sorted by failure time.
+        for pair in inj.slice_failures().windows(2) {
+            assert!(pair[0].fail_at_ns <= pair[1].fail_at_ns);
+        }
+    }
+
+    #[test]
+    fn none_injector_perturbs_nothing() {
+        let inj = FaultInjector::none(14);
+        assert!(inj.is_none());
+        assert!(inj.slice_failures().is_empty());
+        for s in 0..14 {
+            assert_eq!(inj.straggler_multiplier(s), 1.0);
+            assert_eq!(inj.lut_repair_ns(s), 0);
+        }
+        assert!(!inj.transient_error(0, 0));
+        assert!(!inj.transient_error(u64::MAX, u32::MAX));
+    }
+
+    #[test]
+    fn lut_repair_cost_scales_with_corrupted_rows() {
+        let inj = FaultInjector::new(plan(), 3, 14, 640).unwrap();
+        let total: u64 = (0..14).map(|s| inj.lut_repair_ns(s)).sum();
+        let rows: u64 = (0..14).map(|s| u64::from(inj.corrupted_lut_rows(s))).sum();
+        assert_eq!(total, rows * 50);
+        assert!(rows > 0, "5% of 14*640 rows should corrupt some");
+    }
+}

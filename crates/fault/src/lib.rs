@@ -1,0 +1,63 @@
+//! # bfree-fault
+//!
+//! Deterministic fault injection and resilience policies for the BFree
+//! stack. BFree's LUT rows and decoupled-bitline partitions live inside
+//! commodity SRAM subarrays (paper §IV, Fig. 4), where stuck-at cells,
+//! marginal sense amps and slice-level failures are first-order
+//! concerns for a deployed PIM cache — this crate models them without
+//! giving up the workspace's bit-determinism guarantee.
+//!
+//! The pieces:
+//!
+//! * [`FaultPlan`] — declarative fault rates (LUT-row corruption, whole
+//!   slice failures with optional recovery, straggler slices, transient
+//!   per-attempt compute errors); [`FaultPlan::none`] is the fault-free
+//!   machine and reproduces it byte-for-byte.
+//! * [`FaultInjector`] — the plan resolved under an explicit seed into
+//!   concrete outcomes. Every decision is a *pure function* of
+//!   `(seed, stream, index)` (counter-based SplitMix64, see [`rng`]),
+//!   so outcomes never depend on query order, thread count, or a wall
+//!   clock.
+//! * [`RetryPolicy`] — capped exponential backoff with deterministic
+//!   jitter: identical seeds yield identical retry schedules at any
+//!   `--jobs` value.
+//!
+//! The serving integration (quarantine, remapping, load shedding,
+//! deadlines) lives in `bfree-serve`; this crate stays a pure model so
+//! any layer of the stack can consume it.
+//!
+//! ```
+//! use bfree_fault::{FaultInjector, FaultPlan, RetryPolicy};
+//!
+//! let plan = FaultPlan::none()
+//!     .with_stragglers(0.2, 3.0)
+//!     .with_transient_errors(0.05);
+//! let injector = FaultInjector::new(plan, 42, 14, 640)?;
+//! // Same seed, same outcomes — wherever and whenever this is asked.
+//! assert_eq!(
+//!     injector.transient_error(17, 0),
+//!     injector.transient_error(17, 0),
+//! );
+//! let retry = RetryPolicy::standard();
+//! assert!(retry.backoff_ns(42, 17, 1) <= retry.max_backoff_ns);
+//! # Ok::<(), bfree_fault::FaultError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod injector;
+pub mod plan;
+pub mod policy;
+pub mod rng;
+
+pub use error::FaultError;
+pub use injector::{FaultInjector, SliceFault};
+pub use plan::FaultPlan;
+pub use policy::RetryPolicy;
+
+/// Convenient glob import for chaos experiments and tests.
+pub mod prelude {
+    pub use crate::{FaultError, FaultInjector, FaultPlan, RetryPolicy, SliceFault};
+}

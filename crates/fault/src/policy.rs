@@ -1,0 +1,178 @@
+//! Resilience policies: how the serving stack responds to faults.
+//!
+//! A [`RetryPolicy`] turns a failed service attempt into a capped
+//! exponential backoff schedule with *deterministic* jitter: the delay
+//! of attempt `a` of request `r` under seed `s` is a pure function of
+//! `(s, r, a)`, so identical seeds produce identical retry schedules on
+//! one worker or sixteen.
+
+use crate::error::{check_rate, FaultError};
+use crate::rng::{unit, Stream};
+
+/// Retry with capped exponential backoff and deterministic jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total service attempts allowed per request, including the first
+    /// (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff_ns: u64,
+    /// Hard ceiling on any single backoff delay, jitter included.
+    pub max_backoff_ns: u64,
+    /// Fraction of the pre-jitter delay that deterministic jitter may
+    /// add (`0.0` = pure exponential, `0.25` = up to +25%).
+    pub jitter_frac: f64,
+}
+
+impl RetryPolicy {
+    /// No retries at all: every transient failure is terminal.
+    #[must_use]
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ns: 0,
+            max_backoff_ns: 0,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// The default production posture: up to 4 attempts, 100 us base
+    /// backoff doubling to a 10 ms ceiling, 25% jitter.
+    #[must_use]
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ns: 100_000,
+            max_backoff_ns: 10_000_000,
+            jitter_frac: 0.25,
+        }
+    }
+
+    /// Whether any retry is ever allowed.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Checks parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::InvalidParameter`] naming the offending field.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        if self.max_attempts == 0 {
+            return Err(FaultError::InvalidParameter {
+                parameter: "max_attempts",
+                reason: "must be at least 1 (the first attempt)".to_string(),
+            });
+        }
+        check_rate("jitter_frac", self.jitter_frac)?;
+        if self.enabled() && self.base_backoff_ns > self.max_backoff_ns {
+            return Err(FaultError::InvalidParameter {
+                parameter: "base_backoff_ns",
+                reason: format!(
+                    "base {} exceeds ceiling {}",
+                    self.base_backoff_ns, self.max_backoff_ns
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The backoff delay before retry attempt `attempt` (1-based: the
+    /// first retry is attempt 1) of `request_id`, under `seed`.
+    ///
+    /// Exponential (`base * 2^(attempt-1)`) plus up to
+    /// [`jitter_frac`](RetryPolicy::jitter_frac) deterministic jitter,
+    /// capped at [`max_backoff_ns`](RetryPolicy::max_backoff_ns) — the
+    /// ceiling holds jitter included.
+    #[must_use]
+    pub fn backoff_ns(&self, seed: u64, request_id: u64, attempt: u32) -> u64 {
+        if !self.enabled() {
+            return 0;
+        }
+        let exponent = attempt.saturating_sub(1).min(62);
+        let raw = self
+            .base_backoff_ns
+            .saturating_mul(1u64 << exponent)
+            .min(self.max_backoff_ns);
+        let jitter = if self.jitter_frac > 0.0 {
+            let u = unit(
+                seed,
+                Stream::BackoffJitter,
+                request_id.wrapping_mul(64).wrapping_add(u64::from(attempt)),
+            );
+            (raw as f64 * self.jitter_frac * u) as u64
+        } else {
+            0
+        };
+        raw.saturating_add(jitter).min(self.max_backoff_ns)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_policy_never_backs_off() {
+        let p = RetryPolicy::disabled();
+        assert!(!p.enabled());
+        assert!(p.validate().is_ok());
+        assert_eq!(p.backoff_ns(1, 2, 3), 0);
+    }
+
+    #[test]
+    fn backoff_doubles_until_the_ceiling() {
+        let p = RetryPolicy {
+            jitter_frac: 0.0,
+            ..RetryPolicy::standard()
+        };
+        assert_eq!(p.backoff_ns(0, 0, 1), 100_000);
+        assert_eq!(p.backoff_ns(0, 0, 2), 200_000);
+        assert_eq!(p.backoff_ns(0, 0, 3), 400_000);
+        // Far past the doubling range the ceiling holds.
+        assert_eq!(p.backoff_ns(0, 0, 30), 10_000_000);
+        assert_eq!(p.backoff_ns(0, 0, u32::MAX), 10_000_000);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_capped() {
+        let p = RetryPolicy::standard();
+        for attempt in 1..40 {
+            for request in 0..50u64 {
+                let a = p.backoff_ns(42, request, attempt);
+                let b = p.backoff_ns(42, request, attempt);
+                assert_eq!(a, b, "identical inputs must give identical backoff");
+                assert!(a <= p.max_backoff_ns, "ceiling violated: {a}");
+            }
+        }
+        // Jitter actually varies across requests.
+        let delays: std::collections::BTreeSet<u64> =
+            (0..50u64).map(|r| p.backoff_ns(42, r, 1)).collect();
+        assert!(delays.len() > 10, "jitter should spread the schedule");
+        // And across seeds.
+        assert_ne!(p.backoff_ns(1, 0, 1), p.backoff_ns(2, 0, 1));
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected() {
+        let mut p = RetryPolicy::standard();
+        p.max_attempts = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = RetryPolicy::standard();
+        p.jitter_frac = f64::NAN;
+        assert!(p.validate().is_err());
+
+        let mut p = RetryPolicy::standard();
+        p.base_backoff_ns = p.max_backoff_ns + 1;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Counter-based deterministic randomness for fault decisions.
+//!
+//! Every fault decision in the stack is a *pure function* of
+//! `(seed, stream, index)` — there is no sequential generator state to
+//! advance, so the answer to "does request 17 fail on attempt 2?" does
+//! not depend on how many other questions were asked first, in what
+//! order, or on which worker thread. That property is what makes the
+//! whole fault layer bit-identical at any `--jobs` value: parallel
+//! sweeps may interleave their queries arbitrarily and still see the
+//! same coin flips.
+//!
+//! The mixer is the SplitMix64 finalizer (Steele et al., "Fast
+//! splittable pseudorandom number generators"), the same construction
+//! the vendored `rand` stand-in uses sequentially.
+
+/// Disjoint decision streams, so a slice-failure draw can never collide
+/// with a transient-error draw for the same index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stream {
+    /// Per-slice: does this slice fail during the run?
+    SliceFailure,
+    /// Per-slice: when (within the horizon) does it fail?
+    SliceFailureTime,
+    /// Per-slice: is this slice a straggler?
+    Straggler,
+    /// Per-(slice, row): is this LUT row corrupted at boot?
+    LutCorruption,
+    /// Per-(request, attempt): does the attempt hit a transient error?
+    TransientError,
+    /// Per-(request, attempt): backoff jitter for the retry schedule.
+    BackoffJitter,
+}
+
+impl Stream {
+    fn tag(self) -> u64 {
+        match self {
+            Stream::SliceFailure => 0x511C_EFA1,
+            Stream::SliceFailureTime => 0x511C_E71A,
+            Stream::Straggler => 0x574A_661E,
+            Stream::LutCorruption => 0x107C_0440,
+            Stream::TransientError => 0x74A1_157E,
+            Stream::BackoffJitter => 0xBAC0_FF11,
+        }
+    }
+}
+
+/// The SplitMix64 finalizer: a bijective avalanche mixer on u64.
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The 64 random bits assigned to `(seed, stream, index)`.
+#[must_use]
+pub fn draw(seed: u64, stream: Stream, index: u64) -> u64 {
+    // Mix the seed and stream tag first so indices of different streams
+    // land in unrelated cycles, then fold in the index through a second
+    // full avalanche.
+    mix64(mix64(seed ^ stream.tag().rotate_left(17)).wrapping_add(index))
+}
+
+/// The draw mapped to a uniform `f64` in `[0, 1)` (53 mantissa bits).
+#[must_use]
+pub fn unit(seed: u64, stream: Stream, index: u64) -> f64 {
+    (draw(seed, stream, index) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A Bernoulli trial: true with probability `p` for this exact
+/// `(seed, stream, index)` triple, regardless of query order.
+#[must_use]
+pub fn chance(seed: u64, stream: Stream, index: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    unit(seed, stream, index) < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_pure_functions_of_their_inputs() {
+        assert_eq!(
+            draw(42, Stream::TransientError, 7),
+            draw(42, Stream::TransientError, 7)
+        );
+        assert_ne!(
+            draw(42, Stream::TransientError, 7),
+            draw(42, Stream::TransientError, 8)
+        );
+        assert_ne!(
+            draw(42, Stream::TransientError, 7),
+            draw(43, Stream::TransientError, 7)
+        );
+        assert_ne!(
+            draw(42, Stream::TransientError, 7),
+            draw(42, Stream::BackoffJitter, 7)
+        );
+    }
+
+    #[test]
+    fn unit_is_in_the_half_open_interval() {
+        for i in 0..1_000 {
+            let u = unit(0xBFEE, Stream::Straggler, i);
+            assert!((0.0..1.0).contains(&u), "unit draw {u} out of range");
+        }
+    }
+
+    #[test]
+    fn chance_edge_probabilities_are_exact() {
+        for i in 0..100 {
+            assert!(!chance(1, Stream::SliceFailure, i, 0.0));
+            assert!(chance(1, Stream::SliceFailure, i, 1.0));
+        }
+    }
+
+    #[test]
+    fn chance_rate_is_roughly_honoured() {
+        let hits = (0..10_000)
+            .filter(|&i| chance(7, Stream::LutCorruption, i, 0.1))
+            .count();
+        assert!(
+            (800..1_200).contains(&hits),
+            "10% rate drew {hits}/10000 hits"
+        );
+    }
+
+    #[test]
+    fn mix64_is_a_bijection_on_a_sample() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix64(i)), "collision at {i}");
+        }
+    }
+}

@@ -22,16 +22,20 @@ pub enum Subsystem {
     Par,
     /// `bfree-serve`: the multi-tenant serving engine.
     Serve,
+    /// `bfree-fault`: the fault-injection and resilience layer
+    /// (injected failures, retries, quarantines, load shedding).
+    Fault,
 }
 
 impl Subsystem {
     /// All subsystems in canonical order.
-    pub const ALL: [Subsystem; 5] = [
+    pub const ALL: [Subsystem; 6] = [
         Subsystem::Arch,
         Subsystem::Bce,
         Subsystem::Exec,
         Subsystem::Par,
         Subsystem::Serve,
+        Subsystem::Fault,
     ];
 
     /// Stable machine-readable label.
@@ -42,6 +46,7 @@ impl Subsystem {
             Subsystem::Exec => "exec",
             Subsystem::Par => "par",
             Subsystem::Serve => "serve",
+            Subsystem::Fault => "fault",
         }
     }
 }

@@ -4,6 +4,7 @@
 //! diff cleanly and hash stably.
 
 use bfree::BfreeConfig;
+use bfree_fault::RetryPolicy;
 use bfree_obs::{JsonValue, ObsError};
 
 use crate::scheduler::{SchedPolicy, ServeConfig};
@@ -13,6 +14,31 @@ fn schema_err(field: &str, expected: &'static str) -> ObsError {
         field: field.to_string(),
         expected,
     }
+}
+
+fn optional_ns(value: &JsonValue, field: &str) -> Result<Option<u64>, ObsError> {
+    match value.get(field) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(v) => {
+            Ok(Some(v.as_u64().ok_or_else(|| {
+                schema_err(field, "a non-negative integer or null")
+            })?))
+        }
+    }
+}
+
+/// A fraction field must be a finite number in `[0, 1]` *at parse
+/// time*: a config file carrying `-0.5` or `NaN` (hand-built trees can)
+/// fails here with the field named, not later inside a run.
+fn fraction(value: &JsonValue, field: &str) -> Result<f64, ObsError> {
+    let v = value
+        .get(field)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| schema_err(field, "a number"))?;
+    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+        return Err(schema_err(field, "a finite fraction in [0, 1]"));
+    }
+    Ok(v)
 }
 
 impl ServeConfig {
@@ -38,6 +64,32 @@ impl ServeConfig {
                     None => JsonValue::Null,
                 },
             ),
+            (
+                "retry",
+                JsonValue::object([
+                    (
+                        "max_attempts",
+                        JsonValue::Number(f64::from(self.retry.max_attempts)),
+                    ),
+                    (
+                        "base_backoff_ns",
+                        JsonValue::Number(self.retry.base_backoff_ns as f64),
+                    ),
+                    (
+                        "max_backoff_ns",
+                        JsonValue::Number(self.retry.max_backoff_ns as f64),
+                    ),
+                    ("jitter_frac", JsonValue::Number(self.retry.jitter_frac)),
+                ]),
+            ),
+            (
+                "deadline_ns",
+                match self.deadline_ns {
+                    Some(ns) => JsonValue::Number(ns as f64),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("shed_watermark", JsonValue::Number(self.shed_watermark)),
         ])
     }
 
@@ -47,12 +99,18 @@ impl ServeConfig {
         self.to_json().to_string()
     }
 
-    /// Deserializes a configuration from a [`JsonValue`] tree.
+    /// Deserializes a configuration from a [`JsonValue`] tree. The
+    /// resilience fields (`retry`, `deadline_ns`, `shed_watermark`) are
+    /// optional and default to disabled, so configs serialized before
+    /// they existed still parse.
     ///
     /// # Errors
     ///
-    /// [`ObsError::Schema`] for a missing or mistyped field, including
-    /// an unknown policy label or an invalid base machine.
+    /// [`ObsError::Schema`] for a missing or mistyped field — including
+    /// a negative or NaN rate, a negative timeout or deadline, an
+    /// unknown policy label, or an invalid base machine — and for any
+    /// combination [`ServeConfig::validate`] rejects: a config that
+    /// parses is a config that runs.
     pub fn from_json(value: &JsonValue) -> Result<ServeConfig, ObsError> {
         let base = value
             .get("base")
@@ -60,21 +118,37 @@ impl ServeConfig {
         let policy_label = value.require_str("policy")?;
         let policy = SchedPolicy::from_label(policy_label)
             .ok_or_else(|| schema_err("policy", "one of fifo/sjf/priority"))?;
-        let timeout_ns = match value.get("timeout_ns") {
-            None | Some(JsonValue::Null) => None,
-            Some(v) => Some(
-                v.as_u64()
-                    .ok_or_else(|| schema_err("timeout_ns", "a non-negative integer or null"))?,
-            ),
+        let timeout_ns = optional_ns(value, "timeout_ns")?;
+        let deadline_ns = optional_ns(value, "deadline_ns")?;
+        let retry = match value.get("retry") {
+            None | Some(JsonValue::Null) => RetryPolicy::disabled(),
+            Some(r) => RetryPolicy {
+                max_attempts: r.require_u64("max_attempts")? as u32,
+                base_backoff_ns: r.require_u64("base_backoff_ns")?,
+                max_backoff_ns: r.require_u64("max_backoff_ns")?,
+                jitter_frac: fraction(r, "jitter_frac")?,
+            },
         };
-        Ok(ServeConfig {
+        let shed_watermark = match value.get("shed_watermark") {
+            None => 0.0,
+            Some(_) => fraction(value, "shed_watermark")?,
+        };
+        let config = ServeConfig {
             base: BfreeConfig::from_json(base)?,
             policy,
             max_batch: value.require_u64("max_batch")? as usize,
             batch_window_ns: value.require_u64("batch_window_ns")?,
             queue_capacity: value.require_u64("queue_capacity")? as usize,
             timeout_ns,
-        })
+            retry,
+            deadline_ns,
+            shed_watermark,
+        };
+        config.validate().map_err(|e| ObsError::Schema {
+            field: e.to_string(),
+            expected: "a self-consistent serving config",
+        })?;
+        Ok(config)
     }
 
     /// Deserializes a configuration from JSON text.
@@ -133,5 +207,85 @@ mod tests {
         let text = config.to_json_string();
         assert!(text.contains("\"timeout_ns\":null"));
         assert_eq!(ServeConfig::from_json_str(&text).unwrap().timeout_ns, None);
+    }
+
+    #[test]
+    fn resilience_fields_round_trip() {
+        let config = ServeConfig::builder()
+            .retry(RetryPolicy::standard())
+            .deadline_ns(Some(40_000_000))
+            .shed_watermark(0.75)
+            .build()
+            .unwrap();
+        let back = ServeConfig::from_json_str(&config.to_json_string()).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn configs_without_resilience_fields_still_parse() {
+        let mut json = ServeConfig::paper_default().to_json();
+        if let JsonValue::Object(map) = &mut json {
+            map.remove("retry");
+            map.remove("deadline_ns");
+            map.remove("shed_watermark");
+        }
+        let config = ServeConfig::from_json(&json).unwrap();
+        assert!(!config.retry.enabled());
+        assert_eq!(config.deadline_ns, None);
+        assert_eq!(config.shed_watermark, 0.0);
+    }
+
+    #[test]
+    fn negative_and_nan_rates_are_rejected_at_parse_time() {
+        for bad in [
+            JsonValue::Number(-0.25),
+            JsonValue::Number(f64::NAN),
+            JsonValue::Number(1.5),
+            JsonValue::Number(f64::INFINITY),
+        ] {
+            let mut json = ServeConfig::paper_default().to_json();
+            if let JsonValue::Object(map) = &mut json {
+                map.insert("shed_watermark".to_string(), bad.clone());
+            }
+            let err = ServeConfig::from_json(&json).unwrap_err();
+            assert!(matches!(err, ObsError::Schema { .. }), "got {err:?}");
+
+            let mut json = ServeConfig::paper_default().to_json();
+            if let Some(JsonValue::Object(retry)) = match &mut json {
+                JsonValue::Object(map) => map.get_mut("retry"),
+                _ => None,
+            } {
+                retry.insert("jitter_frac".to_string(), bad);
+            }
+            let err = ServeConfig::from_json(&json).unwrap_err();
+            assert!(matches!(err, ObsError::Schema { .. }), "got {err:?}");
+        }
+    }
+
+    #[test]
+    fn negative_timeout_and_deadline_are_rejected_at_parse_time() {
+        for field in ["timeout_ns", "deadline_ns"] {
+            let mut json = ServeConfig::paper_default().to_json();
+            if let JsonValue::Object(map) = &mut json {
+                map.insert(field.to_string(), JsonValue::Number(-1.0));
+            }
+            let err = ServeConfig::from_json(&json).unwrap_err();
+            match &err {
+                ObsError::Schema { field: f, .. } => assert_eq!(f, field),
+                other => panic!("negative {field} must fail at parse time, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parsed_configs_are_validated() {
+        // Structurally well-formed but semantically invalid: parse must
+        // reject it, not hand back a config that panics later.
+        let mut json = ServeConfig::paper_default().to_json();
+        if let JsonValue::Object(map) = &mut json {
+            map.insert("max_batch".to_string(), JsonValue::Number(0.0));
+        }
+        let err = ServeConfig::from_json(&json).unwrap_err();
+        assert!(matches!(err, ObsError::Schema { .. }), "got {err:?}");
     }
 }

@@ -17,6 +17,16 @@ pub enum RejectReason {
     /// The tenant's slice demand exceeds the whole pool; no schedule
     /// could ever place it.
     DoesNotFit,
+    /// Load shedding: healthy-slice capacity fell below the configured
+    /// watermark and the tenant's priority class was sacrificed.
+    Shed,
+    /// The request's end-to-end deadline expired while it was still
+    /// queued; serving it would only produce a dead answer.
+    DeadlineExpired,
+    /// Every allowed service attempt hit an injected fault (a transient
+    /// compute error or a mid-flight slice failure). Requests with no
+    /// retry budget land here on their first fault.
+    RetriesExhausted,
 }
 
 impl RejectReason {
@@ -26,6 +36,9 @@ impl RejectReason {
             RejectReason::QueueFull => "queue_full",
             RejectReason::TimedOut => "timed_out",
             RejectReason::DoesNotFit => "does_not_fit",
+            RejectReason::Shed => "shed",
+            RejectReason::DeadlineExpired => "deadline_expired",
+            RejectReason::RetriesExhausted => "retries_exhausted",
         }
     }
 }

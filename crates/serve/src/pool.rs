@@ -7,7 +7,7 @@
 //! placement is deterministic) and guarantees no slice — and therefore
 //! no subarray — is ever owned by two live allocations.
 
-use pim_arch::CacheGeometry;
+use pim_arch::{CacheGeometry, HealthMap};
 use std::ops::Range;
 
 /// A live grant of specific cache slices to one dispatch.
@@ -77,15 +77,38 @@ impl SlicePool {
         self.free.iter().filter(|&&f| f).count()
     }
 
+    /// Free slices that `health` also allows to be allocated — the
+    /// capacity the dispatcher can actually use while part of the pool
+    /// is quarantined.
+    pub fn free_available_slices(&self, health: &HealthMap) -> usize {
+        self.free
+            .iter()
+            .enumerate()
+            .filter(|&(id, &free)| free && health.is_available(id))
+            .count()
+    }
+
     /// Grants `slices` specific slice IDs, lowest-numbered first, or
     /// `None` when fewer are free (the caller queues or sheds).
     pub fn allocate(&mut self, slices: usize) -> Option<SliceAllocation> {
-        if slices == 0 || self.free_slices() < slices {
+        self.allocate_available(slices, &HealthMap::new(self.free.len()))
+    }
+
+    /// [`allocate`](SlicePool::allocate) restricted to slices `health`
+    /// reports allocatable: quarantined slices are skipped, so a grant
+    /// remaps around failures. With an all-healthy map this is exactly
+    /// `allocate` — same grants, same order.
+    pub fn allocate_available(
+        &mut self,
+        slices: usize,
+        health: &HealthMap,
+    ) -> Option<SliceAllocation> {
+        if slices == 0 || self.free_available_slices(health) < slices {
             return None;
         }
         let mut slice_ids = Vec::with_capacity(slices);
         for (id, free) in self.free.iter_mut().enumerate() {
-            if *free {
+            if *free && health.is_available(id) {
                 *free = false;
                 slice_ids.push(id);
                 if slice_ids.len() == slices {
@@ -169,5 +192,38 @@ mod tests {
         let a = p.allocate(1).unwrap();
         p.release(a.clone());
         p.release(a);
+    }
+
+    #[test]
+    fn quarantined_slices_are_remapped_around() {
+        let mut p = pool();
+        let mut health = HealthMap::new(p.total_slices());
+        health.mark_failed(0);
+        health.mark_failed(2);
+        let a = p.allocate_available(3, &health).unwrap();
+        assert_eq!(a.slice_ids, vec![1, 3, 4], "grants skip quarantined slices");
+        assert_eq!(p.free_available_slices(&health), 9);
+        // The quarantined slices are still *unallocated* — just unusable.
+        assert_eq!(p.free_slices(), 11);
+        // Recovery restores them to the allocatable set.
+        health.mark_recovered(0);
+        health.mark_recovered(2);
+        assert_eq!(p.free_available_slices(&health), 11);
+        let b = p.allocate_available(2, &health).unwrap();
+        assert_eq!(b.slice_ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn all_healthy_map_matches_plain_allocate() {
+        let mut plain = pool();
+        let mut guarded = pool();
+        let health = HealthMap::new(14);
+        for n in [3, 4, 1] {
+            assert_eq!(
+                plain.allocate(n).unwrap().slice_ids,
+                guarded.allocate_available(n, &health).unwrap().slice_ids,
+            );
+        }
+        assert_eq!(plain.free_slices(), guarded.free_available_slices(&health));
     }
 }

@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use bfree::BfreeConfig;
+use bfree_fault::RetryPolicy;
 
 use crate::error::{RejectReason, ServeError};
 use crate::tenant::Tenant;
@@ -63,6 +64,21 @@ pub struct ServeConfig {
     /// Queueing deadline: a request still undispatched this long after
     /// submission is shed with [`RejectReason::TimedOut`].
     pub timeout_ns: Option<u64>,
+    /// How transiently-failed service attempts are retried
+    /// ([`RetryPolicy::disabled`] by default: faults are terminal).
+    pub retry: RetryPolicy,
+    /// End-to-end deadline: a request still queued this long after its
+    /// *original* submission is shed with
+    /// [`RejectReason::DeadlineExpired`], and one completing later
+    /// counts as a deadline violation (excluded from goodput). `None`
+    /// disables both.
+    pub deadline_ns: Option<u64>,
+    /// Load-shedding watermark on the healthy-slice fraction: when the
+    /// allocatable fraction of the pool drops below this, arrivals from
+    /// the lowest tenant-priority classes are shed with
+    /// [`RejectReason::Shed`], lowest class first, the top class never.
+    /// `0.0` disables shedding entirely.
+    pub shed_watermark: f64,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +90,9 @@ impl Default for ServeConfig {
             batch_window_ns: 0,
             queue_capacity: 1024,
             timeout_ns: None,
+            retry: RetryPolicy::disabled(),
+            deadline_ns: None,
+            shed_watermark: 0.0,
         }
     }
 }
@@ -130,6 +149,27 @@ impl ServeConfig {
             return Err(ServeError::InvalidConfig {
                 parameter: "timeout_ns",
                 reason: "zero timeout sheds every request; use None to disable".to_string(),
+            });
+        }
+        if self.deadline_ns == Some(0) {
+            return Err(ServeError::InvalidConfig {
+                parameter: "deadline_ns",
+                reason: "zero deadline expires every request; use None to disable".to_string(),
+            });
+        }
+        self.retry
+            .validate()
+            .map_err(|e| ServeError::InvalidConfig {
+                parameter: "retry",
+                reason: e.to_string(),
+            })?;
+        if !self.shed_watermark.is_finite() || !(0.0..=1.0).contains(&self.shed_watermark) {
+            return Err(ServeError::InvalidConfig {
+                parameter: "shed_watermark",
+                reason: format!(
+                    "must be a finite fraction in [0, 1], got {}",
+                    self.shed_watermark
+                ),
             });
         }
         Ok(())
@@ -196,6 +236,25 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Retry policy for transiently-failed service attempts.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// End-to-end request deadline (`None` disables).
+    pub fn deadline_ns(mut self, deadline_ns: Option<u64>) -> Self {
+        self.config.deadline_ns = deadline_ns;
+        self
+    }
+
+    /// Load-shedding watermark on the healthy-slice fraction
+    /// (`0.0` disables).
+    pub fn shed_watermark(mut self, shed_watermark: f64) -> Self {
+        self.config.shed_watermark = shed_watermark;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -214,8 +273,12 @@ pub struct QueuedRequest {
     pub request_id: u64,
     /// Index of the tenant it belongs to.
     pub tenant: usize,
-    /// Virtual-clock submission time (ns).
+    /// Virtual-clock submission time (ns). Retries keep the *original*
+    /// submission time, so deadlines stay end-to-end.
     pub submit_ns: u64,
+    /// Zero-based service-attempt number (0 = first attempt; a request
+    /// re-queued by the retry policy comes back with `attempt + 1`).
+    pub attempt: u32,
 }
 
 /// A group of same-tenant requests selected for one dispatch.
@@ -235,6 +298,7 @@ pub struct Scheduler {
     batch_window_ns: u64,
     queue_capacity: usize,
     timeout_ns: Option<u64>,
+    deadline_ns: Option<u64>,
     queues: Vec<VecDeque<QueuedRequest>>,
     queued: usize,
 }
@@ -248,6 +312,7 @@ impl Scheduler {
             batch_window_ns: config.batch_window_ns,
             queue_capacity: config.queue_capacity,
             timeout_ns: config.timeout_ns,
+            deadline_ns: config.deadline_ns,
             queues: vec![VecDeque::new(); tenant_count],
             queued: 0,
         }
@@ -280,20 +345,31 @@ impl Scheduler {
         Ok(())
     }
 
-    /// Removes and returns every queued request whose deadline has
-    /// passed at `now`.
-    pub fn shed_timeouts(&mut self, now: u64) -> Vec<QueuedRequest> {
-        let Some(timeout) = self.timeout_ns else {
+    /// Removes and returns every queued request whose queueing timeout
+    /// ([`RejectReason::TimedOut`]) or end-to-end deadline
+    /// ([`RejectReason::DeadlineExpired`]) has passed at `now`. The
+    /// deadline takes precedence when both expire at once: a dead
+    /// answer is the stronger condition.
+    pub fn shed_expired(&mut self, now: u64) -> Vec<(QueuedRequest, RejectReason)> {
+        if self.timeout_ns.is_none() && self.deadline_ns.is_none() {
             return Vec::new();
-        };
+        }
+        let timeout_ns = self.timeout_ns;
+        let deadline_ns = self.deadline_ns;
         let mut shed = Vec::new();
         for queue in &mut self.queues {
             queue.retain(|r| {
-                let expired = now >= r.submit_ns.saturating_add(timeout);
-                if expired {
-                    shed.push(*r);
+                let reason = if deadline_ns.is_some_and(|d| now >= r.submit_ns.saturating_add(d)) {
+                    Some(RejectReason::DeadlineExpired)
+                } else if timeout_ns.is_some_and(|t| now >= r.submit_ns.saturating_add(t)) {
+                    Some(RejectReason::TimedOut)
+                } else {
+                    None
+                };
+                if let Some(reason) = reason {
+                    shed.push((*r, reason));
                 }
-                !expired
+                reason.is_none()
             });
         }
         // retain preserves FIFO order per tenant; order across tenants
@@ -318,6 +394,9 @@ impl Scheduler {
                 }
                 if let Some(timeout) = self.timeout_ns {
                     consider(oldest.submit_ns.saturating_add(timeout));
+                }
+                if let Some(deadline) = self.deadline_ns {
+                    consider(oldest.submit_ns.saturating_add(deadline));
                 }
             }
         }
@@ -402,6 +481,7 @@ mod tests {
             request_id: id,
             tenant,
             submit_ns: at,
+            attempt: 0,
         }
     }
 
@@ -547,9 +627,72 @@ mod tests {
         let mut s = Scheduler::new(&config, 1);
         s.admit(req(0, 0, 0), &ts).unwrap();
         s.admit(req(1, 0, 900), &ts).unwrap();
-        let shed = s.shed_timeouts(1_000);
+        let shed = s.shed_expired(1_000);
         assert_eq!(shed.len(), 1);
-        assert_eq!(shed[0].request_id, 0);
+        assert_eq!(shed[0].0.request_id, 0);
+        assert_eq!(shed[0].1, RejectReason::TimedOut);
         assert_eq!(s.queued(), 1);
+    }
+
+    #[test]
+    fn deadlines_shed_queued_requests_with_their_own_reason() {
+        let ts = tenants(vec![TenantSpec::new("a", NetworkKind::LstmTimit)]);
+        let config = ServeConfig {
+            timeout_ns: Some(5_000),
+            deadline_ns: Some(1_000),
+            ..ServeConfig::default()
+        };
+        let mut s = Scheduler::new(&config, 1);
+        s.admit(req(0, 0, 0), &ts).unwrap();
+        s.admit(req(1, 0, 800), &ts).unwrap();
+        assert_eq!(s.next_deadline(0), Some(1_000));
+        let shed = s.shed_expired(1_000);
+        assert_eq!(shed, vec![(req(0, 0, 0), RejectReason::DeadlineExpired)]);
+        assert_eq!(s.queued(), 1);
+    }
+
+    #[test]
+    fn resilience_config_fields_are_validated() {
+        let config = ServeConfig {
+            shed_watermark: 1.5,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            config.validate(),
+            Err(ServeError::InvalidConfig {
+                parameter: "shed_watermark",
+                ..
+            })
+        ));
+        let config = ServeConfig {
+            shed_watermark: f64::NAN,
+            ..ServeConfig::default()
+        };
+        assert!(config.validate().is_err());
+        let config = ServeConfig {
+            deadline_ns: Some(0),
+            ..ServeConfig::default()
+        };
+        assert!(config.validate().is_err());
+        let mut bad_retry = bfree_fault::RetryPolicy::standard();
+        bad_retry.jitter_frac = -0.5;
+        let config = ServeConfig {
+            retry: bad_retry,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            config.validate(),
+            Err(ServeError::InvalidConfig {
+                parameter: "retry",
+                ..
+            })
+        ));
+        let good = ServeConfig::builder()
+            .retry(bfree_fault::RetryPolicy::standard())
+            .deadline_ns(Some(40_000_000))
+            .shed_watermark(0.75)
+            .build()
+            .unwrap();
+        assert!(good.retry.enabled());
     }
 }

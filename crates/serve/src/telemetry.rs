@@ -97,6 +97,25 @@ pub struct ServingSummary {
     pub avg_conventional_slowdown: f64,
     /// Virtual time from first submission to last completion (ns).
     pub makespan_ns: u64,
+    /// Retry attempts scheduled after faulted service attempts.
+    pub retries: u64,
+    /// Requests shed by the load-shedding watermark
+    /// ([`RejectReason::Shed`]).
+    pub shed: u64,
+    /// Requests whose end-to-end deadline expired while queued
+    /// ([`RejectReason::DeadlineExpired`]).
+    pub deadline_expired: u64,
+    /// Requests that faulted on every allowed attempt
+    /// ([`RejectReason::RetriesExhausted`]).
+    pub retries_exhausted: u64,
+    /// Requests that *completed*, but only after their deadline — they
+    /// count toward `completed` and availability, not toward goodput.
+    pub deadline_violations: u64,
+    /// Fraction of submitted requests served to completion.
+    pub availability: f64,
+    /// Completed requests that met their deadline, per second of
+    /// virtual time (equals `throughput_rps` when no deadline is set).
+    pub goodput_rps: f64,
 }
 
 /// Collects records and time-weighted pool statistics during a run.
@@ -104,6 +123,8 @@ pub struct ServingSummary {
 pub struct Telemetry {
     records: Vec<RequestRecord>,
     submitted: u64,
+    retries: u64,
+    deadline_violations: u64,
     total_slices: usize,
     busy_slice_ns: f64,
     slowdown_ns: f64,
@@ -118,6 +139,8 @@ impl Telemetry {
         Telemetry {
             records: Vec::new(),
             submitted: 0,
+            retries: 0,
+            deadline_violations: 0,
             total_slices,
             busy_slice_ns: 0.0,
             slowdown_ns: 0.0,
@@ -132,6 +155,16 @@ impl Telemetry {
         self.submitted += 1;
         self.first_event_ns.get_or_insert(now);
         self.last_event_ns = self.last_event_ns.max(now);
+    }
+
+    /// Notes one scheduled retry of a faulted service attempt.
+    pub fn note_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Notes one request completing *after* its end-to-end deadline.
+    pub fn note_deadline_violation(&mut self) {
+        self.deadline_violations += 1;
     }
 
     /// Accounts one interval of pool state: `busy_slices` allocated and
@@ -180,6 +213,13 @@ impl Telemetry {
         } else {
             latencies.iter().map(|&l| l as f64).sum::<f64>() / latencies.len() as f64
         };
+        let count_reason = |reason: RejectReason| -> u64 {
+            self.records
+                .iter()
+                .filter(|r| r.outcome == Outcome::Rejected(reason))
+                .count() as u64
+        };
+        let good = completed.saturating_sub(self.deadline_violations);
         ServingSummary {
             submitted: self.submitted,
             completed,
@@ -209,6 +249,21 @@ impl Telemetry {
                 self.slowdown_ns / self.observed_ns as f64
             },
             makespan_ns,
+            retries: self.retries,
+            shed: count_reason(RejectReason::Shed),
+            deadline_expired: count_reason(RejectReason::DeadlineExpired),
+            retries_exhausted: count_reason(RejectReason::RetriesExhausted),
+            deadline_violations: self.deadline_violations,
+            availability: if self.submitted == 0 {
+                1.0
+            } else {
+                completed as f64 / self.submitted as f64
+            },
+            goodput_rps: if makespan_ns == 0 {
+                0.0
+            } else {
+                good as f64 / (makespan_ns as f64 * 1e-9)
+            },
         }
     }
 

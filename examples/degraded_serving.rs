@@ -1,0 +1,138 @@
+//! Graceful degradation under a slice failure: LSTM-TIMIT and BERT-base
+//! share one BFree cache while the fault injector kills slices mid-run.
+//! The pool quarantines and remaps around them, transient errors retry
+//! with backoff, low-priority traffic sheds when healthy capacity dips,
+//! and recovery restores the full pool — with the failure timeline read
+//! back from the observability event stream and the p99 split into
+//! healthy vs degraded windows.
+//!
+//! Run with: `cargo run -p bfree-serve --release --example degraded_serving`
+
+use bfree_fault::{FaultInjector, FaultPlan, RetryPolicy};
+use bfree_obs::{EventKind, RingRecorder, Subsystem};
+use bfree_serve::{OpenLoopDriver, Outcome, SchedPolicy, ServeConfig, ServingSim, TenantSpec};
+use pim_nn::request::NetworkKind;
+
+const HORIZON_NS: u64 = 400_000_000;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn main() {
+    let tenants = vec![
+        TenantSpec::new("lstm-timit", NetworkKind::LstmTimit).with_priority(0),
+        TenantSpec::new("bert-base", NetworkKind::BertBase).with_priority(5),
+    ];
+    let config = ServeConfig::builder()
+        .policy(SchedPolicy::Priority)
+        .max_batch(8)
+        .batch_window_ns(100_000)
+        .queue_capacity(512)
+        .timeout_ns(Some(50_000_000))
+        .retry(RetryPolicy::standard())
+        .shed_watermark(0.8)
+        .build()
+        .unwrap();
+
+    // A hostile but survivable plan: ~30% of slices fail somewhere in
+    // the horizon and come back 80 ms later; 2% of service attempts hit
+    // a transient error and get retried.
+    let plan = FaultPlan::none()
+        .with_slice_failures(0.3, HORIZON_NS, Some(80_000_000))
+        .with_transient_errors(0.02);
+    let slices = config.base.geometry.slices();
+    let injector = FaultInjector::new(plan, 42, slices, 0).unwrap();
+    let failures = injector.slice_failures().to_vec();
+
+    let mut sim =
+        ServingSim::with_recorder_and_faults(config, tenants, RingRecorder::new(65_536), injector)
+            .unwrap();
+    println!("pool: {slices} slices; scheduled failures:");
+    for f in &failures {
+        println!(
+            "  slice {:>2} fails at {:>6.1} ms, recovers at {:>6.1} ms",
+            f.slice,
+            f.fail_at_ns as f64 * 1e-6,
+            f.recover_at_ns.unwrap() as f64 * 1e-6,
+        );
+    }
+
+    let submitted = OpenLoopDriver::new(0xBF_EE, vec![2_000.0, 50.0]).drive(&mut sim, HORIZON_NS);
+    let summary = sim.run_to_idle().summary();
+    println!(
+        "\nsubmitted {submitted} requests over {} ms of virtual time",
+        HORIZON_NS / 1_000_000
+    );
+    println!(
+        "completed {}  rejected {}  retries {}  shed {}  availability {:.1}%  goodput {:.0} req/s",
+        summary.completed,
+        summary.rejected,
+        summary.retries,
+        summary.shed,
+        summary.availability * 100.0,
+        summary.goodput_rps,
+    );
+    assert!(
+        sim.health().available_slices() == slices,
+        "every quarantined slice must have recovered by idle"
+    );
+
+    // The failure timeline, read back from the obs event stream.
+    println!("\nfault timeline (from the Recorder):");
+    let events = sim.recorder().events();
+    for e in events.iter().filter(|e| {
+        e.subsystem == Subsystem::Fault
+            && matches!(e.kind, EventKind::Instant)
+            && (e.name == "fault/slice_failed" || e.name == "fault/slice_recovered")
+    }) {
+        println!(
+            "  {:>7.1} ms  {:<22} {}",
+            e.time_ns * 1e-6,
+            e.name,
+            e.detail.as_deref().unwrap_or(""),
+        );
+    }
+    let count = |name: &str| events.iter().filter(|e| e.name == name).count();
+    println!(
+        "  plus {} quarantine remaps, {} retries, {} sheds, {} transient faults",
+        count("pool/quarantine"),
+        count("request/retry"),
+        count("request/shed"),
+        count("fault/injected"),
+    );
+
+    // p99 before/after: completions inside any failure window see the
+    // shrunken pool, the rest see the full one.
+    let degraded = |t: u64| {
+        failures
+            .iter()
+            .any(|f| t >= f.fail_at_ns && t < f.recover_at_ns.unwrap_or(u64::MAX))
+    };
+    let (mut healthy, mut shrunk): (Vec<u64>, Vec<u64>) = (Vec::new(), Vec::new());
+    for r in sim.telemetry().records() {
+        if r.outcome == Outcome::Completed {
+            if degraded(r.complete_ns) {
+                shrunk.push(r.latency_ns());
+            } else {
+                healthy.push(r.latency_ns());
+            }
+        }
+    }
+    healthy.sort_unstable();
+    shrunk.sort_unstable();
+    println!(
+        "\np99 with the full pool:     {:>7.2} ms  ({} completions)",
+        percentile(&healthy, 99.0) as f64 * 1e-6,
+        healthy.len(),
+    );
+    println!(
+        "p99 with slices quarantined: {:>6.2} ms  ({} completions)",
+        percentile(&shrunk, 99.0) as f64 * 1e-6,
+        shrunk.len(),
+    );
+}

@@ -1,0 +1,177 @@
+//! Property tests over the fault-injection layer (ISSUE 4): whatever
+//! faults a plan throws at the serving engine, no request is ever lost
+//! or duplicated — the conservation identity
+//! `submitted = completed + rejected + queued + in_flight + pending_retries`
+//! holds mid-run and fully drains at idle — and the retry schedule is a
+//! pure function of the seed with its backoff capped at the ceiling,
+//! jitter included.
+
+use bfree_fault::{FaultInjector, FaultPlan, RetryPolicy};
+use bfree_serve::{OpenLoopDriver, SchedPolicy, ServeConfig, ServeError, ServingSim, TenantSpec};
+use pim_nn::request::NetworkKind;
+use proptest::prelude::*;
+
+/// Virtual time driven per case; kept short so 256 cases stay fast.
+const HORIZON_NS: u64 = 50_000_000;
+
+fn tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("lstm", NetworkKind::LstmTimit),
+        TenantSpec::new("bert", NetworkKind::BertBase).with_priority(5),
+    ]
+}
+
+fn config(retry: bool, shed: bool, deadline: bool) -> Result<ServeConfig, ServeError> {
+    let mut builder = ServeConfig::builder()
+        .policy(SchedPolicy::Priority)
+        .max_batch(8)
+        .batch_window_ns(100_000)
+        .queue_capacity(256)
+        .timeout_ns(Some(25_000_000));
+    if retry {
+        builder = builder.retry(RetryPolicy::standard());
+    }
+    if shed {
+        builder = builder.shed_watermark(0.8);
+    }
+    if deadline {
+        builder = builder.deadline_ns(Some(30_000_000));
+    }
+    builder.build()
+}
+
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        0.0..0.05f64,
+        0.0..0.5f64,
+        prop_oneof![Just(None), Just(Some(15_000_000u64))],
+        0.0..0.4f64,
+        1.0..4.0f64,
+        0.0..0.3f64,
+    )
+        .prop_map(|(lut, fail, recover, strag_rate, strag_mult, transient)| {
+            FaultPlan::none()
+                .with_lut_corruption(lut, 40)
+                .with_slice_failures(fail, HORIZON_NS, recover)
+                .with_stragglers(strag_rate, strag_mult)
+                .with_transient_errors(transient)
+        })
+}
+
+/// Every bucket a request can sit in, summed at instant `now`.
+fn accounted(sim: &ServingSim) -> u64 {
+    let s = sim.telemetry().summary();
+    s.completed + s.rejected + sim.queued() + sim.in_flight() + sim.pending_retries()
+}
+
+proptest! {
+    /// Under an arbitrary fault plan and any mix of resilience
+    /// mechanisms, the engine neither loses nor duplicates requests:
+    /// the conservation identity holds at mid-run checkpoints and the
+    /// terminal buckets absorb everything at idle.
+    #[test]
+    fn no_fault_plan_loses_or_duplicates_requests(
+        plan in plan_strategy(),
+        seed in any::<u64>(),
+        retry in any::<bool>(),
+        shed in any::<bool>(),
+        deadline in any::<bool>(),
+    ) {
+        let cfg = config(retry, shed, deadline).expect("constants are valid");
+        let slices = cfg.base.geometry.slices();
+        let injector = FaultInjector::new(plan, seed, slices, 512).expect("plan in range");
+        let mut sim = ServingSim::with_faults(cfg, tenants(), injector)
+            .expect("constants are valid");
+        let mut driver = OpenLoopDriver::new(seed, vec![2_000.0, 50.0]);
+        driver.drive(&mut sim, HORIZON_NS);
+
+        // Mid-run: run to a few checkpoints and audit the identity.
+        for checkpoint in [HORIZON_NS / 4, HORIZON_NS / 2, HORIZON_NS] {
+            sim.run_until(checkpoint);
+            let submitted = sim.telemetry().summary().submitted;
+            prop_assert_eq!(
+                accounted(&sim), submitted,
+                "conservation identity broken at {} ns", checkpoint
+            );
+        }
+
+        let summary = sim.run_to_idle().summary();
+        prop_assert_eq!(sim.queued(), 0);
+        prop_assert_eq!(sim.in_flight(), 0);
+        prop_assert_eq!(sim.pending_retries(), 0);
+        prop_assert_eq!(summary.completed + summary.rejected, summary.submitted);
+        prop_assert_eq!(sim.work_conservation_violations(), 0);
+    }
+
+    /// The backoff schedule is a pure function of
+    /// `(seed, request, attempt)` — identical inputs give identical
+    /// delays — and the ceiling holds with jitter included, at any
+    /// attempt depth (including ones deep enough to overflow a naive
+    /// `base << attempt`).
+    #[test]
+    fn backoff_is_deterministic_and_never_exceeds_the_ceiling(
+        seed in any::<u64>(),
+        request in any::<u64>(),
+        attempt in 1u32..100,
+        base in 1u64..10_000_000,
+        headroom in 0u64..100_000_000,
+        jitter in 0.0..1.0f64,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff_ns: base,
+            max_backoff_ns: base + headroom,
+            jitter_frac: jitter,
+        };
+        policy.validate().expect("constructed within bounds");
+        let delay = policy.backoff_ns(seed, request, attempt);
+        prop_assert_eq!(
+            delay,
+            policy.backoff_ns(seed, request, attempt),
+            "backoff must be pure in (seed, request, attempt)"
+        );
+        prop_assert!(
+            delay <= policy.max_backoff_ns,
+            "delay {} exceeds ceiling {} (jitter included)",
+            delay, policy.max_backoff_ns
+        );
+        prop_assert!(delay >= 1, "an enabled policy always waits");
+    }
+}
+
+/// Identical seeds produce identical runs down to the per-request
+/// record stream — the retry schedule included — while a different seed
+/// realizes a different fault trace.
+#[test]
+fn identical_seeds_give_identical_retry_schedules() {
+    let run = |seed: u64| {
+        let cfg = config(true, true, true).unwrap();
+        let slices = cfg.base.geometry.slices();
+        let plan = FaultPlan::none()
+            .with_slice_failures(0.3, HORIZON_NS, Some(15_000_000))
+            .with_stragglers(0.2, 3.0)
+            .with_transient_errors(0.1);
+        let injector = FaultInjector::new(plan, seed, slices, 512).unwrap();
+        let mut sim = ServingSim::with_faults(cfg, tenants(), injector).unwrap();
+        let mut driver = OpenLoopDriver::new(0xBF_EE, vec![2_000.0, 50.0]);
+        driver.drive(&mut sim, HORIZON_NS);
+        let telemetry = sim.run_to_idle();
+        (
+            format!("{:?}", telemetry.records()),
+            telemetry.summary().retries,
+        )
+    };
+    let (records_a, retries_a) = run(42);
+    let (records_b, retries_b) = run(42);
+    assert_eq!(
+        records_a, records_b,
+        "same seed must replay bit-identically"
+    );
+    assert_eq!(retries_a, retries_b);
+    assert!(retries_a > 0, "10% transient errors must trigger retries");
+    let (records_c, _) = run(43);
+    assert_ne!(
+        records_a, records_c,
+        "a different seed must realize a different fault trace"
+    );
+}

@@ -73,6 +73,13 @@ fn snapshot() -> String {
         let _ = writeln!(out, "serving {}", row.join(","));
     }
 
+    // The chaos sweep carries the retry/backoff schedules: identical
+    // rows across job counts means identical retry timing everywhere.
+    let chaos = exp::chaos::run(exp::chaos::DEFAULT_SEED).expect("chaos sweep valid");
+    for row in exp::chaos::csv_rows(&chaos) {
+        let _ = writeln!(out, "chaos {}", row.join(","));
+    }
+
     out
 }
 
