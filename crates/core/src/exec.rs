@@ -473,6 +473,18 @@ impl BfreeSimulator {
             controller_static.picojoules(),
         );
 
+        // Root span over the whole run: starts with the configure span
+        // and outlives every layer, so interval nesting
+        // (`bfree_obs::TraceForest`) reconstructs the run as one tree
+        // with the configure/layer spans as its children.
+        recorder.span_with(
+            Subsystem::Exec,
+            "run",
+            0.0,
+            latency.total().nanoseconds(),
+            || format!("network={} batch={batch}", network.name()),
+        );
+
         RunReport {
             device: self.device_name().to_string(),
             network: network.name().to_string(),
@@ -730,6 +742,29 @@ mod tests {
             );
             assert_eq!(report.per_layer.len(), plain.per_layer.len());
         }
+    }
+
+    #[test]
+    fn recorded_run_reconstructs_as_a_single_trace_tree() {
+        use bfree_obs::{RingRecorder, TraceForest};
+
+        let recorder = RingRecorder::new(16384);
+        let report = sim().run_recorded(&networks::vgg16(), 1, &recorder);
+        let forest = TraceForest::from_ring(&recorder);
+        assert!(forest.is_balanced(), "issues: {:?}", forest.issues);
+        assert_eq!(forest.roots.len(), 1, "the run span must own the trace");
+        let root = &forest.roots[0];
+        assert_eq!(root.event.name, "run");
+        assert_eq!(
+            root.dur_ns().to_bits(),
+            report.total_latency().nanoseconds().to_bits(),
+            "root span duration is the report total, bit for bit"
+        );
+        assert_eq!(root.children[0].event.name, "configure");
+        assert!(root.children.len() > 10, "layer spans nest under the run");
+        // Children tile the run except the final ring gather, so the
+        // root keeps a non-negative self time.
+        assert!(root.self_ns() >= 0.0, "self {}", root.self_ns());
     }
 
     #[test]

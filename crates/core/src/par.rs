@@ -233,6 +233,111 @@ where
         .collect()
 }
 
+/// [`par_map`] with wall-clock worker profiling: times the whole call
+/// (`Histogram` event named `name`) and each worker's busy time
+/// (`wall/worker_busy` with a `worker=<id>` detail), all under
+/// [`Subsystem::Par`].
+///
+/// Wall-clock values are host time and therefore *nondeterministic*;
+/// only the perf sentinel (`experiments perf`) opts in. The
+/// deterministic simulation paths keep calling [`par_map`], whose
+/// event-free behavior (and goldens) this function leaves untouched —
+/// and under a disabled recorder it *is* [`par_map`]: no clock reads,
+/// no extra synchronization.
+///
+/// Results are in input order, exactly as [`par_map`].
+pub fn par_map_profiled<T, U, F, R>(recorder: &R, name: &'static str, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+    R: Recorder + Sync,
+{
+    if !recorder.is_enabled() {
+        return par_map(items, f);
+    }
+    let call_timer = bfree_obs::perf::WallTimer::start(recorder, Subsystem::Par, name);
+    let n = items.len();
+    let jobs = max_jobs().max(1).min(n.max(1));
+    let serial = jobs <= 1 || IN_WORKER.with(Cell::get);
+    let workers = if serial { 1 } else { jobs };
+    // Per-worker busy nanoseconds and item counts, indexed by worker
+    // id; emission below iterates worker ids in order, so the *event
+    // stream shape* is deterministic even though the values are wall
+    // time.
+    let busy_ns: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let items_done: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let timed_f = |worker: usize, item: T| {
+        let started = std::time::Instant::now();
+        let result = f(item);
+        busy_ns[worker].fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        items_done[worker].fetch_add(1, Ordering::Relaxed);
+        result
+    };
+    let results = if serial {
+        ITEMS_PROCESSED.fetch_add(n as u64, Ordering::Relaxed);
+        SERIAL_CALLS.fetch_add(1, Ordering::Relaxed);
+        items.into_iter().map(|item| timed_f(0, item)).collect()
+    } else {
+        ITEMS_PROCESSED.fetch_add(n as u64, Ordering::Relaxed);
+        PARALLEL_CALLS.fetch_add(1, Ordering::Relaxed);
+        WORKERS_SPAWNED.fetch_add(jobs as u64, Ordering::Relaxed);
+        let inputs: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let outputs: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for worker in 0..jobs {
+                // Shadow with shared references so the `move` closure
+                // captures borrows (plus its own `worker` id), never the
+                // containers themselves.
+                let (timed_f, inputs, outputs, next) = (&timed_f, &inputs, &outputs, &next);
+                scope.spawn(move || {
+                    IN_WORKER.with(|flag| flag.set(true));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = match lock_unpoisoned(&inputs[i]).take() {
+                            Some(item) => item,
+                            None => break,
+                        };
+                        let result = timed_f(worker, item);
+                        *lock_unpoisoned(&outputs[i]) = Some(result);
+                    }
+                });
+            }
+        });
+        outputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| match lock_unpoisoned(&slot).take() {
+                Some(result) => result,
+                // Unreachable for the same reason as par_map_jobs: every
+                // claimed index is filled or its panic propagated.
+                None => unreachable!("profiled parallel map slot {i} left unfilled"),
+            })
+            .collect()
+    };
+    for worker in 0..workers {
+        recorder.histogram_with(
+            Subsystem::Par,
+            "wall/worker_busy",
+            busy_ns[worker].load(Ordering::Relaxed) as f64,
+            Unit::Nanoseconds,
+            || {
+                format!(
+                    "{name} worker={worker} items={}",
+                    items_done[worker].load(Ordering::Relaxed)
+                )
+            },
+        );
+    }
+    drop(call_timer);
+    results
+}
+
 /// Maps a fallible `f` over `items` in parallel, returning all results
 /// in input order or the error of the **lowest-indexed** failing item.
 ///
@@ -416,6 +521,44 @@ mod tests {
         stats.record_to(&rec);
         assert_eq!(rec.sum(Subsystem::Par, "pool/items"), 40.0);
         assert_eq!(rec.sum(Subsystem::Par, "pool/workers"), 8.0);
+    }
+
+    #[test]
+    fn par_map_profiled_preserves_results_and_accounts_every_item() {
+        use bfree_obs::critical::detail_field;
+
+        let ring = bfree_obs::RingRecorder::new(256);
+        let input: Vec<u64> = (0..64).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 2 + 1).collect();
+        let got = par_map_profiled(&ring, "wall/test_map", input, |x| x * 2 + 1);
+        assert_eq!(got, expected);
+        let events = ring.events();
+        let busy: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "wall/worker_busy")
+            .collect();
+        assert!(!busy.is_empty(), "at least one worker must report");
+        // Every item is accounted to exactly one worker.
+        let items: u64 = busy
+            .iter()
+            .map(|e| {
+                detail_field(e.detail.as_deref().unwrap(), "items")
+                    .unwrap()
+                    .parse::<u64>()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(items, 64);
+        // The whole call is timed too.
+        assert!(events.iter().any(|e| e.name == "wall/test_map"));
+    }
+
+    #[test]
+    fn par_map_profiled_with_null_recorder_is_plain_par_map() {
+        let got = par_map_profiled(&bfree_obs::NullRecorder, "wall/x", vec![1u32, 2, 3], |x| {
+            x + 1
+        });
+        assert_eq!(got, vec![2, 3, 4]);
     }
 
     #[test]

@@ -1,0 +1,521 @@
+//! Critical-path attribution: span trees reconstructed from recorded
+//! runs, cross-checked against the aggregate run reports.
+//!
+//! Two accounting paths exist for every simulated run: the
+//! [`RunReport`] breakdowns the cost models maintain, and the event
+//! stream a [`bfree_obs::Recorder`] captures. `experiments
+//! attribution` already proves the *flat* sums agree; this experiment
+//! goes one level deeper and holds the *reconstructed trace tree* to
+//! the same standard:
+//!
+//! - folding the per-phase latency and per-component energy counters
+//!   out of the [`TraceForest`]'s event ordering must reproduce the
+//!   report breakdowns with **zero** divergence (the gate is `0.0`,
+//!   not a tolerance band);
+//! - the root `run` span's duration must equal the report's total
+//!   latency bit for bit;
+//! - per-request critical paths rebuilt from the serving trace must
+//!   match the engine's own telemetry records exactly.
+//!
+//! On top of the gates it prints what the tree is *for*: the dominant
+//! chain through each network's trace and p50/p95/p99 exemplar request
+//! paths broken into queue-wait / retry-backoff / service stages.
+
+use bfree::prelude::*;
+use bfree_obs::{fold_stage_energy, fold_stage_latency, RequestPath, RequestPaths, TraceForest};
+use bfree_serve::{OpenLoopDriver, Outcome, ServeConfig, ServingSim, TenantSpec};
+use pim_arch::obs::{obs_component, phase_event_name};
+use pim_baselines::RunReport;
+use pim_nn::request::NetworkKind;
+
+use crate::error::ExperimentError;
+
+/// Largest tolerated |folded/reported - 1|. Zero: the trace tree folds
+/// counters in emission order, which reproduces the report's own merge
+/// order exactly, so anything above 0.0 is a real accounting bug.
+pub const TOLERANCE: f64 = 0.0;
+/// Events kept per recorded exec run.
+const EXEC_TRACE_CAPACITY: usize = 65_536;
+/// Events kept for the recorded serving run.
+const SERVE_TRACE_CAPACITY: usize = 1 << 17;
+/// Seed for the serving arrival process (same as `experiments serving`).
+const SERVE_SEED: u64 = 0xBF_EE;
+/// Virtual time driven through the serving engine.
+const SERVE_HORIZON_NS: u64 = 200_000_000;
+/// Exemplar percentiles reported for request paths.
+const EXEMPLAR_PERCENTILES: [f64; 3] = [50.0, 95.0, 99.0];
+
+/// One stage compared across the two accounting paths.
+#[derive(Debug, Clone)]
+pub struct StageRow {
+    /// The network the row belongs to.
+    pub network: String,
+    /// `latency/<phase>` or `energy/<component>`.
+    pub stage: String,
+    /// The run report's value (ns or pJ).
+    pub reported: f64,
+    /// The value folded out of the reconstructed trace (ns or pJ).
+    pub folded: f64,
+}
+
+impl StageRow {
+    /// |folded/reported - 1|; 0 when both are 0.
+    pub fn relative_error(&self) -> f64 {
+        if self.reported == 0.0 {
+            if self.folded == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.folded / self.reported - 1.0).abs()
+        }
+    }
+}
+
+/// One segment of the dominant chain through a trace tree.
+#[derive(Debug, Clone)]
+pub struct ChainSegment {
+    /// Span label (detail when present, name otherwise).
+    pub label: String,
+    /// Span duration (ns).
+    pub dur_ns: f64,
+    /// Time not covered by the span's children (ns).
+    pub self_ns: f64,
+}
+
+/// Shape and balance facts about one network's reconstructed tree.
+#[derive(Debug, Clone)]
+pub struct TreeCheck {
+    /// The network the tree belongs to.
+    pub network: String,
+    /// Spans reconstructed into the tree.
+    pub spans: usize,
+    /// Deepest nesting level.
+    pub depth: usize,
+    /// Root `run` span duration (ns).
+    pub root_dur_ns: f64,
+    /// The report's total latency (ns); bit-identical to the root.
+    pub report_total_ns: f64,
+    /// The dominant chain: from the root, the longest child at every
+    /// level.
+    pub chain: Vec<ChainSegment>,
+    /// Top spans by accumulated self time, `(label, self_ns)`.
+    pub hot: Vec<(String, f64)>,
+}
+
+/// The serving-side cross-check: request paths from the trace versus
+/// the engine's telemetry.
+#[derive(Debug, Clone)]
+pub struct ServeCheck {
+    /// Requests the telemetry saw complete.
+    pub completed: usize,
+    /// Paths reconstructed from the event stream.
+    pub reconstructed: usize,
+    /// Worst |trace - telemetry| over every compared field (ns).
+    pub max_abs_error_ns: f64,
+    /// `(percentile, exemplar path)` for the p50/p95/p99 exemplar percentiles.
+    pub exemplars: Vec<(f64, RequestPath)>,
+}
+
+/// The full critical-path cross-check result.
+#[derive(Debug, Clone)]
+pub struct CriticalResult {
+    /// Per-(network, stage) latency and energy comparisons.
+    pub stage_rows: Vec<StageRow>,
+    /// Per-network tree facts.
+    pub trees: Vec<TreeCheck>,
+    /// The serving-side reconstruction check.
+    pub serve: ServeCheck,
+}
+
+impl CriticalResult {
+    /// The worst relative error across every stage row.
+    pub fn max_relative_error(&self) -> f64 {
+        self.stage_rows
+            .iter()
+            .map(StageRow::relative_error)
+            .fold(0.0, f64::max)
+    }
+}
+
+fn span_label(node: &bfree_obs::SpanNode) -> String {
+    node.event
+        .detail
+        .clone()
+        .unwrap_or_else(|| node.event.name.to_string())
+}
+
+/// Walks the longest-child chain from `root`.
+fn dominant_chain(root: &bfree_obs::SpanNode) -> Vec<ChainSegment> {
+    let mut chain = Vec::new();
+    let mut node = root;
+    loop {
+        chain.push(ChainSegment {
+            label: span_label(node),
+            dur_ns: node.dur_ns(),
+            self_ns: node.self_ns(),
+        });
+        match node
+            .children
+            .iter()
+            .max_by(|a, b| a.dur_ns().total_cmp(&b.dur_ns()))
+        {
+            Some(child) => node = child,
+            None => return chain,
+        }
+    }
+}
+
+/// Top-`k` labels by accumulated self time across the forest.
+fn hot_spans(forest: &TraceForest, k: usize) -> Vec<(String, f64)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut totals: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    forest.visit(&mut |node, _| {
+        let label = span_label(node);
+        if !totals.contains_key(&label) {
+            order.push(label.clone());
+        }
+        *totals.entry(label).or_insert(0.0) += node.self_ns();
+    });
+    let mut rows: Vec<(String, f64)> = order
+        .into_iter()
+        .map(|label| {
+            let total = totals[&label];
+            (label, total)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    rows.truncate(k);
+    rows
+}
+
+fn check_exec_network(
+    name: &str,
+    report: &RunReport,
+    forest: &TraceForest,
+) -> Result<(Vec<StageRow>, TreeCheck), ExperimentError> {
+    if !forest.is_balanced() {
+        return Err(ExperimentError::MissingData(format!(
+            "{name} trace reconstruction reported issues: {:?}",
+            forest.issues
+        )));
+    }
+    let [root] = forest.roots.as_slice() else {
+        return Err(ExperimentError::MissingData(format!(
+            "{name} trace has {} roots, expected the single `run` span",
+            forest.roots.len()
+        )));
+    };
+    if root.event.name != "run" {
+        return Err(ExperimentError::MissingData(format!(
+            "{name} trace root is `{}`, expected `run`",
+            root.event.name
+        )));
+    }
+    let report_total_ns = report.total_latency().nanoseconds();
+    if root.dur_ns().to_bits() != report_total_ns.to_bits() {
+        return Err(ExperimentError::MissingData(format!(
+            "{name} root span is {} ns but the report totals {} ns (must be bit-identical)",
+            root.dur_ns(),
+            report_total_ns
+        )));
+    }
+
+    let mut rows = Vec::new();
+    let latency = fold_stage_latency(forest.events_in_order());
+    for phase in Phase::ALL {
+        let reported = report.latency.get(phase).nanoseconds();
+        // Entry order is first-emission order; `+ 0.0` normalizes the
+        // empty-sum identity -0.0.
+        let folded = latency
+            .iter()
+            .filter(|s| s.subsystem == Subsystem::Exec && s.name == phase_event_name(phase))
+            .map(|s| s.total)
+            .sum::<f64>()
+            + 0.0;
+        if reported == 0.0 && folded == 0.0 {
+            continue;
+        }
+        rows.push(StageRow {
+            network: name.to_string(),
+            stage: format!("latency/{}", phase.label()),
+            reported,
+            folded,
+        });
+    }
+    let energy = fold_stage_energy(forest.events_in_order());
+    for component in EnergyComponent::ALL {
+        let reported = report.energy.get(component).picojoules();
+        let folded = energy
+            .iter()
+            .filter(|s| s.component == Some(obs_component(component)))
+            .map(|s| s.total)
+            .sum::<f64>()
+            + 0.0;
+        if reported == 0.0 && folded == 0.0 {
+            continue;
+        }
+        rows.push(StageRow {
+            network: name.to_string(),
+            stage: format!("energy/{}", component.label()),
+            reported,
+            folded,
+        });
+    }
+    if rows.is_empty() {
+        return Err(ExperimentError::MissingData(format!(
+            "critical-path fold produced no stages for {name}"
+        )));
+    }
+
+    let tree = TreeCheck {
+        network: name.to_string(),
+        spans: forest.span_count(),
+        depth: forest.roots.iter().map(|r| r.depth()).max().unwrap_or(0),
+        root_dur_ns: root.dur_ns(),
+        report_total_ns,
+        chain: dominant_chain(root),
+        hot: hot_spans(forest, 5),
+    };
+    Ok((rows, tree))
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        max_batch: 8,
+        batch_window_ns: 100_000,
+        queue_capacity: 512,
+        timeout_ns: Some(50_000_000),
+        ..ServeConfig::default()
+    }
+}
+
+fn serve_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("lstm-timit", NetworkKind::LstmTimit),
+        TenantSpec::new("bert-base", NetworkKind::BertBase),
+    ]
+}
+
+fn check_serving() -> Result<ServeCheck, ExperimentError> {
+    let recorder = RingRecorder::new(SERVE_TRACE_CAPACITY);
+    let mut sim = ServingSim::with_recorder(serve_config(), serve_tenants(), recorder)?;
+    let mut driver = OpenLoopDriver::new(SERVE_SEED, vec![2_000.0, 50.0]);
+    driver.drive(&mut sim, SERVE_HORIZON_NS);
+    sim.run_to_idle();
+    if sim.recorder().dropped() > 0 {
+        return Err(ExperimentError::MissingData(format!(
+            "serving trace dropped {} events; raise SERVE_TRACE_CAPACITY",
+            sim.recorder().dropped()
+        )));
+    }
+    let events = sim.recorder().events();
+    let paths = RequestPaths::from_events(&events);
+    let completed: Vec<_> = sim
+        .telemetry()
+        .records()
+        .iter()
+        .filter(|r| r.outcome == Outcome::Completed)
+        .collect();
+    if paths.len() != completed.len() {
+        return Err(ExperimentError::MissingData(format!(
+            "trace reconstructed {} request paths but telemetry completed {}",
+            paths.len(),
+            completed.len()
+        )));
+    }
+    let mut max_abs_error_ns: f64 = 0.0;
+    for record in &completed {
+        let Some(path) = paths
+            .paths()
+            .iter()
+            .find(|p| p.request_id == record.request_id)
+        else {
+            return Err(ExperimentError::MissingData(format!(
+                "request {} completed but has no reconstructed path",
+                record.request_id
+            )));
+        };
+        let total = (record.complete_ns - record.submit_ns) as f64;
+        let queue = record.queue_ns() as f64;
+        max_abs_error_ns = max_abs_error_ns
+            .max((path.total_ns - total).abs())
+            .max((path.queue_ns - queue).abs());
+    }
+    let exemplars = EXEMPLAR_PERCENTILES
+        .iter()
+        .filter_map(|&p| paths.exemplar(p).map(|path| (p, path.clone())))
+        .collect();
+    Ok(ServeCheck {
+        completed: completed.len(),
+        reconstructed: paths.len(),
+        max_abs_error_ns,
+        exemplars,
+    })
+}
+
+/// Runs the cross-check: the two headline CNN traces plus the
+/// mixed-traffic serving trace.
+///
+/// # Errors
+///
+/// [`ExperimentError::MissingData`] on any structural failure: an
+/// unbalanced forest, a missing/renamed root span, a root duration that
+/// is not bit-identical to the report total, dropped events, or a
+/// request-path count that disagrees with telemetry.
+pub fn run() -> Result<CriticalResult, ExperimentError> {
+    let sim = BfreeSimulator::new(BfreeConfig::paper_default());
+    let mut stage_rows = Vec::new();
+    let mut trees = Vec::new();
+    for (name, network) in [
+        ("inception_v3", networks::inception_v3()),
+        ("vgg16", networks::vgg16()),
+    ] {
+        let recorder = RingRecorder::new(EXEC_TRACE_CAPACITY);
+        let report = sim.run_recorded(&network, 1, &recorder);
+        if recorder.dropped() > 0 {
+            return Err(ExperimentError::MissingData(format!(
+                "{name} trace dropped {} events; raise EXEC_TRACE_CAPACITY",
+                recorder.dropped()
+            )));
+        }
+        let forest = TraceForest::from_ring(&recorder);
+        let (rows, tree) = check_exec_network(name, &report, &forest)?;
+        stage_rows.extend(rows);
+        trees.push(tree);
+    }
+    let serve = check_serving()?;
+    Ok(CriticalResult {
+        stage_rows,
+        trees,
+        serve,
+    })
+}
+
+/// Prints the cross-check and fails on any divergence above
+/// [`TOLERANCE`] (i.e. any divergence at all).
+///
+/// # Errors
+///
+/// Everything [`run`] returns, plus [`ExperimentError::MissingData`]
+/// when a stage sum or a reconstructed request path diverges.
+pub fn print() -> Result<(), ExperimentError> {
+    let result = run()?;
+
+    println!("\n== critical path: trace trees vs run reports ==");
+    for tree in &result.trees {
+        println!(
+            "\n{}: {} spans, depth {}, root {:.0} ns (bit-identical to report total)",
+            tree.network, tree.spans, tree.depth, tree.root_dur_ns
+        );
+        println!("  dominant chain:");
+        for seg in &tree.chain {
+            println!(
+                "    {:<32} {:>14.0} ns  ({:>5.1}% of run, self {:.0} ns)",
+                seg.label,
+                seg.dur_ns,
+                100.0 * seg.dur_ns / tree.root_dur_ns,
+                seg.self_ns
+            );
+        }
+        println!("  hottest spans by self time:");
+        for (label, self_ns) in &tree.hot {
+            println!(
+                "    {:<32} {:>14.0} ns  ({:>5.1}% of run)",
+                label,
+                self_ns,
+                100.0 * self_ns / tree.root_dur_ns
+            );
+        }
+    }
+
+    println!(
+        "\n{:<14} {:<26} {:>16} {:>16} {:>10}",
+        "network", "stage", "reported", "folded", "rel_err"
+    );
+    for row in &result.stage_rows {
+        println!(
+            "{:<14} {:<26} {:>16.3} {:>16.3} {:>10.2e}",
+            row.network,
+            row.stage,
+            row.reported,
+            row.folded,
+            row.relative_error()
+        );
+    }
+    let worst = result.max_relative_error();
+    println!("worst stage divergence: {worst:.2e} (gate {TOLERANCE})");
+
+    println!(
+        "\n== serving request paths (seed {SERVE_SEED:#x}, {} completed) ==",
+        result.serve.completed
+    );
+    println!(
+        "reconstructed {} paths from the trace, worst |trace - telemetry| = {} ns",
+        result.serve.reconstructed, result.serve.max_abs_error_ns
+    );
+    for (p, path) in &result.serve.exemplars {
+        let stages = path.stages();
+        println!(
+            "p{:<4} request {:>5} ({:<10}) total {:>8.3} ms = queue {:.3} + backoff {:.3} + \
+             service {:.3} ms, dominated by {}",
+            p,
+            path.request_id,
+            path.tenant.as_deref().unwrap_or("?"),
+            path.total_ns * 1e-6,
+            stages[0].1 * 1e-6,
+            stages[1].1 * 1e-6,
+            stages[2].1 * 1e-6,
+            path.dominant_stage()
+        );
+    }
+
+    if worst > TOLERANCE {
+        return Err(ExperimentError::MissingData(format!(
+            "critical-path stage divergence {worst:.2e} exceeds the {TOLERANCE} gate"
+        )));
+    }
+    if result.serve.max_abs_error_ns > 0.0 {
+        return Err(ExperimentError::MissingData(format!(
+            "request paths diverge from telemetry by {} ns",
+            result.serve.max_abs_error_ns
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_sums_from_the_trace_tree_are_exact() {
+        let result = run().unwrap();
+        assert!(
+            result.stage_rows.len() >= 10,
+            "rows {}",
+            result.stage_rows.len()
+        );
+        assert_eq!(result.max_relative_error(), 0.0);
+    }
+
+    #[test]
+    fn trees_and_request_paths_reconcile() {
+        let result = run().unwrap();
+        for tree in &result.trees {
+            assert_eq!(
+                tree.root_dur_ns.to_bits(),
+                tree.report_total_ns.to_bits(),
+                "{} root must be bit-identical to the report total",
+                tree.network
+            );
+            assert!(tree.depth >= 2, "{} depth {}", tree.network, tree.depth);
+            assert!(tree.spans > 10, "{} spans {}", tree.network, tree.spans);
+            assert!(!tree.chain.is_empty() && !tree.hot.is_empty());
+        }
+        assert!(result.serve.completed > 0);
+        assert_eq!(result.serve.max_abs_error_ns, 0.0);
+        assert_eq!(result.serve.exemplars.len(), EXEMPLAR_PERCENTILES.len());
+    }
+}

@@ -14,6 +14,7 @@ pub mod ablations;
 pub mod attribution;
 pub mod bench;
 pub mod chaos;
+pub mod critical;
 pub mod csv;
 pub mod error;
 pub mod extensions;
@@ -25,6 +26,7 @@ pub mod fig4;
 pub mod headline;
 pub mod obs_export;
 pub mod overheads;
+pub mod perf;
 pub mod serving;
 pub mod table2;
 pub mod table3;

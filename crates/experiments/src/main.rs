@@ -25,15 +25,25 @@ usage: experiments [--jobs N] <name>
   attribution
              cross-check the observability event stream against the
              aggregate energy/latency models (Fig. 2 / Fig. 13 style)
+  critical   reconstruct span trees from recorded runs, print the
+             dominant chains and p50/p95/p99 request paths, and gate
+             the critical-path stage sums against the run reports
+             (zero divergence)
   all        everything above, in paper order
-  obs [--format json|csv|chrome] [network] [batch]
+  obs [--format json|csv|chrome|tree] [--tree] [network] [batch]
              run one network with a live recorder and print the event
              trace (default: json, inception-v3, batch 1); the chrome
-             format loads in chrome://tracing / Perfetto
+             format loads in chrome://tracing / Perfetto, and tree
+             renders the reconstructed span forest
   csv [dir]  write every figure's data series as CSV (default: results/)
   bench [--quick] [path]
              time the swept experiments serial vs parallel and write
              BENCH_experiments.json (default path)
+  perf [--quick] [--check] [--threshold X] [path]
+             calibrated wall-clock benchmark of the hot kernels;
+             writes BENCH_bfree.json (default path) and diffs
+             normalized times against the committed baseline
+             (--check fails on any kernel >X slower, default 0.25)
 
   --jobs N   cap the worker pool (default: BFREE_JOBS or all cores;
              1 forces the serial path — output is identical either way)
@@ -98,6 +108,7 @@ fn main() {
             check(exp::chaos::print(seed));
         }
         "attribution" => check(exp::attribution::print()),
+        "critical" => check(exp::critical::print()),
         "obs" => {
             let mut format = "json".to_string();
             let mut positional: Vec<String> = Vec::new();
@@ -111,6 +122,8 @@ fn main() {
                             std::process::exit(2);
                         }
                     }
+                } else if a == "--tree" {
+                    format = "tree".to_string();
                 } else {
                     positional.push(a.clone());
                 }
@@ -156,6 +169,37 @@ fn main() {
                 .unwrap_or_else(|| "BENCH_experiments.json".to_string());
             check(exp::bench::run(std::path::Path::new(&path), quick));
         }
+        "perf" => {
+            let mut quick = false;
+            let mut gate = false;
+            let mut threshold = exp::perf::DEFAULT_THRESHOLD;
+            let mut path = "BENCH_bfree.json".to_string();
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    "--check" => gate = true,
+                    "--threshold" | "-t" => match rest.next().map(|v| v.parse::<f64>()) {
+                        Some(Ok(x)) if x >= 0.0 => threshold = x,
+                        _ => {
+                            eprintln!("--threshold expects a non-negative number\n{USAGE}");
+                            std::process::exit(2);
+                        }
+                    },
+                    other if !other.starts_with('-') => path = other.to_string(),
+                    other => {
+                        eprintln!("unknown perf argument: {other}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            check(exp::perf::run(
+                std::path::Path::new(&path),
+                quick,
+                gate,
+                threshold,
+            ));
+        }
         "all" => {
             check(exp::fig2::print());
             check(exp::fig4::print());
@@ -171,6 +215,7 @@ fn main() {
             check(exp::serving::print());
             check(exp::chaos::print(exp::chaos::DEFAULT_SEED));
             check(exp::attribution::print());
+            check(exp::critical::print());
         }
         "-h" | "--help" | "help" => print!("{USAGE}"),
         other => {

@@ -1,9 +1,10 @@
 //! Event-trace export: run one network with a live [`RingRecorder`] and
-//! render the captured stream as JSON, CSV, or a Chrome `trace_event`
-//! file loadable in `chrome://tracing` / Perfetto.
+//! render the captured stream as JSON, CSV, a Chrome `trace_event` file
+//! loadable in `chrome://tracing` / Perfetto, or an indented span tree
+//! reconstructed by [`TraceForest`].
 
 use bfree::prelude::*;
-use bfree_obs::{to_chrome_trace, to_csv, to_json, ExportFormat, RingRecorder};
+use bfree_obs::{to_chrome_trace, to_csv, to_json, ExportFormat, RingRecorder, TraceForest};
 use pim_nn::request::NetworkKind;
 
 use crate::error::ExperimentError;
@@ -11,6 +12,34 @@ use crate::error::ExperimentError;
 /// Events kept per trace; enough for every evaluation network at batch
 /// 1 (Inception-v3 emits ~2k events).
 const TRACE_CAPACITY: usize = 65_536;
+/// Children rendered per node in the `tree` format before eliding.
+const TREE_MAX_CHILDREN: usize = 16;
+
+/// Runs `network` at `batch` under a fresh ring recorder.
+fn record(network: &str, batch: usize) -> Result<RingRecorder, ExperimentError> {
+    let kind = NetworkKind::parse(network)?;
+    let recorder = RingRecorder::new(TRACE_CAPACITY);
+    let sim = BfreeSimulator::new(BfreeConfig::paper_default());
+    sim.run_recorded(&kind.instantiate(), batch, &recorder);
+    if recorder.events().is_empty() {
+        return Err(ExperimentError::MissingData(format!(
+            "no events recorded for {network}"
+        )));
+    }
+    Ok(recorder)
+}
+
+/// Warns on stderr when the ring evicted events, so the warning never
+/// corrupts a trace being piped from stdout into a file.
+fn warn_dropped(recorder: &RingRecorder) {
+    let dropped = recorder.dropped();
+    if dropped > 0 {
+        eprintln!(
+            "warning: ring capacity {TRACE_CAPACITY} exceeded, {dropped} events dropped; \
+             the exported trace is truncated"
+        );
+    }
+}
 
 /// Runs `network` at `batch` under a ring recorder and renders the
 /// event stream in `format`.
@@ -21,16 +50,8 @@ const TRACE_CAPACITY: usize = 65_536;
 /// name; [`ExperimentError::MissingData`] if the run emitted no events
 /// (instrumentation regression).
 pub fn run(format: ExportFormat, network: &str, batch: usize) -> Result<String, ExperimentError> {
-    let kind = NetworkKind::parse(network)?;
-    let recorder = RingRecorder::new(TRACE_CAPACITY);
-    let sim = BfreeSimulator::new(BfreeConfig::paper_default());
-    sim.run_recorded(&kind.instantiate(), batch, &recorder);
+    let recorder = record(network, batch)?;
     let events = recorder.events();
-    if events.is_empty() {
-        return Err(ExperimentError::MissingData(format!(
-            "no events recorded for {network}"
-        )));
-    }
     Ok(match format {
         ExportFormat::Json => to_json(&events).to_string(),
         ExportFormat::Csv => to_csv(&events),
@@ -38,16 +59,45 @@ pub fn run(format: ExportFormat, network: &str, batch: usize) -> Result<String, 
     })
 }
 
-/// CLI entry: parses the format label and prints the rendered trace to
-/// stdout.
+/// Runs `network` at `batch` and renders the reconstructed span forest
+/// as an indented tree with per-span extent and self-time shares.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_tree(network: &str, batch: usize) -> Result<String, ExperimentError> {
+    let recorder = record(network, batch)?;
+    Ok(TraceForest::from_ring(&recorder).render_text(TREE_MAX_CHILDREN))
+}
+
+/// CLI entry: parses the format label (`json`, `csv`, `chrome` or
+/// `tree`) and prints the rendered trace to stdout; a truncated ring
+/// adds a warning on stderr.
 ///
 /// # Errors
 ///
 /// [`ExperimentError::Obs`] for an unknown format label, plus
 /// everything [`run`] returns.
 pub fn print(format_label: &str, network: &str, batch: usize) -> Result<(), ExperimentError> {
+    if format_label == "tree" {
+        let recorder = record(network, batch)?;
+        warn_dropped(&recorder);
+        println!(
+            "{}",
+            TraceForest::from_ring(&recorder).render_text(TREE_MAX_CHILDREN)
+        );
+        return Ok(());
+    }
     let format: ExportFormat = format_label.parse()?;
-    println!("{}", run(format, network, batch)?);
+    let recorder = record(network, batch)?;
+    warn_dropped(&recorder);
+    let events = recorder.events();
+    let rendered = match format {
+        ExportFormat::Json => to_json(&events).to_string(),
+        ExportFormat::Csv => to_csv(&events),
+        ExportFormat::Chrome => to_chrome_trace(&events).to_string(),
+    };
+    println!("{rendered}");
     Ok(())
 }
 
@@ -82,6 +132,20 @@ mod tests {
             .and_then(bfree_obs::JsonValue::as_array)
             .unwrap();
         assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn tree_export_renders_a_balanced_run_tree() {
+        let text = run_tree("lstm-timit", 1).unwrap();
+        assert!(text.contains("run"), "missing root span:\n{text}");
+        assert!(
+            text.contains("configure"),
+            "missing configure child:\n{text}"
+        );
+        assert!(
+            !text.contains("warning:"),
+            "a healthy trace must reconstruct without issues:\n{text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! `experiments perf`: the wall-clock perf sentinel — a calibrated
+//! benchmark of the workspace's hot kernels, diffed against a committed
+//! baseline.
+//!
+//! Raw wall-clock numbers are machine-dependent, so every kernel is
+//! reported as a *normalized* time: its best-of-N wall-clock divided by
+//! the best-of-N of a fixed integer-arithmetic calibration loop run on
+//! the same machine in the same process. Normalized times cancel CPU
+//! speed and survive a move between CI runners; `--check` compares
+//! them against the committed `BENCH_bfree.json` and fails on any
+//! kernel more than `--threshold` (default
+//! [`DEFAULT_THRESHOLD`] = 25%) slower than the baseline.
+//!
+//! The kernels are measured with jobs pinned to 1 (the normalization
+//! contract breaks if a kernel's wall-clock depends on core count), the
+//! timers are [`WallTimer`]s feeding an [`AggRecorder`], and the run
+//! ends with a Prometheus-style text exposition of every timer — the
+//! same machinery `bfree::par::par_map_profiled` uses, exercised
+//! end-to-end.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::path::Path;
+
+use bfree::prelude::*;
+use bfree_fault::{FaultInjector, FaultPlan, RetryPolicy};
+use bfree_obs::{prometheus_text, JsonValue, WallTimer};
+use bfree_serve::{OpenLoopDriver, SchedPolicy, ServeConfig, ServingSim, TenantSpec};
+use pim_bce::{Bce, MultRom};
+use pim_lut::{LutMultiplier, MultLut};
+use pim_nn::request::NetworkKind;
+
+use crate::error::ExperimentError;
+
+/// Default regression threshold for `--check`: a kernel may be at most
+/// 25% slower (normalized) than the committed baseline.
+pub const DEFAULT_THRESHOLD: f64 = 0.25;
+/// The calibration kernel's name; its normalized time is 1.0 by
+/// definition and it is exempt from the regression gate.
+pub const CALIBRATION: &str = "calibration";
+/// Virtual horizon for the serving and chaos kernels; long enough that
+/// one run costs ~ms of host time even in release builds, keeping
+/// best-of-N comfortably inside the regression threshold's noise
+/// budget.
+const SERVE_HORIZON_NS: u64 = 400_000_000;
+
+/// One measured kernel.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Best-of-N wall-clock (ns).
+    pub best_ns: f64,
+    /// `best_ns / calibration_best_ns` — the machine-portable number.
+    pub normalized: f64,
+}
+
+/// The full measurement: calibration first, then every kernel.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Iterations each kernel was timed over.
+    pub iters: u32,
+    /// Rows in measurement order; `rows[0]` is [`CALIBRATION`].
+    pub rows: Vec<PerfRow>,
+}
+
+/// Best-of-`iters` wall-clock of `f`, each iteration under a
+/// [`WallTimer`] so the aggregate snapshot carries the distribution.
+fn best_ns<R: Recorder>(recorder: &R, name: &'static str, iters: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let timer = WallTimer::start(recorder, Subsystem::Par, name);
+        f();
+        if let Some(ns) = timer.stop() {
+            best = best.min(ns);
+        }
+    }
+    best
+}
+
+/// The calibration loop: a fixed amount of integer mixing no optimizer
+/// can fold away. Everything else is reported relative to this.
+fn calibration_kernel() -> u64 {
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64;
+    for i in 0..2_000_000u64 {
+        acc = black_box(acc ^ i).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        acc ^= acc >> 27;
+    }
+    black_box(acc)
+}
+
+/// The LUT multiply datapath: nibble products, full u8 sweep, an int8
+/// dot product and the Fig. 7 ROM broadcast.
+fn lut_multiply_kernel(mul: &LutMultiplier, lut: &MultLut, rom: &MultRom, w: &[i8], x: &[i8]) {
+    let mut acc = 0u64;
+    for a in (0u16..256).step_by(3) {
+        for v in (0u16..256).step_by(5) {
+            acc += u64::from(mul.mul_u8(black_box(a as u8), black_box(v as u8)).0);
+        }
+    }
+    for _ in 0..64 {
+        acc = acc.wrapping_add(mul.dot_i8(black_box(w), black_box(x)).0 as u64);
+    }
+    // The 49-entry table only holds odd operands in 3..=15.
+    for a in 1u8..8 {
+        for v in 1u8..8 {
+            acc += u64::from(lut.lookup(black_box(a * 2 + 1), black_box(v * 2 + 1)));
+        }
+    }
+    let register = [0x12u8, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0];
+    for nibble in 0u8..16 {
+        acc = acc.wrapping_add(u64::from(rom.broadcast(black_box(nibble), &register)[0]));
+    }
+    black_box(acc);
+}
+
+/// Operand set for [`bce_pipeline_kernel`], built once outside the
+/// timed region.
+struct BceOperands {
+    weights: Vec<i8>,
+    inputs: Vec<i8>,
+    stream: Vec<i8>,
+    tile: Vec<[i8; 8]>,
+    window: Vec<i8>,
+    accs: Vec<i32>,
+}
+
+/// The BCE pipeline: conv dot products, matmul tiles, pooling and
+/// requantization.
+fn bce_pipeline_kernel(conv: &Bce, mm: &Bce, ops: &BceOperands) {
+    let BceOperands {
+        weights,
+        inputs,
+        stream,
+        tile,
+        window,
+        accs,
+    } = ops;
+    for _ in 0..64 {
+        black_box(conv.dot_conv(black_box(weights), black_box(inputs), Precision::Int8));
+    }
+    for _ in 0..32 {
+        black_box(mm.matmul_tile(black_box(stream), black_box(tile)));
+    }
+    for _ in 0..32 {
+        black_box(conv.max_pool(black_box(window)));
+        black_box(conv.avg_pool(black_box(window)));
+    }
+    let multiplier = (0.7 * (1u64 << 31) as f64) as i32;
+    black_box(conv.requantize(black_box(accs), multiplier, 9, 3));
+}
+
+fn serve_tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("lstm-timit", NetworkKind::LstmTimit),
+        TenantSpec::new("bert-base", NetworkKind::BertBase).with_priority(5),
+    ]
+}
+
+/// One full serving run: mixed open-loop traffic driven to idle.
+fn serving_kernel() {
+    let config = ServeConfig {
+        max_batch: 8,
+        batch_window_ns: 100_000,
+        queue_capacity: 512,
+        timeout_ns: Some(50_000_000),
+        ..ServeConfig::default()
+    };
+    let mut sim = ServingSim::new(config, serve_tenants()).expect("constants are valid");
+    let mut driver = OpenLoopDriver::new(0xBF_EE, vec![2_000.0, 50.0]);
+    driver.drive(&mut sim, SERVE_HORIZON_NS);
+    black_box(sim.run_to_idle().summary());
+}
+
+/// One severity-1.0 chaos cell under the full resilience policy.
+fn chaos_cell_kernel() {
+    let config = ServeConfig::builder()
+        .policy(SchedPolicy::Priority)
+        .max_batch(8)
+        .batch_window_ns(100_000)
+        .queue_capacity(512)
+        .timeout_ns(Some(50_000_000))
+        .retry(RetryPolicy::standard())
+        .shed_watermark(0.8)
+        .deadline_ns(Some(40_000_000))
+        .build()
+        .expect("constants are valid");
+    let plan = FaultPlan::none()
+        .with_lut_corruption(0.001, 50)
+        .with_slice_failures(0.2, SERVE_HORIZON_NS, Some(SERVE_HORIZON_NS / 4))
+        .with_stragglers(0.15, 3.0)
+        .with_transient_errors(0.03);
+    let slices = config.base.geometry.slices();
+    let injector = FaultInjector::new(plan, 42, slices, 512).expect("plan in range");
+    let mut sim =
+        ServingSim::with_faults(config, serve_tenants(), injector).expect("constants are valid");
+    let mut driver = OpenLoopDriver::new(42, vec![2_000.0, 50.0]);
+    driver.drive(&mut sim, SERVE_HORIZON_NS);
+    black_box(sim.run_to_idle().summary());
+}
+
+/// Measures every kernel, jobs pinned to 1 for the duration.
+pub fn measure(quick: bool) -> (PerfReport, Vec<bfree_obs::AggEntry>) {
+    let saved = bfree::par::max_jobs();
+    bfree::par::set_max_jobs(1);
+    let iters: u32 = if quick { 3 } else { 10 };
+    let agg = AggRecorder::new();
+
+    let mut rows = Vec::new();
+    let calibration_best = best_ns(&agg, "wall/calibration", iters, || {
+        black_box(calibration_kernel());
+    });
+    rows.push(PerfRow {
+        name: CALIBRATION,
+        best_ns: calibration_best,
+        normalized: 1.0,
+    });
+
+    let mul = LutMultiplier::new();
+    let lut = MultLut::new();
+    let rom = MultRom::new();
+    let w: Vec<i8> = (0..256).map(|i| (i * 7 % 255) as i8).collect();
+    let x: Vec<i8> = (0..256).map(|i| (i * 13 % 255) as i8).collect();
+    let best = best_ns(&agg, "wall/lut_multiply", iters, || {
+        lut_multiply_kernel(&mul, &lut, &rom, &w, &x);
+    });
+    rows.push(PerfRow {
+        name: "lut_multiply",
+        best_ns: best,
+        normalized: best / calibration_best,
+    });
+
+    let conv = Bce::new(BceMode::Conv).expect("conv mode is valid");
+    let mm = Bce::new(BceMode::MatMul).expect("matmul mode is valid");
+    let ops = BceOperands {
+        weights: (0..512).map(|i| (i * 31 % 251) as i8).collect(),
+        inputs: (0..512).map(|i| (i * 17 % 251) as i8).collect(),
+        tile: (0..256)
+            .map(|k| std::array::from_fn(|j| ((k * 7 + j * 13) % 251) as i8))
+            .collect(),
+        stream: (0..256).map(|k| (k * 11 % 251) as i8).collect(),
+        window: (0..64).map(|i| (i * 37 % 255) as i8).collect(),
+        accs: (0..1024).map(|i| i * 937 - 400_000).collect(),
+    };
+    let best = best_ns(&agg, "wall/bce_pipeline", iters, || {
+        bce_pipeline_kernel(&conv, &mm, &ops);
+    });
+    rows.push(PerfRow {
+        name: "bce_pipeline",
+        best_ns: best,
+        normalized: best / calibration_best,
+    });
+
+    let sim = BfreeSimulator::new(BfreeConfig::paper_default());
+    let network = networks::inception_v3();
+    let best = best_ns(&agg, "wall/exec_network", iters, || {
+        // Heavy enough (~ms) that best-of-N stays inside the noise
+        // threshold; LSTM alone is ~10 us and jitters past the gate.
+        for _ in 0..16 {
+            black_box(sim.run(&network, 1));
+        }
+    });
+    rows.push(PerfRow {
+        name: "exec_network",
+        best_ns: best,
+        normalized: best / calibration_best,
+    });
+
+    let best = best_ns(&agg, "wall/serving_engine", iters, serving_kernel);
+    rows.push(PerfRow {
+        name: "serving_engine",
+        best_ns: best,
+        normalized: best / calibration_best,
+    });
+
+    let best = best_ns(&agg, "wall/chaos_cell", iters, chaos_cell_kernel);
+    rows.push(PerfRow {
+        name: "chaos_cell",
+        best_ns: best,
+        normalized: best / calibration_best,
+    });
+
+    bfree::par::set_max_jobs(saved);
+    (PerfReport { iters, rows }, agg.snapshot())
+}
+
+/// Renders the report as the `BENCH_bfree.json` document. Hand-rolled
+/// (the vendored serde is a no-op stub) and timestamp-free.
+pub fn render_json(report: &PerfReport) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"iters_per_kernel\": {},", report.iters);
+    json.push_str("  \"kernels\": [\n");
+    for (i, row) in report.rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"best_ns\": {:.0}, \"normalized\": {:.4}}}",
+            row.name, row.best_ns, row.normalized
+        );
+        json.push_str(if i + 1 < report.rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Parses a baseline document into `(name, normalized)` pairs.
+///
+/// # Errors
+///
+/// [`ExperimentError::Obs`] when the document is not the shape
+/// [`render_json`] writes.
+pub fn parse_baseline(text: &str) -> Result<Vec<(String, f64)>, ExperimentError> {
+    let value = JsonValue::parse(text)?;
+    let kernels = value
+        .get("kernels")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| {
+            ExperimentError::MissingData("baseline has no `kernels` array".to_string())
+        })?;
+    let mut pairs = Vec::new();
+    for kernel in kernels {
+        pairs.push((
+            kernel.require_str("name")?.to_string(),
+            kernel.require_f64("normalized")?,
+        ));
+    }
+    Ok(pairs)
+}
+
+/// Compares a measurement against a baseline. Returns one message per
+/// kernel whose normalized time regressed past `threshold`; the
+/// calibration row and kernels absent from the baseline never fail.
+pub fn regressions(baseline: &[(String, f64)], rows: &[PerfRow], threshold: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for row in rows {
+        if row.name == CALIBRATION {
+            continue;
+        }
+        let Some((_, base)) = baseline.iter().find(|(name, _)| name == row.name) else {
+            continue;
+        };
+        if *base > 0.0 && row.normalized > base * (1.0 + threshold) {
+            failures.push(format!(
+                "{}: normalized {:.4} vs baseline {:.4} (+{:.0}%, threshold {:.0}%)",
+                row.name,
+                row.normalized,
+                base,
+                100.0 * (row.normalized / base - 1.0),
+                100.0 * threshold
+            ));
+        }
+    }
+    failures
+}
+
+/// Runs the sentinel: measure, print, diff against the baseline at
+/// `path`, rewrite `path`, and — under `check` — fail on regression.
+///
+/// # Errors
+///
+/// [`ExperimentError::Io`] on a failed write;
+/// [`ExperimentError::MissingData`] under `check` when the baseline is
+/// missing/unreadable or any kernel regressed past `threshold`.
+pub fn run(path: &Path, quick: bool, check: bool, threshold: f64) -> Result<(), ExperimentError> {
+    let baseline = match std::fs::read_to_string(path) {
+        Ok(text) => Some(parse_baseline(&text)?),
+        Err(_) => None,
+    };
+
+    let (report, entries) = measure(quick);
+
+    println!(
+        "== experiments perf: calibrated kernel sentinel ({} iters, jobs=1) ==",
+        report.iters
+    );
+    println!("{:<18} {:>14} {:>12}", "kernel", "best ms", "normalized");
+    for row in &report.rows {
+        println!(
+            "{:<18} {:>14.4} {:>12.4}",
+            row.name,
+            row.best_ns * 1e-6,
+            row.normalized
+        );
+    }
+
+    println!("\n-- wall-clock timers (Prometheus exposition) --");
+    print!("{}", prometheus_text(&entries));
+
+    let failures = match &baseline {
+        Some(pairs) => {
+            let failures = regressions(pairs, &report.rows, threshold);
+            if failures.is_empty() {
+                println!(
+                    "\nbaseline {}: every kernel within {:.0}% of its normalized time",
+                    path.display(),
+                    100.0 * threshold
+                );
+            } else {
+                for failure in &failures {
+                    println!("\nregression: {failure}");
+                }
+            }
+            failures
+        }
+        None => {
+            println!("\nno baseline at {}; writing one", path.display());
+            Vec::new()
+        }
+    };
+
+    std::fs::write(path, render_json(&report))?;
+    println!("wrote {}", path.display());
+
+    if check {
+        if baseline.is_none() {
+            return Err(ExperimentError::MissingData(format!(
+                "--check requires a committed baseline at {}",
+                path.display()
+            )));
+        }
+        if !failures.is_empty() {
+            return Err(ExperimentError::MissingData(format!(
+                "perf sentinel: {} kernel(s) regressed: {}",
+                failures.len(),
+                failures.join("; ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_report() -> PerfReport {
+        PerfReport {
+            iters: 3,
+            rows: vec![
+                PerfRow {
+                    name: CALIBRATION,
+                    best_ns: 1_000_000.0,
+                    normalized: 1.0,
+                },
+                PerfRow {
+                    name: "lut_multiply",
+                    best_ns: 2_500_000.0,
+                    normalized: 2.5,
+                },
+                PerfRow {
+                    name: "bce_pipeline",
+                    best_ns: 4_000_000.0,
+                    normalized: 4.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_baseline_parser() {
+        let report = synthetic_report();
+        let pairs = parse_baseline(&render_json(&report)).unwrap();
+        assert_eq!(pairs.len(), report.rows.len());
+        for (row, (name, normalized)) in report.rows.iter().zip(&pairs) {
+            assert_eq!(row.name, name);
+            assert!((row.normalized - normalized).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn regression_gate_trips_only_past_the_threshold() {
+        let report = synthetic_report();
+        // Identical baseline: clean.
+        let same: Vec<(String, f64)> = report
+            .rows
+            .iter()
+            .map(|r| (r.name.to_string(), r.normalized))
+            .collect();
+        assert!(regressions(&same, &report.rows, 0.25).is_empty());
+        // 20% slower than baseline: inside a 25% threshold, outside 10%.
+        let tighter: Vec<(String, f64)> = report
+            .rows
+            .iter()
+            .map(|r| (r.name.to_string(), r.normalized / 1.2))
+            .collect();
+        assert!(regressions(&tighter, &report.rows, 0.25).is_empty());
+        let tripped = regressions(&tighter, &report.rows, 0.10);
+        assert_eq!(tripped.len(), 2, "calibration is exempt: {tripped:?}");
+        // Kernels missing from the baseline never fail.
+        assert!(regressions(&[], &report.rows, 0.0).is_empty());
+    }
+
+    #[test]
+    fn quick_measurement_covers_every_kernel_and_feeds_the_timers() {
+        let (report, entries) = measure(true);
+        assert!(report.rows.len() >= 5, "rows {}", report.rows.len());
+        assert_eq!(report.rows[0].name, CALIBRATION);
+        assert_eq!(report.rows[0].normalized, 1.0);
+        for row in &report.rows {
+            assert!(
+                row.best_ns.is_finite() && row.best_ns > 0.0,
+                "{} best {}",
+                row.name,
+                row.best_ns
+            );
+            assert!(row.normalized > 0.0);
+        }
+        let exposition = prometheus_text(&entries);
+        for name in [
+            "bfree_par_wall_calibration",
+            "bfree_par_wall_lut_multiply",
+            "bfree_par_wall_chaos_cell",
+        ] {
+            assert!(
+                exposition.contains(name),
+                "missing {name} in:\n{exposition}"
+            );
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Critical-path attribution over recorded event streams.
+//!
+//! Two complementary views of "where did the time go":
+//!
+//! * **Stage sums** ([`fold_stage_latency`] / [`fold_stage_energy`]):
+//!   fold the non-span counters of a trace *in emission order*. The
+//!   instrumented simulators emit cost counters in the exact order
+//!   their aggregate reports merge breakdowns, so the folded f64 sums
+//!   are bit-identical to the report — the invariant `experiments
+//!   critical` gates on with 0.0 divergence, extending the
+//!   `experiments attribution` check down to reconstructed traces.
+//! * **Per-request paths** ([`RequestPaths`]): stitch the serving
+//!   engine's request-tagged events (`request=<id>` detail fields) into
+//!   one [`RequestPath`] per completed request — queue wait, service,
+//!   retry backoff — and pull exact nearest-rank p50/p95/p99 *exemplar*
+//!   requests out of the population, so "what does the p99 look like"
+//!   has a concrete trace as its answer, not just a number.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Component, Event, EventKind, Subsystem, Unit};
+
+/// One stage's accumulated cost, folded in emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSum {
+    /// Emitting subsystem.
+    pub subsystem: Subsystem,
+    /// Counter event name (e.g. `phase/compute`, `stage/execute`).
+    pub name: &'static str,
+    /// Hardware component, when the counter carried one.
+    pub component: Option<Component>,
+    /// Sum of values in emission order (ns or pJ).
+    pub total: f64,
+    /// Events folded into this stage.
+    pub count: u64,
+}
+
+fn fold_counters(events: &[Event], unit: Unit) -> Vec<StageSum> {
+    // First-seen key order, f64 accumulation strictly in emission
+    // order: the pair of properties that makes the sums reproduce the
+    // aggregate models bit for bit.
+    let mut order: Vec<(Subsystem, &'static str, Option<Component>)> = Vec::new();
+    let mut sums: BTreeMap<(Subsystem, &'static str, Option<Component>), StageSum> =
+        BTreeMap::new();
+    for event in events {
+        if event.kind != EventKind::Counter || event.unit != unit {
+            continue;
+        }
+        let key = (event.subsystem, event.name, event.component);
+        let entry = sums.entry(key).or_insert_with(|| {
+            order.push(key);
+            StageSum {
+                subsystem: event.subsystem,
+                name: event.name,
+                component: event.component,
+                total: 0.0,
+                count: 0,
+            }
+        });
+        entry.total += event.value;
+        entry.count += 1;
+    }
+    order
+        .into_iter()
+        .map(|key| sums.remove(&key).expect("key recorded on first sight"))
+        .collect()
+}
+
+/// Folds every `Counter`+`Nanoseconds` event into per-stage latency
+/// sums, in first-emission order.
+pub fn fold_stage_latency(events: &[Event]) -> Vec<StageSum> {
+    fold_counters(events, Unit::Nanoseconds)
+}
+
+/// Folds every `Counter`+`Picojoules` event into per-stage energy sums,
+/// in first-emission order.
+pub fn fold_stage_energy(events: &[Event]) -> Vec<StageSum> {
+    fold_counters(events, Unit::Picojoules)
+}
+
+/// Extracts the value of `key` from a space-separated `k=v` detail
+/// string (`"request=7 tenant=bert"` → `detail_field(d, "request") ==
+/// Some("7")`).
+pub fn detail_field<'a>(detail: &'a str, key: &str) -> Option<&'a str> {
+    detail.split_whitespace().find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+fn detail_u64(event: &Event, key: &str) -> Option<u64> {
+    detail_field(event.detail.as_deref()?, key)?.parse().ok()
+}
+
+/// One completed request's reconstructed latency path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestPath {
+    /// The serving engine's request id.
+    pub request_id: u64,
+    /// Tenant name from the arrival event, when recorded.
+    pub tenant: Option<String>,
+    /// Virtual arrival time (ns), when the arrival event was recorded.
+    pub arrival_ns: Option<f64>,
+    /// Submit → final dispatch (includes any retry backoff waits).
+    pub queue_ns: f64,
+    /// Final dispatch → completion.
+    pub service_ns: f64,
+    /// Submit → completion. Exactly `queue_ns + service_ns`.
+    pub total_ns: f64,
+    /// Faulted service attempts that were retried.
+    pub retries: u32,
+    /// Total backoff the retry policy scheduled for this request.
+    pub backoff_ns: f64,
+}
+
+impl RequestPath {
+    /// The path as named stages summing exactly to `total_ns`. Backoff
+    /// is carved out of the queue stage (a retried request waits out
+    /// its backoff *in* the submit→dispatch window).
+    pub fn stages(&self) -> [(&'static str, f64); 3] {
+        let backoff = self.backoff_ns.min(self.queue_ns);
+        [
+            ("queue_wait", self.queue_ns - backoff),
+            ("retry_backoff", backoff),
+            ("service", self.service_ns),
+        ]
+    }
+
+    /// The dominant stage of this request's path.
+    pub fn dominant_stage(&self) -> &'static str {
+        self.stages()
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(name, _)| name)
+            .unwrap_or("service")
+    }
+}
+
+/// Every completed request's path, reconstructed from a recorded
+/// serving trace.
+#[derive(Debug, Clone, Default)]
+pub struct RequestPaths {
+    paths: Vec<RequestPath>,
+}
+
+impl RequestPaths {
+    /// Stitches request-tagged serve/fault events into per-request
+    /// paths. A request appears once it has both its `latency/queue`
+    /// and `latency/total` histogram samples (emitted on completion);
+    /// arrival and retry events enrich the path when present.
+    pub fn from_events(events: &[Event]) -> RequestPaths {
+        #[derive(Default)]
+        struct Partial {
+            tenant: Option<String>,
+            arrival_ns: Option<f64>,
+            queue_ns: Option<f64>,
+            total_ns: Option<f64>,
+            retries: u32,
+            backoff_ns: f64,
+        }
+        let mut partials: BTreeMap<u64, Partial> = BTreeMap::new();
+        for event in events {
+            let Some(id) = detail_u64(event, "request") else {
+                continue;
+            };
+            let partial = partials.entry(id).or_default();
+            match (event.subsystem, event.kind, event.name) {
+                (Subsystem::Serve, EventKind::Instant, "request/arrival") => {
+                    partial.arrival_ns = Some(event.time_ns);
+                    partial.tenant = event
+                        .detail
+                        .as_deref()
+                        .and_then(|d| detail_field(d, "tenant"))
+                        .map(str::to_string);
+                }
+                (Subsystem::Fault, EventKind::Instant, "request/retry") => {
+                    partial.retries += 1;
+                    partial.backoff_ns += event
+                        .detail
+                        .as_deref()
+                        .and_then(|d| detail_field(d, "backoff_ns"))
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .unwrap_or(0.0);
+                }
+                (Subsystem::Serve, EventKind::Histogram, "latency/queue") => {
+                    partial.queue_ns = Some(event.value);
+                }
+                (Subsystem::Serve, EventKind::Histogram, "latency/total") => {
+                    partial.total_ns = Some(event.value);
+                }
+                _ => {}
+            }
+        }
+        let paths = partials
+            .into_iter()
+            .filter_map(|(request_id, p)| {
+                let (queue_ns, total_ns) = (p.queue_ns?, p.total_ns?);
+                Some(RequestPath {
+                    request_id,
+                    tenant: p.tenant,
+                    arrival_ns: p.arrival_ns,
+                    queue_ns,
+                    service_ns: total_ns - queue_ns,
+                    total_ns,
+                    retries: p.retries,
+                    backoff_ns: p.backoff_ns,
+                })
+            })
+            .collect();
+        RequestPaths { paths }
+    }
+
+    /// The paths, in request-id order.
+    pub fn paths(&self) -> &[RequestPath] {
+        &self.paths
+    }
+
+    /// Completed requests reconstructed.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether no request completed in the trace.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The *exact* nearest-rank percentile exemplar by total latency:
+    /// the concrete request sitting at percentile `p` of the completed
+    /// population (not a sketch — the full population is in hand).
+    pub fn exemplar(&self, p: f64) -> Option<&RequestPath> {
+        if self.paths.is_empty() {
+            return None;
+        }
+        let mut by_latency: Vec<&RequestPath> = self.paths.iter().collect();
+        by_latency.sort_by(|a, b| {
+            a.total_ns
+                .total_cmp(&b.total_ns)
+                .then(a.request_id.cmp(&b.request_id))
+        });
+        let rank = ((p / 100.0) * by_latency.len() as f64).ceil().max(1.0) as usize;
+        Some(by_latency[rank.min(by_latency.len()) - 1])
+    }
+
+    /// Mean total latency over the completed population (0 when empty).
+    pub fn mean_total_ns(&self) -> f64 {
+        if self.paths.is_empty() {
+            return 0.0;
+        }
+        self.paths.iter().map(|p| p.total_ns).sum::<f64>() / self.paths.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::ring::RingRecorder;
+
+    #[test]
+    fn stage_folding_preserves_emission_order_and_bits() {
+        let ring = RingRecorder::new(64);
+        // Values chosen so that addition order changes the f64 result.
+        let values = [1e16, 1.0, -1e16, 1.0];
+        for v in values {
+            ring.counter(Subsystem::Exec, "phase/compute", v, Unit::Nanoseconds);
+        }
+        ring.counter(Subsystem::Exec, "phase/writeback", 5.0, Unit::Nanoseconds);
+        ring.energy(Subsystem::Exec, "component_energy", Component::Dram, 3.0);
+        let stages = fold_stage_latency(&ring.events());
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].name, "phase/compute");
+        let expected = values.iter().fold(0.0, |acc, v| acc + v);
+        assert_eq!(stages[0].total.to_bits(), expected.to_bits());
+        assert_eq!(stages[0].count, 4);
+        assert_eq!(stages[1].name, "phase/writeback");
+        let energy = fold_stage_energy(&ring.events());
+        assert_eq!(energy.len(), 1);
+        assert_eq!(energy[0].component, Some(Component::Dram));
+    }
+
+    #[test]
+    fn detail_field_parses_kv_pairs() {
+        assert_eq!(detail_field("request=7 tenant=bert", "request"), Some("7"));
+        assert_eq!(
+            detail_field("request=7 tenant=bert", "tenant"),
+            Some("bert")
+        );
+        assert_eq!(detail_field("request=7", "attempt"), None);
+        assert_eq!(detail_field("no pairs here", "request"), None);
+    }
+
+    fn serve_trace() -> Vec<Event> {
+        let ring = RingRecorder::new(128);
+        for (id, total) in [(0u64, 500.0), (1, 900.0), (2, 300.0)] {
+            ring.instant(
+                Subsystem::Serve,
+                "request/arrival",
+                10.0 * id as f64,
+                || format!("request={id} tenant=lstm"),
+            );
+            ring.histogram_with(
+                Subsystem::Serve,
+                "latency/queue",
+                100.0,
+                Unit::Nanoseconds,
+                || format!("request={id}"),
+            );
+            ring.histogram_with(
+                Subsystem::Serve,
+                "latency/total",
+                total,
+                Unit::Nanoseconds,
+                || format!("request={id}"),
+            );
+        }
+        ring.instant(Subsystem::Fault, "request/retry", 0.0, || {
+            "request=1 attempt=1 backoff_ns=50".to_string()
+        });
+        // An incomplete request: arrival only, never completed.
+        ring.instant(Subsystem::Serve, "request/arrival", 99.0, || {
+            "request=9 tenant=lstm".to_string()
+        });
+        ring.events()
+    }
+
+    #[test]
+    fn request_paths_stitch_completed_requests_only() {
+        let paths = RequestPaths::from_events(&serve_trace());
+        assert_eq!(paths.len(), 3);
+        let p1 = &paths.paths()[1];
+        assert_eq!(p1.request_id, 1);
+        assert_eq!(p1.tenant.as_deref(), Some("lstm"));
+        assert_eq!(p1.queue_ns, 100.0);
+        assert_eq!(p1.total_ns, 900.0);
+        assert_eq!(p1.service_ns, 800.0);
+        assert_eq!(p1.retries, 1);
+        assert_eq!(p1.backoff_ns, 50.0);
+        // Stages sum exactly to the total.
+        let stage_sum: f64 = p1.stages().iter().map(|(_, ns)| ns).sum();
+        assert_eq!(stage_sum, p1.total_ns);
+        assert_eq!(p1.dominant_stage(), "service");
+    }
+
+    #[test]
+    fn exemplars_are_exact_nearest_rank() {
+        let paths = RequestPaths::from_events(&serve_trace());
+        // Totals sorted: 300, 500, 900.
+        assert_eq!(paths.exemplar(50.0).unwrap().total_ns, 500.0);
+        assert_eq!(paths.exemplar(99.0).unwrap().total_ns, 900.0);
+        assert_eq!(paths.exemplar(1.0).unwrap().total_ns, 300.0);
+        assert!((paths.mean_total_ns() - 1700.0 / 3.0).abs() < 1e-9);
+        assert!(RequestPaths::from_events(&[]).exemplar(50.0).is_none());
+    }
+}

@@ -173,13 +173,86 @@ fn fmt_num(v: f64) -> String {
     JsonValue::Number(v).to_string()
 }
 
-fn chrome_tid(subsystem: Subsystem) -> f64 {
-    // One Chrome "thread" lane per subsystem, in canonical order.
+/// One Chrome "process" per subsystem, in canonical order.
+fn chrome_pid(subsystem: Subsystem) -> f64 {
     (Subsystem::ALL
         .iter()
         .position(|s| *s == subsystem)
         .unwrap_or(0)
         + 1) as f64
+}
+
+/// Slack when comparing span endpoints during lane assignment, matching
+/// the trace reconstructor's containment epsilon.
+const LANE_EPS_NS: f64 = 1e-6;
+
+/// Assigns each span a concurrency lane within its subsystem: nested
+/// spans share their ancestor's lane (Chrome stacks contained `"X"`
+/// events), while *overlapping* spans — concurrent serving dispatches,
+/// parallel workers — spill to the first free lane. The result is one
+/// Perfetto row per concurrency slot instead of every span of a
+/// subsystem collapsing into a single row.
+///
+/// Returns `(per-event lane index, lanes used per subsystem)`; non-span
+/// events carry lane 0 (the subsystem's bookkeeping row).
+fn assign_lanes(events: &[Event]) -> (Vec<usize>, Vec<(Subsystem, usize)>) {
+    let mut span_order: Vec<usize> = (0..events.len())
+        .filter(|&i| events[i].kind == EventKind::Span)
+        .collect();
+    // Parents before children (start asc, end desc), emission order as
+    // the tiebreak: the same canonical order the trace reconstructor
+    // nests by, so lanes and trees agree.
+    span_order.sort_by(|&a, &b| {
+        let (ea, eb) = (&events[a], &events[b]);
+        ea.time_ns
+            .total_cmp(&eb.time_ns)
+            .then((eb.time_ns + eb.dur_ns).total_cmp(&(ea.time_ns + ea.dur_ns)))
+            .then(a.cmp(&b))
+    });
+    let mut lanes: Vec<usize> = vec![0; events.len()];
+    // Per subsystem, per lane: the stack of open span end-times.
+    let mut open: Vec<(Subsystem, Vec<Vec<f64>>)> = Vec::new();
+    for idx in span_order {
+        let event = &events[idx];
+        let start = event.time_ns;
+        let end = event.time_ns + event.dur_ns;
+        let slot = match open.iter().position(|(s, _)| *s == event.subsystem) {
+            Some(slot) => slot,
+            None => {
+                open.push((event.subsystem, Vec::new()));
+                open.len() - 1
+            }
+        };
+        let subsystem_lanes = &mut open[slot].1;
+        let mut assigned = None;
+        for (lane, stack) in subsystem_lanes.iter_mut().enumerate() {
+            // Spans that ended before this one starts are closed for
+            // good (spans arrive start-ordered), so popping is safe
+            // whether or not this lane is chosen.
+            while stack.last().is_some_and(|&e| e <= start + LANE_EPS_NS) {
+                stack.pop();
+            }
+            // The lane fits if it is idle or its innermost open span
+            // fully contains this one (proper nesting).
+            if stack.last().is_none_or(|&e| end <= e + LANE_EPS_NS) {
+                stack.push(end);
+                assigned = Some(lane);
+                break;
+            }
+        }
+        lanes[idx] = match assigned {
+            Some(lane) => lane + 1,
+            None => {
+                subsystem_lanes.push(vec![end]);
+                subsystem_lanes.len()
+            }
+        };
+    }
+    let used = open
+        .into_iter()
+        .map(|(subsystem, lanes)| (subsystem, lanes.len()))
+        .collect();
+    (lanes, used)
 }
 
 /// Serializes events as Chrome `trace_event` JSON (the
@@ -188,51 +261,97 @@ fn chrome_tid(subsystem: Subsystem) -> f64 {
 ///
 /// Mapping: spans become `"X"` (complete) events with microsecond
 /// `ts`/`dur`; instants become `"i"`; counters, gauges and histogram
-/// samples become `"C"` counter events. Each subsystem gets its own
-/// thread lane.
+/// samples become `"C"` counter events. Each subsystem is a Chrome
+/// *process* (`"M"` `process_name` metadata) and each concurrency slot
+/// within it a named thread lane, so concurrent serving dispatches and
+/// parallel workers render as separate rows instead of collapsing into
+/// one.
 pub fn to_chrome_trace(events: &[Event]) -> String {
-    let trace_events: Vec<JsonValue> = events
-        .iter()
-        .map(|event| {
-            let mut args = Vec::new();
-            if let Some(detail) = &event.detail {
-                args.push(("detail", JsonValue::String(detail.clone())));
-            }
-            if let Some(component) = event.component {
-                args.push((
-                    "component",
-                    JsonValue::String(component.label().to_string()),
-                ));
-            }
-            let mut pairs = vec![
-                ("name", JsonValue::String(event.name.to_string())),
+    let (lanes, lanes_used) = assign_lanes(events);
+    let mut trace_events: Vec<JsonValue> = Vec::new();
+    // Process metadata for every subsystem present, thread metadata for
+    // every lane in use (lane 0 is the counters/instants row).
+    let mut present: Vec<Subsystem> = Vec::new();
+    for subsystem in Subsystem::ALL {
+        if events.iter().any(|e| e.subsystem == subsystem) {
+            present.push(subsystem);
+        }
+    }
+    for subsystem in &present {
+        trace_events.push(JsonValue::object([
+            ("name", JsonValue::String("process_name".to_string())),
+            ("ph", JsonValue::String("M".to_string())),
+            ("pid", JsonValue::Number(chrome_pid(*subsystem))),
+            ("tid", JsonValue::Number(0.0)),
+            (
+                "args",
+                JsonValue::object([(
+                    "name",
+                    JsonValue::String(format!("bfree/{}", subsystem.label())),
+                )]),
+            ),
+        ]));
+        let span_lanes = lanes_used
+            .iter()
+            .find(|(s, _)| s == subsystem)
+            .map_or(0, |(_, n)| *n);
+        for lane in 0..=span_lanes {
+            let label = if lane == 0 {
+                "events".to_string()
+            } else {
+                format!("lane-{lane}")
+            };
+            trace_events.push(JsonValue::object([
+                ("name", JsonValue::String("thread_name".to_string())),
+                ("ph", JsonValue::String("M".to_string())),
+                ("pid", JsonValue::Number(chrome_pid(*subsystem))),
+                ("tid", JsonValue::Number(lane as f64)),
                 (
-                    "cat",
-                    JsonValue::String(event.subsystem.label().to_string()),
+                    "args",
+                    JsonValue::object([("name", JsonValue::String(label))]),
                 ),
-                ("pid", JsonValue::Number(1.0)),
-                ("tid", JsonValue::Number(chrome_tid(event.subsystem))),
-                // trace_event timestamps are microseconds.
-                ("ts", JsonValue::Number(event.time_ns / 1000.0)),
-            ];
-            match event.kind {
-                EventKind::Span => {
-                    pairs.push(("ph", JsonValue::String("X".to_string())));
-                    pairs.push(("dur", JsonValue::Number(event.dur_ns / 1000.0)));
-                }
-                EventKind::Instant => {
-                    pairs.push(("ph", JsonValue::String("i".to_string())));
-                    pairs.push(("s", JsonValue::String("t".to_string())));
-                }
-                EventKind::Counter | EventKind::Gauge | EventKind::Histogram => {
-                    pairs.push(("ph", JsonValue::String("C".to_string())));
-                    args.push(("value", JsonValue::Number(event.value)));
-                }
+            ]));
+        }
+    }
+    for (idx, event) in events.iter().enumerate() {
+        let mut args = Vec::new();
+        if let Some(detail) = &event.detail {
+            args.push(("detail", JsonValue::String(detail.clone())));
+        }
+        if let Some(component) = event.component {
+            args.push((
+                "component",
+                JsonValue::String(component.label().to_string()),
+            ));
+        }
+        let mut pairs = vec![
+            ("name", JsonValue::String(event.name.to_string())),
+            (
+                "cat",
+                JsonValue::String(event.subsystem.label().to_string()),
+            ),
+            ("pid", JsonValue::Number(chrome_pid(event.subsystem))),
+            ("tid", JsonValue::Number(lanes[idx] as f64)),
+            // trace_event timestamps are microseconds.
+            ("ts", JsonValue::Number(event.time_ns / 1000.0)),
+        ];
+        match event.kind {
+            EventKind::Span => {
+                pairs.push(("ph", JsonValue::String("X".to_string())));
+                pairs.push(("dur", JsonValue::Number(event.dur_ns / 1000.0)));
             }
-            pairs.push(("args", JsonValue::object(args)));
-            JsonValue::object(pairs)
-        })
-        .collect();
+            EventKind::Instant => {
+                pairs.push(("ph", JsonValue::String("i".to_string())));
+                pairs.push(("s", JsonValue::String("t".to_string())));
+            }
+            EventKind::Counter | EventKind::Gauge | EventKind::Histogram => {
+                pairs.push(("ph", JsonValue::String("C".to_string())));
+                args.push(("value", JsonValue::Number(event.value)));
+            }
+        }
+        pairs.push(("args", JsonValue::object(args)));
+        trace_events.push(JsonValue::object(pairs));
+    }
     JsonValue::object([("traceEvents", JsonValue::Array(trace_events))]).to_string()
 }
 
@@ -293,7 +412,12 @@ mod tests {
     #[test]
     fn chrome_trace_maps_kinds_to_phases() {
         let doc = JsonValue::parse(&to_chrome_trace(&sample_events())).unwrap();
-        let items = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let all = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // Metadata first, then the payload events in input order.
+        let items: Vec<_> = all
+            .iter()
+            .filter(|e| e.require_str("ph").unwrap() != "M")
+            .collect();
         assert_eq!(items[0].require_str("ph").unwrap(), "X");
         assert_eq!(items[0].require_f64("dur").unwrap(), 2.5);
         assert_eq!(items[0].require_f64("ts").unwrap(), 1.0);
@@ -303,10 +427,153 @@ mod tests {
             33.5
         );
         assert_eq!(items[4].require_str("ph").unwrap(), "i");
-        // Lanes: serve events share a tid distinct from exec's.
-        let tid_exec = items[0].require_f64("tid").unwrap();
-        let tid_serve = items[1].require_f64("tid").unwrap();
-        assert_ne!(tid_exec, tid_serve);
+        // Subsystems are separate processes: serve events carry a pid
+        // distinct from exec's.
+        let pid_exec = items[0].require_f64("pid").unwrap();
+        let pid_serve = items[1].require_f64("pid").unwrap();
+        assert_ne!(pid_exec, pid_serve);
+        // Both processes and their lanes are named via "M" metadata.
+        let meta: Vec<_> = all
+            .iter()
+            .filter(|e| e.require_str("ph").unwrap() == "M")
+            .collect();
+        assert!(meta
+            .iter()
+            .any(|e| e.get("args").unwrap().require_str("name").unwrap() == "bfree/exec"));
+        assert!(meta
+            .iter()
+            .any(|e| e.get("args").unwrap().require_str("name").unwrap() == "lane-1"));
+    }
+
+    #[test]
+    fn chrome_lanes_separate_overlapping_spans_and_share_nested_ones() {
+        let ring = RingRecorder::new(16);
+        // Two overlapping serve dispatches (concurrent slots) plus one
+        // span nested inside the first.
+        ring.span(Subsystem::Serve, "dispatch", 0.0, 100.0);
+        ring.span(Subsystem::Serve, "dispatch", 50.0, 100.0);
+        ring.span(Subsystem::Serve, "stage", 10.0, 20.0);
+        ring.gauge(Subsystem::Serve, "queue/depth", 0.0, 1.0);
+        let doc = JsonValue::parse(&to_chrome_trace(&ring.events())).unwrap();
+        let spans: Vec<f64> = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.require_str("ph").unwrap() == "X")
+            .map(|e| e.require_f64("tid").unwrap())
+            .collect();
+        // Input order: dispatch A, dispatch B, nested stage.
+        assert_eq!(spans.len(), 3);
+        assert_ne!(spans[0], spans[1], "overlapping dispatches need lanes");
+        assert_eq!(spans[0], spans[2], "a nested span shares its parent lane");
+        // The gauge stays on the subsystem's bookkeeping row (tid 0).
+        let gauge_tid = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e.require_str("ph").unwrap() == "C")
+            .unwrap()
+            .require_f64("tid")
+            .unwrap();
+        assert_eq!(gauge_tid, 0.0);
+    }
+
+    /// Compile-time exhaustiveness over the event taxonomy: adding a
+    /// [`Subsystem`] or [`EventKind`] variant fails this match until the
+    /// author re-audits the exporters — the regression that silently
+    /// dropped a new subsystem from an export can no longer compile.
+    fn assert_variant_audited(subsystem: Subsystem, kind: EventKind) {
+        match subsystem {
+            // Every arm is exported by to_json/to_csv/to_chrome_trace
+            // via Subsystem::label() and chrome_pid(); extend the test
+            // below when adding a variant here.
+            Subsystem::Arch
+            | Subsystem::Bce
+            | Subsystem::Exec
+            | Subsystem::Par
+            | Subsystem::Serve
+            | Subsystem::Fault => {}
+        }
+        match kind {
+            EventKind::Span
+            | EventKind::Instant
+            | EventKind::Counter
+            | EventKind::Gauge
+            | EventKind::Histogram => {}
+        }
+    }
+
+    #[test]
+    fn every_subsystem_and_kind_round_trips_through_every_exporter() {
+        let mut events = Vec::new();
+        for (i, subsystem) in Subsystem::ALL.into_iter().enumerate() {
+            for (j, kind) in [
+                EventKind::Span,
+                EventKind::Instant,
+                EventKind::Counter,
+                EventKind::Gauge,
+                EventKind::Histogram,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                assert_variant_audited(subsystem, kind);
+                events.push(Event {
+                    subsystem,
+                    kind,
+                    name: "audit",
+                    detail: Some(format!("cell={i}.{j}")),
+                    component: None,
+                    time_ns: (i * 10 + j) as f64,
+                    dur_ns: if kind == EventKind::Span { 1.0 } else { 0.0 },
+                    value: 1.0,
+                    unit: Unit::Count,
+                });
+            }
+        }
+        // ALL must enumerate exactly the variants audited above.
+        assert_eq!(Subsystem::ALL.len(), 6);
+
+        let json = JsonValue::parse(&to_json(&events)).unwrap();
+        assert_eq!(json.as_array().unwrap().len(), events.len());
+        let csv = to_csv(&events);
+        assert_eq!(csv.lines().count(), events.len() + 1);
+        let chrome = JsonValue::parse(&to_chrome_trace(&events)).unwrap();
+        let chrome_items = chrome.get("traceEvents").unwrap().as_array().unwrap();
+        for subsystem in Subsystem::ALL {
+            // Each subsystem appears in every export and owns a distinct
+            // Chrome process.
+            assert!(
+                csv.lines().any(|l| l.starts_with(subsystem.label())),
+                "{subsystem} missing from CSV"
+            );
+            assert!(
+                json.as_array()
+                    .unwrap()
+                    .iter()
+                    .any(|e| e.require_str("subsystem").unwrap() == subsystem.label()),
+                "{subsystem} missing from JSON"
+            );
+            let pids: Vec<f64> = chrome_items
+                .iter()
+                .filter(|e| {
+                    e.get("cat")
+                        .and_then(|c| c.as_str())
+                        .is_some_and(|c| c == subsystem.label())
+                })
+                .map(|e| e.require_f64("pid").unwrap())
+                .collect();
+            assert_eq!(pids.len(), 5, "{subsystem} missing from Chrome trace");
+            for other in Subsystem::ALL {
+                if other != subsystem {
+                    assert_ne!(chrome_pid(subsystem), chrome_pid(other));
+                }
+            }
+        }
     }
 
     #[test]

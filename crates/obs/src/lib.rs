@@ -29,6 +29,15 @@
 //!   of the `experiments attribution` cross-check.
 //! * [`export`] — JSON, CSV, and Chrome `trace_event` serializers over
 //!   recorded events (`chrome://tracing` / Perfetto flame-style views).
+//! * [`trace`] — span-tree reconstruction: folds the flat event stream
+//!   back into hierarchical per-run/per-request trace trees, validating
+//!   balance and flagging ring truncation ([`TraceForest`]).
+//! * [`critical`] — critical-path attribution over recorded streams:
+//!   emission-order stage folds (bit-identical to the aggregate
+//!   reports) and per-request p50/p95/p99 exemplar paths.
+//! * [`perf`] — wall-clock self-profiling of the simulator itself:
+//!   [`WallTimer`] scoped host-time guards (erased under
+//!   [`NullRecorder`]) and a Prometheus-style text exposition.
 //! * [`json`] — the dependency-free JSON value, writer and parser the
 //!   exporters and the config round-trips use (the workspace's vendored
 //!   `serde` is a no-op stub, so serialization is hand-rolled).
@@ -54,17 +63,23 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod critical;
 pub mod error;
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod perf;
 pub mod recorder;
 pub mod ring;
+pub mod trace;
 
 pub use agg::{AggEntry, AggRecorder};
+pub use critical::{fold_stage_energy, fold_stage_latency, RequestPath, RequestPaths, StageSum};
 pub use error::ObsError;
 pub use event::{Component, Event, EventKind, Subsystem, Unit};
 pub use export::{to_chrome_trace, to_csv, to_json, ExportFormat};
 pub use json::JsonValue;
+pub use perf::{prometheus_text, WallTimer};
 pub use recorder::{NullRecorder, Recorder};
 pub use ring::RingRecorder;
+pub use trace::{SpanNode, TraceForest, TraceIssue};

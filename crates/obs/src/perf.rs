@@ -1,0 +1,203 @@
+//! Wall-clock self-profiling: measuring the *simulator*, not the
+//! simulated hardware.
+//!
+//! Everything else in this crate records virtual nanoseconds from the
+//! cost models. This module records host time: scoped [`WallTimer`]
+//! guards around experiment phases and worker bodies, folded by any
+//! [`Recorder`] and rendered as a Prometheus-style text exposition
+//! snapshot ([`prometheus_text`]).
+//!
+//! Zero-cost rule: a [`WallTimer`] only reads the host clock when its
+//! recorder [`is_enabled`](Recorder::is_enabled). Under
+//! [`crate::NullRecorder`] the guard monomorphizes to a no-op — no
+//! `Instant::now()` call, no drop work — so the default build stays
+//! byte-identical to an unprofiled one. Wall-clock values are
+//! inherently nondeterministic, which is why they live in their own
+//! event namespace (`wall/...`) and are *never* emitted into the
+//! deterministic trace streams the goldens and cross-checks fold.
+
+use std::time::Instant;
+
+use crate::agg::AggEntry;
+use crate::event::{EventKind, Subsystem, Unit};
+use crate::recorder::Recorder;
+
+/// A scoped host-time timer: measures from construction to drop and
+/// emits one `Histogram` event in nanoseconds.
+///
+/// ```
+/// use bfree_obs::perf::WallTimer;
+/// use bfree_obs::{AggRecorder, Subsystem};
+///
+/// let rec = AggRecorder::new();
+/// {
+///     let _t = WallTimer::start(&rec, Subsystem::Exec, "wall/pricing");
+///     // ... timed work ...
+/// }
+/// assert_eq!(rec.snapshot()[0].count, 1);
+/// ```
+#[derive(Debug)]
+pub struct WallTimer<'a, R: Recorder> {
+    recorder: &'a R,
+    subsystem: Subsystem,
+    name: &'static str,
+    /// `None` when the recorder is disabled: the whole guard erases.
+    start: Option<Instant>,
+}
+
+impl<'a, R: Recorder> WallTimer<'a, R> {
+    /// Starts timing `name` — only touching the host clock if
+    /// `recorder` is enabled.
+    pub fn start(recorder: &'a R, subsystem: Subsystem, name: &'static str) -> Self {
+        WallTimer {
+            recorder,
+            subsystem,
+            name,
+            start: recorder.is_enabled().then(Instant::now),
+        }
+    }
+
+    /// Stops early and returns the elapsed nanoseconds that were
+    /// recorded (`None` when the recorder is disabled).
+    pub fn stop(mut self) -> Option<f64> {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> Option<f64> {
+        let start = self.start.take()?;
+        let elapsed_ns = start.elapsed().as_nanos() as f64;
+        self.recorder
+            .histogram(self.subsystem, self.name, elapsed_ns, Unit::Nanoseconds);
+        Some(elapsed_ns)
+    }
+}
+
+impl<R: Recorder> Drop for WallTimer<'_, R> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Times `f` under `name` and returns its result; the elapsed wall time
+/// is recorded iff `recorder` is enabled.
+pub fn timed<R: Recorder, T>(
+    recorder: &R,
+    subsystem: Subsystem,
+    name: &'static str,
+    f: impl FnOnce() -> T,
+) -> T {
+    let _timer = WallTimer::start(recorder, subsystem, name);
+    f()
+}
+
+/// Maps a metric name to a Prometheus-legal identifier: `[a-zA-Z0-9_]`,
+/// everything else collapsed to `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Renders aggregated entries as a Prometheus text-exposition snapshot.
+///
+/// Each entry becomes a `bfree_<subsystem>_<name>` summary-style family
+/// with `_count` / `_sum` / `_min` / `_max` series, quantile series for
+/// histogram entries (from the log2 sketch), and `unit` / `component`
+/// labels. Entries arrive in [`crate::AggRecorder::snapshot`]'s
+/// deterministic key order, so identical aggregates render identical
+/// text.
+pub fn prometheus_text(entries: &[AggEntry]) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    for entry in entries {
+        let family = format!("bfree_{}_{}", entry.subsystem.label(), sanitize(entry.name));
+        let mut labels = format!("unit=\"{}\"", entry.unit.label());
+        if let Some(component) = entry.component {
+            let _ = write!(labels, ",component=\"{}\"", component.label());
+        }
+        let _ = writeln!(out, "# TYPE {family} summary");
+        let _ = writeln!(out, "{family}_count{{{labels}}} {}", entry.count);
+        let _ = writeln!(out, "{family}_sum{{{labels}}} {}", entry.sum);
+        if entry.count > 0 {
+            let _ = writeln!(out, "{family}_min{{{labels}}} {}", entry.min);
+            let _ = writeln!(out, "{family}_max{{{labels}}} {}", entry.max);
+        }
+        if entry.kind == EventKind::Histogram {
+            for (q, p) in [("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0)] {
+                let _ = writeln!(
+                    out,
+                    "{family}{{{labels},quantile=\"{q}\"}} {}",
+                    entry.approx_percentile(p)
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggRecorder;
+    use crate::event::Component;
+    use crate::recorder::NullRecorder;
+
+    #[test]
+    fn wall_timer_records_positive_elapsed_time() {
+        let rec = AggRecorder::new();
+        {
+            let _t = WallTimer::start(&rec, Subsystem::Exec, "wall/test");
+            std::hint::black_box((0..1000u64).sum::<u64>());
+        }
+        let entries = rec.snapshot();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "wall/test");
+        assert_eq!(entries[0].count, 1);
+        assert!(entries[0].sum > 0.0, "elapsed {}", entries[0].sum);
+        assert_eq!(entries[0].unit, Unit::Nanoseconds);
+    }
+
+    #[test]
+    fn stop_returns_elapsed_and_suppresses_drop_double_count() {
+        let rec = AggRecorder::new();
+        let timer = WallTimer::start(&rec, Subsystem::Par, "wall/worker");
+        let elapsed = timer.stop();
+        assert!(elapsed.is_some());
+        assert_eq!(rec.snapshot()[0].count, 1, "stop must record exactly once");
+    }
+
+    #[test]
+    fn disabled_recorder_never_reads_the_clock() {
+        let timer = WallTimer::start(&NullRecorder, Subsystem::Exec, "wall/noop");
+        assert!(timer.start.is_none(), "no Instant::now under NullRecorder");
+        assert_eq!(timer.stop(), None);
+        assert_eq!(timed(&NullRecorder, Subsystem::Exec, "wall/noop", || 7), 7);
+    }
+
+    #[test]
+    fn prometheus_text_is_deterministic_and_labeled() {
+        let rec = AggRecorder::new();
+        for v in [4.0, 8.0, 128.0] {
+            rec.histogram(Subsystem::Serve, "latency/total", v, Unit::Nanoseconds);
+        }
+        rec.energy(Subsystem::Exec, "component_energy", Component::Dram, 42.5);
+        let a = prometheus_text(&rec.snapshot());
+        let b = prometheus_text(&rec.snapshot());
+        assert_eq!(a, b);
+        assert!(a.contains("# TYPE bfree_serve_latency_total summary"));
+        assert!(a.contains("bfree_serve_latency_total_count{unit=\"ns\"} 3"));
+        assert!(a.contains("bfree_serve_latency_total_sum{unit=\"ns\"} 140"));
+        assert!(a.contains("quantile=\"0.99\""));
+        assert!(a.contains("bfree_exec_component_energy_sum{unit=\"pJ\",component=\"dram\"} 42.5"));
+        // Counter families carry no quantile series.
+        assert!(!a.contains("bfree_exec_component_energy{unit=\"pJ\",component=\"dram\",quantile"));
+    }
+
+    #[test]
+    fn sanitize_collapses_non_identifier_chars() {
+        assert_eq!(sanitize("latency/total"), "latency_total");
+        assert_eq!(sanitize("pool/free_slices"), "pool_free_slices");
+        assert_eq!(sanitize("ok_name9"), "ok_name9");
+    }
+}

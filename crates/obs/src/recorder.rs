@@ -176,6 +176,32 @@ pub trait Recorder {
             });
         }
     }
+
+    /// [`histogram`](Recorder::histogram) with a dynamic detail label
+    /// (e.g. `request=<id>` so per-request paths can be reconstructed).
+    /// The label closure only runs when the recorder is enabled.
+    fn histogram_with(
+        &self,
+        subsystem: Subsystem,
+        name: &'static str,
+        value: f64,
+        unit: Unit,
+        detail: impl FnOnce() -> String,
+    ) {
+        if self.is_enabled() {
+            self.record(Event {
+                subsystem,
+                kind: EventKind::Histogram,
+                name,
+                detail: Some(detail()),
+                component: None,
+                time_ns: 0.0,
+                dur_ns: 0.0,
+                value,
+                unit,
+            });
+        }
+    }
 }
 
 /// The do-nothing recorder: the default everywhere instrumentation is

@@ -1,0 +1,485 @@
+//! Span-tree reconstruction: folding the flat event stream back into
+//! the hierarchy that emitted it.
+//!
+//! Recorders capture *complete* spans (`time_ns .. time_ns + dur_ns`),
+//! not open/close pairs, so reconstruction is interval nesting: a span
+//! is a child of the smallest span that fully contains it. The
+//! instrumented paths emit spans in deterministic order
+//! (`bfree::BfreeSimulator::run_recorded` reduces on the calling
+//! thread; `bfree_serve::ServingSim` is single-threaded over a virtual
+//! clock), so the reconstructed forest is a pure function of the run —
+//! the property the `trace_properties` suite pins down under chaos
+//! fault plans at every `--jobs` setting.
+//!
+//! Reconstruction is *validating*: a span with a negative or
+//! non-finite extent is reported as a [`TraceIssue`], and a forest
+//! built from a [`crate::RingRecorder`] carries the ring's dropped
+//! count so a truncated trace can never masquerade as a complete one.
+//! Sibling spans may overlap freely (concurrent serving dispatches do),
+//! but a span is only adopted by a parent that fully contains it —
+//! partial overlap demotes it to a sibling instead of fabricating a
+//! nesting that never happened.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventKind};
+use crate::ring::RingRecorder;
+
+/// Containment slack in nanoseconds: spans whose endpoints went through
+/// f64 accumulation (the exec layer cursor) may disagree with their
+/// parent by a rounding ulp.
+const CONTAIN_EPS_NS: f64 = 1e-6;
+
+/// One reconstructed span and everything that happened inside it.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// The span event itself.
+    pub event: Event,
+    /// Position of the span in the original event stream.
+    pub seq: usize,
+    /// Spans fully contained in this one, in start order.
+    pub children: Vec<SpanNode>,
+    /// Non-span events attributed to this span: everything emitted
+    /// after this span and before the next one (the emitter's
+    /// "counters follow their span" convention).
+    pub attached: Vec<Event>,
+}
+
+impl SpanNode {
+    /// Span start in nanoseconds.
+    pub fn start_ns(&self) -> f64 {
+        self.event.time_ns
+    }
+
+    /// Span end in nanoseconds.
+    pub fn end_ns(&self) -> f64 {
+        self.event.time_ns + self.event.dur_ns
+    }
+
+    /// Span duration in nanoseconds.
+    pub fn dur_ns(&self) -> f64 {
+        self.event.dur_ns
+    }
+
+    /// Time not covered by any child: `dur - Σ children.dur`. Negative
+    /// only when children overlap each other (concurrent siblings).
+    pub fn self_ns(&self) -> f64 {
+        self.event.dur_ns - self.children.iter().map(|c| c.dur_ns()).sum::<f64>()
+    }
+
+    /// Spans in this subtree, this node included.
+    pub fn span_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanNode::span_count)
+            .sum::<usize>()
+    }
+
+    /// Depth of the subtree (1 for a leaf).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::depth).max().unwrap_or(0)
+    }
+
+    /// Sum of `self_ns` over the subtree. For a tree whose siblings
+    /// never overlap this equals the root duration exactly — the
+    /// "latencies sum to the root" balance identity.
+    pub fn self_time_sum_ns(&self) -> f64 {
+        self.self_ns()
+            + self
+                .children
+                .iter()
+                .map(SpanNode::self_time_sum_ns)
+                .sum::<f64>()
+    }
+
+    /// Visits this node and every descendant, parents before children.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a SpanNode, usize)) {
+        self.visit_at(0, f);
+    }
+
+    fn visit_at<'a>(&'a self, depth: usize, f: &mut impl FnMut(&'a SpanNode, usize)) {
+        f(self, depth);
+        for child in &self.children {
+            child.visit_at(depth + 1, f);
+        }
+    }
+}
+
+/// A defect found while reconstructing a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceIssue {
+    /// A span whose duration or timestamp is negative or non-finite.
+    MalformedSpan {
+        /// Event name of the offending span.
+        name: &'static str,
+        /// Its start timestamp.
+        time_ns: f64,
+        /// Its duration.
+        dur_ns: f64,
+    },
+    /// The ring recorder evicted events before the trace was read, so
+    /// the forest is reconstructed from a truncated stream.
+    Truncated {
+        /// Events lost to ring eviction.
+        dropped: u64,
+    },
+}
+
+impl std::fmt::Display for TraceIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIssue::MalformedSpan {
+                name,
+                time_ns,
+                dur_ns,
+            } => write!(
+                f,
+                "malformed span `{name}`: start {time_ns} ns, duration {dur_ns} ns"
+            ),
+            TraceIssue::Truncated { dropped } => {
+                write!(f, "trace truncated: {dropped} events dropped by the ring")
+            }
+        }
+    }
+}
+
+/// The reconstructed span forest of one recorded run.
+#[derive(Debug, Clone)]
+pub struct TraceForest {
+    /// Top-level spans (no enclosing span), in start order.
+    pub roots: Vec<SpanNode>,
+    /// Non-span events emitted before any span existed to attach to.
+    pub orphans: Vec<Event>,
+    /// Defects found during reconstruction (empty for a healthy trace).
+    pub issues: Vec<TraceIssue>,
+    /// Non-span events in original emission order (counters fold in
+    /// this order, which is what makes stage sums bit-identical to the
+    /// aggregate models).
+    events_in_order: Vec<Event>,
+    span_count: usize,
+}
+
+impl TraceForest {
+    /// Reconstructs the forest from an ordered event slice.
+    pub fn from_events(events: &[Event]) -> TraceForest {
+        Self::build(events, 0)
+    }
+
+    /// Reconstructs from a [`RingRecorder`], carrying its dropped-event
+    /// count into the validation issues.
+    pub fn from_ring(ring: &RingRecorder) -> TraceForest {
+        Self::build(&ring.events(), ring.dropped())
+    }
+
+    fn build(events: &[Event], dropped: u64) -> TraceForest {
+        let mut issues = Vec::new();
+        if dropped > 0 {
+            issues.push(TraceIssue::Truncated { dropped });
+        }
+
+        // Split the stream: spans nest structurally, everything else
+        // attaches to the span most recently emitted before it.
+        let mut spans: Vec<(usize, &Event)> = Vec::new();
+        let mut attached: BTreeMap<usize, Vec<Event>> = BTreeMap::new();
+        let mut orphans = Vec::new();
+        let mut events_in_order = Vec::new();
+        let mut last_span_seq: Option<usize> = None;
+        for (seq, event) in events.iter().enumerate() {
+            if event.kind == EventKind::Span {
+                if !(event.time_ns.is_finite() && event.dur_ns.is_finite() && event.dur_ns >= 0.0) {
+                    issues.push(TraceIssue::MalformedSpan {
+                        name: event.name,
+                        time_ns: event.time_ns,
+                        dur_ns: event.dur_ns,
+                    });
+                    continue;
+                }
+                spans.push((seq, event));
+                last_span_seq = Some(seq);
+            } else {
+                events_in_order.push(event.clone());
+                match last_span_seq {
+                    Some(seq) => attached.entry(seq).or_default().push(event.clone()),
+                    None => orphans.push(event.clone()),
+                }
+            }
+        }
+        let span_count = spans.len();
+
+        // Interval nesting: sorted by (start asc, end desc, emission),
+        // a scan with an open-span stack adopts each span into the
+        // innermost span that fully contains it. The sort makes the
+        // result independent of *when* a parent was emitted (the exec
+        // layer emits its root span last), while emission order still
+        // breaks exact ties deterministically.
+        spans.sort_by(|(seq_a, a), (seq_b, b)| {
+            a.time_ns
+                .total_cmp(&b.time_ns)
+                .then((b.time_ns + b.dur_ns).total_cmp(&(a.time_ns + a.dur_ns)))
+                .then(seq_a.cmp(seq_b))
+        });
+
+        let mut roots: Vec<SpanNode> = Vec::new();
+        // Stack of open nodes; each entry is the chain of ancestors of
+        // the next span considered.
+        let mut stack: Vec<SpanNode> = Vec::new();
+        let close_into = |stack: &mut Vec<SpanNode>, roots: &mut Vec<SpanNode>| {
+            let node = stack.pop().expect("close on empty stack");
+            match stack.last_mut() {
+                Some(parent) => parent.children.push(node),
+                None => roots.push(node),
+            }
+        };
+        for (seq, event) in spans {
+            let start = event.time_ns;
+            let end = event.time_ns + event.dur_ns;
+            while let Some(top) = stack.last() {
+                let contains = start >= top.start_ns() - CONTAIN_EPS_NS
+                    && end <= top.end_ns() + CONTAIN_EPS_NS;
+                if contains {
+                    break;
+                }
+                close_into(&mut stack, &mut roots);
+            }
+            stack.push(SpanNode {
+                event: event.clone(),
+                seq,
+                children: Vec::new(),
+                attached: attached.remove(&seq).unwrap_or_default(),
+            });
+        }
+        while !stack.is_empty() {
+            close_into(&mut stack, &mut roots);
+        }
+
+        TraceForest {
+            roots,
+            orphans,
+            issues,
+            events_in_order,
+            span_count,
+        }
+    }
+
+    /// Spans in the forest. Reconstruction is lossless: this always
+    /// equals the number of well-formed span events in the input.
+    pub fn span_count(&self) -> usize {
+        self.span_count
+    }
+
+    /// Non-span events, in original emission order.
+    pub fn events_in_order(&self) -> &[Event] {
+        &self.events_in_order
+    }
+
+    /// Whether reconstruction found no defects (and nothing was
+    /// dropped). Issue-free is what "every open has a matching close"
+    /// means for complete-span streams: every span has a well-formed
+    /// extent and the stream is untruncated.
+    pub fn is_balanced(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Visits every node in the forest, parents before children, roots
+    /// in start order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a SpanNode, usize)) {
+        for root in &self.roots {
+            root.visit(f);
+        }
+    }
+
+    /// The forest as an indented text tree (for `experiments obs
+    /// --tree`): name, detail, extent, and per-node self-time share.
+    pub fn render_text(&self, max_children: usize) -> String {
+        let mut out = String::new();
+        for issue in &self.issues {
+            let _ = writeln!(out, "warning: {issue}");
+        }
+        for root in &self.roots {
+            Self::render_node(root, 0, max_children, &mut out);
+        }
+        if !self.orphans.is_empty() {
+            let _ = writeln!(
+                out,
+                "({} events precede the first span)",
+                self.orphans.len()
+            );
+        }
+        out
+    }
+
+    fn render_node(node: &SpanNode, depth: usize, max_children: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let self_pct = if node.dur_ns() > 0.0 {
+            100.0 * node.self_ns().max(0.0) / node.dur_ns()
+        } else {
+            0.0
+        };
+        let _ = write!(
+            out,
+            "{indent}{} [{:.1}..{:.1} us, {:.3} us, self {self_pct:.0}%",
+            node.event.name,
+            node.start_ns() / 1000.0,
+            node.end_ns() / 1000.0,
+            node.dur_ns() / 1000.0,
+        );
+        if !node.attached.is_empty() {
+            let _ = write!(out, ", {} events", node.attached.len());
+        }
+        out.push(']');
+        if let Some(detail) = &node.event.detail {
+            let short: String = detail.chars().take(60).collect();
+            let _ = write!(out, " {short}");
+        }
+        out.push('\n');
+        for child in node.children.iter().take(max_children) {
+            Self::render_node(child, depth + 1, max_children, out);
+        }
+        if node.children.len() > max_children {
+            let _ = writeln!(
+                out,
+                "{indent}  ... {} more children",
+                node.children.len() - max_children
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Subsystem, Unit};
+    use crate::recorder::Recorder;
+
+    fn ring_with_nested_trace() -> RingRecorder {
+        let ring = RingRecorder::new(64);
+        // Emission order mimics the exec layer: children first, root
+        // last — nesting must come from intervals, not emission order.
+        ring.span(Subsystem::Exec, "configure", 0.0, 10.0);
+        ring.span(Subsystem::Exec, "layer", 10.0, 40.0);
+        ring.counter(Subsystem::Exec, "phase/compute", 40.0, Unit::Nanoseconds);
+        ring.span(Subsystem::Exec, "layer", 50.0, 30.0);
+        ring.counter(Subsystem::Exec, "phase/compute", 30.0, Unit::Nanoseconds);
+        ring.span(Subsystem::Exec, "run", 0.0, 100.0);
+        ring
+    }
+
+    #[test]
+    fn nesting_follows_intervals_not_emission_order() {
+        let forest = TraceForest::from_ring(&ring_with_nested_trace());
+        assert!(forest.is_balanced());
+        assert_eq!(forest.roots.len(), 1);
+        let root = &forest.roots[0];
+        assert_eq!(root.event.name, "run");
+        assert_eq!(root.children.len(), 3);
+        assert_eq!(root.children[0].event.name, "configure");
+        // 100 - (10 + 40 + 30) = 20 ns not covered by any child.
+        assert!((root.self_ns() - 20.0).abs() < 1e-9);
+        assert_eq!(forest.span_count(), 4);
+        assert_eq!(root.span_count(), 4);
+        assert_eq!(root.depth(), 2);
+    }
+
+    #[test]
+    fn counters_attach_to_the_preceding_span() {
+        let forest = TraceForest::from_ring(&ring_with_nested_trace());
+        let root = &forest.roots[0];
+        let layer1 = &root.children[1];
+        assert_eq!(layer1.attached.len(), 1);
+        assert_eq!(layer1.attached[0].value, 40.0);
+        // Emission order of non-span events is preserved for folds.
+        let values: Vec<f64> = forest.events_in_order().iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![40.0, 30.0]);
+    }
+
+    #[test]
+    fn self_time_sums_to_root_when_children_tile() {
+        let forest = TraceForest::from_ring(&ring_with_nested_trace());
+        let root = &forest.roots[0];
+        assert!((root.self_time_sum_ns() - root.dur_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_siblings_stay_siblings() {
+        let ring = RingRecorder::new(16);
+        // Two concurrent serving dispatches: neither contains the other.
+        ring.span(Subsystem::Serve, "dispatch", 0.0, 100.0);
+        ring.span(Subsystem::Serve, "dispatch", 50.0, 100.0);
+        let forest = TraceForest::from_ring(&ring);
+        assert!(forest.is_balanced());
+        assert_eq!(forest.roots.len(), 2);
+        assert!(forest.roots.iter().all(|r| r.children.is_empty()));
+    }
+
+    #[test]
+    fn truncation_is_flagged_never_silent() {
+        let ring = RingRecorder::new(2);
+        ring.span(Subsystem::Exec, "a", 0.0, 1.0);
+        ring.span(Subsystem::Exec, "b", 1.0, 1.0);
+        ring.span(Subsystem::Exec, "c", 2.0, 1.0);
+        let forest = TraceForest::from_ring(&ring);
+        assert!(!forest.is_balanced());
+        assert!(matches!(
+            forest.issues[0],
+            TraceIssue::Truncated { dropped: 1 }
+        ));
+        assert_eq!(forest.span_count(), 2);
+    }
+
+    #[test]
+    fn malformed_spans_are_reported_and_skipped() {
+        let ring = RingRecorder::new(16);
+        ring.span(Subsystem::Exec, "ok", 0.0, 5.0);
+        ring.record(Event {
+            subsystem: Subsystem::Exec,
+            kind: EventKind::Span,
+            name: "broken",
+            detail: None,
+            component: None,
+            time_ns: 3.0,
+            dur_ns: -1.0,
+            value: -1.0,
+            unit: Unit::Nanoseconds,
+        });
+        let forest = TraceForest::from_ring(&ring);
+        assert_eq!(forest.span_count(), 1);
+        assert!(matches!(
+            forest.issues[0],
+            TraceIssue::MalformedSpan { name: "broken", .. }
+        ));
+        assert!(forest.issues[0].to_string().contains("broken"));
+    }
+
+    #[test]
+    fn events_before_any_span_are_orphans() {
+        let ring = RingRecorder::new(16);
+        ring.counter(Subsystem::Par, "pool/items", 3.0, Unit::Count);
+        ring.span(Subsystem::Exec, "run", 0.0, 1.0);
+        let forest = TraceForest::from_ring(&ring);
+        assert_eq!(forest.orphans.len(), 1);
+        assert_eq!(forest.events_in_order().len(), 1);
+    }
+
+    #[test]
+    fn render_text_shows_hierarchy_and_warnings() {
+        let forest = TraceForest::from_ring(&ring_with_nested_trace());
+        let text = forest.render_text(16);
+        assert!(text.contains("run"));
+        assert!(text.contains("  configure"));
+        let ring = RingRecorder::new(1);
+        ring.span(Subsystem::Exec, "a", 0.0, 1.0);
+        ring.span(Subsystem::Exec, "b", 1.0, 1.0);
+        let truncated = TraceForest::from_ring(&ring).render_text(16);
+        assert!(truncated.contains("warning: trace truncated"));
+    }
+
+    #[test]
+    fn empty_stream_reconstructs_cleanly() {
+        let forest = TraceForest::from_events(&[]);
+        assert!(forest.is_balanced());
+        assert!(forest.roots.is_empty());
+        assert_eq!(forest.span_count(), 0);
+    }
+}

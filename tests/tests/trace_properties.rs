@@ -1,0 +1,169 @@
+//! Property tests over span-tree reconstruction (ISSUE 5): whatever
+//! fault plan chaos throws at the recorded serving engine, the
+//! [`TraceForest`] rebuilt from the event stream is balanced and
+//! lossless — every span and every non-span event survives — and the
+//! per-request critical paths folded out of it agree *exactly* with
+//! the engine's own telemetry records. A separate test walks job
+//! counts to pin down that the exec trace (and therefore its
+//! reconstruction) is identical at any `--jobs`.
+
+use bfree_fault::{FaultInjector, FaultPlan, RetryPolicy};
+use bfree_obs::{EventKind, RequestPaths, RingRecorder, TraceForest};
+use bfree_serve::{
+    OpenLoopDriver, Outcome, SchedPolicy, ServeConfig, ServeError, ServingSim, TenantSpec,
+};
+use pim_nn::request::NetworkKind;
+use proptest::prelude::*;
+
+/// Virtual time driven per case; kept short so the cases stay fast.
+const HORIZON_NS: u64 = 50_000_000;
+/// Ring capacity; must hold every event the horizon can emit so the
+/// lossless property is about reconstruction, not eviction.
+const TRACE_CAPACITY: usize = 1 << 17;
+
+fn tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("lstm", NetworkKind::LstmTimit),
+        TenantSpec::new("bert", NetworkKind::BertBase).with_priority(5),
+    ]
+}
+
+fn config(retry: bool, shed: bool, deadline: bool) -> Result<ServeConfig, ServeError> {
+    let mut builder = ServeConfig::builder()
+        .policy(SchedPolicy::Priority)
+        .max_batch(8)
+        .batch_window_ns(100_000)
+        .queue_capacity(256)
+        .timeout_ns(Some(25_000_000));
+    if retry {
+        builder = builder.retry(RetryPolicy::standard());
+    }
+    if shed {
+        builder = builder.shed_watermark(0.8);
+    }
+    if deadline {
+        builder = builder.deadline_ns(Some(30_000_000));
+    }
+    builder.build()
+}
+
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        0.0..0.05f64,
+        0.0..0.5f64,
+        prop_oneof![Just(None), Just(Some(15_000_000u64))],
+        0.0..0.4f64,
+        1.0..4.0f64,
+        0.0..0.3f64,
+    )
+        .prop_map(|(lut, fail, recover, strag_rate, strag_mult, transient)| {
+            FaultPlan::none()
+                .with_lut_corruption(lut, 40)
+                .with_slice_failures(fail, HORIZON_NS, recover)
+                .with_stragglers(strag_rate, strag_mult)
+                .with_transient_errors(transient)
+        })
+}
+
+proptest! {
+    /// Reconstruction is total: balanced, span-lossless and
+    /// event-lossless under any fault plan and resilience mix.
+    #[test]
+    fn chaos_traces_reconstruct_lossless_and_balanced(
+        plan in plan_strategy(),
+        seed in any::<u64>(),
+        retry in any::<bool>(),
+        shed in any::<bool>(),
+        deadline in any::<bool>(),
+    ) {
+        let cfg = config(retry, shed, deadline).expect("constants are valid");
+        let slices = cfg.base.geometry.slices();
+        let injector = FaultInjector::new(plan, seed, slices, 512).expect("plan in range");
+        let recorder = RingRecorder::new(TRACE_CAPACITY);
+        let mut sim = ServingSim::with_recorder_and_faults(cfg, tenants(), recorder, injector)
+            .expect("constants are valid");
+        let mut driver = OpenLoopDriver::new(seed, vec![2_000.0, 50.0]);
+        driver.drive(&mut sim, HORIZON_NS);
+        sim.run_to_idle();
+
+        prop_assert_eq!(
+            sim.recorder().dropped(), 0,
+            "the capacity must hold the horizon for losslessness to be testable"
+        );
+        let events = sim.recorder().events();
+        let spans = events.iter().filter(|e| e.kind == EventKind::Span).count();
+        let forest = TraceForest::from_ring(sim.recorder());
+        prop_assert!(forest.is_balanced(), "issues: {:?}", forest.issues);
+        prop_assert_eq!(forest.span_count(), spans, "spans lost in reconstruction");
+        prop_assert_eq!(
+            forest.events_in_order().len() + spans,
+            events.len(),
+            "non-span events lost in reconstruction"
+        );
+
+        // Critical paths folded from the trace match telemetry exactly.
+        let paths = RequestPaths::from_events(&events);
+        let records = sim.telemetry().records();
+        let completed: Vec<_> = records
+            .iter()
+            .filter(|r| r.outcome == Outcome::Completed)
+            .collect();
+        prop_assert_eq!(paths.len(), completed.len());
+        for record in completed {
+            let path = paths
+                .paths()
+                .iter()
+                .find(|p| p.request_id == record.request_id);
+            let Some(path) = path else {
+                return Err(TestCaseError::Fail(format!(
+                    "request {} completed without a reconstructed path",
+                    record.request_id
+                )));
+            };
+            prop_assert_eq!(path.total_ns, (record.complete_ns - record.submit_ns) as f64);
+            prop_assert_eq!(path.queue_ns, record.queue_ns() as f64);
+            let tiled: f64 = path.stages().iter().map(|(_, ns)| ns).sum();
+            prop_assert_eq!(tiled, path.total_ns, "stages must tile the total exactly");
+        }
+    }
+}
+
+/// The recorded exec stream — and with it the reconstructed tree — is
+/// byte-identical at any job count, and the root span stays
+/// bit-identical to the report total. `set_max_jobs` is process-global,
+/// so the job counts are walked inside one test (see
+/// parallel_determinism.rs).
+#[test]
+fn exec_trace_reconstruction_is_identical_at_any_job_count() {
+    let trace = || {
+        let recorder = RingRecorder::new(TRACE_CAPACITY);
+        let sim = bfree::BfreeSimulator::new(bfree::BfreeConfig::paper_default());
+        let report = sim.run_recorded(&pim_nn::networks::inception_v3(), 1, &recorder);
+        (recorder, report)
+    };
+
+    bfree::par::set_max_jobs(1);
+    let (ring, report) = trace();
+    let reference = format!("{:?}", ring.events());
+    let forest = TraceForest::from_ring(&ring);
+    assert!(forest.is_balanced(), "issues: {:?}", forest.issues);
+    assert_eq!(forest.roots.len(), 1, "one run, one root");
+    let root = &forest.roots[0];
+    assert_eq!(root.event.name, "run");
+    assert_eq!(
+        root.dur_ns().to_bits(),
+        report.total_latency().nanoseconds().to_bits(),
+        "root span must be bit-identical to the report total"
+    );
+
+    for jobs in [3usize, 8] {
+        bfree::par::set_max_jobs(jobs);
+        let (ring, _) = trace();
+        assert_eq!(
+            format!("{:?}", ring.events()),
+            reference,
+            "jobs={jobs} changed the recorded stream"
+        );
+    }
+    bfree::par::set_max_jobs(0); // restore auto-detection
+}
