@@ -179,6 +179,14 @@ pub fn write_all(dir: &Path) -> Result<Vec<String>, ExperimentError> {
         crate::serving::csv_rows(&serving),
     )?;
 
+    // Mixed-version serving: the model hot-swap sweep.
+    let swap = crate::model_swap::run()?;
+    emit(
+        "model_swap.csv",
+        &crate::model_swap::CSV_HEADER,
+        crate::model_swap::csv_rows(&swap),
+    )?;
+
     // Chaos: serving under injected faults, at the default seed so the
     // emitted file matches the checked-in golden.
     let chaos = crate::chaos::run(crate::chaos::DEFAULT_SEED)?;

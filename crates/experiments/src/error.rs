@@ -11,6 +11,7 @@ use std::fmt;
 use std::io;
 
 use bfree_fault::FaultError;
+use bfree_model::ModelError;
 use bfree_obs::ObsError;
 use bfree_serve::ServeError;
 use pim_arch::ArchError;
@@ -30,6 +31,8 @@ pub enum ExperimentError {
     Arch(ArchError),
     /// An observability export or config (de)serialization failed.
     Obs(ObsError),
+    /// A model artifact failed to parse or verify.
+    Model(ModelError),
     /// A filesystem error while writing results.
     Io(io::Error),
     /// An experiment's own sweep output lacked a row it promised
@@ -45,6 +48,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Fault(e) => write!(f, "fault injection: {e}"),
             ExperimentError::Arch(e) => write!(f, "architecture model: {e}"),
             ExperimentError::Obs(e) => write!(f, "observability: {e}"),
+            ExperimentError::Model(e) => write!(f, "model artifact: {e}"),
             ExperimentError::Io(e) => write!(f, "writing results: {e}"),
             ExperimentError::MissingData(what) => write!(f, "missing experiment data: {what}"),
         }
@@ -59,6 +63,7 @@ impl Error for ExperimentError {
             ExperimentError::Fault(e) => Some(e),
             ExperimentError::Arch(e) => Some(e),
             ExperimentError::Obs(e) => Some(e),
+            ExperimentError::Model(e) => Some(e),
             ExperimentError::Io(e) => Some(e),
             ExperimentError::MissingData(_) => None,
         }
@@ -92,6 +97,12 @@ impl From<ArchError> for ExperimentError {
 impl From<ObsError> for ExperimentError {
     fn from(e: ObsError) -> Self {
         ExperimentError::Obs(e)
+    }
+}
+
+impl From<ModelError> for ExperimentError {
+    fn from(e: ModelError) -> Self {
+        ExperimentError::Model(e)
     }
 }
 

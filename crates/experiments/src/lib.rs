@@ -24,6 +24,8 @@ pub mod fig14;
 pub mod fig2;
 pub mod fig4;
 pub mod headline;
+pub mod model_swap;
+pub mod models;
 pub mod obs_export;
 pub mod overheads;
 pub mod perf;

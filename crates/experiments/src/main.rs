@@ -19,6 +19,13 @@ usage: experiments [--jobs N] <name>
   ablations  design-choice ablations (DESIGN.md §5)
   extensions extension workloads (ResNet-18, GRU) on every device
   serving    multi-tenant serving load sweep (writes results/serving_load_sweep.csv)
+  model_swap mixed-version serving: hot-swap the LSTM tenant from an
+             int8 to an int4 model artifact mid-run without draining
+             the pool (writes results/model_swap.csv)
+  models [export|inspect|verify|all] [dir]
+             export every Table II workload as a .bfrm model artifact,
+             print header/section/LUT summaries and verify checksums +
+             byte-for-byte catalog equality (default: all, target/models)
   chaos [--seed N]
              serving under injected faults: severity x resilience-policy
              sweep (default seed 42; writes results/chaos.csv)
@@ -88,6 +95,32 @@ fn main() {
         "ablations" => check(exp::ablations::print()),
         "extensions" => check(exp::extensions::print()),
         "serving" => check(exp::serving::print()),
+        "model_swap" => check(exp::model_swap::print()),
+        "models" => {
+            let actions = ["export", "inspect", "verify", "all"];
+            let mut rest = args[1..].iter();
+            let mut action = "all".to_string();
+            let mut dir = exp::models::DEFAULT_DIR.to_string();
+            match rest.next() {
+                Some(a) if actions.contains(&a.as_str()) => {
+                    action = a.clone();
+                    if let Some(d) = rest.next() {
+                        dir = d.clone();
+                    }
+                }
+                Some(d) if !d.starts_with('-') => dir = d.clone(),
+                Some(a) => {
+                    eprintln!("unknown models argument: {a}\n{USAGE}");
+                    std::process::exit(2);
+                }
+                None => {}
+            }
+            if let Some(extra) = rest.next() {
+                eprintln!("unexpected models argument: {extra}\n{USAGE}");
+                std::process::exit(2);
+            }
+            check(exp::models::print(&action, std::path::Path::new(&dir)));
+        }
         "chaos" => {
             let mut seed = exp::chaos::DEFAULT_SEED;
             let mut rest = args[1..].iter();
@@ -213,6 +246,11 @@ fn main() {
             check(exp::ablations::print());
             check(exp::extensions::print());
             check(exp::serving::print());
+            check(exp::model_swap::print());
+            check(exp::models::print(
+                "all",
+                std::path::Path::new(exp::models::DEFAULT_DIR),
+            ));
             check(exp::chaos::print(exp::chaos::DEFAULT_SEED));
             check(exp::attribution::print());
             check(exp::critical::print());

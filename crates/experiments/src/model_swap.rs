@@ -1,0 +1,246 @@
+//! Mixed-version serving: an atomic model hot-swap under live traffic.
+//!
+//! The LSTM-TIMIT tenant starts at version 1 (uniform int8) and is
+//! hot-swapped mid-horizon to version 2 — an int4 quantization of the
+//! same network, lowered from a real `bfree-model` artifact through
+//! [`bfree_serve::ModelRegistry::spec_from_artifact`] — while BERT-base
+//! traffic keeps flowing and the slice pool is never drained. In-flight
+//! dispatches retire under the version that launched them; everything
+//! queued or arriving after the swap point dispatches under v2, whose
+//! halved weight footprint shrinks the tenant's slice demand. The sweep
+//! is virtual-clock and seeded: `results/model_swap.csv` is
+//! bit-identical across runs and at any `--jobs`.
+
+use bfree::{BfreeConfig, PrecisionPolicy};
+use bfree_model::{encode_kind, ArtifactSpec, ModelArtifact};
+use bfree_serve::{
+    ModelRegistry, OpenLoopDriver, ServeConfig, ServingSim, ServingSummary, TenantSpec,
+};
+use pim_bce::Precision;
+use pim_nn::request::NetworkKind;
+
+use crate::error::ExperimentError;
+
+/// Seed for the sweep's arrival process (matches the serving sweep).
+const SEED: u64 = 0xBF_EE;
+/// Virtual time simulated per load point.
+const HORIZON_NS: u64 = 200_000_000;
+/// The deterministic swap point: mid-horizon.
+const SWAP_NS: u64 = HORIZON_NS / 2;
+/// LSTM-TIMIT arrival rate at load 1.0 (requests/s).
+const LSTM_BASE_RPS: f64 = 2_000.0;
+/// BERT-base arrival rate at load 1.0 (requests/s).
+const BERT_BASE_RPS: f64 = 50.0;
+
+/// One measured load point of the mixed-version sweep.
+#[derive(Debug, Clone)]
+pub struct SwapPoint {
+    /// Load multiplier applied to both base rates.
+    pub load: f64,
+    /// Offered LSTM-TIMIT rate (requests/s).
+    pub lstm_rps: f64,
+    /// Offered BERT-base rate (requests/s).
+    pub bert_rps: f64,
+    /// LSTM slice demand before the swap (version 1, int8).
+    pub v1_demand_slices: usize,
+    /// LSTM slice demand after the swap (version 2, int4).
+    pub v2_demand_slices: usize,
+    /// The registry's final version for the LSTM slot.
+    pub final_version: u64,
+    /// The run's telemetry summary.
+    pub summary: ServingSummary,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct SwapSweep {
+    /// The version-2 artifact's size in bytes.
+    pub artifact_bytes: usize,
+    /// Measured points, in ascending load order.
+    pub points: Vec<SwapPoint>,
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        max_batch: 8,
+        batch_window_ns: 100_000,
+        queue_capacity: 512,
+        timeout_ns: Some(50_000_000),
+        ..ServeConfig::default()
+    }
+}
+
+fn tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("lstm-timit", NetworkKind::LstmTimit),
+        TenantSpec::new("bert-base", NetworkKind::BertBase),
+    ]
+}
+
+/// Encodes the version-2 model artifact: the same LSTM quantized to
+/// uniform int4.
+pub fn v2_artifact() -> Vec<u8> {
+    encode_kind(
+        NetworkKind::LstmTimit,
+        &BfreeConfig::paper_default(),
+        &ArtifactSpec {
+            model_version: 2,
+            precision: PrecisionPolicy::Uniform(Precision::Int4),
+            ..ArtifactSpec::default()
+        },
+    )
+}
+
+/// Runs the mixed-version sweep. Load points fan out on the
+/// `bfree::par` pool and collect in load order, so the CSV matches the
+/// serial path byte-for-byte.
+///
+/// # Errors
+///
+/// Propagates [`ExperimentError::Serve`] and artifact parse failures
+/// (neither can happen for the constants above).
+pub fn run() -> Result<SwapSweep, ExperimentError> {
+    let artifact_bytes = v2_artifact();
+    let loads = vec![0.5, 1.0, 2.0];
+    let points = {
+        let artifact_bytes = &artifact_bytes;
+        bfree::par::try_par_map(loads, move |load| -> Result<SwapPoint, ExperimentError> {
+            let artifact = ModelArtifact::parse(artifact_bytes)?;
+            let v2_spec = ModelRegistry::spec_from_artifact("lstm-timit", &artifact)?;
+            let mut sim = ServingSim::new(config(), tenants())?;
+            let v1_demand_slices = sim.tenants()[0].demand_slices();
+            sim.schedule_model_swap(0, SWAP_NS, artifact.model_version(), v2_spec)?;
+            let mut driver =
+                OpenLoopDriver::new(SEED, vec![LSTM_BASE_RPS * load, BERT_BASE_RPS * load]);
+            driver.drive(&mut sim, HORIZON_NS);
+            let summary = sim.run_to_idle().summary();
+            debug_assert_eq!(sim.work_conservation_violations(), 0);
+            Ok(SwapPoint {
+                load,
+                lstm_rps: LSTM_BASE_RPS * load,
+                bert_rps: BERT_BASE_RPS * load,
+                v1_demand_slices,
+                v2_demand_slices: sim.tenants()[0].demand_slices(),
+                final_version: sim.registry().current(0).version,
+                summary,
+            })
+        })?
+    };
+    Ok(SwapSweep {
+        artifact_bytes: artifact_bytes.len(),
+        points,
+    })
+}
+
+/// CSV header for [`csv_rows`].
+pub const CSV_HEADER: [&str; 13] = [
+    "load",
+    "lstm_rps",
+    "bert_rps",
+    "swap_ms",
+    "v1_demand_slices",
+    "v2_demand_slices",
+    "final_version",
+    "submitted",
+    "completed",
+    "rejected",
+    "p50_ms",
+    "p99_ms",
+    "throughput_rps",
+];
+
+/// The sweep as CSV rows matching [`CSV_HEADER`].
+pub fn csv_rows(sweep: &SwapSweep) -> Vec<Vec<String>> {
+    sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.2}", p.load),
+                format!("{:.0}", p.lstm_rps),
+                format!("{:.0}", p.bert_rps),
+                format!("{:.1}", SWAP_NS as f64 * 1e-6),
+                p.v1_demand_slices.to_string(),
+                p.v2_demand_slices.to_string(),
+                p.final_version.to_string(),
+                p.summary.submitted.to_string(),
+                p.summary.completed.to_string(),
+                p.summary.rejected.to_string(),
+                format!("{:.4}", p.summary.p50_latency_ns as f64 * 1e-6),
+                format!("{:.4}", p.summary.p99_latency_ns as f64 * 1e-6),
+                format!("{:.1}", p.summary.throughput_rps),
+            ]
+        })
+        .collect()
+}
+
+/// Prints the sweep and writes `results/model_swap.csv`.
+///
+/// # Errors
+///
+/// Propagates [`run`]'s errors and CSV write failures.
+pub fn print() -> Result<(), ExperimentError> {
+    let sweep = run()?;
+    println!("\n== Mixed-version serving: LSTM int8 -> int4 hot-swap at 100 ms ==");
+    println!(
+        "v2 artifact: {} bytes (seeded payload), published through the registry mid-run",
+        sweep.artifact_bytes
+    );
+    println!(
+        "{:>5} {:>10} {:>11} {:>11} {:>9} {:>9} {:>9} {:>9}",
+        "load", "submitted", "v1 slices", "v2 slices", "rejected", "p50 ms", "p99 ms", "req/s"
+    );
+    for p in &sweep.points {
+        println!(
+            "{:>5.2} {:>10} {:>11} {:>11} {:>9} {:>9.3} {:>9.3} {:>9.1}",
+            p.load,
+            p.summary.submitted,
+            p.v1_demand_slices,
+            p.v2_demand_slices,
+            p.summary.rejected,
+            p.summary.p50_latency_ns as f64 * 1e-6,
+            p.summary.p99_latency_ns as f64 * 1e-6,
+            p.summary.throughput_rps,
+        );
+    }
+    let path = std::path::Path::new("results").join("model_swap.csv");
+    crate::csv::write_rows(&path, &CSV_HEADER, &csv_rows(&sweep))?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic_and_every_swap_lands() {
+        let a = run().unwrap();
+        let b = run().unwrap();
+        assert_eq!(csv_rows(&a), csv_rows(&b), "sweep must be bit-identical");
+        for p in &a.points {
+            assert_eq!(p.final_version, 2, "the swap must publish v2");
+            assert!(
+                p.v2_demand_slices <= p.v1_demand_slices,
+                "int4 weights must not grow the slice footprint"
+            );
+            assert_eq!(
+                p.summary.completed + p.summary.rejected,
+                p.summary.submitted
+            );
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_paths_agree() {
+        // The golden is gated at any --jobs; force the serial path and
+        // compare against the pool's default fan-out. Narrowing the
+        // global job cap is safe to race with other tests — it only
+        // makes their fan-out serial, never changes results.
+        let parallel = csv_rows(&run().unwrap());
+        bfree::par::set_max_jobs(1);
+        let serial = csv_rows(&run().unwrap());
+        bfree::par::set_max_jobs(0);
+        assert_eq!(parallel, serial);
+    }
+}

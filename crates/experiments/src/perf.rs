@@ -24,6 +24,7 @@ use std::path::Path;
 
 use bfree::prelude::*;
 use bfree_fault::{FaultInjector, FaultPlan, RetryPolicy};
+use bfree_model::{encode_kind, ArtifactSpec, ModelArtifact, WeightPayload};
 use bfree_obs::{prometheus_text, JsonValue, WallTimer};
 use bfree_serve::{OpenLoopDriver, SchedPolicy, ServeConfig, ServingSim, TenantSpec};
 use pim_bce::{Bce, MultRom};
@@ -150,6 +151,30 @@ fn bce_pipeline_kernel(conv: &Bce, mm: &Bce, ops: &BceOperands) {
     black_box(conv.requantize(black_box(accs), multiplier, 9, 3));
 }
 
+/// One full artifact load: zero-copy parse (bounds + footer checksum
+/// over the whole buffer), a walk of every layer record and an inline
+/// weight-byte reduction. The encode happens once outside the timer;
+/// the checksum pass over the multi-megabyte inline payload dominates.
+fn model_load_kernel(bytes: &[u8]) {
+    for _ in 0..4 {
+        let artifact = ModelArtifact::parse(black_box(bytes)).expect("artifact is valid");
+        let mut acc = 0u64;
+        for layer in artifact.layers() {
+            acc = acc.wrapping_add(layer.macs()).wrapping_add(layer.params());
+            if let Some(weights) = layer.weights() {
+                let sum = weights
+                    .iter()
+                    .fold(0u64, |a, &w| a.wrapping_add(w as i64 as u64));
+                acc = acc.wrapping_add(sum);
+            }
+        }
+        for segment in artifact.lut_segments() {
+            acc = acc.wrapping_add(segment.bytes().len() as u64);
+        }
+        black_box(acc ^ artifact.checksum());
+    }
+}
+
 fn serve_tenants() -> Vec<TenantSpec> {
     vec![
         TenantSpec::new("lstm-timit", NetworkKind::LstmTimit),
@@ -266,6 +291,23 @@ pub fn measure(quick: bool) -> (PerfReport, Vec<bfree_obs::AggEntry>) {
         normalized: best / calibration_best,
     });
 
+    let artifact_bytes = encode_kind(
+        NetworkKind::LstmTimit,
+        &BfreeConfig::paper_default(),
+        &ArtifactSpec {
+            payload: WeightPayload::Inline,
+            ..ArtifactSpec::default()
+        },
+    );
+    let best = best_ns(&agg, "wall/model_load", iters, || {
+        model_load_kernel(&artifact_bytes);
+    });
+    rows.push(PerfRow {
+        name: "model_load",
+        best_ns: best,
+        normalized: best / calibration_best,
+    });
+
     let best = best_ns(&agg, "wall/serving_engine", iters, serving_kernel);
     rows.push(PerfRow {
         name: "serving_engine",
@@ -357,6 +399,17 @@ pub fn regressions(baseline: &[(String, f64)], rows: &[PerfRow], threshold: f64)
     failures
 }
 
+/// Kernels present in the measurement but absent from the baseline —
+/// added since the baseline was committed. These are additive: the gate
+/// warns and keeps going, and the rewritten baseline adopts them.
+pub fn additions<'a>(baseline: &[(String, f64)], rows: &'a [PerfRow]) -> Vec<&'a str> {
+    rows.iter()
+        .filter(|row| row.name != CALIBRATION)
+        .filter(|row| !baseline.iter().any(|(name, _)| name == row.name))
+        .map(|row| row.name)
+        .collect()
+}
+
 /// Runs the sentinel: measure, print, diff against the baseline at
 /// `path`, rewrite `path`, and — under `check` — fail on regression.
 ///
@@ -392,6 +445,14 @@ pub fn run(path: &Path, quick: bool, check: bool, threshold: f64) -> Result<(), 
 
     let failures = match &baseline {
         Some(pairs) => {
+            for name in additions(pairs, &report.rows) {
+                println!(
+                    "\nwarning: kernel `{name}` has no entry in baseline {} \
+                     (baseline-additive: measured but not gated; the rewritten \
+                     baseline adopts it)",
+                    path.display()
+                );
+            }
             let failures = regressions(pairs, &report.rows, threshold);
             if failures.is_empty() {
                 println!(
@@ -492,6 +553,19 @@ mod tests {
         assert_eq!(tripped.len(), 2, "calibration is exempt: {tripped:?}");
         // Kernels missing from the baseline never fail.
         assert!(regressions(&[], &report.rows, 0.0).is_empty());
+    }
+
+    #[test]
+    fn new_kernels_surface_as_additions_not_regressions() {
+        let report = synthetic_report();
+        // A baseline committed before `bce_pipeline` existed.
+        let old: Vec<(String, f64)> = vec![("lut_multiply".to_string(), 2.5)];
+        assert_eq!(additions(&old, &report.rows), vec!["bce_pipeline"]);
+        assert!(regressions(&old, &report.rows, 0.0).is_empty());
+        // Calibration is never reported as an addition.
+        assert!(additions(&[], &report.rows)
+            .iter()
+            .all(|name| *name != CALIBRATION));
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Typed failure modes of artifact parsing.
+//!
+//! A model artifact arrives over a trust boundary — a file on disk, a
+//! blob from a registry — so every malformation is a value, never a
+//! panic: truncation, bit flips, version skew and malformed records all
+//! map to a specific [`ModelError`] naming what was wrong and where.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a byte buffer is not a loadable model artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The buffer does not start with the `BFRM` magic.
+    BadMagic {
+        /// The four bytes found where the magic belongs.
+        found: [u8; 4],
+    },
+    /// The artifact was written by an unknown format version.
+    UnsupportedVersion {
+        /// The version recorded in the header.
+        found: u16,
+        /// The single version this reader understands.
+        supported: u16,
+    },
+    /// The buffer is shorter than a declared structure needs.
+    Truncated {
+        /// Bytes the structure needs.
+        needed: usize,
+        /// Bytes actually available.
+        actual: usize,
+    },
+    /// The footer checksum does not match the buffer contents.
+    ChecksumMismatch {
+        /// The checksum stored in the footer.
+        stored: u64,
+        /// The checksum recomputed over the buffer.
+        computed: u64,
+    },
+    /// A header field is out of range or inconsistent.
+    BadHeader {
+        /// The offending field.
+        field: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// A per-layer record is malformed.
+    BadRecord {
+        /// Index of the offending layer record.
+        layer: usize,
+        /// The offending field.
+        field: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// A LUT segment entry is malformed.
+    BadLutSegment {
+        /// Index of the offending segment.
+        segment: usize,
+        /// Why it is invalid.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadMagic { found } => {
+                write!(f, "bad artifact magic {found:?} (expected \"BFRM\")")
+            }
+            ModelError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported artifact format version {found} (this reader supports {supported})"
+                )
+            }
+            ModelError::Truncated { needed, actual } => {
+                write!(f, "truncated artifact: need {needed} bytes, have {actual}")
+            }
+            ModelError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "artifact checksum mismatch: footer {stored:#018x}, computed {computed:#018x}"
+                )
+            }
+            ModelError::BadHeader { field, reason } => {
+                write!(f, "bad artifact header field {field}: {reason}")
+            }
+            ModelError::BadRecord {
+                layer,
+                field,
+                reason,
+            } => {
+                write!(f, "bad layer record {layer} field {field}: {reason}")
+            }
+            ModelError::BadLutSegment { segment, reason } => {
+                write!(f, "bad LUT segment {segment}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_context() {
+        let e = ModelError::Truncated {
+            needed: 104,
+            actual: 12,
+        };
+        assert!(e.to_string().contains("104"));
+        let e = ModelError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("mismatch"));
+        let e = ModelError::BadRecord {
+            layer: 3,
+            field: "name",
+            reason: "not utf-8".to_string(),
+        };
+        assert!(e.to_string().contains("record 3"));
+    }
+}

@@ -1,0 +1,263 @@
+//! The on-disk layout: offsets, tags and the footer checksum.
+//!
+//! Everything is little-endian and byte-addressed. The header and the
+//! per-layer records are fixed-size (`#[repr(C)]`-style layouts spelled
+//! out as explicit offsets), so a reader can index any record without a
+//! deserialization pass; every multi-byte field is read through
+//! `read_u64`-family stack copies, so a buffer at any alignment is safe.
+//!
+//! ```text
+//! offset   size  field
+//! header (104 bytes)
+//!   0        4   magic "BFRM"
+//!   4        2   format version (= 1)
+//!   6        2   flags (bit 0: weights inline)
+//!   8        8   model version (registry-assigned)
+//!   16       8   weight seed (synthetic payload generator)
+//!   24       4   layer count
+//!   28       4   precision policy tag
+//!   32       8   names section offset
+//!   40       8   names section length
+//!   48       8   layer table offset (layer count x 64-byte records)
+//!   56       8   weights section offset
+//!   64       8   weights section length
+//!   72       8   LUT section offset
+//!   80       8   LUT section length
+//!   88       8   total artifact length (footer included)
+//!   96       4   network name offset (into names section)
+//!   100      4   network name length
+//! layer record (64 bytes each)
+//!   0        4   name offset (into names section)
+//!   4        4   name length
+//!   8        1   operator tag
+//!   9        1   precision bits (4 / 8 / 16)
+//!   10       1   mode tag (0 conv, 1 matmul)
+//!   11       1   reserved (0)
+//!   12       4   quantization zero point (i32)
+//!   16       8   parameter count
+//!   24       8   multiply count
+//!   32       8   weight offset (into weights section; u64::MAX = none)
+//!   40       8   weight length (quantized storage bytes)
+//!   48       8   quantization scale (f64 bits)
+//!   56       4   subarrays per replica (mapping metadata)
+//!   60       4   replicas
+//! LUT section
+//!   0        4   segment count
+//!   4        4   reserved (0)
+//!   per segment: 1 kind tag, 1 activation tag (255 = none),
+//!                2 reserved, 4 length, then the image bytes padded to
+//!                an 8-byte boundary
+//! footer (8 bytes)
+//!   FNV-1a 64 checksum of every preceding byte
+//! ```
+
+/// The artifact magic.
+pub const MAGIC: [u8; 4] = *b"BFRM";
+/// The single format version this crate reads and writes.
+pub const FORMAT_VERSION: u16 = 1;
+/// Header flag: the weights section carries the quantized bytes inline
+/// (clear: the payload is regenerated from the header's weight seed).
+pub const FLAG_INLINE_WEIGHTS: u16 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 104;
+/// Fixed per-layer record size in bytes.
+pub const LAYER_RECORD_LEN: usize = 64;
+/// Footer (checksum) size in bytes.
+pub const FOOTER_LEN: usize = 8;
+/// Sentinel weight offset for layers that carry no weights.
+pub const NO_WEIGHTS: u64 = u64::MAX;
+
+// Header field offsets.
+pub(crate) const H_MAGIC: usize = 0;
+pub(crate) const H_VERSION: usize = 4;
+pub(crate) const H_FLAGS: usize = 6;
+pub(crate) const H_MODEL_VERSION: usize = 8;
+pub(crate) const H_WEIGHT_SEED: usize = 16;
+pub(crate) const H_LAYER_COUNT: usize = 24;
+pub(crate) const H_POLICY_TAG: usize = 28;
+pub(crate) const H_NAMES_OFF: usize = 32;
+pub(crate) const H_NAMES_LEN: usize = 40;
+pub(crate) const H_LAYERS_OFF: usize = 48;
+pub(crate) const H_WEIGHTS_OFF: usize = 56;
+pub(crate) const H_WEIGHTS_LEN: usize = 64;
+pub(crate) const H_LUTS_OFF: usize = 72;
+pub(crate) const H_LUTS_LEN: usize = 80;
+pub(crate) const H_TOTAL_LEN: usize = 88;
+pub(crate) const H_NET_NAME_OFF: usize = 96;
+pub(crate) const H_NET_NAME_LEN: usize = 100;
+
+// Layer record field offsets (relative to the record start).
+pub(crate) const R_NAME_OFF: usize = 0;
+pub(crate) const R_NAME_LEN: usize = 4;
+pub(crate) const R_OP_TAG: usize = 8;
+pub(crate) const R_PRECISION_BITS: usize = 9;
+pub(crate) const R_MODE_TAG: usize = 10;
+pub(crate) const R_ZERO_POINT: usize = 12;
+pub(crate) const R_PARAMS: usize = 16;
+pub(crate) const R_MACS: usize = 24;
+pub(crate) const R_WEIGHT_OFF: usize = 32;
+pub(crate) const R_WEIGHT_LEN: usize = 40;
+pub(crate) const R_SCALE: usize = 48;
+pub(crate) const R_SUBARRAYS: usize = 56;
+pub(crate) const R_REPLICAS: usize = 60;
+
+/// Precision-policy tags (header field).
+pub mod policy_tag {
+    /// Uniform 8-bit.
+    pub const UNIFORM_INT8: u32 = 0;
+    /// Uniform 4-bit.
+    pub const UNIFORM_INT4: u32 = 1;
+    /// Uniform 16-bit.
+    pub const UNIFORM_INT16: u32 = 2;
+    /// The Fig. 14 mixed 4/8-bit policy; the per-layer precision bits
+    /// record which layers stayed at 8 bits.
+    pub const MIXED_FOUR_EIGHT: u32 = 3;
+}
+
+/// FNV-1a 64-bit checksum — a dependency-free integrity hash with a
+/// stable, well-known definition (not a cryptographic signature).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// Alignment-safe little-endian field readers: each copies the field
+// bytes into a stack array, so a buffer sliced at any offset reads
+// correctly with no unaligned-access UB. Callers bounds-check first;
+// these only assert.
+
+pub(crate) fn read_u16(buf: &[u8], off: usize) -> u16 {
+    let mut b = [0u8; 2];
+    b.copy_from_slice(&buf[off..off + 2]);
+    u16::from_le_bytes(b)
+}
+
+pub(crate) fn read_u32(buf: &[u8], off: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[off..off + 4]);
+    u32::from_le_bytes(b)
+}
+
+pub(crate) fn read_u64(buf: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+pub(crate) fn read_i32(buf: &[u8], off: usize) -> i32 {
+    read_u32(buf, off) as i32
+}
+
+pub(crate) fn read_f64(buf: &[u8], off: usize) -> f64 {
+    f64::from_bits(read_u64(buf, off))
+}
+
+pub(crate) fn write_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn write_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn write_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Rounds `len` up to the next 8-byte boundary.
+pub(crate) fn pad8(len: usize) -> usize {
+    len.div_ceil(8) * 8
+}
+
+/// The deterministic synthetic-weight stream: splitmix64 over a state
+/// derived from the artifact's weight seed and the layer index, emitting
+/// one byte per step. Writer (inline payloads) and loader (seeded
+/// payloads) call the same function, so the two payload modes describe
+/// identical weights.
+pub fn synth_weight_bytes(seed: u64, layer_index: usize, len: usize) -> Vec<u8> {
+    let mut state = seed ^ (layer_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        out.push(z as u8);
+    }
+    out
+}
+
+/// The deterministic per-layer quantization scale for synthetic
+/// weights: a seed-and-index-derived absolute maximum in `[0.5, 2.0)`
+/// divided by the precision's positive clamp.
+pub fn synth_scale(seed: u64, layer_index: usize, bits: u8) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+        .wrapping_add(layer_index as u64);
+    z = (z ^ (z >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    z ^= z >> 33;
+    let amax = 0.5 + (z % 1500) as f64 / 1000.0;
+    let clamp = ((1u32 << (bits - 1)) - 1) as f64;
+    amax / clamp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn field_readers_are_alignment_safe() {
+        // Read the same u64 from an 8-aligned and a deliberately odd
+        // offset; both must decode identically.
+        let mut buf = vec![0u8; 32];
+        write_u64(&mut buf, 0, 0x0123_4567_89ab_cdef);
+        buf.copy_within(0..8, 1);
+        assert_eq!(read_u64(&buf, 1), 0x0123_4567_89ab_cdef);
+        write_u32(&mut buf, 13, 0xdead_beef);
+        assert_eq!(read_u32(&buf, 13), 0xdead_beef);
+        write_u16(&mut buf, 19, 0xbeef);
+        assert_eq!(read_u16(&buf, 19), 0xbeef);
+    }
+
+    #[test]
+    fn synth_streams_are_deterministic_and_layer_distinct() {
+        let a = synth_weight_bytes(7, 0, 64);
+        let b = synth_weight_bytes(7, 0, 64);
+        let c = synth_weight_bytes(7, 1, 64);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "layers must draw distinct streams");
+        assert_ne!(a, synth_weight_bytes(8, 0, 64));
+    }
+
+    #[test]
+    fn synth_scale_is_positive_and_shrinks_with_bits() {
+        for layer in 0..16 {
+            let s8 = synth_scale(42, layer, 8);
+            let s4 = synth_scale(42, layer, 4);
+            assert!(s8 > 0.0 && s8.is_finite());
+            // Same amax over a smaller clamp → int4 scale is larger.
+            assert!(s4 > s8);
+        }
+    }
+
+    #[test]
+    fn pad8_rounds_up() {
+        assert_eq!(pad8(0), 0);
+        assert_eq!(pad8(1), 8);
+        assert_eq!(pad8(8), 8);
+        assert_eq!(pad8(49), 56);
+    }
+}

@@ -28,57 +28,111 @@ pub use resnet::resnet18;
 pub use vgg::vgg16;
 
 use crate::layers::Network;
+use crate::request::NetworkKind;
+
+/// One row of the canonical workload catalog: the single source of
+/// truth binding a [`NetworkKind`] to its layer-graph builder and (for
+/// the Table II workloads) the paper-reported statistics. Every
+/// consumer that needs "which networks exist and how are they built" —
+/// [`table2_networks`], [`NetworkKind::instantiate`], the model
+/// artifact writer — goes through this table rather than keeping its
+/// own kind→builder mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogEntry {
+    /// The nameable network.
+    pub kind: NetworkKind,
+    /// Builds the network's layer graph.
+    pub build: fn() -> Network,
+    /// The paper's Table II row; `None` for extension workloads.
+    pub paper: Option<PaperStats>,
+}
+
+/// The canonical workload catalog: the five Table II workloads in the
+/// paper's row order, then the extension workloads.
+pub const CATALOG: [CatalogEntry; 7] = [
+    CatalogEntry {
+        kind: NetworkKind::InceptionV3,
+        build: inception_v3,
+        paper: Some(PaperStats {
+            layers: 48,
+            params: 24.0e6,
+            mults: 4.7e9,
+            dataset: "ImageNet",
+        }),
+    },
+    CatalogEntry {
+        kind: NetworkKind::Vgg16,
+        build: vgg16,
+        paper: Some(PaperStats {
+            layers: 16,
+            params: 138.0e6,
+            mults: 15.5e9,
+            dataset: "ImageNet",
+        }),
+    },
+    CatalogEntry {
+        kind: NetworkKind::LstmTimit,
+        build: lstm_timit,
+        paper: Some(PaperStats {
+            layers: 1,
+            params: 4.3e6,
+            mults: 4.35e6,
+            dataset: "TIMIT",
+        }),
+    },
+    CatalogEntry {
+        kind: NetworkKind::BertBase,
+        build: bert_base,
+        paper: Some(PaperStats {
+            layers: 12,
+            params: 87.0e6,
+            mults: 11.1e9,
+            dataset: "MRPC",
+        }),
+    },
+    CatalogEntry {
+        kind: NetworkKind::BertLarge,
+        build: bert_large,
+        paper: Some(PaperStats {
+            layers: 24,
+            params: 324.0e6,
+            mults: 39.5e9,
+            dataset: "MRPC",
+        }),
+    },
+    CatalogEntry {
+        kind: NetworkKind::GruTimit,
+        build: gru_timit,
+        paper: None,
+    },
+    CatalogEntry {
+        kind: NetworkKind::ResNet18,
+        build: resnet18,
+        paper: None,
+    },
+];
+
+/// The catalog entry for `kind` (every [`NetworkKind`] has one).
+pub fn catalog_entry(kind: NetworkKind) -> &'static CatalogEntry {
+    CATALOG
+        .iter()
+        .find(|e| e.kind == kind)
+        .expect("every NetworkKind has a catalog entry")
+}
+
+/// Builds `kind`'s layer graph via its catalog entry.
+pub fn build(kind: NetworkKind) -> Network {
+    (catalog_entry(kind).build)()
+}
 
 /// All five evaluation networks with their paper-reported statistics,
-/// for Table II style reports.
+/// for Table II style reports (catalog rows carrying paper stats, in
+/// the paper's order).
 pub fn table2_networks() -> Vec<(Network, PaperStats)> {
-    vec![
-        (
-            inception_v3(),
-            PaperStats {
-                layers: 48,
-                params: 24.0e6,
-                mults: 4.7e9,
-                dataset: "ImageNet",
-            },
-        ),
-        (
-            vgg16(),
-            PaperStats {
-                layers: 16,
-                params: 138.0e6,
-                mults: 15.5e9,
-                dataset: "ImageNet",
-            },
-        ),
-        (
-            lstm_timit(),
-            PaperStats {
-                layers: 1,
-                params: 4.3e6,
-                mults: 4.35e6,
-                dataset: "TIMIT",
-            },
-        ),
-        (
-            bert_base(),
-            PaperStats {
-                layers: 12,
-                params: 87.0e6,
-                mults: 11.1e9,
-                dataset: "MRPC",
-            },
-        ),
-        (
-            bert_large(),
-            PaperStats {
-                layers: 24,
-                params: 324.0e6,
-                mults: 39.5e9,
-                dataset: "MRPC",
-            },
-        ),
-    ]
+    CATALOG
+        .iter()
+        .filter_map(|e| e.paper.map(|p| ((e.build)(), p)))
+        .collect()
 }
 
 /// The Table II row the paper reports for a network.
@@ -121,6 +175,22 @@ mod tests {
                 paper.params
             );
         }
+    }
+
+    #[test]
+    fn catalog_covers_every_kind_exactly_once() {
+        assert_eq!(CATALOG.len(), NetworkKind::ALL.len());
+        for kind in NetworkKind::ALL {
+            let entries = CATALOG.iter().filter(|e| e.kind == kind).count();
+            assert_eq!(entries, 1, "{kind} must appear exactly once");
+            // The catalog builder and the request-layer wrapper agree.
+            assert_eq!(build(kind).name(), kind.instantiate().name());
+        }
+        // Table II rows are exactly the paper-stat-carrying entries.
+        assert_eq!(
+            CATALOG.iter().filter(|e| e.paper.is_some()).count(),
+            table2_networks().len()
+        );
     }
 
     #[test]

@@ -103,17 +103,10 @@ impl NetworkKind {
         }
     }
 
-    /// Builds the network's layer graph.
+    /// Builds the network's layer graph (a thin wrapper over the
+    /// canonical [`networks::CATALOG`] entry).
     pub fn instantiate(self) -> Network {
-        match self {
-            NetworkKind::LstmTimit => networks::lstm_timit(),
-            NetworkKind::GruTimit => networks::gru_timit(),
-            NetworkKind::BertBase => networks::bert_base(),
-            NetworkKind::BertLarge => networks::bert_large(),
-            NetworkKind::Vgg16 => networks::vgg16(),
-            NetworkKind::InceptionV3 => networks::inception_v3(),
-            NetworkKind::ResNet18 => networks::resnet18(),
-        }
+        networks::build(self)
     }
 }
 

@@ -25,17 +25,21 @@ pub enum Subsystem {
     /// `bfree-fault`: the fault-injection and resilience layer
     /// (injected failures, retries, quarantines, load shedding).
     Fault,
+    /// `bfree-model` / `bfree-serve`: model artifact and registry
+    /// lifecycle (binds, version publishes, hot swaps).
+    Model,
 }
 
 impl Subsystem {
     /// All subsystems in canonical order.
-    pub const ALL: [Subsystem; 6] = [
+    pub const ALL: [Subsystem; 7] = [
         Subsystem::Arch,
         Subsystem::Bce,
         Subsystem::Exec,
         Subsystem::Par,
         Subsystem::Serve,
         Subsystem::Fault,
+        Subsystem::Model,
     ];
 
     /// Stable machine-readable label.
@@ -47,6 +51,7 @@ impl Subsystem {
             Subsystem::Par => "par",
             Subsystem::Serve => "serve",
             Subsystem::Fault => "fault",
+            Subsystem::Model => "model",
         }
     }
 }

@@ -496,7 +496,8 @@ mod tests {
             | Subsystem::Exec
             | Subsystem::Par
             | Subsystem::Serve
-            | Subsystem::Fault => {}
+            | Subsystem::Fault
+            | Subsystem::Model => {}
         }
         match kind {
             EventKind::Span
@@ -536,7 +537,7 @@ mod tests {
             }
         }
         // ALL must enumerate exactly the variants audited above.
-        assert_eq!(Subsystem::ALL.len(), 6);
+        assert_eq!(Subsystem::ALL.len(), 7);
 
         let json = JsonValue::parse(&to_json(&events)).unwrap();
         assert_eq!(json.as_array().unwrap().len(), events.len());

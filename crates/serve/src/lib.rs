@@ -51,6 +51,7 @@ pub mod contention;
 pub mod driver;
 pub mod error;
 pub mod pool;
+pub mod registry;
 pub mod scheduler;
 pub mod sim;
 pub mod telemetry;
@@ -60,6 +61,7 @@ pub use contention::CoTenancyModel;
 pub use driver::{ClosedLoopDriver, OpenLoopDriver};
 pub use error::{RejectReason, ServeError};
 pub use pool::{SliceAllocation, SlicePool};
+pub use registry::{ModelRegistry, ModelVersion};
 pub use scheduler::{SchedPolicy, Scheduler, ServeConfig, ServeConfigBuilder};
 pub use sim::ServingSim;
 pub use telemetry::{Outcome, RequestRecord, ServingSummary, Telemetry};

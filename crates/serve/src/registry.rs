@@ -1,0 +1,163 @@
+//! Per-tenant model bindings with atomic version hot-swap.
+//!
+//! A [`ModelRegistry`] tracks, for every tenant slot, which *model
+//! version* is currently live. Each slot holds an `Arc`-swapped
+//! [`ModelVersion`] behind its own lock: readers clone the `Arc` (no
+//! contention with a publisher), publishers replace the pointer in one
+//! store — the serving engine never drains the slice pool or pauses
+//! in-flight dispatches to roll a model forward. The deterministic swap
+//! *points* live in the virtual-clock engine
+//! ([`crate::ServingSim::schedule_model_swap`]); the registry is the
+//! authority on what is bound now.
+//!
+//! Bindings can be lowered straight from `bfree-model` artifacts:
+//! [`ModelRegistry::spec_from_artifact`] turns a parsed, checksummed
+//! [`ModelArtifact`] into the [`TenantSpec`] the engine prices — the
+//! same network, the same precision policy the artifact was written
+//! under.
+
+use std::sync::{Arc, RwLock};
+
+use bfree_model::ModelArtifact;
+use pim_nn::request::NetworkKind;
+
+use crate::error::ServeError;
+use crate::tenant::TenantSpec;
+
+/// One published model version for a tenant slot.
+#[derive(Debug, Clone)]
+pub struct ModelVersion {
+    /// Monotonic version number (1 = the version bound at construction).
+    pub version: u64,
+    /// The spec serving this version.
+    pub spec: TenantSpec,
+}
+
+/// The per-tenant model binding table.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    slots: Vec<RwLock<Arc<ModelVersion>>>,
+}
+
+impl ModelRegistry {
+    /// Binds every spec at version 1, in tenant-index order.
+    pub fn from_specs(specs: impl IntoIterator<Item = TenantSpec>) -> Self {
+        ModelRegistry {
+            slots: specs
+                .into_iter()
+                .map(|spec| RwLock::new(Arc::new(ModelVersion { version: 1, spec })))
+                .collect(),
+        }
+    }
+
+    /// Number of tenant slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the registry has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The live version for tenant slot `tenant`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn current(&self, tenant: usize) -> Arc<ModelVersion> {
+        Arc::clone(&self.slots[tenant].read().expect("registry lock poisoned"))
+    }
+
+    /// Atomically publishes a new version for `tenant` and returns the
+    /// version it replaced. One pointer store: concurrent readers see
+    /// either the old binding or the new one, never a mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn publish(&self, tenant: usize, version: u64, spec: TenantSpec) -> Arc<ModelVersion> {
+        let mut slot = self.slots[tenant].write().expect("registry lock poisoned");
+        std::mem::replace(&mut *slot, Arc::new(ModelVersion { version, spec }))
+    }
+
+    /// Lowers a parsed artifact into the [`TenantSpec`] it describes:
+    /// network resolved by the artifact's network name, precision policy
+    /// reconstructed from the header tag and per-layer bits, replication
+    /// 1 and default priority (serving-side concerns an artifact does
+    /// not carry).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidTenants`] when the artifact's network name
+    /// matches no catalog workload.
+    pub fn spec_from_artifact(
+        name: impl Into<String>,
+        artifact: &ModelArtifact<'_>,
+    ) -> Result<TenantSpec, ServeError> {
+        let network = NetworkKind::parse(artifact.network_name()).map_err(|_| {
+            ServeError::InvalidTenants {
+                reason: format!(
+                    "artifact names unknown network {:?}",
+                    artifact.network_name()
+                ),
+            }
+        })?;
+        Ok(TenantSpec::new(name, network).with_precision(artifact.precision_policy()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfree::{BfreeConfig, PrecisionPolicy};
+    use bfree_model::{encode_kind, ArtifactSpec};
+
+    fn specs() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec::new("lstm", NetworkKind::LstmTimit),
+            TenantSpec::new("bert", NetworkKind::BertBase),
+        ]
+    }
+
+    #[test]
+    fn construction_binds_version_one_everywhere() {
+        let registry = ModelRegistry::from_specs(specs());
+        assert_eq!(registry.len(), 2);
+        for slot in 0..registry.len() {
+            assert_eq!(registry.current(slot).version, 1);
+        }
+        assert_eq!(registry.current(0).spec.name, "lstm");
+    }
+
+    #[test]
+    fn publish_swaps_atomically_and_returns_the_old_binding() {
+        let registry = ModelRegistry::from_specs(specs());
+        let held = registry.current(0);
+        let new = TenantSpec::new("lstm", NetworkKind::LstmTimit)
+            .with_precision(PrecisionPolicy::mixed());
+        let old = registry.publish(0, 2, new);
+        assert_eq!(old.version, 1);
+        assert_eq!(registry.current(0).version, 2);
+        // A reader holding the old Arc keeps a coherent snapshot.
+        assert_eq!(held.version, 1);
+        assert_eq!(held.spec.precision, PrecisionPolicy::uniform_int8());
+        // The untouched slot is unaffected.
+        assert_eq!(registry.current(1).version, 1);
+    }
+
+    #[test]
+    fn artifact_lowers_to_the_spec_it_was_written_from() {
+        let config = BfreeConfig::paper_default();
+        let spec = ArtifactSpec {
+            precision: PrecisionPolicy::mixed(),
+            ..ArtifactSpec::default()
+        };
+        let bytes = encode_kind(NetworkKind::BertBase, &config, &spec);
+        let artifact = ModelArtifact::parse(&bytes).unwrap();
+        let tenant = ModelRegistry::spec_from_artifact("bert-v2", &artifact).unwrap();
+        assert_eq!(tenant.network, NetworkKind::BertBase);
+        assert_eq!(tenant.precision, spec.precision);
+        assert_eq!(tenant.name, "bert-v2");
+    }
+}
