@@ -10,7 +10,9 @@
 //! (products via the nibble ROM or the subarray multiply LUT) and return
 //! [`BceStats`] event counts for the cost model.
 
-use pim_lut::{DivLut, LutError, LutMultiplier, OpCost, PwlFunction, PwlTable, SoftmaxEngine};
+use pim_lut::{
+    BatchedLutMultiplier, DivLut, LutError, OpCost, PwlFunction, PwlTable, SoftmaxEngine,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::isa::{ActivationKind, Precision};
@@ -108,7 +110,7 @@ impl BceStats {
 pub struct Bce {
     mode: BceMode,
     mul_path: MulPath,
-    subarray_mul: LutMultiplier,
+    subarray_mul: BatchedLutMultiplier,
     rom: MultRom,
     sigmoid: PwlTable,
     tanh: PwlTable,
@@ -137,7 +139,7 @@ impl Bce {
         Ok(Bce {
             mode,
             mul_path,
-            subarray_mul: LutMultiplier::new(),
+            subarray_mul: BatchedLutMultiplier::new(),
             rom: MultRom::new(),
             sigmoid: PwlTable::new(PwlFunction::Sigmoid, -8.0, 8.0, 64)?,
             tanh: PwlTable::new(PwlFunction::Tanh, -4.0, 4.0, 64)?,
@@ -157,51 +159,39 @@ impl Bce {
         self.mul_path
     }
 
-    /// One signed 8-bit product through the configured multiply path.
-    fn mul_i8(&self, a: i8, b: i8) -> (i16, OpCost) {
-        match self.mul_path {
-            MulPath::SubarrayLut => self.subarray_mul.mul_i8(a, b),
-            MulPath::HardwiredRom => {
-                let sign = (a < 0) ^ (b < 0);
-                let (ma, mb) = (a.unsigned_abs(), b.unsigned_abs());
-                let (a1, a0) = (ma >> 4, ma & 0xf);
-                let (b1, b0) = (mb >> 4, mb & 0xf);
-                let mag = (self.rom.lookup(a0, b0) as u32)
-                    + ((self.rom.lookup(a0, b1) as u32) << 4)
-                    + ((self.rom.lookup(a1, b0) as u32) << 4)
-                    + ((self.rom.lookup(a1, b1) as u32) << 8);
-                let p = if sign { -(mag as i32) } else { mag as i32 };
-                (
-                    p as i16,
-                    OpCost {
-                        rom_reads: 4,
-                        adds: 3,
-                        shifts: 2,
-                        cycles: 2,
-                        ..OpCost::ZERO
-                    },
-                )
-            }
-        }
+    /// Value of one signed 8-bit product through the ROM datapath (four
+    /// nibble partials), without touching the read counter — batched
+    /// kernels fold their ROM traffic per tile via [`MultRom::add_reads`].
+    #[inline]
+    fn rom_mul_i8_value(&self, a: i8, b: i8) -> i16 {
+        let sign = (a < 0) ^ (b < 0);
+        let (ma, mb) = (a.unsigned_abs(), b.unsigned_abs());
+        let (a1, a0) = (ma >> 4, ma & 0xf);
+        let (b1, b0) = (mb >> 4, mb & 0xf);
+        let mag = (self.rom.product(a0, b0) as u32)
+            + ((self.rom.product(a0, b1) as u32) << 4)
+            + ((self.rom.product(a1, b0) as u32) << 4)
+            + ((self.rom.product(a1, b1) as u32) << 8);
+        let p = if sign { -(mag as i32) } else { mag as i32 };
+        p as i16
     }
 
-    /// One signed 4-bit product (`-8..=7` operands).
-    fn mul_i4(&self, a: i8, b: i8) -> (i16, OpCost) {
-        match self.mul_path {
-            MulPath::SubarrayLut => self.subarray_mul.mul_i4(a, b),
-            MulPath::HardwiredRom => {
-                let sign = (a < 0) ^ (b < 0);
-                let mag = self.rom.lookup(a.unsigned_abs(), b.unsigned_abs()) as i16;
-                (
-                    if sign { -mag } else { mag },
-                    OpCost {
-                        rom_reads: 1,
-                        cycles: 1,
-                        ..OpCost::ZERO
-                    },
-                )
+    /// Value of one signed 16-bit product through the ROM datapath
+    /// (sixteen nibble partials), read counter untouched.
+    #[inline]
+    fn rom_mul_i16_value(&self, a: i16, b: i16) -> i32 {
+        let sign = (a < 0) ^ (b < 0);
+        let (ma, mb) = (a.unsigned_abs(), b.unsigned_abs());
+        let mut mag: u64 = 0;
+        for i in 0..4 {
+            let pa = ((ma >> (4 * i)) & 0xf) as u8;
+            for j in 0..4 {
+                let pb = ((mb >> (4 * j)) & 0xf) as u8;
+                mag += (self.rom.product(pa, pb) as u64) << (4 * (i + j));
             }
         }
+        let p = if sign { -(mag as i64) } else { mag as i64 };
+        p as i32
     }
 
     /// A conv-mode dot product: weights held in the subarray, inputs
@@ -209,6 +199,11 @@ impl Bce {
     ///
     /// Throughput follows the paper: 0.5 MAC/cycle at int8 (two cycles
     /// per MAC), 1 MAC/cycle at int4, 0.125 MAC/cycle at int16.
+    ///
+    /// The whole dot runs batched: products stream through the
+    /// direct-indexed tables, the [`OpCost`] is folded per call rather
+    /// than per element, and the table read counter advances with one
+    /// atomic add for the entire batch.
     ///
     /// # Panics
     ///
@@ -220,27 +215,87 @@ impl Bce {
             inputs.len(),
             "dot operands must have equal length"
         );
-        let mut acc: i32 = 0;
+        let n = weights.len() as u64;
         let mut stats = BceStats::default();
-        for (&w, &x) in weights.iter().zip(inputs.iter()) {
-            let (p, c) = match precision {
-                Precision::Int4 => self.mul_i4(w, x),
-                Precision::Int8 => self.mul_i8(w, x),
-                Precision::Int16 => {
-                    // 16-bit operands arrive as sign-extended pairs in the
-                    // full simulator; at the unit level we model the cost
-                    // by squaring the nibble count.
-                    let (p, mut c) = self.mul_i8(w, x);
-                    c.cycles *= 4;
-                    c.rom_reads *= 4;
-                    (p, c)
+        let acc = match self.mul_path {
+            MulPath::SubarrayLut => {
+                let (acc, mut c) = match precision {
+                    Precision::Int4 => self.subarray_mul.dot_i4(weights, inputs),
+                    Precision::Int8 => self.subarray_mul.dot_i8(weights, inputs),
+                    Precision::Int16 => {
+                        // 16-bit operands arrive as sign-extended pairs
+                        // in the full simulator; at the unit level we
+                        // model the cost by squaring the nibble count.
+                        let (acc, mut c) = self.subarray_mul.dot_i8(weights, inputs);
+                        c.cycles *= 4;
+                        c.rom_reads *= 4;
+                        (acc, c)
+                    }
+                };
+                // The batched kernels account n - 1 accumulate adds;
+                // the conv datapath also adds into the parked partial.
+                if n > 0 {
+                    c.adds += 1;
                 }
-            };
-            acc += p as i32;
-            stats.cost += c;
-            stats.cost.adds += 1;
-            stats.macs += 1;
-        }
+                stats.cost = c;
+                acc
+            }
+            MulPath::HardwiredRom => {
+                let mut acc: i32 = 0;
+                let (per_mul, rom_traffic) = match precision {
+                    Precision::Int4 => {
+                        for (&w, &x) in weights.iter().zip(inputs.iter()) {
+                            let sign = (w < 0) ^ (x < 0);
+                            let mag = self.rom.product(w.unsigned_abs(), x.unsigned_abs()) as i32;
+                            acc += if sign { -mag } else { mag };
+                        }
+                        (
+                            OpCost {
+                                rom_reads: 1,
+                                cycles: 1,
+                                ..OpCost::ZERO
+                            },
+                            n,
+                        )
+                    }
+                    Precision::Int8 => {
+                        for (&w, &x) in weights.iter().zip(inputs.iter()) {
+                            acc += self.rom_mul_i8_value(w, x) as i32;
+                        }
+                        (
+                            OpCost {
+                                rom_reads: 4,
+                                adds: 3,
+                                shifts: 2,
+                                cycles: 2,
+                                ..OpCost::ZERO
+                            },
+                            4 * n,
+                        )
+                    }
+                    Precision::Int16 => {
+                        for (&w, &x) in weights.iter().zip(inputs.iter()) {
+                            acc += self.rom_mul_i8_value(w, x) as i32;
+                        }
+                        (
+                            OpCost {
+                                rom_reads: 16,
+                                adds: 3,
+                                shifts: 2,
+                                cycles: 8,
+                                ..OpCost::ZERO
+                            },
+                            4 * n,
+                        )
+                    }
+                };
+                self.rom.add_reads(rom_traffic);
+                stats.cost = per_mul.repeated(n);
+                stats.cost.adds += n;
+                acc
+            }
+        };
+        stats.macs = n;
         stats.weight_bytes_read = (weights.len() as u64 * precision.bits() as u64).div_ceil(8);
         // The running partial sum is parked in the reduced-cost rows once
         // per dot product (write + later read).
@@ -261,59 +316,39 @@ impl Bce {
             inputs.len(),
             "dot operands must have equal length"
         );
-        let mut acc: i64 = 0;
+        let n = weights.len() as u64;
         let mut stats = BceStats::default();
-        for (&w, &x) in weights.iter().zip(inputs.iter()) {
-            let (p, c) = self.mul_i16_full(w, x);
-            acc += p as i64;
-            stats.cost += c;
-            stats.cost.adds += 1;
-            stats.macs += 1;
-        }
+        let acc = match self.mul_path {
+            MulPath::SubarrayLut => {
+                let (acc, mut c) = self.subarray_mul.dot_i16(weights, inputs);
+                if n > 0 {
+                    c.adds += 1;
+                }
+                stats.cost = c;
+                acc
+            }
+            MulPath::HardwiredRom => {
+                let mut acc: i64 = 0;
+                for (&w, &x) in weights.iter().zip(inputs.iter()) {
+                    acc += self.rom_mul_i16_value(w, x) as i64;
+                }
+                self.rom.add_reads(16 * n);
+                stats.cost = OpCost {
+                    rom_reads: 16,
+                    adds: 15,
+                    shifts: 8,
+                    cycles: 8,
+                    ..OpCost::ZERO
+                }
+                .repeated(n);
+                stats.cost.adds += n;
+                acc
+            }
+        };
+        stats.macs = n;
         stats.weight_bytes_read = weights.len() as u64 * 2;
         stats.partial_row_accesses = 2;
         (acc, stats)
-    }
-
-    /// One full-width signed 16-bit product through the configured
-    /// multiply path (sixteen nibble partials).
-    fn mul_i16_full(&self, a: i16, b: i16) -> (i32, OpCost) {
-        match self.mul_path {
-            MulPath::SubarrayLut => self.subarray_mul.mul_i16(a, b),
-            MulPath::HardwiredRom => {
-                let sign = (a < 0) ^ (b < 0);
-                let (ma, mb) = (a.unsigned_abs(), b.unsigned_abs());
-                let an = [
-                    (ma & 0xf) as u8,
-                    ((ma >> 4) & 0xf) as u8,
-                    ((ma >> 8) & 0xf) as u8,
-                    (ma >> 12) as u8,
-                ];
-                let bn = [
-                    (mb & 0xf) as u8,
-                    ((mb >> 4) & 0xf) as u8,
-                    ((mb >> 8) & 0xf) as u8,
-                    (mb >> 12) as u8,
-                ];
-                let mut mag: u64 = 0;
-                for (i, &pa) in an.iter().enumerate() {
-                    for (j, &pb) in bn.iter().enumerate() {
-                        mag += (self.rom.lookup(pa, pb) as u64) << (4 * (i + j));
-                    }
-                }
-                let p = if sign { -(mag as i64) } else { mag as i64 };
-                (
-                    p as i32,
-                    OpCost {
-                        rom_reads: 16,
-                        adds: 15,
-                        shifts: 8,
-                        cycles: 8,
-                        ..OpCost::ZERO
-                    },
-                )
-            }
-        }
     }
 
     /// A matmul-mode tile step (Fig. 7): `inputs[k]` multiplies row `k`
@@ -329,29 +364,51 @@ impl Bce {
             tile.len(),
             "input stream must match tile rows"
         );
+        let n = inputs.len() as u64;
         let mut acc = [0i32; 8];
-        let mut stats = BceStats::default();
-        for (&a, row) in inputs.iter().zip(tile.iter()) {
-            // LS-4 then MS-4 of the streamed element select ROM rows; the
-            // switch MUX applies them to all eight register operands.
-            for (j, &b) in row.iter().enumerate() {
-                let (p, _) = self.mul_i8(a, b);
-                acc[j] += p as i32;
+        match self.mul_path {
+            MulPath::HardwiredRom => {
+                // LS-4 then MS-4 of the streamed element select ROM rows;
+                // the switch MUX applies them to all eight register
+                // operands. Eight multiplies of four partials each: the
+                // tile's ROM traffic folds into the counter in one add.
+                for (&a, row) in inputs.iter().zip(tile.iter()) {
+                    for (j, &b) in row.iter().enumerate() {
+                        acc[j] += self.rom_mul_i8_value(a, b) as i32;
+                    }
+                }
+                self.rom.add_reads(32 * n);
             }
-            // Cost charged at the architectural granularity: two ROM
-            // broadcasts of sixteen lookups, eight accumulating adds and
-            // the operand-select shifts, in two cycles.
-            stats.cost += OpCost {
+            MulPath::SubarrayLut => {
+                let mut lut_reads = 0u64;
+                for (&a, row) in inputs.iter().zip(tile.iter()) {
+                    let ma = a.unsigned_abs();
+                    for (j, &b) in row.iter().enumerate() {
+                        let (mag, pc) = self.subarray_mul.mul_u8_parts(ma, b.unsigned_abs());
+                        lut_reads += pc.lut_reads();
+                        let sign = (a < 0) ^ (b < 0);
+                        acc[j] += if sign { -(mag as i32) } else { mag as i32 };
+                    }
+                }
+                self.subarray_mul.table().add_reads(lut_reads);
+            }
+        }
+        // Cost charged at the architectural granularity, per streamed
+        // element: two ROM broadcasts of sixteen lookups, eight
+        // accumulating adds and the operand-select shifts, in two cycles.
+        let stats = BceStats {
+            cost: OpCost {
                 rom_reads: 32,
                 adds: 16,
                 shifts: 16,
                 cycles: 2,
                 ..OpCost::ZERO
-            };
-            stats.macs += 8;
-        }
-        stats.weight_bytes_read = (tile.len() * 8) as u64;
-        stats.partial_row_accesses = 2;
+            }
+            .repeated(n),
+            macs: 8 * n,
+            weight_bytes_read: (tile.len() * 8) as u64,
+            partial_row_accesses: 2,
+        };
         (acc, stats)
     }
 
@@ -368,24 +425,51 @@ impl Bce {
             tile.len(),
             "input stream must match tile rows"
         );
+        let n = inputs.len() as u64;
         let mut acc = [0i32; 8];
-        let mut stats = BceStats::default();
-        for (&a, row) in inputs.iter().zip(tile.iter()) {
-            for (j, &b) in row.iter().enumerate() {
-                let (p, _) = self.mul_i4(a, b);
-                acc[j] += p as i32;
+        match self.mul_path {
+            MulPath::HardwiredRom => {
+                for (&a, row) in inputs.iter().zip(tile.iter()) {
+                    let ma = a.unsigned_abs();
+                    for (j, &b) in row.iter().enumerate() {
+                        let mag = self.rom.product(ma, b.unsigned_abs()) as i32;
+                        let sign = (a < 0) ^ (b < 0);
+                        acc[j] += if sign { -mag } else { mag };
+                    }
+                }
+                self.rom.add_reads(8 * n);
             }
-            stats.cost += OpCost {
+            MulPath::SubarrayLut => {
+                let products = self.subarray_mul.products();
+                let mut lut_reads = 0u64;
+                for (&a, row) in inputs.iter().zip(tile.iter()) {
+                    assert!((-8..=7).contains(&a), "operands must be 4-bit signed");
+                    let ma = a.unsigned_abs();
+                    for (j, &b) in row.iter().enumerate() {
+                        assert!((-8..=7).contains(&b), "operands must be 4-bit signed");
+                        let mb = b.unsigned_abs();
+                        lut_reads += self.subarray_mul.packed_cost(ma, mb).lut_reads();
+                        let mag = products[((ma as usize) << 4) | mb as usize] as i32;
+                        let sign = (a < 0) ^ (b < 0);
+                        acc[j] += if sign { -mag } else { mag };
+                    }
+                }
+                self.subarray_mul.table().add_reads(lut_reads);
+            }
+        }
+        let stats = BceStats {
+            cost: OpCost {
                 rom_reads: 8,
                 adds: 8,
                 shifts: 8,
                 cycles: 1,
                 ..OpCost::ZERO
-            };
-            stats.macs += 8;
-        }
-        stats.weight_bytes_read = (tile.len() * 8 / 2) as u64;
-        stats.partial_row_accesses = 2;
+            }
+            .repeated(n),
+            macs: 8 * n,
+            weight_bytes_read: (tile.len() * 8 / 2) as u64,
+            partial_row_accesses: 2,
+        };
         (acc, stats)
     }
 
@@ -762,6 +846,114 @@ mod tests {
                     .map(|(&a, row)| a as i32 * row[j] as i32).sum();
                 prop_assert_eq!(out[j], expected);
             }
+        }
+
+        #[test]
+        fn prop_batched_rom_dot_stats_equal_summed_scalar_costs(
+            w in proptest::collection::vec(any::<i8>(), 0..77),
+        ) {
+            // 0..77 includes empty, odd and even lengths not a multiple
+            // of the SWAR lane width. The ROM path's per-element cost is
+            // the architectural constant, so the batched totals must be
+            // exactly n of them plus n accumulate adds — and the ROM
+            // counter must advance by the same 4n a scalar walk produced.
+            let b = Bce::with_mul_path(BceMode::Conv, MulPath::HardwiredRom).unwrap();
+            let x: Vec<i8> = w.iter().map(|&v| v.wrapping_mul(113)).collect();
+            let (d, stats) = b.dot_conv(&w, &x, Precision::Int8);
+            let expected: i32 = w.iter().zip(&x).map(|(&a, &b)| a as i32 * b as i32).sum();
+            prop_assert_eq!(d, expected);
+            let n = w.len() as u64;
+            let mut want = OpCost {
+                rom_reads: 4, adds: 3, shifts: 2, cycles: 2, ..OpCost::ZERO
+            }.repeated(n);
+            want.adds += n;
+            prop_assert_eq!(stats.cost, want);
+            prop_assert_eq!(b.rom_reads(), 4 * n);
+        }
+
+        #[test]
+        fn prop_batched_subarray_dot_stats_equal_summed_scalar_costs(
+            w in proptest::collection::vec(any::<i8>(), 0..77),
+        ) {
+            // The subarray path's cost is data-dependent: rebuild the
+            // expectation one scalar multiply at a time and require the
+            // batched totals (and the LUT read counter) to match it.
+            let b = Bce::with_mul_path(BceMode::Conv, MulPath::SubarrayLut).unwrap();
+            let x: Vec<i8> = w.iter().map(|&v| v.wrapping_add(59)).collect();
+            let (d, stats) = b.dot_conv(&w, &x, Precision::Int8);
+            let expected: i32 = w.iter().zip(&x).map(|(&a, &b)| a as i32 * b as i32).sum();
+            prop_assert_eq!(d, expected);
+            let scalar = pim_lut::LutMultiplier::new();
+            let mut want: OpCost = w.iter().zip(&x).map(|(&a, &b)| scalar.mul_i8(a, b).1).sum();
+            want.adds += w.len() as u64;
+            prop_assert_eq!(stats.cost, want);
+            prop_assert_eq!(b.subarray_lut_reads(), scalar.table().reads());
+        }
+
+        #[test]
+        fn prop_batched_matmul_counters_match_scalar_walk(
+            rows in 0usize..24,
+            seed in any::<u64>(),
+        ) {
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as i8
+            };
+            let tile: Vec<[i8; 8]> = (0..rows).map(|_| std::array::from_fn(|_| next())).collect();
+            let inputs: Vec<i8> = (0..rows).map(|_| next()).collect();
+
+            let rom = Bce::with_mul_path(BceMode::MatMul, MulPath::HardwiredRom).unwrap();
+            let (out_rom, stats_rom) = rom.matmul_tile(&inputs, &tile);
+            prop_assert_eq!(rom.rom_reads(), 32 * rows as u64);
+
+            let lut = Bce::with_mul_path(BceMode::MatMul, MulPath::SubarrayLut).unwrap();
+            let (out_lut, stats_lut) = lut.matmul_tile(&inputs, &tile);
+            let scalar = pim_lut::LutMultiplier::new();
+            for (&a, row) in inputs.iter().zip(&tile) {
+                for &b in row {
+                    let _ = scalar.mul_i8(a, b);
+                }
+            }
+            prop_assert_eq!(lut.subarray_lut_reads(), scalar.table().reads());
+
+            // Both paths produce the same values and the same
+            // architectural tile cost.
+            prop_assert_eq!(out_rom, out_lut);
+            prop_assert_eq!(stats_rom, stats_lut);
+            for j in 0..8 {
+                let expected: i32 = inputs.iter().zip(&tile)
+                    .map(|(&a, row)| a as i32 * row[j] as i32).sum();
+                prop_assert_eq!(out_rom[j], expected);
+            }
+        }
+
+        #[test]
+        fn prop_batched_i16_dot_stats_equal_summed_scalar_costs(
+            w in proptest::collection::vec(any::<i16>(), 0..41),
+        ) {
+            let x: Vec<i16> = w.iter().map(|&v| v.wrapping_mul(331)).collect();
+            let expected: i64 = w.iter().zip(&x).map(|(&a, &b)| a as i64 * b as i64).sum();
+            let n = w.len() as u64;
+
+            let rom = Bce::with_mul_path(BceMode::Conv, MulPath::HardwiredRom).unwrap();
+            let (d, stats) = rom.dot_conv_i16(&w, &x);
+            prop_assert_eq!(d, expected);
+            let mut want = OpCost {
+                rom_reads: 16, adds: 15, shifts: 8, cycles: 8, ..OpCost::ZERO
+            }.repeated(n);
+            want.adds += n;
+            prop_assert_eq!(stats.cost, want);
+            prop_assert_eq!(rom.rom_reads(), 16 * n);
+
+            let lut = Bce::with_mul_path(BceMode::Conv, MulPath::SubarrayLut).unwrap();
+            let (d, stats) = lut.dot_conv_i16(&w, &x);
+            prop_assert_eq!(d, expected);
+            let scalar = pim_lut::LutMultiplier::new();
+            let mut want: OpCost = w.iter().zip(&x).map(|(&a, &b)| scalar.mul_i16(a, b).1).sum();
+            want.adds += n;
+            prop_assert_eq!(stats.cost, want);
+            prop_assert_eq!(lut.subarray_lut_reads(), scalar.table().reads());
         }
 
         #[test]

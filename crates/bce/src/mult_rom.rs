@@ -105,6 +105,29 @@ impl MultRom {
         out
     }
 
+    /// A datapath product read that does **not** touch the read counter:
+    /// the batched kernels resolve every product through this and then
+    /// fold the whole tile's traffic into the counter with one
+    /// [`MultRom::add_reads`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when either operand exceeds 15.
+    pub fn product(&self, a: u8, b: u8) -> u8 {
+        debug_assert!(
+            a <= 15 && b <= 15,
+            "rom operands must be nibbles, got {a} x {b}"
+        );
+        self.entries[(a as usize) * 16 + b as usize]
+    }
+
+    /// Folds a batch of `n` lookups into the read counter with a single
+    /// atomic add (the per-tile accounting pattern of the batched BCE
+    /// kernels).
+    pub fn add_reads(&self, n: u64) {
+        self.reads.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Lookups performed since construction.
     pub fn reads(&self) -> u64 {
         self.reads.load(Ordering::Relaxed)

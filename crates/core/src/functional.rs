@@ -133,8 +133,9 @@ impl FunctionalPipeline {
                 .collect();
             let mut values = vec![0f32; m * width];
             for i in 0..m {
-                let stream: Vec<i8> = (0..k).map(|kk| qa.data()[i * k + kk]).collect();
-                let (accs, _) = self.bce.matmul_tile(&stream, &tile);
+                // Row i of qa is already contiguous — stream it directly.
+                let stream = &qa.data()[i * k..(i + 1) * k];
+                let (accs, _) = self.bce.matmul_tile(stream, &tile);
                 for (j, &acc) in accs.iter().take(width).enumerate() {
                     values[i * width + j] = acc as f32 * scale;
                 }
@@ -305,6 +306,16 @@ impl FunctionalPipeline {
         let ow = (idims[2] + 2 * padding.1 - fdims[3]) / stride.1 + 1;
         let mut out = Tensor::zeros(TensorShape::chw(n_filters, oh, ow));
 
+        // Transpose the unrolled input to column-major once, so every
+        // tile streams contiguous columns instead of gathering strided
+        // elements per column per tile.
+        let mut qxt = vec![0i8; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                qxt[c * rows + r] = qx.data()[r * cols + c];
+            }
+        }
+
         // One BCE tile per group of eight filters; dequantize each output
         // channel with its own scale. Filter tiles own disjoint output
         // channels, so they run on the worker pool.
@@ -323,8 +334,8 @@ impl FunctionalPipeline {
                 .collect();
             let mut values = vec![0f32; width * cols];
             for col in 0..cols {
-                let stream: Vec<i8> = (0..rows).map(|r| qx.data()[r * cols + col]).collect();
-                let (accs, _) = self.bce.matmul_tile(&stream, &tile);
+                let stream = &qxt[col * rows..(col + 1) * rows];
+                let (accs, _) = self.bce.matmul_tile(stream, &tile);
                 for j in 0..width {
                     let scale = (qp_x.scale() * qp_w.scale(f0 + j)) as f32;
                     values[j * cols + col] = accs[j] as f32 * scale + bias[f0 + j];

@@ -28,7 +28,7 @@ use bfree_model::{encode_kind, ArtifactSpec, ModelArtifact, WeightPayload};
 use bfree_obs::{prometheus_text, JsonValue, WallTimer};
 use bfree_serve::{OpenLoopDriver, SchedPolicy, ServeConfig, ServingSim, TenantSpec};
 use pim_bce::{Bce, MultRom};
-use pim_lut::{LutMultiplier, MultLut};
+use pim_lut::{BatchedLutMultiplier, MultLut};
 use pim_nn::request::NetworkKind;
 
 use crate::error::ExperimentError;
@@ -91,8 +91,16 @@ fn calibration_kernel() -> u64 {
 }
 
 /// The LUT multiply datapath: nibble products, full u8 sweep, an int8
-/// dot product and the Fig. 7 ROM broadcast.
-fn lut_multiply_kernel(mul: &LutMultiplier, lut: &MultLut, rom: &MultRom, w: &[i8], x: &[i8]) {
+/// dot product and the Fig. 7 ROM broadcast — the sweep and dots run
+/// through the SWAR-batched multiplier, the same entry points the BCE
+/// hot path uses.
+fn lut_multiply_kernel(
+    mul: &BatchedLutMultiplier,
+    lut: &MultLut,
+    rom: &MultRom,
+    w: &[i8],
+    x: &[i8],
+) {
     let mut acc = 0u64;
     for a in (0u16..256).step_by(3) {
         for v in (0u16..256).step_by(5) {
@@ -155,24 +163,41 @@ fn bce_pipeline_kernel(conv: &Bce, mm: &Bce, ops: &BceOperands) {
 /// over the whole buffer), a walk of every layer record and an inline
 /// weight-byte reduction. The encode happens once outside the timer;
 /// the checksum pass over the multi-megabyte inline payload dominates.
+/// Exactly one load per iteration — earlier revisions repeated the
+/// parse four times inside the timed region, quadrupling the reported
+/// time without measuring anything new.
 fn model_load_kernel(bytes: &[u8]) {
-    for _ in 0..4 {
-        let artifact = ModelArtifact::parse(black_box(bytes)).expect("artifact is valid");
-        let mut acc = 0u64;
-        for layer in artifact.layers() {
-            acc = acc.wrapping_add(layer.macs()).wrapping_add(layer.params());
-            if let Some(weights) = layer.weights() {
-                let sum = weights
-                    .iter()
-                    .fold(0u64, |a, &w| a.wrapping_add(w as i64 as u64));
-                acc = acc.wrapping_add(sum);
-            }
+    let artifact = ModelArtifact::parse(black_box(bytes)).expect("artifact is valid");
+    let mut acc = 0u64;
+    for layer in artifact.layers() {
+        acc = acc.wrapping_add(layer.macs()).wrapping_add(layer.params());
+        if let Some(weights) = layer.weights() {
+            let sum = weights
+                .iter()
+                .fold(0u64, |a, &w| a.wrapping_add(w as i64 as u64));
+            acc = acc.wrapping_add(sum);
         }
-        for segment in artifact.lut_segments() {
-            acc = acc.wrapping_add(segment.bytes().len() as u64);
-        }
-        black_box(acc ^ artifact.checksum());
     }
+    for segment in artifact.lut_segments() {
+        acc = acc.wrapping_add(segment.bytes().len() as u64);
+    }
+    black_box(acc ^ artifact.checksum());
+}
+
+/// Seeded weight regeneration, split out of [`model_load_kernel`] so
+/// load-parse and weight synthesis are gated independently: parse a
+/// seeded (weightless-on-disk) artifact and materialize every layer's
+/// payload from the weight seed.
+fn model_weights_kernel(bytes: &[u8]) {
+    let artifact = ModelArtifact::parse(black_box(bytes)).expect("artifact is valid");
+    let mut acc = 0u64;
+    for layer in artifact.layers() {
+        if let Some(weights) = layer.materialize_weights() {
+            acc = acc.wrapping_add(weights.len() as u64);
+            acc = acc.wrapping_add(weights.iter().fold(0u64, |a, &w| a.wrapping_add(w as u64)));
+        }
+    }
+    black_box(acc);
 }
 
 fn serve_tenants() -> Vec<TenantSpec> {
@@ -241,7 +266,7 @@ pub fn measure(quick: bool) -> (PerfReport, Vec<bfree_obs::AggEntry>) {
         normalized: 1.0,
     });
 
-    let mul = LutMultiplier::new();
+    let mul = BatchedLutMultiplier::new();
     let lut = MultLut::new();
     let rom = MultRom::new();
     let w: Vec<i8> = (0..256).map(|i| (i * 7 % 255) as i8).collect();
@@ -304,6 +329,23 @@ pub fn measure(quick: bool) -> (PerfReport, Vec<bfree_obs::AggEntry>) {
     });
     rows.push(PerfRow {
         name: "model_load",
+        best_ns: best,
+        normalized: best / calibration_best,
+    });
+
+    let seeded_bytes = encode_kind(
+        NetworkKind::LstmTimit,
+        &BfreeConfig::paper_default(),
+        &ArtifactSpec {
+            payload: WeightPayload::Seeded,
+            ..ArtifactSpec::default()
+        },
+    );
+    let best = best_ns(&agg, "wall/model_weights", iters, || {
+        model_weights_kernel(&seeded_bytes);
+    });
+    rows.push(PerfRow {
+        name: "model_weights",
         best_ns: best,
         normalized: best / calibration_best,
     });
@@ -410,6 +452,19 @@ pub fn additions<'a>(baseline: &[(String, f64)], rows: &'a [PerfRow]) -> Vec<&'a
         .collect()
 }
 
+/// Baseline kernels absent from the measurement — a kernel that stopped
+/// being measured, or a typo'd rename. Unlike [`additions`], these are
+/// **failures** under `--check`: a silently dropped kernel would
+/// otherwise pass the gate forever while its coverage is gone.
+pub fn stale<'a>(baseline: &'a [(String, f64)], rows: &[PerfRow]) -> Vec<&'a str> {
+    baseline
+        .iter()
+        .filter(|(name, _)| name != CALIBRATION)
+        .filter(|(name, _)| !rows.iter().any(|row| row.name == name))
+        .map(|(name, _)| name.as_str())
+        .collect()
+}
+
 /// Runs the sentinel: measure, print, diff against the baseline at
 /// `path`, rewrite `path`, and — under `check` — fail on regression.
 ///
@@ -453,7 +508,19 @@ pub fn run(path: &Path, quick: bool, check: bool, threshold: f64) -> Result<(), 
                     path.display()
                 );
             }
-            let failures = regressions(pairs, &report.rows, threshold);
+            let mut failures = regressions(pairs, &report.rows, threshold);
+            for name in stale(pairs, &report.rows) {
+                let message = format!(
+                    "{name}: present in baseline {} but not measured \
+                     (removed or renamed kernel — stale baseline entry)",
+                    path.display()
+                );
+                if check {
+                    failures.push(message);
+                } else {
+                    println!("\nwarning: {message}");
+                }
+            }
             if failures.is_empty() {
                 println!(
                     "\nbaseline {}: every kernel within {:.0}% of its normalized time",
@@ -462,7 +529,7 @@ pub fn run(path: &Path, quick: bool, check: bool, threshold: f64) -> Result<(), 
                 );
             } else {
                 for failure in &failures {
-                    println!("\nregression: {failure}");
+                    println!("\nfailure: {failure}");
                 }
             }
             failures
@@ -485,7 +552,7 @@ pub fn run(path: &Path, quick: bool, check: bool, threshold: f64) -> Result<(), 
         }
         if !failures.is_empty() {
             return Err(ExperimentError::MissingData(format!(
-                "perf sentinel: {} kernel(s) regressed: {}",
+                "perf sentinel: {} kernel(s) failed the gate: {}",
                 failures.len(),
                 failures.join("; ")
             )));
@@ -569,9 +636,36 @@ mod tests {
     }
 
     #[test]
+    fn stale_baseline_entries_are_detected() {
+        let report = synthetic_report();
+        // A baseline with a kernel that is no longer measured (removed
+        // or typo-renamed): surfaced by stale(), ignored by the
+        // regression scan.
+        let old: Vec<(String, f64)> = vec![
+            ("lut_multiply".to_string(), 2.5),
+            ("ghost_kernel".to_string(), 0.9),
+        ];
+        assert_eq!(stale(&old, &report.rows), vec!["ghost_kernel"]);
+        assert!(regressions(&old, &report.rows, 0.0).is_empty());
+        // A baseline fully covered by the measurement has no stale rows,
+        // and the calibration row is never stale.
+        let same: Vec<(String, f64)> = report
+            .rows
+            .iter()
+            .map(|r| (r.name.to_string(), r.normalized))
+            .collect();
+        assert!(stale(&same, &report.rows).is_empty());
+        assert!(stale(&[(CALIBRATION.to_string(), 1.0)], &[]).is_empty());
+    }
+
+    #[test]
     fn quick_measurement_covers_every_kernel_and_feeds_the_timers() {
         let (report, entries) = measure(true);
         assert!(report.rows.len() >= 5, "rows {}", report.rows.len());
+        assert!(
+            report.rows.iter().any(|r| r.name == "model_weights"),
+            "seeded weight-regen kernel missing"
+        );
         assert_eq!(report.rows[0].name, CALIBRATION);
         assert_eq!(report.rows[0].normalized, 1.0);
         for row in &report.rows {

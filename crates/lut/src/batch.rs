@@ -1,0 +1,687 @@
+//! Batched (SWAR) LUT multiplication over packed `u64` nibble lanes.
+//!
+//! The scalar [`LutMultiplier`] models one BCE multiply at a time:
+//! every nibble product walks the operand analyzer's branch ladder and
+//! pays an atomic read-counter increment per LUT access. That is the
+//! right shape for auditing a single multiply, but the paper's whole
+//! claim is throughput from *thousands* of concurrent in-cache lookups
+//! — and the functional hot path (conv dots, matmul tiles, the perf
+//! sentinel's kernels) multiplies millions of elements per call.
+//!
+//! [`BatchedLutMultiplier`] is the batch-oriented datapath model:
+//!
+//! * the 49-entry odd x odd table is **flattened through the operand
+//!   analyzer** into a 256-entry direct-indexed product array (index
+//!   `a << 4 | b`), so a nibble product is one branchless load;
+//! * each entry's analyzer cost (LUT reads, shifts, adds) is packed
+//!   into 16-bit lanes of a single `u64` ([`PackedCost`]), so folding
+//!   the cost of a batch is plain integer addition, unpacked **once per
+//!   tile** instead of once per element;
+//! * [`BatchedLutMultiplier::mul_nibble_x8`] performs eight nibble
+//!   products per packed `u64` word (SWAR: one product byte per lane),
+//!   the lane layout the dot kernels stream operands through;
+//! * the [`MultLut`] read counter is advanced with **one atomic add per
+//!   batch** ([`MultLut::add_reads`]) rather than one per lookup.
+//!
+//! Every entry point is bit-exact with its scalar counterpart in both
+//! value and [`OpCost`] — the equivalence suite at the bottom of this
+//! module and the proptests alongside it enforce that exhaustively for
+//! u8 and statistically for the dot kernels.
+
+use crate::cost::OpCost;
+use crate::mult_table::MultLut;
+use crate::multiply::LutMultiplier;
+
+/// Nibble lanes per packed `u64` word (one operand nibble per byte).
+pub const NIBBLE_LANES: usize = 8;
+
+/// Mask of the high nibble of every byte lane — must be zero in packed
+/// operands.
+const HIGH_NIBBLES: u64 = 0xf0f0_f0f0_f0f0_f0f0;
+
+const LANE_MASK: u64 = 0xffff;
+const SHIFTS_LANE: u32 = 16;
+const ADDS_LANE: u32 = 32;
+
+/// How many elements a dot kernel folds into one packed-cost
+/// accumulator before spilling to [`OpCost`]. Each 8-bit element
+/// contributes at most 8 events per 16-bit lane, so 4096 elements stay
+/// well clear of lane saturation (and 16-bit elements, at 32 events,
+/// still fit with headroom).
+const COST_SPILL_CHUNK: usize = 1024;
+
+/// Analyzer cost of one (or a summed batch of) nibble products, packed
+/// into 16-bit lanes of a `u64`: LUT reads in bits 0..16, shifts in
+/// bits 16..32, adds in bits 32..48. Cycle counts are *not* packed —
+/// every nibble product retires in one cycle, so batch cycle totals are
+/// analytic.
+///
+/// Summing packed costs is a single integer add; lanes cannot carry
+/// into each other as long as fewer than `COST_SPILL_CHUNK` (1024) x 8
+/// events accumulate, which the dot kernels guarantee by spilling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PackedCost(u64);
+
+impl PackedCost {
+    /// Packs a scalar nibble cost (cycles are dropped; see type docs).
+    fn pack(cost: OpCost) -> PackedCost {
+        debug_assert!(cost.lut_reads <= 1 && cost.shifts <= 2 && cost.adds <= 1);
+        PackedCost(cost.lut_reads | cost.shifts << SHIFTS_LANE | cost.adds << ADDS_LANE)
+    }
+
+    /// The LUT-read lane — what a batch folds into [`MultLut::add_reads`].
+    pub fn lut_reads(self) -> u64 {
+        self.0 & LANE_MASK
+    }
+
+    /// Unpacks into an [`OpCost`] with zero cycles.
+    pub fn unpack(self) -> OpCost {
+        OpCost {
+            lut_reads: self.0 & LANE_MASK,
+            shifts: (self.0 >> SHIFTS_LANE) & LANE_MASK,
+            adds: (self.0 >> ADDS_LANE) & LANE_MASK,
+            ..OpCost::ZERO
+        }
+    }
+}
+
+impl std::ops::Add for PackedCost {
+    type Output = PackedCost;
+    fn add(self, rhs: PackedCost) -> PackedCost {
+        PackedCost(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for PackedCost {
+    fn add_assign(&mut self, rhs: PackedCost) {
+        self.0 += rhs.0;
+    }
+}
+
+/// The batched LUT multiplier: the 49-entry table flattened to a
+/// 256-entry direct-indexed product array plus lane-packed analyzer
+/// costs, with telemetry folded per batch.
+///
+/// ```
+/// use pim_lut::{BatchedLutMultiplier, LutMultiplier};
+/// let batched = BatchedLutMultiplier::new();
+/// let scalar = LutMultiplier::new();
+/// let (p, c) = batched.mul_u8(200, 57);
+/// assert_eq!((p, c), scalar.mul_u8(200, 57)); // bit-exact, cost included
+/// // One batched dot advances the read counter once, not per lookup.
+/// let (d, _) = batched.dot_i8(&[3, -5, 127], &[-7, 11, 13]);
+/// assert_eq!(d, 3 * -7 + -5 * 11 + 127 * 13);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchedLutMultiplier {
+    lut: MultLut,
+    products: [u8; 256],
+    costs: [PackedCost; 256],
+}
+
+impl BatchedLutMultiplier {
+    /// Builds the flattened tables by sweeping the scalar analyzer over
+    /// all 256 nibble pairs — the products and costs *are* the scalar
+    /// datapath's, precomputed.
+    pub fn new() -> Self {
+        let scalar = LutMultiplier::new();
+        let mut products = [0u8; 256];
+        let mut costs = [PackedCost::default(); 256];
+        for a in 0u8..16 {
+            for b in 0u8..16 {
+                let (p, c) = scalar.mul_nibble(a, b);
+                let idx = ((a as usize) << 4) | b as usize;
+                products[idx] = p;
+                costs[idx] = PackedCost::pack(c);
+            }
+        }
+        BatchedLutMultiplier {
+            // The flattening sweep consumed reads on the throwaway
+            // scalar table; the operational counter starts at zero.
+            lut: MultLut::new(),
+            products,
+            costs,
+        }
+    }
+
+    /// Shared access to the underlying table (imaging and telemetry;
+    /// batched entry points fold their read totals into it).
+    pub fn table(&self) -> &MultLut {
+        &self.lut
+    }
+
+    /// The 256-entry direct-indexed product array (index `a << 4 | b`).
+    pub fn products(&self) -> &[u8; 256] {
+        &self.products
+    }
+
+    /// Packed analyzer cost of one nibble pair.
+    pub fn packed_cost(&self, a: u8, b: u8) -> PackedCost {
+        debug_assert!(a <= 15 && b <= 15);
+        self.costs[((a as usize) << 4) | b as usize]
+    }
+
+    /// Eight nibble products in one step over packed lanes: byte lane
+    /// `l` of each operand word holds a nibble (high nibble clear), and
+    /// byte lane `l` of the result holds the product (max 225 fits).
+    /// All eight lanes retire together, so the cost charges one cycle.
+    /// The read counter advances once, by the batch's LUT-read total.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when any lane's high nibble is set.
+    pub fn mul_nibble_x8(&self, packed_a: u64, packed_b: u64) -> (u64, OpCost) {
+        let (prod, pc) = self.lanes(packed_a, packed_b);
+        let mut cost = pc.unpack();
+        cost.cycles = 1;
+        self.lut.add_reads(cost.lut_reads);
+        (prod, cost)
+    }
+
+    /// The uncounted SWAR core: packed products and packed cost.
+    #[inline]
+    fn lanes(&self, packed_a: u64, packed_b: u64) -> (u64, PackedCost) {
+        debug_assert_eq!(packed_a & HIGH_NIBBLES, 0, "operand lane overflow");
+        debug_assert_eq!(packed_b & HIGH_NIBBLES, 0, "operand lane overflow");
+        let mut prod = 0u64;
+        let mut cost = PackedCost::default();
+        for lane in 0..NIBBLE_LANES {
+            let a = (packed_a >> (8 * lane)) & 0xf;
+            let b = (packed_b >> (8 * lane)) & 0xf;
+            let idx = ((a << 4) | b) as usize;
+            prod |= (self.products[idx] as u64) << (8 * lane);
+            cost += self.costs[idx];
+        }
+        (prod, cost)
+    }
+
+    /// Magnitude and packed cost of one unsigned 8-bit multiply — the
+    /// per-element primitive the BCE engine builds batched tiles from.
+    /// Does **not** touch the read counter; callers fold their
+    /// [`PackedCost`] totals via [`MultLut::add_reads`].
+    #[inline]
+    pub fn mul_u8_parts(&self, a: u8, b: u8) -> (u16, PackedCost) {
+        let (a1, a0) = ((a >> 4) as usize, (a & 0xf) as usize);
+        let (b1, b0) = ((b >> 4) as usize, (b & 0xf) as usize);
+        let i00 = (a0 << 4) | b0;
+        let i01 = (a0 << 4) | b1;
+        let i10 = (a1 << 4) | b0;
+        let i11 = (a1 << 4) | b1;
+        let mag = self.products[i00] as u32
+            + (((self.products[i01] as u32) + (self.products[i10] as u32)) << 4)
+            + ((self.products[i11] as u32) << 8);
+        debug_assert!(mag <= u16::MAX as u32);
+        (
+            mag as u16,
+            self.costs[i00] + self.costs[i01] + self.costs[i10] + self.costs[i11],
+        )
+    }
+
+    /// Magnitude and packed cost of one unsigned 16-bit multiply
+    /// (sixteen nibble partials through the direct-indexed array).
+    #[inline]
+    fn mul_u16_parts(&self, a: u16, b: u16) -> (u32, PackedCost) {
+        let mut mag: u64 = 0;
+        let mut cost = PackedCost::default();
+        for i in 0..4 {
+            let pa = ((a >> (4 * i)) & 0xf) as usize;
+            for j in 0..4 {
+                let pb = ((b >> (4 * j)) & 0xf) as usize;
+                let idx = (pa << 4) | pb;
+                mag += (self.products[idx] as u64) << (4 * (i + j));
+                cost += self.costs[idx];
+            }
+        }
+        debug_assert!(mag <= u32::MAX as u64);
+        (mag as u32, cost)
+    }
+
+    /// Batched unsigned 8-bit multiply — value- and cost-identical to
+    /// [`LutMultiplier::mul_u8`].
+    pub fn mul_u8(&self, a: u8, b: u8) -> (u16, OpCost) {
+        let (mag, pc) = self.mul_u8_parts(a, b);
+        let mut cost = pc.unpack();
+        cost.adds += 3;
+        cost.cycles = 2;
+        self.lut.add_reads(cost.lut_reads);
+        (mag, cost)
+    }
+
+    /// Batched signed 8-bit multiply (sign-magnitude, as the BCE
+    /// handles quantized signed weights).
+    pub fn mul_i8(&self, a: i8, b: i8) -> (i16, OpCost) {
+        let sign = (a < 0) ^ (b < 0);
+        let (mag, cost) = self.mul_u8(a.unsigned_abs(), b.unsigned_abs());
+        let product = if sign { -(mag as i32) } else { mag as i32 };
+        debug_assert!(product >= i16::MIN as i32 && product <= i16::MAX as i32);
+        (product as i16, cost)
+    }
+
+    /// Batched unsigned 16-bit multiply — value- and cost-identical to
+    /// [`LutMultiplier::mul_u16`].
+    pub fn mul_u16(&self, a: u16, b: u16) -> (u32, OpCost) {
+        let (mag, pc) = self.mul_u16_parts(a, b);
+        let mut cost = pc.unpack();
+        cost.adds += 15;
+        cost.cycles = 8;
+        self.lut.add_reads(cost.lut_reads);
+        (mag, cost)
+    }
+
+    /// Batched signed 16-bit multiply.
+    pub fn mul_i16(&self, a: i16, b: i16) -> (i32, OpCost) {
+        let sign = (a < 0) ^ (b < 0);
+        let (mag, cost) = self.mul_u16(a.unsigned_abs(), b.unsigned_abs());
+        let product = if sign { -(mag as i64) } else { mag as i64 };
+        debug_assert!(product >= i32::MIN as i64 && product <= i32::MAX as i64);
+        (product as i32, cost)
+    }
+
+    /// Batched signed 8-bit dot product: elements stream two at a time
+    /// through [`mul_nibble_x8`]'s eight lanes (four partials each), the
+    /// packed costs fold per chunk and the read counter advances once.
+    /// Value- and cost-identical to [`LutMultiplier::dot_i8`].
+    ///
+    /// [`mul_nibble_x8`]: BatchedLutMultiplier::mul_nibble_x8
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot_i8(&self, a: &[i8], b: &[i8]) -> (i32, OpCost) {
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "dot product operands must have equal length"
+        );
+        let mut acc: i32 = 0;
+        let mut cost = OpCost::ZERO;
+        for (ca, cb) in a.chunks(COST_SPILL_CHUNK).zip(b.chunks(COST_SPILL_CHUNK)) {
+            let mut packed = PackedCost::default();
+            let mut i = 0;
+            // Two i8 elements fill one SWAR word: lanes 0..4 hold the
+            // first element's four nibble partials, lanes 4..8 the
+            // second's.
+            while i + 1 < ca.len() {
+                let (wa, wb) = (
+                    pack_mul_lanes(ca[i].unsigned_abs(), ca[i + 1].unsigned_abs()),
+                    pack_operand_lanes(cb[i].unsigned_abs(), cb[i + 1].unsigned_abs()),
+                );
+                let (prod, pc) = self.lanes(wa, wb);
+                packed += pc;
+                let mag0 = combine_partials((prod & 0xffff_ffff) as u32);
+                let mag1 = combine_partials((prod >> 32) as u32);
+                acc += signed(mag0, (ca[i] < 0) ^ (cb[i] < 0));
+                acc += signed(mag1, (ca[i + 1] < 0) ^ (cb[i + 1] < 0));
+                i += 2;
+            }
+            if i < ca.len() {
+                let (mag, pc) = self.mul_u8_parts(ca[i].unsigned_abs(), cb[i].unsigned_abs());
+                packed += pc;
+                acc += signed(mag as u32, (ca[i] < 0) ^ (cb[i] < 0));
+            }
+            cost += packed.unpack();
+        }
+        let n = a.len() as u64;
+        // Per element: three adds combine the four partials; n products
+        // accumulate with n - 1 adds; two cycles per 8-bit MAC.
+        cost.adds += 3 * n + n.saturating_sub(1);
+        cost.cycles = 2 * n;
+        self.lut.add_reads(cost.lut_reads);
+        (acc, cost)
+    }
+
+    /// Batched unsigned 8-bit dot product — identical to
+    /// [`LutMultiplier::dot_u8`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot_u8(&self, a: &[u8], b: &[u8]) -> (u32, OpCost) {
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "dot product operands must have equal length"
+        );
+        let mut acc: u32 = 0;
+        let mut cost = OpCost::ZERO;
+        for (ca, cb) in a.chunks(COST_SPILL_CHUNK).zip(b.chunks(COST_SPILL_CHUNK)) {
+            let mut packed = PackedCost::default();
+            let mut i = 0;
+            while i + 1 < ca.len() {
+                let (wa, wb) = (
+                    pack_mul_lanes(ca[i], ca[i + 1]),
+                    pack_operand_lanes(cb[i], cb[i + 1]),
+                );
+                let (prod, pc) = self.lanes(wa, wb);
+                packed += pc;
+                acc += combine_partials((prod & 0xffff_ffff) as u32);
+                acc += combine_partials((prod >> 32) as u32);
+                i += 2;
+            }
+            if i < ca.len() {
+                let (mag, pc) = self.mul_u8_parts(ca[i], cb[i]);
+                packed += pc;
+                acc += mag as u32;
+            }
+            cost += packed.unpack();
+        }
+        let n = a.len() as u64;
+        cost.adds += 3 * n + n.saturating_sub(1);
+        cost.cycles = 2 * n;
+        self.lut.add_reads(cost.lut_reads);
+        (acc, cost)
+    }
+
+    /// Batched signed 4-bit dot product (`-8..=7` operands): one table
+    /// hit per element, one cycle per MAC, `n - 1` accumulate adds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or when an operand
+    /// is out of 4-bit signed range.
+    pub fn dot_i4(&self, a: &[i8], b: &[i8]) -> (i32, OpCost) {
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "dot product operands must have equal length"
+        );
+        let mut acc: i32 = 0;
+        let mut cost = OpCost::ZERO;
+        for (ca, cb) in a.chunks(COST_SPILL_CHUNK).zip(b.chunks(COST_SPILL_CHUNK)) {
+            let mut packed = PackedCost::default();
+            for (&x, &y) in ca.iter().zip(cb.iter()) {
+                assert!(
+                    (-8..=7).contains(&x) && (-8..=7).contains(&y),
+                    "operands must be 4-bit signed"
+                );
+                let idx = ((x.unsigned_abs() as usize) << 4) | y.unsigned_abs() as usize;
+                packed += self.costs[idx];
+                acc += signed(self.products[idx] as u32, (x < 0) ^ (y < 0));
+            }
+            cost += packed.unpack();
+        }
+        let n = a.len() as u64;
+        cost.adds += n.saturating_sub(1);
+        cost.cycles = n;
+        self.lut.add_reads(cost.lut_reads);
+        (acc, cost)
+    }
+
+    /// Batched signed 16-bit dot product: sixteen nibble partials per
+    /// element (eight cycles per MAC), costs folded per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot_i16(&self, a: &[i16], b: &[i16]) -> (i64, OpCost) {
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "dot product operands must have equal length"
+        );
+        let mut acc: i64 = 0;
+        let mut cost = OpCost::ZERO;
+        for (ca, cb) in a.chunks(COST_SPILL_CHUNK).zip(b.chunks(COST_SPILL_CHUNK)) {
+            let mut packed = PackedCost::default();
+            for (&x, &y) in ca.iter().zip(cb.iter()) {
+                let (mag, pc) = self.mul_u16_parts(x.unsigned_abs(), y.unsigned_abs());
+                packed += pc;
+                let p = if (x < 0) ^ (y < 0) {
+                    -(mag as i64)
+                } else {
+                    mag as i64
+                };
+                acc += p;
+            }
+            cost += packed.unpack();
+        }
+        let n = a.len() as u64;
+        cost.adds += 15 * n + n.saturating_sub(1);
+        cost.cycles = 8 * n;
+        self.lut.add_reads(cost.lut_reads);
+        (acc, cost)
+    }
+}
+
+impl Default for BatchedLutMultiplier {
+    fn default() -> Self {
+        BatchedLutMultiplier::new()
+    }
+}
+
+/// Packs the two nibbles of two multiplicands into the dot kernels'
+/// lane order: `[a0, a0, a1, a1]` per element (pairing with
+/// [`pack_operand_lanes`]'s `[b0, b1, b0, b1]` yields the four
+/// partial-product pairs of an 8-bit multiply).
+#[inline]
+fn pack_mul_lanes(first: u8, second: u8) -> u64 {
+    let half = |m: u8| {
+        let (a1, a0) = ((m >> 4) as u64, (m & 0xf) as u64);
+        a0 | a0 << 8 | a1 << 16 | a1 << 24
+    };
+    half(first) | half(second) << 32
+}
+
+/// The multiplier-side lane order: `[b0, b1, b0, b1]` per element.
+#[inline]
+fn pack_operand_lanes(first: u8, second: u8) -> u64 {
+    let half = |m: u8| {
+        let (b1, b0) = ((m >> 4) as u64, (m & 0xf) as u64);
+        b0 | b1 << 8 | b0 << 16 | b1 << 24
+    };
+    half(first) | half(second) << 32
+}
+
+/// Folds one element's four partial-product lanes (`p00, p01, p10,
+/// p11`, one per byte) into the 16-bit magnitude.
+#[inline]
+fn combine_partials(lanes: u32) -> u32 {
+    let p00 = lanes & 0xff;
+    let p01 = (lanes >> 8) & 0xff;
+    let p10 = (lanes >> 16) & 0xff;
+    let p11 = (lanes >> 24) & 0xff;
+    p00 + ((p01 + p10) << 4) + (p11 << 8)
+}
+
+#[inline]
+fn signed(mag: u32, negative: bool) -> i32 {
+    if negative {
+        -(mag as i32)
+    } else {
+        mag as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn flattened_products_match_the_analyzer_exhaustively() {
+        let batched = BatchedLutMultiplier::new();
+        let scalar = LutMultiplier::new();
+        for a in 0u8..16 {
+            for b in 0u8..16 {
+                let idx = ((a as usize) << 4) | b as usize;
+                let (p, c) = scalar.mul_nibble(a, b);
+                assert_eq!(batched.products()[idx], p, "{a} x {b}");
+                let unpacked = batched.packed_cost(a, b).unpack();
+                assert_eq!(unpacked, OpCost { cycles: 0, ..c }, "{a} x {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_u8_matches_scalar_exhaustively_in_value_and_cost() {
+        // The satellite equivalence suite: all 256 x 256 u8 pairs,
+        // value AND OpCost bit-equal between scalar and SWAR paths.
+        let batched = BatchedLutMultiplier::new();
+        let scalar = LutMultiplier::new();
+        for a in 0u16..=255 {
+            for b in 0u16..=255 {
+                let got = batched.mul_u8(a as u8, b as u8);
+                let want = scalar.mul_u8(a as u8, b as u8);
+                assert_eq!(got, want, "{a} x {b}");
+            }
+        }
+        // Identical work must leave identical read-counter totals.
+        assert_eq!(batched.table().reads(), scalar.table().reads());
+    }
+
+    #[test]
+    fn swar_word_multiplies_eight_lanes() {
+        let batched = BatchedLutMultiplier::new();
+        let scalar = LutMultiplier::new();
+        let a_lanes = [0u8, 1, 3, 7, 9, 12, 14, 15];
+        let b_lanes = [15u8, 13, 11, 6, 5, 4, 2, 0];
+        let pack = |lanes: [u8; 8]| {
+            lanes
+                .iter()
+                .enumerate()
+                .fold(0u64, |w, (i, &v)| w | (v as u64) << (8 * i))
+        };
+        let (prod, cost) = batched.mul_nibble_x8(pack(a_lanes), pack(b_lanes));
+        let mut expected_cost = OpCost::ZERO;
+        for lane in 0..NIBBLE_LANES {
+            let byte = ((prod >> (8 * lane)) & 0xff) as u8;
+            let (p, c) = scalar.mul_nibble(a_lanes[lane], b_lanes[lane]);
+            assert_eq!(byte, p, "lane {lane}");
+            expected_cost += OpCost { cycles: 0, ..c };
+        }
+        // The eight lanes retire together in a single cycle.
+        assert_eq!(
+            cost,
+            OpCost {
+                cycles: 1,
+                ..expected_cost
+            }
+        );
+        assert_eq!(batched.table().reads(), cost.lut_reads);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn lane_overflow_panics_in_debug() {
+        let batched = BatchedLutMultiplier::new();
+        batched.mul_nibble_x8(0x10, 0x01);
+    }
+
+    #[test]
+    fn dot_counter_advances_by_the_batch_total() {
+        let batched = BatchedLutMultiplier::new();
+        let scalar = LutMultiplier::new();
+        let a: Vec<i8> = (0..257).map(|i| (i * 89 % 255) as i8).collect();
+        let b: Vec<i8> = (0..257).map(|i| (i * 33 % 255) as i8).collect();
+        let (got, cost) = batched.dot_i8(&a, &b);
+        let (want, want_cost) = scalar.dot_i8(&a, &b);
+        assert_eq!(got, want);
+        assert_eq!(cost, want_cost);
+        assert_eq!(batched.table().reads(), scalar.table().reads());
+        assert_eq!(batched.table().reads(), cost.lut_reads);
+    }
+
+    #[test]
+    fn empty_dot_is_free() {
+        let batched = BatchedLutMultiplier::new();
+        assert_eq!(batched.dot_i8(&[], &[]), (0, OpCost::ZERO));
+        assert_eq!(batched.dot_u8(&[], &[]), (0, OpCost::ZERO));
+        assert_eq!(batched.dot_i4(&[], &[]), (0, OpCost::ZERO));
+        assert_eq!(batched.dot_i16(&[], &[]), (0, OpCost::ZERO));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_dot_lengths_panic() {
+        let _ = BatchedLutMultiplier::new().dot_i8(&[1, 2], &[3]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_i8_matches_scalar(
+            a in proptest::collection::vec(any::<i8>(), 0..97),
+        ) {
+            // 0..97 covers empty, odd (tail lane) and even lengths —
+            // lengths deliberately not a multiple of the lane width.
+            let batched = BatchedLutMultiplier::new();
+            let scalar = LutMultiplier::new();
+            let b: Vec<i8> = a.iter().rev().map(|&v| v.wrapping_mul(37)).collect();
+            prop_assert_eq!(batched.dot_i8(&a, &b), scalar.dot_i8(&a, &b));
+        }
+
+        #[test]
+        fn prop_dot_u8_matches_scalar(
+            a in proptest::collection::vec(any::<u8>(), 0..97),
+        ) {
+            let batched = BatchedLutMultiplier::new();
+            let scalar = LutMultiplier::new();
+            let b: Vec<u8> = a.iter().rev().map(|&v| v.wrapping_mul(29)).collect();
+            prop_assert_eq!(batched.dot_u8(&a, &b), scalar.dot_u8(&a, &b));
+        }
+
+        #[test]
+        fn prop_dot_cost_totals_equal_summed_scalar_costs(
+            a in proptest::collection::vec(any::<i8>(), 1..64),
+        ) {
+            // The batched OpCost total must equal the fold of
+            // per-element scalar costs plus the n - 1 accumulate adds.
+            let batched = BatchedLutMultiplier::new();
+            let scalar = LutMultiplier::new();
+            let b: Vec<i8> = a.iter().map(|&v| v.wrapping_add(91)).collect();
+            let (_, cost) = batched.dot_i8(&a, &b);
+            let mut expected: OpCost = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| scalar.mul_i8(x, y).1)
+                .sum();
+            expected.adds += a.len() as u64 - 1;
+            prop_assert_eq!(cost, expected);
+        }
+
+        #[test]
+        fn prop_mul_i16_matches_scalar(x: i16, y: i16) {
+            let batched = BatchedLutMultiplier::new();
+            let scalar = LutMultiplier::new();
+            prop_assert_eq!(batched.mul_i16(x, y), scalar.mul_i16(x, y));
+        }
+
+        #[test]
+        fn prop_dot_i16_is_exact_with_folded_costs(
+            a in proptest::collection::vec(any::<i16>(), 0..41),
+        ) {
+            let batched = BatchedLutMultiplier::new();
+            let scalar = LutMultiplier::new();
+            let b: Vec<i16> = a.iter().rev().map(|&v| v.wrapping_mul(129)).collect();
+            let (d, cost) = batched.dot_i16(&a, &b);
+            let expected: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
+            prop_assert_eq!(d, expected);
+            let mut want: OpCost = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| scalar.mul_i16(x, y).1)
+                .sum();
+            want.adds += (a.len() as u64).saturating_sub(1);
+            prop_assert_eq!(cost, want);
+        }
+
+        #[test]
+        fn prop_dot_i4_matches_per_element_scalar(
+            a in proptest::collection::vec(-8i8..=7, 0..33),
+        ) {
+            let batched = BatchedLutMultiplier::new();
+            let scalar = LutMultiplier::new();
+            let b: Vec<i8> = a.iter().rev().cloned().collect();
+            let (d, cost) = batched.dot_i4(&a, &b);
+            let expected: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+            prop_assert_eq!(d, expected);
+            let mut want: OpCost = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| scalar.mul_i4(x, y).1)
+                .sum();
+            want.adds += (a.len() as u64).saturating_sub(1);
+            prop_assert_eq!(cost, want);
+        }
+    }
+}

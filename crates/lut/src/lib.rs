@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod batch;
 pub mod cost;
 pub mod divide;
 pub mod error;
@@ -45,6 +46,7 @@ pub mod softmax;
 pub mod storage;
 
 pub use analyzer::{OperandAnalyzer, OperandClass};
+pub use batch::{BatchedLutMultiplier, PackedCost, NIBBLE_LANES};
 pub use cost::OpCost;
 pub use divide::DivLut;
 pub use error::LutError;

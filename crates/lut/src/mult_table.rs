@@ -102,6 +102,15 @@ impl MultLut {
         self.reads.load(Ordering::Relaxed)
     }
 
+    /// Folds a batch of `n` lookups into the read counter with a single
+    /// atomic add — the batched datapath
+    /// ([`crate::BatchedLutMultiplier`]) resolves products through its
+    /// flattened array and accounts for the table traffic here, once
+    /// per tile instead of once per element.
+    pub fn add_reads(&self, n: u64) {
+        self.reads.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Resets the read counter.
     pub fn reset_reads(&self) {
         self.reads.store(0, Ordering::Relaxed);

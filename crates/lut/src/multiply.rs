@@ -250,8 +250,10 @@ impl LutMultiplier {
             let (p, c) = self.mul_i8(x, y);
             acc += p as i32;
             cost += c;
-            cost.adds += 1;
         }
+        // Accumulating n products takes n - 1 adds, consistent with
+        // mul_u8's three adds for four partials.
+        cost.adds += (a.len() as u64).saturating_sub(1);
         (acc, cost)
     }
 
@@ -272,8 +274,10 @@ impl LutMultiplier {
             let (p, c) = self.mul_u8(x, y);
             acc += p as u32;
             cost += c;
-            cost.adds += 1;
         }
+        // Accumulating n products takes n - 1 adds, consistent with
+        // mul_u8's three adds for four partials.
+        cost.adds += (a.len() as u64).saturating_sub(1);
         (acc, cost)
     }
 }
@@ -403,6 +407,21 @@ mod tests {
         let expected: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
         assert_eq!(d, expected);
         assert_eq!(cost.cycles, 16); // 8 MACs x 2 cycles
+    }
+
+    #[test]
+    fn dot_charges_n_minus_one_accumulate_adds() {
+        // 7 x 9 is a pure rule-4 product: one LUT read, no shifts, no
+        // per-nibble adds — each mul_u8 cost is exactly the three
+        // partial-combine adds. The accumulation across n products must
+        // add n - 1 more, not n.
+        let m = LutMultiplier::new();
+        let (_, c) = m.dot_u8(&[7, 7, 7, 7], &[9, 9, 9, 9]);
+        assert_eq!(c.adds, 4 * 3 + 3);
+        let (_, c) = m.dot_u8(&[7], &[9]);
+        assert_eq!(c.adds, 3, "a single product needs no accumulate add");
+        let (_, c) = m.dot_u8(&[], &[]);
+        assert_eq!(c, OpCost::ZERO, "an empty dot is free");
     }
 
     #[test]
