@@ -396,9 +396,61 @@ where
     })
 }
 
+/// The persistent worker-pool runtime: spawns exactly `workers` scoped
+/// threads, runs `body(worker_id)` on each, and joins them all before
+/// returning. Unlike [`par_map`] there is no work list — each body *is*
+/// the worker loop, pulling its own work from whatever shared structure
+/// the caller provides (the realtime serving engine feeds a sharded
+/// queue) and returning when it decides the pool is drained.
+///
+/// Workers run with the nested-parallelism guard set, so simulation
+/// code called from inside a worker stays serial exactly as it does
+/// under [`par_map`]. `workers` is an explicit count (clamped to at
+/// least 1), *not* subject to [`max_jobs`]: a long-lived pool is sized
+/// by its owner, not by the ambient job cap.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker once all have been joined.
+pub fn run_worker_pool<F>(workers: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = workers.max(1);
+    PARALLEL_CALLS.fetch_add(1, Ordering::Relaxed);
+    WORKERS_SPAWNED.fetch_add(workers as u64, Ordering::Relaxed);
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let body = &body;
+            scope.spawn(move || {
+                IN_WORKER.with(|flag| flag.set(true));
+                body(worker);
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn worker_pool_runs_every_worker_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let seen = AtomicU64::new(0);
+        run_worker_pool(5, |worker| {
+            assert!(worker < 5);
+            seen.fetch_add(1 << worker, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 0b11111);
+        // Clamps to one worker rather than spawning none.
+        let ran = AtomicU64::new(0);
+        run_worker_pool(0, |worker| {
+            assert_eq!(worker, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
 
     #[test]
     fn par_map_preserves_order_at_every_job_count() {

@@ -29,6 +29,7 @@ pub mod models;
 pub mod obs_export;
 pub mod overheads;
 pub mod perf;
+pub mod realtime;
 pub mod serving;
 pub mod table2;
 pub mod table3;

@@ -18,7 +18,12 @@ usage: experiments [--jobs N] <name>
   headline   all headline numbers in one block
   ablations  design-choice ablations (DESIGN.md §5)
   extensions extension workloads (ResNet-18, GRU) on every device
-  serving    multi-tenant serving load sweep (writes results/serving_load_sweep.csv)
+  serving [--realtime|--conformance]
+             multi-tenant serving load sweep (writes results/serving_load_sweep.csv);
+             --realtime runs the wall-clock engine instead (throughput/
+             latency curves; writes the untracked results/serving_realtime.csv),
+             --conformance replays one trace through both engines and
+             fails on any work-counter or outcome mismatch
   model_swap mixed-version serving: hot-swap the LSTM tenant from an
              int8 to an int4 model artifact mid-run without draining
              the pool (writes results/model_swap.csv)
@@ -94,7 +99,15 @@ fn main() {
         "overheads" | "area" | "bce_power" => check(exp::overheads::print()),
         "ablations" => check(exp::ablations::print()),
         "extensions" => check(exp::extensions::print()),
-        "serving" => check(exp::serving::print()),
+        "serving" => match args.get(1).map(String::as_str) {
+            None => check(exp::serving::print()),
+            Some("--realtime") => check(exp::realtime::print()),
+            Some("--conformance") => check(exp::realtime::conformance_print()),
+            Some(other) => {
+                eprintln!("unknown serving argument: {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        },
         "model_swap" => check(exp::model_swap::print()),
         "models" => {
             let actions = ["export", "inspect", "verify", "all"];

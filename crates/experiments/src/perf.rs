@@ -222,6 +222,42 @@ fn serving_kernel() {
     black_box(sim.run_to_idle().summary());
 }
 
+/// One wall-clock realtime serving run: a fixed seeded open-loop trace
+/// driven through the concurrent engine. Workers are pinned to 2 in the
+/// config — the realtime pool is its own thread scope, not subject to
+/// the jobs=1 pin, and the kernel must time the same pool shape on
+/// every machine.
+fn serving_realtime_kernel() {
+    let config = bfree_serve::RealtimeConfig::builder()
+        .workers(2)
+        .queue_shards(4)
+        .serve(
+            ServeConfig::builder()
+                .max_batch(8)
+                .batch_window_ns(100_000)
+                .queue_capacity(512)
+                .timeout_ns(Some(50_000_000))
+                .build()
+                .expect("constants are valid"),
+        )
+        .build()
+        .expect("constants are valid");
+    let mut driver = OpenLoopDriver::new(0xBF_EE, vec![2_000.0, 50.0]);
+    let mut trace = bfree_serve::RequestTrace::new();
+    for (at_ns, tenant) in driver.arrivals(SERVE_HORIZON_NS / 4) {
+        trace.submit(at_ns, tenant);
+    }
+    let mut engine =
+        bfree_serve::RealtimeEngine::new(config, serve_tenants()).expect("constants are valid");
+    use bfree_serve::Frontend;
+    engine
+        .submit_trace(&trace)
+        .expect("trace tenants are valid");
+    engine.drive_to_idle().expect("drive cannot fail");
+    black_box(engine.serving_telemetry().summary());
+    black_box(engine.stats());
+}
+
 /// One severity-1.0 chaos cell under the full resilience policy.
 fn chaos_cell_kernel() {
     let config = ServeConfig::builder()
@@ -360,6 +396,18 @@ pub fn measure(quick: bool) -> (PerfReport, Vec<bfree_obs::AggEntry>) {
     let best = best_ns(&agg, "wall/chaos_cell", iters, chaos_cell_kernel);
     rows.push(PerfRow {
         name: "chaos_cell",
+        best_ns: best,
+        normalized: best / calibration_best,
+    });
+
+    let best = best_ns(
+        &agg,
+        "wall/serving_realtime",
+        iters,
+        serving_realtime_kernel,
+    );
+    rows.push(PerfRow {
+        name: "serving_realtime",
         best_ns: best,
         normalized: best / calibration_best,
     });

@@ -1,0 +1,351 @@
+//! `experiments serving --realtime`: the wall-clock serving load sweep,
+//! plus the `--conformance` gate that replays one trace through both
+//! the virtual-clock oracle and the realtime engine and reconciles
+//! them.
+//!
+//! Unlike every other experiment in this crate, the realtime sweep
+//! measures *wall-clock* behaviour of a real worker pool: its latency
+//! numbers vary run to run with the host. Its CSV is therefore written
+//! as an *untracked* artifact (`results/serving_realtime.csv` is not
+//! part of the golden set, and `csv::write_all` does not emit it) —
+//! what CI gates is the conformance replay, whose work counters are
+//! exact by construction.
+
+use bfree_fault::FaultInjector;
+use bfree_serve::realtime::run_conformance;
+use bfree_serve::{
+    Frontend, OpenLoopDriver, RealtimeConfig, RequestTrace, ServeConfig, ServingSummary, TenantSpec,
+};
+use pim_nn::request::NetworkKind;
+
+use crate::error::ExperimentError;
+
+/// Seed for the sweep's arrival process (same as the virtual-clock
+/// serving sweep, so the offered traces match point for point).
+const SEED: u64 = 0xBF_EE;
+/// Virtual trace horizon per load point. Shorter than the virtual-clock
+/// sweep's: every request here costs real wall time.
+const HORIZON_NS: u64 = 50_000_000;
+/// LSTM-TIMIT arrival rate at load 1.0 (requests/s).
+const LSTM_BASE_RPS: f64 = 2_000.0;
+/// BERT-base arrival rate at load 1.0 (requests/s).
+const BERT_BASE_RPS: f64 = 50.0;
+
+/// One measured wall-clock load point.
+#[derive(Debug, Clone)]
+pub struct RealtimePoint {
+    /// Load multiplier applied to both base rates.
+    pub load: f64,
+    /// Requests the trace offered.
+    pub offered: u64,
+    /// The run's telemetry summary (latencies are virtual lane time;
+    /// completion accounting is exact).
+    pub summary: ServingSummary,
+    /// Concurrency counters from the run.
+    pub stats: bfree_serve::RealtimeStats,
+    /// Wall-clock throughput: completed requests per wall second.
+    pub wall_throughput_rps: f64,
+}
+
+/// The wall-clock sweep result.
+#[derive(Debug, Clone)]
+pub struct RealtimeSweep {
+    /// The engine configuration every point ran under.
+    pub config: RealtimeConfig,
+    /// Measured points, in ascending load order.
+    pub points: Vec<RealtimePoint>,
+}
+
+fn tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("lstm-timit", NetworkKind::LstmTimit),
+        TenantSpec::new("bert-base", NetworkKind::BertBase),
+    ]
+}
+
+fn config() -> Result<RealtimeConfig, ExperimentError> {
+    Ok(RealtimeConfig::builder()
+        .workers(4)
+        .queue_shards(4)
+        .serve(
+            ServeConfig::builder()
+                .max_batch(8)
+                .batch_window_ns(100_000)
+                .queue_capacity(512)
+                .timeout_ns(Some(50_000_000))
+                .build()?,
+        )
+        .build()?)
+}
+
+/// Builds the open-loop trace for one load point. Seeded, so the same
+/// load always offers the same trace — to this sweep, to the oracle,
+/// and to the conformance harness.
+fn trace_for(load: f64, horizon_ns: u64) -> RequestTrace {
+    let mut driver = OpenLoopDriver::new(SEED, vec![LSTM_BASE_RPS * load, BERT_BASE_RPS * load]);
+    let mut trace = RequestTrace::new();
+    for (at_ns, tenant) in driver.arrivals(horizon_ns) {
+        trace.submit(at_ns, tenant);
+    }
+    trace
+}
+
+/// Runs the wall-clock sweep over explicit load multipliers. Points run
+/// serially — each one spawns its own worker pool, and overlapping
+/// pools would contend for the same cores and corrupt each other's
+/// latency numbers. Points are sorted by load before return.
+///
+/// # Errors
+///
+/// Propagates engine construction and drive failures.
+pub fn run_with_loads(loads: Vec<f64>) -> Result<RealtimeSweep, ExperimentError> {
+    let config = config()?;
+    let mut points = Vec::with_capacity(loads.len());
+    for load in loads {
+        let trace = trace_for(load, HORIZON_NS);
+        let mut engine = bfree_serve::RealtimeEngine::new(config.clone(), tenants())?;
+        let offered = engine.submit_trace(&trace)?;
+        engine.drive_to_idle()?;
+        let summary = engine.serving_telemetry().summary();
+        let stats = engine.stats();
+        let wall_throughput_rps = if stats.wall_ns > 0 {
+            summary.completed as f64 / (stats.wall_ns as f64 * 1e-9)
+        } else {
+            0.0
+        };
+        points.push(RealtimePoint {
+            load,
+            offered,
+            summary,
+            stats,
+            wall_throughput_rps,
+        });
+    }
+    points.sort_by(|a, b| a.load.total_cmp(&b.load));
+    Ok(RealtimeSweep { config, points })
+}
+
+/// Runs the sweep over the canonical load multipliers.
+///
+/// # Errors
+///
+/// Same as [`run_with_loads`].
+pub fn run() -> Result<RealtimeSweep, ExperimentError> {
+    run_with_loads(vec![0.25, 0.5, 1.0, 2.0])
+}
+
+/// CSV header for [`csv_rows`].
+pub const CSV_HEADER: [&str; 12] = [
+    "load",
+    "offered",
+    "completed",
+    "rejected",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "wall_throughput_rps",
+    "wall_ms",
+    "steals",
+    "batches",
+    "joins",
+];
+
+/// The sweep as CSV rows matching [`CSV_HEADER`].
+pub fn csv_rows(sweep: &RealtimeSweep) -> Vec<Vec<String>> {
+    sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.2}", p.load),
+                p.offered.to_string(),
+                p.summary.completed.to_string(),
+                p.summary.rejected.to_string(),
+                format!("{:.4}", p.summary.p50_latency_ns as f64 * 1e-6),
+                format!("{:.4}", p.summary.p95_latency_ns as f64 * 1e-6),
+                format!("{:.4}", p.summary.p99_latency_ns as f64 * 1e-6),
+                format!("{:.1}", p.wall_throughput_rps),
+                format!("{:.3}", p.stats.wall_ns as f64 * 1e-6),
+                p.stats.steals.to_string(),
+                p.stats.batches.to_string(),
+                p.stats.joins.to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// Prints the sweep and writes the (untracked, machine-dependent)
+/// `results/serving_realtime.csv`.
+///
+/// # Errors
+///
+/// Propagates [`run`]'s errors and CSV write failures.
+pub fn print() -> Result<(), ExperimentError> {
+    let sweep = run()?;
+    println!(
+        "\n== Realtime serving: wall-clock load sweep ({} workers, {} queue shards) ==",
+        sweep.config.workers, sweep.config.queue_shards
+    );
+    println!(
+        "{:>5} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9} {:>7} {:>7} {:>6}",
+        "load",
+        "offered",
+        "complete",
+        "rejected",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "wall req/s",
+        "wall ms",
+        "steals",
+        "batches",
+        "joins"
+    );
+    for p in &sweep.points {
+        println!(
+            "{:>5.2} {:>8} {:>9} {:>9} {:>9.3} {:>9.3} {:>9.3} {:>11.1} {:>9.2} {:>7} {:>7} {:>6}",
+            p.load,
+            p.offered,
+            p.summary.completed,
+            p.summary.rejected,
+            p.summary.p50_latency_ns as f64 * 1e-6,
+            p.summary.p95_latency_ns as f64 * 1e-6,
+            p.summary.p99_latency_ns as f64 * 1e-6,
+            p.wall_throughput_rps,
+            p.stats.wall_ns as f64 * 1e-6,
+            p.stats.steals,
+            p.stats.batches,
+            p.stats.joins,
+        );
+    }
+    let path = std::path::Path::new("results").join("serving_realtime.csv");
+    crate::csv::write_rows(&path, &CSV_HEADER, &csv_rows(&sweep))?;
+    println!(
+        "\nwrote {} (untracked: wall-clock numbers are machine-dependent)",
+        path.display()
+    );
+    Ok(())
+}
+
+/// Runs the conformance gate: replay one seeded open-loop trace through
+/// both engines, print the reconciliation, and fail on any mismatch.
+/// This is what the `realtime-smoke` CI job runs.
+///
+/// # Errors
+///
+/// Engine construction/drive failures, and
+/// [`ExperimentError::MissingData`] when the replay does not conform.
+pub fn conformance_print() -> Result<(), ExperimentError> {
+    // The gate's trace is deliberately light and timeout-free: the two
+    // engines model queueing differently (the oracle dispatches
+    // concurrently across the slice pool; realtime lanes serialize per
+    // tenant), so a saturating trace would diverge in latency — and a
+    // timeout would turn that legitimate divergence into divergent
+    // outcomes. At light load both engines are near-uncontended and
+    // the telemetry bound is meaningful; the work-counter check is
+    // exact regardless.
+    let config = RealtimeConfig::builder()
+        .workers(4)
+        .queue_shards(4)
+        .serve(
+            ServeConfig::builder()
+                .max_batch(8)
+                .batch_window_ns(100_000)
+                .queue_capacity(4096)
+                .build()?,
+        )
+        .build()?;
+    // Tolerance 1.0: the full-speed feeder front-loads every arrival,
+    // so realtime batches run deeper than the oracle's and mean latency
+    // sits tens of percent high, varying with thread scheduling. The
+    // bound catches order-of-magnitude breakage; correctness rides on
+    // the exact checks above it.
+    let trace = trace_for(0.25, HORIZON_NS);
+    let injector = FaultInjector::none(config.serve.base.geometry.slices());
+    let report = run_conformance(&config, &tenants(), &trace, &injector, 1.0)?;
+    println!("\n== Realtime conformance: virtual-clock oracle vs wall-clock engine ==");
+    println!("submitted            {:>12}", report.submitted);
+    println!(
+        "work counters        {:>12}  ({} ops, {} LUT reads, {} bytes)",
+        if report.work_exact {
+            "exact"
+        } else {
+            "MISMATCH"
+        },
+        report.total_work.ops,
+        report.total_work.lut_reads,
+        report.total_work.bytes
+    );
+    println!(
+        "terminal outcomes    {:>12}",
+        if report.outcomes_exact {
+            "exact"
+        } else {
+            "MISMATCH"
+        }
+    );
+    println!(
+        "mean latency         {:>9.3} ms oracle vs {:.3} ms realtime ({:+.1}%)",
+        report.mean_latency_ns.oracle * 1e-6,
+        report.mean_latency_ns.realtime * 1e-6,
+        report.mean_latency_ns.divergence * 100.0
+    );
+    println!(
+        "mean energy          {:>9.3} uJ oracle vs {:.3} uJ realtime ({:+.1}%)",
+        report.mean_energy_pj.oracle * 1e-6,
+        report.mean_energy_pj.realtime * 1e-6,
+        report.mean_energy_pj.divergence * 100.0
+    );
+    if report.passed() {
+        println!(
+            "conformance: PASS (telemetry tolerance {:.0}%)",
+            report.tolerance * 100.0
+        );
+        Ok(())
+    } else {
+        for m in &report.mismatches {
+            println!("conformance mismatch: {m}");
+        }
+        Err(ExperimentError::MissingData(format!(
+            "realtime conformance failed: {} mismatch(es)",
+            report.mismatches.len()
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_seed_deterministic_per_load() {
+        let a = trace_for(1.0, 5_000_000);
+        let b = trace_for(1.0, 5_000_000);
+        assert_eq!(a.events().len(), b.events().len());
+        assert!(!a.is_empty());
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x.at_ns, y.at_ns);
+        }
+    }
+
+    #[test]
+    fn sweep_points_are_sorted_and_accounted() {
+        let sweep = run_with_loads(vec![0.5, 0.25]).unwrap();
+        let loads: Vec<f64> = sweep.points.iter().map(|p| p.load).collect();
+        assert_eq!(loads, vec![0.25, 0.5]);
+        for p in &sweep.points {
+            assert_eq!(
+                p.summary.completed + p.summary.rejected,
+                p.offered,
+                "every offered request must terminate"
+            );
+            assert!(p.stats.wall_ns > 0);
+        }
+        assert_eq!(csv_rows(&sweep).len(), 2);
+    }
+
+    #[test]
+    fn conformance_gate_passes_on_the_ci_trace() {
+        conformance_print().unwrap();
+    }
+}

@@ -63,31 +63,43 @@ fn tenants() -> Vec<TenantSpec> {
     ]
 }
 
-/// Runs the sweep. Each load point is an independently seeded
-/// virtual-clock simulation, so the five points fan out on the
-/// `bfree::par` pool; the CSV stays bit-identical to the serial path
-/// because results are collected in load order, not completion order.
+/// Runs the sweep over the canonical load multipliers.
 ///
 /// # Errors
 ///
 /// Propagates [`ExperimentError::Serve`] if the serving configuration
 /// is rejected (cannot happen for the constants above).
 pub fn run() -> Result<ServingSweep, ExperimentError> {
-    let loads = vec![0.25, 0.5, 1.0, 2.0, 4.0];
-    let points = bfree::par::try_par_map(loads, |load| -> Result<LoadPoint, ExperimentError> {
-        let mut sim = ServingSim::new(config(), tenants())?;
-        let mut driver =
-            OpenLoopDriver::new(SEED, vec![LSTM_BASE_RPS * load, BERT_BASE_RPS * load]);
-        driver.drive(&mut sim, HORIZON_NS);
-        let summary = sim.run_to_idle().summary();
-        debug_assert_eq!(sim.work_conservation_violations(), 0);
-        Ok(LoadPoint {
-            load,
-            lstm_rps: LSTM_BASE_RPS * load,
-            bert_rps: BERT_BASE_RPS * load,
-            summary,
-        })
-    })?;
+    run_with_loads(vec![0.25, 0.5, 1.0, 2.0, 4.0])
+}
+
+/// Runs the sweep over explicit load multipliers. Each load point is an
+/// independently seeded virtual-clock simulation, so the points fan out
+/// on the `bfree::par` pool; the result is explicitly sorted by load
+/// before any CSV emission, so row order never depends on the pool's
+/// collection order (or on the order the caller listed the loads).
+///
+/// # Errors
+///
+/// Propagates [`ExperimentError::Serve`] if the serving configuration
+/// is rejected (cannot happen for the constants above).
+pub fn run_with_loads(loads: Vec<f64>) -> Result<ServingSweep, ExperimentError> {
+    let mut points =
+        bfree::par::try_par_map(loads, |load| -> Result<LoadPoint, ExperimentError> {
+            let mut sim = ServingSim::new(config(), tenants())?;
+            let mut driver =
+                OpenLoopDriver::new(SEED, vec![LSTM_BASE_RPS * load, BERT_BASE_RPS * load]);
+            driver.drive(&mut sim, HORIZON_NS);
+            let summary = sim.run_to_idle().summary();
+            debug_assert_eq!(sim.work_conservation_violations(), 0);
+            Ok(LoadPoint {
+                load,
+                lstm_rps: LSTM_BASE_RPS * load,
+                bert_rps: BERT_BASE_RPS * load,
+                summary,
+            })
+        })?;
+    points.sort_by(|a, b| a.load.total_cmp(&b.load));
     let probe = ServingSim::new(config(), tenants())?;
     let demand_slices = (
         probe.tenants()[0].demand_slices(),
@@ -195,6 +207,19 @@ mod tests {
                 p.summary.submitted
             );
         }
+    }
+
+    #[test]
+    fn rows_are_sorted_by_load_regardless_of_input_order() {
+        // Regression: row order used to be whatever order the parallel
+        // map returned, which happened to match the (sorted) input list.
+        // A shuffled load list must still emit ascending-load rows
+        // identical to the canonical sweep's.
+        let shuffled = run_with_loads(vec![4.0, 0.25, 2.0, 0.5, 1.0]).unwrap();
+        let canonical = run().unwrap();
+        let loads: Vec<f64> = shuffled.points.iter().map(|p| p.load).collect();
+        assert_eq!(loads, vec![0.25, 0.5, 1.0, 2.0, 4.0]);
+        assert_eq!(csv_rows(&shuffled), csv_rows(&canonical));
     }
 
     #[test]

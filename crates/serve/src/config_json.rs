@@ -1,12 +1,13 @@
-//! JSON round-tripping for [`ServeConfig`], layered on the hand-rolled
-//! [`bfree_obs::JsonValue`] tree (the workspace carries no external
-//! serde backend). Key order is deterministic, so serialized configs
-//! diff cleanly and hash stably.
+//! JSON round-tripping for [`ServeConfig`] and [`RealtimeConfig`],
+//! layered on the hand-rolled [`bfree_obs::JsonValue`] tree (the
+//! workspace carries no external serde backend). Key order is
+//! deterministic, so serialized configs diff cleanly and hash stably.
 
 use bfree::BfreeConfig;
 use bfree_fault::RetryPolicy;
 use bfree_obs::{JsonValue, ObsError};
 
+use crate::realtime::RealtimeConfig;
 use crate::scheduler::{SchedPolicy, ServeConfig};
 
 fn schema_err(field: &str, expected: &'static str) -> ObsError {
@@ -162,6 +163,65 @@ impl ServeConfig {
     }
 }
 
+impl RealtimeConfig {
+    /// Serializes this configuration as a [`JsonValue`] tree. The
+    /// embedded serving config uses [`ServeConfig::to_json`].
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("serve", self.serve.to_json()),
+            ("workers", JsonValue::Number(self.workers as f64)),
+            ("queue_shards", JsonValue::Number(self.queue_shards as f64)),
+            ("replay_rate", JsonValue::Number(self.replay_rate)),
+        ])
+    }
+
+    /// Serializes this configuration as a JSON string with
+    /// deterministic key order.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Deserializes a configuration from a [`JsonValue`] tree.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Schema`] for a missing or mistyped field, a
+    /// non-finite or negative replay rate, an invalid embedded serving
+    /// config, and for anything [`RealtimeConfig::validate`] rejects
+    /// (zero workers, non-power-of-two shard count): a config that
+    /// parses is a config that runs.
+    pub fn from_json(value: &JsonValue) -> Result<RealtimeConfig, ObsError> {
+        let serve = value
+            .get("serve")
+            .ok_or_else(|| schema_err("serve", "a serving config object"))?;
+        let replay_rate = value
+            .get("replay_rate")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| schema_err("replay_rate", "a number"))?;
+        let config = RealtimeConfig {
+            serve: ServeConfig::from_json(serve)?,
+            workers: value.require_u64("workers")? as usize,
+            queue_shards: value.require_u64("queue_shards")? as usize,
+            replay_rate,
+        };
+        config.validate().map_err(|e| ObsError::Schema {
+            field: e.to_string(),
+            expected: "a self-consistent realtime config",
+        })?;
+        Ok(config)
+    }
+
+    /// Deserializes a configuration from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Parse`] for malformed JSON, [`ObsError::Schema`] for
+    /// a well-formed document with missing or mistyped fields.
+    pub fn from_json_str(text: &str) -> Result<RealtimeConfig, ObsError> {
+        Self::from_json(&JsonValue::parse(text)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +335,67 @@ mod tests {
                 other => panic!("negative {field} must fail at parse time, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn realtime_paper_default_round_trips() {
+        let config = RealtimeConfig::paper_default();
+        let back = RealtimeConfig::from_json_str(&config.to_json_string()).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn realtime_non_default_fields_round_trip() {
+        let config = RealtimeConfig::builder()
+            .workers(7)
+            .queue_shards(16)
+            .replay_rate(2.5)
+            .serve(
+                ServeConfig::builder()
+                    .policy(SchedPolicy::Sjf)
+                    .max_batch(8)
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let back = RealtimeConfig::from_json_str(&config.to_json_string()).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn realtime_parsed_configs_are_validated() {
+        // (field tampered with, bad value) pairs that parse structurally
+        // but must be rejected by validation or the rate check.
+        for (field, bad) in [
+            ("workers", JsonValue::Number(0.0)),
+            ("queue_shards", JsonValue::Number(3.0)),
+            ("replay_rate", JsonValue::Number(-1.0)),
+            ("replay_rate", JsonValue::Number(f64::NAN)),
+        ] {
+            let mut json = RealtimeConfig::paper_default().to_json();
+            if let JsonValue::Object(map) = &mut json {
+                map.insert(field.to_string(), bad);
+            }
+            let err = RealtimeConfig::from_json(&json).unwrap_err();
+            assert!(
+                matches!(err, ObsError::Schema { .. }),
+                "bad {field} must fail at parse time, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn realtime_embedded_serve_config_is_validated() {
+        let mut json = RealtimeConfig::paper_default().to_json();
+        if let Some(JsonValue::Object(serve)) = match &mut json {
+            JsonValue::Object(map) => map.get_mut("serve"),
+            _ => None,
+        } {
+            serve.insert("max_batch".to_string(), JsonValue::Number(0.0));
+        }
+        let err = RealtimeConfig::from_json(&json).unwrap_err();
+        assert!(matches!(err, ObsError::Schema { .. }), "got {err:?}");
     }
 
     #[test]

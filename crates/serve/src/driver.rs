@@ -33,17 +33,13 @@ impl OpenLoopDriver {
         }
     }
 
-    /// Generates and submits every arrival in `[0, horizon_ns)`, in
-    /// global time order, and returns how many were submitted.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the driver has more rates than `sim` has tenants.
-    pub fn drive<R: Recorder>(&mut self, sim: &mut ServingSim<R>, horizon_ns: u64) -> u64 {
-        assert!(
-            self.rates_rps.len() <= sim.tenants().len(),
-            "driver configured for more tenants than the simulator has"
-        );
+    /// Generates every arrival in `[0, horizon_ns)` as `(at_ns, tenant)`
+    /// pairs in global time order, advancing the driver's RNG. This is
+    /// the trace-building primitive behind [`drive`](Self::drive): the
+    /// realtime experiments and the conformance harness use it to build
+    /// a [`RequestTrace`](crate::RequestTrace) they can replay through
+    /// *both* engines.
+    pub fn arrivals(&mut self, horizon_ns: u64) -> Vec<(u64, usize)> {
         let mut arrivals: Vec<(u64, usize)> = Vec::new();
         for (tenant, &rate) in self.rates_rps.iter().enumerate() {
             if rate <= 0.0 {
@@ -63,6 +59,21 @@ impl OpenLoopDriver {
             }
         }
         arrivals.sort_unstable();
+        arrivals
+    }
+
+    /// Generates and submits every arrival in `[0, horizon_ns)`, in
+    /// global time order, and returns how many were submitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver has more rates than `sim` has tenants.
+    pub fn drive<R: Recorder>(&mut self, sim: &mut ServingSim<R>, horizon_ns: u64) -> u64 {
+        assert!(
+            self.rates_rps.len() <= sim.tenants().len(),
+            "driver configured for more tenants than the simulator has"
+        );
+        let arrivals = self.arrivals(horizon_ns);
         let count = arrivals.len() as u64;
         for (at_ns, tenant) in arrivals {
             sim.submit(tenant, at_ns);
@@ -186,6 +197,16 @@ mod tests {
         let mut s2 = sim();
         let fast = OpenLoopDriver::new(1, vec![10_000.0]).drive(&mut s2, 100_000_000);
         assert!(fast > slow * 10, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn arrivals_match_what_drive_submits() {
+        let mut trace_driver = OpenLoopDriver::new(7, vec![2_000.0, 500.0]);
+        let arrivals = trace_driver.arrivals(10_000_000);
+        let mut s = sim();
+        let driven = OpenLoopDriver::new(7, vec![2_000.0, 500.0]).drive(&mut s, 10_000_000);
+        assert_eq!(arrivals.len() as u64, driven);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "sorted by time");
     }
 
     #[test]

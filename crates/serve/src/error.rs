@@ -67,6 +67,12 @@ pub enum ServeError {
     },
     /// The underlying architecture model rejected a derived geometry.
     Arch(pim_arch::ArchError),
+    /// The realtime engine could not run: a double drive, a failed
+    /// worker, or a conformance reconciliation failure.
+    Realtime {
+        /// Why the realtime run failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -79,6 +85,9 @@ impl fmt::Display for ServeError {
                 write!(f, "invalid serving config {parameter}: {reason}")
             }
             ServeError::Arch(e) => write!(f, "architecture model error: {e}"),
+            ServeError::Realtime { reason } => {
+                write!(f, "realtime serving error: {reason}")
+            }
         }
     }
 }

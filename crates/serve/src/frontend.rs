@@ -1,0 +1,316 @@
+//! The engine-agnostic serving frontend: recorded request traces,
+//! batch-independent work counters, and the [`Frontend`] trait both
+//! engines implement.
+//!
+//! The workspace now carries two serving engines — the deterministic
+//! virtual-clock [`crate::ServingSim`] (the oracle) and the wall-clock
+//! multi-threaded [`crate::RealtimeEngine`]. Experiments and the
+//! conformance harness are written once against [`Frontend`]: record a
+//! [`RequestTrace`], replay it through either engine, and collect the
+//! same [`ServingTelemetry`] plus a [`WorkLedger`] of per-request work.
+//!
+//! Work counters are *batch-independent*: a request's ops, LUT reads
+//! and bytes are a pure function of the model version that served it
+//! (see [`crate::Tenant::request_work`]), never of how it was batched
+//! or scheduled. Both engines therefore must agree on them **exactly**
+//! for the same trace — any lost, duplicated, or wrong-version
+//! dispatch shows up as a counter mismatch, while latency and energy
+//! (which *do* depend on batching and contention) only reconcile
+//! within tolerance.
+
+use std::collections::BTreeMap;
+use std::ops::{Add, AddAssign};
+
+use crate::error::ServeError;
+use crate::telemetry::ServingTelemetry;
+use crate::tenant::TenantSpec;
+
+/// Batch-independent work performed for one request (or one service
+/// attempt): scalar operations, LUT-row reads, and bytes moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkCounters {
+    /// Scalar operations: MACs plus element-wise ops.
+    pub ops: u64,
+    /// LUT-row reads issued by the bit-serial multiplier (4-bit
+    /// decomposition: an int8 product is 4 nibble-product lookups).
+    pub lut_reads: u64,
+    /// Bytes moved: weights at the layer's precision plus input and
+    /// output activations.
+    pub bytes: u64,
+}
+
+impl WorkCounters {
+    /// All-zero counters.
+    pub const ZERO: WorkCounters = WorkCounters {
+        ops: 0,
+        lut_reads: 0,
+        bytes: 0,
+    };
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == WorkCounters::ZERO
+    }
+}
+
+impl Add for WorkCounters {
+    type Output = WorkCounters;
+
+    fn add(self, rhs: WorkCounters) -> WorkCounters {
+        WorkCounters {
+            ops: self.ops + rhs.ops,
+            lut_reads: self.lut_reads + rhs.lut_reads,
+            bytes: self.bytes + rhs.bytes,
+        }
+    }
+}
+
+impl AddAssign for WorkCounters {
+    fn add_assign(&mut self, rhs: WorkCounters) {
+        *self = *self + rhs;
+    }
+}
+
+/// Per-request work accounting, accumulated as an engine executes.
+///
+/// Every *executed* service attempt charges its request's counters —
+/// retried attempts charge again, so the ledger reflects work actually
+/// performed, not work usefully delivered. Requests shed without
+/// service never appear.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkLedger {
+    per_request: BTreeMap<u64, WorkCounters>,
+}
+
+impl WorkLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        WorkLedger::default()
+    }
+
+    /// Charges `work` to `request_id`, accumulating over attempts.
+    pub fn charge(&mut self, request_id: u64, work: WorkCounters) {
+        *self.per_request.entry(request_id).or_default() += work;
+    }
+
+    /// Merges another ledger into this one (disjoint or overlapping
+    /// request sets both accumulate).
+    pub fn merge(&mut self, other: &WorkLedger) {
+        for (&id, &work) in &other.per_request {
+            self.charge(id, work);
+        }
+    }
+
+    /// The accumulated counters for one request, if any attempt ran.
+    pub fn get(&self, request_id: u64) -> Option<WorkCounters> {
+        self.per_request.get(&request_id).copied()
+    }
+
+    /// Requests with at least one charged attempt.
+    pub fn requests(&self) -> usize {
+        self.per_request.len()
+    }
+
+    /// Per-request counters in ascending request-ID order.
+    pub fn per_request(&self) -> &BTreeMap<u64, WorkCounters> {
+        &self.per_request
+    }
+
+    /// The sum over all requests.
+    pub fn total(&self) -> WorkCounters {
+        self.per_request
+            .values()
+            .fold(WorkCounters::ZERO, |acc, &w| acc + w)
+    }
+}
+
+/// One operation in a recorded trace.
+#[derive(Debug, Clone)]
+pub enum TraceOp {
+    /// Submit one inference request for a tenant.
+    Submit {
+        /// Index of the tenant the request targets.
+        tenant: usize,
+    },
+    /// Publish a new model version for a tenant slot.
+    Swap {
+        /// Index of the tenant slot to republish.
+        tenant: usize,
+        /// The version number to publish.
+        version: u64,
+        /// The spec serving the new version.
+        spec: TenantSpec,
+    },
+}
+
+/// One timestamped trace operation.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Virtual time of the operation in nanoseconds.
+    pub at_ns: u64,
+    /// The operation itself.
+    pub op: TraceOp,
+}
+
+/// A recorded request trace: the engine-agnostic input both frontends
+/// replay. Request IDs are assigned by the engine in trace order
+/// (stable sort by `at_ns`), so the same trace yields the same ID for
+/// the same logical request in every engine.
+#[derive(Debug, Clone, Default)]
+pub struct RequestTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl RequestTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        RequestTrace::default()
+    }
+
+    /// Appends one request submission at virtual time `at_ns`.
+    pub fn submit(&mut self, at_ns: u64, tenant: usize) -> &mut Self {
+        self.events.push(TraceEvent {
+            at_ns,
+            op: TraceOp::Submit { tenant },
+        });
+        self
+    }
+
+    /// Appends one model hot-swap at virtual time `at_ns`.
+    pub fn swap(&mut self, at_ns: u64, tenant: usize, version: u64, spec: TenantSpec) -> &mut Self {
+        self.events.push(TraceEvent {
+            at_ns,
+            op: TraceOp::Swap {
+                tenant,
+                version,
+                spec,
+            },
+        });
+        self
+    }
+
+    /// The raw events in insertion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The events in replay order: stable-sorted by `at_ns`, so
+    /// same-time events keep their insertion order.
+    pub fn ordered(&self) -> Vec<TraceEvent> {
+        let mut ordered = self.events.clone();
+        ordered.sort_by_key(|e| e.at_ns);
+        ordered
+    }
+
+    /// Number of submission events.
+    pub fn submissions(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.op, TraceOp::Submit { .. }))
+            .count() as u64
+    }
+
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// The unified serving frontend: submit a recorded trace, drive it to
+/// completion, collect telemetry and the work ledger.
+///
+/// Implemented by the virtual-clock [`crate::ServingSim`] and the
+/// wall-clock [`crate::RealtimeEngine`]; the conformance harness
+/// ([`crate::realtime::run_conformance`]) replays one trace through
+/// both and reconciles the results.
+pub trait Frontend {
+    /// Short engine label for reports (`"virtual-clock"`, `"realtime"`).
+    fn engine(&self) -> &'static str;
+
+    /// Enqueues every event of `trace` (in [`RequestTrace::ordered`]
+    /// order) and returns the number of submissions accepted into the
+    /// engine. Swap specs are priced eagerly, so a trace that submits
+    /// is a trace that replays.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidTenants`] for an out-of-range tenant index;
+    /// [`ServeError::Arch`] if a swap spec cannot be priced.
+    fn submit_trace(&mut self, trace: &RequestTrace) -> Result<u64, ServeError>;
+
+    /// Runs the engine until every submitted request is terminal.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Realtime`] if the engine cannot (re-)run — the
+    /// virtual-clock engine never fails here.
+    fn drive_to_idle(&mut self) -> Result<(), ServeError>;
+
+    /// Telemetry collected so far.
+    fn serving_telemetry(&self) -> &ServingTelemetry;
+
+    /// Per-request work performed so far.
+    fn work_ledger(&self) -> &WorkLedger;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_nn::request::NetworkKind;
+
+    #[test]
+    fn work_counters_add_and_compare() {
+        let a = WorkCounters {
+            ops: 1,
+            lut_reads: 2,
+            bytes: 3,
+        };
+        let b = a + a;
+        assert_eq!(
+            b,
+            WorkCounters {
+                ops: 2,
+                lut_reads: 4,
+                bytes: 6
+            }
+        );
+        assert!(WorkCounters::ZERO.is_zero());
+        assert!(!b.is_zero());
+    }
+
+    #[test]
+    fn ledger_accumulates_attempts_and_merges() {
+        let w = WorkCounters {
+            ops: 10,
+            lut_reads: 5,
+            bytes: 1,
+        };
+        let mut ledger = WorkLedger::new();
+        ledger.charge(7, w);
+        ledger.charge(7, w);
+        ledger.charge(9, w);
+        assert_eq!(ledger.requests(), 2);
+        assert_eq!(ledger.get(7).unwrap().ops, 20);
+        assert_eq!(ledger.total().ops, 30);
+        let mut other = WorkLedger::new();
+        other.charge(9, w);
+        ledger.merge(&other);
+        assert_eq!(ledger.get(9).unwrap().ops, 20);
+    }
+
+    #[test]
+    fn trace_orders_stably_by_time() {
+        let mut trace = RequestTrace::new();
+        trace.submit(200, 1);
+        trace.submit(100, 0);
+        trace.swap(100, 0, 2, TenantSpec::new("lstm", NetworkKind::LstmTimit));
+        let ordered = trace.ordered();
+        assert_eq!(ordered.len(), 3);
+        assert_eq!(ordered[0].at_ns, 100);
+        // Stable: the submit at 100 was inserted before the swap at 100.
+        assert!(matches!(ordered[0].op, TraceOp::Submit { tenant: 0 }));
+        assert!(matches!(ordered[1].op, TraceOp::Swap { .. }));
+        assert_eq!(trace.submissions(), 2);
+        assert!(!trace.is_empty());
+    }
+}

@@ -24,7 +24,14 @@
 //! * [`ServingSim`] — the event-driven engine (u64-nanosecond virtual
 //!   clock, no wall time, no hash-order nondeterminism);
 //! * [`Telemetry`] — per-request latency/energy records, pool
-//!   utilization, and p50/p95/p99 summaries exportable as CSV rows.
+//!   utilization, and p50/p95/p99 summaries exportable as CSV rows;
+//! * [`Frontend`] — the engine-agnostic serving API: record a
+//!   [`RequestTrace`], replay it through an engine, collect
+//!   [`ServingTelemetry`] and a [`WorkLedger`] of per-request work;
+//! * [`realtime`] — the wall-clock, multi-threaded front-end
+//!   ([`RealtimeEngine`]): sharded admission queue, work-stealing
+//!   worker pool, continuous batching — conformance-checked against
+//!   the virtual-clock oracle ([`realtime::run_conformance`]).
 //!
 //! ```
 //! use bfree_serve::{ServeConfig, ServingSim, TenantSpec};
@@ -50,7 +57,9 @@ pub mod config_json;
 pub mod contention;
 pub mod driver;
 pub mod error;
+pub mod frontend;
 pub mod pool;
+pub mod realtime;
 pub mod registry;
 pub mod scheduler;
 pub mod sim;
@@ -60,18 +69,24 @@ pub mod tenant;
 pub use contention::CoTenancyModel;
 pub use driver::{ClosedLoopDriver, OpenLoopDriver};
 pub use error::{RejectReason, ServeError};
+pub use frontend::{Frontend, RequestTrace, TraceEvent, TraceOp, WorkCounters, WorkLedger};
 pub use pool::{SliceAllocation, SlicePool};
+pub use realtime::{
+    ConformanceReport, RealtimeConfig, RealtimeConfigBuilder, RealtimeEngine,
+    RealtimeEngineBuilder, RealtimeStats, ShardedQueue,
+};
 pub use registry::{ModelRegistry, ModelVersion};
 pub use scheduler::{SchedPolicy, Scheduler, ServeConfig, ServeConfigBuilder};
-pub use sim::ServingSim;
-pub use telemetry::{Outcome, RequestRecord, ServingSummary, Telemetry};
+pub use sim::{ServingSim, ServingSimBuilder};
+pub use telemetry::{Outcome, RequestRecord, ServingSummary, ServingTelemetry, Telemetry};
 pub use tenant::{Tenant, TenantSpec};
 
 /// Convenient glob import for serving binaries and tests.
 pub mod prelude {
     pub use crate::{
-        ClosedLoopDriver, OpenLoopDriver, Outcome, RejectReason, SchedPolicy, ServeConfig,
-        ServeConfigBuilder, ServeError, ServingSim, Telemetry, TenantSpec,
+        ClosedLoopDriver, Frontend, OpenLoopDriver, Outcome, RealtimeConfig, RealtimeConfigBuilder,
+        RealtimeEngine, RejectReason, RequestTrace, SchedPolicy, ServeConfig, ServeConfigBuilder,
+        ServeError, ServingSim, ServingTelemetry, Telemetry, TenantSpec, WorkCounters, WorkLedger,
     };
     pub use bfree::prelude::*;
     pub use pim_nn::request::NetworkKind;

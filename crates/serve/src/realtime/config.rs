@@ -1,0 +1,226 @@
+//! Configuration of the realtime serving front-end.
+
+use crate::error::ServeError;
+use crate::scheduler::ServeConfig;
+
+/// Configuration of the wall-clock realtime engine: the shared
+/// [`ServeConfig`] (machine, batching, retry, deadlines) plus the
+/// knobs only a concurrent front-end has — worker count, admission
+/// queue sharding, and trace replay pacing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealtimeConfig {
+    /// The serving parameters shared with the virtual-clock engine.
+    /// Conformance requires the *same* `serve` on both sides.
+    pub serve: ServeConfig,
+    /// Worker threads in the persistent dispatch pool (≥ 1).
+    pub workers: usize,
+    /// Admission-queue shards (a power of two, so a request's home
+    /// shard is a mask of its ID).
+    pub queue_shards: usize,
+    /// Trace replay pacing: virtual nanoseconds of trace time replayed
+    /// per wall nanosecond. `0.0` replays as fast as the feeder can
+    /// push (the throughput-measurement mode); `1.0` replays in real
+    /// time. Must be finite and non-negative.
+    pub replay_rate: f64,
+}
+
+impl Default for RealtimeConfig {
+    fn default() -> Self {
+        RealtimeConfig {
+            serve: ServeConfig::paper_default(),
+            workers: 4,
+            queue_shards: 4,
+            replay_rate: 0.0,
+        }
+    }
+}
+
+impl RealtimeConfig {
+    /// The canonical realtime setup: the paper-default serving config
+    /// behind 4 workers and 4 queue shards, replaying traces at full
+    /// speed. Identical to [`Default::default`].
+    #[doc(alias = "default")]
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// A validating builder seeded with
+    /// [`paper_default`](RealtimeConfig::paper_default).
+    ///
+    /// ```
+    /// use bfree_serve::RealtimeConfig;
+    ///
+    /// let config = RealtimeConfig::builder()
+    ///     .workers(2)
+    ///     .queue_shards(8)
+    ///     .build()?;
+    /// assert_eq!(config.workers, 2);
+    /// # Ok::<(), bfree_serve::ServeError>(())
+    /// ```
+    pub fn builder() -> RealtimeConfigBuilder {
+        RealtimeConfigBuilder::new()
+    }
+
+    /// Checks parameter sanity, including the embedded
+    /// [`ServeConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] naming the offending
+    /// parameter.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        self.serve.validate()?;
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig {
+                parameter: "workers",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if !self.queue_shards.is_power_of_two() {
+            return Err(ServeError::InvalidConfig {
+                parameter: "queue_shards",
+                reason: format!(
+                    "must be a power of two (home shard is id & mask), got {}",
+                    self.queue_shards
+                ),
+            });
+        }
+        if !self.replay_rate.is_finite() || self.replay_rate < 0.0 {
+            return Err(ServeError::InvalidConfig {
+                parameter: "replay_rate",
+                reason: format!("must be finite and non-negative, got {}", self.replay_rate),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`RealtimeConfig`]: every setter is typed, and
+/// [`build`](RealtimeConfigBuilder::build) runs
+/// [`RealtimeConfig::validate`], so an invalid combination is caught
+/// at construction instead of at pool spawn.
+#[derive(Debug, Clone)]
+#[must_use = "builders do nothing until .build() is called"]
+pub struct RealtimeConfigBuilder {
+    config: RealtimeConfig,
+}
+
+impl Default for RealtimeConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RealtimeConfigBuilder {
+    /// A builder seeded with [`RealtimeConfig::paper_default`].
+    pub fn new() -> Self {
+        RealtimeConfigBuilder {
+            config: RealtimeConfig::paper_default(),
+        }
+    }
+
+    /// The serving parameters shared with the virtual-clock engine.
+    pub fn serve(mut self, serve: ServeConfig) -> Self {
+        self.config.serve = serve;
+        self
+    }
+
+    /// Worker threads in the persistent dispatch pool.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Admission-queue shards (a power of two).
+    pub fn queue_shards(mut self, queue_shards: usize) -> Self {
+        self.config.queue_shards = queue_shards;
+        self
+    }
+
+    /// Trace replay pacing (`0.0` = as fast as possible).
+    pub fn replay_rate(mut self, replay_rate: f64) -> Self {
+        self.config.replay_rate = replay_rate;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] naming the offending
+    /// parameter.
+    pub fn build(self) -> Result<RealtimeConfig, ServeError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        assert!(RealtimeConfig::paper_default().validate().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_bad_parameters_by_name() {
+        let err = RealtimeConfig::builder().workers(0).build().unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidConfig {
+                parameter: "workers",
+                ..
+            }
+        ));
+        let err = RealtimeConfig::builder()
+            .queue_shards(3)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidConfig {
+                parameter: "queue_shards",
+                ..
+            }
+        ));
+        let err = RealtimeConfig::builder()
+            .replay_rate(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidConfig {
+                parameter: "replay_rate",
+                ..
+            }
+        ));
+        let err = RealtimeConfig::builder()
+            .replay_rate(-1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidConfig {
+                parameter: "replay_rate",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn embedded_serve_config_is_validated_too() {
+        let mut serve = ServeConfig::paper_default();
+        serve.max_batch = 0;
+        let err = RealtimeConfig::builder().serve(serve).build().unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidConfig {
+                parameter: "max_batch",
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,329 @@
+//! The virtual-clock conformance harness.
+//!
+//! [`run_conformance`] replays one recorded [`RequestTrace`] through
+//! both frontends — the deterministic [`ServingSim`] oracle and the
+//! wall-clock [`RealtimeEngine`] — and reconciles the results:
+//!
+//! * **Exact**: per-request work counters (ops, LUT reads, bytes) must
+//!   be equal key-for-key and value-for-value. Work is a pure function
+//!   of (model version, attempt count), so any lost request, double
+//!   dispatch, wrong-version execution, or divergent retry sequence
+//!   shows up here no matter how the threads interleaved.
+//! * **Exact**: the sets of completed and rejected request IDs, and the
+//!   retry count.
+//! * **Within tolerance**: aggregate latency and energy. Batching
+//!   composition depends on real scheduling, so these legitimately
+//!   drift; the harness bounds the drift instead of pinning it.
+//!
+//! The harness accepts traces the realtime engine can replay: the
+//! injector may carry transient faults, stragglers and LUT corruption,
+//! but not scheduled slice failures (those need the oracle's event
+//! heap). Model-swap traces conform when the trace leaves a gap for the
+//! swapped tenant: both engines then apply the swap between that
+//! tenant's requests, which is exactly the per-tenant quiesce the
+//! realtime feeder enforces.
+
+use bfree_fault::FaultInjector;
+use bfree_obs::Recorder;
+
+use crate::error::ServeError;
+use crate::frontend::{Frontend, RequestTrace, WorkCounters};
+use crate::realtime::config::RealtimeConfig;
+use crate::realtime::engine::RealtimeEngine;
+use crate::sim::ServingSim;
+use crate::telemetry::Outcome;
+use crate::tenant::TenantSpec;
+
+/// One reconciled quantity: the oracle's value, the realtime value,
+/// and the relative divergence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reconciled {
+    /// The virtual-clock oracle's value.
+    pub oracle: f64,
+    /// The realtime engine's value.
+    pub realtime: f64,
+    /// `|realtime - oracle| / max(|oracle|, epsilon)`.
+    pub divergence: f64,
+}
+
+impl Reconciled {
+    fn of(oracle: f64, realtime: f64) -> Self {
+        let denom = oracle.abs().max(1e-9);
+        Reconciled {
+            oracle,
+            realtime,
+            divergence: (realtime - oracle).abs() / denom,
+        }
+    }
+}
+
+/// The outcome of one conformance replay.
+#[derive(Debug, Clone)]
+pub struct ConformanceReport {
+    /// Requests the trace submitted.
+    pub submitted: u64,
+    /// Whether the per-request work ledgers were exactly equal.
+    pub work_exact: bool,
+    /// Whether completed / rejected request-ID sets and retry counts
+    /// were exactly equal.
+    pub outcomes_exact: bool,
+    /// Total work both engines agreed on (oracle's ledger total).
+    pub total_work: WorkCounters,
+    /// Mean completed-request latency, reconciled.
+    pub mean_latency_ns: Reconciled,
+    /// Mean completed-request energy, reconciled.
+    pub mean_energy_pj: Reconciled,
+    /// The tolerance the telemetry was checked against.
+    pub tolerance: f64,
+    /// Human-readable mismatch descriptions (empty on a pass).
+    pub mismatches: Vec<String>,
+}
+
+impl ConformanceReport {
+    /// Whether every exact check held and every reconciled quantity
+    /// stayed within tolerance.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Replays `trace` through both engines and reconciles them. The
+/// realtime engine runs with the `config.serve` the oracle uses, so
+/// the comparison is apples-to-apples by construction.
+///
+/// # Errors
+///
+/// Construction and drive errors from either engine; the comparison
+/// itself never errors (mismatches land in the report).
+pub fn run_conformance(
+    config: &RealtimeConfig,
+    specs: &[TenantSpec],
+    trace: &RequestTrace,
+    injector: &FaultInjector,
+    tolerance: f64,
+) -> Result<ConformanceReport, ServeError> {
+    let mut oracle = ServingSim::builder(config.serve.clone(), specs.to_vec())
+        .injector(injector.clone())
+        .build()?;
+    let mut realtime = RealtimeEngine::builder(config.clone(), specs.to_vec())
+        .injector(injector.clone())
+        .build()?;
+    let submitted = oracle.submit_trace(trace)?;
+    let rt_submitted = realtime.submit_trace(trace)?;
+    debug_assert_eq!(submitted, rt_submitted);
+    oracle.drive_to_idle()?;
+    realtime.drive_to_idle()?;
+    Ok(reconcile(&oracle, &realtime, submitted, tolerance))
+}
+
+/// Compares two driven frontends. Exposed so tests can drive engines
+/// themselves (e.g. with recorders attached) and still reconcile.
+pub fn reconcile<A, B>(
+    oracle: &A,
+    realtime: &B,
+    submitted: u64,
+    tolerance: f64,
+) -> ConformanceReport
+where
+    A: Frontend,
+    B: Frontend,
+{
+    let mut mismatches = Vec::new();
+
+    let oracle_ledger = oracle.work_ledger();
+    let realtime_ledger = realtime.work_ledger();
+    let work_exact = oracle_ledger == realtime_ledger;
+    if !work_exact {
+        let oracle_map = oracle_ledger.per_request();
+        let realtime_map = realtime_ledger.per_request();
+        for (id, w) in oracle_map {
+            match realtime_map.get(id) {
+                None => mismatches.push(format!("request {id}: work charged only by the oracle")),
+                Some(rw) if rw != w => mismatches.push(format!(
+                    "request {id}: work diverged (oracle {w:?}, realtime {rw:?})"
+                )),
+                Some(_) => {}
+            }
+        }
+        for id in realtime_map.keys() {
+            if !oracle_map.contains_key(id) {
+                mismatches.push(format!("request {id}: work charged only by realtime"));
+            }
+        }
+        if mismatches.is_empty() {
+            mismatches.push("work ledgers differ".to_string());
+        }
+    }
+
+    let outcome_set = |records: &[crate::telemetry::RequestRecord]| {
+        let mut v: Vec<(u64, bool)> = records
+            .iter()
+            .map(|r| (r.request_id, r.outcome == Outcome::Completed))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let oracle_outcomes = outcome_set(oracle.serving_telemetry().records());
+    let realtime_outcomes = outcome_set(realtime.serving_telemetry().records());
+    let oracle_summary = oracle.serving_telemetry().summary();
+    let realtime_summary = realtime.serving_telemetry().summary();
+    let mut outcomes_exact = oracle_outcomes == realtime_outcomes;
+    if !outcomes_exact {
+        mismatches.push(format!(
+            "terminal outcomes diverged: oracle {} completed / {} rejected, realtime {} / {}",
+            oracle_summary.completed,
+            oracle_summary.rejected,
+            realtime_summary.completed,
+            realtime_summary.rejected,
+        ));
+    }
+    if oracle_summary.retries != realtime_summary.retries {
+        outcomes_exact = false;
+        mismatches.push(format!(
+            "retry counts diverged: oracle {} realtime {}",
+            oracle_summary.retries, realtime_summary.retries
+        ));
+    }
+
+    let mean_latency_ns = Reconciled::of(
+        oracle_summary.mean_latency_ns,
+        realtime_summary.mean_latency_ns,
+    );
+    let mean_energy_pj = Reconciled::of(
+        oracle_summary.energy_per_request.picojoules(),
+        realtime_summary.energy_per_request.picojoules(),
+    );
+    if oracle_summary.completed > 0 {
+        if mean_latency_ns.divergence > tolerance {
+            mismatches.push(format!(
+                "mean latency diverged by {:.1}% (tolerance {:.1}%)",
+                mean_latency_ns.divergence * 100.0,
+                tolerance * 100.0
+            ));
+        }
+        if mean_energy_pj.divergence > tolerance {
+            mismatches.push(format!(
+                "mean energy diverged by {:.1}% (tolerance {:.1}%)",
+                mean_energy_pj.divergence * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+
+    ConformanceReport {
+        submitted,
+        work_exact,
+        outcomes_exact,
+        total_work: oracle_ledger.total(),
+        mean_latency_ns,
+        mean_energy_pj,
+        tolerance,
+        mismatches,
+    }
+}
+
+/// [`run_conformance`] with engines generic over recorders, driving
+/// both and returning the engines alongside the report — the
+/// observability integration tests use this to inspect recorded
+/// events after a conformant run.
+///
+/// # Errors
+///
+/// Same as [`run_conformance`].
+pub fn run_conformance_recorded<RO, RR>(
+    config: &RealtimeConfig,
+    specs: &[TenantSpec],
+    trace: &RequestTrace,
+    injector: &FaultInjector,
+    tolerance: f64,
+    oracle_recorder: RO,
+    realtime_recorder: RR,
+) -> Result<(ConformanceReport, ServingSim<RO>, RealtimeEngine<RR>), ServeError>
+where
+    RO: Recorder,
+    RR: Recorder + Sync,
+{
+    let mut oracle = ServingSim::builder(config.serve.clone(), specs.to_vec())
+        .recorder(oracle_recorder)
+        .injector(injector.clone())
+        .build()?;
+    let mut realtime = RealtimeEngine::builder(config.clone(), specs.to_vec())
+        .recorder(realtime_recorder)
+        .injector(injector.clone())
+        .build()?;
+    let submitted = oracle.submit_trace(trace)?;
+    realtime.submit_trace(trace)?;
+    oracle.drive_to_idle()?;
+    realtime.drive_to_idle()?;
+    let report = reconcile(&oracle, &realtime, submitted, tolerance);
+    Ok((report, oracle, realtime))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use pim_nn::request::NetworkKind;
+
+    fn config() -> RealtimeConfig {
+        RealtimeConfig::builder()
+            .workers(2)
+            .serve(
+                ServeConfig::builder()
+                    .max_batch(4)
+                    .queue_capacity(4096)
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fault_free_open_loop_trace_conforms() {
+        let specs = vec![
+            TenantSpec::new("lstm", NetworkKind::LstmTimit),
+            TenantSpec::new("bert", NetworkKind::BertBase),
+        ];
+        let mut trace = RequestTrace::new();
+        for i in 0..12u64 {
+            trace.submit(i * 5_000, (i % 2) as usize);
+        }
+        let config = config();
+        let injector = FaultInjector::none(config.serve.base.geometry.slices());
+        let report = run_conformance(&config, &specs, &trace, &injector, 0.5).unwrap();
+        assert!(report.passed(), "mismatches: {:?}", report.mismatches);
+        assert!(report.work_exact);
+        assert!(report.outcomes_exact);
+        assert_eq!(report.submitted, 12);
+        assert!(report.total_work.ops > 0);
+        assert!(report.total_work.lut_reads > 0);
+        assert!(report.total_work.bytes > 0);
+    }
+
+    #[test]
+    fn conformance_catches_a_tampered_ledger() {
+        // Drive the same trace through two oracles, then tamper with
+        // one's ledger via a divergent trace: one extra request.
+        let specs = vec![TenantSpec::new("lstm", NetworkKind::LstmTimit)];
+        let config = config();
+        let mut short = RequestTrace::new();
+        short.submit(0, 0);
+        let mut long = RequestTrace::new();
+        long.submit(0, 0);
+        long.submit(1_000, 0);
+        let mut a = ServingSim::new(config.serve.clone(), specs.clone()).unwrap();
+        let mut b = ServingSim::new(config.serve.clone(), specs).unwrap();
+        a.submit_trace(&short).unwrap();
+        b.submit_trace(&long).unwrap();
+        a.drive_to_idle().unwrap();
+        b.drive_to_idle().unwrap();
+        let report = reconcile(&a, &b, 1, 0.5);
+        assert!(!report.passed());
+        assert!(!report.work_exact);
+        assert!(report
+            .mismatches
+            .iter()
+            .any(|m| m.contains("only by realtime")));
+    }
+}

@@ -1,0 +1,1042 @@
+//! The wall-clock realtime serving engine.
+//!
+//! [`RealtimeEngine`] runs the same serving semantics as the
+//! virtual-clock [`crate::ServingSim`] — same tenants, same pricing,
+//! same fault and retry discipline — but executes them on real
+//! threads: a feeder replays the recorded trace into a
+//! [`ShardedQueue`], and a persistent pool of workers
+//! ([`bfree::par::run_worker_pool`]) pulls requests, routes them to
+//! per-tenant *lanes*, and services them with continuous batching —
+//! requests join and leave an in-flight batch at layer boundaries
+//! rather than waiting for the next full dispatch.
+//!
+//! Timestamps in the emitted telemetry are **virtual**: each lane
+//! carries its own nanosecond clock advanced by the priced per-layer
+//! latencies, so latency percentiles are comparable with the oracle's
+//! even though completion *order* (and therefore batching) depends on
+//! real scheduling. What does not depend on scheduling is the work:
+//! both engines charge identical [`WorkCounters`] per executed service
+//! attempt, which is exactly what the conformance harness
+//! ([`super::run_conformance`]) pins down.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use bfree_fault::FaultInjector;
+use bfree_obs::{NullRecorder, Recorder, Subsystem, Unit};
+use pim_arch::Energy;
+
+use crate::error::{RejectReason, ServeError};
+use crate::frontend::{Frontend, RequestTrace, TraceOp, WorkCounters, WorkLedger};
+use crate::realtime::config::RealtimeConfig;
+use crate::realtime::queue::ShardedQueue;
+use crate::registry::ModelRegistry;
+use crate::scheduler::QueuedRequest;
+use crate::telemetry::{Outcome, RequestRecord, ServingTelemetry, Telemetry};
+use crate::tenant::{Tenant, TenantSpec};
+
+/// A trace operation staged for replay. Swap states are priced at
+/// [`Frontend::submit_trace`] time so applying one inside the worker
+/// pool cannot fail.
+#[derive(Debug)]
+enum PlannedOp {
+    Submit {
+        at_ns: u64,
+        tenant: usize,
+    },
+    Swap {
+        at_ns: u64,
+        tenant: usize,
+        version: u64,
+        state: Box<Tenant>,
+    },
+}
+
+/// One request currently riding an in-flight batch.
+struct Member {
+    req: QueuedRequest,
+    /// Index into the serviced layer list (and `per_layer` timings).
+    layer: usize,
+    dispatch_ns: u64,
+    work: WorkCounters,
+    energy_pj: f64,
+}
+
+/// Concurrency counters from one realtime run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RealtimeStats {
+    /// Requests popped off a non-home queue shard.
+    pub steals: u64,
+    /// Batches launched (continuous-batching sessions, not layer steps).
+    pub batches: u64,
+    /// Requests that joined an already-running batch at a layer
+    /// boundary.
+    pub joins: u64,
+    /// Largest concurrent batch observed.
+    pub max_batch_seen: usize,
+    /// Wall-clock duration of [`RealtimeEngine::drive`].
+    pub wall_ns: u64,
+}
+
+/// Everything the feeder and workers share for one drive.
+struct SharedRun<'a, R: Recorder + Sync> {
+    config: &'a RealtimeConfig,
+    injector: &'a FaultInjector,
+    registry: &'a ModelRegistry,
+    recorder: &'a R,
+    bindings: Vec<RwLock<Arc<Tenant>>>,
+    lanes: Vec<Lane>,
+    queue: ShardedQueue,
+    free_slices: AtomicUsize,
+    live: AtomicUsize,
+    live_per_tenant: Vec<AtomicUsize>,
+    feeder_done: AtomicBool,
+    records: Mutex<Vec<RequestRecord>>,
+    ledger: Mutex<WorkLedger>,
+    retries: AtomicU64,
+    busy_slice_ns: AtomicU64,
+    steals: AtomicU64,
+    batches: AtomicU64,
+    joins: AtomicU64,
+    max_batch_seen: AtomicUsize,
+}
+
+struct Lane {
+    state: Mutex<LaneState>,
+    clock_ns: AtomicU64,
+}
+
+#[derive(Default)]
+struct LaneState {
+    pending: std::collections::VecDeque<QueuedRequest>,
+    running: bool,
+}
+
+/// The wall-clock, multi-threaded serving engine.
+///
+/// Build it with [`RealtimeEngine::new`] (or
+/// [`builder`](RealtimeEngine::builder)), submit a recorded
+/// [`RequestTrace`] through the [`Frontend`] impl, then
+/// [`Frontend::drive_to_idle`] spawns the worker pool, replays the
+/// trace, and collects telemetry. One engine drives one trace; a
+/// second drive returns [`ServeError::Realtime`].
+#[derive(Debug)]
+pub struct RealtimeEngine<R: Recorder + Sync = NullRecorder> {
+    config: RealtimeConfig,
+    tenants: Vec<Tenant>,
+    registry: Arc<ModelRegistry>,
+    injector: FaultInjector,
+    plan: Vec<PlannedOp>,
+    telemetry: Telemetry,
+    work: WorkLedger,
+    stats: RealtimeStats,
+    driven: bool,
+    recorder: R,
+}
+
+impl RealtimeEngine {
+    /// Builds an engine for `specs` with instrumentation compiled out.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::ServingSim::new`], plus
+    /// [`ServeError::InvalidConfig`] for bad realtime parameters.
+    pub fn new(config: RealtimeConfig, specs: Vec<TenantSpec>) -> Result<Self, ServeError> {
+        Self::construct(config, specs, NullRecorder, None)
+    }
+
+    /// Starts a [`RealtimeEngineBuilder`] for recorder / injector
+    /// composition.
+    pub fn builder(config: RealtimeConfig, specs: Vec<TenantSpec>) -> RealtimeEngineBuilder {
+        RealtimeEngineBuilder {
+            config,
+            specs,
+            recorder: NullRecorder,
+            injector: None,
+        }
+    }
+}
+
+/// Validated construction path for [`RealtimeEngine`], mirroring
+/// [`crate::ServingSimBuilder`].
+#[derive(Debug)]
+#[must_use = "call build() to construct the engine"]
+pub struct RealtimeEngineBuilder<R: Recorder + Sync = NullRecorder> {
+    config: RealtimeConfig,
+    specs: Vec<TenantSpec>,
+    recorder: R,
+    injector: Option<FaultInjector>,
+}
+
+impl<R: Recorder + Sync> RealtimeEngineBuilder<R> {
+    /// Swaps in an event recorder (replacing the default
+    /// [`NullRecorder`]). The recorder is shared by every worker
+    /// thread, hence the `Sync` bound.
+    pub fn recorder<R2: Recorder + Sync>(self, recorder: R2) -> RealtimeEngineBuilder<R2> {
+        RealtimeEngineBuilder {
+            config: self.config,
+            specs: self.specs,
+            recorder,
+            injector: self.injector,
+        }
+    }
+
+    /// Runs the engine under `injector`'s *transient* fault load.
+    /// Scheduled slice failures are a virtual-clock concept and are
+    /// rejected here: the realtime pool has no event heap to replay
+    /// them against.
+    pub fn injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Validates everything and constructs the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for bad parameters, an injector
+    /// resolved for the wrong slice count, or an injector that
+    /// schedules slice failures; [`ServeError::InvalidTenants`] for an
+    /// empty tenant list; [`ServeError::Arch`] if a tenant cannot be
+    /// priced.
+    pub fn build(self) -> Result<RealtimeEngine<R>, ServeError> {
+        RealtimeEngine::construct(self.config, self.specs, self.recorder, self.injector)
+    }
+}
+
+impl<R: Recorder + Sync> RealtimeEngine<R> {
+    fn construct(
+        config: RealtimeConfig,
+        specs: Vec<TenantSpec>,
+        recorder: R,
+        injector: Option<FaultInjector>,
+    ) -> Result<Self, ServeError> {
+        config.validate()?;
+        if specs.is_empty() {
+            return Err(ServeError::InvalidTenants {
+                reason: "at least one tenant is required".to_string(),
+            });
+        }
+        let slices = config.serve.base.geometry.slices();
+        let injector = injector.unwrap_or_else(|| FaultInjector::none(slices));
+        if injector.slices() != slices {
+            return Err(ServeError::InvalidConfig {
+                parameter: "injector",
+                reason: format!(
+                    "fault injector resolved for {} slices but the cache has {slices}",
+                    injector.slices()
+                ),
+            });
+        }
+        if !injector.slice_failures().is_empty() {
+            return Err(ServeError::InvalidConfig {
+                parameter: "injector",
+                reason: "scheduled slice failures require the virtual-clock engine; \
+                         the realtime pool supports transient faults, stragglers \
+                         and LUT corruption only"
+                    .to_string(),
+            });
+        }
+        let tenants: Vec<Tenant> = specs
+            .into_iter()
+            .map(|spec| Tenant::new(spec, &config.serve.base))
+            .collect::<Result<_, _>>()?;
+        let registry = Arc::new(ModelRegistry::from_specs(
+            tenants.iter().map(|t| t.spec().clone()),
+        ));
+        let telemetry = Telemetry::new(slices);
+        Ok(RealtimeEngine {
+            config,
+            tenants,
+            registry,
+            injector,
+            plan: Vec::new(),
+            telemetry,
+            work: WorkLedger::new(),
+            stats: RealtimeStats::default(),
+            driven: false,
+            recorder,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &RealtimeConfig {
+        &self.config
+    }
+
+    /// The tenants, in submission-index order (post-drive: the bindings
+    /// live at the end of the run, swaps applied).
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// The per-tenant model binding table.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The recorder this engine emits to.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Concurrency counters from the completed drive (zeros before).
+    pub fn stats(&self) -> RealtimeStats {
+        self.stats
+    }
+
+    /// Telemetry collected so far.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Prices `spec` eagerly and stages a hot-swap at trace time
+    /// `at_ns`: when the feeder reaches that point it quiesces the one
+    /// tenant lane (waits for its live requests to settle) and flips
+    /// the binding in a single `Arc` store — the other lanes and the
+    /// worker pool never stop.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Arch`] when the replacement spec cannot be priced;
+    /// [`ServeError::InvalidTenants`] for an out-of-range index.
+    pub fn schedule_model_swap(
+        &mut self,
+        tenant: usize,
+        at_ns: u64,
+        version: u64,
+        spec: TenantSpec,
+    ) -> Result<(), ServeError> {
+        if tenant >= self.tenants.len() {
+            return Err(ServeError::InvalidTenants {
+                reason: format!(
+                    "swap targets tenant {tenant} but only {} are bound",
+                    self.tenants.len()
+                ),
+            });
+        }
+        let state = Tenant::new(spec, &self.config.serve.base)?;
+        self.plan.push(PlannedOp::Swap {
+            at_ns,
+            tenant,
+            version,
+            state: Box::new(state),
+        });
+        Ok(())
+    }
+
+    /// Stages one submission at trace time `at_ns`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidTenants`] for an out-of-range index.
+    pub fn submit(&mut self, tenant: usize, at_ns: u64) -> Result<(), ServeError> {
+        if tenant >= self.tenants.len() {
+            return Err(ServeError::InvalidTenants {
+                reason: format!(
+                    "submit targets tenant {tenant} but only {} are bound",
+                    self.tenants.len()
+                ),
+            });
+        }
+        self.plan.push(PlannedOp::Submit { at_ns, tenant });
+        Ok(())
+    }
+
+    /// Spawns the feeder and the worker pool, replays the staged plan,
+    /// and blocks until every request is terminal.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Realtime`] if the engine was already driven.
+    pub fn drive(&mut self) -> Result<(), ServeError> {
+        if self.driven {
+            return Err(ServeError::Realtime {
+                reason: "engine already driven; build a fresh engine per trace".to_string(),
+            });
+        }
+        self.driven = true;
+        let mut plan = std::mem::take(&mut self.plan);
+        // The plan replays in trace order; stage it sorted (stably) the
+        // same way the Frontend contract sorts, in case submit() /
+        // schedule_model_swap() were called directly out of order.
+        plan.sort_by_key(|op| match op {
+            PlannedOp::Submit { at_ns, .. } | PlannedOp::Swap { at_ns, .. } => *at_ns,
+        });
+        let max_batch = self.config.serve.max_batch;
+        // Price every (tenant, batch) pair up front: workers then read
+        // reports through `&Tenant` with no memoization lock.
+        for tenant in &mut self.tenants {
+            tenant.warm_reports(max_batch);
+        }
+        for op in &mut plan {
+            if let PlannedOp::Swap { state, .. } = op {
+                state.warm_reports(max_batch);
+            }
+        }
+        let submit_times: Vec<u64> = plan
+            .iter()
+            .filter_map(|op| match op {
+                PlannedOp::Submit { at_ns, .. } => Some(*at_ns),
+                PlannedOp::Swap { .. } => None,
+            })
+            .collect();
+
+        let shared = SharedRun {
+            config: &self.config,
+            injector: &self.injector,
+            registry: &self.registry,
+            recorder: &self.recorder,
+            bindings: self
+                .tenants
+                .drain(..)
+                .map(|t| RwLock::new(Arc::new(t)))
+                .collect(),
+            lanes: (0..self.registry.len())
+                .map(|_| Lane {
+                    state: Mutex::new(LaneState::default()),
+                    clock_ns: AtomicU64::new(0),
+                })
+                .collect(),
+            queue: ShardedQueue::new(self.config.queue_shards, self.config.serve.queue_capacity),
+            free_slices: AtomicUsize::new(self.config.serve.base.geometry.slices()),
+            live: AtomicUsize::new(0),
+            live_per_tenant: (0..self.registry.len())
+                .map(|_| AtomicUsize::new(0))
+                .collect(),
+            feeder_done: AtomicBool::new(false),
+            records: Mutex::new(Vec::new()),
+            ledger: Mutex::new(WorkLedger::new()),
+            retries: AtomicU64::new(0),
+            busy_slice_ns: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+            max_batch_seen: AtomicUsize::new(0),
+        };
+
+        let started = Instant::now();
+        let workers = self.config.workers;
+        std::thread::scope(|scope| {
+            let shared = &shared;
+            scope.spawn(move || feed(shared, plan, started));
+            bfree::par::run_worker_pool(workers, |worker| worker_loop(shared, worker));
+        });
+        let wall_ns = started.elapsed().as_nanos() as u64;
+
+        // Reassemble owned state. Workers are joined, so every Arc is
+        // unique again.
+        self.tenants = shared
+            .bindings
+            .into_iter()
+            .map(|slot| {
+                let arc = slot
+                    .into_inner()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone())
+            })
+            .collect();
+        let mut records = shared
+            .records
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        self.work = shared
+            .ledger
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+
+        // Rebuild the telemetry in a deterministic order: submissions
+        // in trace order, then terminal records by (virtual completion
+        // time, request id).
+        for at_ns in submit_times {
+            self.telemetry.note_submit(at_ns);
+        }
+        records.sort_by_key(|r| (r.complete_ns, r.request_id));
+        let deadline_ns = self.config.serve.deadline_ns;
+        for record in records {
+            if record.outcome == Outcome::Completed
+                && deadline_ns
+                    .is_some_and(|d| record.complete_ns > record.submit_ns.saturating_add(d))
+            {
+                self.telemetry.note_deadline_violation();
+            }
+            self.telemetry.push(record);
+        }
+        for _ in 0..shared.retries.load(Ordering::Relaxed) {
+            self.telemetry.note_retry();
+        }
+        let makespan = shared
+            .lanes
+            .iter()
+            .map(|lane| lane.clock_ns.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0);
+        self.telemetry.note_busy_integral(
+            shared.busy_slice_ns.load(Ordering::Relaxed) as f64,
+            makespan,
+        );
+
+        self.stats = RealtimeStats {
+            steals: shared.steals.load(Ordering::Relaxed),
+            batches: shared.batches.load(Ordering::Relaxed),
+            joins: shared.joins.load(Ordering::Relaxed),
+            max_batch_seen: shared.max_batch_seen.load(Ordering::Relaxed),
+            wall_ns,
+        };
+        if self.recorder.is_enabled() {
+            self.recorder.counter(
+                Subsystem::Serve,
+                "realtime/steals",
+                self.stats.steals as f64,
+                Unit::Count,
+            );
+            self.recorder.counter(
+                Subsystem::Serve,
+                "realtime/batches",
+                self.stats.batches as f64,
+                Unit::Count,
+            );
+            self.recorder.counter(
+                Subsystem::Serve,
+                "realtime/joins",
+                self.stats.joins as f64,
+                Unit::Count,
+            );
+            self.recorder.histogram_with(
+                Subsystem::Serve,
+                "realtime/wall",
+                wall_ns as f64,
+                Unit::Nanoseconds,
+                || format!("workers={workers}"),
+            );
+        }
+        Ok(())
+    }
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The feeder: replays the plan in trace order, pacing against the
+/// wall clock when a replay rate is set.
+fn feed<R: Recorder + Sync>(shared: &SharedRun<'_, R>, plan: Vec<PlannedOp>, started: Instant) {
+    let rate = shared.config.replay_rate;
+    let mut next_request_id = 0u64;
+    for op in plan {
+        let at_ns = match &op {
+            PlannedOp::Submit { at_ns, .. } | PlannedOp::Swap { at_ns, .. } => *at_ns,
+        };
+        if rate > 0.0 {
+            // `rate` virtual ns replay per wall ns: wait until the wall
+            // clock catches up with this event's trace time.
+            loop {
+                let wall_ns = started.elapsed().as_nanos() as f64;
+                if wall_ns * rate >= at_ns as f64 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        match op {
+            PlannedOp::Submit { at_ns, tenant } => {
+                let request_id = next_request_id;
+                next_request_id += 1;
+                shared
+                    .recorder
+                    .instant(Subsystem::Serve, "request/arrival", at_ns as f64, || {
+                        format!("request={request_id} tenant={tenant}")
+                    });
+                let request = QueuedRequest {
+                    request_id,
+                    tenant,
+                    submit_ns: at_ns,
+                    attempt: 0,
+                };
+                let fits = shared.bindings[tenant]
+                    .read()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .fits();
+                if !fits {
+                    reject(shared, request, at_ns, RejectReason::DoesNotFit);
+                    continue;
+                }
+                shared.live.fetch_add(1, Ordering::AcqRel);
+                shared.live_per_tenant[tenant].fetch_add(1, Ordering::AcqRel);
+                if let Err(reason) = shared.queue.push(request) {
+                    shared.live_per_tenant[tenant].fetch_sub(1, Ordering::AcqRel);
+                    shared.live.fetch_sub(1, Ordering::AcqRel);
+                    reject(shared, request, at_ns, reason);
+                }
+            }
+            PlannedOp::Swap {
+                tenant,
+                version,
+                state,
+                ..
+            } => {
+                // Hot-swap without draining the pool: only this
+                // tenant's lane is quiesced; every other lane (and the
+                // queue) keeps flowing.
+                while shared.live_per_tenant[tenant].load(Ordering::Acquire) > 0 {
+                    std::thread::yield_now();
+                }
+                shared
+                    .registry
+                    .publish(tenant, version, state.spec().clone());
+                *shared.bindings[tenant]
+                    .write()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()) = Arc::new(*state);
+                shared
+                    .recorder
+                    .instant(Subsystem::Model, "model/swap", at_ns as f64, || {
+                        format!("tenant={tenant} version={version}")
+                    });
+            }
+        }
+    }
+    shared.feeder_done.store(true, Ordering::Release);
+}
+
+/// One worker of the persistent pool: pop, route to the request's
+/// tenant lane, and run the lane if nobody else is.
+fn worker_loop<R: Recorder + Sync>(shared: &SharedRun<'_, R>, worker: usize) {
+    loop {
+        match shared.queue.pop(worker) {
+            Some((request, stolen)) => {
+                if stolen {
+                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                let lane = &shared.lanes[request.tenant];
+                let run_now = {
+                    let mut state = lock(&lane.state);
+                    state.pending.push_back(request);
+                    if state.running {
+                        false
+                    } else {
+                        state.running = true;
+                        true
+                    }
+                };
+                if run_now {
+                    run_lane(shared, request.tenant);
+                }
+            }
+            None => {
+                if shared.feeder_done.load(Ordering::Acquire)
+                    && shared.live.load(Ordering::Acquire) == 0
+                {
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Drives one tenant lane until its pending queue drains: forms a
+/// batch, walks it layer by layer on the lane's virtual clock, retires
+/// finished members, and admits joiners at every layer boundary.
+fn run_lane<R: Recorder + Sync>(shared: &SharedRun<'_, R>, tenant: usize) {
+    let lane = &shared.lanes[tenant];
+    let max_batch = shared.config.serve.max_batch;
+    loop {
+        let binding = Arc::clone(
+            &shared.bindings[tenant]
+                .read()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        );
+        let mut members: Vec<Member> = Vec::new();
+        {
+            let mut state = lock(&lane.state);
+            while members.len() < max_batch {
+                let Some(request) = state.pending.pop_front() else {
+                    break;
+                };
+                members.push(admit(lane, request));
+            }
+            if members.is_empty() {
+                // The linger protocol: only clear `running` under the
+                // lock and with pending verified empty, so a request
+                // parked by another worker is never stranded.
+                state.running = false;
+                return;
+            }
+        }
+        members.retain(|member| match shed(shared, lane, member) {
+            Some(reason) => {
+                settle_rejected(shared, member.req, lane, reason);
+                false
+            }
+            None => true,
+        });
+        if members.is_empty() {
+            continue;
+        }
+        let demand = binding.demand_slices();
+        // Spin-acquire slices; the holder is always an actively-running
+        // lane, so waiting here cannot deadlock.
+        loop {
+            let free = shared.free_slices.load(Ordering::Acquire);
+            if free >= demand
+                && shared
+                    .free_slices
+                    .compare_exchange(free, free - demand, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        let total_layers = binding.layer_work().len();
+        while !members.is_empty() {
+            let b = members.len();
+            shared.max_batch_seen.fetch_max(b, Ordering::Relaxed);
+            let report = binding
+                .cached_report(b)
+                .expect("reports are prewarmed for every batch size");
+            let total_lat = report.total_latency().nanoseconds();
+            let energy_pj = report.total_energy().picojoules();
+            let mut step_ns_f = 0.0f64;
+            for member in &mut members {
+                let timing = &report.per_layer[member.layer];
+                let lat = timing.latency.nanoseconds();
+                step_ns_f = step_ns_f.max(lat);
+                member.work += binding.layer_work()[member.layer];
+                if total_lat > 0.0 {
+                    member.energy_pj += energy_pj / b as f64 * (lat / total_lat);
+                }
+                member.layer += 1;
+            }
+            let step_ns = (step_ns_f.ceil() as u64).max(1);
+            let now = lane.clock_ns.fetch_add(step_ns, Ordering::AcqRel) + step_ns;
+            shared
+                .busy_slice_ns
+                .fetch_add(step_ns * demand as u64, Ordering::Relaxed);
+            let mut i = 0;
+            while i < members.len() {
+                if members[i].layer >= total_layers {
+                    let member = members.swap_remove(i);
+                    retire(shared, lane, &binding, member, now, b);
+                } else {
+                    i += 1;
+                }
+            }
+            // Continuous batching: requests queued meanwhile join the
+            // in-flight batch at this layer boundary instead of waiting
+            // for the lane to drain.
+            let mut state = lock(&lane.state);
+            while members.len() < max_batch {
+                let Some(request) = state.pending.pop_front() else {
+                    break;
+                };
+                shared.joins.fetch_add(1, Ordering::Relaxed);
+                members.push(admit(lane, request));
+            }
+        }
+        shared.free_slices.fetch_add(demand, Ordering::AcqRel);
+    }
+}
+
+/// Stamps a freshly-admitted member with the lane's current virtual
+/// time (clamped forward from its submission time).
+fn admit(lane: &Lane, req: QueuedRequest) -> Member {
+    let now = lane.clock_ns.load(Ordering::Acquire);
+    Member {
+        req,
+        layer: 0,
+        dispatch_ns: now.max(req.submit_ns),
+        work: WorkCounters::ZERO,
+        energy_pj: 0.0,
+    }
+}
+
+/// Timeout / deadline shedding at batch formation, mirroring the
+/// oracle's queue-age policing on the lane's virtual clock.
+fn shed<R: Recorder + Sync>(
+    shared: &SharedRun<'_, R>,
+    lane: &Lane,
+    member: &Member,
+) -> Option<RejectReason> {
+    let now = lane.clock_ns.load(Ordering::Acquire);
+    let config = &shared.config.serve;
+    if config
+        .deadline_ns
+        .is_some_and(|d| now > member.req.submit_ns.saturating_add(d))
+    {
+        return Some(RejectReason::DeadlineExpired);
+    }
+    if config
+        .timeout_ns
+        .is_some_and(|t| now > member.req.submit_ns.saturating_add(t))
+    {
+        return Some(RejectReason::TimedOut);
+    }
+    None
+}
+
+/// Settles one member whose service walk finished: the work is charged
+/// (the attempt ran), then the fault discipline decides completion,
+/// retry, or exhaustion.
+fn retire<R: Recorder + Sync>(
+    shared: &SharedRun<'_, R>,
+    lane: &Lane,
+    binding: &Tenant,
+    member: Member,
+    now: u64,
+    batch: usize,
+) {
+    let request = member.req;
+    lock(&shared.ledger).charge(request.request_id, member.work);
+    if shared
+        .injector
+        .transient_error(request.request_id, request.attempt)
+    {
+        shared
+            .recorder
+            .instant(Subsystem::Fault, "fault/injected", now as f64, || {
+                format!(
+                    "request={} attempt={} kind=transient",
+                    request.request_id, request.attempt
+                )
+            });
+        let next_attempt = request.attempt + 1;
+        if next_attempt < shared.config.serve.retry.max_attempts {
+            shared.retries.fetch_add(1, Ordering::Relaxed);
+            let retry = QueuedRequest {
+                attempt: next_attempt,
+                ..request
+            };
+            if let Err(reason) = shared.queue.push(retry) {
+                settle_rejected(shared, retry, lane, reason);
+            }
+        } else {
+            settle_rejected(shared, request, lane, RejectReason::RetriesExhausted);
+        }
+        return;
+    }
+    shared
+        .recorder
+        .counter(Subsystem::Serve, "request/completed", 1.0, Unit::Count);
+    shared.recorder.histogram_with(
+        Subsystem::Serve,
+        "latency/total",
+        now.saturating_sub(request.submit_ns) as f64,
+        Unit::Nanoseconds,
+        || format!("request={}", request.request_id),
+    );
+    lock(&shared.records).push(RequestRecord {
+        request_id: request.request_id,
+        tenant: request.tenant,
+        tenant_name: binding.name().to_string(),
+        submit_ns: request.submit_ns,
+        dispatch_ns: member.dispatch_ns,
+        complete_ns: now,
+        batch,
+        energy: Energy::from_pj(member.energy_pj),
+        outcome: Outcome::Completed,
+    });
+    shared.live_per_tenant[request.tenant].fetch_sub(1, Ordering::AcqRel);
+    shared.live.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Terminal rejection from inside the pool: records the outcome and
+/// releases the request's liveness tickets.
+fn settle_rejected<R: Recorder + Sync>(
+    shared: &SharedRun<'_, R>,
+    request: QueuedRequest,
+    lane: &Lane,
+    reason: RejectReason,
+) {
+    let now = lane.clock_ns.load(Ordering::Acquire);
+    push_rejection(shared, request, now, reason);
+    shared.live_per_tenant[request.tenant].fetch_sub(1, Ordering::AcqRel);
+    shared.live.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Rejection at admission time (feeder side): liveness was never
+/// granted, so only the record is emitted.
+fn reject<R: Recorder + Sync>(
+    shared: &SharedRun<'_, R>,
+    request: QueuedRequest,
+    now: u64,
+    reason: RejectReason,
+) {
+    push_rejection(shared, request, now, reason);
+}
+
+fn push_rejection<R: Recorder + Sync>(
+    shared: &SharedRun<'_, R>,
+    request: QueuedRequest,
+    now: u64,
+    reason: RejectReason,
+) {
+    shared
+        .recorder
+        .counter(Subsystem::Serve, "request/rejected", 1.0, Unit::Count);
+    shared
+        .recorder
+        .instant(Subsystem::Serve, "request/rejection", now as f64, || {
+            format!("request={} reason={}", request.request_id, reason.label())
+        });
+    let tenant_name = shared.bindings[request.tenant]
+        .read()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .name()
+        .to_string();
+    lock(&shared.records).push(RequestRecord {
+        request_id: request.request_id,
+        tenant: request.tenant,
+        tenant_name,
+        submit_ns: request.submit_ns,
+        dispatch_ns: now,
+        complete_ns: now,
+        batch: 0,
+        energy: Energy::ZERO,
+        outcome: Outcome::Rejected(reason),
+    });
+}
+
+impl<R: Recorder + Sync> Frontend for RealtimeEngine<R> {
+    fn engine(&self) -> &'static str {
+        "realtime"
+    }
+
+    fn submit_trace(&mut self, trace: &RequestTrace) -> Result<u64, ServeError> {
+        for event in trace.events() {
+            let (TraceOp::Submit { tenant } | TraceOp::Swap { tenant, .. }) = &event.op;
+            if *tenant >= self.registry.len() {
+                return Err(ServeError::InvalidTenants {
+                    reason: format!(
+                        "trace targets tenant {tenant} but only {} are bound",
+                        self.registry.len()
+                    ),
+                });
+            }
+        }
+        let mut submitted = 0;
+        for event in trace.ordered() {
+            match event.op {
+                TraceOp::Submit { tenant } => {
+                    self.submit(tenant, event.at_ns)?;
+                    submitted += 1;
+                }
+                TraceOp::Swap {
+                    tenant,
+                    version,
+                    spec,
+                } => {
+                    self.schedule_model_swap(tenant, event.at_ns, version, spec)?;
+                }
+            }
+        }
+        Ok(submitted)
+    }
+
+    fn drive_to_idle(&mut self) -> Result<(), ServeError> {
+        self.drive()
+    }
+
+    fn serving_telemetry(&self) -> &ServingTelemetry {
+        &self.telemetry
+    }
+
+    fn work_ledger(&self) -> &WorkLedger {
+        &self.work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_nn::request::NetworkKind;
+
+    fn config(workers: usize) -> RealtimeConfig {
+        RealtimeConfig::builder()
+            .workers(workers)
+            .serve(
+                crate::ServeConfig::builder()
+                    .max_batch(4)
+                    .queue_capacity(4096)
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn lstm() -> TenantSpec {
+        TenantSpec::new("lstm", NetworkKind::LstmTimit)
+    }
+
+    #[test]
+    fn drives_a_small_trace_to_completion() {
+        let mut engine = RealtimeEngine::new(config(2), vec![lstm()]).unwrap();
+        let mut trace = RequestTrace::new();
+        for i in 0..10u64 {
+            trace.submit(i * 1_000, 0);
+        }
+        assert_eq!(engine.submit_trace(&trace).unwrap(), 10);
+        engine.drive_to_idle().unwrap();
+        let telemetry = engine.serving_telemetry();
+        let summary = telemetry.summary();
+        assert_eq!(summary.submitted, 10);
+        assert_eq!(summary.completed, 10);
+        assert_eq!(summary.rejected, 0);
+        assert_eq!(engine.work_ledger().requests(), 10);
+        let expected = engine.tenants()[0].request_work();
+        for &work in engine.work_ledger().per_request().values() {
+            assert_eq!(work, expected);
+        }
+        assert!(engine.stats().wall_ns > 0);
+        assert!(engine.stats().batches > 0);
+    }
+
+    #[test]
+    fn second_drive_is_an_error() {
+        let mut engine = RealtimeEngine::new(config(1), vec![lstm()]).unwrap();
+        let mut trace = RequestTrace::new();
+        trace.submit(0, 0);
+        engine.submit_trace(&trace).unwrap();
+        engine.drive_to_idle().unwrap();
+        assert!(matches!(engine.drive(), Err(ServeError::Realtime { .. })));
+    }
+
+    #[test]
+    fn rejects_slice_failure_plans() {
+        let slices = RealtimeConfig::paper_default().serve.base.geometry.slices();
+        let plan = bfree_fault::FaultPlan {
+            slice_failure_rate: 1.0,
+            failure_horizon_ns: 1_000_000,
+            ..bfree_fault::FaultPlan::none()
+        };
+        let injector = bfree_fault::FaultInjector::new(plan, 7, slices, 4096).unwrap();
+        let err = RealtimeEngine::builder(RealtimeConfig::paper_default(), vec![lstm()])
+            .injector(injector)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidConfig {
+                parameter: "injector",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_trace_tenant_is_rejected_up_front() {
+        let mut engine = RealtimeEngine::new(config(1), vec![lstm()]).unwrap();
+        let mut trace = RequestTrace::new();
+        trace.submit(0, 3);
+        assert!(matches!(
+            engine.submit_trace(&trace),
+            Err(ServeError::InvalidTenants { .. })
+        ));
+        assert!(engine.plan.is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! The wall-clock realtime serving front-end.
+//!
+//! Everything concurrent lives here, behind the same [`Frontend`]
+//! abstraction the virtual-clock oracle implements:
+//!
+//! * [`queue`] — the sharded MPMC admission queue (global capacity,
+//!   per-shard FIFO, work-stealing sweep).
+//! * [`engine`] — the persistent worker pool, per-tenant lanes, and
+//!   continuous batching at layer boundaries.
+//! * [`config`] — [`RealtimeConfig`] and its validating builder.
+//! * [`conformance`] — the harness that replays one trace through both
+//!   engines and reconciles them (exact work counters, bounded
+//!   telemetry divergence).
+//!
+//! [`Frontend`]: crate::Frontend
+
+pub mod config;
+pub mod conformance;
+pub mod engine;
+pub mod queue;
+
+pub use config::{RealtimeConfig, RealtimeConfigBuilder};
+pub use conformance::{
+    reconcile, run_conformance, run_conformance_recorded, ConformanceReport, Reconciled,
+};
+pub use engine::{RealtimeEngine, RealtimeEngineBuilder, RealtimeStats};
+pub use queue::ShardedQueue;

@@ -1,0 +1,173 @@
+//! The sharded MPMC admission queue behind the realtime front-end.
+//!
+//! Capacity is one global atomic ticket counter (so backpressure is a
+//! single `fetch_add`, never a lock sweep), while the requests
+//! themselves live in per-shard FIFO segments. A request's *home*
+//! shard is `request_id & mask`; workers pop starting from their own
+//! home shard and sweep forward, so disjoint workers touch disjoint
+//! locks until imbalance forces them to steal. Each shard keeps an
+//! occupancy hint so the sweep skips empty shards without taking their
+//! locks.
+//!
+//! The crate forbids `unsafe`, so shards are `Mutex<VecDeque>` —
+//! mutual exclusion per shard, lock-free *routing* across shards. The
+//! queue-stress test hammers this structure from many threads and
+//! checks the exactly-once pop invariant.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::error::RejectReason;
+use crate::scheduler::QueuedRequest;
+
+#[derive(Debug)]
+struct Shard {
+    items: Mutex<VecDeque<QueuedRequest>>,
+    /// Occupancy hint: incremented after a push lands, decremented
+    /// after a pop removes. Zero means "very probably empty" — a racing
+    /// sweep may skip a shard mid-push, but the pusher's own follow-up
+    /// pop (or any later sweep) observes it, so nothing is lost.
+    occupied: AtomicUsize,
+}
+
+/// A sharded multi-producer multi-consumer FIFO with one global
+/// capacity bound.
+#[derive(Debug)]
+pub struct ShardedQueue {
+    shards: Vec<Shard>,
+    mask: usize,
+    len: AtomicUsize,
+    capacity: usize,
+}
+
+impl ShardedQueue {
+    /// A queue with `shards` segments (rounded up to a power of two)
+    /// and a global bound of `capacity` queued requests.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        ShardedQueue {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    items: Mutex::new(VecDeque::new()),
+                    occupied: AtomicUsize::new(0),
+                })
+                .collect(),
+            mask: shards - 1,
+            len: AtomicUsize::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Requests currently queued (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the queue is (momentarily) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `request` on its home shard.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::QueueFull`] when the global capacity is reached;
+    /// the request is handed back untouched in spirit (it is `Copy`).
+    pub fn push(&self, request: QueuedRequest) -> Result<(), RejectReason> {
+        // One ticket per queued request: claim before touching a shard
+        // so capacity is a single global bound, not per-shard.
+        if self.len.fetch_add(1, Ordering::AcqRel) >= self.capacity {
+            self.len.fetch_sub(1, Ordering::AcqRel);
+            return Err(RejectReason::QueueFull);
+        }
+        let shard = &self.shards[request.request_id as usize & self.mask];
+        shard
+            .items
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push_back(request);
+        shard.occupied.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Dequeues one request, sweeping shards from `home` forward.
+    /// Returns the request and whether it was *stolen* (taken from a
+    /// shard other than `home & mask`).
+    pub fn pop(&self, home: usize) -> Option<(QueuedRequest, bool)> {
+        let n = self.shards.len();
+        let home = home & self.mask;
+        for offset in 0..n {
+            let idx = (home + offset) & self.mask;
+            let shard = &self.shards[idx];
+            if shard.occupied.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let popped = shard
+                .items
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .pop_front();
+            if let Some(request) = popped {
+                shard.occupied.fetch_sub(1, Ordering::Release);
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                return Some((request, idx != home));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64) -> QueuedRequest {
+        QueuedRequest {
+            request_id: id,
+            tenant: 0,
+            submit_ns: id,
+            attempt: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_within_a_shard_and_exact_capacity() {
+        let q = ShardedQueue::new(4, 3);
+        assert_eq!(q.shards(), 4);
+        // IDs 0, 4, 8 share home shard 0.
+        q.push(request(0)).unwrap();
+        q.push(request(4)).unwrap();
+        q.push(request(8)).unwrap();
+        assert_eq!(q.push(request(12)).unwrap_err(), RejectReason::QueueFull);
+        assert_eq!(q.len(), 3);
+        let (first, stolen) = q.pop(0).unwrap();
+        assert_eq!(first.request_id, 0);
+        assert!(!stolen);
+        assert_eq!(q.pop(0).unwrap().0.request_id, 4);
+        assert_eq!(q.pop(0).unwrap().0.request_id, 8);
+        assert!(q.pop(0).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_steals_from_other_shards_when_home_is_empty() {
+        let q = ShardedQueue::new(4, 16);
+        q.push(request(1)).unwrap(); // home shard 1
+        let (got, stolen) = q.pop(0).unwrap();
+        assert_eq!(got.request_id, 1);
+        assert!(stolen, "a pop off a non-home shard counts as a steal");
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_a_power_of_two() {
+        assert_eq!(ShardedQueue::new(3, 8).shards(), 4);
+        assert_eq!(ShardedQueue::new(0, 8).shards(), 1);
+    }
+}

@@ -25,10 +25,11 @@ use pim_bce::BceMode;
 
 use crate::contention::CoTenancyModel;
 use crate::error::{RejectReason, ServeError};
+use crate::frontend::{Frontend, RequestTrace, TraceOp, WorkCounters, WorkLedger};
 use crate::pool::{SliceAllocation, SlicePool};
 use crate::registry::ModelRegistry;
 use crate::scheduler::{QueuedRequest, Scheduler, ServeConfig};
-use crate::telemetry::{Outcome, RequestRecord, Telemetry};
+use crate::telemetry::{Outcome, RequestRecord, ServingTelemetry, Telemetry};
 use crate::tenant::{Tenant, TenantSpec};
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +84,9 @@ struct ActiveDispatch {
     dispatch_ns: u64,
     complete_ns: u64,
     energy_per_request: Energy,
+    // Snapshotted at dispatch so a mid-flight model swap cannot change
+    // what an already-launched batch is charged.
+    work_per_request: WorkCounters,
     mode: BceMode,
 }
 
@@ -122,7 +126,69 @@ pub struct ServingSim<R: Recorder = NullRecorder> {
     next_seq: u64,
     pending_retries: u64,
     work_conservation_violations: u64,
+    work: WorkLedger,
     recorder: R,
+}
+
+/// Validated construction path for [`ServingSim`]: seeded with the
+/// config and tenant specs, optionally given a recorder and fault
+/// injector, checked as a whole by [`build`](ServingSimBuilder::build).
+///
+/// ```
+/// use bfree_serve::{ServeConfig, ServingSim, TenantSpec};
+/// use pim_nn::request::NetworkKind;
+///
+/// let sim = ServingSim::builder(
+///     ServeConfig::default(),
+///     vec![TenantSpec::new("lstm", NetworkKind::LstmTimit)],
+/// )
+/// .build()
+/// .unwrap();
+/// assert_eq!(sim.tenants().len(), 1);
+/// ```
+#[derive(Debug)]
+#[must_use = "call build() to construct the simulator"]
+pub struct ServingSimBuilder<R: Recorder = NullRecorder> {
+    config: ServeConfig,
+    specs: Vec<TenantSpec>,
+    recorder: R,
+    injector: Option<FaultInjector>,
+}
+
+impl<R: Recorder> ServingSimBuilder<R> {
+    /// Swaps in an event recorder (replacing the default
+    /// [`NullRecorder`]).
+    pub fn recorder<R2: Recorder>(self, recorder: R2) -> ServingSimBuilder<R2> {
+        ServingSimBuilder {
+            config: self.config,
+            specs: self.specs,
+            recorder,
+            injector: self.injector,
+        }
+    }
+
+    /// Runs the simulation under `injector`'s fault load.
+    pub fn injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Validates everything and constructs the simulator.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for bad parameters or an injector
+    /// resolved for the wrong slice count,
+    /// [`ServeError::InvalidTenants`] for an empty tenant list, and
+    /// [`ServeError::Arch`] if a tenant's partial geometry cannot be
+    /// built.
+    pub fn build(self) -> Result<ServingSim<R>, ServeError> {
+        let injector = match self.injector {
+            Some(injector) => injector,
+            None => FaultInjector::none(self.config.base.geometry.slices()),
+        };
+        ServingSim::construct(self.config, self.specs, self.recorder, injector)
+    }
 }
 
 impl ServingSim {
@@ -155,7 +221,18 @@ impl ServingSim {
         specs: Vec<TenantSpec>,
         injector: FaultInjector,
     ) -> Result<Self, ServeError> {
-        Self::with_recorder_and_faults(config, specs, NullRecorder, injector)
+        Self::construct(config, specs, NullRecorder, injector)
+    }
+
+    /// Starts a [`ServingSimBuilder`]: the preferred construction path
+    /// when a recorder or fault injector (or both) are in play.
+    pub fn builder(config: ServeConfig, specs: Vec<TenantSpec>) -> ServingSimBuilder {
+        ServingSimBuilder {
+            config,
+            specs,
+            recorder: NullRecorder,
+            injector: None,
+        }
     }
 }
 
@@ -171,16 +248,31 @@ impl<R: Recorder> ServingSim<R> {
         recorder: R,
     ) -> Result<Self, ServeError> {
         let slices = config.base.geometry.slices();
-        Self::with_recorder_and_faults(config, specs, recorder, FaultInjector::none(slices))
+        Self::construct(config, specs, recorder, FaultInjector::none(slices))
     }
 
     /// [`with_faults`](ServingSim::with_faults) with an explicit event
-    /// recorder: the full constructor every other one delegates to.
+    /// recorder.
     ///
     /// # Errors
     ///
     /// Same as [`with_faults`](ServingSim::with_faults).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ServingSim::builder(..).recorder(..).injector(..).build() \
+                — the validated builder is the one construction path"
+    )]
     pub fn with_recorder_and_faults(
+        config: ServeConfig,
+        specs: Vec<TenantSpec>,
+        recorder: R,
+        injector: FaultInjector,
+    ) -> Result<Self, ServeError> {
+        Self::construct(config, specs, recorder, injector)
+    }
+
+    /// The one real constructor every public path delegates to.
+    fn construct(
         config: ServeConfig,
         specs: Vec<TenantSpec>,
         recorder: R,
@@ -241,6 +333,7 @@ impl<R: Recorder> ServingSim<R> {
             next_seq: 0,
             pending_retries: 0,
             work_conservation_violations: 0,
+            work: WorkLedger::new(),
             recorder,
         };
         // A fault-free injector schedules nothing: the event heap (and
@@ -378,6 +471,13 @@ impl<R: Recorder> ServingSim<R> {
     /// Telemetry collected so far.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Per-request work performed so far (see [`WorkLedger`]): every
+    /// service attempt that ran charges the work profile of the model
+    /// version that launched it.
+    pub fn work_ledger(&self) -> &WorkLedger {
+        &self.work
     }
 
     /// Times the engine found an eligible batch but could not place it —
@@ -650,6 +750,7 @@ impl<R: Recorder> ServingSim<R> {
                 dispatch_ns: self.clock_ns,
                 complete_ns,
                 energy_per_request,
+                work_per_request: tenant.request_work(),
                 mode: tenant.mode(),
             });
             self.push_event(complete_ns, EventKind::Completion { dispatch });
@@ -682,6 +783,11 @@ impl<R: Recorder> ServingSim<R> {
         let done = self.active.swap_remove(idx);
         let batch = done.requests.len();
         for request in &done.requests {
+            // Every service attempt that ran to its completion point did
+            // the work — faulted attempts included (the fault corrupts
+            // the answer, not the ops executed). Slice-failure aborts
+            // never reach here, so aborted work is not charged.
+            self.work.charge(request.request_id, done.work_per_request);
             if self
                 .injector
                 .transient_error(request.request_id, request.attempt)
@@ -877,6 +983,59 @@ impl<R: Recorder> ServingSim<R> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.events.push(Event { time_ns, seq, kind });
+    }
+}
+
+impl<R: Recorder> Frontend for ServingSim<R> {
+    fn engine(&self) -> &'static str {
+        "virtual-clock"
+    }
+
+    fn submit_trace(&mut self, trace: &RequestTrace) -> Result<u64, ServeError> {
+        // Validate every tenant index up front so a bad trace leaves the
+        // engine untouched instead of half-enqueued.
+        for event in trace.events() {
+            let (TraceOp::Submit { tenant } | TraceOp::Swap { tenant, .. }) = &event.op;
+            let tenant = *tenant;
+            if tenant >= self.tenants.len() {
+                return Err(ServeError::InvalidTenants {
+                    reason: format!(
+                        "trace targets tenant {tenant} but only {} are bound",
+                        self.tenants.len()
+                    ),
+                });
+            }
+        }
+        let mut submitted = 0;
+        for event in trace.ordered() {
+            match event.op {
+                TraceOp::Submit { tenant } => {
+                    self.submit(tenant, event.at_ns);
+                    submitted += 1;
+                }
+                TraceOp::Swap {
+                    tenant,
+                    version,
+                    spec,
+                } => {
+                    self.schedule_model_swap(tenant, event.at_ns, version, spec)?;
+                }
+            }
+        }
+        Ok(submitted)
+    }
+
+    fn drive_to_idle(&mut self) -> Result<(), ServeError> {
+        self.run_to_idle();
+        Ok(())
+    }
+
+    fn serving_telemetry(&self) -> &ServingTelemetry {
+        &self.telemetry
+    }
+
+    fn work_ledger(&self) -> &WorkLedger {
+        &self.work
     }
 }
 

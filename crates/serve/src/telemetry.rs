@@ -133,6 +133,12 @@ pub struct Telemetry {
     last_event_ns: u64,
 }
 
+/// The engine-agnostic telemetry type named by the
+/// [`crate::Frontend`] trait. Both serving engines collect exactly
+/// this; the alias exists so frontend-facing signatures read
+/// engine-neutrally.
+pub type ServingTelemetry = Telemetry;
+
 impl Telemetry {
     /// An empty collector for a pool of `total_slices`.
     pub fn new(total_slices: usize) -> Self {
@@ -175,6 +181,16 @@ impl Telemetry {
         self.busy_slice_ns += span as f64 * busy_slices as f64;
         self.slowdown_ns += span as f64 * slowdown;
         self.observed_ns += span;
+    }
+
+    /// Accounts a pre-integrated busy-time total over `observed_ns` of
+    /// run time. The realtime engine integrates slice occupancy on its
+    /// per-lane clocks while workers run and books the total here once;
+    /// no co-tenancy slowdown is modeled (slowdown 1.0 throughout).
+    pub fn note_busy_integral(&mut self, busy_slice_ns: f64, observed_ns: u64) {
+        self.busy_slice_ns += busy_slice_ns;
+        self.slowdown_ns += observed_ns as f64;
+        self.observed_ns += observed_ns;
     }
 
     /// Appends a terminal record.

@@ -19,6 +19,7 @@ use pim_nn::request::NetworkKind;
 use pim_nn::Network;
 
 use crate::error::ServeError;
+use crate::frontend::WorkCounters;
 
 /// Declarative description of one tenant.
 #[derive(Debug, Clone)]
@@ -79,6 +80,8 @@ pub struct Tenant {
     mode: BceMode,
     simulator: Option<BfreeSimulator>,
     report_cache: BTreeMap<usize, RunReport>,
+    layer_work: Vec<WorkCounters>,
+    request_work: WorkCounters,
 }
 
 impl Tenant {
@@ -136,6 +139,41 @@ impl Tenant {
             None
         };
 
+        // Batch-independent work profile over the *serviced* layer set —
+        // exactly the layers the execution engine emits `per_layer`
+        // timings for — so realtime layer-step indices line up with the
+        // cached report's per-layer latencies.
+        let mut layer_work = Vec::new();
+        for layer in network.layers() {
+            if !(layer.is_weight_layer() || layer.element_ops() > 0) {
+                continue;
+            }
+            let macs = layer.macs();
+            let work = if layer.is_weight_layer() {
+                let bits = spec.precision.layer_precision(layer, &weight_names).bits();
+                // 4-bit operand decomposition: an n-nibble × n-nibble
+                // product costs n² LUT-row reads per MAC.
+                let nibbles = u64::from(bits / 4).max(1);
+                WorkCounters {
+                    ops: macs + layer.element_ops(),
+                    lut_reads: macs * nibbles * nibbles,
+                    bytes: layer.weight_bytes(bits)
+                        + layer.input_elements()
+                        + layer.output_elements(),
+                }
+            } else {
+                WorkCounters {
+                    ops: layer.element_ops(),
+                    lut_reads: 0,
+                    bytes: layer.input_elements() + layer.output_elements(),
+                }
+            };
+            layer_work.push(work);
+        }
+        let request_work = layer_work
+            .iter()
+            .fold(WorkCounters::ZERO, |acc, &w| acc + w);
+
         Ok(Tenant {
             spec,
             network,
@@ -144,6 +182,8 @@ impl Tenant {
             mode,
             simulator,
             report_cache: BTreeMap::new(),
+            layer_work,
+            request_work,
         })
     }
 
@@ -204,6 +244,37 @@ impl Tenant {
         }
         self.base_report(batch).total_latency().nanoseconds()
     }
+
+    /// Per-layer work counters over the serviced layer set, aligned
+    /// index-for-index with `base_report(..).per_layer`.
+    pub fn layer_work(&self) -> &[WorkCounters] {
+        &self.layer_work
+    }
+
+    /// Work one service attempt performs: the sum of [`Tenant::layer_work`].
+    /// Batch-independent by construction, so both serving engines charge
+    /// identical counters for the same (request, model-version) pair.
+    pub fn request_work(&self) -> WorkCounters {
+        self.request_work
+    }
+
+    /// The memoized report for `batch`, if already priced — the `&self`
+    /// read path workers use after [`Tenant::warm_reports`].
+    pub fn cached_report(&self, batch: usize) -> Option<&RunReport> {
+        self.report_cache.get(&batch.max(1))
+    }
+
+    /// Prices and memoizes reports for every batch size `1..=max_batch`,
+    /// so subsequent [`Tenant::cached_report`] reads never miss. No-op
+    /// for tenants that do not fit.
+    pub fn warm_reports(&mut self, max_batch: usize) {
+        if !self.fits {
+            return;
+        }
+        for batch in 1..=max_batch.max(1) {
+            self.base_report(batch);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +321,32 @@ mod tests {
         let b = t.base_report(1).total_latency();
         assert_eq!(a, b);
         assert!(t.service_estimate_ns(1) > 0.0);
+    }
+
+    #[test]
+    fn work_profile_aligns_with_per_layer_report() {
+        let mut t = Tenant::new(TenantSpec::new("lstm", NetworkKind::LstmTimit), &base()).unwrap();
+        let timings = t.base_report(1).per_layer.len();
+        assert_eq!(t.layer_work().len(), timings);
+        let summed = t
+            .layer_work()
+            .iter()
+            .fold(WorkCounters::ZERO, |acc, &w| acc + w);
+        assert_eq!(t.request_work(), summed);
+        let total = t.request_work();
+        assert!(total.ops > 0 && total.lut_reads > 0 && total.bytes > 0);
+        // int8 = two nibbles = 4 LUT reads per MAC, so reads ≥ MACs.
+        assert!(total.lut_reads >= total.ops - t.network().total_element_ops());
+    }
+
+    #[test]
+    fn warm_reports_fills_the_read_only_cache() {
+        let mut t = Tenant::new(TenantSpec::new("lstm", NetworkKind::LstmTimit), &base()).unwrap();
+        assert!(t.cached_report(2).is_none());
+        t.warm_reports(2);
+        assert!(t.cached_report(1).is_some());
+        assert!(t.cached_report(2).is_some());
+        assert!(t.cached_report(3).is_none());
     }
 
     #[test]

@@ -49,9 +49,11 @@ fn main() {
     let injector = FaultInjector::new(plan, 42, slices, 0).unwrap();
     let failures = injector.slice_failures().to_vec();
 
-    let mut sim =
-        ServingSim::with_recorder_and_faults(config, tenants, RingRecorder::new(65_536), injector)
-            .unwrap();
+    let mut sim = ServingSim::builder(config, tenants)
+        .recorder(RingRecorder::new(65_536))
+        .injector(injector)
+        .build()
+        .unwrap();
     println!("pool: {slices} slices; scheduled failures:");
     for f in &failures {
         println!(

@@ -1,0 +1,257 @@
+//! Conformance properties for the realtime serving engine: randomized
+//! traces replayed through both the virtual-clock oracle and the
+//! wall-clock engine must agree *exactly* on per-request work counters
+//! (ops, LUT reads, bytes), terminal outcome sets and retry counts, and
+//! stay within a bounded telemetry divergence — no matter how the
+//! realtime threads interleaved. Plus a stress test hammering the
+//! sharded admission queue from N producer/consumer threads: every
+//! pushed request is popped exactly once.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use bfree::PrecisionPolicy;
+use bfree_fault::{FaultInjector, FaultPlan};
+use bfree_serve::realtime::run_conformance;
+use bfree_serve::scheduler::QueuedRequest;
+use bfree_serve::{
+    RealtimeConfig, RequestTrace, SchedPolicy, ServeConfig, ShardedQueue, TenantSpec,
+};
+use pim_bce::Precision;
+use pim_nn::request::NetworkKind;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn specs() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("lstm", NetworkKind::LstmTimit),
+        TenantSpec::new("bert", NetworkKind::BertBase),
+    ]
+}
+
+fn config(workers: usize, shards: usize, max_batch: usize) -> RealtimeConfig {
+    RealtimeConfig::builder()
+        .workers(workers)
+        .queue_shards(shards)
+        .serve(
+            ServeConfig::builder()
+                .max_batch(max_batch)
+                .batch_window_ns(100_000)
+                .queue_capacity(4096)
+                .build()
+                .expect("constants are valid"),
+        )
+        .build()
+        .expect("constants are valid")
+}
+
+/// An open-loop-style trace: explicit arrival gaps per request.
+fn open_loop_trace(gaps: &[(u32, bool)]) -> RequestTrace {
+    let mut trace = RequestTrace::new();
+    let mut at_ns = 0u64;
+    for &(gap, bert) in gaps {
+        at_ns += u64::from(gap);
+        trace.submit(at_ns, usize::from(bert));
+    }
+    trace
+}
+
+/// A closed-loop-style trace: `clients` waves of back-to-back requests
+/// with a fixed think gap between waves.
+fn closed_loop_trace(clients: usize, waves: usize, think_ns: u64) -> RequestTrace {
+    let mut trace = RequestTrace::new();
+    for wave in 0..waves {
+        for client in 0..clients {
+            trace.submit(wave as u64 * think_ns + client as u64, client % 2);
+        }
+    }
+    trace
+}
+
+proptest! {
+    /// Randomized open-loop traces conform: exact work-counter and
+    /// outcome agreement for any arrival pattern, worker count and
+    /// shard count.
+    #[test]
+    fn open_loop_traces_conform_exactly(
+        gaps in vec((0u32..2_000_000, any::<bool>()), 1..24),
+        workers in 1usize..5,
+        shard_pow in 0u32..4,
+        max_batch in 1usize..9,
+    ) {
+        let config = config(workers, 1 << shard_pow, max_batch);
+        let trace = open_loop_trace(&gaps);
+        let injector = FaultInjector::none(config.serve.base.geometry.slices());
+        let report = run_conformance(&config, &specs(), &trace, &injector, 1e9)
+            .expect("both engines must drive the trace");
+        prop_assert!(report.work_exact, "work mismatch: {:?}", report.mismatches);
+        prop_assert!(report.outcomes_exact, "outcome mismatch: {:?}", report.mismatches);
+        prop_assert_eq!(report.submitted, gaps.len() as u64);
+        prop_assert!(report.total_work.ops > 0);
+    }
+
+    /// Transient faults conform too: `transient_error(id, attempt)` is
+    /// deterministic per request, so both engines see the same fault
+    /// sequence and must agree on work (retried attempts are charged on
+    /// both sides) and on every terminal outcome.
+    #[test]
+    fn transient_fault_traces_conform_exactly(
+        gaps in vec((0u32..1_000_000, any::<bool>()), 1..16),
+        rate in 0.0f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        let mut config = config(2, 4, 4);
+        config.serve.retry = bfree_fault::RetryPolicy::standard();
+        let plan = FaultPlan {
+            transient_error_rate: rate,
+            ..FaultPlan::none()
+        };
+        let slices = config.serve.base.geometry.slices();
+        let injector = FaultInjector::new(plan, seed, slices, 512).expect("plan in range");
+        let trace = open_loop_trace(&gaps);
+        let report = run_conformance(&config, &specs(), &trace, &injector, 1e9)
+            .expect("both engines must drive the trace");
+        prop_assert!(report.work_exact, "work mismatch: {:?}", report.mismatches);
+        prop_assert!(report.outcomes_exact, "outcome mismatch: {:?}", report.mismatches);
+    }
+
+    /// Model-swap traces conform when the trace quiesces the swapped
+    /// tenant around the swap (the realtime feeder's per-tenant drain):
+    /// requests before the swap are priced on v0, after on v1, and the
+    /// ledgers must agree request for request.
+    #[test]
+    fn model_swap_traces_conform_exactly(
+        before in 1usize..6,
+        after in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let config = config(2, 2, 4);
+        let _ = seed;
+        let mut trace = RequestTrace::new();
+        for i in 0..before {
+            trace.submit(i as u64 * 200_000, 0);
+            trace.submit(i as u64 * 200_000 + 1, 1);
+        }
+        // A long gap so tenant 0 is quiesced when the swap fires; the
+        // int4 spec changes tenant 0's per-request work profile.
+        let swap_at = 400_000_000u64;
+        trace.swap(
+            swap_at,
+            0,
+            1,
+            TenantSpec::new("lstm", NetworkKind::LstmTimit)
+                .with_precision(PrecisionPolicy::Uniform(Precision::Int4)),
+        );
+        for i in 0..after {
+            trace.submit(swap_at + 100_000_000 + i as u64 * 200_000, 0);
+        }
+        let injector = FaultInjector::none(config.serve.base.geometry.slices());
+        let report = run_conformance(&config, &specs(), &trace, &injector, 1e9)
+            .expect("both engines must drive the trace");
+        prop_assert!(report.work_exact, "work mismatch: {:?}", report.mismatches);
+        prop_assert!(report.outcomes_exact, "outcome mismatch: {:?}", report.mismatches);
+        prop_assert_eq!(report.submitted, (before * 2 + after) as u64);
+    }
+}
+
+#[test]
+fn closed_loop_trace_conforms_exactly() {
+    let config = config(3, 4, 8);
+    let trace = closed_loop_trace(4, 5, 5_000_000);
+    let injector = FaultInjector::none(config.serve.base.geometry.slices());
+    let report =
+        run_conformance(&config, &specs(), &trace, &injector, 1e9).expect("trace must drive");
+    assert!(report.work_exact, "work mismatch: {:?}", report.mismatches);
+    assert!(
+        report.outcomes_exact,
+        "outcome mismatch: {:?}",
+        report.mismatches
+    );
+    assert_eq!(report.submitted, 20);
+}
+
+#[test]
+fn conformance_holds_across_scheduler_policies() {
+    for policy in [SchedPolicy::Fifo, SchedPolicy::Sjf, SchedPolicy::Priority] {
+        let mut config = config(2, 4, 4);
+        config.serve.policy = policy;
+        let trace = open_loop_trace(&[(0, false), (1_000, true), (2_000, false), (3_000, true)]);
+        let injector = FaultInjector::none(config.serve.base.geometry.slices());
+        let report =
+            run_conformance(&config, &specs(), &trace, &injector, 1e9).expect("trace must drive");
+        assert!(
+            report.work_exact && report.outcomes_exact,
+            "{policy:?}: {:?}",
+            report.mismatches
+        );
+    }
+}
+
+/// N producers push a known ID set while N consumers pop concurrently:
+/// nothing is lost, nothing is popped twice, and the queue drains to
+/// empty. This is the lock-free-handoff invariant the conformance
+/// ledger check relies on.
+#[test]
+fn sharded_queue_loses_nothing_under_concurrency() {
+    const PRODUCERS: usize = 4;
+    const CONSUMERS: usize = 4;
+    const PER_PRODUCER: u64 = 500;
+    let total = PRODUCERS as u64 * PER_PRODUCER;
+
+    let queue = ShardedQueue::new(8, total as usize);
+    let produced = AtomicU64::new(0);
+    let popped = Mutex::new(Vec::<u64>::new());
+
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS as u64 {
+            let queue = &queue;
+            let produced = &produced;
+            scope.spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    let id = p * PER_PRODUCER + i;
+                    let req = QueuedRequest {
+                        request_id: id,
+                        tenant: 0,
+                        submit_ns: id,
+                        attempt: 0,
+                    };
+                    queue.push(req).expect("capacity covers every push");
+                    produced.fetch_add(1, Ordering::Release);
+                }
+            });
+        }
+        for c in 0..CONSUMERS {
+            let queue = &queue;
+            let produced = &produced;
+            let popped = &popped;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    match queue.pop(c) {
+                        Some((req, _stolen)) => local.push(req.request_id),
+                        None => {
+                            if produced.load(Ordering::Acquire) == total && queue.is_empty() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                popped.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    let popped = popped.into_inner().unwrap();
+    assert_eq!(
+        popped.len() as u64,
+        total,
+        "a request was lost or duplicated"
+    );
+    let unique: BTreeSet<u64> = popped.iter().copied().collect();
+    assert_eq!(unique.len() as u64, total, "a request was popped twice");
+    assert_eq!(*unique.iter().next().unwrap(), 0);
+    assert_eq!(*unique.iter().last().unwrap(), total - 1);
+    assert!(queue.is_empty());
+}

@@ -80,7 +80,10 @@ proptest! {
         let slices = cfg.base.geometry.slices();
         let injector = FaultInjector::new(plan, seed, slices, 512).expect("plan in range");
         let recorder = RingRecorder::new(TRACE_CAPACITY);
-        let mut sim = ServingSim::with_recorder_and_faults(cfg, tenants(), recorder, injector)
+        let mut sim = ServingSim::builder(cfg, tenants())
+            .recorder(recorder)
+            .injector(injector)
+            .build()
             .expect("constants are valid");
         let mut driver = OpenLoopDriver::new(seed, vec![2_000.0, 50.0]);
         driver.drive(&mut sim, HORIZON_NS);
