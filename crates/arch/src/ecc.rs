@@ -1,0 +1,317 @@
+//! Parity / SECDED protection cost model for the in-subarray LUT rows.
+//!
+//! The paper stores its multiply LUTs in plain 6T SRAM cells (§III), so
+//! a soft error in one LUT row silently corrupts every multiply that
+//! indexes it. This module prices the three protection options a
+//! deployment can choose between — no protection, a single parity bit
+//! per 64-bit row (detect-only), and Hamming SECDED(72,64) (correct
+//! single flips, detect doubles) — through the same component cost
+//! model as every other architectural event, so protected and
+//! unprotected configurations are comparable in run reports.
+//!
+//! The interesting tension: a decoupled-bitline LUT read is 231x
+//! cheaper than a regular row access (§III-B, ~0.037 pJ), so even a
+//! small syndrome XOR tree is a *multiple* of the raw read energy.
+//! ECC on these rows is still ~100x cheaper than a regular row access,
+//! but it is nothing like free — exactly the kind of trade-off the
+//! `sdc` sweep exists to expose.
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::EnergyParams;
+use crate::error::ArchError;
+use crate::timing::TimingParams;
+use crate::units::{Energy, Latency};
+
+/// How (or whether) each 64-bit LUT row is protected against bit flips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EccScheme {
+    /// Bare 6T cells: flips are invisible and every one is silent
+    /// corruption.
+    None,
+    /// One even-parity bit per row: detects any odd number of flips
+    /// (recovery by seed-regeneration), silently misses doubles.
+    Parity,
+    /// Hamming SECDED(72,64): corrects any single flip in place,
+    /// detects (but cannot correct) doubles.
+    Secded,
+}
+
+impl EccScheme {
+    /// Every scheme, in sweep order.
+    pub const ALL: [EccScheme; 3] = [EccScheme::None, EccScheme::Parity, EccScheme::Secded];
+
+    /// Stable lowercase label for CSV columns and event payloads.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EccScheme::None => "none",
+            EccScheme::Parity => "parity",
+            EccScheme::Secded => "secded",
+        }
+    }
+
+    /// Data bits per code word (one LUT row).
+    #[must_use]
+    pub fn data_bits(self) -> u32 {
+        64
+    }
+
+    /// Check bits stored alongside each row.
+    #[must_use]
+    pub fn check_bits(self) -> u32 {
+        match self {
+            EccScheme::None => 0,
+            EccScheme::Parity => 1,
+            EccScheme::Secded => 8,
+        }
+    }
+
+    /// Total coded word width — the space a fault can flip a bit in.
+    #[must_use]
+    pub fn word_bits(self) -> u32 {
+        self.data_bits() + self.check_bits()
+    }
+
+    /// Extra LUT-row storage cells relative to the unprotected row.
+    #[must_use]
+    pub fn storage_overhead(self) -> f64 {
+        f64::from(self.check_bits()) / f64::from(self.data_bits())
+    }
+
+    /// Two-input XOR gates evaluated per read to form the syndrome: a
+    /// parity tree folds the whole word; each SECDED check bit covers
+    /// about half of it.
+    #[must_use]
+    pub fn syndrome_xor_gates(self) -> u64 {
+        match self {
+            EccScheme::None => 0,
+            EccScheme::Parity => u64::from(self.word_bits()) - 1,
+            EccScheme::Secded => u64::from(self.check_bits()) * u64::from(self.word_bits()) / 2,
+        }
+    }
+
+    /// Extra subarray cycles a checked read takes: one to fold the
+    /// syndrome, plus one more for SECDED to decode and correct.
+    #[must_use]
+    pub fn check_cycles(self) -> u64 {
+        match self {
+            EccScheme::None => 0,
+            EccScheme::Parity => 1,
+            EccScheme::Secded => 2,
+        }
+    }
+}
+
+/// ECC cost parameters, priced per subarray.
+///
+/// ```
+/// use pim_arch::{EccModel, EccScheme, EnergyParams, TimingParams};
+/// let model = EccModel::paper_default(EccScheme::Secded);
+/// let report = model.report(&EnergyParams::default(), &TimingParams::default());
+/// // SECDED multiplies the ultra-cheap decoupled LUT read...
+/// assert!(report.energy_overhead_fraction > 1.0);
+/// // ...yet stays far cheaper than a regular row access.
+/// assert!(report.protected_lut_read_pj < 8.6 / 50.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EccModel {
+    /// The protection scheme being priced.
+    pub scheme: EccScheme,
+    /// Energy of one two-input XOR evaluation in the syndrome tree, pJ
+    /// (~0.2 fJ per gate at 16 nm).
+    pub xor_gate_pj: f64,
+    /// Encoder/decoder logic area relative to one subarray.
+    pub logic_subarray_overhead: f64,
+    /// Share of the subarray's cell area occupied by its LUT rows (8 of
+    /// 256 rows per partition carry the multiply table).
+    pub lut_row_area_share: f64,
+}
+
+impl EccModel {
+    /// The calibrated cost constants for `scheme`.
+    #[must_use]
+    pub fn paper_default(scheme: EccScheme) -> Self {
+        EccModel {
+            scheme,
+            xor_gate_pj: 0.0002,
+            logic_subarray_overhead: match scheme {
+                EccScheme::None => 0.0,
+                EccScheme::Parity => 0.0005,
+                EccScheme::Secded => 0.002,
+            },
+            lut_row_area_share: 8.0 / 256.0,
+        }
+    }
+
+    /// Validates the cost constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameter`] when a value is negative,
+    /// non-finite, or a fraction leaves `[0, 1]`.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if !(self.xor_gate_pj >= 0.0 && self.xor_gate_pj.is_finite()) {
+            return Err(ArchError::InvalidParameter {
+                parameter: "xor_gate_pj",
+                reason: format!("must be non-negative and finite, got {}", self.xor_gate_pj),
+            });
+        }
+        for (name, v) in [
+            ("logic_subarray_overhead", self.logic_subarray_overhead),
+            ("lut_row_area_share", self.lut_row_area_share),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ArchError::InvalidParameter {
+                    parameter: name,
+                    reason: format!("must be within [0, 1], got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Energy of the syndrome computation alone.
+    pub fn syndrome_energy(&self) -> Energy {
+        Energy::from_pj(self.scheme.syndrome_xor_gates() as f64 * self.xor_gate_pj)
+    }
+
+    /// Energy of one parity/SECDED-checked decoupled-bitline LUT read:
+    /// the wider code word through the cheap LUT path, plus the
+    /// syndrome tree.
+    pub fn protected_lut_read(&self, energy: &EnergyParams) -> Energy {
+        let widen = f64::from(self.scheme.word_bits()) / f64::from(self.scheme.data_bits());
+        Energy::from_pj(energy.fast_lut_access().picojoules() * widen) + self.syndrome_energy()
+    }
+
+    /// Energy of one scrubber visit to one row: a checked read; clean
+    /// rows (the overwhelming majority) cost nothing further, and the
+    /// rare rewrite is charged separately by the caller as a row write.
+    pub fn scrub_row(&self, energy: &EnergyParams) -> Energy {
+        self.protected_lut_read(energy)
+    }
+
+    /// Extra latency the check adds to a LUT read.
+    pub fn check_latency(&self, timing: &TimingParams) -> Latency {
+        Latency::from_ns(self.scheme.check_cycles() as f64 * timing.subarray_cycle_ns())
+    }
+
+    /// Total subarray area overhead: decoder logic plus the check-bit
+    /// cells added to the LUT rows' share of the array.
+    #[must_use]
+    pub fn subarray_area_overhead(&self) -> f64 {
+        self.logic_subarray_overhead + self.scheme.storage_overhead() * self.lut_row_area_share
+    }
+
+    /// The full per-scheme cost report.
+    pub fn report(&self, energy: &EnergyParams, timing: &TimingParams) -> EccCostReport {
+        let baseline = energy.fast_lut_access();
+        let protected = self.protected_lut_read(energy);
+        EccCostReport {
+            scheme: self.scheme,
+            word_bits: self.scheme.word_bits(),
+            check_bits: self.scheme.check_bits(),
+            storage_overhead_fraction: self.scheme.storage_overhead(),
+            baseline_lut_read_pj: baseline.picojoules(),
+            protected_lut_read_pj: protected.picojoules(),
+            energy_overhead_fraction: (protected.picojoules() - baseline.picojoules())
+                / baseline.picojoules(),
+            check_latency_ns: self.check_latency(timing).nanoseconds(),
+            subarray_area_overhead: self.subarray_area_overhead(),
+        }
+    }
+}
+
+/// Output of [`EccModel::report`]: one protection scheme priced against
+/// the unprotected decoupled-bitline read.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EccCostReport {
+    /// The scheme priced.
+    pub scheme: EccScheme,
+    /// Coded word width.
+    pub word_bits: u32,
+    /// Check bits per row.
+    pub check_bits: u32,
+    /// Extra storage cells relative to the bare row.
+    pub storage_overhead_fraction: f64,
+    /// Unprotected decoupled-bitline LUT read, pJ.
+    pub baseline_lut_read_pj: f64,
+    /// Checked read (wider word + syndrome), pJ.
+    pub protected_lut_read_pj: f64,
+    /// `(protected - baseline) / baseline`.
+    pub energy_overhead_fraction: f64,
+    /// Latency the check adds to each read, ns.
+    pub check_latency_ns: f64,
+    /// Decoder logic + check-bit cells relative to one subarray.
+    pub subarray_area_overhead: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate_for_every_scheme() {
+        for scheme in EccScheme::ALL {
+            EccModel::paper_default(scheme).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn geometry_constants() {
+        assert_eq!(EccScheme::None.word_bits(), 64);
+        assert_eq!(EccScheme::Parity.word_bits(), 65);
+        assert_eq!(EccScheme::Secded.word_bits(), 72);
+        assert_eq!(EccScheme::Secded.check_bits(), 8);
+        assert!((EccScheme::Secded.storage_overhead() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_scheme_is_free() {
+        let model = EccModel::paper_default(EccScheme::None);
+        let e = EnergyParams::default();
+        let t = TimingParams::default();
+        let report = model.report(&e, &t);
+        assert_eq!(report.energy_overhead_fraction, 0.0);
+        assert_eq!(report.check_latency_ns, 0.0);
+        assert_eq!(report.subarray_area_overhead, 0.0);
+        assert!((report.protected_lut_read_pj - e.fast_lut_access().picojoules()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn costs_order_none_parity_secded() {
+        let e = EnergyParams::default();
+        let t = TimingParams::default();
+        let reports: Vec<_> = EccScheme::ALL
+            .iter()
+            .map(|&s| EccModel::paper_default(s).report(&e, &t))
+            .collect();
+        for pair in reports.windows(2) {
+            assert!(pair[0].protected_lut_read_pj < pair[1].protected_lut_read_pj);
+            assert!(pair[0].check_latency_ns < pair[1].check_latency_ns);
+            assert!(pair[0].subarray_area_overhead < pair[1].subarray_area_overhead);
+        }
+    }
+
+    #[test]
+    fn secded_stays_far_cheaper_than_regular_row_access() {
+        let e = EnergyParams::default();
+        let t = TimingParams::default();
+        let report = EccModel::paper_default(EccScheme::Secded).report(&e, &t);
+        // The check tree is a multiple of the 231x-efficient read...
+        assert!(report.energy_overhead_fraction > 1.0);
+        // ...but protection still keeps two orders of magnitude on the
+        // 8.6 pJ regular row access.
+        assert!(report.protected_lut_read_pj * 50.0 < e.subarray_row_access().picojoules());
+    }
+
+    #[test]
+    fn invalid_constants_rejected() {
+        let mut model = EccModel::paper_default(EccScheme::Parity);
+        model.xor_gate_pj = f64::NAN;
+        assert!(model.validate().is_err());
+        let mut model = EccModel::paper_default(EccScheme::Parity);
+        model.lut_row_area_share = 1.5;
+        assert!(model.validate().is_err());
+    }
+}

@@ -32,6 +32,7 @@
 pub mod address;
 pub mod area;
 pub mod dram;
+pub mod ecc;
 pub mod energy;
 pub mod error;
 pub mod geometry;
@@ -47,6 +48,7 @@ pub mod units;
 pub use address::{CacheAddress, SubarrayId};
 pub use area::AreaModel;
 pub use dram::{MemoryTech, MemoryTechKind};
+pub use ecc::{EccCostReport, EccModel, EccScheme};
 pub use energy::EnergyParams;
 pub use error::ArchError;
 pub use geometry::CacheGeometry;

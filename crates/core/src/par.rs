@@ -396,6 +396,38 @@ where
     })
 }
 
+/// A panic caught inside [`try_run_worker_pool`]: which worker raised
+/// it (the lowest id when several panicked) and the payload rendered as
+/// text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Id of the panicking worker (ties broken toward the lowest id, so
+    /// the surfaced error is deterministic for a given panic set).
+    pub worker: usize,
+    /// The panic payload as a string (`"non-string panic payload"` when
+    /// the payload was neither `&str` nor `String`).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker {} panicked: {}", self.worker, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Renders a caught panic payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The persistent worker-pool runtime: spawns exactly `workers` scoped
 /// threads, runs `body(worker_id)` on each, and joins them all before
 /// returning. Unlike [`par_map`] there is no work list — each body *is*
@@ -409,25 +441,66 @@ where
 /// least 1), *not* subject to [`max_jobs`]: a long-lived pool is sized
 /// by its owner, not by the ambient job cap.
 ///
-/// # Panics
+/// A panicking worker is caught ([`std::panic::catch_unwind`]) rather
+/// than allowed to unwind through the scope: its siblings keep draining
+/// and are joined normally, and the panic comes back as a typed
+/// [`WorkerPanic`] — the lowest-id panicker when several went down —
+/// instead of poisoning whatever the pool shares with the caller.
 ///
-/// Propagates a panic from any worker once all have been joined.
-pub fn run_worker_pool<F>(workers: usize, body: F)
+/// # Errors
+///
+/// [`WorkerPanic`] when any worker body panicked.
+pub fn try_run_worker_pool<F>(workers: usize, body: F) -> Result<(), WorkerPanic>
 where
     F: Fn(usize) + Sync,
 {
     let workers = workers.max(1);
     PARALLEL_CALLS.fetch_add(1, Ordering::Relaxed);
     WORKERS_SPAWNED.fetch_add(workers as u64, Ordering::Relaxed);
+    let first_panic: Mutex<Option<WorkerPanic>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for worker in 0..workers {
-            let body = &body;
+            let (body, first_panic) = (&body, &first_panic);
             scope.spawn(move || {
                 IN_WORKER.with(|flag| flag.set(true));
-                body(worker);
+                // AssertUnwindSafe: the closure is shared by reference
+                // across workers either way; a panic leaves no broken
+                // invariant here that joining the scope wouldn't also
+                // leave, and the caller decides what to do with the
+                // typed error.
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(worker)));
+                if let Err(payload) = result {
+                    let message = panic_message(payload.as_ref());
+                    let mut slot = lock_unpoisoned(first_panic);
+                    match &*slot {
+                        Some(existing) if existing.worker <= worker => {}
+                        _ => *slot = Some(WorkerPanic { worker, message }),
+                    }
+                }
             });
         }
     });
+    let caught = lock_unpoisoned(&first_panic).take();
+    match caught {
+        Some(panic) => Err(panic),
+        None => Ok(()),
+    }
+}
+
+/// [`try_run_worker_pool`] for callers without an error channel.
+///
+/// # Panics
+///
+/// Re-raises a worker panic (as a new panic carrying the rendered
+/// [`WorkerPanic`]) once all workers have been joined.
+pub fn run_worker_pool<F>(workers: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if let Err(panic) = try_run_worker_pool(workers, body) {
+        panic!("{panic}");
+    }
 }
 
 #[cfg(test)]
@@ -450,6 +523,48 @@ mod tests {
             ran.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_pool_panics_surface_as_typed_errors_and_spare_siblings() {
+        use std::sync::atomic::AtomicU64;
+        let finished = AtomicU64::new(0);
+        let err = try_run_worker_pool(4, |worker| {
+            if worker == 2 {
+                panic!("worker {worker} lost its queue");
+            }
+            finished.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap_err();
+        assert_eq!(err.worker, 2);
+        assert!(err.message.contains("lost its queue"), "{}", err.message);
+        // The panic did not take the siblings down with it.
+        assert_eq!(finished.load(Ordering::Relaxed), 3);
+
+        // Several panickers: the lowest id wins deterministically.
+        let err = try_run_worker_pool(4, |worker| {
+            if worker >= 1 {
+                panic!("boom {worker}");
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.worker, 1);
+
+        assert_eq!(try_run_worker_pool(3, |_| {}), Ok(()));
+    }
+
+    #[test]
+    fn run_worker_pool_reraises_a_worker_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            run_worker_pool(2, |worker| {
+                if worker == 0 {
+                    panic!("fatal");
+                }
+            });
+        });
+        let payload = caught.unwrap_err();
+        let message = payload.downcast_ref::<String>().unwrap();
+        assert!(message.contains("worker 0 panicked: fatal"), "{message}");
     }
 
     #[test]

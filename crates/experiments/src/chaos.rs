@@ -14,8 +14,10 @@
 
 use bfree_fault::rng::mix64;
 use bfree_fault::{FaultInjector, FaultPlan, RetryPolicy};
+use bfree_serve::realtime::run_conformance;
 use bfree_serve::{
-    OpenLoopDriver, SchedPolicy, ServeConfig, ServingSim, ServingSummary, TenantSpec,
+    OpenLoopDriver, RealtimeConfig, RequestTrace, SchedPolicy, ServeConfig, ServingSim,
+    ServingSummary, TenantSpec,
 };
 use pim_nn::request::NetworkKind;
 
@@ -99,6 +101,18 @@ fn base_plan() -> FaultPlan {
     FaultPlan::none()
         .with_lut_corruption(0.001, 50)
         .with_slice_failures(0.2, HORIZON_NS, Some(HORIZON_NS / 4))
+        .with_stragglers(0.15, 3.0)
+        .with_transient_errors(0.03)
+}
+
+/// The chaos plan the wall-clock engine can replay. The realtime pool
+/// has no virtual clock to schedule slice failures on
+/// ([`bfree_serve::RealtimeEngine`] rejects such plans), so the
+/// realtime leg drops them and keeps the per-request fault classes:
+/// boot-time LUT corruption, stragglers, transient errors.
+fn realtime_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_lut_corruption(0.001, 50)
         .with_stragglers(0.15, 3.0)
         .with_transient_errors(0.03)
 }
@@ -276,6 +290,97 @@ pub fn print(seed: u64) -> Result<(), ExperimentError> {
     Ok(())
 }
 
+/// `experiments chaos --realtime`: replays the chaos fault plan (sans
+/// slice failures) through the wall-clock [`bfree_serve::RealtimeEngine`]
+/// at every severity and gates each replay against the virtual-clock
+/// oracle. Work counters and terminal outcomes must agree exactly;
+/// telemetry rides a loose bound because stragglers distort the two
+/// engines' queueing differently.
+///
+/// # Errors
+///
+/// Engine construction/drive failures, and
+/// [`ExperimentError::MissingData`] on any conformance mismatch.
+pub fn realtime_print(seed: u64) -> Result<(), ExperimentError> {
+    // Timeout- and deadline-free: the engines model queueing
+    // differently, and a timeout would turn legitimate latency
+    // divergence under stragglers into divergent outcomes. Retries stay
+    // on so transient errors exercise the exact retry-count check.
+    let config = RealtimeConfig::builder()
+        .workers(4)
+        .queue_shards(4)
+        .serve(
+            ServeConfig::builder()
+                .policy(SchedPolicy::Priority)
+                .max_batch(8)
+                .batch_window_ns(100_000)
+                .queue_capacity(4096)
+                .retry(RetryPolicy::standard())
+                .build()?,
+        )
+        .build()?;
+    let geometry = &config.serve.base.geometry;
+    let lut_rows_per_slice = (geometry.subarrays_per_slice()
+        * geometry.partitions_per_subarray()
+        * geometry.lut_rows_per_partition()) as u32;
+    // A light trace: every request costs real wall time, and the gate's
+    // value is agreement, not load.
+    let horizon_ns = HORIZON_NS / 4;
+    let mut driver = OpenLoopDriver::new(seed, vec![LSTM_RPS / 4.0, BERT_RPS / 4.0]);
+    let mut trace = RequestTrace::new();
+    for (at_ns, tenant) in driver.arrivals(horizon_ns) {
+        trace.submit(at_ns, tenant);
+    }
+
+    println!("\n== Chaos realtime: wall-clock engine vs oracle under faults (seed {seed}) ==");
+    println!(
+        "{:>8} {:>9} {:>12} {:>12} {:>12} {:>14}",
+        "severity", "submitted", "work", "outcomes", "latency div", "energy div"
+    );
+    let mut failures = Vec::new();
+    for (sev_idx, &severity) in SEVERITIES.iter().enumerate() {
+        let fault_seed = mix64(seed ^ ((sev_idx as u64) << 32));
+        let injector = FaultInjector::new(
+            realtime_plan().scaled(severity),
+            fault_seed,
+            geometry.slices(),
+            lut_rows_per_slice,
+        )?;
+        let report = run_conformance(&config, &tenants(), &trace, &injector, 1.0)?;
+        println!(
+            "{:>8.2} {:>9} {:>12} {:>12} {:>11.1}% {:>13.1}%",
+            severity,
+            report.submitted,
+            if report.work_exact {
+                "exact"
+            } else {
+                "MISMATCH"
+            },
+            if report.outcomes_exact {
+                "exact"
+            } else {
+                "MISMATCH"
+            },
+            report.mean_latency_ns.divergence * 100.0,
+            report.mean_energy_pj.divergence * 100.0,
+        );
+        if !report.passed() {
+            for m in &report.mismatches {
+                println!("  severity {severity}: {m}");
+            }
+            failures.push(severity);
+        }
+    }
+    if failures.is_empty() {
+        println!("conformance: PASS at every severity");
+        Ok(())
+    } else {
+        Err(ExperimentError::MissingData(format!(
+            "chaos realtime conformance failed at severities {failures:?}"
+        )))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,6 +421,11 @@ mod tests {
             assert_eq!(c.summary.shed, 0, "full capacity, nothing to shed");
             assert_eq!(c.summary.retries_exhausted, 0);
         }
+    }
+
+    #[test]
+    fn realtime_chaos_gate_agrees_with_the_oracle() {
+        realtime_print(DEFAULT_SEED).unwrap();
     }
 
     #[test]

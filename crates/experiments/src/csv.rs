@@ -196,6 +196,15 @@ pub fn write_all(dir: &Path) -> Result<Vec<String>, ExperimentError> {
         crate::chaos::csv_rows(&chaos),
     )?;
 
+    // SDC: bit flips vs LUT protection scheme, at the default seed so
+    // the emitted file matches the checked-in golden.
+    let sdc = crate::sdc::run(crate::sdc::DEFAULT_SEED)?;
+    emit(
+        "sdc.csv",
+        &crate::sdc::CSV_HEADER,
+        crate::sdc::csv_rows(&sdc),
+    )?;
+
     // Attribution: event-stream vs aggregate-model cross-check.
     let attribution = crate::attribution::run()?;
     emit(

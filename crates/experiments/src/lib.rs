@@ -30,6 +30,7 @@ pub mod obs_export;
 pub mod overheads;
 pub mod perf;
 pub mod realtime;
+pub mod sdc;
 pub mod serving;
 pub mod table2;
 pub mod table3;

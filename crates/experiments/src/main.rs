@@ -31,9 +31,18 @@ usage: experiments [--jobs N] <name>
              export every Table II workload as a .bfrm model artifact,
              print header/section/LUT summaries and verify checksums +
              byte-for-byte catalog equality (default: all, target/models)
-  chaos [--seed N]
+  chaos [--seed N] [--realtime]
              serving under injected faults: severity x resilience-policy
-             sweep (default seed 42; writes results/chaos.csv)
+             sweep (default seed 42; writes results/chaos.csv);
+             --realtime replays the chaos plan through the wall-clock
+             RealtimeEngine and gates it against the virtual-clock
+             oracle (no CSV; conformance must agree)
+  sdc [--seed N]
+             silent-data-corruption sweep: deterministic bit flips in
+             LUT rows / resident weights / in-flight operands versus
+             protection scheme (none, parity, SECDED), with scrub,
+             repair and ECC cost accounting (default seed 42; writes
+             results/sdc.csv)
   attribution
              cross-check the observability event stream against the
              aggregate energy/latency models (Fig. 2 / Fig. 13 style)
@@ -136,6 +145,32 @@ fn main() {
         }
         "chaos" => {
             let mut seed = exp::chaos::DEFAULT_SEED;
+            let mut realtime = false;
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                if a == "--seed" || a == "-s" {
+                    match rest.next().map(|v| v.parse::<u64>()) {
+                        Some(Ok(n)) => seed = n,
+                        _ => {
+                            eprintln!("--seed expects an unsigned integer\n{USAGE}");
+                            std::process::exit(2);
+                        }
+                    }
+                } else if a == "--realtime" {
+                    realtime = true;
+                } else {
+                    eprintln!("unknown chaos argument: {a}\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+            if realtime {
+                check(exp::chaos::realtime_print(seed));
+            } else {
+                check(exp::chaos::print(seed));
+            }
+        }
+        "sdc" => {
+            let mut seed = exp::sdc::DEFAULT_SEED;
             let mut rest = args[1..].iter();
             while let Some(a) = rest.next() {
                 if a == "--seed" || a == "-s" {
@@ -147,11 +182,11 @@ fn main() {
                         }
                     }
                 } else {
-                    eprintln!("unknown chaos argument: {a}\n{USAGE}");
+                    eprintln!("unknown sdc argument: {a}\n{USAGE}");
                     std::process::exit(2);
                 }
             }
-            check(exp::chaos::print(seed));
+            check(exp::sdc::print(seed));
         }
         "attribution" => check(exp::attribution::print()),
         "critical" => check(exp::critical::print()),
@@ -265,6 +300,7 @@ fn main() {
                 std::path::Path::new(exp::models::DEFAULT_DIR),
             ));
             check(exp::chaos::print(exp::chaos::DEFAULT_SEED));
+            check(exp::sdc::print(exp::sdc::DEFAULT_SEED));
             check(exp::attribution::print());
             check(exp::critical::print());
         }

@@ -1,0 +1,521 @@
+//! Silent-data-corruption sweep: soft-error bit flips versus LUT
+//! protection scheme, severity × protection.
+//!
+//! Every multiply in the BFree fabric indexes a 6T-SRAM LUT row, so a
+//! single flipped bit corrupts millions of products with no
+//! architectural symptom — the one fault class the chaos sweep (which
+//! only perturbs *timing* and *availability*) cannot see. This sweep
+//! injects deterministic bit flips into every subarray's LUT rows, the
+//! resident model artifact, and the in-flight nibble operands, then
+//! measures what each protection scheme (bare rows, per-row parity,
+//! Hamming SECDED(72,64)) detects, corrects, or silently misses over a
+//! scrub-epoch horizon, with the ECC energy/latency/area overheads
+//! priced through `pim-arch`'s [`EccModel`].
+//!
+//! Determinism contract: the flip *decision* streams are independent of
+//! the protection scheme (only the landing bit position is drawn mod
+//! the scheme's word width), so all three protection columns at one
+//! severity face the same error process; every decision is
+//! counter-based, so `sdc.csv` is bit-identical at any `--jobs`.
+
+use bfree::BfreeConfig;
+use bfree_fault::rng::mix64;
+use bfree_fault::{FaultInjector, FaultPlan};
+use bfree_model::{encode_kind, ArtifactSpec, ModelArtifact, OwnedArtifact};
+use bfree_obs::{NullRecorder, Recorder, Subsystem, Unit};
+use bfree_serve::{ArtifactIntegrity, ModelRegistry, TenantSpec};
+use pim_arch::{CacheGeometry, EccModel, EccScheme, EnergyParams, TimingParams};
+use pim_lut::{LutImage, MultLut, ProtectedLut, Protection};
+use pim_nn::request::NetworkKind;
+
+use crate::error::ExperimentError;
+
+/// Default sweep seed (`experiments sdc --seed N` overrides).
+pub const DEFAULT_SEED: u64 = 42;
+/// Scrub epochs simulated per cell.
+const EPOCHS: u64 = 8;
+/// Virtual-clock scrub cadence (one pass every 10 ms).
+const SCRUB_PERIOD_NS: u64 = 10_000_000;
+/// Nibble operands in flight per epoch (datapath exposure).
+const OPERANDS_PER_EPOCH: u64 = 2_000;
+/// Severity multipliers on [`base_plan`]; 0.0 is the zero-corruption
+/// anchor that must perturb nothing.
+const SEVERITIES: [f64; 4] = [0.0, 0.5, 1.0, 2.0];
+
+/// The bit-flip plan at severity 1.0: per-(row, epoch) LUT flip draws,
+/// per-byte resident-weight flips, per-operand datapath flips.
+fn base_plan() -> FaultPlan {
+    FaultPlan::none().with_bit_flips(0.02, 0.001, 0.001)
+}
+
+fn scheme_of(protection: Protection) -> EccScheme {
+    match protection {
+        Protection::None => EccScheme::None,
+        Protection::Parity => EccScheme::Parity,
+        Protection::Secded => EccScheme::Secded,
+    }
+}
+
+/// One measured (severity, protection) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SdcCell {
+    /// Severity multiplier for this row.
+    pub severity: f64,
+    /// LUT-row protection scheme under test.
+    pub protection: Protection,
+    /// Row-check visits the scrubber made (rows × epochs).
+    pub rows_scanned: u64,
+    /// Bit flips injected into LUT rows.
+    pub flips: u64,
+    /// (row, epoch) events with exactly one flip.
+    pub singles: u64,
+    /// (row, epoch) events with two flips.
+    pub doubles: u64,
+    /// Rows corrected in place by SECDED.
+    pub corrected: u64,
+    /// Rows detected-uncorrectable and seed-regenerated.
+    pub repaired: u64,
+    /// Corrupted-row × epoch exposure the scheme never noticed.
+    pub silent: u64,
+    /// In-flight operand flips — datapath SDC no storage scheme sees.
+    pub operand_sdc: u64,
+    /// Bit flips injected into the resident model artifact.
+    pub weight_flips: u64,
+    /// Of those, flips the checksummed re-verification caught.
+    pub weight_detected: u64,
+    /// Scrub + correction-writeback energy over the horizon, µJ.
+    pub scrub_energy_uj: f64,
+    /// Per-read energy overhead of the checked LUT read, percent.
+    pub read_overhead_pct: f64,
+    /// ECC logic + check-bit cells per subarray, percent.
+    pub area_overhead_pct: f64,
+    /// Latency the check adds to each LUT read, ns.
+    pub check_latency_ns: f64,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct SdcSweep {
+    /// Seed the sweep ran under.
+    pub seed: u64,
+    /// Cells, severity-major, protections in [`Protection::ALL`] order.
+    pub cells: Vec<SdcCell>,
+}
+
+/// Runs one (severity, protection) cell, emitting
+/// [`Subsystem::Integrity`] events to `rec`. The fault realization
+/// depends only on `(seed, severity)`, never on the protection scheme.
+fn run_cell<R: Recorder>(
+    seed: u64,
+    sev_idx: usize,
+    severity: f64,
+    protection: Protection,
+    rec: &R,
+) -> Result<SdcCell, ExperimentError> {
+    let geometry = CacheGeometry::xeon_l3_35mb();
+    let slices = geometry.slices();
+    let subarrays = geometry.subarrays_per_slice();
+    let fault_seed = mix64(seed ^ ((sev_idx as u64) << 32));
+    let word_bits = protection.word_bits();
+    let image = LutImage::from_mult_table(&MultLut::new());
+    let rows_per_lut = image.row_writes(pim_lut::scrub::ROW_BYTES) as u32;
+    let injector = FaultInjector::new(
+        base_plan().scaled(severity),
+        fault_seed,
+        slices,
+        subarrays as u32 * rows_per_lut,
+    )?;
+
+    // Every subarray boots the same golden multiply image under this
+    // cell's encoding.
+    let mut luts: Vec<ProtectedLut> = (0..slices * subarrays)
+        .map(|_| ProtectedLut::from_image(&image, protection))
+        .collect();
+
+    // The registry retains the artifact it published, re-verified each
+    // epoch against its embedded checksums.
+    let config = BfreeConfig::paper_default();
+    let artifact_bytes = encode_kind(NetworkKind::LstmTimit, &config, &ArtifactSpec::default());
+    let golden_artifact = std::sync::Arc::new(OwnedArtifact::new(artifact_bytes)?);
+    let registry =
+        ModelRegistry::from_specs(vec![TenantSpec::new("lstm-timit", NetworkKind::LstmTimit)]);
+    registry.publish_artifact(
+        0,
+        2,
+        ModelRegistry::spec_from_artifact("lstm-timit", &golden_artifact.artifact())?,
+        std::sync::Arc::clone(&golden_artifact),
+    );
+    let artifact_len = golden_artifact.as_bytes().len() as u64;
+
+    let mut cell = SdcCell {
+        severity,
+        protection,
+        rows_scanned: 0,
+        flips: 0,
+        singles: 0,
+        doubles: 0,
+        corrected: 0,
+        repaired: 0,
+        silent: 0,
+        operand_sdc: 0,
+        weight_flips: 0,
+        weight_detected: 0,
+        scrub_energy_uj: 0.0,
+        read_overhead_pct: 0.0,
+        area_overhead_pct: 0.0,
+        check_latency_ns: 0.0,
+    };
+
+    let energy = EnergyParams::paper_default();
+    let timing = TimingParams::paper_default();
+    let ecc = EccModel::paper_default(scheme_of(protection));
+    let ecc_report = ecc.report(&energy, &timing);
+    cell.read_overhead_pct = ecc_report.energy_overhead_fraction * 100.0;
+    cell.area_overhead_pct = ecc_report.subarray_area_overhead * 100.0;
+    cell.check_latency_ns = ecc_report.check_latency_ns;
+
+    let mut scrub_energy_pj = 0.0;
+    for epoch in 0..EPOCHS {
+        let now_ns = (epoch + 1) * SCRUB_PERIOD_NS;
+        // Upsets land on the stored rows...
+        for slice in 0..slices {
+            for sub in 0..subarrays {
+                let lut = &mut luts[slice * subarrays + sub];
+                for row in 0..rows_per_lut {
+                    let global_row = sub as u32 * rows_per_lut + row;
+                    let hits = injector.lut_row_flips(slice, global_row, epoch, word_bits);
+                    match hits {
+                        [Some(_), Some(_)] => cell.doubles += 1,
+                        [Some(_), None] | [None, Some(_)] => cell.singles += 1,
+                        [None, None] => {}
+                    }
+                    for bit in hits.into_iter().flatten() {
+                        lut.inject(row as usize, bit);
+                        cell.flips += 1;
+                    }
+                }
+            }
+        }
+        // ...and the scrubber sweeps them on its cadence.
+        let mut pass_corrected = 0u64;
+        let mut pass_repaired = 0u64;
+        let mut pass_silent = 0u64;
+        for lut in &mut luts {
+            let report = lut.scrub_pass();
+            cell.rows_scanned += u64::from(report.rows);
+            pass_corrected += u64::from(report.corrected);
+            pass_repaired += u64::from(report.repaired);
+            pass_silent += u64::from(report.silent);
+            if protection != Protection::None {
+                scrub_energy_pj += f64::from(report.rows) * ecc.scrub_row(&energy).picojoules()
+                    + f64::from(report.corrected + report.repaired)
+                        * energy.subarray_row_access().picojoules();
+            }
+        }
+        cell.corrected += pass_corrected;
+        cell.repaired += pass_repaired;
+        cell.silent += pass_silent;
+        rec.instant(Subsystem::Integrity, "scrub/pass", now_ns as f64, || {
+            format!(
+                "epoch={epoch} corrected={pass_corrected} uncorrectable={pass_repaired} \
+                 silent={pass_silent}"
+            )
+        });
+        if pass_corrected > 0 {
+            rec.counter(
+                Subsystem::Integrity,
+                "flip/corrected",
+                pass_corrected as f64,
+                Unit::Count,
+            );
+        }
+        if pass_repaired > 0 {
+            rec.counter(
+                Subsystem::Integrity,
+                "flip/uncorrectable",
+                pass_repaired as f64,
+                Unit::Count,
+            );
+        }
+
+        // Datapath exposure: a flipped in-flight operand indexes a
+        // valid-but-wrong row; no storage scheme can see it.
+        for op in 0..OPERANDS_PER_EPOCH {
+            if injector
+                .operand_flip(epoch * OPERANDS_PER_EPOCH + op, op % 16)
+                .is_some()
+            {
+                cell.operand_sdc += 1;
+            }
+        }
+
+        // Resident artifact: apply this epoch's byte flips to a copy
+        // and let the registry's checksummed re-verification judge it.
+        let epoch_flips: Vec<(u64, u32)> = (0..artifact_len)
+            .filter_map(|b| {
+                injector
+                    .weight_byte_flip((epoch << 32) | b)
+                    .map(|bit| (b, bit))
+            })
+            .collect();
+        cell.weight_flips += epoch_flips.len() as u64;
+        if !epoch_flips.is_empty() {
+            let mut resident = golden_artifact.as_bytes().to_vec();
+            for &(byte, bit) in &epoch_flips {
+                resident[byte as usize] ^= 1u8 << bit;
+            }
+            if ModelArtifact::parse(&resident).is_err() {
+                cell.weight_detected += epoch_flips.len() as u64;
+                rec.instant(
+                    Subsystem::Integrity,
+                    "artifact/corrupted",
+                    now_ns as f64,
+                    || format!("epoch={epoch} flips={} refetched", epoch_flips.len()),
+                );
+            }
+        }
+        // The registry's own resident copy stays intact and verifies.
+        debug_assert_eq!(registry.reverify(0).integrity, ArtifactIntegrity::Verified);
+    }
+    cell.scrub_energy_uj = scrub_energy_pj * 1e-6;
+    rec.instant(
+        Subsystem::Integrity,
+        "artifact/reverify",
+        (EPOCHS * SCRUB_PERIOD_NS) as f64,
+        || {
+            format!(
+                "tenant=0 version=2 outcome={:?}",
+                registry.reverify(0).integrity
+            )
+        },
+    );
+    Ok(cell)
+}
+
+/// Runs the sweep under `seed`. Cells fan out on the `bfree::par`
+/// pool; collection order is the grid order, so the CSV is
+/// bit-identical at any `--jobs`.
+///
+/// # Errors
+///
+/// Propagates [`ExperimentError::Fault`] / [`ExperimentError::Serve`]
+/// on invalid parameters (cannot happen for the constants above).
+pub fn run(seed: u64) -> Result<SdcSweep, ExperimentError> {
+    let mut grid = Vec::new();
+    for (sev_idx, &severity) in SEVERITIES.iter().enumerate() {
+        for protection in Protection::ALL {
+            grid.push((sev_idx, severity, protection));
+        }
+    }
+    let cells = bfree::par::try_par_map(grid, |(sev_idx, severity, protection)| {
+        run_cell(seed, sev_idx, severity, protection, &NullRecorder)
+    })?;
+    Ok(SdcSweep { seed, cells })
+}
+
+/// CSV header for [`csv_rows`].
+pub const CSV_HEADER: [&str; 16] = [
+    "severity",
+    "protection",
+    "rows_scanned",
+    "flips",
+    "singles",
+    "doubles",
+    "corrected",
+    "repaired",
+    "silent",
+    "operand_sdc",
+    "weight_flips",
+    "weight_detected",
+    "scrub_energy_uj",
+    "read_overhead_pct",
+    "area_overhead_pct",
+    "check_latency_ns",
+];
+
+/// The sweep as CSV rows matching [`CSV_HEADER`].
+pub fn csv_rows(sweep: &SdcSweep) -> Vec<Vec<String>> {
+    sweep
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{:.2}", c.severity),
+                c.protection.label().to_string(),
+                c.rows_scanned.to_string(),
+                c.flips.to_string(),
+                c.singles.to_string(),
+                c.doubles.to_string(),
+                c.corrected.to_string(),
+                c.repaired.to_string(),
+                c.silent.to_string(),
+                c.operand_sdc.to_string(),
+                c.weight_flips.to_string(),
+                c.weight_detected.to_string(),
+                format!("{:.3}", c.scrub_energy_uj),
+                format!("{:.1}", c.read_overhead_pct),
+                format!("{:.2}", c.area_overhead_pct),
+                format!("{:.3}", c.check_latency_ns),
+            ]
+        })
+        .collect()
+}
+
+/// Prints the sweep and writes `results/sdc.csv`.
+///
+/// # Errors
+///
+/// Propagates [`run`]'s errors and CSV write failures.
+pub fn print(seed: u64) -> Result<(), ExperimentError> {
+    let sweep = run(seed)?;
+    println!("\n== SDC: bit flips vs LUT protection (seed {seed}) ==");
+    println!(
+        "{} scrub epochs x {} ns; plan at severity 1.0: 2% LUT-row flip draws/epoch, \
+         0.1% weight bytes, 0.1% operands",
+        EPOCHS, SCRUB_PERIOD_NS
+    );
+    println!(
+        "{:>8} {:>10} {:>7} {:>8} {:>8} {:>9} {:>8} {:>7} {:>8} {:>8} {:>9} {:>8} {:>8}",
+        "severity",
+        "protect",
+        "flips",
+        "singles",
+        "doubles",
+        "corrected",
+        "repaired",
+        "silent",
+        "op_sdc",
+        "wt_flip",
+        "scrub_uJ",
+        "read+%",
+        "area+%"
+    );
+    for c in &sweep.cells {
+        println!(
+            "{:>8.2} {:>10} {:>7} {:>8} {:>8} {:>9} {:>8} {:>7} {:>8} {:>8} {:>9.3} {:>8.1} {:>8.2}",
+            c.severity,
+            c.protection.label(),
+            c.flips,
+            c.singles,
+            c.doubles,
+            c.corrected,
+            c.repaired,
+            c.silent,
+            c.operand_sdc,
+            c.weight_flips,
+            c.scrub_energy_uj,
+            c.read_overhead_pct,
+            c.area_overhead_pct,
+        );
+    }
+    let path = std::path::Path::new("results").join("sdc.csv");
+    crate::csv::write_rows(&path, &CSV_HEADER, &csv_rows(&sweep))?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfree_obs::RingRecorder;
+
+    #[test]
+    fn sweep_is_seed_deterministic() {
+        let a = run(DEFAULT_SEED).unwrap();
+        let b = run(DEFAULT_SEED).unwrap();
+        assert_eq!(csv_rows(&a), csv_rows(&b), "sweep must be bit-identical");
+        let c = run(7).unwrap();
+        assert_ne!(csv_rows(&a), csv_rows(&c));
+    }
+
+    #[test]
+    fn zero_severity_cells_are_pristine() {
+        let sweep = run(DEFAULT_SEED).unwrap();
+        for c in sweep.cells.iter().filter(|c| c.severity == 0.0) {
+            assert_eq!(c.flips, 0);
+            assert_eq!(c.silent, 0);
+            assert_eq!(c.operand_sdc, 0);
+            assert_eq!(c.weight_flips, 0);
+        }
+    }
+
+    #[test]
+    fn flip_process_is_identical_across_protections() {
+        // The error process must not depend on the scheme judging it.
+        let sweep = run(DEFAULT_SEED).unwrap();
+        for &severity in &SEVERITIES {
+            let at: Vec<&SdcCell> = sweep
+                .cells
+                .iter()
+                .filter(|c| c.severity == severity)
+                .collect();
+            assert_eq!(at.len(), Protection::ALL.len());
+            for c in &at[1..] {
+                assert_eq!(c.flips, at[0].flips);
+                assert_eq!(c.singles, at[0].singles);
+                assert_eq!(c.doubles, at[0].doubles);
+                assert_eq!(c.operand_sdc, at[0].operand_sdc);
+                assert_eq!(c.weight_flips, at[0].weight_flips);
+            }
+        }
+    }
+
+    #[test]
+    fn secded_corrects_all_singles_with_zero_silent_at_max_severity() {
+        // The acceptance criterion: 100% single-flip correction, no
+        // silent corruption, at the highest severity tier.
+        let sweep = run(DEFAULT_SEED).unwrap();
+        let cell = sweep
+            .cells
+            .iter()
+            .find(|c| {
+                c.severity == *SEVERITIES.last().unwrap() && c.protection == Protection::Secded
+            })
+            .unwrap();
+        assert!(cell.singles > 0, "the tier must actually inject singles");
+        assert!(cell.doubles > 0, "the tier must actually inject doubles");
+        assert_eq!(cell.corrected, cell.singles, "every single flip corrected");
+        assert_eq!(cell.silent, 0, "no silent corruption under SECDED");
+        assert_eq!(
+            cell.weight_detected, cell.weight_flips,
+            "every resident-artifact flip caught by the checksum"
+        );
+        assert!(cell.scrub_energy_uj > 0.0, "protection is not free");
+        assert!(cell.area_overhead_pct > 0.0);
+    }
+
+    #[test]
+    fn unprotected_rows_accumulate_silent_corruption_parity_leaks_doubles() {
+        let sweep = run(DEFAULT_SEED).unwrap();
+        let cell = |p: Protection| {
+            sweep
+                .cells
+                .iter()
+                .find(|c| c.severity == 2.0 && c.protection == p)
+                .unwrap()
+        };
+        let none = cell(Protection::None);
+        let parity = cell(Protection::Parity);
+        let secded = cell(Protection::Secded);
+        assert!(none.silent > 0, "bare rows must corrupt silently");
+        assert_eq!(none.corrected + none.repaired, 0);
+        assert!(parity.silent < none.silent, "parity detects the odd flips");
+        assert!(parity.repaired > 0);
+        assert_eq!(secded.silent, 0);
+        // Cost ordering mirrors coverage ordering.
+        assert!(none.scrub_energy_uj < parity.scrub_energy_uj);
+        assert!(parity.scrub_energy_uj < secded.scrub_energy_uj);
+    }
+
+    #[test]
+    fn integrity_events_surface_through_obs() {
+        let rec = RingRecorder::new(65536);
+        let cell = run_cell(DEFAULT_SEED, 3, 2.0, Protection::Secded, &rec).unwrap();
+        assert!(cell.corrected > 0);
+        let events = rec.events();
+        assert!(events.iter().all(|e| e.subsystem == Subsystem::Integrity));
+        assert!(events.iter().any(|e| e.name == "scrub/pass"));
+        assert!(events.iter().any(|e| e.name == "flip/corrected"));
+        assert!(events.iter().any(|e| e.name == "artifact/reverify"));
+    }
+}

@@ -165,6 +165,78 @@ impl FaultInjector {
             self.plan.transient_error_rate,
         )
     }
+
+    /// Up to two independent soft-error bit flips landing on LUT row
+    /// `row` of `slice` during scrub epoch `epoch`, as bit positions in
+    /// `0..word_bits`. Two draws at the plan rate, so at high rates a
+    /// row can take a *double* flip inside one epoch — the case parity
+    /// misses and SECDED detects but cannot correct.
+    ///
+    /// The flip *decisions* ignore `word_bits`: whether a row flips (and
+    /// how often) is identical whatever ECC geometry protects it, so
+    /// protection schemes in a sweep face the same error process and
+    /// differ only in the landing bit's position within their code word.
+    #[must_use]
+    pub fn lut_row_flips(
+        &self,
+        slice: usize,
+        row: u32,
+        epoch: u64,
+        word_bits: u32,
+    ) -> [Option<u32>; 2] {
+        if self.plan.lut_bitflip_rate <= 0.0 || word_bits == 0 {
+            return [None, None];
+        }
+        // One disjoint index per (slice, row, epoch, draw): epochs are
+        // bounded by the sweep, rows by the geometry, so the packing
+        // cannot collide for any realistic run.
+        let base = (slice as u64)
+            .wrapping_mul(1 << 40)
+            .wrapping_add(u64::from(row) << 20)
+            .wrapping_add(epoch << 1);
+        std::array::from_fn(|k| {
+            let index = base.wrapping_add(k as u64);
+            chance(
+                self.seed,
+                Stream::LutBitFlip,
+                index,
+                self.plan.lut_bitflip_rate,
+            )
+            .then(|| (draw(self.seed, Stream::LutBitPosition, index) % u64::from(word_bits)) as u32)
+        })
+    }
+
+    /// The bit (0..8) flipped in resident model-weight payload byte
+    /// `byte_index`, if any. Pure in `(seed, byte_index)`.
+    #[must_use]
+    pub fn weight_byte_flip(&self, byte_index: u64) -> Option<u32> {
+        chance(
+            self.seed,
+            Stream::WeightBitFlip,
+            byte_index,
+            self.plan.weight_bitflip_rate,
+        )
+        .then(|| (draw(self.seed, Stream::WeightBitPosition, byte_index) % 8) as u32)
+    }
+
+    /// The bit (0..4) flipped in nibble operand number `operand` of
+    /// request `request_id` while in flight, if any. Storage ECC cannot
+    /// see these — the flipped operand indexes a valid LUT row — so the
+    /// consumer accounts them as datapath SDC.
+    #[must_use]
+    pub fn operand_flip(&self, request_id: u64, operand: u64) -> Option<u32> {
+        if self.plan.operand_bitflip_rate <= 0.0 {
+            return None;
+        }
+        let index = request_id.wrapping_mul(1 << 24).wrapping_add(operand);
+        chance(
+            self.seed,
+            Stream::OperandBitFlip,
+            index,
+            self.plan.operand_bitflip_rate,
+        )
+        .then(|| (draw(self.seed, Stream::OperandBitPosition, index) % 4) as u32)
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +307,63 @@ mod tests {
         }
         assert!(!inj.transient_error(0, 0));
         assert!(!inj.transient_error(u64::MAX, u32::MAX));
+    }
+
+    #[test]
+    fn bit_flips_are_pure_and_respect_their_ranges() {
+        let plan = FaultPlan::none().with_bit_flips(0.2, 0.05, 0.05);
+        let inj = FaultInjector::new(plan, 99, 14, 640).unwrap();
+        let mut lut_hits = 0u32;
+        for slice in 0..14 {
+            for row in 0..64u32 {
+                for epoch in 0..8u64 {
+                    let flips = inj.lut_row_flips(slice, row, epoch, 72);
+                    assert_eq!(flips, inj.lut_row_flips(slice, row, epoch, 72));
+                    for bit in flips.into_iter().flatten() {
+                        assert!(bit < 72);
+                        lut_hits += 1;
+                    }
+                }
+            }
+        }
+        assert!(lut_hits > 0, "20% over 14*64*8*2 draws should hit");
+        let weight_hits = (0..4_000u64)
+            .filter_map(|b| inj.weight_byte_flip(b))
+            .inspect(|&bit| assert!(bit < 8))
+            .count();
+        assert!(weight_hits > 0);
+        let operand_hits = (0..4_000u64)
+            .filter_map(|r| inj.operand_flip(r, 0))
+            .inspect(|&bit| assert!(bit < 4))
+            .count();
+        assert!(operand_hits > 0);
+    }
+
+    #[test]
+    fn flip_decisions_are_independent_of_word_bits() {
+        // Whether a row flips must not depend on the protection scheme's
+        // code-word width — only the bit's position within it may.
+        let plan = FaultPlan::none().with_bit_flips(0.3, 0.0, 0.0);
+        let inj = FaultInjector::new(plan, 17, 4, 64).unwrap();
+        for row in 0..256u32 {
+            for (narrow, wide) in inj
+                .lut_row_flips(1, row, 3, 64)
+                .into_iter()
+                .zip(inj.lut_row_flips(1, row, 3, 72))
+            {
+                assert_eq!(narrow.is_some(), wide.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn none_injector_never_flips_bits() {
+        let inj = FaultInjector::none(14);
+        for row in 0..640u32 {
+            assert_eq!(inj.lut_row_flips(0, row, 0, 72), [None, None]);
+        }
+        assert_eq!(inj.weight_byte_flip(12345), None);
+        assert_eq!(inj.operand_flip(7, 3), None);
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //!
 //! * [`FaultPlan`] — declarative fault rates (LUT-row corruption, whole
 //!   slice failures with optional recovery, straggler slices, transient
-//!   per-attempt compute errors); [`FaultPlan::none`] is the fault-free
-//!   machine and reproduces it byte-for-byte.
+//!   per-attempt compute errors, and soft-error bit flips in LUT rows,
+//!   model weight bytes, and in-flight nibble operands);
+//!   [`FaultPlan::none`] is the fault-free machine and reproduces it
+//!   byte-for-byte.
 //! * [`FaultInjector`] — the plan resolved under an explicit seed into
 //!   concrete outcomes. Every decision is a *pure function* of
 //!   `(seed, stream, index)` (counter-based SplitMix64, see [`rng`]),

@@ -46,6 +46,21 @@ pub struct FaultPlan {
     /// Probability one service attempt of one request hits a transient
     /// compute error and must be retried.
     pub transient_error_rate: f64,
+    /// Probability each LUT row takes a soft-error bit flip per scrub
+    /// epoch. Two independent draws are made per (row, epoch), so at
+    /// high rates a row can accumulate a *double* flip between scrubs —
+    /// the case parity detection misses and SECDED detects but cannot
+    /// correct.
+    pub lut_bitflip_rate: f64,
+    /// Probability each model weight payload byte takes a bit flip
+    /// while resident (registry re-verification catches these through
+    /// the artifact checksum).
+    pub weight_bitflip_rate: f64,
+    /// Probability each in-flight nibble operand takes a bit flip on
+    /// its way to the LUT index. Storage ECC cannot see these: a
+    /// flipped operand indexes a *valid* row and reads a plausible but
+    /// wrong product, so they are accounted as datapath SDC.
+    pub operand_bitflip_rate: f64,
 }
 
 impl FaultPlan {
@@ -63,6 +78,9 @@ impl FaultPlan {
             straggler_rate: 0.0,
             straggler_multiplier: 1.0,
             transient_error_rate: 0.0,
+            lut_bitflip_rate: 0.0,
+            weight_bitflip_rate: 0.0,
+            operand_bitflip_rate: 0.0,
         }
     }
 
@@ -73,6 +91,9 @@ impl FaultPlan {
             && self.slice_failure_rate == 0.0
             && self.straggler_rate == 0.0
             && self.transient_error_rate == 0.0
+            && self.lut_bitflip_rate == 0.0
+            && self.weight_bitflip_rate == 0.0
+            && self.operand_bitflip_rate == 0.0
     }
 
     /// Sets the LUT-row corruption rate and per-row repair cost.
@@ -113,6 +134,17 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the silent-data-corruption rates: LUT-row flips per scrub
+    /// epoch, weight payload flips per byte, and in-flight operand
+    /// flips per nibble.
+    #[must_use]
+    pub fn with_bit_flips(mut self, lut_rate: f64, weight_rate: f64, operand_rate: f64) -> Self {
+        self.lut_bitflip_rate = lut_rate;
+        self.weight_bitflip_rate = weight_rate;
+        self.operand_bitflip_rate = operand_rate;
+        self
+    }
+
     /// This plan with every rate multiplied by `severity` (clamped to
     /// probability range) — the knob chaos sweeps turn. Severity 0
     /// yields a plan equivalent to [`FaultPlan::none`].
@@ -124,6 +156,9 @@ impl FaultPlan {
             slice_failure_rate: scale(self.slice_failure_rate),
             straggler_rate: scale(self.straggler_rate),
             transient_error_rate: scale(self.transient_error_rate),
+            lut_bitflip_rate: scale(self.lut_bitflip_rate),
+            weight_bitflip_rate: scale(self.weight_bitflip_rate),
+            operand_bitflip_rate: scale(self.operand_bitflip_rate),
             ..self.clone()
         }
     }
@@ -138,6 +173,9 @@ impl FaultPlan {
         check_rate("slice_failure_rate", self.slice_failure_rate)?;
         check_rate("straggler_rate", self.straggler_rate)?;
         check_rate("transient_error_rate", self.transient_error_rate)?;
+        check_rate("lut_bitflip_rate", self.lut_bitflip_rate)?;
+        check_rate("weight_bitflip_rate", self.weight_bitflip_rate)?;
+        check_rate("operand_bitflip_rate", self.operand_bitflip_rate)?;
         if !self.straggler_multiplier.is_finite() || self.straggler_multiplier < 1.0 {
             return Err(FaultError::InvalidParameter {
                 parameter: "straggler_multiplier",

@@ -29,6 +29,20 @@ pub enum Stream {
     TransientError,
     /// Per-(request, attempt): backoff jitter for the retry schedule.
     BackoffJitter,
+    /// Per-(slice, row, epoch, draw): does this LUT row take a soft-error
+    /// bit flip during this scrub epoch?
+    LutBitFlip,
+    /// Per-(slice, row, epoch, draw): which bit of the coded row flips.
+    LutBitPosition,
+    /// Per-byte: does this model weight payload byte take a bit flip?
+    WeightBitFlip,
+    /// Per-byte: which of the eight bits flips.
+    WeightBitPosition,
+    /// Per-(request, operand): does this in-flight nibble operand take a
+    /// bit flip on the H-tree between the analyzer and the LUT index?
+    OperandBitFlip,
+    /// Per-(request, operand): which of the four nibble bits flips.
+    OperandBitPosition,
 }
 
 impl Stream {
@@ -40,6 +54,12 @@ impl Stream {
             Stream::LutCorruption => 0x107C_0440,
             Stream::TransientError => 0x74A1_157E,
             Stream::BackoffJitter => 0xBAC0_FF11,
+            Stream::LutBitFlip => 0x107B_17F1,
+            Stream::LutBitPosition => 0x107B_1705,
+            Stream::WeightBitFlip => 0x3E16_87F1,
+            Stream::WeightBitPosition => 0x3E16_8705,
+            Stream::OperandBitFlip => 0x09E4_A7F1,
+            Stream::OperandBitPosition => 0x09E4_A705,
         }
     }
 }

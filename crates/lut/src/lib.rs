@@ -17,6 +17,11 @@
 //!   linear approximation tables storing a slope and intercept per segment
 //!   ([`PwlTable`]), composed into a full [`softmax()`] routine.
 //!
+//! The LUT rows live in plain 6T SRAM, so [`scrub`] adds the integrity
+//! layer: a Hamming SECDED(72,64) codec ([`secded`]), parity/SECDED row
+//! encodings, and a deterministic background scrubber that corrects or
+//! seed-regenerates damaged rows ([`ProtectedLut`]).
+//!
 //! Every operation also returns an [`OpCost`] describing the
 //! architectural events it generated (LUT reads, ROM reads, shifts, adds,
 //! cycles), which `pim-bce` prices in time and energy.
@@ -42,6 +47,8 @@ pub mod error;
 pub mod mult_table;
 pub mod multiply;
 pub mod pwl;
+pub mod scrub;
+pub mod secded;
 pub mod softmax;
 pub mod storage;
 
@@ -53,5 +60,6 @@ pub use error::LutError;
 pub use mult_table::{MultLut, TriangularMultLut};
 pub use multiply::LutMultiplier;
 pub use pwl::{PwlFunction, PwlTable};
+pub use scrub::{ProtectedLut, Protection, RowCheck, ScrubReport};
 pub use softmax::{softmax, SoftmaxEngine};
 pub use storage::{LutImage, LutKind};

@@ -1,0 +1,327 @@
+//! Protected LUT-row storage and the deterministic background scrubber.
+//!
+//! A [`ProtectedLut`] holds a subarray's LUT image as 64-bit rows in
+//! one of three protection encodings (bare, parity, SECDED) next to the
+//! golden encoding it booted from. Faults flip bits in the *stored*
+//! rows; the scrubber sweeps every row on a virtual-clock cadence,
+//! correcting what its code can correct and regenerating what it can
+//! only detect — the golden copy is a pure function of the table seed
+//! (paper Fig. 11 configuration phase), so "repair" is a row rewrite,
+//! never a checkpoint restore.
+//!
+//! The oracle view ([`ProtectedLut::audit`]) compares decoded data
+//! against golden data: whatever the scheme failed to notice is silent
+//! data corruption, the number the `sdc` experiment exists to drive to
+//! zero.
+
+use serde::{Deserialize, Serialize};
+
+use crate::secded;
+use crate::storage::LutImage;
+
+/// Bytes per 64-bit LUT row.
+pub const ROW_BYTES: usize = 8;
+
+/// How each stored row is encoded against bit flips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protection {
+    /// Bare 6T cells: every flip is invisible until an oracle looks.
+    None,
+    /// One even-parity bit per row: odd flip counts are detected (and
+    /// repaired by regeneration), even counts pass silently.
+    Parity,
+    /// Hamming SECDED(72,64): single flips corrected in place, double
+    /// flips detected and repaired by regeneration.
+    Secded,
+}
+
+impl Protection {
+    /// Every scheme, in sweep order.
+    pub const ALL: [Protection; 3] = [Protection::None, Protection::Parity, Protection::Secded];
+
+    /// Stable lowercase label for CSV columns and event payloads.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Protection::None => "none",
+            Protection::Parity => "parity",
+            Protection::Secded => "secded",
+        }
+    }
+
+    /// Coded word width — the space a fault can flip a bit in.
+    #[must_use]
+    pub fn word_bits(self) -> u32 {
+        match self {
+            Protection::None => 64,
+            Protection::Parity => 65,
+            Protection::Secded => secded::CODE_BITS,
+        }
+    }
+}
+
+/// Outcome of checking one stored row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowCheck {
+    /// The code sees nothing wrong (which, below SECDED, does not mean
+    /// nothing *is* wrong).
+    Clean {
+        /// The decoded data bits.
+        data: u64,
+    },
+    /// SECDED located and corrected a single flipped bit.
+    Corrected {
+        /// The data after correction.
+        data: u64,
+        /// The flipped code-word bit.
+        bit: u32,
+    },
+    /// The code detected corruption it cannot correct; the row must be
+    /// regenerated from its seed.
+    Detected,
+}
+
+/// One scrubber sweep over every row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// Rows scanned (every row, every pass).
+    pub rows: u32,
+    /// Rows whose check passed untouched.
+    pub clean: u32,
+    /// Rows corrected in place (SECDED single flips).
+    pub corrected: u32,
+    /// Rows detected as uncorrectable and regenerated from the seed.
+    pub repaired: u32,
+    /// Rows still decoding to wrong data after the pass — corruption
+    /// the scheme never noticed (oracle view).
+    pub silent: u32,
+}
+
+/// A subarray's LUT rows under one protection encoding, plus the
+/// golden encoding they booted from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtectedLut {
+    protection: Protection,
+    rows: Vec<u128>,
+    golden: Vec<u128>,
+}
+
+fn encode_row(protection: Protection, data: u64) -> u128 {
+    match protection {
+        Protection::None => u128::from(data),
+        Protection::Parity => u128::from(data) | (u128::from(secded::parity_bit(data)) << 64),
+        Protection::Secded => secded::encode(data),
+    }
+}
+
+fn check_row(protection: Protection, code: u128) -> RowCheck {
+    match protection {
+        Protection::None => RowCheck::Clean { data: code as u64 },
+        Protection::Parity => {
+            let data = code as u64;
+            let stored = (code >> 64) & 1 == 1;
+            if stored == secded::parity_bit(data) {
+                RowCheck::Clean { data }
+            } else {
+                RowCheck::Detected
+            }
+        }
+        Protection::Secded => match secded::decode(code) {
+            secded::Decoded::Clean { data } => RowCheck::Clean { data },
+            secded::Decoded::Corrected { data, bit } => RowCheck::Corrected { data, bit },
+            secded::Decoded::Uncorrectable => RowCheck::Detected,
+        },
+    }
+}
+
+impl ProtectedLut {
+    /// Encodes `image` into protected rows, zero-padding the tail row
+    /// (a 49-byte multiply image becomes seven 8-byte rows).
+    #[must_use]
+    pub fn from_image(image: &LutImage, protection: Protection) -> Self {
+        let golden: Vec<u128> = image
+            .bytes()
+            .chunks(ROW_BYTES)
+            .map(|chunk| {
+                let mut word = [0u8; ROW_BYTES];
+                word[..chunk.len()].copy_from_slice(chunk);
+                encode_row(protection, u64::from_le_bytes(word))
+            })
+            .collect();
+        ProtectedLut {
+            protection,
+            rows: golden.clone(),
+            golden,
+        }
+    }
+
+    /// The protection scheme in force.
+    #[must_use]
+    pub fn protection(&self) -> Protection {
+        self.protection
+    }
+
+    /// Number of stored rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Coded word width of each row.
+    #[must_use]
+    pub fn word_bits(&self) -> u32 {
+        self.protection.word_bits()
+    }
+
+    /// Flips `bit` of stored row `row` — the fault injector's hook.
+    pub fn inject(&mut self, row: usize, bit: u32) {
+        debug_assert!(bit < self.word_bits());
+        self.rows[row] ^= 1 << bit;
+    }
+
+    /// Checks stored row `row` without modifying it.
+    #[must_use]
+    pub fn check(&self, row: usize) -> RowCheck {
+        check_row(self.protection, self.rows[row])
+    }
+
+    /// The data a reader of row `row` observes right now: corrected
+    /// under SECDED when correctable, the raw (possibly wrong) data
+    /// bits otherwise.
+    #[must_use]
+    pub fn row_data(&self, row: usize) -> u64 {
+        match self.check(row) {
+            RowCheck::Clean { data } | RowCheck::Corrected { data, .. } => data,
+            RowCheck::Detected => self.rows[row] as u64,
+        }
+    }
+
+    /// One full scrubber sweep: checks every row, writes back
+    /// corrections, regenerates detected-uncorrectable rows from the
+    /// golden (seed-derived) encoding, then audits what slipped
+    /// through.
+    pub fn scrub_pass(&mut self) -> ScrubReport {
+        let mut report = ScrubReport {
+            rows: self.rows.len() as u32,
+            ..ScrubReport::default()
+        };
+        for row in 0..self.rows.len() {
+            match check_row(self.protection, self.rows[row]) {
+                RowCheck::Clean { .. } => report.clean += 1,
+                RowCheck::Corrected { data, .. } => {
+                    self.rows[row] = encode_row(self.protection, data);
+                    report.corrected += 1;
+                }
+                RowCheck::Detected => {
+                    self.rows[row] = self.golden[row];
+                    report.repaired += 1;
+                }
+            }
+        }
+        report.silent = self.audit();
+        report
+    }
+
+    /// Oracle view: rows whose decoded data differs from the golden
+    /// data right now — corruption the scheme has not noticed.
+    #[must_use]
+    pub fn audit(&self) -> u32 {
+        (0..self.rows.len())
+            .filter(|&row| {
+                self.row_data(row) != secded_free_data(self.protection, self.golden[row])
+            })
+            .count() as u32
+    }
+
+    /// Whether the stored rows are bit-identical to the golden
+    /// (seed-regenerated) encoding — the scrubber-conservation
+    /// invariant after a pass that found only correctable damage.
+    #[must_use]
+    pub fn matches_golden(&self) -> bool {
+        self.rows == self.golden
+    }
+}
+
+fn secded_free_data(protection: Protection, golden_code: u128) -> u64 {
+    match protection {
+        Protection::None | Protection::Parity => golden_code as u64,
+        Protection::Secded => secded::extract(golden_code),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mult_table::MultLut;
+
+    fn lut(protection: Protection) -> ProtectedLut {
+        ProtectedLut::from_image(&LutImage::from_mult_table(&MultLut::new()), protection)
+    }
+
+    #[test]
+    fn boot_state_is_golden_and_clean() {
+        for protection in Protection::ALL {
+            let p = lut(protection);
+            assert_eq!(p.rows(), 7);
+            assert!(p.matches_golden());
+            assert_eq!(p.audit(), 0);
+        }
+    }
+
+    #[test]
+    fn secded_scrub_restores_single_flips_bit_identically() {
+        let mut p = lut(Protection::Secded);
+        for row in 0..p.rows() {
+            p.inject(row, (row as u32 * 11) % p.word_bits());
+        }
+        assert!(!p.matches_golden());
+        let report = p.scrub_pass();
+        assert_eq!(report.corrected, 7);
+        assert_eq!(report.silent, 0);
+        assert!(p.matches_golden(), "scrubbed == seed-regenerated");
+    }
+
+    #[test]
+    fn secded_repairs_double_flips_via_regeneration() {
+        let mut p = lut(Protection::Secded);
+        p.inject(2, 5);
+        p.inject(2, 40);
+        let report = p.scrub_pass();
+        assert_eq!(report.repaired, 1);
+        assert_eq!(report.silent, 0);
+        assert!(p.matches_golden());
+    }
+
+    #[test]
+    fn parity_detects_odd_misses_even() {
+        let mut p = lut(Protection::Parity);
+        p.inject(0, 3); // single flip: detected, regenerated
+        p.inject(1, 7);
+        p.inject(1, 9); // double flip: parity still consistent
+        let report = p.scrub_pass();
+        assert_eq!(report.repaired, 1);
+        assert_eq!(report.silent, 1, "the double flip passes parity");
+        assert!(!p.matches_golden());
+    }
+
+    #[test]
+    fn unprotected_rows_corrupt_silently() {
+        let mut p = lut(Protection::None);
+        p.inject(4, 0);
+        let report = p.scrub_pass();
+        assert_eq!(report.clean, 7, "no code, nothing to notice");
+        assert_eq!(report.silent, 1);
+        // The reader sees the corrupted product byte.
+        assert_ne!(p.row_data(4), lut(Protection::None).row_data(4));
+    }
+
+    #[test]
+    fn parity_bit_flip_alone_is_detected_not_silent() {
+        let mut p = lut(Protection::Parity);
+        p.inject(3, 64); // the parity bit itself
+        let report = p.scrub_pass();
+        assert_eq!(report.repaired, 1);
+        assert_eq!(report.silent, 0);
+        assert!(p.matches_golden());
+    }
+}

@@ -1,0 +1,216 @@
+//! Hamming SECDED(72,64) codec for 64-bit LUT rows.
+//!
+//! Classic extended Hamming layout: code-word positions `1..72` hold
+//! the 64 data bits interleaved with seven check bits at the
+//! power-of-two positions (1, 2, 4, 8, 16, 32, 64), and position 0
+//! holds an overall even-parity bit over the whole word. Any single
+//! flipped bit produces a non-zero syndrome *and* an odd overall
+//! parity, which locates and corrects it; any double flip leaves the
+//! overall parity even while the syndrome is non-zero, which detects
+//! it without mislocating a correction.
+//!
+//! Everything here is pure shift/XOR bit-twiddling on integers —
+//! exactly the kind of code the `miri` CI job sweeps.
+
+/// Width of the full SECDED code word.
+pub const CODE_BITS: u32 = 72;
+
+/// The seven Hamming check-bit positions (powers of two).
+const CHECKS: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Positions covered by check bit `c`: every position whose index has
+/// bit `c` set (including `c` itself, so a flipped check bit indicts
+/// exactly its own syndrome).
+const fn group_mask(c: u32) -> u128 {
+    let mut mask = 0u128;
+    let mut p = 1u32;
+    while p < CODE_BITS {
+        if p & c != 0 {
+            mask |= 1 << p;
+        }
+        p += 1;
+    }
+    mask
+}
+
+const GROUP_MASKS: [u128; 7] = [
+    group_mask(1),
+    group_mask(2),
+    group_mask(4),
+    group_mask(8),
+    group_mask(16),
+    group_mask(32),
+    group_mask(64),
+];
+
+/// Outcome of decoding one code word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// No error: the stored word is exactly as encoded.
+    Clean {
+        /// The 64 data bits.
+        data: u64,
+    },
+    /// A single bit flip was located and corrected.
+    Corrected {
+        /// The data after correction.
+        data: u64,
+        /// The flipped code-word bit position (0..72).
+        bit: u32,
+    },
+    /// A double (or worse) error: detected, not correctable in place.
+    Uncorrectable,
+}
+
+/// Even-parity bit over a bare 64-bit row, for the 1-bit parity scheme.
+#[must_use]
+pub fn parity_bit(data: u64) -> bool {
+    data.count_ones() % 2 == 1
+}
+
+/// Encodes 64 data bits into a 72-bit SECDED code word (low bits of
+/// the returned value).
+#[must_use]
+pub fn encode(data: u64) -> u128 {
+    let mut code = 0u128;
+    let mut i = 0u32;
+    for p in 1..CODE_BITS {
+        if !p.is_power_of_two() {
+            if (data >> i) & 1 == 1 {
+                code |= 1 << p;
+            }
+            i += 1;
+        }
+    }
+    for (k, &c) in CHECKS.iter().enumerate() {
+        if (code & GROUP_MASKS[k]).count_ones() % 2 == 1 {
+            code |= 1 << c;
+        }
+    }
+    // Overall even parity across the whole word, stored at position 0.
+    if code.count_ones() % 2 == 1 {
+        code |= 1;
+    }
+    code
+}
+
+/// Extracts the 64 data bits from a code word without checking it.
+#[must_use]
+pub fn extract(code: u128) -> u64 {
+    let mut data = 0u64;
+    let mut i = 0u32;
+    for p in 1..CODE_BITS {
+        if !p.is_power_of_two() {
+            if (code >> p) & 1 == 1 {
+                data |= 1 << i;
+            }
+            i += 1;
+        }
+    }
+    data
+}
+
+/// Decodes a possibly-corrupted code word.
+#[must_use]
+pub fn decode(code: u128) -> Decoded {
+    let mut syndrome = 0u32;
+    for (k, &c) in CHECKS.iter().enumerate() {
+        if (code & GROUP_MASKS[k]).count_ones() % 2 == 1 {
+            syndrome |= c;
+        }
+    }
+    let overall_even = code.count_ones().is_multiple_of(2);
+    match (syndrome, overall_even) {
+        (0, true) => Decoded::Clean {
+            data: extract(code),
+        },
+        // Only the overall parity bit itself flipped; data is intact.
+        (0, false) => Decoded::Corrected {
+            data: extract(code),
+            bit: 0,
+        },
+        (s, false) if s < CODE_BITS => Decoded::Corrected {
+            data: extract(code ^ (1 << s)),
+            bit: s,
+        },
+        // Even overall parity with a non-zero syndrome (or a syndrome
+        // pointing outside the word): at least two flips.
+        _ => Decoded::Uncorrectable,
+    }
+}
+
+/// The code word with bit `bit` (0..[`CODE_BITS`]) flipped.
+#[must_use]
+pub fn flip_bit(code: u128, bit: u32) -> u128 {
+    debug_assert!(bit < CODE_BITS);
+    code ^ (1 << bit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_words() -> impl Iterator<Item = u64> {
+        (0..64).map(|i| 1u64 << i).chain([
+            0,
+            u64::MAX,
+            0x0123_4567_89AB_CDEF,
+            0xDEAD_BEEF_CAFE_F00D,
+        ])
+    }
+
+    #[test]
+    fn clean_words_round_trip() {
+        for data in sample_words() {
+            assert_eq!(decode(encode(data)), Decoded::Clean { data });
+        }
+    }
+
+    #[test]
+    fn every_single_flip_is_corrected() {
+        for data in [0u64, u64::MAX, 0x0123_4567_89AB_CDEF] {
+            let code = encode(data);
+            for bit in 0..CODE_BITS {
+                match decode(flip_bit(code, bit)) {
+                    Decoded::Corrected {
+                        data: decoded,
+                        bit: located,
+                    } => {
+                        assert_eq!(decoded, data, "bit {bit}");
+                        assert_eq!(located, bit);
+                    }
+                    other => panic!("bit {bit}: expected correction, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_flip_is_detected() {
+        let code = encode(0x0123_4567_89AB_CDEF);
+        for a in 0..CODE_BITS {
+            for b in (a + 1)..CODE_BITS {
+                assert_eq!(
+                    decode(flip_bit(flip_bit(code, a), b)),
+                    Decoded::Uncorrectable,
+                    "flips at {a},{b} must be detected, never miscorrected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parity_bit_counts_ones() {
+        assert!(!parity_bit(0));
+        assert!(parity_bit(1));
+        assert!(!parity_bit(0b11));
+        assert!(!parity_bit(u64::MAX));
+    }
+
+    #[test]
+    fn code_word_uses_exactly_72_bits() {
+        for data in sample_words() {
+            assert_eq!(encode(data) >> CODE_BITS, 0);
+        }
+    }
+}

@@ -635,6 +635,29 @@ impl OwnedArtifact {
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
     }
+
+    /// Re-runs the full structural and checksum validation over the
+    /// owned bytes — the registry's periodic integrity re-check. A bit
+    /// flip anywhere in the resident copy (header, layer records,
+    /// weight payloads, footer) surfaces here as the same typed error
+    /// initial parsing would have raised.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModelArtifact::parse`].
+    pub fn reverify(&self) -> Result<(), ModelError> {
+        ModelArtifact::parse(&self.bytes).map(|_| ())
+    }
+
+    /// The owned bytes with bit `bit` of byte `byte` flipped — the
+    /// fault injector's model of a resident-copy upset, returned as a
+    /// fresh buffer so the validated original stays untouched.
+    #[must_use]
+    pub fn with_flipped_bit(&self, byte: usize, bit: u32) -> Vec<u8> {
+        let mut bytes = self.bytes.clone();
+        bytes[byte % self.bytes.len()] ^= 1u8 << (bit % 8);
+        bytes
+    }
 }
 
 /// Reinterprets quantized weight storage as signed bytes, in place.

@@ -28,11 +28,15 @@ pub enum Subsystem {
     /// `bfree-model` / `bfree-serve`: model artifact and registry
     /// lifecycle (binds, version publishes, hot swaps).
     Model,
+    /// `pim-lut` / `bfree-serve`: data-integrity machinery (bit flips
+    /// detected, corrected, uncorrectable, scrub passes, artifact
+    /// re-verification).
+    Integrity,
 }
 
 impl Subsystem {
     /// All subsystems in canonical order.
-    pub const ALL: [Subsystem; 7] = [
+    pub const ALL: [Subsystem; 8] = [
         Subsystem::Arch,
         Subsystem::Bce,
         Subsystem::Exec,
@@ -40,6 +44,7 @@ impl Subsystem {
         Subsystem::Serve,
         Subsystem::Fault,
         Subsystem::Model,
+        Subsystem::Integrity,
     ];
 
     /// Stable machine-readable label.
@@ -52,6 +57,7 @@ impl Subsystem {
             Subsystem::Serve => "serve",
             Subsystem::Fault => "fault",
             Subsystem::Model => "model",
+            Subsystem::Integrity => "integrity",
         }
     }
 }

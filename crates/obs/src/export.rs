@@ -497,7 +497,8 @@ mod tests {
             | Subsystem::Par
             | Subsystem::Serve
             | Subsystem::Fault
-            | Subsystem::Model => {}
+            | Subsystem::Model
+            | Subsystem::Integrity => {}
         }
         match kind {
             EventKind::Span
@@ -537,7 +538,7 @@ mod tests {
             }
         }
         // ALL must enumerate exactly the variants audited above.
-        assert_eq!(Subsystem::ALL.len(), 7);
+        assert_eq!(Subsystem::ALL.len(), 8);
 
         let json = JsonValue::parse(&to_json(&events)).unwrap();
         assert_eq!(json.as_array().unwrap().len(), events.len());

@@ -75,7 +75,7 @@ pub use realtime::{
     ConformanceReport, RealtimeConfig, RealtimeConfigBuilder, RealtimeEngine,
     RealtimeEngineBuilder, RealtimeStats, ShardedQueue,
 };
-pub use registry::{ModelRegistry, ModelVersion};
+pub use registry::{ArtifactIntegrity, IntegrityReport, ModelRegistry, ModelVersion};
 pub use scheduler::{SchedPolicy, Scheduler, ServeConfig, ServeConfigBuilder};
 pub use sim::{ServingSim, ServingSimBuilder};
 pub use telemetry::{Outcome, RequestRecord, ServingSummary, ServingTelemetry, Telemetry};

@@ -418,12 +418,17 @@ impl<R: Recorder + Sync> RealtimeEngine<R> {
 
         let started = Instant::now();
         let workers = self.config.workers;
-        std::thread::scope(|scope| {
+        let pool = std::thread::scope(|scope| {
             let shared = &shared;
             scope.spawn(move || feed(shared, plan, started));
-            bfree::par::run_worker_pool(workers, |worker| worker_loop(shared, worker));
+            bfree::par::try_run_worker_pool(workers, |worker| worker_loop(shared, worker))
         });
         let wall_ns = started.elapsed().as_nanos() as u64;
+        // A panicked worker surfaces as a typed serving error instead of
+        // unwinding through the scope with the telemetry half-built.
+        pool.map_err(|panic| ServeError::Realtime {
+            reason: format!("worker pool died: {panic}"),
+        })?;
 
         // Reassemble owned state. Workers are joined, so every Arc is
         // unique again.

@@ -18,7 +18,7 @@
 
 use std::sync::{Arc, RwLock};
 
-use bfree_model::ModelArtifact;
+use bfree_model::{ModelArtifact, OwnedArtifact};
 use pim_nn::request::NetworkKind;
 
 use crate::error::ServeError;
@@ -31,6 +31,37 @@ pub struct ModelVersion {
     pub version: u64,
     /// The spec serving this version.
     pub spec: TenantSpec,
+    /// The resident artifact this version was lowered from, when the
+    /// publisher retained it — the bytes periodic integrity re-checks
+    /// re-validate against their embedded checksums.
+    pub artifact: Option<Arc<OwnedArtifact>>,
+}
+
+/// Outcome of re-verifying one tenant slot's resident artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactIntegrity {
+    /// The slot was bound from a spec alone; there are no resident
+    /// artifact bytes to re-check.
+    Unbound,
+    /// The resident bytes still validate end to end.
+    Verified,
+    /// The resident bytes no longer parse/checksum — the copy took a
+    /// flip since it was published and must be re-fetched.
+    Corrupted {
+        /// The parse error the re-check surfaced.
+        reason: String,
+    },
+}
+
+/// One row of [`ModelRegistry::reverify_all`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// Tenant slot index.
+    pub tenant: usize,
+    /// The version that was checked.
+    pub version: u64,
+    /// What the re-check found.
+    pub integrity: ArtifactIntegrity,
 }
 
 /// The per-tenant model binding table.
@@ -45,7 +76,13 @@ impl ModelRegistry {
         ModelRegistry {
             slots: specs
                 .into_iter()
-                .map(|spec| RwLock::new(Arc::new(ModelVersion { version: 1, spec })))
+                .map(|spec| {
+                    RwLock::new(Arc::new(ModelVersion {
+                        version: 1,
+                        spec,
+                        artifact: None,
+                    }))
+                })
                 .collect(),
         }
     }
@@ -78,7 +115,68 @@ impl ModelRegistry {
     /// Panics if `tenant` is out of range.
     pub fn publish(&self, tenant: usize, version: u64, spec: TenantSpec) -> Arc<ModelVersion> {
         let mut slot = self.slots[tenant].write().expect("registry lock poisoned");
-        std::mem::replace(&mut *slot, Arc::new(ModelVersion { version, spec }))
+        std::mem::replace(
+            &mut *slot,
+            Arc::new(ModelVersion {
+                version,
+                spec,
+                artifact: None,
+            }),
+        )
+    }
+
+    /// [`ModelRegistry::publish`], retaining the artifact the version
+    /// was lowered from so periodic re-verification can re-validate the
+    /// resident bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn publish_artifact(
+        &self,
+        tenant: usize,
+        version: u64,
+        spec: TenantSpec,
+        artifact: Arc<OwnedArtifact>,
+    ) -> Arc<ModelVersion> {
+        let mut slot = self.slots[tenant].write().expect("registry lock poisoned");
+        std::mem::replace(
+            &mut *slot,
+            Arc::new(ModelVersion {
+                version,
+                spec,
+                artifact: Some(artifact),
+            }),
+        )
+    }
+
+    /// Re-verifies the resident artifact of tenant slot `tenant`
+    /// against its embedded checksums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn reverify(&self, tenant: usize) -> IntegrityReport {
+        let current = self.current(tenant);
+        let integrity = match &current.artifact {
+            None => ArtifactIntegrity::Unbound,
+            Some(artifact) => match artifact.reverify() {
+                Ok(()) => ArtifactIntegrity::Verified,
+                Err(err) => ArtifactIntegrity::Corrupted {
+                    reason: err.to_string(),
+                },
+            },
+        };
+        IntegrityReport {
+            tenant,
+            version: current.version,
+            integrity,
+        }
+    }
+
+    /// One periodic integrity sweep over every slot, in tenant order.
+    pub fn reverify_all(&self) -> Vec<IntegrityReport> {
+        (0..self.slots.len()).map(|t| self.reverify(t)).collect()
     }
 
     /// Lowers a parsed artifact into the [`TenantSpec`] it describes:
@@ -144,6 +242,30 @@ mod tests {
         assert_eq!(held.spec.precision, PrecisionPolicy::uniform_int8());
         // The untouched slot is unaffected.
         assert_eq!(registry.current(1).version, 1);
+    }
+
+    #[test]
+    fn reverify_covers_unbound_verified_and_corrupted() {
+        let registry = ModelRegistry::from_specs(specs());
+        // Spec-only binding: nothing to re-check.
+        assert_eq!(registry.reverify(0).integrity, ArtifactIntegrity::Unbound);
+
+        let config = BfreeConfig::paper_default();
+        let bytes = encode_kind(NetworkKind::LstmTimit, &config, &ArtifactSpec::default());
+        let owned = Arc::new(OwnedArtifact::new(bytes).unwrap());
+        let spec = TenantSpec::new("lstm", NetworkKind::LstmTimit);
+        registry.publish_artifact(0, 2, spec, Arc::clone(&owned));
+        let report = registry.reverify(0);
+        assert_eq!(report.version, 2);
+        assert_eq!(report.integrity, ArtifactIntegrity::Verified);
+
+        // A resident copy that took a flip fails the sweep with the
+        // same typed rejection initial parsing would raise.
+        let flipped = owned.with_flipped_bit(owned.as_bytes().len() / 2, 3);
+        assert!(bfree_model::ModelArtifact::parse(&flipped).is_err());
+        let all = registry.reverify_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].integrity, ArtifactIntegrity::Unbound);
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Property tests over the data-integrity layer: the SECDED(72,64)
+//! code's correction/detection guarantees hold for *every* data word,
+//! the scrubber restores a flipped LUT bit-identically to its
+//! seed-regenerated golden image, and the bit-flip injector's decision
+//! streams are pure functions of `(seed, stream, index)` — which is what
+//! makes `results/sdc.csv` reproducible at any `--jobs` count.
+
+use std::fmt::Write as _;
+
+use bfree_experiments as exp;
+use bfree_fault::{FaultInjector, FaultPlan};
+use pim_lut::secded::{self, Decoded};
+use pim_lut::{LutImage, MultLut, ProtectedLut, Protection};
+use proptest::prelude::*;
+
+fn golden_lut(protection: Protection) -> ProtectedLut {
+    ProtectedLut::from_image(&LutImage::from_mult_table(&MultLut::new()), protection)
+}
+
+proptest! {
+    /// Clean round-trip plus exhaustive single-flip correction: for any
+    /// data word, every one of the 72 possible single flips is located
+    /// and corrected back to the original data.
+    #[test]
+    fn secded_corrects_every_single_flip(data in any::<u64>()) {
+        let code = secded::encode(data);
+        prop_assert_eq!(secded::decode(code), Decoded::Clean { data });
+        for bit in 0..secded::CODE_BITS {
+            match secded::decode(secded::flip_bit(code, bit)) {
+                Decoded::Corrected { data: decoded, bit: located } => {
+                    prop_assert_eq!(decoded, data, "flip at {} miscorrected", bit);
+                    prop_assert_eq!(located, bit);
+                }
+                other => prop_assert!(false, "flip at {} decoded as {:?}", bit, other),
+            }
+        }
+    }
+
+    /// Every double flip is *detected*, never silently (mis)corrected:
+    /// any distinct pair of flipped code bits decodes `Uncorrectable`.
+    #[test]
+    fn secded_detects_every_double_flip(data in any::<u64>(), a in 0..72u32, offset in 1..72u32) {
+        let b = (a + offset) % secded::CODE_BITS;
+        let code = secded::flip_bit(secded::flip_bit(secded::encode(data), a), b);
+        prop_assert_eq!(secded::decode(code), Decoded::Uncorrectable);
+    }
+
+    /// Scrubber conservation under SECDED: rows taking one or two flips
+    /// (corrected in place, or detected and seed-regenerated) always
+    /// come out of a scrub pass bit-identical to the golden image.
+    #[test]
+    fn secded_scrub_restores_the_golden_image(
+        raw_hits in proptest::collection::vec((0usize..7, 0..72u32, 0..72u32), 1..7)
+    ) {
+        // One hit per row (first strategy entry wins): a third flip on a
+        // row would exceed SECDED's detection guarantee by design.
+        let mut hits: std::collections::BTreeMap<usize, (u32, u32)> = std::collections::BTreeMap::new();
+        for (row, first, offset) in raw_hits {
+            hits.entry(row).or_insert((first, offset));
+        }
+        let mut lut = golden_lut(Protection::Secded);
+        let (mut singles, mut doubles) = (0u32, 0u32);
+        for (&row, &(first, offset)) in &hits {
+            lut.inject(row, first);
+            if offset == 0 {
+                singles += 1;
+            } else {
+                // A second, distinct flip makes the row uncorrectable.
+                lut.inject(row, (first + offset) % 72);
+                doubles += 1;
+            }
+        }
+        let report = lut.scrub_pass();
+        prop_assert_eq!(report.corrected, singles);
+        prop_assert_eq!(report.repaired, doubles);
+        prop_assert_eq!(report.silent, 0);
+        prop_assert!(lut.matches_golden(), "scrub left the LUT diverged from golden");
+        // A second pass over the restored LUT is a no-op.
+        let quiet = lut.scrub_pass();
+        prop_assert_eq!(quiet.corrected + quiet.repaired + quiet.silent, 0);
+    }
+
+    /// Parity conservation: any set of single-flipped rows is detected
+    /// and seed-regenerated back to golden; bare rows stay corrupted
+    /// and the audit sees exactly the flipped rows.
+    #[test]
+    fn parity_repairs_singles_and_bare_rows_stay_corrupt(
+        raw_rows in proptest::collection::vec(0usize..7, 1..7),
+        bit in 0..64u32,
+    ) {
+        let rows: std::collections::BTreeSet<usize> = raw_rows.into_iter().collect();
+        let mut parity = golden_lut(Protection::Parity);
+        let mut bare = golden_lut(Protection::None);
+        for &row in &rows {
+            parity.inject(row, bit);
+            bare.inject(row, bit);
+        }
+        let report = parity.scrub_pass();
+        prop_assert_eq!(report.repaired, rows.len() as u32);
+        prop_assert!(parity.matches_golden());
+        let report = bare.scrub_pass();
+        prop_assert_eq!(report.corrected + report.repaired, 0);
+        prop_assert_eq!(report.silent, rows.len() as u32);
+        prop_assert!(!bare.matches_golden());
+    }
+
+    /// The injector's flip streams are pure: two injectors built from
+    /// the same `(plan, seed)` agree on every draw, and the flip
+    /// *decision* is independent of the protection scheme's word width
+    /// (only the landing position varies) — the fairness contract the
+    /// sdc sweep's cross-protection comparison rests on.
+    #[test]
+    fn bit_flip_streams_are_pure_and_scheme_fair(
+        seed in any::<u64>(),
+        slice in 0usize..14,
+        row in 0..2240u32,
+        epoch in 0..32u64,
+    ) {
+        let plan = FaultPlan::none().with_bit_flips(0.05, 0.01, 0.01);
+        let a = FaultInjector::new(plan.clone(), seed, 14, 2240).unwrap();
+        let b = FaultInjector::new(plan, seed, 14, 2240).unwrap();
+        for word_bits in [64u32, 65, 72] {
+            prop_assert_eq!(
+                a.lut_row_flips(slice, row, epoch, word_bits),
+                b.lut_row_flips(slice, row, epoch, word_bits)
+            );
+        }
+        let hit = |bits: u32| a.lut_row_flips(slice, row, epoch, bits).map(|h| h.is_some());
+        prop_assert_eq!(hit(64), hit(65));
+        prop_assert_eq!(hit(64), hit(72));
+        prop_assert_eq!(a.weight_byte_flip(epoch), b.weight_byte_flip(epoch));
+        prop_assert_eq!(a.operand_flip(epoch, row as u64), b.operand_flip(epoch, row as u64));
+    }
+}
+
+/// The end-to-end reproducibility claim: `sdc.csv` is byte-identical at
+/// every job count. `set_max_jobs` is process-global, so the walk lives
+/// in one test function and restores auto-detection at the end.
+#[test]
+fn sdc_sweep_is_identical_at_every_job_count() {
+    let snapshot = || {
+        let sweep = exp::sdc::run(exp::sdc::DEFAULT_SEED).expect("sdc sweep runs");
+        let mut out = String::new();
+        for row in exp::sdc::csv_rows(&sweep) {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    };
+    bfree::par::set_max_jobs(1);
+    let serial = snapshot();
+    for jobs in [2, 8] {
+        bfree::par::set_max_jobs(jobs);
+        assert_eq!(serial, snapshot(), "sdc.csv diverged at jobs={jobs}");
+    }
+    bfree::par::set_max_jobs(0); // restore auto-detection
+}
