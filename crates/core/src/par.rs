@@ -488,6 +488,35 @@ where
     }
 }
 
+/// [`try_run_worker_pool`] with a worker-local state handoff:
+/// `init(worker)` runs *on the worker thread* before its loop starts,
+/// and `body(worker, &mut state)` gets exclusive access to the result
+/// for the worker's whole lifetime.
+///
+/// This is the hook single-producer structures need — the live
+/// telemetry plane hands each worker exactly one lock-free event ring
+/// this way, making the one-producer-per-ring contract structural
+/// instead of conventional. The state never crosses threads, so it
+/// needs neither `Send` nor `Sync`.
+///
+/// # Errors
+///
+/// [`WorkerPanic`] when any worker body (or init) panicked.
+pub fn try_run_worker_pool_with<S, I, F>(
+    workers: usize,
+    init: I,
+    body: F,
+) -> Result<(), WorkerPanic>
+where
+    I: Fn(usize) -> S + Sync,
+    F: Fn(usize, &mut S) + Sync,
+{
+    try_run_worker_pool(workers, |worker| {
+        let mut state = init(worker);
+        body(worker, &mut state);
+    })
+}
+
 /// [`try_run_worker_pool`] for callers without an error channel.
 ///
 /// # Panics
@@ -523,6 +552,25 @@ mod tests {
             ran.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_pool_with_state_hands_each_worker_its_own() {
+        use std::sync::atomic::AtomicU64;
+        let folded = AtomicU64::new(0);
+        try_run_worker_pool_with(
+            4,
+            |worker| vec![worker as u64],
+            |worker, state: &mut Vec<u64>| {
+                // Exclusive, worker-local: no synchronization needed to
+                // mutate it.
+                state.push(worker as u64 * 10);
+                folded.fetch_add(state.iter().sum::<u64>(), Ordering::Relaxed);
+            },
+        )
+        .unwrap();
+        // Each worker folds worker + worker*10: sum over 0..4 = 66.
+        assert_eq!(folded.load(Ordering::Relaxed), 66);
     }
 
     #[test]

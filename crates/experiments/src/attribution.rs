@@ -10,12 +10,24 @@
 //! relative error above [`TOLERANCE`] fails the experiment — in
 //! practice the two paths agree bit for bit, because events are emitted
 //! in the exact order the report merges its breakdowns.
+//!
+//! The recorder is a [`TeeRecorder`]: the aggregate fold rides the
+//! first arm while a bounded [`RingRecorder`] rides the second, and the
+//! ring's drop counter is exported into the aggregate summary
+//! (`obs/ring_dropped`) and *gated* — a cross-check that silently lost
+//! events would be vacuous, so any nonzero drop count fails the
+//! experiment outright.
 
 use bfree::prelude::*;
+use bfree_obs::{RingRecorder, TeeRecorder};
 use pim_arch::obs::{obs_component, phase_event_name};
 use pim_baselines::RunReport;
 
 use crate::error::ExperimentError;
+
+/// Ring capacity for the drop-accounting arm: ample for one recorded
+/// run (the deepest network emits well under half this).
+const RING_CAPACITY: usize = 65_536;
 
 /// Largest tolerated |folded/reported - 1| (the ISSUE's 1% bound; the
 /// implementation achieves 0).
@@ -54,6 +66,9 @@ impl AttributionRow {
 pub struct AttributionResult {
     /// One row per (network, component|phase) with non-trivial value.
     pub rows: Vec<AttributionRow>,
+    /// Events the ring arm dropped across every recorded run (must be
+    /// zero for the cross-check to be trustworthy).
+    pub ring_dropped: u64,
 }
 
 impl AttributionResult {
@@ -111,13 +126,26 @@ fn check_network(name: &str, report: &RunReport, recorder: &AggRecorder) -> Vec<
 pub fn run() -> Result<AttributionResult, ExperimentError> {
     let sim = BfreeSimulator::new(BfreeConfig::paper_default());
     let mut rows = Vec::new();
+    let mut ring_dropped = 0u64;
     for (name, network) in [
         ("inception_v3", networks::inception_v3()),
         ("vgg16", networks::vgg16()),
     ] {
-        let recorder = AggRecorder::new();
+        let recorder = TeeRecorder::new(AggRecorder::new(), RingRecorder::new(RING_CAPACITY));
         let report = sim.run_recorded(&network, 1, &recorder);
-        let network_rows = check_network(name, &report, &recorder);
+        let (agg, ring) = (recorder.first(), recorder.second());
+        // Surface the drop counter in the aggregate summary (and its
+        // Prometheus exposition) before gating on it.
+        ring.export_drop_counter(agg);
+        let dropped = ring.dropped();
+        ring_dropped += dropped;
+        if dropped > 0 {
+            return Err(ExperimentError::MissingData(format!(
+                "attribution ring dropped {dropped} events for {name}: \
+                 the cross-check would be vacuous (raise RING_CAPACITY)"
+            )));
+        }
+        let network_rows = check_network(name, &report, agg);
         if network_rows.is_empty() {
             return Err(ExperimentError::MissingData(format!(
                 "attribution produced no rows for {name}"
@@ -125,7 +153,7 @@ pub fn run() -> Result<AttributionResult, ExperimentError> {
         }
         rows.extend(network_rows);
     }
-    Ok(AttributionResult { rows })
+    Ok(AttributionResult { rows, ring_dropped })
 }
 
 /// Header for [`csv_rows`].

@@ -32,6 +32,7 @@ pub mod perf;
 pub mod realtime;
 pub mod sdc;
 pub mod serving;
+pub mod slo;
 pub mod table2;
 pub mod table3;
 

@@ -18,12 +18,17 @@ usage: experiments [--jobs N] <name>
   headline   all headline numbers in one block
   ablations  design-choice ablations (DESIGN.md §5)
   extensions extension workloads (ResNet-18, GRU) on every device
-  serving [--realtime|--conformance]
+  serving [--realtime [--metrics]|--conformance]
              multi-tenant serving load sweep (writes results/serving_load_sweep.csv);
              --realtime runs the wall-clock engine instead (throughput/
              latency curves; writes the untracked results/serving_realtime.csv),
+             with --metrics also printing the final live-telemetry
+             snapshot as OpenMetrics text;
              --conformance replays one trace through both engines and
-             fails on any work-counter or outcome mismatch
+             fails on any work-counter, outcome, or live-snapshot mismatch
+  slo        deterministic SLO burn-rate tracking: virtual-clock
+             snapshot sequences per load with multi-window burn rates
+             and alert flags (writes the golden results/slo.csv)
   model_swap mixed-version serving: hot-swap the LSTM tenant from an
              int8 to an int4 model artifact mid-run without draining
              the pool (writes results/model_swap.csv)
@@ -110,13 +115,24 @@ fn main() {
         "extensions" => check(exp::extensions::print()),
         "serving" => match args.get(1).map(String::as_str) {
             None => check(exp::serving::print()),
-            Some("--realtime") => check(exp::realtime::print()),
+            Some("--realtime") => {
+                let metrics = match args.get(2).map(String::as_str) {
+                    None => false,
+                    Some("--metrics") => true,
+                    Some(other) => {
+                        eprintln!("unknown serving --realtime argument: {other}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+                check(exp::realtime::print_with_metrics(metrics));
+            }
             Some("--conformance") => check(exp::realtime::conformance_print()),
             Some(other) => {
                 eprintln!("unknown serving argument: {other}\n{USAGE}");
                 std::process::exit(2);
             }
         },
+        "slo" => check(exp::slo::print()),
         "model_swap" => check(exp::model_swap::print()),
         "models" => {
             let actions = ["export", "inspect", "verify", "all"];
@@ -294,6 +310,7 @@ fn main() {
             check(exp::ablations::print());
             check(exp::extensions::print());
             check(exp::serving::print());
+            check(exp::slo::print());
             check(exp::model_swap::print());
             check(exp::models::print(
                 "all",

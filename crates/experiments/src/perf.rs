@@ -250,8 +250,14 @@ fn serving_kernel() {
 /// driven through the concurrent engine. Workers are pinned to 2 in the
 /// config — the realtime pool is its own thread scope, not subject to
 /// the jobs=1 pin, and the kernel must time the same pool shape on
-/// every machine.
-fn serving_realtime_kernel() {
+/// every machine. The trace spans 16x the serving horizon (several
+/// thousand requests, milliseconds of wall time) so the engine's fixed
+/// per-drive costs — thread spawns, ring allocation — amortize the way
+/// they do in a real serving run. `telemetry` toggles the live plane:
+/// the two kernels (`serving_realtime` off, `serving_realtime_live` on)
+/// differ only in that flag, so their baseline ratio *is* the recorder
+/// overhead the issue budget caps at 5%.
+fn serving_realtime_run(telemetry: bool) {
     let config = bfree_serve::RealtimeConfig::builder()
         .workers(2)
         .queue_shards(4)
@@ -264,11 +270,19 @@ fn serving_realtime_kernel() {
                 .build()
                 .expect("constants are valid"),
         )
+        .telemetry(bfree_serve::TelemetryConfig {
+            enabled: telemetry,
+            // The aggregator drains continuously while events flow, so
+            // a few thousand slots of headroom per producer is plenty
+            // here — and the rings stay cheap to allocate per drive.
+            ring_capacity: 2048,
+            ..bfree_serve::TelemetryConfig::default()
+        })
         .build()
         .expect("constants are valid");
     let mut driver = OpenLoopDriver::new(0xBF_EE, vec![2_000.0, 50.0]);
     let mut trace = bfree_serve::RequestTrace::new();
-    for (at_ns, tenant) in driver.arrivals(SERVE_HORIZON_NS / 4) {
+    for (at_ns, tenant) in driver.arrivals(SERVE_HORIZON_NS * 16) {
         trace.submit(at_ns, tenant);
     }
     let mut engine =
@@ -280,6 +294,21 @@ fn serving_realtime_kernel() {
     engine.drive_to_idle().expect("drive cannot fail");
     black_box(engine.serving_telemetry().summary());
     black_box(engine.stats());
+    if telemetry {
+        black_box(engine.live_snapshot());
+    }
+}
+
+/// The realtime engine with the live telemetry plane off (baseline).
+fn serving_realtime_kernel() {
+    serving_realtime_run(false);
+}
+
+/// The realtime engine with per-worker rings, the aggregator thread,
+/// and snapshot publishing live. Gated against `serving_realtime` to
+/// keep the recorder overhead within the issue's 5% budget.
+fn serving_realtime_live_kernel() {
+    serving_realtime_run(true);
 }
 
 /// One severity-1.0 chaos cell under the full resilience policy.
@@ -432,6 +461,18 @@ pub fn measure(quick: bool) -> (PerfReport, Vec<bfree_obs::AggEntry>) {
     );
     rows.push(PerfRow {
         name: "serving_realtime",
+        best_ns: best,
+        normalized: best / calibration_best,
+    });
+
+    let best = best_ns(
+        &agg,
+        "wall/serving_realtime_live",
+        iters,
+        serving_realtime_live_kernel,
+    );
+    rows.push(PerfRow {
+        name: "serving_realtime_live",
         best_ns: best,
         normalized: best / calibration_best,
     });
@@ -656,6 +697,38 @@ pub fn run(path: &Path, quick: bool, check: bool, threshold: f64) -> Result<(), 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Wall-clock probe of the live-telemetry overhead on the realtime
+    /// kernel. Ignored by default (wall-clock assertions are
+    /// machine-dependent); run explicitly with
+    /// `cargo test -p bfree-experiments --release -- --ignored overhead`.
+    #[test]
+    #[ignore = "wall-clock measurement; run explicitly on a quiet machine"]
+    fn live_telemetry_overhead_is_within_budget() {
+        let best = |telemetry: bool| {
+            (0..7)
+                .map(|_| {
+                    let start = std::time::Instant::now();
+                    serving_realtime_run(telemetry);
+                    start.elapsed().as_nanos() as f64
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        serving_realtime_run(true); // warm up both paths once
+        let off = best(false);
+        let on = best(true);
+        let overhead = on / off - 1.0;
+        println!(
+            "baseline {off:.0} ns, live {on:.0} ns, overhead {:.2}%",
+            overhead * 100.0
+        );
+        assert!(
+            overhead <= 0.05,
+            "live telemetry overhead {:.2}% exceeds the 5% budget \
+             (baseline {off:.0} ns, live {on:.0} ns)",
+            overhead * 100.0
+        );
+    }
 
     fn synthetic_report() -> PerfReport {
         PerfReport {

@@ -45,6 +45,8 @@ pub struct RealtimePoint {
     pub stats: bfree_serve::RealtimeStats,
     /// Wall-clock throughput: completed requests per wall second.
     pub wall_throughput_rps: f64,
+    /// The engine's final live-telemetry snapshot.
+    pub snapshot: std::sync::Arc<bfree_obs::TelemetrySnapshot>,
 }
 
 /// The wall-clock sweep result.
@@ -119,6 +121,7 @@ pub fn run_with_loads(loads: Vec<f64>) -> Result<RealtimeSweep, ExperimentError>
             summary,
             stats,
             wall_throughput_rps,
+            snapshot: engine.live_snapshot(),
         });
     }
     points.sort_by(|a, b| a.load.total_cmp(&b.load));
@@ -181,6 +184,16 @@ pub fn csv_rows(sweep: &RealtimeSweep) -> Vec<Vec<String>> {
 ///
 /// Propagates [`run`]'s errors and CSV write failures.
 pub fn print() -> Result<(), ExperimentError> {
+    print_with_metrics(false)
+}
+
+/// [`print()`], optionally followed by the final load point's live
+/// snapshot rendered as OpenMetrics exposition text (`--metrics`).
+///
+/// # Errors
+///
+/// Same as [`print()`].
+pub fn print_with_metrics(metrics: bool) -> Result<(), ExperimentError> {
     let sweep = run()?;
     println!(
         "\n== Realtime serving: wall-clock load sweep ({} workers, {} queue shards) ==",
@@ -224,6 +237,15 @@ pub fn print() -> Result<(), ExperimentError> {
         "\nwrote {} (untracked: wall-clock numbers are machine-dependent)",
         path.display()
     );
+    if metrics {
+        if let Some(last) = sweep.points.last() {
+            println!(
+                "\n== Live metrics: final snapshot at load {:.2} (OpenMetrics) ==",
+                last.load
+            );
+            print!("{}", last.snapshot.to_openmetrics());
+        }
+    }
     Ok(())
 }
 
@@ -280,6 +302,14 @@ pub fn conformance_print() -> Result<(), ExperimentError> {
         "terminal outcomes    {:>12}",
         if report.outcomes_exact {
             "exact"
+        } else {
+            "MISMATCH"
+        }
+    );
+    println!(
+        "live snapshots       {:>12}",
+        if report.snapshots_exact {
+            "reconciled"
         } else {
             "MISMATCH"
         }

@@ -1,0 +1,349 @@
+//! `experiments slo`: deterministic SLO burn-rate tracking over the
+//! virtual-clock serving sweep.
+//!
+//! Each load point replays the same seeded open-loop trace as the
+//! serving sweep through the virtual-clock oracle, derives the live
+//! telemetry snapshot sequence ([`bfree_serve::snapshot_series`]) at a
+//! fixed virtual cadence, and folds a [`SloTracker`] over it. The
+//! entire pipeline is virtual-clock integer arithmetic: the emitted
+//! `results/slo.csv` is bit-identical across runs and at any `--jobs`
+//! setting, which is what the `slo-smoke` CI golden gate pins.
+
+use bfree_obs::{LogHistogram, SloStatus, SloTracker, TelemetrySnapshot};
+use bfree_serve::{
+    snapshot_series, OpenLoopDriver, ServeConfig, ServingSim, TelemetryConfig, TenantSpec,
+};
+use pim_nn::request::NetworkKind;
+
+use crate::error::ExperimentError;
+
+/// Seed for the sweep's arrival process (matches the serving sweep).
+const SEED: u64 = 0xBF_EE;
+/// Virtual time simulated per load point.
+const HORIZON_NS: u64 = 200_000_000;
+/// LSTM-TIMIT arrival rate at load 1.0 (requests/s).
+const LSTM_BASE_RPS: f64 = 2_000.0;
+/// BERT-base arrival rate at load 1.0 (requests/s).
+const BERT_BASE_RPS: f64 = 50.0;
+
+/// One snapshot row of one load point's run.
+#[derive(Debug, Clone)]
+pub struct SloRow {
+    /// Load multiplier applied to both base rates.
+    pub load: f64,
+    /// The cumulative snapshot at this cadence cut.
+    pub snapshot: TelemetrySnapshot,
+    /// The tracker's multi-window verdict at this cut.
+    pub status: SloStatus,
+}
+
+/// The full SLO sweep: snapshot sequences with burn rates per load.
+#[derive(Debug, Clone)]
+pub struct SloSweep {
+    /// The telemetry knobs the snapshots were cut with.
+    pub telemetry: TelemetryConfig,
+    /// Rows ordered by (load, snapshot sequence).
+    pub rows: Vec<SloRow>,
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        max_batch: 8,
+        batch_window_ns: 100_000,
+        queue_capacity: 512,
+        timeout_ns: Some(50_000_000),
+        ..ServeConfig::default()
+    }
+}
+
+fn tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("lstm-timit", NetworkKind::LstmTimit),
+        TenantSpec::new("bert-base", NetworkKind::BertBase),
+    ]
+}
+
+/// The telemetry knobs the sweep snapshots under: 25 ms virtual
+/// cadence, a 20 ms latency objective with a 90% target, and burn
+/// thresholds low enough that the saturated load points alert while
+/// the light ones stay green.
+pub fn telemetry_config() -> TelemetryConfig {
+    TelemetryConfig {
+        snapshot_cadence_ns: 25_000_000,
+        latency_objective_ns: 20_000_000,
+        latency_target: 0.90,
+        availability_target: 0.999,
+        short_window_ns: 50_000_000,
+        long_window_ns: 250_000_000,
+        fast_burn: 2.0,
+        slow_burn: 1.0,
+        ..TelemetryConfig::default()
+    }
+}
+
+/// Runs the sweep over explicit load multipliers. Load points fan out
+/// on the `bfree::par` pool; each point is an independent seeded
+/// virtual-clock run, and rows are sorted by (load, seq) before
+/// return, so the output is identical at any `--jobs` setting.
+///
+/// # Errors
+///
+/// Propagates serving configuration and snapshot-derivation failures.
+pub fn run_with_loads(loads: Vec<f64>) -> Result<SloSweep, ExperimentError> {
+    let telemetry = telemetry_config();
+    telemetry.validate()?;
+    let names: Vec<String> = tenants().iter().map(|t| t.name.clone()).collect();
+    let mut per_load = bfree::par::try_par_map(loads, |load| -> Result<_, ExperimentError> {
+        let mut sim = ServingSim::new(config(), tenants())?;
+        let mut driver =
+            OpenLoopDriver::new(SEED, vec![LSTM_BASE_RPS * load, BERT_BASE_RPS * load]);
+        driver.drive(&mut sim, HORIZON_NS);
+        let records = sim.run_to_idle();
+        let series = snapshot_series(records, &names, &telemetry_config())?;
+        Ok((load, series))
+    })?;
+    per_load.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut rows = Vec::new();
+    for (load, series) in per_load {
+        let mut tracker = SloTracker::new(telemetry.slo_spec());
+        for snapshot in series {
+            let status = tracker.observe(&snapshot);
+            rows.push(SloRow {
+                load,
+                snapshot,
+                status,
+            });
+        }
+    }
+    Ok(SloSweep { telemetry, rows })
+}
+
+/// Runs the sweep over the canonical load multipliers.
+///
+/// # Errors
+///
+/// Same as [`run_with_loads`].
+pub fn run() -> Result<SloSweep, ExperimentError> {
+    run_with_loads(vec![0.25, 0.5, 1.0, 2.0, 4.0])
+}
+
+/// Merged-histogram percentile across every tenant in a snapshot, in
+/// milliseconds (exercises [`LogHistogram::merge`]'s exactness).
+fn global_percentile_ms(snapshot: &TelemetrySnapshot, p: f64) -> Result<f64, ExperimentError> {
+    let mut merged: Option<LogHistogram> = None;
+    for tenant in &snapshot.tenants {
+        match &mut merged {
+            None => merged = Some(tenant.latency.clone()),
+            Some(h) => h
+                .merge(&tenant.latency)
+                .map_err(|e| ExperimentError::MissingData(e.to_string()))?,
+        }
+    }
+    Ok(merged.map_or(0.0, |h| h.percentile(p) as f64 * 1e-6))
+}
+
+/// Mean energy per completed request across tenants, in microjoules.
+fn mean_energy_uj(snapshot: &TelemetrySnapshot) -> f64 {
+    let total_pj: f64 = snapshot
+        .tenants
+        .iter()
+        .map(|t| t.mean_energy_pj * t.completed as f64)
+        .sum();
+    let completed = snapshot.completed();
+    if completed == 0 {
+        0.0
+    } else {
+        total_pj / completed as f64 * 1e-6
+    }
+}
+
+/// CSV header for [`csv_rows`].
+pub const CSV_HEADER: [&str; 17] = [
+    "load",
+    "seq",
+    "up_to_ms",
+    "completed",
+    "rejected",
+    "shed",
+    "good",
+    "retries",
+    "dropped",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "energy_per_request_uj",
+    "latency_burn_short",
+    "latency_burn_long",
+    "latency_alert",
+    "availability_alert",
+];
+
+/// The sweep as CSV rows matching [`CSV_HEADER`].
+///
+/// # Errors
+///
+/// [`ExperimentError::MissingData`] if per-tenant histograms refuse to
+/// merge (bounds always match here by construction).
+pub fn csv_rows(sweep: &SloSweep) -> Result<Vec<Vec<String>>, ExperimentError> {
+    let good_total = |s: &TelemetrySnapshot| s.tenants.iter().map(|t| t.good).sum::<u64>();
+    sweep
+        .rows
+        .iter()
+        .map(|row| {
+            let s = &row.snapshot;
+            Ok(vec![
+                format!("{:.2}", row.load),
+                s.seq.to_string(),
+                format!("{:.1}", s.up_to_ns as f64 * 1e-6),
+                s.completed().to_string(),
+                s.rejected().to_string(),
+                s.tenants.iter().map(|t| t.shed).sum::<u64>().to_string(),
+                good_total(s).to_string(),
+                s.retries.to_string(),
+                s.dropped.to_string(),
+                format!("{:.4}", global_percentile_ms(s, 50.0)?),
+                format!("{:.4}", global_percentile_ms(s, 95.0)?),
+                format!("{:.4}", global_percentile_ms(s, 99.0)?),
+                format!("{:.3}", mean_energy_uj(s)),
+                format!("{:.3}", row.status.latency.short),
+                format!("{:.3}", row.status.latency.long),
+                u8::from(row.status.latency.alert).to_string(),
+                u8::from(row.status.availability.alert).to_string(),
+            ])
+        })
+        .collect()
+}
+
+/// Prints the sweep and writes the golden-gated `results/slo.csv`.
+///
+/// # Errors
+///
+/// Propagates [`run`]'s errors and CSV write failures.
+pub fn print() -> Result<(), ExperimentError> {
+    let sweep = run()?;
+    let rows = csv_rows(&sweep)?;
+    println!("\n== SLO burn rates: virtual-clock snapshot sequences per load ==");
+    println!(
+        "objective: p(latency <= {} ms) >= {:.0}%, availability >= {:.1}%, \
+         windows {} ms / {} ms, burn thresholds {}x fast / {}x slow",
+        sweep.telemetry.latency_objective_ns / 1_000_000,
+        sweep.telemetry.latency_target * 100.0,
+        sweep.telemetry.availability_target * 100.0,
+        sweep.telemetry.short_window_ns / 1_000_000,
+        sweep.telemetry.long_window_ns / 1_000_000,
+        sweep.telemetry.fast_burn,
+        sweep.telemetry.slow_burn,
+    );
+    println!(
+        "{:>5} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11} {:>11} {:>6}",
+        "load",
+        "seq",
+        "up_to ms",
+        "complete",
+        "rejected",
+        "good",
+        "p99 ms",
+        "lat burn s",
+        "lat burn l",
+        "alert"
+    );
+    // One line per load: the final snapshot (cumulative totals).
+    for row in &sweep.rows {
+        let is_final = !sweep
+            .rows
+            .iter()
+            .any(|r| r.load == row.load && r.snapshot.seq > row.snapshot.seq);
+        if !is_final {
+            continue;
+        }
+        let s = &row.snapshot;
+        println!(
+            "{:>5.2} {:>4} {:>9.1} {:>9} {:>9} {:>9} {:>9.3} {:>11.3} {:>11.3} {:>6}",
+            row.load,
+            s.seq,
+            s.up_to_ns as f64 * 1e-6,
+            s.completed(),
+            s.rejected(),
+            s.tenants.iter().map(|t| t.good).sum::<u64>(),
+            global_percentile_ms(s, 99.0)?,
+            row.status.latency.short,
+            row.status.latency.long,
+            if row.status.latency.alert || row.status.availability.alert {
+                "FIRE"
+            } else {
+                "ok"
+            },
+        );
+    }
+    let path = std::path::Path::new("results").join("slo.csv");
+    crate::csv::write_rows(&path, &CSV_HEADER, &rows)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic_and_sorted() {
+        let a = csv_rows(&run().unwrap()).unwrap();
+        let b = csv_rows(&run().unwrap()).unwrap();
+        assert_eq!(a, b, "slo sweep must be bit-identical");
+        assert!(!a.is_empty());
+        // Rows sorted by (load, seq), seq dense per load.
+        let mut prev: Option<(f64, u64)> = None;
+        for row in &a {
+            let load: f64 = row[0].parse().unwrap();
+            let seq: u64 = row[1].parse().unwrap();
+            if let Some((pl, ps)) = prev {
+                if load == pl {
+                    assert_eq!(seq, ps + 1);
+                } else {
+                    assert!(load > pl);
+                    assert_eq!(seq, 0);
+                }
+            } else {
+                assert_eq!(seq, 0);
+            }
+            prev = Some((load, seq));
+        }
+    }
+
+    #[test]
+    fn snapshots_are_lossless_and_cumulative() {
+        let sweep = run().unwrap();
+        for row in &sweep.rows {
+            assert_eq!(row.snapshot.dropped, 0);
+        }
+        // Within one load, completed counts never decrease.
+        for pair in sweep.rows.windows(2) {
+            if pair[0].load == pair[1].load {
+                assert!(pair[1].snapshot.completed() >= pair[0].snapshot.completed());
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_load_burns_hotter_than_light_load() {
+        let sweep = run().unwrap();
+        let final_status = |load: f64| {
+            sweep
+                .rows
+                .iter()
+                .rev()
+                .find(|r| r.load == load)
+                .map(|r| r.status)
+                .unwrap()
+        };
+        let light = final_status(0.25);
+        let heavy = final_status(4.0);
+        assert!(
+            heavy.latency.long > light.latency.long,
+            "4x load must burn more latency budget than 0.25x \
+             (light {:?}, heavy {:?})",
+            light.latency,
+            heavy.latency
+        );
+    }
+}

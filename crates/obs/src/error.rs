@@ -33,6 +33,13 @@ pub enum ObsError {
         /// The name that failed to parse.
         name: String,
     },
+    /// A live-telemetry invariant was violated: degenerate histogram
+    /// bounds at construction, or a merge across mismatched bucket
+    /// layouts.
+    Telemetry {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ObsError {
@@ -49,6 +56,9 @@ impl fmt::Display for ObsError {
                     f,
                     "unknown export format `{name}` (expected json, csv, or chrome)"
                 )
+            }
+            ObsError::Telemetry { reason } => {
+                write!(f, "live telemetry error: {reason}")
             }
         }
     }

@@ -1,0 +1,345 @@
+//! Mergeable log-bucketed (HDR-style) histograms for live telemetry.
+//!
+//! The [`crate::AggEntry`] log2 sketch is good to a factor of two —
+//! fine for attribution cross-checks, too coarse for live latency
+//! percentiles. [`LogHistogram`] refines it to a log-linear layout:
+//! each power-of-two octave is split into `2^SUB_BITS` equal
+//! sub-buckets, bounding the relative quantile error at
+//! `2^-SUB_BITS` (6.25%) while keeping the bucket index a pure
+//! integer function of the value.
+//!
+//! Three properties the live telemetry plane builds on:
+//!
+//! * **Exact mergeability.** Two histograms with the same bounds merge
+//!   by bucket-wise addition: counts, sums, and extremes are exactly
+//!   the values a single histogram fed the union of samples would
+//!   hold. Merge is associative and commutative (integer sums), so
+//!   per-worker histograms fold into one snapshot independently of
+//!   drain order.
+//! * **Determinism.** Bucketing uses only integer shifts — no
+//!   floating-point log — so the same samples always land in the same
+//!   buckets on every host, and [`LogHistogram::percentile`] (nearest
+//!   rank, bucket upper edge) is a pure function of the counts.
+//! * **Bounded memory.** Values clamp into `[min_value, max_value]`;
+//!   the bucket array size depends only on the bounds (~16 buckets per
+//!   octave), not on the sample count.
+
+use crate::error::ObsError;
+
+/// Sub-bucket precision: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUBS: u64 = 1 << SUB_BITS;
+
+/// Absolute log-linear bucket index of `v` (`v >= 1`). Values below
+/// `2 * SUBS` index themselves exactly; larger values use
+/// `SUB_BITS` of mantissa below the leading bit.
+fn abs_index(v: u64) -> usize {
+    debug_assert!(v >= 1);
+    let msb = 63 - v.leading_zeros();
+    if msb <= SUB_BITS {
+        v as usize
+    } else {
+        let shift = msb - SUB_BITS;
+        let sub = (v >> shift) - SUBS;
+        (((u64::from(shift) << SUB_BITS) + SUBS) + sub) as usize
+    }
+}
+
+/// Inclusive upper edge of absolute bucket `index`: the largest value
+/// that lands in it, and the deterministic representative
+/// [`LogHistogram::percentile`] reports.
+fn upper_edge(index: usize) -> u64 {
+    let index = index as u64;
+    if index < 2 * SUBS {
+        index
+    } else {
+        let shift = (index >> SUB_BITS) - 1;
+        let sub = index & (SUBS - 1);
+        let lower = (SUBS + sub) << shift;
+        lower + (1 << shift) - 1
+    }
+}
+
+/// A mergeable log-linear histogram over `u64` samples (latency in
+/// nanoseconds, energy in picojoules).
+///
+/// ```
+/// use bfree_obs::LogHistogram;
+///
+/// let mut h = LogHistogram::new(1, 1_000_000).unwrap();
+/// for v in [100, 200, 400, 800] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// let p50 = h.percentile(50.0);
+/// assert!((188..=223).contains(&p50), "p50 bucket edge {p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    min_value: u64,
+    max_value: u64,
+    /// Absolute index of the bucket holding `min_value`.
+    offset: usize,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min_seen: u64,
+    max_seen: u64,
+}
+
+impl LogHistogram {
+    /// A histogram covering `[min_value, max_value]` (values outside
+    /// clamp to the nearest bound, so every sample is counted).
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Telemetry`] when `min_value` is zero or the bounds
+    /// are degenerate (`min_value >= max_value`).
+    pub fn new(min_value: u64, max_value: u64) -> Result<Self, ObsError> {
+        if min_value == 0 {
+            return Err(ObsError::Telemetry {
+                reason: "histogram min bound must be at least 1".to_string(),
+            });
+        }
+        if min_value >= max_value {
+            return Err(ObsError::Telemetry {
+                reason: format!(
+                    "histogram bounds are degenerate: min {min_value} >= max {max_value}"
+                ),
+            });
+        }
+        let offset = abs_index(min_value);
+        let buckets = abs_index(max_value) - offset + 1;
+        Ok(LogHistogram {
+            min_value,
+            max_value,
+            offset,
+            counts: vec![0; buckets],
+            count: 0,
+            sum: 0,
+            min_seen: u64::MAX,
+            max_seen: 0,
+        })
+    }
+
+    /// The configured lower bound.
+    pub fn min_value(&self) -> u64 {
+        self.min_value
+    }
+
+    /// The configured upper bound.
+    pub fn max_value(&self) -> u64 {
+        self.max_value
+    }
+
+    /// Records one sample (clamped into the configured bounds).
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value in one fold.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let clamped = value.clamp(self.min_value, self.max_value);
+        let index = abs_index(clamped) - self.offset;
+        self.counts[index] += n;
+        self.count += n;
+        self.sum += u128::from(clamped) * u128::from(n);
+        self.min_seen = self.min_seen.min(clamped);
+        self.max_seen = self.max_seen.max(clamped);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of the recorded (clamped) samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest clamped sample seen (`None` when empty).
+    pub fn min_seen(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_seen)
+    }
+
+    /// Largest clamped sample seen (`None` when empty).
+    pub fn max_seen(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_seen)
+    }
+
+    /// Nearest-rank percentile: the inclusive upper edge of the bucket
+    /// holding the `p`-th percentile sample (0 when empty). Pure
+    /// function of the bucket counts, so merge-then-query equals
+    /// query-on-the-union.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return upper_edge(i + self.offset).min(self.max_value);
+            }
+        }
+        self.max_value
+    }
+
+    /// Folds `other` into `self` by bucket-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Telemetry`] when the bounds differ — histograms are
+    /// only exactly mergeable over the same bucket layout.
+    pub fn merge(&mut self, other: &LogHistogram) -> Result<(), ObsError> {
+        if self.min_value != other.min_value || self.max_value != other.max_value {
+            return Err(ObsError::Telemetry {
+                reason: format!(
+                    "histogram bounds mismatch: [{}, {}] vs [{}, {}]",
+                    self.min_value, self.max_value, other.min_value, other.max_value
+                ),
+            });
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min_seen = self.min_seen.min(other.min_seen);
+        self.max_seen = self.max_seen.max(other.max_seen);
+        Ok(())
+    }
+
+    /// Non-empty buckets as `(inclusive upper edge, count)` pairs in
+    /// ascending edge order — the OpenMetrics histogram series.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let offset = self.offset;
+        let max_value = self.max_value;
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(move |(i, &n)| (upper_edge(i + offset).min(max_value), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_edges_are_consistent() {
+        let mut last = 0usize;
+        for v in 1..100_000u64 {
+            let i = abs_index(v);
+            assert!(i >= last, "index not monotone at {v}");
+            assert!(v <= upper_edge(i), "{v} above its bucket edge");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_sub_bucket_precision() {
+        for v in [17u64, 1_000, 65_535, 1_000_000, u32::MAX as u64] {
+            let edge = upper_edge(abs_index(v));
+            let err = (edge - v) as f64 / v as f64;
+            assert!(err <= 1.0 / SUBS as f64 + 1e-9, "error {err} at {v}");
+        }
+    }
+
+    #[test]
+    fn degenerate_bounds_are_rejected() {
+        assert!(matches!(
+            LogHistogram::new(0, 10),
+            Err(ObsError::Telemetry { .. })
+        ));
+        assert!(matches!(
+            LogHistogram::new(10, 10),
+            Err(ObsError::Telemetry { .. })
+        ));
+        assert!(matches!(
+            LogHistogram::new(20, 10),
+            Err(ObsError::Telemetry { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp_instead_of_vanishing() {
+        let mut h = LogHistogram::new(100, 1_000).unwrap();
+        h.record(1);
+        h.record(1_000_000);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min_seen(), Some(100));
+        assert_eq!(h.max_seen(), Some(1_000));
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = LogHistogram::new(1, 1 << 30).unwrap();
+        let mut b = LogHistogram::new(1, 1 << 30).unwrap();
+        let mut whole = LogHistogram::new(1, 1 << 30).unwrap();
+        for v in 1..500u64 {
+            let sample = v * v + 7;
+            if v % 2 == 0 {
+                a.record(sample);
+            } else {
+                b.record(sample);
+            }
+            whole.record(sample);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a, whole);
+        for p in [50.0, 95.0, 99.0] {
+            assert_eq!(a.percentile(p), whole.percentile(p));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = LogHistogram::new(1, 1_000).unwrap();
+        let b = LogHistogram::new(1, 2_000).unwrap();
+        assert!(matches!(a.merge(&b), Err(ObsError::Telemetry { .. })));
+    }
+
+    #[test]
+    fn percentiles_bracket_the_true_value() {
+        let mut h = LogHistogram::new(1, 1 << 20).unwrap();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0);
+        assert!(
+            (5_000..=5_375).contains(&p50),
+            "p50 {p50} outside 6.25% band"
+        );
+        let p99 = h.percentile(99.0);
+        assert!((9_900..=10_650).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn buckets_iterate_in_edge_order_and_cover_every_sample() {
+        let mut h = LogHistogram::new(1, 1 << 16).unwrap();
+        for v in [3u64, 3, 70_000, 12_345] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(buckets.iter().map(|&(_, n)| n).sum::<u64>(), h.count());
+    }
+}

@@ -38,6 +38,15 @@
 //! * [`perf`] — wall-clock self-profiling of the simulator itself:
 //!   [`WallTimer`] scoped host-time guards (erased under
 //!   [`NullRecorder`]) and a Prometheus-style text exposition.
+//! * [`live`] — the live telemetry plane: lock-free per-worker
+//!   [`SpscRing`]s with explicit drop accounting, the cumulative
+//!   [`LiveAccumulator`] fold, and immutable [`TelemetrySnapshot`]s
+//!   published via [`SnapshotCell`] and rendered as OpenMetrics text.
+//! * [`histo`] — [`LogHistogram`], the exactly-mergeable log-bucketed
+//!   (HDR-style) distribution the live plane uses for latency/energy
+//!   percentiles.
+//! * [`slo`] — [`SloTracker`], multi-window burn-rate evaluation of
+//!   latency and availability objectives over snapshot sequences.
 //! * [`json`] — the dependency-free JSON value, writer and parser the
 //!   exporters and the config round-trips use (the workspace's vendored
 //!   `serde` is a no-op stub, so serialization is hand-rolled).
@@ -67,10 +76,13 @@ pub mod critical;
 pub mod error;
 pub mod event;
 pub mod export;
+pub mod histo;
 pub mod json;
+pub mod live;
 pub mod perf;
 pub mod recorder;
 pub mod ring;
+pub mod slo;
 pub mod trace;
 
 pub use agg::{AggEntry, AggRecorder};
@@ -78,8 +90,14 @@ pub use critical::{fold_stage_energy, fold_stage_latency, RequestPath, RequestPa
 pub use error::ObsError;
 pub use event::{Component, Event, EventKind, Subsystem, Unit};
 pub use export::{to_chrome_trace, to_csv, to_json, ExportFormat};
+pub use histo::LogHistogram;
 pub use json::JsonValue;
+pub use live::{
+    LiveAccumulator, LiveCollector, LiveEvent, LiveMetric, SnapshotCell, SpscRing,
+    TelemetrySnapshot, TenantSnapshot, REASON_SHED,
+};
 pub use perf::{prometheus_text, WallTimer};
-pub use recorder::{NullRecorder, Recorder};
+pub use recorder::{NullRecorder, Recorder, TeeRecorder};
 pub use ring::RingRecorder;
+pub use slo::{BurnRates, SloSpec, SloStatus, SloTracker};
 pub use trace::{SpanNode, TraceForest, TraceIssue};

@@ -1,0 +1,942 @@
+//! The live telemetry plane: lock-free per-worker collection,
+//! mergeable aggregation, and immutable periodic snapshots.
+//!
+//! The recorders in the rest of this crate are post-hoc: events are
+//! folded after a run completes, which makes the wall-clock realtime
+//! engine a black box *while it is serving*. This module closes that
+//! gap with three pieces:
+//!
+//! * [`SpscRing`] / [`LiveCollector`] — one bounded single-producer
+//!   single-consumer ring per worker thread. The hot path is one
+//!   fullness check and four relaxed stores plus one release store:
+//!   no mutex, no allocation, no syscall. A full ring *drops* the
+//!   event and counts it ([`SpscRing::dropped`]) — producers never
+//!   block, and truncation is never silent.
+//! * [`LiveAccumulator`] — the consumer-side fold: per-tenant
+//!   completion/rejection counters, exact SLO-good counts, and
+//!   [`LogHistogram`]s for latency and energy. Because the histograms
+//!   merge exactly, the fold is independent of which ring an event
+//!   arrived on and of drain interleaving.
+//! * [`TelemetrySnapshot`] — an immutable, cheaply shareable
+//!   (`Arc`-published via [`SnapshotCell`]) view the aggregator thread
+//!   publishes on a configurable cadence, rendered to OpenMetrics text
+//!   by [`TelemetrySnapshot::to_openmetrics`] (with exemplar trace
+//!   ids on the latency histograms).
+//!
+//! The same snapshot schema is produced two ways: the wall-clock
+//! engine drains rings on real time, while the virtual-clock oracle
+//! folds its deterministic record stream at virtual cadence cuts.
+//! Counters are exact in both, which is what lets the conformance
+//! harness reconcile them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::ObsError;
+use crate::histo::LogHistogram;
+use crate::perf::escape_label;
+
+/// What a [`LiveEvent`] measures.
+///
+/// The discriminants are stable wire values: they are packed into the
+/// ring slot's `meta` word and must round-trip through
+/// [`LiveMetric::from_code`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum LiveMetric {
+    /// End-to-end request latency in nanoseconds (`value` = ns,
+    /// `id` = request id for exemplars).
+    Latency = 0,
+    /// Energy charged to a completed request in picojoules
+    /// (`value` = pJ).
+    Energy = 1,
+    /// A terminal rejection (`value` = reject reason code).
+    Rejected = 2,
+    /// A transient-fault retry was scheduled.
+    Retry = 3,
+    /// Queue occupancy sample (`value` = depth).
+    QueueDepth = 4,
+    /// An integrity event (corrected/uncorrectable/scrub) was observed.
+    Integrity = 5,
+}
+
+impl LiveMetric {
+    /// Every metric, in wire-code order — the basis of the
+    /// exhaustive-format exposition test.
+    pub const ALL: [LiveMetric; 6] = [
+        LiveMetric::Latency,
+        LiveMetric::Energy,
+        LiveMetric::Rejected,
+        LiveMetric::Retry,
+        LiveMetric::QueueDepth,
+        LiveMetric::Integrity,
+    ];
+
+    /// The wire code packed into ring slots.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`LiveMetric::code`] (`None` for unknown codes).
+    pub fn from_code(code: u8) -> Option<LiveMetric> {
+        LiveMetric::ALL.get(code as usize).copied()
+    }
+}
+
+/// One observation pushed through a [`SpscRing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveEvent {
+    /// What is being measured.
+    pub metric: LiveMetric,
+    /// Tenant index the observation belongs to (ignored for global
+    /// metrics such as [`LiveMetric::Retry`]).
+    pub tenant: u32,
+    /// Metric-dependent magnitude (nanoseconds, picojoules, a reason
+    /// code, or a depth).
+    pub value: u64,
+    /// Observation timestamp in nanoseconds (virtual or wall clock,
+    /// depending on the producing engine).
+    pub time_ns: u64,
+    /// Request id for exemplars (0 when not applicable).
+    pub id: u64,
+}
+
+/// One ring slot: four atomic words written relaxed by the producer
+/// and published by the ring's release-store on `head`.
+///
+/// `meta` packs `metric.code() | tenant << 8`.
+#[derive(Debug)]
+struct Slot {
+    meta: AtomicU64,
+    value: AtomicU64,
+    time: AtomicU64,
+    aux: AtomicU64,
+}
+
+/// A bounded lock-free single-producer single-consumer event ring.
+///
+/// This is a Lamport queue in safe Rust: the producer owns `head`, the
+/// consumer owns `tail`, and each publishes its counter with a release
+/// store that the other side acquires. Slot payloads are plain atomics
+/// written/read relaxed — the head/tail handoff orders them. A full
+/// ring rejects the push and increments [`SpscRing::dropped`]; the hot
+/// path never blocks.
+///
+/// The single-producer contract is by convention (enforced by the
+/// engine handing each worker thread exactly one ring), not by types:
+/// violating it cannot corrupt memory — everything is atomic — but can
+/// lose or duplicate slots.
+///
+/// ```
+/// use bfree_obs::{LiveEvent, LiveMetric, SpscRing};
+///
+/// let ring = SpscRing::new(8);
+/// let event = LiveEvent {
+///     metric: LiveMetric::Latency,
+///     tenant: 0,
+///     value: 1_500,
+///     time_ns: 10,
+///     id: 7,
+/// };
+/// assert!(ring.push(event));
+/// let mut drained = Vec::new();
+/// ring.drain(|e| drained.push(e));
+/// assert_eq!(drained, vec![event]);
+/// ```
+#[derive(Debug)]
+pub struct SpscRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Next slot the producer will write; owned by the producer.
+    head: AtomicU64,
+    /// Next slot the consumer will read; owned by the consumer.
+    tail: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl SpscRing {
+    /// A ring holding at most `capacity` in-flight events (rounded up
+    /// to a power of two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2).next_power_of_two() as u64;
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                meta: AtomicU64::new(0),
+                value: AtomicU64::new(0),
+                time: AtomicU64::new(0),
+                aux: AtomicU64::new(0),
+            })
+            .collect();
+        SpscRing {
+            slots,
+            mask: capacity - 1,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Pushes one event; returns `false` (and counts a drop) when the
+    /// ring is full. Producer-side only.
+    pub fn push(&self, event: LiveEvent) -> bool {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) >= self.slots.len() as u64 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let slot = &self.slots[(head & self.mask) as usize];
+        let meta = u64::from(event.metric.code()) | (u64::from(event.tenant) << 8);
+        slot.meta.store(meta, Ordering::Relaxed);
+        slot.value.store(event.value, Ordering::Relaxed);
+        slot.time.store(event.time_ns, Ordering::Relaxed);
+        slot.aux.store(event.id, Ordering::Relaxed);
+        // Publish: the consumer's acquire-load of `head` sees the slot
+        // stores above.
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Drains every event currently published, oldest first, into `f`;
+    /// returns how many were consumed. Consumer-side only.
+    pub fn drain(&self, mut f: impl FnMut(LiveEvent)) -> usize {
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        let mut consumed = 0usize;
+        while tail != head {
+            let slot = &self.slots[(tail & self.mask) as usize];
+            let meta = slot.meta.load(Ordering::Relaxed);
+            // Unknown codes cannot appear from this crate's producers;
+            // skip defensively rather than panic on the consumer.
+            if let Some(metric) = LiveMetric::from_code((meta & 0xFF) as u8) {
+                f(LiveEvent {
+                    metric,
+                    tenant: (meta >> 8) as u32,
+                    value: slot.value.load(Ordering::Relaxed),
+                    time_ns: slot.time.load(Ordering::Relaxed),
+                    id: slot.aux.load(Ordering::Relaxed),
+                });
+                consumed += 1;
+            }
+            tail = tail.wrapping_add(1);
+        }
+        // Free the slots for the producer: its acquire-load of `tail`
+        // sees our reads completed.
+        self.tail.store(tail, Ordering::Release);
+        consumed
+    }
+
+    /// Events rejected because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// A set of [`SpscRing`]s, one per producer thread, drained by a
+/// single aggregator.
+#[derive(Debug)]
+pub struct LiveCollector {
+    rings: Vec<SpscRing>,
+}
+
+impl LiveCollector {
+    /// `producers` rings of `capacity` slots each.
+    pub fn new(producers: usize, capacity: usize) -> Self {
+        LiveCollector {
+            rings: (0..producers.max(1))
+                .map(|_| SpscRing::new(capacity))
+                .collect(),
+        }
+    }
+
+    /// The ring owned by producer `index`. Each producer thread must
+    /// use exactly one ring.
+    pub fn producer(&self, index: usize) -> &SpscRing {
+        &self.rings[index]
+    }
+
+    /// Number of producer rings.
+    pub fn producers(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Drains every ring into `acc`; returns total events consumed.
+    pub fn drain_into(&self, acc: &mut LiveAccumulator) -> usize {
+        let mut consumed = 0;
+        for ring in &self.rings {
+            consumed += ring.drain(|event| acc.observe(event));
+        }
+        consumed
+    }
+
+    /// Total events dropped across all rings.
+    pub fn dropped(&self) -> u64 {
+        self.rings.iter().map(SpscRing::dropped).sum()
+    }
+}
+
+/// Reject-reason codes carried in [`LiveMetric::Rejected`] events.
+/// Codes at or above [`REASON_SHED`] count as load shedding.
+pub const REASON_SHED: u64 = 4;
+
+/// Cumulative per-tenant state inside a [`LiveAccumulator`].
+#[derive(Debug, Clone)]
+struct TenantAcc {
+    completed: u64,
+    rejected: u64,
+    shed: u64,
+    good: u64,
+    latency: LogHistogram,
+    energy: LogHistogram,
+    /// Worst-latency exemplar: `(request id, latency ns)`.
+    exemplar: Option<(u64, u64)>,
+}
+
+/// The consumer-side cumulative fold of [`LiveEvent`]s.
+///
+/// Counters are exact (every drained event is counted once); latency
+/// and energy distributions are [`LogHistogram`]s, so folding the same
+/// multiset of events always yields the same accumulator regardless of
+/// ring assignment or drain order.
+#[derive(Debug, Clone)]
+pub struct LiveAccumulator {
+    tenants: Vec<TenantAcc>,
+    objective_ns: u64,
+    retries: u64,
+    integrity: u64,
+    queue_depth: u64,
+    queue_depth_max: u64,
+}
+
+impl LiveAccumulator {
+    /// An empty accumulator for `tenants` tenants, with latency
+    /// histograms over `[histo_min_ns, histo_max_ns]`, energy
+    /// histograms over the same span in picojoules, and an exact
+    /// good-latency count against `objective_ns` (a latency is *good*
+    /// iff it is `<= objective_ns`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ObsError::Telemetry`] for degenerate histogram
+    /// bounds.
+    pub fn new(
+        tenants: usize,
+        histo_min_ns: u64,
+        histo_max_ns: u64,
+        objective_ns: u64,
+    ) -> Result<Self, ObsError> {
+        let mut accs = Vec::with_capacity(tenants);
+        for _ in 0..tenants {
+            accs.push(TenantAcc {
+                completed: 0,
+                rejected: 0,
+                shed: 0,
+                good: 0,
+                latency: LogHistogram::new(histo_min_ns, histo_max_ns)?,
+                energy: LogHistogram::new(histo_min_ns, histo_max_ns)?,
+                exemplar: None,
+            });
+        }
+        Ok(LiveAccumulator {
+            tenants: accs,
+            objective_ns,
+            retries: 0,
+            integrity: 0,
+            queue_depth: 0,
+            queue_depth_max: 0,
+        })
+    }
+
+    /// Folds one event into the cumulative state.
+    pub fn observe(&mut self, event: LiveEvent) {
+        match event.metric {
+            LiveMetric::Latency => {
+                if let Some(t) = self.tenants.get_mut(event.tenant as usize) {
+                    t.completed += 1;
+                    if event.value <= self.objective_ns {
+                        t.good += 1;
+                    }
+                    t.latency.record(event.value);
+                    if t.exemplar.is_none_or(|(_, worst)| event.value > worst) {
+                        t.exemplar = Some((event.id, event.value));
+                    }
+                }
+            }
+            LiveMetric::Energy => {
+                if let Some(t) = self.tenants.get_mut(event.tenant as usize) {
+                    t.energy.record(event.value);
+                }
+            }
+            LiveMetric::Rejected => {
+                if let Some(t) = self.tenants.get_mut(event.tenant as usize) {
+                    t.rejected += 1;
+                    if event.value >= REASON_SHED {
+                        t.shed += 1;
+                    }
+                }
+            }
+            LiveMetric::Retry => self.retries += 1,
+            LiveMetric::QueueDepth => {
+                self.queue_depth = event.value;
+                self.queue_depth_max = self.queue_depth_max.max(event.value);
+            }
+            LiveMetric::Integrity => self.integrity += 1,
+        }
+    }
+
+    /// Freezes the current cumulative state as snapshot `seq` covering
+    /// virtual/wall time up to `up_to_ns`. `queue_depth` and
+    /// `pool_utilization` are point-in-time gauges supplied by the
+    /// engine; `dropped` is the collector's drop counter at freeze
+    /// time; `tenant_names` labels the exposition (padded with
+    /// `tenant<i>` when short).
+    pub fn snapshot(
+        &self,
+        seq: u64,
+        up_to_ns: u64,
+        queue_depth: u64,
+        pool_utilization: f64,
+        dropped: u64,
+        tenant_names: &[String],
+    ) -> TelemetrySnapshot {
+        let tenants = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TenantSnapshot {
+                name: tenant_names
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| format!("tenant{i}")),
+                completed: t.completed,
+                rejected: t.rejected,
+                shed: t.shed,
+                good: t.good,
+                latency_p50_ns: t.latency.percentile(50.0),
+                latency_p95_ns: t.latency.percentile(95.0),
+                latency_p99_ns: t.latency.percentile(99.0),
+                mean_latency_ns: t.latency.mean(),
+                mean_energy_pj: t.energy.mean(),
+                latency: t.latency.clone(),
+                energy: t.energy.clone(),
+                exemplar: t.exemplar,
+            })
+            .collect();
+        TelemetrySnapshot {
+            seq,
+            up_to_ns,
+            tenants,
+            retries: self.retries,
+            integrity: self.integrity,
+            queue_depth,
+            queue_depth_max: self.queue_depth_max,
+            pool_utilization,
+            dropped,
+        }
+    }
+
+    /// The SLO latency objective the good-count is folded against.
+    pub fn objective_ns(&self) -> u64 {
+        self.objective_ns
+    }
+}
+
+/// Per-tenant slice of a [`TelemetrySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Tenant name (exposition label).
+    pub name: String,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests terminally rejected (all reasons, sheds included).
+    pub rejected: u64,
+    /// Rejections attributed to load shedding.
+    pub shed: u64,
+    /// Completions whose latency met the SLO objective.
+    pub good: u64,
+    /// Median latency (bucket upper edge, ns).
+    pub latency_p50_ns: u64,
+    /// 95th-percentile latency (bucket upper edge, ns).
+    pub latency_p95_ns: u64,
+    /// 99th-percentile latency (bucket upper edge, ns).
+    pub latency_p99_ns: u64,
+    /// Mean latency over the clamped samples (ns).
+    pub mean_latency_ns: f64,
+    /// Mean energy per completed request (pJ).
+    pub mean_energy_pj: f64,
+    /// Full latency distribution (ns).
+    pub latency: LogHistogram,
+    /// Full energy distribution (pJ).
+    pub energy: LogHistogram,
+    /// Worst-latency exemplar `(request id, latency ns)`.
+    pub exemplar: Option<(u64, u64)>,
+}
+
+/// An immutable view of the live telemetry state at one instant,
+/// published by the aggregator and shared via [`SnapshotCell`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Monotonic snapshot sequence number (0-based).
+    pub seq: u64,
+    /// The clock value (virtual or wall ns) the snapshot covers up to.
+    pub up_to_ns: u64,
+    /// Per-tenant state, in tenant-index order.
+    pub tenants: Vec<TenantSnapshot>,
+    /// Transient-fault retries scheduled (global — the engines account
+    /// retries globally, so per-tenant splits would not reconcile).
+    pub retries: u64,
+    /// Integrity events observed (corrections, scrubs).
+    pub integrity: u64,
+    /// Queue occupancy when the snapshot was taken.
+    pub queue_depth: u64,
+    /// Largest queue occupancy sampled so far.
+    pub queue_depth_max: u64,
+    /// Fraction of slice-pool capacity busy over the covered interval
+    /// (0 when the engine cannot attribute it yet).
+    pub pool_utilization: f64,
+    /// Ring events dropped so far (0 in any healthy run).
+    pub dropped: u64,
+}
+
+impl TelemetrySnapshot {
+    /// An empty snapshot (seq 0, no tenants) — the placeholder a
+    /// [`SnapshotCell`] starts from.
+    pub fn empty() -> Self {
+        TelemetrySnapshot {
+            seq: 0,
+            up_to_ns: 0,
+            tenants: Vec::new(),
+            retries: 0,
+            integrity: 0,
+            queue_depth: 0,
+            queue_depth_max: 0,
+            pool_utilization: 0.0,
+            dropped: 0,
+        }
+    }
+
+    /// Completions summed over all tenants.
+    pub fn completed(&self) -> u64 {
+        self.tenants.iter().map(|t| t.completed).sum()
+    }
+
+    /// Rejections summed over all tenants.
+    pub fn rejected(&self) -> u64 {
+        self.tenants.iter().map(|t| t.rejected).sum()
+    }
+
+    /// SLO-good completions summed over all tenants.
+    pub fn good(&self) -> u64 {
+        self.tenants.iter().map(|t| t.good).sum()
+    }
+
+    /// Renders the snapshot as OpenMetrics text: `_total`-suffixed
+    /// counters, cumulative `le`-bucket latency/energy histograms with
+    /// a worst-latency exemplar trace id, quantile gauges, and the
+    /// queue/pool/drop gauges. Label values are escaped per the
+    /// exposition-format rules.
+    pub fn to_openmetrics(&self) -> String {
+        use std::fmt::Write as _;
+
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE bfree_live_snapshot_seq gauge");
+        let _ = writeln!(
+            out,
+            "# HELP bfree_live_snapshot_seq Monotonic snapshot sequence number."
+        );
+        let _ = writeln!(out, "bfree_live_snapshot_seq {}", self.seq);
+        let _ = writeln!(out, "# TYPE bfree_live_up_to_ns gauge");
+        let _ = writeln!(
+            out,
+            "# HELP bfree_live_up_to_ns Clock value the snapshot covers up to."
+        );
+        let _ = writeln!(out, "bfree_live_up_to_ns {}", self.up_to_ns);
+
+        // Per-tenant counter families: TYPE/HELP once, then one sample
+        // per tenant.
+        type TenantCounter = fn(&TenantSnapshot) -> u64;
+        let counters: [(&str, &str, TenantCounter); 4] = [
+            ("bfree_live_completed_total", "Requests completed.", |t| {
+                t.completed
+            }),
+            (
+                "bfree_live_rejected_total",
+                "Requests terminally rejected.",
+                |t| t.rejected,
+            ),
+            (
+                "bfree_live_shed_total",
+                "Rejections attributed to load shedding.",
+                |t| t.shed,
+            ),
+            (
+                "bfree_live_slo_good_total",
+                "Completions meeting the latency objective.",
+                |t| t.good,
+            ),
+        ];
+        for (family, help, get) in counters {
+            let _ = writeln!(out, "# TYPE {family} counter");
+            let _ = writeln!(out, "# HELP {family} {help}");
+            for tenant in &self.tenants {
+                let _ = writeln!(
+                    out,
+                    "{family}{{tenant=\"{}\"}} {}",
+                    escape_label(&tenant.name),
+                    get(tenant)
+                );
+            }
+        }
+
+        for (family, help, pick) in [
+            (
+                "bfree_live_latency_ns",
+                "End-to-end request latency (ns).",
+                true,
+            ),
+            (
+                "bfree_live_energy_pj",
+                "Energy per completed request (pJ).",
+                false,
+            ),
+        ] {
+            let _ = writeln!(out, "# TYPE {family} histogram");
+            let _ = writeln!(out, "# HELP {family} {help}");
+            for tenant in &self.tenants {
+                let histo = if pick {
+                    &tenant.latency
+                } else {
+                    &tenant.energy
+                };
+                let label = escape_label(&tenant.name);
+                let mut cumulative = 0u64;
+                for (edge, count) in histo.buckets() {
+                    cumulative += count;
+                    let exemplar = tenant
+                        .exemplar
+                        .filter(|&(_, worst)| pick && worst <= edge && worst > 0)
+                        .filter(|&(_, worst)| {
+                            // Attach to the first bucket containing the
+                            // exemplar: its edge is the smallest >= worst.
+                            histo
+                                .buckets()
+                                .find(|&(e, _)| e >= worst)
+                                .is_some_and(|(e, _)| e == edge)
+                        });
+                    match exemplar {
+                        Some((id, worst)) => {
+                            let _ = writeln!(
+                                out,
+                                "{family}_bucket{{tenant=\"{label}\",le=\"{edge}\"}} {cumulative} # {{trace_id=\"req-{id}\"}} {worst}"
+                            );
+                        }
+                        None => {
+                            let _ = writeln!(
+                                out,
+                                "{family}_bucket{{tenant=\"{label}\",le=\"{edge}\"}} {cumulative}"
+                            );
+                        }
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "{family}_bucket{{tenant=\"{label}\",le=\"+Inf\"}} {}",
+                    histo.count()
+                );
+                let _ = writeln!(out, "{family}_sum{{tenant=\"{label}\"}} {}", histo.sum());
+                let _ = writeln!(
+                    out,
+                    "{family}_count{{tenant=\"{label}\"}} {}",
+                    histo.count()
+                );
+            }
+        }
+
+        let _ = writeln!(out, "# TYPE bfree_live_latency_quantile_ns gauge");
+        let _ = writeln!(
+            out,
+            "# HELP bfree_live_latency_quantile_ns Latency percentiles (bucket upper edge, ns)."
+        );
+        for tenant in &self.tenants {
+            let label = escape_label(&tenant.name);
+            for (q, v) in [
+                ("0.5", tenant.latency_p50_ns),
+                ("0.95", tenant.latency_p95_ns),
+                ("0.99", tenant.latency_p99_ns),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "bfree_live_latency_quantile_ns{{tenant=\"{label}\",quantile=\"{q}\"}} {v}"
+                );
+            }
+        }
+
+        for (family, help, value) in [
+            (
+                "bfree_live_retries_total",
+                "Transient-fault retries scheduled.",
+                self.retries,
+            ),
+            (
+                "bfree_live_integrity_events_total",
+                "Integrity events observed.",
+                self.integrity,
+            ),
+            (
+                "bfree_live_dropped_events_total",
+                "Ring events dropped by the collector.",
+                self.dropped,
+            ),
+        ] {
+            let _ = writeln!(out, "# TYPE {family} counter");
+            let _ = writeln!(out, "# HELP {family} {help}");
+            let _ = writeln!(out, "{family} {value}");
+        }
+
+        let _ = writeln!(out, "# TYPE bfree_live_queue_depth gauge");
+        let _ = writeln!(out, "# HELP bfree_live_queue_depth Queue occupancy.");
+        let _ = writeln!(out, "bfree_live_queue_depth {}", self.queue_depth);
+        let _ = writeln!(out, "bfree_live_queue_depth_max {}", self.queue_depth_max);
+        let _ = writeln!(out, "# TYPE bfree_live_pool_utilization gauge");
+        let _ = writeln!(
+            out,
+            "# HELP bfree_live_pool_utilization Busy fraction of slice-pool capacity."
+        );
+        let _ = writeln!(out, "bfree_live_pool_utilization {}", self.pool_utilization);
+        out
+    }
+}
+
+/// A one-slot publish/subscribe cell for the latest snapshot.
+///
+/// This is the std-only stand-in for an `arc-swap` cell: publishing
+/// swaps the `Arc` under a mutex held for a pointer assignment, and
+/// readers clone the `Arc` out. The lock is never held across any
+/// computation, so contention is bounded by the cadence, not the load.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    latest: Mutex<Arc<TelemetrySnapshot>>,
+}
+
+impl Default for SnapshotCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SnapshotCell {
+    /// A cell holding an empty placeholder snapshot.
+    pub fn new() -> Self {
+        SnapshotCell {
+            latest: Mutex::new(Arc::new(TelemetrySnapshot::empty())),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Arc<TelemetrySnapshot>> {
+        // The guarded value is a single Arc pointer: a poisoned lock
+        // still holds a fully-formed snapshot.
+        match self.latest.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Publishes `snapshot` as the latest.
+    pub fn publish(&self, snapshot: Arc<TelemetrySnapshot>) {
+        *self.lock() = snapshot;
+    }
+
+    /// The most recently published snapshot.
+    pub fn load(&self) -> Arc<TelemetrySnapshot> {
+        Arc::clone(&self.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(metric: LiveMetric, tenant: u32, value: u64, id: u64) -> LiveEvent {
+        LiveEvent {
+            metric,
+            tenant,
+            value,
+            time_ns: 0,
+            id,
+        }
+    }
+
+    #[test]
+    fn live_ring_round_trips_every_field() {
+        let ring = SpscRing::new(4);
+        let e = LiveEvent {
+            metric: LiveMetric::Rejected,
+            tenant: 3,
+            value: REASON_SHED,
+            time_ns: 123_456,
+            id: 99,
+        };
+        assert!(ring.push(e));
+        let mut got = Vec::new();
+        ring.drain(|x| got.push(x));
+        assert_eq!(got, vec![e]);
+    }
+
+    #[test]
+    fn live_ring_full_push_drops_and_counts() {
+        let ring = SpscRing::new(2);
+        assert!(ring.push(event(LiveMetric::Latency, 0, 1, 1)));
+        assert!(ring.push(event(LiveMetric::Latency, 0, 2, 2)));
+        assert!(!ring.push(event(LiveMetric::Latency, 0, 3, 3)));
+        assert_eq!(ring.dropped(), 1);
+        let mut got = Vec::new();
+        ring.drain(|x| got.push(x));
+        assert_eq!(got.len(), 2);
+        // Space freed: pushes succeed again.
+        assert!(ring.push(event(LiveMetric::Latency, 0, 4, 4)));
+    }
+
+    #[test]
+    fn live_ring_spsc_stress_loses_nothing_below_capacity() {
+        // One producer, one consumer, ring big enough to never fill:
+        // every pushed value must arrive exactly once, in order. This
+        // test is in the tsan CI scope (`cargo test -p bfree-obs live`).
+        const N: u64 = 100_000;
+        let ring = SpscRing::new(1 << 17);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..N {
+                    assert!(ring.push(event(LiveMetric::Latency, 0, i, i)));
+                }
+            });
+            let mut next = 0u64;
+            while next < N {
+                ring.drain(|e| {
+                    assert_eq!(e.value, next, "out-of-order or duplicated slot");
+                    next += 1;
+                });
+                std::hint::spin_loop();
+            }
+        });
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn live_ring_spsc_stress_under_pressure_accounts_every_event() {
+        // Tiny ring, racing producer: consumed + dropped must equal
+        // pushed, and consumed values must stay strictly increasing.
+        const N: u64 = 50_000;
+        let ring = SpscRing::new(8);
+        let consumed = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..N {
+                    ring.push(event(LiveMetric::Energy, 1, i, i));
+                }
+            });
+            let mut last = None::<u64>;
+            let mut seen = 0u64;
+            // Settle once a drain comes back empty *and* the totals
+            // reconcile — the producer may still be mid-push before
+            // that point.
+            loop {
+                let got = ring.drain(|e| {
+                    assert!(last.is_none_or(|l| e.value > l), "non-monotone value");
+                    last = Some(e.value);
+                    seen += 1;
+                });
+                if got == 0 && seen + ring.dropped() == N {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            consumed.store(seen, Ordering::Relaxed);
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed) + ring.dropped(), N);
+    }
+
+    #[test]
+    fn accumulator_fold_is_ring_assignment_invariant() {
+        let events: Vec<LiveEvent> = (0..200)
+            .map(|i| match i % 5 {
+                0 => event(LiveMetric::Latency, (i % 2) as u32, 1_000 + i, i),
+                1 => event(LiveMetric::Energy, (i % 2) as u32, 500 + i, i),
+                2 => event(LiveMetric::Rejected, 0, REASON_SHED, i),
+                3 => event(LiveMetric::Retry, 0, 0, i),
+                _ => event(LiveMetric::Integrity, 0, 0, i),
+            })
+            .collect();
+        let names = vec!["a".to_string(), "b".to_string()];
+        // Same multiset, two different ring assignments.
+        let mut direct = LiveAccumulator::new(2, 1, 1 << 40, 50_000_000).unwrap();
+        for &e in &events {
+            direct.observe(e);
+        }
+        let collector = LiveCollector::new(3, 1 << 10);
+        for (i, &e) in events.iter().enumerate() {
+            assert!(collector.producer(i % 3).push(e));
+        }
+        let mut via_rings = LiveAccumulator::new(2, 1, 1 << 40, 50_000_000).unwrap();
+        collector.drain_into(&mut via_rings);
+        let a = direct.snapshot(1, 99, 0, 0.0, 0, &names);
+        let b = via_rings.snapshot(1, 99, 0, 0.0, 0, &names);
+        assert_eq!(a, b);
+        assert_eq!(a.retries, 40);
+        assert_eq!(a.integrity, 40);
+        assert_eq!(a.tenants[0].shed, 40);
+    }
+
+    #[test]
+    fn exposition_covers_every_live_metric_exhaustively() {
+        let mut acc = LiveAccumulator::new(1, 1, 1 << 30, 10_000).unwrap();
+        for metric in LiveMetric::ALL {
+            acc.observe(event(metric, 0, 5_000, 7));
+        }
+        let text = acc
+            .snapshot(2, 1_000, 4, 0.5, 1, &["t\"en\\ant\n0".to_string()])
+            .to_openmetrics();
+        for metric in LiveMetric::ALL {
+            // The compiler enforces exhaustiveness of this mapping; the
+            // assertions enforce each family actually renders.
+            let family = match metric {
+                LiveMetric::Latency => "bfree_live_latency_ns_bucket",
+                LiveMetric::Energy => "bfree_live_energy_pj_bucket",
+                LiveMetric::Rejected => "bfree_live_rejected_total",
+                LiveMetric::Retry => "bfree_live_retries_total",
+                LiveMetric::QueueDepth => "bfree_live_queue_depth",
+                LiveMetric::Integrity => "bfree_live_integrity_events_total",
+            };
+            assert!(text.contains(family), "family {family} missing:\n{text}");
+        }
+        // Label escaping: backslash, quote and newline must be encoded.
+        assert!(text.contains("tenant=\"t\\\"en\\\\ant\\n0\""));
+        // Counters carry the _total suffix and a single TYPE line.
+        assert_eq!(text.matches("# TYPE bfree_live_completed_total").count(), 1);
+        // The worst-latency exemplar carries the request id.
+        assert!(text.contains("# {trace_id=\"req-7\"}"), "{text}");
+        assert!(text.contains("bfree_live_dropped_events_total 1"));
+    }
+
+    #[test]
+    fn metric_codes_round_trip() {
+        for metric in LiveMetric::ALL {
+            assert_eq!(LiveMetric::from_code(metric.code()), Some(metric));
+        }
+        assert_eq!(LiveMetric::from_code(200), None);
+    }
+
+    #[test]
+    fn snapshot_cell_publishes_latest() {
+        let cell = SnapshotCell::new();
+        assert_eq!(cell.load().seq, 0);
+        let mut snap = TelemetrySnapshot::empty();
+        snap.seq = 9;
+        cell.publish(Arc::new(snap));
+        assert_eq!(cell.load().seq, 9);
+    }
+}

@@ -98,25 +98,68 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
+/// Escapes a label *value* per the exposition-format rules: backslash,
+/// double quote, and newline must be backslash-encoded or the scrape
+/// line is malformed (a raw quote even terminates the value early and
+/// lets the rest inject arbitrary series).
+pub(crate) fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders aggregated entries as a Prometheus text-exposition snapshot.
 ///
-/// Each entry becomes a `bfree_<subsystem>_<name>` summary-style family
-/// with `_count` / `_sum` / `_min` / `_max` series, quantile series for
-/// histogram entries (from the log2 sketch), and `unit` / `component`
-/// labels. Entries arrive in [`crate::AggRecorder::snapshot`]'s
+/// Monotonic [`EventKind::Counter`] entries become `_total`-suffixed
+/// `counter` families with a single sample per label set; everything
+/// else becomes a `bfree_<subsystem>_<name>` summary-style family with
+/// `_count` / `_sum` / `_min` / `_max` series and quantile series for
+/// histogram entries (from the log2 sketch). `# TYPE` / `# HELP` are
+/// emitted once per family — entries differing only in their
+/// `unit`/`component` labels share one header. Label values are
+/// escaped. Entries arrive in [`crate::AggRecorder::snapshot`]'s
 /// deterministic key order, so identical aggregates render identical
 /// text.
 pub fn prometheus_text(entries: &[AggEntry]) -> String {
+    use std::collections::BTreeSet;
     use std::fmt::Write as _;
 
     let mut out = String::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
     for entry in entries {
-        let family = format!("bfree_{}_{}", entry.subsystem.label(), sanitize(entry.name));
-        let mut labels = format!("unit=\"{}\"", entry.unit.label());
+        let base = format!("bfree_{}_{}", entry.subsystem.label(), sanitize(entry.name));
+        let counter = entry.kind == EventKind::Counter;
+        let family = if counter {
+            format!("{base}_total")
+        } else {
+            base
+        };
+        let mut labels = format!("unit=\"{}\"", escape_label(entry.unit.label()));
         if let Some(component) = entry.component {
-            let _ = write!(labels, ",component=\"{}\"", component.label());
+            let _ = write!(labels, ",component=\"{}\"", escape_label(component.label()));
         }
-        let _ = writeln!(out, "# TYPE {family} summary");
+        if seen.insert(family.clone()) {
+            let kind = if counter { "counter" } else { "summary" };
+            let _ = writeln!(out, "# TYPE {family} {kind}");
+            let _ = writeln!(
+                out,
+                "# HELP {family} Aggregated `{}` from the {} subsystem.",
+                entry.name,
+                entry.subsystem.label()
+            );
+        }
+        if counter {
+            // A counter is one monotonic sample: the accumulated sum.
+            let _ = writeln!(out, "{family}{{{labels}}} {}", entry.sum);
+            continue;
+        }
         let _ = writeln!(out, "{family}_count{{{labels}}} {}", entry.count);
         let _ = writeln!(out, "{family}_sum{{{labels}}} {}", entry.sum);
         if entry.count > 0 {
@@ -186,12 +229,53 @@ mod tests {
         let b = prometheus_text(&rec.snapshot());
         assert_eq!(a, b);
         assert!(a.contains("# TYPE bfree_serve_latency_total summary"));
+        assert!(a.contains("# HELP bfree_serve_latency_total "));
         assert!(a.contains("bfree_serve_latency_total_count{unit=\"ns\"} 3"));
         assert!(a.contains("bfree_serve_latency_total_sum{unit=\"ns\"} 140"));
         assert!(a.contains("quantile=\"0.99\""));
-        assert!(a.contains("bfree_exec_component_energy_sum{unit=\"pJ\",component=\"dram\"} 42.5"));
-        // Counter families carry no quantile series.
-        assert!(!a.contains("bfree_exec_component_energy{unit=\"pJ\",component=\"dram\",quantile"));
+        // Monotonic counters render as a single `_total` sample with a
+        // `counter` type line, not a summary.
+        assert!(a.contains("# TYPE bfree_exec_component_energy_total counter"));
+        assert!(
+            a.contains("bfree_exec_component_energy_total{unit=\"pJ\",component=\"dram\"} 42.5")
+        );
+        assert!(!a.contains("bfree_exec_component_energy_total_count"));
+        assert!(!a
+            .contains("bfree_exec_component_energy_total{unit=\"pJ\",component=\"dram\",quantile"));
+    }
+
+    #[test]
+    fn prometheus_type_and_help_emitted_once_per_family() {
+        let rec = AggRecorder::new();
+        // Two components in the same counter family: one header, two
+        // samples.
+        rec.energy(Subsystem::Exec, "component_energy", Component::Dram, 1.0);
+        rec.energy(Subsystem::Exec, "component_energy", Component::Bce, 2.0);
+        let text = prometheus_text(&rec.snapshot());
+        assert_eq!(
+            text.matches("# TYPE bfree_exec_component_energy_total counter")
+                .count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# HELP bfree_exec_component_energy_total ")
+                .count(),
+            1
+        );
+        assert_eq!(
+            text.matches("bfree_exec_component_energy_total{unit=")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label("line\nbreak"), "line\\nbreak");
     }
 
     #[test]

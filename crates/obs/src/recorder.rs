@@ -219,6 +219,54 @@ impl Recorder for NullRecorder {
     fn record(&self, _event: Event) {}
 }
 
+/// Fans every event out to two recorders — e.g. an [`crate::AggRecorder`]
+/// for summaries *and* a [`crate::RingRecorder`] for trace capture in
+/// one instrumented run, so the aggregate cross-check and the
+/// drop-accounting gate see the identical event stream.
+///
+/// Enabled iff either side is; a side that is disabled still receives
+/// the `record` call and discards it itself (recorders are cheap by
+/// contract, and per-side re-checking would double the branches on the
+/// hot path).
+#[derive(Debug, Default)]
+pub struct TeeRecorder<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: Recorder, B: Recorder> TeeRecorder<A, B> {
+    /// Tees events into `first` and `second`.
+    pub fn new(first: A, second: B) -> Self {
+        TeeRecorder { first, second }
+    }
+
+    /// The first sink.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The second sink.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+
+    /// Splits the tee back into its sinks.
+    pub fn into_parts(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: Recorder, B: Recorder> Recorder for TeeRecorder<A, B> {
+    fn is_enabled(&self) -> bool {
+        self.first.is_enabled() || self.second.is_enabled()
+    }
+
+    fn record(&self, event: Event) {
+        self.first.record(event.clone());
+        self.second.record(event);
+    }
+}
+
 // Shared references record through to the underlying recorder, so call
 // sites can pass `&rec` down a call tree without re-borrowing games.
 impl<R: Recorder + ?Sized> Recorder for &R {
@@ -292,5 +340,29 @@ mod tests {
         let by_ref = &rec;
         by_ref.counter(Subsystem::Par, "items", 5.0, Unit::Count);
         assert_eq!(rec.0.borrow().len(), 1);
+    }
+
+    #[test]
+    fn tee_recorder_duplicates_the_stream_to_both_sinks() {
+        let tee = TeeRecorder::new(
+            Capture(RefCell::new(Vec::new())),
+            Capture(RefCell::new(Vec::new())),
+        );
+        tee.counter(Subsystem::Serve, "requests", 2.0, Unit::Count);
+        tee.span(Subsystem::Serve, "request", 0.0, 10.0);
+        assert_eq!(tee.first().0.borrow().len(), 2);
+        assert_eq!(tee.second().0.borrow().len(), 2);
+        assert_eq!(
+            tee.first().0.borrow()[1].kind,
+            tee.second().0.borrow()[1].kind
+        );
+    }
+
+    #[test]
+    fn tee_recorder_enabled_when_either_side_is() {
+        let on_off = TeeRecorder::new(Capture(RefCell::new(Vec::new())), NullRecorder);
+        assert!(on_off.is_enabled());
+        let off_off = TeeRecorder::new(NullRecorder, NullRecorder);
+        assert!(!off_off.is_enabled());
     }
 }

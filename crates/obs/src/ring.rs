@@ -93,6 +93,20 @@ impl RingRecorder {
         inner.events.clear();
         inner.dropped = 0;
     }
+
+    /// Surfaces the drop counter as a first-class `obs/ring_dropped`
+    /// counter on `sink`, so truncation shows up in aggregate
+    /// summaries and the OpenMetrics exposition
+    /// (`bfree_par_obs_ring_dropped_total`) instead of only a stderr
+    /// warning.
+    pub fn export_drop_counter<R: Recorder>(&self, sink: &R) {
+        sink.counter(
+            crate::event::Subsystem::Par,
+            "obs/ring_dropped",
+            self.dropped() as f64,
+            crate::event::Unit::Count,
+        );
+    }
 }
 
 impl Recorder for RingRecorder {
@@ -143,6 +157,22 @@ mod tests {
         ring.clear();
         assert!(ring.is_empty());
         assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn drop_counter_exports_into_an_aggregate() {
+        let ring = RingRecorder::new(2);
+        for i in 0..5u32 {
+            ring.counter(Subsystem::Par, "i", f64::from(i), Unit::Count);
+        }
+        let agg = crate::agg::AggRecorder::new();
+        ring.export_drop_counter(&agg);
+        let entries = agg.snapshot();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "obs/ring_dropped");
+        assert_eq!(entries[0].sum, 3.0);
+        let text = crate::perf::prometheus_text(&entries);
+        assert!(text.contains("bfree_par_obs_ring_dropped_total{unit=\"count\"} 3"));
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Service-level-objective evaluation with multi-window burn rates.
+//!
+//! A burn rate is the ratio between the error-budget consumption rate
+//! and the rate that would exhaust the budget exactly at the end of
+//! the compliance period: `burn = bad_fraction / (1 - target)`. Burn
+//! 1.0 spends the budget on schedule; burn 14.4 exhausts a 30-day
+//! budget in ~2 days. Alerting on a *pair* of windows — a short one
+//! for responsiveness and a long one to reject blips — is the
+//! standard multi-window construction: the alert fires only when both
+//! windows burn hot, so a one-batch latency spike does not page while
+//! a sustained regression pages quickly.
+//!
+//! [`SloTracker`] consumes the cumulative [`TelemetrySnapshot`]
+//! sequence the live plane publishes and evaluates two objectives:
+//!
+//! * **Latency** — the fraction of completions meeting the latency
+//!   objective (the snapshot's exact `good` counters) must stay above
+//!   `latency_target`.
+//! * **Availability** — the fraction of terminally-settled requests
+//!   that completed (vs. rejected/shed) must stay above
+//!   `availability_target`.
+//!
+//! Everything is integer-counter arithmetic over snapshot deltas, so
+//! the tracker is deterministic: the virtual-clock oracle's golden
+//! snapshot sequence yields a golden alert sequence.
+
+use std::collections::VecDeque;
+
+use crate::live::TelemetrySnapshot;
+
+/// The objectives and alert windows an [`SloTracker`] evaluates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Fraction of completions that must meet the latency objective
+    /// (e.g. 0.99). The objective itself is baked into the snapshots'
+    /// `good` counters.
+    pub latency_target: f64,
+    /// Fraction of settled requests that must complete (e.g. 0.999).
+    pub availability_target: f64,
+    /// Short (fast-burn) alert window, in snapshot-clock nanoseconds.
+    pub short_window_ns: u64,
+    /// Long (slow-burn) alert window, in snapshot-clock nanoseconds.
+    pub long_window_ns: u64,
+    /// Burn-rate threshold the short window must exceed to alert
+    /// (14.4 is the classic 2%-of-budget-in-an-hour pace).
+    pub fast_burn: f64,
+    /// Burn-rate threshold the long window must exceed to alert.
+    pub slow_burn: f64,
+}
+
+impl Default for SloSpec {
+    fn default() -> Self {
+        SloSpec {
+            latency_target: 0.99,
+            availability_target: 0.999,
+            short_window_ns: 50_000_000,
+            long_window_ns: 250_000_000,
+            fast_burn: 14.4,
+            slow_burn: 6.0,
+        }
+    }
+}
+
+/// Cumulative counters distilled from one snapshot, kept as window
+/// anchors.
+#[derive(Debug, Clone, Copy)]
+struct Point {
+    up_to_ns: u64,
+    completed: u64,
+    good: u64,
+    rejected: u64,
+}
+
+/// One objective's evaluation at one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnRates {
+    /// Burn rate over the short window.
+    pub short: f64,
+    /// Burn rate over the long window.
+    pub long: f64,
+    /// Whether both windows exceed their thresholds.
+    pub alert: bool,
+}
+
+/// The tracker's verdict for one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloStatus {
+    /// Snapshot clock this status evaluates.
+    pub up_to_ns: u64,
+    /// Latency-objective burn rates (good-latency fraction).
+    pub latency: BurnRates,
+    /// Availability-objective burn rates (completion fraction).
+    pub availability: BurnRates,
+}
+
+/// Evaluates multi-window burn-rate alerts over a cumulative snapshot
+/// sequence.
+///
+/// ```
+/// use bfree_obs::{SloSpec, SloTracker, TelemetrySnapshot};
+///
+/// let mut tracker = SloTracker::new(SloSpec::default());
+/// let status = tracker.observe(&TelemetrySnapshot::empty());
+/// assert!(!status.latency.alert);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    spec: SloSpec,
+    history: VecDeque<Point>,
+}
+
+impl SloTracker {
+    /// A tracker with no history yet.
+    pub fn new(spec: SloSpec) -> Self {
+        SloTracker {
+            spec,
+            history: VecDeque::new(),
+        }
+    }
+
+    /// The spec this tracker evaluates.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// Folds the next cumulative snapshot and returns the current
+    /// status. Snapshots must arrive in non-decreasing `up_to_ns`
+    /// order (they do: both engines publish monotonically).
+    pub fn observe(&mut self, snapshot: &TelemetrySnapshot) -> SloStatus {
+        let point = Point {
+            up_to_ns: snapshot.up_to_ns,
+            completed: snapshot.completed(),
+            good: snapshot.good(),
+            rejected: snapshot.rejected(),
+        };
+        self.history.push_back(point);
+        // Keep one anchor at or beyond the long window so deltas can
+        // always span it; everything older is unreachable.
+        let horizon = point.up_to_ns.saturating_sub(self.spec.long_window_ns);
+        while self
+            .history
+            .get(1)
+            .is_some_and(|second| second.up_to_ns <= horizon)
+        {
+            self.history.pop_front();
+        }
+
+        let latency = self.burn(point, self.spec.latency_target, |delta| {
+            (
+                delta.completed,
+                delta.completed - delta.good.min(delta.completed),
+            )
+        });
+        let availability = self.burn(point, self.spec.availability_target, |delta| {
+            (delta.completed + delta.rejected, delta.rejected)
+        });
+        SloStatus {
+            up_to_ns: point.up_to_ns,
+            latency,
+            availability,
+        }
+    }
+
+    /// Burn rates for one objective: `split` maps a counter delta to
+    /// `(events, bad_events)`.
+    fn burn(&self, now: Point, target: f64, split: impl Fn(Point) -> (u64, u64)) -> BurnRates {
+        let short = self.window_burn(now, self.spec.short_window_ns, target, &split);
+        let long = self.window_burn(now, self.spec.long_window_ns, target, &split);
+        BurnRates {
+            short,
+            long,
+            alert: short >= self.spec.fast_burn && long >= self.spec.slow_burn,
+        }
+    }
+
+    fn window_burn(
+        &self,
+        now: Point,
+        window_ns: u64,
+        target: f64,
+        split: &impl Fn(Point) -> (u64, u64),
+    ) -> f64 {
+        let start_ns = now.up_to_ns.saturating_sub(window_ns);
+        // The anchor is the newest point at or before the window start:
+        // the delta from it covers at least the whole window.
+        let anchor = self
+            .history
+            .iter()
+            .rev()
+            .find(|p| p.up_to_ns <= start_ns)
+            .copied()
+            .unwrap_or(Point {
+                up_to_ns: 0,
+                completed: 0,
+                good: 0,
+                rejected: 0,
+            });
+        let delta = Point {
+            up_to_ns: now.up_to_ns - anchor.up_to_ns,
+            completed: now.completed - anchor.completed,
+            good: now.good - anchor.good,
+            rejected: now.rejected - anchor.rejected,
+        };
+        let (events, bad) = split(delta);
+        if events == 0 {
+            return 0.0;
+        }
+        let bad_fraction = bad as f64 / events as f64;
+        let budget = 1.0 - target;
+        if budget <= 0.0 {
+            // A 100% target has no budget: any badness is infinite burn.
+            if bad > 0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            bad_fraction / budget
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cumulative snapshot with one tenant holding the given counters.
+    fn snap(up_to_ns: u64, completed: u64, good: u64, rejected: u64) -> TelemetrySnapshot {
+        let mut acc = crate::live::LiveAccumulator::new(1, 1, 1 << 40, 1_000_000).unwrap();
+        for i in 0..completed {
+            // Good completions sit below the objective, bad ones above.
+            let latency = if i < good { 500 } else { 2_000_000 };
+            acc.observe(crate::live::LiveEvent {
+                metric: crate::live::LiveMetric::Latency,
+                tenant: 0,
+                value: latency,
+                time_ns: 0,
+                id: i,
+            });
+        }
+        for i in 0..rejected {
+            acc.observe(crate::live::LiveEvent {
+                metric: crate::live::LiveMetric::Rejected,
+                tenant: 0,
+                value: 0,
+                time_ns: 0,
+                id: i,
+            });
+        }
+        acc.snapshot(0, up_to_ns, 0, 0.0, 0, &["t".to_string()])
+    }
+
+    fn spec() -> SloSpec {
+        SloSpec {
+            latency_target: 0.9,
+            availability_target: 0.99,
+            short_window_ns: 100,
+            long_window_ns: 500,
+            fast_burn: 5.0,
+            slow_burn: 2.0,
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_never_alerts() {
+        let mut tracker = SloTracker::new(spec());
+        for step in 1..=20u64 {
+            let status = tracker.observe(&snap(step * 50, step * 100, step * 100, 0));
+            assert!(!status.latency.alert, "step {step}");
+            assert!(!status.availability.alert, "step {step}");
+            assert_eq!(status.latency.short, 0.0);
+        }
+    }
+
+    #[test]
+    fn sustained_badness_alerts_on_both_windows() {
+        let mut tracker = SloTracker::new(spec());
+        // Everything misses the objective: bad_fraction 1.0, burn 10
+        // with a 0.9 target — above both thresholds once sustained.
+        let mut last = None;
+        for step in 1..=20u64 {
+            last = Some(tracker.observe(&snap(step * 50, step * 100, 0, 0)));
+        }
+        let status = last.unwrap();
+        assert!(status.latency.alert);
+        assert!((status.latency.short - 10.0).abs() < 1e-9);
+        assert!((status.latency.long - 10.0).abs() < 1e-9);
+        assert!(!status.availability.alert, "no rejections offered");
+    }
+
+    #[test]
+    fn short_blip_does_not_trip_the_long_window() {
+        let mut tracker = SloTracker::new(spec());
+        // A long healthy history...
+        for step in 1..=10u64 {
+            tracker.observe(&snap(step * 50, step * 1_000, step * 1_000, 0));
+        }
+        // ...then one bad burst inside the short window only.
+        let status = tracker.observe(&snap(540, 10_100, 10_000, 0));
+        assert!(
+            status.latency.short > status.latency.long,
+            "short {} vs long {}",
+            status.latency.short,
+            status.latency.long
+        );
+        assert!(!status.latency.alert, "blip must not page");
+    }
+
+    #[test]
+    fn availability_burns_on_rejections() {
+        let mut tracker = SloTracker::new(spec());
+        let mut last = None;
+        for step in 1..=20u64 {
+            // 10% of settled requests rejected: bad_fraction 0.1,
+            // budget 0.01, burn 10.
+            last = Some(tracker.observe(&snap(step * 50, step * 90, step * 90, step * 10)));
+        }
+        let status = last.unwrap();
+        assert!(status.availability.alert);
+        assert!((status.availability.short - 10.0).abs() < 1e-9);
+        assert!(!status.latency.alert);
+    }
+
+    #[test]
+    fn zero_budget_target_burns_infinitely_on_any_badness() {
+        let mut tracker = SloTracker::new(SloSpec {
+            latency_target: 1.0,
+            ..spec()
+        });
+        let status = tracker.observe(&snap(50, 10, 9, 0));
+        assert!(status.latency.short.is_infinite());
+    }
+
+    #[test]
+    fn history_is_pruned_to_the_long_window() {
+        let mut tracker = SloTracker::new(spec());
+        for step in 1..=1_000u64 {
+            tracker.observe(&snap(step * 50, step, step, 0));
+        }
+        assert!(
+            tracker.history.len() < 20,
+            "history grew unbounded: {}",
+            tracker.history.len()
+        );
+    }
+}

@@ -7,7 +7,7 @@ use bfree::BfreeConfig;
 use bfree_fault::RetryPolicy;
 use bfree_obs::{JsonValue, ObsError};
 
-use crate::realtime::RealtimeConfig;
+use crate::realtime::{RealtimeConfig, TelemetryConfig};
 use crate::scheduler::{SchedPolicy, ServeConfig};
 
 fn schema_err(field: &str, expected: &'static str) -> ObsError {
@@ -163,6 +163,79 @@ impl ServeConfig {
     }
 }
 
+impl TelemetryConfig {
+    /// Serializes the telemetry knobs as a [`JsonValue`] tree.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("enabled", JsonValue::Bool(self.enabled)),
+            (
+                "snapshot_cadence_ns",
+                JsonValue::Number(self.snapshot_cadence_ns as f64),
+            ),
+            (
+                "ring_capacity",
+                JsonValue::Number(self.ring_capacity as f64),
+            ),
+            (
+                "histogram_min_ns",
+                JsonValue::Number(self.histogram_min_ns as f64),
+            ),
+            (
+                "histogram_max_ns",
+                JsonValue::Number(self.histogram_max_ns as f64),
+            ),
+            (
+                "latency_objective_ns",
+                JsonValue::Number(self.latency_objective_ns as f64),
+            ),
+            ("latency_target", JsonValue::Number(self.latency_target)),
+            (
+                "availability_target",
+                JsonValue::Number(self.availability_target),
+            ),
+            (
+                "short_window_ns",
+                JsonValue::Number(self.short_window_ns as f64),
+            ),
+            (
+                "long_window_ns",
+                JsonValue::Number(self.long_window_ns as f64),
+            ),
+            ("fast_burn", JsonValue::Number(self.fast_burn)),
+            ("slow_burn", JsonValue::Number(self.slow_burn)),
+        ])
+    }
+
+    /// Deserializes the telemetry knobs from a [`JsonValue`] tree.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Schema`] for a missing or mistyped field. Semantic
+    /// validation (positive cadence, ordered histogram bounds, targets
+    /// in `(0, 1]`) happens in [`RealtimeConfig::from_json`] via
+    /// [`RealtimeConfig::validate`].
+    pub fn from_json(value: &JsonValue) -> Result<TelemetryConfig, ObsError> {
+        let enabled = value
+            .get("enabled")
+            .and_then(JsonValue::as_bool)
+            .ok_or_else(|| schema_err("enabled", "a boolean"))?;
+        Ok(TelemetryConfig {
+            enabled,
+            snapshot_cadence_ns: value.require_u64("snapshot_cadence_ns")?,
+            ring_capacity: value.require_u64("ring_capacity")? as usize,
+            histogram_min_ns: value.require_u64("histogram_min_ns")?,
+            histogram_max_ns: value.require_u64("histogram_max_ns")?,
+            latency_objective_ns: value.require_u64("latency_objective_ns")?,
+            latency_target: value.require_f64("latency_target")?,
+            availability_target: value.require_f64("availability_target")?,
+            short_window_ns: value.require_u64("short_window_ns")?,
+            long_window_ns: value.require_u64("long_window_ns")?,
+            fast_burn: value.require_f64("fast_burn")?,
+            slow_burn: value.require_f64("slow_burn")?,
+        })
+    }
+}
+
 impl RealtimeConfig {
     /// Serializes this configuration as a [`JsonValue`] tree. The
     /// embedded serving config uses [`ServeConfig::to_json`].
@@ -172,6 +245,7 @@ impl RealtimeConfig {
             ("workers", JsonValue::Number(self.workers as f64)),
             ("queue_shards", JsonValue::Number(self.queue_shards as f64)),
             ("replay_rate", JsonValue::Number(self.replay_rate)),
+            ("telemetry", self.telemetry.to_json()),
         ])
     }
 
@@ -198,11 +272,18 @@ impl RealtimeConfig {
             .get("replay_rate")
             .and_then(JsonValue::as_f64)
             .ok_or_else(|| schema_err("replay_rate", "a number"))?;
+        // Configs serialized before the live-telemetry plane existed
+        // carry no `telemetry` object; they get the defaults.
+        let telemetry = match value.get("telemetry") {
+            None | Some(JsonValue::Null) => TelemetryConfig::default(),
+            Some(t) => TelemetryConfig::from_json(t)?,
+        };
         let config = RealtimeConfig {
             serve: ServeConfig::from_json(serve)?,
             workers: value.require_u64("workers")? as usize,
             queue_shards: value.require_u64("queue_shards")? as usize,
             replay_rate,
+            telemetry,
         };
         config.validate().map_err(|e| ObsError::Schema {
             field: e.to_string(),
@@ -381,6 +462,67 @@ mod tests {
             assert!(
                 matches!(err, ObsError::Schema { .. }),
                 "bad {field} must fail at parse time, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_knobs_round_trip() {
+        let config = RealtimeConfig::builder()
+            .telemetry(TelemetryConfig {
+                enabled: false,
+                snapshot_cadence_ns: 5_000_000,
+                ring_capacity: 1024,
+                histogram_min_ns: 100,
+                histogram_max_ns: 1_000_000_000,
+                latency_objective_ns: 20_000_000,
+                latency_target: 0.95,
+                availability_target: 0.9999,
+                short_window_ns: 25_000_000,
+                long_window_ns: 500_000_000,
+                fast_burn: 10.0,
+                slow_burn: 2.0,
+            })
+            .build()
+            .unwrap();
+        let back = RealtimeConfig::from_json_str(&config.to_json_string()).unwrap();
+        assert_eq!(back, config);
+        assert_eq!(back.telemetry.ring_capacity, 1024);
+    }
+
+    #[test]
+    fn configs_without_telemetry_get_the_defaults() {
+        let mut json = RealtimeConfig::paper_default().to_json();
+        if let JsonValue::Object(map) = &mut json {
+            map.remove("telemetry");
+        }
+        let config = RealtimeConfig::from_json(&json).unwrap();
+        assert_eq!(config.telemetry, TelemetryConfig::default());
+    }
+
+    #[test]
+    fn parsed_telemetry_knobs_are_validated() {
+        // Structurally valid JSON carrying semantically invalid
+        // telemetry knobs must be rejected at parse time.
+        for (field, bad) in [
+            ("snapshot_cadence_ns", JsonValue::Number(0.0)),
+            ("ring_capacity", JsonValue::Number(0.0)),
+            ("histogram_min_ns", JsonValue::Number(0.0)),
+            ("latency_target", JsonValue::Number(f64::NAN)),
+            ("availability_target", JsonValue::Number(1.5)),
+            ("fast_burn", JsonValue::Number(-1.0)),
+        ] {
+            let mut json = RealtimeConfig::paper_default().to_json();
+            if let Some(JsonValue::Object(telemetry)) = match &mut json {
+                JsonValue::Object(map) => map.get_mut("telemetry"),
+                _ => None,
+            } {
+                telemetry.insert(field.to_string(), bad);
+            }
+            let err = RealtimeConfig::from_json(&json).unwrap_err();
+            assert!(
+                matches!(err, ObsError::Schema { .. }),
+                "bad telemetry.{field} must fail at parse time, got {err:?}"
             );
         }
     }

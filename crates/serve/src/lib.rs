@@ -31,7 +31,11 @@
 //! * [`realtime`] — the wall-clock, multi-threaded front-end
 //!   ([`RealtimeEngine`]): sharded admission queue, work-stealing
 //!   worker pool, continuous batching — conformance-checked against
-//!   the virtual-clock oracle ([`realtime::run_conformance`]).
+//!   the virtual-clock oracle ([`realtime::run_conformance`]);
+//! * [`live`] — the live-telemetry bridge: [`snapshot_series`] derives
+//!   the oracle's deterministic [`bfree_obs::TelemetrySnapshot`]
+//!   sequence from finished records, and [`reconcile_snapshots`] pins
+//!   both engines to the same snapshot schema and counters.
 //!
 //! ```
 //! use bfree_serve::{ServeConfig, ServingSim, TenantSpec};
@@ -58,6 +62,7 @@ pub mod contention;
 pub mod driver;
 pub mod error;
 pub mod frontend;
+pub mod live;
 pub mod pool;
 pub mod realtime;
 pub mod registry;
@@ -70,10 +75,11 @@ pub use contention::CoTenancyModel;
 pub use driver::{ClosedLoopDriver, OpenLoopDriver};
 pub use error::{RejectReason, ServeError};
 pub use frontend::{Frontend, RequestTrace, TraceEvent, TraceOp, WorkCounters, WorkLedger};
+pub use live::{final_snapshot, reconcile_snapshots, snapshot_series};
 pub use pool::{SliceAllocation, SlicePool};
 pub use realtime::{
     ConformanceReport, RealtimeConfig, RealtimeConfigBuilder, RealtimeEngine,
-    RealtimeEngineBuilder, RealtimeStats, ShardedQueue,
+    RealtimeEngineBuilder, RealtimeStats, ShardedQueue, TelemetryConfig,
 };
 pub use registry::{ArtifactIntegrity, IntegrityReport, ModelRegistry, ModelVersion};
 pub use scheduler::{SchedPolicy, Scheduler, ServeConfig, ServeConfigBuilder};

@@ -1,0 +1,418 @@
+//! Live-telemetry bridging between the two serving engines.
+//!
+//! The wall-clock [`crate::RealtimeEngine`] produces
+//! [`TelemetrySnapshot`]s from its lock-free collection plane as real
+//! time passes. The virtual-clock oracle ([`crate::ServingSim`]) is
+//! single-threaded and deterministic, so its snapshot sequence is
+//! instead *derived*: [`snapshot_series`] cuts the finished record
+//! stream at the same cadence in virtual time and folds each prefix
+//! through the identical [`LiveAccumulator`]. Both engines therefore
+//! emit the same schema with exactly-comparable counters, which is
+//! what [`reconcile_snapshots`] (called from the conformance harness)
+//! pins down: per-tenant completion/rejection/shed counts and global
+//! retries must agree exactly, distribution means within the harness
+//! tolerance, and neither side may have dropped a single event.
+
+use bfree_obs::{LiveAccumulator, LiveEvent, LiveMetric, TelemetrySnapshot};
+
+use crate::error::{RejectReason, ServeError};
+use crate::realtime::TelemetryConfig;
+use crate::telemetry::{Outcome, Telemetry};
+
+/// The wire code a [`RejectReason`] carries in a
+/// [`LiveMetric::Rejected`] event. Codes at or above
+/// [`bfree_obs::REASON_SHED`] count as load shedding in the snapshot's
+/// `shed` counter — that covers [`RejectReason::Shed`] and
+/// [`RejectReason::DeadlineExpired`], the two load-policing outcomes.
+pub fn reason_code(reason: RejectReason) -> u64 {
+    match reason {
+        RejectReason::QueueFull => 0,
+        RejectReason::TimedOut => 1,
+        RejectReason::DoesNotFit => 2,
+        RejectReason::RetriesExhausted => 3,
+        RejectReason::Shed => 4,
+        RejectReason::DeadlineExpired => 5,
+    }
+}
+
+/// Converts an energy charge to the integer picojoules the live plane
+/// records. Both engines round the same way, so energy histograms fold
+/// comparable samples.
+pub fn energy_value(pj: f64) -> u64 {
+    if pj.is_finite() && pj > 0.0 {
+        pj.round() as u64
+    } else {
+        0
+    }
+}
+
+/// An accumulator sized from the telemetry knobs.
+fn accumulator(tenants: usize, config: &TelemetryConfig) -> Result<LiveAccumulator, ServeError> {
+    LiveAccumulator::new(
+        tenants,
+        config.histogram_min_ns,
+        config.histogram_max_ns,
+        config.latency_objective_ns,
+    )
+    .map_err(|err| ServeError::InvalidConfig {
+        parameter: "telemetry.histogram_min_ns",
+        reason: err.to_string(),
+    })
+}
+
+/// Derives the deterministic snapshot sequence the virtual-clock
+/// oracle would have published: the record stream is cut at every
+/// multiple of the snapshot cadence (in virtual time) through the last
+/// terminal event, and each prefix folds through the same
+/// [`LiveAccumulator`] the realtime aggregator uses.
+///
+/// Determinism: records are folded sorted by `(complete_ns,
+/// request_id)`, every quantity is integer-counter or
+/// integer-histogram arithmetic, and nothing depends on job counts or
+/// wall time — the same telemetry always yields bit-identical
+/// snapshots. Oracle-specific conventions:
+///
+/// * `retries` are only attributed on the *final* snapshot (the oracle
+///   records a run-total, not retry times); the final totals are what
+///   conformance compares.
+/// * `queue_depth` at a cut is submissions at or before the cut minus
+///   requests dispatched (or settled) by it.
+/// * `pool_utilization` is only known once the busy integral closes,
+///   so it too appears on the final snapshot only.
+/// * `dropped` is always 0: there are no rings to overflow.
+///
+/// # Errors
+///
+/// [`ServeError::InvalidConfig`] for degenerate histogram bounds
+/// (normally impossible — [`TelemetryConfig::validate`] rejects them).
+pub fn snapshot_series(
+    telemetry: &Telemetry,
+    tenant_names: &[String],
+    config: &TelemetryConfig,
+) -> Result<Vec<TelemetrySnapshot>, ServeError> {
+    let cadence = config.snapshot_cadence_ns.max(1);
+    let mut records: Vec<_> = telemetry.records().iter().collect();
+    records.sort_by_key(|r| (r.complete_ns, r.request_id));
+    let mut submit_times: Vec<u64> = records.iter().map(|r| r.submit_ns).collect();
+    submit_times.sort_unstable();
+    let mut dispatch_times: Vec<u64> = records.iter().map(|r| r.dispatch_ns).collect();
+    dispatch_times.sort_unstable();
+
+    let last_event_ns = records.iter().map(|r| r.complete_ns).max().unwrap_or(0);
+    let cuts = last_event_ns.div_ceil(cadence).max(1);
+    let summary = telemetry.summary();
+
+    let mut acc = accumulator(tenant_names.len(), config)?;
+    let mut series = Vec::with_capacity(cuts as usize);
+    let mut next_record = 0usize;
+    for seq in 0..cuts {
+        let cut_ns = (seq + 1) * cadence;
+        while next_record < records.len() && records[next_record].complete_ns <= cut_ns {
+            let record = records[next_record];
+            let tenant = record.tenant as u32;
+            match record.outcome {
+                Outcome::Completed => {
+                    acc.observe(LiveEvent {
+                        metric: LiveMetric::Latency,
+                        tenant,
+                        value: record.latency_ns(),
+                        time_ns: record.complete_ns,
+                        id: record.request_id,
+                    });
+                    acc.observe(LiveEvent {
+                        metric: LiveMetric::Energy,
+                        tenant,
+                        value: energy_value(record.energy.picojoules()),
+                        time_ns: record.complete_ns,
+                        id: record.request_id,
+                    });
+                }
+                Outcome::Rejected(reason) => {
+                    acc.observe(LiveEvent {
+                        metric: LiveMetric::Rejected,
+                        tenant,
+                        value: reason_code(reason),
+                        time_ns: record.complete_ns,
+                        id: record.request_id,
+                    });
+                }
+            }
+            next_record += 1;
+        }
+        let final_cut = seq + 1 == cuts;
+        if final_cut {
+            for _ in 0..summary.retries {
+                acc.observe(LiveEvent {
+                    metric: LiveMetric::Retry,
+                    tenant: 0,
+                    value: 0,
+                    time_ns: cut_ns,
+                    id: 0,
+                });
+            }
+        }
+        let submitted = submit_times.partition_point(|&t| t <= cut_ns) as u64;
+        let settled = dispatch_times.partition_point(|&t| t <= cut_ns) as u64;
+        let queue_depth = submitted.saturating_sub(settled);
+        let pool_utilization = if final_cut {
+            summary.pool_utilization
+        } else {
+            0.0
+        };
+        series.push(acc.snapshot(seq, cut_ns, queue_depth, pool_utilization, 0, tenant_names));
+    }
+    Ok(series)
+}
+
+/// The oracle's final cumulative snapshot — the one
+/// [`reconcile_snapshots`] compares against the realtime engine's.
+///
+/// # Errors
+///
+/// Same contract as [`snapshot_series`].
+pub fn final_snapshot(
+    telemetry: &Telemetry,
+    tenant_names: &[String],
+    config: &TelemetryConfig,
+) -> Result<TelemetrySnapshot, ServeError> {
+    let mut series = snapshot_series(telemetry, tenant_names, config)?;
+    Ok(series.pop().unwrap_or_else(TelemetrySnapshot::empty))
+}
+
+/// Compares the oracle's and the realtime engine's final snapshots:
+/// exact agreement on every per-tenant completion/rejection/shed/
+/// SLO-good-relevant counter that does not depend on timing, exact
+/// global retries, zero drops on both sides, and relative agreement on
+/// mean latency/energy within `tolerance`. Returns human-readable
+/// mismatch descriptions (empty = conformant).
+pub fn reconcile_snapshots(
+    oracle: &TelemetrySnapshot,
+    realtime: &TelemetrySnapshot,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    if oracle.tenants.len() != realtime.tenants.len() {
+        mismatches.push(format!(
+            "snapshot tenant count diverged: oracle {} vs realtime {}",
+            oracle.tenants.len(),
+            realtime.tenants.len()
+        ));
+        return mismatches;
+    }
+    for (i, (o, r)) in oracle.tenants.iter().zip(&realtime.tenants).enumerate() {
+        if o.name != r.name {
+            mismatches.push(format!(
+                "tenant {i} name diverged: oracle `{}` vs realtime `{}`",
+                o.name, r.name
+            ));
+        }
+        for (what, ov, rv) in [
+            ("completed", o.completed, r.completed),
+            ("rejected", o.rejected, r.rejected),
+            ("shed", o.shed, r.shed),
+        ] {
+            if ov != rv {
+                mismatches.push(format!(
+                    "tenant {i} ({}) {what} diverged: oracle {ov} vs realtime {rv}",
+                    o.name
+                ));
+            }
+        }
+        for (what, ov, rv) in [
+            ("mean latency", o.mean_latency_ns, r.mean_latency_ns),
+            ("mean energy", o.mean_energy_pj, r.mean_energy_pj),
+        ] {
+            // Symmetric relative difference: means are legitimately
+            // scheduling-dependent (batch composition differs under
+            // load), so the bound must not depend on which engine
+            // happened to be slower.
+            let scale = ov.abs().max(rv.abs()).max(1.0);
+            if ((ov - rv) / scale).abs() > tolerance {
+                mismatches.push(format!(
+                    "tenant {i} ({}) {what} outside tolerance {tolerance}: \
+                     oracle {ov:.3} vs realtime {rv:.3}",
+                    o.name
+                ));
+            }
+        }
+    }
+    if oracle.retries != realtime.retries {
+        mismatches.push(format!(
+            "snapshot retries diverged: oracle {} vs realtime {}",
+            oracle.retries, realtime.retries
+        ));
+    }
+    for (side, snapshot) in [("oracle", oracle), ("realtime", realtime)] {
+        if snapshot.dropped != 0 {
+            mismatches.push(format!(
+                "{side} snapshot dropped {} live events — collection must be lossless",
+                snapshot.dropped
+            ));
+        }
+    }
+    mismatches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::RequestRecord;
+    use pim_arch::Energy;
+
+    fn record(
+        id: u64,
+        tenant: usize,
+        submit: u64,
+        complete: u64,
+        outcome: Outcome,
+    ) -> RequestRecord {
+        RequestRecord {
+            request_id: id,
+            tenant,
+            tenant_name: format!("t{tenant}"),
+            submit_ns: submit,
+            dispatch_ns: submit + 10,
+            complete_ns: complete,
+            batch: 1,
+            energy: Energy::from_pj(100.0),
+            outcome,
+        }
+    }
+
+    fn telemetry_with(records: Vec<RequestRecord>) -> Telemetry {
+        let mut telemetry = Telemetry::new(16);
+        for r in &records {
+            telemetry.note_submit(r.submit_ns);
+        }
+        for r in records {
+            telemetry.push(r);
+        }
+        telemetry
+    }
+
+    fn names() -> Vec<String> {
+        vec!["t0".to_string(), "t1".to_string()]
+    }
+
+    fn config() -> TelemetryConfig {
+        TelemetryConfig {
+            snapshot_cadence_ns: 1_000,
+            ..TelemetryConfig::default()
+        }
+    }
+
+    #[test]
+    fn series_is_cumulative_and_cut_on_the_cadence() {
+        let telemetry = telemetry_with(vec![
+            record(0, 0, 0, 500, Outcome::Completed),
+            record(1, 1, 100, 1_500, Outcome::Completed),
+            record(2, 0, 200, 2_500, Outcome::Rejected(RejectReason::Shed)),
+        ]);
+        let series = snapshot_series(&telemetry, &names(), &config()).unwrap();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0].up_to_ns, 1_000);
+        assert_eq!(series[0].completed(), 1);
+        assert_eq!(series[1].completed(), 2);
+        assert_eq!(series[2].completed(), 2);
+        assert_eq!(series[2].tenants[0].shed, 1);
+        assert!(series.iter().all(|s| s.dropped == 0));
+        // Sequence numbers are dense.
+        for (i, snap) in series.iter().enumerate() {
+            assert_eq!(snap.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn series_is_a_pure_function_of_the_telemetry() {
+        let telemetry = telemetry_with(
+            (0..50)
+                .map(|i| {
+                    record(
+                        i,
+                        (i % 2) as usize,
+                        i * 10,
+                        i * 10 + 400,
+                        Outcome::Completed,
+                    )
+                })
+                .collect(),
+        );
+        let a = snapshot_series(&telemetry, &names(), &config()).unwrap();
+        let b = snapshot_series(&telemetry, &names(), &config()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reconcile_accepts_identical_snapshots() {
+        let telemetry = telemetry_with(vec![record(0, 0, 0, 500, Outcome::Completed)]);
+        let snap = final_snapshot(&telemetry, &names(), &config()).unwrap();
+        assert!(reconcile_snapshots(&snap, &snap, 0.0).is_empty());
+    }
+
+    #[test]
+    fn reconcile_flags_exact_counter_divergence() {
+        let oracle = final_snapshot(
+            &telemetry_with(vec![record(0, 0, 0, 500, Outcome::Completed)]),
+            &names(),
+            &config(),
+        )
+        .unwrap();
+        let realtime = final_snapshot(
+            &telemetry_with(vec![record(
+                0,
+                0,
+                0,
+                500,
+                Outcome::Rejected(RejectReason::QueueFull),
+            )]),
+            &names(),
+            &config(),
+        )
+        .unwrap();
+        let mismatches = reconcile_snapshots(&oracle, &realtime, 1.0);
+        assert!(
+            mismatches.iter().any(|m| m.contains("completed diverged")),
+            "{mismatches:?}"
+        );
+        assert!(mismatches.iter().any(|m| m.contains("rejected diverged")));
+    }
+
+    #[test]
+    fn reconcile_flags_dropped_events() {
+        let telemetry = telemetry_with(vec![record(0, 0, 0, 500, Outcome::Completed)]);
+        let oracle = final_snapshot(&telemetry, &names(), &config()).unwrap();
+        let mut lossy = oracle.clone();
+        lossy.dropped = 3;
+        let mismatches = reconcile_snapshots(&oracle, &lossy, 1.0);
+        assert!(mismatches.iter().any(|m| m.contains("dropped 3")));
+    }
+
+    #[test]
+    fn reconcile_bounds_timing_means_without_requiring_equality() {
+        let telemetry = telemetry_with(vec![record(0, 0, 0, 500, Outcome::Completed)]);
+        let oracle = final_snapshot(&telemetry, &names(), &config()).unwrap();
+        let mut skewed = oracle.clone();
+        skewed.tenants[0].mean_latency_ns *= 1.4;
+        assert!(reconcile_snapshots(&oracle, &skewed, 0.5).is_empty());
+        assert!(!reconcile_snapshots(&oracle, &skewed, 0.1).is_empty());
+    }
+
+    #[test]
+    fn reason_codes_partition_shedding() {
+        use bfree_obs::REASON_SHED;
+        assert!(reason_code(RejectReason::Shed) >= REASON_SHED);
+        assert!(reason_code(RejectReason::DeadlineExpired) >= REASON_SHED);
+        assert!(reason_code(RejectReason::QueueFull) < REASON_SHED);
+        assert!(reason_code(RejectReason::TimedOut) < REASON_SHED);
+        assert!(reason_code(RejectReason::DoesNotFit) < REASON_SHED);
+        assert!(reason_code(RejectReason::RetriesExhausted) < REASON_SHED);
+    }
+
+    #[test]
+    fn energy_values_are_rounded_and_guarded() {
+        assert_eq!(energy_value(99.6), 100);
+        assert_eq!(energy_value(0.0), 0);
+        assert_eq!(energy_value(-5.0), 0);
+        assert_eq!(energy_value(f64::NAN), 0);
+    }
+}

@@ -3,10 +3,163 @@
 use crate::error::ServeError;
 use crate::scheduler::ServeConfig;
 
+/// Knobs of the live telemetry plane: collection capacity, snapshot
+/// cadence, histogram bounds, and the SLO objectives the
+/// [`bfree_obs::SloTracker`] evaluates.
+///
+/// The same knobs drive both engines: the realtime engine's aggregator
+/// thread publishes on the cadence in wall time, while the
+/// virtual-clock oracle cuts its record stream at the same cadence in
+/// virtual time — producing schema-identical snapshot sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Whether the live plane runs at all. Disabled, the engine carries
+    /// zero collection overhead (no rings, no aggregator thread).
+    pub enabled: bool,
+    /// Snapshot publication cadence in nanoseconds (> 0).
+    pub snapshot_cadence_ns: u64,
+    /// Per-worker event-ring capacity in slots (> 0; rounded up to a
+    /// power of two).
+    pub ring_capacity: usize,
+    /// Lower bound of the latency/energy histograms (≥ 1 ns).
+    pub histogram_min_ns: u64,
+    /// Upper bound of the latency/energy histograms (> the lower).
+    pub histogram_max_ns: u64,
+    /// The latency SLO objective: a completion is *good* iff its
+    /// end-to-end latency is at most this many nanoseconds.
+    pub latency_objective_ns: u64,
+    /// Fraction of completions that must be good (finite, in (0, 1]).
+    pub latency_target: f64,
+    /// Fraction of settled requests that must complete (finite, in
+    /// (0, 1]).
+    pub availability_target: f64,
+    /// Short burn-rate alert window in nanoseconds (> 0).
+    pub short_window_ns: u64,
+    /// Long burn-rate alert window in nanoseconds (≥ the short one).
+    pub long_window_ns: u64,
+    /// Short-window burn threshold (finite, > 0).
+    pub fast_burn: f64,
+    /// Long-window burn threshold (finite, > 0).
+    pub slow_burn: f64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            snapshot_cadence_ns: 10_000_000,
+            ring_capacity: 65_536,
+            histogram_min_ns: 1_000,
+            histogram_max_ns: 10_000_000_000,
+            latency_objective_ns: 50_000_000,
+            latency_target: 0.99,
+            availability_target: 0.999,
+            short_window_ns: 50_000_000,
+            long_window_ns: 250_000_000,
+            fast_burn: 14.4,
+            slow_burn: 6.0,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// The SLO spec the tracker evaluates from these knobs.
+    pub fn slo_spec(&self) -> bfree_obs::SloSpec {
+        bfree_obs::SloSpec {
+            latency_target: self.latency_target,
+            availability_target: self.availability_target,
+            short_window_ns: self.short_window_ns,
+            long_window_ns: self.long_window_ns,
+            fast_burn: self.fast_burn,
+            slow_burn: self.slow_burn,
+        }
+    }
+
+    /// Checks parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] naming the offending
+    /// parameter.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.snapshot_cadence_ns == 0 {
+            return Err(ServeError::InvalidConfig {
+                parameter: "telemetry.snapshot_cadence_ns",
+                reason: "must be positive".to_string(),
+            });
+        }
+        if self.ring_capacity == 0 {
+            return Err(ServeError::InvalidConfig {
+                parameter: "telemetry.ring_capacity",
+                reason: "must be positive".to_string(),
+            });
+        }
+        if self.histogram_min_ns == 0 {
+            return Err(ServeError::InvalidConfig {
+                parameter: "telemetry.histogram_min_ns",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if self.histogram_min_ns >= self.histogram_max_ns {
+            return Err(ServeError::InvalidConfig {
+                parameter: "telemetry.histogram_max_ns",
+                reason: format!(
+                    "bounds are degenerate: min {} >= max {}",
+                    self.histogram_min_ns, self.histogram_max_ns
+                ),
+            });
+        }
+        if self.latency_objective_ns == 0 {
+            return Err(ServeError::InvalidConfig {
+                parameter: "telemetry.latency_objective_ns",
+                reason: "must be positive".to_string(),
+            });
+        }
+        for (parameter, target) in [
+            ("telemetry.latency_target", self.latency_target),
+            ("telemetry.availability_target", self.availability_target),
+        ] {
+            if !target.is_finite() || target <= 0.0 || target > 1.0 {
+                return Err(ServeError::InvalidConfig {
+                    parameter,
+                    reason: format!("must be finite in (0, 1], got {target}"),
+                });
+            }
+        }
+        if self.short_window_ns == 0 {
+            return Err(ServeError::InvalidConfig {
+                parameter: "telemetry.short_window_ns",
+                reason: "must be positive".to_string(),
+            });
+        }
+        if self.long_window_ns < self.short_window_ns {
+            return Err(ServeError::InvalidConfig {
+                parameter: "telemetry.long_window_ns",
+                reason: format!(
+                    "must be at least the short window ({} < {})",
+                    self.long_window_ns, self.short_window_ns
+                ),
+            });
+        }
+        for (parameter, burn) in [
+            ("telemetry.fast_burn", self.fast_burn),
+            ("telemetry.slow_burn", self.slow_burn),
+        ] {
+            if !burn.is_finite() || burn <= 0.0 {
+                return Err(ServeError::InvalidConfig {
+                    parameter,
+                    reason: format!("must be finite and positive, got {burn}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of the wall-clock realtime engine: the shared
 /// [`ServeConfig`] (machine, batching, retry, deadlines) plus the
 /// knobs only a concurrent front-end has — worker count, admission
-/// queue sharding, and trace replay pacing.
+/// queue sharding, trace replay pacing, and the live telemetry plane.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RealtimeConfig {
     /// The serving parameters shared with the virtual-clock engine.
@@ -22,6 +175,8 @@ pub struct RealtimeConfig {
     /// push (the throughput-measurement mode); `1.0` replays in real
     /// time. Must be finite and non-negative.
     pub replay_rate: f64,
+    /// The live telemetry plane (on by default).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for RealtimeConfig {
@@ -31,6 +186,7 @@ impl Default for RealtimeConfig {
             workers: 4,
             queue_shards: 4,
             replay_rate: 0.0,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -92,6 +248,7 @@ impl RealtimeConfig {
                 reason: format!("must be finite and non-negative, got {}", self.replay_rate),
             });
         }
+        self.telemetry.validate()?;
         Ok(())
     }
 }
@@ -141,6 +298,12 @@ impl RealtimeConfigBuilder {
     /// Trace replay pacing (`0.0` = as fast as possible).
     pub fn replay_rate(mut self, replay_rate: f64) -> Self {
         self.config.replay_rate = replay_rate;
+        self
+    }
+
+    /// The live telemetry plane configuration.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.config.telemetry = telemetry;
         self
     }
 
@@ -208,6 +371,127 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn telemetry_knobs_are_validated_by_name() {
+        let cases: Vec<(&'static str, TelemetryConfig)> = vec![
+            (
+                "telemetry.snapshot_cadence_ns",
+                TelemetryConfig {
+                    snapshot_cadence_ns: 0,
+                    ..TelemetryConfig::default()
+                },
+            ),
+            (
+                "telemetry.ring_capacity",
+                TelemetryConfig {
+                    ring_capacity: 0,
+                    ..TelemetryConfig::default()
+                },
+            ),
+            (
+                "telemetry.histogram_min_ns",
+                TelemetryConfig {
+                    histogram_min_ns: 0,
+                    ..TelemetryConfig::default()
+                },
+            ),
+            (
+                "telemetry.histogram_max_ns",
+                TelemetryConfig {
+                    histogram_min_ns: 100,
+                    histogram_max_ns: 100,
+                    ..TelemetryConfig::default()
+                },
+            ),
+            (
+                "telemetry.latency_objective_ns",
+                TelemetryConfig {
+                    latency_objective_ns: 0,
+                    ..TelemetryConfig::default()
+                },
+            ),
+            (
+                "telemetry.latency_target",
+                TelemetryConfig {
+                    latency_target: f64::NAN,
+                    ..TelemetryConfig::default()
+                },
+            ),
+            (
+                "telemetry.availability_target",
+                TelemetryConfig {
+                    availability_target: 1.5,
+                    ..TelemetryConfig::default()
+                },
+            ),
+            (
+                "telemetry.short_window_ns",
+                TelemetryConfig {
+                    short_window_ns: 0,
+                    ..TelemetryConfig::default()
+                },
+            ),
+            (
+                "telemetry.long_window_ns",
+                TelemetryConfig {
+                    short_window_ns: 100,
+                    long_window_ns: 50,
+                    ..TelemetryConfig::default()
+                },
+            ),
+            (
+                "telemetry.fast_burn",
+                TelemetryConfig {
+                    fast_burn: -1.0,
+                    ..TelemetryConfig::default()
+                },
+            ),
+            (
+                "telemetry.slow_burn",
+                TelemetryConfig {
+                    slow_burn: f64::INFINITY,
+                    ..TelemetryConfig::default()
+                },
+            ),
+        ];
+        for (expected, telemetry) in cases {
+            let err = RealtimeConfig::builder()
+                .telemetry(telemetry)
+                .build()
+                .unwrap_err();
+            match err {
+                ServeError::InvalidConfig { parameter, .. } => {
+                    assert_eq!(parameter, expected);
+                }
+                other => panic!("expected InvalidConfig for {expected}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_telemetry_still_validates_its_knobs() {
+        // A disabled plane with bad knobs is still a config error: the
+        // knobs round-trip through JSON and may be re-enabled later.
+        let err = RealtimeConfig::builder()
+            .telemetry(TelemetryConfig {
+                enabled: false,
+                snapshot_cadence_ns: 0,
+                ..TelemetryConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn slo_spec_mirrors_the_knobs() {
+        let telemetry = TelemetryConfig::default();
+        let spec = telemetry.slo_spec();
+        assert_eq!(spec.latency_target, telemetry.latency_target);
+        assert_eq!(spec.short_window_ns, telemetry.short_window_ns);
+        assert_eq!(spec.fast_burn, telemetry.fast_burn);
     }
 
     #[test]

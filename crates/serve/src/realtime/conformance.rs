@@ -75,6 +75,12 @@ pub struct ConformanceReport {
     pub mean_energy_pj: Reconciled,
     /// The tolerance the telemetry was checked against.
     pub tolerance: f64,
+    /// Whether the engines' final live-telemetry snapshots reconciled
+    /// (exact per-tenant counters, exact retries, zero dropped events,
+    /// timing means within tolerance). Vacuously `true` when the
+    /// telemetry plane is disabled or the engines were reconciled
+    /// through the generic [`reconcile`] path.
+    pub snapshots_exact: bool,
     /// Human-readable mismatch descriptions (empty on a pass).
     pub mismatches: Vec<String>,
 }
@@ -113,7 +119,9 @@ pub fn run_conformance(
     debug_assert_eq!(submitted, rt_submitted);
     oracle.drive_to_idle()?;
     realtime.drive_to_idle()?;
-    Ok(reconcile(&oracle, &realtime, submitted, tolerance))
+    let mut report = reconcile(&oracle, &realtime, submitted, tolerance);
+    reconcile_live(&mut report, config, specs, &oracle, &realtime, tolerance)?;
+    Ok(report)
 }
 
 /// Compares two driven frontends. Exposed so tests can drive engines
@@ -218,8 +226,39 @@ where
         mean_latency_ns,
         mean_energy_pj,
         tolerance,
+        snapshots_exact: true,
         mismatches,
     }
+}
+
+/// Folds the live-snapshot comparison into `report`: the oracle's
+/// final snapshot is derived deterministically from its record stream
+/// ([`crate::live::final_snapshot`]) and reconciled against the
+/// realtime aggregator's last published snapshot.
+fn reconcile_live<RO, RR>(
+    report: &mut ConformanceReport,
+    config: &RealtimeConfig,
+    specs: &[TenantSpec],
+    oracle: &ServingSim<RO>,
+    realtime: &RealtimeEngine<RR>,
+    tolerance: f64,
+) -> Result<(), ServeError>
+where
+    RO: Recorder,
+    RR: Recorder + Sync,
+{
+    if !config.telemetry.enabled {
+        return Ok(());
+    }
+    let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+    let oracle_snapshot =
+        crate::live::final_snapshot(oracle.serving_telemetry(), &names, &config.telemetry)?;
+    let realtime_snapshot = realtime.live_snapshot();
+    let snapshot_mismatches =
+        crate::live::reconcile_snapshots(&oracle_snapshot, &realtime_snapshot, tolerance);
+    report.snapshots_exact = snapshot_mismatches.is_empty();
+    report.mismatches.extend(snapshot_mismatches);
+    Ok(())
 }
 
 /// [`run_conformance`] with engines generic over recorders, driving
@@ -255,7 +294,8 @@ where
     realtime.submit_trace(trace)?;
     oracle.drive_to_idle()?;
     realtime.drive_to_idle()?;
-    let report = reconcile(&oracle, &realtime, submitted, tolerance);
+    let mut report = reconcile(&oracle, &realtime, submitted, tolerance);
+    reconcile_live(&mut report, config, specs, &oracle, &realtime, tolerance)?;
     Ok((report, oracle, realtime))
 }
 
@@ -295,6 +335,7 @@ mod tests {
         assert!(report.passed(), "mismatches: {:?}", report.mismatches);
         assert!(report.work_exact);
         assert!(report.outcomes_exact);
+        assert!(report.snapshots_exact);
         assert_eq!(report.submitted, 12);
         assert!(report.total_work.ops > 0);
         assert!(report.total_work.lut_reads > 0);

@@ -21,14 +21,18 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bfree_fault::FaultInjector;
-use bfree_obs::{NullRecorder, Recorder, Subsystem, Unit};
+use bfree_obs::{
+    LiveAccumulator, LiveCollector, LiveEvent, LiveMetric, NullRecorder, Recorder, SnapshotCell,
+    SpscRing, Subsystem, TelemetrySnapshot, Unit,
+};
 use pim_arch::Energy;
 
 use crate::error::{RejectReason, ServeError};
 use crate::frontend::{Frontend, RequestTrace, TraceOp, WorkCounters, WorkLedger};
+use crate::live::{energy_value, reason_code};
 use crate::realtime::config::RealtimeConfig;
 use crate::realtime::queue::ShardedQueue;
 use crate::registry::ModelRegistry;
@@ -92,6 +96,11 @@ struct SharedRun<'a, R: Recorder + Sync> {
     live: AtomicUsize,
     live_per_tenant: Vec<AtomicUsize>,
     feeder_done: AtomicBool,
+    /// The live-telemetry collection plane: one SPSC ring per worker
+    /// plus one for the feeder (index `workers`). `None` when the
+    /// telemetry knobs disable collection — every hot-path emission is
+    /// then a single branch on a `None`.
+    collector: Option<LiveCollector>,
     records: Mutex<Vec<RequestRecord>>,
     ledger: Mutex<WorkLedger>,
     retries: AtomicU64,
@@ -133,6 +142,7 @@ pub struct RealtimeEngine<R: Recorder + Sync = NullRecorder> {
     stats: RealtimeStats,
     driven: bool,
     recorder: R,
+    live_cell: Arc<SnapshotCell>,
 }
 
 impl RealtimeEngine {
@@ -257,6 +267,7 @@ impl<R: Recorder + Sync> RealtimeEngine<R> {
             stats: RealtimeStats::default(),
             driven: false,
             recorder,
+            live_cell: Arc::new(SnapshotCell::new()),
         })
     }
 
@@ -289,6 +300,22 @@ impl<R: Recorder + Sync> RealtimeEngine<R> {
     /// Telemetry collected so far.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The cell the background aggregator publishes live
+    /// [`TelemetrySnapshot`]s into. Clone the `Arc` before
+    /// [`drive`](Self::drive) and poll it from another thread to watch
+    /// the run in flight; after the drive it holds the final cumulative
+    /// snapshot.
+    pub fn live_cell(&self) -> Arc<SnapshotCell> {
+        Arc::clone(&self.live_cell)
+    }
+
+    /// The most recent live snapshot (the final cumulative one once
+    /// the drive returns; [`TelemetrySnapshot::empty`] before the
+    /// first publication or when telemetry is disabled).
+    pub fn live_snapshot(&self) -> Arc<TelemetrySnapshot> {
+        self.live_cell.load()
     }
 
     /// Prices `spec` eagerly and stages a hot-swap at trace time
@@ -383,6 +410,30 @@ impl<R: Recorder + Sync> RealtimeEngine<R> {
             })
             .collect();
 
+        let workers = self.config.workers;
+        let telemetry_cfg = &self.config.telemetry;
+        let tenant_names: Vec<String> = self.tenants.iter().map(|t| t.name().to_string()).collect();
+        // One ring per worker plus one for the feeder; the accumulator
+        // is owned by the aggregator thread for the whole drive.
+        let accumulator = if telemetry_cfg.enabled {
+            Some(
+                LiveAccumulator::new(
+                    tenant_names.len(),
+                    telemetry_cfg.histogram_min_ns,
+                    telemetry_cfg.histogram_max_ns,
+                    telemetry_cfg.latency_objective_ns,
+                )
+                .map_err(|err| ServeError::Realtime {
+                    reason: format!("live accumulator construction failed: {err}"),
+                })?,
+            )
+        } else {
+            None
+        };
+        let collector = telemetry_cfg
+            .enabled
+            .then(|| LiveCollector::new(workers + 1, telemetry_cfg.ring_capacity));
+
         let shared = SharedRun {
             config: &self.config,
             injector: &self.injector,
@@ -406,6 +457,7 @@ impl<R: Recorder + Sync> RealtimeEngine<R> {
                 .map(|_| AtomicUsize::new(0))
                 .collect(),
             feeder_done: AtomicBool::new(false),
+            collector,
             records: Mutex::new(Vec::new()),
             ledger: Mutex::new(WorkLedger::new()),
             retries: AtomicU64::new(0),
@@ -417,11 +469,31 @@ impl<R: Recorder + Sync> RealtimeEngine<R> {
         };
 
         let started = Instant::now();
-        let workers = self.config.workers;
+        let agg_done = AtomicBool::new(false);
         let pool = std::thread::scope(|scope| {
             let shared = &shared;
             scope.spawn(move || feed(shared, plan, started));
-            bfree::par::try_run_worker_pool(workers, |worker| worker_loop(shared, worker))
+            let aggregator = accumulator.map(|acc| {
+                let cell: &SnapshotCell = &self.live_cell;
+                let names: &[String] = &tenant_names;
+                let done = &agg_done;
+                scope.spawn(move || aggregate(shared, done, cell, acc, names, started))
+            });
+            // Each worker takes its own producer ring once, on its own
+            // thread, and carries it through the loop — the hot path
+            // never re-derives it.
+            let result = bfree::par::try_run_worker_pool_with(
+                workers,
+                |worker| shared.collector.as_ref().map(|c| c.producer(worker)),
+                |worker, ring| worker_loop(shared, worker, *ring),
+            );
+            agg_done.store(true, Ordering::Release);
+            // Wake the aggregator if it is parked between drains so the
+            // final drain + publish happens now, not a poll later.
+            if let Some(handle) = &aggregator {
+                handle.thread().unpark();
+            }
+            result
         });
         let wall_ns = started.elapsed().as_nanos() as u64;
         // A panicked worker surfaces as a typed serving error instead of
@@ -526,10 +598,116 @@ fn lock<'a, T>(mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Pushes one live event onto this thread's producer ring, if the live
+/// plane is collecting. A full ring counts the drop and moves on — the
+/// hot path never blocks on telemetry.
+fn emit(
+    ring: Option<&SpscRing>,
+    metric: LiveMetric,
+    tenant: usize,
+    value: u64,
+    time_ns: u64,
+    id: u64,
+) {
+    if let Some(ring) = ring {
+        ring.push(LiveEvent {
+            metric,
+            tenant: tenant as u32,
+            value,
+            time_ns,
+            id,
+        });
+    }
+}
+
+/// The background aggregator: drains every producer ring on a short
+/// poll, folds the events into the cumulative [`LiveAccumulator`], and
+/// publishes an immutable [`TelemetrySnapshot`] into `cell` on the
+/// configured wall-clock cadence — plus one final snapshot, after a
+/// last drain, once the worker pool has exited (`done`).
+fn aggregate<R: Recorder + Sync>(
+    shared: &SharedRun<'_, R>,
+    done: &AtomicBool,
+    cell: &SnapshotCell,
+    mut acc: LiveAccumulator,
+    tenant_names: &[String],
+    started: Instant,
+) {
+    let Some(collector) = shared.collector.as_ref() else {
+        return;
+    };
+    let cadence_ns = shared.config.telemetry.snapshot_cadence_ns.max(1);
+    let slices = shared.config.serve.base.geometry.slices() as u64;
+    let mut seq = 0u64;
+    let mut next_publish_ns = cadence_ns;
+    loop {
+        // Load `done` before draining: the pool's completion
+        // happens-before the Release store, so a final iteration that
+        // observes it sees every ring fully published.
+        let finished = done.load(Ordering::Acquire);
+        let drained = collector.drain_into(&mut acc);
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        // Sample the queue-depth gauge here rather than having the
+        // feeder emit an event per submit: the max only needs drain
+        // granularity, and this halves the hot-path ring traffic.
+        acc.observe(LiveEvent {
+            metric: LiveMetric::QueueDepth,
+            tenant: 0,
+            value: shared.queue.len() as u64,
+            time_ns: elapsed_ns,
+            id: 0,
+        });
+        if finished || elapsed_ns >= next_publish_ns {
+            let up_to_ns = shared
+                .lanes
+                .iter()
+                .map(|lane| lane.clock_ns.load(Ordering::Acquire))
+                .max()
+                .unwrap_or(0);
+            let busy = shared.busy_slice_ns.load(Ordering::Relaxed);
+            let pool_utilization = if up_to_ns > 0 && slices > 0 {
+                busy as f64 / (up_to_ns.saturating_mul(slices)) as f64
+            } else {
+                0.0
+            };
+            let snapshot = acc.snapshot(
+                seq,
+                up_to_ns,
+                shared.queue.len() as u64,
+                pool_utilization,
+                collector.dropped(),
+                tenant_names,
+            );
+            cell.publish(Arc::new(snapshot));
+            seq += 1;
+            next_publish_ns = elapsed_ns.saturating_add(cadence_ns);
+        }
+        if finished {
+            return;
+        }
+        // Adaptive pacing: while events flow, stay hot (yield) so ring
+        // occupancy and shutdown latency stay in the microseconds; only
+        // an empty drain parks for real. Parking (not sleeping) lets
+        // the driver unpark this thread the moment the pool finishes —
+        // a plain sleep's timer slack would otherwise be a fixed
+        // hundreds-of-microseconds tail on every drive() call.
+        if drained == 0 {
+            std::thread::park_timeout(Duration::from_micros(100));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
 /// The feeder: replays the plan in trace order, pacing against the
 /// wall clock when a replay rate is set.
 fn feed<R: Recorder + Sync>(shared: &SharedRun<'_, R>, plan: Vec<PlannedOp>, started: Instant) {
     let rate = shared.config.replay_rate;
+    // The feeder owns the collector's last ring (index `workers`).
+    let ring = shared
+        .collector
+        .as_ref()
+        .map(|c| c.producer(shared.config.workers));
     let mut next_request_id = 0u64;
     for op in plan {
         let at_ns = match &op {
@@ -566,15 +744,20 @@ fn feed<R: Recorder + Sync>(shared: &SharedRun<'_, R>, plan: Vec<PlannedOp>, sta
                     .unwrap_or_else(|poisoned| poisoned.into_inner())
                     .fits();
                 if !fits {
-                    reject(shared, request, at_ns, RejectReason::DoesNotFit);
+                    reject(shared, request, at_ns, RejectReason::DoesNotFit, ring);
                     continue;
                 }
                 shared.live.fetch_add(1, Ordering::AcqRel);
                 shared.live_per_tenant[tenant].fetch_add(1, Ordering::AcqRel);
+                // Queue depth is a gauge the aggregator samples from
+                // the shared queue directly (no per-submit event): one
+                // event per submit would double the hot-path ring
+                // traffic for a value that only needs to be observed at
+                // drain granularity.
                 if let Err(reason) = shared.queue.push(request) {
                     shared.live_per_tenant[tenant].fetch_sub(1, Ordering::AcqRel);
                     shared.live.fetch_sub(1, Ordering::AcqRel);
-                    reject(shared, request, at_ns, reason);
+                    reject(shared, request, at_ns, reason, ring);
                 }
             }
             PlannedOp::Swap {
@@ -607,8 +790,13 @@ fn feed<R: Recorder + Sync>(shared: &SharedRun<'_, R>, plan: Vec<PlannedOp>, sta
 }
 
 /// One worker of the persistent pool: pop, route to the request's
-/// tenant lane, and run the lane if nobody else is.
-fn worker_loop<R: Recorder + Sync>(shared: &SharedRun<'_, R>, worker: usize) {
+/// tenant lane, and run the lane if nobody else is. `ring` is this
+/// worker's private producer side of the live plane.
+fn worker_loop<R: Recorder + Sync>(
+    shared: &SharedRun<'_, R>,
+    worker: usize,
+    ring: Option<&SpscRing>,
+) {
     loop {
         match shared.queue.pop(worker) {
             Some((request, stolen)) => {
@@ -627,7 +815,7 @@ fn worker_loop<R: Recorder + Sync>(shared: &SharedRun<'_, R>, worker: usize) {
                     }
                 };
                 if run_now {
-                    run_lane(shared, request.tenant);
+                    run_lane(shared, request.tenant, ring);
                 }
             }
             None => {
@@ -645,7 +833,7 @@ fn worker_loop<R: Recorder + Sync>(shared: &SharedRun<'_, R>, worker: usize) {
 /// Drives one tenant lane until its pending queue drains: forms a
 /// batch, walks it layer by layer on the lane's virtual clock, retires
 /// finished members, and admits joiners at every layer boundary.
-fn run_lane<R: Recorder + Sync>(shared: &SharedRun<'_, R>, tenant: usize) {
+fn run_lane<R: Recorder + Sync>(shared: &SharedRun<'_, R>, tenant: usize, ring: Option<&SpscRing>) {
     let lane = &shared.lanes[tenant];
     let max_batch = shared.config.serve.max_batch;
     loop {
@@ -673,7 +861,7 @@ fn run_lane<R: Recorder + Sync>(shared: &SharedRun<'_, R>, tenant: usize) {
         }
         members.retain(|member| match shed(shared, lane, member) {
             Some(reason) => {
-                settle_rejected(shared, member.req, lane, reason);
+                settle_rejected(shared, member.req, lane, reason, ring);
                 false
             }
             None => true,
@@ -726,7 +914,7 @@ fn run_lane<R: Recorder + Sync>(shared: &SharedRun<'_, R>, tenant: usize) {
             while i < members.len() {
                 if members[i].layer >= total_layers {
                     let member = members.swap_remove(i);
-                    retire(shared, lane, &binding, member, now, b);
+                    retire(shared, lane, &binding, member, now, b, ring);
                 } else {
                     i += 1;
                 }
@@ -794,6 +982,7 @@ fn retire<R: Recorder + Sync>(
     member: Member,
     now: u64,
     batch: usize,
+    ring: Option<&SpscRing>,
 ) {
     let request = member.req;
     lock(&shared.ledger).charge(request.request_id, member.work);
@@ -812,15 +1001,23 @@ fn retire<R: Recorder + Sync>(
         let next_attempt = request.attempt + 1;
         if next_attempt < shared.config.serve.retry.max_attempts {
             shared.retries.fetch_add(1, Ordering::Relaxed);
+            emit(
+                ring,
+                LiveMetric::Retry,
+                request.tenant,
+                0,
+                now,
+                request.request_id,
+            );
             let retry = QueuedRequest {
                 attempt: next_attempt,
                 ..request
             };
             if let Err(reason) = shared.queue.push(retry) {
-                settle_rejected(shared, retry, lane, reason);
+                settle_rejected(shared, retry, lane, reason, ring);
             }
         } else {
-            settle_rejected(shared, request, lane, RejectReason::RetriesExhausted);
+            settle_rejected(shared, request, lane, RejectReason::RetriesExhausted, ring);
         }
         return;
     }
@@ -845,6 +1042,22 @@ fn retire<R: Recorder + Sync>(
         energy: Energy::from_pj(member.energy_pj),
         outcome: Outcome::Completed,
     });
+    emit(
+        ring,
+        LiveMetric::Latency,
+        request.tenant,
+        now.saturating_sub(request.submit_ns),
+        now,
+        request.request_id,
+    );
+    emit(
+        ring,
+        LiveMetric::Energy,
+        request.tenant,
+        energy_value(member.energy_pj),
+        now,
+        request.request_id,
+    );
     shared.live_per_tenant[request.tenant].fetch_sub(1, Ordering::AcqRel);
     shared.live.fetch_sub(1, Ordering::AcqRel);
 }
@@ -856,9 +1069,10 @@ fn settle_rejected<R: Recorder + Sync>(
     request: QueuedRequest,
     lane: &Lane,
     reason: RejectReason,
+    ring: Option<&SpscRing>,
 ) {
     let now = lane.clock_ns.load(Ordering::Acquire);
-    push_rejection(shared, request, now, reason);
+    push_rejection(shared, request, now, reason, ring);
     shared.live_per_tenant[request.tenant].fetch_sub(1, Ordering::AcqRel);
     shared.live.fetch_sub(1, Ordering::AcqRel);
 }
@@ -870,8 +1084,9 @@ fn reject<R: Recorder + Sync>(
     request: QueuedRequest,
     now: u64,
     reason: RejectReason,
+    ring: Option<&SpscRing>,
 ) {
-    push_rejection(shared, request, now, reason);
+    push_rejection(shared, request, now, reason, ring);
 }
 
 fn push_rejection<R: Recorder + Sync>(
@@ -879,6 +1094,7 @@ fn push_rejection<R: Recorder + Sync>(
     request: QueuedRequest,
     now: u64,
     reason: RejectReason,
+    ring: Option<&SpscRing>,
 ) {
     shared
         .recorder
@@ -904,6 +1120,14 @@ fn push_rejection<R: Recorder + Sync>(
         energy: Energy::ZERO,
         outcome: Outcome::Rejected(reason),
     });
+    emit(
+        ring,
+        LiveMetric::Rejected,
+        request.tenant,
+        reason_code(reason),
+        now,
+        request.request_id,
+    );
 }
 
 impl<R: Recorder + Sync> Frontend for RealtimeEngine<R> {
@@ -999,6 +1223,45 @@ mod tests {
         }
         assert!(engine.stats().wall_ns > 0);
         assert!(engine.stats().batches > 0);
+    }
+
+    #[test]
+    fn live_snapshot_counts_every_completion_losslessly() {
+        let mut engine = RealtimeEngine::new(config(2), vec![lstm()]).unwrap();
+        let mut trace = RequestTrace::new();
+        for i in 0..25u64 {
+            trace.submit(i * 1_000, 0);
+        }
+        engine.submit_trace(&trace).unwrap();
+        engine.drive_to_idle().unwrap();
+        let snapshot = engine.live_snapshot();
+        assert_eq!(snapshot.completed(), 25);
+        assert_eq!(snapshot.rejected(), 0);
+        assert_eq!(snapshot.dropped, 0, "collection must be lossless");
+        assert_eq!(snapshot.tenants[0].name, "lstm");
+        assert!(snapshot.tenants[0].latency_p50_ns > 0);
+        assert!(snapshot.tenants[0].mean_energy_pj > 0.0);
+        assert!(snapshot.up_to_ns > 0);
+        // The exposition renders the same counts.
+        let text = snapshot.to_openmetrics();
+        assert!(text.contains("bfree_live_completed_total{tenant=\"lstm\"} 25"));
+    }
+
+    #[test]
+    fn disabled_telemetry_publishes_nothing() {
+        let mut cfg = config(2);
+        cfg.telemetry.enabled = false;
+        let mut engine = RealtimeEngine::new(cfg, vec![lstm()]).unwrap();
+        let mut trace = RequestTrace::new();
+        for i in 0..5u64 {
+            trace.submit(i * 1_000, 0);
+        }
+        engine.submit_trace(&trace).unwrap();
+        engine.drive_to_idle().unwrap();
+        let snapshot = engine.live_snapshot();
+        assert_eq!(*snapshot, bfree_obs::TelemetrySnapshot::empty());
+        // The serving telemetry itself is unaffected.
+        assert_eq!(engine.serving_telemetry().summary().completed, 5);
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod conformance;
 pub mod engine;
 pub mod queue;
 
-pub use config::{RealtimeConfig, RealtimeConfigBuilder};
+pub use config::{RealtimeConfig, RealtimeConfigBuilder, TelemetryConfig};
 pub use conformance::{
     reconcile, run_conformance, run_conformance_recorded, ConformanceReport, Reconciled,
 };

@@ -1,0 +1,221 @@
+//! Property tests over the live telemetry plane: log-bucketed histogram
+//! merges must be associative, commutative, and lossless (merging is
+//! how per-worker state becomes a fleet view, so any loss or order
+//! dependence would corrupt every downstream snapshot); snapshot
+//! sequences must be identical at any `--jobs` setting; and the
+//! OpenMetrics exposition must carry every family with escaped labels.
+
+use bfree_experiments as exp;
+use bfree_obs::{LiveAccumulator, LiveEvent, LiveMetric, LogHistogram};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Histogram bounds used across the merge properties — merging requires
+/// identical bounds, which is how the engines configure them.
+const MIN_NS: u64 = 1_000;
+const MAX_NS: u64 = 10_000_000_000;
+
+fn histogram_of(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new(MIN_NS, MAX_NS).expect("bounds are valid");
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn merged(a: &LogHistogram, b: &LogHistogram) -> LogHistogram {
+    let mut out = a.clone();
+    out.merge(b).expect("bounds match");
+    out
+}
+
+proptest! {
+    /// Merge order never matters: a+b == b+a, bucket for bucket.
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in vec(any::<u64>(), 0..200),
+        b in vec(any::<u64>(), 0..200),
+    ) {
+        let (ha, hb) = (histogram_of(&a), histogram_of(&b));
+        prop_assert_eq!(merged(&ha, &hb), merged(&hb, &ha));
+    }
+
+    /// Merge grouping never matters: (a+b)+c == a+(b+c) — per-worker
+    /// partials can be folded in any tree shape.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in vec(any::<u64>(), 0..150),
+        b in vec(any::<u64>(), 0..150),
+        c in vec(any::<u64>(), 0..150),
+    ) {
+        let (ha, hb, hc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+        prop_assert_eq!(
+            merged(&merged(&ha, &hb), &hc),
+            merged(&ha, &merged(&hb, &hc))
+        );
+    }
+
+    /// Merging loses nothing: the merged histogram equals the histogram
+    /// of the concatenated sample stream — same buckets, same count,
+    /// same sum, same extrema.
+    #[test]
+    fn histogram_merge_is_lossless(
+        a in vec(any::<u64>(), 0..200),
+        b in vec(any::<u64>(), 0..200),
+    ) {
+        let (ha, hb) = (histogram_of(&a), histogram_of(&b));
+        let m = merged(&ha, &hb);
+        let concat: Vec<u64> = a.iter().chain(&b).copied().collect();
+        let direct = histogram_of(&concat);
+        prop_assert_eq!(&m, &direct);
+        prop_assert_eq!(m.count(), ha.count() + hb.count());
+        prop_assert_eq!(m.sum(), ha.sum() + hb.sum());
+        prop_assert_eq!(m.min_seen(), ha.min_seen().min(hb.min_seen()).or(ha.min_seen()).or(hb.min_seen()));
+        prop_assert_eq!(m.max_seen(), ha.max_seen().max(hb.max_seen()));
+    }
+
+    /// `record_n` is exactly n `record`s.
+    #[test]
+    fn record_n_matches_repeated_record(value in any::<u64>(), n in 0u64..500) {
+        let mut bulk = LogHistogram::new(MIN_NS, MAX_NS).unwrap();
+        bulk.record_n(value, n);
+        let mut one_by_one = LogHistogram::new(MIN_NS, MAX_NS).unwrap();
+        for _ in 0..n {
+            one_by_one.record(value);
+        }
+        prop_assert_eq!(bulk, one_by_one);
+    }
+}
+
+/// A populated two-tenant snapshot exercising every event kind, with a
+/// label value that needs every escape rule.
+fn exercised_snapshot() -> bfree_obs::TelemetrySnapshot {
+    let names = ["lstm-timit".to_string(), "bert \"v2\"\\\nprod".to_string()];
+    let mut acc = LiveAccumulator::new(2, MIN_NS, MAX_NS, 20_000_000).unwrap();
+    let events = [
+        (LiveMetric::Latency, 0u32, 5_000_000u64, 1u64),
+        (LiveMetric::Latency, 0, 45_000_000, 2),
+        (LiveMetric::Energy, 0, 120_000, 1),
+        (LiveMetric::Latency, 1, 1_500_000, 3),
+        (LiveMetric::Energy, 1, 9_000_000, 3),
+        (LiveMetric::Rejected, 0, 0, 4), // QueueFull
+        (LiveMetric::Rejected, 1, 4, 5), // Shed
+        (LiveMetric::Retry, 0, 1, 6),
+        (LiveMetric::QueueDepth, 0, 17, 0),
+        (LiveMetric::Integrity, 0, 1, 7),
+    ];
+    for (metric, tenant, value, id) in events {
+        acc.observe(LiveEvent {
+            metric,
+            tenant,
+            value,
+            time_ns: 1_000,
+            id,
+        });
+    }
+    acc.snapshot(3, 250_000_000, 9, 0.42, 0, &names)
+}
+
+/// Every metric family the schema promises appears in the exposition,
+/// exactly one TYPE line each, counters `_total`-suffixed, histograms
+/// with a closing `+Inf` bucket, and label values escaped.
+#[test]
+fn openmetrics_exposition_is_exhaustive() {
+    let snapshot = exercised_snapshot();
+    let text = snapshot.to_openmetrics();
+
+    let families = [
+        "bfree_live_snapshot_seq",
+        "bfree_live_up_to_ns",
+        "bfree_live_completed_total",
+        "bfree_live_rejected_total",
+        "bfree_live_shed_total",
+        "bfree_live_slo_good_total",
+        "bfree_live_latency_ns",
+        "bfree_live_energy_pj",
+        "bfree_live_latency_quantile_ns",
+        "bfree_live_retries_total",
+        "bfree_live_integrity_events_total",
+        "bfree_live_dropped_events_total",
+        "bfree_live_queue_depth",
+    ];
+    for family in families {
+        let type_lines = text
+            .lines()
+            .filter(|l| l.starts_with(&format!("# TYPE {family} ")))
+            .count();
+        assert_eq!(
+            type_lines, 1,
+            "family {family} must have exactly one TYPE line"
+        );
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with(family) && !l.starts_with('#')),
+            "family {family} has no samples"
+        );
+    }
+
+    // The exotic tenant name is escaped per the exposition rules:
+    // backslash, quote, and newline all become two-character sequences.
+    assert!(text.contains(r#"tenant="bert \"v2\"\\\nprod""#));
+    assert!(!text.contains('\u{0}'));
+    for line in text.lines() {
+        assert!(!line.is_empty(), "exposition has a blank line");
+    }
+
+    // Histograms close with +Inf and agree with their _count.
+    for family in ["bfree_live_latency_ns", "bfree_live_energy_pj"] {
+        for tenant in &snapshot.tenants {
+            let histo = if family == "bfree_live_latency_ns" {
+                &tenant.latency
+            } else {
+                &tenant.energy
+            };
+            let label = format!("{family}_count{{tenant=");
+            assert!(text.contains(&label), "{family} is missing _count");
+            assert!(
+                text.contains(&format!("le=\"+Inf\"}} {}", histo.count())),
+                "{family} +Inf bucket must equal the count"
+            );
+        }
+    }
+
+    // The worst-latency exemplar rides on a latency bucket.
+    assert!(
+        text.contains("# {trace_id=\"req-2\"}"),
+        "worst-latency exemplar (request 2) missing:\n{text}"
+    );
+
+    // Counter families never emit a non-suffixed duplicate.
+    assert!(!text.lines().any(|l| l.starts_with("bfree_live_completed ")));
+
+    // Scalar content sanity.
+    assert!(text.contains("bfree_live_snapshot_seq 3"));
+    assert!(text.contains("bfree_live_up_to_ns 250000000"));
+    assert!(text.contains("bfree_live_retries_total 1"));
+    assert!(text.contains("bfree_live_integrity_events_total 1"));
+    assert!(text.contains("bfree_live_queue_depth 9"));
+    assert!(text.contains("bfree_live_queue_depth_max 17"));
+}
+
+/// The SLO sweep's snapshot sequences are bit-identical at any jobs
+/// setting: the fan-out is over independent seeded virtual-clock runs,
+/// so parallelism must never leak into the rows.
+#[test]
+fn slo_snapshots_are_jobs_invariant() {
+    let saved = bfree::par::max_jobs();
+    let loads = vec![0.5, 2.0];
+    bfree::par::set_max_jobs(1);
+    let serial = exp::slo::run_with_loads(loads.clone()).unwrap();
+    bfree::par::set_max_jobs(8);
+    let parallel = exp::slo::run_with_loads(loads).unwrap();
+    bfree::par::set_max_jobs(saved);
+
+    let a = exp::slo::csv_rows(&serial).unwrap();
+    let b = exp::slo::csv_rows(&parallel).unwrap();
+    assert_eq!(a, b, "slo rows must not depend on the worker pool size");
+    assert!(!a.is_empty());
+    for (ra, rb) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(ra.snapshot, rb.snapshot);
+    }
+}
